@@ -1,0 +1,204 @@
+// Ablation benches for the design choices called out in DESIGN.md.
+//
+// A1a — resource-category contribution: re-run the full MalGene corpus
+//       with only one deception category enabled at a time. The paper's
+//       Pareto argument (a small subset of resources deactivates most
+//       samples) predicts the debugger category alone recovers most of the
+//       effectiveness (IsDebuggerPresent dominates the corpus).
+// A1b — conflict-aware profiles (Section VI-B, future work, implemented):
+//       malware cross-checking mutually exclusive VM vendors detects plain
+//       Scarecrow but not the conflict-aware variant.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/eval.h"
+#include "core/profiles.h"
+#include "env/environments.h"
+#include "malware/corpus.h"
+#include "support/strings.h"
+#include "winapi/api.h"
+#include "winapi/runner.h"
+
+using namespace scarecrow;
+
+namespace {
+
+std::size_t deactivatedUnder(core::EvaluationHarness& harness,
+                             const malware::ProgramRegistry& registry,
+                             const std::vector<const malware::SampleSpec*>&
+                                 specs,
+                             const core::Config& config) {
+  std::size_t count = 0;
+  for (const malware::SampleSpec* spec : specs) {
+    const core::EvalOutcome outcome =
+        harness.evaluate(spec->id, "C:\\submissions\\" + spec->imageName,
+                         registry.factory(), config);
+    if (outcome.verdict.deactivated) ++count;
+  }
+  return count;
+}
+
+core::Config onlyCategory(bool software, bool hardware, bool network,
+                          bool debugger, bool wearTear) {
+  core::Config config;
+  config.softwareResources = software;
+  config.hardwareResources = hardware;
+  config.networkResources = network;
+  config.debuggerDeception = debugger;
+  config.wearTearExtension = wearTear;
+  return config;
+}
+
+/// Section VI-B detector: consistency check across VM vendors — a machine
+/// claiming to be a VMware guest AND a VirtualBox guest must be deceptive.
+class ConflictChecker : public winapi::GuestProgram {
+ public:
+  struct Result {
+    bool scarecrowDetected = false;
+    bool evaded = false;
+  };
+  explicit ConflictChecker(Result& out) : out_(out) {}
+
+  void run(winapi::Api& api) override {
+    const bool vmware =
+        winapi::ok(api.NtOpenKeyEx("SOFTWARE\\VMware, Inc.\\VMware Tools"));
+    const bool vbox = winapi::ok(
+        api.RegOpenKeyEx("SOFTWARE\\Oracle\\VirtualBox Guest Additions"));
+    if (vmware && vbox) {
+      // Impossible combination: the "sandbox" is a deception engine;
+      // proceed with the payload regardless.
+      out_.scarecrowDetected = true;
+      api.WriteFileA("C:\\Users\\Public\\payload.dat", "detonated");
+      api.ExitProcess(0);
+    }
+    if (vmware || vbox) {
+      out_.evaded = true;  // ordinary evasive logic: looks like a VM
+      api.ExitProcess(0);
+    }
+    api.WriteFileA("C:\\Users\\Public\\payload.dat", "detonated");
+    api.ExitProcess(0);
+  }
+
+ private:
+  Result& out_;
+};
+
+}  // namespace
+
+int main() {
+  bench::printHeader("Ablation A1a — per-category deactivation on M_MG");
+
+  auto machine = env::buildBareMetalSandbox();
+  malware::ProgramRegistry registry;
+  const auto specs = malware::generateMalgeneCorpus(registry);
+  core::EvaluationHarness harness(*machine);
+
+  struct Row {
+    const char* label;
+    core::Config config;
+  };
+  const Row rows[] = {
+      {"full engine", onlyCategory(true, true, true, true, true)},
+      {"software only", onlyCategory(true, false, false, false, false)},
+      {"hardware only", onlyCategory(false, true, false, false, false)},
+      {"network only", onlyCategory(false, false, true, false, false)},
+      {"debugger only", onlyCategory(false, false, false, true, false)},
+      {"wear-tear only", onlyCategory(false, false, false, false, true)},
+      {"no debugger", onlyCategory(true, true, true, false, true)},
+  };
+
+  std::size_t fullCount = 0;
+  std::size_t debuggerOnly = 0;
+  for (const Row& row : rows) {
+    const std::size_t count =
+        deactivatedUnder(harness, registry, specs, row.config);
+    if (std::string(row.label) == "full engine") fullCount = count;
+    if (std::string(row.label) == "debugger only") debuggerOnly = count;
+    std::printf("%-15s deactivated %4zu / %zu  (%.2f%%)\n", row.label, count,
+                specs.size(),
+                100.0 * static_cast<double>(count) /
+                    static_cast<double>(specs.size()));
+  }
+  std::printf(
+      "\nPareto check: debugger category alone recovers %.1f%% of the full "
+      "engine's deactivations  %s\n",
+      100.0 * static_cast<double>(debuggerOnly) /
+          static_cast<double>(fullCount),
+      bench::okMark(fullCount == 944 && debuggerOnly * 100 >= fullCount * 70));
+
+  bench::printHeader(
+      "Ablation A1d — coherent single-sandbox profiles (Section VI-B "
+      "\"multiple profiles\") on M_MG");
+  for (core::SandboxProfile profile : core::kAllSandboxProfiles) {
+    harness.setResourceDbFactory(
+        [profile] { return core::buildProfileDb(profile); });
+    const std::size_t count =
+        deactivatedUnder(harness, registry, specs, core::Config{});
+    std::printf(
+        "%-20s deactivated %4zu / %zu  (%.2f%%)  [vendor-consistent: %s]\n",
+        core::sandboxProfileName(profile), count, specs.size(),
+        100.0 * static_cast<double>(count) /
+            static_cast<double>(specs.size()),
+        core::vendorConsistent(core::buildProfileDb(profile)) ? "yes" : "no");
+  }
+  harness.setResourceDbFactory({});
+  std::printf(
+      "(each coherent profile trades a few percentage points of coverage "
+      "for surviving cross-vendor consistency checks)\n");
+
+  bench::printHeader(
+      "Ablation A1c — kernel/hypervisor extension (Section VI-A future "
+      "work, implemented)");
+  {
+    core::Config kernelOn;
+    kernelOn.kernel.enabled = true;
+    const std::size_t withKernel =
+        deactivatedUnder(harness, registry, specs, kernelOn);
+    std::printf(
+        "full engine + kernel ext: deactivated %4zu / %zu  (%.2f%%)\n",
+        withKernel, specs.size(),
+        100.0 * static_cast<double>(withKernel) /
+            static_cast<double>(specs.size()));
+    // The unhookable PEB/RDTSC evaders (90 samples) flip; only the 20
+    // Selfdel indeterminates remain out of reach.
+    std::printf(
+        "gap closed vs user-level engine: +%zu samples (paper's documented "
+        "blind spots)  %s\n",
+        withKernel - fullCount,
+        bench::okMark(withKernel == specs.size() - 20));
+  }
+
+  bench::printHeader(
+      "Ablation A1b — conflict-aware profiles vs cross-vendor checking "
+      "malware (Section VI-B)");
+
+  for (const bool conflictAware : {false, true}) {
+    ConflictChecker::Result result;
+    core::Config config;
+    config.conflictAwareProfiles = conflictAware;
+
+    const winsys::MachineSnapshot snapshot = machine->snapshot();
+    winapi::UserSpace userspace;
+    userspace.programFactory =
+        [&result](const std::string& image,
+                  const std::string&) -> std::unique_ptr<winapi::GuestProgram> {
+      if (!support::iendsWith(image, "conflict.exe")) return nullptr;
+      return std::make_unique<ConflictChecker>(result);
+    };
+    core::DeceptionEngine engine(config, core::buildDefaultResourceDb());
+    core::Controller controller(*machine, userspace, engine);
+    controller.launch("C:\\submissions\\conflict.exe");
+    winapi::Runner runner(*machine, userspace);
+    runner.drain({});
+    machine->restore(snapshot);
+
+    const bool ok = conflictAware ? (!result.scarecrowDetected && result.evaded)
+                                  : result.scarecrowDetected;
+    std::printf(
+        "conflict-aware=%d -> scarecrow detected=%s, malware evaded=%s  %s\n",
+        conflictAware ? 1 : 0, result.scarecrowDetected ? "Y" : "N",
+        result.evaded ? "Y" : "N", bench::okMark(ok));
+  }
+
+  return bench::finish("bench_ablation");
+}

@@ -1,0 +1,37 @@
+// Shared reporting helpers for the reproduction benches.
+//
+// Every bench prints the paper's rows next to the measured values and an
+// OK/DIFF marker, so bench_output.txt doubles as the EXPERIMENTS.md data
+// source.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace scarecrow::bench {
+
+inline int g_mismatches = 0;
+
+inline void printHeader(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline const char* okMark(bool ok) {
+  if (!ok) ++g_mismatches;
+  return ok ? "OK  " : "DIFF";
+}
+
+inline int finish(const std::string& benchName) {
+  if (g_mismatches == 0) {
+    std::printf("\n[%s] all reproduced values match the paper\n",
+                benchName.c_str());
+    return 0;
+  }
+  std::printf("\n[%s] %d value(s) deviate from the paper\n",
+              benchName.c_str(), g_mismatches);
+  return 1;
+}
+
+}  // namespace scarecrow::bench

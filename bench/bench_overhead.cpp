@@ -1,0 +1,143 @@
+// Performance requirement (paper Section III: "negligible performance
+// overhead"). google-benchmark micro-measurements of the deception hot
+// paths: hooked vs unhooked API dispatch, deceptive-resource lookups
+// against the full crawled database, in-line hook installation, DLL
+// injection, and a complete supervised sample execution.
+#include <benchmark/benchmark.h>
+
+#include "core/collector.h"
+#include "core/controller.h"
+#include "core/engine.h"
+#include "core/eval.h"
+#include "env/environments.h"
+#include "malware/joe.h"
+#include "env/base_image.h"
+#include "hooking/inline_hook.h"
+#include "winapi/runner.h"
+
+using namespace scarecrow;
+
+namespace {
+
+struct World {
+  World() : machine(env::buildBareMetalSandbox()) {
+    proc = &machine->processes().create("C:\\x\\probe.exe", 0, "probe",
+                                        machine->sysinfo().processorCount);
+    userspace.deadlineMs = UINT64_MAX;
+  }
+  std::unique_ptr<winsys::Machine> machine;
+  winapi::UserSpace userspace;
+  winsys::Process* proc = nullptr;
+};
+
+void BM_ApiCall_Unhooked(benchmark::State& state) {
+  World world;
+  winapi::Api api(*world.machine, world.userspace, world.proc->pid);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(api.IsDebuggerPresent());
+}
+BENCHMARK(BM_ApiCall_Unhooked);
+
+void BM_ApiCall_ScarecrowHooked(benchmark::State& state) {
+  World world;
+  core::DeceptionEngine engine({}, core::buildDefaultResourceDb());
+  winapi::Api api(*world.machine, world.userspace, world.proc->pid);
+  engine.installInto(api);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(api.IsDebuggerPresent());
+}
+BENCHMARK(BM_ApiCall_ScarecrowHooked);
+
+void BM_RegistryOpen_Unhooked(benchmark::State& state) {
+  World world;
+  winapi::Api api(*world.machine, world.userspace, world.proc->pid);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        api.RegOpenKeyEx("SOFTWARE\\Microsoft\\Windows NT\\CurrentVersion"));
+}
+BENCHMARK(BM_RegistryOpen_Unhooked);
+
+void BM_RegistryOpen_ScarecrowMiss(benchmark::State& state) {
+  // Non-deceptive key: the hook consults the resource DB, misses, and falls
+  // through to the original — the common case for benign software.
+  World world;
+  core::DeceptionEngine engine({}, core::buildDefaultResourceDb());
+  winapi::Api api(*world.machine, world.userspace, world.proc->pid);
+  engine.installInto(api);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        api.RegOpenKeyEx("SOFTWARE\\Microsoft\\Windows NT\\CurrentVersion"));
+}
+BENCHMARK(BM_RegistryOpen_ScarecrowMiss);
+
+void BM_RegistryOpen_ScarecrowHit(benchmark::State& state) {
+  World world;
+  core::DeceptionEngine engine({}, core::buildDefaultResourceDb());
+  winapi::Api api(*world.machine, world.userspace, world.proc->pid);
+  engine.installInto(api);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        api.RegOpenKeyEx("SOFTWARE\\Oracle\\VirtualBox Guest Additions"));
+}
+BENCHMARK(BM_RegistryOpen_ScarecrowHit);
+
+void BM_ResourceDbFileLookup_17kCrawled(benchmark::State& state) {
+  // Worst-case DB: the curated set plus all 17,540 crawled files.
+  auto vt = env::buildPublicSandbox(env::PublicSandboxKind::kVirusTotal);
+  auto malwr = env::buildPublicSandbox(env::PublicSandboxKind::kMalwr);
+  winsys::Machine clean;
+  env::installBaseImage(clean, {});
+  const auto diff = core::SandboxResourceCollector::diff(
+      {core::SandboxResourceCollector::crawl(*vt),
+       core::SandboxResourceCollector::crawl(*malwr)},
+      core::SandboxResourceCollector::crawl(clean));
+  core::ResourceDb db = core::buildDefaultResourceDb();
+  core::SandboxResourceCollector::merge(db, diff);
+  state.counters["db_files"] = static_cast<double>(db.fileCount());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        db.matchFile("C:\\Windows\\System32\\drivers\\notpresent.sys"));
+}
+BENCHMARK(BM_ResourceDbFileLookup_17kCrawled);
+
+void BM_InlineHookInstallRemove(benchmark::State& state) {
+  winapi::ProcessApiState apiState;
+  for (auto _ : state) {
+    hooking::installInlineHook(apiState, winapi::ApiId::kIsDebuggerPresent);
+    hooking::removeInlineHook(apiState, winapi::ApiId::kIsDebuggerPresent);
+  }
+}
+BENCHMARK(BM_InlineHookInstallRemove);
+
+void BM_DllInjection(benchmark::State& state) {
+  World world;
+  core::DeceptionEngine engine({}, core::buildDefaultResourceDb());
+  const hooking::DllImage dll = engine.dllImage();
+  for (auto _ : state) {
+    state.PauseTiming();
+    winsys::Process& target = world.machine->processes().create(
+        "C:\\x\\t.exe", 0, "t", 4);
+    state.ResumeTiming();
+    hooking::injectDll(*world.machine, world.userspace, target.pid, dll);
+  }
+}
+BENCHMARK(BM_DllInjection);
+
+void BM_SupervisedSampleExecution(benchmark::State& state) {
+  // Full pipeline: Deep Freeze reset + controller launch + injection +
+  // evasive sample run under Scarecrow (sample 9fac72a).
+  auto machine = env::buildBareMetalSandbox();
+  malware::ProgramRegistry registry;
+  malware::registerJoeSamples(registry);
+  core::EvaluationHarness harness(*machine);
+  for (auto _ : state) {
+    trace::Trace trace = harness.runOnce(
+        "9fac72a", "C:\\submissions\\9fac72a.exe", registry.factory(), true);
+    benchmark::DoNotOptimize(trace.events.size());
+  }
+}
+BENCHMARK(BM_SupervisedSampleExecution)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// Table III reproduction: wear-and-tear artifacts faked by Scarecrow.
+//
+// For the top-5 artifacts plus the registry category we report the value
+// measured on the (aged) end-user machine without Scarecrow, the faked
+// value with Scarecrow, and the paper's published fake. A decision tree
+// trained on aged-vs-pristine machine populations (the S&P'17 classifier)
+// must label the end-user machine "real device" without Scarecrow and
+// "sandbox" with it.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "env/environments.h"
+#include "fingerprint/decision_tree.h"
+#include "fingerprint/harness.h"
+
+using namespace scarecrow;
+using fingerprint::artifactIndex;
+using fingerprint::artifactTable;
+
+int main() {
+  bench::printHeader(
+      "Table III — wear-and-tear artifacts faked by Scarecrow");
+
+  auto machine = env::buildEndUserMachine();
+  fingerprint::FingerprintRunOptions off;
+  const auto real = fingerprint::measureWearTearOn(*machine, off);
+  fingerprint::FingerprintRunOptions on;
+  on.withScarecrow = true;
+  const auto faked = fingerprint::measureWearTearOn(*machine, on);
+
+  struct PaperFake {
+    const char* artifact;
+    double value;
+    const char* fakedResource;
+  };
+  // Values straight from Table III.
+  const PaperFake kPaper[] = {
+      {"dnscacheEntries", 4, "recent 4 entries"},
+      {"sysevt", 8000, "recent 8K system events"},
+      {"deviceClsCount", 29, "DeviceClasses (29 subkeys)"},
+      {"autoRunCount", 3, "CurrentVersion\\Run (3 value entries)"},
+      {"regSize", 53.0 * (1 << 20), "RegistryQuota 53M bytes"},
+  };
+
+  std::printf("%-18s | %12s | %12s | %12s |\n", "artifact",
+              "w/o Scarecrow", "w/ Scarecrow", "paper fake");
+  // syssrc has no pinned numeric fake in the paper (it derives from the 8K
+  // truncated event window); report it informationally.
+  for (const PaperFake& row : kPaper) {
+    const std::size_t index = artifactIndex(row.artifact);
+    const bool ok = faked[index] == row.value;
+    std::printf("%-18s | %12.0f | %12.0f | %12.0f | %s\n", row.artifact,
+                real[index], faked[index], row.value, bench::okMark(ok));
+  }
+  std::printf("%-18s | %12.0f | %12.0f | %12s |\n", "syssrc",
+              real[artifactIndex("syssrc")], faked[artifactIndex("syssrc")],
+              "(derived)");
+
+  std::printf("\nregistry-category artifacts:\n");
+  for (const auto& info : artifactTable()) {
+    if (info.category != fingerprint::ArtifactCategory::kRegistry) continue;
+    const std::size_t index = artifactIndex(info.name);
+    // Faking must actually change (or pin) the registry view: aged value
+    // should exceed the deceptive one for accumulating counters.
+    std::printf("  %-18s w/o %10.0f -> w/ %10.0f  %s\n", info.name,
+                real[index], faked[index],
+                bench::okMark(faked[index] <= real[index]));
+  }
+
+  // Decision-tree verdict flip.
+  const auto training = fingerprint::generateTrainingSet(14, 41);
+  fingerprint::DecisionTree tree;
+  tree.train(training);
+  std::printf("\ndecision tree: %zu nodes, training accuracy %.2f\n",
+              tree.nodeCount(), tree.accuracy(training));
+  std::printf("tree splits on:");
+  for (std::size_t f : tree.usedFeatures())
+    std::printf(" %s", artifactTable()[f].name);
+  std::printf("\n");
+
+  const bool realVerdict =
+      tree.classify(real) == fingerprint::MachineLabel::kRealDevice;
+  const bool fakedVerdict =
+      tree.classify(faked) == fingerprint::MachineLabel::kSandbox;
+  std::printf("end-user w/o Scarecrow -> %s  %s\n",
+              realVerdict ? "real device" : "sandbox",
+              bench::okMark(realVerdict));
+  std::printf("end-user w/  Scarecrow -> %s  %s (steered to sandbox)\n",
+              fakedVerdict ? "sandbox" : "real device",
+              bench::okMark(fakedVerdict));
+
+  // Sanity: the sandboxes themselves classify as sandboxes.
+  auto bm = env::buildBareMetalSandbox();
+  const auto bmArtifacts = fingerprint::measureWearTearOn(*bm, off);
+  std::printf("bare-metal sandbox     -> %s  %s\n",
+              tree.classify(bmArtifacts) == fingerprint::MachineLabel::kSandbox
+                  ? "sandbox"
+                  : "real device",
+              bench::okMark(tree.classify(bmArtifacts) ==
+                            fingerprint::MachineLabel::kSandbox));
+
+  return bench::finish("bench_table3");
+}

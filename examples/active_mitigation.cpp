@@ -1,0 +1,56 @@
+// Scenario: a self-spawning evasive sample turns into a fork bomb under
+// Scarecrow (paper Section VI-C). The default engine only records the loop
+// and raises alarms; with active mitigation enabled it terminates the
+// spawner past a threshold.
+//
+// Build & run:  cmake --build build && ./build/examples/active_mitigation
+#include <cstdio>
+
+#include "core/eval.h"
+#include "env/environments.h"
+#include "malware/sample.h"
+#include "trace/analysis.h"
+
+using namespace scarecrow;
+
+int main() {
+  auto machine = env::buildEndUserMachine();
+  malware::ProgramRegistry registry;
+
+  malware::SampleSpec spawner;
+  spawner.id = "forkbomb01";
+  spawner.family = "demo";
+  spawner.techniques = {malware::Technique::kIsDebuggerPresent};
+  spawner.reaction = malware::Reaction::kSelfSpawnAndExit;
+  spawner.pacingMs = 300;
+  registry.addSample(std::move(spawner));
+
+  core::EvaluationHarness harness(*machine);
+
+  // Record-only (the paper's deployed behaviour).
+  const core::EvalOutcome recordOnly = harness.evaluate(
+      "forkbomb-record", "C:\\dl\\forkbomb01.exe", registry.factory());
+  std::printf("record-only:    %zu self-spawns in one minute (%u alerts "
+              "raised, no interruption)\n",
+              recordOnly.verdict.selfSpawnsWithScarecrow,
+              recordOnly.selfSpawnAlerts);
+
+  // Active mitigation: kill the loop after 25 respawns.
+  core::Config mitigating;
+  mitigating.mitigateSelfSpawn = true;
+  mitigating.selfSpawnKillThreshold = 25;
+  const core::EvalOutcome mitigated =
+      harness.evaluate("forkbomb-mitigated", "C:\\dl\\forkbomb01.exe",
+                       registry.factory(), mitigating);
+  std::printf("with mitigation: %zu self-spawns, loop terminated at the "
+              "threshold\n",
+              mitigated.verdict.selfSpawnsWithScarecrow);
+
+  const bool ok = recordOnly.verdict.selfSpawnsWithScarecrow > 100 &&
+                  mitigated.verdict.selfSpawnsWithScarecrow <= 27 &&
+                  recordOnly.verdict.deactivated &&
+                  mitigated.verdict.deactivated;
+  std::printf("both configurations deactivate the sample: %s\n",
+              ok ? "yes" : "NO (bug)");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,94 @@
+// Scenario: continuous learning of new deceptive resources (paper
+// Section II-C, MalGene feed).
+//
+// A new evasive sample probes a sandbox artifact Scarecrow does not yet
+// fake. We run it in two environments, extract the MalGene evasion
+// signature from the trace deviation, merge the probed resource into the
+// deception database, and show that the sample is deactivated afterwards.
+//
+// Build & run:  cmake --build build && ./build/examples/evasion_signature
+#include <cstdio>
+
+#include "core/collector.h"
+#include "core/controller.h"
+#include "core/engine.h"
+#include "env/environments.h"
+#include "support/strings.h"
+#include "trace/malgene.h"
+#include "winapi/api.h"
+#include "winapi/runner.h"
+
+using namespace scarecrow;
+
+namespace {
+
+/// A sample probing a niche artifact absent from the curated database.
+class NovelEvader : public winapi::GuestProgram {
+ public:
+  void run(winapi::Api& api) override {
+    if (winapi::ok(api.NtOpenKeyEx(
+            "SOFTWARE\\FancySandbox\\AnalysisAgent")))  // niche artifact
+      api.ExitProcess(0);                                // evade
+    api.WriteFileA("C:\\Users\\Public\\stolen.dat", "exfil");
+    api.ExitProcess(0);
+  }
+};
+
+trace::Trace runOn(winsys::Machine& machine, core::DeceptionEngine* engine) {
+  winapi::UserSpace userspace;
+  userspace.programFactory =
+      [](const std::string& image,
+         const std::string&) -> std::unique_ptr<winapi::GuestProgram> {
+    if (support::iendsWith(image, "novel.exe"))
+      return std::make_unique<NovelEvader>();
+    return nullptr;
+  };
+  winapi::Runner runner(machine, userspace);
+  machine.recorder().clear();
+  if (engine != nullptr) {
+    core::Controller controller(machine, userspace, *engine);
+    controller.launch("C:\\dl\\novel.exe");
+    runner.drain({});
+  } else {
+    runner.run("C:\\dl\\novel.exe", {});
+  }
+  return machine.recorder().takeTrace();
+}
+
+}  // namespace
+
+int main() {
+  // Environment A: an (older) sandbox image that carries the artifact.
+  auto sandboxWithArtifact = env::buildVBoxCuckooSandbox({});
+  sandboxWithArtifact->registry().ensureKey(
+      "SOFTWARE\\FancySandbox\\AnalysisAgent");
+  // Environment B: the bare-metal reference.
+  auto bareMetal = env::buildBareMetalSandbox();
+
+  const trace::Trace evading = runOn(*sandboxWithArtifact, nullptr);
+  const trace::Trace detonating = runOn(*bareMetal, nullptr);
+
+  const trace::EvasionSignature signature =
+      trace::extractEvasionSignature(evading, detonating);
+  std::printf("MalGene signature found=%s probed resource: %s\n",
+              signature.found ? "Y" : "N",
+              signature.probedResource.c_str());
+
+  core::ResourceDb db = core::buildDefaultResourceDb();
+  const bool learned =
+      core::SandboxResourceCollector::mergeEvasionSignature(db, signature);
+  std::printf("merged into deception DB: %s\n", learned ? "yes" : "no");
+
+  // The sample is now deactivated on a plain end-user machine.
+  auto endUser = env::buildEndUserMachine();
+  core::DeceptionEngine engine(core::Config{}, std::move(db));
+  const trace::Trace guarded = runOn(*endUser, &engine);
+  bool exfiltrated = false;
+  for (const trace::Event& e : guarded.events)
+    if (e.kind == trace::EventKind::kFileWrite &&
+        support::icontains(e.target, "stolen"))
+      exfiltrated = true;
+  std::printf("after learning, payload executed on end host: %s\n",
+              exfiltrated ? "YES (bug!)" : "no — deactivated");
+  return exfiltrated ? 1 : 0;
+}

@@ -1,0 +1,53 @@
+// Scenario: WannaCry lands on a workstation (paper Case II).
+//
+// Runs the kill-switch variant twice — on an unprotected machine, where it
+// encrypts the user's documents, and under Scarecrow, whose NX-domain
+// sinkhole convinces the worm it is being analyzed. Prints the filesystem
+// damage in both cases.
+//
+// Build & run:  cmake --build build && ./build/examples/ransomware_defense
+#include <cstdio>
+
+#include "core/eval.h"
+#include "env/environments.h"
+#include "malware/ransomware.h"
+#include "support/strings.h"
+
+using namespace scarecrow;
+
+namespace {
+
+std::size_t countEncrypted(const trace::Trace& trace) {
+  std::size_t n = 0;
+  for (const trace::Event& e : trace.events)
+    if (e.kind == trace::EventKind::kFileWrite &&
+        support::iendsWith(e.target, ".WCRY"))
+      ++n;
+  return n;
+}
+
+}  // namespace
+
+int main() {
+  auto machine = env::buildEndUserMachine();
+  malware::ProgramRegistry registry;
+  malware::registerRansomware(registry);
+
+  core::EvaluationHarness harness(*machine);
+  const core::EvalOutcome outcome = harness.evaluate(
+      "wannacry", std::string("C:\\Users\\alice\\Downloads\\") +
+                      malware::kWannaCryImage,
+      registry.factory());
+
+  std::printf("without Scarecrow: %zu documents encrypted to .WCRY\n",
+              countEncrypted(outcome.traceWithout));
+  std::printf("with Scarecrow:    %zu documents encrypted\n",
+              countEncrypted(outcome.traceWith));
+  std::printf("kill-switch trigger reported: %s\n",
+              outcome.verdict.firstTrigger.c_str());
+  std::printf("verdict: %s\n",
+              outcome.verdict.deactivated
+                  ? "DEACTIVATED — the worm believed it was sinkholed"
+                  : "NOT deactivated");
+  return outcome.verdict.deactivated ? 0 : 1;
+}

@@ -1,0 +1,54 @@
+// Scenario: run the Pafish fingerprinting tool on three environments, with
+// and without Scarecrow, and watch them become indistinguishable (paper
+// Table II / Section IV-C2).
+//
+// Build & run:  cmake --build build && ./build/examples/sandbox_fingerprint
+#include <cstdio>
+
+#include "env/environments.h"
+#include "fingerprint/harness.h"
+
+using namespace scarecrow;
+
+namespace {
+
+void report(const char* label, winsys::Machine& machine,
+            bool injectCuckoo) {
+  fingerprint::FingerprintRunOptions off;
+  off.injectCuckooMonitor = injectCuckoo;
+  fingerprint::FingerprintRunOptions on = off;
+  on.withScarecrow = true;
+
+  const fingerprint::PafishReport plain =
+      fingerprint::runPafishOn(machine, off);
+  const fingerprint::PafishReport deceived =
+      fingerprint::runPafishOn(machine, on);
+
+  std::printf("%-24s triggered %2zu / 56 checks;  with Scarecrow: %2zu\n",
+              label, plain.totalTriggered(), deceived.totalTriggered());
+  std::printf("  newly triggered with Scarecrow:");
+  int shown = 0;
+  for (const auto& check : deceived.checks) {
+    if (check.triggered && !plain.triggered(check.name) && shown++ < 6)
+      std::printf(" %s", check.name.c_str());
+  }
+  if (shown > 6) std::printf(" (+%d more)", shown - 6);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  auto bareMetal = env::buildBareMetalSandbox();
+  auto vmSandbox = env::buildVBoxCuckooSandbox({.hardened = false});
+  auto endUser = env::buildEndUserMachine();
+
+  report("bare-metal sandbox", *bareMetal, false);
+  report("VirtualBox + Cuckoo", *vmSandbox, true);
+  report("end-user machine", *endUser, false);
+
+  std::printf(
+      "\nWith Scarecrow enabled, all three environments present the same "
+      "analysis-environment surface to evasive logic.\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+#include "core/cluster.h"
+
+namespace scarecrow::core {
+
+Cluster::Cluster(std::size_t machineCount, const MachineBuilder& builder) {
+  machines_.reserve(machineCount);
+  harnesses_.reserve(machineCount);
+  for (std::size_t i = 0; i < machineCount; ++i) {
+    machines_.push_back(builder());
+    machines_.back()->label += " #" + std::to_string(i);
+    harnesses_.push_back(
+        std::make_unique<EvaluationHarness>(*machines_.back()));
+  }
+}
+
+void Cluster::runAll(const winapi::ProgramFactory& factory,
+                     const Config& config, std::uint64_t budgetMs) {
+  for (ClusterJob& job : queue_) {
+    EvaluationHarness& harness = *harnesses_[nextMachine_];
+    nextMachine_ = (nextMachine_ + 1) % harnesses_.size();
+
+    // Without Scarecrow, reset, with Scarecrow — each runOnce restores the
+    // machine to the clean snapshot first (the Deep Freeze cycle).
+    trace::Trace without = harness.runOnce(job.sampleId, job.imagePath,
+                                           factory, false, config, budgetMs);
+    ++stats_.machineResets;
+    collector_.upload(std::move(without));
+    ++stats_.tracesUploaded;
+
+    trace::Trace with = harness.runOnce(job.sampleId, job.imagePath, factory,
+                                        true, config, budgetMs);
+    ++stats_.machineResets;
+    collector_.upload(std::move(with));
+    ++stats_.tracesUploaded;
+
+    ++stats_.jobsCompleted;
+  }
+  queue_.clear();
+}
+
+}  // namespace scarecrow::core

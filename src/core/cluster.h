@@ -1,0 +1,64 @@
+// Analysis cluster (paper Figure 3).
+//
+// The paper's evaluation infrastructure: multiple bare-metal machines, each
+// reset via Deep Freeze between executions, a proxy that hands out samples
+// plus per-run configuration, and real-time trace upload to the proxy so a
+// crashing sample cannot corrupt its own evidence. This module reproduces
+// that orchestration on simulated machines: jobs are distributed
+// round-robin, every sample runs once per configuration (±Scarecrow), and
+// both traces land in the trace::Collector for judgement.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/eval.h"
+#include "trace/collector.h"
+#include "winsys/machine.h"
+
+namespace scarecrow::core {
+
+struct ClusterJob {
+  std::string sampleId;
+  std::string imagePath;
+};
+
+struct ClusterStats {
+  std::size_t jobsCompleted = 0;
+  std::size_t machineResets = 0;
+  std::size_t tracesUploaded = 0;
+};
+
+class Cluster {
+ public:
+  using MachineBuilder = std::function<std::unique_ptr<winsys::Machine>()>;
+
+  /// Builds `machineCount` identical analysis machines.
+  Cluster(std::size_t machineCount, const MachineBuilder& builder);
+
+  void submit(ClusterJob job) { queue_.push_back(std::move(job)); }
+  std::size_t pendingJobs() const noexcept { return queue_.size(); }
+
+  /// Processes the whole queue: each job runs ±Scarecrow on its machine
+  /// (round-robin assignment) and uploads both traces to the proxy.
+  void runAll(const winapi::ProgramFactory& factory,
+              const Config& config = {},
+              std::uint64_t budgetMs = 60'000);
+
+  /// The proxy-side trace store; judge deactivation from here.
+  trace::Collector& collector() noexcept { return collector_; }
+  const ClusterStats& stats() const noexcept { return stats_; }
+  std::size_t machineCount() const noexcept { return harnesses_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<winsys::Machine>> machines_;
+  std::vector<std::unique_ptr<EvaluationHarness>> harnesses_;
+  std::vector<ClusterJob> queue_;
+  trace::Collector collector_;
+  ClusterStats stats_;
+  std::size_t nextMachine_ = 0;
+};
+
+}  // namespace scarecrow::core

@@ -1,0 +1,121 @@
+#include "core/collector.h"
+
+#include "support/strings.h"
+#include "winapi/api.h"
+#include "winapi/runner.h"
+
+namespace scarecrow::core {
+
+using support::istartsWith;
+using support::toLower;
+
+namespace {
+
+void walkFiles(winapi::Api& api, const std::string& directory,
+               ResourceInventory& out) {
+  for (const std::string& name : api.FindFirstFileA(directory, "*")) {
+    const std::string path = directory + "\\" + name;
+    out.files.insert(toLower(path));
+    const std::uint32_t attrs = api.GetFileAttributesA(path);
+    if (attrs != winapi::Api::kInvalidFileAttributes && (attrs & 0x10) != 0)
+      walkFiles(api, path, out);
+  }
+}
+
+void walkRegistry(winapi::Api& api, const std::string& keyPath,
+                  ResourceInventory& out, int depth) {
+  if (depth > 16) return;
+  std::string name;
+  for (std::uint32_t i = 0;; ++i) {
+    if (!winapi::ok(api.RegEnumKeyEx(keyPath, i, name))) break;
+    const std::string child = keyPath + "\\" + name;
+    out.registryKeys.insert(toLower(child));
+    walkRegistry(api, child, out, depth + 1);
+  }
+}
+
+}  // namespace
+
+void CrawlerProgram::run(winapi::Api& api) {
+  walkFiles(api, "C:", out_);
+  for (const winapi::ProcessEntry& entry : api.CreateToolhelp32Snapshot())
+    out_.processes.insert(toLower(entry.imageName));
+  walkRegistry(api, "HKEY_LOCAL_MACHINE", out_, 0);
+  walkRegistry(api, "HKEY_CURRENT_USER", out_, 0);
+  api.ExitProcess(0);
+}
+
+ResourceInventory SandboxResourceCollector::crawl(winsys::Machine& machine) {
+  ResourceInventory inventory;
+  winapi::UserSpace userspace;
+  userspace.programFactory = [&inventory](const std::string& image,
+                                          const std::string&)
+      -> std::unique_ptr<winapi::GuestProgram> {
+    if (support::iendsWith(image, "crawler.exe"))
+      return std::make_unique<CrawlerProgram>(inventory);
+    return nullptr;
+  };
+  winapi::Runner runner(machine, userspace);
+  winapi::RunOptions options;
+  options.budgetMs = 3'600'000;  // crawling is slow; give it an hour
+  runner.run("C:\\submission\\crawler.exe", options);
+  // The submitted binary itself is not part of the environment.
+  inventory.files.erase(toLower("C:\\submission\\crawler.exe"));
+  return inventory;
+}
+
+CrawlDiff SandboxResourceCollector::diff(
+    const std::vector<ResourceInventory>& sandboxes,
+    const ResourceInventory& clean) {
+  ResourceInventory unioned;
+  for (const ResourceInventory& inv : sandboxes) {
+    unioned.files.insert(inv.files.begin(), inv.files.end());
+    unioned.processes.insert(inv.processes.begin(), inv.processes.end());
+    unioned.registryKeys.insert(inv.registryKeys.begin(),
+                                inv.registryKeys.end());
+  }
+  CrawlDiff out;
+  for (const std::string& f : unioned.files)
+    if (clean.files.find(f) == clean.files.end()) out.files.push_back(f);
+  for (const std::string& p : unioned.processes)
+    if (clean.processes.find(p) == clean.processes.end())
+      out.processes.push_back(p);
+  for (const std::string& k : unioned.registryKeys)
+    if (clean.registryKeys.find(k) == clean.registryKeys.end())
+      out.registryKeys.push_back(k);
+  return out;
+}
+
+void SandboxResourceCollector::merge(ResourceDb& db, const CrawlDiff& diff) {
+  for (const std::string& f : diff.files) db.addFile(f, Profile::kCrawled);
+  for (const std::string& p : diff.processes)
+    db.addProcess(p, Profile::kCrawled);
+  for (const std::string& k : diff.registryKeys)
+    db.addRegistryKey(k, Profile::kCrawled);
+  db.crawled_ +=
+      diff.files.size() + diff.processes.size() + diff.registryKeys.size();
+}
+
+bool SandboxResourceCollector::mergeEvasionSignature(
+    ResourceDb& db, const trace::EvasionSignature& signature) {
+  if (!signature.found) return false;
+  // Signatures are "EventKind:resource" strings (trace/malgene.cpp).
+  const std::string& probe = signature.probedResource;
+  const auto colon = probe.find(':');
+  if (colon == std::string::npos) return false;
+  const std::string kind = probe.substr(0, colon);
+  const std::string resource = probe.substr(colon + 1);
+  if (kind == "RegOpenKey" || kind == "RegQueryValue") {
+    db.addRegistryKey(resource, Profile::kCrawled);
+    db.crawled_ += 1;
+    return true;
+  }
+  if (kind == "FileRead" || kind == "FileCreate") {
+    db.addFile(resource, Profile::kCrawled);
+    db.crawled_ += 1;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace scarecrow::core

@@ -1,0 +1,70 @@
+// Public-sandbox resource collection (paper Section II-C).
+//
+// The paper submits a crawler binary to VirusTotal and Malwr; it enumerates
+// files, processes and registry keys inside the sandbox guest and ships the
+// inventory home. Diffing against a clean bare-metal inventory yields the
+// resources that exist *only* in sandboxes — 17,540 files, 24 processes and
+// 1,457 registry entries — which are merged into the deception database
+// under Profile::kCrawled. A second feed turns MalGene evasion signatures
+// (trace/malgene.h) into new deceptive resources.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/resource_db.h"
+#include "trace/malgene.h"
+#include "winapi/guest.h"
+#include "winsys/machine.h"
+
+namespace scarecrow::core {
+
+/// Everything the crawler can see from user level on one machine.
+struct ResourceInventory {
+  std::set<std::string> files;         // lower-case full paths
+  std::set<std::string> processes;     // lower-case image names
+  std::set<std::string> registryKeys;  // lower-case full key paths
+};
+
+/// Resources present in at least one sandbox inventory but not in the
+/// clean reference.
+struct CrawlDiff {
+  std::vector<std::string> files;
+  std::vector<std::string> processes;
+  std::vector<std::string> registryKeys;
+};
+
+/// The crawler guest program: walks C:\, the process list, and the HKLM /
+/// HKCU hives through ordinary user-level APIs (exactly what a submitted
+/// binary could do).
+class CrawlerProgram : public winapi::GuestProgram {
+ public:
+  explicit CrawlerProgram(ResourceInventory& out) : out_(out) {}
+  void run(winapi::Api& api) override;
+
+ private:
+  ResourceInventory& out_;
+};
+
+class SandboxResourceCollector {
+ public:
+  /// Runs the crawler on one machine and returns its inventory.
+  static ResourceInventory crawl(winsys::Machine& machine);
+
+  /// union(sandboxInventories) \ cleanReference.
+  static CrawlDiff diff(const std::vector<ResourceInventory>& sandboxes,
+                        const ResourceInventory& cleanReference);
+
+  /// Merges a diff into the deception database as crawled resources.
+  static void merge(ResourceDb& db, const CrawlDiff& diff);
+
+  /// Continuous-learning feed: converts a MalGene evasion signature (the
+  /// resource whose probe made the traces deviate) into a deceptive
+  /// resource. Returns true if the signature mapped to a resource class we
+  /// can deceive.
+  static bool mergeEvasionSignature(ResourceDb& db,
+                                    const trace::EvasionSignature& signature);
+};
+
+}  // namespace scarecrow::core

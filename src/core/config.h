@@ -1,0 +1,102 @@
+// Scarecrow configuration (paper Sections II-B, III-B, IV-C2, VI-B).
+//
+// Category toggles exist for the ablation study (which resource class does
+// the deactivation work?); the numeric deception values default to the
+// paper's published choices: 50 GB disk / 1 GB RAM / 1 core "based on
+// public sandboxes", and the Table III wear-and-tear fakes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace scarecrow::core {
+
+/// Hardware-resource deception values (Section II-B, "Hardware resources").
+struct HardwareDeception {
+  std::uint64_t diskTotalBytes = 50ULL << 30;  // 50 GB
+  std::uint64_t diskFreeBytes = 20ULL << 30;
+  std::uint64_t ramBytes = 1ULL << 30;  // 1 GB
+  std::uint32_t cpuCores = 1;
+};
+
+/// Identity / launch-context deception.
+struct IdentityDeception {
+  std::string userName = "cuckoo";
+  std::string computerName = "SANDBOX-PC";
+  /// GetModuleFileName result: sandboxes rename submissions to a generic
+  /// sample path (the 564ac87 "name of malware" trigger).
+  std::string ownImagePath = "C:\\sandbox\\sample.exe";
+  /// Faked GetTickCount base: a sandbox that booted two minutes ago.
+  std::uint64_t fakeUptimeMs = 120'000;
+  /// Sleep acceleration: hooked Sleep(ms) consumes only ms*pct/100 of wall
+  /// time, and GetTickCount advances at the same compressed rate — the
+  /// deliberately detectable sleep patching analysis sandboxes perform.
+  std::uint32_t sleepPercent = 10;
+  /// Extra cycles added to SEH dispatch: the "deceptive timing
+  /// discrepancies in default exception processing" of Section II-B(g).
+  std::uint64_t exceptionLatencyCycles = 150'000;
+};
+
+/// Wear-and-tear deception values — Table III, verbatim.
+struct WearTearDeception {
+  std::uint32_t dnsCacheEntries = 4;       // recent 4 entries
+  std::uint32_t sysEventCount = 8'000;     // recent 8K system events
+  std::uint32_t deviceClassSubkeys = 29;   // previously connected devices
+  std::uint32_t autoRunEntries = 3;        // startup programs
+  std::uint64_t registryQuotaBytes = 53ULL << 20;  // 53 MB
+  std::uint32_t uninstallEntries = 2;
+  std::uint32_t sharedDllEntries = 3;
+  std::uint32_t appPathEntries = 2;
+  std::uint32_t activeSetupEntries = 2;
+  std::uint32_t userAssistEntries = 1;
+  std::uint32_t shimCacheEntries = 9;
+  std::uint32_t muiCacheEntries = 2;
+  std::uint32_t firewallRuleEntries = 30;
+  std::uint32_t usbStorEntries = 0;
+};
+
+/// Kernel/hypervisor extension knobs (Section VI-A future work,
+/// implemented in core/kernel_ext.h).
+struct KernelExtensionConfig {
+  bool enabled = false;
+  /// Rewrite the supervised process's PEB so direct memory reads see the
+  /// deceptive hardware (closes the cbdda64 gap).
+  bool spoofPeb = true;
+  /// Trap CPUID from supervised processes: hypervisor bit + vendor string
+  /// + vmexit latency (closes the rdtsc_diff_vmexit / cpuid_hv_* gap).
+  bool trapCpuid = true;
+  std::string hypervisorVendor = "VBoxVBoxVBox";
+  std::uint64_t cpuidTrapExtraCycles = 40'000;
+  /// Create sandbox kernel objects in the device namespace (closes the
+  /// \\.\pipe\cuckoo / \\.\VBoxGuest gap).
+  bool fabricateDeviceObjects = true;
+};
+
+struct Config {
+  // Resource-category switches (ablation bench A1).
+  bool softwareResources = true;  // files, processes, DLLs, windows, registry
+  bool hardwareResources = true;  // disk / RAM / cores
+  bool networkResources = true;   // NX-domain sinkhole
+  bool debuggerDeception = true;  // IsDebuggerPresent & friends
+  bool wearTearExtension = true;  // Section IV-C2 aging fakes
+
+  /// Section VI-B future-work feature, implemented: when a probe locks onto
+  /// one VM vendor's artifacts, the other vendors' profiles deactivate so a
+  /// cross-vendor consistency check finds no contradiction.
+  bool conflictAwareProfiles = false;
+
+  /// Section VI-C active mitigation: record-only by default; when enabled,
+  /// a sample exceeding the kill threshold of self-spawns is terminated.
+  bool mitigateSelfSpawn = false;
+  std::uint32_t selfSpawnKillThreshold = 50;
+
+  HardwareDeception hardware;
+  IdentityDeception identity;
+  WearTearDeception wearTear;
+  KernelExtensionConfig kernel;
+
+  /// All NX domains resolve here (the paper points them at its proxy).
+  std::string sinkholeIp = "10.0.0.1";
+};
+
+}  // namespace scarecrow::core

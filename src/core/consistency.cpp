@@ -1,0 +1,123 @@
+#include "core/consistency.h"
+
+#include "support/strings.h"
+
+namespace scarecrow::core {
+
+using support::iequals;
+using winapi::Api;
+
+namespace {
+
+void check(ConsistencyReport& report, const std::string& resource,
+           bool condition, const std::string& detail) {
+  if (!condition) report.findings.push_back({resource, detail});
+}
+
+bool deviceNamespace(const std::string& path) {
+  return support::istartsWith(path, "\\\\.") ||
+         support::istartsWith(path, "\\.");
+}
+
+}  // namespace
+
+ConsistencyReport auditDeceptionConsistency(Api& api, const ResourceDb& db) {
+  ConsistencyReport report;
+
+  // ---- files: every stored file must exist on all three query channels ---
+  db.forEachFile([&](const std::string& path, Profile) {
+    if (deviceNamespace(path)) return;  // out of user-level scope by design
+    ++report.filesChecked;
+    const bool attrs =
+        api.GetFileAttributesA(path) != Api::kInvalidFileAttributes;
+    const bool ntAttrs = winapi::ok(api.NtQueryAttributesFile(path));
+    const bool open = winapi::ok(api.CreateFileA(path, false));
+    check(report, path, attrs && ntAttrs && open,
+          std::string("file channels disagree: GetFileAttributes=") +
+              (attrs ? "1" : "0") + " NtQueryAttributesFile=" +
+              (ntAttrs ? "1" : "0") + " CreateFile=" + (open ? "1" : "0"));
+  });
+
+  // ---- registry keys: Win32 and Nt open paths agree, parents open --------
+  db.forEachRegistryKey([&](const std::string& path, Profile) {
+    ++report.registryKeysChecked;
+    const bool win32 = winapi::ok(api.RegOpenKeyEx(path));
+    const bool nt = winapi::ok(api.NtOpenKeyEx(path));
+    check(report, path, win32 && nt,
+          std::string("RegOpenKeyEx=") + (win32 ? "1" : "0") +
+              " NtOpenKeyEx=" + (nt ? "1" : "0"));
+    const std::string parent = support::parentPath(path);
+    if (parent != path && parent.find('\\') != std::string::npos)
+      check(report, path, winapi::ok(api.RegOpenKeyEx(parent)),
+            "key exists but parent '" + parent + "' does not open");
+  });
+
+  // ---- registry values: served value matches DB, its key opens -----------
+  db.forEachRegistryValue([&](const std::string& keyPath,
+                              const std::string& valueName,
+                              const ResourceDb::ValueMatch& expected) {
+    ++report.registryKeysChecked;
+    winsys::RegValue win32Out, ntOut;
+    const bool win32 =
+        winapi::ok(api.RegQueryValueEx(keyPath, valueName, win32Out));
+    const bool nt =
+        winapi::ok(api.NtQueryValueKey(keyPath, valueName, ntOut));
+    check(report, keyPath + "!" + valueName, win32 && nt,
+          "value not served on both query channels");
+    if (win32 && nt)
+      check(report, keyPath + "!" + valueName,
+            win32Out.str == expected.value.str &&
+                ntOut.str == expected.value.str &&
+                win32Out.num == expected.value.num,
+            "served value does not match the database");
+    check(report, keyPath + "!" + valueName,
+          winapi::ok(api.RegOpenKeyEx(keyPath)),
+          "value served but its key does not open");
+  });
+
+  // ---- processes: snapshot presence, and kills must "succeed" ------------
+  const auto snapshot = api.CreateToolhelp32Snapshot();
+  for (const FakeProcess& fake : db.fakeProcesses()) {
+    ++report.processesChecked;
+    const winapi::ProcessEntry* entry = nullptr;
+    for (const auto& e : snapshot)
+      if (iequals(e.imageName, fake.imageName)) entry = &e;
+    check(report, fake.imageName, entry != nullptr,
+          "fake process missing from Toolhelp snapshot");
+    if (entry != nullptr)
+      check(report, fake.imageName, api.TerminateProcess(entry->pid, 1),
+            "TerminateProcess on protected process reported failure");
+  }
+  // After all the "kills", the processes must still be enumerable.
+  const auto after = api.CreateToolhelp32Snapshot();
+  for (const FakeProcess& fake : db.fakeProcesses()) {
+    bool present = false;
+    for (const auto& e : after)
+      if (iequals(e.imageName, fake.imageName)) present = true;
+    check(report, fake.imageName, present,
+          "protected process vanished after TerminateProcess");
+  }
+
+  // ---- DLLs: GetModuleHandle reports every stored module loaded ----------
+  db.forEachDll([&](const std::string& name, Profile) {
+    ++report.dllsChecked;
+    check(report, name, api.GetModuleHandleA(name),
+          "deceptive DLL not visible via GetModuleHandle");
+  });
+
+  // ---- windows: FindWindow by class and by title must both hit ------------
+  for (const FakeWindow& window : db.fakeWindows()) {
+    ++report.windowsChecked;
+    const bool byClass =
+        window.className.empty() || api.FindWindowA(window.className, "");
+    const bool byTitle =
+        window.title.empty() || api.FindWindowA("", window.title);
+    check(report, window.className, byClass && byTitle,
+          std::string("window channels disagree: byClass=") +
+              (byClass ? "1" : "0") + " byTitle=" + (byTitle ? "1" : "0"));
+  }
+
+  return report;
+}
+
+}  // namespace scarecrow::core

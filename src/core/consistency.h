@@ -1,0 +1,45 @@
+// Deception consistency auditor.
+//
+// Evasive logic rarely trusts a single API: it cross-checks the same
+// resource through several observation channels (GetFileAttributes vs
+// NtQueryAttributesFile vs CreateFile; RegOpenKeyEx vs NtOpenKeyEx; the
+// process list vs FindWindow) and treats disagreement as evidence of a
+// deception layer. A correct Scarecrow deployment must therefore answer
+// *coherently* on every channel that can reach a deceptive resource.
+//
+// The auditor drives a hooked Api through every resource in the engine's
+// database and reports each cross-channel contradiction. It runs in the
+// test suite as a property check over the full default database and is
+// exposed publicly so deployments can self-test custom resource sets.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "winapi/api.h"
+
+namespace scarecrow::core {
+
+struct ConsistencyFinding {
+  std::string resource;
+  std::string detail;  // which channels disagreed and how
+};
+
+struct ConsistencyReport {
+  std::vector<ConsistencyFinding> findings;
+  std::size_t filesChecked = 0;
+  std::size_t registryKeysChecked = 0;
+  std::size_t processesChecked = 0;
+  std::size_t dllsChecked = 0;
+  std::size_t windowsChecked = 0;
+
+  bool consistent() const noexcept { return findings.empty(); }
+};
+
+/// Audits every deceptive resource reachable through `api` (which must
+/// already have the engine's hooks installed).
+ConsistencyReport auditDeceptionConsistency(winapi::Api& api,
+                                            const ResourceDb& db);
+
+}  // namespace scarecrow::core

@@ -1,0 +1,68 @@
+#include "core/controller.h"
+
+#include "hooking/injector.h"
+
+namespace scarecrow::core {
+
+Controller::Controller(winsys::Machine& machine,
+                       winapi::UserSpace& userspace, DeceptionEngine& engine)
+    : machine_(machine), userspace_(userspace), engine_(engine) {
+  // The resident controller process. Created once per machine.
+  winsys::Process* existing = machine_.processes().findByName("scarecrow.exe");
+  if (existing != nullptr) {
+    controllerPid_ = existing->pid;
+  } else {
+    machine_.vfs().makeDirs("C:\\Program Files\\Scarecrow");
+    machine_.vfs().createFile("C:\\Program Files\\Scarecrow\\scarecrow.exe",
+                              2 << 20);
+    winsys::Process& proc = machine_.processes().create(
+        "C:\\Program Files\\Scarecrow\\scarecrow.exe", 0, "scarecrow.exe",
+        machine_.sysinfo().processorCount);
+    controllerPid_ = proc.pid;
+  }
+}
+
+std::uint32_t Controller::launch(const std::string& imagePath,
+                                 const std::string& commandLine) {
+  winapi::Runner runner(machine_, userspace_);
+  winapi::RunOptions options;
+  options.parentPid = controllerPid_;  // deceptive parent (Section III-B)
+  options.commandLine = commandLine;
+  const std::uint32_t pid = runner.spawnRoot(imagePath, options);
+  hooking::injectDll(machine_, userspace_, pid, engine_.dllImage());
+  return pid;
+}
+
+void Controller::pump() {
+  for (hooking::IpcMessage& msg : engine_.ipc().drain()) {
+    switch (msg.kind) {
+      case hooking::IpcKind::kFingerprintAttempt: {
+        bool found = false;
+        for (FingerprintReport& report : reports_) {
+          if (report.api == msg.api && report.resource == msg.resource) {
+            ++report.count;
+            found = true;
+            break;
+          }
+        }
+        if (!found)
+          reports_.push_back({msg.api, msg.resource, 1, msg.timeMs});
+        break;
+      }
+      case hooking::IpcKind::kSelfSpawnAlert:
+        ++selfSpawnAlerts_;
+        break;
+      case hooking::IpcKind::kProcessInjected:
+        ++injected_;
+        break;
+      case hooking::IpcKind::kConfigUpdate:
+        break;
+    }
+  }
+}
+
+std::string Controller::firstTrigger() const {
+  return reports_.empty() ? std::string{} : reports_.front().api;
+}
+
+}  // namespace scarecrow::core

@@ -1,0 +1,67 @@
+// ScarecrowController: the scarecrow.exe process (paper Section III-B,
+// Figure 2).
+//
+// The controller starts the target program itself — so the target's parent
+// process is the controller, mimicking the analysis-daemon launch procedure
+// sandboxes use — injects scarecrow.dll before the first instruction runs,
+// then exchanges runtime information with the DLL over IPC: fingerprint
+// alerts, descendant injections, self-spawn warnings.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "winapi/runner.h"
+#include "winsys/machine.h"
+
+namespace scarecrow::core {
+
+/// A deduplicated fingerprint report (Figure 2's runtime information).
+struct FingerprintReport {
+  std::string api;
+  std::string resource;
+  std::uint32_t count = 0;
+  std::uint64_t firstSeenMs = 0;
+};
+
+class Controller {
+ public:
+  /// The engine is shared (not owned): benches reuse one engine/resource
+  /// database across many supervised executions, like a resident
+  /// scarecrow.exe service.
+  Controller(winsys::Machine& machine, winapi::UserSpace& userspace,
+             DeceptionEngine& engine);
+
+  /// Launches `imagePath` the Scarecrow way: controller process as parent,
+  /// DLL injected pre-execution. Returns the target pid (queued, not yet
+  /// run — call winapi::Runner::drain to execute).
+  std::uint32_t launch(const std::string& imagePath,
+                       const std::string& commandLine = {});
+
+  /// Drains IPC from the injected DLLs and folds alerts into the report.
+  void pump();
+
+  /// Fingerprint attempts in first-seen order (after pump()).
+  const std::vector<FingerprintReport>& reports() const noexcept {
+    return reports_;
+  }
+  /// First fingerprint trigger, or empty — Table I's "Trigger" column.
+  std::string firstTrigger() const;
+
+  std::uint32_t selfSpawnAlerts() const noexcept { return selfSpawnAlerts_; }
+  std::uint32_t injectedChildren() const noexcept { return injected_; }
+  std::uint32_t controllerPid() const noexcept { return controllerPid_; }
+
+ private:
+  winsys::Machine& machine_;
+  winapi::UserSpace& userspace_;
+  DeceptionEngine& engine_;
+  std::uint32_t controllerPid_ = 0;
+  std::vector<FingerprintReport> reports_;
+  std::uint32_t selfSpawnAlerts_ = 0;
+  std::uint32_t injected_ = 0;
+};
+
+}  // namespace scarecrow::core

@@ -1,0 +1,641 @@
+#include "core/engine.h"
+
+#include "core/kernel_ext.h"
+#include "hooking/inline_hook.h"
+#include "support/strings.h"
+
+namespace scarecrow::core {
+
+using support::baseName;
+using support::iendsWith;
+using support::iequals;
+using support::toLower;
+using winapi::Api;
+using winapi::ApiId;
+using winapi::HookSet;
+using winapi::NtStatus;
+using winapi::WinError;
+using winsys::RegValue;
+
+DeceptionEngine::DeceptionEngine(Config config, ResourceDb db)
+    : config_(std::move(config)), db_(std::move(db)) {}
+
+hooking::DllImage DeceptionEngine::dllImage() {
+  hooking::DllImage dll;
+  dll.name = "scarecrow.dll";
+  dll.onLoad = [this](Api& api) { installInto(api); };
+  return dll;
+}
+
+void DeceptionEngine::alert(Api& api, const std::string& label,
+                            const std::string& resource, Profile profile) {
+  api.machine().emit(api.pid(), trace::EventKind::kAlert, "fingerprint",
+                     label);
+  hooking::IpcMessage msg;
+  msg.kind = hooking::IpcKind::kFingerprintAttempt;
+  msg.pid = api.pid();
+  msg.timeMs = api.machine().clock().nowMs();
+  msg.api = label;
+  msg.resource = resource;
+  ipc_.send(std::move(msg));
+
+  // Section VI-B: once a probe touches one VM vendor's artifacts, lock that
+  // vendor and retire the conflicting ones.
+  if (config_.conflictAwareProfiles && !locked_.has_value() &&
+      (profile == Profile::kVMware || profile == Profile::kVirtualBox ||
+       profile == Profile::kQemu || profile == Profile::kBochs))
+    locked_ = profile;
+}
+
+bool DeceptionEngine::profileActive(Profile p) const {
+  if (!locked_.has_value()) return true;
+  return !vmVendorConflict(*locked_, p);
+}
+
+bool DeceptionEngine::matchesActive(std::optional<Profile> profile) const {
+  return profile.has_value() && profileActive(*profile);
+}
+
+std::uint32_t DeceptionEngine::selfSpawnCount(
+    const std::string& imageName) const {
+  auto it = selfSpawns_.find(toLower(imageName));
+  return it == selfSpawns_.end() ? 0 : it->second;
+}
+
+std::optional<DeceptionEngine::CountFake> DeceptionEngine::wearTearCounts(
+    const std::string& path) const {
+  const WearTearDeception& wt = config_.wearTear;
+  struct Row {
+    const char* suffix;
+    CountFake fake;
+  };
+  const Row rows[] = {
+      {"\\Control\\DeviceClasses", {wt.deviceClassSubkeys, 0}},
+      {"\\CurrentVersion\\Run", {0, wt.autoRunEntries}},
+      {"\\CurrentVersion\\Uninstall", {wt.uninstallEntries, 0}},
+      {"\\CurrentVersion\\SharedDlls", {0, wt.sharedDllEntries}},
+      {"\\CurrentVersion\\App Paths", {wt.appPathEntries, 0}},
+      {"\\Active Setup\\Installed Components", {wt.activeSetupEntries, 0}},
+      {"{CEBFF5CD-ACE2-4F4F-9178-9926F41749EA}\\Count",
+       {0, wt.userAssistEntries}},
+      {"\\Shell\\MuiCache", {0, wt.muiCacheEntries}},
+      {"\\FirewallPolicy\\FirewallRules", {0, wt.firewallRuleEntries}},
+      {"\\Services\\UsbStor", {wt.usbStorEntries, 0}},
+  };
+  for (const Row& row : rows)
+    if (iendsWith(path, row.suffix)) return row.fake;
+  return std::nullopt;
+}
+
+// ===== installation =======================================================
+
+void DeceptionEngine::installInto(Api& api) {
+  if (!attached_) {
+    attached_ = true;
+    attachMs_ = api.machine().clock().nowMs();
+  }
+  winapi::ProcessApiState& state = api.state();
+  installRegistryHooks(state.hooks);
+  installFileHooks(state.hooks);
+  installProcessHooks(state.hooks);
+  installDebugHooks(state.hooks);
+  installSysInfoHooks(state.hooks);
+  installNetworkHooks(state.hooks);
+  installWearTearHooks(state.hooks);
+  for (ApiId id : hookedIds()) hooking::installInlineHook(state, id);
+  state.guardPages = true;  // surfaces prologue reads as Hook-detection alerts
+
+  if (config_.kernel.enabled) {
+    const KernelExtension extension(config_.kernel);
+    extension.installOnMachine(api.machine());
+    extension.installIntoProcess(api.machine(), api.pid(),
+                                 config_.hardware);
+  }
+}
+
+std::set<ApiId> DeceptionEngine::hookedIds() const {
+  std::set<ApiId> ids;
+  if (config_.softwareResources) {
+    for (ApiId id :
+         {ApiId::kRegOpenKeyEx, ApiId::kRegQueryValueEx, ApiId::kNtOpenKeyEx,
+          ApiId::kNtQueryValueKey, ApiId::kNtQueryAttributesFile,
+          ApiId::kGetFileAttributes, ApiId::kCreateFile, ApiId::kNtCreateFile,
+          ApiId::kFindFirstFile, ApiId::kCreateToolhelp32Snapshot,
+          ApiId::kTerminateProcess, ApiId::kGetModuleHandle,
+          ApiId::kGetProcAddress, ApiId::kFindWindow, ApiId::kGetUserName,
+          ApiId::kGetComputerName, ApiId::kGetModuleFileName,
+          ApiId::kCreateProcess, ApiId::kShellExecuteEx, ApiId::kDeleteFile})
+      ids.insert(id);
+  }
+  if (config_.hardwareResources) {
+    for (ApiId id : {ApiId::kGetSystemInfo, ApiId::kGlobalMemoryStatusEx,
+                     ApiId::kGetDiskFreeSpaceEx,
+                     ApiId::kNtQuerySystemInformation})
+      ids.insert(id);
+  }
+  if (config_.debuggerDeception) {
+    for (ApiId id :
+         {ApiId::kIsDebuggerPresent, ApiId::kCheckRemoteDebuggerPresent,
+          ApiId::kOutputDebugString, ApiId::kNtQueryInformationProcess,
+          ApiId::kGetTickCount, ApiId::kSleep, ApiId::kRaiseException})
+      ids.insert(id);
+  }
+  if (config_.networkResources)
+    for (ApiId id : {ApiId::kDnsQuery, ApiId::kInternetOpenUrl})
+      ids.insert(id);
+  if (config_.wearTearExtension) {
+    for (ApiId id : {ApiId::kEvtNext, ApiId::kDnsGetCacheDataTable,
+                     ApiId::kRegQueryInfoKey, ApiId::kNtQueryKey,
+                     ApiId::kRegEnumKeyEx, ApiId::kRegEnumValue})
+      ids.insert(id);
+  }
+  return ids;
+}
+
+std::size_t DeceptionEngine::hookedApiCount() const {
+  return hookedIds().size();
+}
+
+std::size_t DeceptionEngine::deceptionApiCount() const {
+  Config allCategories;
+  allCategories.wearTearExtension = false;
+  DeceptionEngine counter(allCategories, ResourceDb{});
+  std::set<ApiId> ids = counter.hookedIds();
+  for (ApiId id : {ApiId::kCreateProcess, ApiId::kShellExecuteEx,
+                   ApiId::kDeleteFile, ApiId::kOutputDebugString})
+    ids.erase(id);
+  return ids.size();
+}
+
+// ===== registry ===========================================================
+
+void DeceptionEngine::installRegistryHooks(HookSet& hooks) {
+  if (!config_.softwareResources) return;
+
+  hooks.regOpenKeyEx = [this](Api& a, const std::string& path) {
+    auto p = db_.matchRegistryKey(path);
+    if (matchesActive(p)) {
+      alert(a, "RegOpenKeyEx()", path, *p);
+      return WinError::kSuccess;
+    }
+    return a.orig_RegOpenKeyEx(path);
+  };
+
+  hooks.ntOpenKeyEx = [this](Api& a, const std::string& path) {
+    auto p = db_.matchRegistryKey(path);
+    if (matchesActive(p)) {
+      alert(a, "NtOpenKeyEx()", path, *p);
+      return NtStatus::kSuccess;
+    }
+    return a.orig_NtOpenKeyEx(path);
+  };
+
+  hooks.regQueryValueEx = [this](Api& a, const std::string& path,
+                                 const std::string& valueName,
+                                 RegValue& out) {
+    auto m = db_.matchRegistryValue(path, valueName);
+    if (m.has_value() && profileActive(m->profile)) {
+      alert(a, "RegQueryValueEx()", path + "!" + valueName, m->profile);
+      out = m->value;
+      return WinError::kSuccess;
+    }
+    return a.orig_RegQueryValueEx(path, valueName, out);
+  };
+
+  hooks.ntQueryValueKey = [this](Api& a, const std::string& path,
+                                 const std::string& valueName,
+                                 RegValue& out) {
+    auto m = db_.matchRegistryValue(path, valueName);
+    if (m.has_value() && profileActive(m->profile)) {
+      alert(a, "NtQueryValueKey()", path + "!" + valueName, m->profile);
+      out = m->value;
+      return NtStatus::kSuccess;
+    }
+    if (config_.wearTearExtension &&
+        iendsWith(path, "\\Session Manager\\AppCompatCache") &&
+        iequals(valueName, "CacheEntryCount")) {
+      alert(a, "NtQueryValueKey()", path, Profile::kGeneric);
+      out = RegValue::dword(config_.wearTear.shimCacheEntries);
+      return NtStatus::kSuccess;
+    }
+    return a.orig_NtQueryValueKey(path, valueName, out);
+  };
+}
+
+// ===== files ==============================================================
+
+void DeceptionEngine::installFileHooks(HookSet& hooks) {
+  if (!config_.softwareResources) return;
+
+  hooks.ntQueryAttributesFile = [this](Api& a, const std::string& path) {
+    auto p = db_.matchFile(path);
+    if (matchesActive(p)) {
+      alert(a, "NtQueryAttributesFile()", path, *p);
+      return NtStatus::kSuccess;
+    }
+    return a.orig_NtQueryAttributesFile(path);
+  };
+
+  hooks.getFileAttributes = [this](Api& a, const std::string& path) {
+    auto p = db_.matchFile(path);
+    if (matchesActive(p)) {
+      alert(a, "GetFileAttributes()", path, *p);
+      return 0x80u;  // FILE_ATTRIBUTE_NORMAL
+    }
+    return a.orig_GetFileAttributesA(path);
+  };
+
+  hooks.createFile = [this](Api& a, const std::string& path, bool forWrite) {
+    if (!forWrite) {
+      auto p = db_.matchFile(path);
+      if (matchesActive(p)) {
+        alert(a, "CreateFile()", path, *p);
+        return WinError::kSuccess;
+      }
+    }
+    return a.orig_CreateFileA(path, forWrite);
+  };
+
+  hooks.ntCreateFile = [this](Api& a, const std::string& path) {
+    auto p = db_.matchFile(path);
+    if (matchesActive(p)) {
+      alert(a, "NtCreateFile()", path, *p);
+      return NtStatus::kSuccess;
+    }
+    // Device-namespace objects are kernel handles; user-level hooking does
+    // not fabricate them (the documented Cuckoo/VBox-device blind spot).
+    return a.machine().vfs().exists(path) ? NtStatus::kSuccess
+                                          : NtStatus::kObjectNameNotFound;
+  };
+
+  hooks.findFirstFile = [this](Api& a, const std::string& directory,
+                               const std::string& pattern) {
+    std::vector<std::string> names = a.orig_FindFirstFileA(directory, pattern);
+    for (std::string& fake : db_.fakeFilesIn(directory, pattern)) {
+      bool present = false;
+      for (const std::string& existing : names)
+        if (iequals(existing, fake)) present = true;
+      if (!present) {
+        names.push_back(std::move(fake));
+        alert(a, "FindFirstFile()", directory + "\\" + pattern,
+              Profile::kGeneric);
+      }
+    }
+    return names;
+  };
+}
+
+// ===== processes ==========================================================
+
+void DeceptionEngine::installProcessHooks(HookSet& hooks) {
+  if (config_.softwareResources) {
+    hooks.createToolhelp32Snapshot = [this](Api& a) {
+      std::vector<winapi::ProcessEntry> entries =
+          a.orig_CreateToolhelp32Snapshot();
+      bool appended = false;
+      for (winapi::ProcessEntry& fake : db_.fakeProcessEntries()) {
+        const auto profile = db_.matchProcess(fake.imageName);
+        if (!matchesActive(profile)) continue;
+        entries.push_back(std::move(fake));
+        appended = true;
+      }
+      if (appended)
+        alert(a, "CreateToolhelp32Snapshot()", "process list",
+              Profile::kGeneric);
+      return entries;
+    };
+
+    hooks.terminateProcess = [this](Api& a, std::uint32_t pid,
+                                    std::uint32_t exitCode) {
+      // Protect analysis processes: fake entries occupy pids >= 0x9000, and
+      // any live process with a protected image name is spared. The call
+      // reports success so the malware believes the kill worked.
+      if (pid >= 0x9000) {
+        alert(a, "TerminateProcess()", "analysis process", Profile::kGeneric);
+        return true;
+      }
+      const winsys::Process* target = a.machine().processes().find(pid);
+      if (target != nullptr &&
+          db_.matchProcess(target->imageName).has_value()) {
+        alert(a, "TerminateProcess()", target->imageName, Profile::kGeneric);
+        return true;
+      }
+      return a.orig_TerminateProcess(pid, exitCode);
+    };
+
+    hooks.getModuleHandle = [this](Api& a, const std::string& moduleName) {
+      auto p = db_.matchDll(moduleName);
+      if (matchesActive(p)) {
+        alert(a, "GetModuleHandleA()", moduleName, *p);
+        return true;
+      }
+      return a.orig_GetModuleHandleA(moduleName);
+    };
+
+    hooks.getProcAddress = [this](Api& a, const std::string& moduleName,
+                                  const std::string& procName) {
+      if (support::istartsWith(procName, "wine_") &&
+          profileActive(Profile::kWine)) {
+        alert(a, "GetProcAddress()", moduleName + "!" + procName,
+              Profile::kWine);
+        return true;
+      }
+      return a.orig_GetProcAddress(moduleName, procName);
+    };
+
+    hooks.getUserName = [this](Api& a) {
+      alert(a, "GetUserName()", config_.identity.userName, Profile::kGeneric);
+      return config_.identity.userName;
+    };
+
+    hooks.getComputerName = [this](Api& a) {
+      alert(a, "GetComputerName()", config_.identity.computerName,
+            Profile::kGeneric);
+      return config_.identity.computerName;
+    };
+
+    hooks.getModuleFileName = [this](Api& a) {
+      alert(a, "The name of malware", config_.identity.ownImagePath,
+            Profile::kGeneric);
+      return config_.identity.ownImagePath;
+    };
+
+    hooks.findWindow = [this](Api& a, const std::string& className,
+                              const std::string& title) {
+      auto p = db_.matchWindow(className, title);
+      if (matchesActive(p)) {
+        alert(a, "FindWindow()", className.empty() ? title : className, *p);
+        return true;
+      }
+      return a.orig_FindWindowA(className, title);
+    };
+  }
+
+  // Child propagation + self-spawn accounting: always installed — the
+  // controller must keep supervising descendants regardless of which
+  // deception categories are active.
+  hooks.createProcess = [this](Api& a, const std::string& imagePath,
+                               const std::string& commandLine) {
+    const std::uint32_t child = a.orig_CreateProcessA(imagePath, commandLine);
+    if (child == 0) return child;
+    if (iequals(baseName(imagePath), a.self().imageName)) {
+      const std::uint32_t n = ++selfSpawns_[toLower(a.self().imageName)];
+      hooking::IpcMessage msg;
+      msg.kind = hooking::IpcKind::kSelfSpawnAlert;
+      msg.pid = a.pid();
+      msg.timeMs = a.machine().clock().nowMs();
+      msg.api = "CreateProcessW";
+      msg.resource = a.self().imageName;
+      ipc_.send(std::move(msg));
+      a.machine().emit(a.pid(), trace::EventKind::kAlert, "self-spawn",
+                       a.self().imageName);
+      if (config_.mitigateSelfSpawn && n > config_.selfSpawnKillThreshold) {
+        // Section VI-C: block the fork bomb by refusing the spawn and
+        // killing the spawner.
+        a.machine().emit(a.pid(), trace::EventKind::kAlert, "mitigation",
+                         "self-spawn loop terminated");
+        a.orig_TerminateProcess(child, 1);
+        a.orig_TerminateProcess(a.pid(), 1);
+        return 0u;
+      }
+    }
+    hooking::injectDll(a.machine(), a.userspace(), child, dllImage());
+    hooking::IpcMessage msg;
+    msg.kind = hooking::IpcKind::kProcessInjected;
+    msg.pid = child;
+    msg.timeMs = a.machine().clock().nowMs();
+    msg.api = "CreateProcess";
+    msg.resource = imagePath;
+    ipc_.send(std::move(msg));
+    return child;
+  };
+
+  hooks.shellExecuteEx = [this, createProcess = hooks.createProcess](
+                             Api& a, const std::string& file) {
+    return createProcess(a, file, file) != 0;
+  };
+}
+
+// ===== debugger ===========================================================
+
+void DeceptionEngine::installDebugHooks(HookSet& hooks) {
+  if (!config_.debuggerDeception) return;
+
+  hooks.isDebuggerPresent = [this](Api& a) {
+    alert(a, "IsDebuggerPresent()", "debugger", Profile::kDebugger);
+    return true;
+  };
+
+  hooks.checkRemoteDebuggerPresent = [this](Api& a, std::uint32_t) {
+    alert(a, "CheckRemoteDebuggerPresent()", "debugger", Profile::kDebugger);
+    return true;
+  };
+
+  hooks.outputDebugString = [this](Api& a, const std::string& text) {
+    // With a (pretend) debugger attached the call "succeeds"; nothing to
+    // return, but the probe itself is a fingerprint attempt.
+    alert(a, "OutputDebugString()", text, Profile::kDebugger);
+  };
+
+  hooks.ntQueryInformationProcess = [this](Api& a, std::uint32_t pid,
+                                           winapi::ProcessInfoClass cls) {
+    using winapi::ProcessInfoClass;
+    switch (cls) {
+      case ProcessInfoClass::kDebugPort:
+      case ProcessInfoClass::kDebugObjectHandle:
+        alert(a, "NtQueryInformationProcess()", "DebugPort",
+              Profile::kDebugger);
+        return std::uint64_t{1};
+      case ProcessInfoClass::kDebugFlags:
+        alert(a, "NtQueryInformationProcess()", "DebugFlags",
+              Profile::kDebugger);
+        return std::uint64_t{0};  // NoDebugInherit cleared == debugged
+      case ProcessInfoClass::kBasicInformation:
+        return a.orig_NtQueryInformationProcess(pid, cls);
+    }
+    return a.orig_NtQueryInformationProcess(pid, cls);
+  };
+
+  hooks.getTickCount = [this](Api& a) {
+    alert(a, "GetTickCount()", "uptime", Profile::kGeneric);
+    // A sandbox that booted moments ago, with time advancing at the same
+    // compressed rate sleep patching produces.
+    return config_.identity.fakeUptimeMs +
+           (a.machine().clock().nowMs() - attachMs_);
+  };
+
+  hooks.sleep = [this](Api& a, std::uint32_t ms) {
+    // Sleep patching: burn only sleepPercent of the requested time.
+    a.orig_Sleep(ms * config_.identity.sleepPercent / 100);
+  };
+
+  hooks.raiseException = [this](Api& a, std::uint32_t code) {
+    const std::uint64_t base = a.orig_RaiseException(code);
+    a.machine().clock().addTscCycles(config_.identity.exceptionLatencyCycles);
+    return base + config_.identity.exceptionLatencyCycles;
+  };
+}
+
+// ===== system information =================================================
+
+void DeceptionEngine::installSysInfoHooks(HookSet& hooks) {
+  if (!config_.hardwareResources) return;
+
+  hooks.getSystemInfo = [this](Api& a) {
+    alert(a, "GetSystemInfo()", "NumberOfProcessors", Profile::kGeneric);
+    winapi::SystemInfoView view;
+    view.numberOfProcessors = config_.hardware.cpuCores;
+    return view;
+  };
+
+  hooks.globalMemoryStatusEx = [this](Api& a) {
+    alert(a, "GlobalMemoryStatusEx()", "TotalPhys", Profile::kGeneric);
+    winapi::MemoryStatusView view;
+    view.totalPhysBytes = config_.hardware.ramBytes;
+    view.availPhysBytes = config_.hardware.ramBytes / 2;
+    return view;
+  };
+
+  hooks.getDiskFreeSpaceEx = [this](Api& a, char, std::uint64_t& freeBytes,
+                                    std::uint64_t& totalBytes) {
+    alert(a, "GetDiskFreeSpaceEx()", "disk size", Profile::kGeneric);
+    freeBytes = config_.hardware.diskFreeBytes;
+    totalBytes = config_.hardware.diskTotalBytes;
+    return true;
+  };
+
+  hooks.ntQuerySystemInformation = [this](Api& a,
+                                          winapi::SystemInfoClass cls) {
+    using winapi::SystemInfoClass;
+    switch (cls) {
+      case SystemInfoClass::kBasicInformation:
+        alert(a, "NtQuerySystemInformation()", "NumberOfProcessors",
+              Profile::kGeneric);
+        return std::uint64_t{config_.hardware.cpuCores};
+      case SystemInfoClass::kKernelDebuggerInformation:
+        alert(a, "NtQuerySystemInformation()", "KernelDebugger",
+              Profile::kDebugger);
+        return std::uint64_t{1};
+      case SystemInfoClass::kRegistryQuotaInformation:
+        if (config_.wearTearExtension) {
+          alert(a, "NtQuerySystemInformation()", "RegistryQuota",
+                Profile::kGeneric);
+          return std::uint64_t{config_.wearTear.registryQuotaBytes};
+        }
+        return a.orig_NtQuerySystemInformation(cls);
+      case SystemInfoClass::kProcessInformation:
+        return a.orig_NtQuerySystemInformation(cls) + db_.processCount();
+    }
+    return a.orig_NtQuerySystemInformation(cls);
+  };
+}
+
+// ===== network ============================================================
+
+void DeceptionEngine::installNetworkHooks(HookSet& hooks) {
+  if (!config_.networkResources) return;
+
+  hooks.dnsQuery = [this](Api& a, const std::string& domain)
+      -> std::optional<std::string> {
+    auto real = a.orig_DnsQuery(domain);
+    if (real.has_value()) return real;
+    // NX domain: resolve to the proxy, exactly like a sandbox DNS sinkhole.
+    alert(a, "DnsQuery()", domain, Profile::kGeneric);
+    return config_.sinkholeIp;
+  };
+
+  hooks.internetOpenUrl = [this](Api& a, const std::string& domain,
+                                 const std::string& path) {
+    if (a.machine().network().isRegistered(domain))
+      return a.orig_InternetOpenUrlA(domain, path);
+    alert(a, "InternetOpenUrl()", domain, Profile::kGeneric);
+    a.machine().emit(a.pid(), trace::EventKind::kHttpRequest, domain + path,
+                     "200 (sinkhole)");
+    return winapi::HttpResult{200, "sinkholed"};
+  };
+}
+
+// ===== wear-and-tear extension ============================================
+
+void DeceptionEngine::installWearTearHooks(HookSet& hooks) {
+  if (!config_.wearTearExtension) return;
+
+  hooks.evtNext = [this](Api& a, std::size_t maxCount) {
+    alert(a, "EvtNext()", "system events", Profile::kGeneric);
+    const std::size_t cap = config_.wearTear.sysEventCount;
+    return a.orig_EvtNext(maxCount < cap ? maxCount : cap);
+  };
+
+  hooks.dnsGetCacheDataTable = [this](Api& a) {
+    alert(a, "DnsGetCacheDataTable()", "dns cache", Profile::kGeneric);
+    std::vector<winapi::DnsCacheRow> rows = a.orig_DnsGetCacheDataTable();
+    const std::size_t cap = config_.wearTear.dnsCacheEntries;
+    if (rows.size() > cap)
+      rows.erase(rows.begin(), rows.end() - static_cast<long>(cap));
+    return rows;
+  };
+
+  hooks.regQueryInfoKey = [this](Api& a, const std::string& path,
+                                 std::uint32_t& subkeys,
+                                 std::uint32_t& values) {
+    if (auto fake = wearTearCounts(path)) {
+      alert(a, "RegQueryInfoKey()", path, Profile::kGeneric);
+      subkeys = fake->subkeys;
+      values = fake->values;
+      return WinError::kSuccess;
+    }
+    return a.orig_RegQueryInfoKey(path, subkeys, values);
+  };
+
+  hooks.ntQueryKey = [this](Api& a, const std::string& path,
+                            std::uint32_t& subkeys, std::uint32_t& values) {
+    if (auto fake = wearTearCounts(path)) {
+      alert(a, "NtQueryKey()", path, Profile::kGeneric);
+      subkeys = fake->subkeys;
+      values = fake->values;
+      return NtStatus::kSuccess;
+    }
+    if (auto p = db_.matchRegistryKey(path); matchesActive(p)) {
+      alert(a, "NtQueryKey()", path, *p);
+      subkeys = 1;
+      values = 1;
+      return NtStatus::kSuccess;
+    }
+    return a.orig_NtQueryKey(path, subkeys, values);
+  };
+
+  hooks.regEnumKeyEx = [this](Api& a, const std::string& path,
+                              std::uint32_t index, std::string& name) {
+    if (auto fake = wearTearCounts(path)) {
+      if (index >= fake->subkeys) return WinError::kNoMoreItems;
+      alert(a, "RegEnumKeyEx()", path, Profile::kGeneric);
+      // Serve synthetic entries up to the faked count; fall back to real
+      // names where the machine has them.
+      std::string real;
+      if (winapi::ok(a.orig_RegEnumKeyEx(path, index, real))) {
+        name = real;
+      } else {
+        name = "Component" + std::to_string(index);
+      }
+      return WinError::kSuccess;
+    }
+    return a.orig_RegEnumKeyEx(path, index, name);
+  };
+
+  hooks.regEnumValue = [this](Api& a, const std::string& path,
+                              std::uint32_t index, std::string& name,
+                              RegValue& value) {
+    if (auto fake = wearTearCounts(path)) {
+      if (index >= fake->values) return WinError::kNoMoreItems;
+      alert(a, "RegEnumValue()", path, Profile::kGeneric);
+      if (winapi::ok(a.orig_RegEnumValue(path, index, name, value)))
+        return WinError::kSuccess;
+      name = "Entry" + std::to_string(index);
+      value = RegValue::sz("C:\\Program Files\\Common\\entry.exe");
+      return WinError::kSuccess;
+    }
+    return a.orig_RegEnumValue(path, index, name, value);
+  };
+}
+
+}  // namespace scarecrow::core

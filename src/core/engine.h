@@ -1,0 +1,95 @@
+// DeceptionEngine: the logic of scarecrow.dll (paper Section III).
+//
+// One engine instance backs all processes a controller supervises. Its
+// dllImage() is what gets injected: onLoad installs in-line hooks on the
+// deceptive API surface (29 core APIs + the wear-and-tear extension) and
+// wires every hook to the ResourceDb. Hooks that detect a fingerprinting
+// attempt raise an alert: a kAlert trace event (Table I's "Trigger" column
+// reads the first one) and an IPC message to the controller (Figure 2).
+//
+// CreateProcess/ShellExecuteEx hooks propagate the injection to descendants
+// (suspend → inject → resume) and perform the self-spawn accounting of
+// Section IV-C; Section VI-C active mitigation can terminate fork-bombing
+// samples past a threshold. Section VI-B conflict-aware profiles are
+// implemented as described: the first VM vendor probed wins, the other
+// vendors' artifacts vanish.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "core/config.h"
+#include "core/resource_db.h"
+#include "hooking/injector.h"
+#include "hooking/ipc.h"
+#include "winapi/api.h"
+
+namespace scarecrow::core {
+
+class DeceptionEngine {
+ public:
+  DeceptionEngine(Config config, ResourceDb db);
+
+  /// The injectable scarecrow.dll. The returned image holds a reference to
+  /// this engine; the engine must outlive every process it is injected in.
+  hooking::DllImage dllImage();
+
+  /// Installs hooks directly into one process (what dllImage().onLoad does).
+  void installInto(winapi::Api& api);
+
+  hooking::IpcChannel& ipc() noexcept { return ipc_; }
+  const Config& config() const noexcept { return config_; }
+  const ResourceDb& resources() const noexcept { return db_; }
+
+  /// Self-spawn count per image name observed via the CreateProcess hook.
+  std::uint32_t selfSpawnCount(const std::string& imageName) const;
+
+  /// True when profile `p` still serves deceptive resources (conflict-aware
+  /// mode may have disabled it).
+  bool profileActive(Profile p) const;
+  /// The VM vendor locked by the first probe (conflict-aware mode).
+  std::optional<Profile> lockedVendor() const noexcept { return locked_; }
+
+  /// Number of APIs the engine hooks given its configuration (includes the
+  /// wear-and-tear extension and the propagation/decoy hooks).
+  std::size_t hookedApiCount() const;
+
+  /// The paper's headline figure: the 29 APIs hooked to serve deceptive
+  /// resources — excluding the wear-and-tear extension, the CreateProcess/
+  /// ShellExecuteEx injection-propagation hooks, and the prologue-only
+  /// decoy patches (DeleteFile, OutputDebugString).
+  std::size_t deceptionApiCount() const;
+
+ private:
+  void alert(winapi::Api& api, const std::string& label,
+             const std::string& resource, Profile profile);
+  bool matchesActive(std::optional<Profile> profile) const;
+
+  struct CountFake {
+    std::uint32_t subkeys = 0;
+    std::uint32_t values = 0;
+  };
+  /// Wear-and-tear registry count fakes (Table III), matched by key suffix.
+  std::optional<CountFake> wearTearCounts(const std::string& path) const;
+
+  void installRegistryHooks(winapi::HookSet& hooks);
+  void installFileHooks(winapi::HookSet& hooks);
+  void installProcessHooks(winapi::HookSet& hooks);
+  void installDebugHooks(winapi::HookSet& hooks);
+  void installSysInfoHooks(winapi::HookSet& hooks);
+  void installNetworkHooks(winapi::HookSet& hooks);
+  void installWearTearHooks(winapi::HookSet& hooks);
+  std::set<winapi::ApiId> hookedIds() const;
+
+  Config config_;
+  ResourceDb db_;
+  hooking::IpcChannel ipc_;
+  std::map<std::string, std::uint32_t> selfSpawns_;  // lower-case image
+  std::optional<Profile> locked_;
+  std::uint64_t attachMs_ = 0;
+  bool attached_ = false;
+};
+
+}  // namespace scarecrow::core

@@ -1,0 +1,66 @@
+#include "core/eval.h"
+
+#include "env/environments.h"
+#include "support/strings.h"
+
+namespace scarecrow::core {
+
+EvaluationHarness::EvaluationHarness(winsys::Machine& machine)
+    : machine_(machine), snapshot_(machine.snapshot()) {}
+
+trace::Trace EvaluationHarness::runOnce(
+    const std::string& sampleId, const std::string& imagePath,
+    const winapi::ProgramFactory& factory, bool withScarecrow,
+    const Config& config, std::uint64_t budgetMs, std::string* firstTrigger,
+    std::uint32_t* selfSpawnAlerts) {
+  machine_.restore(snapshot_);
+  machine_.recorder().setSampleId(sampleId);
+  machine_.recorder().setScarecrowEnabled(withScarecrow);
+
+  // The agent materializes the submitted binary on disk before launching it
+  // (payloads like CopySelf/DeleteSelf reference the image file).
+  machine_.vfs().createFile(imagePath, 1 << 20, machine_.clock().nowMs());
+
+  winapi::UserSpace userspace;
+  userspace.programFactory = factory;
+  winapi::Runner runner(machine_, userspace);
+  winapi::RunOptions options;
+  options.budgetMs = budgetMs;
+
+  if (withScarecrow) {
+    DeceptionEngine engine(config,
+                           dbFactory_ ? dbFactory_()
+                                      : buildDefaultResourceDb());
+    Controller controller(machine_, userspace, engine);
+    controller.launch(imagePath);
+    runner.drain(options);
+    controller.pump();
+    if (firstTrigger != nullptr) *firstTrigger = controller.firstTrigger();
+    if (selfSpawnAlerts != nullptr)
+      *selfSpawnAlerts = controller.selfSpawnAlerts();
+  } else {
+    // The cluster's analysis agent launches the sample (Figure 3).
+    options.parentPid = env::sandboxAgentPid(machine_);
+    runner.run(imagePath, options);
+  }
+  return machine_.recorder().takeTrace();
+}
+
+EvalOutcome EvaluationHarness::evaluate(const std::string& sampleId,
+                                        const std::string& imagePath,
+                                        const winapi::ProgramFactory& factory,
+                                        const Config& config,
+                                        std::uint64_t budgetMs) {
+  EvalOutcome outcome;
+  outcome.traceWithout =
+      runOnce(sampleId, imagePath, factory, false, config, budgetMs);
+  outcome.traceWith =
+      runOnce(sampleId, imagePath, factory, true, config, budgetMs,
+              &outcome.firstTrigger, &outcome.selfSpawnAlerts);
+  outcome.verdict = trace::judgeDeactivation(
+      outcome.traceWithout, outcome.traceWith,
+      support::baseName(imagePath));
+  return outcome;
+}
+
+}  // namespace scarecrow::core

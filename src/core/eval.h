@@ -1,0 +1,72 @@
+// Per-sample evaluation harness: the Figure 3 protocol.
+//
+// For each sample: reset the machine to its clean snapshot (Deep Freeze),
+// execute for one minute of machine time without Scarecrow while tracing
+// kernel activity; reset again and execute with Scarecrow (controller
+// launch + DLL injection); upload both traces; judge deactivation with the
+// Section IV-C decision procedure.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/config.h"
+#include "core/controller.h"
+#include "core/resource_db.h"
+#include "core/engine.h"
+#include "trace/analysis.h"
+#include "winapi/runner.h"
+#include "winsys/machine.h"
+
+namespace scarecrow::core {
+
+struct EvalOutcome {
+  trace::Trace traceWithout;
+  trace::Trace traceWith;
+  trace::DeactivationVerdict verdict;
+  /// First fingerprint trigger from the controller's IPC view (matches the
+  /// trace-derived verdict.firstTrigger).
+  std::string firstTrigger;
+  std::uint32_t selfSpawnAlerts = 0;
+};
+
+class EvaluationHarness {
+ public:
+  /// Snapshots `machine` as the clean state every run restores to.
+  explicit EvaluationHarness(winsys::Machine& machine);
+
+  /// Runs one sample in both configurations and judges it.
+  /// `factory` resolves image paths to guest programs (the sample itself
+  /// plus any processes it drops).
+  EvalOutcome evaluate(const std::string& sampleId,
+                       const std::string& imagePath,
+                       const winapi::ProgramFactory& factory,
+                       const Config& config = {},
+                       std::uint64_t budgetMs = 60'000);
+
+  /// One configuration only (used by benches that sweep configs).
+  trace::Trace runOnce(const std::string& sampleId,
+                       const std::string& imagePath,
+                       const winapi::ProgramFactory& factory,
+                       bool withScarecrow, const Config& config = {},
+                       std::uint64_t budgetMs = 60'000,
+                       std::string* firstTrigger = nullptr,
+                       std::uint32_t* selfSpawnAlerts = nullptr);
+
+  winsys::Machine& machine() noexcept { return machine_; }
+
+  /// Overrides the deception database used for with-Scarecrow runs
+  /// (defaults to buildDefaultResourceDb). Used by the profile ablations.
+  using DbFactory = std::function<ResourceDb()>;
+  void setResourceDbFactory(DbFactory factory) {
+    dbFactory_ = std::move(factory);
+  }
+
+ private:
+  winsys::Machine& machine_;
+  winsys::MachineSnapshot snapshot_;
+  DbFactory dbFactory_;
+};
+
+}  // namespace scarecrow::core

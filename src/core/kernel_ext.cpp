@@ -1,0 +1,42 @@
+#include "core/kernel_ext.h"
+
+namespace scarecrow::core {
+
+const std::vector<std::string>& kernelDeviceObjects() {
+  static const std::vector<std::string> objects = {
+      "\\\\.\\pipe\\cuckoo",
+      "\\\\.\\pipe\\cuckoo_result",
+      "\\\\.\\cuckoo",
+      "\\\\.\\VBoxGuest",
+      "\\\\.\\VBoxMiniRdrDN",
+      "\\\\.\\pipe\\VBoxTrayIPC",
+  };
+  return objects;
+}
+
+void KernelExtension::installOnMachine(winsys::Machine& machine) const {
+  if (!config_.enabled || !config_.fabricateDeviceObjects) return;
+  for (const std::string& object : kernelDeviceObjects())
+    machine.vfs().createDevice(object);
+}
+
+void KernelExtension::installIntoProcess(
+    winsys::Machine& machine, std::uint32_t pid,
+    const HardwareDeception& hardware) const {
+  if (!config_.enabled) return;
+  winsys::Process* process = machine.processes().find(pid);
+  if (process == nullptr) return;
+  if (config_.spoofPeb)
+    process->peb.numberOfProcessors = hardware.cpuCores;
+  if (config_.trapCpuid) {
+    process->cpuidTrap.active = true;
+    process->cpuidTrap.vendor = config_.hypervisorVendor;
+    process->cpuidTrap.extraCycles = config_.cpuidTrapExtraCycles;
+  }
+}
+
+bool KernelExtension::installedOn(const winsys::Machine& machine) {
+  return machine.vfs().exists(kernelDeviceObjects().front());
+}
+
+}  // namespace scarecrow::core

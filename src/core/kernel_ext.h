@@ -1,0 +1,55 @@
+// Kernel/hypervisor deception extension — the paper's Section VI-A future
+// work ("we plan to extend SCARECROW with kernel/hypervisor-based
+// hooking"), implemented.
+//
+// User-level in-line hooking leaves three documented blind spots:
+//   1. direct PEB memory reads (Table I sample cbdda64 reads
+//      NumberOfProcessors and defeats Scarecrow);
+//   2. the CPUID/RDTSC instruction channel (the rdtsc_diff* Pafish rows
+//      Table II leaves uncovered);
+//   3. kernel object namespace probes (\\.\VBoxGuest, \\.\pipe\cuckoo,
+//      NDIS/firmware artifacts).
+// A kernel driver plus a thin hypervisor close all three: the driver can
+// rewrite a supervised process's PEB and fabricate device objects, and the
+// hypervisor can trap CPUID (reporting a hypervisor *and* paying
+// vmexit-scale latency, so even the timing side channel agrees).
+//
+// The extension is strictly additive and per-process where possible, so
+// benign software and the rest of the machine stay untouched (device
+// objects are machine-global, exactly as a real driver's would be).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "config.h"
+#include "winsys/machine.h"
+
+namespace scarecrow::core {
+
+/// Device objects a loaded driver would create. One set per machine.
+const std::vector<std::string>& kernelDeviceObjects();
+
+class KernelExtension {
+ public:
+  explicit KernelExtension(KernelExtensionConfig config)
+      : config_(std::move(config)) {}
+
+  const KernelExtensionConfig& config() const noexcept { return config_; }
+
+  /// Driver load: fabricates the sandbox device objects. Idempotent.
+  void installOnMachine(winsys::Machine& machine) const;
+
+  /// Per-process deception (called at injection time for the target and
+  /// every descendant): PEB rewrite + CPUID trap registration.
+  void installIntoProcess(winsys::Machine& machine, std::uint32_t pid,
+                          const HardwareDeception& hardware) const;
+
+  /// True when the driver's device objects are present.
+  static bool installedOn(const winsys::Machine& machine);
+
+ private:
+  KernelExtensionConfig config_;
+};
+
+}  // namespace scarecrow::core

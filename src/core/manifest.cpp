@@ -1,0 +1,235 @@
+#include "core/manifest.h"
+
+#include <charconv>
+
+#include "support/strings.h"
+
+namespace scarecrow::core {
+namespace {
+
+constexpr const char* kHeader = "scarecrow-manifest v1";
+
+const char* profileTag(Profile profile) { return profileName(profile); }
+
+std::optional<Profile> profileFromTag(std::string_view tag) {
+  for (int p = 0; p <= static_cast<int>(Profile::kCrawled); ++p)
+    if (tag == profileName(static_cast<Profile>(p)))
+      return static_cast<Profile>(p);
+  return std::nullopt;
+}
+
+std::string encodeValue(const winsys::RegValue& value) {
+  switch (value.type) {
+    case winsys::RegType::kSz:
+      return "sz:" + support::join(support::split(value.str, '\n'), ' ');
+    case winsys::RegType::kDword: return "dword:" + std::to_string(value.num);
+    case winsys::RegType::kQword: return "qword:" + std::to_string(value.num);
+    case winsys::RegType::kBinary:
+      return "bin:" + std::to_string(value.binarySize);
+    case winsys::RegType::kMultiSz: return "multi:" + value.str;
+  }
+  return "sz:";
+}
+
+std::optional<winsys::RegValue> decodeValue(std::string_view text) {
+  const auto colon = text.find(':');
+  if (colon == std::string_view::npos) return std::nullopt;
+  const std::string_view kind = text.substr(0, colon);
+  const std::string payload(text.substr(colon + 1));
+  if (kind == "sz") return winsys::RegValue::sz(payload);
+  if (kind == "multi") {
+    winsys::RegValue v;
+    v.type = winsys::RegType::kMultiSz;
+    v.str = payload;
+    return v;
+  }
+  std::uint64_t number = 0;
+  const auto result = std::from_chars(
+      payload.data(), payload.data() + payload.size(), number);
+  if (result.ec != std::errc{} ||
+      result.ptr != payload.data() + payload.size())
+    return std::nullopt;
+  if (kind == "dword")
+    return winsys::RegValue::dword(static_cast<std::uint32_t>(number));
+  if (kind == "qword") return winsys::RegValue::qword(number);
+  if (kind == "bin")
+    return winsys::RegValue::binary(static_cast<std::uint32_t>(number));
+  return std::nullopt;
+}
+
+bool parseBool(std::string_view text, bool& out) {
+  if (text == "1") {
+    out = true;
+    return true;
+  }
+  if (text == "0") {
+    out = false;
+    return true;
+  }
+  return false;
+}
+
+bool parseU64(std::string_view text, std::uint64_t& out) {
+  const auto result =
+      std::from_chars(text.data(), text.data() + text.size(), out);
+  return result.ec == std::errc{} &&
+         result.ptr == text.data() + text.size();
+}
+
+}  // namespace
+
+std::string exportManifest(const Config& config, const ResourceDb& db) {
+  std::string out = kHeader;
+  out += '\n';
+
+  auto flag = [&out](const char* name, bool value) {
+    out += std::string("config ") + name + "=" + (value ? "1" : "0") + "\n";
+  };
+  auto number = [&out](const char* name, std::uint64_t value) {
+    out += std::string("config ") + name + "=" + std::to_string(value) +
+           "\n";
+  };
+  auto text = [&out](const char* name, const std::string& value) {
+    out += std::string("config ") + name + "=" + value + "\n";
+  };
+  flag("software", config.softwareResources);
+  flag("hardware", config.hardwareResources);
+  flag("network", config.networkResources);
+  flag("debugger", config.debuggerDeception);
+  flag("weartear", config.wearTearExtension);
+  flag("conflict_aware", config.conflictAwareProfiles);
+  flag("mitigate_selfspawn", config.mitigateSelfSpawn);
+  number("selfspawn_threshold", config.selfSpawnKillThreshold);
+  flag("kernel", config.kernel.enabled);
+  number("disk_total", config.hardware.diskTotalBytes);
+  number("disk_free", config.hardware.diskFreeBytes);
+  number("ram", config.hardware.ramBytes);
+  number("cores", config.hardware.cpuCores);
+  text("username", config.identity.userName);
+  text("computername", config.identity.computerName);
+  text("own_image", config.identity.ownImagePath);
+  number("fake_uptime_ms", config.identity.fakeUptimeMs);
+  number("sleep_percent", config.identity.sleepPercent);
+  text("sinkhole_ip", config.sinkholeIp);
+
+  db.forEachFile([&out](const std::string& path, Profile profile) {
+    out += std::string("file ") + profileTag(profile) + " " + path + "\n";
+  });
+  db.forEachRegistryKey([&out](const std::string& path, Profile profile) {
+    out += std::string("regkey ") + profileTag(profile) + " " + path + "\n";
+  });
+  db.forEachRegistryValue([&out](const std::string& keyPath,
+                                 const std::string& valueName,
+                                 const ResourceDb::ValueMatch& match) {
+    out += std::string("regval ") + profileTag(match.profile) + " " +
+           keyPath + "!" + valueName + " = " + encodeValue(match.value) +
+           "\n";
+  });
+  for (const FakeProcess& process : db.fakeProcesses())
+    out += std::string("process ") + profileTag(process.profile) + " " +
+           process.imageName + "\n";
+  db.forEachDll([&out](const std::string& name, Profile profile) {
+    out += std::string("dll ") + profileTag(profile) + " " + name + "\n";
+  });
+  for (const FakeWindow& window : db.fakeWindows())
+    out += std::string("window ") + profileTag(window.profile) + " " +
+           window.className + "|" + window.title + "\n";
+  return out;
+}
+
+std::optional<Manifest> importManifest(const std::string& text) {
+  const auto lines = support::split(text, '\n');
+  if (lines.empty() || lines[0] != kHeader) return std::nullopt;
+
+  Manifest manifest;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    if (line.empty()) continue;
+    const auto space = line.find(' ');
+    if (space == std::string::npos) return std::nullopt;
+    const std::string_view kind(line.data(), space);
+    const std::string rest = line.substr(space + 1);
+
+    if (kind == "config") {
+      const auto eq = rest.find('=');
+      if (eq == std::string::npos) return std::nullopt;
+      const std::string key = rest.substr(0, eq);
+      const std::string value = rest.substr(eq + 1);
+      Config& c = manifest.config;
+      bool b = false;
+      std::uint64_t n = 0;
+      if (key == "software" && parseBool(value, b)) c.softwareResources = b;
+      else if (key == "hardware" && parseBool(value, b))
+        c.hardwareResources = b;
+      else if (key == "network" && parseBool(value, b))
+        c.networkResources = b;
+      else if (key == "debugger" && parseBool(value, b))
+        c.debuggerDeception = b;
+      else if (key == "weartear" && parseBool(value, b))
+        c.wearTearExtension = b;
+      else if (key == "conflict_aware" && parseBool(value, b))
+        c.conflictAwareProfiles = b;
+      else if (key == "mitigate_selfspawn" && parseBool(value, b))
+        c.mitigateSelfSpawn = b;
+      else if (key == "selfspawn_threshold" && parseU64(value, n))
+        c.selfSpawnKillThreshold = static_cast<std::uint32_t>(n);
+      else if (key == "kernel" && parseBool(value, b)) c.kernel.enabled = b;
+      else if (key == "disk_total" && parseU64(value, n))
+        c.hardware.diskTotalBytes = n;
+      else if (key == "disk_free" && parseU64(value, n))
+        c.hardware.diskFreeBytes = n;
+      else if (key == "ram" && parseU64(value, n)) c.hardware.ramBytes = n;
+      else if (key == "cores" && parseU64(value, n))
+        c.hardware.cpuCores = static_cast<std::uint32_t>(n);
+      else if (key == "username") c.identity.userName = value;
+      else if (key == "computername") c.identity.computerName = value;
+      else if (key == "own_image") c.identity.ownImagePath = value;
+      else if (key == "fake_uptime_ms" && parseU64(value, n))
+        c.identity.fakeUptimeMs = n;
+      else if (key == "sleep_percent" && parseU64(value, n))
+        c.identity.sleepPercent = static_cast<std::uint32_t>(n);
+      else if (key == "sinkhole_ip") c.sinkholeIp = value;
+      else return std::nullopt;  // unknown or malformed key
+      continue;
+    }
+
+    // Resource rows: "<kind> <profile> <payload>".
+    const auto space2 = rest.find(' ');
+    if (space2 == std::string::npos) return std::nullopt;
+    const auto profile = profileFromTag(rest.substr(0, space2));
+    if (!profile.has_value()) return std::nullopt;
+    const std::string payload = rest.substr(space2 + 1);
+    if (payload.empty()) return std::nullopt;
+
+    if (kind == "file") {
+      manifest.db.addFile(payload, *profile);
+    } else if (kind == "regkey") {
+      manifest.db.addRegistryKey(payload, *profile);
+    } else if (kind == "regval") {
+      const auto eq = payload.find(" = ");
+      const auto bang = payload.find('!');
+      if (eq == std::string::npos || bang == std::string::npos ||
+          bang > eq)
+        return std::nullopt;
+      const auto value = decodeValue(payload.substr(eq + 3));
+      if (!value.has_value()) return std::nullopt;
+      manifest.db.addRegistryValue(payload.substr(0, bang),
+                                   payload.substr(bang + 1, eq - bang - 1),
+                                   *value, *profile);
+    } else if (kind == "process") {
+      manifest.db.addProcess(payload, *profile);
+    } else if (kind == "dll") {
+      manifest.db.addDll(payload, *profile);
+    } else if (kind == "window") {
+      const auto pipe = payload.find('|');
+      if (pipe == std::string::npos) return std::nullopt;
+      manifest.db.addWindow(payload.substr(0, pipe),
+                            payload.substr(pipe + 1), *profile);
+    } else {
+      return std::nullopt;  // unknown section
+    }
+  }
+  return manifest;
+}
+
+}  // namespace scarecrow::core

@@ -1,0 +1,32 @@
+// Deployment manifests: a versioned text format carrying a Scarecrow
+// configuration plus its deceptive resource database.
+//
+// Section III-B's controller "dynamically updates the hooks and
+// configurations through IPC"; fleet deployments additionally need to ship
+// resource databases (curated + crawled + MalGene-learned) from a central
+// service to endpoints. The manifest is that wire/disk format: line-based,
+// diff-friendly, and strict to parse (unknown sections or malformed rows
+// reject the whole manifest rather than half-applying a deception).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/config.h"
+#include "core/resource_db.h"
+
+namespace scarecrow::core {
+
+struct Manifest {
+  Config config;
+  ResourceDb db;
+};
+
+/// Renders config + database to the v1 text format.
+std::string exportManifest(const Config& config, const ResourceDb& db);
+
+/// Strict parse; nullopt on any malformed line, unknown section, bad
+/// number, or missing header.
+std::optional<Manifest> importManifest(const std::string& text);
+
+}  // namespace scarecrow::core

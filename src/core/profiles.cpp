@@ -1,0 +1,157 @@
+#include "core/profiles.h"
+
+#include <set>
+
+namespace scarecrow::core {
+
+using winsys::RegValue;
+
+const char* sandboxProfileName(SandboxProfile profile) noexcept {
+  switch (profile) {
+    case SandboxProfile::kCuckooVirtualBox: return "cuckoo-virtualbox";
+    case SandboxProfile::kVMwareAnalyst: return "vmware-analyst";
+    case SandboxProfile::kQemuAnubis: return "qemu-anubis";
+    case SandboxProfile::kBareMetalForensic: return "baremetal-forensic";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Sandbox-generic artifacts shared by every coherent deployment: analysis
+/// folders, monitoring DLLs, debugger windows and processes.
+void addCommonAnalysisTooling(ResourceDb& db) {
+  for (const char* path : {"C:\\analysis", "C:\\sandbox"})
+    db.addFile(path, Profile::kGeneric);
+  for (const char* dll : {"SbieDll.dll", "api_log.dll", "dir_watch.dll"})
+    db.addDll(dll, Profile::kSandboxie);
+  for (const char* proc :
+       {"ollydbg.exe", "windbg.exe", "procmon.exe", "wireshark.exe"})
+    db.addProcess(proc, Profile::kDebugger);
+  db.addWindow("OLLYDBG", "OllyDbg", Profile::kDebugger);
+  db.addWindow("WinDbgFrameClass", "WinDbg", Profile::kDebugger);
+}
+
+}  // namespace
+
+ResourceDb buildProfileDb(SandboxProfile profile) {
+  ResourceDb db;
+  addCommonAnalysisTooling(db);
+
+  switch (profile) {
+    case SandboxProfile::kCuckooVirtualBox:
+      db.addRegistryKey("SOFTWARE\\Oracle\\VirtualBox Guest Additions",
+                        Profile::kVirtualBox);
+      db.addRegistryValue("HARDWARE\\Description\\System",
+                          "SystemBiosVersion", RegValue::sz("VBOX   - 1"),
+                          Profile::kVirtualBox);
+      for (const char* driver :
+           {"VBoxMouse.sys", "VBoxGuest.sys", "VBoxSF.sys"})
+        db.addFile(std::string("C:\\Windows\\System32\\drivers\\") + driver,
+                   Profile::kVirtualBox);
+      db.addProcess("VBoxService.exe", Profile::kVirtualBox);
+      db.addProcess("VBoxTray.exe", Profile::kVirtualBox);
+      db.addWindow("VBoxTrayToolWndClass", "VBoxTrayToolWnd",
+                   Profile::kVirtualBox);
+      db.addFile("C:\\agent.pyw", Profile::kCuckoo);
+      db.addFile("C:\\Python27\\python.exe", Profile::kCuckoo);
+      break;
+
+    case SandboxProfile::kVMwareAnalyst:
+      db.addRegistryKey("SOFTWARE\\VMware, Inc.\\VMware Tools",
+                        Profile::kVMware);
+      db.addRegistryKey("SYSTEM\\CurrentControlSet\\Services\\vmnetadapter",
+                        Profile::kVMware);
+      db.addRegistryValue(
+          "HARDWARE\\DEVICEMAP\\Scsi\\Scsi Port 0\\Scsi Bus 0\\"
+          "Target Id 0\\Logical Unit Id 0",
+          "Identifier", RegValue::sz("VMware Virtual IDE Hard Drive"),
+          Profile::kVMware);
+      for (const char* driver : {"vmmouse.sys", "vmhgfs.sys"})
+        db.addFile(std::string("C:\\Windows\\System32\\drivers\\") + driver,
+                   Profile::kVMware);
+      db.addProcess("vmtoolsd.exe", Profile::kVMware);
+      db.addProcess("VGAuthService.exe", Profile::kVMware);
+      break;
+
+    case SandboxProfile::kQemuAnubis:
+      db.addRegistryValue(
+          "HARDWARE\\DEVICEMAP\\Scsi\\Scsi Port 0\\Scsi Bus 0\\"
+          "Target Id 0\\Logical Unit Id 0",
+          "Identifier", RegValue::sz("QEMU HARDDISK"), Profile::kQemu);
+      db.addRegistryValue("HARDWARE\\Description\\System",
+                          "SystemBiosVersion", RegValue::sz("QEMU - 1"),
+                          Profile::kQemu);
+      db.addFile("C:\\anubis\\insidetm.exe", Profile::kGeneric);
+      db.addProcess("popupkiller.exe", Profile::kGeneric);
+      break;
+
+    case SandboxProfile::kBareMetalForensic:
+      // No VM artifacts at all — the deployment Kirat et al. pioneered.
+      db.addFile("C:\\tools\\fibratus\\fibratus.exe", Profile::kGeneric);
+      db.addProcess("fibratus.exe", Profile::kGeneric);
+      db.addProcess("idaq.exe", Profile::kDebugger);
+      db.addFile("C:\\Program Files\\DeepFreeze\\DF6Serv.exe",
+                 Profile::kGeneric);
+      break;
+  }
+  return db;
+}
+
+bool vendorConsistent(const ResourceDb& db) {
+  std::set<Profile> vendors;
+  auto note = [&vendors](Profile p) {
+    if (p == Profile::kVMware || p == Profile::kVirtualBox ||
+        p == Profile::kQemu || p == Profile::kBochs)
+      vendors.insert(p);
+  };
+  // Probe the vendor-identifying artifacts each profile could carry.
+  struct KeyProbe {
+    const char* path;
+    Profile vendor;
+  };
+  const KeyProbe keyProbes[] = {
+      {"SOFTWARE\\VMware, Inc.\\VMware Tools", Profile::kVMware},
+      {"SOFTWARE\\Oracle\\VirtualBox Guest Additions", Profile::kVirtualBox},
+  };
+  for (const KeyProbe& probe : keyProbes)
+    if (db.matchRegistryKey(probe.path)) note(probe.vendor);
+  struct FileProbe {
+    const char* path;
+    Profile vendor;
+  };
+  const FileProbe fileProbes[] = {
+      {"C:\\Windows\\System32\\drivers\\vmmouse.sys", Profile::kVMware},
+      {"C:\\Windows\\System32\\drivers\\VBoxMouse.sys", Profile::kVirtualBox},
+  };
+  for (const FileProbe& probe : fileProbes)
+    if (db.matchFile(probe.path)) note(probe.vendor);
+  const auto bios =
+      db.matchRegistryValue("HARDWARE\\Description\\System",
+                            "SystemBiosVersion");
+  if (bios.has_value()) {
+    if (bios->value.str.find("VBOX") != std::string::npos)
+      note(Profile::kVirtualBox);
+    if (bios->value.str.find("QEMU") != std::string::npos)
+      note(Profile::kQemu);
+    if (bios->value.str.find("BOCHS") != std::string::npos)
+      note(Profile::kBochs);
+    if (bios->value.str.find("VMware") != std::string::npos)
+      note(Profile::kVMware);
+  }
+  const auto scsi = db.matchRegistryValue(
+      "HARDWARE\\DEVICEMAP\\Scsi\\Scsi Port 0\\Scsi Bus 0\\Target Id 0\\"
+      "Logical Unit Id 0",
+      "Identifier");
+  if (scsi.has_value()) {
+    if (scsi->value.str.find("QEMU") != std::string::npos)
+      note(Profile::kQemu);
+    if (scsi->value.str.find("VMware") != std::string::npos)
+      note(Profile::kVMware);
+    if (scsi->value.str.find("VBOX") != std::string::npos)
+      note(Profile::kVirtualBox);
+  }
+  return vendors.size() <= 1;
+}
+
+}  // namespace scarecrow::core

@@ -1,0 +1,41 @@
+// Coherent deception profiles (paper Section VI-B).
+//
+// The default resource database is a kitchen sink: it bestows VMware AND
+// VirtualBox AND QEMU artifacts simultaneously, which maximizes coverage
+// but is itself fingerprintable ("no machine is two VMs at once"). The
+// paper proposes preparing multiple *coherent* profiles — each imitating
+// one concrete sandbox deployment — and activating one at a time (or
+// letting the first probe pick, the conflict-aware mode).
+//
+// Each builder below returns a database whose artifacts could all coexist
+// on one real analysis machine.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/resource_db.h"
+
+namespace scarecrow::core {
+
+enum class SandboxProfile : std::uint8_t {
+  kCuckooVirtualBox,  // Cuckoo guest on VirtualBox (the classic deployment)
+  kVMwareAnalyst,     // analyst workstation: VMware guest + debug tooling
+  kQemuAnubis,        // Anubis-style QEMU emulation sandbox
+  kBareMetalForensic, // bare-metal box running forensic tools (no VM)
+};
+
+const char* sandboxProfileName(SandboxProfile profile) noexcept;
+
+inline constexpr SandboxProfile kAllSandboxProfiles[] = {
+    SandboxProfile::kCuckooVirtualBox, SandboxProfile::kVMwareAnalyst,
+    SandboxProfile::kQemuAnubis, SandboxProfile::kBareMetalForensic};
+
+/// Builds a single-coherent-sandbox deception database.
+ResourceDb buildProfileDb(SandboxProfile profile);
+
+/// True if the database contains artifacts of at most one VM vendor —
+/// i.e. it would survive the Section VI-B cross-vendor consistency check.
+bool vendorConsistent(const ResourceDb& db);
+
+}  // namespace scarecrow::core

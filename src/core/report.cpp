@@ -1,0 +1,108 @@
+#include "core/report.h"
+
+#include "trace/analysis.h"
+
+namespace scarecrow::core {
+
+namespace {
+
+void appendTimeline(std::string& out, const trace::Trace& trace,
+                    std::size_t maxEvents) {
+  std::size_t shown = 0;
+  for (const trace::Event& e : trace.events) {
+    if (e.kind == trace::EventKind::kApiCall) continue;
+    if (shown++ == maxEvents) {
+      out += "- … (" + std::to_string(trace.events.size()) +
+             " events total)\n";
+      break;
+    }
+    out += "- t+" + std::to_string(e.timeMs) + "ms `" +
+           trace::eventKindName(e.kind) + "` " + e.target;
+    if (!e.detail.empty()) out += " — " + e.detail;
+    out += '\n';
+  }
+}
+
+}  // namespace
+
+std::string renderIncidentReport(const std::string& sampleId,
+                                 const EvalOutcome& outcome,
+                                 const ReportOptions& options) {
+  const trace::DeactivationVerdict& verdict = outcome.verdict;
+  std::string out = "# Scarecrow incident report — " + sampleId + "\n\n";
+
+  out += "**Verdict:** ";
+  out += verdict.deactivated ? "DEACTIVATED" : "NOT deactivated";
+  out += " (";
+  out += trace::deactivationReasonName(verdict.reason);
+  out += ")\n\n";
+
+  if (!verdict.firstTrigger.empty())
+    out += "**Evasive logic triggered by:** `" + verdict.firstTrigger +
+           "`\n\n";
+  if (verdict.selfSpawnsWithScarecrow > 1)
+    out += "**Self-spawn loop:** " +
+           std::to_string(verdict.selfSpawnsWithScarecrow) +
+           " respawns inside the budget" +
+           std::string(verdict.isDebuggerPresentUsed
+                           ? " (fingerprinting via IsDebuggerPresent)"
+                           : "") +
+           "\n\n";
+
+  if (!verdict.suppressedActivities.empty()) {
+    out += "## Payload prevented\n\n";
+    std::size_t shown = 0;
+    for (const std::string& activity : verdict.suppressedActivities) {
+      if (shown++ == options.maxActivities) {
+        out += "- … (" +
+               std::to_string(verdict.suppressedActivities.size()) +
+               " total)\n";
+        break;
+      }
+      out += "- " + activity + "\n";
+    }
+    out += '\n';
+  }
+  if (!verdict.leakedActivities.empty()) {
+    out += "## Activities NOT prevented\n\n";
+    for (const std::string& activity : verdict.leakedActivities)
+      out += "- " + activity + "\n";
+    out += '\n';
+  }
+
+  out += "## Timeline (supervised run)\n\n";
+  appendTimeline(out, outcome.traceWith, options.maxTimelineEvents);
+  out += "\n## Timeline (reference run, unprotected)\n\n";
+  appendTimeline(out, outcome.traceWithout, options.maxTimelineEvents);
+  return out;
+}
+
+std::string renderSupervisionReport(const Controller& controller,
+                                    const ReportOptions& options) {
+  std::string out = "# Scarecrow supervision summary\n\n";
+  out += "- injected descendants: " +
+         std::to_string(controller.injectedChildren()) + "\n";
+  out += "- self-spawn alerts: " +
+         std::to_string(controller.selfSpawnAlerts()) + "\n";
+  out += "- distinct fingerprint probes: " +
+         std::to_string(controller.reports().size()) + "\n\n";
+  if (controller.reports().empty()) {
+    out += "No fingerprinting attempts observed — the target never probed "
+           "a deceptive resource.\n";
+    return out;
+  }
+  out += "## Fingerprint attempts (first-seen order)\n\n";
+  std::size_t shown = 0;
+  for (const FingerprintReport& report : controller.reports()) {
+    if (shown++ == options.maxActivities) {
+      out += "- … (" + std::to_string(controller.reports().size()) +
+             " total)\n";
+      break;
+    }
+    out += "- `" + report.api + "` probed *" + report.resource + "* ×" +
+           std::to_string(report.count) + "\n";
+  }
+  return out;
+}
+
+}  // namespace scarecrow::core

@@ -1,0 +1,32 @@
+// Incident report rendering.
+//
+// A deployment surface for the library: turns an evaluation outcome (or a
+// live controller's view) into the Markdown summary an analyst or an EDR
+// console would show — verdict, the evasive logic that fired, what the
+// sample *would have done* (from the reference trace, when available), and
+// a short kernel-activity timeline.
+#pragma once
+
+#include <string>
+
+#include "core/controller.h"
+#include "core/eval.h"
+
+namespace scarecrow::core {
+
+struct ReportOptions {
+  std::size_t maxTimelineEvents = 12;
+  std::size_t maxActivities = 8;
+};
+
+/// Renders a full ±Scarecrow evaluation (offline analysis report).
+std::string renderIncidentReport(const std::string& sampleId,
+                                 const EvalOutcome& outcome,
+                                 const ReportOptions& options = {});
+
+/// Renders a live supervision summary from a controller's IPC view (no
+/// reference run available).
+std::string renderSupervisionReport(const Controller& controller,
+                                    const ReportOptions& options = {});
+
+}  // namespace scarecrow::core

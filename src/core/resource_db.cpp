@@ -1,0 +1,251 @@
+#include "core/resource_db.h"
+
+#include "support/strings.h"
+
+namespace scarecrow::core {
+
+using support::baseName;
+using support::normalizePath;
+using support::parentPath;
+using support::toLower;
+using winsys::RegValue;
+
+const char* profileName(Profile profile) noexcept {
+  switch (profile) {
+    case Profile::kGeneric: return "generic";
+    case Profile::kVMware: return "vmware";
+    case Profile::kVirtualBox: return "virtualbox";
+    case Profile::kQemu: return "qemu";
+    case Profile::kBochs: return "bochs";
+    case Profile::kWine: return "wine";
+    case Profile::kSandboxie: return "sandboxie";
+    case Profile::kDebugger: return "debugger";
+    case Profile::kCuckoo: return "cuckoo";
+    case Profile::kCrawled: return "crawled";
+  }
+  return "?";
+}
+
+bool vmVendorConflict(Profile a, Profile b) noexcept {
+  auto isVm = [](Profile p) {
+    return p == Profile::kVMware || p == Profile::kVirtualBox ||
+           p == Profile::kQemu || p == Profile::kBochs;
+  };
+  return a != b && isVm(a) && isVm(b);
+}
+
+void ResourceDb::addFile(std::string_view path, Profile profile) {
+  files_[toLower(normalizePath(path))] = profile;
+}
+
+void ResourceDb::addRegistryKey(std::string_view path, Profile profile) {
+  registryKeys_[toLower(path)] = profile;
+}
+
+void ResourceDb::addRegistryValue(std::string_view path,
+                                  std::string_view valueName, RegValue value,
+                                  Profile profile) {
+  registryValues_[toLower(path) + "!" + toLower(valueName)] =
+      ValueMatch{std::move(value), profile};
+  // A value implies its key exists.
+  addRegistryKey(path, profile);
+}
+
+void ResourceDb::addProcess(std::string_view imageName, Profile profile) {
+  processes_.push_back({std::string(imageName), profile});
+}
+
+void ResourceDb::addDll(std::string_view dllName, Profile profile) {
+  dlls_[toLower(dllName)] = profile;
+}
+
+void ResourceDb::addWindow(std::string_view className, std::string_view title,
+                           Profile profile) {
+  windows_.push_back({std::string(className), std::string(title), profile});
+}
+
+std::optional<Profile> ResourceDb::matchFile(std::string_view path) const {
+  auto it = files_.find(toLower(normalizePath(path)));
+  if (it == files_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<Profile> ResourceDb::matchRegistryKey(
+    std::string_view path) const {
+  const std::string key = toLower(path);
+  auto it = registryKeys_.find(key);
+  if (it != registryKeys_.end()) return it->second;
+  // Descendant of a stored key.
+  for (std::string prefix = key;;) {
+    const auto pos = prefix.find_last_of('\\');
+    if (pos == std::string::npos) break;
+    prefix.resize(pos);
+    auto ancestor = registryKeys_.find(prefix);
+    if (ancestor != registryKeys_.end()) return ancestor->second;
+  }
+  // Ancestor of a stored key: any stored key starting with "key\\".
+  const std::string prefix = key + '\\';
+  auto lower = registryKeys_.lower_bound(prefix);
+  if (lower != registryKeys_.end() &&
+      lower->first.compare(0, prefix.size(), prefix) == 0)
+    return lower->second;
+  return std::nullopt;
+}
+
+std::optional<ResourceDb::ValueMatch> ResourceDb::matchRegistryValue(
+    std::string_view path, std::string_view valueName) const {
+  auto it =
+      registryValues_.find(toLower(path) + "!" + toLower(valueName));
+  if (it == registryValues_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<Profile> ResourceDb::matchProcess(
+    std::string_view imageName) const {
+  for (const FakeProcess& p : processes_)
+    if (support::iequals(p.imageName, imageName)) return p.profile;
+  return std::nullopt;
+}
+
+std::optional<Profile> ResourceDb::matchDll(std::string_view dllName) const {
+  auto it = dlls_.find(toLower(dllName));
+  if (it == dlls_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<Profile> ResourceDb::matchWindow(std::string_view className,
+                                               std::string_view title) const {
+  for (const FakeWindow& w : windows_) {
+    const bool classOk = !className.empty() &&
+                         support::iequals(w.className, className);
+    const bool titleOk = !title.empty() && support::iequals(w.title, title);
+    if (classOk || titleOk) return w.profile;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> ResourceDb::fakeFilesIn(
+    std::string_view directory, std::string_view pattern) const {
+  std::vector<std::string> out;
+  const std::string dirKey = toLower(normalizePath(directory));
+  const std::string prefix = dirKey + '\\';
+  for (auto it = files_.lower_bound(prefix);
+       it != files_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it) {
+    if (it->first.find('\\', prefix.size()) != std::string::npos) continue;
+    const std::string name = baseName(it->first);
+    if (support::wildcardMatch(pattern, name)) out.push_back(name);
+  }
+  return out;
+}
+
+std::vector<winapi::ProcessEntry> ResourceDb::fakeProcessEntries() const {
+  std::vector<winapi::ProcessEntry> out;
+  std::uint32_t pid = 0x9000;
+  for (const FakeProcess& p : processes_) {
+    out.push_back({pid, 4, p.imageName});
+    pid += 4;
+  }
+  return out;
+}
+
+ResourceDb buildDefaultResourceDb() {
+  ResourceDb db;
+
+  // ---- VMware profile ----------------------------------------------------
+  db.addRegistryKey("SOFTWARE\\VMware, Inc.\\VMware Tools", Profile::kVMware);
+  db.addFile("C:\\Windows\\System32\\drivers\\vmmouse.sys", Profile::kVMware);
+  db.addFile("C:\\Windows\\System32\\drivers\\vmhgfs.sys", Profile::kVMware);
+  // "VMware device": the vmnet adapter service key a host or guest install
+  // leaves behind (the artifact triggered on the paper's end-user machine).
+  db.addRegistryKey("SYSTEM\\CurrentControlSet\\Services\\vmnetadapter",
+                    Profile::kVMware);
+
+  // ---- VirtualBox profile --------------------------------------------------
+  db.addRegistryKey("SOFTWARE\\Oracle\\VirtualBox Guest Additions",
+                    Profile::kVirtualBox);
+  db.addRegistryValue("HARDWARE\\Description\\System", "SystemBiosVersion",
+                      RegValue::sz("VBOX   - 1 BOCHS - 1"),
+                      Profile::kVirtualBox);
+  db.addRegistryValue("HARDWARE\\Description\\System", "VideoBiosVersion",
+                      RegValue::sz("Oracle VM VirtualBox Version 5.2.8"),
+                      Profile::kVirtualBox);
+  db.addRegistryKey(
+      "SYSTEM\\CurrentControlSet\\Enum\\IDE\\"
+      "DiskVBOX_HARDDISK___________________________1.0_____",
+      Profile::kVirtualBox);
+  for (const char* driver :
+       {"VBoxMouse.sys", "VBoxGuest.sys", "VBoxSF.sys", "VBoxVideo.sys"})
+    db.addFile(std::string("C:\\Windows\\System32\\drivers\\") + driver,
+               Profile::kVirtualBox);
+  for (const char* file : {"vboxdisp.dll", "vboxhook.dll", "VBoxTray.exe"})
+    db.addFile(std::string("C:\\Windows\\System32\\") + file,
+               Profile::kVirtualBox);
+  db.addProcess("VBoxService.exe", Profile::kVirtualBox);
+  db.addProcess("VBoxTray.exe", Profile::kVirtualBox);
+  db.addWindow("VBoxTrayToolWndClass", "VBoxTrayToolWnd",
+               Profile::kVirtualBox);
+  db.addDll("VBoxMRXNP.dll", Profile::kVirtualBox);
+
+  // ---- QEMU / Bochs ---------------------------------------------------------
+  db.addRegistryValue(
+      "HARDWARE\\DEVICEMAP\\Scsi\\Scsi Port 0\\Scsi Bus 0\\Target Id 0\\"
+      "Logical Unit Id 0",
+      "Identifier", RegValue::sz("QEMU HARDDISK"), Profile::kQemu);
+  // Bochs rides on the combined SystemBiosVersion string above; keep an
+  // explicit marker key so the profile can be disabled independently.
+  db.addRegistryKey("HARDWARE\\Description\\System\\BochsMarker",
+                    Profile::kBochs);
+
+  // ---- Wine ------------------------------------------------------------------
+  db.addRegistryKey("HKCU\\Software\\Wine", Profile::kWine);
+  db.addDll("winespool.drv", Profile::kWine);
+
+  // ---- Sandboxie / sandbox DLLs (15) ------------------------------------------
+  // 13 sandbox/analysis DLLs here + VBoxMRXNP.dll + winespool.drv = the 15
+  // unique DLLs of Section II-B(c).
+  for (const char* dll :
+       {"SbieDll.dll", "api_log.dll", "dir_watch.dll", "pstorec.dll",
+        "vmcheck.dll", "wpespy.dll", "cmdvrt32.dll", "cmdvrt64.dll",
+        "sxin.dll", "dbghook.dll", "snxhk.dll", "cuckoomon.dll",
+        "avghookx.dll"})
+    db.addDll(dll, Profile::kSandboxie);
+
+  // ---- Analysis-tool processes (24 total, Section II-B(b)): 20 debugger /
+  // forensic tools + 2 VirtualBox (above) + 2 VMware daemons ----------------
+  for (const char* proc :
+       {"olydbg.exe",      "ollydbg.exe",   "idap.exe",       "idaq.exe",
+        "PETools.exe",     "windbg.exe",    "x64dbg.exe",     "ImmunityDebugger.exe",
+        "wireshark.exe",   "dumpcap.exe",   "procmon.exe",    "procexp.exe",
+        "procexp64.exe",   "processhacker.exe", "autoruns.exe", "autorunsc.exe",
+        "filemon.exe",     "regmon.exe",    "fiddler.exe",    "tcpview.exe"})
+    db.addProcess(proc, Profile::kDebugger);
+  db.addProcess("VGAuthService.exe", Profile::kVMware);
+  db.addProcess("vmacthlp.exe", Profile::kVMware);
+
+  // ---- Debugger GUI windows (6) + sandbox windows (4) --------------------------
+  db.addWindow("OLLYDBG", "OllyDbg", Profile::kDebugger);
+  db.addWindow("WinDbgFrameClass", "WinDbg", Profile::kDebugger);
+  db.addWindow("ID", "Immunity Debugger", Profile::kDebugger);
+  db.addWindow("Zeta Debugger", "Zeta Debugger", Profile::kDebugger);
+  db.addWindow("Rock Debugger", "Rock Debugger", Profile::kDebugger);
+  db.addWindow("ObsidianGUI", "Obsidian", Profile::kDebugger);
+  // ...and 4 sandbox-related windows.
+  db.addWindow("SandboxieControlWndClass", "Sandboxie Control",
+               Profile::kSandboxie);
+  db.addWindow("Afx:400000:0", "Cuckoo Analyzer", Profile::kCuckoo);
+  db.addWindow("ProcessMonitorClass", "Process Monitor", Profile::kGeneric);
+  db.addWindow("RegmonClass", "Registry Monitor", Profile::kGeneric);
+
+  // ---- Analysis-tool files / sandbox folders ------------------------------------
+  for (const char* path :
+       {"C:\\analysis", "C:\\sandbox", "C:\\iDEFENSE", "C:\\cuckoo",
+        "C:\\tools\\ollydbg\\ollydbg.exe", "C:\\tools\\ida\\idaq.exe",
+        "C:\\Windows\\System32\\drivers\\sbiedrv.sys",
+        "C:\\Program Files\\Fiddler\\fiddler.exe"})
+    db.addFile(path, Profile::kGeneric);
+
+  return db;
+}
+
+}  // namespace scarecrow::core

@@ -1,0 +1,144 @@
+// Deceptive resource database (paper Section II-B / II-C).
+//
+// Every entry is tagged with the deception profile it belongs to so the
+// engine can (a) attribute fingerprint alerts, and (b) run the Section VI-B
+// conflict-aware mode where probing one VM vendor's artifacts disables the
+// others. The curated defaults follow the paper's inventory: deceptive
+// files for VMware/VirtualBox/sandbox tooling, 24 analysis processes, 15
+// analysis DLLs, 6 debugger + 4 sandbox GUI windows, VM registry keys and
+// fake configuration values; the crawler (collector.h) adds the resources
+// harvested from public sandboxes on top.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "winapi/api_types.h"
+#include "winsys/registry.h"
+
+namespace scarecrow::core {
+
+enum class Profile : std::uint8_t {
+  kGeneric,     // sandbox-generic artifacts (folders, identity, tick)
+  kVMware,
+  kVirtualBox,
+  kQemu,
+  kBochs,
+  kWine,
+  kSandboxie,
+  kDebugger,
+  kCuckoo,
+  kCrawled,     // resources harvested from public sandboxes (Section II-C)
+};
+
+const char* profileName(Profile profile) noexcept;
+
+/// True if the two profiles identify *different* VM vendors — the conflict
+/// the paper's Section VI-B detection strategy exploits.
+bool vmVendorConflict(Profile a, Profile b) noexcept;
+
+struct FakeProcess {
+  std::string imageName;
+  Profile profile = Profile::kDebugger;
+};
+
+struct FakeWindow {
+  std::string className;
+  std::string title;
+  Profile profile = Profile::kDebugger;
+};
+
+class ResourceDb {
+ public:
+  // ---- population --------------------------------------------------------
+  void addFile(std::string_view path, Profile profile);
+  void addRegistryKey(std::string_view path, Profile profile);
+  void addRegistryValue(std::string_view path, std::string_view valueName,
+                        winsys::RegValue value, Profile profile);
+  void addProcess(std::string_view imageName, Profile profile);
+  void addDll(std::string_view dllName, Profile profile);
+  void addWindow(std::string_view className, std::string_view title,
+                 Profile profile);
+
+  // ---- matching (lookups return the owning profile) ----------------------
+  std::optional<Profile> matchFile(std::string_view path) const;
+  /// Matches a key, any ancestor of a stored key, or any descendant of one
+  /// (opening SOFTWARE\VMware, Inc. must succeed if ...\VMware Tools does).
+  std::optional<Profile> matchRegistryKey(std::string_view path) const;
+  struct ValueMatch {
+    winsys::RegValue value;
+    Profile profile;
+  };
+  std::optional<ValueMatch> matchRegistryValue(
+      std::string_view path, std::string_view valueName) const;
+  std::optional<Profile> matchProcess(std::string_view imageName) const;
+  std::optional<Profile> matchDll(std::string_view dllName) const;
+  std::optional<Profile> matchWindow(std::string_view className,
+                                     std::string_view title) const;
+
+  /// Fake files whose parent directory matches `directory` (FindFirstFile
+  /// merging), as base names.
+  std::vector<std::string> fakeFilesIn(std::string_view directory,
+                                       std::string_view pattern) const;
+
+  // ---- iteration (consistency audits, exports) ----------------------------
+  template <typename Fn>
+  void forEachFile(Fn&& fn) const {
+    for (const auto& [path, profile] : files_) fn(path, profile);
+  }
+  template <typename Fn>
+  void forEachRegistryKey(Fn&& fn) const {
+    for (const auto& [path, profile] : registryKeys_) fn(path, profile);
+  }
+  template <typename Fn>
+  void forEachRegistryValue(Fn&& fn) const {
+    for (const auto& [key, match] : registryValues_) {
+      const auto bang = key.find('!');
+      fn(key.substr(0, bang), key.substr(bang + 1), match);
+    }
+  }
+  template <typename Fn>
+  void forEachDll(Fn&& fn) const {
+    for (const auto& [name, profile] : dlls_) fn(name, profile);
+  }
+  const std::vector<FakeWindow>& fakeWindows() const noexcept {
+    return windows_;
+  }
+
+  /// The fake analysis processes merged into Toolhelp snapshots. Pids are
+  /// assigned deterministically from 0x9000 upward.
+  std::vector<winapi::ProcessEntry> fakeProcessEntries() const;
+  const std::vector<FakeProcess>& fakeProcesses() const noexcept {
+    return processes_;
+  }
+
+  // ---- statistics ---------------------------------------------------------
+  std::size_t fileCount() const noexcept { return files_.size(); }
+  std::size_t registryKeyCount() const noexcept { return registryKeys_.size(); }
+  std::size_t processCount() const noexcept { return processes_.size(); }
+  std::size_t dllCount() const noexcept { return dlls_.size(); }
+  std::size_t windowCount() const noexcept { return windows_.size(); }
+  std::size_t crawledCount() const noexcept { return crawled_; }
+
+ private:
+  std::map<std::string, Profile> files_;         // lower-case normalized
+  std::map<std::string, Profile> registryKeys_;  // lower-case
+  std::map<std::string, ValueMatch> registryValues_;  // "key!value" lower
+  std::vector<FakeProcess> processes_;
+  std::map<std::string, Profile> dlls_;
+  std::vector<FakeWindow> windows_;
+  std::size_t crawled_ = 0;
+
+  friend class SandboxResourceCollector;
+};
+
+/// The curated deception database the paper ships: Section II-B's manual
+/// inventory, before any crawled resources are merged.
+ResourceDb buildDefaultResourceDb();
+
+}  // namespace scarecrow::core

@@ -1,0 +1,43 @@
+#include "core/vaccine.h"
+
+namespace scarecrow::core {
+
+using winsys::RegValue;
+
+std::string familyInfectionMarker(const std::string& familyName) {
+  return "Global\\" + familyName + "_infect_v2";
+}
+
+VaccineDb buildVaccineForFamilies(const std::vector<std::string>& families) {
+  VaccineDb vaccine;
+  vaccine.markers.reserve(families.size());
+  for (const std::string& family : families)
+    vaccine.markers.push_back(familyInfectionMarker(family));
+  return vaccine;
+}
+
+void vaccinate(winsys::Machine& machine, const VaccineDb& vaccine) {
+  for (const std::string& marker : vaccine.markers)
+    machine.mutexes().create(marker);
+}
+
+ResourceDb buildChenImitatorDb() {
+  ResourceDb db;
+  // Anti-virtualization artifacts only (VMware + VirtualBox), as in the
+  // 2008-era imitation approach: no sandbox tooling, folders, windows,
+  // identity or hardware deception.
+  db.addRegistryKey("SOFTWARE\\VMware, Inc.\\VMware Tools", Profile::kVMware);
+  db.addFile("C:\\Windows\\System32\\drivers\\vmmouse.sys",
+             Profile::kVMware);
+  db.addFile("C:\\Windows\\System32\\drivers\\vmhgfs.sys", Profile::kVMware);
+  db.addRegistryKey("SOFTWARE\\Oracle\\VirtualBox Guest Additions",
+                    Profile::kVirtualBox);
+  db.addRegistryValue("HARDWARE\\Description\\System", "SystemBiosVersion",
+                      RegValue::sz("VBOX   - 1"), Profile::kVirtualBox);
+  for (const char* driver : {"VBoxMouse.sys", "VBoxGuest.sys"})
+    db.addFile(std::string("C:\\Windows\\System32\\drivers\\") + driver,
+               Profile::kVirtualBox);
+  return db;
+}
+
+}  // namespace scarecrow::core

@@ -1,0 +1,45 @@
+// Baseline defenses from the paper's related work (Section VII), for
+// head-to-head comparison with Scarecrow.
+//
+// 1. Infection-marker vaccination (Wichmann & Gerhards-Padilla [33]; Xu et
+//    al., AutoVac [34]): plant the family-specific markers (named mutexes)
+//    a malware family uses to detect an existing infection, so new samples
+//    of that family stand down. Strictly *malware-specific*: a marker helps
+//    only against the family it was extracted from — the limitation the
+//    paper calls out ("if the malware fingerprints analysis environment,
+//    it cannot generate resources").
+// 2. Chen et al. [18]-style imitation: expose only anti-virtualization and
+//    anti-debugging artifacts (no sandbox tooling, no hardware/network/
+//    identity deception) — the "limited scope" predecessor Section VII
+//    contrasts Scarecrow against.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/resource_db.h"
+#include "winsys/machine.h"
+
+namespace scarecrow::core {
+
+struct VaccineDb {
+  /// Known infection markers (mutex names), typically extracted from
+  /// analyzed samples of specific families.
+  std::vector<std::string> markers;
+};
+
+/// The corpus convention for family markers ("Global\<family>_infect_v2").
+std::string familyInfectionMarker(const std::string& familyName);
+
+/// Builds a vaccine covering the given families.
+VaccineDb buildVaccineForFamilies(const std::vector<std::string>& families);
+
+/// Plants every marker on the machine (the vaccination deployment step).
+void vaccinate(winsys::Machine& machine, const VaccineDb& vaccine);
+
+/// Chen et al.-style deception database: VM artifacts of the two big
+/// vendors plus nothing else (debugger deception comes from the engine's
+/// debugger category; disable hardware/network/wear-tear in the Config).
+ResourceDb buildChenImitatorDb();
+
+}  // namespace scarecrow::core

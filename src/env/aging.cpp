@@ -1,0 +1,229 @@
+#include "env/aging.h"
+
+#include <string>
+
+#include "winsys/registry.h"
+
+namespace scarecrow::env {
+
+using support::Rng;
+using winsys::Machine;
+using winsys::RegValue;
+
+namespace {
+
+/// Scales a monthly accumulation rate into a concrete count with ±25%
+/// dispersion. Returns at least `floor`.
+std::uint64_t scale(double perMonth, const AgeProfile& p, Rng& rng,
+                    std::uint64_t floor = 0) {
+  const double mean = perMonth * p.months * p.intensity;
+  const double jitter = 0.75 + 0.5 * rng.uniform();
+  const auto v = static_cast<std::uint64_t>(mean * jitter);
+  return v > floor ? v : floor;
+}
+
+const char* kProgramNames[] = {
+    "7-Zip",      "Chrome",     "Firefox",    "VLC",        "Notepad++",
+    "Dropbox",    "Spotify",    "Slack",      "Zoom",       "WinRAR",
+    "Python",     "Git",        "NodeJS",     "TeamViewer", "Skype",
+    "iTunes",     "Steam",      "Audacity",   "GIMP",       "Office",
+    "Acrobat",    "Java",       "PuTTY",      "FileZilla",  "Thunderbird",
+};
+
+const char* kEventSources[] = {
+    "Service Control Manager", "Kernel-General",  "Kernel-Power",
+    "EventLog",                "Winlogon",        "Application Error",
+    "Windows Update Agent",    "DNS Client",      "Time-Service",
+    "Dhcp",                    "Disk",            "Ntfs",
+};
+
+const char* kDomains[] = {
+    "www.google.com",     "mail.google.com",   "www.youtube.com",
+    "www.facebook.com",   "outlook.office.com", "github.com",
+    "stackoverflow.com",  "www.amazon.com",    "news.ycombinator.com",
+    "www.reddit.com",     "slack.com",         "weather.com",
+};
+
+}  // namespace
+
+void applyAging(Machine& machine, const AgeProfile& profile, Rng& rng) {
+  winsys::Registry& reg = machine.registry();
+  winsys::Vfs& fs = machine.vfs();
+  const std::string user = machine.sysinfo().userName;
+  const std::string userRoot = "C:\\Users\\" + user;
+
+  // ---- registry artifacts (Table III's largest category) -----------------
+  // Hive bulk grows with every installation/update (~6 MB per active month).
+  reg.addOpaqueBytes(scale(6.0 * (1 << 20), profile, rng));
+  const std::uint64_t installed = scale(1.5, profile, rng, 2);
+  auto& uninstall =
+      reg.ensureKey("SOFTWARE\\Microsoft\\Windows\\CurrentVersion\\Uninstall");
+  auto& appPaths =
+      reg.ensureKey("SOFTWARE\\Microsoft\\Windows\\CurrentVersion\\App Paths");
+  for (std::uint64_t i = 0; i < installed; ++i) {
+    const std::string name =
+        kProgramNames[i % std::size(kProgramNames)] +
+        (i >= std::size(kProgramNames) ? "-" + std::to_string(i) : "");
+    uninstall.ensureChild(name).setValue("DisplayName", RegValue::sz(name));
+    appPaths.ensureChild(name + ".exe")
+        .setValue("", RegValue::sz("C:\\Program Files\\" + name));
+    fs.makeDirs("C:\\Program Files\\" + name);
+    fs.createFile("C:\\Program Files\\" + name + "\\" + name + ".exe",
+                  (5 + rng.below(40)) << 20);
+  }
+
+  auto& sharedDlls =
+      reg.ensureKey("SOFTWARE\\Microsoft\\Windows\\CurrentVersion\\SharedDlls");
+  const std::uint64_t dlls = scale(12, profile, rng, 8);
+  for (std::uint64_t i = 0; i < dlls; ++i)
+    sharedDlls.setValue(
+        "C:\\Windows\\System32\\shared_" + std::to_string(i) + ".dll",
+        RegValue::dword(static_cast<std::uint32_t>(1 + rng.below(5))));
+
+  auto& activeSetup =
+      reg.ensureKey("SOFTWARE\\Microsoft\\Active Setup\\Installed Components");
+  const std::uint64_t setup = scale(2.5, profile, rng, 4);
+  for (std::uint64_t i = 0; i < setup; ++i)
+    activeSetup.ensureChild("{AC" + std::to_string(1000 + i) + "-GUID}");
+
+  auto& userAssist = reg.ensureKey(
+      "HKCU\\Software\\Microsoft\\Windows\\CurrentVersion\\Explorer\\"
+      "UserAssist\\{CEBFF5CD-ACE2-4F4F-9178-9926F41749EA}\\Count");
+  const std::uint64_t assists = scale(20, profile, rng);
+  for (std::uint64_t i = 0; i < assists; ++i)
+    userAssist.setValue("prog" + std::to_string(i),
+                        RegValue::dword(static_cast<std::uint32_t>(
+                            1 + rng.below(200))));
+
+  auto& shim = reg.ensureKey(
+      "SYSTEM\\CurrentControlSet\\Control\\Session Manager\\AppCompatCache");
+  shim.setValue("AppCompatCache",
+                RegValue::binary(static_cast<std::uint32_t>(
+                    scale(3000, profile, rng, 1024))));
+  shim.setValue("CacheEntryCount",
+                RegValue::dword(static_cast<std::uint32_t>(
+                    scale(35, profile, rng, 16))));
+
+  auto& mui = reg.ensureKey(
+      "HKCU\\Software\\Classes\\Local Settings\\Software\\Microsoft\\"
+      "Windows\\Shell\\MuiCache");
+  const std::uint64_t muiEntries = scale(15, profile, rng, 4);
+  for (std::uint64_t i = 0; i < muiEntries; ++i)
+    mui.setValue("app" + std::to_string(i) + ".exe.FriendlyAppName",
+                 RegValue::sz("Application " + std::to_string(i)));
+
+  auto& fwRules = reg.ensureKey(
+      "SYSTEM\\ControlSet001\\Services\\SharedAccess\\Parameters\\"
+      "FirewallPolicy\\FirewallRules");
+  const std::uint64_t rules = scale(8, profile, rng, 30);
+  for (std::uint64_t i = 0; i < rules; ++i)
+    fwRules.setValue("{FW-" + std::to_string(i) + "}",
+                     RegValue::sz("v2.10|Action=Allow|"));
+
+  auto& usbstor =
+      reg.ensureKey("SYSTEM\\CurrentControlSet\\Services\\UsbStor");
+  const std::uint64_t usb = scale(0.8, profile, rng);
+  for (std::uint64_t i = 0; i < usb; ++i)
+    usbstor.ensureChild("Disk&Ven_Kingston&Prod_" + std::to_string(i));
+
+  auto& devCls =
+      reg.ensureKey("SYSTEM\\CurrentControlSet\\Control\\DeviceClasses");
+  const std::uint64_t devices = scale(6, profile, rng, 10);
+  for (std::uint64_t i = 0; i < devices; ++i)
+    devCls.ensureChild("{dev-class-" + std::to_string(i) + "}");
+
+  auto& run = reg.ensureKey("SOFTWARE\\Microsoft\\Windows\\CurrentVersion\\Run");
+  const std::uint64_t autoruns = scale(0.7, profile, rng, 1);
+  for (std::uint64_t i = 0; i < autoruns && i < installed; ++i) {
+    const std::string name = kProgramNames[i % std::size(kProgramNames)];
+    run.setValue(name,
+                 RegValue::sz("C:\\Program Files\\" + name + "\\" + name +
+                              ".exe /background"));
+  }
+
+  // ---- event log -----------------------------------------------------------
+  winsys::EventLog& log = machine.eventlog();
+  const std::uint64_t events = scale(4000, profile, rng, 50);
+  for (std::uint64_t i = 0; i < events; ++i)
+    log.append(kEventSources[rng.below(std::size(kEventSources))],
+               static_cast<std::uint32_t>(7000 + rng.below(40)), i * 977);
+
+  // ---- filesystem artifacts -------------------------------------------------
+  const std::uint64_t prefetch = scale(10, profile, rng, 3);
+  for (std::uint64_t i = 0; i < prefetch && i < 128; ++i)
+    fs.createFile("C:\\Windows\\Prefetch\\APP" + std::to_string(i) +
+                      "-1A2B3C4D.pf",
+                  40 << 10);
+  const std::uint64_t temp = scale(40, profile, rng);
+  for (std::uint64_t i = 0; i < temp && i < 512; ++i)
+    fs.createFile(userRoot + "\\AppData\\Local\\Temp\\tmp" +
+                      rng.hexString(6) + ".tmp",
+                  rng.below(1 << 20));
+  const std::uint64_t docs = scale(12, profile, rng);
+  for (std::uint64_t i = 0; i < docs && i < 256; ++i)
+    fs.createFile(userRoot + "\\Documents\\doc_" + std::to_string(i) +
+                      ".docx",
+                  rng.below(4 << 20));
+  const std::uint64_t downloads = scale(8, profile, rng);
+  for (std::uint64_t i = 0; i < downloads && i < 256; ++i)
+    fs.createFile(userRoot + "\\Downloads\\dl_" + std::to_string(i) + ".bin",
+                  rng.below(32 << 20));
+  const std::uint64_t desktop = scale(1.5, profile, rng);
+  for (std::uint64_t i = 0; i < desktop && i < 48; ++i)
+    fs.createFile(userRoot + "\\Desktop\\shortcut_" + std::to_string(i) +
+                      ".lnk",
+                  2 << 10);
+  fs.makeDirs(userRoot + "\\AppData\\Local\\Microsoft\\Windows\\Explorer");
+  fs.createFile(
+      userRoot + "\\AppData\\Local\\Microsoft\\Windows\\Explorer\\"
+                 "thumbcache_256.db",
+      scale(2, profile, rng) << 20);
+
+  // ---- browser artifacts -----------------------------------------------------
+  const std::string chrome =
+      userRoot + "\\AppData\\Local\\Google\\Chrome\\User Data\\Default";
+  fs.makeDirs(chrome);
+  fs.createFile(chrome + "\\History", scale(3, profile, rng, 1) << 20);
+  fs.createFile(chrome + "\\Cookies", scale(1, profile, rng, 1) << 20);
+  fs.createFile(chrome + "\\Bookmarks", scale(4, profile, rng, 1) << 10);
+  fs.createFile(chrome + "\\Favicons", scale(1, profile, rng, 1) << 20);
+  const std::uint64_t extensions = scale(0.6, profile, rng);
+  for (std::uint64_t i = 0; i < extensions && i < 24; ++i)
+    fs.makeDirs(chrome + "\\Extensions\\ext" + std::to_string(i));
+  auto& typedUrls =
+      reg.ensureKey("HKCU\\Software\\Microsoft\\Internet Explorer\\TypedURLs");
+  const std::uint64_t typed = scale(5, profile, rng);
+  for (std::uint64_t i = 0; i < typed && i < 50; ++i)
+    typedUrls.setValue("url" + std::to_string(i + 1),
+                       RegValue::sz(std::string("http://") +
+                                    kDomains[rng.below(std::size(kDomains))]));
+
+  // ---- network artifacts -------------------------------------------------------
+  winsys::Network& net = machine.network();
+  const std::uint64_t cached = scale(25, profile, rng, 1);
+  for (std::uint64_t i = 0; i < cached && i < 400; ++i) {
+    const char* domain = kDomains[rng.below(std::size(kDomains))];
+    net.seedCacheEntry(domain,
+                       std::to_string(10 + rng.below(200)) + "." +
+                           std::to_string(rng.below(255)) + ".1.1",
+                       i * 997);
+  }
+  auto& wifi = reg.ensureKey(
+      "SOFTWARE\\Microsoft\\Windows NT\\CurrentVersion\\NetworkList\\"
+      "Profiles");
+  const std::uint64_t profiles = scale(0.5, profile, rng);
+  for (std::uint64_t i = 0; i < profiles && i < 16; ++i)
+    wifi.ensureChild("{net-profile-" + std::to_string(i) + "}");
+  auto& arp = reg.ensureKey("SOFTWARE\\Scarecrow\\Sim\\ArpCache");
+  const std::uint64_t arpEntries = scale(3, profile, rng, 1);
+  for (std::uint64_t i = 0; i < arpEntries && i < 64; ++i)
+    arp.setValue("192.168.1." + std::to_string(2 + i),
+                 RegValue::sz("aa:bb:cc:dd:ee:" + std::to_string(10 + i)));
+  auto& shares = reg.ensureKey(
+      "SYSTEM\\CurrentControlSet\\Services\\LanmanServer\\Shares");
+  const std::uint64_t shareCount = scale(0.3, profile, rng);
+  for (std::uint64_t i = 0; i < shareCount && i < 8; ++i)
+    shares.setValue("Share" + std::to_string(i), RegValue::sz("path=C:\\"));
+}
+
+}  // namespace scarecrow::env

@@ -1,0 +1,35 @@
+// Wear-and-tear aging simulator (Miramirkhani et al., IEEE S&P 2017).
+//
+// Real end-user systems accumulate usage artifacts — installed programs,
+// shared DLL refcounts, shim-cache entries, DNS cache, event-log volume —
+// that pristine analysis images lack. The paper's Section IV-C2 defends
+// against classifiers built on 44 such artifacts; this simulator *produces*
+// the artifacts so that (a) the end-user machine measures as aged, (b) the
+// sandboxes measure as pristine, and (c) Scarecrow's deceptive values
+// (Table III) can be validated against realistic baselines.
+//
+// AgeProfile.months scales every artifact through plausible accumulation
+// rates; a seeded Rng adds dispersion so the decision-tree training set
+// (fingerprint/weartear.h) is not degenerate.
+#pragma once
+
+#include <cstdint>
+
+#include "support/rng.h"
+#include "winsys/machine.h"
+
+namespace scarecrow::env {
+
+struct AgeProfile {
+  /// Months of active use; 0 == freshly installed image.
+  double months = 12.0;
+  /// Relative usage intensity (office desktop ~1.0, power user ~2.0).
+  double intensity = 1.0;
+};
+
+/// Applies usage artifacts to a machine in place. Idempotent only in the
+/// sense of "more aging adds more artifacts"; call once per machine.
+void applyAging(winsys::Machine& machine, const AgeProfile& profile,
+                support::Rng& rng);
+
+}  // namespace scarecrow::env

@@ -1,0 +1,120 @@
+#include "env/base_image.h"
+
+namespace scarecrow::env {
+
+using winsys::Machine;
+using winsys::RegValue;
+
+void installBaseImage(Machine& machine, const BaseImageOptions& options) {
+  // ----- hardware & identity ---------------------------------------------
+  winsys::SysInfo& si = machine.sysinfo();
+  si.totalPhysicalMemory = options.ramBytes;
+  si.processorCount = options.cpuCores;
+  si.computerName = options.computerName;
+  si.userName = options.userName;
+  si.bootOffsetMs = options.uptimeMs;
+
+  winsys::DriveInfo c;
+  c.letter = 'C';
+  c.totalBytes = options.diskTotalBytes;
+  c.freeBytes = options.diskFreeBytes;
+  c.serialNumber = 0x1A2B3C4D;
+  machine.vfs().addDrive(c);
+
+  // ----- filesystem skeleton ---------------------------------------------
+  winsys::Vfs& fs = machine.vfs();
+  fs.makeDirs("C:\\Windows\\System32\\drivers");
+  fs.makeDirs("C:\\Windows\\Prefetch");
+  fs.makeDirs("C:\\Windows\\Temp");
+  fs.makeDirs("C:\\Program Files");
+  fs.makeDirs("C:\\Program Files (x86)");
+  fs.makeDirs("C:\\ProgramData");
+  const std::string userRoot = "C:\\Users\\" + options.userName;
+  fs.makeDirs(userRoot + "\\Desktop");
+  fs.makeDirs(userRoot + "\\Documents");
+  fs.makeDirs(userRoot + "\\Downloads");
+  fs.makeDirs(userRoot + "\\AppData\\Local\\Temp");
+  fs.makeDirs(userRoot + "\\AppData\\Roaming");
+
+  // Core system binaries (LoadLibrary search path).
+  for (const char* dll :
+       {"ntdll.dll", "kernel32.dll", "user32.dll", "advapi32.dll",
+        "shell32.dll", "ws2_32.dll", "wininet.dll", "dnsapi.dll",
+        "dbghelp.dll", "psapi.dll"})
+    fs.createFile(std::string("C:\\Windows\\System32\\") + dll, 512 << 10);
+  fs.createFile("C:\\Windows\\explorer.exe", 2 << 20);
+  fs.createFile("C:\\Windows\\System32\\svchost.exe", 30 << 10);
+  fs.createFile("C:\\Windows\\System32\\cmd.exe", 300 << 10);
+
+  // ----- registry skeleton -----------------------------------------------
+  winsys::Registry& reg = machine.registry();
+  // A stock Windows 7 install ships ~35 MB of hive bins beyond the handful
+  // of keys modeled explicitly here.
+  reg.setOpaqueBytes(35ULL << 20);
+  reg.setValue("SOFTWARE\\Microsoft\\Windows NT\\CurrentVersion",
+               "ProductName", RegValue::sz("Windows 7 Professional"));
+  reg.setValue("SOFTWARE\\Microsoft\\Windows NT\\CurrentVersion",
+               "CurrentVersion", RegValue::sz("6.1"));
+  reg.setValue("SOFTWARE\\Microsoft\\Windows NT\\CurrentVersion",
+               "CurrentBuildNumber", RegValue::sz("7601"));
+  reg.setValue("HARDWARE\\Description\\System", "SystemBiosVersion",
+               RegValue::sz(si.biosVersion));
+  reg.setValue("HARDWARE\\Description\\System", "VideoBiosVersion",
+               RegValue::sz(si.videoBiosVersion));
+  reg.setValue("HARDWARE\\Description\\System", "SystemBiosDate",
+               RegValue::sz("03/14/14"));
+  reg.setValue("HARDWARE\\DESCRIPTION\\System\\BIOS", "SystemManufacturer",
+               RegValue::sz(si.systemManufacturer));
+  reg.setValue("HARDWARE\\DESCRIPTION\\System\\BIOS", "SystemProductName",
+               RegValue::sz(si.systemProductName));
+  reg.setValue(
+      "HARDWARE\\DEVICEMAP\\Scsi\\Scsi Port 0\\Scsi Bus 0\\Target Id 0\\"
+      "Logical Unit Id 0",
+      "Identifier", RegValue::sz("ST500DM002-1BD142"));
+  reg.ensureKey("SYSTEM\\CurrentControlSet\\Enum\\IDE")
+      .ensureChild("DiskST500DM002-1BD142_____________________KC45");
+  reg.ensureKey("SOFTWARE\\Microsoft\\Windows\\CurrentVersion\\Run");
+  reg.ensureKey("SOFTWARE\\Microsoft\\Windows\\CurrentVersion\\Uninstall");
+  reg.ensureKey("SOFTWARE\\Microsoft\\Windows\\CurrentVersion\\SharedDlls");
+  reg.ensureKey("SOFTWARE\\Microsoft\\Windows\\CurrentVersion\\App Paths");
+  reg.ensureKey("SOFTWARE\\Microsoft\\Active Setup\\Installed Components");
+  reg.ensureKey("SYSTEM\\CurrentControlSet\\Control\\DeviceClasses");
+
+  // ----- system processes -------------------------------------------------
+  winsys::ProcessTable& procs = machine.processes();
+  const std::uint32_t cores = si.processorCount;
+  winsys::Process& system = procs.create("System", 0, "", cores);
+  winsys::Process& smss =
+      procs.create("C:\\Windows\\System32\\smss.exe", system.pid, "", cores);
+  winsys::Process& csrss =
+      procs.create("C:\\Windows\\System32\\csrss.exe", smss.pid, "", cores);
+  winsys::Process& wininit =
+      procs.create("C:\\Windows\\System32\\wininit.exe", smss.pid, "", cores);
+  procs.create("C:\\Windows\\System32\\services.exe", wininit.pid, "", cores);
+  procs.create("C:\\Windows\\System32\\lsass.exe", wininit.pid, "", cores);
+  winsys::Process& winlogon = procs.create(
+      "C:\\Windows\\System32\\winlogon.exe", csrss.pid, "", cores);
+  for (int i = 0; i < 4; ++i)
+    procs.create("C:\\Windows\\System32\\svchost.exe", wininit.pid, "-k",
+                 cores);
+  procs.create("C:\\Windows\\explorer.exe", winlogon.pid, "explorer.exe",
+               cores);
+
+  // ----- boot events -------------------------------------------------------
+  winsys::EventLog& log = machine.eventlog();
+  log.append("EventLog", 6005, 0);  // event log service started
+  log.append("Kernel-General", 12, 0);
+  log.append("Service Control Manager", 7036, 10);
+  log.append("Kernel-Power", 1, 20);
+
+  // ----- network baseline --------------------------------------------------
+  winsys::Network& net = machine.network();
+  net.registerDomain("www.msftncsi.com", "131.107.255.255");
+  net.registerHttp("www.msftncsi.com", 200, "Microsoft NCSI");
+  net.registerDomain("update.microsoft.com", "13.107.4.50");
+  net.registerHttp("update.microsoft.com", 200, "");
+  net.registerDomain("www.google.com", "142.250.70.68");
+  net.registerHttp("www.google.com", 200, "<html>google</html>");
+}
+
+}  // namespace scarecrow::env

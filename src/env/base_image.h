@@ -1,0 +1,28 @@
+// Base Windows 7 image shared by every simulated machine.
+//
+// Installs the directory skeleton, core registry layout, standard system
+// processes and services, and a boot-time event-log prefix. Environment
+// builders (end-user, bare-metal sandbox, VM sandbox) start from this image
+// and then diverge — which is exactly the premise of both the evasion arms
+// race and the wear-and-tear fingerprinting work: the *delta* from a stock
+// install is what identifies an environment.
+#pragma once
+
+#include "winsys/machine.h"
+
+namespace scarecrow::env {
+
+struct BaseImageOptions {
+  std::uint64_t diskTotalBytes = 500ULL << 30;
+  std::uint64_t diskFreeBytes = 350ULL << 30;
+  std::uint64_t ramBytes = 16ULL << 30;
+  std::uint32_t cpuCores = 8;
+  std::string computerName = "DESKTOP-4C2A";
+  std::string userName = "alice";
+  std::uint64_t uptimeMs = 86'400'000;  // 1 day
+};
+
+/// Populates `machine` with a stock Windows 7 SP1 x64 install.
+void installBaseImage(winsys::Machine& machine, const BaseImageOptions& options);
+
+}  // namespace scarecrow::env

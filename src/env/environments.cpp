@@ -1,0 +1,281 @@
+#include "env/environments.h"
+
+#include "env/aging.h"
+#include "env/base_image.h"
+#include "hooking/inline_hook.h"
+#include "support/rng.h"
+#include "support/strings.h"
+
+namespace scarecrow::env {
+
+using support::Rng;
+using winsys::Machine;
+using winsys::RegValue;
+
+std::unique_ptr<Machine> buildEndUserMachine(const EndUserOptions& options) {
+  auto machine = std::make_unique<Machine>();
+  machine->label = "end-user machine";
+
+  BaseImageOptions base;
+  base.computerName = "ACME-WS-042";
+  base.userName = "alice";
+  base.uptimeMs = 5ULL * 86'400'000;  // five days since reboot
+  installBaseImage(*machine, base);
+
+  Rng rng(options.agingSeed);
+  applyAging(*machine, AgeProfile{options.agedMonths, 1.2}, rng);
+
+  // VMware Workstation installed on the host "due to work requirements"
+  // (paper Section IV-C2). Host-side install: vmnet adapter service and a
+  // virtual adapter — but no guest-tools artifacts (vmmouse.sys etc.).
+  winsys::Vfs& fs = machine->vfs();
+  fs.makeDirs("C:\\Program Files (x86)\\VMware\\VMware Workstation");
+  fs.createFile(
+      "C:\\Program Files (x86)\\VMware\\VMware Workstation\\vmware.exe",
+      80 << 20);
+  winsys::Registry& reg = machine->registry();
+  reg.setValue("SOFTWARE\\VMware, Inc.\\VMware Workstation", "InstallPath",
+               RegValue::sz("C:\\Program Files (x86)\\VMware\\"));
+  reg.ensureKey("SYSTEM\\CurrentControlSet\\Services\\vmnetadapter");
+  winsys::AdapterInfo vmnet;
+  vmnet.name = "VMware Network Adapter VMnet8";
+  vmnet.description = "VMware Virtual Ethernet Adapter for VMnet8";
+  vmnet.mac = "00:50:56:C0:00:08";
+  machine->sysinfo().adapters.push_back(vmnet);
+
+  // The host VMM components make CPUID measurably slower than bare metal —
+  // enough to cross the rdtsc_diff_vmexit threshold, the false positive the
+  // paper reports for the end-user machine ("timing-based attacks were not
+  // reliable").
+  machine->sysinfo().cpuidTrapCycles = 15'000;
+  machine->sysinfo().mouseActive = options.userPresent;
+  return machine;
+}
+
+std::unique_ptr<Machine> buildBareMetalSandbox(
+    const BareMetalSandboxOptions& options) {
+  auto machine = std::make_unique<Machine>();
+  machine->label = "bare-metal sandbox";
+
+  BaseImageOptions base;
+  base.diskTotalBytes = 250ULL << 30;
+  base.diskFreeBytes = 180ULL << 30;
+  base.ramBytes = 8ULL << 30;
+  base.cpuCores = 4;
+  base.computerName = "WIN7-PC";
+  base.userName = "admin";
+  base.uptimeMs = 20ULL * 60'000;  // rebooted by the agent 20 minutes ago
+  installBaseImage(*machine, base);
+
+  // Nearly pristine image: Deep Freeze restores it to this state between
+  // runs, so only trace amounts of wear accumulate.
+  Rng rng(7);
+  applyAging(*machine, AgeProfile{0.25, 0.5}, rng);
+
+  machine->sysinfo().mouseActive = false;  // nobody at the console
+  machine->sysinfo().cpuidTrapCycles = 150;
+
+  // Analysis agent (Figure 3's python agent) awaits samples from the proxy.
+  machine->vfs().makeDirs(support::parentPath(options.agentImage));
+  machine->vfs().createFile(options.agentImage, 4 << 20);
+  winsys::Process* services =
+      machine->processes().findByName("services.exe");
+  machine->processes().create(options.agentImage,
+                              services != nullptr ? services->pid : 0,
+                              "agent.exe --proxy 10.0.0.1",
+                              machine->sysinfo().processorCount);
+  return machine;
+}
+
+std::unique_ptr<Machine> buildVBoxCuckooSandbox(
+    const VmSandboxOptions& options) {
+  auto machine = std::make_unique<Machine>();
+  machine->label = options.hardened ? "VM sandbox (hardened)" : "VM sandbox";
+
+  BaseImageOptions base;
+  base.diskTotalBytes = 40ULL << 30;  // small guest disk (<60 GB threshold)
+  base.diskFreeBytes = 25ULL << 30;
+  base.ramBytes = 1ULL << 30;  // 1 GB guest RAM
+  base.cpuCores = 1;           // single vCPU
+  base.computerName = "JOHN-PC";
+  base.userName = "john";
+  base.uptimeMs = 35ULL * 60'000;  // snapshot resumed half an hour ago
+  installBaseImage(*machine, base);
+
+  Rng rng(11);
+  applyAging(*machine, AgeProfile{0.25, 0.5}, rng);
+
+  winsys::SysInfo& si = machine->sysinfo();
+  si.mouseActive = true;  // Cuckoo's human-emulation module wiggles the mouse
+  if (options.hardened) {
+    // The paper's transparency pass for the with-Scarecrow runs: "we also
+    // modified CPUID instruction results and updated the MAC address".
+    si.hypervisorPresent = false;
+    si.hypervisorVendor.clear();
+    si.cpuidTrapCycles = 8'000;  // tuned below the vmexit-detection threshold
+    si.adapters[0].mac = "52:54:98:76:54:32";
+    si.acpiOemId = "DELL";
+  } else {
+    si.hypervisorPresent = true;
+    si.hypervisorVendor = "VBoxVBoxVBox";
+    si.cpuidTrapCycles = 40'000;  // CPUID traps to the hypervisor
+    si.adapters[0].mac = "08:00:27:3A:5B:7C";  // VirtualBox OUI
+    si.acpiOemId = "VBOX";
+  }
+
+  // VirtualBox Guest Additions footprint.
+  winsys::Registry& reg = machine->registry();
+  reg.setValue("SOFTWARE\\Oracle\\VirtualBox Guest Additions", "Version",
+               RegValue::sz("5.2.8"));
+  reg.setValue("HARDWARE\\Description\\System", "SystemBiosVersion",
+               RegValue::sz("VBOX   - 1"));
+  reg.setValue("HARDWARE\\Description\\System", "VideoBiosVersion",
+               RegValue::sz("Oracle VM VirtualBox Version 5.2.8"));
+  reg.ensureKey("SYSTEM\\CurrentControlSet\\Enum\\IDE")
+      .ensureChild("DiskVBOX_HARDDISK___________________________1.0_____");
+  reg.setValue(
+      "HARDWARE\\DEVICEMAP\\Scsi\\Scsi Port 0\\Scsi Bus 0\\Target Id 0\\"
+      "Logical Unit Id 0",
+      "Identifier", RegValue::sz("VBOX HARDDISK"));
+
+  winsys::Vfs& fs = machine->vfs();
+  for (const char* driver : {"VBoxMouse.sys", "VBoxGuest.sys", "VBoxSF.sys",
+                             "VBoxVideo.sys"})
+    fs.createFile(std::string("C:\\Windows\\System32\\drivers\\") + driver,
+                  120 << 10);
+  for (const char* file : {"vboxdisp.dll", "vboxhook.dll", "VBoxTray.exe",
+                           "VBoxService.exe", "VBoxControl.exe"})
+    fs.createFile(std::string("C:\\Windows\\System32\\") + file, 200 << 10);
+  if (!options.hardened) {
+    fs.createDevice("\\\\.\\VBoxGuest");
+    fs.createDevice("\\\\.\\VBoxMiniRdrDN");
+  }
+
+  winsys::Process* services =
+      machine->processes().findByName("services.exe");
+  const std::uint32_t servicesPid = services != nullptr ? services->pid : 0;
+  machine->processes().create("C:\\Windows\\System32\\VBoxService.exe",
+                              servicesPid, "", 1);
+  machine->processes().create("C:\\Windows\\System32\\VBoxTray.exe",
+                              servicesPid, "", 1);
+  // Headless guest: VBoxTray runs but never creates its tray window — the
+  // one VirtualBox Pafish feature that stays silent without Scarecrow.
+
+  // Cuckoo guest agent.
+  fs.makeDirs("C:\\Python27");
+  fs.createFile("C:\\Python27\\python.exe", 26 << 20);
+  fs.createFile("C:\\agent.pyw", 30 << 10);
+  machine->processes().create("C:\\Python27\\python.exe", servicesPid,
+                              "python.exe C:\\agent.pyw", 1);
+  return machine;
+}
+
+std::uint32_t sandboxAgentPid(Machine& machine) {
+  for (const char* name : {"agent.exe", "python.exe"}) {
+    winsys::Process* agent = machine.processes().findByName(name);
+    if (agent != nullptr) return agent->pid;
+  }
+  winsys::Process& agent = machine.processes().create(
+      "C:\\perfsvc\\agent.exe", 0, "agent.exe",
+      machine.sysinfo().processorCount);
+  return agent.pid;
+}
+
+hooking::DllImage cuckooMonitorDll() {
+  hooking::DllImage dll;
+  dll.name = "cuckoomon.dll";
+  dll.onLoad = [](winapi::Api& api) {
+    winapi::ProcessApiState& state = api.state();
+    hooking::installInlineHook(state, winapi::ApiId::kShellExecuteEx);
+    // Transparent pass-through: Cuckoo logs the call, behaviour unchanged.
+    state.hooks.shellExecuteEx = [](winapi::Api& a, const std::string& file) {
+      return a.orig_ShellExecuteExA(file);
+    };
+  };
+  return dll;
+}
+
+namespace {
+
+/// Populates a public-sandbox image with resources that exist on no clean
+/// machine. `shared` resources appear in both VT and Malwr images; the
+/// kind-specific remainder is unique per service. Totals are calibrated so
+/// the union across both images is exactly 17,540 files, 24 processes and
+/// 1,457 registry keys (paper Section II-C).
+void addSandboxUniqueResources(Machine& machine, PublicSandboxKind kind) {
+  winsys::Vfs& fs = machine.vfs();
+  winsys::Registry& reg = machine.registry();
+
+  const bool vt = kind == PublicSandboxKind::kVirusTotal;
+  const std::string root = vt ? "C:\\vtsandbox" : "C:\\malwr";
+
+  // ---- files: shared 1,460 | VT-only 10,040 | Malwr-only 6,040 ----------
+  Rng shared(1000);
+  fs.makeDirs("C:\\cuckoo\\analyzer\\windows\\modules");
+  for (int i = 0; i < 1'460; ++i)
+    fs.createFile("C:\\cuckoo\\analyzer\\windows\\modules\\mod_" +
+                      shared.hexString(8) + ".py",
+                  4 << 10);
+  Rng own(vt ? 2000 : 3000);
+  fs.makeDirs(root + "\\support");
+  const int ownFiles = vt ? 9'964 : 6'040;
+  for (int i = 0; i < ownFiles; ++i)
+    fs.createFile(root + "\\support\\f_" + own.hexString(10) + ".bin",
+                  own.below(64 << 10));
+
+  // ---- processes: 24 unique across images = 3 from the Cuckoo base
+  // (VBoxService, VBoxTray, python) + 3 shared here + 10 VT + 8 Malwr ------
+  winsys::Process* services =
+      machine.processes().findByName("services.exe");
+  const std::uint32_t parent = services != nullptr ? services->pid : 0;
+  auto addProc = [&](const std::string& name) {
+    machine.processes().create("C:\\sandbox\\" + name, parent, name, 1);
+    fs.createFile("C:\\sandbox\\" + name, 1 << 20);
+  };
+  for (const char* name : {"tcpdump.exe", "analyzer.exe", "screenshot.exe"})
+    addProc(name);
+  if (vt) {
+    for (const char* name :
+         {"vt_monitor.exe", "vt_uploader.exe", "sigscan.exe", "yarasvc.exe",
+          "behave.exe", "netlog.exe", "memdump.exe", "ssdeep_svc.exe",
+          "unpack_svc.exe", "av_multi.exe"})
+      addProc(name);
+  } else {
+    for (const char* name :
+         {"malwr_agent.exe", "volatility_svc.exe", "pcap_svc.exe",
+          "shots.exe", "droidmon.exe", "sigcheck_svc.exe", "apicap.exe",
+          "mw_report.exe"})
+      addProc(name);
+  }
+
+  // ---- registry: shared 243 | VT-only 757 | Malwr-only 457 ---------------
+  auto& sharedKey = reg.ensureKey("SOFTWARE\\Cuckoo\\Modules");
+  for (int i = 0; i < 243; ++i)
+    sharedKey.ensureChild("module_" + std::to_string(i));
+  auto& ownKey = reg.ensureKey(vt ? "SOFTWARE\\VTSandbox\\Config"
+                                  : "SOFTWARE\\MalwrSandbox\\Config");
+  const int ownKeys = vt ? 696 : 457;
+  for (int i = 0; i < ownKeys; ++i)
+    ownKey.ensureChild("entry_" + std::to_string(i));
+}
+
+}  // namespace
+
+std::unique_ptr<Machine> buildPublicSandbox(PublicSandboxKind kind) {
+  auto machine = buildVBoxCuckooSandbox({});
+  machine->label = kind == PublicSandboxKind::kVirusTotal
+                       ? "VirusTotal public sandbox"
+                       : "Malwr public sandbox";
+  if (kind == PublicSandboxKind::kMalwr) {
+    // Malwr's guest disk is famously tiny (5 GB, Section II-B).
+    winsys::DriveInfo* c = machine->vfs().findDrive('C');
+    if (c != nullptr) {
+      c->totalBytes = 5ULL << 30;
+      c->freeBytes = 2ULL << 30;
+    }
+  }
+  addSandboxUniqueResources(*machine, kind);
+  return machine;
+}
+
+}  // namespace scarecrow::env

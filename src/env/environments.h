@@ -1,0 +1,79 @@
+// Concrete execution environments of the paper's evaluation (Table II,
+// Figure 3, Section II-C).
+//
+//  * End-user machine  — actively used Windows 7 desktop; VMware Workstation
+//    installed "due to work requirements" (the paper's own quirk, which is
+//    why the VMware-device and rdtsc_diff_vmexit Pafish checks fire on it).
+//  * Bare-metal sandbox — pristine analysis box from the Figure 3 cluster:
+//    no hypervisor, no user activity, agent-launched samples, Deep Freeze
+//    reset between runs (Machine::snapshot/restore).
+//  * VirtualBox+Cuckoo sandbox — Cuckoo 2.0.3 guest on VirtualBox: small
+//    disk/RAM/1 core, hypervisor CPUID leaves, VBox guest additions, the
+//    cuckoomon usermode monitor (hooks ShellExecuteEx). The `hardened`
+//    variant models the paper's extra transparency work for the
+//    with-Scarecrow runs: CPUID results modified, MAC randomized,
+//    VBox kernel-device artifacts hidden.
+//  * Public sandboxes (VirusTotal / Malwr images) — inputs to the resource
+//    crawler of Section II-C; each carries a large synthetic population of
+//    sandbox-unique files, processes and registry entries calibrated so the
+//    crawl-and-diff yields the paper's 17,540 / 24 / 1,457 totals.
+#pragma once
+
+#include <memory>
+
+#include "hooking/injector.h"
+#include "winsys/machine.h"
+
+namespace scarecrow::env {
+
+struct EndUserOptions {
+  std::uint64_t agingSeed = 2020;
+  double agedMonths = 18.0;
+  /// Whether a human is at the desk moving the mouse during runs. The
+  /// paper's without-Scarecrow Pafish run on the end-user machine happened
+  /// with no mouse movement (Table II triggers mouse_activity), so benches
+  /// toggle this per run.
+  bool userPresent = true;
+};
+
+std::unique_ptr<winsys::Machine> buildEndUserMachine(
+    const EndUserOptions& options = {});
+
+struct BareMetalSandboxOptions {
+  /// Analysis agent image name (the sample's parent process in sandboxes).
+  /// Deliberately placed under an innocuous path: malware probes the usual
+  /// sandbox folders (C:\analysis, C:\sandbox, ...) and the paper's
+  /// bare-metal cluster did not trip those probes.
+  std::string agentImage = "C:\\perfsvc\\agent.exe";
+};
+
+std::unique_ptr<winsys::Machine> buildBareMetalSandbox(
+    const BareMetalSandboxOptions& options = {});
+
+struct VmSandboxOptions {
+  /// Transparency hardening applied for the with-Scarecrow Table II runs:
+  /// CPUID hypervisor leaves masked, MAC randomized, VBox device objects
+  /// and ACPI strings hidden.
+  bool hardened = false;
+};
+
+std::unique_ptr<winsys::Machine> buildVBoxCuckooSandbox(
+    const VmSandboxOptions& options = {});
+
+/// Returns the pid of the analysis agent/daemon on a sandbox machine (used
+/// as parent pid when a sandbox launches a sample), creating it if needed.
+std::uint32_t sandboxAgentPid(winsys::Machine& machine);
+
+/// The cuckoomon usermode monitor: injected into analyzed processes by the
+/// Cuckoo sandbox; hooks ShellExecuteEx (the Hook-category Pafish trigger).
+hooking::DllImage cuckooMonitorDll();
+
+enum class PublicSandboxKind { kVirusTotal, kMalwr };
+
+/// Builds one of the public-sandbox guest images crawled in Section II-C.
+/// Deterministic for a given kind: the synthetic unique-resource
+/// populations overlap across the two images exactly enough that
+/// (VT ∪ Malwr) \ clean = 17,540 files, 24 processes, 1,457 registry keys.
+std::unique_ptr<winsys::Machine> buildPublicSandbox(PublicSandboxKind kind);
+
+}  // namespace scarecrow::env

@@ -1,0 +1,159 @@
+#include "fingerprint/decision_tree.h"
+
+#include <algorithm>
+
+namespace scarecrow::fingerprint {
+namespace {
+
+double gini(std::size_t real, std::size_t sandbox) {
+  const double total = static_cast<double>(real + sandbox);
+  if (total == 0) return 0.0;
+  const double pr = real / total;
+  const double ps = sandbox / total;
+  return 1.0 - pr * pr - ps * ps;
+}
+
+MachineLabel majority(const std::vector<const LabeledSample*>& samples) {
+  std::size_t real = 0;
+  for (const LabeledSample* s : samples)
+    if (s->label == MachineLabel::kRealDevice) ++real;
+  return real * 2 >= samples.size() ? MachineLabel::kRealDevice
+                                    : MachineLabel::kSandbox;
+}
+
+bool pure(const std::vector<const LabeledSample*>& samples) {
+  for (const LabeledSample* s : samples)
+    if (s->label != samples.front()->label) return false;
+  return true;
+}
+
+}  // namespace
+
+void DecisionTree::train(const std::vector<LabeledSample>& samples,
+                         const TreeParams& params,
+                         const std::set<std::size_t>& featureMask) {
+  nodes_.clear();
+  if (samples.empty()) return;
+  std::vector<const LabeledSample*> ptrs;
+  ptrs.reserve(samples.size());
+  for (const LabeledSample& s : samples) ptrs.push_back(&s);
+
+  std::vector<std::size_t> features;
+  if (featureMask.empty()) {
+    for (std::size_t i = 0; i < kArtifactCount; ++i) features.push_back(i);
+  } else {
+    features.assign(featureMask.begin(), featureMask.end());
+  }
+  build(ptrs, 0, params, features);
+}
+
+std::int32_t DecisionTree::build(std::vector<const LabeledSample*>& samples,
+                                 std::size_t depth, const TreeParams& params,
+                                 const std::vector<std::size_t>& features) {
+  const std::int32_t index = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back(Node{});
+  nodes_[index].label = majority(samples);
+
+  if (depth >= params.maxDepth || samples.size() < params.minSamplesSplit ||
+      pure(samples))
+    return index;
+
+  // Exhaustive best split: for each candidate feature, thresholds at
+  // midpoints between consecutive distinct values.
+  double bestGini = 2.0;
+  std::size_t bestFeature = 0;
+  double bestThreshold = 0.0;
+  for (std::size_t f : features) {
+    std::vector<double> values;
+    values.reserve(samples.size());
+    for (const LabeledSample* s : samples) values.push_back(s->features[f]);
+    std::sort(values.begin(), values.end());
+    values.erase(std::unique(values.begin(), values.end()), values.end());
+    for (std::size_t i = 0; i + 1 < values.size(); ++i) {
+      const double threshold = (values[i] + values[i + 1]) / 2.0;
+      std::size_t lr = 0, ls = 0, rr = 0, rs = 0;
+      for (const LabeledSample* s : samples) {
+        const bool left = s->features[f] <= threshold;
+        const bool real = s->label == MachineLabel::kRealDevice;
+        if (left)
+          real ? ++lr : ++ls;
+        else
+          real ? ++rr : ++rs;
+      }
+      const double total = static_cast<double>(samples.size());
+      const double weighted = (lr + ls) / total * gini(lr, ls) +
+                              (rr + rs) / total * gini(rr, rs);
+      if (weighted < bestGini) {
+        bestGini = weighted;
+        bestFeature = f;
+        bestThreshold = threshold;
+      }
+    }
+  }
+  if (bestGini >= 2.0) return index;  // no valid split
+
+  std::vector<const LabeledSample*> left, right;
+  for (const LabeledSample* s : samples)
+    (s->features[bestFeature] <= bestThreshold ? left : right).push_back(s);
+  if (left.empty() || right.empty()) return index;
+
+  const std::int32_t leftChild = build(left, depth + 1, params, features);
+  const std::int32_t rightChild = build(right, depth + 1, params, features);
+  Node& node = nodes_[index];
+  node.leaf = false;
+  node.feature = bestFeature;
+  node.threshold = bestThreshold;
+  node.left = leftChild;
+  node.right = rightChild;
+  return index;
+}
+
+MachineLabel DecisionTree::classify(const ArtifactVector& features) const {
+  if (nodes_.empty()) return MachineLabel::kRealDevice;
+  std::int32_t index = 0;
+  for (;;) {
+    const Node& node = nodes_[static_cast<std::size_t>(index)];
+    if (node.leaf) return node.label;
+    index = features[node.feature] <= node.threshold ? node.left : node.right;
+  }
+}
+
+std::set<std::size_t> DecisionTree::usedFeatures() const {
+  std::set<std::size_t> out;
+  for (const Node& node : nodes_)
+    if (!node.leaf) out.insert(node.feature);
+  return out;
+}
+
+double DecisionTree::accuracy(const std::vector<LabeledSample>& samples) const {
+  if (samples.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (const LabeledSample& s : samples)
+    if (classify(s.features) == s.label) ++correct;
+  return static_cast<double>(correct) / static_cast<double>(samples.size());
+}
+
+void DecisionTree::describeNode(std::int32_t index, int indent,
+                                std::string& out) const {
+  const Node& node = nodes_[static_cast<std::size_t>(index)];
+  out.append(static_cast<std::size_t>(indent) * 2, ' ');
+  if (node.leaf) {
+    out += node.label == MachineLabel::kRealDevice ? "-> real device\n"
+                                                   : "-> sandbox\n";
+    return;
+  }
+  out += artifactTable()[node.feature].name;
+  out += " <= ";
+  out += std::to_string(node.threshold);
+  out += '\n';
+  describeNode(node.left, indent + 1, out);
+  describeNode(node.right, indent + 1, out);
+}
+
+std::string DecisionTree::describe() const {
+  std::string out;
+  if (!nodes_.empty()) describeNode(0, 0, out);
+  return out;
+}
+
+}  // namespace scarecrow::fingerprint

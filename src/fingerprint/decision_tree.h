@@ -1,0 +1,73 @@
+// CART decision tree over wear-and-tear artifact vectors.
+//
+// Miramirkhani et al. train decision trees that label a machine "real
+// device" or "analysis sandbox" from its artifact vector; the paper's
+// Table III defense targets exactly the artifacts those trees split on.
+// This is a small, dependency-free CART: binary splits on feature <=
+// threshold, Gini impurity, depth- and min-samples-limited.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fingerprint/weartear.h"
+
+namespace scarecrow::fingerprint {
+
+enum class MachineLabel : std::uint8_t { kRealDevice, kSandbox };
+
+struct LabeledSample {
+  ArtifactVector features{};
+  MachineLabel label = MachineLabel::kRealDevice;
+};
+
+struct TreeParams {
+  std::size_t maxDepth = 4;
+  std::size_t minSamplesSplit = 4;
+};
+
+class DecisionTree {
+ public:
+  /// Trains on the given samples; featureMask (optional) restricts the
+  /// features the tree may split on — empty mask means all 44.
+  void train(const std::vector<LabeledSample>& samples,
+             const TreeParams& params = {},
+             const std::set<std::size_t>& featureMask = {});
+
+  MachineLabel classify(const ArtifactVector& features) const;
+
+  /// Indices of artifacts used as split features anywhere in the tree —
+  /// the set Scarecrow must fake to steer the classifier.
+  std::set<std::size_t> usedFeatures() const;
+
+  /// Fraction of samples classified correctly.
+  double accuracy(const std::vector<LabeledSample>& samples) const;
+
+  std::size_t nodeCount() const noexcept { return nodes_.size(); }
+  bool trained() const noexcept { return !nodes_.empty(); }
+
+  /// Multi-line human-readable rendering (artifact names at splits).
+  std::string describe() const;
+
+ private:
+  struct Node {
+    bool leaf = true;
+    MachineLabel label = MachineLabel::kRealDevice;
+    std::size_t feature = 0;
+    double threshold = 0.0;
+    std::int32_t left = -1;   // feature <= threshold
+    std::int32_t right = -1;  // feature >  threshold
+  };
+
+  std::int32_t build(std::vector<const LabeledSample*>& samples,
+                     std::size_t depth, const TreeParams& params,
+                     const std::vector<std::size_t>& features);
+  void describeNode(std::int32_t index, int indent, std::string& out) const;
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace scarecrow::fingerprint

@@ -1,0 +1,171 @@
+#include "fingerprint/harness.h"
+
+#include "core/controller.h"
+#include "core/engine.h"
+#include "env/aging.h"
+#include "env/base_image.h"
+#include "env/environments.h"
+#include "hooking/injector.h"
+#include "support/strings.h"
+#include "winapi/runner.h"
+
+namespace scarecrow::fingerprint {
+
+using winsys::Machine;
+
+namespace {
+
+/// Runs `program` as "tool.exe" on the machine under the given options and
+/// restores the machine afterwards.
+void runTool(Machine& machine, const FingerprintRunOptions& options,
+             winapi::GuestProgram& program) {
+  const winsys::MachineSnapshot snapshot = machine.snapshot();
+
+  winapi::UserSpace userspace;
+  winapi::GuestProgram* tool = &program;
+  userspace.programFactory =
+      [tool](const std::string& image,
+             const std::string&) -> std::unique_ptr<winapi::GuestProgram> {
+    if (!support::iendsWith(image, "tool.exe")) return nullptr;
+    // Non-owning forwarding shim: the harness owns the real program.
+    struct Shim : winapi::GuestProgram {
+      explicit Shim(winapi::GuestProgram* inner) : inner(inner) {}
+      void run(winapi::Api& api) override { inner->run(api); }
+      winapi::GuestProgram* inner;
+    };
+    return std::make_unique<Shim>(tool);
+  };
+
+  winapi::Runner runner(machine, userspace);
+  winapi::RunOptions runOptions;
+  runOptions.budgetMs = 60'000;
+
+  const std::string userDesktop =
+      "C:\\Users\\" + machine.sysinfo().userName + "\\Desktop\\tool.exe";
+
+  if (options.withScarecrow) {
+    core::DeceptionEngine engine(options.config,
+                                 core::buildDefaultResourceDb());
+    core::Controller controller(machine, userspace, engine);
+    const std::uint32_t pid = controller.launch(userDesktop);
+    if (options.injectCuckooMonitor)
+      hooking::injectDll(machine, userspace, pid, env::cuckooMonitorDll());
+    runner.drain(runOptions);
+  } else {
+    const std::uint32_t pid = runner.spawnRoot(userDesktop, runOptions);
+    if (options.injectCuckooMonitor)
+      hooking::injectDll(machine, userspace, pid, env::cuckooMonitorDll());
+    runner.drain(runOptions);
+  }
+
+  machine.restore(snapshot);
+}
+
+}  // namespace
+
+PafishReport runPafishOn(Machine& machine,
+                         const FingerprintRunOptions& options) {
+  PafishReport report;
+  PafishProgram pafish(report);
+  runTool(machine, options, pafish);
+  return report;
+}
+
+ArtifactVector measureWearTearOn(Machine& machine,
+                                 const FingerprintRunOptions& options) {
+  ArtifactVector artifacts{};
+  WearTearProgram program(artifacts);
+  runTool(machine, options, program);
+  return artifacts;
+}
+
+namespace {
+
+class SandprintProgram : public winapi::GuestProgram {
+ public:
+  explicit SandprintProgram(SandboxFingerprint& out) : out_(out) {}
+  void run(winapi::Api& api) override {
+    out_ = collectSandprint(api);
+    api.ExitProcess(0);
+  }
+
+ private:
+  SandboxFingerprint& out_;
+};
+
+}  // namespace
+
+SandboxFingerprint collectSandprintOn(Machine& machine,
+                                      const FingerprintRunOptions& options) {
+  SandboxFingerprint fingerprint;
+  SandprintProgram program(fingerprint);
+  runTool(machine, options, program);
+  return fingerprint;
+}
+
+std::vector<LabeledSample> generateTrainingSet(std::size_t perClass,
+                                               std::uint64_t seed) {
+  support::Rng rng(seed);
+  std::vector<LabeledSample> samples;
+  samples.reserve(perClass * 2);
+
+  auto measure = [](Machine& machine) {
+    ArtifactVector v{};
+    WearTearProgram program(v);
+    FingerprintRunOptions options;  // raw measurement, no deception
+    runTool(machine, options, program);
+    return v;
+  };
+
+  for (std::size_t i = 0; i < perClass; ++i) {
+    // Aged end-user machine: months in [6, 36], varied intensity.
+    Machine aged;
+    env::BaseImageOptions base;
+    base.userName = "user" + std::to_string(i);
+    base.uptimeMs = (1 + rng.below(14)) * 86'400'000ULL;
+    env::installBaseImage(aged, base);
+    support::Rng agedRng = rng.fork();
+    env::applyAging(aged,
+                    {6.0 + rng.uniform() * 30.0, 0.6 + rng.uniform() * 1.4},
+                    agedRng);
+    samples.push_back({measure(aged), MachineLabel::kRealDevice});
+
+    // Pristine sandbox machine: near-zero organic aging plus planted
+    // decoys (documents, downloads, browser profile) — the cosmetics
+    // sandbox operators actually apply.
+    Machine sandbox;
+    env::BaseImageOptions sandboxBase;
+    sandboxBase.userName = "john";
+    sandboxBase.diskTotalBytes = (20ULL + rng.below(40)) << 30;
+    sandboxBase.ramBytes = (1ULL + rng.below(3)) << 30;
+    sandboxBase.cpuCores = 1 + static_cast<std::uint32_t>(rng.below(2));
+    sandboxBase.uptimeMs = (10 + rng.below(50)) * 60'000ULL;
+    env::installBaseImage(sandbox, sandboxBase);
+    support::Rng sandboxRng = rng.fork();
+    env::applyAging(sandbox, {0.05 + rng.uniform() * 0.4, 0.5}, sandboxRng);
+    // Image-to-image variation in hive bulk (service packs, preinstalled
+    // tooling) — keeps pristine regSize a distribution, not a constant.
+    sandbox.registry().addOpaqueBytes(rng.below(30ULL << 20));
+    winsys::Vfs& fs = sandbox.vfs();
+    const std::string userRoot = "C:\\Users\\john";
+    const std::uint64_t decoys = 5 + rng.below(40);
+    for (std::uint64_t d = 0; d < decoys; ++d)
+      fs.createFile(userRoot + "\\Documents\\decoy_" + std::to_string(d) +
+                        ".docx",
+                    rng.below(1 << 20));
+    for (std::uint64_t d = 0; d < decoys / 2; ++d)
+      fs.createFile(userRoot + "\\Downloads\\decoy_" + std::to_string(d) +
+                        ".pdf",
+                    rng.below(1 << 20));
+    const std::string chrome =
+        userRoot + "\\AppData\\Local\\Google\\Chrome\\User Data\\Default";
+    fs.makeDirs(chrome);
+    fs.createFile(chrome + "\\History", 1 + rng.below(2 << 20));
+    fs.createFile(chrome + "\\Cookies", 1 + rng.below(1 << 20));
+    fs.createFile(chrome + "\\Bookmarks", 1 + rng.below(64 << 10));
+    samples.push_back({measure(sandbox), MachineLabel::kSandbox});
+  }
+  return samples;
+}
+
+}  // namespace scarecrow::fingerprint

@@ -1,0 +1,48 @@
+// Fingerprinting harness: runs Pafish / wear-and-tear measurements on a
+// machine with or without Scarecrow supervision, and generates the labeled
+// machine population used to train wear-and-tear decision trees.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.h"
+#include "fingerprint/decision_tree.h"
+#include "fingerprint/pafish.h"
+#include "fingerprint/sandprint.h"
+#include "fingerprint/weartear.h"
+#include "winsys/machine.h"
+
+namespace scarecrow::fingerprint {
+
+struct FingerprintRunOptions {
+  bool withScarecrow = false;
+  core::Config config;
+  /// Inject the Cuckoo usermode monitor into the fingerprinting process
+  /// (true on the VM-sandbox environment, where Cuckoo instruments every
+  /// analyzed binary).
+  bool injectCuckooMonitor = false;
+};
+
+/// Runs Pafish on the machine; the machine is snapshotted and restored so
+/// repeated runs are independent.
+PafishReport runPafishOn(winsys::Machine& machine,
+                         const FingerprintRunOptions& options);
+
+/// Measures the 44 wear-and-tear artifacts the same way.
+ArtifactVector measureWearTearOn(winsys::Machine& machine,
+                                 const FingerprintRunOptions& options);
+
+/// Collects a SandPrint-style fingerprint the same way.
+SandboxFingerprint collectSandprintOn(winsys::Machine& machine,
+                                      const FingerprintRunOptions& options);
+
+/// Generates `perClass` aged end-user machines and `perClass` pristine
+/// sandbox machines, measures their artifacts, and returns labeled samples.
+/// Pristine machines carry decoy documents/browser files (sandbox operators
+/// plant those), which is precisely why registry/event/DNS artifacts are
+/// the discriminative ones — matching the S&P'17 finding.
+std::vector<LabeledSample> generateTrainingSet(std::size_t perClass,
+                                               std::uint64_t seed);
+
+}  // namespace scarecrow::fingerprint

@@ -1,0 +1,420 @@
+#include "fingerprint/pafish.h"
+
+#include "hooking/inline_hook.h"
+#include "support/strings.h"
+
+namespace scarecrow::fingerprint {
+
+using support::icontains;
+using support::iequals;
+using winapi::Api;
+using winapi::ApiId;
+using winsys::RegValue;
+
+const char* pafishCategoryName(PafishCategory category) noexcept {
+  switch (category) {
+    case PafishCategory::kDebuggers: return "Debuggers";
+    case PafishCategory::kCpu: return "CPU information";
+    case PafishCategory::kGenericSandbox: return "Generic sandbox";
+    case PafishCategory::kHooks: return "Hook";
+    case PafishCategory::kSandboxie: return "Sandboxie";
+    case PafishCategory::kWine: return "Wine";
+    case PafishCategory::kVirtualBox: return "VirtualBox";
+    case PafishCategory::kVMware: return "VMware";
+    case PafishCategory::kQemu: return "Qemu detection";
+    case PafishCategory::kBochs: return "Bochs";
+    case PafishCategory::kCuckoo: return "Cuckoo";
+  }
+  return "?";
+}
+
+std::size_t pafishCategorySize(PafishCategory category) noexcept {
+  switch (category) {
+    case PafishCategory::kDebuggers: return 1;
+    case PafishCategory::kCpu: return 4;
+    case PafishCategory::kGenericSandbox: return 12;
+    case PafishCategory::kHooks: return 2;
+    case PafishCategory::kSandboxie: return 1;
+    case PafishCategory::kWine: return 2;
+    case PafishCategory::kVirtualBox: return 17;
+    case PafishCategory::kVMware: return 8;
+    case PafishCategory::kQemu: return 3;
+    case PafishCategory::kBochs: return 3;
+    case PafishCategory::kCuckoo: return 3;
+  }
+  return 0;
+}
+
+std::size_t PafishReport::triggeredIn(PafishCategory category) const {
+  std::size_t n = 0;
+  for (const PafishCheckResult& check : checks)
+    if (check.category == category && check.triggered) ++n;
+  return n;
+}
+
+std::size_t PafishReport::totalTriggered() const {
+  std::size_t n = 0;
+  for (const PafishCheckResult& check : checks)
+    if (check.triggered) ++n;
+  return n;
+}
+
+bool PafishReport::triggered(const std::string& checkName) const {
+  for (const PafishCheckResult& check : checks)
+    if (check.name == checkName) return check.triggered;
+  return false;
+}
+
+namespace {
+
+class CheckRunner {
+ public:
+  CheckRunner(Api& api, PafishReport& report) : api_(api), report_(report) {}
+
+  void add(const char* name, PafishCategory category, bool triggered) {
+    report_.checks.push_back({name, category, triggered});
+  }
+
+  // ---- Debuggers (1) -----------------------------------------------------
+  void debuggers() {
+    add("isdebuggerpresent", PafishCategory::kDebuggers,
+        api_.IsDebuggerPresent());
+  }
+
+  // ---- CPU information (4) -----------------------------------------------
+  void cpu() {
+    // rdtsc_diff: RDTSC itself trapped (full-system emulators).
+    std::uint64_t total = 0;
+    for (int i = 0; i < 8; ++i) {
+      const std::uint64_t t0 = api_.rdtsc();
+      const std::uint64_t t1 = api_.rdtsc();
+      total += t1 - t0;
+    }
+    add("rdtsc_diff", PafishCategory::kCpu, total / 8 > 750);
+
+    // rdtsc_diff_vmexit: CPUID between two RDTSCs traps to the hypervisor.
+    std::uint64_t vmTotal = 0;
+    for (int i = 0; i < 8; ++i) {
+      const std::uint64_t t0 = api_.rdtsc();
+      (void)api_.cpuid(0x1);
+      const std::uint64_t t1 = api_.rdtsc();
+      vmTotal += t1 - t0;
+    }
+    add("rdtsc_diff_vmexit", PafishCategory::kCpu, vmTotal / 8 > 10'000);
+
+    const winsys::CpuidResult leaf1 = api_.cpuid(0x1);
+    add("cpuid_hv_bit", PafishCategory::kCpu,
+        (leaf1.ecx & (1u << 31)) != 0);
+
+    const winsys::CpuidResult hv = api_.cpuid(0x40000000);
+    auto unpack = [](std::uint32_t r, std::string& s) {
+      for (int i = 0; i < 4; ++i) {
+        const char c = static_cast<char>((r >> (8 * i)) & 0xFF);
+        if (c != 0) s.push_back(c);
+      }
+    };
+    std::string vendor;
+    unpack(hv.ebx, vendor);
+    unpack(hv.ecx, vendor);
+    unpack(hv.edx, vendor);
+    const bool known = icontains(vendor, "VBox") ||
+                       icontains(vendor, "VMware") ||
+                       icontains(vendor, "KVM") || icontains(vendor, "Xen") ||
+                       icontains(vendor, "Microsoft Hv") ||
+                       icontains(vendor, "prl hyperv");
+    add("cpu_known_vm_vendors", PafishCategory::kCpu, known);
+  }
+
+  // ---- Generic sandbox (12) -----------------------------------------------
+  void genericSandbox() {
+    int x0 = 0, y0 = 0, x1 = 0, y1 = 0;
+    api_.GetCursorPos(x0, y0);
+    api_.Sleep(2'000);
+    api_.GetCursorPos(x1, y1);
+    add("gensandbox_mouse_act", PafishCategory::kGenericSandbox,
+        x0 == x1 && y0 == y1);
+
+    std::uint64_t freeBytes = 0, totalBytes = 0;
+    const bool haveDisk = api_.GetDiskFreeSpaceExA('C', freeBytes, totalBytes);
+    add("gensandbox_drive_size", PafishCategory::kGenericSandbox,
+        haveDisk && totalBytes < (60ULL << 30));
+
+    const winapi::MemoryStatusView mem = api_.GlobalMemoryStatusEx();
+    add("gensandbox_less_than_onegb", PafishCategory::kGenericSandbox,
+        mem.totalPhysBytes <= (1ULL << 30));
+
+    const winapi::SystemInfoView sys = api_.GetSystemInfo();
+    add("gensandbox_one_cpu", PafishCategory::kGenericSandbox,
+        sys.numberOfProcessors < 2);
+
+    add("gensandbox_uptime", PafishCategory::kGenericSandbox,
+        api_.GetTickCount() < 12ULL * 60'000);
+
+    const std::uint64_t tickBefore = api_.GetTickCount();
+    api_.Sleep(500);
+    const std::uint64_t tickAfter = api_.GetTickCount();
+    add("gensandbox_sleep_patched", PafishCategory::kGenericSandbox,
+        tickAfter - tickBefore < 450);
+
+    const std::string user = support::toLower(api_.GetUserNameA());
+    const bool userBad = user == "sandbox" || user == "cuckoo" ||
+                         user == "malware" || user == "virus" ||
+                         user == "sample" || user == "currentuser";
+    add("gensandbox_username", PafishCategory::kGenericSandbox, userBad);
+
+    const std::string host = support::toLower(api_.GetComputerNameA());
+    const bool hostBad = host == "sandbox" || host == "sandbox-pc" ||
+                         host == "7silvia" || host == "hanspeter-pc" ||
+                         host == "maltest" || host == "tequilaboomboom";
+    add("gensandbox_hostname", PafishCategory::kGenericSandbox, hostBad);
+
+    const std::string self = support::toLower(api_.GetModuleFileNameA());
+    add("gensandbox_path_sample", PafishCategory::kGenericSandbox,
+        icontains(self, "sample") || icontains(self, "malware") ||
+            icontains(self, "virus") || icontains(self, "c:\\sandbox"));
+
+    // DNS sinkhole: a never-registered domain that resolves is a sandbox.
+    add("gensandbox_dns_sinkhole", PafishCategory::kGenericSandbox,
+        api_.DnsQuery("nx-gensandbox-7f3a19.com").has_value());
+
+    bool isVhd = false;
+    const winapi::WinError vhd = api_.IsNativeVhdBoot(isVhd);
+    add("gensandbox_IsNativeVhdBoot", PafishCategory::kGenericSandbox,
+        winapi::ok(vhd) && isVhd);
+
+    // Time acceleration: wall clock (tick) vs TSC must agree.
+    const std::uint64_t tsc0 = api_.rdtsc();
+    const std::uint64_t wall0 = api_.GetTickCount();
+    api_.Sleep(500);
+    const std::uint64_t tsc1 = api_.rdtsc();
+    const std::uint64_t wall1 = api_.GetTickCount();
+    const std::uint64_t tscMs =
+        (tsc1 - tsc0) / api_.machine().clock().tscPerMs();
+    const std::uint64_t wallMs = wall1 - wall0;
+    const bool mismatch =
+        wallMs > 0 && (tscMs > wallMs * 3 + 50 || wallMs > tscMs * 3 + 50);
+    add("gensandbox_time_accel", PafishCategory::kGenericSandbox, mismatch);
+  }
+
+  // ---- Hooks (2) -----------------------------------------------------------
+  void hooks() {
+    add("hooks_deletefile_m1", PafishCategory::kHooks,
+        hooking::checkHook(api_.readFunctionBytes(ApiId::kDeleteFile)));
+    add("hooks_shellexecuteexw_m1", PafishCategory::kHooks,
+        hooking::checkHook(api_.readFunctionBytes(ApiId::kShellExecuteEx)));
+  }
+
+  // ---- Sandboxie (1) --------------------------------------------------------
+  void sandboxie() {
+    add("sandboxie_sbiedll", PafishCategory::kSandboxie,
+        api_.GetModuleHandleA("SbieDll.dll"));
+  }
+
+  // ---- Wine (2) ---------------------------------------------------------------
+  void wine() {
+    add("wine_get_unix_file_name", PafishCategory::kWine,
+        api_.GetProcAddress("kernel32.dll", "wine_get_unix_file_name"));
+    add("wine_reg_key", PafishCategory::kWine,
+        winapi::ok(api_.RegOpenKeyEx("HKCU\\Software\\Wine")));
+  }
+
+  // ---- VirtualBox (17) ----------------------------------------------------------
+  void virtualBox() {
+    auto regKey = [&](const char* name, const std::string& path) {
+      add(name, PafishCategory::kVirtualBox,
+          winapi::ok(api_.RegOpenKeyEx(path)));
+    };
+    auto regValueContains = [&](const char* name, const std::string& path,
+                                const std::string& valueName,
+                                const std::string& needle) {
+      RegValue value;
+      const bool hit =
+          winapi::ok(api_.RegQueryValueEx(path, valueName, value)) &&
+          icontains(value.str, needle);
+      add(name, PafishCategory::kVirtualBox, hit);
+    };
+    auto file = [&](const char* name, const std::string& path) {
+      add(name, PafishCategory::kVirtualBox,
+          api_.GetFileAttributesA(path) != Api::kInvalidFileAttributes);
+    };
+
+    regKey("vbox_reg_key1", "SOFTWARE\\Oracle\\VirtualBox Guest Additions");
+    regValueContains("vbox_sysbiosver", "HARDWARE\\Description\\System",
+                     "SystemBiosVersion", "VBOX");
+    regValueContains("vbox_videobios", "HARDWARE\\Description\\System",
+                     "VideoBiosVersion", "VIRTUALBOX");
+    regKey("vbox_ide_disk",
+           "SYSTEM\\CurrentControlSet\\Enum\\IDE\\"
+           "DiskVBOX_HARDDISK___________________________1.0_____");
+    file("vbox_mouse_sys", "C:\\Windows\\System32\\drivers\\VBoxMouse.sys");
+    file("vbox_guest_sys", "C:\\Windows\\System32\\drivers\\VBoxGuest.sys");
+    file("vbox_sf_sys", "C:\\Windows\\System32\\drivers\\VBoxSF.sys");
+    file("vbox_video_sys", "C:\\Windows\\System32\\drivers\\VBoxVideo.sys");
+    file("vbox_disp_dll", "C:\\Windows\\System32\\vboxdisp.dll");
+    file("vbox_hook_dll", "C:\\Windows\\System32\\vboxhook.dll");
+    file("vbox_tray_exe", "C:\\Windows\\System32\\VBoxTray.exe");
+
+    bool svc = false, tray = false;
+    for (const winapi::ProcessEntry& entry :
+         api_.CreateToolhelp32Snapshot()) {
+      if (iequals(entry.imageName, "VBoxService.exe")) svc = true;
+      if (iequals(entry.imageName, "VBoxTray.exe")) tray = true;
+    }
+    add("vbox_process_service", PafishCategory::kVirtualBox, svc);
+    add("vbox_process_tray", PafishCategory::kVirtualBox, tray);
+
+    add("vbox_window_tray", PafishCategory::kVirtualBox,
+        api_.FindWindowA("VBoxTrayToolWndClass", ""));
+
+    bool vboxMac = false;
+    for (const winsys::AdapterInfo& adapter : api_.GetAdaptersInfo())
+      if (support::istartsWith(adapter.mac, "08:00:27")) vboxMac = true;
+    add("vbox_mac", PafishCategory::kVirtualBox, vboxMac);
+
+    add("vbox_device_guest", PafishCategory::kVirtualBox,
+        winapi::ok(api_.NtCreateFile("\\\\.\\VBoxGuest")));
+
+    add("vbox_acpi", PafishCategory::kVirtualBox,
+        icontains(api_.GetSystemFirmwareTable(), "VBOX"));
+  }
+
+  // ---- VMware (8) ------------------------------------------------------------------
+  void vmware() {
+    add("vmware_reg_key1", PafishCategory::kVMware,
+        winapi::ok(api_.RegOpenKeyEx("SOFTWARE\\VMware, Inc.\\VMware Tools")));
+    add("vmware_mouse_sys", PafishCategory::kVMware,
+        api_.GetFileAttributesA(
+            "C:\\Windows\\System32\\drivers\\vmmouse.sys") !=
+            Api::kInvalidFileAttributes);
+    add("vmware_hgfs_sys", PafishCategory::kVMware,
+        api_.GetFileAttributesA(
+            "C:\\Windows\\System32\\drivers\\vmhgfs.sys") !=
+            Api::kInvalidFileAttributes);
+    // "VMware device": the vmnet adapter service key left by any install.
+    add("vmware_device", PafishCategory::kVMware,
+        winapi::ok(api_.RegOpenKeyEx(
+            "SYSTEM\\CurrentControlSet\\Services\\vmnetadapter")));
+
+    bool guestMac = false;
+    for (const winsys::AdapterInfo& adapter : api_.GetAdaptersInfo())
+      if (support::istartsWith(adapter.mac, "00:0C:29")) guestMac = true;
+    add("vmware_mac", PafishCategory::kVMware, guestMac);
+
+    bool vmtoolsd = false;
+    for (const winapi::ProcessEntry& entry : api_.CreateToolhelp32Snapshot())
+      if (iequals(entry.imageName, "vmtoolsd.exe")) vmtoolsd = true;
+    add("vmware_process_tools", PafishCategory::kVMware, vmtoolsd);
+
+    add("vmware_window_tray", PafishCategory::kVMware,
+        api_.FindWindowA("VMwareTrayWindow", ""));
+
+    RegValue manufacturer;
+    const bool smbios =
+        winapi::ok(api_.RegQueryValueEx("HARDWARE\\DESCRIPTION\\System\\BIOS",
+                                        "SystemManufacturer", manufacturer)) &&
+        icontains(manufacturer.str, "VMware");
+    add("vmware_smbios", PafishCategory::kVMware, smbios);
+  }
+
+  // ---- QEMU (3) -----------------------------------------------------------------------
+  void qemu() {
+    RegValue identifier;
+    const bool scsi =
+        winapi::ok(api_.RegQueryValueEx(
+            "HARDWARE\\DEVICEMAP\\Scsi\\Scsi Port 0\\Scsi Bus 0\\"
+            "Target Id 0\\Logical Unit Id 0",
+            "Identifier", identifier)) &&
+        icontains(identifier.str, "QEMU");
+    add("qemu_reg_scsi", PafishCategory::kQemu, scsi);
+
+    const winsys::CpuidResult b0 = api_.cpuid(0x80000002);
+    std::string brand;
+    for (std::uint32_t r : {b0.eax, b0.ebx, b0.ecx, b0.edx})
+      for (int i = 0; i < 4; ++i) {
+        const char c = static_cast<char>((r >> (8 * i)) & 0xFF);
+        if (c != 0) brand.push_back(c);
+      }
+    add("qemu_cpu_brand", PafishCategory::kQemu, icontains(brand, "QEMU"));
+
+    RegValue bios;
+    const bool biosHit =
+        winapi::ok(api_.RegQueryValueEx("HARDWARE\\Description\\System",
+                                        "SystemBiosVersion", bios)) &&
+        icontains(bios.str, "QEMU");
+    add("qemu_bios", PafishCategory::kQemu, biosHit);
+  }
+
+  // ---- Bochs (3) -------------------------------------------------------------------------
+  void bochs() {
+    RegValue bios;
+    const bool biosHit =
+        winapi::ok(api_.RegQueryValueEx("HARDWARE\\Description\\System",
+                                        "SystemBiosVersion", bios)) &&
+        icontains(bios.str, "BOCHS");
+    add("bochs_bios", PafishCategory::kBochs, biosHit);
+
+    const winsys::CpuidResult b0 = api_.cpuid(0x80000002);
+    std::string brand;
+    for (std::uint32_t r : {b0.eax, b0.ebx, b0.ecx, b0.edx})
+      for (int i = 0; i < 4; ++i) {
+        const char c = static_cast<char>((r >> (8 * i)) & 0xFF);
+        if (c != 0) brand.push_back(c);
+      }
+    add("bochs_cpu_brand", PafishCategory::kBochs,
+        icontains(brand, "Bochs"));
+
+    RegValue date;
+    const bool dateHit =
+        winapi::ok(api_.RegQueryValueEx("HARDWARE\\Description\\System",
+                                        "SystemBiosDate", date)) &&
+        icontains(date.str, "01/01/2007");
+    add("bochs_bios_date", PafishCategory::kBochs, dateHit);
+  }
+
+  // ---- Cuckoo (3) -----------------------------------------------------------------------------
+  void cuckoo() {
+    // All three Cuckoo probes are kernel-object based (named pipes); they
+    // are invisible both to user-level hooking and to our Cuckoo setup,
+    // which is agent-socket based — Table II reports 0 everywhere.
+    add("cuckoo_pipe", PafishCategory::kCuckoo,
+        winapi::ok(api_.NtCreateFile("\\\\.\\pipe\\cuckoo")));
+    add("cuckoo_pipe_alt", PafishCategory::kCuckoo,
+        winapi::ok(api_.NtCreateFile("\\\\.\\cuckoo")));
+    add("cuckoo_resultserver_pipe", PafishCategory::kCuckoo,
+        winapi::ok(api_.NtCreateFile("\\\\.\\pipe\\cuckoo_result")));
+  }
+
+  void runAll() {
+    debuggers();
+    cpu();
+    genericSandbox();
+    hooks();
+    sandboxie();
+    wine();
+    virtualBox();
+    vmware();
+    qemu();
+    bochs();
+    cuckoo();
+  }
+
+ private:
+  Api& api_;
+  PafishReport& report_;
+};
+
+}  // namespace
+
+PafishReport runPafishChecks(Api& api) {
+  PafishReport report;
+  CheckRunner runner(api, report);
+  runner.runAll();
+  return report;
+}
+
+void PafishProgram::run(Api& api) {
+  out_ = runPafishChecks(api);
+  api.ExitProcess(0);
+}
+
+}  // namespace scarecrow::fingerprint

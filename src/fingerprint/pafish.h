@@ -1,0 +1,70 @@
+// Pafish (Paranoid Fish) reimplementation — the fingerprinting tool of the
+// paper's Table II evaluation.
+//
+// 56 evidence checks across 11 categories (the paper's prose says "54
+// pieces of evidence" but its Table II category sizes sum to 56; we follow
+// the table, which is what we reproduce). Every check observes the machine
+// through the same channels real Pafish uses: Win32/Nt APIs (hookable by
+// Scarecrow), CPUID/RDTSC pseudo-instructions and prologue-byte reads
+// (not hookable), kernel device objects (not fakeable from user level).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "winapi/api.h"
+#include "winapi/guest.h"
+
+namespace scarecrow::fingerprint {
+
+enum class PafishCategory : std::uint8_t {
+  kDebuggers,
+  kCpu,
+  kGenericSandbox,
+  kHooks,
+  kSandboxie,
+  kWine,
+  kVirtualBox,
+  kVMware,
+  kQemu,
+  kBochs,
+  kCuckoo,
+};
+inline constexpr std::size_t kPafishCategoryCount = 11;
+
+const char* pafishCategoryName(PafishCategory category) noexcept;
+
+/// Number of evidence checks per category (Table II's parenthesized counts).
+std::size_t pafishCategorySize(PafishCategory category) noexcept;
+
+struct PafishCheckResult {
+  std::string name;
+  PafishCategory category = PafishCategory::kGenericSandbox;
+  bool triggered = false;
+};
+
+struct PafishReport {
+  std::vector<PafishCheckResult> checks;
+
+  std::size_t triggeredIn(PafishCategory category) const;
+  std::size_t totalTriggered() const;
+  bool triggered(const std::string& checkName) const;
+};
+
+/// The Pafish guest program. After run() the report is available; run()
+/// never throws except for budget exhaustion.
+class PafishProgram : public winapi::GuestProgram {
+ public:
+  explicit PafishProgram(PafishReport& out) : out_(out) {}
+  void run(winapi::Api& api) override;
+
+ private:
+  PafishReport& out_;
+};
+
+/// Executes every check against an already-bound Api (used by tests that
+/// want fine-grained control).
+PafishReport runPafishChecks(winapi::Api& api);
+
+}  // namespace scarecrow::fingerprint

@@ -1,0 +1,140 @@
+#include "fingerprint/sandprint.h"
+
+#include "hooking/inline_hook.h"
+#include "support/strings.h"
+
+namespace scarecrow::fingerprint {
+
+using winapi::Api;
+
+namespace {
+
+std::string bucketBytes(std::uint64_t bytes) {
+  // Power-of-two GB buckets: "1GB", "2GB", "4GB", ...
+  std::uint64_t gb = bytes >> 30;
+  std::uint64_t bucket = 1;
+  while (bucket < gb) bucket <<= 1;
+  return std::to_string(bucket) + "GB";
+}
+
+std::string bucketCount(std::uint64_t n, std::uint64_t step) {
+  return "<=" + std::to_string(((n + step - 1) / step) * step);
+}
+
+}  // namespace
+
+std::string SandboxFingerprint::digest() const {
+  std::uint64_t hash = 14695981039346656037ULL;  // FNV-1a offset basis
+  auto mix = [&hash](const std::string& s) {
+    for (unsigned char c : s) {
+      hash ^= c;
+      hash *= 1099511628211ULL;
+    }
+    hash ^= 0x1F;
+    hash *= 1099511628211ULL;
+  };
+  for (const auto& [name, value] : features) {
+    mix(name);
+    mix(value);
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+std::vector<std::string> SandboxFingerprint::diff(
+    const SandboxFingerprint& other) const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : features) {
+    auto it = other.features.find(name);
+    if (it == other.features.end() || it->second != value)
+      out.push_back(name);
+  }
+  for (const auto& [name, value] : other.features)
+    if (features.find(name) == features.end()) out.push_back(name);
+  return out;
+}
+
+const std::vector<std::string>& unsteerableFeatures() {
+  static const std::vector<std::string> features = {
+      "net.mac_oui", "fw.acpi_oem", "cpu.vmexit_bucket",
+  };
+  return features;
+}
+
+SandboxFingerprint collectSandprint(Api& api) {
+  SandboxFingerprint fp;
+  auto set = [&fp](const char* name, std::string value) {
+    fp.features[name] = std::move(value);
+  };
+
+  // ---- identity ----------------------------------------------------------
+  set("id.user", support::toLower(api.GetUserNameA()));
+  set("id.computer", support::toLower(api.GetComputerNameA()));
+  set("id.self_path", support::toLower(api.GetModuleFileNameA()));
+
+  // ---- hardware ----------------------------------------------------------
+  set("hw.cores", std::to_string(api.GetSystemInfo().numberOfProcessors));
+  set("hw.ram", bucketBytes(api.GlobalMemoryStatusEx().totalPhysBytes));
+  std::uint64_t freeBytes = 0, totalBytes = 0;
+  api.GetDiskFreeSpaceExA('C', freeBytes, totalBytes);
+  set("hw.disk", bucketBytes(totalBytes));
+  set("hw.screen", std::to_string(api.GetSystemMetrics(0)) + "x" +
+                       std::to_string(api.GetSystemMetrics(1)));
+
+  // ---- firmware / registry identity ---------------------------------------
+  winsys::RegValue value;
+  set("fw.bios",
+      winapi::ok(api.RegQueryValueEx("HARDWARE\\Description\\System",
+                                     "SystemBiosVersion", value))
+          ? value.str
+          : "-");
+  set("fw.scsi0",
+      winapi::ok(api.RegQueryValueEx(
+          "HARDWARE\\DEVICEMAP\\Scsi\\Scsi Port 0\\Scsi Bus 0\\"
+          "Target Id 0\\Logical Unit Id 0",
+          "Identifier", value))
+          ? value.str
+          : "-");
+  set("fw.acpi_oem", api.GetSystemFirmwareTable());
+
+  // ---- runtime state -------------------------------------------------------
+  set("rt.uptime_bucket",
+      api.GetTickCount() < 12ULL * 60'000 ? "young" : "aged");
+  set("rt.proc_count",
+      bucketCount(api.CreateToolhelp32Snapshot().size(), 16));
+  set("rt.debugger", api.IsDebuggerPresent() ? "1" : "0");
+  set("rt.hooked_deletefile",
+      hooking::checkHook(api.readFunctionBytes(winapi::ApiId::kDeleteFile))
+          ? "1"
+          : "0");
+  {
+    const std::uint64_t t0 = api.GetTickCount();
+    api.Sleep(500);
+    set("rt.sleep_patched", api.GetTickCount() - t0 < 450 ? "1" : "0");
+  }
+  set("rt.sbiedll", api.GetModuleHandleA("SbieDll.dll") ? "1" : "0");
+
+  // ---- network --------------------------------------------------------------
+  set("net.nx_sinkhole",
+      api.DnsQuery("sandprint-probe-zz17.org").has_value() ? "1" : "0");
+  std::string oui = "-";
+  const auto adapters = api.GetAdaptersInfo();
+  if (!adapters.empty()) oui = adapters.front().mac.substr(0, 8);
+  set("net.mac_oui", oui);
+
+  // ---- instruction channels ---------------------------------------------------
+  std::uint64_t vmexit = 0;
+  for (int i = 0; i < 4; ++i) {
+    const std::uint64_t t0 = api.rdtsc();
+    (void)api.cpuid(0x1);
+    vmexit += api.rdtsc() - t0;
+  }
+  set("cpu.vmexit_bucket", vmexit / 4 > 10'000 ? "trap" : "fast");
+  set("cpu.hv_bit", (api.cpuid(0x1).ecx & (1u << 31)) != 0 ? "1" : "0");
+
+  return fp;
+}
+
+}  // namespace scarecrow::fingerprint

@@ -1,0 +1,41 @@
+// SandPrint-style sandbox fingerprint collection (Yokoyama et al.,
+// RAID'16 — discussed in the paper's Section VII).
+//
+// SandPrint harvests environment features from inside an analysis system
+// and uses them to recognize sandboxes (including bare-metal ones). Here it
+// serves as a *measurement instrument* for the paper's indistinguishability
+// claim: with Scarecrow enabled, the feature vectors of the bare-metal
+// sandbox, the VM sandbox and the end-user machine must collapse onto the
+// same fingerprint, up to the documented unhandled channels (MAC, firmware,
+// instruction timing).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "winapi/api.h"
+
+namespace scarecrow::fingerprint {
+
+struct SandboxFingerprint {
+  /// Feature name -> normalized value (buckets for continuous features).
+  std::map<std::string, std::string> features;
+
+  /// Stable digest over all features (FNV-1a rendered as hex).
+  std::string digest() const;
+
+  /// Names of features whose values differ between the two fingerprints.
+  std::vector<std::string> diff(const SandboxFingerprint& other) const;
+};
+
+/// Harvests the fingerprint through user-level channels, exactly like a
+/// submitted probe binary would.
+SandboxFingerprint collectSandprint(winapi::Api& api);
+
+/// The features Scarecrow's user-level engine cannot steer (NDIS MAC,
+/// firmware tables, instruction timing) — the only ones allowed to differ
+/// between Scarecrow-enabled environments.
+const std::vector<std::string>& unsteerableFeatures();
+
+}  // namespace scarecrow::fingerprint

@@ -1,0 +1,258 @@
+#include "fingerprint/weartear.h"
+
+#include <set>
+#include <stdexcept>
+
+#include "support/strings.h"
+
+namespace scarecrow::fingerprint {
+
+using winapi::Api;
+using winsys::RegValue;
+
+const char* artifactCategoryName(ArtifactCategory category) noexcept {
+  switch (category) {
+    case ArtifactCategory::kRegistry: return "registry";
+    case ArtifactCategory::kSystem: return "system";
+    case ArtifactCategory::kFilesystem: return "filesystem";
+    case ArtifactCategory::kBrowser: return "browser";
+    case ArtifactCategory::kNetwork: return "network";
+  }
+  return "?";
+}
+
+const std::array<ArtifactInfo, kArtifactCount>& artifactTable() noexcept {
+  using C = ArtifactCategory;
+  static const std::array<ArtifactInfo, kArtifactCount> table = {{
+      // --- registry (13): Table III's largest category ---------------------
+      {"regSize", C::kRegistry, false, true},
+      {"uninstallCount", C::kRegistry, false, true},
+      {"totalSharedDlls", C::kRegistry, false, true},
+      {"totalAppPaths", C::kRegistry, false, true},
+      {"totalActiveSetup", C::kRegistry, false, true},
+      {"totalMissingDlls", C::kRegistry, false, true},
+      {"usrassistCount", C::kRegistry, false, true},
+      {"shimCacheCount", C::kRegistry, false, true},
+      {"MUICacheEntries", C::kRegistry, false, true},
+      {"FireruleCount", C::kRegistry, false, true},
+      {"USBStorCount", C::kRegistry, false, true},
+      {"deviceClsCount", C::kRegistry, true, true},   // top-5
+      {"autoRunCount", C::kRegistry, true, true},     // top-5
+      // --- system / event log (7) ------------------------------------------
+      {"sysevt", C::kSystem, true, true},             // top-5
+      {"syssrc", C::kSystem, true, true},             // top-5
+      {"bootEvents", C::kSystem, false, false},
+      {"appErrorEvents", C::kSystem, false, false},
+      {"updateEvents", C::kSystem, false, false},
+      {"scmEvents", C::kSystem, false, false},
+      {"uptimeMinutes", C::kSystem, false, false},
+      // --- filesystem (10) ---------------------------------------------------
+      {"prefetchCount", C::kFilesystem, false, false},
+      {"tempFileCount", C::kFilesystem, false, false},
+      {"documentsCount", C::kFilesystem, false, false},
+      {"downloadsCount", C::kFilesystem, false, false},
+      {"desktopCount", C::kFilesystem, false, false},
+      {"desktopLnkCount", C::kFilesystem, false, false},
+      {"programFilesCount", C::kFilesystem, false, false},
+      {"windowsTempCount", C::kFilesystem, false, false},
+      {"thumbcachePresent", C::kFilesystem, false, false},
+      {"diskUsedPercent", C::kFilesystem, false, false},
+      // --- browser (7) ----------------------------------------------------------
+      {"historyPresent", C::kBrowser, false, false},
+      {"cookiesPresent", C::kBrowser, false, false},
+      {"bookmarksPresent", C::kBrowser, false, false},
+      {"faviconsPresent", C::kBrowser, false, false},
+      {"extensionCount", C::kBrowser, false, false},
+      {"typedUrlsCount", C::kBrowser, false, false},
+      {"chromeProfilePresent", C::kBrowser, false, false},
+      // --- network (7) --------------------------------------------------------------
+      {"dnscacheEntries", C::kNetwork, true, true},   // top-5
+      {"dnsDistinctDomains", C::kNetwork, false, false},
+      {"wifiProfilesCount", C::kNetwork, false, false},
+      {"arpCacheCount", C::kNetwork, false, false},
+      {"netSharesCount", C::kNetwork, false, false},
+      {"adapterCount", C::kNetwork, false, false},
+      {"proxyConfigured", C::kNetwork, false, false},
+  }};
+  return table;
+}
+
+std::size_t artifactIndex(const std::string& name) {
+  const auto& table = artifactTable();
+  for (std::size_t i = 0; i < table.size(); ++i)
+    if (name == table[i].name) return i;
+  throw std::out_of_range("unknown artifact: " + name);
+}
+
+namespace {
+
+double regSubkeys(Api& api, const std::string& path) {
+  std::uint32_t subkeys = 0, values = 0;
+  if (!winapi::ok(api.RegQueryInfoKey(path, subkeys, values))) return 0;
+  return subkeys;
+}
+
+double regValues(Api& api, const std::string& path) {
+  std::uint32_t subkeys = 0, values = 0;
+  if (!winapi::ok(api.RegQueryInfoKey(path, subkeys, values))) return 0;
+  return values;
+}
+
+double fileCount(Api& api, const std::string& dir,
+                 const std::string& pattern = "*") {
+  return static_cast<double>(api.FindFirstFileA(dir, pattern).size());
+}
+
+double filePresent(Api& api, const std::string& path) {
+  return api.GetFileAttributesA(path) != Api::kInvalidFileAttributes ? 1 : 0;
+}
+
+}  // namespace
+
+ArtifactVector measureArtifacts(Api& api) {
+  ArtifactVector v{};
+  auto set = [&v](const char* name, double value) {
+    v[artifactIndex(name)] = value;
+  };
+
+  // --- registry -----------------------------------------------------------
+  set("regSize",
+      static_cast<double>(api.NtQuerySystemInformation(
+          winapi::SystemInfoClass::kRegistryQuotaInformation)));
+  const std::string uninstall =
+      "SOFTWARE\\Microsoft\\Windows\\CurrentVersion\\Uninstall";
+  set("uninstallCount", regSubkeys(api, uninstall));
+  const std::string sharedDlls =
+      "SOFTWARE\\Microsoft\\Windows\\CurrentVersion\\SharedDlls";
+  set("totalSharedDlls", regValues(api, sharedDlls));
+  set("totalAppPaths",
+      regSubkeys(api, "SOFTWARE\\Microsoft\\Windows\\CurrentVersion\\"
+                      "App Paths"));
+  set("totalActiveSetup",
+      regSubkeys(api, "SOFTWARE\\Microsoft\\Active Setup\\"
+                      "Installed Components"));
+
+  // Missing DLLs: SharedDlls entries whose file no longer exists.
+  double missing = 0;
+  {
+    std::string name;
+    RegValue value;
+    for (std::uint32_t i = 0;
+         winapi::ok(api.RegEnumValue(sharedDlls, i, name, value)); ++i) {
+      if (!winapi::ok(api.NtCreateFile(name))) ++missing;
+      if (i > 512) break;
+    }
+  }
+  set("totalMissingDlls", missing);
+
+  set("usrassistCount",
+      regValues(api, "HKCU\\Software\\Microsoft\\Windows\\CurrentVersion\\"
+                     "Explorer\\UserAssist\\"
+                     "{CEBFF5CD-ACE2-4F4F-9178-9926F41749EA}\\Count"));
+  RegValue shim;
+  set("shimCacheCount",
+      winapi::ok(api.NtQueryValueKey(
+          "SYSTEM\\CurrentControlSet\\Control\\Session Manager\\"
+          "AppCompatCache",
+          "CacheEntryCount", shim))
+          ? static_cast<double>(shim.num)
+          : 0);
+  set("MUICacheEntries",
+      regValues(api, "HKCU\\Software\\Classes\\Local Settings\\Software\\"
+                     "Microsoft\\Windows\\Shell\\MuiCache"));
+  set("FireruleCount",
+      regValues(api, "SYSTEM\\ControlSet001\\Services\\SharedAccess\\"
+                     "Parameters\\FirewallPolicy\\FirewallRules"));
+  set("USBStorCount",
+      regSubkeys(api, "SYSTEM\\CurrentControlSet\\Services\\UsbStor"));
+  set("deviceClsCount",
+      regSubkeys(api, "SYSTEM\\CurrentControlSet\\Control\\DeviceClasses"));
+  set("autoRunCount",
+      regValues(api, "SOFTWARE\\Microsoft\\Windows\\CurrentVersion\\Run"));
+
+  // --- system / event log ----------------------------------------------------
+  const std::vector<winapi::EventView> events = api.EvtNext(100'000);
+  set("sysevt", static_cast<double>(events.size()));
+  std::set<std::string> sources;
+  double boot = 0, appErr = 0, update = 0, scm = 0;
+  for (const winapi::EventView& e : events) {
+    sources.insert(e.source);
+    if (e.source == "EventLog" && e.id == 6005) ++boot;
+    if (e.source == "Application Error") ++appErr;
+    if (e.source == "Windows Update Agent") ++update;
+    if (e.source == "Service Control Manager") ++scm;
+  }
+  set("syssrc", static_cast<double>(sources.size()));
+  set("bootEvents", boot);
+  set("appErrorEvents", appErr);
+  set("updateEvents", update);
+  set("scmEvents", scm);
+  set("uptimeMinutes", static_cast<double>(api.GetTickCount()) / 60'000.0);
+
+  // --- filesystem ---------------------------------------------------------------
+  const std::string user = api.GetUserNameA();
+  const std::string userRoot = "C:\\Users\\" + user;
+  set("prefetchCount", fileCount(api, "C:\\Windows\\Prefetch", "*.pf"));
+  set("tempFileCount",
+      fileCount(api, userRoot + "\\AppData\\Local\\Temp"));
+  set("documentsCount", fileCount(api, userRoot + "\\Documents"));
+  set("downloadsCount", fileCount(api, userRoot + "\\Downloads"));
+  set("desktopCount", fileCount(api, userRoot + "\\Desktop"));
+  set("desktopLnkCount", fileCount(api, userRoot + "\\Desktop", "*.lnk"));
+  set("programFilesCount", fileCount(api, "C:\\Program Files"));
+  set("windowsTempCount", fileCount(api, "C:\\Windows\\Temp"));
+  set("thumbcachePresent",
+      filePresent(api, userRoot + "\\AppData\\Local\\Microsoft\\Windows\\"
+                                  "Explorer\\thumbcache_256.db"));
+  std::uint64_t freeBytes = 0, totalBytes = 0;
+  if (api.GetDiskFreeSpaceExA('C', freeBytes, totalBytes) && totalBytes > 0)
+    set("diskUsedPercent",
+        100.0 * static_cast<double>(totalBytes - freeBytes) /
+            static_cast<double>(totalBytes));
+
+  // --- browser --------------------------------------------------------------------
+  const std::string chrome =
+      userRoot + "\\AppData\\Local\\Google\\Chrome\\User Data\\Default";
+  set("historyPresent", filePresent(api, chrome + "\\History"));
+  set("cookiesPresent", filePresent(api, chrome + "\\Cookies"));
+  set("bookmarksPresent", filePresent(api, chrome + "\\Bookmarks"));
+  set("faviconsPresent", filePresent(api, chrome + "\\Favicons"));
+  set("extensionCount", fileCount(api, chrome + "\\Extensions"));
+  set("typedUrlsCount",
+      regValues(api, "HKCU\\Software\\Microsoft\\Internet Explorer\\"
+                     "TypedURLs"));
+  set("chromeProfilePresent",
+      api.GetFileAttributesA(chrome) != Api::kInvalidFileAttributes ? 1 : 0);
+
+  // --- network ---------------------------------------------------------------------
+  const std::vector<winapi::DnsCacheRow> cache = api.DnsGetCacheDataTable();
+  set("dnscacheEntries", static_cast<double>(cache.size()));
+  std::set<std::string> domains;
+  for (const winapi::DnsCacheRow& row : cache)
+    domains.insert(support::toLower(row.domain));
+  set("dnsDistinctDomains", static_cast<double>(domains.size()));
+  set("wifiProfilesCount",
+      regSubkeys(api, "SOFTWARE\\Microsoft\\Windows NT\\CurrentVersion\\"
+                      "NetworkList\\Profiles"));
+  set("arpCacheCount", regValues(api, "SOFTWARE\\Scarecrow\\Sim\\ArpCache"));
+  set("netSharesCount",
+      regValues(api, "SYSTEM\\CurrentControlSet\\Services\\LanmanServer\\"
+                     "Shares"));
+  set("adapterCount", static_cast<double>(api.GetAdaptersInfo().size()));
+  RegValue proxy;
+  set("proxyConfigured",
+      winapi::ok(api.RegQueryValueEx(
+          "HKCU\\Software\\Microsoft\\Windows\\CurrentVersion\\"
+          "Internet Settings",
+          "ProxyEnable", proxy)) && proxy.num != 0
+          ? 1
+          : 0);
+  return v;
+}
+
+void WearTearProgram::run(Api& api) {
+  out_ = measureArtifacts(api);
+  api.ExitProcess(0);
+}
+
+}  // namespace scarecrow::fingerprint

@@ -1,0 +1,64 @@
+// Wear-and-tear artifact measurement (Miramirkhani et al., S&P'17), the
+// fingerprinting technique of the paper's Table III evaluation.
+//
+// 44 artifacts across 5 categories quantify how "used" a system looks.
+// Scarecrow's extension (Section IV-C2) fakes the top-5 artifacts plus the
+// whole registry category; the remaining artifacts are measured live —
+// though several filesystem/browser artifacts deflate indirectly because
+// Scarecrow also fakes GetUserName, which relocates the probed profile
+// directories.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "winapi/api.h"
+#include "winapi/guest.h"
+
+namespace scarecrow::fingerprint {
+
+enum class ArtifactCategory : std::uint8_t {
+  kRegistry,
+  kSystem,      // event log / uptime
+  kFilesystem,
+  kBrowser,
+  kNetwork,
+};
+
+const char* artifactCategoryName(ArtifactCategory category) noexcept;
+
+inline constexpr std::size_t kArtifactCount = 44;
+
+struct ArtifactInfo {
+  const char* name;
+  ArtifactCategory category;
+  /// Among the S&P'17 top-5 most discriminative artifacts.
+  bool top5;
+  /// Faked by Scarecrow's wear-and-tear extension (Table III rows).
+  bool fakedByScarecrow;
+};
+
+/// Static metadata for all 44 artifacts, index-aligned with measurements.
+const std::array<ArtifactInfo, kArtifactCount>& artifactTable() noexcept;
+
+std::size_t artifactIndex(const std::string& name);
+
+using ArtifactVector = std::array<double, kArtifactCount>;
+
+/// Measures every artifact through the user-level API surface.
+ArtifactVector measureArtifacts(winapi::Api& api);
+
+/// Guest program wrapper (run under a controller to measure "with
+/// Scarecrow" values).
+class WearTearProgram : public winapi::GuestProgram {
+ public:
+  explicit WearTearProgram(ArtifactVector& out) : out_(out) {}
+  void run(winapi::Api& api) override;
+
+ private:
+  ArtifactVector& out_;
+};
+
+}  // namespace scarecrow::fingerprint

@@ -1,0 +1,39 @@
+#include "hooking/injector.h"
+
+#include "support/strings.h"
+
+namespace scarecrow::hooking {
+
+bool injectDll(winsys::Machine& machine, winapi::UserSpace& userspace,
+               std::uint32_t pid, const DllImage& dll) {
+  winsys::Process* target = machine.processes().find(pid);
+  if (target == nullptr ||
+      target->state == winsys::ProcessState::kTerminated)
+    return false;
+  if (isInjected(userspace, pid, dll.name)) return true;
+
+  // Map the module into the target: visible through GetModuleHandle, like
+  // EasyHook's runtime DLL.
+  target->modules.push_back(
+      {dll.name, "C:\\Program Files\\Scarecrow\\" + dll.name});
+  winapi::ProcessApiState& state = userspace.stateFor(pid);
+  state.injectedDlls.push_back(dll.name);
+  machine.emit(pid, trace::EventKind::kDllLoad, dll.name, "injected");
+
+  if (dll.onLoad) {
+    winapi::Api api(machine, userspace, pid);
+    dll.onLoad(api);
+  }
+  return true;
+}
+
+bool isInjected(const winapi::UserSpace& userspace, std::uint32_t pid,
+                const std::string& dllName) {
+  const winapi::ProcessApiState* state = userspace.findState(pid);
+  if (state == nullptr) return false;
+  for (const std::string& name : state->injectedDlls)
+    if (support::iequals(name, dllName)) return true;
+  return false;
+}
+
+}  // namespace scarecrow::hooking

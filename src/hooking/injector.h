@@ -1,0 +1,36 @@
+// DLL injection (paper Section III-A, EasyHook-style).
+//
+// A DllImage is injectable code: a name plus an entry point that runs in
+// the target's context and typically installs in-line hooks. Injection
+// appends the module to the target's module list (GetModuleHandle sees it,
+// like EasyHook's helper DLL), records a DllLoad kernel event, and invokes
+// the entry point. Child propagation — CreateProcess(suspended) → inject →
+// resume — is implemented by the deception engine's CreateProcess hook on
+// top of this primitive.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "winapi/api.h"
+#include "winapi/userspace.h"
+#include "winsys/machine.h"
+
+namespace scarecrow::hooking {
+
+struct DllImage {
+  std::string name = "injected.dll";
+  /// Runs inside the target process right after the module is mapped.
+  std::function<void(winapi::Api& api)> onLoad;
+};
+
+/// Injects `dll` into process `pid`. Returns false if the process does not
+/// exist or is terminated.
+bool injectDll(winsys::Machine& machine, winapi::UserSpace& userspace,
+               std::uint32_t pid, const DllImage& dll);
+
+/// True if `dll` was already injected into `pid`.
+bool isInjected(const winapi::UserSpace& userspace, std::uint32_t pid,
+                const std::string& dllName);
+
+}  // namespace scarecrow::hooking

@@ -1,0 +1,59 @@
+#include "hooking/inline_hook.h"
+
+namespace scarecrow::hooking {
+
+using winapi::ApiId;
+using winapi::kApiCount;
+using winapi::Prologue;
+using winapi::ProcessApiState;
+
+namespace {
+
+Prologue& slot(ProcessApiState& state, ApiId id) {
+  return state.prologues[static_cast<std::size_t>(id)];
+}
+
+const Prologue& slot(const ProcessApiState& state, ApiId id) {
+  return state.prologues[static_cast<std::size_t>(id)];
+}
+
+}  // namespace
+
+bool installInlineHook(ProcessApiState& state, ApiId id) {
+  Prologue& p = slot(state, id);
+  if (p.hooked) return false;
+  p.trampoline = p.bytes;  // displace original bytes to the trampoline
+  // JMP rel32 to the hook body; the displacement encodes the ApiId so each
+  // patched entry is distinguishable in memory dumps.
+  p.bytes = {0xE9,
+             static_cast<std::uint8_t>(id),
+             0x10, 0x40, 0x00,
+             0x90, 0x90, 0x90};  // NOP padding after the 5-byte patch
+  p.hooked = true;
+  return true;
+}
+
+bool removeInlineHook(ProcessApiState& state, ApiId id) {
+  Prologue& p = slot(state, id);
+  if (!p.hooked) return false;
+  p.bytes = p.trampoline;
+  p.hooked = false;
+  return true;
+}
+
+bool isHooked(const ProcessApiState& state, ApiId id) noexcept {
+  return slot(state, id).hooked;
+}
+
+bool checkHook(const std::array<std::uint8_t, 8>& entryBytes) noexcept {
+  return !(entryBytes[0] == 0x8B && entryBytes[1] == 0xFF);
+}
+
+std::vector<ApiId> hookedApis(const ProcessApiState& state) {
+  std::vector<ApiId> out;
+  for (std::size_t i = 0; i < kApiCount; ++i)
+    if (state.prologues[i].hooked) out.push_back(static_cast<ApiId>(i));
+  return out;
+}
+
+}  // namespace scarecrow::hooking

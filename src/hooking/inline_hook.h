@@ -1,0 +1,36 @@
+// In-line hooking engine (paper Section III-A, Figure 1).
+//
+// Installing a hook overwrites the first five bytes of the target function
+// with `JMP rel32` (0xE9 xx xx xx xx), after moving the displaced bytes to
+// a trampoline. Anti-hook logic detects this by checking whether the entry
+// still starts with the hot-patch prologue `mov edi, edi` (8B FF) — the
+// exact check reproduced in Figure 1. The paper's point: the *visibility*
+// of these hooks is a feature, because sandboxes hook the same APIs.
+#pragma once
+
+#include <vector>
+
+#include "winapi/api_ids.h"
+#include "winapi/userspace.h"
+
+namespace scarecrow::hooking {
+
+/// Writes the JMP patch into the prologue of `id` within one process's
+/// image. Idempotent. Returns false if the function was already hooked.
+bool installInlineHook(winapi::ProcessApiState& state, winapi::ApiId id);
+
+/// Restores the displaced bytes from the trampoline. Returns false if the
+/// function was not hooked.
+bool removeInlineHook(winapi::ProcessApiState& state, winapi::ApiId id);
+
+/// True if the function entry of `id` carries a JMP patch.
+bool isHooked(const winapi::ProcessApiState& state, winapi::ApiId id) noexcept;
+
+/// The detection predicate of Figure 1: returns true ("hooked") when the
+/// first two bytes are NOT `mov edi, edi`.
+bool checkHook(const std::array<std::uint8_t, 8>& entryBytes) noexcept;
+
+/// All currently hooked ApiIds in a process image.
+std::vector<winapi::ApiId> hookedApis(const winapi::ProcessApiState& state);
+
+}  // namespace scarecrow::hooking

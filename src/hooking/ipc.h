@@ -1,0 +1,49 @@
+// IPC channel between an injected DLL and its controller process.
+//
+// scarecrow.dll reports fingerprint attempts and self-spawn activity to
+// scarecrow.exe over this channel; the controller pushes configuration
+// updates back (paper Figure 2). Messages are also mirrored into the kernel
+// trace as kAlert events so the evaluation pipeline can attribute the first
+// trigger per sample (Table I's "Trigger" column).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scarecrow::hooking {
+
+enum class IpcKind : std::uint8_t {
+  kFingerprintAttempt,  // a deceptive resource was probed
+  kSelfSpawnAlert,      // target respawned its own image
+  kProcessInjected,     // DLL injected into a (child) process
+  kConfigUpdate,        // controller -> dll
+};
+
+struct IpcMessage {
+  IpcKind kind = IpcKind::kFingerprintAttempt;
+  std::uint32_t pid = 0;
+  std::uint64_t timeMs = 0;
+  std::string api;       // API (or pseudo-channel) that fired
+  std::string resource;  // deceptive resource involved
+};
+
+class IpcChannel {
+ public:
+  void send(IpcMessage message) { queue_.push_back(std::move(message)); }
+
+  /// Removes and returns all pending messages (controller poll).
+  std::vector<IpcMessage> drain() {
+    std::vector<IpcMessage> out;
+    out.swap(queue_);
+    return out;
+  }
+
+  const std::vector<IpcMessage>& pending() const noexcept { return queue_; }
+  bool empty() const noexcept { return queue_.empty(); }
+
+ private:
+  std::vector<IpcMessage> queue_;
+};
+
+}  // namespace scarecrow::hooking

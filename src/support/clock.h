@@ -1,0 +1,46 @@
+// Virtual time for the simulated machine.
+//
+// The paper's evasive checks observe three time sources: GetTickCount
+// (milliseconds since boot), the performance counter, and the raw TSC.
+// Analysis sandboxes manipulate these (sleep patching, time acceleration),
+// and evasive malware measures their mutual consistency. VirtualClock keeps
+// all three coherent by construction and lets the environment inject the
+// incoherencies (vmexit latency, accelerated sleeps) that checks look for.
+#pragma once
+
+#include <cstdint>
+
+namespace scarecrow::support {
+
+class VirtualClock {
+ public:
+  VirtualClock() = default;
+
+  /// Milliseconds since simulated boot.
+  std::uint64_t nowMs() const noexcept { return ms_; }
+
+  /// Advances wall-clock time. Everything derives from this.
+  void advanceMs(std::uint64_t delta) noexcept { ms_ += delta; }
+
+  /// Raw timestamp counter. Derived from wall time at `tscPerMs` plus any
+  /// extra cycles injected by instruction costs (e.g. hypervisor traps).
+  std::uint64_t tsc() const noexcept { return ms_ * tscPerMs_ + tscExtra_; }
+
+  /// Injects extra cycles that are visible to RDTSC but not to wall time —
+  /// this is how a CPUID vmexit shows up in the rdtsc_diff checks.
+  void addTscCycles(std::uint64_t cycles) noexcept { tscExtra_ += cycles; }
+
+  /// Nominal TSC frequency per millisecond (default ~2.6 GHz).
+  std::uint64_t tscPerMs() const noexcept { return tscPerMs_; }
+  void setTscPerMs(std::uint64_t v) noexcept { tscPerMs_ = v; }
+
+  /// Sets absolute boot-relative time; used when building aged machines.
+  void setNowMs(std::uint64_t ms) noexcept { ms_ = ms; }
+
+ private:
+  std::uint64_t ms_ = 0;
+  std::uint64_t tscPerMs_ = 2'600'000;
+  std::uint64_t tscExtra_ = 0;
+};
+
+}  // namespace scarecrow::support

@@ -1,0 +1,32 @@
+#include "support/log.h"
+
+#include <cstdio>
+
+namespace scarecrow::support {
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* levelName(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void setLogLevel(LogLevel level) noexcept { g_level = level; }
+LogLevel logLevel() noexcept { return g_level; }
+
+void logMessage(LogLevel level, std::string_view component,
+                std::string_view message) {
+  if (level < g_level) return;
+  std::fprintf(stderr, "[%s] %.*s: %.*s\n", levelName(level),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace scarecrow::support

@@ -1,0 +1,33 @@
+// Minimal leveled logger.
+//
+// The simulator is deterministic and single-threaded per machine, so the
+// logger is intentionally tiny: a global level, stderr sink, printf-style
+// payloads built with std::snprintf by callers who need formatting.
+#pragma once
+
+#include <string_view>
+
+namespace scarecrow::support {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void setLogLevel(LogLevel level) noexcept;
+LogLevel logLevel() noexcept;
+
+void logMessage(LogLevel level, std::string_view component,
+                std::string_view message);
+
+inline void logDebug(std::string_view c, std::string_view m) {
+  logMessage(LogLevel::kDebug, c, m);
+}
+inline void logInfo(std::string_view c, std::string_view m) {
+  logMessage(LogLevel::kInfo, c, m);
+}
+inline void logWarn(std::string_view c, std::string_view m) {
+  logMessage(LogLevel::kWarn, c, m);
+}
+inline void logError(std::string_view c, std::string_view m) {
+  logMessage(LogLevel::kError, c, m);
+}
+
+}  // namespace scarecrow::support

@@ -1,0 +1,54 @@
+// Deterministic pseudo-random number generation for reproducible simulation.
+//
+// All stochastic choices in the simulator (corpus generation, machine aging,
+// timing jitter) flow through Rng so that a given seed always reproduces the
+// same machine images, the same malware corpus, and therefore the same
+// benchmark tables. We deliberately do not use std::mt19937 + distributions
+// because distribution outputs are not guaranteed identical across standard
+// library implementations; xoshiro256** plus hand-rolled range mapping is.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scarecrow::support {
+
+/// xoshiro256** PRNG with SplitMix64 seeding. Deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  /// Uniform 64-bit value.
+  std::uint64_t next() noexcept;
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool chance(double p) noexcept;
+
+  /// Picks one element index according to non-negative weights.
+  /// Returns weights.size() - 1 if all weights are zero.
+  std::size_t pickWeighted(const std::vector<double>& weights) noexcept;
+
+  /// Random lowercase hex string of n characters (e.g. fake md5 prefixes).
+  std::string hexString(std::size_t n);
+
+  /// Random lowercase alphabetic string of n characters.
+  std::string alphaString(std::size_t n);
+
+  /// Derives a child generator; changing one stream does not perturb others.
+  Rng fork() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace scarecrow::support

@@ -1,0 +1,152 @@
+#include "support/strings.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+
+namespace scarecrow::support {
+
+char asciiLower(char c) noexcept {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+std::string toLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](char c) { return asciiLower(c); });
+  return out;
+}
+
+bool iequals(std::string_view a, std::string_view b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (asciiLower(a[i]) != asciiLower(b[i])) return false;
+  return true;
+}
+
+bool icontains(std::string_view haystack, std::string_view needle) noexcept {
+  if (needle.empty()) return true;
+  if (needle.size() > haystack.size()) return false;
+  for (std::size_t i = 0; i + needle.size() <= haystack.size(); ++i) {
+    std::size_t j = 0;
+    while (j < needle.size() &&
+           asciiLower(haystack[i + j]) == asciiLower(needle[j]))
+      ++j;
+    if (j == needle.size()) return true;
+  }
+  return false;
+}
+
+bool istartsWith(std::string_view s, std::string_view prefix) noexcept {
+  return s.size() >= prefix.size() && iequals(s.substr(0, prefix.size()), prefix);
+}
+
+bool iendsWith(std::string_view s, std::string_view suffix) noexcept {
+  return s.size() >= suffix.size() &&
+         iequals(s.substr(s.size() - suffix.size()), suffix);
+}
+
+std::vector<std::string> split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts, char sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out.push_back(sep);
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view s) noexcept {
+  std::size_t b = 0, e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t' || s[b] == '\r' || s[b] == '\n'))
+    ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r' ||
+                   s[e - 1] == '\n'))
+    --e;
+  return s.substr(b, e - b);
+}
+
+bool wildcardMatch(std::string_view pattern, std::string_view text) noexcept {
+  // Iterative two-pointer algorithm with backtracking to the last '*'.
+  std::size_t p = 0, t = 0;
+  std::size_t starP = std::string_view::npos, starT = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '?' || asciiLower(pattern[p]) == asciiLower(text[t]))) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      starP = p++;
+      starT = t;
+    } else if (starP != std::string_view::npos) {
+      p = starP + 1;
+      t = ++starT;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+std::string normalizePath(std::string_view path) {
+  std::string out;
+  out.reserve(path.size());
+  bool lastSep = false;
+  for (char c : path) {
+    if (c == '/' || c == '\\') {
+      if (!lastSep) out.push_back('\\');
+      lastSep = true;
+    } else {
+      out.push_back(c);
+      lastSep = false;
+    }
+  }
+  // Strip a trailing separator unless this is a drive root like "C:\".
+  if (out.size() > 3 && out.back() == '\\') out.pop_back();
+  return out;
+}
+
+std::string baseName(std::string_view path) {
+  const auto pos = path.find_last_of("\\/");
+  return std::string(pos == std::string_view::npos ? path
+                                                   : path.substr(pos + 1));
+}
+
+std::string parentPath(std::string_view path) {
+  const std::string norm = normalizePath(path);
+  const auto pos = norm.find_last_of('\\');
+  if (pos == std::string::npos) return norm;
+  if (pos <= 2) return norm.substr(0, 3);  // "C:\"
+  return norm.substr(0, pos);
+}
+
+std::string formatBytes(std::uint64_t bytes) {
+  static const char* kUnits[] = {"B", "KB", "MB", "GB", "TB"};
+  double v = static_cast<double>(bytes);
+  int unit = 0;
+  while (v >= 1024.0 && unit < 4) {
+    v /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  if (v == static_cast<std::uint64_t>(v))
+    std::snprintf(buf, sizeof buf, "%llu %s",
+                  static_cast<unsigned long long>(v), kUnits[unit]);
+  else
+    std::snprintf(buf, sizeof buf, "%.1f %s", v, kUnits[unit]);
+  return buf;
+}
+
+}  // namespace scarecrow::support

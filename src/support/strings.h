@@ -1,0 +1,51 @@
+// String utilities shared by the simulated Windows substrate.
+//
+// Windows name resolution (registry paths, file paths, process names, window
+// classes) is case-insensitive, so almost every lookup in the simulator goes
+// through the ASCII case-insensitive helpers here.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scarecrow::support {
+
+/// ASCII lower-casing; the simulated system never needs locale awareness.
+char asciiLower(char c) noexcept;
+std::string toLower(std::string_view s);
+
+/// Case-insensitive equality / containment, Windows-style.
+bool iequals(std::string_view a, std::string_view b) noexcept;
+bool icontains(std::string_view haystack, std::string_view needle) noexcept;
+bool istartsWith(std::string_view s, std::string_view prefix) noexcept;
+bool iendsWith(std::string_view s, std::string_view suffix) noexcept;
+
+/// Splits on a separator character; empty segments are preserved.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Joins segments with a separator.
+std::string join(const std::vector<std::string>& parts, char sep);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view trim(std::string_view s) noexcept;
+
+/// Glob-style match supporting '*' and '?', case-insensitive
+/// (the semantics FindFirstFile exposes).
+bool wildcardMatch(std::string_view pattern, std::string_view text) noexcept;
+
+/// Normalizes a Windows path: backslashes, no trailing slash (except root),
+/// collapsed doubled separators. Does not lower-case (display names keep
+/// their case; lookups lower-case separately).
+std::string normalizePath(std::string_view path);
+
+/// Last path component ("C:\\a\\b.exe" -> "b.exe").
+std::string baseName(std::string_view path);
+
+/// Parent path ("C:\\a\\b.exe" -> "C:\\a"); root maps to itself.
+std::string parentPath(std::string_view path);
+
+/// Formats byte counts like "50 GB" for reports.
+std::string formatBytes(std::uint64_t bytes);
+
+}  // namespace scarecrow::support

@@ -1,0 +1,129 @@
+#include "trace/analysis.h"
+
+#include <algorithm>
+
+#include "support/strings.h"
+
+namespace scarecrow::trace {
+namespace {
+
+bool isSignificantKind(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kProcessCreate:
+    case EventKind::kFileCreate:
+    case EventKind::kFileWrite:
+    case EventKind::kFileDelete:
+    case EventKind::kRegSetValue:
+    case EventKind::kRegCreateKey:
+    case EventKind::kRegDeleteKey:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string canonical(const Event& e) {
+  std::string out = eventKindName(e.kind);
+  out += ':';
+  out += support::toLower(e.target);
+  return out;
+}
+
+}  // namespace
+
+std::set<std::string> significantActivities(const Trace& trace,
+                                            const std::string& sampleImage) {
+  std::set<std::string> out;
+  for (const Event& e : trace.events) {
+    if (!isSignificantKind(e.kind)) continue;
+    if ((e.kind == EventKind::kProcessCreate ||
+         e.kind == EventKind::kFileDelete) &&
+        support::iequals(support::baseName(e.target), sampleImage))
+      continue;  // self-spawn / self-delete: evasion mechanics, not payload
+    out.insert(canonical(e));
+  }
+  return out;
+}
+
+std::size_t selfSpawnCount(const Trace& trace,
+                           const std::string& sampleImage) {
+  std::size_t n = 0;
+  for (const Event& e : trace.events) {
+    if (e.kind != EventKind::kProcessCreate) continue;
+    if (support::iequals(support::baseName(e.target), sampleImage)) ++n;
+  }
+  return n;
+}
+
+bool usedIsDebuggerPresent(const Trace& trace) {
+  for (const Event& e : trace.events) {
+    if ((e.kind == EventKind::kAlert || e.kind == EventKind::kApiCall) &&
+        (support::icontains(e.target, "IsDebuggerPresent") ||
+         support::icontains(e.detail, "IsDebuggerPresent")))
+      return true;
+  }
+  return false;
+}
+
+std::string firstTrigger(const Trace& trace) {
+  for (const Event& e : trace.events) {
+    if (e.kind == EventKind::kAlert &&
+        support::istartsWith(e.target, "fingerprint"))
+      return e.detail;
+  }
+  return {};
+}
+
+const char* deactivationReasonName(DeactivationReason reason) noexcept {
+  switch (reason) {
+    case DeactivationReason::kNotDeactivated: return "not-deactivated";
+    case DeactivationReason::kSelfSpawnLoop: return "self-spawn-loop";
+    case DeactivationReason::kSuppressedActivities:
+      return "suppressed-activities";
+    case DeactivationReason::kIndeterminate: return "indeterminate";
+  }
+  return "?";
+}
+
+DeactivationVerdict judgeDeactivation(const Trace& withoutScarecrow,
+                                      const Trace& withScarecrow,
+                                      const std::string& sampleImage,
+                                      std::size_t selfSpawnThreshold) {
+  DeactivationVerdict verdict;
+  verdict.selfSpawnsWithScarecrow =
+      selfSpawnCount(withScarecrow, sampleImage);
+  verdict.isDebuggerPresentUsed = usedIsDebuggerPresent(withScarecrow);
+  verdict.firstTrigger = firstTrigger(withScarecrow);
+
+  const auto sigWithout = significantActivities(withoutScarecrow, sampleImage);
+  const auto sigWith = significantActivities(withScarecrow, sampleImage);
+
+  for (const auto& activity : sigWithout)
+    if (sigWith.find(activity) == sigWith.end())
+      verdict.suppressedActivities.push_back(activity);
+  for (const auto& activity : sigWith)
+    if (sigWithout.find(activity) != sigWithout.end())
+      verdict.leakedActivities.push_back(activity);
+
+  if (verdict.selfSpawnsWithScarecrow > selfSpawnThreshold) {
+    verdict.deactivated = true;
+    verdict.reason = DeactivationReason::kSelfSpawnLoop;
+    return verdict;
+  }
+  if (sigWithout.empty()) {
+    // The sample does nothing observable even when unconstrained (Selfdel):
+    // effectiveness cannot be determined.
+    verdict.reason = DeactivationReason::kIndeterminate;
+    return verdict;
+  }
+  if (!verdict.suppressedActivities.empty() &&
+      verdict.leakedActivities.empty()) {
+    verdict.deactivated = true;
+    verdict.reason = DeactivationReason::kSuppressedActivities;
+    return verdict;
+  }
+  verdict.reason = DeactivationReason::kNotDeactivated;
+  return verdict;
+}
+
+}  // namespace scarecrow::trace

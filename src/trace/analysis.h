@@ -1,0 +1,68 @@
+// Trace analysis: the paper's Section IV evaluation methodology.
+//
+// Deactivation of an evasive sample is decided exactly the way the paper
+// decides it, from kernel traces alone:
+//  1. *Self-spawn loop*: with Scarecrow enabled the sample re-spawns itself
+//     more than 10 times (IsDebuggerPresent-style evasion turned into an
+//     everlasting loop that never reaches the payload).
+//  2. *Suppressed activities*: significant activities (new processes, file
+//     writes, registry modifications) present in the trace WITHOUT
+//     Scarecrow but absent in the trace WITH Scarecrow.
+//  3. *Indeterminate*: the sample shows no significant activity even
+//     without Scarecrow (the Selfdel family), so effectiveness cannot be
+//     established.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "trace/event.h"
+
+namespace scarecrow::trace {
+
+/// A significant activity: canonical "kind:target" string. Process creates
+/// of the sample's own image are excluded (they are the self-spawn signal,
+/// not a payload).
+std::set<std::string> significantActivities(const Trace& trace,
+                                            const std::string& sampleImage);
+
+/// Number of times the sample spawned its own image.
+std::size_t selfSpawnCount(const Trace& trace, const std::string& sampleImage);
+
+/// True if the trace shows the sample calling IsDebuggerPresent (via the
+/// deception engine's fingerprint alerts or captured API calls).
+bool usedIsDebuggerPresent(const Trace& trace);
+
+/// The first deception-engine fingerprint alert in the trace — the paper's
+/// Table I "Trigger" column. Empty if none.
+std::string firstTrigger(const Trace& trace);
+
+enum class DeactivationReason {
+  kNotDeactivated,
+  kSelfSpawnLoop,
+  kSuppressedActivities,
+  kIndeterminate,
+};
+
+const char* deactivationReasonName(DeactivationReason reason) noexcept;
+
+struct DeactivationVerdict {
+  bool deactivated = false;
+  DeactivationReason reason = DeactivationReason::kNotDeactivated;
+  std::size_t selfSpawnsWithScarecrow = 0;
+  bool isDebuggerPresentUsed = false;
+  /// Payload activities observed without Scarecrow but suppressed with it.
+  std::vector<std::string> suppressedActivities;
+  /// Payload activities that leaked through despite Scarecrow.
+  std::vector<std::string> leakedActivities;
+  std::string firstTrigger;
+};
+
+/// Applies the paper's decision procedure to a (without, with) trace pair.
+DeactivationVerdict judgeDeactivation(const Trace& withoutScarecrow,
+                                      const Trace& withScarecrow,
+                                      const std::string& sampleImage,
+                                      std::size_t selfSpawnThreshold = 10);
+
+}  // namespace scarecrow::trace

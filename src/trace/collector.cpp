@@ -1,0 +1,46 @@
+#include "trace/collector.h"
+
+namespace scarecrow::trace {
+
+void Collector::upload(Trace trace) {
+  Pair& pair = traces_[trace.sampleId];
+  if (trace.scarecrowEnabled)
+    pair.with = std::move(trace);
+  else
+    pair.without = std::move(trace);
+}
+
+const Trace* Collector::find(const std::string& sampleId,
+                             bool scarecrowEnabled) const noexcept {
+  auto it = traces_.find(sampleId);
+  if (it == traces_.end()) return nullptr;
+  const auto& slot = scarecrowEnabled ? it->second.with : it->second.without;
+  return slot.has_value() ? &*slot : nullptr;
+}
+
+std::vector<std::string> Collector::sampleIds() const {
+  std::vector<std::string> out;
+  out.reserve(traces_.size());
+  for (const auto& [id, pair] : traces_) out.push_back(id);
+  return out;
+}
+
+std::optional<DeactivationVerdict> Collector::judge(
+    const std::string& sampleId, const std::string& sampleImage) const {
+  auto it = traces_.find(sampleId);
+  if (it == traces_.end() || !it->second.without || !it->second.with)
+    return std::nullopt;
+  return judgeDeactivation(*it->second.without, *it->second.with,
+                           sampleImage);
+}
+
+std::size_t Collector::size() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [id, pair] : traces_)
+    n += (pair.without ? 1 : 0) + (pair.with ? 1 : 0);
+  return n;
+}
+
+void Collector::clear() { traces_.clear(); }
+
+}  // namespace scarecrow::trace

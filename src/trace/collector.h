@@ -1,0 +1,43 @@
+// Trace collector: the evaluation proxy of the paper's Figure 3.
+//
+// Machines upload traces in real time ("to avoid possible corruption of
+// runtime traces"); the collector pairs them by sample id and configuration
+// so the analysis stage can diff with/without-Scarecrow executions.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/analysis.h"
+#include "trace/event.h"
+
+namespace scarecrow::trace {
+
+class Collector {
+ public:
+  void upload(Trace trace);
+
+  const Trace* find(const std::string& sampleId,
+                    bool scarecrowEnabled) const noexcept;
+
+  /// All sample ids with at least one uploaded trace.
+  std::vector<std::string> sampleIds() const;
+
+  /// Judges a sample for which both configurations were uploaded.
+  std::optional<DeactivationVerdict> judge(
+      const std::string& sampleId, const std::string& sampleImage) const;
+
+  std::size_t size() const noexcept;
+  void clear();
+
+ private:
+  struct Pair {
+    std::optional<Trace> without;
+    std::optional<Trace> with;
+  };
+  std::map<std::string, Pair> traces_;
+};
+
+}  // namespace scarecrow::trace

@@ -1,0 +1,44 @@
+#include "trace/event.h"
+
+namespace scarecrow::trace {
+
+const char* eventKindName(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kProcessCreate: return "ProcessCreate";
+    case EventKind::kProcessExit: return "ProcessExit";
+    case EventKind::kThreadCreate: return "ThreadCreate";
+    case EventKind::kFileCreate: return "FileCreate";
+    case EventKind::kFileWrite: return "FileWrite";
+    case EventKind::kFileRead: return "FileRead";
+    case EventKind::kFileDelete: return "FileDelete";
+    case EventKind::kRegOpenKey: return "RegOpenKey";
+    case EventKind::kRegQueryValue: return "RegQueryValue";
+    case EventKind::kRegSetValue: return "RegSetValue";
+    case EventKind::kRegCreateKey: return "RegCreateKey";
+    case EventKind::kRegDeleteKey: return "RegDeleteKey";
+    case EventKind::kDnsQuery: return "DnsQuery";
+    case EventKind::kHttpRequest: return "HttpRequest";
+    case EventKind::kTcpConnect: return "TcpConnect";
+    case EventKind::kDllLoad: return "DllLoad";
+    case EventKind::kDllUnload: return "DllUnload";
+    case EventKind::kApiCall: return "ApiCall";
+    case EventKind::kAlert: return "Alert";
+  }
+  return "?";
+}
+
+std::string describe(const Event& event) {
+  std::string out = eventKindName(event.kind);
+  out += ' ';
+  out += event.process;
+  out += " -> ";
+  out += event.target;
+  if (!event.detail.empty()) {
+    out += " [";
+    out += event.detail;
+    out += ']';
+  }
+  return out;
+}
+
+}  // namespace scarecrow::trace

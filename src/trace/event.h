@@ -1,0 +1,67 @@
+// Kernel-activity event model.
+//
+// The paper traces Windows kernel activity with Fibratus: process/thread
+// creation and termination, file-system I/O, registry operations, network
+// activity, and DLL load/unload. Every evaluation verdict in Section IV is
+// computed over these traces (deactivation detection, self-spawn loops,
+// significant-activity diffing), so the event model is the contract between
+// the simulated machine and the analysis pipeline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scarecrow::trace {
+
+enum class EventKind : std::uint8_t {
+  kProcessCreate,
+  kProcessExit,
+  kThreadCreate,
+  kFileCreate,
+  kFileWrite,
+  kFileRead,
+  kFileDelete,
+  kRegOpenKey,
+  kRegQueryValue,
+  kRegSetValue,
+  kRegCreateKey,
+  kRegDeleteKey,
+  kDnsQuery,
+  kHttpRequest,
+  kTcpConnect,
+  kDllLoad,
+  kDllUnload,
+  kApiCall,    // user-level API invocation (used for trigger attribution)
+  kAlert,      // deception-engine alert (fingerprint attempt, self-spawn)
+};
+
+const char* eventKindName(EventKind kind) noexcept;
+
+/// One kernel event. `target` is the primary object (path, key, domain,
+/// child image name); `detail` carries secondary data (value name, bytes,
+/// resolved IP, API argument).
+struct Event {
+  std::uint64_t seq = 0;
+  std::uint64_t timeMs = 0;
+  std::uint32_t pid = 0;
+  std::string process;  // image name of the acting process
+  EventKind kind = EventKind::kApiCall;
+  std::string target;
+  std::string detail;
+};
+
+/// A complete recorded execution trace for one run of one sample.
+struct Trace {
+  std::string sampleId;
+  bool scarecrowEnabled = false;
+  std::vector<Event> events;
+
+  std::size_t size() const noexcept { return events.size(); }
+  bool empty() const noexcept { return events.empty(); }
+};
+
+/// Compact single-line rendering used in logs and the MalGene alignment.
+std::string describe(const Event& event);
+
+}  // namespace scarecrow::trace

@@ -1,0 +1,159 @@
+#include "trace/malgene.h"
+
+#include <algorithm>
+#include <map>
+
+#include "support/strings.h"
+
+namespace scarecrow::trace {
+namespace {
+
+std::string signatureOf(const Event& e) {
+  std::string out = eventKindName(e.kind);
+  out += ':';
+  out += support::toLower(e.target);
+  return out;
+}
+
+std::vector<std::string> signatures(const Trace& t) {
+  std::vector<std::string> out;
+  out.reserve(t.events.size());
+  for (const Event& e : t.events) {
+    if (e.kind == EventKind::kAlert) continue;  // engine-side, not guest
+    out.push_back(signatureOf(e));
+  }
+  return out;
+}
+
+/// Attempts to resynchronize sa[i..] with sb[j..] after a mismatch: looks
+/// for a position pair within `window` where the signatures agree again and
+/// the skipped events of one side all appear among the skipped events of
+/// the other (pure reordering, not new behaviour).
+bool resync(const std::vector<std::string>& sa,
+            const std::vector<std::string>& sb, std::size_t i, std::size_t j,
+            std::size_t window, std::size_t& outI, std::size_t& outJ) {
+  for (std::size_t da = 0; da <= window; ++da) {
+    for (std::size_t db = 0; db <= window; ++db) {
+      if (da == 0 && db == 0) continue;
+      const std::size_t ni = i + da;
+      const std::size_t nj = j + db;
+      // Two valid resync points: a common signature ahead in both traces,
+      // or both traces ending (a trailing swap with no anchor after it).
+      const bool bothEnd = ni == sa.size() && nj == sb.size();
+      if (!bothEnd && (ni >= sa.size() || nj >= sb.size())) continue;
+      if (!bothEnd && sa[ni] != sb[nj]) continue;
+      // The skipped slices must be permutations of each other.
+      std::vector<std::string> skippedA(sa.begin() + static_cast<long>(i),
+                                        sa.begin() + static_cast<long>(ni));
+      std::vector<std::string> skippedB(sb.begin() + static_cast<long>(j),
+                                        sb.begin() + static_cast<long>(nj));
+      std::sort(skippedA.begin(), skippedA.end());
+      std::sort(skippedB.begin(), skippedB.end());
+      if (skippedA == skippedB) {
+        outI = ni;
+        outJ = nj;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+EvasionSignature extractEvasionSignature(const Trace& a, const Trace& b,
+                                         std::size_t resyncWindow) {
+  EvasionSignature sig;
+  const auto sa = signatures(a);
+  const auto sb = signatures(b);
+
+  // Two-cursor walk with bounded resynchronization: identical behaviour up
+  // to jitter, until the decisive probe splits the executions.
+  std::size_t i = 0, j = 0;
+  std::string lastCommon;
+  while (i < sa.size() && j < sb.size()) {
+    if (sa[i] == sb[j]) {
+      lastCommon = sa[i];
+      ++i;
+      ++j;
+      continue;
+    }
+    std::size_t ni = 0, nj = 0;
+    if (resyncWindow > 0 && resync(sa, sb, i, j, resyncWindow, ni, nj)) {
+      // Pure local reordering: skip over it without recording a deviation.
+      i = ni;
+      j = nj;
+      continue;
+    }
+    break;
+  }
+
+  if (i == sa.size() && j == sb.size()) {
+    sig.found = false;  // behaviourally identical traces
+    return sig;
+  }
+
+  sig.found = true;
+  sig.divergenceA = i;
+  sig.divergenceB = j;
+  sig.probedResource = lastCommon;
+  if (i < sa.size()) sig.branchA = sa[i];
+  if (j < sb.size()) sig.branchB = sb[j];
+
+  // MalGene caveat reproduced deliberately: we report only the FIRST
+  // deviation-causing resource; later probes in multi-technique samples are
+  // invisible to this analysis (paper Section II-C).
+  return sig;
+}
+
+bool tracesDeviate(const Trace& a, const Trace& b) {
+  return extractEvasionSignature(a, b).found;
+}
+
+AlignmentStats alignTraces(const Trace& a, const Trace& b) {
+  AlignmentStats stats;
+  const auto sa = signatures(a);
+  const auto sb = signatures(b);
+  stats.eventsA = sa.size();
+  stats.eventsB = sb.size();
+
+  // Unique-signature positions per trace.
+  std::map<std::string, int> countA, countB;
+  for (const auto& s : sa) ++countA[s];
+  for (const auto& s : sb) ++countB[s];
+  std::map<std::string, std::size_t> posB;
+  for (std::size_t j = 0; j < sb.size(); ++j)
+    if (countB[sb[j]] == 1) posB[sb[j]] = j;
+
+  std::size_t uniqueA = 0, uniqueB = 0;
+  for (const auto& [s, n] : countA)
+    if (n == 1) ++uniqueA;
+  for (const auto& [s, n] : countB)
+    if (n == 1) ++uniqueB;
+
+  // Candidate anchor pairs in A-order; keep the longest increasing
+  // subsequence of B positions so anchors respect both orders.
+  std::vector<std::size_t> bPositions;
+  for (const auto& s : sa) {
+    if (countA[s] != 1) continue;
+    auto it = posB.find(s);
+    if (it != posB.end()) bPositions.push_back(it->second);
+  }
+  std::vector<std::size_t> tails;  // patience-style LIS
+  for (std::size_t p : bPositions) {
+    auto it = std::lower_bound(tails.begin(), tails.end(), p);
+    if (it == tails.end())
+      tails.push_back(p);
+    else
+      *it = p;
+  }
+  stats.anchors = tails.size();
+  const std::size_t denom = uniqueA + uniqueB;
+  stats.similarity =
+      denom == 0 ? (sa.empty() && sb.empty() ? 1.0 : 0.0)
+                 : 2.0 * static_cast<double>(stats.anchors) /
+                       static_cast<double>(denom);
+  return stats;
+}
+
+}  // namespace scarecrow::trace

@@ -1,0 +1,56 @@
+// MalGene-style evasion-signature extraction (Kirat & Vigna, CCS'15).
+//
+// MalGene compares the traces of one sample from two environments (one the
+// sample evades, one where it detonates), aligns the event sequences, and
+// reports the *first deviation point* — the system resource the sample
+// probed just before the traces diverge. The paper uses MalGene both to
+// label its 1,054-sample corpus as evasive and (Section II-C) as a source
+// of new deceptive resources for Scarecrow; it also notes MalGene's caveat:
+// only the FIRST deviating resource is reported even when the sample checks
+// several.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/event.h"
+
+namespace scarecrow::trace {
+
+struct EvasionSignature {
+  bool found = false;
+  /// Index (in each trace) where the aligned traces first diverge.
+  std::size_t divergenceA = 0;
+  std::size_t divergenceB = 0;
+  /// The last common event before divergence — the probed resource.
+  std::string probedResource;
+  /// The first events unique to each side after the split.
+  std::string branchA;
+  std::string branchB;
+};
+
+/// Aligns two traces by event signature (kind + target) and locates the
+/// first *behavioural* deviation. Local event reordering (scheduler and
+/// I/O jitter moves adjacent events around between runs) is resynchronized
+/// over a small window before declaring a divergence, mirroring MalGene's
+/// sequence-alignment step.
+EvasionSignature extractEvasionSignature(const Trace& a, const Trace& b,
+                                         std::size_t resyncWindow = 3);
+
+/// Convenience: true when the two traces deviate at all — the evasive-label
+/// criterion used to admit samples into the MalGene corpus.
+bool tracesDeviate(const Trace& a, const Trace& b);
+
+/// Whole-trace alignment statistics via unique-event anchors (signatures
+/// occurring exactly once in each trace, matched by longest increasing
+/// subsequence so ordering is preserved).
+struct AlignmentStats {
+  std::size_t eventsA = 0;
+  std::size_t eventsB = 0;
+  std::size_t anchors = 0;         // order-consistent unique matches
+  double similarity = 0.0;         // 2*anchors / (uniqueA + uniqueB)
+};
+
+AlignmentStats alignTraces(const Trace& a, const Trace& b);
+
+}  // namespace scarecrow::trace

@@ -1,0 +1,32 @@
+#include "trace/recorder.h"
+
+namespace scarecrow::trace {
+
+void Recorder::record(std::uint64_t timeMs, std::uint32_t pid,
+                      const std::string& process, EventKind kind,
+                      std::string target, std::string detail) {
+  if (kind == EventKind::kApiCall && !captureApiCalls_) return;
+  Event e;
+  e.seq = nextSeq_++;
+  e.timeMs = timeMs;
+  e.pid = pid;
+  e.process = process;
+  e.kind = kind;
+  e.target = std::move(target);
+  e.detail = std::move(detail);
+  trace_.events.push_back(std::move(e));
+}
+
+Trace Recorder::takeTrace() {
+  Trace out = std::move(trace_);
+  trace_ = Trace{};
+  nextSeq_ = 0;
+  return out;
+}
+
+void Recorder::clear() {
+  trace_ = Trace{};
+  nextSeq_ = 0;
+}
+
+}  // namespace scarecrow::trace

@@ -1,0 +1,47 @@
+// Trace recorder: the in-machine analogue of the Fibratus agent.
+//
+// The machine holds exactly one Recorder; winsys components push events into
+// it as side effects of guest activity. The evaluation harness swaps fresh
+// recorders per run (the paper uploads traces to a proxy in real time; we
+// model the proxy as the Collector in collector.h).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "trace/event.h"
+
+namespace scarecrow::trace {
+
+class Recorder {
+ public:
+  Recorder() = default;
+
+  /// Appends an event, stamping sequence number (time is caller-provided so
+  /// the machine clock stays the single source of truth).
+  void record(std::uint64_t timeMs, std::uint32_t pid,
+              const std::string& process, EventKind kind, std::string target,
+              std::string detail = {});
+
+  /// Enables/disables capture of kApiCall events (they are voluminous; the
+  /// kernel-activity categories the paper analyses are always captured).
+  void setCaptureApiCalls(bool on) noexcept { captureApiCalls_ = on; }
+  bool captureApiCalls() const noexcept { return captureApiCalls_; }
+
+  const Trace& trace() const noexcept { return trace_; }
+  Trace takeTrace();
+
+  void setSampleId(std::string id) { trace_.sampleId = std::move(id); }
+  void setScarecrowEnabled(bool on) noexcept {
+    trace_.scarecrowEnabled = on;
+  }
+
+  void clear();
+
+ private:
+  Trace trace_;
+  std::uint64_t nextSeq_ = 0;
+  bool captureApiCalls_ = false;
+};
+
+}  // namespace scarecrow::trace

@@ -1,0 +1,124 @@
+#include "trace/serialize.h"
+
+#include <charconv>
+
+#include "support/strings.h"
+
+namespace scarecrow::trace {
+namespace {
+
+constexpr const char* kHeaderMagic = "#scarecrow-trace v1";
+constexpr std::size_t kKindCount =
+    static_cast<std::size_t>(EventKind::kAlert) + 1;
+
+std::optional<EventKind> kindFromName(std::string_view name) {
+  for (std::size_t k = 0; k < kKindCount; ++k)
+    if (name == eventKindName(static_cast<EventKind>(k)))
+      return static_cast<EventKind>(k);
+  return std::nullopt;
+}
+
+template <typename T>
+bool parseNumber(std::string_view text, T& out) {
+  const auto result =
+      std::from_chars(text.data(), text.data() + text.size(), out);
+  return result.ec == std::errc{} &&
+         result.ptr == text.data() + text.size();
+}
+
+}  // namespace
+
+std::string escapeField(const std::string& field) {
+  std::string out;
+  out.reserve(field.size());
+  for (char c : field) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\t': out += "\\t"; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string unescapeField(const std::string& field) {
+  std::string out;
+  out.reserve(field.size());
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    if (field[i] != '\\' || i + 1 == field.size()) {
+      out.push_back(field[i]);
+      continue;
+    }
+    switch (field[++i]) {
+      case '\\': out.push_back('\\'); break;
+      case 't': out.push_back('\t'); break;
+      case 'n': out.push_back('\n'); break;
+      default:  // unknown escape: keep verbatim
+        out.push_back('\\');
+        out.push_back(field[i]);
+    }
+  }
+  return out;
+}
+
+std::string serializeTrace(const Trace& trace) {
+  std::string out = kHeaderMagic;
+  out += ' ';
+  out += escapeField(trace.sampleId);
+  out += ' ';
+  out += trace.scarecrowEnabled ? '1' : '0';
+  out += '\n';
+  for (const Event& e : trace.events) {
+    out += std::to_string(e.seq);
+    out += '\t';
+    out += std::to_string(e.timeMs);
+    out += '\t';
+    out += std::to_string(e.pid);
+    out += '\t';
+    out += escapeField(e.process);
+    out += '\t';
+    out += eventKindName(e.kind);
+    out += '\t';
+    out += escapeField(e.target);
+    out += '\t';
+    out += escapeField(e.detail);
+    out += '\n';
+  }
+  return out;
+}
+
+std::optional<Trace> deserializeTrace(const std::string& text) {
+  const auto lines = support::split(text, '\n');
+  if (lines.empty()) return std::nullopt;
+
+  // Header: "#scarecrow-trace v1 <sampleId> <0|1>"
+  const std::string& header = lines[0];
+  if (!support::istartsWith(header, kHeaderMagic)) return std::nullopt;
+  const auto headerFields = support::split(header, ' ');
+  if (headerFields.size() != 4) return std::nullopt;
+  Trace trace;
+  trace.sampleId = unescapeField(headerFields[2]);
+  if (headerFields[3] != "0" && headerFields[3] != "1") return std::nullopt;
+  trace.scarecrowEnabled = headerFields[3] == "1";
+
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    if (lines[i].empty()) continue;  // trailing newline
+    const auto fields = support::split(lines[i], '\t');
+    if (fields.size() != 7) return std::nullopt;
+    Event e;
+    if (!parseNumber(fields[0], e.seq)) return std::nullopt;
+    if (!parseNumber(fields[1], e.timeMs)) return std::nullopt;
+    if (!parseNumber(fields[2], e.pid)) return std::nullopt;
+    e.process = unescapeField(fields[3]);
+    const auto kind = kindFromName(fields[4]);
+    if (!kind.has_value()) return std::nullopt;
+    e.kind = *kind;
+    e.target = unescapeField(fields[5]);
+    e.detail = unescapeField(fields[6]);
+    trace.events.push_back(std::move(e));
+  }
+  return trace;
+}
+
+}  // namespace scarecrow::trace

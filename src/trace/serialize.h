@@ -1,0 +1,28 @@
+// Trace serialization: newline-delimited records for uploading traces from
+// agents to the collector proxy and for archiving runs (the paper streams
+// traces off-box "in real time to avoid possible corruption").
+//
+// Format (one event per line, tab-separated, header line first):
+//   #scarecrow-trace v1 <sampleId> <0|1 scarecrow>
+//   seq \t timeMs \t pid \t process \t kind \t target \t detail
+// Tabs/newlines/backslashes inside fields are escaped (\t, \n, \\).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "trace/event.h"
+
+namespace scarecrow::trace {
+
+std::string serializeTrace(const Trace& trace);
+
+/// Parses a serialized trace; returns nullopt on malformed input (bad
+/// header, wrong field count, non-numeric fields, unknown event kind).
+std::optional<Trace> deserializeTrace(const std::string& text);
+
+/// Field-level escaping helpers (exposed for tests).
+std::string escapeField(const std::string& field);
+std::string unescapeField(const std::string& field);
+
+}  // namespace scarecrow::trace

@@ -1,0 +1,781 @@
+#include "winapi/api.h"
+
+#include "support/strings.h"
+
+namespace scarecrow::winapi {
+
+using trace::EventKind;
+using winsys::RegKey;
+using winsys::RegValue;
+
+Api::Api(winsys::Machine& machine, UserSpace& userspace, std::uint32_t pid)
+    : machine_(machine), userspace_(userspace), pid_(pid) {}
+
+winsys::Process& Api::self() {
+  winsys::Process* p = machine_.processes().find(pid_);
+  // A guest program always runs inside a live process; a missing entry is a
+  // harness bug, not a recoverable condition.
+  if (p == nullptr) throw std::logic_error("Api bound to unknown pid");
+  return *p;
+}
+
+void Api::charge(ApiId id, const std::string& argument) {
+  machine_.clock().advanceMs(userspace_.apiCallCostMs);
+  if (machine_.clock().nowMs() >= userspace_.deadlineMs) throw BudgetExhausted{};
+  if (machine_.recorder().captureApiCalls())
+    machine_.emit(pid_, EventKind::kApiCall, apiName(id), argument);
+}
+
+// ===== Registry ===========================================================
+
+WinError Api::RegOpenKeyEx(const std::string& path) {
+  charge(ApiId::kRegOpenKeyEx, path);
+  if (hooks().regOpenKeyEx) return hooks().regOpenKeyEx(*this, path);
+  return orig_RegOpenKeyEx(path);
+}
+
+WinError Api::orig_RegOpenKeyEx(const std::string& path) {
+  machine_.emit(pid_, EventKind::kRegOpenKey, path);
+  return machine_.registry().keyExists(path) ? WinError::kSuccess
+                                             : WinError::kFileNotFound;
+}
+
+WinError Api::RegQueryValueEx(const std::string& path,
+                              const std::string& valueName, RegValue& out) {
+  charge(ApiId::kRegQueryValueEx, path + "!" + valueName);
+  if (hooks().regQueryValueEx)
+    return hooks().regQueryValueEx(*this, path, valueName, out);
+  return orig_RegQueryValueEx(path, valueName, out);
+}
+
+WinError Api::orig_RegQueryValueEx(const std::string& path,
+                                   const std::string& valueName,
+                                   RegValue& out) {
+  machine_.emit(pid_, EventKind::kRegQueryValue, path, valueName);
+  const RegValue* v = machine_.registry().findValue(path, valueName);
+  if (v == nullptr) return WinError::kFileNotFound;
+  out = *v;
+  return WinError::kSuccess;
+}
+
+WinError Api::RegQueryInfoKey(const std::string& path, std::uint32_t& subkeys,
+                              std::uint32_t& values) {
+  charge(ApiId::kRegQueryInfoKey, path);
+  if (hooks().regQueryInfoKey)
+    return hooks().regQueryInfoKey(*this, path, subkeys, values);
+  return orig_RegQueryInfoKey(path, subkeys, values);
+}
+
+WinError Api::orig_RegQueryInfoKey(const std::string& path,
+                                   std::uint32_t& subkeys,
+                                   std::uint32_t& values) {
+  machine_.emit(pid_, EventKind::kRegQueryValue, path, "(info)");
+  const RegKey* key = machine_.registry().findKey(path);
+  if (key == nullptr) return WinError::kFileNotFound;
+  subkeys = static_cast<std::uint32_t>(key->subkeyCount());
+  values = static_cast<std::uint32_t>(key->valueCount());
+  return WinError::kSuccess;
+}
+
+WinError Api::RegEnumKeyEx(const std::string& path, std::uint32_t index,
+                           std::string& name) {
+  charge(ApiId::kRegEnumKeyEx, path);
+  if (hooks().regEnumKeyEx)
+    return hooks().regEnumKeyEx(*this, path, index, name);
+  return orig_RegEnumKeyEx(path, index, name);
+}
+
+WinError Api::orig_RegEnumKeyEx(const std::string& path, std::uint32_t index,
+                                std::string& name) {
+  const RegKey* key = machine_.registry().findKey(path);
+  if (key == nullptr) return WinError::kFileNotFound;
+  if (index >= key->subkeyCount()) return WinError::kNoMoreItems;
+  name = key->subkeyNames()[index];
+  return WinError::kSuccess;
+}
+
+WinError Api::RegEnumValue(const std::string& path, std::uint32_t index,
+                           std::string& name, RegValue& value) {
+  charge(ApiId::kRegEnumValue, path);
+  if (hooks().regEnumValue)
+    return hooks().regEnumValue(*this, path, index, name, value);
+  return orig_RegEnumValue(path, index, name, value);
+}
+
+WinError Api::orig_RegEnumValue(const std::string& path, std::uint32_t index,
+                                std::string& name, RegValue& value) {
+  const RegKey* key = machine_.registry().findKey(path);
+  if (key == nullptr) return WinError::kFileNotFound;
+  if (index >= key->valueCount()) return WinError::kNoMoreItems;
+  name = key->valueNames()[index];
+  const RegValue* v = key->findValue(name);
+  if (v != nullptr) value = *v;
+  return WinError::kSuccess;
+}
+
+WinError Api::RegSetValueEx(const std::string& path,
+                            const std::string& valueName, RegValue value) {
+  charge(ApiId::kRegSetValueEx, path + "!" + valueName);
+  machine_.emit(pid_, EventKind::kRegSetValue, path, valueName);
+  machine_.registry().setValue(path, valueName, std::move(value));
+  return WinError::kSuccess;
+}
+
+WinError Api::RegCreateKeyEx(const std::string& path) {
+  charge(ApiId::kRegCreateKeyEx, path);
+  machine_.emit(pid_, EventKind::kRegCreateKey, path);
+  machine_.registry().ensureKey(path);
+  return WinError::kSuccess;
+}
+
+WinError Api::RegDeleteKey(const std::string& path) {
+  charge(ApiId::kRegDeleteKey, path);
+  machine_.emit(pid_, EventKind::kRegDeleteKey, path);
+  return machine_.registry().deleteKey(path) ? WinError::kSuccess
+                                             : WinError::kFileNotFound;
+}
+
+NtStatus Api::NtOpenKeyEx(const std::string& path) {
+  charge(ApiId::kNtOpenKeyEx, path);
+  if (hooks().ntOpenKeyEx) return hooks().ntOpenKeyEx(*this, path);
+  return orig_NtOpenKeyEx(path);
+}
+
+NtStatus Api::orig_NtOpenKeyEx(const std::string& path) {
+  machine_.emit(pid_, EventKind::kRegOpenKey, path);
+  return machine_.registry().keyExists(path) ? NtStatus::kSuccess
+                                             : NtStatus::kObjectNameNotFound;
+}
+
+NtStatus Api::NtQueryKey(const std::string& path, std::uint32_t& subkeys,
+                         std::uint32_t& values) {
+  charge(ApiId::kNtQueryKey, path);
+  if (hooks().ntQueryKey) return hooks().ntQueryKey(*this, path, subkeys, values);
+  return orig_NtQueryKey(path, subkeys, values);
+}
+
+NtStatus Api::orig_NtQueryKey(const std::string& path, std::uint32_t& subkeys,
+                              std::uint32_t& values) {
+  const RegKey* key = machine_.registry().findKey(path);
+  if (key == nullptr) return NtStatus::kObjectNameNotFound;
+  subkeys = static_cast<std::uint32_t>(key->subkeyCount());
+  values = static_cast<std::uint32_t>(key->valueCount());
+  return NtStatus::kSuccess;
+}
+
+NtStatus Api::NtQueryValueKey(const std::string& path,
+                              const std::string& valueName, RegValue& out) {
+  charge(ApiId::kNtQueryValueKey, path + "!" + valueName);
+  if (hooks().ntQueryValueKey)
+    return hooks().ntQueryValueKey(*this, path, valueName, out);
+  return orig_NtQueryValueKey(path, valueName, out);
+}
+
+NtStatus Api::orig_NtQueryValueKey(const std::string& path,
+                                   const std::string& valueName,
+                                   RegValue& out) {
+  machine_.emit(pid_, EventKind::kRegQueryValue, path, valueName);
+  const RegValue* v = machine_.registry().findValue(path, valueName);
+  if (v == nullptr) return NtStatus::kObjectNameNotFound;
+  out = *v;
+  return NtStatus::kSuccess;
+}
+
+// ===== Files ==============================================================
+
+WinError Api::CreateFileA(const std::string& path, bool forWrite) {
+  charge(ApiId::kCreateFile, path);
+  if (hooks().createFile) return hooks().createFile(*this, path, forWrite);
+  return orig_CreateFileA(path, forWrite);
+}
+
+WinError Api::orig_CreateFileA(const std::string& path, bool forWrite) {
+  if (forWrite) {
+    machine_.emit(pid_, EventKind::kFileCreate, path);
+    machine_.vfs().createFile(path, 0, machine_.clock().nowMs());
+    return WinError::kSuccess;
+  }
+  machine_.emit(pid_, EventKind::kFileRead, path);
+  return machine_.vfs().exists(path) ? WinError::kSuccess
+                                     : WinError::kFileNotFound;
+}
+
+NtStatus Api::NtCreateFile(const std::string& path) {
+  charge(ApiId::kNtCreateFile, path);
+  if (hooks().ntCreateFile) return hooks().ntCreateFile(*this, path);
+  machine_.emit(pid_, EventKind::kFileRead, path);
+  return machine_.vfs().exists(path) ? NtStatus::kSuccess
+                                     : NtStatus::kObjectNameNotFound;
+}
+
+NtStatus Api::NtQueryAttributesFile(const std::string& path) {
+  charge(ApiId::kNtQueryAttributesFile, path);
+  if (hooks().ntQueryAttributesFile)
+    return hooks().ntQueryAttributesFile(*this, path);
+  return orig_NtQueryAttributesFile(path);
+}
+
+NtStatus Api::orig_NtQueryAttributesFile(const std::string& path) {
+  machine_.emit(pid_, EventKind::kFileRead, path);
+  return machine_.vfs().exists(path) ? NtStatus::kSuccess
+                                     : NtStatus::kObjectNameNotFound;
+}
+
+std::uint32_t Api::GetFileAttributesA(const std::string& path) {
+  charge(ApiId::kGetFileAttributes, path);
+  if (hooks().getFileAttributes) return hooks().getFileAttributes(*this, path);
+  return orig_GetFileAttributesA(path);
+}
+
+std::uint32_t Api::orig_GetFileAttributesA(const std::string& path) {
+  const winsys::FileNode* node = machine_.vfs().find(path);
+  if (node == nullptr) return kInvalidFileAttributes;
+  std::uint32_t attrs = 0;
+  if (node->kind == winsys::NodeKind::kDirectory) attrs |= 0x10;  // DIRECTORY
+  if (node->hidden) attrs |= 0x2;
+  if (node->system) attrs |= 0x4;
+  if (attrs == 0) attrs = 0x80;  // NORMAL
+  return attrs;
+}
+
+std::vector<std::string> Api::FindFirstFileA(const std::string& directory,
+                                             const std::string& pattern) {
+  charge(ApiId::kFindFirstFile, directory + "\\" + pattern);
+  if (hooks().findFirstFile)
+    return hooks().findFirstFile(*this, directory, pattern);
+  return orig_FindFirstFileA(directory, pattern);
+}
+
+std::vector<std::string> Api::orig_FindFirstFileA(const std::string& directory,
+                                                  const std::string& pattern) {
+  std::vector<std::string> names;
+  for (const winsys::FileNode* node : machine_.vfs().list(directory, pattern))
+    names.push_back(support::baseName(node->displayPath));
+  return names;
+}
+
+WinError Api::WriteFileA(const std::string& path, const std::string& content) {
+  charge(ApiId::kWriteFile, path);
+  machine_.emit(pid_, EventKind::kFileWrite, path);
+  machine_.vfs().writeContent(path, content, machine_.clock().nowMs());
+  return WinError::kSuccess;
+}
+
+WinError Api::DeleteFileA(const std::string& path) {
+  charge(ApiId::kDeleteFile, path);
+  machine_.emit(pid_, EventKind::kFileDelete, path);
+  return machine_.vfs().remove(path) ? WinError::kSuccess
+                                     : WinError::kFileNotFound;
+}
+
+WinError Api::CopyFileA(const std::string& src, const std::string& dst) {
+  charge(ApiId::kCopyFile, src + " -> " + dst);
+  const winsys::FileNode* node = machine_.vfs().find(src);
+  if (node == nullptr) return WinError::kFileNotFound;
+  machine_.emit(pid_, EventKind::kFileCreate, dst);
+  winsys::FileNode& copy = machine_.vfs().createFile(dst, node->sizeBytes,
+                                                     machine_.clock().nowMs());
+  copy.content = node->content;
+  return WinError::kSuccess;
+}
+
+bool Api::GetDiskFreeSpaceExA(char drive, std::uint64_t& freeBytes,
+                              std::uint64_t& totalBytes) {
+  charge(ApiId::kGetDiskFreeSpaceEx, std::string(1, drive) + ":");
+  if (hooks().getDiskFreeSpaceEx)
+    return hooks().getDiskFreeSpaceEx(*this, drive, freeBytes, totalBytes);
+  return orig_GetDiskFreeSpaceExA(drive, freeBytes, totalBytes);
+}
+
+bool Api::orig_GetDiskFreeSpaceExA(char drive, std::uint64_t& freeBytes,
+                                   std::uint64_t& totalBytes) {
+  const winsys::DriveInfo* info = machine_.vfs().findDrive(drive);
+  if (info == nullptr) return false;
+  freeBytes = info->freeBytes;
+  totalBytes = info->totalBytes;
+  return true;
+}
+
+std::uint32_t Api::GetDriveTypeA(char drive) {
+  charge(ApiId::kGetDriveType, std::string(1, drive) + ":");
+  return machine_.vfs().findDrive(drive) != nullptr ? 3u /*DRIVE_FIXED*/ : 1u;
+}
+
+bool Api::GetVolumeInformationA(char drive, std::string& volumeName,
+                                std::uint32_t& serial) {
+  charge(ApiId::kGetVolumeInformation, std::string(1, drive) + ":");
+  if (hooks().getVolumeInformation)
+    return hooks().getVolumeInformation(*this, drive, volumeName, serial);
+  return orig_GetVolumeInformationA(drive, volumeName, serial);
+}
+
+bool Api::orig_GetVolumeInformationA(char drive, std::string& volumeName,
+                                     std::uint32_t& serial) {
+  const winsys::DriveInfo* info = machine_.vfs().findDrive(drive);
+  if (info == nullptr) return false;
+  volumeName = info->volumeName;
+  serial = info->serialNumber;
+  return true;
+}
+
+std::string Api::GetModuleFileNameA() {
+  charge(ApiId::kGetModuleFileName);
+  if (hooks().getModuleFileName) return hooks().getModuleFileName(*this);
+  return orig_GetModuleFileNameA();
+}
+
+std::string Api::orig_GetModuleFileNameA() { return self().imagePath; }
+
+// ===== Processes / modules ===============================================
+
+std::uint32_t Api::CreateProcessA(const std::string& imagePath,
+                                  const std::string& commandLine) {
+  charge(ApiId::kCreateProcess, imagePath);
+  if (hooks().createProcess)
+    return hooks().createProcess(*this, imagePath, commandLine);
+  return orig_CreateProcessA(imagePath, commandLine);
+}
+
+std::uint32_t Api::orig_CreateProcessA(const std::string& imagePath,
+                                       const std::string& commandLine) {
+  machine_.clock().advanceMs(userspace_.processCreateCostMs);
+  winsys::Process& child = machine_.processes().create(
+      imagePath, pid_, commandLine, machine_.sysinfo().processorCount);
+  machine_.emit(pid_, EventKind::kProcessCreate, child.imagePath, commandLine);
+  userspace_.readyQueue().push_back(child.pid);
+  return child.pid;
+}
+
+bool Api::OpenProcess(std::uint32_t pid) {
+  charge(ApiId::kOpenProcess);
+  const winsys::Process* p = machine_.processes().find(pid);
+  return p != nullptr && p->state != winsys::ProcessState::kTerminated;
+}
+
+bool Api::TerminateProcess(std::uint32_t pid, std::uint32_t exitCode) {
+  charge(ApiId::kTerminateProcess);
+  if (hooks().terminateProcess)
+    return hooks().terminateProcess(*this, pid, exitCode);
+  return orig_TerminateProcess(pid, exitCode);
+}
+
+bool Api::orig_TerminateProcess(std::uint32_t pid, std::uint32_t exitCode) {
+  const winsys::Process* p = machine_.processes().find(pid);
+  if (p == nullptr) return false;
+  const std::string image = p->imagePath;
+  if (!machine_.processes().terminate(pid, exitCode)) return false;
+  machine_.emit(pid_, EventKind::kProcessExit, image, "terminated");
+  machine_.windows().removeByOwner(pid);
+  return true;
+}
+
+void Api::ExitProcess(std::uint32_t exitCode) {
+  // ExitProcess always succeeds even past the deadline; do not charge.
+  machine_.emit(pid_, EventKind::kProcessExit, self().imagePath, "exit");
+  machine_.processes().terminate(pid_, exitCode);
+  machine_.windows().removeByOwner(pid_);
+  throw ProcessExited{exitCode};
+}
+
+std::vector<ProcessEntry> Api::CreateToolhelp32Snapshot() {
+  charge(ApiId::kCreateToolhelp32Snapshot);
+  if (hooks().createToolhelp32Snapshot)
+    return hooks().createToolhelp32Snapshot(*this);
+  return orig_CreateToolhelp32Snapshot();
+}
+
+std::vector<ProcessEntry> Api::orig_CreateToolhelp32Snapshot() {
+  std::vector<ProcessEntry> out;
+  for (const winsys::Process* p : machine_.processes().running())
+    out.push_back({p->pid, p->parentPid, p->imageName});
+  return out;
+}
+
+bool Api::GetModuleHandleA(const std::string& moduleName) {
+  charge(ApiId::kGetModuleHandle, moduleName);
+  if (hooks().getModuleHandle) return hooks().getModuleHandle(*this, moduleName);
+  return orig_GetModuleHandleA(moduleName);
+}
+
+bool Api::orig_GetModuleHandleA(const std::string& moduleName) {
+  return self().hasModule(moduleName);
+}
+
+bool Api::LoadLibraryA(const std::string& moduleName) {
+  charge(ApiId::kLoadLibrary, moduleName);
+  // Library load succeeds when the DLL exists on disk (System32 search
+  // path) or is already mapped.
+  winsys::Process& p = self();
+  if (p.hasModule(moduleName)) return true;
+  const std::string sysPath = "C:\\Windows\\System32\\" + moduleName;
+  if (!machine_.vfs().exists(sysPath) && !machine_.vfs().exists(moduleName))
+    return false;
+  p.modules.push_back({moduleName, sysPath});
+  machine_.emit(pid_, EventKind::kDllLoad, moduleName);
+  return true;
+}
+
+bool Api::GetProcAddress(const std::string& moduleName,
+                         const std::string& procName) {
+  charge(ApiId::kGetProcAddress, moduleName + "!" + procName);
+  if (hooks().getProcAddress)
+    return hooks().getProcAddress(*this, moduleName, procName);
+  return orig_GetProcAddress(moduleName, procName);
+}
+
+bool Api::orig_GetProcAddress(const std::string& moduleName,
+                              const std::string& procName) {
+  if (!self().hasModule(moduleName)) return false;
+  // Wine exports extra functions from kernel32; everything else resolves
+  // the standard export surface.
+  if (support::istartsWith(procName, "wine_"))
+    return machine_.sysinfo().wineLayer;
+  return true;
+}
+
+std::uint64_t Api::NtQueryInformationProcess(std::uint32_t pid,
+                                             ProcessInfoClass infoClass) {
+  charge(ApiId::kNtQueryInformationProcess);
+  if (hooks().ntQueryInformationProcess)
+    return hooks().ntQueryInformationProcess(*this, pid, infoClass);
+  return orig_NtQueryInformationProcess(pid, infoClass);
+}
+
+std::uint64_t Api::orig_NtQueryInformationProcess(std::uint32_t pid,
+                                                  ProcessInfoClass infoClass) {
+  const winsys::Process* p = machine_.processes().find(pid);
+  if (p == nullptr) return 0;
+  switch (infoClass) {
+    case ProcessInfoClass::kBasicInformation: return p->parentPid;
+    case ProcessInfoClass::kDebugPort: return p->peb.beingDebugged ? 1 : 0;
+    case ProcessInfoClass::kDebugObjectHandle:
+      return p->peb.beingDebugged ? 1 : 0;
+    case ProcessInfoClass::kDebugFlags: return p->peb.beingDebugged ? 0 : 1;
+  }
+  return 0;
+}
+
+bool Api::ShellExecuteExA(const std::string& file) {
+  charge(ApiId::kShellExecuteEx, file);
+  if (hooks().shellExecuteEx) return hooks().shellExecuteEx(*this, file);
+  return orig_ShellExecuteExA(file);
+}
+
+bool Api::orig_ShellExecuteExA(const std::string& file) {
+  return orig_CreateProcessA(file, file) != 0;
+}
+
+// ===== Debug / timing =====================================================
+
+bool Api::IsDebuggerPresent() {
+  charge(ApiId::kIsDebuggerPresent);
+  if (hooks().isDebuggerPresent) return hooks().isDebuggerPresent(*this);
+  return orig_IsDebuggerPresent();
+}
+
+bool Api::orig_IsDebuggerPresent() { return self().peb.beingDebugged; }
+
+bool Api::CheckRemoteDebuggerPresent(std::uint32_t pid) {
+  charge(ApiId::kCheckRemoteDebuggerPresent);
+  if (hooks().checkRemoteDebuggerPresent)
+    return hooks().checkRemoteDebuggerPresent(*this, pid);
+  return orig_CheckRemoteDebuggerPresent(pid);
+}
+
+bool Api::orig_CheckRemoteDebuggerPresent(std::uint32_t pid) {
+  const winsys::Process* p = machine_.processes().find(pid);
+  return p != nullptr && p->peb.beingDebugged;
+}
+
+void Api::OutputDebugStringA(const std::string& text) {
+  charge(ApiId::kOutputDebugString, text);
+  if (hooks().outputDebugString) hooks().outputDebugString(*this, text);
+}
+
+std::uint64_t Api::GetTickCount() {
+  charge(ApiId::kGetTickCount);
+  if (hooks().getTickCount) return hooks().getTickCount(*this);
+  return orig_GetTickCount();
+}
+
+std::uint64_t Api::orig_GetTickCount() { return machine_.tickCount(); }
+
+std::uint64_t Api::QueryPerformanceCounter() {
+  charge(ApiId::kQueryPerformanceCounter);
+  // 10 MHz QPC frequency.
+  return machine_.clock().nowMs() * 10'000;
+}
+
+void Api::Sleep(std::uint32_t ms) {
+  charge(ApiId::kSleep);
+  if (hooks().sleep) {
+    hooks().sleep(*this, ms);
+    return;
+  }
+  orig_Sleep(ms);
+}
+
+void Api::orig_Sleep(std::uint32_t ms) {
+  machine_.clock().advanceMs(ms);
+  if (machine_.clock().nowMs() >= userspace_.deadlineMs) throw BudgetExhausted{};
+}
+
+std::uint64_t Api::RaiseException(std::uint32_t code) {
+  charge(ApiId::kRaiseException);
+  if (hooks().raiseException) return hooks().raiseException(*this, code);
+  return orig_RaiseException(code);
+}
+
+std::uint64_t Api::orig_RaiseException(std::uint32_t /*code*/) {
+  // Default SEH dispatch latency. A debugger first-chance round trip or an
+  // analysis shadow-page fault inflates it by an order of magnitude.
+  std::uint64_t cycles = 2'000;
+  if (self().peb.beingDebugged) cycles += 120'000;
+  cycles += machine_.sysinfo().exceptionExtraCycles;
+  machine_.clock().addTscCycles(cycles);
+  return cycles;
+}
+
+// ===== System information =================================================
+
+SystemInfoView Api::GetSystemInfo() {
+  charge(ApiId::kGetSystemInfo);
+  if (hooks().getSystemInfo) return hooks().getSystemInfo(*this);
+  return orig_GetSystemInfo();
+}
+
+SystemInfoView Api::orig_GetSystemInfo() {
+  SystemInfoView view;
+  view.numberOfProcessors = machine_.sysinfo().processorCount;
+  return view;
+}
+
+MemoryStatusView Api::GlobalMemoryStatusEx() {
+  charge(ApiId::kGlobalMemoryStatusEx);
+  if (hooks().globalMemoryStatusEx) return hooks().globalMemoryStatusEx(*this);
+  return orig_GlobalMemoryStatusEx();
+}
+
+MemoryStatusView Api::orig_GlobalMemoryStatusEx() {
+  MemoryStatusView view;
+  view.totalPhysBytes = machine_.sysinfo().totalPhysicalMemory;
+  view.availPhysBytes = view.totalPhysBytes * 6 / 10;
+  return view;
+}
+
+int Api::GetSystemMetrics(int index) {
+  charge(ApiId::kGetSystemMetrics);
+  const winsys::SysInfo& si = machine_.sysinfo();
+  switch (index) {
+    case kSmCxScreen: return si.screenWidth;
+    case kSmCyScreen: return si.screenHeight;
+    case kSmRemoteSession: return 0;
+    default: return 0;
+  }
+}
+
+bool Api::GetCursorPos(int& x, int& y) {
+  charge(ApiId::kGetCursorPos);
+  const winsys::SysInfo& si = machine_.sysinfo();
+  if (si.mouseActive) {
+    const std::uint64_t t = machine_.clock().nowMs();
+    x = static_cast<int>((t / 7) % static_cast<std::uint64_t>(si.screenWidth));
+    y = static_cast<int>((t / 11) %
+                         static_cast<std::uint64_t>(si.screenHeight));
+  } else {
+    x = 0;
+    y = 0;
+  }
+  const bool moved = (x != lastCursorX_ || y != lastCursorY_) &&
+                     lastCursorX_ >= 0;
+  lastCursorX_ = x;
+  lastCursorY_ = y;
+  return moved;
+}
+
+std::string Api::GetUserNameA() {
+  charge(ApiId::kGetUserName);
+  if (hooks().getUserName) return hooks().getUserName(*this);
+  return orig_GetUserNameA();
+}
+
+std::string Api::orig_GetUserNameA() { return machine_.sysinfo().userName; }
+
+std::string Api::GetComputerNameA() {
+  charge(ApiId::kGetComputerName);
+  if (hooks().getComputerName) return hooks().getComputerName(*this);
+  return orig_GetComputerNameA();
+}
+
+std::string Api::orig_GetComputerNameA() {
+  return machine_.sysinfo().computerName;
+}
+
+std::vector<winsys::AdapterInfo> Api::GetAdaptersInfo() {
+  charge(ApiId::kGetAdaptersInfo);
+  // Deliberately not hookable by the deception engine: adapter enumeration
+  // goes through NDIS structures Scarecrow's 29 user-level hooks do not
+  // cover (one of the documented VM-artifact misses in Table II).
+  return machine_.sysinfo().adapters;
+}
+
+std::string Api::GetSystemFirmwareTable() {
+  charge(ApiId::kGetSystemFirmwareTable);
+  // Firmware tables are read via a raw kernel service; same blind spot.
+  return machine_.sysinfo().acpiOemId;
+}
+
+std::uint64_t Api::NtQuerySystemInformation(SystemInfoClass infoClass) {
+  charge(ApiId::kNtQuerySystemInformation);
+  if (hooks().ntQuerySystemInformation)
+    return hooks().ntQuerySystemInformation(*this, infoClass);
+  return orig_NtQuerySystemInformation(infoClass);
+}
+
+std::uint64_t Api::orig_NtQuerySystemInformation(SystemInfoClass infoClass) {
+  switch (infoClass) {
+    case SystemInfoClass::kBasicInformation:
+      return machine_.sysinfo().processorCount;
+    case SystemInfoClass::kRegistryQuotaInformation:
+      return machine_.registry().totalBytes();
+    case SystemInfoClass::kProcessInformation:
+      return machine_.processes().runningCount();
+    case SystemInfoClass::kKernelDebuggerInformation:
+      return machine_.sysinfo().kernelDebuggerEnabled ? 1 : 0;
+  }
+  return 0;
+}
+
+WinError Api::IsNativeVhdBoot(bool& isVhd) {
+  charge(ApiId::kIsNativeVhdBoot);
+  const winsys::SysInfo& si = machine_.sysinfo();
+  if (si.windowsMajorVersion < 6 ||
+      (si.windowsMajorVersion == 6 && si.windowsMinorVersion < 2))
+    return WinError::kCallNotImplemented;  // Windows 7: API absent
+  isVhd = false;
+  return WinError::kSuccess;
+}
+
+// ===== GUI ================================================================
+
+bool Api::FindWindowA(const std::string& className, const std::string& title) {
+  charge(ApiId::kFindWindow, className.empty() ? title : className);
+  if (hooks().findWindow) return hooks().findWindow(*this, className, title);
+  return orig_FindWindowA(className, title);
+}
+
+bool Api::orig_FindWindowA(const std::string& className,
+                           const std::string& title) {
+  return machine_.windows().find(className, title) != nullptr;
+}
+
+// ===== Network ============================================================
+
+std::optional<std::string> Api::DnsQuery(const std::string& domain) {
+  charge(ApiId::kDnsQuery, domain);
+  if (hooks().dnsQuery) return hooks().dnsQuery(*this, domain);
+  return orig_DnsQuery(domain);
+}
+
+std::optional<std::string> Api::orig_DnsQuery(const std::string& domain) {
+  auto ip = machine_.network().resolve(domain, machine_.clock().nowMs());
+  machine_.emit(pid_, EventKind::kDnsQuery, domain,
+                ip.has_value() ? *ip : "NXDOMAIN");
+  return ip;
+}
+
+HttpResult Api::InternetOpenUrlA(const std::string& domain,
+                                 const std::string& path) {
+  charge(ApiId::kInternetOpenUrl, domain + path);
+  if (hooks().internetOpenUrl)
+    return hooks().internetOpenUrl(*this, domain, path);
+  return orig_InternetOpenUrlA(domain, path);
+}
+
+HttpResult Api::orig_InternetOpenUrlA(const std::string& domain,
+                                      const std::string& path) {
+  auto ip = machine_.network().resolve(domain, machine_.clock().nowMs());
+  machine_.emit(pid_, EventKind::kDnsQuery, domain,
+                ip.has_value() ? *ip : "NXDOMAIN");
+  if (!ip.has_value()) return HttpResult{};
+  const winsys::HttpResponse resp = machine_.network().httpGet(domain);
+  machine_.emit(pid_, EventKind::kHttpRequest, domain + path,
+                std::to_string(resp.status));
+  return HttpResult{resp.status, resp.body};
+}
+
+std::vector<DnsCacheRow> Api::DnsGetCacheDataTable() {
+  charge(ApiId::kDnsGetCacheDataTable);
+  if (hooks().dnsGetCacheDataTable) return hooks().dnsGetCacheDataTable(*this);
+  return orig_DnsGetCacheDataTable();
+}
+
+std::vector<DnsCacheRow> Api::orig_DnsGetCacheDataTable() {
+  std::vector<DnsCacheRow> out;
+  for (const winsys::DnsCacheEntry& e : machine_.network().dnsCache())
+    out.push_back({e.domain, e.ip});
+  return out;
+}
+
+// ===== Event log ==========================================================
+
+std::vector<EventView> Api::EvtNext(std::size_t maxCount) {
+  charge(ApiId::kEvtNext);
+  if (hooks().evtNext) return hooks().evtNext(*this, maxCount);
+  return orig_EvtNext(maxCount);
+}
+
+std::vector<EventView> Api::orig_EvtNext(std::size_t maxCount) {
+  std::vector<EventView> out;
+  for (const winsys::LogEvent* e : machine_.eventlog().recent(maxCount))
+    out.push_back({e->source, e->id});
+  return out;
+}
+
+// ===== Synchronization objects ============================================
+
+bool Api::CreateMutexA(const std::string& name) {
+  charge(ApiId::kCreateMutex, name);
+  return machine_.mutexes().create(name);
+}
+
+bool Api::OpenMutexA(const std::string& name) {
+  charge(ApiId::kOpenMutex, name);
+  return machine_.mutexes().exists(name);
+}
+
+// ===== Pseudo-instructions ===============================================
+
+winsys::CpuidResult Api::cpuid(std::uint32_t leaf) {
+  const winsys::CpuidTrapDeception& trap = self().cpuidTrap;
+  if (!trap.active) return machine_.sysinfo().cpuid(leaf, machine_.clock());
+
+  // Hypervisor-extension deception: clone the machine's CPU identity but
+  // present a hypervisor, and burn vmexit-scale cycles so the
+  // rdtsc_diff_vmexit side channel agrees.
+  winsys::SysInfo deceived = machine_.sysinfo();
+  deceived.hypervisorPresent = true;
+  deceived.hypervisorVendor = trap.vendor;
+  deceived.cpuidTrapCycles = machine_.sysinfo().cpuidTrapCycles +
+                             trap.extraCycles;
+  return deceived.cpuid(leaf, machine_.clock());
+}
+
+std::uint64_t Api::rdtsc() { return machine_.sysinfo().rdtsc(machine_.clock()); }
+
+const winsys::Peb& Api::readPeb() { return self().peb; }
+
+std::array<std::uint8_t, 8> Api::readFunctionBytes(ApiId id) {
+  ProcessApiState& s = state();
+  const Prologue& p = s.prologues[static_cast<std::size_t>(id)];
+  // Guard-page modeling: when the injected engine protects its patched
+  // pages, a read of a hooked prologue raises a VEH notification that the
+  // engine surfaces as a "Hook detection" fingerprint alert (Table I,
+  // sample 0af4ef5).
+  if (s.guardPages && p.hooked)
+    machine_.emit(pid_, trace::EventKind::kAlert, "fingerprint",
+                  "Hook detection");
+  return p.bytes;
+}
+
+}  // namespace scarecrow::winapi

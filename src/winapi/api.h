@@ -1,0 +1,216 @@
+// Api: the user-level Windows API facade bound to one process.
+//
+// Every observable action of a guest program flows through here. Each
+// public method:
+//   1. charges the virtual clock (and enforces the run budget),
+//   2. dispatches to an installed in-line hook if one exists,
+//   3. otherwise executes the original semantics against the machine,
+//      emitting the kernel trace events Fibratus would see.
+//
+// The orig_* methods are the trampolines: hooks call them to reach the
+// unhooked behaviour. Pseudo-instruction channels (cpuid/rdtsc/PEB reads/
+// prologue reads) bypass the hook dispatch entirely — they are the paper's
+// documented deception blind spots.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "winapi/api_types.h"
+#include "winapi/guest.h"
+#include "winapi/userspace.h"
+#include "winsys/machine.h"
+
+namespace scarecrow::winapi {
+
+class Api {
+ public:
+  Api(winsys::Machine& machine, UserSpace& userspace, std::uint32_t pid);
+
+  winsys::Machine& machine() noexcept { return machine_; }
+  UserSpace& userspace() noexcept { return userspace_; }
+  std::uint32_t pid() const noexcept { return pid_; }
+  winsys::Process& self();
+  ProcessApiState& state() { return userspace_.stateFor(pid_); }
+
+  // ===== Registry =========================================================
+  WinError RegOpenKeyEx(const std::string& path);
+  WinError RegQueryValueEx(const std::string& path,
+                           const std::string& valueName,
+                           winsys::RegValue& out);
+  WinError RegQueryInfoKey(const std::string& path, std::uint32_t& subkeys,
+                           std::uint32_t& values);
+  WinError RegEnumKeyEx(const std::string& path, std::uint32_t index,
+                        std::string& name);
+  WinError RegEnumValue(const std::string& path, std::uint32_t index,
+                        std::string& name, winsys::RegValue& value);
+  WinError RegSetValueEx(const std::string& path, const std::string& valueName,
+                         winsys::RegValue value);
+  WinError RegCreateKeyEx(const std::string& path);
+  WinError RegDeleteKey(const std::string& path);
+  NtStatus NtOpenKeyEx(const std::string& path);
+  NtStatus NtQueryKey(const std::string& path, std::uint32_t& subkeys,
+                      std::uint32_t& values);
+  NtStatus NtQueryValueKey(const std::string& path,
+                           const std::string& valueName,
+                           winsys::RegValue& out);
+
+  // ===== Files ============================================================
+  WinError CreateFileA(const std::string& path, bool forWrite);
+  NtStatus NtCreateFile(const std::string& path);
+  NtStatus NtQueryAttributesFile(const std::string& path);
+  static constexpr std::uint32_t kInvalidFileAttributes = 0xFFFFFFFF;
+  std::uint32_t GetFileAttributesA(const std::string& path);
+  std::vector<std::string> FindFirstFileA(const std::string& directory,
+                                          const std::string& pattern);
+  WinError WriteFileA(const std::string& path, const std::string& content);
+  WinError DeleteFileA(const std::string& path);
+  WinError CopyFileA(const std::string& src, const std::string& dst);
+  bool GetDiskFreeSpaceExA(char drive, std::uint64_t& freeBytes,
+                           std::uint64_t& totalBytes);
+  std::uint32_t GetDriveTypeA(char drive);
+  bool GetVolumeInformationA(char drive, std::string& volumeName,
+                             std::uint32_t& serial);
+  std::string GetModuleFileNameA();  // own image path
+  std::string orig_GetModuleFileNameA();
+
+  // ===== Processes / modules =============================================
+  /// Returns the new pid, or 0 on failure. The child is queued for
+  /// execution by the runner.
+  std::uint32_t CreateProcessA(const std::string& imagePath,
+                               const std::string& commandLine);
+  bool OpenProcess(std::uint32_t pid);
+  bool TerminateProcess(std::uint32_t pid, std::uint32_t exitCode);
+  [[noreturn]] void ExitProcess(std::uint32_t exitCode);
+  std::vector<ProcessEntry> CreateToolhelp32Snapshot();
+  bool GetModuleHandleA(const std::string& moduleName);
+  bool LoadLibraryA(const std::string& moduleName);
+  bool GetProcAddress(const std::string& moduleName,
+                      const std::string& procName);
+  std::uint64_t NtQueryInformationProcess(std::uint32_t pid,
+                                          ProcessInfoClass infoClass);
+  bool ShellExecuteExA(const std::string& file);
+
+  // ===== Debug / timing ===================================================
+  bool IsDebuggerPresent();
+  bool CheckRemoteDebuggerPresent(std::uint32_t pid);
+  void OutputDebugStringA(const std::string& text);
+  std::uint64_t GetTickCount();
+  std::uint64_t QueryPerformanceCounter();
+  void Sleep(std::uint32_t ms);
+  /// Raises and handles an exception; returns handling latency in TSC
+  /// cycles (debuggers and analysis hooks inflate it).
+  std::uint64_t RaiseException(std::uint32_t code);
+
+  // ===== System information ==============================================
+  SystemInfoView GetSystemInfo();
+  MemoryStatusView GlobalMemoryStatusEx();
+  int GetSystemMetrics(int index);
+  /// Returns false if the cursor has not moved since the last call (mouse
+  /// idle), true if it moved. Matches how checks sample GetCursorPos twice.
+  bool GetCursorPos(int& x, int& y);
+  std::string GetUserNameA();
+  std::string GetComputerNameA();
+  std::vector<winsys::AdapterInfo> GetAdaptersInfo();
+  std::string GetSystemFirmwareTable();  // ACPI OEM id; never hooked
+  std::uint64_t NtQuerySystemInformation(SystemInfoClass infoClass);
+  /// Windows 8+ API; on the simulated Windows 7 it fails with
+  /// ERROR_CALL_NOT_IMPLEMENTED (out param untouched).
+  WinError IsNativeVhdBoot(bool& isVhd);
+
+  // ===== GUI ==============================================================
+  bool FindWindowA(const std::string& className, const std::string& title);
+
+  // ===== Network ==========================================================
+  std::optional<std::string> DnsQuery(const std::string& domain);
+  HttpResult InternetOpenUrlA(const std::string& domain,
+                              const std::string& path = "/");
+  std::vector<DnsCacheRow> DnsGetCacheDataTable();
+
+  // ===== Event log ========================================================
+  std::vector<EventView> EvtNext(std::size_t maxCount);
+
+  // ===== Synchronization objects ==========================================
+  /// Creates a named mutex; returns true when it ALREADY existed (the
+  /// ERROR_ALREADY_EXISTS signal single-instance malware checks).
+  bool CreateMutexA(const std::string& name);
+  /// True if the named mutex exists (infection-marker probing).
+  bool OpenMutexA(const std::string& name);
+
+  // ===== Pseudo-instructions (not hookable) ===============================
+  winsys::CpuidResult cpuid(std::uint32_t leaf);
+  std::uint64_t rdtsc();
+  const winsys::Peb& readPeb();
+  /// Reads the entry bytes of an API function in this process's image —
+  /// the anti-hook detection channel of paper Fig. 1.
+  std::array<std::uint8_t, 8> readFunctionBytes(ApiId id);
+
+  // ===== Originals (trampolines for hooks) ================================
+  WinError orig_RegOpenKeyEx(const std::string& path);
+  WinError orig_RegQueryValueEx(const std::string& path,
+                                const std::string& valueName,
+                                winsys::RegValue& out);
+  WinError orig_RegQueryInfoKey(const std::string& path,
+                                std::uint32_t& subkeys, std::uint32_t& values);
+  WinError orig_RegEnumKeyEx(const std::string& path, std::uint32_t index,
+                             std::string& name);
+  WinError orig_RegEnumValue(const std::string& path, std::uint32_t index,
+                             std::string& name, winsys::RegValue& value);
+  NtStatus orig_NtOpenKeyEx(const std::string& path);
+  NtStatus orig_NtQueryKey(const std::string& path, std::uint32_t& subkeys,
+                           std::uint32_t& values);
+  NtStatus orig_NtQueryValueKey(const std::string& path,
+                                const std::string& valueName,
+                                winsys::RegValue& out);
+  WinError orig_CreateFileA(const std::string& path, bool forWrite);
+  NtStatus orig_NtQueryAttributesFile(const std::string& path);
+  std::uint32_t orig_GetFileAttributesA(const std::string& path);
+  std::vector<std::string> orig_FindFirstFileA(const std::string& directory,
+                                               const std::string& pattern);
+  bool orig_GetDiskFreeSpaceExA(char drive, std::uint64_t& freeBytes,
+                                std::uint64_t& totalBytes);
+  bool orig_GetVolumeInformationA(char drive, std::string& volumeName,
+                                  std::uint32_t& serial);
+  std::uint32_t orig_CreateProcessA(const std::string& imagePath,
+                                    const std::string& commandLine);
+  bool orig_TerminateProcess(std::uint32_t pid, std::uint32_t exitCode);
+  std::vector<ProcessEntry> orig_CreateToolhelp32Snapshot();
+  bool orig_GetModuleHandleA(const std::string& moduleName);
+  bool orig_GetProcAddress(const std::string& moduleName,
+                           const std::string& procName);
+  std::uint64_t orig_NtQueryInformationProcess(std::uint32_t pid,
+                                               ProcessInfoClass infoClass);
+  bool orig_ShellExecuteExA(const std::string& file);
+  bool orig_IsDebuggerPresent();
+  bool orig_CheckRemoteDebuggerPresent(std::uint32_t pid);
+  std::uint64_t orig_GetTickCount();
+  void orig_Sleep(std::uint32_t ms);
+  std::uint64_t orig_RaiseException(std::uint32_t code);
+  SystemInfoView orig_GetSystemInfo();
+  MemoryStatusView orig_GlobalMemoryStatusEx();
+  std::string orig_GetUserNameA();
+  std::string orig_GetComputerNameA();
+  std::uint64_t orig_NtQuerySystemInformation(SystemInfoClass infoClass);
+  bool orig_FindWindowA(const std::string& className, const std::string& title);
+  std::optional<std::string> orig_DnsQuery(const std::string& domain);
+  HttpResult orig_InternetOpenUrlA(const std::string& domain,
+                                   const std::string& path);
+  std::vector<DnsCacheRow> orig_DnsGetCacheDataTable();
+  std::vector<EventView> orig_EvtNext(std::size_t maxCount);
+
+ private:
+  /// Charges clock time, enforces the run deadline, and (optionally)
+  /// records the call in the trace.
+  void charge(ApiId id, const std::string& argument = {});
+  HookSet& hooks() { return state().hooks; }
+
+  winsys::Machine& machine_;
+  UserSpace& userspace_;
+  std::uint32_t pid_;
+  int lastCursorX_ = -1;
+  int lastCursorY_ = -1;
+};
+
+}  // namespace scarecrow::winapi

@@ -1,0 +1,75 @@
+#include "winapi/api_ids.h"
+
+namespace scarecrow::winapi {
+
+const char* apiName(ApiId id) noexcept {
+  switch (id) {
+    case ApiId::kRegOpenKeyEx: return "RegOpenKeyEx";
+    case ApiId::kRegQueryValueEx: return "RegQueryValueEx";
+    case ApiId::kRegQueryInfoKey: return "RegQueryInfoKey";
+    case ApiId::kRegEnumKeyEx: return "RegEnumKeyEx";
+    case ApiId::kRegEnumValue: return "RegEnumValue";
+    case ApiId::kRegSetValueEx: return "RegSetValueEx";
+    case ApiId::kRegCreateKeyEx: return "RegCreateKeyEx";
+    case ApiId::kRegDeleteKey: return "RegDeleteKey";
+    case ApiId::kNtOpenKeyEx: return "NtOpenKeyEx";
+    case ApiId::kNtQueryKey: return "NtQueryKey";
+    case ApiId::kNtQueryValueKey: return "NtQueryValueKey";
+    case ApiId::kCreateFile: return "CreateFile";
+    case ApiId::kNtCreateFile: return "NtCreateFile";
+    case ApiId::kNtQueryAttributesFile: return "NtQueryAttributesFile";
+    case ApiId::kGetFileAttributes: return "GetFileAttributes";
+    case ApiId::kFindFirstFile: return "FindFirstFile";
+    case ApiId::kWriteFile: return "WriteFile";
+    case ApiId::kDeleteFile: return "DeleteFile";
+    case ApiId::kCopyFile: return "CopyFile";
+    case ApiId::kGetDiskFreeSpaceEx: return "GetDiskFreeSpaceEx";
+    case ApiId::kGetDriveType: return "GetDriveType";
+    case ApiId::kGetVolumeInformation: return "GetVolumeInformation";
+    case ApiId::kGetModuleFileName: return "GetModuleFileName";
+    case ApiId::kCreateProcess: return "CreateProcess";
+    case ApiId::kOpenProcess: return "OpenProcess";
+    case ApiId::kTerminateProcess: return "TerminateProcess";
+    case ApiId::kExitProcess: return "ExitProcess";
+    case ApiId::kCreateToolhelp32Snapshot: return "CreateToolhelp32Snapshot";
+    case ApiId::kGetModuleHandle: return "GetModuleHandle";
+    case ApiId::kLoadLibrary: return "LoadLibrary";
+    case ApiId::kGetProcAddress: return "GetProcAddress";
+    case ApiId::kNtQueryInformationProcess:
+      return "NtQueryInformationProcess";
+    case ApiId::kResumeThread: return "ResumeThread";
+    case ApiId::kWriteProcessMemory: return "WriteProcessMemory";
+    case ApiId::kCreateRemoteThread: return "CreateRemoteThread";
+    case ApiId::kShellExecuteEx: return "ShellExecuteEx";
+    case ApiId::kIsDebuggerPresent: return "IsDebuggerPresent";
+    case ApiId::kCheckRemoteDebuggerPresent:
+      return "CheckRemoteDebuggerPresent";
+    case ApiId::kOutputDebugString: return "OutputDebugString";
+    case ApiId::kGetTickCount: return "GetTickCount";
+    case ApiId::kQueryPerformanceCounter: return "QueryPerformanceCounter";
+    case ApiId::kSleep: return "Sleep";
+    case ApiId::kRaiseException: return "RaiseException";
+    case ApiId::kGetSystemInfo: return "GetSystemInfo";
+    case ApiId::kGlobalMemoryStatusEx: return "GlobalMemoryStatusEx";
+    case ApiId::kGetSystemMetrics: return "GetSystemMetrics";
+    case ApiId::kGetCursorPos: return "GetCursorPos";
+    case ApiId::kGetUserName: return "GetUserName";
+    case ApiId::kGetComputerName: return "GetComputerName";
+    case ApiId::kGetAdaptersInfo: return "GetAdaptersInfo";
+    case ApiId::kGetSystemFirmwareTable: return "GetSystemFirmwareTable";
+    case ApiId::kNtQuerySystemInformation:
+      return "NtQuerySystemInformation";
+    case ApiId::kIsNativeVhdBoot: return "IsNativeVhdBoot";
+    case ApiId::kFindWindow: return "FindWindow";
+    case ApiId::kDnsQuery: return "DnsQuery";
+    case ApiId::kInternetOpenUrl: return "InternetOpenUrl";
+    case ApiId::kDnsGetCacheDataTable: return "DnsGetCacheDataTable";
+    case ApiId::kEvtNext: return "EvtNext";
+    case ApiId::kCreateMutex: return "CreateMutex";
+    case ApiId::kOpenMutex: return "OpenMutex";
+    case ApiId::kApiCount: break;
+  }
+  return "?";
+}
+
+}  // namespace scarecrow::winapi

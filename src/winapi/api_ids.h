@@ -1,0 +1,91 @@
+// Identity of every hookable API in the simulated user-level surface.
+//
+// Each ApiId owns one prologue image per process (hooking/prologue.h); the
+// ids are also the keys for Scarecrow's hook installation and for the
+// anti-hook checks that read function entry bytes (paper Fig. 1).
+#pragma once
+
+#include <cstdint>
+
+namespace scarecrow::winapi {
+
+enum class ApiId : std::uint8_t {
+  // Registry (advapi32 / ntdll)
+  kRegOpenKeyEx,
+  kRegQueryValueEx,
+  kRegQueryInfoKey,
+  kRegEnumKeyEx,
+  kRegEnumValue,
+  kRegSetValueEx,
+  kRegCreateKeyEx,
+  kRegDeleteKey,
+  kNtOpenKeyEx,
+  kNtQueryKey,
+  kNtQueryValueKey,
+  // Files (kernel32 / ntdll)
+  kCreateFile,
+  kNtCreateFile,
+  kNtQueryAttributesFile,
+  kGetFileAttributes,
+  kFindFirstFile,
+  kWriteFile,
+  kDeleteFile,
+  kCopyFile,
+  kGetDiskFreeSpaceEx,
+  kGetDriveType,
+  kGetVolumeInformation,
+  kGetModuleFileName,
+  // Processes / modules
+  kCreateProcess,
+  kOpenProcess,
+  kTerminateProcess,
+  kExitProcess,
+  kCreateToolhelp32Snapshot,
+  kGetModuleHandle,
+  kLoadLibrary,
+  kGetProcAddress,
+  kNtQueryInformationProcess,
+  kResumeThread,
+  kWriteProcessMemory,
+  kCreateRemoteThread,
+  kShellExecuteEx,
+  // Debug / timing
+  kIsDebuggerPresent,
+  kCheckRemoteDebuggerPresent,
+  kOutputDebugString,
+  kGetTickCount,
+  kQueryPerformanceCounter,
+  kSleep,
+  kRaiseException,
+  // System information
+  kGetSystemInfo,
+  kGlobalMemoryStatusEx,
+  kGetSystemMetrics,
+  kGetCursorPos,
+  kGetUserName,
+  kGetComputerName,
+  kGetAdaptersInfo,
+  kGetSystemFirmwareTable,
+  kNtQuerySystemInformation,
+  kIsNativeVhdBoot,
+  // GUI
+  kFindWindow,
+  // Network
+  kDnsQuery,
+  kInternetOpenUrl,
+  kDnsGetCacheDataTable,
+  // Event log
+  kEvtNext,
+  // Synchronization objects
+  kCreateMutex,
+  kOpenMutex,
+
+  kApiCount,  // sentinel
+};
+
+inline constexpr std::size_t kApiCount =
+    static_cast<std::size_t>(ApiId::kApiCount);
+
+const char* apiName(ApiId id) noexcept;
+
+}  // namespace scarecrow::winapi

@@ -1,0 +1,96 @@
+// Result and view types of the simulated API surface.
+//
+// Status codes carry the real Windows numeric values so evasive logic that
+// branches on e.g. STATUS_OBJECT_NAME_NOT_FOUND reads naturally.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scarecrow::winapi {
+
+/// Win32 (LSTATUS / GetLastError) codes.
+enum class WinError : std::uint32_t {
+  kSuccess = 0,
+  kFileNotFound = 2,
+  kAccessDenied = 5,
+  kInvalidParameter = 87,
+  kInsufficientBuffer = 122,
+  kNoMoreItems = 259,
+  kNotSupported = 50,
+  kCallNotImplemented = 120,  // IsNativeVhdBoot on Windows 7
+};
+
+/// NTSTATUS codes.
+enum class NtStatus : std::uint32_t {
+  kSuccess = 0x00000000,
+  kObjectNameNotFound = 0xC0000034,
+  kObjectPathNotFound = 0xC000003A,
+  kAccessDenied = 0xC0000022,
+  kInvalidInfoClass = 0xC0000003,
+};
+
+inline bool ok(WinError e) noexcept { return e == WinError::kSuccess; }
+inline bool ok(NtStatus s) noexcept { return s == NtStatus::kSuccess; }
+
+/// Toolhelp snapshot row.
+struct ProcessEntry {
+  std::uint32_t pid = 0;
+  std::uint32_t parentPid = 0;
+  std::string imageName;
+};
+
+/// GetSystemInfo view.
+struct SystemInfoView {
+  std::uint32_t numberOfProcessors = 0;
+  std::uint32_t processorArchitecture = 9;  // AMD64
+};
+
+/// GlobalMemoryStatusEx view.
+struct MemoryStatusView {
+  std::uint64_t totalPhysBytes = 0;
+  std::uint64_t availPhysBytes = 0;
+  std::uint32_t memoryLoadPercent = 30;
+};
+
+/// NtQueryInformationProcess information classes (subset used by evasion).
+enum class ProcessInfoClass : std::uint8_t {
+  kBasicInformation,   // -> parent pid
+  kDebugPort,          // nonzero when debugged
+  kDebugObjectHandle,  // nonzero when debugged
+  kDebugFlags,         // 0 when debugged (NoDebugInherit inverted)
+};
+
+/// NtQuerySystemInformation classes (subset).
+enum class SystemInfoClass : std::uint8_t {
+  kBasicInformation,        // -> NumberOfProcessors
+  kRegistryQuotaInformation,// -> registry size in bytes
+  kProcessInformation,      // -> process list size
+  kKernelDebuggerInformation,
+};
+
+/// GetSystemMetrics indices used by checks.
+inline constexpr int kSmCxScreen = 0;
+inline constexpr int kSmCyScreen = 1;
+inline constexpr int kSmRemoteSession = 0x1000;
+
+/// Event-log row view returned by EvtNext.
+struct EventView {
+  std::string source;
+  std::uint32_t id = 0;
+};
+
+/// DNS cache row view.
+struct DnsCacheRow {
+  std::string domain;
+  std::string ip;
+};
+
+/// HTTP fetch result.
+struct HttpResult {
+  int status = 0;  // 0 == unreachable / resolution failed
+  std::string body;
+};
+
+}  // namespace scarecrow::winapi

@@ -1,0 +1,35 @@
+// Guest program model.
+//
+// A GuestProgram is the behaviour of one executable image: malware samples,
+// benign applications, Pafish, and the Scarecrow controller are all guest
+// programs coded against the Api facade. Control-flow exits (ExitProcess,
+// budget exhaustion) are modeled as exceptions so a program's run() can be
+// written as straight-line code.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace scarecrow::winapi {
+
+class Api;
+
+/// Thrown by Api::ExitProcess; unwinds the guest's run().
+struct ProcessExited {
+  std::uint32_t exitCode = 0;
+};
+
+/// Thrown when the machine-time budget for the run expires (the paper gives
+/// each sample one minute before reset).
+struct BudgetExhausted {};
+
+class GuestProgram {
+ public:
+  virtual ~GuestProgram() = default;
+
+  /// Executes the program to completion (or until it exits / the budget
+  /// expires). `api` is bound to this program's process.
+  virtual void run(Api& api) = 0;
+};
+
+}  // namespace scarecrow::winapi

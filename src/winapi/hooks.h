@@ -1,0 +1,115 @@
+// Hook slots for the user-level API surface.
+//
+// A HookSet is the in-process jump table that DLL injection installs: one
+// optional std::function per hookable API. When a slot is set, the Api
+// facade dispatches to it instead of the original implementation; the hook
+// may delegate to the original through the facade's orig_* methods —
+// exactly the trampoline structure of Detours/EasyHook in-line hooks.
+//
+// Hooks are per-process (they live in ProcessApiState), mirroring the fact
+// that in-line hooks patch the process's own mapped image, not the system.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "winapi/api_types.h"
+#include "winsys/registry.h"
+
+namespace scarecrow::winapi {
+
+class Api;
+
+struct HookSet {
+  // Registry
+  std::function<WinError(Api&, const std::string& path)> regOpenKeyEx;
+  std::function<WinError(Api&, const std::string& path,
+                         const std::string& valueName, winsys::RegValue&)>
+      regQueryValueEx;
+  std::function<WinError(Api&, const std::string& path, std::uint32_t& subkeys,
+                         std::uint32_t& values)>
+      regQueryInfoKey;
+  std::function<WinError(Api&, const std::string& path, std::uint32_t index,
+                         std::string& name)>
+      regEnumKeyEx;
+  std::function<WinError(Api&, const std::string& path, std::uint32_t index,
+                         std::string& name, winsys::RegValue&)>
+      regEnumValue;
+  std::function<NtStatus(Api&, const std::string& path)> ntOpenKeyEx;
+  std::function<NtStatus(Api&, const std::string& path, std::uint32_t& subkeys,
+                         std::uint32_t& values)>
+      ntQueryKey;
+  std::function<NtStatus(Api&, const std::string& path,
+                         const std::string& valueName, winsys::RegValue&)>
+      ntQueryValueKey;
+
+  // Files
+  std::function<WinError(Api&, const std::string& path, bool forWrite)>
+      createFile;
+  std::function<NtStatus(Api&, const std::string& path)> ntCreateFile;
+  std::function<NtStatus(Api&, const std::string& path)> ntQueryAttributesFile;
+  std::function<std::uint32_t(Api&, const std::string& path)>
+      getFileAttributes;
+  std::function<std::vector<std::string>(Api&, const std::string& directory,
+                                         const std::string& pattern)>
+      findFirstFile;
+  std::function<bool(Api&, char drive, std::uint64_t& freeBytes,
+                     std::uint64_t& totalBytes)>
+      getDiskFreeSpaceEx;
+  std::function<bool(Api&, char drive, std::string& volumeName,
+                     std::uint32_t& serial)>
+      getVolumeInformation;
+
+  // Processes / modules
+  std::function<std::uint32_t(Api&, const std::string& imagePath,
+                              const std::string& commandLine)>
+      createProcess;
+  std::function<bool(Api&, std::uint32_t pid, std::uint32_t exitCode)>
+      terminateProcess;
+  std::function<std::vector<ProcessEntry>(Api&)> createToolhelp32Snapshot;
+  std::function<bool(Api&, const std::string& moduleName)> getModuleHandle;
+  std::function<bool(Api&, const std::string& moduleName,
+                     const std::string& procName)>
+      getProcAddress;
+  std::function<std::uint64_t(Api&, std::uint32_t pid, ProcessInfoClass)>
+      ntQueryInformationProcess;
+  std::function<bool(Api&, const std::string& file)> shellExecuteEx;
+  std::function<std::string(Api&)> getModuleFileName;
+
+  // Debug / timing
+  std::function<bool(Api&)> isDebuggerPresent;
+  std::function<bool(Api&, std::uint32_t pid)> checkRemoteDebuggerPresent;
+  std::function<void(Api&, const std::string& text)> outputDebugString;
+  std::function<std::uint64_t(Api&)> getTickCount;
+  std::function<void(Api&, std::uint32_t ms)> sleep;
+  std::function<std::uint64_t(Api&, std::uint32_t code)> raiseException;
+
+  // System information
+  std::function<SystemInfoView(Api&)> getSystemInfo;
+  std::function<MemoryStatusView(Api&)> globalMemoryStatusEx;
+  std::function<std::string(Api&)> getUserName;
+  std::function<std::string(Api&)> getComputerName;
+  std::function<std::uint64_t(Api&, SystemInfoClass)>
+      ntQuerySystemInformation;
+
+  // GUI
+  std::function<bool(Api&, const std::string& className,
+                     const std::string& title)>
+      findWindow;
+
+  // Network
+  std::function<std::optional<std::string>(Api&, const std::string& domain)>
+      dnsQuery;
+  std::function<HttpResult(Api&, const std::string& domain,
+                           const std::string& path)>
+      internetOpenUrl;
+  std::function<std::vector<DnsCacheRow>(Api&)> dnsGetCacheDataTable;
+
+  // Event log
+  std::function<std::vector<EventView>(Api&, std::size_t maxCount)> evtNext;
+};
+
+}  // namespace scarecrow::winapi

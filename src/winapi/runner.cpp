@@ -1,0 +1,98 @@
+#include "winapi/runner.h"
+
+#include "support/log.h"
+#include "support/strings.h"
+
+namespace scarecrow::winapi {
+
+std::uint32_t Runner::ensureExplorer() {
+  winsys::Process* existing = machine_.processes().findByName("explorer.exe");
+  if (existing != nullptr) return existing->pid;
+  winsys::Process& shell = machine_.processes().create(
+      "C:\\Windows\\explorer.exe", 0, "explorer.exe",
+      machine_.sysinfo().processorCount);
+  return shell.pid;
+}
+
+std::uint32_t Runner::spawnRoot(const std::string& imagePath,
+                                const RunOptions& options) {
+  const std::uint32_t parent =
+      options.parentPid != 0 ? options.parentPid : ensureExplorer();
+  winsys::Process& root = machine_.processes().create(
+      imagePath, parent,
+      options.commandLine.empty() ? imagePath : options.commandLine,
+      machine_.sysinfo().processorCount);
+  machine_.emit(parent, trace::EventKind::kProcessCreate, root.imagePath,
+                root.commandLine);
+  userspace_.readyQueue().push_back(root.pid);
+  return root.pid;
+}
+
+RunResult Runner::drain(const RunOptions& options) {
+  RunResult result;
+  const std::uint64_t startMs = machine_.clock().nowMs();
+  userspace_.deadlineMs = startMs + options.budgetMs;
+  machine_.recorder().setCaptureApiCalls(options.captureApiCalls);
+
+  auto& queue = userspace_.readyQueue();
+  while (!queue.empty()) {
+    if (machine_.clock().nowMs() >= userspace_.deadlineMs) {
+      result.budgetExhausted = true;
+      break;
+    }
+    const std::uint32_t pid = queue.front();
+    queue.erase(queue.begin());
+    winsys::Process* proc = machine_.processes().find(pid);
+    if (proc == nullptr || proc->state == winsys::ProcessState::kTerminated)
+      continue;
+    if (!userspace_.programFactory) continue;
+    std::unique_ptr<GuestProgram> program =
+        userspace_.programFactory(proc->imagePath, proc->commandLine);
+    if (program == nullptr) continue;  // inert payload artifact
+
+    Api api(machine_, userspace_, pid);
+    ++result.processesExecuted;
+    try {
+      program->run(api);
+      // Natural return == clean exit.
+      winsys::Process* p = machine_.processes().find(pid);
+      if (p != nullptr && p->state != winsys::ProcessState::kTerminated) {
+        machine_.emit(pid, trace::EventKind::kProcessExit, p->imagePath,
+                      "return");
+        machine_.processes().terminate(pid, 0);
+        machine_.windows().removeByOwner(pid);
+      }
+    } catch (const ProcessExited&) {
+      // Already recorded by Api::ExitProcess.
+    } catch (const BudgetExhausted&) {
+      result.budgetExhausted = true;
+      break;
+    } catch (const std::exception& error) {
+      // A crashing guest is an access violation inside that process, not a
+      // harness failure: record the crash, reap the process, keep draining
+      // the queue (sandbox agents survive sample crashes).
+      support::logWarn("runner", std::string("guest crashed: ") +
+                                     error.what());
+      winsys::Process* crashed = machine_.processes().find(pid);
+      if (crashed != nullptr &&
+          crashed->state != winsys::ProcessState::kTerminated) {
+        machine_.emit(pid, trace::EventKind::kProcessExit,
+                      crashed->imagePath, "crash 0xC0000005");
+        machine_.processes().terminate(pid, 0xC0000005);
+        machine_.windows().removeByOwner(pid);
+      }
+      ++result.guestCrashes;
+    }
+  }
+  result.elapsedMs = machine_.clock().nowMs() - startMs;
+  return result;
+}
+
+RunResult Runner::run(const std::string& imagePath, const RunOptions& options) {
+  const std::uint32_t rootPid = spawnRoot(imagePath, options);
+  RunResult result = drain(options);
+  result.rootPid = rootPid;
+  return result;
+}
+
+}  // namespace scarecrow::winapi

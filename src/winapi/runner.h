@@ -1,0 +1,65 @@
+// Runner: executes guest programs on a machine for a bounded interval.
+//
+// Models the paper's per-sample execution protocol (Figure 3): the agent
+// starts the sample, lets it and every descendant run for one minute of
+// machine time, then the machine is reset. Processes execute one at a time
+// (run-to-completion); CreateProcess enqueues children, so self-spawn
+// chains unroll exactly like the 474-spawn Symmi sample in Section IV-C.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "winapi/api.h"
+#include "winapi/guest.h"
+#include "winapi/userspace.h"
+#include "winsys/machine.h"
+
+namespace scarecrow::winapi {
+
+struct RunOptions {
+  std::uint64_t budgetMs = 60'000;
+  /// Parent pid for the root process; 0 means "launched from explorer.exe"
+  /// (the runner creates/uses an explorer process).
+  std::uint32_t parentPid = 0;
+  std::string commandLine;
+  bool captureApiCalls = false;
+};
+
+struct RunResult {
+  std::uint32_t rootPid = 0;
+  std::uint64_t elapsedMs = 0;
+  std::size_t processesExecuted = 0;
+  bool budgetExhausted = false;
+  /// Guests that died on an unhandled exception (contained per process;
+  /// the run itself continues, like a real sandbox agent).
+  std::size_t guestCrashes = 0;
+};
+
+class Runner {
+ public:
+  Runner(winsys::Machine& machine, UserSpace& userspace)
+      : machine_(machine), userspace_(userspace) {}
+
+  /// Ensures an explorer.exe shell process exists and returns its pid
+  /// (double-clicked programs have explorer as parent).
+  std::uint32_t ensureExplorer();
+
+  /// Creates the root process (without running it) — used by launchers
+  /// like the Scarecrow controller that need to inject before execution.
+  std::uint32_t spawnRoot(const std::string& imagePath,
+                          const RunOptions& options);
+
+  /// Runs the ready queue until empty or until the budget expires.
+  RunResult drain(const RunOptions& options);
+
+  /// Convenience: spawnRoot + drain.
+  RunResult run(const std::string& imagePath, const RunOptions& options);
+
+ private:
+  winsys::Machine& machine_;
+  UserSpace& userspace_;
+};
+
+}  // namespace scarecrow::winapi

@@ -1,0 +1,103 @@
+// Per-process user-space state: prologue images, hook sets, injected DLLs.
+//
+// Real in-line hooking patches the first bytes of API entry points inside a
+// process's own address space; ProcessApiState is that address space's view
+// of the API code. UserSpace aggregates the states for all processes on one
+// machine and carries the run-scoped execution budget (the paper runs every
+// sample for one minute of machine time).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "winapi/api_ids.h"
+#include "winapi/hooks.h"
+
+namespace scarecrow::winapi {
+
+class Api;
+class GuestProgram;
+
+/// The first 8 bytes of a function's entry. Fresh images start with the
+/// hot-patchable Windows prologue; installing an in-line hook rewrites the
+/// head to a JMP rel32 (paper Fig. 1).
+struct Prologue {
+  static constexpr std::array<std::uint8_t, 8> kIntact = {
+      0x8B, 0xFF,        // mov edi, edi
+      0x55,              // push ebp
+      0x8B, 0xEC,        // mov ebp, esp
+      0x83, 0xEC, 0x10,  // sub esp, 0x10
+  };
+  std::array<std::uint8_t, 8> bytes = kIntact;
+  /// Bytes displaced into the trampoline when a hook is installed.
+  std::array<std::uint8_t, 8> trampoline = kIntact;
+  bool hooked = false;
+
+  bool intact() const noexcept {
+    return bytes[0] == 0x8B && bytes[1] == 0xFF;
+  }
+};
+
+struct ProcessApiState {
+  std::array<Prologue, kApiCount> prologues{};
+  HookSet hooks;
+  /// DLL names injected into this process (visible via GetModuleHandle on
+  /// top of the winsys module list; kept here because injection is a
+  /// user-space operation).
+  std::vector<std::string> injectedDlls;
+  /// When set, reads of hooked function prologues raise a notification the
+  /// engine can observe (PAGE_GUARD + vectored-exception-handler modeling of
+  /// the "Hook detection" trigger in Table I).
+  bool guardPages = false;
+};
+
+/// Factory invoked when a process image starts executing; returns the guest
+/// program for that image or nullptr for images with no modeled behaviour
+/// (payload artifacts like dropped executables).
+using ProgramFactory = std::function<std::unique_ptr<GuestProgram>(
+    const std::string& imagePath, const std::string& commandLine)>;
+
+class UserSpace {
+ public:
+  ProcessApiState& stateFor(std::uint32_t pid) { return states_[pid]; }
+  const ProcessApiState* findState(std::uint32_t pid) const noexcept {
+    auto it = states_.find(pid);
+    return it == states_.end() ? nullptr : &it->second;
+  }
+
+  /// Copies hook state from parent to child — the CreateProcess-propagation
+  /// step of DLL injection (suspend, inject, resume).
+  void propagate(std::uint32_t fromPid, std::uint32_t toPid) {
+    states_[toPid] = states_[fromPid];
+  }
+
+  /// Run-scoped execution budget, in machine-clock milliseconds.
+  std::uint64_t deadlineMs = UINT64_MAX;
+
+  /// Pids whose program has been created but not yet executed.
+  std::vector<std::uint32_t>& readyQueue() noexcept { return ready_; }
+
+  ProgramFactory programFactory;
+
+  /// Per-call clock charges (ms); calibrated so that a one-minute budget
+  /// admits a few hundred spawn-loop iterations, as observed in the paper.
+  std::uint64_t apiCallCostMs = 1;
+  std::uint64_t processCreateCostMs = 50;
+
+  void reset() {
+    states_.clear();
+    ready_.clear();
+    deadlineMs = UINT64_MAX;
+  }
+
+ private:
+  std::map<std::uint32_t, ProcessApiState> states_;
+  std::vector<std::uint32_t> ready_;
+};
+
+}  // namespace scarecrow::winapi

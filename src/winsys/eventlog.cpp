@@ -1,0 +1,25 @@
+#include "winsys/eventlog.h"
+
+namespace scarecrow::winsys {
+
+void EventLog::append(std::string source, std::uint32_t id,
+                      std::uint64_t timeMs) {
+  events_.push_back({std::move(source), id, timeMs});
+}
+
+std::vector<const LogEvent*> EventLog::recent(std::size_t count) const {
+  std::vector<const LogEvent*> out;
+  const std::size_t n = events_.size();
+  const std::size_t take = count < n ? count : n;
+  out.reserve(take);
+  for (std::size_t i = n - take; i < n; ++i) out.push_back(&events_[i]);
+  return out;
+}
+
+std::size_t EventLog::distinctSourcesInRecent(std::size_t count) const {
+  std::set<std::string> sources;
+  for (const LogEvent* e : recent(count)) sources.insert(e->source);
+  return sources.size();
+}
+
+}  // namespace scarecrow::winsys

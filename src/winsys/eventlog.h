@@ -1,0 +1,39 @@
+// Simulated Windows event log.
+//
+// The wear-and-tear artifacts sysevt (number of system events) and syssrc
+// (number of distinct sources among recent events) read this log through
+// EvtQuery/EvtNext. Scarecrow's aging deception truncates the view to the
+// most recent 8,000 events (Table III), so the log itself just needs cheap
+// append and windowed iteration.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace scarecrow::winsys {
+
+struct LogEvent {
+  std::string source;   // "Service Control Manager", "Kernel-General", ...
+  std::uint32_t id = 0;
+  std::uint64_t timeMs = 0;
+};
+
+class EventLog {
+ public:
+  void append(std::string source, std::uint32_t id, std::uint64_t timeMs);
+
+  std::size_t size() const noexcept { return events_.size(); }
+
+  /// The `count` most recent events, newest last.
+  std::vector<const LogEvent*> recent(std::size_t count) const;
+
+  /// Number of distinct sources among the `count` most recent events.
+  std::size_t distinctSourcesInRecent(std::size_t count) const;
+
+ private:
+  std::vector<LogEvent> events_;
+};
+
+}  // namespace scarecrow::winsys

@@ -1,0 +1,39 @@
+#include "winsys/machine.h"
+
+namespace scarecrow::winsys {
+
+void Machine::emit(std::uint32_t pid, trace::EventKind kind,
+                   std::string target, std::string detail) {
+  const Process* p = processes_.find(pid);
+  recorder_.record(clock_.nowMs(), pid, p != nullptr ? p->imageName : "?",
+                   kind, std::move(target), std::move(detail));
+}
+
+MachineSnapshot Machine::snapshot() const {
+  MachineSnapshot snap;
+  snap.registry = registry_;
+  snap.vfs = vfs_;
+  snap.processes = processes_;
+  snap.windows = windows_;
+  snap.sysinfo = sysinfo_;
+  snap.network = network_;
+  snap.eventlog = eventlog_;
+  snap.mutexes = mutexes_;
+  snap.clockMs = clock_.nowMs();
+  return snap;
+}
+
+void Machine::restore(const MachineSnapshot& snap) {
+  registry_ = snap.registry;
+  vfs_ = snap.vfs;
+  processes_ = snap.processes;
+  windows_ = snap.windows;
+  sysinfo_ = snap.sysinfo;
+  network_ = snap.network;
+  eventlog_ = snap.eventlog;
+  mutexes_ = snap.mutexes;
+  clock_.setNowMs(snap.clockMs);
+  recorder_.clear();
+}
+
+}  // namespace scarecrow::winsys

@@ -1,0 +1,98 @@
+// Machine: composition root of the simulated Windows host.
+//
+// One Machine == one bare-metal box in the paper's Figure 3 cluster. The
+// evaluation harness takes a snapshot after environment construction and
+// restores it before each sample run — the simulated equivalent of the
+// Deep Freeze reset the paper performs between executions.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "support/clock.h"
+#include "trace/recorder.h"
+#include "winsys/eventlog.h"
+#include "winsys/mutex.h"
+#include "winsys/network.h"
+#include "winsys/process.h"
+#include "winsys/registry.h"
+#include "winsys/sysinfo.h"
+#include "winsys/vfs.h"
+
+namespace scarecrow::winsys {
+
+class Machine;
+
+/// Deep copy of all mutable machine state (traces excluded: they belong to
+/// runs, not machines).
+struct MachineSnapshot {
+  Registry registry;
+  Vfs vfs;
+  ProcessTable processes;
+  WindowTable windows;
+  SysInfo sysinfo;
+  Network network;
+  EventLog eventlog;
+  MutexTable mutexes;
+  std::uint64_t clockMs = 0;
+};
+
+class Machine {
+ public:
+  Machine() = default;
+
+  // Machines are identity objects; pass by reference.
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  Registry& registry() noexcept { return registry_; }
+  const Registry& registry() const noexcept { return registry_; }
+  Vfs& vfs() noexcept { return vfs_; }
+  const Vfs& vfs() const noexcept { return vfs_; }
+  ProcessTable& processes() noexcept { return processes_; }
+  const ProcessTable& processes() const noexcept { return processes_; }
+  WindowTable& windows() noexcept { return windows_; }
+  const WindowTable& windows() const noexcept { return windows_; }
+  SysInfo& sysinfo() noexcept { return sysinfo_; }
+  const SysInfo& sysinfo() const noexcept { return sysinfo_; }
+  Network& network() noexcept { return network_; }
+  const Network& network() const noexcept { return network_; }
+  EventLog& eventlog() noexcept { return eventlog_; }
+  const EventLog& eventlog() const noexcept { return eventlog_; }
+  MutexTable& mutexes() noexcept { return mutexes_; }
+  const MutexTable& mutexes() const noexcept { return mutexes_; }
+  support::VirtualClock& clock() noexcept { return clock_; }
+  const support::VirtualClock& clock() const noexcept { return clock_; }
+  trace::Recorder& recorder() noexcept { return recorder_; }
+
+  /// Milliseconds since simulated boot (includes the aging boot offset).
+  std::uint64_t tickCount() const noexcept {
+    return sysinfo_.bootOffsetMs + clock_.nowMs();
+  }
+
+  /// Emits a kernel trace event attributed to `pid`.
+  void emit(std::uint32_t pid, trace::EventKind kind, std::string target,
+            std::string detail = {});
+
+  /// Deep Freeze: capture / restore full machine state.
+  MachineSnapshot snapshot() const;
+  void restore(const MachineSnapshot& snap);
+
+  /// Human-readable machine label for reports ("bare-metal sandbox" etc.).
+  std::string label = "machine";
+
+ private:
+  Registry registry_;
+  Vfs vfs_;
+  ProcessTable processes_;
+  WindowTable windows_;
+  SysInfo sysinfo_;
+  Network network_;
+  EventLog eventlog_;
+  MutexTable mutexes_;
+  support::VirtualClock clock_;
+  trace::Recorder recorder_;
+};
+
+}  // namespace scarecrow::winsys

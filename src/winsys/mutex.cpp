@@ -1,0 +1,23 @@
+#include "winsys/mutex.h"
+
+#include "support/strings.h"
+
+namespace scarecrow::winsys {
+
+bool MutexTable::create(std::string_view name) {
+  return !mutexes_.insert(support::toLower(name)).second;
+}
+
+bool MutexTable::exists(std::string_view name) const {
+  return mutexes_.count(support::toLower(name)) != 0;
+}
+
+bool MutexTable::remove(std::string_view name) {
+  return mutexes_.erase(support::toLower(name)) != 0;
+}
+
+std::vector<std::string> MutexTable::names() const {
+  return {mutexes_.begin(), mutexes_.end()};
+}
+
+}  // namespace scarecrow::winsys

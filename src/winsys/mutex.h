@@ -1,0 +1,34 @@
+// Named kernel mutexes (infection markers).
+//
+// Malware commonly creates a named mutex as a single-instance /
+// already-infected marker; vaccination defenses (Wichmann et al. [33],
+// AutoVac [34] — the related work the paper contrasts itself with) plant
+// exactly those markers so the malware believes the machine is already
+// compromised and exits. The table stores only existence; ownership and
+// waiting semantics are irrelevant to every consumer.
+#pragma once
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scarecrow::winsys {
+
+class MutexTable {
+ public:
+  /// Creates the mutex; returns true if it ALREADY existed (the
+  /// ERROR_ALREADY_EXISTS signal of CreateMutex).
+  bool create(std::string_view name);
+
+  bool exists(std::string_view name) const;
+  bool remove(std::string_view name);
+
+  std::vector<std::string> names() const;
+  std::size_t size() const noexcept { return mutexes_.size(); }
+
+ private:
+  std::set<std::string> mutexes_;  // lower-cased names
+};
+
+}  // namespace scarecrow::winsys

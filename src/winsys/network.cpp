@@ -1,0 +1,40 @@
+#include "winsys/network.h"
+
+#include "support/strings.h"
+
+namespace scarecrow::winsys {
+
+using support::toLower;
+
+void Network::registerDomain(std::string domain, std::string ip) {
+  domains_[toLower(domain)] = std::move(ip);
+}
+
+void Network::registerHttp(std::string domain, int status, std::string body) {
+  httpEndpoints_[toLower(domain)] = HttpResponse{status, std::move(body)};
+}
+
+std::optional<std::string> Network::resolve(std::string_view domain,
+                                            std::uint64_t nowMs) {
+  auto it = domains_.find(toLower(domain));
+  if (it == domains_.end()) return std::nullopt;
+  cache_.push_back({std::string(domain), it->second, nowMs});
+  return it->second;
+}
+
+bool Network::isRegistered(std::string_view domain) const noexcept {
+  return domains_.find(toLower(domain)) != domains_.end();
+}
+
+HttpResponse Network::httpGet(std::string_view domain) {
+  auto it = httpEndpoints_.find(toLower(domain));
+  if (it == httpEndpoints_.end()) return HttpResponse{};
+  return it->second;
+}
+
+void Network::seedCacheEntry(std::string domain, std::string ip,
+                             std::uint64_t ms) {
+  cache_.push_back({std::move(domain), std::move(ip), ms});
+}
+
+}  // namespace scarecrow::winsys

@@ -1,0 +1,66 @@
+// Simulated network stack: DNS resolution, HTTP reachability, DNS cache.
+//
+// Reproduces the paper's network-resource deception surface:
+//  * sandboxes run DNS sinkholes that resolve non-existent (NX) domains to
+//    controlled IPs so malware sees "live" C2 — WannaCry's kill-switch
+//    inverts this, treating a *successful* NX resolution as sandbox
+//    evidence (Case II);
+//  * the dnscacheEntries wear-and-tear artifact reads the resolver cache.
+//
+// The stack itself models the *real* network: registered domains resolve,
+// NX domains fail. Sinkholing is a Scarecrow/sandbox hook at the API layer.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scarecrow::winsys {
+
+struct DnsCacheEntry {
+  std::string domain;
+  std::string ip;
+  std::uint64_t insertedMs = 0;
+};
+
+struct HttpResponse {
+  int status = 0;          // 0 == unreachable
+  std::string body;
+};
+
+class Network {
+ public:
+  /// Registers a real, resolvable domain.
+  void registerDomain(std::string domain, std::string ip);
+
+  /// Registers an HTTP endpoint (domain must also resolve).
+  void registerHttp(std::string domain, int status, std::string body);
+
+  /// Resolves a domain. NX domains return nullopt. Successful resolutions
+  /// populate the DNS cache.
+  std::optional<std::string> resolve(std::string_view domain,
+                                     std::uint64_t nowMs);
+
+  bool isRegistered(std::string_view domain) const noexcept;
+
+  /// HTTP GET to a previously resolved IP/domain. Unreachable hosts return
+  /// status 0.
+  HttpResponse httpGet(std::string_view domain);
+
+  /// Resolver cache (most recent first), for DnsGetCacheDataTable.
+  const std::vector<DnsCacheEntry>& dnsCache() const noexcept {
+    return cache_;
+  }
+  void seedCacheEntry(std::string domain, std::string ip, std::uint64_t ms);
+  void clearCache() { cache_.clear(); }
+
+ private:
+  std::map<std::string, std::string> domains_;              // lower-case
+  std::map<std::string, HttpResponse> httpEndpoints_;        // lower-case
+  std::vector<DnsCacheEntry> cache_;
+};
+
+}  // namespace scarecrow::winsys

@@ -1,0 +1,117 @@
+#include "winsys/process.h"
+
+#include "support/strings.h"
+
+namespace scarecrow::winsys {
+
+bool Process::hasModule(std::string_view name) const noexcept {
+  for (const auto& m : modules)
+    if (support::iequals(m.name, name)) return true;
+  return false;
+}
+
+Process& ProcessTable::create(std::string_view imagePath,
+                              std::uint32_t parentPid,
+                              std::string_view commandLine,
+                              std::uint32_t numberOfProcessors) {
+  const std::uint32_t pid = nextPid_;
+  nextPid_ += 4;  // Windows allocates pids in multiples of 4.
+  Process p;
+  p.pid = pid;
+  p.parentPid = parentPid;
+  p.imagePath = support::normalizePath(imagePath);
+  p.imageName = support::baseName(p.imagePath);
+  p.commandLine = std::string(commandLine);
+  p.peb.numberOfProcessors = numberOfProcessors;
+  // Every user process maps the core system DLLs.
+  p.modules = {
+      {"ntdll.dll", "C:\\Windows\\System32\\ntdll.dll"},
+      {"kernel32.dll", "C:\\Windows\\System32\\kernel32.dll"},
+      {"user32.dll", "C:\\Windows\\System32\\user32.dll"},
+      {"advapi32.dll", "C:\\Windows\\System32\\advapi32.dll"},
+  };
+  auto [it, inserted] = processes_.emplace(pid, std::move(p));
+  return it->second;
+}
+
+Process* ProcessTable::find(std::uint32_t pid) noexcept {
+  auto it = processes_.find(pid);
+  return it == processes_.end() ? nullptr : &it->second;
+}
+
+const Process* ProcessTable::find(std::uint32_t pid) const noexcept {
+  return const_cast<ProcessTable*>(this)->find(pid);
+}
+
+Process* ProcessTable::findByName(std::string_view imageName) noexcept {
+  for (auto& [pid, p] : processes_)
+    if (p.state != ProcessState::kTerminated &&
+        support::iequals(p.imageName, imageName))
+      return &p;
+  return nullptr;
+}
+
+const Process* ProcessTable::findByName(
+    std::string_view imageName) const noexcept {
+  return const_cast<ProcessTable*>(this)->findByName(imageName);
+}
+
+bool ProcessTable::terminate(std::uint32_t pid, std::uint32_t exitCode) {
+  Process* p = find(pid);
+  if (p == nullptr || p->state == ProcessState::kTerminated) return false;
+  p->state = ProcessState::kTerminated;
+  p->exitCode = exitCode;
+  return true;
+}
+
+std::vector<const Process*> ProcessTable::running() const {
+  std::vector<const Process*> out;
+  for (const auto& [pid, p] : processes_)
+    if (p.state != ProcessState::kTerminated) out.push_back(&p);
+  return out;
+}
+
+std::vector<const Process*> ProcessTable::all() const {
+  std::vector<const Process*> out;
+  out.reserve(processes_.size());
+  for (const auto& [pid, p] : processes_) out.push_back(&p);
+  return out;
+}
+
+std::size_t ProcessTable::runningCount() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [pid, p] : processes_)
+    if (p.state != ProcessState::kTerminated) ++n;
+  return n;
+}
+
+void WindowTable::add(std::string className, std::string title,
+                      std::uint32_t ownerPid) {
+  windows_.push_back({std::move(className), std::move(title), ownerPid});
+}
+
+bool WindowTable::removeByOwner(std::uint32_t pid) {
+  bool removed = false;
+  for (auto it = windows_.begin(); it != windows_.end();) {
+    if (it->ownerPid == pid) {
+      it = windows_.erase(it);
+      removed = true;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+const Window* WindowTable::find(std::string_view className,
+                                std::string_view title) const noexcept {
+  for (const auto& w : windows_) {
+    const bool classOk =
+        className.empty() || support::iequals(w.className, className);
+    const bool titleOk = title.empty() || support::iequals(w.title, title);
+    if (classOk && titleOk) return &w;
+  }
+  return nullptr;
+}
+
+}  // namespace scarecrow::winsys

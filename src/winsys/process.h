@@ -1,0 +1,116 @@
+// Simulated process/thread table with per-process PEB and module list.
+//
+// Two observation channels matter for fidelity with the paper:
+//  * API-level enumeration (CreateToolhelp32Snapshot, GetModuleHandle) —
+//    hookable, so Scarecrow can inject fake analysis processes/DLLs;
+//  * direct PEB memory reads — NOT hookable. Table I sample cbdda64 reads
+//    NumberOfProcessors straight from the PEB and defeats Scarecrow; the
+//    Peb struct below is exposed to guests precisely so that failure mode
+//    reproduces.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scarecrow::winsys {
+
+/// Process Environment Block — the subset evasive malware reads directly.
+struct Peb {
+  bool beingDebugged = false;
+  std::uint32_t ntGlobalFlag = 0;       // debugger heap flags
+  std::uint32_t numberOfProcessors = 0; // mirrors physical config at creation
+};
+
+/// Per-process hypervisor-level CPUID/RDTSC deception (installed by the
+/// kernel/hypervisor extension): when active, CPUID executed by this
+/// process reports a hypervisor and pays a vmexit-scale latency, so even
+/// the timing side channel says "virtualized".
+struct CpuidTrapDeception {
+  bool active = false;
+  std::string vendor = "VBoxVBoxVBox";
+  std::uint64_t extraCycles = 40'000;
+};
+
+struct Module {
+  std::string name;  // "kernel32.dll"
+  std::string path;  // "C:\\Windows\\System32\\kernel32.dll"
+};
+
+enum class ProcessState : std::uint8_t { kRunning, kSuspended, kTerminated };
+
+struct Process {
+  std::uint32_t pid = 0;
+  std::uint32_t parentPid = 0;
+  std::string imageName;   // "sample.exe"
+  std::string imagePath;   // full path of the executable
+  std::string commandLine;
+  ProcessState state = ProcessState::kRunning;
+  std::uint32_t exitCode = 0;
+  std::uint32_t threadCount = 1;
+  Peb peb;
+  CpuidTrapDeception cpuidTrap;
+  std::vector<Module> modules;
+
+  bool hasModule(std::string_view name) const noexcept;
+};
+
+class ProcessTable {
+ public:
+  ProcessTable() = default;
+
+  /// Creates a process; the caller provides the parent pid (0 for roots).
+  Process& create(std::string_view imagePath, std::uint32_t parentPid,
+                  std::string_view commandLine,
+                  std::uint32_t numberOfProcessors);
+
+  Process* find(std::uint32_t pid) noexcept;
+  const Process* find(std::uint32_t pid) const noexcept;
+
+  /// First running process with the given image name (case-insensitive).
+  Process* findByName(std::string_view imageName) noexcept;
+  const Process* findByName(std::string_view imageName) const noexcept;
+
+  /// Marks a process terminated; returns false for unknown/zombie pids.
+  bool terminate(std::uint32_t pid, std::uint32_t exitCode);
+
+  /// Running processes in pid order (Toolhelp snapshot semantics).
+  std::vector<const Process*> running() const;
+
+  /// All processes ever created (trace post-processing).
+  std::vector<const Process*> all() const;
+
+  std::size_t runningCount() const noexcept;
+
+ private:
+  std::map<std::uint32_t, Process> processes_;
+  std::uint32_t nextPid_ = 4;  // System idle/system take low pids
+};
+
+/// A top-level GUI window (FindWindow checks).
+struct Window {
+  std::string className;
+  std::string title;
+  std::uint32_t ownerPid = 0;
+};
+
+class WindowTable {
+ public:
+  void add(std::string className, std::string title, std::uint32_t ownerPid);
+  bool removeByOwner(std::uint32_t pid);
+
+  /// FindWindow semantics: match by class name and/or title; either may be
+  /// empty meaning "any".
+  const Window* find(std::string_view className,
+                     std::string_view title) const noexcept;
+
+  const std::vector<Window>& windows() const noexcept { return windows_; }
+
+ private:
+  std::vector<Window> windows_;
+};
+
+}  // namespace scarecrow::winsys

@@ -1,0 +1,270 @@
+#include "winsys/registry.h"
+
+#include "support/strings.h"
+
+namespace scarecrow::winsys {
+
+using support::split;
+using support::toLower;
+
+RegValue RegValue::sz(std::string s) {
+  RegValue v;
+  v.type = RegType::kSz;
+  v.str = std::move(s);
+  return v;
+}
+
+RegValue RegValue::dword(std::uint32_t n) {
+  RegValue v;
+  v.type = RegType::kDword;
+  v.num = n;
+  return v;
+}
+
+RegValue RegValue::qword(std::uint64_t n) {
+  RegValue v;
+  v.type = RegType::kQword;
+  v.num = n;
+  return v;
+}
+
+RegValue RegValue::binary(std::uint32_t size) {
+  RegValue v;
+  v.type = RegType::kBinary;
+  v.binarySize = size;
+  return v;
+}
+
+RegValue RegValue::multiSz(std::vector<std::string> items) {
+  RegValue v;
+  v.type = RegType::kMultiSz;
+  v.str = support::join(items, '\0');
+  return v;
+}
+
+RegKey& RegKey::ensureChild(std::string_view name) {
+  const std::string key = toLower(name);
+  auto it = children_.find(key);
+  if (it != children_.end()) return *it->second;
+  auto child = std::make_unique<RegKey>(std::string(name));
+  RegKey& ref = *child;
+  children_.emplace(key, std::move(child));
+  childOrder_.emplace_back(name);
+  return ref;
+}
+
+RegKey* RegKey::findChild(std::string_view name) noexcept {
+  auto it = children_.find(toLower(name));
+  return it == children_.end() ? nullptr : it->second.get();
+}
+
+const RegKey* RegKey::findChild(std::string_view name) const noexcept {
+  auto it = children_.find(toLower(name));
+  return it == children_.end() ? nullptr : it->second.get();
+}
+
+bool RegKey::removeChild(std::string_view name) {
+  const std::string key = toLower(name);
+  auto it = children_.find(key);
+  if (it == children_.end()) return false;
+  children_.erase(it);
+  for (auto order = childOrder_.begin(); order != childOrder_.end(); ++order) {
+    if (support::iequals(*order, name)) {
+      childOrder_.erase(order);
+      break;
+    }
+  }
+  return true;
+}
+
+void RegKey::setValue(std::string_view valueName, RegValue value) {
+  const std::string key = toLower(valueName);
+  if (values_.find(key) == values_.end())
+    valueOrder_.emplace_back(valueName);
+  values_[key] = std::move(value);
+}
+
+const RegValue* RegKey::findValue(std::string_view valueName) const noexcept {
+  auto it = values_.find(toLower(valueName));
+  return it == values_.end() ? nullptr : &it->second;
+}
+
+bool RegKey::removeValue(std::string_view valueName) {
+  const std::string key = toLower(valueName);
+  auto it = values_.find(key);
+  if (it == values_.end()) return false;
+  values_.erase(it);
+  for (auto order = valueOrder_.begin(); order != valueOrder_.end(); ++order) {
+    if (support::iequals(*order, valueName)) {
+      valueOrder_.erase(order);
+      break;
+    }
+  }
+  return true;
+}
+
+std::uint64_t RegKey::subtreeBytes() const noexcept {
+  // Approximation modeled on hive cell layout: ~80 bytes per key cell,
+  // value name + payload per value.
+  std::uint64_t bytes = 80 + name_.size();
+  for (const auto& [name, value] : values_) {
+    bytes += 24 + name.size();
+    switch (value.type) {
+      case RegType::kSz:
+      case RegType::kMultiSz: bytes += value.str.size() * 2; break;
+      case RegType::kDword: bytes += 4; break;
+      case RegType::kQword: bytes += 8; break;
+      case RegType::kBinary: bytes += value.binarySize; break;
+    }
+  }
+  for (const auto& [name, child] : children_) bytes += child->subtreeBytes();
+  return bytes;
+}
+
+namespace {
+
+void copyInto(const RegKey& from, RegKey& to) {
+  for (const auto& valueName : from.valueNames()) {
+    const RegValue* v = from.findValue(valueName);
+    if (v != nullptr) to.setValue(valueName, *v);
+  }
+  for (const auto& childName : from.subkeyNames()) {
+    const RegKey* child = from.findChild(childName);
+    if (child != nullptr) copyInto(*child, to.ensureChild(childName));
+  }
+}
+
+std::unique_ptr<RegKey> cloneKey(const RegKey& src) {
+  auto dst = std::make_unique<RegKey>(src.name());
+  copyInto(src, *dst);
+  return dst;
+}
+
+}  // namespace
+
+Registry::Registry()
+    : hklm_(std::make_unique<RegKey>("HKEY_LOCAL_MACHINE")),
+      hkcu_(std::make_unique<RegKey>("HKEY_CURRENT_USER")),
+      hku_(std::make_unique<RegKey>("HKEY_USERS")),
+      hkcr_(std::make_unique<RegKey>("HKEY_CLASSES_ROOT")) {}
+
+Registry::Registry(const Registry& other)
+    : hklm_(cloneKey(*other.hklm_)),
+      hkcu_(cloneKey(*other.hkcu_)),
+      hku_(cloneKey(*other.hku_)),
+      hkcr_(cloneKey(*other.hkcr_)),
+      opaqueBytes_(other.opaqueBytes_) {}
+
+Registry& Registry::operator=(const Registry& other) {
+  if (this != &other) {
+    hklm_ = cloneKey(*other.hklm_);
+    hkcu_ = cloneKey(*other.hkcu_);
+    hku_ = cloneKey(*other.hku_);
+    hkcr_ = cloneKey(*other.hkcr_);
+    opaqueBytes_ = other.opaqueBytes_;
+  }
+  return *this;
+}
+
+Registry::PathRef Registry::resolveHive(std::string_view path) noexcept {
+  std::string_view rest = path;
+  RegKey* hive = hklm_.get();
+  auto consume = [&rest](std::string_view prefix) {
+    if (support::istartsWith(rest, prefix) &&
+        (rest.size() == prefix.size() || rest[prefix.size()] == '\\')) {
+      rest.remove_prefix(
+          rest.size() == prefix.size() ? prefix.size() : prefix.size() + 1);
+      return true;
+    }
+    return false;
+  };
+  if (consume("HKEY_LOCAL_MACHINE") || consume("HKLM")) {
+    hive = hklm_.get();
+  } else if (consume("HKEY_CURRENT_USER") || consume("HKCU")) {
+    hive = hkcu_.get();
+  } else if (consume("HKEY_USERS") || consume("HKU")) {
+    hive = hku_.get();
+  } else if (consume("HKEY_CLASSES_ROOT") || consume("HKCR")) {
+    hive = hkcr_.get();
+  }
+  return PathRef{hive, std::string(rest)};
+}
+
+RegKey& Registry::ensureKey(std::string_view path) {
+  PathRef ref = resolveHive(path);
+  RegKey* cur = ref.hive;
+  if (ref.remainder.empty()) return *cur;
+  for (const auto& part : split(ref.remainder, '\\')) {
+    if (part.empty()) continue;
+    cur = &cur->ensureChild(part);
+  }
+  return *cur;
+}
+
+RegKey* Registry::findKey(std::string_view path) noexcept {
+  PathRef ref = resolveHive(path);
+  RegKey* cur = ref.hive;
+  if (ref.remainder.empty()) return cur;
+  for (const auto& part : split(ref.remainder, '\\')) {
+    if (part.empty()) continue;
+    cur = cur->findChild(part);
+    if (cur == nullptr) return nullptr;
+  }
+  return cur;
+}
+
+const RegKey* Registry::findKey(std::string_view path) const noexcept {
+  return const_cast<Registry*>(this)->findKey(path);
+}
+
+bool Registry::keyExists(std::string_view path) const noexcept {
+  return findKey(path) != nullptr;
+}
+
+bool Registry::deleteKey(std::string_view path) {
+  const std::string parent = support::parentPath(path);
+  const std::string leaf = support::baseName(path);
+  if (leaf.empty()) return false;
+  RegKey* parentKey = (parent == path) ? nullptr : findKey(parent);
+  if (parentKey == nullptr) {
+    PathRef ref = resolveHive(path);
+    // Deleting a direct hive child: remainder is the child name itself.
+    if (ref.remainder.find('\\') == std::string::npos && !ref.remainder.empty())
+      return ref.hive->removeChild(ref.remainder);
+    return false;
+  }
+  return parentKey->removeChild(leaf);
+}
+
+void Registry::setValue(std::string_view path, std::string_view valueName,
+                        RegValue value) {
+  ensureKey(path).setValue(valueName, std::move(value));
+}
+
+const RegValue* Registry::findValue(std::string_view path,
+                                    std::string_view valueName) const noexcept {
+  const RegKey* key = findKey(path);
+  return key == nullptr ? nullptr : key->findValue(valueName);
+}
+
+bool Registry::deleteValue(std::string_view path, std::string_view valueName) {
+  RegKey* key = findKey(path);
+  return key != nullptr && key->removeValue(valueName);
+}
+
+std::size_t Registry::subkeyCount(std::string_view path) const noexcept {
+  const RegKey* key = findKey(path);
+  return key == nullptr ? 0 : key->subkeyCount();
+}
+
+std::size_t Registry::valueCount(std::string_view path) const noexcept {
+  const RegKey* key = findKey(path);
+  return key == nullptr ? 0 : key->valueCount();
+}
+
+std::uint64_t Registry::totalBytes() const noexcept {
+  return opaqueBytes_ + hklm_->subtreeBytes() + hkcu_->subtreeBytes() +
+         hku_->subtreeBytes() + hkcr_->subtreeBytes();
+}
+
+}  // namespace scarecrow::winsys

@@ -1,0 +1,137 @@
+// Simulated Windows registry.
+//
+// A hierarchical, case-insensitive key tree rooted at the standard hives
+// (HKEY_LOCAL_MACHINE, HKEY_CURRENT_USER, HKEY_USERS, HKEY_CLASSES_ROOT).
+// Evasive malware probes it for virtualization vendors, analysis tools,
+// BIOS strings and user-activity artifacts; Scarecrow's deception hooks sit
+// *in front of* this store (at the API layer), so the store itself only has
+// to be an accurate model of real registry semantics: typed values, subkey
+// and value enumeration in insertion order, and metadata queries
+// (RegQueryInfoKey) that the wear-and-tear artifacts rely on.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scarecrow::winsys {
+
+enum class RegType : std::uint8_t { kSz, kDword, kQword, kBinary, kMultiSz };
+
+/// A registry value. Strings live in `str`, integers in `num`, binary
+/// payload size in `binarySize` (content is irrelevant to every consumer).
+struct RegValue {
+  RegType type = RegType::kSz;
+  std::string str;
+  std::uint64_t num = 0;
+  std::uint32_t binarySize = 0;
+
+  static RegValue sz(std::string s);
+  static RegValue dword(std::uint32_t v);
+  static RegValue qword(std::uint64_t v);
+  static RegValue binary(std::uint32_t size);
+  static RegValue multiSz(std::vector<std::string> items);
+};
+
+class RegKey {
+ public:
+  explicit RegKey(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// Child key access; creation preserves the caller-supplied case for
+  /// display while lookups stay case-insensitive.
+  RegKey& ensureChild(std::string_view name);
+  RegKey* findChild(std::string_view name) noexcept;
+  const RegKey* findChild(std::string_view name) const noexcept;
+  bool removeChild(std::string_view name);
+
+  void setValue(std::string_view valueName, RegValue value);
+  const RegValue* findValue(std::string_view valueName) const noexcept;
+  bool removeValue(std::string_view valueName);
+
+  /// Enumeration in insertion order (registry enumeration order is
+  /// implementation-defined; insertion order keeps the simulation stable).
+  const std::vector<std::string>& subkeyNames() const noexcept {
+    return childOrder_;
+  }
+  const std::vector<std::string>& valueNames() const noexcept {
+    return valueOrder_;
+  }
+  std::size_t subkeyCount() const noexcept { return childOrder_.size(); }
+  std::size_t valueCount() const noexcept { return valueOrder_.size(); }
+
+  /// Approximate on-disk footprint of this subtree in bytes; feeds the
+  /// SystemRegistryQuotaInformation wear-and-tear artifact.
+  std::uint64_t subtreeBytes() const noexcept;
+
+ private:
+  std::string name_;
+  std::map<std::string, std::unique_ptr<RegKey>> children_;  // lower-cased key
+  std::vector<std::string> childOrder_;                      // display names
+  std::map<std::string, RegValue> values_;                   // lower-cased key
+  std::vector<std::string> valueOrder_;                      // display names
+};
+
+/// Whole-registry facade. Paths use backslash separators and may start with
+/// a hive name ("HKEY_LOCAL_MACHINE\\..." or the "HKLM\\..." shorthand); a
+/// path without a hive prefix defaults to HKEY_LOCAL_MACHINE, matching how
+/// the paper abbreviates keys like HARDWARE\Description\System.
+class Registry {
+ public:
+  Registry();
+
+  // Registries are deep-copyable: Deep Freeze style machine snapshots clone
+  // the full hive tree.
+  Registry(const Registry& other);
+  Registry& operator=(const Registry& other);
+  Registry(Registry&&) noexcept = default;
+  Registry& operator=(Registry&&) noexcept = default;
+
+  /// Creates all intermediate keys; returns the leaf.
+  RegKey& ensureKey(std::string_view path);
+
+  RegKey* findKey(std::string_view path) noexcept;
+  const RegKey* findKey(std::string_view path) const noexcept;
+  bool keyExists(std::string_view path) const noexcept;
+  bool deleteKey(std::string_view path);
+
+  void setValue(std::string_view path, std::string_view valueName,
+                RegValue value);
+  const RegValue* findValue(std::string_view path,
+                            std::string_view valueName) const noexcept;
+  bool deleteValue(std::string_view path, std::string_view valueName);
+
+  std::size_t subkeyCount(std::string_view path) const noexcept;
+  std::size_t valueCount(std::string_view path) const noexcept;
+
+  /// Total approximate registry size in bytes (regSize artifact): the
+  /// modeled key tree plus the opaque hive bulk below.
+  std::uint64_t totalBytes() const noexcept;
+
+  /// Hive content not modeled key-by-key (a stock Windows install carries
+  /// tens of MB of hive bins; software installs keep growing them). Lets
+  /// the regSize wear-and-tear artifact take realistic values.
+  void setOpaqueBytes(std::uint64_t bytes) noexcept { opaqueBytes_ = bytes; }
+  void addOpaqueBytes(std::uint64_t bytes) noexcept { opaqueBytes_ += bytes; }
+  std::uint64_t opaqueBytes() const noexcept { return opaqueBytes_; }
+
+ private:
+  struct PathRef {
+    RegKey* hive = nullptr;
+    std::string remainder;
+  };
+  PathRef resolveHive(std::string_view path) noexcept;
+
+  std::unique_ptr<RegKey> hklm_;
+  std::unique_ptr<RegKey> hkcu_;
+  std::unique_ptr<RegKey> hku_;
+  std::unique_ptr<RegKey> hkcr_;
+  std::uint64_t opaqueBytes_ = 0;
+};
+
+}  // namespace scarecrow::winsys

@@ -1,0 +1,66 @@
+#include "winsys/sysinfo.h"
+
+#include <cstring>
+
+namespace scarecrow::winsys {
+namespace {
+
+// Packs up to 4 characters of a string into a little-endian register.
+std::uint32_t packChars(const std::string& s, std::size_t offset) {
+  std::uint32_t out = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const std::size_t idx = offset + i;
+    const auto c = idx < s.size() ? static_cast<unsigned char>(s[idx]) : 0u;
+    out |= static_cast<std::uint32_t>(c) << (8 * i);
+  }
+  return out;
+}
+
+}  // namespace
+
+CpuidResult SysInfo::cpuid(std::uint32_t leaf,
+                           support::VirtualClock& clock) const {
+  clock.addTscCycles(cpuidTrapCycles);
+  CpuidResult r;
+  switch (leaf) {
+    case 0x0:  // vendor string in EBX,EDX,ECX
+      r.eax = 0xd;
+      r.ebx = packChars(cpuVendor, 0);
+      r.edx = packChars(cpuVendor, 4);
+      r.ecx = packChars(cpuVendor, 8);
+      break;
+    case 0x1:  // feature flags; ECX bit 31 = hypervisor present
+      r.eax = 0x000306c3;
+      r.ecx = hypervisorPresent ? (1u << 31) : 0u;
+      r.edx = 0xbfebfbff;
+      break;
+    case 0x40000000:  // hypervisor vendor leaf
+      if (hypervisorPresent && !hypervisorVendor.empty()) {
+        r.eax = 0x40000001;
+        r.ebx = packChars(hypervisorVendor, 0);
+        r.ecx = packChars(hypervisorVendor, 4);
+        r.edx = packChars(hypervisorVendor, 8);
+      }
+      break;
+    case 0x80000002:
+    case 0x80000003:
+    case 0x80000004: {  // brand string, 16 bytes per leaf
+      const std::size_t base = (leaf - 0x80000002) * 16;
+      r.eax = packChars(cpuBrand, base + 0);
+      r.ebx = packChars(cpuBrand, base + 4);
+      r.ecx = packChars(cpuBrand, base + 8);
+      r.edx = packChars(cpuBrand, base + 12);
+      break;
+    }
+    default:
+      break;
+  }
+  return r;
+}
+
+std::uint64_t SysInfo::rdtsc(support::VirtualClock& clock) const {
+  clock.addTscCycles(rdtscCostCycles);
+  return clock.tsc();
+}
+
+}  // namespace scarecrow::winsys

@@ -1,0 +1,92 @@
+// Hardware / system identity of the simulated machine.
+//
+// Covers every hardware-adjacent observation channel used by the paper's
+// evasive techniques and by Pafish: physical memory, processor count and
+// brand, the CPUID hypervisor leaf, BIOS/SMBIOS strings, network adapter
+// MACs, input activity (mouse), user and computer names, and uptime. The
+// CPUID and RDTSC channels are pseudo-instructions: they bypass the API
+// layer entirely and therefore cannot be hooked by Scarecrow — exactly the
+// gap Table II documents (rdtsc_diff* checks stay un-deceived).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/clock.h"
+
+namespace scarecrow::winsys {
+
+struct CpuidResult {
+  std::uint32_t eax = 0, ebx = 0, ecx = 0, edx = 0;
+};
+
+struct AdapterInfo {
+  std::string name = "Local Area Connection";
+  std::string description = "Intel(R) 82579LM Gigabit Network Connection";
+  std::string mac = "3C:97:0E:12:34:56";  // colon-separated uppercase hex
+};
+
+class SysInfo {
+ public:
+  // --- physical configuration -------------------------------------------
+  std::uint64_t totalPhysicalMemory = 16ULL << 30;
+  std::uint32_t processorCount = 8;
+  std::string cpuVendor = "GenuineIntel";   // CPUID leaf 0
+  std::string cpuBrand =
+      "Intel(R) Core(TM) i7-4790 CPU @ 3.60GHz";  // CPUID leaves 0x80000002-4
+
+  // --- virtualization surface --------------------------------------------
+  bool hypervisorPresent = false;           // CPUID.1:ECX bit 31
+  std::string hypervisorVendor;             // CPUID leaf 0x40000000 ("VBoxVBoxVBox")
+  /// Extra TSC cycles consumed by a CPUID instruction. On bare metal this is
+  /// ~150 cycles; under a trapping hypervisor it is thousands (the
+  /// rdtsc_diff_vmexit signal). Environments set it to match their substrate.
+  std::uint64_t cpuidTrapCycles = 150;
+  /// Baseline RDTSC-to-RDTSC cost (covers rdtsc_diff checks).
+  std::uint64_t rdtscCostCycles = 25;
+
+  // --- firmware / SMBIOS --------------------------------------------------
+  std::string biosVersion = "DELL   - 1072009";  // SystemBiosVersion
+  std::string videoBiosVersion = "Hardware Version 0.0";
+  std::string systemManufacturer = "Dell Inc.";
+  std::string systemProductName = "OptiPlex 9020";
+  /// ACPI OEM identifier exposed via GetSystemFirmwareTable (not hooked by
+  /// Scarecrow: firmware-table access is one of its documented blind spots).
+  std::string acpiOemId = "DELL";
+
+  /// Extra SEH dispatch cycles injected by analysis instrumentation
+  /// (shadow-page analyzers, debugger first-chance round trips).
+  std::uint64_t exceptionExtraCycles = 0;
+  /// Kernel debugger attached (NtQuerySystemInformation check).
+  bool kernelDebuggerEnabled = false;
+  /// Wine compatibility layer present (kernel32 exports wine_* functions).
+  bool wineLayer = false;
+
+  // --- display -------------------------------------------------------------
+  int screenWidth = 1920;
+  int screenHeight = 1080;
+
+  // --- identity / activity -----------------------------------------------
+  std::string computerName = "DESKTOP-4C2A";
+  std::string userName = "alice";
+  std::vector<AdapterInfo> adapters{AdapterInfo{}};
+  /// Whether a human is moving the mouse during execution windows. Cuckoo's
+  /// human-emulation module also sets this.
+  bool mouseActive = true;
+  /// Boot-relative uptime offset applied to GetTickCount at machine build.
+  std::uint64_t bootOffsetMs = 86'400'000;  // 1 day by default
+  /// Windows version gate: IsNativeVhdBoot exists only on Windows 8+.
+  std::uint32_t windowsMajorVersion = 6;  // 6.1 == Windows 7
+  std::uint32_t windowsMinorVersion = 1;
+
+  // --- instruction-level channels ----------------------------------------
+  /// Executes CPUID for a leaf: fills registers from the fields above and
+  /// charges `cpuidTrapCycles` to the clock's TSC.
+  CpuidResult cpuid(std::uint32_t leaf, support::VirtualClock& clock) const;
+
+  /// Reads the TSC, charging the baseline RDTSC cost.
+  std::uint64_t rdtsc(support::VirtualClock& clock) const;
+};
+
+}  // namespace scarecrow::winsys

@@ -1,0 +1,144 @@
+#include "winsys/vfs.h"
+
+#include "support/strings.h"
+
+namespace scarecrow::winsys {
+
+using support::baseName;
+using support::normalizePath;
+using support::parentPath;
+using support::toLower;
+
+void Vfs::addDrive(DriveInfo info) {
+  const char letter = support::asciiLower(info.letter);
+  info.letter = static_cast<char>(letter - 'a' + 'A');
+  drives_[info.letter] = std::move(info);
+}
+
+DriveInfo* Vfs::findDrive(char letter) noexcept {
+  auto it = drives_.find(
+      static_cast<char>(support::asciiLower(letter) - 'a' + 'A'));
+  return it == drives_.end() ? nullptr : &it->second;
+}
+
+const DriveInfo* Vfs::findDrive(char letter) const noexcept {
+  return const_cast<Vfs*>(this)->findDrive(letter);
+}
+
+std::vector<char> Vfs::driveLetters() const {
+  std::vector<char> out;
+  out.reserve(drives_.size());
+  for (const auto& [letter, info] : drives_) out.push_back(letter);
+  return out;
+}
+
+std::string Vfs::keyFor(std::string_view path) {
+  return toLower(normalizePath(path));
+}
+
+FileNode& Vfs::insert(std::string_view path, NodeKind kind, std::uint64_t size,
+                      std::uint64_t nowMs) {
+  const std::string norm = normalizePath(path);
+  const std::string key = toLower(norm);
+  auto [it, inserted] = nodes_.try_emplace(key);
+  FileNode& node = it->second;
+  if (inserted) {
+    node.displayPath = norm;
+    node.createdMs = nowMs;
+  }
+  node.kind = kind;
+  node.sizeBytes = size;
+  node.modifiedMs = nowMs;
+  return node;
+}
+
+FileNode& Vfs::makeDirs(std::string_view path, std::uint64_t nowMs) {
+  const std::string norm = normalizePath(path);
+  // Create parents first so listings see a fully-linked tree.
+  const std::string parent = parentPath(norm);
+  if (parent != norm && parent.size() > 3) makeDirs(parent, nowMs);
+  FileNode* existing = find(norm);
+  if (existing != nullptr && existing->kind == NodeKind::kDirectory)
+    return *existing;
+  return insert(norm, NodeKind::kDirectory, 0, nowMs);
+}
+
+FileNode& Vfs::createFile(std::string_view path, std::uint64_t sizeBytes,
+                          std::uint64_t nowMs) {
+  const std::string norm = normalizePath(path);
+  const std::string parent = parentPath(norm);
+  if (parent != norm && parent.size() >= 3) makeDirs(parent, nowMs);
+  return insert(norm, NodeKind::kFile, sizeBytes, nowMs);
+}
+
+FileNode& Vfs::createDevice(std::string_view path) {
+  return insert(path, NodeKind::kDevice, 0, 0);
+}
+
+FileNode* Vfs::find(std::string_view path) noexcept {
+  auto it = nodes_.find(keyFor(path));
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+const FileNode* Vfs::find(std::string_view path) const noexcept {
+  return const_cast<Vfs*>(this)->find(path);
+}
+
+bool Vfs::exists(std::string_view path) const noexcept {
+  return find(path) != nullptr;
+}
+
+bool Vfs::remove(std::string_view path) {
+  const std::string key = keyFor(path);
+  auto it = nodes_.find(key);
+  if (it == nodes_.end()) return false;
+  if (it->second.kind == NodeKind::kDirectory) {
+    // Remove the subtree: every node whose key starts with "key\\".
+    const std::string prefix = key + '\\';
+    auto cur = nodes_.lower_bound(prefix);
+    while (cur != nodes_.end() && cur->first.compare(0, prefix.size(),
+                                                     prefix) == 0)
+      cur = nodes_.erase(cur);
+  }
+  nodes_.erase(key);
+  return true;
+}
+
+void Vfs::writeContent(std::string_view path, std::string content,
+                       std::uint64_t nowMs) {
+  FileNode& node = createFile(path, content.size(), nowMs);
+  node.content = std::move(content);
+  node.sizeBytes = node.content.size();
+  node.modifiedMs = nowMs;
+}
+
+std::vector<const FileNode*> Vfs::list(std::string_view directory,
+                                       std::string_view pattern) const {
+  std::vector<const FileNode*> out;
+  const std::string dirKey = keyFor(directory);
+  const std::string prefix = dirKey + '\\';
+  for (auto it = nodes_.lower_bound(prefix);
+       it != nodes_.end() &&
+       it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it) {
+    // Immediate children only.
+    if (it->first.find('\\', prefix.size()) != std::string::npos) continue;
+    const std::string name = baseName(it->second.displayPath);
+    if (support::wildcardMatch(pattern, name)) out.push_back(&it->second);
+  }
+  return out;
+}
+
+std::vector<const FileNode*> Vfs::listRecursive(
+    std::string_view directory) const {
+  std::vector<const FileNode*> out;
+  const std::string prefix = keyFor(directory) + '\\';
+  for (auto it = nodes_.lower_bound(prefix);
+       it != nodes_.end() &&
+       it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it)
+    out.push_back(&it->second);
+  return out;
+}
+
+}  // namespace scarecrow::winsys

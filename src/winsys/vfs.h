@@ -1,0 +1,99 @@
+// Simulated Windows filesystem.
+//
+// Stores a flat case-insensitive map from normalized path to node, plus a
+// per-drive capacity model (GetDiskFreeSpaceEx / GetVolumeInformation feed
+// off it). Device-namespace paths ("\\\\.\\VBoxGuest", "\\\\.\\pipe\\cuckoo")
+// live in the same namespace with the kDevice node kind — several Pafish
+// checks open kernel device objects, which user-level hooking cannot fake;
+// modeling them as a distinct kind lets the deception layer decline them the
+// way the real Scarecrow implementation does.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scarecrow::winsys {
+
+enum class NodeKind : std::uint8_t { kFile, kDirectory, kDevice };
+
+struct FileNode {
+  NodeKind kind = NodeKind::kFile;
+  std::string displayPath;  // original-case normalized path
+  std::uint64_t sizeBytes = 0;
+  std::uint64_t createdMs = 0;   // machine-clock timestamp at creation
+  std::uint64_t modifiedMs = 0;
+  bool hidden = false;
+  bool system = false;
+  std::string content;  // optional; used by payloads (e.g. encrypted marker)
+};
+
+struct DriveInfo {
+  char letter = 'C';
+  std::uint64_t totalBytes = 0;
+  std::uint64_t freeBytes = 0;
+  std::string volumeName = "OS";
+  std::string fileSystem = "NTFS";
+  std::uint32_t serialNumber = 0;
+  std::string deviceModel = "ST500DM002-1BD142";  // probed by generic checks
+};
+
+class Vfs {
+ public:
+  Vfs() = default;
+
+  /// Registers a drive; paths on unknown drives are rejected.
+  void addDrive(DriveInfo info);
+  DriveInfo* findDrive(char letter) noexcept;
+  const DriveInfo* findDrive(char letter) const noexcept;
+  std::vector<char> driveLetters() const;
+
+  /// Creates a directory (and all parents). Idempotent.
+  FileNode& makeDirs(std::string_view path, std::uint64_t nowMs = 0);
+
+  /// Creates or truncates a file; parents are created implicitly.
+  FileNode& createFile(std::string_view path, std::uint64_t sizeBytes,
+                       std::uint64_t nowMs = 0);
+
+  /// Registers a device-namespace object (e.g. "\\\\.\\pipe\\cuckoo").
+  FileNode& createDevice(std::string_view path);
+
+  FileNode* find(std::string_view path) noexcept;
+  const FileNode* find(std::string_view path) const noexcept;
+  bool exists(std::string_view path) const noexcept;
+  bool remove(std::string_view path);
+
+  /// Overwrites file content and bumps size/mtime (ransomware payloads).
+  void writeContent(std::string_view path, std::string content,
+                    std::uint64_t nowMs = 0);
+
+  /// Directory listing: immediate children whose base name matches the
+  /// FindFirstFile-style pattern ('*' and '?').
+  std::vector<const FileNode*> list(std::string_view directory,
+                                    std::string_view pattern = "*") const;
+
+  /// All files under a directory (recursive); used by encryption payloads
+  /// and the sandbox resource crawler.
+  std::vector<const FileNode*> listRecursive(std::string_view directory) const;
+
+  std::size_t nodeCount() const noexcept { return nodes_.size(); }
+
+  /// Iteration over every node (crawler, wear-and-tear file artifacts).
+  template <typename Fn>
+  void forEach(Fn&& fn) const {
+    for (const auto& [key, node] : nodes_) fn(node);
+  }
+
+ private:
+  FileNode& insert(std::string_view path, NodeKind kind, std::uint64_t size,
+                   std::uint64_t nowMs);
+  static std::string keyFor(std::string_view path);
+
+  std::map<std::string, FileNode> nodes_;  // lower-cased normalized path
+  std::map<char, DriveInfo> drives_;
+};
+
+}  // namespace scarecrow::winsys

@@ -1,0 +1,321 @@
+// Unit tests for the Api facade: original semantics, status codes, hook
+// dispatch, clock charging, budget enforcement, pseudo-instructions.
+#include <gtest/gtest.h>
+
+#include "env/base_image.h"
+#include "winapi/api.h"
+
+namespace {
+
+using namespace scarecrow;
+using winapi::Api;
+using winapi::NtStatus;
+using winapi::WinError;
+using winsys::RegValue;
+
+class ApiTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env::installBaseImage(machine_, {});
+    proc_ = &machine_.processes().create("C:\\t\\prog.exe", 0, "prog", 8);
+    api_ = std::make_unique<Api>(machine_, userspace_, proc_->pid);
+  }
+  winsys::Machine machine_;
+  winapi::UserSpace userspace_;
+  winsys::Process* proc_ = nullptr;
+  std::unique_ptr<Api> api_;
+};
+
+// ===== registry ============================================================
+
+TEST_F(ApiTest, RegOpenStatusCodes) {
+  EXPECT_EQ(api_->RegOpenKeyEx("SOFTWARE\\Microsoft\\Windows NT\\CurrentVersion"),
+            WinError::kSuccess);
+  EXPECT_EQ(api_->RegOpenKeyEx("SOFTWARE\\Oracle\\VirtualBox Guest Additions"),
+            WinError::kFileNotFound);
+  EXPECT_EQ(api_->NtOpenKeyEx("SOFTWARE\\Oracle\\VirtualBox Guest Additions"),
+            NtStatus::kObjectNameNotFound);
+}
+
+TEST_F(ApiTest, RegQueryValue) {
+  RegValue v;
+  EXPECT_EQ(api_->RegQueryValueEx("SOFTWARE\\Microsoft\\Windows NT\\"
+                                  "CurrentVersion",
+                                  "ProductName", v),
+            WinError::kSuccess);
+  EXPECT_EQ(v.str, "Windows 7 Professional");
+  EXPECT_EQ(api_->NtQueryValueKey("HARDWARE\\Description\\System",
+                                  "SystemBiosVersion", v),
+            NtStatus::kSuccess);
+  EXPECT_EQ(api_->RegQueryValueEx("SOFTWARE\\Nothing", "x", v),
+            WinError::kFileNotFound);
+}
+
+TEST_F(ApiTest, RegSetCreateDeleteEmitTraceEvents) {
+  api_->RegCreateKeyEx("SOFTWARE\\New");
+  api_->RegSetValueEx("SOFTWARE\\New", "v", RegValue::dword(1));
+  api_->RegDeleteKey("SOFTWARE\\New");
+  int creates = 0, sets = 0, deletes = 0;
+  for (const auto& e : machine_.recorder().trace().events) {
+    if (e.kind == trace::EventKind::kRegCreateKey) ++creates;
+    if (e.kind == trace::EventKind::kRegSetValue) ++sets;
+    if (e.kind == trace::EventKind::kRegDeleteKey) ++deletes;
+  }
+  EXPECT_EQ(creates, 1);
+  EXPECT_EQ(sets, 1);
+  EXPECT_EQ(deletes, 1);
+}
+
+TEST_F(ApiTest, RegEnum) {
+  api_->RegCreateKeyEx("SOFTWARE\\E\\k1");
+  api_->RegCreateKeyEx("SOFTWARE\\E\\k2");
+  std::string name;
+  EXPECT_EQ(api_->RegEnumKeyEx("SOFTWARE\\E", 0, name), WinError::kSuccess);
+  EXPECT_EQ(name, "k1");
+  EXPECT_EQ(api_->RegEnumKeyEx("SOFTWARE\\E", 2, name),
+            WinError::kNoMoreItems);
+  RegValue v;
+  EXPECT_EQ(api_->RegEnumValue("SOFTWARE\\E", 0, name, v),
+            WinError::kNoMoreItems);
+}
+
+// ===== files ===============================================================
+
+TEST_F(ApiTest, FileQueriesAndWrites) {
+  EXPECT_EQ(api_->NtQueryAttributesFile("C:\\Windows\\explorer.exe"),
+            NtStatus::kSuccess);
+  EXPECT_EQ(api_->NtQueryAttributesFile("C:\\nope.sys"),
+            NtStatus::kObjectNameNotFound);
+  EXPECT_EQ(api_->GetFileAttributesA("C:\\missing"),
+            Api::kInvalidFileAttributes);
+  EXPECT_NE(api_->GetFileAttributesA("C:\\Windows") & 0x10u, 0u);  // dir bit
+
+  EXPECT_EQ(api_->WriteFileA("C:\\out.txt", "data"), WinError::kSuccess);
+  EXPECT_TRUE(machine_.vfs().exists("C:\\out.txt"));
+  EXPECT_EQ(api_->DeleteFileA("C:\\out.txt"), WinError::kSuccess);
+  EXPECT_EQ(api_->DeleteFileA("C:\\out.txt"), WinError::kFileNotFound);
+}
+
+TEST_F(ApiTest, CopyFilePreservesContent) {
+  api_->WriteFileA("C:\\src.bin", "payload");
+  EXPECT_EQ(api_->CopyFileA("C:\\src.bin", "C:\\dst.bin"),
+            WinError::kSuccess);
+  EXPECT_EQ(machine_.vfs().find("C:\\dst.bin")->content, "payload");
+  EXPECT_EQ(api_->CopyFileA("C:\\none.bin", "C:\\x"), WinError::kFileNotFound);
+}
+
+TEST_F(ApiTest, DiskAndVolume) {
+  std::uint64_t freeBytes = 0, totalBytes = 0;
+  EXPECT_TRUE(api_->GetDiskFreeSpaceExA('C', freeBytes, totalBytes));
+  EXPECT_EQ(totalBytes, 500ULL << 30);
+  EXPECT_FALSE(api_->GetDiskFreeSpaceExA('Z', freeBytes, totalBytes));
+  EXPECT_EQ(api_->GetDriveTypeA('C'), 3u);
+  EXPECT_EQ(api_->GetDriveTypeA('Z'), 1u);
+}
+
+TEST_F(ApiTest, FindFirstFile) {
+  machine_.vfs().createFile("C:\\ff\\a.pf", 1);
+  machine_.vfs().createFile("C:\\ff\\b.pf", 1);
+  EXPECT_EQ(api_->FindFirstFileA("C:\\ff", "*.pf").size(), 2u);
+}
+
+// ===== processes ===========================================================
+
+TEST_F(ApiTest, CreateProcessQueuesChild) {
+  const std::uint32_t child =
+      api_->CreateProcessA("C:\\t\\child.exe", "child");
+  EXPECT_NE(child, 0u);
+  ASSERT_EQ(userspace_.readyQueue().size(), 1u);
+  EXPECT_EQ(userspace_.readyQueue()[0], child);
+  const winsys::Process* p = machine_.processes().find(child);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->parentPid, proc_->pid);
+}
+
+TEST_F(ApiTest, ToolhelpListsRunning) {
+  const auto before = api_->CreateToolhelp32Snapshot().size();
+  api_->CreateProcessA("C:\\t\\x.exe", "");
+  EXPECT_EQ(api_->CreateToolhelp32Snapshot().size(), before + 1);
+}
+
+TEST_F(ApiTest, TerminateAndOpenProcess) {
+  const std::uint32_t child = api_->CreateProcessA("C:\\t\\x.exe", "");
+  EXPECT_TRUE(api_->OpenProcess(child));
+  EXPECT_TRUE(api_->TerminateProcess(child, 1));
+  EXPECT_FALSE(api_->OpenProcess(child));
+}
+
+TEST_F(ApiTest, ExitProcessThrowsAndRecords) {
+  EXPECT_THROW(api_->ExitProcess(7), winapi::ProcessExited);
+  EXPECT_EQ(proc_->state, winsys::ProcessState::kTerminated);
+  EXPECT_EQ(proc_->exitCode, 7u);
+}
+
+TEST_F(ApiTest, ModulesAndLoadLibrary) {
+  EXPECT_TRUE(api_->GetModuleHandleA("kernel32.dll"));
+  EXPECT_FALSE(api_->GetModuleHandleA("SbieDll.dll"));
+  EXPECT_TRUE(api_->LoadLibraryA("dbghelp.dll"));  // exists in System32
+  EXPECT_TRUE(api_->GetModuleHandleA("dbghelp.dll"));
+  EXPECT_FALSE(api_->LoadLibraryA("no_such.dll"));
+}
+
+TEST_F(ApiTest, GetProcAddressWineGate) {
+  EXPECT_TRUE(api_->GetProcAddress("kernel32.dll", "CreateFileA"));
+  EXPECT_FALSE(api_->GetProcAddress("kernel32.dll",
+                                    "wine_get_unix_file_name"));
+  machine_.sysinfo().wineLayer = true;
+  EXPECT_TRUE(api_->GetProcAddress("kernel32.dll",
+                                   "wine_get_unix_file_name"));
+  EXPECT_FALSE(api_->GetProcAddress("not_loaded.dll", "f"));
+}
+
+TEST_F(ApiTest, NtQueryInformationProcessClasses) {
+  using winapi::ProcessInfoClass;
+  EXPECT_EQ(api_->NtQueryInformationProcess(
+                proc_->pid, ProcessInfoClass::kBasicInformation),
+            proc_->parentPid);
+  EXPECT_EQ(api_->NtQueryInformationProcess(proc_->pid,
+                                            ProcessInfoClass::kDebugPort),
+            0u);
+  proc_->peb.beingDebugged = true;
+  EXPECT_EQ(api_->NtQueryInformationProcess(proc_->pid,
+                                            ProcessInfoClass::kDebugPort),
+            1u);
+}
+
+// ===== debug / timing ======================================================
+
+TEST_F(ApiTest, DebuggerQueriesFollowPeb) {
+  EXPECT_FALSE(api_->IsDebuggerPresent());
+  EXPECT_FALSE(api_->CheckRemoteDebuggerPresent(proc_->pid));
+  proc_->peb.beingDebugged = true;
+  EXPECT_TRUE(api_->IsDebuggerPresent());
+  EXPECT_TRUE(api_->CheckRemoteDebuggerPresent(proc_->pid));
+}
+
+TEST_F(ApiTest, TickAndSleepAdvanceTime) {
+  const std::uint64_t t0 = api_->GetTickCount();
+  api_->Sleep(2'000);
+  const std::uint64_t t1 = api_->GetTickCount();
+  EXPECT_GE(t1 - t0, 2'000u);
+  EXPECT_LE(t1 - t0, 2'010u);  // plus per-call charges
+}
+
+TEST_F(ApiTest, BudgetExhaustionThrows) {
+  userspace_.deadlineMs = machine_.clock().nowMs() + 100;
+  EXPECT_THROW(api_->Sleep(5'000), winapi::BudgetExhausted);
+}
+
+TEST_F(ApiTest, ChargeEnforcesDeadlineOnEveryCall) {
+  userspace_.deadlineMs = machine_.clock().nowMs() + 3;
+  EXPECT_NO_THROW(api_->IsDebuggerPresent());
+  EXPECT_NO_THROW(api_->IsDebuggerPresent());
+  EXPECT_THROW(api_->IsDebuggerPresent(), winapi::BudgetExhausted);
+}
+
+TEST_F(ApiTest, RaiseExceptionLatency) {
+  const std::uint64_t quiet = api_->RaiseException(1);
+  EXPECT_LT(quiet, 50'000u);
+  machine_.sysinfo().exceptionExtraCycles = 200'000;
+  EXPECT_GT(api_->RaiseException(1), 50'000u);
+}
+
+TEST_F(ApiTest, QueryPerformanceCounterTracksClock) {
+  const std::uint64_t q0 = api_->QueryPerformanceCounter();
+  api_->Sleep(100);
+  const std::uint64_t q1 = api_->QueryPerformanceCounter();
+  EXPECT_NEAR(static_cast<double>(q1 - q0), 100.0 * 10'000, 50'000);
+}
+
+// ===== system information ==================================================
+
+TEST_F(ApiTest, SystemInfoViews) {
+  EXPECT_EQ(api_->GetSystemInfo().numberOfProcessors, 8u);
+  EXPECT_EQ(api_->GlobalMemoryStatusEx().totalPhysBytes, 16ULL << 30);
+  EXPECT_EQ(api_->GetUserNameA(), "alice");
+  EXPECT_EQ(api_->GetComputerNameA(), "DESKTOP-4C2A");
+}
+
+TEST_F(ApiTest, CursorMovesOnlyWhenMouseActive) {
+  machine_.sysinfo().mouseActive = true;
+  int x0, y0, x1, y1;
+  api_->GetCursorPos(x0, y0);
+  api_->Sleep(2'000);
+  api_->GetCursorPos(x1, y1);
+  EXPECT_TRUE(x0 != x1 || y0 != y1);
+
+  machine_.sysinfo().mouseActive = false;
+  api_->GetCursorPos(x0, y0);
+  api_->Sleep(2'000);
+  api_->GetCursorPos(x1, y1);
+  EXPECT_TRUE(x0 == x1 && y0 == y1);
+}
+
+TEST_F(ApiTest, IsNativeVhdBootVersionGate) {
+  bool isVhd = true;
+  EXPECT_EQ(api_->IsNativeVhdBoot(isVhd), WinError::kCallNotImplemented);
+  machine_.sysinfo().windowsMajorVersion = 6;
+  machine_.sysinfo().windowsMinorVersion = 2;  // Windows 8
+  EXPECT_EQ(api_->IsNativeVhdBoot(isVhd), WinError::kSuccess);
+  EXPECT_FALSE(isVhd);
+}
+
+TEST_F(ApiTest, NtQuerySystemInformationClasses) {
+  using winapi::SystemInfoClass;
+  EXPECT_EQ(api_->NtQuerySystemInformation(SystemInfoClass::kBasicInformation),
+            8u);
+  EXPECT_GT(api_->NtQuerySystemInformation(
+                SystemInfoClass::kRegistryQuotaInformation),
+            30ULL << 20);
+  EXPECT_EQ(api_->NtQuerySystemInformation(
+                SystemInfoClass::kKernelDebuggerInformation),
+            0u);
+}
+
+// ===== network / events =====================================================
+
+TEST_F(ApiTest, DnsAndHttp) {
+  EXPECT_TRUE(api_->DnsQuery("www.google.com").has_value());
+  EXPECT_FALSE(api_->DnsQuery("nxdomain-zzz.invalid").has_value());
+  EXPECT_EQ(api_->InternetOpenUrlA("www.google.com").status, 200);
+  EXPECT_EQ(api_->InternetOpenUrlA("nxdomain-zzz.invalid").status, 0);
+}
+
+TEST_F(ApiTest, EvtNextWindow) {
+  for (int i = 0; i < 50; ++i) machine_.eventlog().append("S", 1, i);
+  EXPECT_EQ(api_->EvtNext(10).size(), 10u);
+  EXPECT_GE(api_->EvtNext(1'000).size(), 50u);
+}
+
+// ===== pseudo-instructions ==================================================
+
+TEST_F(ApiTest, PebReadBypassesEverything) {
+  EXPECT_EQ(api_->readPeb().numberOfProcessors, 8u);
+}
+
+TEST_F(ApiTest, PrologueReadDefaultIntact) {
+  const auto bytes = api_->readFunctionBytes(winapi::ApiId::kCreateProcess);
+  EXPECT_EQ(bytes[0], 0x8B);
+  EXPECT_EQ(bytes[1], 0xFF);
+}
+
+TEST_F(ApiTest, HookDispatchOverridesOriginal) {
+  userspace_.stateFor(proc_->pid).hooks.isDebuggerPresent =
+      [](Api&) { return true; };
+  EXPECT_TRUE(api_->IsDebuggerPresent());
+  EXPECT_FALSE(api_->orig_IsDebuggerPresent());
+}
+
+TEST_F(ApiTest, GetModuleFileNameHookable) {
+  EXPECT_EQ(api_->GetModuleFileNameA(), "C:\\t\\prog.exe");
+  userspace_.stateFor(proc_->pid).hooks.getModuleFileName =
+      [](Api&) { return std::string("C:\\sandbox\\sample.exe"); };
+  EXPECT_EQ(api_->GetModuleFileNameA(), "C:\\sandbox\\sample.exe");
+}
+
+TEST_F(ApiTest, ShellExecuteCreatesProcess) {
+  EXPECT_TRUE(api_->ShellExecuteExA("C:\\Windows\\System32\\cmd.exe"));
+  EXPECT_NE(machine_.processes().findByName("cmd.exe"), nullptr);
+}
+
+}  // namespace

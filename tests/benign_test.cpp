@@ -1,0 +1,129 @@
+// Benign-impact tests (paper Section IV-C): every CNET-model program must
+// install and operate with Scarecrow supervising it; the >50 GB disk caveat
+// reproduces; network deception leaves live domains alone.
+#include <gtest/gtest.h>
+
+#include "core/controller.h"
+#include "core/engine.h"
+#include "env/environments.h"
+#include "malware/benign.h"
+#include "support/strings.h"
+#include "winapi/runner.h"
+
+namespace {
+
+using namespace scarecrow;
+
+malware::BenignOutcome runBenign(winsys::Machine& machine,
+                                 const malware::BenignSpec& spec,
+                                 bool withScarecrow,
+                                 core::Config config = {}) {
+  const winsys::MachineSnapshot snapshot = machine.snapshot();
+  malware::BenignOutcome outcome;
+  outcome.name = spec.name;
+  winapi::UserSpace userspace;
+  userspace.programFactory =
+      [&spec, &outcome](const std::string& image, const std::string&)
+      -> std::unique_ptr<winapi::GuestProgram> {
+    if (!support::iendsWith(image, spec.imageName)) return nullptr;
+    return std::make_unique<malware::BenignProgram>(spec, outcome);
+  };
+  winapi::Runner runner(machine, userspace);
+  const std::string path = "C:\\Users\\alice\\Downloads\\" + spec.imageName;
+  if (withScarecrow) {
+    core::DeceptionEngine engine(config, core::buildDefaultResourceDb());
+    core::Controller controller(machine, userspace, engine);
+    controller.launch(path);
+    runner.drain({});
+  } else {
+    runner.run(path, {});
+  }
+  machine.restore(snapshot);
+  return outcome;
+}
+
+winsys::Machine& sharedEndUser() {
+  static auto* machine = env::buildEndUserMachine().release();
+  return *machine;
+}
+
+class BenignUnderScarecrow : public ::testing::TestWithParam<int> {};
+
+TEST_P(BenignUnderScarecrow, InstallsAndOperates) {
+  const malware::BenignSpec& spec =
+      malware::cnetTop20()[static_cast<std::size_t>(GetParam())];
+  const malware::BenignOutcome guarded =
+      runBenign(sharedEndUser(), spec, true);
+  EXPECT_TRUE(guarded.installed) << spec.name << ": "
+                                 << guarded.failureReason;
+  EXPECT_TRUE(guarded.ran) << spec.name << ": " << guarded.failureReason;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CnetTop20, BenignUnderScarecrow, ::testing::Range(0, 20),
+    [](const ::testing::TestParamInfo<int>& info) {
+      std::string name =
+          malware::cnetTop20()[static_cast<std::size_t>(info.param)].name;
+      for (char& c : name)
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      return name;
+    });
+
+TEST(BenignImpact, SetHasTwentyPrograms) {
+  EXPECT_EQ(malware::cnetTop20().size(), 20u);
+}
+
+TEST(BenignImpact, HeavySuiteHitsTheDiskCaveat) {
+  const malware::BenignOutcome plain =
+      runBenign(sharedEndUser(), malware::heavySuiteSpec(), false);
+  EXPECT_TRUE(plain.installed);
+  const malware::BenignOutcome guarded =
+      runBenign(sharedEndUser(), malware::heavySuiteSpec(), true);
+  EXPECT_FALSE(guarded.installed);
+  EXPECT_FALSE(guarded.failureReason.empty());
+}
+
+TEST(BenignImpact, HardwareDeceptionIsAdjustable) {
+  // "specific values are easily adjustable by users if needed": raising the
+  // deceptive disk size makes the heavy installer succeed again.
+  core::Config config;
+  config.hardware.diskFreeBytes = 200ULL << 30;
+  config.hardware.diskTotalBytes = 256ULL << 30;
+  const malware::BenignOutcome guarded =
+      runBenign(sharedEndUser(), malware::heavySuiteSpec(), true, config);
+  EXPECT_TRUE(guarded.installed);
+}
+
+TEST(BenignImpact, UpdateChecksReachLiveDomains) {
+  // Chrome's update check contacts a real domain; the sinkhole must not
+  // intercept it.
+  const malware::BenignSpec& chrome = malware::cnetTop20()[1];
+  ASSERT_TRUE(chrome.checksForUpdates);
+  const malware::BenignOutcome guarded =
+      runBenign(sharedEndUser(), chrome, true);
+  EXPECT_TRUE(guarded.ran);
+}
+
+TEST(BenignImpact, InstallerArtifactsLandOnTheMachine) {
+  // Run without restoring to inspect side effects.
+  auto machine = env::buildEndUserMachine();
+  const malware::BenignSpec& spec = malware::cnetTop20()[0];  // 7-Zip
+  winapi::UserSpace userspace;
+  malware::BenignOutcome outcome;
+  userspace.programFactory =
+      [&spec, &outcome](const std::string& image, const std::string&)
+      -> std::unique_ptr<winapi::GuestProgram> {
+    if (!support::iendsWith(image, spec.imageName)) return nullptr;
+    return std::make_unique<malware::BenignProgram>(spec, outcome);
+  };
+  core::DeceptionEngine engine({}, core::buildDefaultResourceDb());
+  core::Controller controller(*machine, userspace, engine);
+  controller.launch("C:\\Users\\alice\\Downloads\\" + spec.imageName);
+  winapi::Runner runner(*machine, userspace);
+  runner.drain({});
+  EXPECT_TRUE(machine->vfs().exists("C:\\Program Files\\7-Zip\\7-Zip.exe"));
+  EXPECT_TRUE(machine->registry().keyExists(
+      "SOFTWARE\\Microsoft\\Windows\\CurrentVersion\\Uninstall\\7-Zip"));
+}
+
+}  // namespace

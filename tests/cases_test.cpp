@@ -1,0 +1,125 @@
+// Case-study tests: WannaCry/Locky (Case II) and Kasidet (Case I), plus the
+// evaluation-harness invariants they depend on.
+#include <gtest/gtest.h>
+
+#include "core/eval.h"
+#include "env/environments.h"
+#include "malware/kasidet.h"
+#include "malware/ransomware.h"
+#include "support/strings.h"
+#include "trace/analysis.h"
+
+namespace {
+
+using namespace scarecrow;
+
+class CasesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    machine_ = env::buildEndUserMachine();
+    malware::registerKasidet(registry_);
+    malware::registerRansomware(registry_);
+    harness_ = std::make_unique<core::EvaluationHarness>(*machine_);
+  }
+
+  core::EvalOutcome evaluate(const char* id, const char* image) {
+    return harness_->evaluate(id, std::string("C:\\dl\\") + image,
+                              registry_.factory());
+  }
+
+  static std::size_t encryptedCount(const trace::Trace& trace,
+                                    const char* extension) {
+    std::size_t n = 0;
+    for (const auto& e : trace.events)
+      if (e.kind == trace::EventKind::kFileWrite &&
+          support::iendsWith(e.target, extension))
+        ++n;
+    return n;
+  }
+
+  std::unique_ptr<winsys::Machine> machine_;
+  malware::ProgramRegistry registry_;
+  std::unique_ptr<core::EvaluationHarness> harness_;
+};
+
+TEST_F(CasesTest, WannaCryKillSwitchStopsEncryption) {
+  const core::EvalOutcome outcome =
+      evaluate("wannacry", malware::kWannaCryImage);
+  EXPECT_GT(encryptedCount(outcome.traceWithout, ".WCRY"), 50u);
+  EXPECT_EQ(encryptedCount(outcome.traceWith, ".WCRY"), 0u);
+  EXPECT_TRUE(outcome.verdict.deactivated);
+  EXPECT_EQ(outcome.verdict.firstTrigger, "InternetOpenUrl()");
+}
+
+TEST_F(CasesTest, LockyAntiVmAndDgaStopEncryption) {
+  const core::EvalOutcome outcome = evaluate("locky", malware::kLockyImage);
+  EXPECT_GT(encryptedCount(outcome.traceWithout, ".locky"), 50u);
+  EXPECT_EQ(encryptedCount(outcome.traceWith, ".locky"), 0u);
+  EXPECT_TRUE(outcome.verdict.deactivated);
+}
+
+TEST_F(CasesTest, KasidetDisjunctionShortCircuits) {
+  const core::EvalOutcome outcome =
+      evaluate("kasidet", malware::kKasidetImage);
+  EXPECT_TRUE(outcome.verdict.deactivated);
+  // One satisfied predicate is enough: the first probe (VMware Tools via
+  // NtOpenKeyEx) terminates the worm.
+  EXPECT_EQ(outcome.verdict.firstTrigger, "NtOpenKeyEx()");
+  std::size_t fingerprints = 0;
+  for (const auto& e : outcome.traceWith.events)
+    if (e.kind == trace::EventKind::kAlert && e.target == "fingerprint")
+      ++fingerprints;
+  EXPECT_LE(fingerprints, 2u);
+}
+
+TEST_F(CasesTest, KasidetNeedsAllPredicatesFalsifiedToDetonate) {
+  // On the unprotected end-user machine no predicate fires and the payload
+  // executes — the sandbox-side burden of the ¬D argument.
+  const core::EvalOutcome outcome =
+      evaluate("kasidet", malware::kKasidetImage);
+  const auto payload = trace::significantActivities(
+      outcome.traceWithout, malware::kKasidetImage);
+  EXPECT_GE(payload.size(), 3u);
+  bool persistence = false;
+  for (const auto& activity : payload)
+    if (activity.find("currentversion\\run") != std::string::npos)
+      persistence = true;
+  EXPECT_TRUE(persistence);
+}
+
+TEST_F(CasesTest, HarnessRestoresMachineBetweenRuns) {
+  const std::size_t nodes = machine_->vfs().nodeCount();
+  evaluate("wannacry", malware::kWannaCryImage);
+  // After an evaluation the machine is back to the snapshot plus nothing.
+  const core::EvalOutcome again =
+      evaluate("wannacry", malware::kWannaCryImage);
+  EXPECT_EQ(encryptedCount(again.traceWithout, ".WCRY"),
+            encryptedCount(again.traceWithout, ".WCRY"));
+  evaluate("locky", malware::kLockyImage);
+  machine_->restore(machine_->snapshot());
+  EXPECT_GE(machine_->vfs().nodeCount(), nodes);
+}
+
+TEST_F(CasesTest, TracesAreLabeled) {
+  const core::EvalOutcome outcome =
+      evaluate("wannacry", malware::kWannaCryImage);
+  EXPECT_EQ(outcome.traceWithout.sampleId, "wannacry");
+  EXPECT_FALSE(outcome.traceWithout.scarecrowEnabled);
+  EXPECT_TRUE(outcome.traceWith.scarecrowEnabled);
+}
+
+TEST_F(CasesTest, NetworkOnlyConfigSufficesForWannaCry) {
+  core::Config networkOnly;
+  networkOnly.softwareResources = false;
+  networkOnly.hardwareResources = false;
+  networkOnly.debuggerDeception = false;
+  networkOnly.wearTearExtension = false;
+  const core::EvalOutcome outcome = harness_->evaluate(
+      "wannacry-networkonly",
+      std::string("C:\\dl\\") + malware::kWannaCryImage,
+      registry_.factory(), networkOnly);
+  EXPECT_TRUE(outcome.verdict.deactivated);
+  EXPECT_EQ(encryptedCount(outcome.traceWith, ".WCRY"), 0u);
+}
+
+}  // namespace

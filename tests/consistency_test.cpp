@@ -1,0 +1,130 @@
+// Deception-consistency audits: the engine must answer coherently on every
+// observation channel, for the default database, every coherent profile,
+// and the crawled-resource superset.
+#include <gtest/gtest.h>
+
+#include "core/collector.h"
+#include "core/consistency.h"
+#include "core/profiles.h"
+#include "env/base_image.h"
+#include "env/environments.h"
+
+namespace {
+
+using namespace scarecrow;
+
+class ConsistencyTest : public ::testing::Test {
+ protected:
+  core::ConsistencyReport audit(core::ResourceDb db,
+                                core::Config config = {}) {
+    machine_ = env::buildBareMetalSandbox();
+    proc_ = &machine_->processes().create("C:\\a\\audit.exe", 0, "", 4);
+    engine_ = std::make_unique<core::DeceptionEngine>(config, std::move(db));
+    winapi::Api api(*machine_, userspace_, proc_->pid);
+    engine_->installInto(api);
+    return core::auditDeceptionConsistency(api, engine_->resources());
+  }
+
+  std::unique_ptr<winsys::Machine> machine_;
+  winapi::UserSpace userspace_;
+  winsys::Process* proc_ = nullptr;
+  std::unique_ptr<core::DeceptionEngine> engine_;
+};
+
+TEST_F(ConsistencyTest, DefaultDatabaseIsCoherent) {
+  const core::ConsistencyReport report =
+      audit(core::buildDefaultResourceDb());
+  for (const auto& finding : report.findings)
+    ADD_FAILURE() << finding.resource << ": " << finding.detail;
+  EXPECT_TRUE(report.consistent());
+  EXPECT_GT(report.filesChecked, 4u);
+  EXPECT_GT(report.registryKeysChecked, 2u);
+  EXPECT_EQ(report.processesChecked, 24u);
+}
+
+class ProfileAudit : public ::testing::TestWithParam<core::SandboxProfile> {};
+
+TEST_P(ProfileAudit, EveryCoherentProfileIsAlsoChannelConsistent) {
+  auto machine = env::buildBareMetalSandbox();
+  winapi::UserSpace userspace;
+  winsys::Process& proc =
+      machine->processes().create("C:\\a\\audit.exe", 0, "", 4);
+  core::DeceptionEngine engine(core::Config{},
+                               core::buildProfileDb(GetParam()));
+  winapi::Api api(*machine, userspace, proc.pid);
+  engine.installInto(api);
+  const core::ConsistencyReport report =
+      core::auditDeceptionConsistency(api, engine.resources());
+  for (const auto& finding : report.findings)
+    ADD_FAILURE() << finding.resource << ": " << finding.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProfiles, ProfileAudit,
+                         ::testing::ValuesIn(core::kAllSandboxProfiles));
+
+TEST_F(ConsistencyTest, CrawledSupersetIsCoherentToo) {
+  // The heavyweight audit: the curated DB plus all 17,540 crawled files /
+  // 1,457 registry keys / 24 processes — every single resource must answer
+  // on every channel.
+  auto vt = env::buildPublicSandbox(env::PublicSandboxKind::kVirusTotal);
+  auto malwr = env::buildPublicSandbox(env::PublicSandboxKind::kMalwr);
+  winsys::Machine clean;
+  env::installBaseImage(clean, {});
+  const auto diff = core::SandboxResourceCollector::diff(
+      {core::SandboxResourceCollector::crawl(*vt),
+       core::SandboxResourceCollector::crawl(*malwr)},
+      core::SandboxResourceCollector::crawl(clean));
+  core::ResourceDb db = core::buildDefaultResourceDb();
+  core::SandboxResourceCollector::merge(db, diff);
+
+  const core::ConsistencyReport report = audit(std::move(db));
+  EXPECT_GT(report.filesChecked, 17'000u);
+  EXPECT_GT(report.registryKeysChecked, 1'400u);
+  EXPECT_TRUE(report.consistent())
+      << report.findings.size() << " findings; first: "
+      << (report.findings.empty() ? "" : report.findings[0].resource + ": " +
+                                             report.findings[0].detail);
+}
+
+TEST_F(ConsistencyTest, SoftwareCategoryOffBreaksCoherenceVisibly) {
+  // With file/registry deception disabled but the database populated, the
+  // audit must detect that nothing answers — i.e. the auditor is not a
+  // tautology.
+  core::Config config;
+  config.softwareResources = false;
+  const core::ConsistencyReport report =
+      audit(core::buildDefaultResourceDb(), config);
+  EXPECT_FALSE(report.consistent());
+}
+
+TEST_F(ConsistencyTest, ConflictModeStaysCoherentPerVendor) {
+  // Lock onto VMware first, then audit: VBox artifacts disappear from every
+  // channel *simultaneously*, so the audit still passes for the channels
+  // that answer.
+  machine_ = env::buildBareMetalSandbox();
+  proc_ = &machine_->processes().create("C:\\a\\audit.exe", 0, "", 4);
+  core::Config config;
+  config.conflictAwareProfiles = true;
+  engine_ = std::make_unique<core::DeceptionEngine>(
+      config, core::buildDefaultResourceDb());
+  winapi::Api api(*machine_, userspace_, proc_->pid);
+  engine_->installInto(api);
+  ASSERT_EQ(api.NtOpenKeyEx("SOFTWARE\\VMware, Inc.\\VMware Tools"),
+            winapi::NtStatus::kSuccess);  // locks VMware
+  // VBox must now be consistently absent on every channel.
+  EXPECT_EQ(api.RegOpenKeyEx("SOFTWARE\\Oracle\\VirtualBox Guest Additions"),
+            winapi::WinError::kFileNotFound);
+  EXPECT_EQ(api.GetFileAttributesA(
+                "C:\\Windows\\System32\\drivers\\VBoxMouse.sys"),
+            winapi::Api::kInvalidFileAttributes);
+  EXPECT_EQ(api.NtQueryAttributesFile(
+                "C:\\Windows\\System32\\drivers\\VBoxMouse.sys"),
+            winapi::NtStatus::kObjectNameNotFound);
+  EXPECT_FALSE(api.FindWindowA("VBoxTrayToolWndClass", ""));
+  bool vboxProcess = false;
+  for (const auto& entry : api.CreateToolhelp32Snapshot())
+    if (entry.imageName == "VBoxService.exe") vboxProcess = true;
+  EXPECT_FALSE(vboxProcess);
+}
+
+}  // namespace

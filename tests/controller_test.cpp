@@ -1,0 +1,156 @@
+// Unit tests for the Scarecrow controller (scarecrow.exe) and the
+// Section II-C resource collector.
+#include <gtest/gtest.h>
+
+#include "core/collector.h"
+#include "core/controller.h"
+#include "env/base_image.h"
+#include "env/environments.h"
+#include "hooking/injector.h"
+#include "support/strings.h"
+#include "winapi/runner.h"
+
+namespace {
+
+using namespace scarecrow;
+
+class ControllerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    machine_ = env::buildBareMetalSandbox();
+    engine_ = std::make_unique<core::DeceptionEngine>(
+        core::Config{}, core::buildDefaultResourceDb());
+  }
+  std::unique_ptr<winsys::Machine> machine_;
+  winapi::UserSpace userspace_;
+  std::unique_ptr<core::DeceptionEngine> engine_;
+};
+
+TEST_F(ControllerTest, ControllerProcessIsCreatedOnce) {
+  core::Controller a(*machine_, userspace_, *engine_);
+  core::Controller b(*machine_, userspace_, *engine_);
+  EXPECT_EQ(a.controllerPid(), b.controllerPid());
+  EXPECT_NE(machine_->processes().findByName("scarecrow.exe"), nullptr);
+  EXPECT_TRUE(machine_->vfs().exists(
+      "C:\\Program Files\\Scarecrow\\scarecrow.exe"));
+}
+
+TEST_F(ControllerTest, TargetParentIsController) {
+  core::Controller controller(*machine_, userspace_, *engine_);
+  const std::uint32_t pid = controller.launch("C:\\dl\\target.exe");
+  EXPECT_EQ(machine_->processes().find(pid)->parentPid,
+            controller.controllerPid());
+}
+
+TEST_F(ControllerTest, DllInjectedBeforeExecution) {
+  core::Controller controller(*machine_, userspace_, *engine_);
+  const std::uint32_t pid = controller.launch("C:\\dl\\target.exe");
+  EXPECT_TRUE(hooking::isInjected(userspace_, pid, "scarecrow.dll"));
+  // Queued but not yet executed.
+  ASSERT_EQ(userspace_.readyQueue().size(), 1u);
+  EXPECT_EQ(userspace_.readyQueue()[0], pid);
+}
+
+TEST_F(ControllerTest, PumpDeduplicatesReports) {
+  core::Controller controller(*machine_, userspace_, *engine_);
+  const std::uint32_t pid = controller.launch("C:\\dl\\t.exe");
+  winapi::Api api(*machine_, userspace_, pid);
+  api.IsDebuggerPresent();
+  api.IsDebuggerPresent();
+  api.GetTickCount();
+  controller.pump();
+  ASSERT_EQ(controller.reports().size(), 2u);
+  EXPECT_EQ(controller.reports()[0].api, "IsDebuggerPresent()");
+  EXPECT_EQ(controller.reports()[0].count, 2u);
+  EXPECT_EQ(controller.firstTrigger(), "IsDebuggerPresent()");
+}
+
+TEST_F(ControllerTest, CountsInjectionsAndSelfSpawns) {
+  core::Controller controller(*machine_, userspace_, *engine_);
+  const std::uint32_t pid = controller.launch("C:\\dl\\t.exe");
+  winapi::Api api(*machine_, userspace_, pid);
+  api.CreateProcessA("C:\\dl\\t.exe", "");       // self-spawn + injection
+  api.CreateProcessA("C:\\other\\o.exe", "");    // injection only
+  controller.pump();
+  EXPECT_EQ(controller.selfSpawnAlerts(), 1u);
+  EXPECT_EQ(controller.injectedChildren(), 2u);
+}
+
+// ===== resource collector ===================================================
+
+TEST(Crawler, InventoriesUserVisibleState) {
+  winsys::Machine machine;
+  env::installBaseImage(machine, {});
+  const core::ResourceInventory inventory =
+      core::SandboxResourceCollector::crawl(machine);
+  EXPECT_TRUE(inventory.files.count(
+      support::toLower("C:\\Windows\\System32\\kernel32.dll")));
+  EXPECT_TRUE(inventory.processes.count("explorer.exe"));
+  EXPECT_TRUE(inventory.registryKeys.count(support::toLower(
+      "HKEY_LOCAL_MACHINE\\SOFTWARE\\Microsoft\\Windows NT\\"
+      "CurrentVersion")));
+  // The crawler binary does not inventory itself.
+  EXPECT_FALSE(inventory.files.count(
+      support::toLower("C:\\submission\\crawler.exe")));
+}
+
+TEST(Crawler, DiffIsUnionMinusClean) {
+  core::ResourceInventory clean, sandboxA, sandboxB;
+  clean.files = {"c:\\common.txt"};
+  sandboxA.files = {"c:\\common.txt", "c:\\unique_a.txt"};
+  sandboxB.files = {"c:\\common.txt", "c:\\unique_b.txt", "c:\\unique_a.txt"};
+  sandboxA.processes = {"shared.exe"};
+  sandboxB.processes = {"shared.exe"};
+  clean.processes = {};
+  const core::CrawlDiff diff =
+      core::SandboxResourceCollector::diff({sandboxA, sandboxB}, clean);
+  EXPECT_EQ(diff.files.size(), 2u);
+  EXPECT_EQ(diff.processes.size(), 1u);
+}
+
+TEST(Crawler, MergeTagsAsCrawled) {
+  core::ResourceDb db;
+  core::CrawlDiff diff;
+  diff.files = {"c:\\cuckoo\\mod.py"};
+  diff.processes = {"tcpdump.exe"};
+  diff.registryKeys = {"software\\cuckoo"};
+  core::SandboxResourceCollector::merge(db, diff);
+  EXPECT_EQ(*db.matchFile("C:\\cuckoo\\mod.py"), core::Profile::kCrawled);
+  EXPECT_EQ(*db.matchProcess("tcpdump.exe"), core::Profile::kCrawled);
+  EXPECT_EQ(db.crawledCount(), 3u);
+}
+
+struct SignatureCase {
+  const char* probed;
+  bool mergeable;
+};
+
+class SignatureMerge : public ::testing::TestWithParam<SignatureCase> {};
+
+TEST_P(SignatureMerge, KindGatesMerging) {
+  core::ResourceDb db;
+  trace::EvasionSignature signature;
+  signature.found = true;
+  signature.probedResource = GetParam().probed;
+  EXPECT_EQ(core::SandboxResourceCollector::mergeEvasionSignature(db,
+                                                                  signature),
+            GetParam().mergeable);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, SignatureMerge,
+    ::testing::Values(
+        SignatureCase{"RegOpenKey:software\\newsandbox", true},
+        SignatureCase{"RegQueryValue:hardware\\bios", true},
+        SignatureCase{"FileRead:c:\\agent.py", true},
+        SignatureCase{"DnsQuery:c2.example.com", false},  // not a resource class
+        SignatureCase{"garbage-without-colon", false}));
+
+TEST(SignatureMerge, NotFoundSignatureIgnored) {
+  core::ResourceDb db;
+  trace::EvasionSignature signature;  // found == false
+  EXPECT_FALSE(
+      core::SandboxResourceCollector::mergeEvasionSignature(db, signature));
+}
+
+}  // namespace

@@ -1,0 +1,148 @@
+// Tests for the MalGene corpus generator: the family table must match the
+// paper's aggregates exactly, generation must be deterministic, and the
+// full end-to-end evaluation must land on the headline numbers.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/eval.h"
+#include "env/environments.h"
+#include "malware/corpus.h"
+#include "trace/analysis.h"
+
+namespace {
+
+using namespace scarecrow;
+
+TEST(FamilySpecs, AggregatesMatchPaper) {
+  const auto specs = malware::malgeneFamilySpecs();
+  EXPECT_EQ(specs.size(), 61u);  // 61 malware families
+  std::uint32_t total = 0, deactivatable = 0, spawnIdp = 0, spawnOther = 0;
+  for (const auto& family : specs) {
+    total += family.total;
+    deactivatable += family.expectedDeactivated();
+    spawnIdp += family.selfSpawnIdp;
+    spawnOther += family.selfSpawnOther;
+  }
+  EXPECT_EQ(total, 1'054u);
+  EXPECT_EQ(deactivatable, 944u);           // 89.56%
+  EXPECT_EQ(spawnIdp, 815u);                // IsDebuggerPresent spawners
+  EXPECT_EQ(spawnIdp + spawnOther, 823u);   // 78.08%
+}
+
+TEST(FamilySpecs, SymmiRowMatchesPaper) {
+  const auto specs = malware::malgeneFamilySpecs();
+  const auto& symmi = specs[0];
+  EXPECT_EQ(symmi.name, "Symmi");
+  EXPECT_EQ(symmi.total, 484u);
+  EXPECT_EQ(symmi.expectedDeactivated(), 478u);
+  EXPECT_EQ(symmi.selfSpawnIdp + symmi.selfSpawnOther, 473u);
+}
+
+TEST(FamilySpecs, SelfdelIsMostlyIndeterminate) {
+  for (const auto& family : malware::malgeneFamilySpecs()) {
+    if (family.name != "Selfdel") continue;
+    EXPECT_EQ(family.selfDeleters, 20u);
+    EXPECT_LT(family.expectedDeactivated(), family.total / 2);
+    return;
+  }
+  FAIL() << "Selfdel family missing";
+}
+
+TEST(FamilySpecs, EveryFamilyInternallyConsistent) {
+  for (const auto& family : malware::malgeneFamilySpecs()) {
+    EXPECT_EQ(family.total,
+              family.selfSpawnIdp + family.selfSpawnOther +
+                  family.exitOrSleep + family.unhookableEvaders +
+                  family.selfDeleters)
+        << family.name;
+    EXPECT_GT(family.total, 0u) << family.name;
+  }
+}
+
+TEST(CorpusGeneration, CountsAndUniqueness) {
+  malware::ProgramRegistry registry;
+  const auto specs = malware::generateMalgeneCorpus(registry);
+  EXPECT_EQ(specs.size(), 1'054u);
+  std::set<std::string> images;
+  for (const auto* spec : specs) images.insert(spec->imageName);
+  EXPECT_EQ(images.size(), 1'054u);  // no collisions
+}
+
+TEST(CorpusGeneration, DeterministicForSeed) {
+  malware::ProgramRegistry a, b;
+  const auto specsA = malware::generateMalgeneCorpus(a, 7);
+  const auto specsB = malware::generateMalgeneCorpus(b, 7);
+  ASSERT_EQ(specsA.size(), specsB.size());
+  for (std::size_t i = 0; i < specsA.size(); ++i) {
+    EXPECT_EQ(specsA[i]->id, specsB[i]->id);
+    EXPECT_EQ(specsA[i]->pacingMs, specsB[i]->pacingMs);
+    EXPECT_EQ(specsA[i]->techniques, specsB[i]->techniques);
+  }
+}
+
+TEST(CorpusGeneration, ThirtyPercentProbeTimingButLayerOtherTechniques) {
+  // Section VI-A: "around 30% of evasive malware samples in our dataset
+  // explore the cumulative timing of system calls for evasion. However, we
+  // found that most of these samples also explored other evasive
+  // techniques, which SCARECROW used to deactivate them."
+  malware::ProgramRegistry registry;
+  const auto specs = malware::generateMalgeneCorpus(registry);
+  std::size_t timingUsers = 0, timingWithFallback = 0;
+  for (const auto* spec : specs) {
+    bool timing = false;
+    for (malware::Technique technique : spec->techniques)
+      if (technique == malware::Technique::kRdtscVmExit) timing = true;
+    if (!timing) continue;
+    ++timingUsers;
+    bool hookable = false;
+    for (malware::Technique technique : spec->techniques)
+      if (!malware::unhookableTechnique(technique)) hookable = true;
+    if (hookable) ++timingWithFallback;
+  }
+  const double share =
+      static_cast<double>(timingUsers) / static_cast<double>(specs.size());
+  EXPECT_NEAR(share, 0.30, 0.05);
+  // "Most" layer other techniques (only the pure-timing evaders do not).
+  EXPECT_GT(timingWithFallback * 100, timingUsers * 80);
+}
+
+TEST(CorpusGeneration, SpecialSymmiSamplePresent) {
+  malware::ProgramRegistry registry;
+  malware::generateMalgeneCorpus(registry);
+  const malware::SampleSpec* special =
+      registry.findSpec("0827287d255f9711275e10bda5bda8c2.exe");
+  ASSERT_NE(special, nullptr);
+  EXPECT_EQ(special->family, "Symmi");
+  EXPECT_EQ(special->reaction, malware::Reaction::kSelfSpawnAndExit);
+  ASSERT_EQ(special->techniques.size(), 1u);
+  EXPECT_EQ(special->techniques[0], malware::Technique::kIsDebuggerPresent);
+}
+
+// The heavyweight end-to-end check: the full corpus through the Figure 3
+// protocol must hit the paper's numbers exactly. ~3 s.
+TEST(CorpusEndToEnd, HeadlineNumbers) {
+  auto machine = env::buildBareMetalSandbox();
+  malware::ProgramRegistry registry;
+  const auto specs = malware::generateMalgeneCorpus(registry);
+  core::EvaluationHarness harness(*machine);
+
+  std::size_t deactivated = 0, selfSpawners = 0, idp = 0, indeterminate = 0;
+  for (const auto* spec : specs) {
+    const core::EvalOutcome outcome = harness.evaluate(
+        spec->id, "C:\\submissions\\" + spec->imageName, registry.factory());
+    if (outcome.verdict.deactivated) ++deactivated;
+    if (outcome.verdict.reason == trace::DeactivationReason::kSelfSpawnLoop) {
+      ++selfSpawners;
+      if (outcome.verdict.isDebuggerPresentUsed) ++idp;
+    }
+    if (outcome.verdict.reason == trace::DeactivationReason::kIndeterminate)
+      ++indeterminate;
+  }
+  EXPECT_EQ(deactivated, 944u);
+  EXPECT_EQ(selfSpawners, 823u);
+  EXPECT_EQ(idp, 815u);
+  EXPECT_GE(indeterminate, 20u);  // the Selfdel family
+}
+
+}  // namespace

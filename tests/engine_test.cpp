@@ -1,0 +1,498 @@
+// Unit tests for the DeceptionEngine: every deceptive hook behaviour,
+// alert/IPC reporting, child propagation, self-spawn mitigation,
+// conflict-aware profiles, and category gating.
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "support/strings.h"
+#include "env/environments.h"
+#include "hooking/inline_hook.h"
+#include "winapi/api.h"
+
+namespace {
+
+using namespace scarecrow;
+using core::Config;
+using core::DeceptionEngine;
+using core::Profile;
+using winapi::Api;
+using winapi::ApiId;
+using winapi::NtStatus;
+using winapi::WinError;
+using winsys::RegValue;
+
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    machine_ = env::buildBareMetalSandbox();
+    proc_ = &machine_->processes().create("C:\\sub\\mal.exe", 0, "mal", 4);
+    machine_->vfs().createFile("C:\\sub\\mal.exe", 1 << 20);
+  }
+
+  Api makeApi(const Config& config = {}) {
+    engine_ = std::make_unique<DeceptionEngine>(
+        config, core::buildDefaultResourceDb());
+    Api api(*machine_, userspace_, proc_->pid);
+    engine_->installInto(api);
+    return api;
+  }
+
+  std::size_t alertCount() {
+    std::size_t n = 0;
+    for (const auto& e : machine_->recorder().trace().events)
+      if (e.kind == trace::EventKind::kAlert && e.target == "fingerprint")
+        ++n;
+    return n;
+  }
+
+  std::unique_ptr<winsys::Machine> machine_;
+  winapi::UserSpace userspace_;
+  winsys::Process* proc_ = nullptr;
+  std::unique_ptr<DeceptionEngine> engine_;
+};
+
+// ===== registry deception ===================================================
+
+TEST_F(EngineTest, DeceptiveRegistryKeysOpen) {
+  Api api = makeApi();
+  EXPECT_EQ(api.RegOpenKeyEx("SOFTWARE\\Oracle\\VirtualBox Guest Additions"),
+            WinError::kSuccess);
+  EXPECT_EQ(api.NtOpenKeyEx("SOFTWARE\\VMware, Inc.\\VMware Tools"),
+            NtStatus::kSuccess);
+  EXPECT_EQ(alertCount(), 2u);
+  // Ordinary keys still resolve against the real machine.
+  EXPECT_EQ(api.RegOpenKeyEx("SOFTWARE\\No\\Such\\Key"),
+            WinError::kFileNotFound);
+}
+
+TEST_F(EngineTest, DeceptiveRegistryValues) {
+  Api api = makeApi();
+  RegValue v;
+  EXPECT_EQ(api.NtQueryValueKey("HARDWARE\\Description\\System",
+                                "SystemBiosVersion", v),
+            NtStatus::kSuccess);
+  EXPECT_NE(v.str.find("VBOX"), std::string::npos);
+  EXPECT_EQ(api.RegQueryValueEx("HARDWARE\\Description\\System",
+                                "SystemBiosVersion", v),
+            WinError::kSuccess);
+  EXPECT_NE(v.str.find("BOCHS"), std::string::npos);
+}
+
+TEST_F(EngineTest, RealValuesPassThrough) {
+  Api api = makeApi();
+  RegValue v;
+  EXPECT_EQ(api.RegQueryValueEx(
+                "SOFTWARE\\Microsoft\\Windows NT\\CurrentVersion",
+                "ProductName", v),
+            WinError::kSuccess);
+  EXPECT_EQ(v.str, "Windows 7 Professional");
+}
+
+// ===== file deception =======================================================
+
+TEST_F(EngineTest, DeceptiveFilesExist) {
+  Api api = makeApi();
+  EXPECT_EQ(api.NtQueryAttributesFile(
+                "C:\\Windows\\System32\\drivers\\vmmouse.sys"),
+            NtStatus::kSuccess);
+  EXPECT_NE(api.GetFileAttributesA(
+                "C:\\Windows\\System32\\drivers\\VBoxMouse.sys"),
+            Api::kInvalidFileAttributes);
+  EXPECT_EQ(api.CreateFileA("C:\\sandbox", false), WinError::kSuccess);
+  // Unknown files still fail.
+  EXPECT_EQ(api.NtQueryAttributesFile("C:\\not-deceptive.sys"),
+            NtStatus::kObjectNameNotFound);
+}
+
+TEST_F(EngineTest, DeviceNamespaceNotFaked) {
+  Api api = makeApi();
+  EXPECT_EQ(api.NtCreateFile("\\\\.\\VBoxGuest"),
+            NtStatus::kObjectNameNotFound);
+  EXPECT_EQ(api.NtCreateFile("\\\\.\\pipe\\cuckoo"),
+            NtStatus::kObjectNameNotFound);
+}
+
+TEST_F(EngineTest, FindFirstFileMergesFakes) {
+  Api api = makeApi();
+  const auto names =
+      api.FindFirstFileA("C:\\Windows\\System32\\drivers", "vbox*");
+  bool found = false;
+  for (const auto& name : names)
+    if (support::iequals(name, "vboxmouse.sys")) found = true;
+  EXPECT_TRUE(found);
+}
+
+// ===== process deception ====================================================
+
+TEST_F(EngineTest, ToolhelpMergesAnalysisProcesses) {
+  Api api = makeApi();
+  bool olly = false, vboxService = false;
+  for (const auto& entry : api.CreateToolhelp32Snapshot()) {
+    if (support::iequals(entry.imageName, "ollydbg.exe")) olly = true;
+    if (support::iequals(entry.imageName, "VBoxService.exe"))
+      vboxService = true;
+  }
+  EXPECT_TRUE(olly);
+  EXPECT_TRUE(vboxService);
+}
+
+TEST_F(EngineTest, ProtectedProcessesSurviveTermination) {
+  Api api = makeApi();
+  // Fake pid range: report success, nothing to kill.
+  EXPECT_TRUE(api.TerminateProcess(0x9000, 1));
+  // A real process with a protected name survives but the call "succeeds".
+  winsys::Process& tool =
+      machine_->processes().create("C:\\tools\\procmon.exe", 0, "", 4);
+  EXPECT_TRUE(api.TerminateProcess(tool.pid, 1));
+  EXPECT_EQ(tool.state, winsys::ProcessState::kRunning);
+  // Unprotected processes actually die.
+  winsys::Process& victim =
+      machine_->processes().create("C:\\v\\victim.exe", 0, "", 4);
+  EXPECT_TRUE(api.TerminateProcess(victim.pid, 1));
+  EXPECT_EQ(victim.state, winsys::ProcessState::kTerminated);
+}
+
+TEST_F(EngineTest, SandboxDllsAppearLoaded) {
+  Api api = makeApi();
+  EXPECT_TRUE(api.GetModuleHandleA("SbieDll.dll"));
+  EXPECT_TRUE(api.GetModuleHandleA("api_log.dll"));
+  EXPECT_FALSE(api.GetModuleHandleA("unrelated.dll"));
+}
+
+TEST_F(EngineTest, WineExportsResolve) {
+  Api api = makeApi();
+  EXPECT_TRUE(api.GetProcAddress("kernel32.dll", "wine_get_unix_file_name"));
+}
+
+TEST_F(EngineTest, IdentityDeception) {
+  Api api = makeApi();
+  EXPECT_EQ(api.GetUserNameA(), "cuckoo");
+  EXPECT_EQ(api.GetComputerNameA(), "SANDBOX-PC");
+  EXPECT_EQ(api.GetModuleFileNameA(), "C:\\sandbox\\sample.exe");
+}
+
+TEST_F(EngineTest, DebuggerWindowsExist) {
+  Api api = makeApi();
+  EXPECT_TRUE(api.FindWindowA("OLLYDBG", ""));
+  EXPECT_TRUE(api.FindWindowA("WinDbgFrameClass", ""));
+  EXPECT_FALSE(api.FindWindowA("HarmlessWindowClass", ""));
+}
+
+// ===== debugger deception ====================================================
+
+TEST_F(EngineTest, DebuggerAlwaysPresent) {
+  Api api = makeApi();
+  EXPECT_TRUE(api.IsDebuggerPresent());
+  EXPECT_TRUE(api.CheckRemoteDebuggerPresent(proc_->pid));
+  EXPECT_EQ(api.NtQueryInformationProcess(
+                proc_->pid, winapi::ProcessInfoClass::kDebugPort),
+            1u);
+  EXPECT_EQ(api.NtQueryInformationProcess(
+                proc_->pid, winapi::ProcessInfoClass::kDebugFlags),
+            0u);
+}
+
+TEST_F(EngineTest, ParentInformationStaysReal) {
+  Api api = makeApi();
+  EXPECT_EQ(api.NtQueryInformationProcess(
+                proc_->pid, winapi::ProcessInfoClass::kBasicInformation),
+            proc_->parentPid);
+}
+
+TEST_F(EngineTest, FakeUptimeAndSleepPatching) {
+  Api api = makeApi();
+  const std::uint64_t tick = api.GetTickCount();
+  EXPECT_LT(tick, 10ULL * 60'000);  // looks freshly booted
+
+  const std::uint64_t before = api.GetTickCount();
+  const std::uint64_t realBefore = machine_->clock().nowMs();
+  api.Sleep(500);
+  const std::uint64_t after = api.GetTickCount();
+  const std::uint64_t realAfter = machine_->clock().nowMs();
+  EXPECT_LT(after - before, 450u);           // detectable sleep patch
+  EXPECT_LT(realAfter - realBefore, 100u);   // actually skipped the wait
+}
+
+TEST_F(EngineTest, ExceptionTimingDiscrepancy) {
+  Api api = makeApi();
+  EXPECT_GT(api.RaiseException(1), 100'000u);
+}
+
+// ===== hardware deception ====================================================
+
+TEST_F(EngineTest, SandboxHardwareProfile) {
+  Api api = makeApi();
+  EXPECT_EQ(api.GetSystemInfo().numberOfProcessors, 1u);
+  EXPECT_EQ(api.GlobalMemoryStatusEx().totalPhysBytes, 1ULL << 30);
+  std::uint64_t freeBytes = 0, totalBytes = 0;
+  EXPECT_TRUE(api.GetDiskFreeSpaceExA('C', freeBytes, totalBytes));
+  EXPECT_EQ(totalBytes, 50ULL << 30);
+  EXPECT_EQ(api.NtQuerySystemInformation(
+                winapi::SystemInfoClass::kBasicInformation),
+            1u);
+  EXPECT_EQ(api.NtQuerySystemInformation(
+                winapi::SystemInfoClass::kKernelDebuggerInformation),
+            1u);
+}
+
+TEST_F(EngineTest, PebStaysUnfaked) {
+  Api api = makeApi();
+  EXPECT_EQ(api.readPeb().numberOfProcessors, 4u);  // the real hardware
+}
+
+// ===== network deception =====================================================
+
+TEST_F(EngineTest, NxDomainsSinkholed) {
+  Api api = makeApi();
+  const auto ip = api.DnsQuery("dga-xkcjahdquwez.info");
+  ASSERT_TRUE(ip.has_value());
+  EXPECT_EQ(*ip, "10.0.0.1");
+  EXPECT_EQ(api.InternetOpenUrlA("nx-killswitch.test").status, 200);
+}
+
+TEST_F(EngineTest, RealDomainsUntouched) {
+  Api api = makeApi();
+  EXPECT_EQ(api.DnsQuery("www.google.com").value(), "142.250.70.68");
+  EXPECT_EQ(api.InternetOpenUrlA("www.google.com").status, 200);
+}
+
+// ===== wear-and-tear extension ===============================================
+
+struct WearTearCase {
+  const char* path;
+  std::uint32_t subkeys;
+  std::uint32_t values;
+};
+
+class WearTearCounts : public ::testing::TestWithParam<WearTearCase> {};
+
+TEST_P(WearTearCounts, FakedCountsMatchTableIII) {
+  auto machine = env::buildEndUserMachine();
+  winapi::UserSpace userspace;
+  winsys::Process& proc =
+      machine->processes().create("C:\\m\\w.exe", 0, "w", 8);
+  core::DeceptionEngine engine({}, core::buildDefaultResourceDb());
+  Api api(*machine, userspace, proc.pid);
+  engine.installInto(api);
+
+  std::uint32_t subkeys = 0, values = 0;
+  EXPECT_EQ(api.NtQueryKey(GetParam().path, subkeys, values),
+            NtStatus::kSuccess);
+  EXPECT_EQ(subkeys, GetParam().subkeys) << GetParam().path;
+  EXPECT_EQ(values, GetParam().values) << GetParam().path;
+  // RegQueryInfoKey sees the same deception.
+  std::uint32_t s2 = 0, v2 = 0;
+  EXPECT_EQ(api.RegQueryInfoKey(GetParam().path, s2, v2),
+            WinError::kSuccess);
+  EXPECT_EQ(s2, subkeys);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableIII, WearTearCounts,
+    ::testing::Values(
+        WearTearCase{"SYSTEM\\CurrentControlSet\\Control\\DeviceClasses", 29,
+                     0},
+        WearTearCase{"SOFTWARE\\Microsoft\\Windows\\CurrentVersion\\Run", 0,
+                     3},
+        WearTearCase{"SOFTWARE\\Microsoft\\Windows\\CurrentVersion\\"
+                     "Uninstall",
+                     2, 0},
+        WearTearCase{"SOFTWARE\\Microsoft\\Windows\\CurrentVersion\\"
+                     "SharedDlls",
+                     0, 3},
+        WearTearCase{"SOFTWARE\\Microsoft\\Windows\\CurrentVersion\\"
+                     "App Paths",
+                     2, 0},
+        WearTearCase{"SOFTWARE\\Microsoft\\Active Setup\\"
+                     "Installed Components",
+                     2, 0},
+        WearTearCase{"SYSTEM\\ControlSet001\\Services\\SharedAccess\\"
+                     "Parameters\\FirewallPolicy\\FirewallRules",
+                     0, 30},
+        WearTearCase{"SYSTEM\\CurrentControlSet\\Services\\UsbStor", 0, 0}));
+
+TEST_F(EngineTest, EventLogTruncatedTo8k) {
+  for (int i = 0; i < 20'000; ++i)
+    machine_->eventlog().append("S", 1, i);
+  Api api = makeApi();
+  EXPECT_EQ(api.EvtNext(100'000).size(), 8'000u);
+}
+
+TEST_F(EngineTest, DnsCacheTruncatedToFour) {
+  for (int i = 0; i < 50; ++i)
+    machine_->network().seedCacheEntry("d" + std::to_string(i) + ".com",
+                                       "1.1.1.1", i);
+  Api api = makeApi();
+  const auto rows = api.DnsGetCacheDataTable();
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows.back().domain, "d49.com");  // the most recent survive
+}
+
+TEST_F(EngineTest, RegistryQuotaFaked) {
+  Api api = makeApi();
+  EXPECT_EQ(api.NtQuerySystemInformation(
+                winapi::SystemInfoClass::kRegistryQuotaInformation),
+            53ULL << 20);
+}
+
+TEST_F(EngineTest, ShimCacheCountFaked) {
+  Api api = makeApi();
+  RegValue v;
+  EXPECT_EQ(api.NtQueryValueKey(
+                "SYSTEM\\CurrentControlSet\\Control\\Session Manager\\"
+                "AppCompatCache",
+                "CacheEntryCount", v),
+            NtStatus::kSuccess);
+  EXPECT_EQ(v.num, 9u);
+}
+
+TEST_F(EngineTest, EnumerationCappedToFakedCounts) {
+  Api api = makeApi();
+  std::string name;
+  RegValue value;
+  int visible = 0;
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    if (!winapi::ok(api.RegEnumValue(
+            "SOFTWARE\\Microsoft\\Windows\\CurrentVersion\\Run", i, name,
+            value)))
+      break;
+    ++visible;
+  }
+  EXPECT_EQ(visible, 3);
+}
+
+// ===== hooks / prologues =====================================================
+
+TEST_F(EngineTest, ProloguesArePatched) {
+  Api api = makeApi();
+  EXPECT_TRUE(hooking::checkHook(api.readFunctionBytes(ApiId::kDeleteFile)));
+  EXPECT_TRUE(
+      hooking::checkHook(api.readFunctionBytes(ApiId::kShellExecuteEx)));
+  EXPECT_TRUE(
+      hooking::checkHook(api.readFunctionBytes(ApiId::kIsDebuggerPresent)));
+}
+
+TEST_F(EngineTest, HookCounts) {
+  makeApi();
+  EXPECT_EQ(engine_->deceptionApiCount(), 29u);  // the paper's figure
+  EXPECT_GT(engine_->hookedApiCount(), 29u);
+}
+
+// ===== propagation & self-spawn =============================================
+
+TEST_F(EngineTest, CreateProcessPropagatesInjection) {
+  Api api = makeApi();
+  const std::uint32_t child = api.CreateProcessA("C:\\c\\child.exe", "");
+  ASSERT_NE(child, 0u);
+  EXPECT_TRUE(hooking::isInjected(userspace_, child, "scarecrow.dll"));
+  winapi::Api childApi(*machine_, userspace_, child);
+  EXPECT_TRUE(childApi.IsDebuggerPresent());  // hooks active in the child
+}
+
+TEST_F(EngineTest, SelfSpawnAccounting) {
+  Api api = makeApi();
+  api.CreateProcessA(proc_->imagePath, "");
+  api.CreateProcessA(proc_->imagePath, "");
+  api.CreateProcessA("C:\\other\\other.exe", "");
+  EXPECT_EQ(engine_->selfSpawnCount("mal.exe"), 2u);
+  int selfSpawnAlerts = 0;
+  for (const auto& msg : engine_->ipc().pending())
+    if (msg.kind == hooking::IpcKind::kSelfSpawnAlert) ++selfSpawnAlerts;
+  EXPECT_EQ(selfSpawnAlerts, 2);
+}
+
+TEST_F(EngineTest, MitigationKillsForkBombs) {
+  Config config;
+  config.mitigateSelfSpawn = true;
+  config.selfSpawnKillThreshold = 3;
+  Api api = makeApi(config);
+  std::uint32_t last = 0;
+  for (int i = 0; i < 3; ++i)
+    last = api.CreateProcessA(proc_->imagePath, "");
+  EXPECT_NE(last, 0u);
+  // The 4th spawn crosses the threshold: denied, spawner terminated.
+  EXPECT_EQ(api.CreateProcessA(proc_->imagePath, ""), 0u);
+  EXPECT_EQ(proc_->state, winsys::ProcessState::kTerminated);
+}
+
+// ===== conflict-aware profiles (Section VI-B) ===============================
+
+TEST_F(EngineTest, ConflictAwareLocksFirstVendor) {
+  Config config;
+  config.conflictAwareProfiles = true;
+  Api api = makeApi(config);
+  // First probe: VMware — locks the vendor.
+  EXPECT_EQ(api.NtOpenKeyEx("SOFTWARE\\VMware, Inc.\\VMware Tools"),
+            NtStatus::kSuccess);
+  ASSERT_TRUE(engine_->lockedVendor().has_value());
+  EXPECT_EQ(*engine_->lockedVendor(), Profile::kVMware);
+  // Conflicting vendors vanish.
+  EXPECT_EQ(api.RegOpenKeyEx("SOFTWARE\\Oracle\\VirtualBox Guest Additions"),
+            WinError::kFileNotFound);
+  EXPECT_EQ(api.NtQueryAttributesFile(
+                "C:\\Windows\\System32\\drivers\\VBoxMouse.sys"),
+            NtStatus::kObjectNameNotFound);
+  EXPECT_FALSE(api.FindWindowA("VBoxTrayToolWndClass", ""));
+  // Non-VM profiles stay active.
+  EXPECT_TRUE(api.IsDebuggerPresent());
+  EXPECT_TRUE(api.GetModuleHandleA("SbieDll.dll"));
+  // The locked vendor keeps answering.
+  EXPECT_EQ(api.NtQueryAttributesFile(
+                "C:\\Windows\\System32\\drivers\\vmmouse.sys"),
+            NtStatus::kSuccess);
+}
+
+TEST_F(EngineTest, WithoutConflictModeAllVendorsVisible) {
+  Api api = makeApi();
+  EXPECT_EQ(api.NtOpenKeyEx("SOFTWARE\\VMware, Inc.\\VMware Tools"),
+            NtStatus::kSuccess);
+  EXPECT_EQ(api.RegOpenKeyEx("SOFTWARE\\Oracle\\VirtualBox Guest Additions"),
+            WinError::kSuccess);
+  EXPECT_FALSE(engine_->lockedVendor().has_value());
+}
+
+// ===== category gating ======================================================
+
+TEST_F(EngineTest, DisabledCategoriesPassThrough) {
+  Config config;
+  config.softwareResources = false;
+  config.hardwareResources = false;
+  config.networkResources = false;
+  config.debuggerDeception = false;
+  config.wearTearExtension = false;
+  Api api = makeApi(config);
+  EXPECT_FALSE(api.IsDebuggerPresent());
+  EXPECT_EQ(api.RegOpenKeyEx("SOFTWARE\\Oracle\\VirtualBox Guest Additions"),
+            WinError::kFileNotFound);
+  EXPECT_EQ(api.GetSystemInfo().numberOfProcessors, 4u);
+  EXPECT_FALSE(api.DnsQuery("nx-zzz.invalid").has_value());
+  EXPECT_EQ(api.GetUserNameA(), "admin");
+  // Propagation hooks remain: descendants must stay supervised.
+  const std::uint32_t child = api.CreateProcessA("C:\\c\\x.exe", "");
+  EXPECT_TRUE(hooking::isInjected(userspace_, child, "scarecrow.dll"));
+}
+
+TEST_F(EngineTest, AlertsCarryTableILabels) {
+  Api api = makeApi();
+  api.GlobalMemoryStatusEx();
+  (void)api.GetModuleFileNameA();
+  bool mem = false, name = false;
+  for (const auto& e : machine_->recorder().trace().events) {
+    if (e.kind != trace::EventKind::kAlert) continue;
+    if (e.detail == "GlobalMemoryStatusEx()") mem = true;
+    if (e.detail == "The name of malware") name = true;
+  }
+  EXPECT_TRUE(mem);
+  EXPECT_TRUE(name);
+}
+
+TEST_F(EngineTest, IpcMirrorsAlerts) {
+  Api api = makeApi();
+  api.IsDebuggerPresent();
+  const auto messages = engine_->ipc().drain();
+  ASSERT_FALSE(messages.empty());
+  EXPECT_EQ(messages[0].api, "IsDebuggerPresent()");
+  EXPECT_EQ(messages[0].pid, proc_->pid);
+}
+
+}  // namespace

@@ -1,0 +1,198 @@
+// Unit tests for the environment builders and the aging simulator.
+#include <gtest/gtest.h>
+
+#include "env/aging.h"
+#include "env/base_image.h"
+#include "env/environments.h"
+#include "hooking/inline_hook.h"
+#include "winapi/api.h"
+
+namespace {
+
+using namespace scarecrow;
+
+TEST(BaseImage, SkeletonPresent) {
+  winsys::Machine machine;
+  env::installBaseImage(machine, {});
+  EXPECT_TRUE(machine.vfs().exists("C:\\Windows\\System32\\kernel32.dll"));
+  EXPECT_TRUE(machine.registry().keyExists(
+      "SOFTWARE\\Microsoft\\Windows NT\\CurrentVersion"));
+  EXPECT_NE(machine.processes().findByName("explorer.exe"), nullptr);
+  EXPECT_NE(machine.processes().findByName("lsass.exe"), nullptr);
+  EXPECT_GT(machine.eventlog().size(), 0u);
+  EXPECT_GE(machine.registry().totalBytes(), 35ULL << 20);
+}
+
+TEST(BaseImage, OptionsApplied) {
+  winsys::Machine machine;
+  env::BaseImageOptions options;
+  options.cpuCores = 2;
+  options.ramBytes = 4ULL << 30;
+  options.userName = "bob";
+  env::installBaseImage(machine, options);
+  EXPECT_EQ(machine.sysinfo().processorCount, 2u);
+  EXPECT_EQ(machine.sysinfo().totalPhysicalMemory, 4ULL << 30);
+  EXPECT_TRUE(machine.vfs().exists("C:\\Users\\bob\\Desktop"));
+}
+
+TEST(EndUser, HasVMwareHostInstallAndActivity) {
+  auto machine = env::buildEndUserMachine();
+  EXPECT_TRUE(machine->registry().keyExists(
+      "SYSTEM\\CurrentControlSet\\Services\\vmnetadapter"));
+  EXPECT_EQ(machine->sysinfo().adapters.size(), 2u);
+  EXPECT_TRUE(machine->sysinfo().mouseActive);
+  EXPECT_GT(machine->sysinfo().cpuidTrapCycles, 10'000u);  // rdtsc FP source
+  // Aged: plenty of wear-and-tear.
+  EXPECT_GT(machine->registry().subkeyCount(
+                "SOFTWARE\\Microsoft\\Windows\\CurrentVersion\\Uninstall"),
+            10u);
+  EXPECT_GT(machine->eventlog().size(), 10'000u);
+}
+
+TEST(EndUser, UserPresenceToggle) {
+  auto idle = env::buildEndUserMachine({.userPresent = false});
+  EXPECT_FALSE(idle->sysinfo().mouseActive);
+}
+
+TEST(EndUser, DeterministicForSameSeed) {
+  auto a = env::buildEndUserMachine();
+  auto b = env::buildEndUserMachine();
+  EXPECT_EQ(a->registry().totalBytes(), b->registry().totalBytes());
+  EXPECT_EQ(a->vfs().nodeCount(), b->vfs().nodeCount());
+  EXPECT_EQ(a->eventlog().size(), b->eventlog().size());
+}
+
+TEST(BareMetal, PristineAnalysisBox) {
+  auto machine = env::buildBareMetalSandbox();
+  EXPECT_FALSE(machine->sysinfo().mouseActive);
+  EXPECT_FALSE(machine->sysinfo().hypervisorPresent);
+  EXPECT_LT(machine->sysinfo().cpuidTrapCycles, 1'000u);
+  EXPECT_NE(machine->processes().findByName("agent.exe"), nullptr);
+  // No sandbox folders malware probes for (C:\analysis etc).
+  EXPECT_FALSE(machine->vfs().exists("C:\\analysis"));
+  EXPECT_FALSE(machine->vfs().exists("C:\\sandbox"));
+  // Above the thresholds of hardware checks.
+  EXPECT_GE(machine->sysinfo().processorCount, 2u);
+  EXPECT_GT(machine->sysinfo().totalPhysicalMemory, 2ULL << 30);
+  EXPECT_GT(machine->tickCount(), 12ULL * 60'000);
+}
+
+TEST(VmSandbox, VirtualBoxFootprint) {
+  auto machine = env::buildVBoxCuckooSandbox({});
+  EXPECT_TRUE(machine->sysinfo().hypervisorPresent);
+  EXPECT_EQ(machine->sysinfo().hypervisorVendor, "VBoxVBoxVBox");
+  EXPECT_TRUE(machine->vfs().exists(
+      "C:\\Windows\\System32\\drivers\\VBoxMouse.sys"));
+  EXPECT_TRUE(machine->vfs().exists("\\\\.\\VBoxGuest"));
+  EXPECT_NE(machine->processes().findByName("VBoxService.exe"), nullptr);
+  EXPECT_TRUE(machine->registry().keyExists(
+      "SOFTWARE\\Oracle\\VirtualBox Guest Additions"));
+  EXPECT_EQ(machine->sysinfo().processorCount, 1u);
+  EXPECT_EQ(machine->sysinfo().totalPhysicalMemory, 1ULL << 30);
+  EXPECT_TRUE(machine->sysinfo().mouseActive);  // human module
+  // Headless guest: no tray window.
+  EXPECT_EQ(machine->windows().find("VBoxTrayToolWndClass", ""), nullptr);
+}
+
+TEST(VmSandbox, HardeningRemovesUnfakeableArtifacts) {
+  auto machine = env::buildVBoxCuckooSandbox({.hardened = true});
+  EXPECT_FALSE(machine->sysinfo().hypervisorPresent);
+  EXPECT_LT(machine->sysinfo().cpuidTrapCycles, 10'000u);
+  EXPECT_FALSE(machine->vfs().exists("\\\\.\\VBoxGuest"));
+  EXPECT_NE(machine->sysinfo().adapters[0].mac.substr(0, 8), "08:00:27");
+  EXPECT_NE(machine->sysinfo().acpiOemId, "VBOX");
+  // The API-visible artifacts remain (Scarecrow covers them anyway).
+  EXPECT_TRUE(machine->registry().keyExists(
+      "SOFTWARE\\Oracle\\VirtualBox Guest Additions"));
+}
+
+TEST(VmSandbox, CuckooMonitorHooksShellExecuteOnly) {
+  auto machine = env::buildVBoxCuckooSandbox({});
+  winapi::UserSpace userspace;
+  winsys::Process& target =
+      machine->processes().create("C:\\t\\pafish.exe", 0, "", 1);
+  hooking::injectDll(*machine, userspace, target.pid,
+                     env::cuckooMonitorDll());
+  const auto& state = userspace.stateFor(target.pid);
+  EXPECT_TRUE(hooking::isHooked(state, winapi::ApiId::kShellExecuteEx));
+  EXPECT_FALSE(hooking::isHooked(state, winapi::ApiId::kDeleteFile));
+  EXPECT_FALSE(hooking::isHooked(state, winapi::ApiId::kSleep));
+  // The pass-through hook must preserve behaviour.
+  winapi::Api api(*machine, userspace, target.pid);
+  EXPECT_TRUE(api.ShellExecuteExA("C:\\Windows\\System32\\cmd.exe"));
+}
+
+TEST(PublicSandboxes, CarryUniqueResourcePopulations) {
+  auto vt = env::buildPublicSandbox(env::PublicSandboxKind::kVirusTotal);
+  auto malwr = env::buildPublicSandbox(env::PublicSandboxKind::kMalwr);
+  EXPECT_GT(vt->vfs().nodeCount(), 10'000u);
+  EXPECT_GT(malwr->vfs().nodeCount(), 7'000u);
+  // Malwr's famous 5 GB disk (paper Section II-B).
+  EXPECT_EQ(malwr->vfs().findDrive('C')->totalBytes, 5ULL << 30);
+  EXPECT_NE(vt->processes().findByName("vt_monitor.exe"), nullptr);
+  EXPECT_EQ(malwr->processes().findByName("vt_monitor.exe"), nullptr);
+  EXPECT_NE(malwr->processes().findByName("malwr_agent.exe"), nullptr);
+  // Shared analysis stack appears in both.
+  EXPECT_NE(vt->processes().findByName("tcpdump.exe"), nullptr);
+  EXPECT_NE(malwr->processes().findByName("tcpdump.exe"), nullptr);
+}
+
+TEST(SandboxAgent, FindsOrCreates) {
+  auto machine = env::buildBareMetalSandbox();
+  const std::uint32_t pid = env::sandboxAgentPid(*machine);
+  EXPECT_EQ(machine->processes().find(pid)->imageName, "agent.exe");
+  winsys::Machine bare;
+  EXPECT_NE(env::sandboxAgentPid(bare), 0u);
+}
+
+// ===== aging ================================================================
+
+TEST(Aging, MoreMonthsMoreArtifacts) {
+  winsys::Machine young, old;
+  env::installBaseImage(young, {});
+  env::installBaseImage(old, {});
+  support::Rng rngA(1), rngB(1);
+  env::applyAging(young, {0.25, 1.0}, rngA);
+  env::applyAging(old, {24.0, 1.0}, rngB);
+
+  EXPECT_GT(old.registry().totalBytes(), young.registry().totalBytes());
+  EXPECT_GT(old.eventlog().size(), young.eventlog().size());
+  EXPECT_GT(old.network().dnsCache().size(),
+            young.network().dnsCache().size());
+  EXPECT_GT(old.registry().subkeyCount(
+                "SOFTWARE\\Microsoft\\Windows\\CurrentVersion\\Uninstall"),
+            young.registry().subkeyCount(
+                "SOFTWARE\\Microsoft\\Windows\\CurrentVersion\\Uninstall"));
+}
+
+TEST(Aging, DeterministicGivenSeed) {
+  winsys::Machine a, b;
+  env::installBaseImage(a, {});
+  env::installBaseImage(b, {});
+  support::Rng rngA(99), rngB(99);
+  env::applyAging(a, {12.0, 1.0}, rngA);
+  env::applyAging(b, {12.0, 1.0}, rngB);
+  EXPECT_EQ(a.registry().totalBytes(), b.registry().totalBytes());
+  EXPECT_EQ(a.vfs().nodeCount(), b.vfs().nodeCount());
+}
+
+TEST(Aging, PopulatesAllArtifactCategories) {
+  winsys::Machine machine;
+  env::installBaseImage(machine, {});
+  support::Rng rng(5);
+  env::applyAging(machine, {18.0, 1.0}, rng);
+  // registry
+  EXPECT_GT(machine.registry().valueCount(
+                "SOFTWARE\\Microsoft\\Windows\\CurrentVersion\\Run"),
+            0u);
+  // filesystem
+  EXPECT_FALSE(machine.vfs().list("C:\\Windows\\Prefetch", "*.pf").empty());
+  // browser
+  EXPECT_TRUE(machine.vfs().exists(
+      "C:\\Users\\alice\\AppData\\Local\\Google\\Chrome\\User Data\\"
+      "Default\\History"));
+  // network
+  EXPECT_FALSE(machine.network().dnsCache().empty());
+}
+
+}  // namespace

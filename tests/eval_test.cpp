@@ -1,0 +1,124 @@
+// Tests for the evaluation harness (Figure 3 protocol): Deep Freeze
+// semantics, trace labeling, config plumbing, budget handling.
+#include <gtest/gtest.h>
+
+#include "core/eval.h"
+#include "env/environments.h"
+#include "malware/sample.h"
+#include "support/strings.h"
+#include "trace/analysis.h"
+
+namespace {
+
+using namespace scarecrow;
+using malware::PayloadStep;
+using malware::Reaction;
+using malware::SampleSpec;
+using malware::Technique;
+
+class EvalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    machine_ = env::buildBareMetalSandbox();
+    SampleSpec spec;
+    spec.id = "evaltest";
+    spec.family = "t";
+    spec.techniques = {Technique::kIsDebuggerPresent};
+    spec.reaction = Reaction::kExitImmediately;
+    spec.payload = {{PayloadStep::Kind::kDropAndExecute, "drop.exe"},
+                    {PayloadStep::Kind::kRegistryPersistence, "EvalRun"}};
+    registry_.addSample(std::move(spec));
+    harness_ = std::make_unique<core::EvaluationHarness>(*machine_);
+  }
+
+  std::unique_ptr<winsys::Machine> machine_;
+  malware::ProgramRegistry registry_;
+  std::unique_ptr<core::EvaluationHarness> harness_;
+};
+
+TEST_F(EvalTest, MachineRestoredBetweenConfigurations) {
+  const std::size_t vfsBefore = machine_->vfs().nodeCount();
+  harness_->evaluate("evaltest", "C:\\s\\evaltest.exe", registry_.factory());
+  // After evaluate, the machine carries only the with-Scarecrow residue of
+  // the final run — but a restore brings it back exactly.
+  machine_->restore(machine_->snapshot());
+  harness_->evaluate("evaltest", "C:\\s\\evaltest.exe", registry_.factory());
+  // Verdicts must be identical across repeated evaluations (Deep Freeze).
+  const auto a =
+      harness_->evaluate("evaltest", "C:\\s\\evaltest.exe",
+                         registry_.factory());
+  const auto b =
+      harness_->evaluate("evaltest", "C:\\s\\evaltest.exe",
+                         registry_.factory());
+  EXPECT_EQ(a.verdict.deactivated, b.verdict.deactivated);
+  EXPECT_EQ(a.traceWithout.events.size(), b.traceWithout.events.size());
+  EXPECT_EQ(a.traceWith.events.size(), b.traceWith.events.size());
+  EXPECT_GE(machine_->vfs().nodeCount(), vfsBefore);
+}
+
+TEST_F(EvalTest, SampleFileMaterializedForBothRuns) {
+  const auto outcome = harness_->evaluate(
+      "evaltest", "C:\\s\\evaltest.exe", registry_.factory());
+  EXPECT_TRUE(outcome.verdict.deactivated);
+  // The without-run payload shows the drop; the agent placed the binary.
+  bool dropped = false;
+  for (const auto& activity :
+       trace::significantActivities(outcome.traceWithout, "evaltest.exe"))
+    if (activity.find("drop.exe") != std::string::npos) dropped = true;
+  EXPECT_TRUE(dropped);
+}
+
+TEST_F(EvalTest, TraceLabelsFollowConfiguration) {
+  const auto outcome = harness_->evaluate(
+      "evaltest", "C:\\s\\evaltest.exe", registry_.factory());
+  EXPECT_EQ(outcome.traceWithout.sampleId, "evaltest");
+  EXPECT_FALSE(outcome.traceWithout.scarecrowEnabled);
+  EXPECT_TRUE(outcome.traceWith.scarecrowEnabled);
+}
+
+TEST_F(EvalTest, WithoutRunLaunchedByAgentWithRunByController) {
+  const auto outcome = harness_->evaluate(
+      "evaltest", "C:\\s\\evaltest.exe", registry_.factory());
+  auto rootCreator = [](const trace::Trace& t) -> std::string {
+    for (const auto& e : t.events)
+      if (e.kind == trace::EventKind::kProcessCreate &&
+          support::iendsWith(e.target, "evaltest.exe"))
+        return e.process;
+    return {};
+  };
+  EXPECT_EQ(rootCreator(outcome.traceWithout), "agent.exe");
+  EXPECT_EQ(rootCreator(outcome.traceWith), "scarecrow.exe");
+}
+
+TEST_F(EvalTest, ConfigReachesTheEngine) {
+  core::Config disabled;
+  disabled.debuggerDeception = false;
+  const auto outcome = harness_->evaluate(
+      "evaltest", "C:\\s\\evaltest.exe", registry_.factory(), disabled);
+  // Without debugger deception the sample never detects anything and its
+  // payload leaks through in both runs.
+  EXPECT_FALSE(outcome.verdict.deactivated);
+  EXPECT_FALSE(outcome.verdict.leakedActivities.empty());
+}
+
+TEST_F(EvalTest, BudgetParameterBoundsMachineTime) {
+  SampleSpec sleeper;
+  sleeper.id = "sleeper";
+  sleeper.family = "t";
+  sleeper.techniques = {Technique::kIsDebuggerPresent};
+  sleeper.reaction = Reaction::kSleepLoop;
+  registry_.addSample(std::move(sleeper));
+  const std::uint64_t clockBefore = machine_->clock().nowMs();
+  harness_->runOnce("sleeper", "C:\\s\\sleeper.exe", registry_.factory(),
+                    true, {}, 5'000);
+  EXPECT_LE(machine_->clock().nowMs() - clockBefore, 20'000u);
+}
+
+TEST_F(EvalTest, FirstTriggerConsistentBetweenIpcAndTrace) {
+  const auto outcome = harness_->evaluate(
+      "evaltest", "C:\\s\\evaltest.exe", registry_.factory());
+  EXPECT_EQ(outcome.firstTrigger, outcome.verdict.firstTrigger);
+  EXPECT_EQ(outcome.firstTrigger, "IsDebuggerPresent()");
+}
+
+}  // namespace

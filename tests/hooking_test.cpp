@@ -1,0 +1,148 @@
+// Unit tests for the in-line hook engine (paper Fig. 1 semantics), DLL
+// injection, guard-page alerting, and the IPC channel.
+#include <gtest/gtest.h>
+
+#include "env/base_image.h"
+#include "hooking/injector.h"
+#include "hooking/inline_hook.h"
+#include "hooking/ipc.h"
+#include "winapi/api.h"
+
+namespace {
+
+using namespace scarecrow;
+using winapi::ApiId;
+
+TEST(InlineHook, InstallRewritesToJmp) {
+  winapi::ProcessApiState state;
+  EXPECT_TRUE(hooking::installInlineHook(state, ApiId::kIsDebuggerPresent));
+  const auto& prologue =
+      state.prologues[static_cast<std::size_t>(ApiId::kIsDebuggerPresent)];
+  EXPECT_EQ(prologue.bytes[0], 0xE9);  // JMP rel32
+  EXPECT_TRUE(prologue.hooked);
+  EXPECT_FALSE(prologue.intact());
+}
+
+TEST(InlineHook, InstallIsIdempotent) {
+  winapi::ProcessApiState state;
+  EXPECT_TRUE(hooking::installInlineHook(state, ApiId::kSleep));
+  EXPECT_FALSE(hooking::installInlineHook(state, ApiId::kSleep));
+}
+
+TEST(InlineHook, RemoveRestoresTrampolineBytes) {
+  winapi::ProcessApiState state;
+  const auto original =
+      state.prologues[static_cast<std::size_t>(ApiId::kSleep)].bytes;
+  hooking::installInlineHook(state, ApiId::kSleep);
+  EXPECT_TRUE(hooking::removeInlineHook(state, ApiId::kSleep));
+  EXPECT_EQ(state.prologues[static_cast<std::size_t>(ApiId::kSleep)].bytes,
+            original);
+  EXPECT_FALSE(hooking::removeInlineHook(state, ApiId::kSleep));
+}
+
+TEST(InlineHook, Figure1DetectionPredicate) {
+  // The paper's check: first two bytes intact == "mov edi, edi".
+  EXPECT_FALSE(hooking::checkHook(winapi::Prologue::kIntact));
+  std::array<std::uint8_t, 8> patched = {0xE9, 0x01, 0x02, 0x03, 0x04,
+                                         0x90, 0x90, 0x90};
+  EXPECT_TRUE(hooking::checkHook(patched));
+}
+
+TEST(InlineHook, HookedApisEnumeration) {
+  winapi::ProcessApiState state;
+  hooking::installInlineHook(state, ApiId::kSleep);
+  hooking::installInlineHook(state, ApiId::kCreateProcess);
+  const auto hooked = hooking::hookedApis(state);
+  EXPECT_EQ(hooked.size(), 2u);
+}
+
+TEST(InlineHook, HooksArePerProcess) {
+  winapi::UserSpace userspace;
+  hooking::installInlineHook(userspace.stateFor(4), ApiId::kSleep);
+  EXPECT_TRUE(hooking::isHooked(userspace.stateFor(4), ApiId::kSleep));
+  EXPECT_FALSE(hooking::isHooked(userspace.stateFor(8), ApiId::kSleep));
+}
+
+class InjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env::installBaseImage(machine_, {});
+    target_ = &machine_.processes().create("C:\\t\\target.exe", 0, "", 4);
+  }
+  winsys::Machine machine_;
+  winapi::UserSpace userspace_;
+  winsys::Process* target_ = nullptr;
+};
+
+TEST_F(InjectionTest, InjectionMapsModuleAndRunsEntryPoint) {
+  bool entryRan = false;
+  hooking::DllImage dll;
+  dll.name = "probe.dll";
+  dll.onLoad = [&entryRan](winapi::Api& api) {
+    entryRan = true;
+    EXPECT_TRUE(api.GetModuleHandleA("probe.dll"));
+  };
+  EXPECT_TRUE(hooking::injectDll(machine_, userspace_, target_->pid, dll));
+  EXPECT_TRUE(entryRan);
+  EXPECT_TRUE(target_->hasModule("probe.dll"));
+  EXPECT_TRUE(hooking::isInjected(userspace_, target_->pid, "probe.dll"));
+}
+
+TEST_F(InjectionTest, InjectionEmitsDllLoadEvent) {
+  hooking::DllImage dll;
+  dll.name = "scarecrow.dll";
+  hooking::injectDll(machine_, userspace_, target_->pid, dll);
+  bool loadSeen = false;
+  for (const auto& e : machine_.recorder().trace().events)
+    if (e.kind == trace::EventKind::kDllLoad && e.target == "scarecrow.dll")
+      loadSeen = true;
+  EXPECT_TRUE(loadSeen);
+}
+
+TEST_F(InjectionTest, InjectionIsIdempotent) {
+  int loads = 0;
+  hooking::DllImage dll;
+  dll.name = "x.dll";
+  dll.onLoad = [&loads](winapi::Api&) { ++loads; };
+  hooking::injectDll(machine_, userspace_, target_->pid, dll);
+  hooking::injectDll(machine_, userspace_, target_->pid, dll);
+  EXPECT_EQ(loads, 1);
+}
+
+TEST_F(InjectionTest, InjectionFailsForDeadProcess) {
+  machine_.processes().terminate(target_->pid, 0);
+  hooking::DllImage dll;
+  EXPECT_FALSE(hooking::injectDll(machine_, userspace_, target_->pid, dll));
+  EXPECT_FALSE(hooking::injectDll(machine_, userspace_, 99'999, dll));
+}
+
+TEST_F(InjectionTest, GuardPagesSurfaceHookDetectionAlert) {
+  winapi::ProcessApiState& state = userspace_.stateFor(target_->pid);
+  hooking::installInlineHook(state, ApiId::kDeleteFile);
+  state.guardPages = true;
+  winapi::Api api(machine_, userspace_, target_->pid);
+  api.readFunctionBytes(ApiId::kDeleteFile);
+  // Unhooked prologue reads do not alert even with guard pages on.
+  api.readFunctionBytes(ApiId::kSleep);
+  int alerts = 0;
+  for (const auto& e : machine_.recorder().trace().events)
+    if (e.kind == trace::EventKind::kAlert && e.detail == "Hook detection")
+      ++alerts;
+  EXPECT_EQ(alerts, 1);
+}
+
+TEST(Ipc, SendAndDrain) {
+  hooking::IpcChannel channel;
+  EXPECT_TRUE(channel.empty());
+  channel.send({hooking::IpcKind::kFingerprintAttempt, 4, 10,
+                "IsDebuggerPresent()", "debugger"});
+  channel.send({hooking::IpcKind::kSelfSpawnAlert, 4, 20, "CreateProcessW",
+                "sample.exe"});
+  EXPECT_EQ(channel.pending().size(), 2u);
+  const auto drained = channel.drain();
+  EXPECT_EQ(drained.size(), 2u);
+  EXPECT_EQ(drained[0].api, "IsDebuggerPresent()");
+  EXPECT_TRUE(channel.empty());
+}
+
+}  // namespace

@@ -1,0 +1,70 @@
+// End-to-end pipeline checks: environment -> controller/injection ->
+// evasive sample -> traces -> deactivation verdict.
+#include <gtest/gtest.h>
+
+#include "core/eval.h"
+#include "env/environments.h"
+#include "malware/joe.h"
+#include "trace/analysis.h"
+
+namespace {
+
+using namespace scarecrow;
+
+class IntegrationEval : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    machine_ = env::buildBareMetalSandbox();
+    expected_ = malware::registerJoeSamples(registry_);
+  }
+
+  std::unique_ptr<winsys::Machine> machine_;
+  malware::ProgramRegistry registry_;
+  std::vector<malware::JoeExpectation> expected_;
+};
+
+TEST_F(IntegrationEval, FakeAvSampleIsDeactivatedByMemoryDeception) {
+  core::EvaluationHarness harness(*machine_);
+  const core::EvalOutcome outcome =
+      harness.evaluate("9fac72a", "C:\\samples\\9fac72a.exe",
+                       registry_.factory());
+
+  // Without Scarecrow the fake AV lands on disk and runs.
+  const auto without = trace::significantActivities(outcome.traceWithout,
+                                                    "9fac72a.exe");
+  EXPECT_FALSE(without.empty());
+  bool droppedScanner = false;
+  for (const auto& activity : without)
+    if (activity.find("scanner.exe") != std::string::npos)
+      droppedScanner = true;
+  EXPECT_TRUE(droppedScanner);
+
+  // With Scarecrow the GlobalMemoryStatusEx deception fires first.
+  EXPECT_TRUE(outcome.verdict.deactivated);
+  EXPECT_EQ(outcome.verdict.reason,
+            trace::DeactivationReason::kSuppressedActivities);
+  EXPECT_EQ(outcome.verdict.firstTrigger, "GlobalMemoryStatusEx()");
+  EXPECT_EQ(outcome.firstTrigger, "GlobalMemoryStatusEx()");
+}
+
+TEST_F(IntegrationEval, SelfSpawnerLoopsUnderScarecrow) {
+  core::EvaluationHarness harness(*machine_);
+  const core::EvalOutcome outcome = harness.evaluate(
+      "3616a11", "C:\\samples\\3616a11.exe", registry_.factory());
+  EXPECT_TRUE(outcome.verdict.deactivated);
+  EXPECT_EQ(outcome.verdict.reason,
+            trace::DeactivationReason::kSelfSpawnLoop);
+  EXPECT_GT(outcome.verdict.selfSpawnsWithScarecrow, 10u);
+  EXPECT_TRUE(outcome.verdict.isDebuggerPresentUsed);
+}
+
+TEST_F(IntegrationEval, PebReaderDefeatsScarecrow) {
+  core::EvaluationHarness harness(*machine_);
+  const core::EvalOutcome outcome = harness.evaluate(
+      "cbdda64", "C:\\samples\\cbdda64.exe", registry_.factory());
+  EXPECT_FALSE(outcome.verdict.deactivated);
+  EXPECT_TRUE(outcome.firstTrigger.empty());
+  EXPECT_FALSE(outcome.verdict.leakedActivities.empty());
+}
+
+}  // namespace

@@ -1,0 +1,100 @@
+// Table I as a parameterized test: all 13 Joe Security samples must
+// reproduce their documented effectiveness and first trigger.
+#include <gtest/gtest.h>
+
+#include "core/eval.h"
+#include "env/environments.h"
+#include "malware/joe.h"
+
+namespace {
+
+using namespace scarecrow;
+
+struct JoeFixtureState {
+  std::unique_ptr<winsys::Machine> machine;
+  malware::ProgramRegistry registry;
+  std::vector<malware::JoeExpectation> expected;
+  std::unique_ptr<core::EvaluationHarness> harness;
+};
+
+JoeFixtureState& sharedState() {
+  static JoeFixtureState* state = [] {
+    auto* s = new JoeFixtureState;
+    s->machine = env::buildBareMetalSandbox();
+    s->expected = malware::registerJoeSamples(s->registry);
+    s->harness = std::make_unique<core::EvaluationHarness>(*s->machine);
+    return s;
+  }();
+  return *state;
+}
+
+class JoeSample : public ::testing::TestWithParam<int> {};
+
+TEST_P(JoeSample, MatchesTableI) {
+  JoeFixtureState& state = sharedState();
+  const malware::JoeExpectation& row =
+      state.expected[static_cast<std::size_t>(GetParam())];
+  const core::EvalOutcome outcome = state.harness->evaluate(
+      row.idPrefix, "C:\\submissions\\" + row.idPrefix + ".exe",
+      state.registry.factory());
+
+  EXPECT_EQ(outcome.verdict.deactivated, row.deactivated) << row.idPrefix;
+  const std::string trigger = outcome.verdict.firstTrigger.empty()
+                                  ? "N/A"
+                                  : outcome.verdict.firstTrigger;
+  EXPECT_EQ(trigger, row.trigger) << row.idPrefix;
+
+  if (row.deactivated) {
+    // Payload must exist without Scarecrow and be judged away with it.
+    EXPECT_FALSE(trace::significantActivities(outcome.traceWithout,
+                                              row.idPrefix + ".exe")
+                     .empty())
+        << row.idPrefix;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableI, JoeSample, ::testing::Range(0, 13),
+    [](const ::testing::TestParamInfo<int>& info) {
+      return sharedState().expected[static_cast<std::size_t>(info.param)]
+          .idPrefix;
+    });
+
+TEST(JoeSet, ThirteenSamplesTwelveDeactivated) {
+  JoeFixtureState& state = sharedState();
+  EXPECT_EQ(state.expected.size(), 13u);
+  std::size_t expectedDeactivated = 0;
+  for (const auto& row : state.expected)
+    if (row.deactivated) ++expectedDeactivated;
+  EXPECT_EQ(expectedDeactivated, 12u);
+}
+
+TEST(JoeSet, BenignFacadeSampleOpensWinform) {
+  JoeFixtureState& state = sharedState();
+  const core::EvalOutcome outcome = state.harness->evaluate(
+      "f504ef6", "C:\\submissions\\f504ef6.exe", state.registry.factory());
+  EXPECT_TRUE(outcome.verdict.deactivated);
+  // The with-Scarecrow run must not create the daemon processes.
+  for (const auto& activity :
+       trace::significantActivities(outcome.traceWith, "f504ef6.exe"))
+    EXPECT_EQ(activity.find("yfoye"), std::string::npos) << activity;
+}
+
+TEST(JoeSet, RansomwareSampleEncryptsOnlyWithoutScarecrow) {
+  JoeFixtureState& state = sharedState();
+  const core::EvalOutcome outcome = state.harness->evaluate(
+      "61f847b", "C:\\submissions\\61f847b.exe", state.registry.factory());
+  bool encryptedWithout = false, encryptedWith = false;
+  for (const auto& e : outcome.traceWithout.events)
+    if (e.kind == trace::EventKind::kFileWrite &&
+        e.target.find(".crypted") != std::string::npos)
+      encryptedWithout = true;
+  for (const auto& e : outcome.traceWith.events)
+    if (e.kind == trace::EventKind::kFileWrite &&
+        e.target.find(".crypted") != std::string::npos)
+      encryptedWith = true;
+  EXPECT_TRUE(encryptedWithout);
+  EXPECT_FALSE(encryptedWith);
+}
+
+}  // namespace

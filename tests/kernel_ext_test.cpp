@@ -1,0 +1,158 @@
+// Tests for the kernel/hypervisor extension (Section VI-A future work,
+// implemented): PEB spoofing, CPUID trapping, device-object fabrication —
+// and the headline consequence: the Table I failure (cbdda64) flips.
+#include <gtest/gtest.h>
+
+#include "core/eval.h"
+#include "core/kernel_ext.h"
+#include "env/environments.h"
+#include "fingerprint/harness.h"
+#include "malware/joe.h"
+#include "malware/techniques.h"
+#include "winapi/api.h"
+
+namespace {
+
+using namespace scarecrow;
+
+core::Config kernelConfig() {
+  core::Config config;
+  config.kernel.enabled = true;
+  return config;
+}
+
+class KernelExtTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    machine_ = env::buildBareMetalSandbox();
+    proc_ = &machine_->processes().create("C:\\s\\m.exe", 0, "m", 4);
+  }
+
+  winapi::Api makeApi(const core::Config& config) {
+    engine_ = std::make_unique<core::DeceptionEngine>(
+        config, core::buildDefaultResourceDb());
+    winapi::Api api(*machine_, userspace_, proc_->pid);
+    engine_->installInto(api);
+    return api;
+  }
+
+  std::unique_ptr<winsys::Machine> machine_;
+  winapi::UserSpace userspace_;
+  winsys::Process* proc_ = nullptr;
+  std::unique_ptr<core::DeceptionEngine> engine_;
+};
+
+TEST_F(KernelExtTest, DisabledByDefault) {
+  winapi::Api api = makeApi({});
+  EXPECT_EQ(api.readPeb().numberOfProcessors, 4u);
+  EXPECT_FALSE(core::KernelExtension::installedOn(*machine_));
+  EXPECT_EQ((api.cpuid(1).ecx & (1u << 31)), 0u);
+}
+
+TEST_F(KernelExtTest, PebSpoofClosesTheMemoryChannel) {
+  winapi::Api api = makeApi(kernelConfig());
+  EXPECT_EQ(api.readPeb().numberOfProcessors, 1u);  // deceptive core count
+  EXPECT_TRUE(malware::probeEnvironment(
+      api, malware::Technique::kPebProcessorCount));
+}
+
+TEST_F(KernelExtTest, CpuidTrapReportsHypervisorWithLatency) {
+  winapi::Api api = makeApi(kernelConfig());
+  EXPECT_NE(api.cpuid(1).ecx & (1u << 31), 0u);
+  // Vendor leaf carries the configured hypervisor string.
+  const winsys::CpuidResult hv = api.cpuid(0x40000000);
+  EXPECT_NE(hv.ebx, 0u);
+  // The timing side channel agrees: rdtsc_diff_vmexit fires.
+  EXPECT_TRUE(
+      malware::probeEnvironment(api, malware::Technique::kRdtscVmExit));
+}
+
+TEST_F(KernelExtTest, CpuidTrapIsPerProcess) {
+  makeApi(kernelConfig());
+  winsys::Process& other =
+      machine_->processes().create("C:\\b\\benign.exe", 0, "", 4);
+  winapi::Api otherApi(*machine_, userspace_, other.pid);
+  EXPECT_EQ(otherApi.cpuid(1).ecx & (1u << 31), 0u);  // benign untouched
+  EXPECT_EQ(otherApi.readPeb().numberOfProcessors, 4u);
+}
+
+TEST_F(KernelExtTest, DeviceObjectsFabricated) {
+  winapi::Api api = makeApi(kernelConfig());
+  EXPECT_TRUE(core::KernelExtension::installedOn(*machine_));
+  EXPECT_EQ(api.NtCreateFile("\\\\.\\pipe\\cuckoo"),
+            winapi::NtStatus::kSuccess);
+  EXPECT_EQ(api.NtCreateFile("\\\\.\\VBoxGuest"),
+            winapi::NtStatus::kSuccess);
+}
+
+TEST_F(KernelExtTest, PropagatesToDescendants) {
+  winapi::Api api = makeApi(kernelConfig());
+  const std::uint32_t child = api.CreateProcessA("C:\\c\\child.exe", "");
+  ASSERT_NE(child, 0u);
+  winapi::Api childApi(*machine_, userspace_, child);
+  EXPECT_EQ(childApi.readPeb().numberOfProcessors, 1u);
+  EXPECT_NE(childApi.cpuid(1).ecx & (1u << 31), 0u);
+}
+
+TEST_F(KernelExtTest, SubfeaturesToggleIndependently) {
+  core::Config config = kernelConfig();
+  config.kernel.spoofPeb = false;
+  config.kernel.fabricateDeviceObjects = false;
+  winapi::Api api = makeApi(config);
+  EXPECT_EQ(api.readPeb().numberOfProcessors, 4u);
+  EXPECT_FALSE(core::KernelExtension::installedOn(*machine_));
+  EXPECT_NE(api.cpuid(1).ecx & (1u << 31), 0u);  // cpuid trap still on
+}
+
+// The headline: the one Table I sample Scarecrow could not deactivate is
+// deactivated once the kernel extension rewrites the PEB.
+TEST(KernelExtEndToEnd, Cbdda64FlipsToDeactivated) {
+  auto machine = env::buildBareMetalSandbox();
+  malware::ProgramRegistry registry;
+  malware::registerJoeSamples(registry);
+  core::EvaluationHarness harness(*machine);
+
+  const core::EvalOutcome vanilla = harness.evaluate(
+      "cbdda64", "C:\\submissions\\cbdda64.exe", registry.factory());
+  EXPECT_FALSE(vanilla.verdict.deactivated);
+
+  const core::EvalOutcome extended =
+      harness.evaluate("cbdda64-kernel", "C:\\submissions\\cbdda64.exe",
+                       registry.factory(), kernelConfig());
+  EXPECT_TRUE(extended.verdict.deactivated);
+  EXPECT_EQ(extended.verdict.reason,
+            trace::DeactivationReason::kSuppressedActivities);
+}
+
+TEST(KernelExtEndToEnd, AllThirteenJoeSamplesDeactivated) {
+  auto machine = env::buildBareMetalSandbox();
+  malware::ProgramRegistry registry;
+  const auto expected = malware::registerJoeSamples(registry);
+  core::EvaluationHarness harness(*machine);
+  std::size_t deactivated = 0;
+  for (const auto& row : expected) {
+    const core::EvalOutcome outcome = harness.evaluate(
+        row.idPrefix, "C:\\submissions\\" + row.idPrefix + ".exe",
+        registry.factory(), kernelConfig());
+    if (outcome.verdict.deactivated) ++deactivated;
+  }
+  EXPECT_EQ(deactivated, 13u);  // 12/13 without the extension
+}
+
+TEST(KernelExtEndToEnd, PafishCpuCategoryBecomesCovered) {
+  auto machine = env::buildBareMetalSandbox();
+  fingerprint::FingerprintRunOptions options;
+  options.withScarecrow = true;
+  options.config = kernelConfig();
+  const fingerprint::PafishReport report =
+      fingerprint::runPafishOn(*machine, options);
+  // With the hypervisor trap, the CPU rows Table II left at 0 now fire.
+  EXPECT_TRUE(report.triggered("cpuid_hv_bit"));
+  EXPECT_TRUE(report.triggered("cpu_known_vm_vendors"));
+  EXPECT_TRUE(report.triggered("rdtsc_diff_vmexit"));
+  // And the Cuckoo pipe checks flip too.
+  EXPECT_TRUE(report.triggered("cuckoo_pipe"));
+  EXPECT_TRUE(report.triggered("vbox_device_guest"));
+}
+
+}  // namespace

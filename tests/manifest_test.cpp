@@ -1,0 +1,160 @@
+// Deployment-manifest round-trip and strictness tests, plus a
+// wildcard-matcher property sweep against a reference implementation.
+#include <gtest/gtest.h>
+
+#include "core/consistency.h"
+#include "core/manifest.h"
+#include "env/environments.h"
+#include "support/rng.h"
+#include "support/strings.h"
+
+namespace {
+
+using namespace scarecrow;
+
+TEST(Manifest, RoundTripPreservesConfig) {
+  core::Config config;
+  config.conflictAwareProfiles = true;
+  config.kernel.enabled = true;
+  config.hardware.cpuCores = 2;
+  config.hardware.diskTotalBytes = 80ULL << 30;
+  config.identity.userName = "malwarelab";
+  config.identity.sleepPercent = 25;
+  config.sinkholeIp = "192.0.2.7";
+
+  const std::string text =
+      core::exportManifest(config, core::buildDefaultResourceDb());
+  const auto parsed = core::importManifest(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->config.conflictAwareProfiles);
+  EXPECT_TRUE(parsed->config.kernel.enabled);
+  EXPECT_EQ(parsed->config.hardware.cpuCores, 2u);
+  EXPECT_EQ(parsed->config.hardware.diskTotalBytes, 80ULL << 30);
+  EXPECT_EQ(parsed->config.identity.userName, "malwarelab");
+  EXPECT_EQ(parsed->config.identity.sleepPercent, 25u);
+  EXPECT_EQ(parsed->config.sinkholeIp, "192.0.2.7");
+}
+
+TEST(Manifest, RoundTripPreservesDatabase) {
+  const core::ResourceDb original = core::buildDefaultResourceDb();
+  const auto parsed =
+      core::importManifest(core::exportManifest(core::Config{}, original));
+  ASSERT_TRUE(parsed.has_value());
+  const core::ResourceDb& db = parsed->db;
+  EXPECT_EQ(db.fileCount(), original.fileCount());
+  EXPECT_EQ(db.registryKeyCount(), original.registryKeyCount());
+  EXPECT_EQ(db.processCount(), original.processCount());
+  EXPECT_EQ(db.dllCount(), original.dllCount());
+  EXPECT_EQ(db.windowCount(), original.windowCount());
+  // Spot semantic checks, including profile tags and value payloads.
+  EXPECT_EQ(*db.matchFile("C:\\Windows\\System32\\drivers\\vmmouse.sys"),
+            core::Profile::kVMware);
+  const auto bios = db.matchRegistryValue("HARDWARE\\Description\\System",
+                                          "SystemBiosVersion");
+  ASSERT_TRUE(bios.has_value());
+  EXPECT_NE(bios->value.str.find("VBOX"), std::string::npos);
+  EXPECT_TRUE(db.matchWindow("OLLYDBG", ""));
+  EXPECT_TRUE(db.matchWindow("", "OllyDbg"));
+}
+
+TEST(Manifest, ImportedDatabaseDrivesACoherentEngine) {
+  const auto parsed = core::importManifest(
+      core::exportManifest(core::Config{}, core::buildDefaultResourceDb()));
+  ASSERT_TRUE(parsed.has_value());
+  auto machine = env::buildBareMetalSandbox();
+  winapi::UserSpace userspace;
+  winsys::Process& proc =
+      machine->processes().create("C:\\a\\a.exe", 0, "", 4);
+  core::DeceptionEngine engine(parsed->config, core::ResourceDb(parsed->db));
+  winapi::Api api(*machine, userspace, proc.pid);
+  engine.installInto(api);
+  const core::ConsistencyReport report =
+      core::auditDeceptionConsistency(api, engine.resources());
+  EXPECT_TRUE(report.consistent())
+      << (report.findings.empty()
+              ? ""
+              : report.findings[0].resource + ": " +
+                    report.findings[0].detail);
+}
+
+TEST(Manifest, DoubleRoundTripIsAFixedPoint) {
+  const std::string once =
+      core::exportManifest(core::Config{}, core::buildDefaultResourceDb());
+  const auto parsed = core::importManifest(once);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(core::exportManifest(parsed->config, parsed->db), once);
+}
+
+struct BadManifest {
+  const char* label;
+  const char* text;
+};
+
+class ManifestRejects : public ::testing::TestWithParam<BadManifest> {};
+
+TEST_P(ManifestRejects, StrictParsing) {
+  EXPECT_FALSE(core::importManifest(GetParam().text).has_value())
+      << GetParam().label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, ManifestRejects,
+    ::testing::Values(
+        BadManifest{"empty", ""},
+        BadManifest{"wrong_header", "other-manifest v1\n"},
+        BadManifest{"unknown_section",
+                    "scarecrow-manifest v1\nrootkit vmware C:\\x\n"},
+        BadManifest{"unknown_config_key",
+                    "scarecrow-manifest v1\nconfig bogus=1\n"},
+        BadManifest{"bad_bool",
+                    "scarecrow-manifest v1\nconfig software=yes\n"},
+        BadManifest{"bad_profile",
+                    "scarecrow-manifest v1\nfile notaprofile C:\\x\n"},
+        BadManifest{"regval_missing_value",
+                    "scarecrow-manifest v1\nregval vmware K!v = \n"},
+        BadManifest{"regval_bad_number",
+                    "scarecrow-manifest v1\nregval vmware K!v = dword:x\n"},
+        BadManifest{"window_missing_pipe",
+                    "scarecrow-manifest v1\nwindow debugger OLLYDBG\n"}),
+    [](const ::testing::TestParamInfo<BadManifest>& info) {
+      return info.param.label;
+    });
+
+// ===== wildcard property sweep ==============================================
+
+// Trivially-correct recursive reference matcher.
+bool referenceMatch(std::string_view pattern, std::string_view text) {
+  if (pattern.empty()) return text.empty();
+  if (pattern[0] == '*')
+    return referenceMatch(pattern.substr(1), text) ||
+           (!text.empty() && referenceMatch(pattern, text.substr(1)));
+  if (text.empty()) return false;
+  if (pattern[0] != '?' &&
+      support::asciiLower(pattern[0]) != support::asciiLower(text[0]))
+    return false;
+  return referenceMatch(pattern.substr(1), text.substr(1));
+}
+
+class WildcardProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WildcardProperty, AgreesWithReferenceMatcher) {
+  support::Rng rng(GetParam());
+  static const char kAlphabet[] = "ab.*?";
+  for (int round = 0; round < 4'000; ++round) {
+    std::string pattern, text;
+    const std::size_t patternLength = rng.below(8);
+    for (std::size_t i = 0; i < patternLength; ++i)
+      pattern.push_back(kAlphabet[rng.below(5)]);
+    const std::size_t textLength = rng.below(10);
+    for (std::size_t i = 0; i < textLength; ++i)
+      text.push_back(kAlphabet[rng.below(3)]);  // letters and '.' only
+    ASSERT_EQ(support::wildcardMatch(pattern, text),
+              referenceMatch(pattern, text))
+        << "pattern '" << pattern << "' text '" << text << "'";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WildcardProperty,
+                         ::testing::Values(12, 34, 56, 78));
+
+}  // namespace

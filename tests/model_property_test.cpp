@@ -1,0 +1,269 @@
+// Model-based property tests: the simulated registry and filesystem are
+// driven with thousands of random operations and compared, step by step,
+// against trivially-correct reference models. Any divergence in lookup,
+// counting or deletion semantics fails with the offending seed.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "support/rng.h"
+#include "support/strings.h"
+#include "winsys/registry.h"
+#include "winsys/vfs.h"
+
+namespace {
+
+using namespace scarecrow;
+using support::Rng;
+using support::toLower;
+
+// ===== registry vs reference model =========================================
+
+class RegistryModel {
+ public:
+  void ensureKey(const std::string& path) {
+    // Create the key and all ancestors.
+    std::string current;
+    for (const auto& part : support::split(path, '\\')) {
+      current = current.empty() ? part : current + "\\" + part;
+      keys_.insert(toLower(current));
+    }
+  }
+
+  void setValue(const std::string& path, const std::string& name,
+                std::uint32_t v) {
+    ensureKey(path);
+    values_[toLower(path)][toLower(name)] = v;
+  }
+
+  void deleteKey(const std::string& path) {
+    const std::string key = toLower(path);
+    for (auto it = keys_.begin(); it != keys_.end();) {
+      if (*it == key || it->rfind(key + "\\", 0) == 0) {
+        values_.erase(*it);
+        it = keys_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  bool keyExists(const std::string& path) const {
+    return keys_.count(toLower(path)) != 0;
+  }
+
+  std::optional<std::uint32_t> findValue(const std::string& path,
+                                         const std::string& name) const {
+    auto key = values_.find(toLower(path));
+    if (key == values_.end()) return std::nullopt;
+    auto value = key->second.find(toLower(name));
+    if (value == key->second.end()) return std::nullopt;
+    return value->second;
+  }
+
+  std::size_t subkeyCount(const std::string& path) const {
+    const std::string prefix = toLower(path) + "\\";
+    std::set<std::string> children;
+    for (const auto& key : keys_) {
+      if (key.rfind(prefix, 0) != 0) continue;
+      const std::string rest = key.substr(prefix.size());
+      children.insert(rest.substr(0, rest.find('\\')));
+    }
+    return children.size();
+  }
+
+  std::size_t valueCount(const std::string& path) const {
+    auto key = values_.find(toLower(path));
+    return key == values_.end() ? 0 : key->second.size();
+  }
+
+ private:
+  std::set<std::string> keys_;
+  std::map<std::string, std::map<std::string, std::uint32_t>> values_;
+};
+
+std::string randomPath(Rng& rng) {
+  // Small pools force collisions, overwrites and subtree deletions.
+  static const char* kRoots[] = {"SOFTWARE\\A", "SOFTWARE\\B", "SYSTEM\\C"};
+  static const char* kMids[] = {"x", "y", "z"};
+  static const char* kLeaves[] = {"k1", "k2", "K1", "deep\\leaf"};
+  std::string path = kRoots[rng.below(3)];
+  if (rng.chance(0.7)) path += std::string("\\") + kMids[rng.below(3)];
+  if (rng.chance(0.7)) path += std::string("\\") + kLeaves[rng.below(4)];
+  return path;
+}
+
+class RegistryProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RegistryProperty, AgreesWithReferenceModel) {
+  Rng rng(GetParam());
+  winsys::Registry registry;
+  RegistryModel model;
+
+  for (int step = 0; step < 2'000; ++step) {
+    const std::string path = randomPath(rng);
+    switch (rng.below(4)) {
+      case 0:
+        registry.ensureKey(path);
+        model.ensureKey(path);
+        break;
+      case 1: {
+        const std::string name = "v" + std::to_string(rng.below(3));
+        const auto v = static_cast<std::uint32_t>(rng.below(100));
+        registry.setValue(path, name, winsys::RegValue::dword(v));
+        model.setValue(path, name, v);
+        break;
+      }
+      case 2:
+        registry.deleteKey(path);
+        model.deleteKey(path);
+        break;
+      case 3: {  // probe
+        ASSERT_EQ(registry.keyExists(path), model.keyExists(path))
+            << "step " << step << " path " << path;
+        const std::string name = "v" + std::to_string(rng.below(3));
+        const winsys::RegValue* actual = registry.findValue(path, name);
+        const auto expected = model.findValue(path, name);
+        ASSERT_EQ(actual != nullptr, expected.has_value())
+            << "step " << step << " " << path << "!" << name;
+        if (actual != nullptr) {
+          ASSERT_EQ(actual->num, *expected);
+        }
+        break;
+      }
+    }
+    if (step % 100 == 0) {
+      const std::string probe = randomPath(rng);
+      ASSERT_EQ(registry.subkeyCount(probe), model.subkeyCount(probe))
+          << "subkeys of " << probe << " at step " << step;
+      ASSERT_EQ(registry.valueCount(probe), model.valueCount(probe))
+          << "values of " << probe << " at step " << step;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegistryProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ===== vfs vs reference model ===============================================
+
+class VfsModel {
+ public:
+  void createFile(const std::string& path, std::uint64_t size) {
+    // Parents become directories.
+    const std::string norm = toLower(support::normalizePath(path));
+    std::string parent = toLower(support::parentPath(norm));
+    while (parent.size() > 3 && !nodes_.count(parent)) {
+      nodes_[parent] = ~0ULL;  // directory marker
+      parent = toLower(support::parentPath(parent));
+    }
+    if (parent.size() > 3) nodes_[parent] = ~0ULL;
+    nodes_[norm] = size;
+  }
+
+  void makeDirs(const std::string& path) {
+    const std::string norm = toLower(support::normalizePath(path));
+    std::string current = norm;
+    while (current.size() > 3) {
+      nodes_[current] = ~0ULL;
+      current = toLower(support::parentPath(current));
+    }
+  }
+
+  void remove(const std::string& path) {
+    const std::string norm = toLower(support::normalizePath(path));
+    auto it = nodes_.find(norm);
+    if (it == nodes_.end()) return;
+    const bool directory = it->second == ~0ULL;
+    nodes_.erase(it);
+    if (!directory) return;
+    const std::string prefix = norm + "\\";
+    for (auto cur = nodes_.begin(); cur != nodes_.end();) {
+      if (cur->first.rfind(prefix, 0) == 0)
+        cur = nodes_.erase(cur);
+      else
+        ++cur;
+    }
+  }
+
+  bool exists(const std::string& path) const {
+    return nodes_.count(toLower(support::normalizePath(path))) != 0;
+  }
+
+  std::size_t childCount(const std::string& dir) const {
+    const std::string prefix = toLower(support::normalizePath(dir)) + "\\";
+    std::size_t n = 0;
+    for (const auto& [path, size] : nodes_) {
+      if (path.rfind(prefix, 0) != 0) continue;
+      if (path.find('\\', prefix.size()) == std::string::npos) ++n;
+    }
+    return n;
+  }
+
+  std::size_t size() const { return nodes_.size(); }
+
+ private:
+  std::map<std::string, std::uint64_t> nodes_;  // ~0 == directory
+};
+
+std::string randomFilePath(Rng& rng) {
+  static const char* kDirs[] = {"C:\\d1", "C:\\d2", "C:\\d1\\sub"};
+  static const char* kNames[] = {"a.txt", "B.TXT", "c.bin", "d.exe"};
+  return std::string(kDirs[rng.below(3)]) + "\\" + kNames[rng.below(4)];
+}
+
+class VfsProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VfsProperty, AgreesWithReferenceModel) {
+  Rng rng(GetParam());
+  winsys::Vfs vfs;
+  vfs.addDrive({.letter = 'C'});
+  VfsModel model;
+
+  for (int step = 0; step < 2'000; ++step) {
+    switch (rng.below(4)) {
+      case 0: {
+        const std::string path = randomFilePath(rng);
+        const std::uint64_t size = rng.below(1'000);
+        vfs.createFile(path, size);
+        model.createFile(path, size);
+        break;
+      }
+      case 1: {
+        static const char* kDirs[] = {"C:\\d1\\sub\\deep", "C:\\d3",
+                                      "C:\\d2\\s2"};
+        const char* dir = kDirs[rng.below(3)];
+        vfs.makeDirs(dir);
+        model.makeDirs(dir);
+        break;
+      }
+      case 2: {
+        const std::string path =
+            rng.chance(0.5) ? randomFilePath(rng)
+                            : std::string(rng.chance(0.5) ? "C:\\d1"
+                                                          : "C:\\d2");
+        vfs.remove(path);
+        model.remove(path);
+        break;
+      }
+      case 3: {
+        const std::string path = randomFilePath(rng);
+        ASSERT_EQ(vfs.exists(path), model.exists(path))
+            << "step " << step << " " << path;
+        static const char* kProbeDirs[] = {"C:\\d1", "C:\\d2",
+                                           "C:\\d1\\sub"};
+        const char* dir = kProbeDirs[rng.below(3)];
+        ASSERT_EQ(vfs.list(dir, "*").size(), model.childCount(dir))
+            << "children of " << dir << " at step " << step;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(vfs.nodeCount(), model.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VfsProperty,
+                         ::testing::Values(2, 4, 6, 10, 16, 26, 42, 68));
+
+}  // namespace

@@ -1,0 +1,161 @@
+// Pafish reimplementation tests: check inventory (Table II category
+// sizes), per-environment trigger counts, and individual check semantics.
+#include <gtest/gtest.h>
+
+#include "env/environments.h"
+#include "fingerprint/harness.h"
+#include "fingerprint/pafish.h"
+
+namespace {
+
+using namespace scarecrow;
+using fingerprint::PafishCategory;
+using fingerprint::PafishReport;
+
+TEST(PafishInventory, CategorySizesSumAsInTableII) {
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < fingerprint::kPafishCategoryCount; ++c)
+    total += fingerprint::pafishCategorySize(static_cast<PafishCategory>(c));
+  // The paper's Table II category sizes sum to 56 (its prose says 54; we
+  // follow the table).
+  EXPECT_EQ(total, 56u);
+  EXPECT_EQ(fingerprint::pafishCategorySize(PafishCategory::kVirtualBox),
+            17u);
+  EXPECT_EQ(fingerprint::pafishCategorySize(PafishCategory::kGenericSandbox),
+            12u);
+}
+
+TEST(PafishInventory, ReportContainsEveryCheckOnce) {
+  auto machine = env::buildBareMetalSandbox();
+  const PafishReport report =
+      fingerprint::runPafishOn(*machine, {});
+  EXPECT_EQ(report.checks.size(), 56u);
+  std::set<std::string> names;
+  for (const auto& check : report.checks) names.insert(check.name);
+  EXPECT_EQ(names.size(), 56u);
+  // Per-category check counts match the declared sizes.
+  for (std::size_t c = 0; c < fingerprint::kPafishCategoryCount; ++c) {
+    const auto category = static_cast<PafishCategory>(c);
+    std::size_t inCategory = 0;
+    for (const auto& check : report.checks)
+      if (check.category == category) ++inCategory;
+    EXPECT_EQ(inCategory, fingerprint::pafishCategorySize(category))
+        << fingerprint::pafishCategoryName(category);
+  }
+}
+
+struct EnvExpectation {
+  const char* label;
+  int env;  // 0 = bare metal, 1 = VM (plain), 2 = VM hardened, 3 = EU idle,
+            // 4 = EU active
+  bool withScarecrow;
+  bool cuckooMonitor;
+  // Expected triggers per category, Table II order.
+  std::array<std::size_t, 11> expected;
+};
+
+std::unique_ptr<winsys::Machine> buildEnv(int env) {
+  switch (env) {
+    case 0: return env::buildBareMetalSandbox();
+    case 1: return env::buildVBoxCuckooSandbox({.hardened = false});
+    case 2: return env::buildVBoxCuckooSandbox({.hardened = true});
+    case 3: return env::buildEndUserMachine({.userPresent = false});
+    default: return env::buildEndUserMachine({.userPresent = true});
+  }
+}
+
+class PafishTableII : public ::testing::TestWithParam<EnvExpectation> {};
+
+TEST_P(PafishTableII, CategoryCounts) {
+  const EnvExpectation& expectation = GetParam();
+  auto machine = buildEnv(expectation.env);
+  fingerprint::FingerprintRunOptions options;
+  options.withScarecrow = expectation.withScarecrow;
+  options.injectCuckooMonitor = expectation.cuckooMonitor;
+  const PafishReport report = fingerprint::runPafishOn(*machine, options);
+  for (std::size_t c = 0; c < fingerprint::kPafishCategoryCount; ++c) {
+    EXPECT_EQ(report.triggeredIn(static_cast<PafishCategory>(c)),
+              expectation.expected[c])
+        << expectation.label << " / "
+        << fingerprint::pafishCategoryName(static_cast<PafishCategory>(c));
+  }
+}
+
+// Rows transcribed from the paper's Table II. Category order: Debuggers,
+// CPU, Generic, Hook, Sandboxie, Wine, VirtualBox, VMware, Qemu, Bochs,
+// Cuckoo.
+INSTANTIATE_TEST_SUITE_P(
+    TableII, PafishTableII,
+    ::testing::Values(
+        EnvExpectation{"bm_without", 0, false, false,
+                       {0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0}},
+        EnvExpectation{"bm_with", 0, true, false,
+                       {1, 0, 10, 2, 1, 2, 14, 4, 1, 1, 0}},
+        EnvExpectation{"vm_without", 1, false, true,
+                       {0, 3, 3, 1, 0, 0, 16, 0, 0, 0, 0}},
+        EnvExpectation{"vm_with_hardened", 2, true, true,
+                       {1, 0, 9, 2, 1, 2, 14, 4, 1, 1, 0}},
+        EnvExpectation{"eu_without_idle", 3, false, false,
+                       {0, 1, 1, 0, 0, 0, 0, 1, 0, 0, 0}},
+        EnvExpectation{"eu_with_active", 4, true, false,
+                       {1, 1, 9, 2, 1, 2, 14, 4, 1, 1, 0}}),
+    [](const ::testing::TestParamInfo<EnvExpectation>& info) {
+      return info.param.label;
+    });
+
+TEST(PafishChecks, SpecificTriggersOnVm) {
+  auto machine = env::buildVBoxCuckooSandbox({});
+  fingerprint::FingerprintRunOptions options;
+  options.injectCuckooMonitor = true;
+  const PafishReport report = fingerprint::runPafishOn(*machine, options);
+  EXPECT_TRUE(report.triggered("cpuid_hv_bit"));
+  EXPECT_TRUE(report.triggered("cpu_known_vm_vendors"));
+  EXPECT_TRUE(report.triggered("rdtsc_diff_vmexit"));
+  EXPECT_FALSE(report.triggered("rdtsc_diff"));
+  EXPECT_TRUE(report.triggered("hooks_shellexecuteexw_m1"));
+  EXPECT_FALSE(report.triggered("hooks_deletefile_m1"));
+  EXPECT_TRUE(report.triggered("vbox_mac"));
+  EXPECT_FALSE(report.triggered("vbox_window_tray"));  // headless guest
+  EXPECT_TRUE(report.triggered("vbox_acpi"));
+}
+
+TEST(PafishChecks, ScarecrowMissesAreTheDocumentedOnes) {
+  auto machine = env::buildBareMetalSandbox();
+  fingerprint::FingerprintRunOptions options;
+  options.withScarecrow = true;
+  const PafishReport report = fingerprint::runPafishOn(*machine, options);
+  // Unsupported API on Windows 7.
+  EXPECT_FALSE(report.triggered("gensandbox_IsNativeVhdBoot"));
+  // Timing channels Scarecrow does not handle.
+  EXPECT_FALSE(report.triggered("gensandbox_time_accel"));
+  EXPECT_FALSE(report.triggered("rdtsc_diff_vmexit"));
+  // Kernel-object / firmware / NDIS artifacts.
+  EXPECT_FALSE(report.triggered("vbox_mac"));
+  EXPECT_FALSE(report.triggered("vbox_device_guest"));
+  EXPECT_FALSE(report.triggered("vbox_acpi"));
+  EXPECT_FALSE(report.triggered("cuckoo_pipe"));
+  // And the deliberately detectable deceptions.
+  EXPECT_TRUE(report.triggered("isdebuggerpresent"));
+  EXPECT_TRUE(report.triggered("gensandbox_sleep_patched"));
+  EXPECT_TRUE(report.triggered("hooks_deletefile_m1"));
+  EXPECT_TRUE(report.triggered("sandboxie_sbiedll"));
+  EXPECT_TRUE(report.triggered("gensandbox_username"));
+}
+
+TEST(PafishChecks, IndistinguishabilityWithScarecrow) {
+  // With Scarecrow the three environments differ only in CPU-timing and
+  // mouse-activity rows (the unhandled channels).
+  fingerprint::FingerprintRunOptions on;
+  on.withScarecrow = true;
+  auto bm = env::buildBareMetalSandbox();
+  auto eu = env::buildEndUserMachine();
+  const PafishReport bmReport = fingerprint::runPafishOn(*bm, on);
+  const PafishReport euReport = fingerprint::runPafishOn(*eu, on);
+  std::size_t differing = 0;
+  for (std::size_t i = 0; i < bmReport.checks.size(); ++i)
+    if (bmReport.checks[i].triggered != euReport.checks[i].triggered)
+      ++differing;
+  EXPECT_LE(differing, 2u);
+}
+
+}  // namespace

@@ -1,0 +1,115 @@
+// Tests for coherent deception profiles (Section VI-B "multiple profiles"):
+// internal vendor consistency, per-profile deactivation power, and the
+// contrast with the kitchen-sink default database.
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/profiles.h"
+#include "env/environments.h"
+#include "malware/techniques.h"
+#include "winapi/api.h"
+
+namespace {
+
+using namespace scarecrow;
+using core::SandboxProfile;
+
+class ProfileConsistency
+    : public ::testing::TestWithParam<SandboxProfile> {};
+
+TEST_P(ProfileConsistency, EachProfileIsVendorConsistent) {
+  EXPECT_TRUE(core::vendorConsistent(core::buildProfileDb(GetParam())))
+      << core::sandboxProfileName(GetParam());
+}
+
+TEST_P(ProfileConsistency, CommonToolingAlwaysPresent) {
+  const core::ResourceDb db = core::buildProfileDb(GetParam());
+  EXPECT_TRUE(db.matchDll("SbieDll.dll"));
+  EXPECT_TRUE(db.matchProcess("ollydbg.exe"));
+  EXPECT_TRUE(db.matchWindow("OLLYDBG", ""));
+  EXPECT_TRUE(db.matchFile("C:\\sandbox"));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProfiles, ProfileConsistency,
+    ::testing::ValuesIn(core::kAllSandboxProfiles),
+    [](const ::testing::TestParamInfo<SandboxProfile>& info) {
+      std::string name = core::sandboxProfileName(info.param);
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+TEST(ProfileConsistency, DefaultDbIsDeliberatelyInconsistent) {
+  // The kitchen-sink database bestows several vendors at once — maximal
+  // coverage, detectable by cross-vendor checks (the Section VI-B issue).
+  EXPECT_FALSE(core::vendorConsistent(core::buildDefaultResourceDb()));
+}
+
+TEST(ProfileContents, VendorSpecificArtifacts) {
+  const auto cuckoo =
+      core::buildProfileDb(SandboxProfile::kCuckooVirtualBox);
+  EXPECT_TRUE(cuckoo.matchRegistryKey(
+      "SOFTWARE\\Oracle\\VirtualBox Guest Additions"));
+  EXPECT_FALSE(cuckoo.matchRegistryKey("SOFTWARE\\VMware, Inc.\\VMware Tools"));
+
+  const auto vmware = core::buildProfileDb(SandboxProfile::kVMwareAnalyst);
+  EXPECT_TRUE(vmware.matchRegistryKey("SOFTWARE\\VMware, Inc.\\VMware Tools"));
+  EXPECT_FALSE(vmware.matchFile(
+      "C:\\Windows\\System32\\drivers\\VBoxMouse.sys"));
+
+  const auto bareMetal =
+      core::buildProfileDb(SandboxProfile::kBareMetalForensic);
+  EXPECT_FALSE(bareMetal.matchRegistryKey(
+      "SOFTWARE\\Oracle\\VirtualBox Guest Additions"));
+  EXPECT_TRUE(bareMetal.matchProcess("fibratus.exe"));
+}
+
+class ProfileDeactivation
+    : public ::testing::TestWithParam<SandboxProfile> {};
+
+TEST_P(ProfileDeactivation, StillDeceivesCommonTechniques) {
+  auto machine = env::buildBareMetalSandbox();
+  winapi::UserSpace userspace;
+  winsys::Process& proc =
+      machine->processes().create("C:\\s\\m.exe", 0, "", 4);
+  core::DeceptionEngine engine(core::Config{},
+                               core::buildProfileDb(GetParam()));
+  winapi::Api api(*machine, userspace, proc.pid);
+  engine.installInto(api);
+
+  // Techniques served by the shared tooling + hardware/debugger deception
+  // fire under every coherent profile.
+  for (const malware::Technique technique :
+       {malware::Technique::kIsDebuggerPresent,
+        malware::Technique::kSandboxModule,
+        malware::Technique::kDebuggerWindow,
+        malware::Technique::kSandboxFolder, malware::Technique::kLowMemory,
+        malware::Technique::kInlineHookScan})
+    EXPECT_TRUE(malware::probeEnvironment(api, technique))
+        << malware::techniqueName(technique) << " under "
+        << core::sandboxProfileName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProfiles, ProfileDeactivation,
+                         ::testing::ValuesIn(core::kAllSandboxProfiles));
+
+TEST(ProfileDeactivation, VendorCoverageDiffersByProfile) {
+  auto machine = env::buildBareMetalSandbox();
+  winapi::UserSpace userspace;
+  winsys::Process& proc =
+      machine->processes().create("C:\\s\\m.exe", 0, "", 4);
+  core::DeceptionEngine engine(
+      core::Config{},
+      core::buildProfileDb(SandboxProfile::kCuckooVirtualBox));
+  winapi::Api api(*machine, userspace, proc.pid);
+  engine.installInto(api);
+  // VBox checks fire; VMware-specific ones fall through to the (clean)
+  // machine.
+  EXPECT_TRUE(malware::probeEnvironment(
+      api, malware::Technique::kVBoxGuestAdditionsKey));
+  EXPECT_FALSE(malware::probeEnvironment(
+      api, malware::Technique::kVMwareToolsRegistry));
+}
+
+}  // namespace

@@ -1,0 +1,168 @@
+// Unit tests for the simulated registry: hive resolution, case-insensitive
+// paths, typed values, enumeration order, deep copies, size accounting.
+#include <gtest/gtest.h>
+
+#include "winsys/registry.h"
+
+namespace {
+
+using namespace scarecrow::winsys;
+
+TEST(Registry, EnsureAndFind) {
+  Registry reg;
+  reg.ensureKey("SOFTWARE\\VMware, Inc.\\VMware Tools");
+  EXPECT_TRUE(reg.keyExists("software\\vmware, inc.\\vmware tools"));
+  EXPECT_TRUE(reg.keyExists("SOFTWARE\\VMware, Inc."));  // intermediate
+  EXPECT_FALSE(reg.keyExists("SOFTWARE\\VMware, Inc.\\Other"));
+}
+
+struct HivePrefixCase {
+  const char* path;
+};
+
+class HivePrefixes : public ::testing::TestWithParam<HivePrefixCase> {};
+
+TEST_P(HivePrefixes, AllSpellingsResolve) {
+  Registry reg;
+  reg.ensureKey(GetParam().path);
+  EXPECT_TRUE(reg.keyExists(GetParam().path));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Spellings, HivePrefixes,
+    ::testing::Values(HivePrefixCase{"HKEY_LOCAL_MACHINE\\SOFTWARE\\A"},
+                      HivePrefixCase{"HKLM\\SOFTWARE\\B"},
+                      HivePrefixCase{"HKEY_CURRENT_USER\\Software\\C"},
+                      HivePrefixCase{"HKCU\\Software\\D"},
+                      HivePrefixCase{"HKEY_USERS\\S-1-5-21\\E"},
+                      HivePrefixCase{"HKEY_CLASSES_ROOT\\.txt"},
+                      HivePrefixCase{"SOFTWARE\\NoHivePrefix"}));
+
+TEST(Registry, HklmIsDefaultHive) {
+  Registry reg;
+  reg.ensureKey("SOFTWARE\\Test");
+  EXPECT_TRUE(reg.keyExists("HKEY_LOCAL_MACHINE\\SOFTWARE\\Test"));
+  EXPECT_TRUE(reg.keyExists("HKLM\\SOFTWARE\\Test"));
+}
+
+TEST(Registry, HivesAreSeparate) {
+  Registry reg;
+  reg.ensureKey("HKCU\\Software\\OnlyUser");
+  EXPECT_FALSE(reg.keyExists("HKLM\\Software\\OnlyUser"));
+}
+
+TEST(Registry, TypedValues) {
+  Registry reg;
+  reg.setValue("SOFTWARE\\T", "s", RegValue::sz("hello"));
+  reg.setValue("SOFTWARE\\T", "d", RegValue::dword(7));
+  reg.setValue("SOFTWARE\\T", "q", RegValue::qword(1ULL << 40));
+  reg.setValue("SOFTWARE\\T", "b", RegValue::binary(128));
+
+  EXPECT_EQ(reg.findValue("SOFTWARE\\T", "s")->str, "hello");
+  EXPECT_EQ(reg.findValue("SOFTWARE\\T", "D")->num, 7u);  // case-insensitive
+  EXPECT_EQ(reg.findValue("SOFTWARE\\T", "q")->num, 1ULL << 40);
+  EXPECT_EQ(reg.findValue("SOFTWARE\\T", "b")->binarySize, 128u);
+  EXPECT_EQ(reg.findValue("SOFTWARE\\T", "missing"), nullptr);
+}
+
+TEST(Registry, ValueOverwriteKeepsSingleEntry) {
+  Registry reg;
+  reg.setValue("SOFTWARE\\T", "v", RegValue::dword(1));
+  reg.setValue("SOFTWARE\\T", "V", RegValue::dword(2));
+  EXPECT_EQ(reg.valueCount("SOFTWARE\\T"), 1u);
+  EXPECT_EQ(reg.findValue("SOFTWARE\\T", "v")->num, 2u);
+}
+
+TEST(Registry, EnumerationInInsertionOrder) {
+  Registry reg;
+  RegKey& key = reg.ensureKey("SOFTWARE\\Order");
+  key.ensureChild("Zeta");
+  key.ensureChild("Alpha");
+  key.ensureChild("Mid");
+  ASSERT_EQ(key.subkeyNames().size(), 3u);
+  EXPECT_EQ(key.subkeyNames()[0], "Zeta");
+  EXPECT_EQ(key.subkeyNames()[1], "Alpha");
+  EXPECT_EQ(key.subkeyNames()[2], "Mid");
+}
+
+TEST(Registry, DeleteKeyRemovesSubtree) {
+  Registry reg;
+  reg.ensureKey("SOFTWARE\\Del\\Child\\GrandChild");
+  EXPECT_TRUE(reg.deleteKey("SOFTWARE\\Del"));
+  EXPECT_FALSE(reg.keyExists("SOFTWARE\\Del"));
+  EXPECT_FALSE(reg.keyExists("SOFTWARE\\Del\\Child"));
+  EXPECT_FALSE(reg.deleteKey("SOFTWARE\\Del"));
+}
+
+TEST(Registry, DeleteValue) {
+  Registry reg;
+  reg.setValue("SOFTWARE\\T", "v", RegValue::dword(1));
+  EXPECT_TRUE(reg.deleteValue("SOFTWARE\\T", "V"));
+  EXPECT_EQ(reg.findValue("SOFTWARE\\T", "v"), nullptr);
+  EXPECT_FALSE(reg.deleteValue("SOFTWARE\\T", "v"));
+}
+
+TEST(Registry, Counts) {
+  Registry reg;
+  RegKey& key = reg.ensureKey("SOFTWARE\\Counts");
+  key.ensureChild("a");
+  key.ensureChild("b");
+  key.setValue("v1", RegValue::dword(1));
+  EXPECT_EQ(reg.subkeyCount("SOFTWARE\\Counts"), 2u);
+  EXPECT_EQ(reg.valueCount("SOFTWARE\\Counts"), 1u);
+  EXPECT_EQ(reg.subkeyCount("SOFTWARE\\Nothing"), 0u);
+}
+
+TEST(Registry, DeepCopyIsIndependent) {
+  Registry reg;
+  reg.setValue("SOFTWARE\\Orig", "v", RegValue::sz("x"));
+  Registry copy(reg);
+  copy.setValue("SOFTWARE\\Orig", "v", RegValue::sz("mutated"));
+  copy.ensureKey("SOFTWARE\\NewInCopy");
+  EXPECT_EQ(reg.findValue("SOFTWARE\\Orig", "v")->str, "x");
+  EXPECT_FALSE(reg.keyExists("SOFTWARE\\NewInCopy"));
+}
+
+TEST(Registry, AssignmentCopies) {
+  Registry reg;
+  reg.setValue("SOFTWARE\\A", "v", RegValue::dword(5));
+  Registry other;
+  other = reg;
+  EXPECT_EQ(other.findValue("SOFTWARE\\A", "v")->num, 5u);
+}
+
+TEST(Registry, SubtreeBytesGrowWithContent) {
+  Registry reg;
+  const std::uint64_t empty = reg.totalBytes();
+  for (int i = 0; i < 50; ++i)
+    reg.setValue("SOFTWARE\\Big", "v" + std::to_string(i),
+                 RegValue::sz(std::string(100, 'x')));
+  EXPECT_GT(reg.totalBytes(), empty + 50 * 100);
+}
+
+TEST(Registry, OpaqueBytesCountAndCopy) {
+  Registry reg;
+  reg.setOpaqueBytes(35ULL << 20);
+  reg.addOpaqueBytes(5ULL << 20);
+  EXPECT_GE(reg.totalBytes(), 40ULL << 20);
+  Registry copy(reg);
+  EXPECT_EQ(copy.opaqueBytes(), 40ULL << 20);
+}
+
+TEST(Registry, MultiSzJoins) {
+  const RegValue v = RegValue::multiSz({"a", "b"});
+  EXPECT_EQ(v.type, RegType::kMultiSz);
+  EXPECT_EQ(v.str.size(), 3u);  // "a\0b"
+}
+
+TEST(Registry, RemoveChildUpdatesOrder) {
+  Registry reg;
+  RegKey& key = reg.ensureKey("SOFTWARE\\R");
+  key.ensureChild("one");
+  key.ensureChild("two");
+  EXPECT_TRUE(key.removeChild("ONE"));
+  ASSERT_EQ(key.subkeyNames().size(), 1u);
+  EXPECT_EQ(key.subkeyNames()[0], "two");
+}
+
+}  // namespace

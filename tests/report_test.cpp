@@ -1,0 +1,130 @@
+// Incident / supervision report rendering tests, plus serializer fuzzing.
+#include <gtest/gtest.h>
+
+#include "core/eval.h"
+#include "core/report.h"
+#include "env/environments.h"
+#include "malware/joe.h"
+#include "support/rng.h"
+#include "trace/serialize.h"
+
+namespace {
+
+using namespace scarecrow;
+
+class ReportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    machine_ = env::buildBareMetalSandbox();
+    expected_ = malware::registerJoeSamples(registry_);
+    harness_ = std::make_unique<core::EvaluationHarness>(*machine_);
+  }
+  std::unique_ptr<winsys::Machine> machine_;
+  malware::ProgramRegistry registry_;
+  std::vector<malware::JoeExpectation> expected_;
+  std::unique_ptr<core::EvaluationHarness> harness_;
+};
+
+TEST_F(ReportTest, DeactivatedSampleReport) {
+  const core::EvalOutcome outcome = harness_->evaluate(
+      "9fac72a", "C:\\s\\9fac72a.exe", registry_.factory());
+  const std::string report =
+      core::renderIncidentReport("9fac72a", outcome);
+  EXPECT_NE(report.find("DEACTIVATED"), std::string::npos);
+  EXPECT_NE(report.find("GlobalMemoryStatusEx()"), std::string::npos);
+  EXPECT_NE(report.find("Payload prevented"), std::string::npos);
+  EXPECT_NE(report.find("scanner.exe"), std::string::npos);
+  EXPECT_NE(report.find("Timeline"), std::string::npos);
+}
+
+TEST_F(ReportTest, FailedSampleReportShowsLeaks) {
+  const core::EvalOutcome outcome = harness_->evaluate(
+      "cbdda64", "C:\\s\\cbdda64.exe", registry_.factory());
+  const std::string report =
+      core::renderIncidentReport("cbdda64", outcome);
+  EXPECT_NE(report.find("NOT deactivated"), std::string::npos);
+  EXPECT_NE(report.find("Activities NOT prevented"), std::string::npos);
+}
+
+TEST_F(ReportTest, SelfSpawnerReportMentionsLoop) {
+  const core::EvalOutcome outcome = harness_->evaluate(
+      "3616a11", "C:\\s\\3616a11.exe", registry_.factory());
+  const std::string report =
+      core::renderIncidentReport("3616a11", outcome);
+  EXPECT_NE(report.find("Self-spawn loop"), std::string::npos);
+  EXPECT_NE(report.find("IsDebuggerPresent"), std::string::npos);
+}
+
+TEST_F(ReportTest, TimelineTruncationRespected) {
+  const core::EvalOutcome outcome = harness_->evaluate(
+      "61f847b", "C:\\s\\61f847b.exe", registry_.factory());
+  core::ReportOptions options;
+  options.maxTimelineEvents = 2;
+  const std::string report =
+      core::renderIncidentReport("61f847b", outcome, options);
+  EXPECT_NE(report.find("events total"), std::string::npos);
+}
+
+TEST_F(ReportTest, SupervisionReportFromController) {
+  winapi::UserSpace userspace;
+  userspace.programFactory = registry_.factory();
+  core::DeceptionEngine engine({}, core::buildDefaultResourceDb());
+  core::Controller controller(*machine_, userspace, engine);
+  machine_->vfs().createFile("C:\\s\\9fac72a.exe", 1 << 20);
+  controller.launch("C:\\s\\9fac72a.exe");
+  winapi::Runner runner(*machine_, userspace);
+  runner.drain({});
+  controller.pump();
+  const std::string report = core::renderSupervisionReport(controller);
+  EXPECT_NE(report.find("GlobalMemoryStatusEx()"), std::string::npos);
+  EXPECT_NE(report.find("Fingerprint attempts"), std::string::npos);
+}
+
+TEST_F(ReportTest, QuietTargetReport) {
+  winapi::UserSpace userspace;
+  core::DeceptionEngine engine({}, core::buildDefaultResourceDb());
+  core::Controller controller(*machine_, userspace, engine);
+  controller.pump();
+  const std::string report = core::renderSupervisionReport(controller);
+  EXPECT_NE(report.find("No fingerprinting attempts"), std::string::npos);
+}
+
+// ===== serializer fuzzing ====================================================
+
+TEST(SerializerFuzz, RandomGarbageNeverCrashes) {
+  support::Rng rng(77);
+  for (int round = 0; round < 500; ++round) {
+    std::string garbage;
+    const std::size_t length = rng.below(200);
+    for (std::size_t i = 0; i < length; ++i)
+      garbage.push_back(static_cast<char>(rng.below(256)));
+    (void)trace::deserializeTrace(garbage);  // must not crash or throw
+  }
+}
+
+TEST(SerializerFuzz, MutatedValidTracesEitherParseOrRejectCleanly) {
+  trace::Trace trace;
+  trace.sampleId = "fuzz";
+  for (int i = 0; i < 5; ++i) {
+    trace::Event e;
+    e.seq = static_cast<std::uint64_t>(i);
+    e.kind = trace::EventKind::kFileWrite;
+    e.target = "C:\\f" + std::to_string(i);
+    trace.events.push_back(e);
+  }
+  const std::string valid = trace::serializeTrace(trace);
+  support::Rng rng(88);
+  for (int round = 0; round < 500; ++round) {
+    std::string mutated = valid;
+    const std::size_t flips = 1 + rng.below(4);
+    for (std::size_t f = 0; f < flips; ++f)
+      mutated[rng.below(mutated.size())] =
+          static_cast<char>(rng.below(256));
+    const auto parsed = trace::deserializeTrace(mutated);
+    if (parsed.has_value()) {
+      EXPECT_LE(parsed->events.size(), 6u);  // never invents extra events
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,154 @@
+// Unit tests for the deceptive resource database and the curated defaults
+// (the paper's Section II-B inventory: 24 processes, 15 DLLs, 6 debugger +
+// 4 sandbox windows).
+#include <gtest/gtest.h>
+
+#include "core/resource_db.h"
+
+namespace {
+
+using namespace scarecrow::core;
+using scarecrow::winsys::RegValue;
+
+TEST(ResourceDb, FileMatchIsCaseAndSlashInsensitive) {
+  ResourceDb db;
+  db.addFile("C:\\Windows\\System32\\drivers\\vmmouse.sys",
+             Profile::kVMware);
+  EXPECT_TRUE(db.matchFile("c:/windows/system32/drivers/VMMOUSE.SYS"));
+  EXPECT_EQ(*db.matchFile("C:\\Windows\\System32\\drivers\\vmmouse.sys"),
+            Profile::kVMware);
+  EXPECT_FALSE(db.matchFile("C:\\Windows\\vmmouse.sys"));
+}
+
+TEST(ResourceDb, RegistryAncestorAndDescendantMatch) {
+  ResourceDb db;
+  db.addRegistryKey("SOFTWARE\\VMware, Inc.\\VMware Tools",
+                    Profile::kVMware);
+  // Exact.
+  EXPECT_TRUE(db.matchRegistryKey("software\\vmware, inc.\\vmware tools"));
+  // Ancestor of the stored key (opening the vendor key must succeed).
+  EXPECT_TRUE(db.matchRegistryKey("SOFTWARE\\VMware, Inc."));
+  // Descendant of the stored key.
+  EXPECT_TRUE(db.matchRegistryKey(
+      "SOFTWARE\\VMware, Inc.\\VMware Tools\\InstallPath"));
+  // Unrelated sibling.
+  EXPECT_FALSE(db.matchRegistryKey("SOFTWARE\\VMwareFake"));
+  EXPECT_FALSE(db.matchRegistryKey("SOFTWARE\\Oracle"));
+}
+
+TEST(ResourceDb, RegistryValueMatchImpliesKey) {
+  ResourceDb db;
+  db.addRegistryValue("HARDWARE\\Description\\System", "SystemBiosVersion",
+                      RegValue::sz("VBOX   - 1"), Profile::kVirtualBox);
+  const auto match =
+      db.matchRegistryValue("hardware\\description\\system",
+                            "systembiosversion");
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->value.str, "VBOX   - 1");
+  EXPECT_EQ(match->profile, Profile::kVirtualBox);
+  EXPECT_TRUE(db.matchRegistryKey("HARDWARE\\Description\\System"));
+  EXPECT_FALSE(db.matchRegistryValue("HARDWARE\\Description\\System",
+                                     "OtherValue"));
+}
+
+TEST(ResourceDb, ProcessAndDllMatch) {
+  ResourceDb db;
+  db.addProcess("ollydbg.exe", Profile::kDebugger);
+  db.addDll("SbieDll.dll", Profile::kSandboxie);
+  EXPECT_EQ(*db.matchProcess("OLLYDBG.EXE"), Profile::kDebugger);
+  EXPECT_FALSE(db.matchProcess("notepad.exe"));
+  EXPECT_EQ(*db.matchDll("sbiedll.dll"), Profile::kSandboxie);
+  EXPECT_FALSE(db.matchDll("kernel32.dll"));
+}
+
+TEST(ResourceDb, WindowMatchClassOrTitle) {
+  ResourceDb db;
+  db.addWindow("OLLYDBG", "OllyDbg", Profile::kDebugger);
+  EXPECT_TRUE(db.matchWindow("OLLYDBG", ""));
+  EXPECT_TRUE(db.matchWindow("", "ollydbg"));
+  EXPECT_FALSE(db.matchWindow("", ""));
+  EXPECT_FALSE(db.matchWindow("WinDbgFrameClass", ""));
+}
+
+TEST(ResourceDb, FakeFilesInDirectory) {
+  ResourceDb db;
+  db.addFile("C:\\Windows\\System32\\drivers\\vmmouse.sys",
+             Profile::kVMware);
+  db.addFile("C:\\Windows\\System32\\drivers\\VBoxMouse.sys",
+             Profile::kVirtualBox);
+  db.addFile("C:\\Windows\\System32\\drivers\\sub\\deep.sys",
+             Profile::kGeneric);
+  const auto all = db.fakeFilesIn("C:\\Windows\\System32\\drivers", "*");
+  EXPECT_EQ(all.size(), 2u);  // immediate children only
+  EXPECT_EQ(db.fakeFilesIn("C:\\Windows\\System32\\drivers", "vbox*").size(),
+            1u);
+}
+
+TEST(ResourceDb, FakeProcessEntriesHaveHighPids) {
+  ResourceDb db = buildDefaultResourceDb();
+  const auto entries = db.fakeProcessEntries();
+  ASSERT_FALSE(entries.empty());
+  for (const auto& entry : entries) EXPECT_GE(entry.pid, 0x9000u);
+}
+
+TEST(ResourceDb, VmVendorConflictMatrix) {
+  EXPECT_TRUE(vmVendorConflict(Profile::kVMware, Profile::kVirtualBox));
+  EXPECT_TRUE(vmVendorConflict(Profile::kQemu, Profile::kBochs));
+  EXPECT_FALSE(vmVendorConflict(Profile::kVMware, Profile::kVMware));
+  EXPECT_FALSE(vmVendorConflict(Profile::kVMware, Profile::kDebugger));
+  EXPECT_FALSE(vmVendorConflict(Profile::kGeneric, Profile::kWine));
+}
+
+TEST(ResourceDb, ProfileNames) {
+  EXPECT_STREQ(profileName(Profile::kVMware), "vmware");
+  EXPECT_STREQ(profileName(Profile::kCrawled), "crawled");
+}
+
+// ===== curated defaults (paper Section II-B counts) ========================
+
+TEST(DefaultDb, PaperInventoryCounts) {
+  const ResourceDb db = buildDefaultResourceDb();
+  EXPECT_EQ(db.processCount(), 24u);  // "We include 24 processes"
+  EXPECT_EQ(db.dllCount(), 15u);      // "15 unique DLLs"
+  EXPECT_EQ(db.windowCount(), 11u);   // 6 debugger + 4 sandbox + VBox tray
+}
+
+TEST(DefaultDb, SixDebuggerAndFourSandboxWindows) {
+  const ResourceDb db = buildDefaultResourceDb();
+  // Count by probing the documented windows.
+  const char* debuggerWindows[] = {"OLLYDBG",       "WinDbgFrameClass",
+                                   "ID",            "Zeta Debugger",
+                                   "Rock Debugger", "ObsidianGUI"};
+  for (const char* w : debuggerWindows)
+    EXPECT_EQ(*db.matchWindow(w, ""), Profile::kDebugger) << w;
+  EXPECT_TRUE(db.matchWindow("SandboxieControlWndClass", ""));
+  EXPECT_TRUE(db.matchWindow("Afx:400000:0", ""));
+  EXPECT_TRUE(db.matchWindow("ProcessMonitorClass", ""));
+  EXPECT_TRUE(db.matchWindow("RegmonClass", ""));
+}
+
+TEST(DefaultDb, PaperNamedProcessesPresent) {
+  const ResourceDb db = buildDefaultResourceDb();
+  // The paper names these three explicitly (Section II-B(b)).
+  EXPECT_TRUE(db.matchProcess("olydbg.exe"));
+  EXPECT_TRUE(db.matchProcess("idap.exe"));
+  EXPECT_TRUE(db.matchProcess("PETools.exe"));
+  EXPECT_TRUE(db.matchProcess("VBoxService.exe"));
+}
+
+TEST(DefaultDb, PaperNamedResourcesPresent) {
+  const ResourceDb db = buildDefaultResourceDb();
+  EXPECT_TRUE(db.matchFile("C:\\Windows\\System32\\drivers\\vmmouse.sys"));
+  EXPECT_TRUE(db.matchDll("SbieDll.dll"));
+  EXPECT_TRUE(
+      db.matchRegistryKey("SOFTWARE\\Oracle\\VirtualBox Guest Additions"));
+  EXPECT_TRUE(db.matchRegistryKey("SOFTWARE\\VMware, Inc.\\VMware Tools"));
+  // Combined multi-VM BIOS string (Section II-B(e)).
+  const auto bios = db.matchRegistryValue("HARDWARE\\Description\\System",
+                                          "SystemBiosVersion");
+  ASSERT_TRUE(bios.has_value());
+  EXPECT_NE(bios->value.str.find("VBOX"), std::string::npos);
+  EXPECT_NE(bios->value.str.find("BOCHS"), std::string::npos);
+}
+
+}  // namespace

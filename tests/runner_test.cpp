@@ -1,0 +1,173 @@
+// Unit tests for the guest runner: launch semantics, child draining,
+// budget enforcement, inert payload artifacts.
+#include <gtest/gtest.h>
+
+#include "env/base_image.h"
+#include "support/strings.h"
+#include "winapi/api.h"
+#include "winapi/runner.h"
+
+namespace {
+
+using namespace scarecrow;
+
+/// Program that spawns `depth` descendants, then writes a marker.
+class Spawner : public winapi::GuestProgram {
+ public:
+  void run(winapi::Api& api) override {
+    const std::string cmd = api.self().commandLine;
+    const int depth = cmd.empty() ? 0 : std::stoi(cmd);
+    if (depth > 0)
+      api.CreateProcessA(api.self().imagePath, std::to_string(depth - 1));
+    api.WriteFileA("C:\\out\\marker_" + std::to_string(depth) + ".txt", "x");
+    api.ExitProcess(0);
+  }
+};
+
+class Sleeper : public winapi::GuestProgram {
+ public:
+  void run(winapi::Api& api) override {
+    for (;;) api.Sleep(10'000);
+  }
+};
+
+class RunnerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { env::installBaseImage(machine_, {}); }
+  winsys::Machine machine_;
+  winapi::UserSpace userspace_;
+};
+
+TEST_F(RunnerTest, DefaultParentIsExplorer) {
+  userspace_.programFactory = [](const std::string&, const std::string&)
+      -> std::unique_ptr<winapi::GuestProgram> { return nullptr; };
+  winapi::Runner runner(machine_, userspace_);
+  const winapi::RunResult result = runner.run("C:\\p.exe", {});
+  const winsys::Process* root = machine_.processes().find(result.rootPid);
+  ASSERT_NE(root, nullptr);
+  const winsys::Process* parent =
+      machine_.processes().find(root->parentPid);
+  ASSERT_NE(parent, nullptr);
+  EXPECT_EQ(parent->imageName, "explorer.exe");
+}
+
+TEST_F(RunnerTest, ExplicitParentHonored) {
+  winsys::Process& launcher =
+      machine_.processes().create("C:\\l\\launcher.exe", 0, "", 4);
+  userspace_.programFactory = [](const std::string&, const std::string&)
+      -> std::unique_ptr<winapi::GuestProgram> { return nullptr; };
+  winapi::Runner runner(machine_, userspace_);
+  winapi::RunOptions options;
+  options.parentPid = launcher.pid;
+  const winapi::RunResult result = runner.run("C:\\p.exe", options);
+  EXPECT_EQ(machine_.processes().find(result.rootPid)->parentPid,
+            launcher.pid);
+}
+
+TEST_F(RunnerTest, DrainsDescendantChain) {
+  userspace_.programFactory = [](const std::string& image, const std::string&)
+      -> std::unique_ptr<winapi::GuestProgram> {
+    if (scarecrow::support::iendsWith(image, "spawner.exe"))
+      return std::make_unique<Spawner>();
+    return nullptr;
+  };
+  winapi::Runner runner(machine_, userspace_);
+  winapi::RunOptions options;
+  options.commandLine = "3";
+  const winapi::RunResult result = runner.run("C:\\x\\spawner.exe", options);
+  EXPECT_EQ(result.processesExecuted, 4u);  // depths 3,2,1,0
+  for (int d = 0; d <= 3; ++d)
+    EXPECT_TRUE(machine_.vfs().exists("C:\\out\\marker_" +
+                                      std::to_string(d) + ".txt"));
+  EXPECT_FALSE(result.budgetExhausted);
+}
+
+TEST_F(RunnerTest, BudgetStopsRun) {
+  userspace_.programFactory = [](const std::string&, const std::string&)
+      -> std::unique_ptr<winapi::GuestProgram> {
+    return std::make_unique<Sleeper>();
+  };
+  winapi::Runner runner(machine_, userspace_);
+  winapi::RunOptions options;
+  options.budgetMs = 1'000;
+  const winapi::RunResult result = runner.run("C:\\s.exe", options);
+  EXPECT_TRUE(result.budgetExhausted);
+  EXPECT_GE(result.elapsedMs, 1'000u);
+  EXPECT_LE(result.elapsedMs, 12'000u);  // at most one sleep overshoot
+}
+
+TEST_F(RunnerTest, NaturalReturnTerminatesProcess) {
+  class Returns : public winapi::GuestProgram {
+   public:
+    void run(winapi::Api&) override {}
+  };
+  userspace_.programFactory = [](const std::string&, const std::string&)
+      -> std::unique_ptr<winapi::GuestProgram> {
+    return std::make_unique<Returns>();
+  };
+  winapi::Runner runner(machine_, userspace_);
+  const winapi::RunResult result = runner.run("C:\\r.exe", {});
+  EXPECT_EQ(machine_.processes().find(result.rootPid)->state,
+            winsys::ProcessState::kTerminated);
+}
+
+TEST_F(RunnerTest, InertImagesCountNoExecution) {
+  userspace_.programFactory = [](const std::string&, const std::string&)
+      -> std::unique_ptr<winapi::GuestProgram> { return nullptr; };
+  winapi::Runner runner(machine_, userspace_);
+  const winapi::RunResult result = runner.run("C:\\inert.exe", {});
+  EXPECT_EQ(result.processesExecuted, 0u);
+}
+
+TEST_F(RunnerTest, GuestCrashIsContained) {
+  class Crasher : public winapi::GuestProgram {
+   public:
+    void run(winapi::Api& api) override {
+      api.WriteFileA("C:\\out\\pre-crash.txt", "x");
+      throw std::runtime_error("segfault");
+    }
+  };
+  class Healthy : public winapi::GuestProgram {
+   public:
+    void run(winapi::Api& api) override {
+      api.WriteFileA("C:\\out\\healthy.txt", "x");
+    }
+  };
+  userspace_.programFactory = [](const std::string& image, const std::string&)
+      -> std::unique_ptr<winapi::GuestProgram> {
+    if (scarecrow::support::iendsWith(image, "crasher.exe"))
+      return std::make_unique<Crasher>();
+    if (scarecrow::support::iendsWith(image, "healthy.exe"))
+      return std::make_unique<Healthy>();
+    return nullptr;
+  };
+  winapi::Runner runner(machine_, userspace_);
+  const std::uint32_t crasher = runner.spawnRoot("C:\\x\\crasher.exe", {});
+  runner.spawnRoot("C:\\x\\healthy.exe", {});
+  const winapi::RunResult result = runner.drain({});
+
+  // The crash is contained: recorded as an access violation, the queue
+  // keeps draining, and the healthy process still executes.
+  EXPECT_EQ(result.guestCrashes, 1u);
+  EXPECT_EQ(result.processesExecuted, 2u);
+  EXPECT_TRUE(machine_.vfs().exists("C:\\out\\healthy.txt"));
+  const winsys::Process* dead = machine_.processes().find(crasher);
+  ASSERT_NE(dead, nullptr);
+  EXPECT_EQ(dead->state, winsys::ProcessState::kTerminated);
+  EXPECT_EQ(dead->exitCode, 0xC0000005u);
+  bool crashEvent = false;
+  for (const auto& e : machine_.recorder().trace().events)
+    if (e.kind == trace::EventKind::kProcessExit &&
+        e.detail == "crash 0xC0000005")
+      crashEvent = true;
+  EXPECT_TRUE(crashEvent);
+}
+
+TEST_F(RunnerTest, EnsureExplorerReusesExisting) {
+  winapi::Runner runner(machine_, userspace_);
+  const std::uint32_t a = runner.ensureExplorer();
+  const std::uint32_t b = runner.ensureExplorer();
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace

@@ -1,0 +1,208 @@
+// Unit tests for the evasive-sample machinery: reactions, payload steps,
+// program registry.
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "env/environments.h"
+#include "malware/sample.h"
+#include "trace/analysis.h"
+#include "support/strings.h"
+#include "winapi/api.h"
+#include "winapi/runner.h"
+
+namespace {
+
+using namespace scarecrow;
+using malware::EvasiveSample;
+using malware::PayloadStep;
+using malware::ProgramRegistry;
+using malware::Reaction;
+using malware::SampleSpec;
+using malware::Technique;
+using K = PayloadStep::Kind;
+
+class SampleTest : public ::testing::Test {
+ protected:
+  void SetUp() override { machine_ = env::buildBareMetalSandbox(); }
+
+  /// Runs a spec's sample once (no Scarecrow) and returns the trace.
+  trace::Trace runPlain(const SampleSpec& spec) {
+    registry_.addSample(spec);
+    machine_->vfs().createFile("C:\\samples\\" + spec.imageName, 1 << 20);
+    winapi::UserSpace userspace;
+    userspace.programFactory = registry_.factory();
+    winapi::Runner runner(*machine_, userspace);
+    machine_->recorder().clear();
+    runner.run("C:\\samples\\" + spec.imageName, {});
+    return machine_->recorder().takeTrace();
+  }
+
+  /// Same, with Scarecrow hooks installed via injection.
+  trace::Trace runHooked(const SampleSpec& spec) {
+    registry_.addSample(spec);
+    machine_->vfs().createFile("C:\\samples\\" + spec.imageName, 1 << 20);
+    winapi::UserSpace userspace;
+    userspace.programFactory = registry_.factory();
+    engine_ = std::make_unique<core::DeceptionEngine>(
+        core::Config{}, core::buildDefaultResourceDb());
+    winapi::Runner runner(*machine_, userspace);
+    winapi::RunOptions options;
+    const std::uint32_t pid =
+        runner.spawnRoot("C:\\samples\\" + spec.imageName, options);
+    hooking::injectDll(*machine_, userspace, pid, engine_->dllImage());
+    machine_->recorder().clear();
+    runner.drain(options);
+    return machine_->recorder().takeTrace();
+  }
+
+  SampleSpec baseSpec(const std::string& id) {
+    SampleSpec spec;
+    spec.id = id;
+    spec.family = "test";
+    spec.imageName = id + ".exe";
+    return spec;
+  }
+
+  std::unique_ptr<winsys::Machine> machine_;
+  ProgramRegistry registry_;
+  std::unique_ptr<core::DeceptionEngine> engine_;
+};
+
+TEST_F(SampleTest, NoDetectionRunsPayload) {
+  SampleSpec spec = baseSpec("p1");
+  spec.techniques = {Technique::kIsDebuggerPresent};
+  spec.payload = {{K::kCreateProcess, "C:\\Windows\\System32\\cmd.exe"}};
+  const trace::Trace t = runPlain(spec);
+  EXPECT_FALSE(trace::significantActivities(t, spec.imageName).empty());
+}
+
+TEST_F(SampleTest, ExitReactionSuppressesPayload) {
+  SampleSpec spec = baseSpec("p2");
+  spec.techniques = {Technique::kIsDebuggerPresent};
+  spec.reaction = Reaction::kExitImmediately;
+  spec.payload = {{K::kCreateProcess, "C:\\Windows\\System32\\cmd.exe"}};
+  const trace::Trace t = runHooked(spec);
+  EXPECT_TRUE(trace::significantActivities(t, spec.imageName).empty());
+}
+
+TEST_F(SampleTest, SleepLoopConsumesBudgetHarmlessly) {
+  SampleSpec spec = baseSpec("p3");
+  spec.techniques = {Technique::kIsDebuggerPresent};
+  spec.reaction = Reaction::kSleepLoop;
+  spec.payload = {{K::kModifyFiles, ""}};
+  const trace::Trace t = runHooked(spec);
+  EXPECT_TRUE(trace::significantActivities(t, spec.imageName).empty());
+}
+
+TEST_F(SampleTest, SelfSpawnReactionChains) {
+  SampleSpec spec = baseSpec("p4");
+  spec.techniques = {Technique::kIsDebuggerPresent};
+  spec.reaction = Reaction::kSelfSpawnAndExit;
+  spec.pacingMs = 500;
+  const trace::Trace t = runHooked(spec);
+  EXPECT_GT(trace::selfSpawnCount(t, spec.imageName), 10u);
+}
+
+TEST_F(SampleTest, BenignFacadeOpensWindow) {
+  SampleSpec spec = baseSpec("p5");
+  spec.techniques = {Technique::kIsDebuggerPresent};
+  spec.reaction = Reaction::kBenignFacade;
+  runHooked(spec);
+  EXPECT_NE(machine_->windows().find("WindowsForms10.Window.8", ""),
+            nullptr);
+}
+
+TEST_F(SampleTest, DeleteSelfReaction) {
+  SampleSpec spec = baseSpec("p6");
+  spec.techniques = {Technique::kIsDebuggerPresent};
+  spec.reaction = Reaction::kDeleteSelfAndExit;
+  runHooked(spec);
+  EXPECT_FALSE(machine_->vfs().exists("C:\\samples\\p6.exe"));
+}
+
+// ===== payload steps ========================================================
+
+TEST_F(SampleTest, PayloadDropAndExecute) {
+  SampleSpec spec = baseSpec("q1");
+  spec.payload = {{K::kDropAndExecute, "worker.exe"}};
+  runPlain(spec);
+  EXPECT_NE(machine_->processes().findByName("worker.exe"), nullptr);
+}
+
+TEST_F(SampleTest, PayloadEncryptFiles) {
+  machine_->vfs().createFile("C:\\Users\\admin\\Documents\\x.docx", 100);
+  SampleSpec spec = baseSpec("q2");
+  spec.payload = {{K::kEncryptFiles, ".WCRY"}};
+  runPlain(spec);
+  EXPECT_TRUE(
+      machine_->vfs().exists("C:\\Users\\admin\\Documents\\x.docx.WCRY"));
+  EXPECT_FALSE(machine_->vfs().exists("C:\\Users\\admin\\Documents\\x.docx"));
+  EXPECT_TRUE(
+      machine_->vfs().exists("C:\\Users\\admin\\Desktop\\README_DECRYPT.txt"));
+}
+
+TEST_F(SampleTest, PayloadRegistryPersistence) {
+  SampleSpec spec = baseSpec("q3");
+  spec.payload = {{K::kRegistryPersistence, "EvilRun"}};
+  runPlain(spec);
+  EXPECT_NE(machine_->registry().findValue(
+                "SOFTWARE\\Microsoft\\Windows\\CurrentVersion\\Run",
+                "EvilRun"),
+            nullptr);
+}
+
+TEST_F(SampleTest, PayloadCopyAndDeleteSelf) {
+  SampleSpec spec = baseSpec("q4");
+  spec.payload = {{K::kCopySelf, "C:\\Users\\Public\\copy.exe"},
+                  {K::kDeleteSelf, ""}};
+  runPlain(spec);
+  EXPECT_TRUE(machine_->vfs().exists("C:\\Users\\Public\\copy.exe"));
+  EXPECT_FALSE(machine_->vfs().exists("C:\\samples\\q4.exe"));
+}
+
+TEST_F(SampleTest, PayloadFakeAv) {
+  SampleSpec spec = baseSpec("q5");
+  spec.payload = {{K::kInstallFakeAv, ""}};
+  runPlain(spec);
+  EXPECT_TRUE(machine_->vfs().exists(
+      "C:\\Program Files\\SecurityScanner\\scanner.exe"));
+  EXPECT_NE(machine_->processes().findByName("scanner.exe"), nullptr);
+}
+
+TEST_F(SampleTest, PayloadBeaconOnlyHasNoSignificantActivity) {
+  SampleSpec spec = baseSpec("q6");
+  spec.payload = {{K::kBeaconC2, "cnc.nonexistent-c2.net"}};
+  const trace::Trace t = runPlain(spec);
+  EXPECT_TRUE(trace::significantActivities(t, spec.imageName).empty());
+  bool dnsSeen = false;
+  for (const auto& e : t.events)
+    if (e.kind == trace::EventKind::kDnsQuery) dnsSeen = true;
+  EXPECT_TRUE(dnsSeen);
+}
+
+// ===== registry / factory ===================================================
+
+TEST_F(SampleTest, FactoryResolvesByBaseName) {
+  SampleSpec spec = baseSpec("r1");
+  const malware::SampleSpec* stored = registry_.addSample(spec);
+  auto program = registry_.factory()("D:\\elsewhere\\R1.EXE", "");
+  EXPECT_NE(program, nullptr);
+  EXPECT_EQ(registry_.findSpec("r1.exe"), stored);
+  EXPECT_EQ(registry_.factory()("C:\\unknown.exe", ""), nullptr);
+}
+
+TEST_F(SampleTest, DefaultImageNameDerivedFromId) {
+  SampleSpec spec;
+  spec.id = "deadbeef";
+  const malware::SampleSpec* stored = registry_.addSample(spec);
+  EXPECT_EQ(stored->imageName, "deadbeef.exe");
+}
+
+TEST(ReactionNames, Stable) {
+  EXPECT_STREQ(malware::reactionName(Reaction::kSelfSpawnAndExit),
+               "self-spawn");
+  EXPECT_STREQ(malware::reactionName(Reaction::kBenignFacade),
+               "benign-facade");
+}
+
+}  // namespace

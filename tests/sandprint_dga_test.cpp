@@ -1,0 +1,141 @@
+// SandPrint indistinguishability measurements and DGA tests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/engine.h"
+#include "env/environments.h"
+#include "fingerprint/harness.h"
+#include "malware/dga.h"
+#include "malware/techniques.h"
+
+namespace {
+
+using namespace scarecrow;
+
+// ===== SandPrint ============================================================
+
+TEST(Sandprint, DigestIsStableAndFeatureSensitive) {
+  fingerprint::SandboxFingerprint a, b;
+  a.features["x"] = "1";
+  b.features["x"] = "1";
+  EXPECT_EQ(a.digest(), b.digest());
+  b.features["x"] = "2";
+  EXPECT_NE(a.digest(), b.digest());
+  EXPECT_EQ(a.diff(b), std::vector<std::string>{"x"});
+}
+
+TEST(Sandprint, DiffIsSymmetricOnMissingKeys) {
+  fingerprint::SandboxFingerprint a, b;
+  a.features["only_a"] = "1";
+  b.features["only_b"] = "2";
+  const auto d = a.diff(b);
+  EXPECT_EQ(d.size(), 2u);
+}
+
+TEST(Sandprint, PlainEnvironmentsAreDistinguishable) {
+  auto bareMetal = env::buildBareMetalSandbox();
+  auto endUser = env::buildEndUserMachine();
+  const auto bm = fingerprint::collectSandprintOn(*bareMetal, {});
+  const auto eu = fingerprint::collectSandprintOn(*endUser, {});
+  EXPECT_NE(bm.digest(), eu.digest());
+  EXPECT_GT(bm.diff(eu).size(), 4u);  // identity, hardware, firmware, ...
+}
+
+TEST(Sandprint, ScarecrowCollapsesEnvironmentsUpToUnsteerableChannels) {
+  fingerprint::FingerprintRunOptions on;
+  on.withScarecrow = true;
+
+  auto bareMetal = env::buildBareMetalSandbox();
+  auto vmSandbox = env::buildVBoxCuckooSandbox({.hardened = true});
+  auto endUser = env::buildEndUserMachine();
+
+  const auto bm = fingerprint::collectSandprintOn(*bareMetal, on);
+  const auto vm = fingerprint::collectSandprintOn(*vmSandbox, on);
+  const auto eu = fingerprint::collectSandprintOn(*endUser, on);
+
+  const auto& allowed = fingerprint::unsteerableFeatures();
+  auto onlyUnsteerable = [&allowed](const std::vector<std::string>& diff) {
+    for (const std::string& feature : diff)
+      if (std::find(allowed.begin(), allowed.end(), feature) ==
+          allowed.end())
+        return false;
+    return true;
+  };
+
+  EXPECT_TRUE(onlyUnsteerable(bm.diff(vm)))
+      << "bm vs vm differs beyond unhandled channels";
+  EXPECT_TRUE(onlyUnsteerable(bm.diff(eu)))
+      << "bm vs eu differs beyond unhandled channels";
+  EXPECT_TRUE(onlyUnsteerable(vm.diff(eu)))
+      << "vm vs eu differs beyond unhandled channels";
+
+  // And the steerable fingerprint is the sandbox persona everywhere.
+  EXPECT_EQ(bm.features.at("id.user"), "cuckoo");
+  EXPECT_EQ(eu.features.at("id.user"), "cuckoo");
+  EXPECT_EQ(bm.features.at("hw.cores"), "1");
+  EXPECT_EQ(vm.features.at("rt.debugger"), "1");
+  EXPECT_EQ(eu.features.at("net.nx_sinkhole"), "1");
+  EXPECT_EQ(bm.features.at("rt.uptime_bucket"), "young");
+}
+
+TEST(Sandprint, KernelExtensionAlsoCollapsesTheCpuChannel) {
+  fingerprint::FingerprintRunOptions on;
+  on.withScarecrow = true;
+  on.config.kernel.enabled = true;
+  auto bareMetal = env::buildBareMetalSandbox();
+  const auto bm = fingerprint::collectSandprintOn(*bareMetal, on);
+  EXPECT_EQ(bm.features.at("cpu.vmexit_bucket"), "trap");
+  EXPECT_EQ(bm.features.at("cpu.hv_bit"), "1");
+}
+
+// ===== DGA ==================================================================
+
+TEST(Dga, DeterministicForSeedAndDay) {
+  const auto a = malware::generateDgaDomains({0x1BF5, 3, 12}, 5);
+  const auto b = malware::generateDgaDomains({0x1BF5, 3, 12}, 5);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Dga, DayAndSeedChangeTheSchedule) {
+  const auto day3 = malware::generateDgaDomains({0x1BF5, 3, 12}, 5);
+  const auto day4 = malware::generateDgaDomains({0x1BF5, 4, 12}, 5);
+  const auto otherSeed = malware::generateDgaDomains({0x2222, 3, 12}, 5);
+  EXPECT_NE(day3, day4);
+  EXPECT_NE(day3, otherSeed);
+}
+
+TEST(Dga, DomainShape) {
+  for (const std::string& domain :
+       malware::generateDgaDomains({0x1BF5, 0, 12}, 20)) {
+    const auto dot = domain.find('.');
+    ASSERT_NE(dot, std::string::npos);
+    EXPECT_EQ(dot, 12u);  // label length honors the parameter
+    for (std::size_t i = 0; i < dot; ++i)
+      EXPECT_TRUE(domain[i] >= 'a' && domain[i] <= 'z');
+  }
+}
+
+TEST(Dga, DomainsAreDistinctWithinADay) {
+  const auto domains = malware::generateDgaDomains({}, 32);
+  std::set<std::string> unique(domains.begin(), domains.end());
+  EXPECT_EQ(unique.size(), domains.size());
+}
+
+TEST(Dga, SinkholeTechniqueFiresOnlyUnderScarecrow) {
+  auto machine = env::buildEndUserMachine();
+  winapi::UserSpace userspace;
+  winsys::Process& proc =
+      machine->processes().create("C:\\d\\locky.exe", 0, "", 8);
+  winapi::Api api(*machine, userspace, proc.pid);
+  EXPECT_FALSE(
+      malware::probeEnvironment(api, malware::Technique::kDgaSinkhole));
+
+  core::DeceptionEngine engine({}, core::buildDefaultResourceDb());
+  engine.installInto(api);
+  EXPECT_TRUE(
+      malware::probeEnvironment(api, malware::Technique::kDgaSinkhole));
+}
+
+}  // namespace

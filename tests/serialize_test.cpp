@@ -1,0 +1,201 @@
+// Trace serialization round-trip and robustness tests, plus the
+// anchor-based trace alignment statistics.
+#include <gtest/gtest.h>
+
+#include "trace/malgene.h"
+#include "trace/serialize.h"
+
+namespace {
+
+using namespace scarecrow::trace;
+
+Event makeEvent(EventKind kind, const std::string& target,
+                const std::string& detail = {}, std::uint64_t seq = 0) {
+  Event e;
+  e.seq = seq;
+  e.timeMs = seq * 10;
+  e.pid = 4;
+  e.process = "sample.exe";
+  e.kind = kind;
+  e.target = target;
+  e.detail = detail;
+  return e;
+}
+
+TEST(Serialize, RoundTripPreservesEverything) {
+  Trace trace;
+  trace.sampleId = "9fac72a";
+  trace.scarecrowEnabled = true;
+  trace.events.push_back(makeEvent(EventKind::kRegOpenKey,
+                                   "SOFTWARE\\VMware, Inc.\\VMware Tools",
+                                   "probe", 0));
+  trace.events.push_back(
+      makeEvent(EventKind::kFileWrite, "C:\\f.txt", "", 1));
+  trace.events.push_back(
+      makeEvent(EventKind::kAlert, "fingerprint", "IsDebuggerPresent()", 2));
+
+  const std::string text = serializeTrace(trace);
+  const auto parsed = deserializeTrace(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->sampleId, "9fac72a");
+  EXPECT_TRUE(parsed->scarecrowEnabled);
+  ASSERT_EQ(parsed->events.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(parsed->events[i].kind, trace.events[i].kind);
+    EXPECT_EQ(parsed->events[i].target, trace.events[i].target);
+    EXPECT_EQ(parsed->events[i].detail, trace.events[i].detail);
+    EXPECT_EQ(parsed->events[i].seq, trace.events[i].seq);
+    EXPECT_EQ(parsed->events[i].timeMs, trace.events[i].timeMs);
+    EXPECT_EQ(parsed->events[i].pid, trace.events[i].pid);
+    EXPECT_EQ(parsed->events[i].process, trace.events[i].process);
+  }
+}
+
+TEST(Serialize, FieldsWithTabsAndNewlinesSurvive) {
+  Trace trace;
+  trace.sampleId = "x";
+  trace.events.push_back(
+      makeEvent(EventKind::kFileWrite, "C:\\a\tb\nc\\d", "de\\tail"));
+  const auto parsed = deserializeTrace(serializeTrace(trace));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->events[0].target, "C:\\a\tb\nc\\d");
+  EXPECT_EQ(parsed->events[0].detail, "de\\tail");
+}
+
+TEST(Serialize, EscapeHelpers) {
+  EXPECT_EQ(escapeField("a\tb"), "a\\tb");
+  EXPECT_EQ(unescapeField("a\\tb"), "a\tb");
+  EXPECT_EQ(unescapeField(escapeField("\\\t\n")), "\\\t\n");
+  EXPECT_EQ(unescapeField("trailing\\"), "trailing\\");
+  EXPECT_EQ(unescapeField("bad\\q"), "bad\\q");  // unknown escape verbatim
+}
+
+TEST(Serialize, EmptyTrace) {
+  Trace trace;
+  trace.sampleId = "empty";
+  const auto parsed = deserializeTrace(serializeTrace(trace));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->events.empty());
+  EXPECT_EQ(parsed->sampleId, "empty");
+}
+
+struct BadInput {
+  const char* label;
+  const char* text;
+};
+
+class SerializeRejects : public ::testing::TestWithParam<BadInput> {};
+
+TEST_P(SerializeRejects, MalformedInput) {
+  EXPECT_FALSE(deserializeTrace(GetParam().text).has_value())
+      << GetParam().label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, SerializeRejects,
+    ::testing::Values(
+        BadInput{"empty", ""},
+        BadInput{"wrong_magic", "#other v1 s 0\n"},
+        BadInput{"missing_header_fields", "#scarecrow-trace v1 s\n"},
+        BadInput{"bad_flag", "#scarecrow-trace v1 s 2\n"},
+        BadInput{"wrong_field_count",
+                 "#scarecrow-trace v1 s 0\n1\t2\t3\tp\tFileWrite\tt\n"},
+        BadInput{"bad_number",
+                 "#scarecrow-trace v1 s 0\nNaN\t2\t3\tp\tFileWrite\tt\td\n"},
+        BadInput{"unknown_kind",
+                 "#scarecrow-trace v1 s 0\n1\t2\t3\tp\tBogusKind\tt\td\n"}),
+    [](const ::testing::TestParamInfo<BadInput>& info) {
+      return info.param.label;
+    });
+
+// ===== alignment ============================================================
+
+Trace traceOf(std::vector<std::pair<EventKind, std::string>> events) {
+  Trace t;
+  std::uint64_t seq = 0;
+  for (auto& [kind, target] : events)
+    t.events.push_back(makeEvent(kind, target, "", seq++));
+  return t;
+}
+
+TEST(Alignment, IdenticalTracesPerfectSimilarity) {
+  const Trace t = traceOf({{EventKind::kFileWrite, "a"},
+                           {EventKind::kRegOpenKey, "b"},
+                           {EventKind::kDnsQuery, "c"}});
+  const AlignmentStats stats = alignTraces(t, t);
+  EXPECT_EQ(stats.anchors, 3u);
+  EXPECT_DOUBLE_EQ(stats.similarity, 1.0);
+}
+
+TEST(Alignment, DisjointTracesZeroSimilarity) {
+  const Trace a = traceOf({{EventKind::kFileWrite, "a"}});
+  const Trace b = traceOf({{EventKind::kFileWrite, "z"}});
+  EXPECT_DOUBLE_EQ(alignTraces(a, b).similarity, 0.0);
+}
+
+TEST(Alignment, OutOfOrderAnchorsPruned) {
+  const Trace a = traceOf({{EventKind::kFileWrite, "a"},
+                           {EventKind::kFileWrite, "b"},
+                           {EventKind::kFileWrite, "c"}});
+  const Trace b = traceOf({{EventKind::kFileWrite, "c"},
+                           {EventKind::kFileWrite, "b"},
+                           {EventKind::kFileWrite, "a"}});
+  // Only one order-consistent anchor survives the LIS.
+  EXPECT_EQ(alignTraces(a, b).anchors, 1u);
+}
+
+TEST(Alignment, EmptyTraces) {
+  EXPECT_DOUBLE_EQ(alignTraces(Trace{}, Trace{}).similarity, 1.0);
+}
+
+// ===== resynchronizing deviation extraction =================================
+
+TEST(Resync, LocalReorderingIsNotADeviation) {
+  // The same two file writes land in a different order — jitter, not
+  // evasion.
+  const Trace a = traceOf({{EventKind::kRegOpenKey, "probe"},
+                           {EventKind::kFileWrite, "x"},
+                           {EventKind::kFileWrite, "y"},
+                           {EventKind::kDnsQuery, "c2"}});
+  const Trace b = traceOf({{EventKind::kRegOpenKey, "probe"},
+                           {EventKind::kFileWrite, "y"},
+                           {EventKind::kFileWrite, "x"},
+                           {EventKind::kDnsQuery, "c2"}});
+  EXPECT_FALSE(tracesDeviate(a, b));
+}
+
+TEST(Resync, RealDivergenceStillFound) {
+  const Trace a = traceOf({{EventKind::kRegOpenKey, "probe"},
+                           {EventKind::kFileWrite, "x"},
+                           {EventKind::kProcessExit, "s.exe"}});
+  const Trace b = traceOf({{EventKind::kRegOpenKey, "probe"},
+                           {EventKind::kFileWrite, "x"},
+                           {EventKind::kFileWrite, "evil"},
+                           {EventKind::kRegSetValue, "run"}});
+  const EvasionSignature sig = extractEvasionSignature(a, b);
+  ASSERT_TRUE(sig.found);
+  EXPECT_EQ(sig.probedResource, "FileWrite:x");
+  EXPECT_EQ(sig.branchA, "ProcessExit:s.exe");
+  EXPECT_EQ(sig.branchB, "FileWrite:evil");
+}
+
+TEST(Resync, WindowZeroDisablesResync) {
+  const Trace a = traceOf({{EventKind::kFileWrite, "x"},
+                           {EventKind::kFileWrite, "y"}});
+  const Trace b = traceOf({{EventKind::kFileWrite, "y"},
+                           {EventKind::kFileWrite, "x"}});
+  EXPECT_TRUE(extractEvasionSignature(a, b, 0).found);
+  EXPECT_FALSE(extractEvasionSignature(a, b, 3).found);
+}
+
+TEST(Resync, InsertionBeyondWindowIsADeviation) {
+  std::vector<std::pair<EventKind, std::string>> noisy = {
+      {EventKind::kRegOpenKey, "probe"}};
+  for (int i = 0; i < 6; ++i)
+    noisy.push_back({EventKind::kFileWrite, "extra" + std::to_string(i)});
+  const Trace a = traceOf({{EventKind::kRegOpenKey, "probe"}});
+  const Trace b = traceOf(std::move(noisy));
+  EXPECT_TRUE(tracesDeviate(a, b));
+}
+
+}  // namespace

@@ -1,0 +1,39 @@
+// Build smoke test: substrate wiring sanity.
+#include <gtest/gtest.h>
+
+#include "hooking/inline_hook.h"
+#include "winapi/api.h"
+#include "winapi/runner.h"
+#include "winsys/machine.h"
+
+namespace {
+
+using namespace scarecrow;
+
+TEST(Smoke, MachineAndApiWireUp) {
+  winsys::Machine machine;
+  machine.vfs().addDrive({.letter = 'C',
+                          .totalBytes = 500ULL << 30,
+                          .freeBytes = 300ULL << 30});
+  machine.registry().setValue("SOFTWARE\\Test", "v",
+                              winsys::RegValue::dword(7));
+
+  winapi::UserSpace us;
+  winsys::Process& p = machine.processes().create("C:\\x.exe", 0, "x", 4);
+  winapi::Api api(machine, us, p.pid);
+
+  EXPECT_EQ(api.RegOpenKeyEx("SOFTWARE\\Test"), winapi::WinError::kSuccess);
+  winsys::RegValue v;
+  EXPECT_EQ(api.RegQueryValueEx("SOFTWARE\\Test", "v", v),
+            winapi::WinError::kSuccess);
+  EXPECT_EQ(v.num, 7u);
+
+  EXPECT_FALSE(hooking::checkHook(api.readFunctionBytes(
+      winapi::ApiId::kIsDebuggerPresent)));
+  hooking::installInlineHook(us.stateFor(p.pid),
+                             winapi::ApiId::kIsDebuggerPresent);
+  EXPECT_TRUE(hooking::checkHook(api.readFunctionBytes(
+      winapi::ApiId::kIsDebuggerPresent)));
+}
+
+}  // namespace

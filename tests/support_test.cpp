@@ -1,0 +1,230 @@
+// Unit tests for the support layer: deterministic RNG, Windows-style
+// string handling, virtual clock.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "support/clock.h"
+#include "support/rng.h"
+#include "support/strings.h"
+
+namespace {
+
+using namespace scarecrow::support;
+
+// ===== Rng =================================================================
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, BelowStaysInBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowZeroBoundIsZero) {
+  Rng rng(7);
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const std::int64_t v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, RangeDegenerate) {
+  Rng rng(3);
+  EXPECT_EQ(rng.range(5, 5), 5);
+  EXPECT_EQ(rng.range(9, 2), 9);  // lo >= hi returns lo
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(5);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+  EXPECT_FALSE(rng.chance(-1.0));
+  EXPECT_TRUE(rng.chance(2.0));
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng rng(5);
+  int hits = 0;
+  for (int i = 0; i < 10'000; ++i)
+    if (rng.chance(0.25)) ++hits;
+  EXPECT_NEAR(hits / 10'000.0, 0.25, 0.03);
+}
+
+TEST(Rng, PickWeightedRespectsWeights) {
+  Rng rng(9);
+  std::map<std::size_t, int> counts;
+  for (int i = 0; i < 10'000; ++i) ++counts[rng.pickWeighted({1, 0, 3})];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_GT(counts[2], counts[0]);
+}
+
+TEST(Rng, PickWeightedAllZeroFallsBack) {
+  Rng rng(9);
+  EXPECT_EQ(rng.pickWeighted({0, 0, 0}), 2u);
+}
+
+TEST(Rng, HexStringFormat) {
+  Rng rng(1);
+  const std::string s = rng.hexString(32);
+  EXPECT_EQ(s.size(), 32u);
+  for (char c : s)
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'));
+}
+
+TEST(Rng, ForkIndependentButDeterministic) {
+  Rng a(42), b(42);
+  Rng fa = a.fork(), fb = b.fork();
+  EXPECT_EQ(fa.next(), fb.next());
+}
+
+// ===== strings =============================================================
+
+TEST(Strings, CaseInsensitiveEquality) {
+  EXPECT_TRUE(iequals("VBoxTray.EXE", "vboxtray.exe"));
+  EXPECT_FALSE(iequals("abc", "abcd"));
+  EXPECT_TRUE(iequals("", ""));
+}
+
+TEST(Strings, IContains) {
+  EXPECT_TRUE(icontains("SystemBiosVersion: VBOX - 1", "vbox"));
+  EXPECT_FALSE(icontains("DELL - 1072009", "vbox"));
+  EXPECT_TRUE(icontains("anything", ""));
+  EXPECT_FALSE(icontains("ab", "abc"));
+}
+
+TEST(Strings, PrefixSuffix) {
+  EXPECT_TRUE(istartsWith("HKEY_LOCAL_MACHINE\\SOFTWARE", "hkey_local_machine"));
+  EXPECT_TRUE(iendsWith("C:\\dir\\SAMPLE.EXE", ".exe"));
+  EXPECT_FALSE(iendsWith("short", "muchlongersuffix"));
+}
+
+TEST(Strings, SplitPreservesEmptySegments) {
+  const auto parts = split("a\\\\b", '\\');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(Strings, JoinRoundTrip) {
+  EXPECT_EQ(join({"a", "b", "c"}, ';'), "a;b;c");
+  EXPECT_EQ(join({}, ';'), "");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x \t\r\n"), "x");
+  EXPECT_EQ(trim("   "), "");
+}
+
+struct WildcardCase {
+  const char* pattern;
+  const char* text;
+  bool match;
+};
+
+class WildcardMatch : public ::testing::TestWithParam<WildcardCase> {};
+
+TEST_P(WildcardMatch, Matches) {
+  const WildcardCase& c = GetParam();
+  EXPECT_EQ(wildcardMatch(c.pattern, c.text), c.match)
+      << c.pattern << " vs " << c.text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, WildcardMatch,
+    ::testing::Values(
+        WildcardCase{"*", "anything.exe", true},
+        WildcardCase{"*.pf", "APP-1234.pf", true},
+        WildcardCase{"*.pf", "APP-1234.pfx", false},
+        WildcardCase{"vbox*.sys", "VBoxMouse.sys", true},
+        WildcardCase{"vbox*.sys", "vmmouse.sys", false},
+        WildcardCase{"?.tmp", "a.tmp", true},
+        WildcardCase{"?.tmp", "ab.tmp", false},
+        WildcardCase{"a*b*c", "axxbyyc", true},
+        WildcardCase{"a*b*c", "axxbyy", false},
+        WildcardCase{"", "", true},
+        WildcardCase{"*", "", true},
+        WildcardCase{"FB_*.tmp.exe", "fb_473.tmp.exe", true}));
+
+TEST(Strings, NormalizePath) {
+  EXPECT_EQ(normalizePath("C:/a//b\\c/"), "C:\\a\\b\\c");
+  EXPECT_EQ(normalizePath("C:\\"), "C:\\");
+}
+
+TEST(Strings, BaseName) {
+  EXPECT_EQ(baseName("C:\\a\\b.exe"), "b.exe");
+  EXPECT_EQ(baseName("noslash.exe"), "noslash.exe");
+}
+
+TEST(Strings, ParentPath) {
+  EXPECT_EQ(parentPath("C:\\a\\b.exe"), "C:\\a");
+  EXPECT_EQ(parentPath("C:\\a"), "C:\\");
+}
+
+TEST(Strings, FormatBytes) {
+  EXPECT_EQ(formatBytes(50ULL << 30), "50 GB");
+  EXPECT_EQ(formatBytes(1ULL << 30), "1 GB");
+  EXPECT_EQ(formatBytes(512), "512 B");
+}
+
+// ===== clock ================================================================
+
+TEST(Clock, AdvanceAndTsc) {
+  VirtualClock clock;
+  clock.advanceMs(10);
+  EXPECT_EQ(clock.nowMs(), 10u);
+  EXPECT_EQ(clock.tsc(), 10 * clock.tscPerMs());
+}
+
+TEST(Clock, ExtraTscCyclesDoNotMoveWallTime) {
+  VirtualClock clock;
+  clock.advanceMs(1);
+  const std::uint64_t before = clock.tsc();
+  clock.addTscCycles(40'000);
+  EXPECT_EQ(clock.nowMs(), 1u);
+  EXPECT_EQ(clock.tsc(), before + 40'000);
+}
+
+TEST(Clock, SetNow) {
+  VirtualClock clock;
+  clock.setNowMs(123);
+  EXPECT_EQ(clock.nowMs(), 123u);
+}
+
+}  // namespace

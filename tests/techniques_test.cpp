@@ -1,0 +1,150 @@
+// Property tests over the evasion technique library: every technique is
+// probed on a clean bare-metal analysis machine (must stay silent — the
+// paper's samples detonate there) and against a Scarecrow-hooked process
+// (must fire, except through the documented unhookable channels).
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "env/environments.h"
+#include "malware/techniques.h"
+#include "winapi/api.h"
+
+namespace {
+
+using namespace scarecrow;
+using malware::Technique;
+
+struct TechniqueCase {
+  Technique technique;
+  bool firesOnBareMetal;      // without Scarecrow
+  bool firesUnderScarecrow;   // with Scarecrow hooks installed
+};
+
+class TechniqueProbe : public ::testing::TestWithParam<TechniqueCase> {
+ protected:
+  void SetUp() override { machine_ = env::buildBareMetalSandbox(); }
+  std::unique_ptr<winsys::Machine> machine_;
+  winapi::UserSpace userspace_;
+};
+
+TEST_P(TechniqueProbe, BareMetalBehaviour) {
+  winsys::Process& proc =
+      machine_->processes().create("C:\\s\\probe.exe", 0, "", 4);
+  machine_->vfs().createFile("C:\\s\\probe.exe", 1 << 20);
+  winapi::Api api(*machine_, userspace_, proc.pid);
+  EXPECT_EQ(malware::probeEnvironment(api, GetParam().technique),
+            GetParam().firesOnBareMetal)
+      << malware::techniqueName(GetParam().technique);
+}
+
+TEST_P(TechniqueProbe, ScarecrowBehaviour) {
+  winsys::Process& proc =
+      machine_->processes().create("C:\\s\\probe.exe", 0, "", 4);
+  machine_->vfs().createFile("C:\\s\\probe.exe", 1 << 20);
+  core::DeceptionEngine engine({}, core::buildDefaultResourceDb());
+  winapi::Api api(*machine_, userspace_, proc.pid);
+  engine.installInto(api);
+  EXPECT_EQ(malware::probeEnvironment(api, GetParam().technique),
+            GetParam().firesUnderScarecrow)
+      << malware::techniqueName(GetParam().technique);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTechniques, TechniqueProbe,
+    ::testing::Values(
+        TechniqueCase{Technique::kVMwareToolsRegistry, false, true},
+        TechniqueCase{Technique::kIdeEnumRegistry, false, true},
+        TechniqueCase{Technique::kBiosVersionValue, false, true},
+        TechniqueCase{Technique::kVmDriverFiles, false, true},
+        TechniqueCase{Technique::kVBoxGuestAdditionsKey, false, true},
+        TechniqueCase{Technique::kSandboxFolder, false, true},
+        TechniqueCase{Technique::kIsDebuggerPresent, false, true},
+        TechniqueCase{Technique::kCheckRemoteDebugger, false, true},
+        TechniqueCase{Technique::kDebugPortQuery, false, true},
+        TechniqueCase{Technique::kDebuggerWindow, false, true},
+        TechniqueCase{Technique::kSandboxModule, false, true},
+        TechniqueCase{Technique::kAnalysisProcessScan, false, true},
+        TechniqueCase{Technique::kInlineHookScan, false, true},
+        TechniqueCase{Technique::kLowMemory, false, true},
+        TechniqueCase{Technique::kFewCores, false, true},
+        TechniqueCase{Technique::kSmallDisk, false, true},
+        TechniqueCase{Technique::kLowUptime, false, true},
+        TechniqueCase{Technique::kSleepPatchProbe, false, true},
+        TechniqueCase{Technique::kExceptionTimingProbe, false, true},
+        TechniqueCase{Technique::kSandboxUserName, false, true},
+        TechniqueCase{Technique::kOwnImageName, false, true},
+        TechniqueCase{Technique::kNxDomainResolves, false, true},
+        TechniqueCase{Technique::kKillSwitchHttp, false, true},
+        TechniqueCase{Technique::kNtSystemInfoProbe, false, true},
+        // Unhookable channels: Scarecrow cannot flip them (paper Table I
+        // cbdda64 and the Table II rdtsc rows).
+        TechniqueCase{Technique::kPebProcessorCount, false, false},
+        TechniqueCase{Technique::kRdtscVmExit, false, false},
+        // Wear-and-tear probing fires on the (pristine) bare-metal sandbox
+        // with or without Scarecrow — exactly Miramirkhani's point.
+        TechniqueCase{Technique::kWearTearProbe, true, true}));
+
+TEST(TechniqueMeta, UnhookableClassification) {
+  EXPECT_TRUE(malware::unhookableTechnique(Technique::kPebProcessorCount));
+  EXPECT_TRUE(malware::unhookableTechnique(Technique::kRdtscVmExit));
+  EXPECT_FALSE(malware::unhookableTechnique(Technique::kIsDebuggerPresent));
+}
+
+TEST(TechniqueMeta, NamesAreUnique) {
+  std::set<std::string> names;
+  for (int i = 0; i <= static_cast<int>(Technique::kWearTearProbe); ++i)
+    names.insert(malware::techniqueName(static_cast<Technique>(i)));
+  EXPECT_EQ(names.size(),
+            static_cast<std::size_t>(Technique::kWearTearProbe) + 1);
+}
+
+TEST(TechniqueEnv, ParentCheckFiresForDaemonLaunches) {
+  auto machine = env::buildBareMetalSandbox();
+  winapi::UserSpace userspace;
+  // Launched by the analysis agent: parent is not explorer.
+  const std::uint32_t agent = env::sandboxAgentPid(*machine);
+  winsys::Process& byAgent =
+      machine->processes().create("C:\\s\\a.exe", agent, "", 4);
+  winapi::Api apiAgent(*machine, userspace, byAgent.pid);
+  EXPECT_TRUE(malware::probeEnvironment(apiAgent,
+                                        Technique::kParentNotExplorer));
+  // Launched by explorer (double click): silent.
+  winsys::Process* explorer = machine->processes().findByName("explorer.exe");
+  ASSERT_NE(explorer, nullptr);
+  winsys::Process& byUser =
+      machine->processes().create("C:\\s\\b.exe", explorer->pid, "", 4);
+  winapi::Api apiUser(*machine, userspace, byUser.pid);
+  EXPECT_FALSE(malware::probeEnvironment(apiUser,
+                                         Technique::kParentNotExplorer));
+}
+
+TEST(TechniqueEnv, VmArtifactsFireOnRealVBox) {
+  auto machine = env::buildVBoxCuckooSandbox({});
+  winapi::UserSpace userspace;
+  winsys::Process& proc =
+      machine->processes().create("C:\\s\\p.exe", 0, "", 1);
+  winapi::Api api(*machine, userspace, proc.pid);
+  EXPECT_TRUE(malware::probeEnvironment(api, Technique::kBiosVersionValue));
+  EXPECT_TRUE(
+      malware::probeEnvironment(api, Technique::kVBoxGuestAdditionsKey));
+  EXPECT_TRUE(malware::probeEnvironment(api, Technique::kFewCores));
+  EXPECT_TRUE(malware::probeEnvironment(api, Technique::kPebProcessorCount));
+  EXPECT_TRUE(malware::probeEnvironment(api, Technique::kRdtscVmExit));
+}
+
+TEST(TechniqueEnv, EndUserMachineIsQuietExceptTiming) {
+  auto machine = env::buildEndUserMachine();
+  winapi::UserSpace userspace;
+  winsys::Process& proc =
+      machine->processes().create("C:\\dl\\p.exe", 0, "", 8);
+  winapi::Api api(*machine, userspace, proc.pid);
+  EXPECT_FALSE(malware::probeEnvironment(api, Technique::kIsDebuggerPresent));
+  EXPECT_FALSE(
+      malware::probeEnvironment(api, Technique::kVBoxGuestAdditionsKey));
+  EXPECT_FALSE(malware::probeEnvironment(api, Technique::kLowMemory));
+  EXPECT_FALSE(malware::probeEnvironment(api, Technique::kWearTearProbe));
+  // The VMM-induced timing false positive the paper reports.
+  EXPECT_TRUE(malware::probeEnvironment(api, Technique::kRdtscVmExit));
+}
+
+}  // namespace

@@ -1,0 +1,123 @@
+// Timing-coherence property tests.
+//
+// Evasive logic cross-checks clocks: GetTickCount, QueryPerformanceCounter
+// and RDTSC must tell one consistent story on an honest machine, and the
+// *incoherence* Scarecrow introduces must be exactly the designed one
+// (compressed sleeps with a matching compressed tick — not arbitrary
+// drift). These invariants are exercised with randomized call sequences.
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "env/environments.h"
+#include "support/rng.h"
+#include "winapi/api.h"
+
+namespace {
+
+using namespace scarecrow;
+
+class TimingProperty : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void SetUp() override {
+    machine_ = env::buildBareMetalSandbox();
+    proc_ = &machine_->processes().create("C:\\t\\t.exe", 0, "", 4);
+  }
+  std::unique_ptr<winsys::Machine> machine_;
+  winapi::UserSpace userspace_;
+  winsys::Process* proc_ = nullptr;
+};
+
+TEST_P(TimingProperty, HonestClocksAgree) {
+  support::Rng rng(GetParam());
+  winapi::Api api(*machine_, userspace_, proc_->pid);
+
+  std::uint64_t lastTsc = api.rdtsc();
+  for (int step = 0; step < 200; ++step) {
+    const std::uint64_t tick0 = api.GetTickCount();
+    const std::uint64_t qpc0 = api.QueryPerformanceCounter();
+    const std::uint64_t sleepMs = rng.below(200);
+    api.Sleep(static_cast<std::uint32_t>(sleepMs));
+    const std::uint64_t tick1 = api.GetTickCount();
+    const std::uint64_t qpc1 = api.QueryPerformanceCounter();
+
+    // Tick advances by the sleep plus bounded per-call charges.
+    const std::uint64_t tickDelta = tick1 - tick0;
+    ASSERT_GE(tickDelta, sleepMs);
+    ASSERT_LE(tickDelta, sleepMs + 16);
+
+    // QPC (10 MHz) tells the same elapsed time as the tick, within the
+    // charge jitter.
+    const std::uint64_t qpcMs = (qpc1 - qpc0) / 10'000;
+    ASSERT_LE(qpcMs > tickDelta ? qpcMs - tickDelta : tickDelta - qpcMs, 4u);
+
+    // RDTSC is monotone and consistent with wall time.
+    const std::uint64_t tsc = api.rdtsc();
+    ASSERT_GT(tsc, lastTsc);
+    lastTsc = tsc;
+  }
+}
+
+TEST_P(TimingProperty, ScarecrowIncoherenceIsExactlyTheDesignedOne) {
+  support::Rng rng(GetParam());
+  core::DeceptionEngine engine({}, core::buildDefaultResourceDb());
+  winapi::Api api(*machine_, userspace_, proc_->pid);
+  engine.installInto(api);
+  const std::uint32_t percent = engine.config().identity.sleepPercent;
+
+  for (int step = 0; step < 200; ++step) {
+    const std::uint64_t sleepMs = 10 + rng.below(500);
+    const std::uint64_t tick0 = api.GetTickCount();
+    const std::uint64_t real0 = machine_->clock().nowMs();
+    api.Sleep(static_cast<std::uint32_t>(sleepMs));
+    const std::uint64_t tick1 = api.GetTickCount();
+    const std::uint64_t real1 = machine_->clock().nowMs();
+
+    // Real machine time is compressed to sleepPercent (plus charges).
+    const std::uint64_t realDelta = real1 - real0;
+    ASSERT_GE(realDelta, sleepMs * percent / 100);
+    ASSERT_LE(realDelta, sleepMs * percent / 100 + 16);
+
+    // The deceptive tick runs at the same compressed rate — the detectable
+    // "sleep patching" signal, and nothing weirder.
+    const std::uint64_t tickDelta = tick1 - tick0;
+    ASSERT_LE(tickDelta > realDelta ? tickDelta - realDelta
+                                    : realDelta - tickDelta,
+              4u);
+  }
+}
+
+TEST_P(TimingProperty, FakeUptimeIsStableAcrossCalls) {
+  support::Rng rng(GetParam());
+  core::DeceptionEngine engine({}, core::buildDefaultResourceDb());
+  winapi::Api api(*machine_, userspace_, proc_->pid);
+  engine.installInto(api);
+
+  // The faked boot origin must not jump around: consecutive reads are
+  // monotone and advance with machine time.
+  std::uint64_t last = api.GetTickCount();
+  for (int step = 0; step < 100; ++step) {
+    api.Sleep(static_cast<std::uint32_t>(rng.below(100)));
+    const std::uint64_t now = api.GetTickCount();
+    ASSERT_GE(now, last);
+    last = now;
+  }
+  // And it still reads as a freshly-booted sandbox.
+  ASSERT_LT(last, 12ULL * 60'000);
+}
+
+TEST_P(TimingProperty, CpuidCostsAreChargedPerLeaf) {
+  support::Rng rng(GetParam());
+  winapi::Api api(*machine_, userspace_, proc_->pid);
+  const std::uint64_t perCall = machine_->sysinfo().cpuidTrapCycles;
+  const int calls = 1 + static_cast<int>(rng.below(32));
+  const std::uint64_t t0 = machine_->clock().tsc();
+  for (int i = 0; i < calls; ++i)
+    api.cpuid(static_cast<std::uint32_t>(rng.below(2)));
+  const std::uint64_t t1 = machine_->clock().tsc();
+  ASSERT_EQ(t1 - t0, perCall * static_cast<std::uint64_t>(calls));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TimingProperty,
+                         ::testing::Values(3, 7, 11, 19, 29));
+
+}  // namespace

@@ -1,0 +1,240 @@
+// Unit tests for the trace pipeline: recorder, the Section IV-C
+// deactivation decision procedure, MalGene signature extraction, and the
+// collector proxy.
+#include <gtest/gtest.h>
+
+#include "trace/analysis.h"
+#include "trace/collector.h"
+#include "trace/malgene.h"
+#include "trace/recorder.h"
+
+namespace {
+
+using namespace scarecrow::trace;
+
+Event makeEvent(EventKind kind, const std::string& target,
+                const std::string& detail = {}) {
+  Event e;
+  e.kind = kind;
+  e.target = target;
+  e.detail = detail;
+  return e;
+}
+
+Trace makeTrace(std::vector<Event> events, bool withScarecrow = false) {
+  Trace t;
+  t.sampleId = "t";
+  t.scarecrowEnabled = withScarecrow;
+  t.events = std::move(events);
+  return t;
+}
+
+// ===== Recorder ============================================================
+
+TEST(Recorder, SequencesAndFilters) {
+  Recorder recorder;
+  recorder.record(1, 4, "a.exe", EventKind::kFileWrite, "C:\\f");
+  recorder.record(2, 4, "a.exe", EventKind::kApiCall, "Sleep");  // filtered
+  recorder.setCaptureApiCalls(true);
+  recorder.record(3, 4, "a.exe", EventKind::kApiCall, "Sleep");
+  const Trace& t = recorder.trace();
+  ASSERT_EQ(t.events.size(), 2u);
+  EXPECT_EQ(t.events[0].seq, 0u);
+  EXPECT_EQ(t.events[1].seq, 1u);  // filtered events do not consume seqs
+}
+
+TEST(Recorder, TakeTraceResets) {
+  Recorder recorder;
+  recorder.setSampleId("s1");
+  recorder.record(1, 4, "a.exe", EventKind::kFileWrite, "C:\\f");
+  Trace taken = recorder.takeTrace();
+  EXPECT_EQ(taken.sampleId, "s1");
+  EXPECT_EQ(taken.events.size(), 1u);
+  EXPECT_TRUE(recorder.trace().empty());
+}
+
+TEST(Event, DescribeAndNames) {
+  const Event e = makeEvent(EventKind::kRegOpenKey, "SOFTWARE\\X", "v");
+  EXPECT_EQ(describe(e), "RegOpenKey  -> SOFTWARE\\X [v]");
+  EXPECT_STREQ(eventKindName(EventKind::kDnsQuery), "DnsQuery");
+}
+
+// ===== significant activities ==============================================
+
+TEST(Analysis, SignificantKindsOnly) {
+  const Trace t = makeTrace({
+      makeEvent(EventKind::kProcessCreate, "C:\\dropped.exe"),
+      makeEvent(EventKind::kFileWrite, "C:\\f.txt"),
+      makeEvent(EventKind::kRegSetValue, "SOFTWARE\\Run"),
+      makeEvent(EventKind::kDnsQuery, "c2.evil.com"),   // not significant
+      makeEvent(EventKind::kFileRead, "C:\\g.txt"),     // not significant
+  });
+  EXPECT_EQ(significantActivities(t, "sample.exe").size(), 3u);
+}
+
+TEST(Analysis, SelfSpawnAndSelfDeleteExcluded) {
+  const Trace t = makeTrace({
+      makeEvent(EventKind::kProcessCreate, "C:\\dir\\sample.exe"),
+      makeEvent(EventKind::kFileDelete, "C:\\dir\\sample.exe"),
+      makeEvent(EventKind::kProcessCreate, "C:\\other.exe"),
+  });
+  const auto activities = significantActivities(t, "sample.exe");
+  EXPECT_EQ(activities.size(), 1u);
+  EXPECT_NE(activities.find("ProcessCreate:c:\\other.exe"),
+            activities.end());
+}
+
+TEST(Analysis, SelfSpawnCount) {
+  const Trace t = makeTrace({
+      makeEvent(EventKind::kProcessCreate, "C:\\a\\sample.exe"),
+      makeEvent(EventKind::kProcessCreate, "C:\\b\\SAMPLE.EXE"),
+      makeEvent(EventKind::kProcessCreate, "C:\\other.exe"),
+  });
+  EXPECT_EQ(selfSpawnCount(t, "sample.exe"), 2u);
+}
+
+TEST(Analysis, FirstTriggerFromAlerts) {
+  const Trace t = makeTrace({
+      makeEvent(EventKind::kAlert, "self-spawn", "sample.exe"),
+      makeEvent(EventKind::kAlert, "fingerprint", "GetTickCount()"),
+      makeEvent(EventKind::kAlert, "fingerprint", "IsDebuggerPresent()"),
+  });
+  EXPECT_EQ(firstTrigger(t), "GetTickCount()");
+  EXPECT_EQ(firstTrigger(makeTrace({})), "");
+}
+
+TEST(Analysis, IsDebuggerPresentDetection) {
+  EXPECT_TRUE(usedIsDebuggerPresent(makeTrace(
+      {makeEvent(EventKind::kAlert, "fingerprint", "IsDebuggerPresent()")})));
+  EXPECT_FALSE(usedIsDebuggerPresent(makeTrace(
+      {makeEvent(EventKind::kAlert, "fingerprint", "GetTickCount()")})));
+}
+
+// ===== deactivation judgement ===============================================
+
+TEST(Judge, SelfSpawnLoopWins) {
+  std::vector<Event> spawns;
+  for (int i = 0; i < 12; ++i)
+    spawns.push_back(makeEvent(EventKind::kProcessCreate, "C:\\s.exe"));
+  const DeactivationVerdict verdict = judgeDeactivation(
+      makeTrace({makeEvent(EventKind::kFileWrite, "C:\\evil.txt")}),
+      makeTrace(std::move(spawns), true), "s.exe");
+  EXPECT_TRUE(verdict.deactivated);
+  EXPECT_EQ(verdict.reason, DeactivationReason::kSelfSpawnLoop);
+  EXPECT_EQ(verdict.selfSpawnsWithScarecrow, 12u);
+}
+
+TEST(Judge, ExactlyTenSpawnsIsNotALoop) {
+  std::vector<Event> spawns;
+  for (int i = 0; i < 10; ++i)
+    spawns.push_back(makeEvent(EventKind::kProcessCreate, "C:\\s.exe"));
+  const DeactivationVerdict verdict = judgeDeactivation(
+      makeTrace({makeEvent(EventKind::kFileWrite, "C:\\evil.txt")}),
+      makeTrace(std::move(spawns), true), "s.exe");
+  EXPECT_NE(verdict.reason, DeactivationReason::kSelfSpawnLoop);
+  EXPECT_TRUE(verdict.deactivated);  // still: payload suppressed
+}
+
+TEST(Judge, SuppressedActivities) {
+  const DeactivationVerdict verdict = judgeDeactivation(
+      makeTrace({makeEvent(EventKind::kFileWrite, "C:\\evil.txt"),
+                 makeEvent(EventKind::kRegSetValue, "Run")}),
+      makeTrace({}, true), "s.exe");
+  EXPECT_TRUE(verdict.deactivated);
+  EXPECT_EQ(verdict.reason, DeactivationReason::kSuppressedActivities);
+  EXPECT_EQ(verdict.suppressedActivities.size(), 2u);
+}
+
+TEST(Judge, LeakedActivitiesMeanFailure) {
+  const Trace payload =
+      makeTrace({makeEvent(EventKind::kFileWrite, "C:\\evil.txt")});
+  Trace payloadWith = payload;
+  payloadWith.scarecrowEnabled = true;
+  const DeactivationVerdict verdict =
+      judgeDeactivation(payload, payloadWith, "s.exe");
+  EXPECT_FALSE(verdict.deactivated);
+  EXPECT_EQ(verdict.reason, DeactivationReason::kNotDeactivated);
+  EXPECT_EQ(verdict.leakedActivities.size(), 1u);
+}
+
+TEST(Judge, NoActivityEitherWayIsIndeterminate) {
+  const DeactivationVerdict verdict = judgeDeactivation(
+      makeTrace({makeEvent(EventKind::kFileDelete, "C:\\s.exe")}),
+      makeTrace({makeEvent(EventKind::kFileDelete, "C:\\s.exe")}, true),
+      "s.exe");
+  EXPECT_FALSE(verdict.deactivated);
+  EXPECT_EQ(verdict.reason, DeactivationReason::kIndeterminate);
+}
+
+TEST(Judge, ReasonNames) {
+  EXPECT_STREQ(deactivationReasonName(DeactivationReason::kSelfSpawnLoop),
+               "self-spawn-loop");
+  EXPECT_STREQ(deactivationReasonName(DeactivationReason::kIndeterminate),
+               "indeterminate");
+}
+
+// ===== MalGene =============================================================
+
+TEST(MalGene, FindsFirstDeviation) {
+  const Trace evades = makeTrace({
+      makeEvent(EventKind::kRegOpenKey, "SOFTWARE\\VMware, Inc.\\VMware Tools"),
+      makeEvent(EventKind::kProcessExit, "s.exe"),
+  });
+  const Trace detonates = makeTrace({
+      makeEvent(EventKind::kRegOpenKey, "SOFTWARE\\VMware, Inc.\\VMware Tools"),
+      makeEvent(EventKind::kFileWrite, "C:\\evil.txt"),
+  });
+  const EvasionSignature sig = extractEvasionSignature(evades, detonates);
+  EXPECT_TRUE(sig.found);
+  EXPECT_EQ(sig.probedResource,
+            "RegOpenKey:software\\vmware, inc.\\vmware tools");
+  EXPECT_EQ(sig.divergenceA, 1u);
+}
+
+TEST(MalGene, IdenticalTracesNotEvasive) {
+  const Trace t = makeTrace({makeEvent(EventKind::kFileWrite, "C:\\a")});
+  EXPECT_FALSE(tracesDeviate(t, t));
+}
+
+TEST(MalGene, PrefixTraceDeviatesAtEnd) {
+  const Trace shorter = makeTrace({makeEvent(EventKind::kFileWrite, "C:\\a")});
+  const Trace longer = makeTrace({makeEvent(EventKind::kFileWrite, "C:\\a"),
+                                  makeEvent(EventKind::kFileWrite, "C:\\b")});
+  const EvasionSignature sig = extractEvasionSignature(shorter, longer);
+  EXPECT_TRUE(sig.found);
+  EXPECT_EQ(sig.branchA, "");
+  EXPECT_EQ(sig.branchB, "FileWrite:c:\\b");
+}
+
+TEST(MalGene, AlertsInvisibleToAlignment) {
+  // Engine-side alerts must not count as guest behaviour.
+  const Trace a = makeTrace({makeEvent(EventKind::kAlert, "fingerprint", "x"),
+                             makeEvent(EventKind::kFileWrite, "C:\\a")});
+  const Trace b = makeTrace({makeEvent(EventKind::kFileWrite, "C:\\a")});
+  EXPECT_FALSE(tracesDeviate(a, b));
+}
+
+// ===== Collector ===========================================================
+
+TEST(Collector, PairsAndJudges) {
+  Collector collector;
+  Trace without = makeTrace({makeEvent(EventKind::kFileWrite, "C:\\e.txt")});
+  without.sampleId = "abc";
+  Trace with = makeTrace({}, true);
+  with.sampleId = "abc";
+  collector.upload(std::move(without));
+  EXPECT_FALSE(collector.judge("abc", "abc.exe").has_value());
+  collector.upload(std::move(with));
+
+  ASSERT_NE(collector.find("abc", false), nullptr);
+  ASSERT_NE(collector.find("abc", true), nullptr);
+  EXPECT_EQ(collector.find("missing", false), nullptr);
+  EXPECT_EQ(collector.size(), 2u);
+
+  const auto verdict = collector.judge("abc", "abc.exe");
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_TRUE(verdict->deactivated);
+  EXPECT_EQ(collector.sampleIds().size(), 1u);
+}
+
+}  // namespace

@@ -1,0 +1,153 @@
+// Transparency property: for randomized *benign* operation sequences, a
+// Scarecrow-supervised process observes exactly the results an
+// unsupervised one does — status codes, written contents, registry state,
+// live-network responses. This is requirement (b) of Section III at the
+// API level: only programs probing deceptive resources see anything
+// different.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "env/environments.h"
+#include "support/rng.h"
+#include "winapi/api.h"
+
+namespace {
+
+using namespace scarecrow;
+
+/// One benign operation and its observable outcome, rendered to a string
+/// so entire runs can be compared verbatim.
+std::string runBenignSequence(winsys::Machine& machine, bool withScarecrow,
+                              std::uint64_t seed) {
+  support::Rng rng(seed);
+  winapi::UserSpace userspace;
+  winsys::Process& proc =
+      machine.processes().create("C:\\app\\benign.exe", 0, "", 8);
+  std::unique_ptr<core::DeceptionEngine> engine;
+  winapi::Api api(machine, userspace, proc.pid);
+  if (withScarecrow) {
+    engine = std::make_unique<core::DeceptionEngine>(
+        core::Config{}, core::buildDefaultResourceDb());
+    engine->installInto(api);
+  }
+
+  std::string log;
+  auto note = [&log](const std::string& entry) {
+    log += entry;
+    log += '\n';
+  };
+
+  for (int step = 0; step < 300; ++step) {
+    switch (rng.below(8)) {
+      case 0: {  // write and read back a data file (fixed app directory)
+        const std::string path =
+            "C:\\app\\data\\f" + std::to_string(rng.below(10)) + ".dat";
+        const std::string content = "payload-" + std::to_string(step);
+        api.WriteFileA(path, content);
+        note("write " + path + " -> " +
+             machine.vfs().find(path)->content);
+        break;
+      }
+      case 1: {  // registry round trip under the app's own key
+        const std::string key =
+            "SOFTWARE\\BenignApp\\S" + std::to_string(rng.below(5));
+        const auto v = static_cast<std::uint32_t>(rng.below(1000));
+        api.RegSetValueEx(key, "setting", winsys::RegValue::dword(v));
+        winsys::RegValue out;
+        const auto status = api.RegQueryValueEx(key, "setting", out);
+        note("reg " + key + " " +
+             std::to_string(static_cast<int>(status)) + " " +
+             std::to_string(out.num));
+        break;
+      }
+      case 2: {  // query own (non-deceptive) configuration keys
+        winsys::RegValue out;
+        const auto status = api.RegQueryValueEx(
+            "SOFTWARE\\Microsoft\\Windows NT\\CurrentVersion",
+            "ProductName", out);
+        note("product " + std::to_string(static_cast<int>(status)) + " " +
+             out.str);
+        break;
+      }
+      case 3: {  // live-domain networking
+        const auto ip = api.DnsQuery("www.google.com");
+        const auto http = api.InternetOpenUrlA("update.microsoft.com");
+        note("net " + (ip ? *ip : "nx") + " " +
+             std::to_string(http.status));
+        break;
+      }
+      case 4: {  // file enumeration of own directory
+        api.WriteFileA("C:\\app\\data\\fixed.bin", "x");
+        note("list " +
+             std::to_string(api.FindFirstFileA("C:\\app\\data", "*").size()));
+        break;
+      }
+      case 5: {  // delete own artifacts
+        const std::string path =
+            "C:\\app\\data\\f" + std::to_string(rng.below(10)) + ".dat";
+        note("del " +
+             std::to_string(static_cast<int>(api.DeleteFileA(path))));
+        break;
+      }
+      case 6: {  // copy within own tree
+        api.WriteFileA("C:\\app\\data\\src.bin", "s");
+        note("copy " + std::to_string(static_cast<int>(api.CopyFileA(
+                           "C:\\app\\data\\src.bin",
+                           "C:\\app\\data\\dst" +
+                               std::to_string(rng.below(4)) + ".bin"))));
+        break;
+      }
+      case 7: {  // own-module queries (loaded system DLLs)
+        note(std::string("mod ") +
+             (api.GetModuleHandleA("kernel32.dll") ? "1" : "0") +
+             (api.GetProcAddress("kernel32.dll", "CreateFileA") ? "1"
+                                                                : "0"));
+        break;
+      }
+    }
+  }
+  return log;
+}
+
+class Transparency : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Transparency, BenignSequencesAreBitIdentical) {
+  auto plainMachine = env::buildEndUserMachine();
+  auto guardedMachine = env::buildEndUserMachine();
+  const std::string plain =
+      runBenignSequence(*plainMachine, false, GetParam());
+  const std::string guarded =
+      runBenignSequence(*guardedMachine, true, GetParam());
+  EXPECT_EQ(plain, guarded);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Transparency,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+TEST(Transparency, OnlyDeceptiveProbesDiffer) {
+  // Sanity inversion: the moment the sequence touches a deceptive
+  // resource, the logs MUST diverge.
+  auto plainMachine = env::buildEndUserMachine();
+  auto guardedMachine = env::buildEndUserMachine();
+  auto probe = [](winsys::Machine& machine, bool withScarecrow) {
+    winapi::UserSpace userspace;
+    winsys::Process& proc =
+        machine.processes().create("C:\\app\\x.exe", 0, "", 8);
+    std::unique_ptr<core::DeceptionEngine> engine;
+    winapi::Api api(machine, userspace, proc.pid);
+    if (withScarecrow) {
+      engine = std::make_unique<core::DeceptionEngine>(
+          core::Config{}, core::buildDefaultResourceDb());
+      engine->installInto(api);
+    }
+    return std::to_string(
+        static_cast<int>(api.RegOpenKeyEx("SOFTWARE\\Oracle\\VirtualBox "
+                                          "Guest Additions")));
+  };
+  EXPECT_NE(probe(*plainMachine, false), probe(*guardedMachine, true));
+}
+
+}  // namespace

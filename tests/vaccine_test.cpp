@@ -1,0 +1,161 @@
+// Tests for mutexes, infection markers, and the Section VII baseline
+// defenses (vaccination, Chen-style imitation).
+#include <gtest/gtest.h>
+
+#include "core/eval.h"
+#include "core/vaccine.h"
+#include "env/environments.h"
+#include "malware/sample.h"
+#include "trace/analysis.h"
+#include "winapi/api.h"
+#include "winapi/runner.h"
+
+namespace {
+
+using namespace scarecrow;
+using malware::PayloadStep;
+using malware::SampleSpec;
+
+// ===== mutex substrate ======================================================
+
+TEST(MutexTable, CreateOpenSemantics) {
+  winsys::MutexTable table;
+  EXPECT_FALSE(table.create("Global\\M"));  // fresh: did not exist
+  EXPECT_TRUE(table.create("global\\m"));   // case-insensitive re-create
+  EXPECT_TRUE(table.exists("GLOBAL\\M"));
+  EXPECT_TRUE(table.remove("Global\\M"));
+  EXPECT_FALSE(table.exists("Global\\M"));
+  EXPECT_FALSE(table.remove("Global\\M"));
+}
+
+TEST(MutexTable, SurvivesSnapshots) {
+  winsys::Machine machine;
+  machine.mutexes().create("Global\\Marker");
+  const winsys::MachineSnapshot snap = machine.snapshot();
+  machine.mutexes().create("Global\\Extra");
+  machine.restore(snap);
+  EXPECT_TRUE(machine.mutexes().exists("Global\\Marker"));
+  EXPECT_FALSE(machine.mutexes().exists("Global\\Extra"));
+}
+
+TEST(MutexApi, CreateAndOpen) {
+  winsys::Machine machine;
+  winapi::UserSpace userspace;
+  winsys::Process& proc = machine.processes().create("C:\\m.exe", 0, "", 4);
+  winapi::Api api(machine, userspace, proc.pid);
+  EXPECT_FALSE(api.OpenMutexA("Global\\X"));
+  EXPECT_FALSE(api.CreateMutexA("Global\\X"));  // created fresh
+  EXPECT_TRUE(api.CreateMutexA("Global\\X"));   // ERROR_ALREADY_EXISTS
+  EXPECT_TRUE(api.OpenMutexA("Global\\X"));
+}
+
+// ===== infection markers ====================================================
+
+class MarkerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    machine_ = env::buildBareMetalSandbox();
+    SampleSpec spec;
+    spec.id = "marked";
+    spec.family = "TestFam";
+    spec.infectionMarker = core::familyInfectionMarker("TestFam");
+    spec.payload = {{PayloadStep::Kind::kDropAndExecute, "w.exe"}};
+    registry_.addSample(std::move(spec));
+  }
+
+  trace::Trace runSample() {
+    machine_->vfs().createFile("C:\\s\\marked.exe", 1 << 20);
+    winapi::UserSpace userspace;
+    userspace.programFactory = registry_.factory();
+    winapi::Runner runner(*machine_, userspace);
+    machine_->recorder().clear();
+    runner.run("C:\\s\\marked.exe", {});
+    return machine_->recorder().takeTrace();
+  }
+
+  std::unique_ptr<winsys::Machine> machine_;
+  malware::ProgramRegistry registry_;
+};
+
+TEST_F(MarkerTest, PayloadPlantsTheMarker) {
+  const trace::Trace t = runSample();
+  EXPECT_FALSE(trace::significantActivities(t, "marked.exe").empty());
+  EXPECT_TRUE(machine_->mutexes().exists(
+      core::familyInfectionMarker("TestFam")));
+}
+
+TEST_F(MarkerTest, VaccinationSuppressesThePayload) {
+  core::vaccinate(*machine_, core::buildVaccineForFamilies({"TestFam"}));
+  const trace::Trace t = runSample();
+  EXPECT_TRUE(trace::significantActivities(t, "marked.exe").empty());
+}
+
+TEST_F(MarkerTest, WrongFamilyVaccineDoesNothing) {
+  core::vaccinate(*machine_, core::buildVaccineForFamilies({"OtherFam"}));
+  const trace::Trace t = runSample();
+  EXPECT_FALSE(trace::significantActivities(t, "marked.exe").empty());
+}
+
+TEST(MarkerlessSamples, VaccineCannotTouchThem) {
+  auto machine = env::buildBareMetalSandbox();
+  malware::ProgramRegistry registry;
+  SampleSpec spec;
+  spec.id = "nomarker";
+  spec.family = "Zero";
+  spec.payload = {{PayloadStep::Kind::kModifyFiles, ""}};
+  registry.addSample(std::move(spec));
+  machine->vfs().createFile("C:\\s\\nomarker.exe", 1 << 20);
+  core::vaccinate(*machine, core::buildVaccineForFamilies({"Zero"}));
+  winapi::UserSpace userspace;
+  userspace.programFactory = registry.factory();
+  winapi::Runner runner(*machine, userspace);
+  runner.run("C:\\s\\nomarker.exe", {});
+  EXPECT_FALSE(
+      trace::significantActivities(machine->recorder().trace(),
+                                   "nomarker.exe")
+          .empty());
+}
+
+// ===== Chen-style imitator ===================================================
+
+TEST(ChenImitator, CoversAntiVmButNotSandboxTooling) {
+  const core::ResourceDb db = core::buildChenImitatorDb();
+  EXPECT_TRUE(db.matchRegistryKey("SOFTWARE\\VMware, Inc.\\VMware Tools"));
+  EXPECT_TRUE(
+      db.matchFile("C:\\Windows\\System32\\drivers\\VBoxMouse.sys"));
+  // No sandbox tooling, folders, windows or processes.
+  EXPECT_FALSE(db.matchDll("SbieDll.dll"));
+  EXPECT_FALSE(db.matchFile("C:\\sandbox"));
+  EXPECT_FALSE(db.matchWindow("OLLYDBG", ""));
+  EXPECT_EQ(db.processCount(), 0u);
+}
+
+TEST(ChenImitator, MissesIdentityAndHardwareEvasion) {
+  auto machine = env::buildBareMetalSandbox();
+  malware::ProgramRegistry registry;
+  // A sample evading via hardware (cores < 2): Scarecrow deactivates it,
+  // the Chen-style imitation (no hardware deception) does not.
+  SampleSpec spec;
+  spec.id = "hwcheck";
+  spec.family = "t";
+  spec.techniques = {malware::Technique::kFewCores};
+  spec.payload = {{PayloadStep::Kind::kModifyFiles, ""}};
+  registry.addSample(std::move(spec));
+
+  core::EvaluationHarness harness(*machine);
+  core::Config chenConfig;
+  chenConfig.hardwareResources = false;
+  chenConfig.networkResources = false;
+  chenConfig.wearTearExtension = false;
+  harness.setResourceDbFactory([] { return core::buildChenImitatorDb(); });
+  const auto chen = harness.evaluate("hwcheck", "C:\\s\\hwcheck.exe",
+                                     registry.factory(), chenConfig);
+  EXPECT_FALSE(chen.verdict.deactivated);
+
+  harness.setResourceDbFactory({});
+  const auto scarecrow =
+      harness.evaluate("hwcheck", "C:\\s\\hwcheck.exe", registry.factory());
+  EXPECT_TRUE(scarecrow.verdict.deactivated);
+}
+
+}  // namespace

@@ -1,0 +1,145 @@
+// Unit tests for the virtual filesystem: drives, directory trees,
+// case-insensitive lookup, listing, device-namespace nodes.
+#include <gtest/gtest.h>
+
+#include "winsys/vfs.h"
+
+namespace {
+
+using namespace scarecrow::winsys;
+
+class VfsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DriveInfo c;
+    c.letter = 'C';
+    c.totalBytes = 100ULL << 30;
+    c.freeBytes = 60ULL << 30;
+    fs_.addDrive(c);
+  }
+  Vfs fs_;
+};
+
+TEST_F(VfsTest, DriveLookupIsCaseInsensitive) {
+  EXPECT_NE(fs_.findDrive('c'), nullptr);
+  EXPECT_NE(fs_.findDrive('C'), nullptr);
+  EXPECT_EQ(fs_.findDrive('D'), nullptr);
+  EXPECT_EQ(fs_.findDrive('C')->totalBytes, 100ULL << 30);
+}
+
+TEST_F(VfsTest, DriveLetters) {
+  DriveInfo d;
+  d.letter = 'd';
+  fs_.addDrive(d);
+  const auto letters = fs_.driveLetters();
+  ASSERT_EQ(letters.size(), 2u);
+  EXPECT_EQ(letters[0], 'C');
+  EXPECT_EQ(letters[1], 'D');
+}
+
+TEST_F(VfsTest, MakeDirsCreatesAllParents) {
+  fs_.makeDirs("C:\\a\\b\\c");
+  EXPECT_TRUE(fs_.exists("C:\\a"));
+  EXPECT_TRUE(fs_.exists("C:\\a\\b"));
+  EXPECT_TRUE(fs_.exists("C:\\a\\b\\c"));
+  EXPECT_EQ(fs_.find("C:\\a\\b")->kind, NodeKind::kDirectory);
+}
+
+TEST_F(VfsTest, CreateFileCreatesParents) {
+  fs_.createFile("C:\\deep\\tree\\file.bin", 1234);
+  EXPECT_TRUE(fs_.exists("C:\\deep\\tree"));
+  const FileNode* node = fs_.find("c:\\DEEP\\tree\\FILE.BIN");
+  ASSERT_NE(node, nullptr);
+  EXPECT_EQ(node->kind, NodeKind::kFile);
+  EXPECT_EQ(node->sizeBytes, 1234u);
+}
+
+TEST_F(VfsTest, DisplayPathKeepsOriginalCase) {
+  fs_.createFile("C:\\Windows\\System32\\VBoxMouse.sys", 1);
+  const FileNode* node = fs_.find("c:\\windows\\system32\\vboxmouse.sys");
+  ASSERT_NE(node, nullptr);
+  EXPECT_EQ(node->displayPath, "C:\\Windows\\System32\\VBoxMouse.sys");
+}
+
+TEST_F(VfsTest, ForwardSlashesNormalize) {
+  fs_.createFile("C:/mixed/slash.txt", 1);
+  EXPECT_TRUE(fs_.exists("C:\\mixed\\slash.txt"));
+}
+
+TEST_F(VfsTest, RemoveFile) {
+  fs_.createFile("C:\\x.txt", 1);
+  EXPECT_TRUE(fs_.remove("C:\\X.TXT"));
+  EXPECT_FALSE(fs_.exists("C:\\x.txt"));
+  EXPECT_FALSE(fs_.remove("C:\\x.txt"));
+}
+
+TEST_F(VfsTest, RemoveDirectoryRemovesSubtree) {
+  fs_.createFile("C:\\dir\\a.txt", 1);
+  fs_.createFile("C:\\dir\\sub\\b.txt", 1);
+  fs_.createFile("C:\\dirx\\c.txt", 1);  // sibling with common prefix
+  EXPECT_TRUE(fs_.remove("C:\\dir"));
+  EXPECT_FALSE(fs_.exists("C:\\dir\\a.txt"));
+  EXPECT_FALSE(fs_.exists("C:\\dir\\sub\\b.txt"));
+  EXPECT_TRUE(fs_.exists("C:\\dirx\\c.txt"));
+}
+
+TEST_F(VfsTest, WriteContentUpdatesSizeAndTime) {
+  fs_.writeContent("C:\\f.dat", "hello", 99);
+  const FileNode* node = fs_.find("C:\\f.dat");
+  ASSERT_NE(node, nullptr);
+  EXPECT_EQ(node->content, "hello");
+  EXPECT_EQ(node->sizeBytes, 5u);
+  EXPECT_EQ(node->modifiedMs, 99u);
+}
+
+struct ListCase {
+  const char* pattern;
+  std::size_t expected;
+};
+
+class VfsListing : public ::testing::TestWithParam<ListCase> {
+ protected:
+  void SetUp() override {
+    fs_.addDrive({.letter = 'C'});
+    fs_.createFile("C:\\d\\one.pf", 1);
+    fs_.createFile("C:\\d\\two.pf", 1);
+    fs_.createFile("C:\\d\\three.txt", 1);
+    fs_.createFile("C:\\d\\sub\\nested.pf", 1);  // not an immediate child
+    fs_.makeDirs("C:\\d\\sub");
+  }
+  Vfs fs_;
+};
+
+TEST_P(VfsListing, PatternCounts) {
+  EXPECT_EQ(fs_.list("C:\\d", GetParam().pattern).size(),
+            GetParam().expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Patterns, VfsListing,
+                         ::testing::Values(ListCase{"*", 4},  // incl. sub dir
+                                           ListCase{"*.pf", 2},
+                                           ListCase{"*.txt", 1},
+                                           ListCase{"one.*", 1},
+                                           ListCase{"*.exe", 0}));
+
+TEST_F(VfsTest, ListRecursive) {
+  fs_.createFile("C:\\r\\a.txt", 1);
+  fs_.createFile("C:\\r\\s\\b.txt", 1);
+  // 4 nodes: a.txt, s (dir), s\b.txt — plus nothing else under C:\r.
+  EXPECT_EQ(fs_.listRecursive("C:\\r").size(), 3u);
+}
+
+TEST_F(VfsTest, DeviceNamespace) {
+  fs_.createDevice("\\\\.\\VBoxGuest");
+  const FileNode* node = fs_.find("\\\\.\\VBoxGuest");
+  ASSERT_NE(node, nullptr);
+  EXPECT_EQ(node->kind, NodeKind::kDevice);
+}
+
+TEST_F(VfsTest, NodeCount) {
+  const std::size_t before = fs_.nodeCount();
+  fs_.createFile("C:\\n\\f.txt", 1);  // creates C:\n and the file
+  EXPECT_EQ(fs_.nodeCount(), before + 2);
+}
+
+}  // namespace

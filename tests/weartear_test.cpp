@@ -1,0 +1,231 @@
+// Wear-and-tear fingerprinting tests: the 44-artifact inventory, aged vs
+// pristine measurement, Table III fakes, and the CART decision tree.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "env/environments.h"
+#include "fingerprint/decision_tree.h"
+#include "fingerprint/harness.h"
+#include "fingerprint/weartear.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace scarecrow;
+using fingerprint::ArtifactCategory;
+using fingerprint::artifactIndex;
+using fingerprint::artifactTable;
+using fingerprint::ArtifactVector;
+
+TEST(ArtifactInventory, FortyFourAcrossFiveCategories) {
+  const auto& table = artifactTable();
+  EXPECT_EQ(table.size(), 44u);
+  std::map<ArtifactCategory, int> perCategory;
+  std::set<std::string> names;
+  int top5 = 0, faked = 0;
+  for (const auto& info : table) {
+    ++perCategory[info.category];
+    names.insert(info.name);
+    if (info.top5) ++top5;
+    if (info.fakedByScarecrow) ++faked;
+  }
+  EXPECT_EQ(perCategory.size(), 5u);
+  EXPECT_EQ(names.size(), 44u);  // unique names
+  EXPECT_EQ(top5, 5);
+  // Table III: top-5 plus the registry category; registry is the largest.
+  EXPECT_EQ(perCategory[ArtifactCategory::kRegistry], 13);
+  for (const auto& [category, count] : perCategory)
+    EXPECT_LE(count, 13) << artifactCategoryName(category);
+  EXPECT_EQ(faked, 16);  // 13 registry + sysevt + syssrc + dnscacheEntries
+}
+
+TEST(ArtifactInventory, IndexLookup) {
+  EXPECT_EQ(artifactTable()[artifactIndex("sysevt")].name,
+            std::string("sysevt"));
+  EXPECT_THROW(artifactIndex("no-such-artifact"), std::out_of_range);
+}
+
+TEST(ArtifactInventory, Top5MatchesPaperTableIII) {
+  for (const char* name : {"dnscacheEntries", "sysevt", "syssrc",
+                           "deviceClsCount", "autoRunCount"})
+    EXPECT_TRUE(artifactTable()[artifactIndex(name)].top5) << name;
+}
+
+TEST(Measurement, AgedExceedsPristine) {
+  auto aged = env::buildEndUserMachine();
+  auto pristine = env::buildBareMetalSandbox();
+  const ArtifactVector a = fingerprint::measureWearTearOn(*aged, {});
+  const ArtifactVector p = fingerprint::measureWearTearOn(*pristine, {});
+  for (const char* name :
+       {"regSize", "uninstallCount", "usrassistCount", "sysevt",
+        "dnscacheEntries", "deviceClsCount", "prefetchCount"})
+    EXPECT_GT(a[artifactIndex(name)], p[artifactIndex(name)]) << name;
+}
+
+TEST(Measurement, MeasurementDoesNotMutateMachine) {
+  auto machine = env::buildEndUserMachine();
+  const auto before = machine->snapshot();
+  fingerprint::measureWearTearOn(*machine, {});
+  EXPECT_EQ(machine->registry().totalBytes(), before.registry.totalBytes());
+  EXPECT_EQ(machine->vfs().nodeCount(), before.vfs.nodeCount());
+}
+
+struct FakeCase {
+  const char* artifact;
+  double value;
+};
+
+class TableIIIFakes : public ::testing::TestWithParam<FakeCase> {};
+
+TEST_P(TableIIIFakes, ScarecrowPinsValue) {
+  auto machine = env::buildEndUserMachine();
+  fingerprint::FingerprintRunOptions on;
+  on.withScarecrow = true;
+  const ArtifactVector faked = fingerprint::measureWearTearOn(*machine, on);
+  EXPECT_EQ(faked[artifactIndex(GetParam().artifact)], GetParam().value)
+      << GetParam().artifact;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableIII, TableIIIFakes,
+    ::testing::Values(FakeCase{"dnscacheEntries", 4},
+                      FakeCase{"sysevt", 8'000},
+                      FakeCase{"deviceClsCount", 29},
+                      FakeCase{"autoRunCount", 3},
+                      FakeCase{"regSize", 53.0 * (1 << 20)},
+                      FakeCase{"uninstallCount", 2},
+                      FakeCase{"totalSharedDlls", 3},
+                      FakeCase{"totalAppPaths", 2},
+                      FakeCase{"totalActiveSetup", 2},
+                      FakeCase{"usrassistCount", 1},
+                      FakeCase{"shimCacheCount", 9},
+                      FakeCase{"MUICacheEntries", 2},
+                      FakeCase{"FireruleCount", 30},
+                      FakeCase{"USBStorCount", 0}),
+    [](const ::testing::TestParamInfo<FakeCase>& info) {
+      return info.param.artifact;
+    });
+
+// ===== decision tree ========================================================
+
+fingerprint::LabeledSample sampleWith(double a, double b,
+                                      fingerprint::MachineLabel label) {
+  fingerprint::LabeledSample s;
+  s.features[0] = a;
+  s.features[1] = b;
+  s.label = label;
+  return s;
+}
+
+TEST(DecisionTree, LearnsSimpleThreshold) {
+  using fingerprint::MachineLabel;
+  std::vector<fingerprint::LabeledSample> data;
+  for (double v : {10.0, 12.0, 14.0, 16.0})
+    data.push_back(sampleWith(v, 0, MachineLabel::kRealDevice));
+  for (double v : {1.0, 2.0, 3.0, 4.0})
+    data.push_back(sampleWith(v, 0, MachineLabel::kSandbox));
+  fingerprint::DecisionTree tree;
+  tree.train(data);
+  EXPECT_EQ(tree.accuracy(data), 1.0);
+  ArtifactVector probe{};
+  probe[0] = 13.0;
+  EXPECT_EQ(tree.classify(probe), MachineLabel::kRealDevice);
+  probe[0] = 2.5;
+  EXPECT_EQ(tree.classify(probe), MachineLabel::kSandbox);
+  EXPECT_EQ(tree.usedFeatures(), std::set<std::size_t>{0});
+}
+
+TEST(DecisionTree, RespectsFeatureMask) {
+  using fingerprint::MachineLabel;
+  std::vector<fingerprint::LabeledSample> data;
+  // Feature 0 separates perfectly, feature 1 only partially.
+  for (int i = 0; i < 8; ++i) {
+    const bool real = i < 4;
+    fingerprint::LabeledSample s;
+    s.features[0] = real ? 10 : 1;
+    s.features[1] = (i % 2 == 0) == real ? 10 : 1;
+    s.label = real ? MachineLabel::kRealDevice : MachineLabel::kSandbox;
+    data.push_back(s);
+  }
+  fingerprint::DecisionTree tree;
+  tree.train(data, {}, {1});  // forbid feature 0
+  for (std::size_t f : tree.usedFeatures()) EXPECT_EQ(f, 1u);
+}
+
+TEST(DecisionTree, DepthLimitRespected) {
+  using fingerprint::MachineLabel;
+  std::vector<fingerprint::LabeledSample> data;
+  support::Rng rng(3);
+  for (int i = 0; i < 64; ++i) {
+    fingerprint::LabeledSample s;
+    for (auto& f : s.features) f = rng.uniform();
+    s.label = rng.chance(0.5) ? MachineLabel::kRealDevice
+                              : MachineLabel::kSandbox;
+    data.push_back(s);
+  }
+  fingerprint::DecisionTree tree;
+  fingerprint::TreeParams params;
+  params.maxDepth = 1;
+  tree.train(data, params);
+  EXPECT_LE(tree.nodeCount(), 3u);  // root + two leaves
+}
+
+TEST(DecisionTree, EmptyAndDegenerateInputs) {
+  fingerprint::DecisionTree tree;
+  tree.train({});
+  EXPECT_FALSE(tree.trained());
+  EXPECT_EQ(tree.classify(ArtifactVector{}),
+            fingerprint::MachineLabel::kRealDevice);
+}
+
+TEST(DecisionTree, DescribeMentionsArtifactNames) {
+  const auto training = fingerprint::generateTrainingSet(6, 17);
+  fingerprint::DecisionTree tree;
+  tree.train(training);
+  ASSERT_TRUE(tree.trained());
+  EXPECT_FALSE(tree.describe().empty());
+}
+
+TEST(TrainingSet, BalancedAndSeparable) {
+  const auto training = fingerprint::generateTrainingSet(8, 23);
+  EXPECT_EQ(training.size(), 16u);
+  fingerprint::DecisionTree tree;
+  tree.train(training);
+  EXPECT_GE(tree.accuracy(training), 0.95);
+  // The splits land on artifacts Scarecrow fakes (Table III's premise).
+  for (std::size_t f : tree.usedFeatures())
+    EXPECT_TRUE(artifactTable()[f].fakedByScarecrow)
+        << artifactTable()[f].name;
+}
+
+TEST(EndToEnd, ScarecrowFlipsTheVerdict) {
+  const auto training = fingerprint::generateTrainingSet(12, 31);
+  fingerprint::DecisionTree tree;
+  tree.train(training);
+
+  auto machine = env::buildEndUserMachine();
+  const ArtifactVector real = fingerprint::measureWearTearOn(*machine, {});
+  fingerprint::FingerprintRunOptions on;
+  on.withScarecrow = true;
+  const ArtifactVector faked = fingerprint::measureWearTearOn(*machine, on);
+
+  EXPECT_EQ(tree.classify(real), fingerprint::MachineLabel::kRealDevice);
+  EXPECT_EQ(tree.classify(faked), fingerprint::MachineLabel::kSandbox);
+}
+
+TEST(EndToEnd, WithoutWearTearExtensionVerdictStaysReal) {
+  const auto training = fingerprint::generateTrainingSet(12, 31);
+  fingerprint::DecisionTree tree;
+  tree.train(training);
+
+  auto machine = env::buildEndUserMachine();
+  fingerprint::FingerprintRunOptions on;
+  on.withScarecrow = true;
+  on.config.wearTearExtension = false;
+  on.config.softwareResources = false;  // keep user-profile paths real
+  const ArtifactVector vector = fingerprint::measureWearTearOn(*machine, on);
+  EXPECT_EQ(tree.classify(vector), fingerprint::MachineLabel::kRealDevice);
+}
+
+}  // namespace

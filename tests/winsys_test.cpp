@@ -1,0 +1,257 @@
+// Unit tests for process table, window table, sysinfo (CPUID/RDTSC),
+// network stack, event log and machine snapshot/restore.
+#include <gtest/gtest.h>
+
+#include "winsys/machine.h"
+
+namespace {
+
+using namespace scarecrow::winsys;
+
+// ===== ProcessTable ========================================================
+
+TEST(ProcessTable, PidsAreMultiplesOfFour) {
+  ProcessTable table;
+  const Process& a = table.create("C:\\a.exe", 0, "", 4);
+  const Process& b = table.create("C:\\b.exe", a.pid, "", 4);
+  EXPECT_EQ(a.pid % 4, 0u);
+  EXPECT_EQ(b.pid, a.pid + 4);
+  EXPECT_EQ(b.parentPid, a.pid);
+}
+
+TEST(ProcessTable, CoreModulesMapped) {
+  ProcessTable table;
+  const Process& p = table.create("C:\\a.exe", 0, "", 4);
+  EXPECT_TRUE(p.hasModule("kernel32.dll"));
+  EXPECT_TRUE(p.hasModule("NTDLL.DLL"));
+  EXPECT_FALSE(p.hasModule("SbieDll.dll"));
+}
+
+TEST(ProcessTable, PebInheritsProcessorCount) {
+  ProcessTable table;
+  EXPECT_EQ(table.create("C:\\a.exe", 0, "", 8).peb.numberOfProcessors, 8u);
+}
+
+TEST(ProcessTable, FindByNameSkipsTerminated) {
+  ProcessTable table;
+  Process& p = table.create("C:\\dir\\target.exe", 0, "", 4);
+  EXPECT_NE(table.findByName("TARGET.EXE"), nullptr);
+  EXPECT_TRUE(table.terminate(p.pid, 0));
+  EXPECT_EQ(table.findByName("target.exe"), nullptr);
+}
+
+TEST(ProcessTable, TerminateSemantics) {
+  ProcessTable table;
+  Process& p = table.create("C:\\a.exe", 0, "", 4);
+  EXPECT_TRUE(table.terminate(p.pid, 3));
+  EXPECT_EQ(p.state, ProcessState::kTerminated);
+  EXPECT_EQ(p.exitCode, 3u);
+  EXPECT_FALSE(table.terminate(p.pid, 0));  // double kill
+  EXPECT_FALSE(table.terminate(9999, 0));   // unknown pid
+}
+
+TEST(ProcessTable, RunningExcludesTerminated) {
+  ProcessTable table;
+  Process& a = table.create("C:\\a.exe", 0, "", 4);
+  table.create("C:\\b.exe", 0, "", 4);
+  table.terminate(a.pid, 0);
+  EXPECT_EQ(table.running().size(), 1u);
+  EXPECT_EQ(table.all().size(), 2u);
+  EXPECT_EQ(table.runningCount(), 1u);
+}
+
+// ===== WindowTable =========================================================
+
+TEST(WindowTable, FindByClassOrTitle) {
+  WindowTable windows;
+  windows.add("OLLYDBG", "OllyDbg - main", 4);
+  EXPECT_NE(windows.find("OLLYDBG", ""), nullptr);
+  EXPECT_NE(windows.find("ollydbg", ""), nullptr);
+  EXPECT_EQ(windows.find("WinDbgFrameClass", ""), nullptr);
+  EXPECT_EQ(windows.find("OLLYDBG", "wrong title"), nullptr);
+  EXPECT_NE(windows.find("", "OllyDbg - main"), nullptr);
+}
+
+TEST(WindowTable, RemoveByOwner) {
+  WindowTable windows;
+  windows.add("A", "a", 4);
+  windows.add("B", "b", 8);
+  EXPECT_TRUE(windows.removeByOwner(4));
+  EXPECT_EQ(windows.windows().size(), 1u);
+  EXPECT_FALSE(windows.removeByOwner(4));
+}
+
+// ===== SysInfo (CPUID / RDTSC) ============================================
+
+TEST(SysInfo, CpuidVendorString) {
+  SysInfo si;
+  scarecrow::support::VirtualClock clock;
+  const CpuidResult r = si.cpuid(0, clock);
+  std::string vendor;
+  for (std::uint32_t reg : {r.ebx, r.edx, r.ecx})
+    for (int i = 0; i < 4; ++i)
+      vendor.push_back(static_cast<char>((reg >> (8 * i)) & 0xFF));
+  EXPECT_EQ(vendor, "GenuineIntel");
+}
+
+TEST(SysInfo, HypervisorBitReflectsConfig) {
+  SysInfo si;
+  scarecrow::support::VirtualClock clock;
+  EXPECT_EQ(si.cpuid(1, clock).ecx & (1u << 31), 0u);
+  si.hypervisorPresent = true;
+  EXPECT_NE(si.cpuid(1, clock).ecx & (1u << 31), 0u);
+}
+
+TEST(SysInfo, HypervisorVendorLeaf) {
+  SysInfo si;
+  si.hypervisorPresent = true;
+  si.hypervisorVendor = "VBoxVBoxVBox";
+  scarecrow::support::VirtualClock clock;
+  const CpuidResult r = si.cpuid(0x40000000, clock);
+  std::string vendor;
+  for (std::uint32_t reg : {r.ebx, r.ecx, r.edx})
+    for (int i = 0; i < 4; ++i)
+      vendor.push_back(static_cast<char>((reg >> (8 * i)) & 0xFF));
+  EXPECT_EQ(vendor, "VBoxVBoxVBox");
+}
+
+TEST(SysInfo, CpuidChargesTrapCycles) {
+  SysInfo si;
+  si.cpuidTrapCycles = 40'000;
+  scarecrow::support::VirtualClock clock;
+  const std::uint64_t before = clock.tsc();
+  si.cpuid(1, clock);
+  EXPECT_EQ(clock.tsc() - before, 40'000u);
+}
+
+TEST(SysInfo, RdtscCost) {
+  SysInfo si;
+  scarecrow::support::VirtualClock clock;
+  const std::uint64_t t0 = si.rdtsc(clock);
+  const std::uint64_t t1 = si.rdtsc(clock);
+  EXPECT_EQ(t1 - t0, si.rdtscCostCycles);
+}
+
+TEST(SysInfo, BrandStringAcrossLeaves) {
+  SysInfo si;
+  si.cpuBrand = "QEMU Virtual CPU version 2.5+";
+  scarecrow::support::VirtualClock clock;
+  std::string brand;
+  for (std::uint32_t leaf : {0x80000002u, 0x80000003u, 0x80000004u}) {
+    const CpuidResult r = si.cpuid(leaf, clock);
+    for (std::uint32_t reg : {r.eax, r.ebx, r.ecx, r.edx})
+      for (int i = 0; i < 4; ++i) {
+        const char c = static_cast<char>((reg >> (8 * i)) & 0xFF);
+        if (c != 0) brand.push_back(c);
+      }
+  }
+  EXPECT_EQ(brand, "QEMU Virtual CPU version 2.5+");
+}
+
+// ===== Network =============================================================
+
+TEST(Network, ResolveRegisteredAndNx) {
+  Network net;
+  net.registerDomain("example.com", "1.2.3.4");
+  EXPECT_EQ(net.resolve("EXAMPLE.COM", 0).value(), "1.2.3.4");
+  EXPECT_FALSE(net.resolve("nx-domain.invalid", 0).has_value());
+}
+
+TEST(Network, ResolutionPopulatesCache) {
+  Network net;
+  net.registerDomain("example.com", "1.2.3.4");
+  net.resolve("example.com", 55);
+  ASSERT_EQ(net.dnsCache().size(), 1u);
+  EXPECT_EQ(net.dnsCache()[0].domain, "example.com");
+  EXPECT_EQ(net.dnsCache()[0].insertedMs, 55u);
+}
+
+TEST(Network, HttpGet) {
+  Network net;
+  net.registerDomain("site.com", "5.6.7.8");
+  net.registerHttp("site.com", 200, "body");
+  EXPECT_EQ(net.httpGet("site.com").status, 200);
+  EXPECT_EQ(net.httpGet("other.com").status, 0);
+}
+
+TEST(Network, SeededCacheEntries) {
+  Network net;
+  net.seedCacheEntry("a.com", "1.1.1.1", 1);
+  net.seedCacheEntry("b.com", "2.2.2.2", 2);
+  EXPECT_EQ(net.dnsCache().size(), 2u);
+  net.clearCache();
+  EXPECT_TRUE(net.dnsCache().empty());
+}
+
+// ===== EventLog ============================================================
+
+TEST(EventLog, RecentWindow) {
+  EventLog log;
+  for (int i = 0; i < 100; ++i)
+    log.append("Source" + std::to_string(i % 7), 7000, i);
+  EXPECT_EQ(log.size(), 100u);
+  const auto recent = log.recent(10);
+  ASSERT_EQ(recent.size(), 10u);
+  EXPECT_EQ(recent.back()->timeMs, 99u);
+  EXPECT_EQ(recent.front()->timeMs, 90u);
+  EXPECT_EQ(log.recent(1000).size(), 100u);
+}
+
+TEST(EventLog, DistinctSources) {
+  EventLog log;
+  for (int i = 0; i < 20; ++i) log.append(i < 10 ? "A" : "B", 1, i);
+  EXPECT_EQ(log.distinctSourcesInRecent(5), 1u);   // all "B"
+  EXPECT_EQ(log.distinctSourcesInRecent(20), 2u);
+}
+
+// ===== Machine snapshot / restore =========================================
+
+TEST(Machine, SnapshotRestoreIsDeepFreeze) {
+  Machine machine;
+  machine.vfs().addDrive({.letter = 'C'});
+  machine.vfs().createFile("C:\\orig.txt", 1);
+  machine.registry().setValue("SOFTWARE\\S", "v",
+                              RegValue::dword(1));
+  machine.processes().create("C:\\keep.exe", 0, "", 4);
+  machine.clock().advanceMs(500);
+
+  const MachineSnapshot snap = machine.snapshot();
+
+  // Infect the machine.
+  machine.vfs().createFile("C:\\malware_dropped.exe", 1);
+  machine.registry().setValue("SOFTWARE\\S", "v", RegValue::dword(666));
+  machine.processes().create("C:\\evil.exe", 0, "", 4);
+  machine.windows().add("EVIL", "evil", 4);
+  machine.clock().advanceMs(60'000);
+  machine.eventlog().append("Evil", 1, 1);
+
+  machine.restore(snap);
+
+  EXPECT_TRUE(machine.vfs().exists("C:\\orig.txt"));
+  EXPECT_FALSE(machine.vfs().exists("C:\\malware_dropped.exe"));
+  EXPECT_EQ(machine.registry().findValue("SOFTWARE\\S", "v")->num, 1u);
+  EXPECT_EQ(machine.processes().findByName("evil.exe"), nullptr);
+  EXPECT_NE(machine.processes().findByName("keep.exe"), nullptr);
+  EXPECT_EQ(machine.windows().windows().size(), 0u);
+  EXPECT_EQ(machine.clock().nowMs(), 500u);
+  EXPECT_EQ(machine.eventlog().size(), 0u);
+}
+
+TEST(Machine, EmitAttributesProcessName) {
+  Machine machine;
+  Process& p = machine.processes().create("C:\\x\\sample.exe", 0, "", 4);
+  machine.emit(p.pid, scarecrow::trace::EventKind::kFileWrite, "C:\\f");
+  const auto& trace = machine.recorder().trace();
+  ASSERT_EQ(trace.events.size(), 1u);
+  EXPECT_EQ(trace.events[0].process, "sample.exe");
+  EXPECT_EQ(trace.events[0].pid, p.pid);
+}
+
+TEST(Machine, TickCountIncludesBootOffset) {
+  Machine machine;
+  machine.sysinfo().bootOffsetMs = 1000;
+  machine.clock().advanceMs(50);
+  EXPECT_EQ(machine.tickCount(), 1050u);
+}
+
+}  // namespace

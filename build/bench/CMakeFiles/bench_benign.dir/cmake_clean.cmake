@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_benign.dir/bench_benign.cpp.o"
+  "CMakeFiles/bench_benign.dir/bench_benign.cpp.o.d"
+  "bench_benign"
+  "bench_benign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_benign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cases.dir/bench_cases.cpp.o"
+  "CMakeFiles/bench_cases.dir/bench_cases.cpp.o.d"
+  "bench_cases"
+  "bench_cases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

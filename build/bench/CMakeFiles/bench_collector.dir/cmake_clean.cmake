@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_collector.dir/bench_collector.cpp.o"
+  "CMakeFiles/bench_collector.dir/bench_collector.cpp.o.d"
+  "bench_collector"
+  "bench_collector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_collector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure4.dir/bench_figure4.cpp.o"
+  "CMakeFiles/bench_figure4.dir/bench_figure4.cpp.o.d"
+  "bench_figure4"
+  "bench_figure4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/active_mitigation.dir/active_mitigation.cpp.o"
+  "CMakeFiles/active_mitigation.dir/active_mitigation.cpp.o.d"
+  "active_mitigation"
+  "active_mitigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/active_mitigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

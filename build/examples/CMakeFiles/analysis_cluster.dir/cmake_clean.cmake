@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_cluster.dir/analysis_cluster.cpp.o"
+  "CMakeFiles/analysis_cluster.dir/analysis_cluster.cpp.o.d"
+  "analysis_cluster"
+  "analysis_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

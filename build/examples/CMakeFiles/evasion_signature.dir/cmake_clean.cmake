@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evasion_signature.dir/evasion_signature.cpp.o"
+  "CMakeFiles/evasion_signature.dir/evasion_signature.cpp.o.d"
+  "evasion_signature"
+  "evasion_signature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evasion_signature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

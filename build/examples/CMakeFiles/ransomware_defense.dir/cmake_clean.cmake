@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ransomware_defense.dir/ransomware_defense.cpp.o"
+  "CMakeFiles/ransomware_defense.dir/ransomware_defense.cpp.o.d"
+  "ransomware_defense"
+  "ransomware_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ransomware_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

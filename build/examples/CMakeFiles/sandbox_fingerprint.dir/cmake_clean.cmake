@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sandbox_fingerprint.dir/sandbox_fingerprint.cpp.o"
+  "CMakeFiles/sandbox_fingerprint.dir/sandbox_fingerprint.cpp.o.d"
+  "sandbox_fingerprint"
+  "sandbox_fingerprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sandbox_fingerprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

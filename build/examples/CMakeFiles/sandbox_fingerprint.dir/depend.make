@@ -1,0 +1,2 @@
+# Empty dependencies file for sandbox_fingerprint.
+# This may be replaced when dependencies are built.

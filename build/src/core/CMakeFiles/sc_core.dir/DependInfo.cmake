@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cluster.cpp" "src/core/CMakeFiles/sc_core.dir/cluster.cpp.o" "gcc" "src/core/CMakeFiles/sc_core.dir/cluster.cpp.o.d"
+  "/root/repo/src/core/collector.cpp" "src/core/CMakeFiles/sc_core.dir/collector.cpp.o" "gcc" "src/core/CMakeFiles/sc_core.dir/collector.cpp.o.d"
+  "/root/repo/src/core/consistency.cpp" "src/core/CMakeFiles/sc_core.dir/consistency.cpp.o" "gcc" "src/core/CMakeFiles/sc_core.dir/consistency.cpp.o.d"
+  "/root/repo/src/core/controller.cpp" "src/core/CMakeFiles/sc_core.dir/controller.cpp.o" "gcc" "src/core/CMakeFiles/sc_core.dir/controller.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "src/core/CMakeFiles/sc_core.dir/engine.cpp.o" "gcc" "src/core/CMakeFiles/sc_core.dir/engine.cpp.o.d"
+  "/root/repo/src/core/eval.cpp" "src/core/CMakeFiles/sc_core.dir/eval.cpp.o" "gcc" "src/core/CMakeFiles/sc_core.dir/eval.cpp.o.d"
+  "/root/repo/src/core/kernel_ext.cpp" "src/core/CMakeFiles/sc_core.dir/kernel_ext.cpp.o" "gcc" "src/core/CMakeFiles/sc_core.dir/kernel_ext.cpp.o.d"
+  "/root/repo/src/core/manifest.cpp" "src/core/CMakeFiles/sc_core.dir/manifest.cpp.o" "gcc" "src/core/CMakeFiles/sc_core.dir/manifest.cpp.o.d"
+  "/root/repo/src/core/profiles.cpp" "src/core/CMakeFiles/sc_core.dir/profiles.cpp.o" "gcc" "src/core/CMakeFiles/sc_core.dir/profiles.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/sc_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/sc_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/resource_db.cpp" "src/core/CMakeFiles/sc_core.dir/resource_db.cpp.o" "gcc" "src/core/CMakeFiles/sc_core.dir/resource_db.cpp.o.d"
+  "/root/repo/src/core/vaccine.cpp" "src/core/CMakeFiles/sc_core.dir/vaccine.cpp.o" "gcc" "src/core/CMakeFiles/sc_core.dir/vaccine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hooking/CMakeFiles/sc_hooking.dir/DependInfo.cmake"
+  "/root/repo/build/src/winapi/CMakeFiles/sc_winapi.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/sc_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/winsys/CMakeFiles/sc_winsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_core.dir/cluster.cpp.o"
+  "CMakeFiles/sc_core.dir/cluster.cpp.o.d"
+  "CMakeFiles/sc_core.dir/collector.cpp.o"
+  "CMakeFiles/sc_core.dir/collector.cpp.o.d"
+  "CMakeFiles/sc_core.dir/consistency.cpp.o"
+  "CMakeFiles/sc_core.dir/consistency.cpp.o.d"
+  "CMakeFiles/sc_core.dir/controller.cpp.o"
+  "CMakeFiles/sc_core.dir/controller.cpp.o.d"
+  "CMakeFiles/sc_core.dir/engine.cpp.o"
+  "CMakeFiles/sc_core.dir/engine.cpp.o.d"
+  "CMakeFiles/sc_core.dir/eval.cpp.o"
+  "CMakeFiles/sc_core.dir/eval.cpp.o.d"
+  "CMakeFiles/sc_core.dir/kernel_ext.cpp.o"
+  "CMakeFiles/sc_core.dir/kernel_ext.cpp.o.d"
+  "CMakeFiles/sc_core.dir/manifest.cpp.o"
+  "CMakeFiles/sc_core.dir/manifest.cpp.o.d"
+  "CMakeFiles/sc_core.dir/profiles.cpp.o"
+  "CMakeFiles/sc_core.dir/profiles.cpp.o.d"
+  "CMakeFiles/sc_core.dir/report.cpp.o"
+  "CMakeFiles/sc_core.dir/report.cpp.o.d"
+  "CMakeFiles/sc_core.dir/resource_db.cpp.o"
+  "CMakeFiles/sc_core.dir/resource_db.cpp.o.d"
+  "CMakeFiles/sc_core.dir/vaccine.cpp.o"
+  "CMakeFiles/sc_core.dir/vaccine.cpp.o.d"
+  "libsc_core.a"
+  "libsc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

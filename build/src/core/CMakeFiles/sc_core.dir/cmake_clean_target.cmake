@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsc_core.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_env.dir/aging.cpp.o"
+  "CMakeFiles/sc_env.dir/aging.cpp.o.d"
+  "CMakeFiles/sc_env.dir/base_image.cpp.o"
+  "CMakeFiles/sc_env.dir/base_image.cpp.o.d"
+  "CMakeFiles/sc_env.dir/environments.cpp.o"
+  "CMakeFiles/sc_env.dir/environments.cpp.o.d"
+  "libsc_env.a"
+  "libsc_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sc_env.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_fingerprint.dir/decision_tree.cpp.o"
+  "CMakeFiles/sc_fingerprint.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/sc_fingerprint.dir/harness.cpp.o"
+  "CMakeFiles/sc_fingerprint.dir/harness.cpp.o.d"
+  "CMakeFiles/sc_fingerprint.dir/pafish.cpp.o"
+  "CMakeFiles/sc_fingerprint.dir/pafish.cpp.o.d"
+  "CMakeFiles/sc_fingerprint.dir/sandprint.cpp.o"
+  "CMakeFiles/sc_fingerprint.dir/sandprint.cpp.o.d"
+  "CMakeFiles/sc_fingerprint.dir/weartear.cpp.o"
+  "CMakeFiles/sc_fingerprint.dir/weartear.cpp.o.d"
+  "libsc_fingerprint.a"
+  "libsc_fingerprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_fingerprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_hooking.dir/injector.cpp.o"
+  "CMakeFiles/sc_hooking.dir/injector.cpp.o.d"
+  "CMakeFiles/sc_hooking.dir/inline_hook.cpp.o"
+  "CMakeFiles/sc_hooking.dir/inline_hook.cpp.o.d"
+  "libsc_hooking.a"
+  "libsc_hooking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_hooking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_support.dir/log.cpp.o"
+  "CMakeFiles/sc_support.dir/log.cpp.o.d"
+  "CMakeFiles/sc_support.dir/rng.cpp.o"
+  "CMakeFiles/sc_support.dir/rng.cpp.o.d"
+  "CMakeFiles/sc_support.dir/strings.cpp.o"
+  "CMakeFiles/sc_support.dir/strings.cpp.o.d"
+  "libsc_support.a"
+  "libsc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

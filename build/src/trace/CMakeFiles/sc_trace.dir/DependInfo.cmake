@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/analysis.cpp" "src/trace/CMakeFiles/sc_trace.dir/analysis.cpp.o" "gcc" "src/trace/CMakeFiles/sc_trace.dir/analysis.cpp.o.d"
+  "/root/repo/src/trace/collector.cpp" "src/trace/CMakeFiles/sc_trace.dir/collector.cpp.o" "gcc" "src/trace/CMakeFiles/sc_trace.dir/collector.cpp.o.d"
+  "/root/repo/src/trace/event.cpp" "src/trace/CMakeFiles/sc_trace.dir/event.cpp.o" "gcc" "src/trace/CMakeFiles/sc_trace.dir/event.cpp.o.d"
+  "/root/repo/src/trace/malgene.cpp" "src/trace/CMakeFiles/sc_trace.dir/malgene.cpp.o" "gcc" "src/trace/CMakeFiles/sc_trace.dir/malgene.cpp.o.d"
+  "/root/repo/src/trace/recorder.cpp" "src/trace/CMakeFiles/sc_trace.dir/recorder.cpp.o" "gcc" "src/trace/CMakeFiles/sc_trace.dir/recorder.cpp.o.d"
+  "/root/repo/src/trace/serialize.cpp" "src/trace/CMakeFiles/sc_trace.dir/serialize.cpp.o" "gcc" "src/trace/CMakeFiles/sc_trace.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/sc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

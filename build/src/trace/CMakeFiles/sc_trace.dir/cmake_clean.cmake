@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_trace.dir/analysis.cpp.o"
+  "CMakeFiles/sc_trace.dir/analysis.cpp.o.d"
+  "CMakeFiles/sc_trace.dir/collector.cpp.o"
+  "CMakeFiles/sc_trace.dir/collector.cpp.o.d"
+  "CMakeFiles/sc_trace.dir/event.cpp.o"
+  "CMakeFiles/sc_trace.dir/event.cpp.o.d"
+  "CMakeFiles/sc_trace.dir/malgene.cpp.o"
+  "CMakeFiles/sc_trace.dir/malgene.cpp.o.d"
+  "CMakeFiles/sc_trace.dir/recorder.cpp.o"
+  "CMakeFiles/sc_trace.dir/recorder.cpp.o.d"
+  "CMakeFiles/sc_trace.dir/serialize.cpp.o"
+  "CMakeFiles/sc_trace.dir/serialize.cpp.o.d"
+  "libsc_trace.a"
+  "libsc_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

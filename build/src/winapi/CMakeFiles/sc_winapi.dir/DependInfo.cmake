@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/winapi/api.cpp" "src/winapi/CMakeFiles/sc_winapi.dir/api.cpp.o" "gcc" "src/winapi/CMakeFiles/sc_winapi.dir/api.cpp.o.d"
+  "/root/repo/src/winapi/api_ids.cpp" "src/winapi/CMakeFiles/sc_winapi.dir/api_ids.cpp.o" "gcc" "src/winapi/CMakeFiles/sc_winapi.dir/api_ids.cpp.o.d"
+  "/root/repo/src/winapi/runner.cpp" "src/winapi/CMakeFiles/sc_winapi.dir/runner.cpp.o" "gcc" "src/winapi/CMakeFiles/sc_winapi.dir/runner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/winsys/CMakeFiles/sc_winsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

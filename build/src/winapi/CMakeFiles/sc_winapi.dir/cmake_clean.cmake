@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_winapi.dir/api.cpp.o"
+  "CMakeFiles/sc_winapi.dir/api.cpp.o.d"
+  "CMakeFiles/sc_winapi.dir/api_ids.cpp.o"
+  "CMakeFiles/sc_winapi.dir/api_ids.cpp.o.d"
+  "CMakeFiles/sc_winapi.dir/runner.cpp.o"
+  "CMakeFiles/sc_winapi.dir/runner.cpp.o.d"
+  "libsc_winapi.a"
+  "libsc_winapi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_winapi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/winsys/eventlog.cpp" "src/winsys/CMakeFiles/sc_winsys.dir/eventlog.cpp.o" "gcc" "src/winsys/CMakeFiles/sc_winsys.dir/eventlog.cpp.o.d"
+  "/root/repo/src/winsys/machine.cpp" "src/winsys/CMakeFiles/sc_winsys.dir/machine.cpp.o" "gcc" "src/winsys/CMakeFiles/sc_winsys.dir/machine.cpp.o.d"
+  "/root/repo/src/winsys/mutex.cpp" "src/winsys/CMakeFiles/sc_winsys.dir/mutex.cpp.o" "gcc" "src/winsys/CMakeFiles/sc_winsys.dir/mutex.cpp.o.d"
+  "/root/repo/src/winsys/network.cpp" "src/winsys/CMakeFiles/sc_winsys.dir/network.cpp.o" "gcc" "src/winsys/CMakeFiles/sc_winsys.dir/network.cpp.o.d"
+  "/root/repo/src/winsys/process.cpp" "src/winsys/CMakeFiles/sc_winsys.dir/process.cpp.o" "gcc" "src/winsys/CMakeFiles/sc_winsys.dir/process.cpp.o.d"
+  "/root/repo/src/winsys/registry.cpp" "src/winsys/CMakeFiles/sc_winsys.dir/registry.cpp.o" "gcc" "src/winsys/CMakeFiles/sc_winsys.dir/registry.cpp.o.d"
+  "/root/repo/src/winsys/sysinfo.cpp" "src/winsys/CMakeFiles/sc_winsys.dir/sysinfo.cpp.o" "gcc" "src/winsys/CMakeFiles/sc_winsys.dir/sysinfo.cpp.o.d"
+  "/root/repo/src/winsys/vfs.cpp" "src/winsys/CMakeFiles/sc_winsys.dir/vfs.cpp.o" "gcc" "src/winsys/CMakeFiles/sc_winsys.dir/vfs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/sc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sc_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_winsys.dir/eventlog.cpp.o"
+  "CMakeFiles/sc_winsys.dir/eventlog.cpp.o.d"
+  "CMakeFiles/sc_winsys.dir/machine.cpp.o"
+  "CMakeFiles/sc_winsys.dir/machine.cpp.o.d"
+  "CMakeFiles/sc_winsys.dir/mutex.cpp.o"
+  "CMakeFiles/sc_winsys.dir/mutex.cpp.o.d"
+  "CMakeFiles/sc_winsys.dir/network.cpp.o"
+  "CMakeFiles/sc_winsys.dir/network.cpp.o.d"
+  "CMakeFiles/sc_winsys.dir/process.cpp.o"
+  "CMakeFiles/sc_winsys.dir/process.cpp.o.d"
+  "CMakeFiles/sc_winsys.dir/registry.cpp.o"
+  "CMakeFiles/sc_winsys.dir/registry.cpp.o.d"
+  "CMakeFiles/sc_winsys.dir/sysinfo.cpp.o"
+  "CMakeFiles/sc_winsys.dir/sysinfo.cpp.o.d"
+  "CMakeFiles/sc_winsys.dir/vfs.cpp.o"
+  "CMakeFiles/sc_winsys.dir/vfs.cpp.o.d"
+  "libsc_winsys.a"
+  "libsc_winsys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_winsys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

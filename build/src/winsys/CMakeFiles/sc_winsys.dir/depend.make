@@ -1,0 +1,2 @@
+# Empty dependencies file for sc_winsys.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/api_test.dir/api_test.cpp.o"
+  "CMakeFiles/api_test.dir/api_test.cpp.o.d"
+  "api_test"
+  "api_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benign_test.dir/benign_test.cpp.o"
+  "CMakeFiles/benign_test.dir/benign_test.cpp.o.d"
+  "benign_test"
+  "benign_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benign_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cases_test.dir/cases_test.cpp.o"
+  "CMakeFiles/cases_test.dir/cases_test.cpp.o.d"
+  "cases_test"
+  "cases_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cases_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consistency_test.dir/consistency_test.cpp.o"
+  "CMakeFiles/consistency_test.dir/consistency_test.cpp.o.d"
+  "consistency_test"
+  "consistency_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consistency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/env_test.cpp" "tests/CMakeFiles/env_test.dir/env_test.cpp.o" "gcc" "tests/CMakeFiles/env_test.dir/env_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/malware/CMakeFiles/sc_malware.dir/DependInfo.cmake"
+  "/root/repo/build/src/fingerprint/CMakeFiles/sc_fingerprint.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/sc_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/hooking/CMakeFiles/sc_hooking.dir/DependInfo.cmake"
+  "/root/repo/build/src/winapi/CMakeFiles/sc_winapi.dir/DependInfo.cmake"
+  "/root/repo/build/src/winsys/CMakeFiles/sc_winsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

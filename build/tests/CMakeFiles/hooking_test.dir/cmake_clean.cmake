@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hooking_test.dir/hooking_test.cpp.o"
+  "CMakeFiles/hooking_test.dir/hooking_test.cpp.o.d"
+  "hooking_test"
+  "hooking_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hooking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_eval_test.dir/integration_eval_test.cpp.o"
+  "CMakeFiles/integration_eval_test.dir/integration_eval_test.cpp.o.d"
+  "integration_eval_test"
+  "integration_eval_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

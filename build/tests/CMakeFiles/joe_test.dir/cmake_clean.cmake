@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/joe_test.dir/joe_test.cpp.o"
+  "CMakeFiles/joe_test.dir/joe_test.cpp.o.d"
+  "joe_test"
+  "joe_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/joe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_ext_test.dir/kernel_ext_test.cpp.o"
+  "CMakeFiles/kernel_ext_test.dir/kernel_ext_test.cpp.o.d"
+  "kernel_ext_test"
+  "kernel_ext_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

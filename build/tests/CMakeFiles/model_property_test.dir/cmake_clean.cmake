@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_property_test.dir/model_property_test.cpp.o"
+  "CMakeFiles/model_property_test.dir/model_property_test.cpp.o.d"
+  "model_property_test"
+  "model_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pafish_test.dir/pafish_test.cpp.o"
+  "CMakeFiles/pafish_test.dir/pafish_test.cpp.o.d"
+  "pafish_test"
+  "pafish_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pafish_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

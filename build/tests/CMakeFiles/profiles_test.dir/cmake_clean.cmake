@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profiles_test.dir/profiles_test.cpp.o"
+  "CMakeFiles/profiles_test.dir/profiles_test.cpp.o.d"
+  "profiles_test"
+  "profiles_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profiles_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resource_db_test.dir/resource_db_test.cpp.o"
+  "CMakeFiles/resource_db_test.dir/resource_db_test.cpp.o.d"
+  "resource_db_test"
+  "resource_db_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resource_db_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sample_test.dir/sample_test.cpp.o"
+  "CMakeFiles/sample_test.dir/sample_test.cpp.o.d"
+  "sample_test"
+  "sample_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sample_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sandprint_dga_test.dir/sandprint_dga_test.cpp.o"
+  "CMakeFiles/sandprint_dga_test.dir/sandprint_dga_test.cpp.o.d"
+  "sandprint_dga_test"
+  "sandprint_dga_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sandprint_dga_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sandprint_dga_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/techniques_test.dir/techniques_test.cpp.o"
+  "CMakeFiles/techniques_test.dir/techniques_test.cpp.o.d"
+  "techniques_test"
+  "techniques_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/techniques_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

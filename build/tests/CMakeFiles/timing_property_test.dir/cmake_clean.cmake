@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timing_property_test.dir/timing_property_test.cpp.o"
+  "CMakeFiles/timing_property_test.dir/timing_property_test.cpp.o.d"
+  "timing_property_test"
+  "timing_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timing_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transparency_property_test.dir/transparency_property_test.cpp.o"
+  "CMakeFiles/transparency_property_test.dir/transparency_property_test.cpp.o.d"
+  "transparency_property_test"
+  "transparency_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transparency_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vaccine_test.dir/vaccine_test.cpp.o"
+  "CMakeFiles/vaccine_test.dir/vaccine_test.cpp.o.d"
+  "vaccine_test"
+  "vaccine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vaccine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

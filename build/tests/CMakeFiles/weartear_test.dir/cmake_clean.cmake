@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weartear_test.dir/weartear_test.cpp.o"
+  "CMakeFiles/weartear_test.dir/weartear_test.cpp.o.d"
+  "weartear_test"
+  "weartear_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weartear_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

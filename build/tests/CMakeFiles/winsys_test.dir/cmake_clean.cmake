@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/winsys_test.dir/winsys_test.cpp.o"
+  "CMakeFiles/winsys_test.dir/winsys_test.cpp.o.d"
+  "winsys_test"
+  "winsys_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/winsys_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -5,6 +5,8 @@
 // injection, and a complete supervised sample execution.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "core/collector.h"
 #include "core/controller.h"
 #include "core/engine.h"
@@ -13,6 +15,8 @@
 #include "malware/joe.h"
 #include "env/base_image.h"
 #include "hooking/inline_hook.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "winapi/runner.h"
 
 using namespace scarecrow;
@@ -123,6 +127,40 @@ void BM_DllInjection(benchmark::State& state) {
 }
 BENCHMARK(BM_DllInjection);
 
+void BM_MetricsCounterIncrement(benchmark::State& state) {
+  // The hot-path contract (obs/metrics.h): hooks cache the Counter pointer
+  // at install time, so per-dispatch telemetry cost is one increment on a
+  // stable address. Target <20ns/op; see DESIGN.md "Observability".
+  obs::MetricsRegistry registry;
+  obs::Counter& hits = registry.counter("engine.hook_invocations", "bench");
+  for (auto _ : state) {
+    hits.inc();
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_MetricsCounterIncrement);
+
+void BM_MetricsCounterLookupAndIncrement(benchmark::State& state) {
+  // The anti-pattern: resolving the (name, label) key through the map on
+  // every dispatch. Kept as a benchmark to document why hooks cache.
+  obs::MetricsRegistry registry;
+  registry.counter("engine.hook_invocations", "bench");
+  for (auto _ : state)
+    registry.counter("engine.hook_invocations", "bench").inc();
+}
+BENCHMARK(BM_MetricsCounterLookupAndIncrement);
+
+void BM_MetricsHistogramObserve(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& lat = registry.histogram("engine.hook_dispatch_ms");
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    lat.observe(v++ & 0x3ff);
+    benchmark::DoNotOptimize(lat);
+  }
+}
+BENCHMARK(BM_MetricsHistogramObserve);
+
 void BM_SupervisedSampleExecution(benchmark::State& state) {
   // Full pipeline: Deep Freeze reset + controller launch + injection +
   // evasive sample run under Scarecrow (sample 9fac72a).
@@ -138,6 +176,27 @@ void BM_SupervisedSampleExecution(benchmark::State& state) {
 }
 BENCHMARK(BM_SupervisedSampleExecution)->Unit(benchmark::kMicrosecond);
 
+/// One supervised run of 9fac72a, exported as the deterministic telemetry
+/// JSON snapshot — printed after the timing table so a bench run doubles as
+/// a telemetry artifact (diffable across commits like the numbers above).
+void dumpTelemetrySnapshot() {
+  auto machine = env::buildBareMetalSandbox();
+  malware::ProgramRegistry registry;
+  malware::registerJoeSamples(registry);
+  core::EvaluationHarness harness(*machine);
+  harness.runOnce("9fac72a", "C:\\submissions\\9fac72a.exe",
+                  registry.factory(), true);
+  std::printf("--- telemetry snapshot (supervised run, 9fac72a) ---\n%s",
+              obs::exportJson(machine->metrics().snapshot()).c_str());
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  dumpTelemetrySnapshot();
+  return 0;
+}

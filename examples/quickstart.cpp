@@ -68,5 +68,10 @@ int main() {
       trace::significantActivities(trace, malware::kKasidetImage);
   std::printf("\npayload activities executed: %zu%s\n", payload.size(),
               payload.empty() ? "  — the worm deactivated itself" : "");
+
+  // Everything the engine observed, as deterministic telemetry: hook hit
+  // counters, alert counters, dispatch latency, and the pipeline spans.
+  std::printf("\ntelemetry snapshot:\n%s",
+              controller.telemetryJson().c_str());
   return payload.empty() ? 0 : 1;
 }

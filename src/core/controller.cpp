@@ -1,6 +1,7 @@
 #include "core/controller.h"
 
 #include "hooking/injector.h"
+#include "obs/export.h"
 
 namespace scarecrow::core {
 
@@ -33,8 +34,24 @@ std::uint32_t Controller::launch(const std::string& imagePath,
   return pid;
 }
 
+namespace {
+
+const char* ipcKindName(hooking::IpcKind kind) noexcept {
+  switch (kind) {
+    case hooking::IpcKind::kFingerprintAttempt: return "fingerprint_attempt";
+    case hooking::IpcKind::kSelfSpawnAlert: return "self_spawn_alert";
+    case hooking::IpcKind::kProcessInjected: return "process_injected";
+    case hooking::IpcKind::kConfigUpdate: return "config_update";
+  }
+  return "?";
+}
+
+}  // namespace
+
 void Controller::pump() {
+  obs::MetricsRegistry& metrics = machine_.metrics();
   for (hooking::IpcMessage& msg : engine_.ipc().drain()) {
+    metrics.counter("controller.ipc_messages", ipcKindName(msg.kind)).inc();
     switch (msg.kind) {
       case hooking::IpcKind::kFingerprintAttempt: {
         bool found = false;
@@ -63,6 +80,10 @@ void Controller::pump() {
 
 std::string Controller::firstTrigger() const {
   return reports_.empty() ? std::string{} : reports_.front().api;
+}
+
+std::string Controller::telemetryJson() const {
+  return obs::exportJson(telemetrySnapshot());
 }
 
 }  // namespace scarecrow::core

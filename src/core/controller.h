@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "obs/metrics.h"
 #include "winapi/runner.h"
 #include "winsys/machine.h"
 
@@ -53,6 +54,16 @@ class Controller {
   std::uint32_t selfSpawnAlerts() const noexcept { return selfSpawnAlerts_; }
   std::uint32_t injectedChildren() const noexcept { return injected_; }
   std::uint32_t controllerPid() const noexcept { return controllerPid_; }
+
+  /// Telemetry view over the supervised machine (Figure 2's runtime
+  /// information channel, extended with the obs registry): hook counters,
+  /// alert counters, spans, latency histograms of everything the engine
+  /// observed on this box.
+  obs::MetricsSnapshot telemetrySnapshot() const {
+    return machine_.metrics().snapshot();
+  }
+  /// The same view, exported as deterministic JSON.
+  std::string telemetryJson() const;
 
  private:
   winsys::Machine& machine_;

@@ -1,7 +1,10 @@
 #include "core/engine.h"
 
+#include <type_traits>
+
 #include "core/kernel_ext.h"
 #include "hooking/inline_hook.h"
+#include "obs/span.h"
 #include "support/strings.h"
 
 namespace scarecrow::core {
@@ -29,6 +32,11 @@ hooking::DllImage DeceptionEngine::dllImage() {
 
 void DeceptionEngine::alert(Api& api, const std::string& label,
                             const std::string& resource, Profile profile) {
+  if (metrics_ != nullptr) {
+    metrics_->counter("engine.alerts").inc();
+    metrics_->counter("engine.alerts_by_profile", profileName(profile))
+        .inc();
+  }
   api.machine().emit(api.pid(), trace::EventKind::kAlert, "fingerprint",
                      label);
   hooking::IpcMessage msg;
@@ -89,7 +97,45 @@ std::optional<DeceptionEngine::CountFake> DeceptionEngine::wearTearCounts(
 
 // ===== installation =======================================================
 
+void DeceptionEngine::bindMetrics(winsys::Machine& machine) {
+  obs::MetricsRegistry& m = machine.metrics();
+  if (metrics_ == &m) return;
+  metrics_ = &m;
+  dispatchLatency_ = &m.histogram("engine.hook_dispatch_ms");
+  hookHits_.fill(nullptr);
+  for (ApiId id : hookedIds())
+    hookHits_[static_cast<std::size_t>(id)] =
+        &m.counter("engine.hook_invocations", winapi::apiName(id));
+}
+
+void DeceptionEngine::noteDispatch(Api& api, std::uint64_t startMs) {
+  if (dispatchLatency_ == nullptr) return;
+  const std::uint64_t now = api.machine().clock().nowMs();
+  dispatchLatency_->observe(now >= startMs ? now - startMs : 0);
+}
+
+template <typename F>
+auto DeceptionEngine::timed(ApiId id, F f) {
+  return [this, id, f = std::move(f)](Api& a, auto&&... args) {
+    if (obs::Counter* hits = hookHits_[static_cast<std::size_t>(id)])
+      hits->inc();
+    const std::uint64_t t0 = a.machine().clock().nowMs();
+    if constexpr (std::is_void_v<decltype(f(
+                      a, std::forward<decltype(args)>(args)...))>) {
+      f(a, std::forward<decltype(args)>(args)...);
+      noteDispatch(a, t0);
+    } else {
+      auto result = f(a, std::forward<decltype(args)>(args)...);
+      noteDispatch(a, t0);
+      return result;
+    }
+  };
+}
+
 void DeceptionEngine::installInto(Api& api) {
+  bindMetrics(api.machine());
+  obs::ScopedSpan span(*metrics_, api.machine().clock(), "engine.install");
+  metrics_->counter("engine.installs").inc();
   if (!attached_) {
     attached_ = true;
     attachMs_ = api.machine().clock().nowMs();
@@ -172,25 +218,25 @@ std::size_t DeceptionEngine::deceptionApiCount() const {
 void DeceptionEngine::installRegistryHooks(HookSet& hooks) {
   if (!config_.softwareResources) return;
 
-  hooks.regOpenKeyEx = [this](Api& a, const std::string& path) {
+  hooks.regOpenKeyEx = timed(ApiId::kRegOpenKeyEx, [this](Api& a, const std::string& path) {
     auto p = db_.matchRegistryKey(path);
     if (matchesActive(p)) {
       alert(a, "RegOpenKeyEx()", path, *p);
       return WinError::kSuccess;
     }
     return a.orig_RegOpenKeyEx(path);
-  };
+  });
 
-  hooks.ntOpenKeyEx = [this](Api& a, const std::string& path) {
+  hooks.ntOpenKeyEx = timed(ApiId::kNtOpenKeyEx, [this](Api& a, const std::string& path) {
     auto p = db_.matchRegistryKey(path);
     if (matchesActive(p)) {
       alert(a, "NtOpenKeyEx()", path, *p);
       return NtStatus::kSuccess;
     }
     return a.orig_NtOpenKeyEx(path);
-  };
+  });
 
-  hooks.regQueryValueEx = [this](Api& a, const std::string& path,
+  hooks.regQueryValueEx = timed(ApiId::kRegQueryValueEx, [this](Api& a, const std::string& path,
                                  const std::string& valueName,
                                  RegValue& out) {
     auto m = db_.matchRegistryValue(path, valueName);
@@ -200,9 +246,9 @@ void DeceptionEngine::installRegistryHooks(HookSet& hooks) {
       return WinError::kSuccess;
     }
     return a.orig_RegQueryValueEx(path, valueName, out);
-  };
+  });
 
-  hooks.ntQueryValueKey = [this](Api& a, const std::string& path,
+  hooks.ntQueryValueKey = timed(ApiId::kNtQueryValueKey, [this](Api& a, const std::string& path,
                                  const std::string& valueName,
                                  RegValue& out) {
     auto m = db_.matchRegistryValue(path, valueName);
@@ -219,7 +265,7 @@ void DeceptionEngine::installRegistryHooks(HookSet& hooks) {
       return NtStatus::kSuccess;
     }
     return a.orig_NtQueryValueKey(path, valueName, out);
-  };
+  });
 }
 
 // ===== files ==============================================================
@@ -227,25 +273,25 @@ void DeceptionEngine::installRegistryHooks(HookSet& hooks) {
 void DeceptionEngine::installFileHooks(HookSet& hooks) {
   if (!config_.softwareResources) return;
 
-  hooks.ntQueryAttributesFile = [this](Api& a, const std::string& path) {
+  hooks.ntQueryAttributesFile = timed(ApiId::kNtQueryAttributesFile, [this](Api& a, const std::string& path) {
     auto p = db_.matchFile(path);
     if (matchesActive(p)) {
       alert(a, "NtQueryAttributesFile()", path, *p);
       return NtStatus::kSuccess;
     }
     return a.orig_NtQueryAttributesFile(path);
-  };
+  });
 
-  hooks.getFileAttributes = [this](Api& a, const std::string& path) {
+  hooks.getFileAttributes = timed(ApiId::kGetFileAttributes, [this](Api& a, const std::string& path) {
     auto p = db_.matchFile(path);
     if (matchesActive(p)) {
       alert(a, "GetFileAttributes()", path, *p);
       return 0x80u;  // FILE_ATTRIBUTE_NORMAL
     }
     return a.orig_GetFileAttributesA(path);
-  };
+  });
 
-  hooks.createFile = [this](Api& a, const std::string& path, bool forWrite) {
+  hooks.createFile = timed(ApiId::kCreateFile, [this](Api& a, const std::string& path, bool forWrite) {
     if (!forWrite) {
       auto p = db_.matchFile(path);
       if (matchesActive(p)) {
@@ -254,9 +300,9 @@ void DeceptionEngine::installFileHooks(HookSet& hooks) {
       }
     }
     return a.orig_CreateFileA(path, forWrite);
-  };
+  });
 
-  hooks.ntCreateFile = [this](Api& a, const std::string& path) {
+  hooks.ntCreateFile = timed(ApiId::kNtCreateFile, [this](Api& a, const std::string& path) {
     auto p = db_.matchFile(path);
     if (matchesActive(p)) {
       alert(a, "NtCreateFile()", path, *p);
@@ -266,9 +312,9 @@ void DeceptionEngine::installFileHooks(HookSet& hooks) {
     // not fabricate them (the documented Cuckoo/VBox-device blind spot).
     return a.machine().vfs().exists(path) ? NtStatus::kSuccess
                                           : NtStatus::kObjectNameNotFound;
-  };
+  });
 
-  hooks.findFirstFile = [this](Api& a, const std::string& directory,
+  hooks.findFirstFile = timed(ApiId::kFindFirstFile, [this](Api& a, const std::string& directory,
                                const std::string& pattern) {
     std::vector<std::string> names = a.orig_FindFirstFileA(directory, pattern);
     for (std::string& fake : db_.fakeFilesIn(directory, pattern)) {
@@ -282,14 +328,14 @@ void DeceptionEngine::installFileHooks(HookSet& hooks) {
       }
     }
     return names;
-  };
+  });
 }
 
 // ===== processes ==========================================================
 
 void DeceptionEngine::installProcessHooks(HookSet& hooks) {
   if (config_.softwareResources) {
-    hooks.createToolhelp32Snapshot = [this](Api& a) {
+    hooks.createToolhelp32Snapshot = timed(ApiId::kCreateToolhelp32Snapshot, [this](Api& a) {
       std::vector<winapi::ProcessEntry> entries =
           a.orig_CreateToolhelp32Snapshot();
       bool appended = false;
@@ -303,9 +349,9 @@ void DeceptionEngine::installProcessHooks(HookSet& hooks) {
         alert(a, "CreateToolhelp32Snapshot()", "process list",
               Profile::kGeneric);
       return entries;
-    };
+    });
 
-    hooks.terminateProcess = [this](Api& a, std::uint32_t pid,
+    hooks.terminateProcess = timed(ApiId::kTerminateProcess, [this](Api& a, std::uint32_t pid,
                                     std::uint32_t exitCode) {
       // Protect analysis processes: fake entries occupy pids >= 0x9000, and
       // any live process with a protected image name is spared. The call
@@ -321,18 +367,18 @@ void DeceptionEngine::installProcessHooks(HookSet& hooks) {
         return true;
       }
       return a.orig_TerminateProcess(pid, exitCode);
-    };
+    });
 
-    hooks.getModuleHandle = [this](Api& a, const std::string& moduleName) {
+    hooks.getModuleHandle = timed(ApiId::kGetModuleHandle, [this](Api& a, const std::string& moduleName) {
       auto p = db_.matchDll(moduleName);
       if (matchesActive(p)) {
         alert(a, "GetModuleHandleA()", moduleName, *p);
         return true;
       }
       return a.orig_GetModuleHandleA(moduleName);
-    };
+    });
 
-    hooks.getProcAddress = [this](Api& a, const std::string& moduleName,
+    hooks.getProcAddress = timed(ApiId::kGetProcAddress, [this](Api& a, const std::string& moduleName,
                                   const std::string& procName) {
       if (support::istartsWith(procName, "wine_") &&
           profileActive(Profile::kWine)) {
@@ -341,26 +387,26 @@ void DeceptionEngine::installProcessHooks(HookSet& hooks) {
         return true;
       }
       return a.orig_GetProcAddress(moduleName, procName);
-    };
+    });
 
-    hooks.getUserName = [this](Api& a) {
+    hooks.getUserName = timed(ApiId::kGetUserName, [this](Api& a) {
       alert(a, "GetUserName()", config_.identity.userName, Profile::kGeneric);
       return config_.identity.userName;
-    };
+    });
 
-    hooks.getComputerName = [this](Api& a) {
+    hooks.getComputerName = timed(ApiId::kGetComputerName, [this](Api& a) {
       alert(a, "GetComputerName()", config_.identity.computerName,
             Profile::kGeneric);
       return config_.identity.computerName;
-    };
+    });
 
-    hooks.getModuleFileName = [this](Api& a) {
+    hooks.getModuleFileName = timed(ApiId::kGetModuleFileName, [this](Api& a) {
       alert(a, "The name of malware", config_.identity.ownImagePath,
             Profile::kGeneric);
       return config_.identity.ownImagePath;
-    };
+    });
 
-    hooks.findWindow = [this](Api& a, const std::string& className,
+    hooks.findWindow = timed(ApiId::kFindWindow, [this](Api& a, const std::string& className,
                               const std::string& title) {
       auto p = db_.matchWindow(className, title);
       if (matchesActive(p)) {
@@ -368,13 +414,13 @@ void DeceptionEngine::installProcessHooks(HookSet& hooks) {
         return true;
       }
       return a.orig_FindWindowA(className, title);
-    };
+    });
   }
 
   // Child propagation + self-spawn accounting: always installed — the
   // controller must keep supervising descendants regardless of which
   // deception categories are active.
-  hooks.createProcess = [this](Api& a, const std::string& imagePath,
+  hooks.createProcess = timed(ApiId::kCreateProcess, [this](Api& a, const std::string& imagePath,
                                const std::string& commandLine) {
     const std::uint32_t child = a.orig_CreateProcessA(imagePath, commandLine);
     if (child == 0) return child;
@@ -408,12 +454,12 @@ void DeceptionEngine::installProcessHooks(HookSet& hooks) {
     msg.resource = imagePath;
     ipc_.send(std::move(msg));
     return child;
-  };
+  });
 
-  hooks.shellExecuteEx = [this, createProcess = hooks.createProcess](
+  hooks.shellExecuteEx = timed(ApiId::kShellExecuteEx, [this, createProcess = hooks.createProcess](
                              Api& a, const std::string& file) {
     return createProcess(a, file, file) != 0;
-  };
+  });
 }
 
 // ===== debugger ===========================================================
@@ -421,23 +467,23 @@ void DeceptionEngine::installProcessHooks(HookSet& hooks) {
 void DeceptionEngine::installDebugHooks(HookSet& hooks) {
   if (!config_.debuggerDeception) return;
 
-  hooks.isDebuggerPresent = [this](Api& a) {
+  hooks.isDebuggerPresent = timed(ApiId::kIsDebuggerPresent, [this](Api& a) {
     alert(a, "IsDebuggerPresent()", "debugger", Profile::kDebugger);
     return true;
-  };
+  });
 
-  hooks.checkRemoteDebuggerPresent = [this](Api& a, std::uint32_t) {
+  hooks.checkRemoteDebuggerPresent = timed(ApiId::kCheckRemoteDebuggerPresent, [this](Api& a, std::uint32_t) {
     alert(a, "CheckRemoteDebuggerPresent()", "debugger", Profile::kDebugger);
     return true;
-  };
+  });
 
-  hooks.outputDebugString = [this](Api& a, const std::string& text) {
+  hooks.outputDebugString = timed(ApiId::kOutputDebugString, [this](Api& a, const std::string& text) {
     // With a (pretend) debugger attached the call "succeeds"; nothing to
     // return, but the probe itself is a fingerprint attempt.
     alert(a, "OutputDebugString()", text, Profile::kDebugger);
-  };
+  });
 
-  hooks.ntQueryInformationProcess = [this](Api& a, std::uint32_t pid,
+  hooks.ntQueryInformationProcess = timed(ApiId::kNtQueryInformationProcess, [this](Api& a, std::uint32_t pid,
                                            winapi::ProcessInfoClass cls) {
     using winapi::ProcessInfoClass;
     switch (cls) {
@@ -454,26 +500,26 @@ void DeceptionEngine::installDebugHooks(HookSet& hooks) {
         return a.orig_NtQueryInformationProcess(pid, cls);
     }
     return a.orig_NtQueryInformationProcess(pid, cls);
-  };
+  });
 
-  hooks.getTickCount = [this](Api& a) {
+  hooks.getTickCount = timed(ApiId::kGetTickCount, [this](Api& a) {
     alert(a, "GetTickCount()", "uptime", Profile::kGeneric);
     // A sandbox that booted moments ago, with time advancing at the same
     // compressed rate sleep patching produces.
     return config_.identity.fakeUptimeMs +
            (a.machine().clock().nowMs() - attachMs_);
-  };
+  });
 
-  hooks.sleep = [this](Api& a, std::uint32_t ms) {
+  hooks.sleep = timed(ApiId::kSleep, [this](Api& a, std::uint32_t ms) {
     // Sleep patching: burn only sleepPercent of the requested time.
     a.orig_Sleep(ms * config_.identity.sleepPercent / 100);
-  };
+  });
 
-  hooks.raiseException = [this](Api& a, std::uint32_t code) {
+  hooks.raiseException = timed(ApiId::kRaiseException, [this](Api& a, std::uint32_t code) {
     const std::uint64_t base = a.orig_RaiseException(code);
     a.machine().clock().addTscCycles(config_.identity.exceptionLatencyCycles);
     return base + config_.identity.exceptionLatencyCycles;
-  };
+  });
 }
 
 // ===== system information =================================================
@@ -481,30 +527,30 @@ void DeceptionEngine::installDebugHooks(HookSet& hooks) {
 void DeceptionEngine::installSysInfoHooks(HookSet& hooks) {
   if (!config_.hardwareResources) return;
 
-  hooks.getSystemInfo = [this](Api& a) {
+  hooks.getSystemInfo = timed(ApiId::kGetSystemInfo, [this](Api& a) {
     alert(a, "GetSystemInfo()", "NumberOfProcessors", Profile::kGeneric);
     winapi::SystemInfoView view;
     view.numberOfProcessors = config_.hardware.cpuCores;
     return view;
-  };
+  });
 
-  hooks.globalMemoryStatusEx = [this](Api& a) {
+  hooks.globalMemoryStatusEx = timed(ApiId::kGlobalMemoryStatusEx, [this](Api& a) {
     alert(a, "GlobalMemoryStatusEx()", "TotalPhys", Profile::kGeneric);
     winapi::MemoryStatusView view;
     view.totalPhysBytes = config_.hardware.ramBytes;
     view.availPhysBytes = config_.hardware.ramBytes / 2;
     return view;
-  };
+  });
 
-  hooks.getDiskFreeSpaceEx = [this](Api& a, char, std::uint64_t& freeBytes,
+  hooks.getDiskFreeSpaceEx = timed(ApiId::kGetDiskFreeSpaceEx, [this](Api& a, char, std::uint64_t& freeBytes,
                                     std::uint64_t& totalBytes) {
     alert(a, "GetDiskFreeSpaceEx()", "disk size", Profile::kGeneric);
     freeBytes = config_.hardware.diskFreeBytes;
     totalBytes = config_.hardware.diskTotalBytes;
     return true;
-  };
+  });
 
-  hooks.ntQuerySystemInformation = [this](Api& a,
+  hooks.ntQuerySystemInformation = timed(ApiId::kNtQuerySystemInformation, [this](Api& a,
                                           winapi::SystemInfoClass cls) {
     using winapi::SystemInfoClass;
     switch (cls) {
@@ -527,7 +573,7 @@ void DeceptionEngine::installSysInfoHooks(HookSet& hooks) {
         return a.orig_NtQuerySystemInformation(cls) + db_.processCount();
     }
     return a.orig_NtQuerySystemInformation(cls);
-  };
+  });
 }
 
 // ===== network ============================================================
@@ -535,16 +581,16 @@ void DeceptionEngine::installSysInfoHooks(HookSet& hooks) {
 void DeceptionEngine::installNetworkHooks(HookSet& hooks) {
   if (!config_.networkResources) return;
 
-  hooks.dnsQuery = [this](Api& a, const std::string& domain)
+  hooks.dnsQuery = timed(ApiId::kDnsQuery, [this](Api& a, const std::string& domain)
       -> std::optional<std::string> {
     auto real = a.orig_DnsQuery(domain);
     if (real.has_value()) return real;
     // NX domain: resolve to the proxy, exactly like a sandbox DNS sinkhole.
     alert(a, "DnsQuery()", domain, Profile::kGeneric);
     return config_.sinkholeIp;
-  };
+  });
 
-  hooks.internetOpenUrl = [this](Api& a, const std::string& domain,
+  hooks.internetOpenUrl = timed(ApiId::kInternetOpenUrl, [this](Api& a, const std::string& domain,
                                  const std::string& path) {
     if (a.machine().network().isRegistered(domain))
       return a.orig_InternetOpenUrlA(domain, path);
@@ -552,7 +598,7 @@ void DeceptionEngine::installNetworkHooks(HookSet& hooks) {
     a.machine().emit(a.pid(), trace::EventKind::kHttpRequest, domain + path,
                      "200 (sinkhole)");
     return winapi::HttpResult{200, "sinkholed"};
-  };
+  });
 }
 
 // ===== wear-and-tear extension ============================================
@@ -560,22 +606,22 @@ void DeceptionEngine::installNetworkHooks(HookSet& hooks) {
 void DeceptionEngine::installWearTearHooks(HookSet& hooks) {
   if (!config_.wearTearExtension) return;
 
-  hooks.evtNext = [this](Api& a, std::size_t maxCount) {
+  hooks.evtNext = timed(ApiId::kEvtNext, [this](Api& a, std::size_t maxCount) {
     alert(a, "EvtNext()", "system events", Profile::kGeneric);
     const std::size_t cap = config_.wearTear.sysEventCount;
     return a.orig_EvtNext(maxCount < cap ? maxCount : cap);
-  };
+  });
 
-  hooks.dnsGetCacheDataTable = [this](Api& a) {
+  hooks.dnsGetCacheDataTable = timed(ApiId::kDnsGetCacheDataTable, [this](Api& a) {
     alert(a, "DnsGetCacheDataTable()", "dns cache", Profile::kGeneric);
     std::vector<winapi::DnsCacheRow> rows = a.orig_DnsGetCacheDataTable();
     const std::size_t cap = config_.wearTear.dnsCacheEntries;
     if (rows.size() > cap)
       rows.erase(rows.begin(), rows.end() - static_cast<long>(cap));
     return rows;
-  };
+  });
 
-  hooks.regQueryInfoKey = [this](Api& a, const std::string& path,
+  hooks.regQueryInfoKey = timed(ApiId::kRegQueryInfoKey, [this](Api& a, const std::string& path,
                                  std::uint32_t& subkeys,
                                  std::uint32_t& values) {
     if (auto fake = wearTearCounts(path)) {
@@ -585,9 +631,9 @@ void DeceptionEngine::installWearTearHooks(HookSet& hooks) {
       return WinError::kSuccess;
     }
     return a.orig_RegQueryInfoKey(path, subkeys, values);
-  };
+  });
 
-  hooks.ntQueryKey = [this](Api& a, const std::string& path,
+  hooks.ntQueryKey = timed(ApiId::kNtQueryKey, [this](Api& a, const std::string& path,
                             std::uint32_t& subkeys, std::uint32_t& values) {
     if (auto fake = wearTearCounts(path)) {
       alert(a, "NtQueryKey()", path, Profile::kGeneric);
@@ -602,9 +648,9 @@ void DeceptionEngine::installWearTearHooks(HookSet& hooks) {
       return NtStatus::kSuccess;
     }
     return a.orig_NtQueryKey(path, subkeys, values);
-  };
+  });
 
-  hooks.regEnumKeyEx = [this](Api& a, const std::string& path,
+  hooks.regEnumKeyEx = timed(ApiId::kRegEnumKeyEx, [this](Api& a, const std::string& path,
                               std::uint32_t index, std::string& name) {
     if (auto fake = wearTearCounts(path)) {
       if (index >= fake->subkeys) return WinError::kNoMoreItems;
@@ -620,9 +666,9 @@ void DeceptionEngine::installWearTearHooks(HookSet& hooks) {
       return WinError::kSuccess;
     }
     return a.orig_RegEnumKeyEx(path, index, name);
-  };
+  });
 
-  hooks.regEnumValue = [this](Api& a, const std::string& path,
+  hooks.regEnumValue = timed(ApiId::kRegEnumValue, [this](Api& a, const std::string& path,
                               std::uint32_t index, std::string& name,
                               RegValue& value) {
     if (auto fake = wearTearCounts(path)) {
@@ -635,7 +681,7 @@ void DeceptionEngine::installWearTearHooks(HookSet& hooks) {
       return WinError::kSuccess;
     }
     return a.orig_RegEnumValue(path, index, name, value);
-  };
+  });
 }
 
 }  // namespace scarecrow::core

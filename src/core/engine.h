@@ -15,6 +15,7 @@
 // vendors' artifacts vanish.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <set>
@@ -24,6 +25,7 @@
 #include "core/resource_db.h"
 #include "hooking/injector.h"
 #include "hooking/ipc.h"
+#include "obs/metrics.h"
 #include "winapi/api.h"
 
 namespace scarecrow::core {
@@ -62,6 +64,12 @@ class DeceptionEngine {
   /// decoy patches (DeleteFile, OutputDebugString).
   std::size_t deceptionApiCount() const;
 
+  /// Telemetry sink the installed hooks report to: the registry of the
+  /// machine this engine was last installed into (null before the first
+  /// installInto). Hooks count per-ApiId invocations, per-profile alerts,
+  /// and dispatch latency there.
+  obs::MetricsRegistry* metrics() const noexcept { return metrics_; }
+
  private:
   void alert(winapi::Api& api, const std::string& label,
              const std::string& resource, Profile profile);
@@ -83,6 +91,16 @@ class DeceptionEngine {
   void installWearTearHooks(winapi::HookSet& hooks);
   std::set<winapi::ApiId> hookedIds() const;
 
+  /// Binds the telemetry caches (per-ApiId counter pointers, dispatch
+  /// histogram) to `machine`'s registry. Cached pointers keep hook-entry
+  /// accounting to one increment on a stable address.
+  void bindMetrics(winsys::Machine& machine);
+  void noteDispatch(winapi::Api& api, std::uint64_t startMs);
+  /// Wraps a hook body so every invocation is counted per ApiId and its
+  /// virtual-time dispatch latency lands in the latency histogram.
+  template <typename F>
+  auto timed(winapi::ApiId id, F f);
+
   Config config_;
   ResourceDb db_;
   hooking::IpcChannel ipc_;
@@ -90,6 +108,9 @@ class DeceptionEngine {
   std::optional<Profile> locked_;
   std::uint64_t attachMs_ = 0;
   bool attached_ = false;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Histogram* dispatchLatency_ = nullptr;
+  std::array<obs::Counter*, winapi::kApiCount> hookHits_{};
 };
 
 }  // namespace scarecrow::core

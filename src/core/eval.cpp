@@ -1,6 +1,9 @@
 #include "core/eval.h"
 
 #include "env/environments.h"
+#include "obs/export.h"
+#include "obs/span.h"
+#include "support/log.h"
 #include "support/strings.h"
 
 namespace scarecrow::core {
@@ -13,7 +16,14 @@ trace::Trace EvaluationHarness::runOnce(
     const winapi::ProgramFactory& factory, bool withScarecrow,
     const Config& config, std::uint64_t budgetMs, std::string* firstTrigger,
     std::uint32_t* selfSpawnAlerts) {
-  machine_.restore(snapshot_);
+  obs::MetricsRegistry& metrics = machine_.metrics();
+  obs::ScopedSpan runSpan(metrics, machine_.clock(),
+                          withScarecrow ? "eval.run.supervised"
+                                        : "eval.run.reference");
+  {
+    obs::ScopedSpan span(metrics, machine_.clock(), "eval.restore");
+    machine_.restore(snapshot_);
+  }
   machine_.recorder().setSampleId(sampleId);
   machine_.recorder().setScarecrowEnabled(withScarecrow);
 
@@ -32,17 +42,28 @@ trace::Trace EvaluationHarness::runOnce(
                            dbFactory_ ? dbFactory_()
                                       : buildDefaultResourceDb());
     Controller controller(machine_, userspace, engine);
-    controller.launch(imagePath);
-    runner.drain(options);
-    controller.pump();
+    {
+      obs::ScopedSpan span(metrics, machine_.clock(), "eval.inject");
+      controller.launch(imagePath);
+    }
+    {
+      obs::ScopedSpan span(metrics, machine_.clock(), "eval.execute");
+      runner.drain(options);
+    }
+    {
+      obs::ScopedSpan span(metrics, machine_.clock(), "eval.ipc_pump");
+      controller.pump();
+    }
     if (firstTrigger != nullptr) *firstTrigger = controller.firstTrigger();
     if (selfSpawnAlerts != nullptr)
       *selfSpawnAlerts = controller.selfSpawnAlerts();
   } else {
     // The cluster's analysis agent launches the sample (Figure 3).
     options.parentPid = env::sandboxAgentPid(machine_);
+    obs::ScopedSpan span(metrics, machine_.clock(), "eval.execute");
     runner.run(imagePath, options);
   }
+  obs::ScopedSpan span(metrics, machine_.clock(), "eval.trace_upload");
   return machine_.recorder().takeTrace();
 }
 
@@ -51,6 +72,12 @@ EvalOutcome EvaluationHarness::evaluate(const std::string& sampleId,
                                         const winapi::ProgramFactory& factory,
                                         const Config& config,
                                         std::uint64_t budgetMs) {
+  // Normalize the clock to the snapshot state, then zero the telemetry
+  // ledger: everything recorded from here on is a pure function of
+  // (sample, config), which is what makes the export reproducible.
+  machine_.restore(snapshot_);
+  machine_.metrics().reset();
+
   EvalOutcome outcome;
   outcome.traceWithout =
       runOnce(sampleId, imagePath, factory, false, config, budgetMs);
@@ -60,6 +87,14 @@ EvalOutcome EvaluationHarness::evaluate(const std::string& sampleId,
   outcome.verdict = trace::judgeDeactivation(
       outcome.traceWithout, outcome.traceWith,
       support::baseName(imagePath));
+  outcome.telemetry = machine_.metrics().snapshot();
+  outcome.telemetryJson = obs::exportJson(outcome.telemetry);
+  support::logDebug("eval", "telemetry captured",
+                    {{"sample", sampleId},
+                     {"counters", outcome.telemetry.counters.size()},
+                     {"spans", outcome.telemetry.spans.size()},
+                     {"alerts",
+                      outcome.telemetry.counterValue("engine.alerts")}});
   return outcome;
 }
 

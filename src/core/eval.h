@@ -15,6 +15,7 @@
 #include "core/controller.h"
 #include "core/resource_db.h"
 #include "core/engine.h"
+#include "obs/metrics.h"
 #include "trace/analysis.h"
 #include "winapi/runner.h"
 #include "winsys/machine.h"
@@ -29,6 +30,12 @@ struct EvalOutcome {
   /// trace-derived verdict.firstTrigger).
   std::string firstTrigger;
   std::uint32_t selfSpawnAlerts = 0;
+  /// Telemetry for the full ± pair: hook counters, alert counters, phase
+  /// spans, latency histograms. Captured after a registry reset at the
+  /// start of evaluate(), so two evaluations of the same sample/config
+  /// export byte-identical JSON.
+  obs::MetricsSnapshot telemetry;
+  std::string telemetryJson;  // obs::exportJson(telemetry)
 };
 
 class EvaluationHarness {

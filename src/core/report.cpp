@@ -1,5 +1,7 @@
 #include "core/report.h"
 
+#include <algorithm>
+
 #include "trace/analysis.h"
 
 namespace scarecrow::core {
@@ -74,6 +76,68 @@ std::string renderIncidentReport(const std::string& sampleId,
   appendTimeline(out, outcome.traceWith, options.maxTimelineEvents);
   out += "\n## Timeline (reference run, unprotected)\n\n";
   appendTimeline(out, outcome.traceWithout, options.maxTimelineEvents);
+  if (options.includeTelemetry && !outcome.telemetry.empty()) {
+    out += '\n';
+    out += renderTelemetryReport(outcome.telemetry, options);
+  }
+  return out;
+}
+
+std::string renderTelemetryReport(const obs::MetricsSnapshot& telemetry,
+                                  const ReportOptions& options) {
+  std::string out = "## Telemetry\n\n";
+
+  // Hottest hooks: engine.hook_invocations counters, by count then name.
+  std::vector<const obs::CounterSample*> hooks;
+  for (const obs::CounterSample& c : telemetry.counters)
+    if (c.name == "engine.hook_invocations" && c.value > 0)
+      hooks.push_back(&c);
+  std::sort(hooks.begin(), hooks.end(),
+            [](const obs::CounterSample* a, const obs::CounterSample* b) {
+              if (a->value != b->value) return a->value > b->value;
+              return a->label < b->label;
+            });
+  out += "### Hottest hooks\n\n";
+  if (hooks.empty()) {
+    out += "No hooked API was invoked.\n";
+  } else {
+    std::size_t shown = 0;
+    for (const obs::CounterSample* c : hooks) {
+      if (shown++ == options.maxHotHooks) {
+        out += "- … (" + std::to_string(hooks.size()) + " hooks hit)\n";
+        break;
+      }
+      out += "- `" + c->label + "` ×" + std::to_string(c->value) + "\n";
+    }
+  }
+  out += '\n';
+
+  bool any = false;
+  for (const obs::CounterSample& c : telemetry.counters) {
+    if (c.name != "engine.alerts_by_profile" || c.value == 0) continue;
+    if (!any) out += "### Alerts by profile\n\n";
+    any = true;
+    out += "- " + c.label + " ×" + std::to_string(c.value) + "\n";
+  }
+  if (any) out += '\n';
+
+  for (const obs::HistogramSample& h : telemetry.histograms) {
+    if (h.name != "engine.hook_dispatch_ms" || h.count == 0) continue;
+    out += "### Hook dispatch latency\n\n";
+    out += "- " + std::to_string(h.count) + " dispatches, p50 " +
+           std::to_string(h.p50) + "ms, p95 " + std::to_string(h.p95) +
+           "ms, p99 " + std::to_string(h.p99) + "ms, max " +
+           std::to_string(h.max) + "ms\n\n";
+  }
+
+  if (!telemetry.spans.empty()) {
+    out += "### Phase timings\n\n";
+    for (const obs::Span& s : telemetry.spans) {
+      for (std::uint32_t d = 0; d < s.depth; ++d) out += "  ";
+      out += "- `" + s.name + "` " + std::to_string(s.durationMs) +
+             "ms (t+" + std::to_string(s.startMs) + "ms)\n";
+    }
+  }
   return out;
 }
 
@@ -101,6 +165,13 @@ std::string renderSupervisionReport(const Controller& controller,
     }
     out += "- `" + report.api + "` probed *" + report.resource + "* ×" +
            std::to_string(report.count) + "\n";
+  }
+  if (options.includeTelemetry) {
+    const obs::MetricsSnapshot telemetry = controller.telemetrySnapshot();
+    if (!telemetry.empty()) {
+      out += '\n';
+      out += renderTelemetryReport(telemetry, options);
+    }
   }
   return out;
 }

@@ -11,18 +11,28 @@
 
 #include "core/controller.h"
 #include "core/eval.h"
+#include "obs/metrics.h"
 
 namespace scarecrow::core {
 
 struct ReportOptions {
   std::size_t maxTimelineEvents = 12;
   std::size_t maxActivities = 8;
+  /// Top-N rows in the telemetry section's hottest-hooks table.
+  std::size_t maxHotHooks = 8;
+  /// Appends the telemetry section when the outcome carries a snapshot.
+  bool includeTelemetry = true;
 };
 
 /// Renders a full ±Scarecrow evaluation (offline analysis report).
 std::string renderIncidentReport(const std::string& sampleId,
                                  const EvalOutcome& outcome,
                                  const ReportOptions& options = {});
+
+/// Renders the telemetry section: top-N hottest hooks, alerts by profile,
+/// hook-dispatch latency percentiles, and the eval-pipeline phase spans.
+std::string renderTelemetryReport(const obs::MetricsSnapshot& telemetry,
+                                  const ReportOptions& options = {});
 
 /// Renders a live supervision summary from a controller's IPC view (no
 /// reference run available).

@@ -1,5 +1,6 @@
 #include "hooking/injector.h"
 
+#include "obs/span.h"
 #include "support/strings.h"
 
 namespace scarecrow::hooking {
@@ -11,6 +12,9 @@ bool injectDll(winsys::Machine& machine, winapi::UserSpace& userspace,
       target->state == winsys::ProcessState::kTerminated)
     return false;
   if (isInjected(userspace, pid, dll.name)) return true;
+
+  obs::ScopedSpan span(machine.metrics(), machine.clock(), "hooking.inject");
+  machine.metrics().counter("hooking.injections", dll.name).inc();
 
   // Map the module into the target: visible through GetModuleHandle, like
   // EasyHook's runtime DLL.

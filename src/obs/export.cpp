@@ -1,0 +1,155 @@
+#include "obs/export.h"
+
+#include "support/strings.h"
+
+namespace scarecrow::obs {
+
+namespace {
+
+using support::jsonEscape;
+
+void appendKey(std::string& out, const std::string& name,
+               const std::string& label) {
+  out += "{\"name\":\"" + jsonEscape(name) + "\"";
+  if (!label.empty()) out += ",\"label\":\"" + jsonEscape(label) + "\"";
+}
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; anything else becomes '_'.
+std::string promName(const std::string& name) {
+  std::string out = "scarecrow_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string promLabel(const std::string& label) {
+  if (label.empty()) return {};
+  std::string out = "{label=\"";
+  for (char c : label) {
+    if (c == '\\' || c == '"') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  out += "\"}";
+  return out;
+}
+
+}  // namespace
+
+std::string exportJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\n  \"counters\": [";
+  bool first = true;
+  for (const CounterSample& c : snapshot.counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    appendKey(out, c.name, c.label);
+    out += ",\"value\":" + std::to_string(c.value) + "}";
+  }
+  out += first ? "],\n" : "\n  ],\n";
+
+  out += "  \"gauges\": [";
+  first = true;
+  for (const GaugeSample& g : snapshot.gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    appendKey(out, g.name, g.label);
+    out += ",\"value\":" + std::to_string(g.value) + "}";
+  }
+  out += first ? "],\n" : "\n  ],\n";
+
+  out += "  \"histograms\": [";
+  first = true;
+  for (const HistogramSample& h : snapshot.histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    appendKey(out, h.name, h.label);
+    out += ",\"count\":" + std::to_string(h.count);
+    out += ",\"sum\":" + std::to_string(h.sum);
+    out += ",\"min\":" + std::to_string(h.min);
+    out += ",\"max\":" + std::to_string(h.max);
+    out += ",\"p50\":" + std::to_string(h.p50);
+    out += ",\"p95\":" + std::to_string(h.p95);
+    out += ",\"p99\":" + std::to_string(h.p99);
+    out += ",\"buckets\":[";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (i != 0) out += ",";
+      out += "{\"le\":";
+      out += i < h.bounds.size() ? "\"" + std::to_string(h.bounds[i]) + "\""
+                                 : std::string("\"+Inf\"");
+      out += ",\"count\":" + std::to_string(h.counts[i]) + "}";
+    }
+    out += "]}";
+  }
+  out += first ? "],\n" : "\n  ],\n";
+
+  out += "  \"spans\": [";
+  first = true;
+  for (const Span& s : snapshot.spans) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"name\":\"" + jsonEscape(s.name) + "\"";
+    out += ",\"depth\":" + std::to_string(s.depth);
+    out += ",\"start_ms\":" + std::to_string(s.startMs);
+    out += ",\"duration_ms\":" + std::to_string(s.durationMs) + "}";
+  }
+  out += first ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+std::string exportPrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  std::string lastTyped;
+  const auto typeLine = [&](const std::string& name, const char* type) {
+    if (name == lastTyped) return;  // one TYPE line per metric family
+    lastTyped = name;
+    out += "# TYPE " + name + " " + type + "\n";
+  };
+
+  for (const CounterSample& c : snapshot.counters) {
+    const std::string name = promName(c.name);
+    typeLine(name, "counter");
+    out += name + promLabel(c.label) + " " + std::to_string(c.value) + "\n";
+  }
+  for (const GaugeSample& g : snapshot.gauges) {
+    const std::string name = promName(g.name);
+    typeLine(name, "gauge");
+    out += name + promLabel(g.label) + " " + std::to_string(g.value) + "\n";
+  }
+  for (const HistogramSample& h : snapshot.histograms) {
+    const std::string name = promName(h.name);
+    typeLine(name, "histogram");
+    // Prometheus buckets are cumulative and always end with +Inf.
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      cumulative += h.counts[i];
+      const std::string le =
+          i < h.bounds.size() ? std::to_string(h.bounds[i]) : "+Inf";
+      std::string labels = "le=\"" + le + "\"";
+      if (!h.label.empty()) {
+        std::string l = promLabel(h.label);  // {label="..."}
+        labels = l.substr(1, l.size() - 2) + "," + labels;
+      }
+      out += name + "_bucket{" + labels + "} " + std::to_string(cumulative) +
+             "\n";
+    }
+    out += name + "_sum" + promLabel(h.label) + " " + std::to_string(h.sum) +
+           "\n";
+    out += name + "_count" + promLabel(h.label) + " " +
+           std::to_string(h.count) + "\n";
+  }
+  // Spans are not a native Prometheus concept; the per-phase `phase_ms`
+  // histograms above carry their aggregate timings.
+  return out;
+}
+
+}  // namespace scarecrow::obs

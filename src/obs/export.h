@@ -1,0 +1,23 @@
+// Telemetry exporters.
+//
+// Two wire formats for a MetricsSnapshot:
+//   - deterministic JSON: integral values only, metrics ordered by
+//     (name, label), spans in completion order — byte-identical across
+//     identical runs, so CI can diff telemetry like any other artifact;
+//   - Prometheus text exposition format (counters, gauges, and histograms
+//     with cumulative `le` buckets), for scraping a live deployment.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace scarecrow::obs {
+
+std::string exportJson(const MetricsSnapshot& snapshot);
+
+/// Metric names are prefixed `scarecrow_` and sanitized to the Prometheus
+/// charset; non-empty labels are emitted as {label="..."}.
+std::string exportPrometheus(const MetricsSnapshot& snapshot);
+
+}  // namespace scarecrow::obs

@@ -1,0 +1,124 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace scarecrow::obs {
+
+const std::vector<std::uint64_t>& defaultLatencyBucketsMs() {
+  static const std::vector<std::uint64_t> kBuckets = {
+      0, 1, 2, 5, 10, 25, 50, 100, 250, 1'000, 5'000, 15'000, 60'000};
+  return kBuckets;
+}
+
+Histogram::Histogram(std::vector<std::uint64_t> bounds)
+    : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(std::uint64_t value) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  if (count_ == 0 || value < min_) min_ = value;
+  if (value > max_) max_ = value;
+  ++count_;
+  sum_ += value;
+}
+
+std::uint64_t Histogram::percentile(double p) const noexcept {
+  if (count_ == 0) return 0;
+  if (p <= 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  const std::uint64_t target = rank == 0 ? 1 : rank;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= target)
+      return i < bounds_.size() ? bounds_[i] : max_;
+  }
+  return max_;
+}
+
+void Histogram::reset() noexcept {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+std::uint64_t MetricsSnapshot::counterValue(
+    std::string_view name, std::string_view label) const noexcept {
+  for (const CounterSample& c : counters)
+    if (c.name == name && c.label == label) return c.value;
+  return 0;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name,
+                                  std::string_view label) {
+  return counters_[Key(std::string(name), std::string(label))];
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view label) {
+  return gauges_[Key(std::string(name), std::string(label))];
+}
+
+Histogram& MetricsRegistry::histogram(
+    std::string_view name, std::string_view label,
+    const std::vector<std::uint64_t>& bounds) {
+  Key key{std::string(name), std::string(label)};
+  auto it = histograms_.find(key);
+  if (it == histograms_.end())
+    it = histograms_.emplace(std::move(key), Histogram(bounds)).first;
+  return it->second;
+}
+
+void MetricsRegistry::recordSpan(std::string name, std::uint64_t startMs,
+                                 std::uint64_t durationMs,
+                                 std::uint32_t depth) {
+  // Per-phase latency distribution accumulates across runs alongside the
+  // ordered span log.
+  histogram("phase_ms", name).observe(durationMs);
+  spans_.push_back(Span{std::move(name), depth, startMs, durationMs});
+}
+
+void MetricsRegistry::reset() {
+  for (auto& [key, c] : counters_) c.reset();
+  for (auto& [key, g] : gauges_) g.reset();
+  for (auto& [key, h] : histograms_) h.reset();
+  spans_.clear();
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [key, c] : counters_)
+    snap.counters.push_back({key.first, key.second, c.value()});
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [key, g] : gauges_)
+    snap.gauges.push_back({key.first, key.second, g.value()});
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [key, h] : histograms_) {
+    HistogramSample sample;
+    sample.name = key.first;
+    sample.label = key.second;
+    sample.bounds = h.bucketBounds();
+    sample.counts = h.bucketCounts();
+    sample.count = h.count();
+    sample.sum = h.sum();
+    sample.min = h.min();
+    sample.max = h.max();
+    sample.p50 = h.percentile(50);
+    sample.p95 = h.percentile(95);
+    sample.p99 = h.percentile(99);
+    snap.histograms.push_back(std::move(sample));
+  }
+  snap.spans = spans_;
+  return snap;
+}
+
+}  // namespace scarecrow::obs

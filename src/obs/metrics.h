@@ -1,0 +1,187 @@
+// Telemetry primitives for the deception stack.
+//
+// The paper's evaluation (Tables I–III, Figure 4) is built on knowing which
+// hook fired, when, and at what cost. MetricsRegistry is the process-wide
+// ledger for that: named counters, gauges, and fixed-bucket latency
+// histograms with percentile extraction, plus a span log for the nested
+// phases of the evaluation pipeline (snapshot, restore, injection,
+// execution, trace upload).
+//
+// Everything is driven by the machine's VirtualClock, never wall clock, so
+// two identical runs export byte-identical telemetry — the telemetry itself
+// is testable and diffable in CI. Values are integral milliseconds for the
+// same reason: no float formatting nondeterminism can leak into exports.
+//
+// Hot-path contract: `Counter::inc()` on a cached pointer is a single
+// add on a stable address (registry storage is node-based, references
+// survive later registrations). Look the counter up once at install time,
+// increment forever; see bench_overhead's BM_MetricsCounterIncrement.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace scarecrow::obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) noexcept { value_ += delta; }
+  std::uint64_t value() const noexcept { return value_; }
+  void reset() noexcept { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept { value_ = v; }
+  void add(std::int64_t delta) noexcept { value_ += delta; }
+  std::int64_t value() const noexcept { return value_; }
+  void reset() noexcept { value_ = 0; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+/// Default latency buckets (virtual-clock milliseconds): tuned so the 1ms
+/// per-API-call charge, sleep-patched delays, and full 60s run budgets all
+/// land in distinct buckets.
+const std::vector<std::uint64_t>& defaultLatencyBucketsMs();
+
+/// Fixed-bucket histogram over unsigned integer samples. `bounds` are
+/// inclusive upper bounds in ascending order; samples above the last bound
+/// land in an implicit overflow bucket.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<std::uint64_t> bounds);
+
+  void observe(std::uint64_t value) noexcept;
+
+  std::uint64_t count() const noexcept { return count_; }
+  std::uint64_t sum() const noexcept { return sum_; }
+  std::uint64_t min() const noexcept { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const noexcept { return max_; }
+
+  /// Percentile estimate for p in (0, 100]: the inclusive upper bound of
+  /// the first bucket whose cumulative count reaches ceil(p% · count).
+  /// Samples in the overflow bucket report the observed maximum. Returns 0
+  /// when the histogram is empty.
+  std::uint64_t percentile(double p) const noexcept;
+
+  const std::vector<std::uint64_t>& bucketBounds() const noexcept {
+    return bounds_;
+  }
+  /// Per-bucket counts; size is bucketBounds().size() + 1 (overflow last).
+  const std::vector<std::uint64_t>& bucketCounts() const noexcept {
+    return counts_;
+  }
+
+  void reset() noexcept;
+
+ private:
+  std::vector<std::uint64_t> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+/// One completed timing span. Spans nest: `depth` is the number of
+/// enclosing spans that were open when this one started.
+struct Span {
+  std::string name;
+  std::uint32_t depth = 0;
+  std::uint64_t startMs = 0;
+  std::uint64_t durationMs = 0;
+};
+
+/// Value-type copy of a registry's state, ordered deterministically
+/// (metrics by (name, label); spans in completion order). This is what
+/// exporters and reports consume, and what EvalOutcome carries.
+struct CounterSample {
+  std::string name;
+  std::string label;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  std::string label;
+  std::int64_t value = 0;
+};
+
+struct HistogramSample {
+  std::string name;
+  std::string label;
+  std::vector<std::uint64_t> bounds;
+  std::vector<std::uint64_t> counts;  // bounds.size() + 1, overflow last
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  std::uint64_t p50 = 0;
+  std::uint64_t p95 = 0;
+  std::uint64_t p99 = 0;
+};
+
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+  std::vector<Span> spans;
+
+  bool empty() const noexcept {
+    return counters.empty() && gauges.empty() && histograms.empty() &&
+           spans.empty();
+  }
+  /// Counter value by (name, label), 0 when absent. Convenience for tests
+  /// and reports.
+  std::uint64_t counterValue(std::string_view name,
+                             std::string_view label = {}) const noexcept;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the metric with this (name, label) identity, creating it on
+  /// first use. References stay valid for the registry's lifetime —
+  /// reset() zeroes values in place, it never destroys storage — so hot
+  /// paths can cache the pointer.
+  Counter& counter(std::string_view name, std::string_view label = {});
+  Gauge& gauge(std::string_view name, std::string_view label = {});
+  /// `bounds` is consulted only on first creation of the histogram.
+  Histogram& histogram(std::string_view name, std::string_view label = {},
+                       const std::vector<std::uint64_t>& bounds =
+                           defaultLatencyBucketsMs());
+
+  void recordSpan(std::string name, std::uint64_t startMs,
+                  std::uint64_t durationMs, std::uint32_t depth);
+  const std::vector<Span>& spans() const noexcept { return spans_; }
+
+  /// Zeroes every metric and drops recorded spans. Metric identities (and
+  /// therefore cached references) survive.
+  void reset();
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  friend class ScopedSpan;
+
+  using Key = std::pair<std::string, std::string>;  // (name, label)
+  std::map<Key, Counter> counters_;
+  std::map<Key, Gauge> gauges_;
+  std::map<Key, Histogram> histograms_;
+  std::vector<Span> spans_;
+  std::uint32_t openSpans_ = 0;
+};
+
+}  // namespace scarecrow::obs

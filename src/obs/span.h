@@ -1,0 +1,52 @@
+// ScopedSpan: RAII timing of one named phase against the virtual clock.
+//
+// Construction notes the clock and the number of already-open spans (the
+// nesting depth); destruction records the completed span in the registry
+// and feeds its duration into the `phase_ms` histogram labeled with the
+// span name, so per-phase percentiles accumulate across runs.
+//
+// Durations are virtual-clock milliseconds. Phases that perform no guest
+// work (e.g. snapshot/restore, which the clock does not charge) record 0ms
+// — deterministically — and still document ordering and nesting. A phase
+// that rewinds the clock (Machine::restore resets it to the snapshot time)
+// clamps to 0 rather than underflowing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "support/clock.h"
+
+namespace scarecrow::obs {
+
+class ScopedSpan {
+ public:
+  ScopedSpan(MetricsRegistry& registry, const support::VirtualClock& clock,
+             std::string name)
+      : registry_(registry),
+        clock_(clock),
+        name_(std::move(name)),
+        depth_(registry.openSpans_++),
+        startMs_(clock.nowMs()) {}
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan() {
+    const std::uint64_t endMs = clock_.nowMs();
+    const std::uint64_t duration = endMs >= startMs_ ? endMs - startMs_ : 0;
+    --registry_.openSpans_;
+    registry_.recordSpan(std::move(name_), startMs_, duration, depth_);
+  }
+
+ private:
+  MetricsRegistry& registry_;
+  const support::VirtualClock& clock_;
+  std::string name_;
+  std::uint32_t depth_;
+  std::uint64_t startMs_;
+};
+
+}  // namespace scarecrow::obs

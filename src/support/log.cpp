@@ -1,9 +1,14 @@
 #include "support/log.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "support/strings.h"
 
 namespace scarecrow::support {
 namespace {
+
 LogLevel g_level = LogLevel::kWarn;
 
 const char* levelName(LogLevel level) noexcept {
@@ -16,17 +21,109 @@ const char* levelName(LogLevel level) noexcept {
   }
   return "?";
 }
+
+std::map<std::string, LogLevel, std::less<>>& componentLevels() {
+  static std::map<std::string, LogLevel, std::less<>> levels;
+  return levels;
+}
+
+LogFormat initialFormat() noexcept {
+  const char* env = std::getenv("SCARECROW_LOG");
+  return env != nullptr && std::string_view(env) == "json"
+             ? LogFormat::kJson
+             : LogFormat::kText;
+}
+
+LogFormat& formatRef() noexcept {
+  static LogFormat format = initialFormat();
+  return format;
+}
+
+LogSink& sinkRef() {
+  static LogSink sink;  // empty == default stderr sink
+  return sink;
+}
+
+std::string renderText(LogLevel level, std::string_view component,
+                       std::string_view message, const LogFields& fields) {
+  std::string line = "[";
+  line += levelName(level);
+  line += "] ";
+  line += component;
+  line += ": ";
+  line += message;
+  for (const LogField& field : fields) {
+    line += ' ';
+    line += field.key;
+    line += '=';
+    line += field.value;
+  }
+  return line;
+}
+
+std::string renderJson(LogLevel level, std::string_view component,
+                       std::string_view message, const LogFields& fields) {
+  std::string line = "{\"level\":\"";
+  line += levelName(level);
+  line += "\",\"component\":\"";
+  line += jsonEscape(component);
+  line += "\",\"message\":\"";
+  line += jsonEscape(message);
+  line += '"';
+  if (!fields.empty()) {
+    line += ",\"fields\":{";
+    bool first = true;
+    for (const LogField& field : fields) {
+      if (!first) line += ',';
+      first = false;
+      line += '"';
+      line += jsonEscape(field.key);
+      line += "\":\"";
+      line += jsonEscape(field.value);
+      line += '"';
+    }
+    line += '}';
+  }
+  line += '}';
+  return line;
+}
+
 }  // namespace
 
 void setLogLevel(LogLevel level) noexcept { g_level = level; }
 LogLevel logLevel() noexcept { return g_level; }
 
+void setComponentLogLevel(std::string_view component, LogLevel level) {
+  componentLevels()[std::string(component)] = level;
+}
+
+void clearComponentLogLevels() { componentLevels().clear(); }
+
+void setLogFormat(LogFormat format) noexcept { formatRef() = format; }
+LogFormat logFormat() noexcept { return formatRef(); }
+
+void setLogSink(LogSink sink) { sinkRef() = std::move(sink); }
+
 void logMessage(LogLevel level, std::string_view component,
-                std::string_view message) {
-  if (level < g_level) return;
-  std::fprintf(stderr, "[%s] %.*s: %.*s\n", levelName(level),
-               static_cast<int>(component.size()), component.data(),
-               static_cast<int>(message.size()), message.data());
+                std::string_view message, const LogFields& fields) {
+  LogLevel minLevel = g_level;
+  const auto& overrides = componentLevels();
+  if (!overrides.empty()) {
+    const auto it = overrides.find(component);
+    if (it != overrides.end()) minLevel = it->second;
+  }
+  if (level < minLevel) return;
+
+  const std::string line =
+      formatRef() == LogFormat::kJson
+          ? renderJson(level, component, message, fields)
+          : renderText(level, component, message, fields);
+  LogSink& sink = sinkRef();
+  if (sink) {
+    sink(line);
+    return;
+  }
+  std::fprintf(stderr, "%s\n", line.c_str());
 }
 
 }  // namespace scarecrow::support

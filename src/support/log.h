@@ -1,33 +1,87 @@
-// Minimal leveled logger.
+// Structured leveled logger.
 //
 // The simulator is deterministic and single-threaded per machine, so the
-// logger is intentionally tiny: a global level, stderr sink, printf-style
-// payloads built with std::snprintf by callers who need formatting.
+// logger stays small, but it is structured: every record carries a
+// component, a message, and optional key=value fields, and is rendered by a
+// pluggable sink. Two built-in renderings:
+//   - text (default): "[LEVEL] component: message key=value ..." — byte-
+//     compatible with the old logger when no fields are passed;
+//   - JSONL: one JSON object per line, selected by SCARECROW_LOG=json in
+//     the environment or setLogFormat(LogFormat::kJson).
+// Per-component minimum-level overrides let a run turn one subsystem's
+// kDebug on without drowning in the rest.
 #pragma once
 
+#include <functional>
+#include <string>
 #include <string_view>
+#include <type_traits>
+#include <vector>
 
 namespace scarecrow::support {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
+enum class LogFormat { kText, kJson };
+
+/// One key=value pair attached to a log record. Arithmetic values are
+/// rendered with std::to_string; everything stays a string downstream.
+struct LogField {
+  std::string key;
+  std::string value;
+
+  LogField(std::string k, std::string v)
+      : key(std::move(k)), value(std::move(v)) {}
+  LogField(std::string k, const char* v) : key(std::move(k)), value(v) {}
+  LogField(std::string k, std::string_view v)
+      : key(std::move(k)), value(v) {}
+  LogField(std::string k, bool v)
+      : key(std::move(k)), value(v ? "true" : "false") {}
+  template <typename T,
+            typename = std::enable_if_t<std::is_arithmetic_v<T>>>
+  LogField(std::string k, T v)
+      : key(std::move(k)), value(std::to_string(v)) {}
+};
+
+using LogFields = std::vector<LogField>;
+
+/// Global minimum level (default kWarn).
 void setLogLevel(LogLevel level) noexcept;
 LogLevel logLevel() noexcept;
 
-void logMessage(LogLevel level, std::string_view component,
-                std::string_view message);
+/// Per-component override of the minimum level; takes precedence over the
+/// global level for records from that component.
+void setComponentLogLevel(std::string_view component, LogLevel level);
+void clearComponentLogLevels();
 
-inline void logDebug(std::string_view c, std::string_view m) {
-  logMessage(LogLevel::kDebug, c, m);
+/// Rendering format. The initial value honours SCARECROW_LOG=json.
+void setLogFormat(LogFormat format) noexcept;
+LogFormat logFormat() noexcept;
+
+/// Sink receiving each fully rendered line (no trailing newline). Pass
+/// nullptr to restore the default stderr sink. Used by the obs layer and
+/// tests to capture structured output.
+using LogSink = std::function<void(const std::string& line)>;
+void setLogSink(LogSink sink);
+
+void logMessage(LogLevel level, std::string_view component,
+                std::string_view message, const LogFields& fields = {});
+
+inline void logDebug(std::string_view c, std::string_view m,
+                     const LogFields& fields = {}) {
+  logMessage(LogLevel::kDebug, c, m, fields);
 }
-inline void logInfo(std::string_view c, std::string_view m) {
-  logMessage(LogLevel::kInfo, c, m);
+inline void logInfo(std::string_view c, std::string_view m,
+                    const LogFields& fields = {}) {
+  logMessage(LogLevel::kInfo, c, m, fields);
 }
-inline void logWarn(std::string_view c, std::string_view m) {
-  logMessage(LogLevel::kWarn, c, m);
+inline void logWarn(std::string_view c, std::string_view m,
+                    const LogFields& fields = {}) {
+  logMessage(LogLevel::kWarn, c, m, fields);
 }
-inline void logError(std::string_view c, std::string_view m) {
-  logMessage(LogLevel::kError, c, m);
+inline void logError(std::string_view c, std::string_view m,
+                     const LogFields& fields = {}) {
+  logMessage(LogLevel::kError, c, m, fields);
 }
 
 }  // namespace scarecrow::support

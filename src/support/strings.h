@@ -48,4 +48,9 @@ std::string parentPath(std::string_view path);
 /// Formats byte counts like "50 GB" for reports.
 std::string formatBytes(std::uint64_t bytes);
 
+/// Escapes a string for embedding inside a JSON string literal (quotes,
+/// backslashes, control characters). Shared by the telemetry JSON exporter
+/// and the JSONL log sink.
+std::string jsonEscape(std::string_view s);
+
 }  // namespace scarecrow::support

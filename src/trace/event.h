@@ -36,6 +36,15 @@ enum class EventKind : std::uint8_t {
   kAlert,      // deception-engine alert (fingerprint attempt, self-spawn)
 };
 
+/// Number of event kinds; keep in sync with the last enumerator. Code that
+/// iterates kinds (serialization, name tables, tests) uses this instead of
+/// hard-coding the last member.
+inline constexpr std::size_t kEventKindCount =
+    static_cast<std::size_t>(EventKind::kAlert) + 1;
+
+/// Exhaustive over EventKind: the switch has no default, and the build
+/// compiles with -Werror=switch, so adding a kind without naming it is a
+/// compile error rather than a fallthrough string.
 const char* eventKindName(EventKind kind) noexcept;
 
 /// One kernel event. `target` is the primary object (path, key, domain,

@@ -8,11 +8,9 @@ namespace scarecrow::trace {
 namespace {
 
 constexpr const char* kHeaderMagic = "#scarecrow-trace v1";
-constexpr std::size_t kKindCount =
-    static_cast<std::size_t>(EventKind::kAlert) + 1;
 
 std::optional<EventKind> kindFromName(std::string_view name) {
-  for (std::size_t k = 0; k < kKindCount; ++k)
+  for (std::size_t k = 0; k < kEventKindCount; ++k)
     if (name == eventKindName(static_cast<EventKind>(k)))
       return static_cast<EventKind>(k);
   return std::nullopt;

@@ -1,5 +1,7 @@
 #include "winsys/machine.h"
 
+#include "obs/span.h"
+
 namespace scarecrow::winsys {
 
 void Machine::emit(std::uint32_t pid, trace::EventKind kind,
@@ -10,6 +12,8 @@ void Machine::emit(std::uint32_t pid, trace::EventKind kind,
 }
 
 MachineSnapshot Machine::snapshot() const {
+  obs::ScopedSpan span(metrics_, clock_, "machine.snapshot");
+  metrics_.counter("machine.snapshots").inc();
   MachineSnapshot snap;
   snap.registry = registry_;
   snap.vfs = vfs_;
@@ -24,6 +28,8 @@ MachineSnapshot Machine::snapshot() const {
 }
 
 void Machine::restore(const MachineSnapshot& snap) {
+  obs::ScopedSpan span(metrics_, clock_, "machine.restore");
+  metrics_.counter("machine.restores").inc();
   registry_ = snap.registry;
   vfs_ = snap.vfs;
   processes_ = snap.processes;

@@ -10,6 +10,7 @@
 #include <memory>
 #include <string>
 
+#include "obs/metrics.h"
 #include "support/clock.h"
 #include "trace/recorder.h"
 #include "winsys/eventlog.h"
@@ -66,6 +67,13 @@ class Machine {
   const support::VirtualClock& clock() const noexcept { return clock_; }
   trace::Recorder& recorder() noexcept { return recorder_; }
 
+  /// Telemetry ledger for everything that happens on this box: hook
+  /// counters, eval-pipeline spans, latency histograms. Unlike the
+  /// recorder, it survives restore() — metrics describe the machinery,
+  /// not one run; callers that need per-run telemetry reset it themselves
+  /// (EvaluationHarness::evaluate does).
+  obs::MetricsRegistry& metrics() const noexcept { return metrics_; }
+
   /// Milliseconds since simulated boot (includes the aging boot offset).
   std::uint64_t tickCount() const noexcept {
     return sysinfo_.bootOffsetMs + clock_.nowMs();
@@ -93,6 +101,8 @@ class Machine {
   MutexTable mutexes_;
   support::VirtualClock clock_;
   trace::Recorder recorder_;
+  // Mutable so const phases (snapshot) can record their own spans.
+  mutable obs::MetricsRegistry metrics_;
 };
 
 }  // namespace scarecrow::winsys

@@ -1,0 +1,338 @@
+// Tests for the obs subsystem: histogram edge cases, registry reference
+// stability across reset(), span nesting, exporter formats, and the
+// end-to-end determinism contract (two identical evaluations export
+// byte-identical telemetry JSON).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/eval.h"
+#include "env/environments.h"
+#include "malware/sample.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "support/clock.h"
+
+namespace {
+
+using namespace scarecrow;
+using malware::PayloadStep;
+using malware::Reaction;
+using malware::SampleSpec;
+using malware::Technique;
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+TEST(HistogramTest, EmptyHistogramReportsZeros) {
+  obs::Histogram h({10, 20, 30});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.percentile(50), 0u);
+  EXPECT_EQ(h.percentile(99), 0u);
+}
+
+TEST(HistogramTest, SingleSampleDominatesEveryPercentile) {
+  obs::Histogram h({10, 20, 30});
+  h.observe(15);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.sum(), 15u);
+  EXPECT_EQ(h.min(), 15u);
+  EXPECT_EQ(h.max(), 15u);
+  // The sample lands in the (10, 20] bucket; every percentile reports its
+  // inclusive upper bound.
+  EXPECT_EQ(h.percentile(1), 20u);
+  EXPECT_EQ(h.percentile(50), 20u);
+  EXPECT_EQ(h.percentile(100), 20u);
+}
+
+TEST(HistogramTest, AllSamplesInOneBucket) {
+  obs::Histogram h({10, 20, 30});
+  for (int i = 0; i < 100; ++i) h.observe(25);
+  EXPECT_EQ(h.percentile(50), 30u);
+  EXPECT_EQ(h.percentile(95), 30u);
+  EXPECT_EQ(h.percentile(99), 30u);
+  EXPECT_EQ(h.bucketCounts(), (std::vector<std::uint64_t>{0, 0, 100, 0}));
+}
+
+TEST(HistogramTest, BucketUpperBoundsAreInclusive) {
+  obs::Histogram h({10, 20});
+  h.observe(10);  // lands in the <=10 bucket, not the next one
+  h.observe(11);  // first value strictly above the bound
+  ASSERT_EQ(h.bucketCounts().size(), 3u);
+  EXPECT_EQ(h.bucketCounts()[0], 1u);
+  EXPECT_EQ(h.bucketCounts()[1], 1u);
+  EXPECT_EQ(h.bucketCounts()[2], 0u);
+}
+
+TEST(HistogramTest, OverflowBucketReportsObservedMax) {
+  obs::Histogram h({10});
+  h.observe(500);
+  h.observe(900);
+  // The overflow bucket has no upper bound, so any percentile that lands in
+  // it reports the observed maximum — the only honest bound available.
+  EXPECT_EQ(h.percentile(50), 900u);
+  EXPECT_EQ(h.percentile(99), 900u);
+  EXPECT_EQ(h.max(), 900u);
+}
+
+TEST(HistogramTest, PercentileWalksCumulativeCounts) {
+  obs::Histogram h({1, 2, 5, 10});
+  // 50 samples <=1, 40 samples <=2, 9 samples <=5, 1 sample <=10.
+  for (int i = 0; i < 50; ++i) h.observe(1);
+  for (int i = 0; i < 40; ++i) h.observe(2);
+  for (int i = 0; i < 9; ++i) h.observe(4);
+  h.observe(9);
+  EXPECT_EQ(h.percentile(50), 1u);
+  EXPECT_EQ(h.percentile(90), 2u);
+  EXPECT_EQ(h.percentile(95), 5u);
+  EXPECT_EQ(h.percentile(99), 5u);
+  EXPECT_EQ(h.percentile(100), 10u);
+}
+
+TEST(HistogramTest, BoundsAreSortedAndDeduplicated) {
+  obs::Histogram h({30, 10, 20, 10});
+  EXPECT_EQ(h.bucketBounds(), (std::vector<std::uint64_t>{10, 20, 30}));
+  EXPECT_EQ(h.bucketCounts().size(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+TEST(MetricsRegistryTest, ResetZeroesValuesButPreservesReferences) {
+  obs::MetricsRegistry registry;
+  obs::Counter& hits = registry.counter("hits", "a");
+  obs::Gauge& depth = registry.gauge("depth");
+  obs::Histogram& lat = registry.histogram("lat");
+  hits.inc(7);
+  depth.set(-3);
+  lat.observe(42);
+  registry.recordSpan("phase", 0, 42, 0);
+
+  registry.reset();
+
+  EXPECT_EQ(hits.value(), 0u);
+  EXPECT_EQ(depth.value(), 0);
+  EXPECT_EQ(lat.count(), 0u);
+  EXPECT_TRUE(registry.spans().empty());
+  // Same storage: the reference obtained before reset still feeds the same
+  // metric identity the registry reports.
+  hits.inc();
+  EXPECT_EQ(registry.snapshot().counterValue("hits", "a"), 1u);
+  // reset() keeps identities registered (zero-valued), so exports stay
+  // structurally stable across runs.
+  EXPECT_FALSE(registry.snapshot().counters.empty());
+}
+
+TEST(MetricsRegistryTest, LabelsDistinguishMetrics) {
+  obs::MetricsRegistry registry;
+  registry.counter("hook", "CreateFileA").inc(2);
+  registry.counter("hook", "RegOpenKeyExA").inc(5);
+  registry.counter("hook").inc();
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counterValue("hook", "CreateFileA"), 2u);
+  EXPECT_EQ(snap.counterValue("hook", "RegOpenKeyExA"), 5u);
+  EXPECT_EQ(snap.counterValue("hook"), 1u);
+  EXPECT_EQ(snap.counterValue("hook", "missing"), 0u);
+}
+
+TEST(MetricsRegistryTest, SnapshotOrdersByNameThenLabel) {
+  obs::MetricsRegistry registry;
+  registry.counter("b", "z").inc();
+  registry.counter("a", "y").inc();
+  registry.counter("b", "a").inc();
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].name, "a");
+  EXPECT_EQ(snap.counters[1].label, "a");
+  EXPECT_EQ(snap.counters[2].label, "z");
+}
+
+TEST(ScopedSpanTest, SpansRecordNestingDepthAndDuration) {
+  obs::MetricsRegistry registry;
+  support::VirtualClock clock;
+  clock.advanceMs(100);
+  {
+    obs::ScopedSpan outer(registry, clock, "outer");
+    clock.advanceMs(10);
+    {
+      obs::ScopedSpan inner(registry, clock, "inner");
+      clock.advanceMs(5);
+    }
+    clock.advanceMs(1);
+  }
+  // Spans complete innermost-first.
+  ASSERT_EQ(registry.spans().size(), 2u);
+  const obs::Span& inner = registry.spans()[0];
+  const obs::Span& outer = registry.spans()[1];
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(inner.depth, 1u);
+  EXPECT_EQ(inner.startMs, 110u);
+  EXPECT_EQ(inner.durationMs, 5u);
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(outer.depth, 0u);
+  EXPECT_EQ(outer.startMs, 100u);
+  EXPECT_EQ(outer.durationMs, 16u);
+  // Each span also feeds the per-phase latency histogram.
+  EXPECT_EQ(registry.histogram("phase_ms", "inner").count(), 1u);
+  EXPECT_EQ(registry.histogram("phase_ms", "outer").sum(), 16u);
+}
+
+TEST(ScopedSpanTest, ClockRewindClampsDurationToZero) {
+  obs::MetricsRegistry registry;
+  support::VirtualClock clock;
+  clock.advanceMs(1'000);
+  {
+    obs::ScopedSpan span(registry, clock, "restore");
+    clock.setNowMs(200);  // Machine::restore rewinds the clock like this
+  }
+  ASSERT_EQ(registry.spans().size(), 1u);
+  EXPECT_EQ(registry.spans()[0].durationMs, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+
+TEST(ExportTest, JsonExportIsDeterministicAndWellFormed) {
+  obs::MetricsRegistry registry;
+  registry.counter("engine.alerts").inc(3);
+  registry.gauge("depth", "q").set(-2);
+  registry.histogram("lat", "", {10, 20}).observe(15);
+  registry.recordSpan("phase", 5, 7, 1);
+
+  const std::string a = obs::exportJson(registry.snapshot());
+  const std::string b = obs::exportJson(registry.snapshot());
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"name\":\"engine.alerts\",\"value\":3"),
+            std::string::npos);
+  EXPECT_NE(a.find("\"name\":\"depth\",\"label\":\"q\",\"value\":-2"),
+            std::string::npos);
+  EXPECT_NE(a.find("{\"le\":\"+Inf\",\"count\":0}"), std::string::npos);
+  EXPECT_NE(a.find("{\"name\":\"phase\",\"depth\":1,\"start_ms\":5,"
+                   "\"duration_ms\":7}"),
+            std::string::npos);
+}
+
+TEST(ExportTest, JsonEscapesMetricNames) {
+  obs::MetricsRegistry registry;
+  registry.counter("weird\"name", "a\\b").inc();
+  const std::string json = obs::exportJson(registry.snapshot());
+  EXPECT_NE(json.find("weird\\\"name"), std::string::npos);
+  EXPECT_NE(json.find("a\\\\b"), std::string::npos);
+}
+
+TEST(ExportTest, PrometheusGolden) {
+  obs::MetricsRegistry registry;
+  registry.counter("engine.alerts").inc(2);
+  registry.counter("engine.hook_invocations", "CreateFileA").inc(4);
+  registry.gauge("open_spans").set(1);
+  obs::Histogram& h = registry.histogram("dispatch_ms", "", {1, 5});
+  h.observe(0);
+  h.observe(3);
+  h.observe(900);
+
+  const std::string expected =
+      "# TYPE scarecrow_engine_alerts counter\n"
+      "scarecrow_engine_alerts 2\n"
+      "# TYPE scarecrow_engine_hook_invocations counter\n"
+      "scarecrow_engine_hook_invocations{label=\"CreateFileA\"} 4\n"
+      "# TYPE scarecrow_open_spans gauge\n"
+      "scarecrow_open_spans 1\n"
+      "# TYPE scarecrow_dispatch_ms histogram\n"
+      "scarecrow_dispatch_ms_bucket{le=\"1\"} 1\n"
+      "scarecrow_dispatch_ms_bucket{le=\"5\"} 2\n"
+      "scarecrow_dispatch_ms_bucket{le=\"+Inf\"} 3\n"
+      "scarecrow_dispatch_ms_sum 903\n"
+      "scarecrow_dispatch_ms_count 3\n";
+  EXPECT_EQ(obs::exportPrometheus(registry.snapshot()), expected);
+}
+
+TEST(ExportTest, PrometheusEmitsOneTypeLinePerFamily) {
+  obs::MetricsRegistry registry;
+  registry.counter("hook", "a").inc();
+  registry.counter("hook", "b").inc();
+  const std::string text = obs::exportPrometheus(registry.snapshot());
+  std::size_t typeLines = 0, pos = 0;
+  while ((pos = text.find("# TYPE", pos)) != std::string::npos) {
+    ++typeLines;
+    pos += 6;
+  }
+  EXPECT_EQ(typeLines, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end determinism through the evaluation pipeline
+
+class ObsEvalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    machine_ = env::buildBareMetalSandbox();
+    SampleSpec spec;
+    spec.id = "obstest";
+    spec.family = "t";
+    spec.techniques = {Technique::kIsDebuggerPresent};
+    spec.reaction = Reaction::kExitImmediately;
+    spec.payload = {{PayloadStep::Kind::kDropAndExecute, "drop.exe"},
+                    {PayloadStep::Kind::kRegistryPersistence, "ObsRun"}};
+    registry_.addSample(std::move(spec));
+    harness_ = std::make_unique<core::EvaluationHarness>(*machine_);
+  }
+
+  std::unique_ptr<winsys::Machine> machine_;
+  malware::ProgramRegistry registry_;
+  std::unique_ptr<core::EvaluationHarness> harness_;
+};
+
+TEST_F(ObsEvalTest, RepeatedEvaluationsExportByteIdenticalTelemetry) {
+  const auto a =
+      harness_->evaluate("obstest", "C:\\s\\obstest.exe", registry_.factory());
+  const auto b =
+      harness_->evaluate("obstest", "C:\\s\\obstest.exe", registry_.factory());
+  ASSERT_FALSE(a.telemetryJson.empty());
+  EXPECT_EQ(a.telemetryJson, b.telemetryJson);
+  EXPECT_EQ(obs::exportPrometheus(a.telemetry),
+            obs::exportPrometheus(b.telemetry));
+}
+
+TEST_F(ObsEvalTest, TelemetryCapturesHooksAlertsAndPhases) {
+  const auto outcome =
+      harness_->evaluate("obstest", "C:\\s\\obstest.exe", registry_.factory());
+  const obs::MetricsSnapshot& t = outcome.telemetry;
+  // The sample probes IsDebuggerPresent; the hook counter and the alert
+  // counter must both have fired during the supervised run.
+  EXPECT_GE(t.counterValue("engine.hook_invocations", "IsDebuggerPresent"),
+            1u);
+  EXPECT_GE(t.counterValue("engine.alerts"), 1u);
+  EXPECT_GE(t.counterValue("machine.restores"), 2u);  // one per ± run
+  EXPECT_GE(t.counterValue("hooking.injections", "scarecrow.dll"), 1u);
+
+  std::set<std::string> spanNames;
+  for (const obs::Span& s : t.spans) spanNames.insert(s.name);
+  for (const char* phase :
+       {"eval.run.supervised", "eval.run.reference", "eval.restore",
+        "eval.inject", "eval.execute", "eval.trace_upload"})
+    EXPECT_TRUE(spanNames.count(phase)) << "missing span: " << phase;
+
+  // Nested phases carry depth > 0; the two run umbrellas sit at depth 0.
+  bool sawNested = false;
+  for (const obs::Span& s : t.spans)
+    if (s.depth > 0) sawNested = true;
+  EXPECT_TRUE(sawNested);
+}
+
+TEST_F(ObsEvalTest, HookDispatchLatencyHistogramPopulated) {
+  const auto outcome =
+      harness_->evaluate("obstest", "C:\\s\\obstest.exe", registry_.factory());
+  bool found = false;
+  for (const obs::HistogramSample& h : outcome.telemetry.histograms) {
+    if (h.name != "engine.hook_dispatch_ms") continue;
+    found = true;
+    EXPECT_GE(h.count, 1u);
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace

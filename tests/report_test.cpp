@@ -89,6 +89,38 @@ TEST_F(ReportTest, QuietTargetReport) {
   EXPECT_NE(report.find("No fingerprinting attempts"), std::string::npos);
 }
 
+TEST_F(ReportTest, IncidentReportIncludesTelemetrySection) {
+  const core::EvalOutcome outcome = harness_->evaluate(
+      "9fac72a", "C:\\s\\9fac72a.exe", registry_.factory());
+  const std::string report =
+      core::renderIncidentReport("9fac72a", outcome);
+  EXPECT_NE(report.find("## Telemetry"), std::string::npos);
+  EXPECT_NE(report.find("### Hottest hooks"), std::string::npos);
+  EXPECT_NE(report.find("GlobalMemoryStatusEx"), std::string::npos);
+  EXPECT_NE(report.find("### Phase timings"), std::string::npos);
+  EXPECT_NE(report.find("eval.run.supervised"), std::string::npos);
+}
+
+TEST_F(ReportTest, TelemetrySectionCapsHottestHooks) {
+  const core::EvalOutcome outcome = harness_->evaluate(
+      "9fac72a", "C:\\s\\9fac72a.exe", registry_.factory());
+  core::ReportOptions options;
+  options.maxHotHooks = 1;
+  const std::string report =
+      core::renderTelemetryReport(outcome.telemetry, options);
+  EXPECT_NE(report.find("hooks hit)"), std::string::npos);
+}
+
+TEST_F(ReportTest, TelemetrySectionCanBeDisabled) {
+  const core::EvalOutcome outcome = harness_->evaluate(
+      "9fac72a", "C:\\s\\9fac72a.exe", registry_.factory());
+  core::ReportOptions options;
+  options.includeTelemetry = false;
+  const std::string report =
+      core::renderIncidentReport("9fac72a", outcome, options);
+  EXPECT_EQ(report.find("## Telemetry"), std::string::npos);
+}
+
 // ===== serializer fuzzing ====================================================
 
 TEST(SerializerFuzz, RandomGarbageNeverCrashes) {

@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <string>
+#include <vector>
 #include <set>
 
 #include "support/clock.h"
+#include "support/log.h"
 #include "support/rng.h"
 #include "support/strings.h"
 
@@ -225,6 +228,70 @@ TEST(Clock, SetNow) {
   VirtualClock clock;
   clock.setNowMs(123);
   EXPECT_EQ(clock.nowMs(), 123u);
+}
+
+
+// ===== Structured logger ===================================================
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    setLogSink([this](const std::string& line) { lines_.push_back(line); });
+  }
+  void TearDown() override {
+    setLogSink(nullptr);
+    setLogLevel(LogLevel::kWarn);
+    clearComponentLogLevels();
+    setLogFormat(LogFormat::kText);
+  }
+  std::vector<std::string> lines_;
+};
+
+TEST_F(LogTest, TextRenderingMatchesLegacyFormatWithoutFields) {
+  logWarn("runner", "guest crashed: boom");
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_EQ(lines_[0], "[WARN] runner: guest crashed: boom");
+}
+
+TEST_F(LogTest, FieldsAppendAsKeyValuePairs) {
+  logError("engine", "hook failed",
+           {{"api", "CreateFileA"}, {"pid", 42}, {"fatal", true}});
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_EQ(lines_[0],
+            "[ERROR] engine: hook failed api=CreateFileA pid=42 fatal=true");
+}
+
+TEST_F(LogTest, GlobalLevelFilters) {
+  logInfo("eval", "below threshold");
+  EXPECT_TRUE(lines_.empty());
+  setLogLevel(LogLevel::kDebug);
+  logDebug("eval", "now visible");
+  EXPECT_EQ(lines_.size(), 1u);
+}
+
+TEST_F(LogTest, ComponentOverrideBeatsGlobalLevel) {
+  setComponentLogLevel("eval", LogLevel::kDebug);
+  logDebug("eval", "enabled for this component");
+  logDebug("runner", "still suppressed");
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_NE(lines_[0].find("eval"), std::string::npos);
+  // Overrides can also silence a noisy component below the global level.
+  setComponentLogLevel("runner", LogLevel::kOff);
+  logError("runner", "silenced");
+  EXPECT_EQ(lines_.size(), 1u);
+  clearComponentLogLevels();
+  logError("runner", "audible again");
+  EXPECT_EQ(lines_.size(), 2u);
+}
+
+TEST_F(LogTest, JsonFormatEmitsOneObjectPerLine) {
+  setLogFormat(LogFormat::kJson);
+  logWarn("runner", "guest \"crashed\"", {{"code", 3}});
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_EQ(lines_[0],
+            "{\"level\":\"WARN\",\"component\":\"runner\","
+            "\"message\":\"guest \\\"crashed\\\"\","
+            "\"fields\":{\"code\":\"3\"}}");
 }
 
 }  // namespace

@@ -3,6 +3,8 @@
 // collector proxy.
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "trace/analysis.h"
 #include "trace/collector.h"
 #include "trace/malgene.h"
@@ -235,6 +237,21 @@ TEST(Collector, PairsAndJudges) {
   ASSERT_TRUE(verdict.has_value());
   EXPECT_TRUE(verdict->deactivated);
   EXPECT_EQ(collector.sampleIds().size(), 1u);
+}
+
+
+// ===== Event kind names ====================================================
+
+TEST(EventKindNames, EveryKindHasUniqueNonEmptyName) {
+  std::set<std::string> names;
+  for (std::size_t k = 0; k < kEventKindCount; ++k) {
+    const std::string name = eventKindName(static_cast<EventKind>(k));
+    EXPECT_FALSE(name.empty()) << "kind " << k << " has no name";
+    EXPECT_NE(name, "?") << "kind " << k << " hit the fallthrough";
+    EXPECT_TRUE(names.insert(name).second)
+        << "duplicate kind name: " << name;
+  }
+  EXPECT_EQ(names.size(), kEventKindCount);
 }
 
 }  // namespace

@@ -16,6 +16,7 @@
 #include "env/base_image.h"
 #include "hooking/inline_hook.h"
 #include "obs/export.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "winapi/runner.h"
 
@@ -150,6 +151,24 @@ void BM_MetricsCounterLookupAndIncrement(benchmark::State& state) {
 }
 BENCHMARK(BM_MetricsCounterLookupAndIncrement);
 
+void BM_FlightRecorderRecord(benchmark::State& state) {
+  // Decision-trace hot path: one record() per hook dispatch. The ring slot
+  // is reused in place, so steady-state cost is a handful of string
+  // assignments — no allocation once every slot has been written once.
+  obs::FlightRecorder recorder;
+  for (auto _ : state) {
+    obs::DecisionEvent e;
+    e.timeMs = 1;
+    e.pid = 42;
+    e.kind = obs::DecisionKind::kHookDispatch;
+    e.api = "IsDebuggerPresent";
+    benchmark::DoNotOptimize(recorder.record(std::move(e)));
+  }
+  state.counters["dropped"] =
+      static_cast<double>(recorder.droppedCount());
+}
+BENCHMARK(BM_FlightRecorderRecord);
+
 void BM_MetricsHistogramObserve(benchmark::State& state) {
   obs::MetricsRegistry registry;
   obs::Histogram& lat = registry.histogram("engine.hook_dispatch_ms");
@@ -188,6 +207,12 @@ void dumpTelemetrySnapshot() {
                   registry.factory(), true);
   std::printf("--- telemetry snapshot (supervised run, 9fac72a) ---\n%s",
               obs::exportJson(machine->metrics().snapshot()).c_str());
+  const obs::FlightRecorder& flight = machine->flightRecorder();
+  std::printf(
+      "--- decision trace: %zu retained, %llu recorded, %llu dropped ---\n",
+      flight.size(),
+      static_cast<unsigned long long>(flight.totalRecorded()),
+      static_cast<unsigned long long>(flight.droppedCount()));
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 #include "core/engine.h"
 #include "env/environments.h"
 #include "malware/kasidet.h"
+#include "obs/trace_export.h"
 #include "support/strings.h"
 #include "trace/analysis.h"
 #include "winapi/runner.h"
@@ -73,5 +74,21 @@ int main() {
   // counters, alert counters, dispatch latency, and the pipeline spans.
   std::printf("\ntelemetry snapshot:\n%s",
               controller.telemetryJson().c_str());
+
+  // The causal decision trace, as a Chrome trace-event file: one track per
+  // process, hook dispatches and deceptions as instants, correlation
+  // chains as flow arrows.
+  const char* tracePath = "scarecrow_trace.json";
+  const std::string traceJson = obs::exportChromeTrace(
+      machine->metrics().snapshot(),
+      machine->flightRecorder().snapshot(),
+      machine->flightRecorder().droppedCount());
+  if (std::FILE* f = std::fopen(tracePath, "w")) {
+    std::fwrite(traceJson.data(), 1, traceJson.size(), f);
+    std::fclose(f);
+    std::printf("\ndecision trace written to %s — open it in "
+                "https://ui.perfetto.dev (or chrome://tracing)\n",
+                tracePath);
+  }
   return payload.empty() ? 0 : 1;
 }

@@ -1,0 +1,46 @@
+#include "core/attribution.h"
+
+namespace scarecrow::core {
+
+TriggerAttribution attributeTrigger(
+    const std::vector<obs::DecisionEvent>& decisions) {
+  TriggerAttribution out;
+  // The verdict is the newest decision of its kind: walk backward.
+  const obs::DecisionEvent* verdict = nullptr;
+  for (auto it = decisions.rbegin(); it != decisions.rend(); ++it) {
+    if (it->kind == obs::DecisionKind::kVerdict) {
+      verdict = &*it;
+      break;
+    }
+  }
+  if (verdict == nullptr) return out;
+  out.api = verdict->api;
+  out.correlationId = verdict->correlationId;
+  if (verdict->correlationId == 0) {
+    // No fingerprint attempt reached the controller: nothing to attribute
+    // (the verdict stands on trace diffing alone).
+    out.chain.push_back(*verdict);
+    return out;
+  }
+  out.resolved = true;
+  bool sawDeception = false;
+  for (const obs::DecisionEvent& e : decisions) {
+    if (e.correlationId != verdict->correlationId || e.seq >= verdict->seq)
+      continue;
+    out.chain.push_back(e);
+    if (e.kind == obs::DecisionKind::kDeception) {
+      sawDeception = true;
+      out.api = e.api;
+      out.argument = e.argument;
+      out.matched = e.matched;
+    }
+  }
+  out.chain.push_back(*verdict);
+  // Every chain is anchored by the kDeception event alert() records; a
+  // kHookDispatch link is optional (guard-page VEH alerts have none). So
+  // only the anchor's absence proves the ring dropped the chain's head.
+  out.truncated = !sawDeception;
+  return out;
+}
+
+}  // namespace scarecrow::core

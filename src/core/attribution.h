@@ -1,0 +1,55 @@
+// Trigger attribution: from verdict back to the decision that caused it.
+//
+// The paper's Table I "Trigger" column and the Section IV-C verdicts are
+// causal claims — this hook fired on this argument, served this deceptive
+// value, and the sample then deactivated. PR 1 carried that claim as a
+// bare string (EvalOutcome::firstTrigger); this layer replaces it with the
+// evidence: starting from the kVerdict event the evaluation harness
+// records, walk the flight recorder backward along the verdict's
+// correlation id and reconstruct the minimal causal chain
+// (hook dispatch → deception → IPC send → controller drain → verdict).
+//
+// The chain is minimal in the sense that it contains exactly the events
+// sharing the first trigger's correlation id — every other hook dispatch,
+// probe, and phase transition in the recorder is evidence for *other*
+// chains, not this one. When the ring buffer overflowed and the chain's
+// oldest links were dropped, `truncated` says so; the attribution then
+// still names the trigger (the verdict event retains it) but cannot show
+// the full chain.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+
+namespace scarecrow::core {
+
+struct TriggerAttribution {
+  /// True when a verdict event with a non-zero correlation id was found —
+  /// i.e. the deactivation is attributable to a concrete decision chain.
+  bool resolved = false;
+  /// True when the recorder dropped part of the chain (overflow): the
+  /// deception link that anchors every chain is missing.
+  bool truncated = false;
+  std::uint64_t correlationId = 0;
+  /// The triggering API label; agrees with the trace-derived
+  /// DeactivationVerdict::firstTrigger.
+  std::string api;
+  /// Argument digest the trigger probed (from the deception event).
+  std::string argument;
+  /// ResourceDb entry / profile the argument matched.
+  std::string matched;
+  /// The chain in record order, verdict last.
+  std::vector<obs::DecisionEvent> chain;
+};
+
+/// Walks `decisions` (a FlightRecorder snapshot in seq order) backward
+/// from the last kVerdict event. Returns a default-constructed (non-
+/// resolved) attribution when no verdict was recorded or the verdict has
+/// no trigger.
+TriggerAttribution attributeTrigger(
+    const std::vector<obs::DecisionEvent>& decisions);
+
+}  // namespace scarecrow::core

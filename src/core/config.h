@@ -6,6 +6,7 @@
 // public sandboxes", and the Table III wear-and-tear fakes.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -97,6 +98,12 @@ struct Config {
 
   /// All NX domains resolve here (the paper points them at its proxy).
   std::string sinkholeIp = "10.0.0.1";
+
+  /// Capacity of the machine's decision-trace flight recorder (events).
+  /// Oldest events are dropped beyond this bound; drops are counted in the
+  /// metrics registry as `obs.decisions_dropped`. 0 disables retention
+  /// (every event is dropped on arrival).
+  std::size_t flightRecorderCapacity = 4096;
 };
 
 }  // namespace scarecrow::core

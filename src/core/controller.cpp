@@ -34,26 +34,30 @@ std::uint32_t Controller::launch(const std::string& imagePath,
   return pid;
 }
 
-namespace {
-
-const char* ipcKindName(hooking::IpcKind kind) noexcept {
-  switch (kind) {
-    case hooking::IpcKind::kFingerprintAttempt: return "fingerprint_attempt";
-    case hooking::IpcKind::kSelfSpawnAlert: return "self_spawn_alert";
-    case hooking::IpcKind::kProcessInjected: return "process_injected";
-    case hooking::IpcKind::kConfigUpdate: return "config_update";
-  }
-  return "?";
-}
-
-}  // namespace
-
 void Controller::pump() {
   obs::MetricsRegistry& metrics = machine_.metrics();
+  obs::FlightRecorder& flight = machine_.flightRecorder();
   for (hooking::IpcMessage& msg : engine_.ipc().drain()) {
-    metrics.counter("controller.ipc_messages", ipcKindName(msg.kind)).inc();
+    metrics.counter("controller.ipc_messages", hooking::ipcKindName(msg.kind))
+        .inc();
+    // The controller-side half of the causal chain: same correlation id as
+    // the DLL-side send, controller pid, drained timestamp.
+    {
+      obs::DecisionEvent e;
+      e.timeMs = machine_.clock().nowMs();
+      e.pid = controllerPid_;
+      e.correlationId = msg.correlationId;
+      e.kind = obs::DecisionKind::kIpcDrain;
+      e.api = msg.api;
+      e.argument = obs::digestArgument(msg.resource);
+      e.link = hooking::ipcKindName(msg.kind);
+      e.value = std::to_string(msg.seq);
+      flight.record(std::move(e));
+    }
     switch (msg.kind) {
       case hooking::IpcKind::kFingerprintAttempt: {
+        if (firstTriggerCorrelation_ == 0)
+          firstTriggerCorrelation_ = msg.correlationId;
         bool found = false;
         for (FingerprintReport& report : reports_) {
           if (report.api == msg.api && report.resource == msg.resource) {

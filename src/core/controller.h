@@ -50,6 +50,11 @@ class Controller {
   }
   /// First fingerprint trigger, or empty — Table I's "Trigger" column.
   std::string firstTrigger() const;
+  /// Causal-chain id of the first fingerprint attempt (0 when none): the
+  /// handle trigger attribution walks the flight recorder with.
+  std::uint64_t firstTriggerCorrelation() const noexcept {
+    return firstTriggerCorrelation_;
+  }
 
   std::uint32_t selfSpawnAlerts() const noexcept { return selfSpawnAlerts_; }
   std::uint32_t injectedChildren() const noexcept { return injected_; }
@@ -73,6 +78,7 @@ class Controller {
   std::vector<FingerprintReport> reports_;
   std::uint32_t selfSpawnAlerts_ = 0;
   std::uint32_t injected_ = 0;
+  std::uint64_t firstTriggerCorrelation_ = 0;
 };
 
 }  // namespace scarecrow::core

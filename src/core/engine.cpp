@@ -31,7 +31,8 @@ hooking::DllImage DeceptionEngine::dllImage() {
 }
 
 void DeceptionEngine::alert(Api& api, const std::string& label,
-                            const std::string& resource, Profile profile) {
+                            const std::string& resource, Profile profile,
+                            const std::string& value) {
   if (metrics_ != nullptr) {
     metrics_->counter("engine.alerts").inc();
     metrics_->counter("engine.alerts_by_profile", profileName(profile))
@@ -39,10 +40,28 @@ void DeceptionEngine::alert(Api& api, const std::string& label,
   }
   api.machine().emit(api.pid(), trace::EventKind::kAlert, "fingerprint",
                      label);
+  // The decision itself: which argument matched which ResourceDb profile
+  // and what was served back. Shares the enclosing dispatch's correlation
+  // id so the chain reads dispatch → deception → IPC → controller.
+  std::uint64_t correlation = currentCorrelation_;
+  if (flight_ != nullptr) {
+    if (correlation == 0) correlation = flight_->newCorrelation();
+    obs::DecisionEvent e;
+    e.timeMs = api.machine().clock().nowMs();
+    e.pid = api.pid();
+    e.correlationId = correlation;
+    e.kind = obs::DecisionKind::kDeception;
+    e.api = label;
+    e.argument = obs::digestArgument(resource);
+    e.matched = profileName(profile);
+    e.value = value;
+    flight_->record(std::move(e));
+  }
   hooking::IpcMessage msg;
   msg.kind = hooking::IpcKind::kFingerprintAttempt;
   msg.pid = api.pid();
   msg.timeMs = api.machine().clock().nowMs();
+  msg.correlationId = correlation;
   msg.api = label;
   msg.resource = resource;
   ipc_.send(std::move(msg));
@@ -101,6 +120,8 @@ void DeceptionEngine::bindMetrics(winsys::Machine& machine) {
   obs::MetricsRegistry& m = machine.metrics();
   if (metrics_ == &m) return;
   metrics_ = &m;
+  flight_ = &machine.flightRecorder();
+  ipc_.bindFlightRecorder(flight_);
   dispatchLatency_ = &m.histogram("engine.hook_dispatch_ms");
   hookHits_.fill(nullptr);
   for (ApiId id : hookedIds())
@@ -120,13 +141,29 @@ auto DeceptionEngine::timed(ApiId id, F f) {
     if (obs::Counter* hits = hookHits_[static_cast<std::size_t>(id)])
       hits->inc();
     const std::uint64_t t0 = a.machine().clock().nowMs();
+    // Every dispatch opens a causal chain; alert()/IPC sends inside the
+    // hook body join it via currentCorrelation_. Saved and restored (not
+    // zeroed) because hooks can nest (ShellExecuteEx → CreateProcess).
+    const std::uint64_t enclosing = currentCorrelation_;
+    if (flight_ != nullptr) {
+      currentCorrelation_ = flight_->newCorrelation();
+      obs::DecisionEvent e;
+      e.timeMs = t0;
+      e.pid = a.pid();
+      e.correlationId = currentCorrelation_;
+      e.kind = obs::DecisionKind::kHookDispatch;
+      e.api = winapi::apiName(id);
+      flight_->record(std::move(e));
+    }
     if constexpr (std::is_void_v<decltype(f(
                       a, std::forward<decltype(args)>(args)...))>) {
       f(a, std::forward<decltype(args)>(args)...);
       noteDispatch(a, t0);
+      currentCorrelation_ = enclosing;
     } else {
       auto result = f(a, std::forward<decltype(args)>(args)...);
       noteDispatch(a, t0);
+      currentCorrelation_ = enclosing;
       return result;
     }
   };
@@ -150,6 +187,15 @@ void DeceptionEngine::installInto(Api& api) {
   installWearTearHooks(state.hooks);
   for (ApiId id : hookedIds()) hooking::installInlineHook(state, id);
   state.guardPages = true;  // surfaces prologue reads as Hook-detection alerts
+  // VEH route: a prologue read is a fingerprint attempt like any other, so
+  // it flows through alert() — decision trace, IPC, metrics — and the
+  // controller (and attribution) see the same "Hook detection" trigger the
+  // kernel trace reports.
+  state.onHookPrologueRead = [this](Api& a, winapi::ApiId id) {
+    alert(a, "Hook detection",
+          std::string("prologue:") + winapi::apiName(id),
+          Profile::kGeneric);
+  };
 
   if (config_.kernel.enabled) {
     const KernelExtension extension(config_.kernel);
@@ -241,7 +287,9 @@ void DeceptionEngine::installRegistryHooks(HookSet& hooks) {
                                  RegValue& out) {
     auto m = db_.matchRegistryValue(path, valueName);
     if (m.has_value() && profileActive(m->profile)) {
-      alert(a, "RegQueryValueEx()", path + "!" + valueName, m->profile);
+      alert(a, "RegQueryValueEx()", path + "!" + valueName, m->profile,
+            m->value.str.empty() ? std::to_string(m->value.num)
+                                 : m->value.str);
       out = m->value;
       return WinError::kSuccess;
     }
@@ -253,14 +301,17 @@ void DeceptionEngine::installRegistryHooks(HookSet& hooks) {
                                  RegValue& out) {
     auto m = db_.matchRegistryValue(path, valueName);
     if (m.has_value() && profileActive(m->profile)) {
-      alert(a, "NtQueryValueKey()", path + "!" + valueName, m->profile);
+      alert(a, "NtQueryValueKey()", path + "!" + valueName, m->profile,
+            m->value.str.empty() ? std::to_string(m->value.num)
+                                 : m->value.str);
       out = m->value;
       return NtStatus::kSuccess;
     }
     if (config_.wearTearExtension &&
         iendsWith(path, "\\Session Manager\\AppCompatCache") &&
         iequals(valueName, "CacheEntryCount")) {
-      alert(a, "NtQueryValueKey()", path, Profile::kGeneric);
+      alert(a, "NtQueryValueKey()", path, Profile::kGeneric,
+            std::to_string(config_.wearTear.shimCacheEntries));
       out = RegValue::dword(config_.wearTear.shimCacheEntries);
       return NtStatus::kSuccess;
     }
@@ -426,10 +477,22 @@ void DeceptionEngine::installProcessHooks(HookSet& hooks) {
     if (child == 0) return child;
     if (iequals(baseName(imagePath), a.self().imageName)) {
       const std::uint32_t n = ++selfSpawns_[toLower(a.self().imageName)];
+      if (flight_ != nullptr) {
+        obs::DecisionEvent e;
+        e.timeMs = a.machine().clock().nowMs();
+        e.pid = a.pid();
+        e.correlationId = currentCorrelation_;
+        e.kind = obs::DecisionKind::kSelfSpawn;
+        e.api = "CreateProcessW";
+        e.argument = obs::digestArgument(a.self().imageName);
+        e.value = std::to_string(n);
+        flight_->record(std::move(e));
+      }
       hooking::IpcMessage msg;
       msg.kind = hooking::IpcKind::kSelfSpawnAlert;
       msg.pid = a.pid();
       msg.timeMs = a.machine().clock().nowMs();
+      msg.correlationId = currentCorrelation_;
       msg.api = "CreateProcessW";
       msg.resource = a.self().imageName;
       ipc_.send(std::move(msg));
@@ -450,6 +513,7 @@ void DeceptionEngine::installProcessHooks(HookSet& hooks) {
     msg.kind = hooking::IpcKind::kProcessInjected;
     msg.pid = child;
     msg.timeMs = a.machine().clock().nowMs();
+    msg.correlationId = currentCorrelation_;
     msg.api = "CreateProcess";
     msg.resource = imagePath;
     ipc_.send(std::move(msg));
@@ -528,14 +592,16 @@ void DeceptionEngine::installSysInfoHooks(HookSet& hooks) {
   if (!config_.hardwareResources) return;
 
   hooks.getSystemInfo = timed(ApiId::kGetSystemInfo, [this](Api& a) {
-    alert(a, "GetSystemInfo()", "NumberOfProcessors", Profile::kGeneric);
+    alert(a, "GetSystemInfo()", "NumberOfProcessors", Profile::kGeneric,
+          std::to_string(config_.hardware.cpuCores));
     winapi::SystemInfoView view;
     view.numberOfProcessors = config_.hardware.cpuCores;
     return view;
   });
 
   hooks.globalMemoryStatusEx = timed(ApiId::kGlobalMemoryStatusEx, [this](Api& a) {
-    alert(a, "GlobalMemoryStatusEx()", "TotalPhys", Profile::kGeneric);
+    alert(a, "GlobalMemoryStatusEx()", "TotalPhys", Profile::kGeneric,
+          std::to_string(config_.hardware.ramBytes));
     winapi::MemoryStatusView view;
     view.totalPhysBytes = config_.hardware.ramBytes;
     view.availPhysBytes = config_.hardware.ramBytes / 2;
@@ -544,7 +610,8 @@ void DeceptionEngine::installSysInfoHooks(HookSet& hooks) {
 
   hooks.getDiskFreeSpaceEx = timed(ApiId::kGetDiskFreeSpaceEx, [this](Api& a, char, std::uint64_t& freeBytes,
                                     std::uint64_t& totalBytes) {
-    alert(a, "GetDiskFreeSpaceEx()", "disk size", Profile::kGeneric);
+    alert(a, "GetDiskFreeSpaceEx()", "disk size", Profile::kGeneric,
+          std::to_string(config_.hardware.diskTotalBytes));
     freeBytes = config_.hardware.diskFreeBytes;
     totalBytes = config_.hardware.diskTotalBytes;
     return true;

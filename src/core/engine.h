@@ -70,9 +70,17 @@ class DeceptionEngine {
   /// and dispatch latency there.
   obs::MetricsRegistry* metrics() const noexcept { return metrics_; }
 
+  /// Decision-trace sink the installed hooks report to (same lifetime
+  /// rules as metrics()): every hook dispatch, deception, and IPC send is
+  /// a DecisionEvent with a correlation id tying the chain together.
+  obs::FlightRecorder* flightRecorder() const noexcept { return flight_; }
+
  private:
+  /// `value` is the deceptive value served, when it has a natural string
+  /// rendering (empty otherwise); it lands in the decision trace.
   void alert(winapi::Api& api, const std::string& label,
-             const std::string& resource, Profile profile);
+             const std::string& resource, Profile profile,
+             const std::string& value = {});
   bool matchesActive(std::optional<Profile> profile) const;
 
   struct CountFake {
@@ -111,6 +119,11 @@ class DeceptionEngine {
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::Histogram* dispatchLatency_ = nullptr;
   std::array<obs::Counter*, winapi::kApiCount> hookHits_{};
+  obs::FlightRecorder* flight_ = nullptr;
+  /// Correlation id of the hook dispatch currently on the stack (0 when
+  /// outside any dispatch). timed() saves/restores it so nested dispatches
+  /// (ShellExecuteEx → CreateProcess) keep distinct chains.
+  std::uint64_t currentCorrelation_ = 0;
 };
 
 }  // namespace scarecrow::core

@@ -3,6 +3,7 @@
 #include "env/environments.h"
 #include "obs/export.h"
 #include "obs/span.h"
+#include "obs/trace_export.h"
 #include "support/log.h"
 #include "support/strings.h"
 
@@ -15,12 +16,26 @@ trace::Trace EvaluationHarness::runOnce(
     const std::string& sampleId, const std::string& imagePath,
     const winapi::ProgramFactory& factory, bool withScarecrow,
     const Config& config, std::uint64_t budgetMs, std::string* firstTrigger,
-    std::uint32_t* selfSpawnAlerts) {
+    std::uint32_t* selfSpawnAlerts, std::uint64_t* firstTriggerCorrelation) {
   obs::MetricsRegistry& metrics = machine_.metrics();
+  obs::FlightRecorder& flight = machine_.flightRecorder();
+  if (flight.capacity() != config.flightRecorderCapacity)
+    flight.setCapacity(config.flightRecorderCapacity);
+  // Phase transitions are decision events too: they anchor the causal
+  // chains to the pipeline stage they happened in.
+  const auto notePhase = [&](const char* name) {
+    obs::DecisionEvent e;
+    e.timeMs = machine_.clock().nowMs();
+    e.kind = obs::DecisionKind::kPhase;
+    e.api = name;
+    flight.record(std::move(e));
+  };
+  notePhase(withScarecrow ? "eval.run.supervised" : "eval.run.reference");
   obs::ScopedSpan runSpan(metrics, machine_.clock(),
                           withScarecrow ? "eval.run.supervised"
                                         : "eval.run.reference");
   {
+    notePhase("eval.restore");
     obs::ScopedSpan span(metrics, machine_.clock(), "eval.restore");
     machine_.restore(snapshot_);
   }
@@ -43,26 +58,33 @@ trace::Trace EvaluationHarness::runOnce(
                                       : buildDefaultResourceDb());
     Controller controller(machine_, userspace, engine);
     {
+      notePhase("eval.inject");
       obs::ScopedSpan span(metrics, machine_.clock(), "eval.inject");
       controller.launch(imagePath);
     }
     {
+      notePhase("eval.execute");
       obs::ScopedSpan span(metrics, machine_.clock(), "eval.execute");
       runner.drain(options);
     }
     {
+      notePhase("eval.ipc_pump");
       obs::ScopedSpan span(metrics, machine_.clock(), "eval.ipc_pump");
       controller.pump();
     }
     if (firstTrigger != nullptr) *firstTrigger = controller.firstTrigger();
     if (selfSpawnAlerts != nullptr)
       *selfSpawnAlerts = controller.selfSpawnAlerts();
+    if (firstTriggerCorrelation != nullptr)
+      *firstTriggerCorrelation = controller.firstTriggerCorrelation();
   } else {
     // The cluster's analysis agent launches the sample (Figure 3).
     options.parentPid = env::sandboxAgentPid(machine_);
+    notePhase("eval.execute");
     obs::ScopedSpan span(metrics, machine_.clock(), "eval.execute");
     runner.run(imagePath, options);
   }
+  notePhase("eval.trace_upload");
   obs::ScopedSpan span(metrics, machine_.clock(), "eval.trace_upload");
   return machine_.recorder().takeTrace();
 }
@@ -73,26 +95,50 @@ EvalOutcome EvaluationHarness::evaluate(const std::string& sampleId,
                                         const Config& config,
                                         std::uint64_t budgetMs) {
   // Normalize the clock to the snapshot state, then zero the telemetry
-  // ledger: everything recorded from here on is a pure function of
-  // (sample, config), which is what makes the export reproducible.
+  // ledger and the decision trace: everything recorded from here on is a
+  // pure function of (sample, config), which is what makes the exports
+  // (telemetry JSON, Perfetto trace, attribution chain) reproducible.
   machine_.restore(snapshot_);
   machine_.metrics().reset();
+  machine_.flightRecorder().clear();
 
   EvalOutcome outcome;
+  std::uint64_t triggerCorrelation = 0;
   outcome.traceWithout =
       runOnce(sampleId, imagePath, factory, false, config, budgetMs);
   outcome.traceWith =
       runOnce(sampleId, imagePath, factory, true, config, budgetMs,
-              &outcome.firstTrigger, &outcome.selfSpawnAlerts);
+              &outcome.firstTrigger, &outcome.selfSpawnAlerts,
+              &triggerCorrelation);
   outcome.verdict = trace::judgeDeactivation(
       outcome.traceWithout, outcome.traceWith,
       support::baseName(imagePath));
+
+  // Close the causal loop: the verdict joins the first trigger's chain, so
+  // attribution can walk recorder → verdict without consulting the traces.
+  {
+    obs::DecisionEvent v;
+    v.timeMs = machine_.clock().nowMs();
+    v.kind = obs::DecisionKind::kVerdict;
+    v.correlationId = triggerCorrelation;
+    v.api = outcome.verdict.firstTrigger;
+    v.value = outcome.verdict.deactivated ? "deactivated" : "not-deactivated";
+    v.link = trace::deactivationReasonName(outcome.verdict.reason);
+    machine_.flightRecorder().record(std::move(v));
+  }
+  outcome.decisions = machine_.flightRecorder().snapshot();
+  outcome.droppedDecisions = machine_.flightRecorder().droppedCount();
+  outcome.attribution = attributeTrigger(outcome.decisions);
   outcome.telemetry = machine_.metrics().snapshot();
   outcome.telemetryJson = obs::exportJson(outcome.telemetry);
+  outcome.perfettoJson = obs::exportChromeTrace(
+      outcome.telemetry, outcome.decisions, outcome.droppedDecisions);
   support::logDebug("eval", "telemetry captured",
                     {{"sample", sampleId},
                      {"counters", outcome.telemetry.counters.size()},
                      {"spans", outcome.telemetry.spans.size()},
+                     {"decisions", outcome.decisions.size()},
+                     {"decisions_dropped", outcome.droppedDecisions},
                      {"alerts",
                       outcome.telemetry.counterValue("engine.alerts")}});
   return outcome;

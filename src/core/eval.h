@@ -11,10 +11,12 @@
 #include <memory>
 #include <string>
 
+#include "core/attribution.h"
 #include "core/config.h"
 #include "core/controller.h"
 #include "core/resource_db.h"
 #include "core/engine.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "trace/analysis.h"
 #include "winapi/runner.h"
@@ -36,6 +38,19 @@ struct EvalOutcome {
   /// export byte-identical JSON.
   obs::MetricsSnapshot telemetry;
   std::string telemetryJson;  // obs::exportJson(telemetry)
+  /// Causal decision trace for the full ± pair: flight-recorder snapshot
+  /// in record order (hook dispatches, deceptions, IPC sends/drains,
+  /// phase transitions, verdict). Bounded by Config::flightRecorder-
+  /// Capacity; `droppedDecisions` counts drop-oldest overflow.
+  std::vector<obs::DecisionEvent> decisions;
+  std::uint64_t droppedDecisions = 0;
+  /// The evidence behind firstTrigger: the minimal decision chain from
+  /// the triggering hook dispatch to the verdict.
+  TriggerAttribution attribution;
+  /// Chrome trace-event JSON of the evaluation (spans + decisions),
+  /// loadable in Perfetto / about://tracing. Byte-identical across
+  /// identical runs, like telemetryJson.
+  std::string perfettoJson;
 };
 
 class EvaluationHarness {
@@ -59,7 +74,8 @@ class EvaluationHarness {
                        bool withScarecrow, const Config& config = {},
                        std::uint64_t budgetMs = 60'000,
                        std::string* firstTrigger = nullptr,
-                       std::uint32_t* selfSpawnAlerts = nullptr);
+                       std::uint32_t* selfSpawnAlerts = nullptr,
+                       std::uint64_t* firstTriggerCorrelation = nullptr);
 
   winsys::Machine& machine() noexcept { return machine_; }
 

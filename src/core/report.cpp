@@ -42,6 +42,8 @@ std::string renderIncidentReport(const std::string& sampleId,
   if (!verdict.firstTrigger.empty())
     out += "**Evasive logic triggered by:** `" + verdict.firstTrigger +
            "`\n\n";
+  if (outcome.attribution.resolved)
+    out += renderAttributionReport(outcome.attribution);
   if (verdict.selfSpawnsWithScarecrow > 1)
     out += "**Self-spawn loop:** " +
            std::to_string(verdict.selfSpawnsWithScarecrow) +
@@ -80,6 +82,36 @@ std::string renderIncidentReport(const std::string& sampleId,
     out += '\n';
     out += renderTelemetryReport(outcome.telemetry, options);
   }
+  return out;
+}
+
+std::string renderAttributionReport(const TriggerAttribution& attribution) {
+  std::string out = "## Trigger attribution\n\n";
+  if (!attribution.resolved) {
+    out += "No fingerprint attempt reached the controller; the verdict "
+           "stands on trace diffing alone.\n\n";
+    return out;
+  }
+  out += "Causal chain #" + std::to_string(attribution.correlationId) +
+         ": `" + attribution.api + "`";
+  if (!attribution.argument.empty())
+    out += " probed *" + attribution.argument + "*";
+  if (!attribution.matched.empty())
+    out += " (matched profile `" + attribution.matched + "`)";
+  out += "\n\n";
+  if (attribution.truncated)
+    out += "*Recorder overflowed; the oldest links of this chain were "
+           "dropped.*\n\n";
+  for (const obs::DecisionEvent& e : attribution.chain) {
+    out += "- t+" + std::to_string(e.timeMs) + "ms pid " +
+           std::to_string(e.pid) + " `" +
+           obs::decisionKindName(e.kind) + "` " + e.api;
+    if (!e.argument.empty()) out += " — " + e.argument;
+    if (!e.value.empty()) out += " → " + e.value;
+    if (!e.link.empty()) out += " [" + e.link + "]";
+    out += '\n';
+  }
+  out += '\n';
   return out;
 }
 

@@ -9,6 +9,7 @@
 
 #include <string>
 
+#include "core/attribution.h"
 #include "core/controller.h"
 #include "core/eval.h"
 #include "obs/metrics.h"
@@ -33,6 +34,11 @@ std::string renderIncidentReport(const std::string& sampleId,
 /// hook-dispatch latency percentiles, and the eval-pipeline phase spans.
 std::string renderTelemetryReport(const obs::MetricsSnapshot& telemetry,
                                   const ReportOptions& options = {});
+
+/// Renders the trigger-attribution section: the minimal causal chain from
+/// the triggering hook dispatch to the verdict, one line per decision
+/// event (time, pid, kind, API, argument → matched profile).
+std::string renderAttributionReport(const TriggerAttribution& attribution);
 
 /// Renders a live supervision summary from a controller's IPC view (no
 /// reference run available).

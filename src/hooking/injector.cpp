@@ -15,6 +15,16 @@ bool injectDll(winsys::Machine& machine, winapi::UserSpace& userspace,
 
   obs::ScopedSpan span(machine.metrics(), machine.clock(), "hooking.inject");
   machine.metrics().counter("hooking.injections", dll.name).inc();
+  {
+    obs::DecisionEvent e;
+    e.timeMs = machine.clock().nowMs();
+    e.pid = pid;
+    e.kind = obs::DecisionKind::kInjection;
+    e.api = "injectDll";
+    e.argument = dll.name;
+    e.value = target->imageName;
+    machine.flightRecorder().record(std::move(e));
+  }
 
   // Map the module into the target: visible through GetModuleHandle, like
   // EasyHook's runtime DLL.

@@ -1,0 +1,15 @@
+#include "hooking/ipc.h"
+
+namespace scarecrow::hooking {
+
+const char* ipcKindName(IpcKind kind) noexcept {
+  switch (kind) {
+    case IpcKind::kFingerprintAttempt: return "fingerprint_attempt";
+    case IpcKind::kSelfSpawnAlert: return "self_spawn_alert";
+    case IpcKind::kProcessInjected: return "process_injected";
+    case IpcKind::kConfigUpdate: return "config_update";
+  }
+  return "?";
+}
+
+}  // namespace scarecrow::hooking

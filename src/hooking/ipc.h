@@ -5,11 +5,21 @@
 // updates back (paper Figure 2). Messages are also mirrored into the kernel
 // trace as kAlert events so the evaluation pipeline can attribute the first
 // trigger per sample (Table I's "Trigger" column).
+//
+// Every message carries a channel-assigned `seq` (send order is the
+// ordering contract the controller relies on) and an optional correlation
+// id that ties the message to the hook-side DecisionEvent that caused it,
+// so one fingerprint attempt is a single causal chain across the
+// DLL/controller process boundary (obs/flight_recorder.h). When a flight
+// recorder is bound, every send is recorded as a kIpcSend decision event;
+// the controller records the matching kIpcDrain on its side.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "obs/flight_recorder.h"
 
 namespace scarecrow::hooking {
 
@@ -20,19 +30,50 @@ enum class IpcKind : std::uint8_t {
   kConfigUpdate,        // controller -> dll
 };
 
+const char* ipcKindName(IpcKind kind) noexcept;
+
 struct IpcMessage {
   IpcKind kind = IpcKind::kFingerprintAttempt;
   std::uint32_t pid = 0;
   std::uint64_t timeMs = 0;
   std::string api;       // API (or pseudo-channel) that fired
   std::string resource;  // deceptive resource involved
+  /// Monotonic send order, assigned by IpcChannel::send. Drain order must
+  /// equal send order (asserted in controller_test).
+  std::uint64_t seq = 0;
+  /// Causal chain id from the flight recorder (0 = uncorrelated).
+  std::uint64_t correlationId = 0;
 };
 
 class IpcChannel {
  public:
-  void send(IpcMessage message) { queue_.push_back(std::move(message)); }
+  /// Records every send as a kIpcSend decision event. Pass nullptr to
+  /// detach. The recorder is not owned.
+  void bindFlightRecorder(obs::FlightRecorder* recorder) noexcept {
+    flight_ = recorder;
+  }
 
-  /// Removes and returns all pending messages (controller poll).
+  /// Enqueues the message, assigning its seq. Returns the assigned seq.
+  std::uint64_t send(IpcMessage message) {
+    message.seq = nextSeq_++;
+    if (flight_ != nullptr) {
+      obs::DecisionEvent e;
+      e.timeMs = message.timeMs;
+      e.pid = message.pid;
+      e.correlationId = message.correlationId;
+      e.kind = obs::DecisionKind::kIpcSend;
+      e.api = message.api;
+      e.argument = obs::digestArgument(message.resource);
+      e.link = ipcKindName(message.kind);
+      e.value = std::to_string(message.seq);
+      flight_->record(std::move(e));
+    }
+    queue_.push_back(std::move(message));
+    return queue_.back().seq;
+  }
+
+  /// Removes and returns all pending messages in send order (controller
+  /// poll).
   std::vector<IpcMessage> drain() {
     std::vector<IpcMessage> out;
     out.swap(queue_);
@@ -44,6 +85,8 @@ class IpcChannel {
 
  private:
   std::vector<IpcMessage> queue_;
+  std::uint64_t nextSeq_ = 0;
+  obs::FlightRecorder* flight_ = nullptr;
 };
 
 }  // namespace scarecrow::hooking

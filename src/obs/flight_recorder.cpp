@@ -1,0 +1,95 @@
+#include "obs/flight_recorder.h"
+
+namespace scarecrow::obs {
+
+const char* decisionKindName(DecisionKind kind) noexcept {
+  switch (kind) {
+    case DecisionKind::kHookDispatch: return "hook_dispatch";
+    case DecisionKind::kDeception: return "deception";
+    case DecisionKind::kSelfSpawn: return "self_spawn";
+    case DecisionKind::kInjection: return "injection";
+    case DecisionKind::kIpcSend: return "ipc_send";
+    case DecisionKind::kIpcDrain: return "ipc_drain";
+    case DecisionKind::kPhase: return "phase";
+    case DecisionKind::kVerdict: return "verdict";
+  }
+  return "?";
+}
+
+std::string digestArgument(std::string_view argument) {
+  constexpr std::size_t kMaxLiteral = 96;
+  constexpr std::size_t kKeptPrefix = 72;
+  if (argument.size() <= kMaxLiteral) return std::string(argument);
+  // FNV-1a 64-bit over the full argument: deterministic, collision-safe
+  // enough to distinguish truncated prefixes in a trace viewer.
+  std::uint64_t h = 14695981039346656037ULL;
+  for (unsigned char c : argument) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  static const char* hex = "0123456789abcdef";
+  std::string out(argument.substr(0, kKeptPrefix));
+  out += "…#";
+  for (int shift = 60; shift >= 0; shift -= 4)
+    out.push_back(hex[(h >> shift) & 0xf]);
+  return out;
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity) : ring_(capacity) {}
+
+std::uint64_t FlightRecorder::record(DecisionEvent event) {
+  const std::uint64_t seq = nextSeq_++;
+  event.seq = seq;
+  if (ring_.empty()) {
+    ++dropped_;
+    if (droppedCounter_ != nullptr) droppedCounter_->inc();
+    return seq;
+  }
+  if (size_ == ring_.size()) {
+    // Drop-oldest: the slot at head_ is the oldest retained event.
+    ring_[head_] = std::move(event);
+    head_ = (head_ + 1) % ring_.size();
+    ++dropped_;
+    if (droppedCounter_ != nullptr) droppedCounter_->inc();
+  } else {
+    ring_[(head_ + size_) % ring_.size()] = std::move(event);
+    ++size_;
+  }
+  return seq;
+}
+
+void FlightRecorder::setCapacity(std::size_t capacity) {
+  if (capacity == ring_.size()) return;
+  std::vector<DecisionEvent> retained = snapshot();
+  if (retained.size() > capacity) {
+    const std::size_t excess = retained.size() - capacity;
+    retained.erase(retained.begin(),
+                   retained.begin() + static_cast<std::ptrdiff_t>(excess));
+    dropped_ += excess;
+    if (droppedCounter_ != nullptr) droppedCounter_->inc(excess);
+  }
+  ring_.assign(capacity, DecisionEvent{});
+  head_ = 0;
+  size_ = retained.size();
+  for (std::size_t i = 0; i < retained.size(); ++i)
+    ring_[i] = std::move(retained[i]);
+}
+
+std::vector<DecisionEvent> FlightRecorder::snapshot() const {
+  std::vector<DecisionEvent> out;
+  out.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i)
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  return out;
+}
+
+void FlightRecorder::clear() {
+  for (DecisionEvent& slot : ring_) slot = DecisionEvent{};
+  head_ = 0;
+  size_ = 0;
+  nextSeq_ = 0;
+  lastCorrelation_ = 0;
+  dropped_ = 0;
+}
+
+}  // namespace scarecrow::obs

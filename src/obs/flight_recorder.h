@@ -1,0 +1,121 @@
+// Causal decision tracing: the flight recorder.
+//
+// PR 1's MetricsRegistry answers "how many / how long" questions; this
+// layer answers "why". Every decision the deception stack takes — a hook
+// dispatch, a deceptive value served, an IPC message sent or drained, an
+// evaluation-pipeline phase transition, the final deactivation verdict —
+// is a DecisionEvent in a fixed-capacity ring buffer. Events that belong
+// to one causal chain (hook fired → deceptive value returned → IPC to the
+// controller → verdict) share a correlation id, so one fingerprint attempt
+// is reconstructible across process boundaries: DLL-side events carry the
+// supervised pid, controller-side events the controller pid, and the id
+// ties them together.
+//
+// Like everything in obs, the recorder is deterministic: timestamps come
+// from the machine's VirtualClock, sequence and correlation ids from
+// monotonic counters that clear() resets, so two identical runs produce
+// byte-identical decision traces (and byte-identical Perfetto exports —
+// see trace_export.h).
+//
+// The buffer is bounded: at capacity the oldest event is overwritten
+// (drop-oldest) and a dropped-events counter — mirrored into the metrics
+// registry when bound — records the loss. Attribution code must therefore
+// tolerate chains whose oldest links are gone.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace scarecrow::obs {
+
+enum class DecisionKind : std::uint8_t {
+  kHookDispatch,  // a hooked API was invoked (deceptive or not)
+  kDeception,     // a deceptive value was served (fingerprint attempt)
+  kSelfSpawn,     // supervised image respawned itself
+  kInjection,     // scarecrow.dll mapped into a process
+  kIpcSend,       // IpcMessage enqueued (DLL side)
+  kIpcDrain,      // IpcMessage drained (controller side)
+  kPhase,         // evaluation-pipeline phase transition
+  kVerdict,       // deactivation verdict reached
+};
+
+/// Number of decision kinds; keep in sync with the last enumerator.
+inline constexpr std::size_t kDecisionKindCount =
+    static_cast<std::size_t>(DecisionKind::kVerdict) + 1;
+
+/// Exhaustive over DecisionKind (no default; -Werror=switch enforces it).
+const char* decisionKindName(DecisionKind kind) noexcept;
+
+/// One recorded decision. String fields are empty when not applicable.
+struct DecisionEvent {
+  std::uint64_t seq = 0;            // recorder-assigned, global record order
+  std::uint64_t timeMs = 0;         // virtual-clock timestamp
+  std::uint32_t pid = 0;            // acting process (0 = pipeline itself)
+  std::uint64_t correlationId = 0;  // causal chain id (0 = uncorrelated)
+  DecisionKind kind = DecisionKind::kHookDispatch;
+  std::string api;       // API label / IPC channel / phase name
+  std::string argument;  // digest of the probed argument (path, key, …)
+  std::string matched;   // ResourceDb entry / profile that matched
+  std::string value;     // deceptive value returned, when representable
+  std::string link;      // alert/verdict linkage (IPC kind, verdict reason)
+};
+
+/// Digest for DecisionEvent::argument: short strings pass through
+/// unchanged; long ones keep a readable prefix plus a deterministic FNV-1a
+/// hash so equal arguments stay equal and the ring buffer stays compact.
+std::string digestArgument(std::string_view argument);
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Appends `event`, assigning its seq. At capacity the oldest event is
+  /// dropped (and counted); with capacity 0 every event is dropped.
+  /// Returns the assigned seq.
+  std::uint64_t record(DecisionEvent event);
+
+  /// Allocates the next causal-chain id (1-based; 0 means uncorrelated).
+  std::uint64_t newCorrelation() noexcept { return ++lastCorrelation_; }
+
+  /// Resizes the ring. Shrinking drops the oldest retained events (they
+  /// are counted as dropped).
+  void setCapacity(std::size_t capacity);
+  std::size_t capacity() const noexcept { return ring_.size(); }
+
+  std::size_t size() const noexcept { return size_; }
+  std::uint64_t totalRecorded() const noexcept { return nextSeq_; }
+  std::uint64_t droppedCount() const noexcept { return dropped_; }
+
+  /// Mirrors every drop into a registry counter (typically
+  /// "obs.decisions_dropped"). The recorder does not own the counter.
+  void setDroppedCounter(Counter* counter) noexcept {
+    droppedCounter_ = counter;
+  }
+
+  /// Retained events in seq order (oldest retained first).
+  std::vector<DecisionEvent> snapshot() const;
+
+  /// Drops all events and resets the seq, correlation, and dropped
+  /// counters — identical runs then produce identical ids. The mirrored
+  /// registry counter is NOT reset here; MetricsRegistry::reset owns that.
+  void clear();
+
+ private:
+  std::vector<DecisionEvent> ring_;  // ring_.size() == capacity
+  std::size_t head_ = 0;             // index of the oldest retained event
+  std::size_t size_ = 0;
+  std::uint64_t nextSeq_ = 0;
+  std::uint64_t lastCorrelation_ = 0;
+  std::uint64_t dropped_ = 0;
+  Counter* droppedCounter_ = nullptr;
+};
+
+}  // namespace scarecrow::obs

@@ -1,0 +1,107 @@
+#include "obs/trace_export.h"
+
+#include <algorithm>
+#include <map>
+
+#include "support/strings.h"
+
+namespace scarecrow::obs {
+
+namespace {
+
+using support::jsonEscape;
+
+/// Virtual-clock milliseconds → trace microseconds (the unit the trace
+/// event format specifies for "ts"/"dur").
+std::string ts(std::uint64_t timeMs) { return std::to_string(timeMs * 1000); }
+
+void appendEvent(std::string& out, bool& first, const std::string& body) {
+  out += first ? "\n" : ",\n";
+  first = false;
+  out += "    {" + body + "}";
+}
+
+std::string eventArgs(const DecisionEvent& e) {
+  std::string args = "\"seq\":" + std::to_string(e.seq);
+  if (e.correlationId != 0)
+    args += ",\"correlation\":" + std::to_string(e.correlationId);
+  if (!e.argument.empty())
+    args += ",\"argument\":\"" + jsonEscape(e.argument) + "\"";
+  if (!e.matched.empty())
+    args += ",\"matched\":\"" + jsonEscape(e.matched) + "\"";
+  if (!e.value.empty())
+    args += ",\"value\":\"" + jsonEscape(e.value) + "\"";
+  if (!e.link.empty()) args += ",\"link\":\"" + jsonEscape(e.link) + "\"";
+  return args;
+}
+
+}  // namespace
+
+std::string exportChromeTrace(const MetricsSnapshot& snapshot,
+                              const std::vector<DecisionEvent>& decisions,
+                              std::uint64_t droppedEvents) {
+  std::string out = "{\n  \"displayTimeUnit\": \"ms\",\n";
+  out += "  \"otherData\": {\"dropped_decision_events\": \"" +
+         std::to_string(droppedEvents) + "\"},\n";
+  out += "  \"traceEvents\": [";
+  bool first = true;
+
+  // One track per pid: name each process so Perfetto shows roles instead
+  // of bare numbers. Pid 0 is the evaluation pipeline itself (spans and
+  // phase transitions are recorded without a process context).
+  std::map<std::uint32_t, bool> pids;
+  if (!snapshot.spans.empty()) pids[0] = true;
+  for (const DecisionEvent& e : decisions) pids[e.pid] = true;
+  for (const auto& [pid, unused] : pids) {
+    const std::string name =
+        pid == 0 ? "scarecrow pipeline" : "process " + std::to_string(pid);
+    appendEvent(out, first,
+                "\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
+                    std::to_string(pid) +
+                    ",\"tid\":0,\"args\":{\"name\":\"" + name + "\"}");
+  }
+
+  // PR 1 phase spans as duration events on the pipeline track.
+  for (const Span& s : snapshot.spans)
+    appendEvent(out, first,
+                "\"name\":\"" + jsonEscape(s.name) +
+                    "\",\"cat\":\"phase\",\"ph\":\"X\",\"pid\":0,\"tid\":1"
+                    ",\"ts\":" +
+                    ts(s.startMs) + ",\"dur\":" + ts(s.durationMs) +
+                    ",\"args\":{\"depth\":" + std::to_string(s.depth) + "}");
+
+  // Chains with more than one event get flow arrows: s on the first
+  // occurrence, t on middles, f on the last. Count occurrences first.
+  std::map<std::uint64_t, std::uint64_t> chainSizes;
+  for (const DecisionEvent& e : decisions)
+    if (e.correlationId != 0) ++chainSizes[e.correlationId];
+  std::map<std::uint64_t, std::uint64_t> chainSeen;
+
+  for (const DecisionEvent& e : decisions) {
+    const std::string name =
+        e.api.empty() ? decisionKindName(e.kind) : e.api;
+    const std::string at = ",\"pid\":" + std::to_string(e.pid) +
+                           ",\"tid\":1,\"ts\":" + ts(e.timeMs);
+    appendEvent(out, first,
+                "\"name\":\"" + jsonEscape(name) + "\",\"cat\":\"" +
+                    decisionKindName(e.kind) +
+                    "\",\"ph\":\"i\",\"s\":\"p\"" + at + ",\"args\":{" +
+                    eventArgs(e) + "}");
+    if (e.correlationId == 0 || chainSizes[e.correlationId] < 2) continue;
+    const std::uint64_t nth = ++chainSeen[e.correlationId];
+    const char* ph = nth == 1 ? "s"
+                     : nth == chainSizes[e.correlationId] ? "f"
+                                                          : "t";
+    std::string flow = "\"name\":\"chain\",\"cat\":\"correlation\",\"ph\":\"";
+    flow += ph;
+    flow += "\",\"id\":" + std::to_string(e.correlationId) + at;
+    if (*ph == 'f') flow += ",\"bp\":\"e\"";
+    appendEvent(out, first, flow);
+  }
+
+  out += first ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace scarecrow::obs

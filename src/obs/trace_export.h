@@ -1,0 +1,34 @@
+// Chrome trace-event JSON exporter (loadable in Perfetto / about://tracing).
+//
+// Renders one evaluation's observability artifacts as a single trace:
+//   - PR 1's phase spans become duration ("X") events on the pipeline
+//     track (pid 0);
+//   - flight-recorder DecisionEvents become instant ("i") events on one
+//     track per pid, with the full decision payload in `args`;
+//   - causal chains (shared correlation id) become flow events
+//     (s/t/f), so Perfetto draws the hook → IPC → controller → verdict
+//     arrow across process tracks.
+//
+// The export is deterministic: fixed key order, integral microsecond
+// timestamps derived from the virtual clock, events in recorder order —
+// two identical runs export byte-identical JSON (the same contract
+// exportJson honours).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+
+namespace scarecrow::obs {
+
+/// `droppedEvents` is surfaced in the trace's otherData so a viewer knows
+/// when the ring buffer overflowed and chains may be missing their oldest
+/// links.
+std::string exportChromeTrace(const MetricsSnapshot& snapshot,
+                              const std::vector<DecisionEvent>& decisions,
+                              std::uint64_t droppedEvents = 0);
+
+}  // namespace scarecrow::obs

@@ -772,9 +772,13 @@ std::array<std::uint8_t, 8> Api::readFunctionBytes(ApiId id) {
   // pages, a read of a hooked prologue raises a VEH notification that the
   // engine surfaces as a "Hook detection" fingerprint alert (Table I,
   // sample 0af4ef5).
-  if (s.guardPages && p.hooked)
-    machine_.emit(pid_, trace::EventKind::kAlert, "fingerprint",
-                  "Hook detection");
+  if (s.guardPages && p.hooked) {
+    if (s.onHookPrologueRead)
+      s.onHookPrologueRead(*this, id);
+    else
+      machine_.emit(pid_, trace::EventKind::kAlert, "fingerprint",
+                    "Hook detection");
+  }
   return p.bytes;
 }
 

@@ -54,6 +54,10 @@ struct ProcessApiState {
   /// engine can observe (PAGE_GUARD + vectored-exception-handler modeling of
   /// the "Hook detection" trigger in Table I).
   bool guardPages = false;
+  /// VEH handler for those notifications. When installed (by the deception
+  /// engine) the guard-page read is routed through the engine's alert path
+  /// — decision trace, IPC, metrics — instead of a bare trace event.
+  std::function<void(Api&, ApiId)> onHookPrologueRead;
 };
 
 /// Factory invoked when a process image starts executing; returns the guest

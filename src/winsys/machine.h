@@ -10,6 +10,7 @@
 #include <memory>
 #include <string>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "support/clock.h"
 #include "trace/recorder.h"
@@ -41,7 +42,9 @@ struct MachineSnapshot {
 
 class Machine {
  public:
-  Machine() = default;
+  Machine() {
+    flight_.setDroppedCounter(&metrics_.counter("obs.decisions_dropped"));
+  }
 
   // Machines are identity objects; pass by reference.
   Machine(const Machine&) = delete;
@@ -74,6 +77,17 @@ class Machine {
   /// (EvaluationHarness::evaluate does).
   obs::MetricsRegistry& metrics() const noexcept { return metrics_; }
 
+  /// Causal decision trace for everything that happens on this box: hook
+  /// dispatches, deceptive values served, IPC sends/drains, pipeline
+  /// phases, verdicts. Like the metrics registry it survives restore() —
+  /// one evaluation spans several restores; EvaluationHarness::evaluate
+  /// clears it at the start of each evaluation so the trace of a
+  /// (sample, config) pair is a pure function of its inputs.
+  obs::FlightRecorder& flightRecorder() noexcept { return flight_; }
+  const obs::FlightRecorder& flightRecorder() const noexcept {
+    return flight_;
+  }
+
   /// Milliseconds since simulated boot (includes the aging boot offset).
   std::uint64_t tickCount() const noexcept {
     return sysinfo_.bootOffsetMs + clock_.nowMs();
@@ -103,6 +117,7 @@ class Machine {
   trace::Recorder recorder_;
   // Mutable so const phases (snapshot) can record their own spans.
   mutable obs::MetricsRegistry metrics_;
+  obs::FlightRecorder flight_;
 };
 
 }  // namespace scarecrow::winsys

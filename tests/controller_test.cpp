@@ -7,6 +7,8 @@
 #include "env/base_image.h"
 #include "env/environments.h"
 #include "hooking/injector.h"
+#include "hooking/ipc.h"
+#include "obs/flight_recorder.h"
 #include "support/strings.h"
 #include "winapi/runner.h"
 
@@ -63,6 +65,45 @@ TEST_F(ControllerTest, PumpDeduplicatesReports) {
   EXPECT_EQ(controller.reports()[0].api, "IsDebuggerPresent()");
   EXPECT_EQ(controller.reports()[0].count, 2u);
   EXPECT_EQ(controller.firstTrigger(), "IsDebuggerPresent()");
+}
+
+TEST_F(ControllerTest, DrainOrderEqualsSendOrder) {
+  core::Controller controller(*machine_, userspace_, *engine_);
+  const std::uint32_t pid = controller.launch("C:\\dl\\t.exe");
+  winapi::Api api(*machine_, userspace_, pid);
+  // Each probe/sends at least one IPC message; interleave kinds.
+  api.IsDebuggerPresent();
+  api.GetTickCount();
+  api.CreateProcessA("C:\\dl\\t.exe", "");
+  api.IsDebuggerPresent();
+  const std::vector<hooking::IpcMessage> drained = engine_->ipc().drain();
+  ASSERT_GE(drained.size(), 4u);
+  for (std::size_t i = 0; i < drained.size(); ++i)
+    EXPECT_EQ(drained[i].seq, i) << "message " << i << " out of send order";
+}
+
+TEST_F(ControllerTest, PumpRecordsDrainEventsWithSendCorrelation) {
+  // launch() installs the engine, which binds the flight recorder.
+  core::Controller controller(*machine_, userspace_, *engine_);
+  const std::uint32_t pid = controller.launch("C:\\dl\\t.exe");
+  winapi::Api api(*machine_, userspace_, pid);
+  api.IsDebuggerPresent();
+  controller.pump();
+  EXPECT_NE(controller.firstTriggerCorrelation(), 0u);
+  // The same chain appears on both sides of the process boundary.
+  const std::vector<obs::DecisionEvent> events =
+      machine_->flightRecorder().snapshot();
+  bool sawSend = false, sawDrain = false;
+  for (const obs::DecisionEvent& e : events) {
+    if (e.correlationId != controller.firstTriggerCorrelation()) continue;
+    if (e.kind == obs::DecisionKind::kIpcSend) sawSend = true;
+    if (e.kind == obs::DecisionKind::kIpcDrain) {
+      sawDrain = true;
+      EXPECT_EQ(e.pid, controller.controllerPid());
+    }
+  }
+  EXPECT_TRUE(sawSend);
+  EXPECT_TRUE(sawDrain);
 }
 
 TEST_F(ControllerTest, CountsInjectionsAndSelfSpawns) {

@@ -1,0 +1,119 @@
+// Golden-file tests for the obs exporters: full expected outputs embedded
+// as raw literals, so any formatting drift in exportJson, exportPrometheus,
+// or exportChromeTrace shows up as a readable diff. The fixtures exercise
+// the hairy corners on purpose: label escaping (backslash, quote, newline),
+// the +Inf/overflow histogram bucket, and per-pid trace tracks.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/export.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/trace_export.h"
+
+namespace {
+
+using namespace scarecrow;
+
+// Label containing a backslash, a double quote, and a newline — every
+// character class the exporters must escape.
+constexpr const char* kHairyLabel = "a\\b\"c\nd";
+
+obs::MetricsSnapshot buildFixtureSnapshot() {
+  obs::MetricsRegistry registry;
+  registry.counter("engine.alerts").inc(3);
+  registry.counter("hits", kHairyLabel).inc();
+  registry.gauge("depth").set(-2);
+  obs::Histogram& lat = registry.histogram("lat_ms", "", {1, 10});
+  lat.observe(0);
+  lat.observe(5);
+  lat.observe(100);  // lands in the implicit +Inf/overflow bucket
+  registry.recordSpan("eval.run", 2, 7, 0);
+  return registry.snapshot();
+}
+
+TEST(ExporterGolden, Json) {
+  const char* expected = R"json({
+  "counters": [
+    {"name":"engine.alerts","value":3},
+    {"name":"hits","label":"a\\b\"c\nd","value":1}
+  ],
+  "gauges": [
+    {"name":"depth","value":-2}
+  ],
+  "histograms": [
+    {"name":"lat_ms","count":3,"sum":105,"min":0,"max":100,"p50":10,"p95":100,"p99":100,"buckets":[{"le":"1","count":1},{"le":"10","count":1},{"le":"+Inf","count":1}]},
+    {"name":"phase_ms","label":"eval.run","count":1,"sum":7,"min":7,"max":7,"p50":10,"p95":10,"p99":10,"buckets":[{"le":"0","count":0},{"le":"1","count":0},{"le":"2","count":0},{"le":"5","count":0},{"le":"10","count":1},{"le":"25","count":0},{"le":"50","count":0},{"le":"100","count":0},{"le":"250","count":0},{"le":"1000","count":0},{"le":"5000","count":0},{"le":"15000","count":0},{"le":"60000","count":0},{"le":"+Inf","count":0}]}
+  ],
+  "spans": [
+    {"name":"eval.run","depth":0,"start_ms":2,"duration_ms":7}
+  ]
+}
+)json";
+  EXPECT_EQ(obs::exportJson(buildFixtureSnapshot()), expected);
+}
+
+TEST(ExporterGolden, Prometheus) {
+  const char* expected = R"prom(# TYPE scarecrow_engine_alerts counter
+scarecrow_engine_alerts 3
+# TYPE scarecrow_hits counter
+scarecrow_hits{label="a\\b\"c\nd"} 1
+# TYPE scarecrow_depth gauge
+scarecrow_depth -2
+# TYPE scarecrow_lat_ms histogram
+scarecrow_lat_ms_bucket{le="1"} 1
+scarecrow_lat_ms_bucket{le="10"} 2
+scarecrow_lat_ms_bucket{le="+Inf"} 3
+scarecrow_lat_ms_sum 105
+scarecrow_lat_ms_count 3
+# TYPE scarecrow_phase_ms histogram
+scarecrow_phase_ms_bucket{label="eval.run",le="0"} 0
+scarecrow_phase_ms_bucket{label="eval.run",le="1"} 0
+scarecrow_phase_ms_bucket{label="eval.run",le="2"} 0
+scarecrow_phase_ms_bucket{label="eval.run",le="5"} 0
+scarecrow_phase_ms_bucket{label="eval.run",le="10"} 1
+scarecrow_phase_ms_bucket{label="eval.run",le="25"} 1
+scarecrow_phase_ms_bucket{label="eval.run",le="50"} 1
+scarecrow_phase_ms_bucket{label="eval.run",le="100"} 1
+scarecrow_phase_ms_bucket{label="eval.run",le="250"} 1
+scarecrow_phase_ms_bucket{label="eval.run",le="1000"} 1
+scarecrow_phase_ms_bucket{label="eval.run",le="5000"} 1
+scarecrow_phase_ms_bucket{label="eval.run",le="15000"} 1
+scarecrow_phase_ms_bucket{label="eval.run",le="60000"} 1
+scarecrow_phase_ms_bucket{label="eval.run",le="+Inf"} 1
+scarecrow_phase_ms_sum{label="eval.run"} 7
+scarecrow_phase_ms_count{label="eval.run"} 1
+)prom";
+  EXPECT_EQ(obs::exportPrometheus(buildFixtureSnapshot()), expected);
+}
+
+TEST(ExporterGolden, ChromeTrace) {
+  obs::MetricsSnapshot snapshot;
+  snapshot.spans.push_back({"eval.run", 0, 2, 7});
+
+  obs::DecisionEvent e;
+  e.seq = 0;
+  e.timeMs = 3;
+  e.pid = 42;
+  e.kind = obs::DecisionKind::kDeception;
+  e.api = "RegQueryValueEx";
+  e.argument = "hklm\\key";
+  e.matched = "Cuckoo";
+  e.value = "0";
+
+  const char* expected = R"json({
+  "displayTimeUnit": "ms",
+  "otherData": {"dropped_decision_events": "1"},
+  "traceEvents": [
+    {"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"scarecrow pipeline"}},
+    {"name":"process_name","ph":"M","pid":42,"tid":0,"args":{"name":"process 42"}},
+    {"name":"eval.run","cat":"phase","ph":"X","pid":0,"tid":1,"ts":2000,"dur":7000,"args":{"depth":0}},
+    {"name":"RegQueryValueEx","cat":"deception","ph":"i","s":"p","pid":42,"tid":1,"ts":3000,"args":{"seq":0,"argument":"hklm\\key","matched":"Cuckoo","value":"0"}}
+  ]
+}
+)json";
+  EXPECT_EQ(obs::exportChromeTrace(snapshot, {e}, 1), expected);
+}
+
+}  // namespace

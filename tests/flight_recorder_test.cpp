@@ -1,0 +1,187 @@
+// Unit tests for the decision-trace flight recorder (obs/flight_recorder)
+// and the Chrome trace-event exporter (obs/trace_export).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/trace_export.h"
+
+namespace {
+
+using namespace scarecrow;
+using obs::DecisionEvent;
+using obs::DecisionKind;
+using obs::FlightRecorder;
+
+DecisionEvent event(DecisionKind kind, const std::string& api,
+                    std::uint64_t correlation = 0) {
+  DecisionEvent e;
+  e.kind = kind;
+  e.api = api;
+  e.correlationId = correlation;
+  return e;
+}
+
+// Structural sanity for exporter output without a JSON parser: every brace
+// and bracket closes, and quotes pair up.
+void expectBalancedJson(const std::string& json) {
+  int braces = 0, brackets = 0;
+  bool inString = false, escaped = false;
+  for (const char c : json) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (inString) {
+      if (c == '\\') escaped = true;
+      if (c == '"') inString = false;
+      continue;
+    }
+    if (c == '"') inString = true;
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_FALSE(inString);
+}
+
+TEST(FlightRecorder, RecordsInSeqOrderBelowCapacity) {
+  FlightRecorder recorder(8);
+  EXPECT_EQ(recorder.record(event(DecisionKind::kHookDispatch, "a")), 0u);
+  EXPECT_EQ(recorder.record(event(DecisionKind::kDeception, "b")), 1u);
+  EXPECT_EQ(recorder.record(event(DecisionKind::kVerdict, "c")), 2u);
+  const std::vector<DecisionEvent> events = recorder.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].api, "a");
+  EXPECT_EQ(events[1].api, "b");
+  EXPECT_EQ(events[2].api, "c");
+  EXPECT_EQ(recorder.totalRecorded(), 3u);
+  EXPECT_EQ(recorder.droppedCount(), 0u);
+}
+
+TEST(FlightRecorder, OverflowDropsOldestAndCounts) {
+  obs::MetricsRegistry registry;
+  obs::Counter& mirror = registry.counter("obs.decisions_dropped");
+  FlightRecorder recorder(4);
+  recorder.setDroppedCounter(&mirror);
+  for (int i = 0; i < 10; ++i)
+    recorder.record(event(DecisionKind::kHookDispatch, std::to_string(i)));
+  EXPECT_EQ(recorder.size(), 4u);
+  EXPECT_EQ(recorder.droppedCount(), 6u);
+  EXPECT_EQ(mirror.value(), 6u);
+  const std::vector<DecisionEvent> events = recorder.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // The newest four survive, still in seq order.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, 6u + i);
+    EXPECT_EQ(events[i].api, std::to_string(6 + i));
+  }
+  // The exporter still produces well-formed output from a truncated ring.
+  expectBalancedJson(obs::exportChromeTrace({}, events,
+                                            recorder.droppedCount()));
+}
+
+TEST(FlightRecorder, ZeroCapacityDropsEverything) {
+  FlightRecorder recorder(0);
+  recorder.record(event(DecisionKind::kPhase, "x"));
+  EXPECT_EQ(recorder.size(), 0u);
+  EXPECT_EQ(recorder.droppedCount(), 1u);
+  EXPECT_EQ(recorder.totalRecorded(), 1u);
+}
+
+TEST(FlightRecorder, ShrinkKeepsNewestAndCountsDrops) {
+  FlightRecorder recorder(8);
+  for (int i = 0; i < 6; ++i)
+    recorder.record(event(DecisionKind::kHookDispatch, std::to_string(i)));
+  recorder.setCapacity(2);
+  EXPECT_EQ(recorder.capacity(), 2u);
+  EXPECT_EQ(recorder.droppedCount(), 4u);
+  const std::vector<DecisionEvent> events = recorder.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].api, "4");
+  EXPECT_EQ(events[1].api, "5");
+}
+
+TEST(FlightRecorder, ClearResetsSeqAndCorrelation) {
+  FlightRecorder recorder(4);
+  recorder.record(event(DecisionKind::kHookDispatch, "a"));
+  EXPECT_EQ(recorder.newCorrelation(), 1u);
+  EXPECT_EQ(recorder.newCorrelation(), 2u);
+  recorder.clear();
+  EXPECT_EQ(recorder.size(), 0u);
+  EXPECT_EQ(recorder.totalRecorded(), 0u);
+  EXPECT_EQ(recorder.droppedCount(), 0u);
+  // Ids restart, so two identical runs mint identical chains.
+  EXPECT_EQ(recorder.record(event(DecisionKind::kHookDispatch, "a")), 0u);
+  EXPECT_EQ(recorder.newCorrelation(), 1u);
+}
+
+TEST(FlightRecorder, DigestPassesShortArgumentsThrough) {
+  EXPECT_EQ(obs::digestArgument("IsDebuggerPresent()"),
+            "IsDebuggerPresent()");
+  EXPECT_EQ(obs::digestArgument(""), "");
+}
+
+TEST(FlightRecorder, DigestIsDeterministicForLongArguments) {
+  const std::string longArg(200, 'x');
+  const std::string digest = obs::digestArgument(longArg);
+  EXPECT_LT(digest.size(), longArg.size());
+  EXPECT_EQ(digest, obs::digestArgument(longArg));
+  EXPECT_NE(digest, obs::digestArgument(longArg + "y"));
+  // Readable prefix survives the compaction.
+  EXPECT_EQ(digest.compare(0, 10, "xxxxxxxxxx"), 0);
+}
+
+TEST(TraceExport, EmptyInputsExportValidTrace) {
+  const std::string json = obs::exportChromeTrace({}, {}, 0);
+  expectBalancedJson(json);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+}
+
+TEST(TraceExport, DecisionsBecomeInstantsWithFlows) {
+  std::vector<DecisionEvent> decisions;
+  DecisionEvent a = event(DecisionKind::kHookDispatch, "RegOpenKeyEx", 7);
+  a.seq = 0;
+  a.timeMs = 3;
+  a.pid = 42;
+  DecisionEvent b = event(DecisionKind::kDeception, "reg", 7);
+  b.seq = 1;
+  b.timeMs = 3;
+  b.pid = 42;
+  b.matched = "Wine";
+  decisions = {a, b};
+  const std::string json = obs::exportChromeTrace({}, decisions, 5);
+  expectBalancedJson(json);
+  // ts is microseconds (ms * 1000).
+  EXPECT_NE(json.find("\"ts\":3000"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("process 42"), std::string::npos);
+  // A two-event chain gets a flow start and a flow finish.
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_decision_events\": \"5\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"matched\":\"Wine\""), std::string::npos);
+}
+
+TEST(TraceExport, DeterministicAcrossCalls) {
+  FlightRecorder recorder(16);
+  for (int i = 0; i < 5; ++i)
+    recorder.record(
+        event(DecisionKind::kHookDispatch, "api", recorder.newCorrelation()));
+  const std::vector<DecisionEvent> events = recorder.snapshot();
+  EXPECT_EQ(obs::exportChromeTrace({}, events, 0),
+            obs::exportChromeTrace({}, events, 0));
+}
+
+}  // namespace

@@ -1,0 +1,156 @@
+// End-to-end decision tracing through Evaluation::evaluate: determinism of
+// the Perfetto export, attribution agreement with the trace-derived
+// firstTrigger across the Table I suite, and recorder-overflow behavior.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/eval.h"
+#include "env/environments.h"
+#include "malware/joe.h"
+#include "obs/flight_recorder.h"
+
+namespace {
+
+using namespace scarecrow;
+
+struct TracingFixtureState {
+  std::unique_ptr<winsys::Machine> machine;
+  malware::ProgramRegistry registry;
+  std::vector<malware::JoeExpectation> expected;
+  std::unique_ptr<core::EvaluationHarness> harness;
+};
+
+TracingFixtureState& sharedState() {
+  static TracingFixtureState* state = [] {
+    auto* s = new TracingFixtureState;
+    s->machine = env::buildBareMetalSandbox();
+    s->expected = malware::registerJoeSamples(s->registry);
+    s->harness = std::make_unique<core::EvaluationHarness>(*s->machine);
+    return s;
+  }();
+  return *state;
+}
+
+core::EvalOutcome evaluateSample(const malware::JoeExpectation& row) {
+  TracingFixtureState& state = sharedState();
+  return state.harness->evaluate(row.idPrefix,
+                                 "C:\\submissions\\" + row.idPrefix + ".exe",
+                                 state.registry.factory());
+}
+
+TEST(TracingEval, IdenticalRunsExportByteIdenticalPerfettoJson) {
+  TracingFixtureState& state = sharedState();
+  const malware::JoeExpectation& row = state.expected[0];
+  const core::EvalOutcome a = evaluateSample(row);
+  const core::EvalOutcome b = evaluateSample(row);
+  ASSERT_FALSE(a.perfettoJson.empty());
+  EXPECT_EQ(a.perfettoJson, b.perfettoJson);
+  // And the attribution chains are identical event-for-event.
+  ASSERT_EQ(a.attribution.chain.size(), b.attribution.chain.size());
+  EXPECT_EQ(a.attribution.correlationId, b.attribution.correlationId);
+  for (std::size_t i = 0; i < a.attribution.chain.size(); ++i) {
+    EXPECT_EQ(a.attribution.chain[i].seq, b.attribution.chain[i].seq);
+    EXPECT_EQ(a.attribution.chain[i].api, b.attribution.chain[i].api);
+    EXPECT_EQ(a.attribution.chain[i].timeMs, b.attribution.chain[i].timeMs);
+  }
+}
+
+// Table I agreement: for every sample whose verdict names a trigger, the
+// attribution chain reconstructed from the flight recorder must name the
+// same API — two independent paths (kernel-trace diffing vs decision
+// trace) reaching one answer.
+TEST(TracingEval, AttributionAgreesWithVerdictAcrossTableI) {
+  TracingFixtureState& state = sharedState();
+  // Self-spawn loopers record >10k decisions over their 60s budget; give
+  // the ring room for the whole run so the full chains survive.
+  core::Config config;
+  config.flightRecorderCapacity = 1 << 18;
+  for (const malware::JoeExpectation& row : state.expected) {
+    const core::EvalOutcome outcome = state.harness->evaluate(
+        row.idPrefix, "C:\\submissions\\" + row.idPrefix + ".exe",
+        state.registry.factory(), config);
+    EXPECT_EQ(outcome.droppedDecisions, 0u) << row.idPrefix;
+    if (outcome.verdict.firstTrigger.empty()) {
+      EXPECT_FALSE(outcome.attribution.resolved) << row.idPrefix;
+      continue;
+    }
+    ASSERT_TRUE(outcome.attribution.resolved) << row.idPrefix;
+    EXPECT_EQ(outcome.attribution.api, outcome.verdict.firstTrigger)
+        << row.idPrefix;
+    EXPECT_FALSE(outcome.attribution.truncated) << row.idPrefix;
+    // The chain ends at the verdict and starts before it.
+    ASSERT_GE(outcome.attribution.chain.size(), 2u) << row.idPrefix;
+    EXPECT_EQ(outcome.attribution.chain.back().kind,
+              obs::DecisionKind::kVerdict)
+        << row.idPrefix;
+  }
+  // Hand the shared recorder back at its default size.
+  sharedState().machine->flightRecorder().setCapacity(
+      core::Config{}.flightRecorderCapacity);
+}
+
+TEST(TracingEval, ChainCrossesTheProcessBoundary) {
+  TracingFixtureState& state = sharedState();
+  // Sample 0 triggers via a hooked fingerprint probe.
+  const core::EvalOutcome outcome = evaluateSample(state.expected[0]);
+  ASSERT_TRUE(outcome.attribution.resolved);
+  bool sawDispatch = false, sawDeception = false, sawSend = false,
+       sawDrain = false;
+  for (const obs::DecisionEvent& e : outcome.attribution.chain) {
+    switch (e.kind) {
+      case obs::DecisionKind::kHookDispatch: sawDispatch = true; break;
+      case obs::DecisionKind::kDeception: sawDeception = true; break;
+      case obs::DecisionKind::kIpcSend: sawSend = true; break;
+      case obs::DecisionKind::kIpcDrain: sawDrain = true; break;
+      default: break;
+    }
+  }
+  EXPECT_TRUE(sawDispatch);
+  EXPECT_TRUE(sawDeception);
+  EXPECT_TRUE(sawSend);
+  EXPECT_TRUE(sawDrain);
+}
+
+TEST(TracingEval, RecorderOverflowDropsOldestAndStaysExportable) {
+  TracingFixtureState& state = sharedState();
+  const malware::JoeExpectation& row = state.expected[0];
+  core::Config config;
+  config.flightRecorderCapacity = 8;
+  const core::EvalOutcome outcome = state.harness->evaluate(
+      row.idPrefix, "C:\\submissions\\" + row.idPrefix + ".exe",
+      state.registry.factory(), config);
+  EXPECT_EQ(outcome.decisions.size(), 8u);
+  EXPECT_GT(outcome.droppedDecisions, 0u);
+  // The drop counter is mirrored into the telemetry snapshot.
+  EXPECT_EQ(outcome.telemetry.counterValue("obs.decisions_dropped"),
+            outcome.droppedDecisions);
+  // Export still succeeds on the truncated ring.
+  EXPECT_NE(outcome.perfettoJson.find("\"dropped_decision_events\""),
+            std::string::npos);
+  EXPECT_NE(outcome.perfettoJson.find("\"traceEvents\""), std::string::npos);
+  // Restore the default capacity for later tests sharing the harness.
+  state.machine->flightRecorder().setCapacity(
+      core::Config{}.flightRecorderCapacity);
+}
+
+TEST(TracingEval, PhaseTransitionsAreRecorded) {
+  TracingFixtureState& state = sharedState();
+  const core::EvalOutcome outcome = evaluateSample(state.expected[0]);
+  std::vector<std::string> phases;
+  for (const obs::DecisionEvent& e : outcome.decisions)
+    if (e.kind == obs::DecisionKind::kPhase) phases.push_back(e.api);
+  // Reference run first, then the supervised run.
+  ASSERT_GE(phases.size(), 2u);
+  EXPECT_EQ(phases.front(), "eval.run.reference");
+  EXPECT_NE(std::find(phases.begin(), phases.end(), "eval.run.supervised"),
+            phases.end());
+  EXPECT_NE(std::find(phases.begin(), phases.end(), "eval.inject"),
+            phases.end());
+  EXPECT_NE(std::find(phases.begin(), phases.end(), "eval.ipc_pump"),
+            phases.end());
+}
+
+}  // namespace

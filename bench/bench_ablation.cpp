@@ -11,7 +11,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
-#include "core/eval.h"
+#include "core/batch.h"
 #include "core/profiles.h"
 #include "env/environments.h"
 #include "malware/corpus.h"
@@ -23,18 +23,21 @@ using namespace scarecrow;
 
 namespace {
 
-std::size_t deactivatedUnder(core::EvaluationHarness& harness,
+std::size_t deactivatedUnder(core::BatchEvaluator& batch,
                              const malware::ProgramRegistry& registry,
                              const std::vector<const malware::SampleSpec*>&
                                  specs,
                              const core::Config& config) {
+  std::vector<core::EvalRequest> requests;
+  requests.reserve(specs.size());
+  for (const malware::SampleSpec* spec : specs)
+    requests.push_back({.sampleId = spec->id,
+                        .imagePath = "C:\\submissions\\" + spec->imageName,
+                        .factory = registry.factory(),
+                        .config = config});
   std::size_t count = 0;
-  for (const malware::SampleSpec* spec : specs) {
-    const core::EvalOutcome outcome =
-        harness.evaluate(spec->id, "C:\\submissions\\" + spec->imageName,
-                         registry.factory(), config);
-    if (outcome.verdict.deactivated) ++count;
-  }
+  for (const core::BatchResult& result : batch.evaluateAll(requests))
+    if (result.ok() && result.outcome.verdict.deactivated) ++count;
   return count;
 }
 
@@ -91,7 +94,9 @@ int main() {
   auto machine = env::buildBareMetalSandbox();
   malware::ProgramRegistry registry;
   const auto specs = malware::generateMalgeneCorpus(registry);
-  core::EvaluationHarness harness(*machine);
+  // The MalGene corpus sweeps (A1a/A1d/A1c) run on the parallel engine;
+  // A1b below drives a Controller directly on `machine`.
+  core::BatchEvaluator batch([] { return env::buildBareMetalSandbox(); });
 
   struct Row {
     const char* label;
@@ -111,7 +116,7 @@ int main() {
   std::size_t debuggerOnly = 0;
   for (const Row& row : rows) {
     const std::size_t count =
-        deactivatedUnder(harness, registry, specs, row.config);
+        deactivatedUnder(batch, registry, specs, row.config);
     if (std::string(row.label) == "full engine") fullCount = count;
     if (std::string(row.label) == "debugger only") debuggerOnly = count;
     std::printf("%-15s deactivated %4zu / %zu  (%.2f%%)\n", row.label, count,
@@ -130,10 +135,10 @@ int main() {
       "Ablation A1d — coherent single-sandbox profiles (Section VI-B "
       "\"multiple profiles\") on M_MG");
   for (core::SandboxProfile profile : core::kAllSandboxProfiles) {
-    harness.setResourceDbFactory(
+    batch.setResourceDbFactory(
         [profile] { return core::buildProfileDb(profile); });
     const std::size_t count =
-        deactivatedUnder(harness, registry, specs, core::Config{});
+        deactivatedUnder(batch, registry, specs, core::Config{});
     std::printf(
         "%-20s deactivated %4zu / %zu  (%.2f%%)  [vendor-consistent: %s]\n",
         core::sandboxProfileName(profile), count, specs.size(),
@@ -141,7 +146,7 @@ int main() {
             static_cast<double>(specs.size()),
         core::vendorConsistent(core::buildProfileDb(profile)) ? "yes" : "no");
   }
-  harness.setResourceDbFactory({});
+  batch.setResourceDbFactory({});
   std::printf(
       "(each coherent profile trades a few percentage points of coverage "
       "for surviving cross-vendor consistency checks)\n");
@@ -153,7 +158,7 @@ int main() {
     core::Config kernelOn;
     kernelOn.kernel.enabled = true;
     const std::size_t withKernel =
-        deactivatedUnder(harness, registry, specs, kernelOn);
+        deactivatedUnder(batch, registry, specs, kernelOn);
     std::printf(
         "full engine + kernel ext: deactivated %4zu / %zu  (%.2f%%)\n",
         withKernel, specs.size(),

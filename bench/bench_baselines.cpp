@@ -12,7 +12,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
-#include "core/eval.h"
+#include "core/batch.h"
 #include "core/vaccine.h"
 #include "env/environments.h"
 #include "malware/corpus.h"
@@ -68,22 +68,24 @@ int main() {
       "Baselines (Section VII) — Scarecrow vs vaccination vs anti-VM "
       "imitation on M_MG");
 
-  auto machine = env::buildBareMetalSandbox();
   malware::ProgramRegistry registry;
   const auto specs = malware::generateMalgeneCorpus(registry);
-  core::EvaluationHarness harness(*machine);
 
+  core::BatchEvaluator batch([] { return env::buildBareMetalSandbox(); });
   auto scarecrowCount = [&](const core::Config& config,
                             core::EvaluationHarness::DbFactory db) {
-    harness.setResourceDbFactory(std::move(db));
+    batch.setResourceDbFactory(std::move(db));
+    std::vector<core::EvalRequest> requests;
+    requests.reserve(specs.size());
+    for (const malware::SampleSpec* spec : specs)
+      requests.push_back({.sampleId = spec->id,
+                          .imagePath = "C:\\submissions\\" + spec->imageName,
+                          .factory = registry.factory(),
+                          .config = config});
     std::size_t count = 0;
-    for (const malware::SampleSpec* spec : specs) {
-      const core::EvalOutcome outcome =
-          harness.evaluate(spec->id, "C:\\submissions\\" + spec->imageName,
-                           registry.factory(), config);
-      if (outcome.verdict.deactivated) ++count;
-    }
-    harness.setResourceDbFactory({});
+    for (const core::BatchResult& result : batch.evaluateAll(requests))
+      if (result.ok() && result.outcome.verdict.deactivated) ++count;
+    batch.setResourceDbFactory({});
     return count;
   };
 

@@ -35,7 +35,7 @@ malware::BenignOutcome runBenign(winsys::Machine& machine,
 
   winapi::Runner runner(machine, userspace);
   winapi::RunOptions options;
-  options.budgetMs = 60'000;
+  options.budgetMs = core::Config::kDefaultBudgetMs;
   const std::string path = "C:\\Users\\alice\\Downloads\\" + spec.imageName;
   if (withScarecrow) {
     core::DeceptionEngine engine({}, core::buildDefaultResourceDb());

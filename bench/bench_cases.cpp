@@ -46,10 +46,10 @@ int main() {
 
   // ---- Case I: Kasidet -----------------------------------------------------
   {
-    const core::EvalOutcome outcome =
-        harness.evaluate("kasidet", std::string("C:\\dl\\") +
-                                        malware::kKasidetImage,
-                         registry.factory());
+    const core::EvalOutcome outcome = harness.evaluate(
+        {.sampleId = "kasidet",
+         .imagePath = std::string("C:\\dl\\") + malware::kKasidetImage,
+         .factory = registry.factory()});
     std::printf("Kasidet: deactivated=%s trigger=%s  %s\n",
                 outcome.verdict.deactivated ? "Y" : "N",
                 outcome.verdict.firstTrigger.c_str(),
@@ -75,8 +75,9 @@ int main() {
   // ---- Case II: WannaCry -----------------------------------------------------
   {
     const core::EvalOutcome outcome = harness.evaluate(
-        "wannacry", std::string("C:\\dl\\") + malware::kWannaCryImage,
-        registry.factory());
+        {.sampleId = "wannacry",
+         .imagePath = std::string("C:\\dl\\") + malware::kWannaCryImage,
+         .factory = registry.factory()});
     const bool encryptedWithout =
         anyEncryptedFile(outcome.traceWithout, ".WCRY");
     const bool encryptedWith = anyEncryptedFile(outcome.traceWith, ".WCRY");
@@ -92,8 +93,9 @@ int main() {
   // ---- Case II: Locky ----------------------------------------------------------
   {
     const core::EvalOutcome outcome = harness.evaluate(
-        "locky", std::string("C:\\dl\\") + malware::kLockyImage,
-        registry.factory());
+        {.sampleId = "locky",
+         .imagePath = std::string("C:\\dl\\") + malware::kLockyImage,
+         .factory = registry.factory()});
     const bool encryptedWithout =
         anyEncryptedFile(outcome.traceWithout, ".locky");
     const bool encryptedWith = anyEncryptedFile(outcome.traceWith, ".locky");

@@ -5,8 +5,12 @@
 // source.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <string>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
 
 namespace scarecrow::bench {
 
@@ -21,6 +25,32 @@ inline void printHeader(const std::string& title) {
 inline const char* okMark(bool ok) {
   if (!ok) ++g_mismatches;
   return ok ? "OK  " : "DIFF";
+}
+
+/// Wall-clock micros, for serial-vs-parallel throughput numbers.
+inline std::uint64_t nowMicros() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Writes the snapshot as <benchName>_telemetry.json and .prom next to the
+/// binary, so a bench run leaves a machine-readable record (throughput
+/// gauges included) alongside the human-readable stdout table.
+inline void writeTelemetryDump(const std::string& benchName,
+                               const obs::MetricsSnapshot& snapshot) {
+  for (const obs::ExportFormat format :
+       {obs::ExportFormat::kJson, obs::ExportFormat::kPrometheus}) {
+    const std::string path = benchName + "_telemetry." +
+                             obs::exportFileExtension(format);
+    if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+      const std::string rendered = obs::Exporter(format).render(snapshot);
+      std::fwrite(rendered.data(), 1, rendered.size(), f);
+      std::fclose(f);
+      std::printf("telemetry dump written to %s\n", path.c_str());
+    }
+  }
 }
 
 inline int finish(const std::string& benchName) {

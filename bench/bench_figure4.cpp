@@ -49,7 +49,9 @@ int main() {
 
   for (const malware::SampleSpec* spec : specs) {
     const core::EvalOutcome outcome = harness.evaluate(
-        spec->id, "C:\\submissions\\" + spec->imageName, registry.factory());
+        {.sampleId = spec->id,
+         .imagePath = "C:\\submissions\\" + spec->imageName,
+         .factory = registry.factory()});
 
     FamilyStats& family = families[spec->family];
     ++family.total;

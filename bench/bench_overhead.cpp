@@ -188,8 +188,13 @@ void BM_SupervisedSampleExecution(benchmark::State& state) {
   malware::registerJoeSamples(registry);
   core::EvaluationHarness harness(*machine);
   for (auto _ : state) {
-    trace::Trace trace = harness.runOnce(
-        "9fac72a", "C:\\submissions\\9fac72a.exe", registry.factory(), true);
+    trace::Trace trace =
+        harness
+            .runOnce({.sampleId = "9fac72a",
+                      .imagePath = "C:\\submissions\\9fac72a.exe",
+                      .factory = registry.factory()},
+                     /*withScarecrow=*/true)
+            .trace;
     benchmark::DoNotOptimize(trace.events.size());
   }
 }
@@ -203,10 +208,14 @@ void dumpTelemetrySnapshot() {
   malware::ProgramRegistry registry;
   malware::registerJoeSamples(registry);
   core::EvaluationHarness harness(*machine);
-  harness.runOnce("9fac72a", "C:\\submissions\\9fac72a.exe",
-                  registry.factory(), true);
+  harness.runOnce({.sampleId = "9fac72a",
+                   .imagePath = "C:\\submissions\\9fac72a.exe",
+                   .factory = registry.factory()},
+                  /*withScarecrow=*/true);
   std::printf("--- telemetry snapshot (supervised run, 9fac72a) ---\n%s",
-              obs::exportJson(machine->metrics().snapshot()).c_str());
+              obs::Exporter(obs::ExportFormat::kJson)
+                  .render(machine->metrics().snapshot())
+                  .c_str());
   const obs::FlightRecorder& flight = machine->flightRecorder();
   std::printf(
       "--- decision trace: %zu retained, %llu recorded, %llu dropped ---\n",

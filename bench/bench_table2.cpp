@@ -12,11 +12,13 @@
 //    the machine is otherwise actively used — modeled with userPresent.
 #include <array>
 #include <cstdio>
+#include <functional>
 
 #include "bench/bench_common.h"
 #include "env/environments.h"
 #include "fingerprint/harness.h"
 #include "fingerprint/pafish.h"
+#include "support/parallel.h"
 
 using namespace scarecrow;
 using fingerprint::PafishCategory;
@@ -64,42 +66,51 @@ int main() {
       "Table II — Pafish evidence triggered per category "
       "(paper vs reproduction)");
 
+  // The three environment sweeps are independent (each builds its own
+  // machines), so they run as three jobs on a worker pool. Within the
+  // bare-metal job the two Pafish runs stay sequential on one machine,
+  // matching the paper's setup.
   EnvRun bm{"Bare-metal sandbox", {}, {}};
-  {
-    auto machine = env::buildBareMetalSandbox();
-    fingerprint::FingerprintRunOptions off;
-    bm.withoutSc = countPerCategory(fingerprint::runPafishOn(*machine, off));
-    fingerprint::FingerprintRunOptions on;
-    on.withScarecrow = true;
-    bm.withSc = countPerCategory(fingerprint::runPafishOn(*machine, on));
-  }
-
   EnvRun vm{"Virtual machine sandbox", {}, {}};
-  {
-    auto plain = env::buildVBoxCuckooSandbox({.hardened = false});
-    fingerprint::FingerprintRunOptions off;
-    off.injectCuckooMonitor = true;
-    vm.withoutSc = countPerCategory(fingerprint::runPafishOn(*plain, off));
-
-    auto hardened = env::buildVBoxCuckooSandbox({.hardened = true});
-    fingerprint::FingerprintRunOptions on;
-    on.withScarecrow = true;
-    on.injectCuckooMonitor = true;
-    vm.withSc = countPerCategory(fingerprint::runPafishOn(*hardened, on));
-  }
-
   EnvRun eu{"End-user machine", {}, {}};
-  {
-    // Without Scarecrow: the operator stepped away (no mouse movement).
-    auto idle = env::buildEndUserMachine({.userPresent = false});
-    fingerprint::FingerprintRunOptions off;
-    eu.withoutSc = countPerCategory(fingerprint::runPafishOn(*idle, off));
+  const std::array<std::function<void()>, 3> envJobs = {
+      [&bm] {
+        auto machine = env::buildBareMetalSandbox();
+        fingerprint::FingerprintRunOptions off;
+        bm.withoutSc =
+            countPerCategory(fingerprint::runPafishOn(*machine, off));
+        fingerprint::FingerprintRunOptions on;
+        on.withScarecrow = true;
+        bm.withSc = countPerCategory(fingerprint::runPafishOn(*machine, on));
+      },
+      [&vm] {
+        auto plain = env::buildVBoxCuckooSandbox({.hardened = false});
+        fingerprint::FingerprintRunOptions off;
+        off.injectCuckooMonitor = true;
+        vm.withoutSc =
+            countPerCategory(fingerprint::runPafishOn(*plain, off));
 
-    auto active = env::buildEndUserMachine({.userPresent = true});
-    fingerprint::FingerprintRunOptions on;
-    on.withScarecrow = true;
-    eu.withSc = countPerCategory(fingerprint::runPafishOn(*active, on));
-  }
+        auto hardened = env::buildVBoxCuckooSandbox({.hardened = true});
+        fingerprint::FingerprintRunOptions on;
+        on.withScarecrow = true;
+        on.injectCuckooMonitor = true;
+        vm.withSc = countPerCategory(fingerprint::runPafishOn(*hardened, on));
+      },
+      [&eu] {
+        // Without Scarecrow: the operator stepped away (no mouse movement).
+        auto idle = env::buildEndUserMachine({.userPresent = false});
+        fingerprint::FingerprintRunOptions off;
+        eu.withoutSc = countPerCategory(fingerprint::runPafishOn(*idle, off));
+
+        auto active = env::buildEndUserMachine({.userPresent = true});
+        fingerprint::FingerprintRunOptions on;
+        on.withScarecrow = true;
+        eu.withSc = countPerCategory(fingerprint::runPafishOn(*active, on));
+      }};
+  support::runOnWorkerPool(envJobs.size(), envJobs.size(),
+                           [&](std::size_t, std::size_t job) {
+                             envJobs[job]();
+                           });
 
   std::printf(
       "%-22s | %13s | %13s | %13s |\n", "Category (#features)",

@@ -6,12 +6,15 @@
 // trained on aged-vs-pristine machine populations (the S&P'17 classifier)
 // must label the end-user machine "real device" without Scarecrow and
 // "sandbox" with it.
+#include <array>
 #include <cstdio>
+#include <functional>
 
 #include "bench/bench_common.h"
 #include "env/environments.h"
 #include "fingerprint/decision_tree.h"
 #include "fingerprint/harness.h"
+#include "support/parallel.h"
 
 using namespace scarecrow;
 using fingerprint::artifactIndex;
@@ -21,12 +24,31 @@ int main() {
   bench::printHeader(
       "Table III — wear-and-tear artifacts faked by Scarecrow");
 
-  auto machine = env::buildEndUserMachine();
+  // Three independent measurement jobs share a worker pool: the end-user
+  // machine's two runs (sequential on one machine, as in the paper), the
+  // classifier training, and the bare-metal control measurement.
   fingerprint::FingerprintRunOptions off;
-  const auto real = fingerprint::measureWearTearOn(*machine, off);
-  fingerprint::FingerprintRunOptions on;
-  on.withScarecrow = true;
-  const auto faked = fingerprint::measureWearTearOn(*machine, on);
+  fingerprint::ArtifactVector real{}, faked{}, bmArtifacts{};
+  fingerprint::DecisionTree tree;
+  std::vector<fingerprint::LabeledSample> training;
+  const std::array<std::function<void()>, 3> jobs = {
+      [&] {
+        auto machine = env::buildEndUserMachine();
+        real = fingerprint::measureWearTearOn(*machine, off);
+        fingerprint::FingerprintRunOptions on;
+        on.withScarecrow = true;
+        faked = fingerprint::measureWearTearOn(*machine, on);
+      },
+      [&] {
+        training = fingerprint::generateTrainingSet(14, 41);
+        tree.train(training);
+      },
+      [&] {
+        auto bm = env::buildBareMetalSandbox();
+        bmArtifacts = fingerprint::measureWearTearOn(*bm, off);
+      }};
+  support::runOnWorkerPool(jobs.size(), jobs.size(),
+                           [&](std::size_t, std::size_t job) { jobs[job](); });
 
   struct PaperFake {
     const char* artifact;
@@ -68,9 +90,6 @@ int main() {
   }
 
   // Decision-tree verdict flip.
-  const auto training = fingerprint::generateTrainingSet(14, 41);
-  fingerprint::DecisionTree tree;
-  tree.train(training);
   std::printf("\ndecision tree: %zu nodes, training accuracy %.2f\n",
               tree.nodeCount(), tree.accuracy(training));
   std::printf("tree splits on:");
@@ -90,8 +109,6 @@ int main() {
               bench::okMark(fakedVerdict));
 
   // Sanity: the sandboxes themselves classify as sandboxes.
-  auto bm = env::buildBareMetalSandbox();
-  const auto bmArtifacts = fingerprint::measureWearTearOn(*bm, off);
   std::printf("bare-metal sandbox     -> %s  %s\n",
               tree.classify(bmArtifacts) == fingerprint::MachineLabel::kSandbox
                   ? "sandbox"

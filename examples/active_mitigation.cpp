@@ -28,8 +28,10 @@ int main() {
   core::EvaluationHarness harness(*machine);
 
   // Record-only (the paper's deployed behaviour).
-  const core::EvalOutcome recordOnly = harness.evaluate(
-      "forkbomb-record", "C:\\dl\\forkbomb01.exe", registry.factory());
+  const core::EvalOutcome recordOnly =
+      harness.evaluate({.sampleId = "forkbomb-record",
+                        .imagePath = "C:\\dl\\forkbomb01.exe",
+                        .factory = registry.factory()});
   std::printf("record-only:    %zu self-spawns in one minute (%u alerts "
               "raised, no interruption)\n",
               recordOnly.verdict.selfSpawnsWithScarecrow,
@@ -40,8 +42,10 @@ int main() {
   mitigating.mitigateSelfSpawn = true;
   mitigating.selfSpawnKillThreshold = 25;
   const core::EvalOutcome mitigated =
-      harness.evaluate("forkbomb-mitigated", "C:\\dl\\forkbomb01.exe",
-                       registry.factory(), mitigating);
+      harness.evaluate({.sampleId = "forkbomb-mitigated",
+                        .imagePath = "C:\\dl\\forkbomb01.exe",
+                        .factory = registry.factory(),
+                        .config = mitigating});
   std::printf("with mitigation: %zu self-spawns, loop terminated at the "
               "threshold\n",
               mitigated.verdict.selfSpawnsWithScarecrow);

@@ -1,13 +1,15 @@
-// Scenario: the paper's Figure 3 evaluation pipeline, end to end — a
-// multi-machine analysis cluster processes the Joe Security sample set,
-// uploads traces to the proxy, and the analyst gets per-sample verdicts
-// plus a Markdown incident report for one sample.
+// Scenario: the paper's Figure 3 evaluation pipeline at corpus scale — a
+// BatchEvaluator with four private machines drains the Joe Security sample
+// set through a shared request queue, the analyst gets per-sample verdicts
+// in submission order, one merged telemetry dump for the whole batch, and a
+// Markdown incident report for one sample.
 //
 // Build & run:  cmake --build build && ./build/examples/analysis_cluster
 #include <cstdio>
 
-#include "core/cluster.h"
+#include "core/batch.h"
 #include "core/report.h"
+#include "obs/export.h"
 #include "env/environments.h"
 #include "malware/joe.h"
 
@@ -17,39 +19,55 @@ int main() {
   malware::ProgramRegistry registry;
   const auto expected = malware::registerJoeSamples(registry);
 
-  core::Cluster cluster(4, [] { return env::buildBareMetalSandbox(); });
+  std::vector<core::EvalRequest> requests;
   for (const auto& row : expected)
-    cluster.submit({row.idPrefix,
-                    "C:\\submissions\\" + row.idPrefix + ".exe"});
+    requests.push_back({.sampleId = row.idPrefix,
+                        .imagePath = "C:\\submissions\\" + row.idPrefix +
+                                     ".exe",
+                        .factory = registry.factory()});
 
-  std::printf("cluster: %zu machines, %zu queued samples\n",
-              cluster.machineCount(), cluster.pendingJobs());
-  cluster.runAll(registry.factory());
-  std::printf("completed %zu jobs, %zu Deep Freeze resets, %zu traces "
-              "uploaded to the proxy\n\n",
-              cluster.stats().jobsCompleted, cluster.stats().machineResets,
-              cluster.stats().tracesUploaded);
+  core::BatchOptions options;
+  options.workerCount = 4;
+  core::BatchEvaluator batch([] { return env::buildBareMetalSandbox(); },
+                             options);
+  std::printf("batch: %zu workers, %zu queued samples\n", batch.workerCount(),
+              requests.size());
+
+  const std::vector<core::BatchResult> results = batch.evaluateAll(requests);
 
   std::size_t deactivated = 0;
-  for (const auto& row : expected) {
-    const auto verdict =
-        cluster.collector().judge(row.idPrefix, row.idPrefix + ".exe");
-    if (!verdict.has_value()) continue;
-    if (verdict->deactivated) ++deactivated;
-    std::printf("%-8s %-14s trigger=%s\n", row.idPrefix.c_str(),
-                verdict->deactivated ? "deactivated" : "NOT deactivated",
-                verdict->firstTrigger.empty() ? "-"
-                                              : verdict->firstTrigger.c_str());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const core::BatchResult& result = results[i];
+    if (!result.ok()) {
+      std::printf("%-8s %s: %s\n", requests[i].sampleId.c_str(),
+                  core::batchStatusName(result.status), result.error.c_str());
+      continue;
+    }
+    const trace::DeactivationVerdict& verdict = result.outcome.verdict;
+    if (verdict.deactivated) ++deactivated;
+    std::printf("%-8s %-14s worker=%zu trigger=%s\n",
+                requests[i].sampleId.c_str(),
+                verdict.deactivated ? "deactivated" : "NOT deactivated",
+                result.workerIndex,
+                verdict.firstTrigger.empty() ? "-"
+                                             : verdict.firstTrigger.c_str());
   }
   std::printf("\n%zu / %zu deactivated (paper: 12 / 13)\n", deactivated,
               expected.size());
 
-  // A full incident report for the ransomware sample.
-  auto machine = env::buildBareMetalSandbox();
-  core::EvaluationHarness harness(*machine);
-  const core::EvalOutcome outcome = harness.evaluate(
-      "61f847b", "C:\\submissions\\61f847b.exe", registry.factory());
-  std::printf("\n%s\n",
-              core::renderIncidentReport("61f847b", outcome).c_str());
+  // One aggregate dump for the whole corpus: every worker's counters
+  // summed, histogram buckets combined.
+  const obs::MetricsSnapshot merged = batch.mergedTelemetry();
+  std::printf("\nbatch telemetry (all %zu workers merged):\n%s",
+              batch.workerCount(),
+              obs::Exporter(obs::ExportFormat::kJson).render(merged).c_str());
+
+  // A full incident report for the ransomware sample, straight from the
+  // batch outcome — identical to what a serial harness would have produced.
+  for (std::size_t i = 0; i < results.size(); ++i)
+    if (requests[i].sampleId == "61f847b" && results[i].ok())
+      std::printf("\n%s\n",
+                  core::renderIncidentReport("61f847b", results[i].outcome)
+                      .c_str());
   return deactivated == 12 ? 0 : 1;
 }

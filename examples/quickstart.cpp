@@ -13,7 +13,7 @@
 #include "core/engine.h"
 #include "env/environments.h"
 #include "malware/kasidet.h"
-#include "obs/trace_export.h"
+#include "obs/export.h"
 #include "support/strings.h"
 #include "trace/analysis.h"
 #include "winapi/runner.h"
@@ -55,7 +55,7 @@ int main() {
 
   winapi::Runner runner(*machine, userspace);
   winapi::RunOptions options;
-  options.budgetMs = 60'000;
+  options.budgetMs = core::Config::kDefaultBudgetMs;
   runner.drain(options);
   controller.pump();
 
@@ -79,10 +79,12 @@ int main() {
   // process, hook dispatches and deceptions as instants, correlation
   // chains as flow arrows.
   const char* tracePath = "scarecrow_trace.json";
-  const std::string traceJson = obs::exportChromeTrace(
-      machine->metrics().snapshot(),
-      machine->flightRecorder().snapshot(),
-      machine->flightRecorder().droppedCount());
+  const std::vector<obs::DecisionEvent> decisions =
+      machine->flightRecorder().snapshot();
+  const std::string traceJson =
+      obs::Exporter(obs::ExportFormat::kChromeTrace)
+          .withDecisions(decisions, machine->flightRecorder().droppedCount())
+          .render(machine->metrics().snapshot());
   if (std::FILE* f = std::fopen(tracePath, "w")) {
     std::fwrite(traceJson.data(), 1, traceJson.size(), f);
     std::fclose(f);

@@ -35,9 +35,10 @@ int main() {
 
   core::EvaluationHarness harness(*machine);
   const core::EvalOutcome outcome = harness.evaluate(
-      "wannacry", std::string("C:\\Users\\alice\\Downloads\\") +
-                      malware::kWannaCryImage,
-      registry.factory());
+      {.sampleId = "wannacry",
+       .imagePath = std::string("C:\\Users\\alice\\Downloads\\") +
+                    malware::kWannaCryImage,
+       .factory = registry.factory()});
 
   std::printf("without Scarecrow: %zu documents encrypted to .WCRY\n",
               countEncrypted(outcome.traceWithout));

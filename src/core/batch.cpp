@@ -1,0 +1,163 @@
+#include "core/batch.h"
+
+#include <chrono>
+#include <exception>
+#include <utility>
+
+#include "support/log.h"
+#include "support/parallel.h"
+
+namespace scarecrow::core {
+
+namespace {
+
+std::uint64_t nowMicros() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+const char* batchStatusName(BatchStatus status) noexcept {
+  switch (status) {
+    case BatchStatus::kOk: return "ok";
+    case BatchStatus::kFailed: return "failed";
+    case BatchStatus::kTimedOut: return "timed-out";
+  }
+  return "?";
+}
+
+struct BatchEvaluator::Worker {
+  std::unique_ptr<winsys::Machine> machine;
+  std::unique_ptr<EvaluationHarness> harness;
+  /// Merge of the worker's successful per-sample snapshots (this run).
+  obs::MetricsSnapshot telemetry;
+  /// Worker-level accounting, kept in a private registry so it lands in
+  /// the snapshot with the same deterministic ordering as everything else.
+  std::uint64_t requests = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t wallMicros = 0;
+};
+
+BatchEvaluator::BatchEvaluator(const MachineFactory& machineFactory,
+                               BatchOptions options)
+    : options_(options) {
+  if (options_.workerCount == 0) options_.workerCount = 1;
+  if (options_.maxAttempts == 0) options_.maxAttempts = 1;
+  workers_.reserve(options_.workerCount);
+  for (std::size_t i = 0; i < options_.workerCount; ++i) {
+    auto worker = std::make_unique<Worker>();
+    worker->machine = machineFactory();
+    worker->machine->label += " #" + std::to_string(i);
+    worker->harness = std::make_unique<EvaluationHarness>(*worker->machine);
+    workers_.push_back(std::move(worker));
+  }
+}
+
+BatchEvaluator::~BatchEvaluator() = default;
+
+void BatchEvaluator::setResourceDbFactory(
+    EvaluationHarness::DbFactory dbFactory) {
+  for (auto& worker : workers_) worker->harness->setResourceDbFactory(dbFactory);
+}
+
+std::vector<BatchResult> BatchEvaluator::evaluateAll(
+    const std::vector<EvalRequest>& requests) {
+  std::vector<BatchResult> results(requests.size());
+  for (auto& worker : workers_) {
+    worker->telemetry = obs::MetricsSnapshot{};
+    worker->requests = worker->retries = worker->timeouts = worker->failures =
+        worker->wallMicros = 0;
+  }
+  workerTelemetry_.clear();
+
+  // Workers drain the queue through an atomic cursor; each result slot is
+  // written by exactly one worker, so the only cross-thread state is the
+  // cursor itself.
+  support::runOnWorkerPool(
+      workers_.size(), requests.size(),
+      [&](std::size_t workerIndex, std::size_t jobIndex) {
+        Worker& worker = *workers_[workerIndex];
+        const EvalRequest& request = requests[jobIndex];
+        BatchResult& slot = results[jobIndex];
+        slot.workerIndex = workerIndex;
+        ++worker.requests;
+
+        for (std::uint32_t attempt = 1; attempt <= options_.maxAttempts;
+             ++attempt) {
+          slot.attempts = attempt;
+          if (attempt > 1) ++worker.retries;
+          const std::uint64_t start = nowMicros();
+          try {
+            EvalOutcome outcome = worker.harness->evaluate(request);
+            const std::uint64_t elapsed = nowMicros() - start;
+            slot.wallMicros = elapsed;
+            if (options_.requestTimeoutMs != 0 &&
+                elapsed > options_.requestTimeoutMs * 1000) {
+              // Cooperative timeout: the run already finished, but it blew
+              // the wall budget — discard it like a failure so a stuck
+              // configuration cannot silently monopolize a worker.
+              ++worker.timeouts;
+              slot.status = BatchStatus::kTimedOut;
+              slot.error = "attempt took " + std::to_string(elapsed / 1000) +
+                           " ms (budget " +
+                           std::to_string(options_.requestTimeoutMs) + " ms)";
+              continue;
+            }
+            slot.status = BatchStatus::kOk;
+            slot.error.clear();
+            slot.outcome = std::move(outcome);
+            worker.telemetry.merge(slot.outcome.telemetry);
+            return;
+          } catch (const std::exception& e) {
+            slot.status = BatchStatus::kFailed;
+            slot.error = e.what();
+            slot.wallMicros = nowMicros() - start;
+          } catch (...) {
+            slot.status = BatchStatus::kFailed;
+            slot.error = "non-standard exception";
+            slot.wallMicros = nowMicros() - start;
+          }
+        }
+        ++worker.failures;
+        worker.wallMicros += slot.wallMicros;
+        support::logWarn("batch", "request failed",
+                         {{"sample", request.sampleId},
+                          {"status", batchStatusName(slot.status)},
+                          {"attempts", slot.attempts},
+                          {"error", slot.error}});
+      });
+
+  // Sum successful wall time after the fact (the in-loop accumulator only
+  // tracked failed requests, whose outcomes carry no telemetry).
+  for (const BatchResult& result : results)
+    if (result.ok()) workers_[result.workerIndex]->wallMicros +=
+        result.wallMicros;
+
+  workerTelemetry_.reserve(workers_.size());
+  for (const auto& worker : workers_) {
+    obs::MetricsRegistry accounting;
+    accounting.counter("batch.requests").inc(worker->requests);
+    accounting.counter("batch.retries").inc(worker->retries);
+    accounting.counter("batch.timeouts").inc(worker->timeouts);
+    accounting.counter("batch.failures").inc(worker->failures);
+    accounting.counter("batch.wall_us").inc(worker->wallMicros);
+    obs::MetricsSnapshot snapshot = worker->telemetry;
+    snapshot.merge(accounting.snapshot());
+    workerTelemetry_.push_back(std::move(snapshot));
+  }
+  return results;
+}
+
+obs::MetricsSnapshot BatchEvaluator::mergedTelemetry() const {
+  obs::MetricsSnapshot merged;
+  for (const obs::MetricsSnapshot& worker : workerTelemetry_)
+    merged.merge(worker);
+  return merged;
+}
+
+}  // namespace scarecrow::core

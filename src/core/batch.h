@@ -1,0 +1,124 @@
+// Parallel corpus evaluation: the Figure 3 protocol at fleet scale.
+//
+// The paper runs every sample twice (±Scarecrow) under a one-minute
+// budget, so Table I/II/III sweeps are embarrassingly parallel — the only
+// shared state a corpus evaluation needs is the request queue and the
+// result table. BatchEvaluator is the engine for that: N workers, each
+// owning a private simulated Machine plus EvaluationHarness built from a
+// caller-supplied factory, drain a shared queue of EvalRequests. Results
+// land at the request's index regardless of completion order, a request
+// that throws or exceeds its wall-clock budget is retried a bounded number
+// of times and then reported failed — without poisoning its worker, whose
+// next evaluation starts from a clean Deep Freeze restore anyway.
+//
+// Telemetry: every EvalOutcome still carries the per-sample snapshot and
+// byte-identical telemetryJson a serial harness would produce (evaluate()
+// wipes the machine's registry per sample). On top of that each worker
+// folds its samples into a worker-level snapshot via
+// obs::MetricsSnapshot::merge, and mergedTelemetry() folds the workers
+// into one corpus-level snapshot — counters summed, gauges maxed,
+// histogram buckets combined — ready for a single JSON/Prometheus dump.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/eval.h"
+#include "obs/metrics.h"
+#include "winsys/machine.h"
+
+namespace scarecrow::core {
+
+enum class BatchStatus : std::uint8_t {
+  kOk,        // outcome is valid
+  kFailed,    // every attempt threw; `error` holds the last message
+  kTimedOut,  // every attempt exceeded BatchOptions::requestTimeoutMs
+};
+
+/// Exhaustive over BatchStatus (no default; -Werror=switch enforces it).
+const char* batchStatusName(BatchStatus status) noexcept;
+
+struct BatchResult {
+  BatchStatus status = BatchStatus::kFailed;
+  /// Valid only when status == kOk.
+  EvalOutcome outcome;
+  /// what() of the last failed attempt, or the timeout description.
+  std::string error;
+  /// Attempts consumed (1 = first try succeeded).
+  std::uint32_t attempts = 0;
+  /// Which worker (and therefore which private machine) ran the request.
+  std::size_t workerIndex = 0;
+  /// Wall-clock cost of the final attempt, microseconds. Real time, not
+  /// virtual — this is the throughput number, so it is deliberately
+  /// nondeterministic and kept out of the EvalOutcome telemetry.
+  std::uint64_t wallMicros = 0;
+
+  bool ok() const noexcept { return status == BatchStatus::kOk; }
+};
+
+struct BatchOptions {
+  /// Worker (= private machine) count. Clamped to at least 1.
+  std::size_t workerCount = 8;
+  /// Wall-clock budget per attempt, milliseconds; 0 = unlimited. The
+  /// simulator cannot preempt a run mid-flight, so the timeout is enforced
+  /// when the attempt returns: an overrun attempt is discarded and
+  /// retried/failed like a thrown one. (The *virtual* budget is
+  /// EvalRequest::budgetMs.)
+  std::uint64_t requestTimeoutMs = 0;
+  /// Attempts per request before it is reported failed (1 = no retry).
+  std::uint32_t maxAttempts = 2;
+};
+
+class BatchEvaluator {
+ public:
+  using MachineFactory = std::function<std::unique_ptr<winsys::Machine>()>;
+
+  /// Builds `options.workerCount` identical machines up front (on the
+  /// calling thread — machine construction is deterministic and need not
+  /// be thread-safe).
+  explicit BatchEvaluator(const MachineFactory& machineFactory,
+                          BatchOptions options = {});
+  ~BatchEvaluator();
+
+  BatchEvaluator(const BatchEvaluator&) = delete;
+  BatchEvaluator& operator=(const BatchEvaluator&) = delete;
+
+  /// Overrides the deception database on every worker harness (the
+  /// profile-ablation hook, same as EvaluationHarness::setResourceDbFactory).
+  /// Call between evaluateAll() invocations, not during one.
+  void setResourceDbFactory(EvaluationHarness::DbFactory dbFactory);
+
+  /// Evaluates the whole corpus; result i describes request i. Safe to
+  /// call repeatedly; worker machines are reused (each evaluation restores
+  /// the clean snapshot first), and the telemetry accessors below describe
+  /// the most recent call.
+  std::vector<BatchResult> evaluateAll(
+      const std::vector<EvalRequest>& requests);
+
+  std::size_t workerCount() const noexcept { return workers_.size(); }
+
+  /// Per-worker aggregate of the last evaluateAll: the merge of every
+  /// successful sample's telemetry that worker produced, plus the
+  /// worker-level `batch.*` counters (requests, retries, timeouts,
+  /// failures).
+  const std::vector<obs::MetricsSnapshot>& workerTelemetry() const noexcept {
+    return workerTelemetry_;
+  }
+
+  /// Merge of workerTelemetry() in worker order: the corpus-level dump.
+  /// Counters sum, so it equals the serial sweep's aggregate regardless of
+  /// how requests raced across workers.
+  obs::MetricsSnapshot mergedTelemetry() const;
+
+ private:
+  struct Worker;
+
+  BatchOptions options_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<obs::MetricsSnapshot> workerTelemetry_;
+};
+
+}  // namespace scarecrow::core

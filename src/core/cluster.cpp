@@ -19,18 +19,23 @@ void Cluster::runAll(const winapi::ProgramFactory& factory,
     EvaluationHarness& harness = *harnesses_[nextMachine_];
     nextMachine_ = (nextMachine_ + 1) % harnesses_.size();
 
+    EvalRequest request;
+    request.sampleId = job.sampleId;
+    request.imagePath = job.imagePath;
+    request.factory = factory;
+    request.config = config;
+    request.budgetMs = budgetMs;
+
     // Without Scarecrow, reset, with Scarecrow — each runOnce restores the
     // machine to the clean snapshot first (the Deep Freeze cycle).
-    trace::Trace without = harness.runOnce(job.sampleId, job.imagePath,
-                                           factory, false, config, budgetMs);
+    RunResult without = harness.runOnce(request, false);
     ++stats_.machineResets;
-    collector_.upload(std::move(without));
+    collector_.upload(std::move(without.trace));
     ++stats_.tracesUploaded;
 
-    trace::Trace with = harness.runOnce(job.sampleId, job.imagePath, factory,
-                                        true, config, budgetMs);
+    RunResult with = harness.runOnce(request, true);
     ++stats_.machineResets;
-    collector_.upload(std::move(with));
+    collector_.upload(std::move(with.trace));
     ++stats_.tracesUploaded;
 
     ++stats_.jobsCompleted;

@@ -45,7 +45,7 @@ class Cluster {
   /// (round-robin assignment) and uploads both traces to the proxy.
   void runAll(const winapi::ProgramFactory& factory,
               const Config& config = {},
-              std::uint64_t budgetMs = 60'000);
+              std::uint64_t budgetMs = Config::kDefaultBudgetMs);
 
   /// The proxy-side trace store; judge deactivation from here.
   trace::Collector& collector() noexcept { return collector_; }

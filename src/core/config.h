@@ -74,6 +74,12 @@ struct KernelExtensionConfig {
 };
 
 struct Config {
+  /// Machine-time budget of one sample execution, in virtual milliseconds:
+  /// the paper's Figure 3 protocol gives every run one minute before the
+  /// Deep Freeze reset ("each sample executes for one minute of machine
+  /// time"). EvalRequest::budgetMs and Cluster::runAll default to this.
+  static constexpr std::uint64_t kDefaultBudgetMs = 60'000;
+
   // Resource-category switches (ablation bench A1).
   bool softwareResources = true;  // files, processes, DLLs, windows, registry
   bool hardwareResources = true;  // disk / RAM / cores

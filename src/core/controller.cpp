@@ -87,7 +87,7 @@ std::string Controller::firstTrigger() const {
 }
 
 std::string Controller::telemetryJson() const {
-  return obs::exportJson(telemetrySnapshot());
+  return obs::Exporter(obs::ExportFormat::kJson).render(telemetrySnapshot());
 }
 
 }  // namespace scarecrow::core

@@ -3,7 +3,6 @@
 #include "env/environments.h"
 #include "obs/export.h"
 #include "obs/span.h"
-#include "obs/trace_export.h"
 #include "support/log.h"
 #include "support/strings.h"
 
@@ -12,11 +11,10 @@ namespace scarecrow::core {
 EvaluationHarness::EvaluationHarness(winsys::Machine& machine)
     : machine_(machine), snapshot_(machine.snapshot()) {}
 
-trace::Trace EvaluationHarness::runOnce(
-    const std::string& sampleId, const std::string& imagePath,
-    const winapi::ProgramFactory& factory, bool withScarecrow,
-    const Config& config, std::uint64_t budgetMs, std::string* firstTrigger,
-    std::uint32_t* selfSpawnAlerts, std::uint64_t* firstTriggerCorrelation) {
+RunResult EvaluationHarness::runOnce(const EvalRequest& request,
+                                     bool withScarecrow) {
+  const Config& config = request.config;
+  RunResult result;
   obs::MetricsRegistry& metrics = machine_.metrics();
   obs::FlightRecorder& flight = machine_.flightRecorder();
   if (flight.capacity() != config.flightRecorderCapacity)
@@ -39,18 +37,19 @@ trace::Trace EvaluationHarness::runOnce(
     obs::ScopedSpan span(metrics, machine_.clock(), "eval.restore");
     machine_.restore(snapshot_);
   }
-  machine_.recorder().setSampleId(sampleId);
+  machine_.recorder().setSampleId(request.sampleId);
   machine_.recorder().setScarecrowEnabled(withScarecrow);
 
   // The agent materializes the submitted binary on disk before launching it
   // (payloads like CopySelf/DeleteSelf reference the image file).
-  machine_.vfs().createFile(imagePath, 1 << 20, machine_.clock().nowMs());
+  machine_.vfs().createFile(request.imagePath, 1 << 20,
+                            machine_.clock().nowMs());
 
   winapi::UserSpace userspace;
-  userspace.programFactory = factory;
+  userspace.programFactory = request.factory;
   winapi::Runner runner(machine_, userspace);
   winapi::RunOptions options;
-  options.budgetMs = budgetMs;
+  options.budgetMs = request.budgetMs;
 
   if (withScarecrow) {
     DeceptionEngine engine(config,
@@ -60,7 +59,7 @@ trace::Trace EvaluationHarness::runOnce(
     {
       notePhase("eval.inject");
       obs::ScopedSpan span(metrics, machine_.clock(), "eval.inject");
-      controller.launch(imagePath);
+      controller.launch(request.imagePath);
     }
     {
       notePhase("eval.execute");
@@ -72,47 +71,44 @@ trace::Trace EvaluationHarness::runOnce(
       obs::ScopedSpan span(metrics, machine_.clock(), "eval.ipc_pump");
       controller.pump();
     }
-    if (firstTrigger != nullptr) *firstTrigger = controller.firstTrigger();
-    if (selfSpawnAlerts != nullptr)
-      *selfSpawnAlerts = controller.selfSpawnAlerts();
-    if (firstTriggerCorrelation != nullptr)
-      *firstTriggerCorrelation = controller.firstTriggerCorrelation();
+    result.firstTrigger = controller.firstTrigger();
+    result.selfSpawnAlerts = controller.selfSpawnAlerts();
+    result.firstTriggerCorrelation = controller.firstTriggerCorrelation();
   } else {
     // The cluster's analysis agent launches the sample (Figure 3).
     options.parentPid = env::sandboxAgentPid(machine_);
     notePhase("eval.execute");
     obs::ScopedSpan span(metrics, machine_.clock(), "eval.execute");
-    runner.run(imagePath, options);
+    runner.run(request.imagePath, options);
   }
   notePhase("eval.trace_upload");
   obs::ScopedSpan span(metrics, machine_.clock(), "eval.trace_upload");
-  return machine_.recorder().takeTrace();
+  result.trace = machine_.recorder().takeTrace();
+  return result;
 }
 
-EvalOutcome EvaluationHarness::evaluate(const std::string& sampleId,
-                                        const std::string& imagePath,
-                                        const winapi::ProgramFactory& factory,
-                                        const Config& config,
-                                        std::uint64_t budgetMs) {
-  // Normalize the clock to the snapshot state, then zero the telemetry
-  // ledger and the decision trace: everything recorded from here on is a
-  // pure function of (sample, config), which is what makes the exports
-  // (telemetry JSON, Perfetto trace, attribution chain) reproducible.
+EvalOutcome EvaluationHarness::evaluate(const EvalRequest& request) {
+  // Normalize the clock to the snapshot state, then wipe the telemetry
+  // ledger and the decision trace — identities included, so leftover
+  // zero-valued metrics from earlier samples cannot leak into this
+  // evaluation's exports. Everything recorded from here on is a pure
+  // function of (sample, config), which is what makes the exports
+  // (telemetry JSON, Perfetto trace, attribution chain) reproducible and
+  // lets a BatchEvaluator worker emit the same bytes as a serial sweep.
   machine_.restore(snapshot_);
-  machine_.metrics().reset();
-  machine_.flightRecorder().clear();
+  machine_.resetTelemetry();
 
   EvalOutcome outcome;
-  std::uint64_t triggerCorrelation = 0;
-  outcome.traceWithout =
-      runOnce(sampleId, imagePath, factory, false, config, budgetMs);
-  outcome.traceWith =
-      runOnce(sampleId, imagePath, factory, true, config, budgetMs,
-              &outcome.firstTrigger, &outcome.selfSpawnAlerts,
-              &triggerCorrelation);
+  outcome.traceWithout = runOnce(request, false).trace;
+  RunResult supervised = runOnce(request, true);
+  outcome.traceWith = std::move(supervised.trace);
+  outcome.firstTrigger = std::move(supervised.firstTrigger);
+  outcome.selfSpawnAlerts = supervised.selfSpawnAlerts;
+  const std::uint64_t triggerCorrelation =
+      supervised.firstTriggerCorrelation;
   outcome.verdict = trace::judgeDeactivation(
       outcome.traceWithout, outcome.traceWith,
-      support::baseName(imagePath));
+      support::baseName(request.imagePath));
 
   // Close the causal loop: the verdict joins the first trigger's chain, so
   // attribution can walk recorder → verdict without consulting the traces.
@@ -130,11 +126,14 @@ EvalOutcome EvaluationHarness::evaluate(const std::string& sampleId,
   outcome.droppedDecisions = machine_.flightRecorder().droppedCount();
   outcome.attribution = attributeTrigger(outcome.decisions);
   outcome.telemetry = machine_.metrics().snapshot();
-  outcome.telemetryJson = obs::exportJson(outcome.telemetry);
-  outcome.perfettoJson = obs::exportChromeTrace(
-      outcome.telemetry, outcome.decisions, outcome.droppedDecisions);
+  outcome.telemetryJson =
+      obs::Exporter(obs::ExportFormat::kJson).render(outcome.telemetry);
+  outcome.perfettoJson =
+      obs::Exporter(obs::ExportFormat::kChromeTrace)
+          .withDecisions(outcome.decisions, outcome.droppedDecisions)
+          .render(outcome.telemetry);
   support::logDebug("eval", "telemetry captured",
-                    {{"sample", sampleId},
+                    {{"sample", request.sampleId},
                      {"counters", outcome.telemetry.counters.size()},
                      {"spans", outcome.telemetry.spans.size()},
                      {"decisions", outcome.decisions.size()},

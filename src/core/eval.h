@@ -24,6 +24,36 @@
 
 namespace scarecrow::core {
 
+/// One corpus evaluation, fully described: everything the Figure 3
+/// protocol needs to run a single sample. This is the unit of work for
+/// both the serial EvaluationHarness and the parallel core::BatchEvaluator
+/// — build a vector of these and hand it to either.
+struct EvalRequest {
+  /// Stable identifier the traces and verdicts are keyed by.
+  std::string sampleId;
+  /// Guest path the submitted binary is materialized at before launch.
+  std::string imagePath;
+  /// Resolves image paths to guest programs (the sample itself plus any
+  /// processes it drops).
+  winapi::ProgramFactory factory;
+  Config config{};
+  /// Machine-time budget per run (the paper's one-minute window).
+  std::uint64_t budgetMs = Config::kDefaultBudgetMs;
+};
+
+/// Artifacts of one single-configuration run (EvaluationHarness::runOnce).
+/// The controller-side fields are only populated for with-Scarecrow runs;
+/// reference runs have no controller.
+struct RunResult {
+  trace::Trace trace;
+  /// First fingerprint trigger from the controller's IPC view (matches the
+  /// trace-derived verdict.firstTrigger after a full evaluate()).
+  std::string firstTrigger;
+  std::uint32_t selfSpawnAlerts = 0;
+  /// Causal-chain id of the first trigger (0 when nothing triggered).
+  std::uint64_t firstTriggerCorrelation = 0;
+};
+
 struct EvalOutcome {
   trace::Trace traceWithout;
   trace::Trace traceWith;
@@ -33,11 +63,12 @@ struct EvalOutcome {
   std::string firstTrigger;
   std::uint32_t selfSpawnAlerts = 0;
   /// Telemetry for the full ± pair: hook counters, alert counters, phase
-  /// spans, latency histograms. Captured after a registry reset at the
-  /// start of evaluate(), so two evaluations of the same sample/config
-  /// export byte-identical JSON.
+  /// spans, latency histograms. The registry is wiped (identities
+  /// included) at the start of evaluate(), so any evaluation of the same
+  /// sample/config exports byte-identical JSON — regardless of what ran
+  /// on the machine before.
   obs::MetricsSnapshot telemetry;
-  std::string telemetryJson;  // obs::exportJson(telemetry)
+  std::string telemetryJson;  // Exporter(ExportFormat::kJson) of telemetry
   /// Causal decision trace for the full ± pair: flight-recorder snapshot
   /// in record order (hook dispatches, deceptions, IPC sends/drains,
   /// phase transitions, verdict). Bounded by Config::flightRecorder-
@@ -59,23 +90,10 @@ class EvaluationHarness {
   explicit EvaluationHarness(winsys::Machine& machine);
 
   /// Runs one sample in both configurations and judges it.
-  /// `factory` resolves image paths to guest programs (the sample itself
-  /// plus any processes it drops).
-  EvalOutcome evaluate(const std::string& sampleId,
-                       const std::string& imagePath,
-                       const winapi::ProgramFactory& factory,
-                       const Config& config = {},
-                       std::uint64_t budgetMs = 60'000);
+  EvalOutcome evaluate(const EvalRequest& request);
 
   /// One configuration only (used by benches that sweep configs).
-  trace::Trace runOnce(const std::string& sampleId,
-                       const std::string& imagePath,
-                       const winapi::ProgramFactory& factory,
-                       bool withScarecrow, const Config& config = {},
-                       std::uint64_t budgetMs = 60'000,
-                       std::string* firstTrigger = nullptr,
-                       std::uint32_t* selfSpawnAlerts = nullptr,
-                       std::uint64_t* firstTriggerCorrelation = nullptr);
+  RunResult runOnce(const EvalRequest& request, bool withScarecrow);
 
   winsys::Machine& machine() noexcept { return machine_; }
 

@@ -1,5 +1,6 @@
 #include "obs/export.h"
 
+#include "obs/trace_export.h"
 #include "support/strings.h"
 
 namespace scarecrow::obs {
@@ -40,9 +41,7 @@ std::string promLabel(const std::string& label) {
   return out;
 }
 
-}  // namespace
-
-std::string exportJson(const MetricsSnapshot& snapshot) {
+std::string renderJson(const MetricsSnapshot& snapshot) {
   std::string out = "{\n  \"counters\": [";
   bool first = true;
   for (const CounterSample& c : snapshot.counters) {
@@ -106,7 +105,7 @@ std::string exportJson(const MetricsSnapshot& snapshot) {
   return out;
 }
 
-std::string exportPrometheus(const MetricsSnapshot& snapshot) {
+std::string renderPrometheus(const MetricsSnapshot& snapshot) {
   std::string out;
   std::string lastTyped;
   const auto typeLine = [&](const std::string& name, const char* type) {
@@ -150,6 +149,39 @@ std::string exportPrometheus(const MetricsSnapshot& snapshot) {
   // Spans are not a native Prometheus concept; the per-phase `phase_ms`
   // histograms above carry their aggregate timings.
   return out;
+}
+
+}  // namespace
+
+const char* exportFormatName(ExportFormat format) noexcept {
+  switch (format) {
+    case ExportFormat::kJson: return "json";
+    case ExportFormat::kPrometheus: return "prometheus";
+    case ExportFormat::kChromeTrace: return "chrome-trace";
+  }
+  return "?";
+}
+
+const char* exportFileExtension(ExportFormat format) noexcept {
+  switch (format) {
+    case ExportFormat::kJson: return "json";
+    case ExportFormat::kPrometheus: return "prom";
+    case ExportFormat::kChromeTrace: return "trace.json";
+  }
+  return "dat";
+}
+
+std::string Exporter::render(const MetricsSnapshot& snapshot) const {
+  static const std::vector<DecisionEvent> kNoDecisions;
+  switch (format_) {
+    case ExportFormat::kJson: return renderJson(snapshot);
+    case ExportFormat::kPrometheus: return renderPrometheus(snapshot);
+    case ExportFormat::kChromeTrace:
+      return detail::renderChromeTrace(
+          snapshot, decisions_ != nullptr ? *decisions_ : kNoDecisions,
+          droppedDecisions_);
+  }
+  return {};
 }
 
 }  // namespace scarecrow::obs

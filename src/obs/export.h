@@ -1,23 +1,65 @@
-// Telemetry exporters.
+// Telemetry export: one entry point, three wire formats.
 //
-// Two wire formats for a MetricsSnapshot:
-//   - deterministic JSON: integral values only, metrics ordered by
+// Exporter renders a MetricsSnapshot (plus, for the Chrome trace format,
+// the flight-recorder decision trace) into the format selected by its
+// ExportFormat:
+//   - kJson: deterministic JSON — integral values only, metrics ordered by
 //     (name, label), spans in completion order — byte-identical across
 //     identical runs, so CI can diff telemetry like any other artifact;
-//   - Prometheus text exposition format (counters, gauges, and histograms
-//     with cumulative `le` buckets), for scraping a live deployment.
+//   - kPrometheus: Prometheus text exposition format (counters, gauges,
+//     and histograms with cumulative `le` buckets), for scraping a live
+//     deployment;
+//   - kChromeTrace: Chrome trace-event JSON (loadable in Perfetto /
+//     about://tracing) — phase spans as duration events, decisions as
+//     instants, correlation chains as flow arrows (see trace_export.h).
+//
+// All three renderings honour the same determinism contract: fixed key
+// order, integral values derived from the virtual clock, byte-identical
+// output for identical inputs.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace scarecrow::obs {
 
-std::string exportJson(const MetricsSnapshot& snapshot);
+enum class ExportFormat { kJson, kPrometheus, kChromeTrace };
 
-/// Metric names are prefixed `scarecrow_` and sanitized to the Prometheus
-/// charset; non-empty labels are emitted as {label="..."}.
-std::string exportPrometheus(const MetricsSnapshot& snapshot);
+/// Exhaustive over ExportFormat: "json", "prometheus", "chrome-trace".
+const char* exportFormatName(ExportFormat format) noexcept;
+
+/// Conventional file extension for dump files: "json", "prom",
+/// "trace.json".
+const char* exportFileExtension(ExportFormat format) noexcept;
+
+class Exporter {
+ public:
+  explicit Exporter(ExportFormat format) noexcept : format_(format) {}
+
+  /// Attaches the decision trace consumed by the kChromeTrace format (the
+  /// metric formats ignore it). `decisions` is borrowed, not copied: it
+  /// must outlive the render() call. `dropped` is surfaced in the trace's
+  /// otherData so a viewer knows when the ring buffer overflowed and
+  /// chains may be missing their oldest links.
+  Exporter& withDecisions(const std::vector<DecisionEvent>& decisions,
+                          std::uint64_t dropped = 0) noexcept {
+    decisions_ = &decisions;
+    droppedDecisions_ = dropped;
+    return *this;
+  }
+
+  std::string render(const MetricsSnapshot& snapshot) const;
+
+  ExportFormat format() const noexcept { return format_; }
+
+ private:
+  ExportFormat format_;
+  const std::vector<DecisionEvent>* decisions_ = nullptr;
+  std::uint64_t droppedDecisions_ = 0;
+};
 
 }  // namespace scarecrow::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <tuple>
 
 namespace scarecrow::obs {
 
@@ -51,6 +52,82 @@ void Histogram::reset() noexcept {
   max_ = 0;
 }
 
+namespace {
+
+/// Mirrors Histogram::percentile on a merged HistogramSample: the inclusive
+/// upper bound of the first bucket whose cumulative count reaches
+/// ceil(p% · count); overflow-bucket samples report the observed maximum.
+std::uint64_t samplePercentile(const HistogramSample& h, double p) noexcept {
+  if (h.count == 0) return 0;
+  if (p > 100.0) p = 100.0;
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(h.count)));
+  const std::uint64_t target = rank == 0 ? 1 : rank;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < h.counts.size(); ++i) {
+    cumulative += h.counts[i];
+    if (cumulative >= target) return i < h.bounds.size() ? h.bounds[i] : h.max;
+  }
+  return h.max;
+}
+
+void mergeHistogramSamples(HistogramSample& into, const HistogramSample& from) {
+  if (into.bounds == from.bounds) {
+    for (std::size_t i = 0; i < into.counts.size(); ++i)
+      into.counts[i] += from.counts[i];
+  }
+  // min of 0 means "no samples", not an observed zero.
+  if (into.count == 0)
+    into.min = from.min;
+  else if (from.count != 0)
+    into.min = std::min(into.min, from.min);
+  into.max = std::max(into.max, from.max);
+  into.count += from.count;
+  into.sum += from.sum;
+  into.p50 = samplePercentile(into, 50);
+  into.p95 = samplePercentile(into, 95);
+  into.p99 = samplePercentile(into, 99);
+}
+
+/// Merges two (name, label)-sorted sample vectors; `combine(into, from)`
+/// folds a right-hand sample into an existing left-hand one.
+template <typename Sample, typename Combine>
+void mergeSorted(std::vector<Sample>& into, const std::vector<Sample>& from,
+                 Combine combine) {
+  std::vector<Sample> out;
+  out.reserve(into.size() + from.size());
+  std::size_t i = 0, j = 0;
+  const auto key = [](const Sample& s) { return std::tie(s.name, s.label); };
+  while (i < into.size() && j < from.size()) {
+    if (key(into[i]) < key(from[j])) {
+      out.push_back(std::move(into[i++]));
+    } else if (key(from[j]) < key(into[i])) {
+      out.push_back(from[j++]);
+    } else {
+      out.push_back(std::move(into[i++]));
+      combine(out.back(), from[j++]);
+    }
+  }
+  for (; i < into.size(); ++i) out.push_back(std::move(into[i]));
+  for (; j < from.size(); ++j) out.push_back(from[j]);
+  into = std::move(out);
+}
+
+}  // namespace
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  mergeSorted(counters, other.counters,
+              [](CounterSample& into, const CounterSample& from) {
+                into.value += from.value;
+              });
+  mergeSorted(gauges, other.gauges,
+              [](GaugeSample& into, const GaugeSample& from) {
+                into.value = std::max(into.value, from.value);
+              });
+  mergeSorted(histograms, other.histograms, mergeHistogramSamples);
+  spans.insert(spans.end(), other.spans.begin(), other.spans.end());
+}
+
 std::uint64_t MetricsSnapshot::counterValue(
     std::string_view name, std::string_view label) const noexcept {
   for (const CounterSample& c : counters)
@@ -91,6 +168,14 @@ void MetricsRegistry::reset() {
   for (auto& [key, g] : gauges_) g.reset();
   for (auto& [key, h] : histograms_) h.reset();
   spans_.clear();
+}
+
+void MetricsRegistry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+  spans_.clear();
+  openSpans_ = 0;
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {

@@ -144,6 +144,23 @@ struct MetricsSnapshot {
   /// and reports.
   std::uint64_t counterValue(std::string_view name,
                              std::string_view label = {}) const noexcept;
+
+  /// Folds `other` into this snapshot, preserving the deterministic
+  /// (name, label) ordering. Used by core::BatchEvaluator to combine
+  /// per-sample and per-worker telemetry into one corpus-level dump:
+  ///   - counters: summed per identity (union of identities);
+  ///   - gauges: per-identity maximum (a batch-level gauge is a high-water
+  ///     mark, not a sum of unrelated instants);
+  ///   - histograms: per-bucket counts, count and sum added; min/max
+  ///     combined; p50/p95/p99 recomputed from the merged buckets.
+  ///     Identities must share bucket bounds (they do: bounds are fixed at
+  ///     first registration from the same code path); on a mismatch the
+  ///     left operand's buckets win and only the scalar totals merge;
+  ///   - spans: `other`'s span log is appended after this one's.
+  /// Merging is associative, and commutative for everything except span
+  /// order, so summing per-worker snapshots in worker order is
+  /// deterministic regardless of how requests raced across workers.
+  void merge(const MetricsSnapshot& other);
 };
 
 class MetricsRegistry {
@@ -170,6 +187,14 @@ class MetricsRegistry {
   /// Zeroes every metric and drops recorded spans. Metric identities (and
   /// therefore cached references) survive.
   void reset();
+
+  /// Destroys every metric identity and the span log. Unlike reset(),
+  /// cached metric references are invalidated and must be re-looked-up.
+  /// winsys::Machine::resetTelemetry uses this to make per-evaluation
+  /// telemetry history-independent: a snapshot taken after clear() holds
+  /// only identities the current evaluation touched, so a batch worker's
+  /// Nth sample exports the same bytes as a serial run's.
+  void clear();
 
   MetricsSnapshot snapshot() const;
 

@@ -5,7 +5,7 @@
 
 #include "support/strings.h"
 
-namespace scarecrow::obs {
+namespace scarecrow::obs::detail {
 
 namespace {
 
@@ -37,7 +37,7 @@ std::string eventArgs(const DecisionEvent& e) {
 
 }  // namespace
 
-std::string exportChromeTrace(const MetricsSnapshot& snapshot,
+std::string renderChromeTrace(const MetricsSnapshot& snapshot,
                               const std::vector<DecisionEvent>& decisions,
                               std::uint64_t droppedEvents) {
   std::string out = "{\n  \"displayTimeUnit\": \"ms\",\n";
@@ -104,4 +104,4 @@ std::string exportChromeTrace(const MetricsSnapshot& snapshot,
   return out;
 }
 
-}  // namespace scarecrow::obs
+}  // namespace scarecrow::obs::detail

@@ -1,6 +1,8 @@
-// Chrome trace-event JSON exporter (loadable in Perfetto / about://tracing).
+// Chrome trace-event renderer (loadable in Perfetto / about://tracing).
 //
-// Renders one evaluation's observability artifacts as a single trace:
+// Internal backend of the unified Exporter (export.h) — reach it through
+// `Exporter(ExportFormat::kChromeTrace)`, not directly. Renders one
+// evaluation's observability artifacts as a single trace:
 //   - PR 1's phase spans become duration ("X") events on the pipeline
 //     track (pid 0);
 //   - flight-recorder DecisionEvents become instant ("i") events on one
@@ -9,10 +11,10 @@
 //     (s/t/f), so Perfetto draws the hook → IPC → controller → verdict
 //     arrow across process tracks.
 //
-// The export is deterministic: fixed key order, integral microsecond
+// The render is deterministic: fixed key order, integral microsecond
 // timestamps derived from the virtual clock, events in recorder order —
-// two identical runs export byte-identical JSON (the same contract
-// exportJson honours).
+// two identical runs render byte-identical JSON (the same contract the
+// JSON metric format honours).
 #pragma once
 
 #include <cstdint>
@@ -22,13 +24,13 @@
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
-namespace scarecrow::obs {
+namespace scarecrow::obs::detail {
 
 /// `droppedEvents` is surfaced in the trace's otherData so a viewer knows
 /// when the ring buffer overflowed and chains may be missing their oldest
 /// links.
-std::string exportChromeTrace(const MetricsSnapshot& snapshot,
+std::string renderChromeTrace(const MetricsSnapshot& snapshot,
                               const std::vector<DecisionEvent>& decisions,
-                              std::uint64_t droppedEvents = 0);
+                              std::uint64_t droppedEvents);
 
-}  // namespace scarecrow::obs
+}  // namespace scarecrow::obs::detail

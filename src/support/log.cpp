@@ -1,15 +1,23 @@
 #include "support/log.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <mutex>
 
 #include "support/strings.h"
 
 namespace scarecrow::support {
 namespace {
 
-LogLevel g_level = LogLevel::kWarn;
+// The level is read on every log call, including from BatchEvaluator
+// worker threads; an atomic keeps the common early-return race-free. The
+// sink/format/component tables stay plain — they are configured before
+// parallel work starts — and the output mutex keeps concurrently emitted
+// lines whole.
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_outputMutex;
 
 const char* levelName(LogLevel level) noexcept {
   switch (level) {
@@ -90,8 +98,12 @@ std::string renderJson(LogLevel level, std::string_view component,
 
 }  // namespace
 
-void setLogLevel(LogLevel level) noexcept { g_level = level; }
-LogLevel logLevel() noexcept { return g_level; }
+void setLogLevel(LogLevel level) noexcept {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel logLevel() noexcept {
+  return g_level.load(std::memory_order_relaxed);
+}
 
 void setComponentLogLevel(std::string_view component, LogLevel level) {
   componentLevels()[std::string(component)] = level;
@@ -106,7 +118,7 @@ void setLogSink(LogSink sink) { sinkRef() = std::move(sink); }
 
 void logMessage(LogLevel level, std::string_view component,
                 std::string_view message, const LogFields& fields) {
-  LogLevel minLevel = g_level;
+  LogLevel minLevel = g_level.load(std::memory_order_relaxed);
   const auto& overrides = componentLevels();
   if (!overrides.empty()) {
     const auto it = overrides.find(component);
@@ -118,6 +130,7 @@ void logMessage(LogLevel level, std::string_view component,
       formatRef() == LogFormat::kJson
           ? renderJson(level, component, message, fields)
           : renderText(level, component, message, fields);
+  const std::lock_guard<std::mutex> lock(g_outputMutex);
   LogSink& sink = sinkRef();
   if (sink) {
     sink(line);

@@ -1,0 +1,34 @@
+#include "support/parallel.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace scarecrow::support {
+
+void runOnWorkerPool(
+    std::size_t workerCount, std::size_t jobCount,
+    const std::function<void(std::size_t worker, std::size_t job)>& body) {
+  if (jobCount == 0) return;
+  if (workerCount > jobCount) workerCount = jobCount;
+  if (workerCount <= 1) {
+    for (std::size_t job = 0; job < jobCount; ++job) body(0, job);
+    return;
+  }
+
+  std::atomic<std::size_t> cursor{0};
+  std::vector<std::thread> threads;
+  threads.reserve(workerCount);
+  for (std::size_t worker = 0; worker < workerCount; ++worker) {
+    threads.emplace_back([&, worker] {
+      for (;;) {
+        const std::size_t job = cursor.fetch_add(1);
+        if (job >= jobCount) return;
+        body(worker, job);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+}
+
+}  // namespace scarecrow::support

@@ -1,0 +1,32 @@
+// Fixed worker pool for embarrassingly parallel job lists.
+//
+// The simulator is deterministic and single-threaded per machine; the
+// parallelism we need is *across* machines (core::BatchEvaluator's corpus
+// workers, the Table II/III benches' per-environment sweeps). This is the
+// one threading primitive they share: N worker threads drain a job list
+// through an atomic cursor, so a slow job never blocks the queue behind a
+// barrier, and each job knows which worker ran it (workers own stateful
+// resources like simulated machines).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace scarecrow::support {
+
+/// Runs `body(worker, job)` for every job in [0, jobCount) on a pool of
+/// `workerCount` threads. Jobs are claimed dynamically in index order;
+/// `worker` identifies the claiming thread in [0, workerCount), so the
+/// body may use per-worker state without synchronization. The call returns
+/// after every job completed.
+///
+/// `workerCount` is clamped to [1, jobCount]; with a single worker the
+/// jobs run inline on the calling thread, in order, with no threads
+/// spawned. Jobs must not throw — an escaping exception would terminate
+/// the process (callers wrap fallible work, as BatchEvaluator does with
+/// its retry loop).
+void runOnWorkerPool(
+    std::size_t workerCount, std::size_t jobCount,
+    const std::function<void(std::size_t worker, std::size_t job)>& body);
+
+}  // namespace scarecrow::support

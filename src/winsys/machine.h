@@ -88,6 +88,20 @@ class Machine {
     return flight_;
   }
 
+  /// Wipes both telemetry ledgers: destroys every metric identity
+  /// (MetricsRegistry::clear, not reset — zero-valued leftovers from
+  /// earlier evaluations would otherwise leak into later snapshots) and
+  /// drops the flight-recorder contents, then re-binds the recorder's
+  /// dropped-events counter. After this, a snapshot taken at the end of an
+  /// evaluation is a pure function of that evaluation alone — the property
+  /// that makes a batch worker's per-sample telemetry byte-identical to a
+  /// serial run's. Any other cached metric reference is invalidated.
+  void resetTelemetry() {
+    metrics_.clear();
+    flight_.clear();
+    flight_.setDroppedCounter(&metrics_.counter("obs.decisions_dropped"));
+  }
+
   /// Milliseconds since simulated boot (includes the aging boot offset).
   std::uint64_t tickCount() const noexcept {
     return sysinfo_.bootOffsetMs + clock_.nowMs();

@@ -1,0 +1,218 @@
+// BatchEvaluator tests: parity with the serial harness (verdicts AND
+// per-sample telemetry bytes), snapshot-merge arithmetic, and failure
+// isolation (retry on transient error, timeout without poisoning the
+// worker).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/batch.h"
+#include "env/environments.h"
+#include "malware/joe.h"
+#include "winapi/api.h"
+#include "winapi/guest.h"
+
+namespace {
+
+using namespace scarecrow;
+
+std::vector<core::EvalRequest> tableICorpus(
+    const malware::ProgramRegistry& registry,
+    const std::vector<malware::JoeExpectation>& expected) {
+  std::vector<core::EvalRequest> requests;
+  for (const auto& row : expected)
+    requests.push_back({.sampleId = row.idPrefix,
+                        .imagePath = "C:\\submissions\\" + row.idPrefix +
+                                     ".exe",
+                        .factory = registry.factory()});
+  return requests;
+}
+
+TEST(BatchEvaluator, EightWorkersMatchSerialHarnessByteForByte) {
+  malware::ProgramRegistry registry;
+  const auto expected = malware::registerJoeSamples(registry);
+  const std::vector<core::EvalRequest> requests =
+      tableICorpus(registry, expected);
+
+  auto machine = env::buildBareMetalSandbox();
+  core::EvaluationHarness harness(*machine);
+  std::vector<core::EvalOutcome> serial;
+  for (const core::EvalRequest& request : requests)
+    serial.push_back(harness.evaluate(request));
+
+  core::BatchOptions options;
+  options.workerCount = 8;
+  core::BatchEvaluator batch([] { return env::buildBareMetalSandbox(); },
+                             options);
+  ASSERT_EQ(batch.workerCount(), 8u);
+  const std::vector<core::BatchResult> results = batch.evaluateAll(requests);
+
+  // Deterministic ordering: result i answers request i, whatever worker
+  // ran it and in whatever order the queue drained.
+  ASSERT_EQ(results.size(), requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << requests[i].sampleId << ": "
+                                 << results[i].error;
+    EXPECT_EQ(results[i].attempts, 1u);
+    EXPECT_EQ(results[i].outcome.verdict.deactivated,
+              serial[i].verdict.deactivated)
+        << requests[i].sampleId;
+    EXPECT_EQ(results[i].outcome.verdict.firstTrigger,
+              serial[i].verdict.firstTrigger)
+        << requests[i].sampleId;
+    // The whole point of Machine::resetTelemetry: per-sample telemetry is
+    // history-independent, so worker machines that ran different sample
+    // subsets still dump identical bytes for the same sample.
+    EXPECT_EQ(results[i].outcome.telemetryJson, serial[i].telemetryJson)
+        << requests[i].sampleId;
+    EXPECT_EQ(results[i].outcome.perfettoJson, serial[i].perfettoJson)
+        << requests[i].sampleId;
+  }
+}
+
+TEST(BatchEvaluator, MergedTelemetryIsTheSumOfWorkerSnapshots) {
+  malware::ProgramRegistry registry;
+  const auto expected = malware::registerJoeSamples(registry);
+
+  core::BatchOptions options;
+  options.workerCount = 4;
+  core::BatchEvaluator batch([] { return env::buildBareMetalSandbox(); },
+                             options);
+  batch.evaluateAll(tableICorpus(registry, expected));
+
+  const std::vector<obs::MetricsSnapshot>& workers = batch.workerTelemetry();
+  ASSERT_EQ(workers.size(), 4u);
+  const obs::MetricsSnapshot merged = batch.mergedTelemetry();
+  ASSERT_FALSE(merged.counters.empty());
+  ASSERT_FALSE(merged.histograms.empty());
+
+  // Every merged counter is exactly the sum over the per-worker snapshots.
+  for (const obs::CounterSample& counter : merged.counters) {
+    std::uint64_t sum = 0;
+    for (const obs::MetricsSnapshot& worker : workers)
+      sum += worker.counterValue(counter.name, counter.label);
+    EXPECT_EQ(counter.value, sum) << counter.name << " " << counter.label;
+  }
+  // Histogram totals add up the same way (bucket-wise merge keeps count).
+  for (const obs::HistogramSample& histogram : merged.histograms) {
+    std::uint64_t count = 0, sum = 0;
+    for (const obs::MetricsSnapshot& worker : workers)
+      for (const obs::HistogramSample& h : worker.histograms)
+        if (h.name == histogram.name && h.label == histogram.label) {
+          count += h.count;
+          sum += h.sum;
+        }
+    EXPECT_EQ(histogram.count, count) << histogram.name;
+    EXPECT_EQ(histogram.sum, sum) << histogram.name;
+  }
+  // 13 requests landed somewhere; the accounting counters agree.
+  EXPECT_EQ(merged.counterValue("batch.requests"), 13u);
+  EXPECT_EQ(merged.counterValue("batch.failures"), 0u);
+}
+
+// A guest program that burns real wall-clock time: the only way to trip
+// the batch-level timeout, since everything else in the simulator runs on
+// the virtual clock.
+class SlowProgram : public winapi::GuestProgram {
+ public:
+  void run(winapi::Api& api) override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    api.ExitProcess(0);
+  }
+};
+
+TEST(BatchEvaluator, TimedOutRequestIsRetriedReportedAndIsolated) {
+  malware::ProgramRegistry registry;
+  const auto expected = malware::registerJoeSamples(registry);
+
+  core::BatchOptions options;
+  options.workerCount = 1;  // the slow and the good request share a worker
+  options.requestTimeoutMs = 200;
+  options.maxAttempts = 2;
+  core::BatchEvaluator batch([] { return env::buildBareMetalSandbox(); },
+                             options);
+
+  std::vector<core::EvalRequest> requests;
+  requests.push_back(
+      {.sampleId = "slowpoke",
+       .imagePath = "C:\\submissions\\slowpoke.exe",
+       .factory = [](const std::string&, const std::string&) {
+         return std::make_unique<SlowProgram>();
+       }});
+  requests.push_back({.sampleId = expected[0].idPrefix,
+                      .imagePath = "C:\\submissions\\" +
+                                   expected[0].idPrefix + ".exe",
+                      .factory = registry.factory()});
+
+  const std::vector<core::BatchResult> results = batch.evaluateAll(requests);
+  ASSERT_EQ(results.size(), 2u);
+
+  // The slow request blew its 200 ms wall budget twice and was reported.
+  EXPECT_EQ(results[0].status, core::BatchStatus::kTimedOut);
+  EXPECT_EQ(results[0].attempts, 2u);
+  EXPECT_NE(results[0].error.find("budget"), std::string::npos);
+
+  // The worker is not poisoned: the next request on the same machine
+  // evaluates normally, with the expected verdict.
+  ASSERT_TRUE(results[1].ok()) << results[1].error;
+  EXPECT_EQ(results[1].workerIndex, results[0].workerIndex);
+  EXPECT_EQ(results[1].outcome.verdict.deactivated, expected[0].deactivated);
+
+  const obs::MetricsSnapshot merged = batch.mergedTelemetry();
+  EXPECT_EQ(merged.counterValue("batch.timeouts"), 2u);
+  EXPECT_EQ(merged.counterValue("batch.retries"), 1u);
+  EXPECT_EQ(merged.counterValue("batch.failures"), 1u);
+}
+
+TEST(BatchEvaluator, TransientFailureIsRetriedToSuccess) {
+  malware::ProgramRegistry registry;
+  const auto expected = malware::registerJoeSamples(registry);
+
+  // A factory that throws on its first invocation, then delegates: models
+  // a transient infrastructure fault on one attempt.
+  std::atomic<int> calls{0};
+  winapi::ProgramFactory inner = registry.factory();
+  winapi::ProgramFactory flaky = [&calls, inner](const std::string& image,
+                                                 const std::string& args) {
+    if (calls.fetch_add(1) == 0)
+      throw std::runtime_error("transient: factory not ready");
+    return inner(image, args);
+  };
+
+  core::BatchOptions options;
+  options.workerCount = 1;
+  options.maxAttempts = 2;
+  core::BatchEvaluator batch([] { return env::buildBareMetalSandbox(); },
+                             options);
+
+  std::vector<core::EvalRequest> requests;
+  requests.push_back({.sampleId = expected[0].idPrefix,
+                      .imagePath = "C:\\submissions\\" +
+                                   expected[0].idPrefix + ".exe",
+                      .factory = flaky});
+  const std::vector<core::BatchResult> results = batch.evaluateAll(requests);
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_TRUE(results[0].ok()) << results[0].error;
+  EXPECT_EQ(results[0].attempts, 2u);
+  EXPECT_EQ(results[0].outcome.verdict.deactivated, expected[0].deactivated);
+  const obs::MetricsSnapshot merged = batch.mergedTelemetry();
+  EXPECT_EQ(merged.counterValue("batch.retries"), 1u);
+  EXPECT_EQ(merged.counterValue("batch.failures"), 0u);
+}
+
+TEST(BatchEvaluator, ZeroWorkerOptionClampsToOne) {
+  core::BatchOptions options;
+  options.workerCount = 0;
+  core::BatchEvaluator batch([] { return env::buildBareMetalSandbox(); },
+                             options);
+  EXPECT_EQ(batch.workerCount(), 1u);
+  EXPECT_TRUE(batch.evaluateAll({}).empty());
+}
+
+}  // namespace

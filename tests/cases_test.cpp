@@ -23,8 +23,9 @@ class CasesTest : public ::testing::Test {
   }
 
   core::EvalOutcome evaluate(const char* id, const char* image) {
-    return harness_->evaluate(id, std::string("C:\\dl\\") + image,
-                              registry_.factory());
+    return harness_->evaluate({.sampleId = id,
+                               .imagePath = std::string("C:\\dl\\") + image,
+                               .factory = registry_.factory()});
   }
 
   static std::size_t encryptedCount(const trace::Trace& trace,
@@ -115,9 +116,10 @@ TEST_F(CasesTest, NetworkOnlyConfigSufficesForWannaCry) {
   networkOnly.debuggerDeception = false;
   networkOnly.wearTearExtension = false;
   const core::EvalOutcome outcome = harness_->evaluate(
-      "wannacry-networkonly",
-      std::string("C:\\dl\\") + malware::kWannaCryImage,
-      registry_.factory(), networkOnly);
+      {.sampleId = "wannacry-networkonly",
+       .imagePath = std::string("C:\\dl\\") + malware::kWannaCryImage,
+       .factory = registry_.factory(),
+       .config = networkOnly});
   EXPECT_TRUE(outcome.verdict.deactivated);
   EXPECT_EQ(encryptedCount(outcome.traceWith, ".WCRY"), 0u);
 }

@@ -118,8 +118,13 @@ TEST(PackedSamples, UnpackStubRunsBeforeEvasion) {
 
   auto machine = env::buildBareMetalSandbox();
   core::EvaluationHarness harness(*machine);
-  const trace::Trace trace = harness.runOnce(
-      "stuborder", "C:\\s\\stuborder.exe", registry.factory(), false);
+  const trace::Trace trace =
+      harness
+          .runOnce({.sampleId = "stuborder",
+                    .imagePath = "C:\\s\\stuborder.exe",
+                    .factory = registry.factory()},
+                   /*withScarecrow=*/false)
+          .trace;
   // The stub's self-mapping FileRead appears in the kernel trace before
   // the process exits.
   bool selfRead = false;

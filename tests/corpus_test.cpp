@@ -130,7 +130,9 @@ TEST(CorpusEndToEnd, HeadlineNumbers) {
   std::size_t deactivated = 0, selfSpawners = 0, idp = 0, indeterminate = 0;
   for (const auto* spec : specs) {
     const core::EvalOutcome outcome = harness.evaluate(
-        spec->id, "C:\\submissions\\" + spec->imageName, registry.factory());
+        {.sampleId = spec->id,
+         .imagePath = "C:\\submissions\\" + spec->imageName,
+         .factory = registry.factory()});
     if (outcome.verdict.deactivated) ++deactivated;
     if (outcome.verdict.reason == trace::DeactivationReason::kSelfSpawnLoop) {
       ++selfSpawners;

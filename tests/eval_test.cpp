@@ -31,6 +31,12 @@ class EvalTest : public ::testing::Test {
     harness_ = std::make_unique<core::EvaluationHarness>(*machine_);
   }
 
+  core::EvalRequest request() {
+    return {.sampleId = "evaltest",
+            .imagePath = "C:\\s\\evaltest.exe",
+            .factory = registry_.factory()};
+  }
+
   std::unique_ptr<winsys::Machine> machine_;
   malware::ProgramRegistry registry_;
   std::unique_ptr<core::EvaluationHarness> harness_;
@@ -38,18 +44,14 @@ class EvalTest : public ::testing::Test {
 
 TEST_F(EvalTest, MachineRestoredBetweenConfigurations) {
   const std::size_t vfsBefore = machine_->vfs().nodeCount();
-  harness_->evaluate("evaltest", "C:\\s\\evaltest.exe", registry_.factory());
+  harness_->evaluate(request());
   // After evaluate, the machine carries only the with-Scarecrow residue of
   // the final run — but a restore brings it back exactly.
   machine_->restore(machine_->snapshot());
-  harness_->evaluate("evaltest", "C:\\s\\evaltest.exe", registry_.factory());
+  harness_->evaluate(request());
   // Verdicts must be identical across repeated evaluations (Deep Freeze).
-  const auto a =
-      harness_->evaluate("evaltest", "C:\\s\\evaltest.exe",
-                         registry_.factory());
-  const auto b =
-      harness_->evaluate("evaltest", "C:\\s\\evaltest.exe",
-                         registry_.factory());
+  const auto a = harness_->evaluate(request());
+  const auto b = harness_->evaluate(request());
   EXPECT_EQ(a.verdict.deactivated, b.verdict.deactivated);
   EXPECT_EQ(a.traceWithout.events.size(), b.traceWithout.events.size());
   EXPECT_EQ(a.traceWith.events.size(), b.traceWith.events.size());
@@ -57,8 +59,7 @@ TEST_F(EvalTest, MachineRestoredBetweenConfigurations) {
 }
 
 TEST_F(EvalTest, SampleFileMaterializedForBothRuns) {
-  const auto outcome = harness_->evaluate(
-      "evaltest", "C:\\s\\evaltest.exe", registry_.factory());
+  const auto outcome = harness_->evaluate(request());
   EXPECT_TRUE(outcome.verdict.deactivated);
   // The without-run payload shows the drop; the agent placed the binary.
   bool dropped = false;
@@ -69,16 +70,14 @@ TEST_F(EvalTest, SampleFileMaterializedForBothRuns) {
 }
 
 TEST_F(EvalTest, TraceLabelsFollowConfiguration) {
-  const auto outcome = harness_->evaluate(
-      "evaltest", "C:\\s\\evaltest.exe", registry_.factory());
+  const auto outcome = harness_->evaluate(request());
   EXPECT_EQ(outcome.traceWithout.sampleId, "evaltest");
   EXPECT_FALSE(outcome.traceWithout.scarecrowEnabled);
   EXPECT_TRUE(outcome.traceWith.scarecrowEnabled);
 }
 
 TEST_F(EvalTest, WithoutRunLaunchedByAgentWithRunByController) {
-  const auto outcome = harness_->evaluate(
-      "evaltest", "C:\\s\\evaltest.exe", registry_.factory());
+  const auto outcome = harness_->evaluate(request());
   auto rootCreator = [](const trace::Trace& t) -> std::string {
     for (const auto& e : t.events)
       if (e.kind == trace::EventKind::kProcessCreate &&
@@ -93,8 +92,9 @@ TEST_F(EvalTest, WithoutRunLaunchedByAgentWithRunByController) {
 TEST_F(EvalTest, ConfigReachesTheEngine) {
   core::Config disabled;
   disabled.debuggerDeception = false;
-  const auto outcome = harness_->evaluate(
-      "evaltest", "C:\\s\\evaltest.exe", registry_.factory(), disabled);
+  core::EvalRequest req = request();
+  req.config = disabled;
+  const auto outcome = harness_->evaluate(req);
   // Without debugger deception the sample never detects anything and its
   // payload leaks through in both runs.
   EXPECT_FALSE(outcome.verdict.deactivated);
@@ -109,14 +109,16 @@ TEST_F(EvalTest, BudgetParameterBoundsMachineTime) {
   sleeper.reaction = Reaction::kSleepLoop;
   registry_.addSample(std::move(sleeper));
   const std::uint64_t clockBefore = machine_->clock().nowMs();
-  harness_->runOnce("sleeper", "C:\\s\\sleeper.exe", registry_.factory(),
-                    true, {}, 5'000);
+  harness_->runOnce({.sampleId = "sleeper",
+                     .imagePath = "C:\\s\\sleeper.exe",
+                     .factory = registry_.factory(),
+                     .budgetMs = 5'000},
+                    /*withScarecrow=*/true);
   EXPECT_LE(machine_->clock().nowMs() - clockBefore, 20'000u);
 }
 
 TEST_F(EvalTest, FirstTriggerConsistentBetweenIpcAndTrace) {
-  const auto outcome = harness_->evaluate(
-      "evaltest", "C:\\s\\evaltest.exe", registry_.factory());
+  const auto outcome = harness_->evaluate(request());
   EXPECT_EQ(outcome.firstTrigger, outcome.verdict.firstTrigger);
   EXPECT_EQ(outcome.firstTrigger, "IsDebuggerPresent()");
 }

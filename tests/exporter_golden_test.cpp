@@ -1,16 +1,16 @@
 // Golden-file tests for the obs exporters: full expected outputs embedded
-// as raw literals, so any formatting drift in exportJson, exportPrometheus,
-// or exportChromeTrace shows up as a readable diff. The fixtures exercise
+// as raw literals, so any formatting drift in any obs::Exporter format
+// shows up as a readable diff. The fixtures exercise
 // the hairy corners on purpose: label escaping (backslash, quote, newline),
 // the +Inf/overflow histogram bucket, and per-pid trace tracks.
 #include <gtest/gtest.h>
 
 #include <string>
+#include <vector>
 
 #include "obs/export.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
-#include "obs/trace_export.h"
 
 namespace {
 
@@ -51,7 +51,8 @@ TEST(ExporterGolden, Json) {
   ]
 }
 )json";
-  EXPECT_EQ(obs::exportJson(buildFixtureSnapshot()), expected);
+  EXPECT_EQ(obs::Exporter(obs::ExportFormat::kJson).render(buildFixtureSnapshot()),
+            expected);
 }
 
 TEST(ExporterGolden, Prometheus) {
@@ -85,7 +86,9 @@ scarecrow_phase_ms_bucket{label="eval.run",le="+Inf"} 1
 scarecrow_phase_ms_sum{label="eval.run"} 7
 scarecrow_phase_ms_count{label="eval.run"} 1
 )prom";
-  EXPECT_EQ(obs::exportPrometheus(buildFixtureSnapshot()), expected);
+  EXPECT_EQ(obs::Exporter(obs::ExportFormat::kPrometheus)
+                .render(buildFixtureSnapshot()),
+            expected);
 }
 
 TEST(ExporterGolden, ChromeTrace) {
@@ -113,7 +116,11 @@ TEST(ExporterGolden, ChromeTrace) {
   ]
 }
 )json";
-  EXPECT_EQ(obs::exportChromeTrace(snapshot, {e}, 1), expected);
+  const std::vector<obs::DecisionEvent> decisions = {e};
+  EXPECT_EQ(obs::Exporter(obs::ExportFormat::kChromeTrace)
+                .withDecisions(decisions, 1)
+                .render(snapshot),
+            expected);
 }
 
 }  // namespace

@@ -1,13 +1,13 @@
 // Unit tests for the decision-trace flight recorder (obs/flight_recorder)
-// and the Chrome trace-event exporter (obs/trace_export).
+// and the Chrome trace rendering reached through obs::Exporter.
 #include <gtest/gtest.h>
 
 #include <string>
 #include <vector>
 
+#include "obs/export.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
-#include "obs/trace_export.h"
 
 namespace {
 
@@ -85,8 +85,9 @@ TEST(FlightRecorder, OverflowDropsOldestAndCounts) {
     EXPECT_EQ(events[i].api, std::to_string(6 + i));
   }
   // The exporter still produces well-formed output from a truncated ring.
-  expectBalancedJson(obs::exportChromeTrace({}, events,
-                                            recorder.droppedCount()));
+  expectBalancedJson(obs::Exporter(obs::ExportFormat::kChromeTrace)
+                         .withDecisions(events, recorder.droppedCount())
+                         .render({}));
 }
 
 TEST(FlightRecorder, ZeroCapacityDropsEverything) {
@@ -141,7 +142,8 @@ TEST(FlightRecorder, DigestIsDeterministicForLongArguments) {
 }
 
 TEST(TraceExport, EmptyInputsExportValidTrace) {
-  const std::string json = obs::exportChromeTrace({}, {}, 0);
+  const std::string json =
+      obs::Exporter(obs::ExportFormat::kChromeTrace).render({});
   expectBalancedJson(json);
   EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
   EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
@@ -159,7 +161,9 @@ TEST(TraceExport, DecisionsBecomeInstantsWithFlows) {
   b.pid = 42;
   b.matched = "Wine";
   decisions = {a, b};
-  const std::string json = obs::exportChromeTrace({}, decisions, 5);
+  const std::string json = obs::Exporter(obs::ExportFormat::kChromeTrace)
+                               .withDecisions(decisions, 5)
+                               .render({});
   expectBalancedJson(json);
   // ts is microseconds (ms * 1000).
   EXPECT_NE(json.find("\"ts\":3000"), std::string::npos);
@@ -180,8 +184,9 @@ TEST(TraceExport, DeterministicAcrossCalls) {
     recorder.record(
         event(DecisionKind::kHookDispatch, "api", recorder.newCorrelation()));
   const std::vector<DecisionEvent> events = recorder.snapshot();
-  EXPECT_EQ(obs::exportChromeTrace({}, events, 0),
-            obs::exportChromeTrace({}, events, 0));
+  const obs::Exporter exporter =
+      obs::Exporter(obs::ExportFormat::kChromeTrace).withDecisions(events);
+  EXPECT_EQ(exporter.render({}), exporter.render({}));
 }
 
 }  // namespace

@@ -26,8 +26,9 @@ class IntegrationEval : public ::testing::Test {
 TEST_F(IntegrationEval, FakeAvSampleIsDeactivatedByMemoryDeception) {
   core::EvaluationHarness harness(*machine_);
   const core::EvalOutcome outcome =
-      harness.evaluate("9fac72a", "C:\\samples\\9fac72a.exe",
-                       registry_.factory());
+      harness.evaluate({.sampleId = "9fac72a",
+                        .imagePath = "C:\\samples\\9fac72a.exe",
+                        .factory = registry_.factory()});
 
   // Without Scarecrow the fake AV lands on disk and runs.
   const auto without = trace::significantActivities(outcome.traceWithout,
@@ -49,8 +50,10 @@ TEST_F(IntegrationEval, FakeAvSampleIsDeactivatedByMemoryDeception) {
 
 TEST_F(IntegrationEval, SelfSpawnerLoopsUnderScarecrow) {
   core::EvaluationHarness harness(*machine_);
-  const core::EvalOutcome outcome = harness.evaluate(
-      "3616a11", "C:\\samples\\3616a11.exe", registry_.factory());
+  const core::EvalOutcome outcome =
+      harness.evaluate({.sampleId = "3616a11",
+                        .imagePath = "C:\\samples\\3616a11.exe",
+                        .factory = registry_.factory()});
   EXPECT_TRUE(outcome.verdict.deactivated);
   EXPECT_EQ(outcome.verdict.reason,
             trace::DeactivationReason::kSelfSpawnLoop);
@@ -60,8 +63,10 @@ TEST_F(IntegrationEval, SelfSpawnerLoopsUnderScarecrow) {
 
 TEST_F(IntegrationEval, PebReaderDefeatsScarecrow) {
   core::EvaluationHarness harness(*machine_);
-  const core::EvalOutcome outcome = harness.evaluate(
-      "cbdda64", "C:\\samples\\cbdda64.exe", registry_.factory());
+  const core::EvalOutcome outcome =
+      harness.evaluate({.sampleId = "cbdda64",
+                        .imagePath = "C:\\samples\\cbdda64.exe",
+                        .factory = registry_.factory()});
   EXPECT_FALSE(outcome.verdict.deactivated);
   EXPECT_TRUE(outcome.firstTrigger.empty());
   EXPECT_FALSE(outcome.verdict.leakedActivities.empty());

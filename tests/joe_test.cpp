@@ -35,8 +35,9 @@ TEST_P(JoeSample, MatchesTableI) {
   const malware::JoeExpectation& row =
       state.expected[static_cast<std::size_t>(GetParam())];
   const core::EvalOutcome outcome = state.harness->evaluate(
-      row.idPrefix, "C:\\submissions\\" + row.idPrefix + ".exe",
-      state.registry.factory());
+      {.sampleId = row.idPrefix,
+       .imagePath = "C:\\submissions\\" + row.idPrefix + ".exe",
+       .factory = state.registry.factory()});
 
   EXPECT_EQ(outcome.verdict.deactivated, row.deactivated) << row.idPrefix;
   const std::string trigger = outcome.verdict.firstTrigger.empty()
@@ -72,7 +73,9 @@ TEST(JoeSet, ThirteenSamplesTwelveDeactivated) {
 TEST(JoeSet, BenignFacadeSampleOpensWinform) {
   JoeFixtureState& state = sharedState();
   const core::EvalOutcome outcome = state.harness->evaluate(
-      "f504ef6", "C:\\submissions\\f504ef6.exe", state.registry.factory());
+      {.sampleId = "f504ef6",
+       .imagePath = "C:\\submissions\\f504ef6.exe",
+       .factory = state.registry.factory()});
   EXPECT_TRUE(outcome.verdict.deactivated);
   // The with-Scarecrow run must not create the daemon processes.
   for (const auto& activity :
@@ -83,7 +86,9 @@ TEST(JoeSet, BenignFacadeSampleOpensWinform) {
 TEST(JoeSet, RansomwareSampleEncryptsOnlyWithoutScarecrow) {
   JoeFixtureState& state = sharedState();
   const core::EvalOutcome outcome = state.harness->evaluate(
-      "61f847b", "C:\\submissions\\61f847b.exe", state.registry.factory());
+      {.sampleId = "61f847b",
+       .imagePath = "C:\\submissions\\61f847b.exe",
+       .factory = state.registry.factory()});
   bool encryptedWithout = false, encryptedWith = false;
   for (const auto& e : outcome.traceWithout.events)
     if (e.kind == trace::EventKind::kFileWrite &&

@@ -112,13 +112,17 @@ TEST(KernelExtEndToEnd, Cbdda64FlipsToDeactivated) {
   malware::registerJoeSamples(registry);
   core::EvaluationHarness harness(*machine);
 
-  const core::EvalOutcome vanilla = harness.evaluate(
-      "cbdda64", "C:\\submissions\\cbdda64.exe", registry.factory());
+  const core::EvalOutcome vanilla =
+      harness.evaluate({.sampleId = "cbdda64",
+                        .imagePath = "C:\\submissions\\cbdda64.exe",
+                        .factory = registry.factory()});
   EXPECT_FALSE(vanilla.verdict.deactivated);
 
   const core::EvalOutcome extended =
-      harness.evaluate("cbdda64-kernel", "C:\\submissions\\cbdda64.exe",
-                       registry.factory(), kernelConfig());
+      harness.evaluate({.sampleId = "cbdda64-kernel",
+                        .imagePath = "C:\\submissions\\cbdda64.exe",
+                        .factory = registry.factory(),
+                        .config = kernelConfig()});
   EXPECT_TRUE(extended.verdict.deactivated);
   EXPECT_EQ(extended.verdict.reason,
             trace::DeactivationReason::kSuppressedActivities);
@@ -132,8 +136,10 @@ TEST(KernelExtEndToEnd, AllThirteenJoeSamplesDeactivated) {
   std::size_t deactivated = 0;
   for (const auto& row : expected) {
     const core::EvalOutcome outcome = harness.evaluate(
-        row.idPrefix, "C:\\submissions\\" + row.idPrefix + ".exe",
-        registry.factory(), kernelConfig());
+        {.sampleId = row.idPrefix,
+         .imagePath = "C:\\submissions\\" + row.idPrefix + ".exe",
+         .factory = registry.factory(),
+         .config = kernelConfig()});
     if (outcome.verdict.deactivated) ++deactivated;
   }
   EXPECT_EQ(deactivated, 13u);  // 12/13 without the extension

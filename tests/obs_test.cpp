@@ -203,8 +203,8 @@ TEST(ExportTest, JsonExportIsDeterministicAndWellFormed) {
   registry.histogram("lat", "", {10, 20}).observe(15);
   registry.recordSpan("phase", 5, 7, 1);
 
-  const std::string a = obs::exportJson(registry.snapshot());
-  const std::string b = obs::exportJson(registry.snapshot());
+  const std::string a = obs::Exporter(obs::ExportFormat::kJson).render(registry.snapshot());
+  const std::string b = obs::Exporter(obs::ExportFormat::kJson).render(registry.snapshot());
   EXPECT_EQ(a, b);
   EXPECT_NE(a.find("\"name\":\"engine.alerts\",\"value\":3"),
             std::string::npos);
@@ -219,7 +219,7 @@ TEST(ExportTest, JsonExportIsDeterministicAndWellFormed) {
 TEST(ExportTest, JsonEscapesMetricNames) {
   obs::MetricsRegistry registry;
   registry.counter("weird\"name", "a\\b").inc();
-  const std::string json = obs::exportJson(registry.snapshot());
+  const std::string json = obs::Exporter(obs::ExportFormat::kJson).render(registry.snapshot());
   EXPECT_NE(json.find("weird\\\"name"), std::string::npos);
   EXPECT_NE(json.find("a\\\\b"), std::string::npos);
 }
@@ -247,14 +247,14 @@ TEST(ExportTest, PrometheusGolden) {
       "scarecrow_dispatch_ms_bucket{le=\"+Inf\"} 3\n"
       "scarecrow_dispatch_ms_sum 903\n"
       "scarecrow_dispatch_ms_count 3\n";
-  EXPECT_EQ(obs::exportPrometheus(registry.snapshot()), expected);
+  EXPECT_EQ(obs::Exporter(obs::ExportFormat::kPrometheus).render(registry.snapshot()), expected);
 }
 
 TEST(ExportTest, PrometheusEmitsOneTypeLinePerFamily) {
   obs::MetricsRegistry registry;
   registry.counter("hook", "a").inc();
   registry.counter("hook", "b").inc();
-  const std::string text = obs::exportPrometheus(registry.snapshot());
+  const std::string text = obs::Exporter(obs::ExportFormat::kPrometheus).render(registry.snapshot());
   std::size_t typeLines = 0, pos = 0;
   while ((pos = text.find("# TYPE", pos)) != std::string::npos) {
     ++typeLines;
@@ -288,18 +288,24 @@ class ObsEvalTest : public ::testing::Test {
 
 TEST_F(ObsEvalTest, RepeatedEvaluationsExportByteIdenticalTelemetry) {
   const auto a =
-      harness_->evaluate("obstest", "C:\\s\\obstest.exe", registry_.factory());
+      harness_->evaluate({.sampleId = "obstest",
+                          .imagePath = "C:\\s\\obstest.exe",
+                          .factory = registry_.factory()});
   const auto b =
-      harness_->evaluate("obstest", "C:\\s\\obstest.exe", registry_.factory());
+      harness_->evaluate({.sampleId = "obstest",
+                          .imagePath = "C:\\s\\obstest.exe",
+                          .factory = registry_.factory()});
   ASSERT_FALSE(a.telemetryJson.empty());
   EXPECT_EQ(a.telemetryJson, b.telemetryJson);
-  EXPECT_EQ(obs::exportPrometheus(a.telemetry),
-            obs::exportPrometheus(b.telemetry));
+  const obs::Exporter prometheus(obs::ExportFormat::kPrometheus);
+  EXPECT_EQ(prometheus.render(a.telemetry), prometheus.render(b.telemetry));
 }
 
 TEST_F(ObsEvalTest, TelemetryCapturesHooksAlertsAndPhases) {
   const auto outcome =
-      harness_->evaluate("obstest", "C:\\s\\obstest.exe", registry_.factory());
+      harness_->evaluate({.sampleId = "obstest",
+                          .imagePath = "C:\\s\\obstest.exe",
+                          .factory = registry_.factory()});
   const obs::MetricsSnapshot& t = outcome.telemetry;
   // The sample probes IsDebuggerPresent; the hook counter and the alert
   // counter must both have fired during the supervised run.
@@ -325,7 +331,9 @@ TEST_F(ObsEvalTest, TelemetryCapturesHooksAlertsAndPhases) {
 
 TEST_F(ObsEvalTest, HookDispatchLatencyHistogramPopulated) {
   const auto outcome =
-      harness_->evaluate("obstest", "C:\\s\\obstest.exe", registry_.factory());
+      harness_->evaluate({.sampleId = "obstest",
+                          .imagePath = "C:\\s\\obstest.exe",
+                          .factory = registry_.factory()});
   bool found = false;
   for (const obs::HistogramSample& h : outcome.telemetry.histograms) {
     if (h.name != "engine.hook_dispatch_ms") continue;

@@ -27,7 +27,9 @@ class ReportTest : public ::testing::Test {
 
 TEST_F(ReportTest, DeactivatedSampleReport) {
   const core::EvalOutcome outcome = harness_->evaluate(
-      "9fac72a", "C:\\s\\9fac72a.exe", registry_.factory());
+      {.sampleId = "9fac72a",
+       .imagePath = "C:\\s\\9fac72a.exe",
+       .factory = registry_.factory()});
   const std::string report =
       core::renderIncidentReport("9fac72a", outcome);
   EXPECT_NE(report.find("DEACTIVATED"), std::string::npos);
@@ -39,7 +41,9 @@ TEST_F(ReportTest, DeactivatedSampleReport) {
 
 TEST_F(ReportTest, FailedSampleReportShowsLeaks) {
   const core::EvalOutcome outcome = harness_->evaluate(
-      "cbdda64", "C:\\s\\cbdda64.exe", registry_.factory());
+      {.sampleId = "cbdda64",
+       .imagePath = "C:\\s\\cbdda64.exe",
+       .factory = registry_.factory()});
   const std::string report =
       core::renderIncidentReport("cbdda64", outcome);
   EXPECT_NE(report.find("NOT deactivated"), std::string::npos);
@@ -48,7 +52,9 @@ TEST_F(ReportTest, FailedSampleReportShowsLeaks) {
 
 TEST_F(ReportTest, SelfSpawnerReportMentionsLoop) {
   const core::EvalOutcome outcome = harness_->evaluate(
-      "3616a11", "C:\\s\\3616a11.exe", registry_.factory());
+      {.sampleId = "3616a11",
+       .imagePath = "C:\\s\\3616a11.exe",
+       .factory = registry_.factory()});
   const std::string report =
       core::renderIncidentReport("3616a11", outcome);
   EXPECT_NE(report.find("Self-spawn loop"), std::string::npos);
@@ -57,7 +63,9 @@ TEST_F(ReportTest, SelfSpawnerReportMentionsLoop) {
 
 TEST_F(ReportTest, TimelineTruncationRespected) {
   const core::EvalOutcome outcome = harness_->evaluate(
-      "61f847b", "C:\\s\\61f847b.exe", registry_.factory());
+      {.sampleId = "61f847b",
+       .imagePath = "C:\\s\\61f847b.exe",
+       .factory = registry_.factory()});
   core::ReportOptions options;
   options.maxTimelineEvents = 2;
   const std::string report =
@@ -91,7 +99,9 @@ TEST_F(ReportTest, QuietTargetReport) {
 
 TEST_F(ReportTest, IncidentReportIncludesTelemetrySection) {
   const core::EvalOutcome outcome = harness_->evaluate(
-      "9fac72a", "C:\\s\\9fac72a.exe", registry_.factory());
+      {.sampleId = "9fac72a",
+       .imagePath = "C:\\s\\9fac72a.exe",
+       .factory = registry_.factory()});
   const std::string report =
       core::renderIncidentReport("9fac72a", outcome);
   EXPECT_NE(report.find("## Telemetry"), std::string::npos);
@@ -103,7 +113,9 @@ TEST_F(ReportTest, IncidentReportIncludesTelemetrySection) {
 
 TEST_F(ReportTest, TelemetrySectionCapsHottestHooks) {
   const core::EvalOutcome outcome = harness_->evaluate(
-      "9fac72a", "C:\\s\\9fac72a.exe", registry_.factory());
+      {.sampleId = "9fac72a",
+       .imagePath = "C:\\s\\9fac72a.exe",
+       .factory = registry_.factory()});
   core::ReportOptions options;
   options.maxHotHooks = 1;
   const std::string report =
@@ -113,7 +125,9 @@ TEST_F(ReportTest, TelemetrySectionCapsHottestHooks) {
 
 TEST_F(ReportTest, TelemetrySectionCanBeDisabled) {
   const core::EvalOutcome outcome = harness_->evaluate(
-      "9fac72a", "C:\\s\\9fac72a.exe", registry_.factory());
+      {.sampleId = "9fac72a",
+       .imagePath = "C:\\s\\9fac72a.exe",
+       .factory = registry_.factory()});
   core::ReportOptions options;
   options.includeTelemetry = false;
   const std::string report =

@@ -34,11 +34,14 @@ TracingFixtureState& sharedState() {
   return *state;
 }
 
+core::EvalRequest requestFor(const malware::JoeExpectation& row) {
+  return {.sampleId = row.idPrefix,
+          .imagePath = "C:\\submissions\\" + row.idPrefix + ".exe",
+          .factory = sharedState().registry.factory()};
+}
+
 core::EvalOutcome evaluateSample(const malware::JoeExpectation& row) {
-  TracingFixtureState& state = sharedState();
-  return state.harness->evaluate(row.idPrefix,
-                                 "C:\\submissions\\" + row.idPrefix + ".exe",
-                                 state.registry.factory());
+  return sharedState().harness->evaluate(requestFor(row));
 }
 
 TEST(TracingEval, IdenticalRunsExportByteIdenticalPerfettoJson) {
@@ -69,9 +72,9 @@ TEST(TracingEval, AttributionAgreesWithVerdictAcrossTableI) {
   core::Config config;
   config.flightRecorderCapacity = 1 << 18;
   for (const malware::JoeExpectation& row : state.expected) {
-    const core::EvalOutcome outcome = state.harness->evaluate(
-        row.idPrefix, "C:\\submissions\\" + row.idPrefix + ".exe",
-        state.registry.factory(), config);
+    core::EvalRequest request = requestFor(row);
+    request.config = config;
+    const core::EvalOutcome outcome = state.harness->evaluate(request);
     EXPECT_EQ(outcome.droppedDecisions, 0u) << row.idPrefix;
     if (outcome.verdict.firstTrigger.empty()) {
       EXPECT_FALSE(outcome.attribution.resolved) << row.idPrefix;
@@ -119,9 +122,9 @@ TEST(TracingEval, RecorderOverflowDropsOldestAndStaysExportable) {
   const malware::JoeExpectation& row = state.expected[0];
   core::Config config;
   config.flightRecorderCapacity = 8;
-  const core::EvalOutcome outcome = state.harness->evaluate(
-      row.idPrefix, "C:\\submissions\\" + row.idPrefix + ".exe",
-      state.registry.factory(), config);
+  core::EvalRequest request = requestFor(row);
+  request.config = config;
+  const core::EvalOutcome outcome = state.harness->evaluate(request);
   EXPECT_EQ(outcome.decisions.size(), 8u);
   EXPECT_GT(outcome.droppedDecisions, 0u);
   // The drop counter is mirrored into the telemetry snapshot.

@@ -148,13 +148,16 @@ TEST(ChenImitator, MissesIdentityAndHardwareEvasion) {
   chenConfig.networkResources = false;
   chenConfig.wearTearExtension = false;
   harness.setResourceDbFactory([] { return core::buildChenImitatorDb(); });
-  const auto chen = harness.evaluate("hwcheck", "C:\\s\\hwcheck.exe",
-                                     registry.factory(), chenConfig);
+  const auto chen = harness.evaluate({.sampleId = "hwcheck",
+                                      .imagePath = "C:\\s\\hwcheck.exe",
+                                      .factory = registry.factory(),
+                                      .config = chenConfig});
   EXPECT_FALSE(chen.verdict.deactivated);
 
   harness.setResourceDbFactory({});
-  const auto scarecrow =
-      harness.evaluate("hwcheck", "C:\\s\\hwcheck.exe", registry.factory());
+  const auto scarecrow = harness.evaluate({.sampleId = "hwcheck",
+                                           .imagePath = "C:\\s\\hwcheck.exe",
+                                           .factory = registry.factory()});
   EXPECT_TRUE(scarecrow.verdict.deactivated);
 }
 

@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "analysis/coverage.h"
 #include "core/collector.h"
 #include "core/controller.h"
 #include "core/engine.h"
@@ -179,6 +180,19 @@ void BM_MetricsHistogramObserve(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MetricsHistogramObserve);
+
+void BM_StaticCoverage(benchmark::State& state) {
+  // The static analyzer's pitch is "prove the deployment in microseconds,
+  // not a one-minute supervised run" — this measures the full fold of all
+  // technique footprints over the default database, including deriving the
+  // hooked-API set from a throwaway engine.
+  const core::ResourceDb db = core::buildDefaultResourceDb();
+  for (auto _ : state) {
+    analysis::CoverageReport report = analysis::analyzeCoverage(db);
+    benchmark::DoNotOptimize(report.firesCount);
+  }
+}
+BENCHMARK(BM_StaticCoverage)->Unit(benchmark::kMicrosecond);
 
 void BM_SupervisedSampleExecution(benchmark::State& state) {
   // Full pipeline: Deep Freeze reset + controller launch + injection +

@@ -2,11 +2,14 @@
 // BatchEvaluator with four private machines drains the Joe Security sample
 // set through a shared request queue, the analyst gets per-sample verdicts
 // in submission order, one merged telemetry dump for the whole batch, and a
-// Markdown incident report for one sample.
+// Markdown incident report for one sample. Before any sample runs, the
+// static coverage analyzer proves what the deployment can deceive.
 //
 // Build & run:  cmake --build build && ./build/examples/analysis_cluster
 #include <cstdio>
 
+#include "analysis/coverage.h"
+#include "analysis/lint.h"
 #include "core/batch.h"
 #include "core/report.h"
 #include "obs/export.h"
@@ -18,6 +21,15 @@ using namespace scarecrow;
 int main() {
   malware::ProgramRegistry registry;
   const auto expected = malware::registerJoeSamples(registry);
+
+  // Static pre-flight: prove the deployed database's coverage without
+  // running a single sample, and lint it for dead or contradictory rules.
+  const core::ResourceDb db = core::buildDefaultResourceDb();
+  const analysis::CoverageReport coverage = analysis::analyzeCoverage(db);
+  const analysis::LintReport lint = analysis::lintResourceDb(db);
+  std::printf("static coverage: %s (lint: %zu findings over %zu entries)\n\n",
+              coverage.summary().c_str(), lint.findings.size(),
+              lint.entriesChecked);
 
   std::vector<core::EvalRequest> requests;
   for (const auto& row : expected)
@@ -64,10 +76,15 @@ int main() {
 
   // A full incident report for the ransomware sample, straight from the
   // batch outcome — identical to what a serial harness would have produced.
+  // The static-coverage proof rides along as a report appendix.
+  core::ReportOptions reportOptions;
+  reportOptions.appendixSections.push_back(
+      analysis::renderCoverageSection(coverage));
   for (std::size_t i = 0; i < results.size(); ++i)
     if (requests[i].sampleId == "61f847b" && results[i].ok())
       std::printf("\n%s\n",
-                  core::renderIncidentReport("61f847b", results[i].outcome)
+                  core::renderIncidentReport("61f847b", results[i].outcome,
+                                             reportOptions)
                       .c_str());
   return deactivated == 12 ? 0 : 1;
 }

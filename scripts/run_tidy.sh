@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Run clang-tidy over src/ with the checked-in .clang-tidy policy.
+#
+#   scripts/run_tidy.sh            # lint everything under src/
+#   scripts/run_tidy.sh src/core   # lint a subtree
+#
+# Uses the `lint` CMake preset to produce compile_commands.json (configure
+# only — no build needed). Exits 0 with a notice when clang-tidy is not on
+# PATH so CI images without LLVM tooling skip the gate instead of failing.
+set -euo pipefail
+
+repo_root="$(cd -- "$(dirname -- "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$repo_root"
+
+tidy_bin="${CLANG_TIDY:-}"
+if [[ -z "$tidy_bin" ]]; then
+  for candidate in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16; do
+    if command -v "$candidate" >/dev/null 2>&1; then
+      tidy_bin="$candidate"
+      break
+    fi
+  done
+fi
+if [[ -z "$tidy_bin" ]]; then
+  echo "run_tidy: clang-tidy not found on PATH; skipping lint (install" \
+       "clang-tidy or set CLANG_TIDY to enable)." >&2
+  exit 0
+fi
+
+build_dir="build-lint"
+if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+  cmake --preset lint >/dev/null
+fi
+
+targets=("${@:-src}")
+mapfile -t sources < <(find "${targets[@]}" -name '*.cpp' | sort)
+if [[ ${#sources[@]} -eq 0 ]]; then
+  echo "run_tidy: no sources under: ${targets[*]}" >&2
+  exit 1
+fi
+
+echo "run_tidy: $tidy_bin over ${#sources[@]} files (${targets[*]})"
+"$tidy_bin" -p "$build_dir" --quiet "${sources[@]}"
+echo "run_tidy: clean"

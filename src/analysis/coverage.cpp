@@ -1,0 +1,440 @@
+#include "analysis/coverage.h"
+
+#include <optional>
+#include <set>
+
+#include "core/engine.h"
+#include "support/strings.h"
+
+namespace scarecrow::analysis {
+
+using support::icontains;
+using support::jsonEscape;
+using support::toLower;
+using winapi::ApiId;
+using winapi::apiName;
+
+const char* verdictName(Verdict verdict) noexcept {
+  switch (verdict) {
+    case Verdict::kFires: return "fires";
+    case Verdict::kMisses: return "misses";
+    case Verdict::kUnhookable: return "unhookable";
+    case Verdict::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+namespace {
+
+/// How one probe resolves against the deployment.
+enum class ProbeOutcome : std::uint8_t {
+  kServed,          // the deception answers and the predicate holds
+  kServedNegative,  // the deception answers authoritatively, predicate fails
+  kFallsThrough,    // no hook / no artifact: the real machine answers
+  kRuntime,         // launch-context dependent, not statically decidable
+  kUnhookable,      // no user-level API surface at all
+};
+
+struct ProbeEval {
+  ProbeOutcome outcome = ProbeOutcome::kFallsThrough;
+  std::string resource;
+  std::optional<core::Profile> profile;
+};
+
+const char* channelName(ConfigChannel channel) noexcept {
+  switch (channel) {
+    case ConfigChannel::kNone: return "?";
+    case ConfigChannel::kRamBytes: return "hardware.ramBytes";
+    case ConfigChannel::kCpuCores: return "hardware.cpuCores";
+    case ConfigChannel::kDiskTotalBytes: return "hardware.diskTotalBytes";
+    case ConfigChannel::kUptimeMs: return "identity.fakeUptimeMs";
+    case ConfigChannel::kSleepPercent: return "identity.sleepPercent";
+    case ConfigChannel::kExceptionLatencyCycles:
+      return "identity.exceptionLatencyCycles";
+    case ConfigChannel::kAutoRunEntries: return "wearTear.autoRunEntries";
+    case ConfigChannel::kDeviceClassSubkeys:
+      return "wearTear.deviceClassSubkeys";
+    case ConfigChannel::kUserName: return "identity.userName";
+    case ConfigChannel::kOwnImagePath: return "identity.ownImagePath";
+    case ConfigChannel::kPebCpuCores: return "hardware.cpuCores (PEB)";
+    case ConfigChannel::kCpuidTrapCycles:
+      return "kernel.cpuidTrapExtraCycles";
+  }
+  return "?";
+}
+
+const char* cmpName(Cmp cmp) noexcept {
+  switch (cmp) {
+    case Cmp::kLess: return "<";
+    case Cmp::kLessEq: return "<=";
+    case Cmp::kGreater: return ">";
+  }
+  return "?";
+}
+
+std::uint64_t channelValue(const core::Config& config,
+                           ConfigChannel channel) noexcept {
+  switch (channel) {
+    case ConfigChannel::kRamBytes: return config.hardware.ramBytes;
+    case ConfigChannel::kCpuCores: return config.hardware.cpuCores;
+    case ConfigChannel::kDiskTotalBytes:
+      return config.hardware.diskTotalBytes;
+    case ConfigChannel::kUptimeMs: return config.identity.fakeUptimeMs;
+    case ConfigChannel::kSleepPercent: return config.identity.sleepPercent;
+    case ConfigChannel::kExceptionLatencyCycles:
+      return config.identity.exceptionLatencyCycles;
+    case ConfigChannel::kAutoRunEntries:
+      return config.wearTear.autoRunEntries;
+    case ConfigChannel::kDeviceClassSubkeys:
+      return config.wearTear.deviceClassSubkeys;
+    case ConfigChannel::kPebCpuCores: return config.hardware.cpuCores;
+    case ConfigChannel::kCpuidTrapCycles:
+      return config.kernel.cpuidTrapExtraCycles;
+    case ConfigChannel::kUserName:
+    case ConfigChannel::kOwnImagePath:
+    case ConfigChannel::kNone: break;
+  }
+  return 0;
+}
+
+bool compare(std::uint64_t value, Cmp cmp, std::uint64_t threshold) noexcept {
+  switch (cmp) {
+    case Cmp::kLess: return value < threshold;
+    case Cmp::kLessEq: return value <= threshold;
+    case Cmp::kGreater: return value > threshold;
+  }
+  return false;
+}
+
+bool stringMatches(const ResourceProbe& probe, const std::string& value) {
+  const std::string lowered = toLower(value);
+  for (const std::string& needle : probe.needles) {
+    if (probe.stringPredicate == StringPredicate::kEqualsAnyOf &&
+        lowered == toLower(needle))
+      return true;
+    if (probe.stringPredicate == StringPredicate::kContainsAnyOf &&
+        icontains(value, needle))
+      return true;
+  }
+  return false;
+}
+
+std::string describeThreshold(const ResourceProbe& probe,
+                              std::uint64_t value) {
+  return std::string(channelName(probe.channel)) + " = " +
+         std::to_string(value) + " (predicate " + cmpName(probe.cmp) + " " +
+         std::to_string(probe.threshold) + ")";
+}
+
+ProbeEval evaluateProbe(const ResourceProbe& probe,
+                        const core::ResourceDb& db,
+                        const core::Config& config,
+                        const std::set<ApiId>& hooked) {
+  ProbeEval eval;
+
+  // Channels without a hookable API surface resolve before any hook gating.
+  if (probe.kind == ProbeKind::kLaunchContext) {
+    eval.outcome = ProbeOutcome::kRuntime;
+    eval.resource = "parent-process identity (launch context)";
+    return eval;
+  }
+  if (probe.kind == ProbeKind::kPebRead ||
+      probe.kind == ProbeKind::kTscTiming) {
+    const bool closed =
+        config.kernel.enabled && (probe.kind == ProbeKind::kPebRead
+                                      ? config.kernel.spoofPeb
+                                      : config.kernel.trapCpuid);
+    if (!closed) {
+      eval.outcome = ProbeOutcome::kUnhookable;
+      eval.resource = probe.resources.front() + " (kernel extension off)";
+      return eval;
+    }
+    const std::uint64_t value = channelValue(config, probe.channel);
+    eval.outcome = compare(value, probe.cmp, probe.threshold)
+                       ? ProbeOutcome::kServed
+                       : ProbeOutcome::kServedNegative;
+    eval.resource = probe.resources.front() + " via kernel extension, " +
+                    describeThreshold(probe, value);
+    return eval;
+  }
+  if (probe.kind == ProbeKind::kHookPresence) {
+    for (ApiId api : probe.apis)
+      if (hooked.count(api) != 0) {
+        eval.outcome = ProbeOutcome::kServed;
+        eval.resource = std::string(apiName(api)) + " prologue patched";
+        return eval;
+      }
+    eval.resource = "no scanned prologue is patched";
+    return eval;
+  }
+
+  // Everything else needs its whole API surface hooked to be deceived.
+  for (ApiId api : probe.apis)
+    if (hooked.count(api) == 0) {
+      eval.resource = std::string(apiName(api)) + " not hooked";
+      return eval;
+    }
+
+  auto matchFirst = [&](auto&& match) {
+    for (const std::string& resource : probe.resources)
+      if (const auto profile = match(resource)) {
+        eval.outcome = ProbeOutcome::kServed;
+        eval.resource = resource;
+        eval.profile = *profile;
+        return true;
+      }
+    eval.resource = "no artifact: " + probe.resources.front();
+    if (probe.resources.size() > 1)
+      eval.resource +=
+          " (+" + std::to_string(probe.resources.size() - 1) + " more)";
+    return false;
+  };
+
+  switch (probe.kind) {
+    case ProbeKind::kFile:
+      matchFirst([&](const std::string& r) { return db.matchFile(r); });
+      return eval;
+    case ProbeKind::kRegistryKey:
+      matchFirst(
+          [&](const std::string& r) { return db.matchRegistryKey(r); });
+      return eval;
+    case ProbeKind::kProcessScan:
+      matchFirst([&](const std::string& r) { return db.matchProcess(r); });
+      return eval;
+    case ProbeKind::kModuleHandle:
+      matchFirst([&](const std::string& r) { return db.matchDll(r); });
+      return eval;
+    case ProbeKind::kWindow:
+      matchFirst(
+          [&](const std::string& r) { return db.matchWindow(r, ""); });
+      return eval;
+
+    case ProbeKind::kRegistryValue: {
+      const std::string& key = probe.resources.front();
+      const auto match = db.matchRegistryValue(key, probe.valueName);
+      if (!match.has_value()) {
+        eval.resource = "value not in database: " + key + "!" +
+                        probe.valueName;
+        return eval;
+      }
+      eval.profile = match->profile;
+      eval.resource =
+          key + "!" + probe.valueName + " = \"" + match->value.str + "\"";
+      if (stringMatches(probe, match->value.str)) {
+        eval.outcome = ProbeOutcome::kServed;
+      } else {
+        eval.outcome = ProbeOutcome::kServedNegative;
+        eval.resource += " fails the vendor predicate";
+      }
+      return eval;
+    }
+
+    case ProbeKind::kDebuggerFlag:
+      eval.outcome = ProbeOutcome::kServed;
+      eval.resource = probe.resources.front();
+      return eval;
+
+    case ProbeKind::kNetworkSinkhole:
+      eval.outcome = ProbeOutcome::kServed;
+      eval.resource =
+          probe.resources.front() + " -> sinkhole " + config.sinkholeIp;
+      return eval;
+
+    case ProbeKind::kValueThreshold: {
+      const std::uint64_t value = channelValue(config, probe.channel);
+      eval.outcome = compare(value, probe.cmp, probe.threshold)
+                         ? ProbeOutcome::kServed
+                         : ProbeOutcome::kServedNegative;
+      eval.resource = describeThreshold(probe, value);
+      if (eval.outcome == ProbeOutcome::kServedNegative)
+        eval.resource += " not met";
+      return eval;
+    }
+
+    case ProbeKind::kIdentityString: {
+      const std::string& value = probe.channel == ConfigChannel::kUserName
+                                     ? config.identity.userName
+                                     : config.identity.ownImagePath;
+      eval.outcome = stringMatches(probe, value)
+                         ? ProbeOutcome::kServed
+                         : ProbeOutcome::kServedNegative;
+      eval.resource = std::string(channelName(probe.channel)) + " = \"" +
+                      value + "\"";
+      if (eval.outcome == ProbeOutcome::kServedNegative)
+        eval.resource += " looks benign";
+      return eval;
+    }
+
+    case ProbeKind::kHookPresence:
+    case ProbeKind::kLaunchContext:
+    case ProbeKind::kPebRead:
+    case ProbeKind::kTscTiming:
+      break;  // handled above
+  }
+  return eval;
+}
+
+TechniqueCoverage analyzeTechnique(const TechniqueFootprint& footprint,
+                                   const core::ResourceDb& db,
+                                   const core::Config& config,
+                                   const std::set<ApiId>& hooked) {
+  TechniqueCoverage out;
+  out.technique = footprint.technique;
+  for (ApiId api : footprintApis(footprint.technique))
+    out.apis.push_back({api, hooked.count(api) != 0});
+
+  bool anyRuntime = false;
+  bool allUnhookable = true;
+  std::string firstGap;
+
+  for (const std::vector<ResourceProbe>& group : footprint.groups) {
+    bool fires = true;
+    std::vector<ProbeEval> evals;
+    for (const ResourceProbe& probe : group) {
+      ProbeEval eval = evaluateProbe(probe, db, config, hooked);
+      allUnhookable =
+          allUnhookable && eval.outcome == ProbeOutcome::kUnhookable;
+      anyRuntime = anyRuntime || eval.outcome == ProbeOutcome::kRuntime;
+      if (eval.outcome != ProbeOutcome::kServed) {
+        fires = false;
+        if (firstGap.empty()) firstGap = eval.resource;
+      }
+      evals.push_back(std::move(eval));
+      if (!fires) break;  // the dynamic conjunctions short-circuit too
+    }
+    if (!fires) continue;
+
+    out.verdict = Verdict::kFires;
+    out.predictedTrigger = group.front().alertLabel;
+    out.detail = evals.front().resource;
+    for (const ProbeEval& eval : evals) {
+      if (!eval.profile.has_value()) continue;
+      bool known = false;
+      for (core::Profile p : out.servingProfiles)
+        known = known || p == *eval.profile;
+      if (!known) out.servingProfiles.push_back(*eval.profile);
+    }
+    return out;
+  }
+
+  if (allUnhookable) {
+    out.verdict = Verdict::kUnhookable;
+    out.detail = firstGap;
+  } else if (anyRuntime) {
+    out.verdict = Verdict::kUnknown;
+    out.detail = firstGap;
+  } else {
+    out.verdict = Verdict::kMisses;
+    out.detail = firstGap;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string CoverageReport::summary() const {
+  return "fires=" + std::to_string(firesCount) +
+         " misses=" + std::to_string(missesCount) +
+         " unhookable=" + std::to_string(unhookableCount) +
+         " unknown=" + std::to_string(unknownCount);
+}
+
+CoverageReport analyzeCoverage(const core::ResourceDb& db,
+                               const core::Config& config) {
+  // The exact hooked-API set comes from the engine itself, so the static
+  // gate can never disagree with what installInto() would install.
+  const std::set<ApiId> hooked =
+      core::DeceptionEngine(config, core::ResourceDb{}).hookedApiIds();
+
+  CoverageReport report;
+  report.techniques.reserve(footprintTable().size());
+  for (const TechniqueFootprint& footprint : footprintTable()) {
+    TechniqueCoverage coverage =
+        analyzeTechnique(footprint, db, config, hooked);
+    switch (coverage.verdict) {
+      case Verdict::kFires: ++report.firesCount; break;
+      case Verdict::kMisses: ++report.missesCount; break;
+      case Verdict::kUnhookable: ++report.unhookableCount; break;
+      case Verdict::kUnknown: ++report.unknownCount; break;
+    }
+    report.techniques.push_back(std::move(coverage));
+  }
+  return report;
+}
+
+std::string coverageJson(const CoverageReport& report) {
+  std::string out = "{\n";
+  out += "  \"summary\": {\"fires\": " + std::to_string(report.firesCount) +
+         ", \"misses\": " + std::to_string(report.missesCount) +
+         ", \"unhookable\": " + std::to_string(report.unhookableCount) +
+         ", \"unknown\": " + std::to_string(report.unknownCount) + "},\n";
+  out += "  \"techniques\": [\n";
+  for (std::size_t i = 0; i < report.techniques.size(); ++i) {
+    const TechniqueCoverage& t = report.techniques[i];
+    out += "    {\n";
+    out += "      \"technique\": \"" +
+           jsonEscape(malware::techniqueName(t.technique)) + "\",\n";
+    out += "      \"verdict\": \"" + std::string(verdictName(t.verdict)) +
+           "\",\n";
+    out += "      \"trigger\": \"" + jsonEscape(t.predictedTrigger) +
+           "\",\n";
+    out += "      \"detail\": \"" + jsonEscape(t.detail) + "\",\n";
+    out += "      \"profiles\": [";
+    for (std::size_t p = 0; p < t.servingProfiles.size(); ++p) {
+      if (p != 0) out += ", ";
+      out += "\"" + std::string(core::profileName(t.servingProfiles[p])) +
+             "\"";
+    }
+    out += "],\n";
+    out += "      \"apis\": [";
+    for (std::size_t a = 0; a < t.apis.size(); ++a) {
+      if (a != 0) out += ", ";
+      out += "{\"name\": \"" + std::string(apiName(t.apis[a].api)) +
+             "\", \"hooked\": " + (t.apis[a].hooked ? "true" : "false") +
+             "}";
+    }
+    out += "]\n";
+    out += i + 1 == report.techniques.size() ? "    }\n" : "    },\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+obs::MetricsSnapshot coverageTelemetry(const CoverageReport& report) {
+  obs::MetricsRegistry registry;
+  std::int64_t edges = 0, hookedEdges = 0;
+  for (const TechniqueCoverage& t : report.techniques) {
+    registry.counter("analysis.technique_verdicts", verdictName(t.verdict))
+        .inc();
+    for (const TechniqueCoverage::ApiReach& reach : t.apis) {
+      ++edges;
+      if (reach.hooked) ++hookedEdges;
+    }
+  }
+  registry.gauge("analysis.techniques_total")
+      .set(static_cast<std::int64_t>(report.techniques.size()));
+  registry.gauge("analysis.matrix_edges").set(edges);
+  registry.gauge("analysis.matrix_hooked_edges").set(hookedEdges);
+  return registry.snapshot();
+}
+
+std::string renderCoverageSection(const CoverageReport& report) {
+  std::string out = "## Static deception coverage\n\n";
+  out += report.summary() + " (" +
+         std::to_string(report.techniques.size()) + " techniques)\n\n";
+  bool anyGap = false;
+  for (const TechniqueCoverage& t : report.techniques) {
+    if (t.verdict == Verdict::kFires) continue;
+    if (!anyGap) {
+      out += "Techniques this deployment does NOT fire on:\n\n";
+      anyGap = true;
+    }
+    out += std::string("- `") + malware::techniqueName(t.technique) +
+           "` — " + verdictName(t.verdict) + " — " + t.detail + "\n";
+  }
+  if (!anyGap)
+    out += "Every modeled technique fires against this deployment.\n";
+  return out;
+}
+
+}  // namespace scarecrow::analysis

@@ -1,0 +1,94 @@
+// Static deception-coverage engine.
+//
+// Folds every technique footprint (analysis/footprint.h) over a
+// (ResourceDb, Config) pair and proves — in microseconds, with no Machine
+// execution — which evasion predicates the deployment satisfies. The
+// verdict lattice:
+//
+//   kFires      the deception satisfies the predicate: a sample composed
+//               of this technique deactivates itself
+//   kMisses     hookable, but this database/config does not satisfy it —
+//               the probe falls through to (or is answered truthfully by)
+//               the real machine
+//   kUnhookable no user-level API surface to deceive (PEB reads, RDTSC
+//               timing) while the kernel extension is off — the paper's
+//               documented blind spots
+//   kUnknown    decided by launch context at runtime, not by the
+//               deception layer (parent-process identity)
+//
+// The same fold yields the Technique x API reachability matrix: which
+// hooked APIs each technique can travel through to reach the database.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/footprint.h"
+#include "core/config.h"
+#include "core/resource_db.h"
+#include "obs/metrics.h"
+
+namespace scarecrow::analysis {
+
+enum class Verdict : std::uint8_t {
+  kFires,
+  kMisses,
+  kUnhookable,
+  kUnknown,
+};
+
+const char* verdictName(Verdict verdict) noexcept;
+
+/// One technique's static evaluation against a (db, config) pair.
+struct TechniqueCoverage {
+  malware::Technique technique{};
+  Verdict verdict = Verdict::kUnknown;
+  /// Alert label the first satisfied probe raises — the predicted
+  /// DeactivationVerdict::firstTrigger when this technique fires first.
+  /// Empty when the technique misses or its hook deceives silently.
+  std::string predictedTrigger;
+  /// First satisfied resource (kFires) or the first gap (otherwise).
+  std::string detail;
+  /// Profiles whose artifacts satisfy the firing group, first-served order.
+  std::vector<core::Profile> servingProfiles;
+  /// The technique's reachability-matrix row: every API its footprint can
+  /// touch, with the hooked bit under the analyzed config.
+  struct ApiReach {
+    winapi::ApiId api{};
+    bool hooked = false;
+  };
+  std::vector<ApiReach> apis;
+};
+
+struct CoverageReport {
+  std::vector<TechniqueCoverage> techniques;  // Technique enum order
+  std::size_t firesCount = 0;
+  std::size_t missesCount = 0;
+  std::size_t unhookableCount = 0;
+  std::size_t unknownCount = 0;
+
+  const TechniqueCoverage& of(malware::Technique technique) const {
+    return techniques[static_cast<std::size_t>(technique)];
+  }
+  /// "fires=26 misses=0 unhookable=2 unknown=1".
+  std::string summary() const;
+};
+
+/// Evaluates the full footprint table against the database symbolically.
+CoverageReport analyzeCoverage(const core::ResourceDb& db,
+                               const core::Config& config = {});
+
+/// Deterministic JSON rendering (stable ordering and field layout) of the
+/// verdicts and the reachability matrix — golden-test and diff friendly.
+std::string coverageJson(const CoverageReport& report);
+
+/// Verdict and matrix counters as a metrics snapshot, renderable through
+/// obs::Exporter next to the rest of the deployment's telemetry.
+obs::MetricsSnapshot coverageTelemetry(const CoverageReport& report);
+
+/// Markdown "Static deception coverage" section for the incident-report
+/// appendix (core::ReportOptions::appendixSections).
+std::string renderCoverageSection(const CoverageReport& report);
+
+}  // namespace scarecrow::analysis

@@ -1,0 +1,391 @@
+#include "analysis/footprint.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "malware/dga.h"
+
+namespace scarecrow::analysis {
+
+using malware::Technique;
+using winapi::ApiId;
+
+const char* probeKindName(ProbeKind kind) noexcept {
+  switch (kind) {
+    case ProbeKind::kFile: return "file";
+    case ProbeKind::kRegistryKey: return "registry-key";
+    case ProbeKind::kRegistryValue: return "registry-value";
+    case ProbeKind::kProcessScan: return "process-scan";
+    case ProbeKind::kModuleHandle: return "module-handle";
+    case ProbeKind::kWindow: return "window";
+    case ProbeKind::kDebuggerFlag: return "debugger-flag";
+    case ProbeKind::kValueThreshold: return "value-threshold";
+    case ProbeKind::kIdentityString: return "identity-string";
+    case ProbeKind::kNetworkSinkhole: return "network-sinkhole";
+    case ProbeKind::kHookPresence: return "hook-presence";
+    case ProbeKind::kLaunchContext: return "launch-context";
+    case ProbeKind::kPebRead: return "peb-read";
+    case ProbeKind::kTscTiming: return "tsc-timing";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr const char* kDriverDir = "C:\\Windows\\System32\\drivers\\";
+
+ResourceProbe fileProbe(std::vector<std::string> paths, ApiId api,
+                        std::string alertLabel) {
+  ResourceProbe probe;
+  probe.kind = ProbeKind::kFile;
+  probe.apis = {api};
+  probe.alertLabel = std::move(alertLabel);
+  probe.resources = std::move(paths);
+  return probe;
+}
+
+ResourceProbe keyProbe(std::vector<std::string> keys, ApiId api,
+                       std::string alertLabel) {
+  ResourceProbe probe;
+  probe.kind = ProbeKind::kRegistryKey;
+  probe.apis = {api};
+  probe.alertLabel = std::move(alertLabel);
+  probe.resources = std::move(keys);
+  return probe;
+}
+
+ResourceProbe thresholdProbe(ConfigChannel channel, Cmp cmp,
+                             std::uint64_t threshold,
+                             std::vector<ApiId> apis,
+                             std::string alertLabel) {
+  ResourceProbe probe;
+  probe.kind = ProbeKind::kValueThreshold;
+  probe.apis = std::move(apis);
+  probe.alertLabel = std::move(alertLabel);
+  probe.channel = channel;
+  probe.cmp = cmp;
+  probe.threshold = threshold;
+  return probe;
+}
+
+/// The footprint of one technique. Every constant below mirrors the
+/// dynamic probe in malware/techniques.cpp verbatim; the drift gate test
+/// fails if either side changes without the other.
+TechniqueFootprint buildFootprint(Technique technique) {
+  TechniqueFootprint fp;
+  fp.technique = technique;
+  auto group = [&fp](ResourceProbe probe) {
+    fp.groups.push_back({std::move(probe)});
+  };
+
+  switch (technique) {
+    case Technique::kVMwareToolsRegistry:
+      group(keyProbe({"SOFTWARE\\VMware, Inc.\\VMware Tools"},
+                     ApiId::kNtOpenKeyEx, "NtOpenKeyEx()"));
+      return fp;
+
+    case Technique::kIdeEnumRegistry:
+      group(keyProbe(
+          {"SYSTEM\\CurrentControlSet\\Enum\\IDE\\"
+           "DiskVBOX_HARDDISK___________________________1.0_____",
+           "SYSTEM\\CurrentControlSet\\Enum\\IDE\\"
+           "DiskVMware_Virtual_IDE_Hard_Drive___________00000001"},
+          ApiId::kNtOpenKeyEx, "NtOpenKeyEx()"));
+      return fp;
+
+    case Technique::kBiosVersionValue: {
+      ResourceProbe probe;
+      probe.kind = ProbeKind::kRegistryValue;
+      probe.apis = {ApiId::kNtQueryValueKey};
+      probe.alertLabel = "NtQueryValueKey()";
+      probe.resources = {"HARDWARE\\Description\\System"};
+      probe.valueName = "SystemBiosVersion";
+      probe.stringPredicate = StringPredicate::kContainsAnyOf;
+      probe.needles = {"VBOX", "QEMU", "BOCHS", "VMware"};
+      group(std::move(probe));
+      return fp;
+    }
+
+    case Technique::kVmDriverFiles:
+      group(fileProbe({std::string(kDriverDir) + "vmmouse.sys",
+                       std::string(kDriverDir) + "vmhgfs.sys",
+                       std::string(kDriverDir) + "VBoxMouse.sys"},
+                      ApiId::kNtQueryAttributesFile,
+                      "NtQueryAttributesFile()"));
+      return fp;
+
+    case Technique::kVBoxGuestAdditionsKey:
+      group(keyProbe({"SOFTWARE\\Oracle\\VirtualBox Guest Additions"},
+                     ApiId::kRegOpenKeyEx, "RegOpenKeyEx()"));
+      return fp;
+
+    case Technique::kSandboxFolder:
+      group(fileProbe({"C:\\sandbox", "C:\\analysis", "C:\\cuckoo",
+                       "C:\\iDEFENSE"},
+                      ApiId::kGetFileAttributes, "GetFileAttributes()"));
+      return fp;
+
+    case Technique::kIsDebuggerPresent: {
+      ResourceProbe probe;
+      probe.kind = ProbeKind::kDebuggerFlag;
+      probe.apis = {ApiId::kIsDebuggerPresent};
+      probe.alertLabel = "IsDebuggerPresent()";
+      probe.resources = {"PEB!BeingDebugged"};
+      group(std::move(probe));
+      return fp;
+    }
+
+    case Technique::kCheckRemoteDebugger: {
+      ResourceProbe probe;
+      probe.kind = ProbeKind::kDebuggerFlag;
+      probe.apis = {ApiId::kCheckRemoteDebuggerPresent};
+      probe.alertLabel = "CheckRemoteDebuggerPresent()";
+      probe.resources = {"DebugPort (remote)"};
+      group(std::move(probe));
+      return fp;
+    }
+
+    case Technique::kDebugPortQuery: {
+      ResourceProbe probe;
+      probe.kind = ProbeKind::kDebuggerFlag;
+      probe.apis = {ApiId::kNtQueryInformationProcess};
+      probe.alertLabel = "NtQueryInformationProcess()";
+      probe.resources = {"ProcessInfoClass::DebugPort"};
+      group(std::move(probe));
+      return fp;
+    }
+
+    case Technique::kDebuggerWindow: {
+      ResourceProbe probe;
+      probe.kind = ProbeKind::kWindow;
+      probe.apis = {ApiId::kFindWindow};
+      probe.alertLabel = "FindWindow()";
+      probe.resources = {"OLLYDBG", "WinDbgFrameClass"};
+      group(std::move(probe));
+      return fp;
+    }
+
+    case Technique::kSandboxModule: {
+      ResourceProbe probe;
+      probe.kind = ProbeKind::kModuleHandle;
+      probe.apis = {ApiId::kGetModuleHandle};
+      probe.alertLabel = "GetModuleHandleA()";
+      probe.resources = {"SbieDll.dll", "api_log.dll", "dir_watch.dll"};
+      group(std::move(probe));
+      return fp;
+    }
+
+    case Technique::kAnalysisProcessScan: {
+      ResourceProbe probe;
+      probe.kind = ProbeKind::kProcessScan;
+      probe.apis = {ApiId::kCreateToolhelp32Snapshot};
+      probe.alertLabel = "CreateToolhelp32Snapshot()";
+      probe.resources = {"wireshark.exe", "ollydbg.exe", "procmon.exe",
+                         "windbg.exe",   "VBoxService.exe", "idaq.exe"};
+      group(std::move(probe));
+      return fp;
+    }
+
+    case Technique::kInlineHookScan: {
+      // The Figure 1 prologue check fires on the FIRST patched function,
+      // so the probe is satisfied when any of its targets is hooked.
+      ResourceProbe probe;
+      probe.kind = ProbeKind::kHookPresence;
+      probe.apis = {ApiId::kCreateProcess, ApiId::kDeleteFile,
+                    ApiId::kRegOpenKeyEx};
+      probe.alertLabel = "Hook detection";
+      group(std::move(probe));
+      return fp;
+    }
+
+    case Technique::kLowMemory:
+      group(thresholdProbe(ConfigChannel::kRamBytes, Cmp::kLess, 2ULL << 30,
+                           {ApiId::kGlobalMemoryStatusEx},
+                           "GlobalMemoryStatusEx()"));
+      return fp;
+
+    case Technique::kFewCores:
+      group(thresholdProbe(ConfigChannel::kCpuCores, Cmp::kLess, 2,
+                           {ApiId::kGetSystemInfo}, "GetSystemInfo()"));
+      return fp;
+
+    case Technique::kSmallDisk:
+      group(thresholdProbe(ConfigChannel::kDiskTotalBytes, Cmp::kLess,
+                           60ULL << 30, {ApiId::kGetDiskFreeSpaceEx},
+                           "GetDiskFreeSpaceEx()"));
+      return fp;
+
+    case Technique::kLowUptime:
+      group(thresholdProbe(ConfigChannel::kUptimeMs, Cmp::kLess,
+                           10ULL * 60'000, {ApiId::kGetTickCount},
+                           "GetTickCount()"));
+      return fp;
+
+    case Technique::kSleepPatchProbe:
+      // Sleep(500) advancing the tick by < 450ms means sleepPercent < 90.
+      // The probe reads the tick before sleeping, so the uptime hook's
+      // alert is what lands in firstTrigger.
+      group(thresholdProbe(ConfigChannel::kSleepPercent, Cmp::kLess, 90,
+                           {ApiId::kSleep, ApiId::kGetTickCount},
+                           "GetTickCount()"));
+      return fp;
+
+    case Technique::kExceptionTimingProbe:
+      // The RaiseException hook adds latency without raising an alert:
+      // the deception is the timing itself (alertLabel stays empty).
+      group(thresholdProbe(ConfigChannel::kExceptionLatencyCycles,
+                           Cmp::kGreater, 50'000, {ApiId::kRaiseException},
+                           ""));
+      return fp;
+
+    case Technique::kSandboxUserName: {
+      ResourceProbe probe;
+      probe.kind = ProbeKind::kIdentityString;
+      probe.apis = {ApiId::kGetUserName};
+      probe.alertLabel = "GetUserName()";
+      probe.channel = ConfigChannel::kUserName;
+      probe.stringPredicate = StringPredicate::kEqualsAnyOf;
+      probe.needles = {"sandbox", "cuckoo", "malware", "sample", "virus"};
+      group(std::move(probe));
+      return fp;
+    }
+
+    case Technique::kOwnImageName: {
+      ResourceProbe probe;
+      probe.kind = ProbeKind::kIdentityString;
+      probe.apis = {ApiId::kGetModuleFileName};
+      probe.alertLabel = "The name of malware";
+      probe.channel = ConfigChannel::kOwnImagePath;
+      probe.stringPredicate = StringPredicate::kContainsAnyOf;
+      probe.needles = {"sample", "malware", "virus", "c:\\sandbox"};
+      group(std::move(probe));
+      return fp;
+    }
+
+    case Technique::kParentNotExplorer: {
+      // Depends on who launched the sample, not on any deceptive resource.
+      ResourceProbe probe;
+      probe.kind = ProbeKind::kLaunchContext;
+      probe.apis = {ApiId::kNtQueryInformationProcess,
+                    ApiId::kCreateToolhelp32Snapshot};
+      group(std::move(probe));
+      return fp;
+    }
+
+    case Technique::kNxDomainResolves: {
+      ResourceProbe probe;
+      probe.kind = ProbeKind::kNetworkSinkhole;
+      probe.apis = {ApiId::kDnsQuery};
+      probe.alertLabel = "DnsQuery()";
+      probe.resources = {"xkcjahdquwez.info", "qpwoeirutyal.biz"};
+      group(std::move(probe));
+      return fp;
+    }
+
+    case Technique::kKillSwitchHttp: {
+      ResourceProbe probe;
+      probe.kind = ProbeKind::kNetworkSinkhole;
+      probe.apis = {ApiId::kInternetOpenUrl};
+      probe.alertLabel = "InternetOpenUrl()";
+      probe.resources = {
+          "www.iuqerfsodp9ifjaposdfjhgosurijfaewrwergwea.com"};
+      group(std::move(probe));
+      return fp;
+    }
+
+    case Technique::kDgaSinkhole: {
+      ResourceProbe probe;
+      probe.kind = ProbeKind::kNetworkSinkhole;
+      probe.apis = {ApiId::kDnsQuery};
+      probe.alertLabel = "DnsQuery()";
+      probe.resources = malware::generateDgaDomains({}, 3);
+      group(std::move(probe));
+      return fp;
+    }
+
+    case Technique::kNtSystemInfoProbe: {
+      // cores < 2 OR KernelDebuggerInformation != 0 — both through the one
+      // NtQuerySystemInformation hook, which serves the kernel-debugger
+      // flag unconditionally.
+      group(thresholdProbe(ConfigChannel::kCpuCores, Cmp::kLess, 2,
+                           {ApiId::kNtQuerySystemInformation},
+                           "NtQuerySystemInformation()"));
+      ResourceProbe probe;
+      probe.kind = ProbeKind::kDebuggerFlag;
+      probe.apis = {ApiId::kNtQuerySystemInformation};
+      probe.alertLabel = "NtQuerySystemInformation()";
+      probe.resources = {"SystemInfoClass::KernelDebuggerInformation"};
+      group(std::move(probe));
+      return fp;
+    }
+
+    case Technique::kPebProcessorCount: {
+      ResourceProbe probe;
+      probe.kind = ProbeKind::kPebRead;
+      probe.channel = ConfigChannel::kPebCpuCores;
+      probe.cmp = Cmp::kLess;
+      probe.threshold = 2;
+      probe.resources = {"PEB!NumberOfProcessors"};
+      group(std::move(probe));
+      return fp;
+    }
+
+    case Technique::kRdtscVmExit: {
+      ResourceProbe probe;
+      probe.kind = ProbeKind::kTscTiming;
+      probe.channel = ConfigChannel::kCpuidTrapCycles;
+      probe.cmp = Cmp::kGreater;
+      probe.threshold = 10'000;
+      probe.resources = {"rdtsc/cpuid/rdtsc"};
+      group(std::move(probe));
+      return fp;
+    }
+
+    case Technique::kWearTearProbe: {
+      // Conjunction: BOTH usage counters must look pristine.
+      ResourceProbe run =
+          thresholdProbe(ConfigChannel::kAutoRunEntries, Cmp::kLessEq, 3,
+                         {ApiId::kNtQueryKey}, "NtQueryKey()");
+      run.resources = {"SOFTWARE\\Microsoft\\Windows\\CurrentVersion\\Run"};
+      ResourceProbe devices =
+          thresholdProbe(ConfigChannel::kDeviceClassSubkeys, Cmp::kLessEq,
+                         32, {ApiId::kNtQueryKey}, "NtQueryKey()");
+      devices.resources = {
+          "SYSTEM\\CurrentControlSet\\Control\\DeviceClasses"};
+      fp.groups.push_back({std::move(run), std::move(devices)});
+      return fp;
+    }
+  }
+  // Unreachable: the switch above is exhaustive under -Werror=switch.
+  std::abort();
+}
+
+}  // namespace
+
+const std::vector<TechniqueFootprint>& footprintTable() {
+  static const std::vector<TechniqueFootprint> table = [] {
+    std::vector<TechniqueFootprint> rows;
+    rows.reserve(malware::kTechniqueCount);
+    for (std::size_t i = 0; i < malware::kTechniqueCount; ++i)
+      rows.push_back(buildFootprint(static_cast<Technique>(i)));
+    return rows;
+  }();
+  return table;
+}
+
+const TechniqueFootprint& footprintFor(Technique technique) {
+  return footprintTable()[static_cast<std::size_t>(technique)];
+}
+
+std::vector<winapi::ApiId> footprintApis(Technique technique) {
+  std::vector<ApiId> apis;
+  for (const auto& group : footprintFor(technique).groups)
+    for (const ResourceProbe& probe : group)
+      for (ApiId api : probe.apis)
+        if (std::find(apis.begin(), apis.end(), api) == apis.end())
+          apis.push_back(api);
+  std::sort(apis.begin(), apis.end());
+  return apis;
+}
+
+}  // namespace scarecrow::analysis

@@ -1,0 +1,112 @@
+// Static API footprints of the evasion technique library.
+//
+// Every malware::Technique is described declaratively: the APIs it
+// dispatches through, the resource paths / registry keys it looks up, and
+// the threshold or string predicate it applies to what it reads. The table
+// is the ground truth the coverage engine (analysis/coverage.h) folds over
+// a ResourceDb + Config with no Machine execution, and the drift gate
+// (tests/analysis_drift_test.cpp) pins it against the dynamic behaviour of
+// malware/techniques.cpp so the two can never silently diverge.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "malware/techniques.h"
+#include "winapi/api_ids.h"
+
+namespace scarecrow::analysis {
+
+/// The observation channel one probe goes through.
+enum class ProbeKind : std::uint8_t {
+  kFile,             // file / folder existence lookup
+  kRegistryKey,      // RegOpenKeyEx / NtOpenKeyEx key open
+  kRegistryValue,    // value query + string predicate on the served data
+  kProcessScan,      // Toolhelp snapshot scan for an image name
+  kModuleHandle,     // GetModuleHandle on a monitoring DLL
+  kWindow,           // FindWindow by window class
+  kDebuggerFlag,     // debugger-presence channel, served unconditionally
+  kValueThreshold,   // numeric deception value vs the technique's threshold
+  kIdentityString,   // GetUserName / GetModuleFileName string predicate
+  kNetworkSinkhole,  // NX domains resolving through the DNS/HTTP sinkhole
+  kHookPresence,     // prologue scan of commonly hooked APIs (paper Fig. 1)
+  kLaunchContext,    // parent-process identity: runtime, not DB, dependent
+  kPebRead,          // direct PEB memory read (no user-level API surface)
+  kTscTiming,        // CPUID-between-RDTSC timing (no API surface)
+};
+
+const char* probeKindName(ProbeKind kind) noexcept;
+
+/// The Config field a kValueThreshold / kIdentityString probe observes.
+enum class ConfigChannel : std::uint8_t {
+  kNone,
+  kRamBytes,                // hardware.ramBytes
+  kCpuCores,                // hardware.cpuCores
+  kDiskTotalBytes,          // hardware.diskTotalBytes
+  kUptimeMs,                // identity.fakeUptimeMs
+  kSleepPercent,            // identity.sleepPercent (Sleep(500) skew)
+  kExceptionLatencyCycles,  // identity.exceptionLatencyCycles
+  kAutoRunEntries,          // wearTear.autoRunEntries
+  kDeviceClassSubkeys,      // wearTear.deviceClassSubkeys
+  kUserName,                // identity.userName
+  kOwnImagePath,            // identity.ownImagePath
+  kPebCpuCores,             // hardware.cpuCores via the kernel PEB spoof
+  kCpuidTrapCycles,         // kernel.cpuidTrapExtraCycles
+};
+
+enum class Cmp : std::uint8_t { kLess, kLessEq, kGreater };
+
+enum class StringPredicate : std::uint8_t {
+  kNone,
+  kEqualsAnyOf,
+  kContainsAnyOf,
+};
+
+struct ResourceProbe {
+  ProbeKind kind{};
+  /// User-level APIs the probe dispatches through. The probe can reach the
+  /// deception layer only when every one of them is hooked (any one, for
+  /// kHookPresence — the scan fires on the first patched prologue).
+  std::vector<winapi::ApiId> apis;
+  /// The alert label the engine raises when the probe is served — what
+  /// Table I's "Trigger" column (DeactivationVerdict::firstTrigger) shows.
+  /// Empty for hooks that deceive silently (e.g. RaiseException).
+  std::string alertLabel;
+  /// Candidate resources, satisfied by the FIRST match — the dynamic
+  /// probes short-circuit in the same order. File paths, registry keys,
+  /// image names, DLL names, window classes, or sinkhole domains, per kind.
+  std::vector<std::string> resources;
+  /// kRegistryValue only: the value under resources[0] the predicate reads.
+  std::string valueName;
+  StringPredicate stringPredicate = StringPredicate::kNone;
+  std::vector<std::string> needles;
+  /// kValueThreshold / kIdentityString / kPebRead / kTscTiming: the Config
+  /// channel observed and the comparison the technique applies to it.
+  ConfigChannel channel = ConfigChannel::kNone;
+  Cmp cmp = Cmp::kLess;
+  std::uint64_t threshold = 0;
+};
+
+/// A technique reports "analysis environment" as soon as every probe of one
+/// group is satisfied: groups are OR-ed in declaration order, probes inside
+/// a group AND-ed — the disjunction-of-conjunctions shape of Case I
+/// evasive logic.
+struct TechniqueFootprint {
+  malware::Technique technique{};
+  std::vector<std::vector<ResourceProbe>> groups;
+};
+
+/// The complete footprint table, one row per technique, in enum order.
+/// The builder switch in footprint.cpp is exhaustive under -Werror=switch,
+/// so a new Technique cannot ship without declaring its footprint.
+const std::vector<TechniqueFootprint>& footprintTable();
+
+/// The table row for one technique.
+const TechniqueFootprint& footprintFor(malware::Technique technique);
+
+/// Union of APIs the technique can reach, sorted by ApiId — its row of the
+/// Technique x API reachability matrix.
+std::vector<winapi::ApiId> footprintApis(malware::Technique technique);
+
+}  // namespace scarecrow::analysis

@@ -1,0 +1,326 @@
+#include "analysis/lint.h"
+
+#include <map>
+#include <set>
+
+#include "analysis/footprint.h"
+#include "core/profiles.h"
+#include "support/strings.h"
+
+namespace scarecrow::analysis {
+
+using support::jsonEscape;
+using support::normalizePath;
+using support::toLower;
+
+const char* lintKindName(LintKind kind) noexcept {
+  switch (kind) {
+    case LintKind::kDeadResource: return "dead-resource";
+    case LintKind::kDuplicateEntry: return "duplicate-entry";
+    case LintKind::kShadowedKey: return "shadowed-key";
+    case LintKind::kVendorContradiction: return "vendor-contradiction";
+    case LintKind::kHardwareContradiction:
+      return "hardware-contradiction";
+  }
+  return "?";
+}
+
+std::vector<LintFinding> LintReport::of(LintKind kind) const {
+  std::vector<LintFinding> out;
+  for (const LintFinding& finding : findings)
+    if (finding.kind == kind) out.push_back(finding);
+  return out;
+}
+
+std::size_t LintReport::countOf(LintKind kind) const noexcept {
+  std::size_t n = 0;
+  for (const LintFinding& finding : findings)
+    if (finding.kind == kind) ++n;
+  return n;
+}
+
+namespace {
+
+/// Everything the modeled probes can look up, one set per channel, all
+/// lower-case. Seeded from the footprint table, then extended with the
+/// fingerprint suites' probe surface (pafish.cpp / sandprint.cpp), which
+/// observes VirtualBox/VMware artifacts beyond the technique library.
+struct ObservedSurface {
+  std::set<std::string> files;
+  std::set<std::string> registryKeys;
+  std::set<std::string> registryValues;  // "key!value"
+  std::set<std::string> processes;
+  std::set<std::string> dlls;
+  std::set<std::string> windowClasses;
+};
+
+ObservedSurface buildObservedSurface() {
+  ObservedSurface surface;
+  for (const TechniqueFootprint& footprint : footprintTable()) {
+    for (const auto& group : footprint.groups) {
+      for (const ResourceProbe& probe : group) {
+        switch (probe.kind) {
+          case ProbeKind::kFile:
+            for (const std::string& r : probe.resources)
+              surface.files.insert(toLower(normalizePath(r)));
+            break;
+          case ProbeKind::kRegistryKey:
+            for (const std::string& r : probe.resources)
+              surface.registryKeys.insert(toLower(r));
+            break;
+          case ProbeKind::kRegistryValue:
+            surface.registryKeys.insert(toLower(probe.resources.front()));
+            surface.registryValues.insert(
+                toLower(probe.resources.front()) + "!" +
+                toLower(probe.valueName));
+            break;
+          case ProbeKind::kProcessScan:
+            for (const std::string& r : probe.resources)
+              surface.processes.insert(toLower(r));
+            break;
+          case ProbeKind::kModuleHandle:
+            for (const std::string& r : probe.resources)
+              surface.dlls.insert(toLower(r));
+            break;
+          case ProbeKind::kWindow:
+            for (const std::string& r : probe.resources)
+              surface.windowClasses.insert(toLower(r));
+            break;
+          case ProbeKind::kDebuggerFlag:
+          case ProbeKind::kValueThreshold:
+          case ProbeKind::kIdentityString:
+          case ProbeKind::kNetworkSinkhole:
+          case ProbeKind::kHookPresence:
+          case ProbeKind::kLaunchContext:
+          case ProbeKind::kPebRead:
+          case ProbeKind::kTscTiming:
+            break;  // no database-entry surface
+        }
+      }
+    }
+  }
+
+  // Fingerprint-suite surface (fingerprint/pafish.cpp, sandprint.cpp).
+  const char* kDrivers = "c:\\windows\\system32\\drivers\\";
+  const char* kSystem32 = "c:\\windows\\system32\\";
+  for (const char* file :
+       {"vboxmouse.sys", "vboxguest.sys", "vboxsf.sys", "vboxvideo.sys",
+        "vmmouse.sys", "vmhgfs.sys"})
+    surface.files.insert(std::string(kDrivers) + file);
+  for (const char* file : {"vboxdisp.dll", "vboxhook.dll", "vboxtray.exe"})
+    surface.files.insert(std::string(kSystem32) + file);
+  for (const char* device :
+       {"\\\\.\\vboxguest", "\\\\.\\pipe\\cuckoo", "\\\\.\\cuckoo",
+        "\\\\.\\pipe\\cuckoo_result"})
+    surface.files.insert(device);
+  for (const char* key :
+       {"hkcu\\software\\wine",
+        "system\\currentcontrolset\\services\\vmnetadapter"})
+    surface.registryKeys.insert(key);
+  const char* kSystemKey = "hardware\\description\\system";
+  const char* kScsiKey =
+      "hardware\\devicemap\\scsi\\scsi port 0\\scsi bus 0\\target id 0\\"
+      "logical unit id 0";
+  for (const char* value :
+       {"systembiosversion", "videobiosversion", "systembiosdate"})
+    surface.registryValues.insert(std::string(kSystemKey) + "!" + value);
+  surface.registryValues.insert(
+      std::string(kSystemKey) + "\\bios!systemmanufacturer");
+  surface.registryValues.insert(std::string(kScsiKey) + "!identifier");
+  for (const std::string& value : surface.registryValues)
+    surface.registryKeys.insert(value.substr(0, value.find('!')));
+  for (const char* process :
+       {"vboxservice.exe", "vboxtray.exe", "vmtoolsd.exe"})
+    surface.processes.insert(process);
+  surface.windowClasses.insert("vboxtraytoolwndclass");
+  surface.windowClasses.insert("vmwaretraywindow");
+  surface.dlls.insert("sbiedll.dll");
+  return surface;
+}
+
+/// A stored key is observed when some probed key opens it directly, opens
+/// a descendant the stored key answers for, or opens an ancestor that the
+/// stored key makes enumerable (ResourceDb::matchRegistryKey semantics).
+bool keyObserved(const std::string& stored,
+                 const std::set<std::string>& probed) {
+  for (const std::string& probe : probed) {
+    if (stored == probe) return true;
+    if (stored.size() > probe.size() &&
+        stored.compare(0, probe.size() + 1, probe + '\\') == 0)
+      return true;
+    if (probe.size() > stored.size() &&
+        probe.compare(0, stored.size() + 1, stored + '\\') == 0)
+      return true;
+  }
+  return false;
+}
+
+void lintDead(const core::ResourceDb& db, const ObservedSurface& surface,
+              LintReport& report) {
+  auto dead = [&report](const std::string& resource, core::Profile profile,
+                        const char* channel) {
+    report.findings.push_back(
+        {LintKind::kDeadResource, resource,
+         std::string("no modeled technique or fingerprint probe observes "
+                     "this ") +
+             channel,
+         profile});
+  };
+
+  db.forEachFile([&](const std::string& path, core::Profile profile) {
+    ++report.entriesChecked;
+    if (surface.files.count(path) == 0) dead(path, profile, "file");
+  });
+  db.forEachRegistryKey([&](const std::string& path, core::Profile profile) {
+    ++report.entriesChecked;
+    if (!keyObserved(path, surface.registryKeys))
+      dead(path, profile, "registry key");
+  });
+  db.forEachRegistryValue([&](const std::string& key,
+                              const std::string& valueName,
+                              const core::ResourceDb::ValueMatch& match) {
+    ++report.entriesChecked;
+    if (surface.registryValues.count(key + "!" + valueName) == 0)
+      dead(key + "!" + valueName, match.profile, "registry value");
+  });
+  for (const core::FakeProcess& process : db.fakeProcesses()) {
+    ++report.entriesChecked;
+    if (surface.processes.count(toLower(process.imageName)) == 0)
+      dead(process.imageName, process.profile, "process");
+  }
+  db.forEachDll([&](const std::string& name, core::Profile profile) {
+    ++report.entriesChecked;
+    if (surface.dlls.count(name) == 0) dead(name, profile, "DLL");
+  });
+  for (const core::FakeWindow& window : db.fakeWindows()) {
+    ++report.entriesChecked;
+    if (surface.windowClasses.count(toLower(window.className)) == 0)
+      dead(window.className, window.profile, "window class");
+  }
+}
+
+void lintDuplicates(const core::ResourceDb& db, LintReport& report) {
+  // Files, keys, values and DLLs are keyed maps — duplicates cannot
+  // survive insertion. Processes and windows are lists, so a double add
+  // double-populates every Toolhelp snapshot / FindWindow scan.
+  std::map<std::string, std::size_t> processes;
+  for (const core::FakeProcess& process : db.fakeProcesses())
+    ++processes[toLower(process.imageName)];
+  for (const auto& [name, count] : processes)
+    if (count > 1)
+      report.findings.push_back(
+          {LintKind::kDuplicateEntry, name,
+           "process stored " + std::to_string(count) +
+               " times; every snapshot lists it that often",
+           *db.matchProcess(name)});
+
+  std::map<std::string, std::size_t> windows;
+  for (const core::FakeWindow& window : db.fakeWindows())
+    ++windows[toLower(window.className)];
+  for (const auto& [name, count] : windows)
+    if (count > 1)
+      report.findings.push_back({LintKind::kDuplicateEntry, name,
+                                 "window class stored " +
+                                     std::to_string(count) + " times",
+                                 *db.matchWindow(name, "")});
+}
+
+void lintShadowedKeys(const core::ResourceDb& db, LintReport& report) {
+  std::vector<std::pair<std::string, core::Profile>> keys;
+  db.forEachRegistryKey([&](const std::string& path, core::Profile profile) {
+    keys.emplace_back(path, profile);
+  });
+  // Map order is sorted, so any ancestor precedes its descendants.
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      const std::string& ancestor = keys[j].first;
+      const std::string& descendant = keys[i].first;
+      if (descendant.size() > ancestor.size() &&
+          descendant.compare(0, ancestor.size() + 1, ancestor + '\\') == 0) {
+        report.findings.push_back(
+            {LintKind::kShadowedKey, descendant,
+             "existence probes are already answered by stored ancestor '" +
+                 ancestor + "' (" +
+                 core::profileName(keys[j].second) + ")",
+             keys[i].second});
+        break;  // one finding per shadowed key is enough
+      }
+    }
+  }
+}
+
+void lintVendors(const core::ResourceDb& db, LintReport& report) {
+  for (const core::VendorConflict& conflict : core::vendorConflicts(db))
+    report.findings.push_back(
+        {LintKind::kVendorContradiction, conflict.first.resource,
+         "claims " + std::string(core::profileName(conflict.first.vendor)) +
+             " but '" + conflict.second.resource + "' claims " +
+             core::profileName(conflict.second.vendor),
+         conflict.first.vendor});
+}
+
+void lintHardware(const core::ResourceDb& db, const core::Config& config,
+                  LintReport& report) {
+  const std::vector<core::VendorEvidence> evidence =
+      core::collectVendorEvidence(db);
+  if (evidence.empty()) return;
+  const core::VendorEvidence& guest = evidence.front();
+
+  if (!config.hardwareResources) {
+    report.findings.push_back(
+        {LintKind::kHardwareContradiction, guest.resource,
+         "registry claims a " +
+             std::string(core::profileName(guest.vendor)) +
+             " guest but hardware deception is disabled: sysinfo answers "
+             "come from the host",
+         guest.vendor});
+    return;
+  }
+  // A registry-certified VM guest with workstation-class hardware numbers
+  // is its own fingerprint: public sandboxes are small by construction.
+  const core::HardwareDeception& hw = config.hardware;
+  if (hw.cpuCores > 2 || hw.ramBytes > (4ULL << 30) ||
+      hw.diskTotalBytes > (128ULL << 30))
+    report.findings.push_back(
+        {LintKind::kHardwareContradiction, guest.resource,
+         "registry claims a " +
+             std::string(core::profileName(guest.vendor)) +
+             " guest but the hardware story is workstation-class: cores=" +
+             std::to_string(hw.cpuCores) + " ramBytes=" +
+             std::to_string(hw.ramBytes) + " diskTotalBytes=" +
+             std::to_string(hw.diskTotalBytes),
+         guest.vendor});
+}
+
+}  // namespace
+
+LintReport lintResourceDb(const core::ResourceDb& db,
+                          const core::Config& config) {
+  static const ObservedSurface surface = buildObservedSurface();
+  LintReport report;
+  lintDead(db, surface, report);
+  lintDuplicates(db, report);
+  lintShadowedKeys(db, report);
+  lintVendors(db, report);
+  lintHardware(db, config, report);
+  return report;
+}
+
+std::string lintJson(const LintReport& report) {
+  std::string out = "{\n";
+  out += "  \"entriesChecked\": " + std::to_string(report.entriesChecked) +
+         ",\n";
+  out += "  \"findings\": [\n";
+  for (std::size_t i = 0; i < report.findings.size(); ++i) {
+    const LintFinding& finding = report.findings[i];
+    out += "    {\"kind\": \"" + std::string(lintKindName(finding.kind)) +
+           "\", \"resource\": \"" + jsonEscape(finding.resource) +
+           "\", \"profile\": \"" + core::profileName(finding.profile) +
+           "\", \"detail\": \"" + jsonEscape(finding.detail) + "\"}";
+    out += i + 1 == report.findings.size() ? "\n" : ",\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+}  // namespace scarecrow::analysis

@@ -1,0 +1,70 @@
+// Resource-database linter.
+//
+// The coverage engine proves what a database *does*; the linter proves
+// what it should not do. Four rule families:
+//
+//   kDeadResource         the entry is observed by no modeled technique or
+//                         fingerprint probe — it serves nobody (it may
+//                         still be a deliberate forward-deployed decoy;
+//                         tests waive those explicitly)
+//   kDuplicateEntry       the same artifact is stored twice (processes and
+//                         windows are kept as lists, so duplicates survive
+//                         insertion and double-populate snapshots)
+//   kShadowedKey          a stored registry key is a strict descendant of
+//                         another stored key: existence probes are already
+//                         answered by the ancestor, and the two may
+//                         attribute alerts to different profiles
+//   kVendorContradiction  artifacts of two different VM vendors coexist —
+//                         the Section VI-B cross-vendor check would catch
+//                         the deployment (core::vendorConflicts names the
+//                         offending profile pair)
+//   kHardwareContradiction the registry claims a VM guest while the
+//                         hardware channel denies it: vendor BIOS strings
+//                         with the hardware category disabled, or with
+//                         workstation-class core/RAM/disk numbers
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/resource_db.h"
+
+namespace scarecrow::analysis {
+
+enum class LintKind : std::uint8_t {
+  kDeadResource,
+  kDuplicateEntry,
+  kShadowedKey,
+  kVendorContradiction,
+  kHardwareContradiction,
+};
+
+const char* lintKindName(LintKind kind) noexcept;
+
+struct LintFinding {
+  LintKind kind{};
+  std::string resource;
+  std::string detail;
+  core::Profile profile = core::Profile::kGeneric;
+};
+
+struct LintReport {
+  std::vector<LintFinding> findings;
+  std::size_t entriesChecked = 0;
+
+  bool clean() const noexcept { return findings.empty(); }
+  std::vector<LintFinding> of(LintKind kind) const;
+  std::size_t countOf(LintKind kind) const noexcept;
+};
+
+/// Lints the database against the observed surface of the technique
+/// library and the fingerprint suites, plus the config's hardware story.
+LintReport lintResourceDb(const core::ResourceDb& db,
+                          const core::Config& config = {});
+
+/// Deterministic JSON rendering of the findings.
+std::string lintJson(const LintReport& report);
+
+}  // namespace scarecrow::analysis

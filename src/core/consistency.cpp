@@ -10,8 +10,9 @@ using winapi::Api;
 namespace {
 
 void check(ConsistencyReport& report, const std::string& resource,
-           bool condition, const std::string& detail) {
-  if (!condition) report.findings.push_back({resource, detail});
+           bool condition, const std::string& detail,
+           Profile profile = Profile::kGeneric) {
+  if (!condition) report.findings.push_back({resource, detail, profile});
 }
 
 bool deviceNamespace(const std::string& path) {
@@ -25,7 +26,7 @@ ConsistencyReport auditDeceptionConsistency(Api& api, const ResourceDb& db) {
   ConsistencyReport report;
 
   // ---- files: every stored file must exist on all three query channels ---
-  db.forEachFile([&](const std::string& path, Profile) {
+  db.forEachFile([&](const std::string& path, Profile profile) {
     if (deviceNamespace(path)) return;  // out of user-level scope by design
     ++report.filesChecked;
     const bool attrs =
@@ -35,21 +36,23 @@ ConsistencyReport auditDeceptionConsistency(Api& api, const ResourceDb& db) {
     check(report, path, attrs && ntAttrs && open,
           std::string("file channels disagree: GetFileAttributes=") +
               (attrs ? "1" : "0") + " NtQueryAttributesFile=" +
-              (ntAttrs ? "1" : "0") + " CreateFile=" + (open ? "1" : "0"));
+              (ntAttrs ? "1" : "0") + " CreateFile=" + (open ? "1" : "0"),
+          profile);
   });
 
   // ---- registry keys: Win32 and Nt open paths agree, parents open --------
-  db.forEachRegistryKey([&](const std::string& path, Profile) {
+  db.forEachRegistryKey([&](const std::string& path, Profile profile) {
     ++report.registryKeysChecked;
     const bool win32 = winapi::ok(api.RegOpenKeyEx(path));
     const bool nt = winapi::ok(api.NtOpenKeyEx(path));
     check(report, path, win32 && nt,
           std::string("RegOpenKeyEx=") + (win32 ? "1" : "0") +
-              " NtOpenKeyEx=" + (nt ? "1" : "0"));
+              " NtOpenKeyEx=" + (nt ? "1" : "0"),
+          profile);
     const std::string parent = support::parentPath(path);
     if (parent != path && parent.find('\\') != std::string::npos)
       check(report, path, winapi::ok(api.RegOpenKeyEx(parent)),
-            "key exists but parent '" + parent + "' does not open");
+            "key exists but parent '" + parent + "' does not open", profile);
   });
 
   // ---- registry values: served value matches DB, its key opens -----------
@@ -63,16 +66,16 @@ ConsistencyReport auditDeceptionConsistency(Api& api, const ResourceDb& db) {
     const bool nt =
         winapi::ok(api.NtQueryValueKey(keyPath, valueName, ntOut));
     check(report, keyPath + "!" + valueName, win32 && nt,
-          "value not served on both query channels");
+          "value not served on both query channels", expected.profile);
     if (win32 && nt)
       check(report, keyPath + "!" + valueName,
             win32Out.str == expected.value.str &&
                 ntOut.str == expected.value.str &&
                 win32Out.num == expected.value.num,
-            "served value does not match the database");
+            "served value does not match the database", expected.profile);
     check(report, keyPath + "!" + valueName,
           winapi::ok(api.RegOpenKeyEx(keyPath)),
-          "value served but its key does not open");
+          "value served but its key does not open", expected.profile);
   });
 
   // ---- processes: snapshot presence, and kills must "succeed" ------------
@@ -83,10 +86,11 @@ ConsistencyReport auditDeceptionConsistency(Api& api, const ResourceDb& db) {
     for (const auto& e : snapshot)
       if (iequals(e.imageName, fake.imageName)) entry = &e;
     check(report, fake.imageName, entry != nullptr,
-          "fake process missing from Toolhelp snapshot");
+          "fake process missing from Toolhelp snapshot", fake.profile);
     if (entry != nullptr)
       check(report, fake.imageName, api.TerminateProcess(entry->pid, 1),
-            "TerminateProcess on protected process reported failure");
+            "TerminateProcess on protected process reported failure",
+            fake.profile);
   }
   // After all the "kills", the processes must still be enumerable.
   const auto after = api.CreateToolhelp32Snapshot();
@@ -95,14 +99,14 @@ ConsistencyReport auditDeceptionConsistency(Api& api, const ResourceDb& db) {
     for (const auto& e : after)
       if (iequals(e.imageName, fake.imageName)) present = true;
     check(report, fake.imageName, present,
-          "protected process vanished after TerminateProcess");
+          "protected process vanished after TerminateProcess", fake.profile);
   }
 
   // ---- DLLs: GetModuleHandle reports every stored module loaded ----------
-  db.forEachDll([&](const std::string& name, Profile) {
+  db.forEachDll([&](const std::string& name, Profile profile) {
     ++report.dllsChecked;
     check(report, name, api.GetModuleHandleA(name),
-          "deceptive DLL not visible via GetModuleHandle");
+          "deceptive DLL not visible via GetModuleHandle", profile);
   });
 
   // ---- windows: FindWindow by class and by title must both hit ------------
@@ -114,7 +118,8 @@ ConsistencyReport auditDeceptionConsistency(Api& api, const ResourceDb& db) {
         window.title.empty() || api.FindWindowA("", window.title);
     check(report, window.className, byClass && byTitle,
           std::string("window channels disagree: byClass=") +
-              (byClass ? "1" : "0") + " byTitle=" + (byTitle ? "1" : "0"));
+              (byClass ? "1" : "0") + " byTitle=" + (byTitle ? "1" : "0"),
+          window.profile);
   }
 
   return report;

@@ -24,6 +24,9 @@ namespace scarecrow::core {
 struct ConsistencyFinding {
   std::string resource;
   std::string detail;  // which channels disagreed and how
+  /// The deception profile that owns the contradicting resource, so audits
+  /// can attribute findings to the artifact set that introduced them.
+  Profile profile = Profile::kGeneric;
 };
 
 struct ConsistencyReport {

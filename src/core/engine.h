@@ -58,6 +58,11 @@ class DeceptionEngine {
   /// wear-and-tear extension and the propagation/decoy hooks).
   std::size_t hookedApiCount() const;
 
+  /// The exact ApiId set installInto() would hook under this configuration.
+  /// The static coverage analyzer gates footprint probes on this set, so
+  /// its reachability matrix can never disagree with the real install.
+  std::set<winapi::ApiId> hookedApiIds() const { return hookedIds(); }
+
   /// The paper's headline figure: the 29 APIs hooked to serve deceptive
   /// resources — excluding the wear-and-tear extension, the CreateProcess/
   /// ShellExecuteEx injection-propagation hooks, and the prologue-only

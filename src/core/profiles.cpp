@@ -98,12 +98,14 @@ ResourceDb buildProfileDb(SandboxProfile profile) {
   return db;
 }
 
-bool vendorConsistent(const ResourceDb& db) {
-  std::set<Profile> vendors;
-  auto note = [&vendors](Profile p) {
-    if (p == Profile::kVMware || p == Profile::kVirtualBox ||
-        p == Profile::kQemu || p == Profile::kBochs)
-      vendors.insert(p);
+std::vector<VendorEvidence> collectVendorEvidence(const ResourceDb& db) {
+  std::vector<VendorEvidence> evidence;
+  std::set<Profile> seen;
+  auto note = [&evidence, &seen](Profile p, const char* resource) {
+    if (p != Profile::kVMware && p != Profile::kVirtualBox &&
+        p != Profile::kQemu && p != Profile::kBochs)
+      return;
+    if (seen.insert(p).second) evidence.push_back({p, resource});
   };
   // Probe the vendor-identifying artifacts each profile could carry.
   struct KeyProbe {
@@ -115,7 +117,7 @@ bool vendorConsistent(const ResourceDb& db) {
       {"SOFTWARE\\Oracle\\VirtualBox Guest Additions", Profile::kVirtualBox},
   };
   for (const KeyProbe& probe : keyProbes)
-    if (db.matchRegistryKey(probe.path)) note(probe.vendor);
+    if (db.matchRegistryKey(probe.path)) note(probe.vendor, probe.path);
   struct FileProbe {
     const char* path;
     Profile vendor;
@@ -125,33 +127,51 @@ bool vendorConsistent(const ResourceDb& db) {
       {"C:\\Windows\\System32\\drivers\\VBoxMouse.sys", Profile::kVirtualBox},
   };
   for (const FileProbe& probe : fileProbes)
-    if (db.matchFile(probe.path)) note(probe.vendor);
+    if (db.matchFile(probe.path)) note(probe.vendor, probe.path);
+  const char* kBiosValue = "HARDWARE\\Description\\System!SystemBiosVersion";
   const auto bios =
       db.matchRegistryValue("HARDWARE\\Description\\System",
                             "SystemBiosVersion");
   if (bios.has_value()) {
     if (bios->value.str.find("VBOX") != std::string::npos)
-      note(Profile::kVirtualBox);
+      note(Profile::kVirtualBox, kBiosValue);
     if (bios->value.str.find("QEMU") != std::string::npos)
-      note(Profile::kQemu);
+      note(Profile::kQemu, kBiosValue);
     if (bios->value.str.find("BOCHS") != std::string::npos)
-      note(Profile::kBochs);
+      note(Profile::kBochs, kBiosValue);
     if (bios->value.str.find("VMware") != std::string::npos)
-      note(Profile::kVMware);
+      note(Profile::kVMware, kBiosValue);
   }
+  const char* kScsiValue =
+      "HARDWARE\\DEVICEMAP\\Scsi\\Scsi Port 0\\Scsi Bus 0\\Target Id 0\\"
+      "Logical Unit Id 0!Identifier";
   const auto scsi = db.matchRegistryValue(
       "HARDWARE\\DEVICEMAP\\Scsi\\Scsi Port 0\\Scsi Bus 0\\Target Id 0\\"
       "Logical Unit Id 0",
       "Identifier");
   if (scsi.has_value()) {
     if (scsi->value.str.find("QEMU") != std::string::npos)
-      note(Profile::kQemu);
+      note(Profile::kQemu, kScsiValue);
     if (scsi->value.str.find("VMware") != std::string::npos)
-      note(Profile::kVMware);
+      note(Profile::kVMware, kScsiValue);
     if (scsi->value.str.find("VBOX") != std::string::npos)
-      note(Profile::kVirtualBox);
+      note(Profile::kVirtualBox, kScsiValue);
   }
-  return vendors.size() <= 1;
+  return evidence;
+}
+
+std::vector<VendorConflict> vendorConflicts(const ResourceDb& db) {
+  const std::vector<VendorEvidence> evidence = collectVendorEvidence(db);
+  std::vector<VendorConflict> conflicts;
+  for (std::size_t i = 0; i < evidence.size(); ++i)
+    for (std::size_t j = i + 1; j < evidence.size(); ++j)
+      if (vmVendorConflict(evidence[i].vendor, evidence[j].vendor))
+        conflicts.push_back({evidence[i], evidence[j]});
+  return conflicts;
+}
+
+bool vendorConsistent(const ResourceDb& db) {
+  return vendorConflicts(db).empty();
 }
 
 }  // namespace scarecrow::core

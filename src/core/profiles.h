@@ -34,6 +34,29 @@ inline constexpr SandboxProfile kAllSandboxProfiles[] = {
 /// Builds a single-coherent-sandbox deception database.
 ResourceDb buildProfileDb(SandboxProfile profile);
 
+/// One vendor-certifying artifact found in a database: the concrete
+/// resource (key, file, or "key!value" string) that claims the vendor.
+struct VendorEvidence {
+  Profile vendor = Profile::kGeneric;
+  std::string resource;
+};
+
+/// A pair of artifacts claiming two *different* VM vendors — the
+/// contradiction the Section VI-B cross-vendor check exploits.
+struct VendorConflict {
+  VendorEvidence first;
+  VendorEvidence second;
+};
+
+/// Probes the vendor-identifying artifacts (tool keys, driver files, BIOS
+/// and SCSI identifier strings) and returns one evidence entry per distinct
+/// VM vendor the database claims, in probe order.
+std::vector<VendorEvidence> collectVendorEvidence(const ResourceDb& db);
+
+/// Every conflicting vendor pair, in evidence order. Empty means the
+/// database would survive the cross-vendor consistency check.
+std::vector<VendorConflict> vendorConflicts(const ResourceDb& db);
+
 /// True if the database contains artifacts of at most one VM vendor —
 /// i.e. it would survive the Section VI-B cross-vendor consistency check.
 bool vendorConsistent(const ResourceDb& db);

@@ -82,6 +82,10 @@ std::string renderIncidentReport(const std::string& sampleId,
     out += '\n';
     out += renderTelemetryReport(outcome.telemetry, options);
   }
+  for (const std::string& section : options.appendixSections) {
+    out += '\n';
+    out += section;
+  }
   return out;
 }
 

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "core/attribution.h"
 #include "core/controller.h"
@@ -23,6 +24,9 @@ struct ReportOptions {
   std::size_t maxHotHooks = 8;
   /// Appends the telemetry section when the outcome carries a snapshot.
   bool includeTelemetry = true;
+  /// Extra pre-rendered Markdown sections appended after the telemetry
+  /// (e.g. analysis::renderCoverageSection's static-coverage appendix).
+  std::vector<std::string> appendixSections;
 };
 
 /// Renders a full ±Scarecrow evaluation (offline analysis report).

@@ -120,6 +120,9 @@ class ResourceDb {
   // ---- statistics ---------------------------------------------------------
   std::size_t fileCount() const noexcept { return files_.size(); }
   std::size_t registryKeyCount() const noexcept { return registryKeys_.size(); }
+  std::size_t registryValueCount() const noexcept {
+    return registryValues_.size();
+  }
   std::size_t processCount() const noexcept { return processes_.size(); }
   std::size_t dllCount() const noexcept { return dlls_.size(); }
   std::size_t windowCount() const noexcept { return windows_.size(); }

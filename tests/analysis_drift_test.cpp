@@ -1,0 +1,176 @@
+// Drift gate: the static coverage analyzer must agree with the dynamic
+// machinery it models. Two layers:
+//
+//   1. Technique level — for the default database and each coherent
+//      sandbox profile, install the real engine hooks into a process and
+//      check probeEnvironment() fires exactly where the static verdict
+//      says kFires (every hookable technique; the documented unhookable
+//      channels stay kUnhookable).
+//   2. Corpus level — run the Table I corpus through the dynamic
+//      EvaluationHarness and check the end-to-end deactivation verdict
+//      and first trigger match the static prediction for the sample's
+//      technique disjunction.
+//
+// If a technique's probe logic, the engine's hook set, or the databases
+// drift from the footprint table, this is the test that breaks.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "analysis/coverage.h"
+#include "core/engine.h"
+#include "core/eval.h"
+#include "core/profiles.h"
+#include "env/environments.h"
+#include "malware/joe.h"
+#include "malware/techniques.h"
+
+namespace {
+
+using namespace scarecrow;
+using analysis::Verdict;
+using malware::Technique;
+
+struct DbCase {
+  std::string name;
+  std::function<core::ResourceDb()> build;
+};
+
+std::vector<DbCase> allDatabases() {
+  std::vector<DbCase> cases;
+  cases.push_back({"default", [] { return core::buildDefaultResourceDb(); }});
+  for (core::SandboxProfile profile : core::kAllSandboxProfiles)
+    cases.push_back({core::sandboxProfileName(profile),
+                     [profile] { return core::buildProfileDb(profile); }});
+  return cases;
+}
+
+class StaticDynamicDrift : public ::testing::TestWithParam<int> {};
+
+TEST_P(StaticDynamicDrift, TechniqueVerdictsMatchHookFirings) {
+  const DbCase dbCase =
+      allDatabases()[static_cast<std::size_t>(GetParam())];
+  const core::ResourceDb db = dbCase.build();
+  const auto report = analysis::analyzeCoverage(db);
+
+  auto machine = env::buildBareMetalSandbox();
+  winapi::UserSpace userspace;
+  winsys::Process& proc =
+      machine->processes().create("C:\\s\\probe.exe", 0, "", 4);
+  machine->vfs().createFile("C:\\s\\probe.exe", 1 << 20);
+  core::DeceptionEngine engine({}, dbCase.build());
+  winapi::Api api(*machine, userspace, proc.pid);
+  engine.installInto(api);
+
+  for (std::size_t i = 0; i < malware::kTechniqueCount; ++i) {
+    const auto technique = static_cast<Technique>(i);
+    const Verdict verdict = report.of(technique).verdict;
+    if (verdict == Verdict::kUnknown) continue;  // launch-context dependent
+
+    // The two documented blind spots — and only them — are unhookable.
+    EXPECT_EQ(verdict == Verdict::kUnhookable,
+              malware::unhookableTechnique(technique))
+        << malware::techniqueName(technique) << " on " << dbCase.name;
+
+    // kFires must fire through the real hooks; kMisses and kUnhookable
+    // must see the (silent) bare-metal substrate.
+    EXPECT_EQ(malware::probeEnvironment(api, technique),
+              verdict == Verdict::kFires)
+        << malware::techniqueName(technique) << " on " << dbCase.name
+        << " (static verdict " << analysis::verdictName(verdict) << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDatabases, StaticDynamicDrift, ::testing::Range(0, 5),
+    [](const ::testing::TestParamInfo<int>& info) {
+      std::string name =
+          allDatabases()[static_cast<std::size_t>(info.param)].name;
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+// ---- corpus level ---------------------------------------------------------
+
+struct CorpusFixtureState {
+  std::unique_ptr<winsys::Machine> machine;
+  malware::ProgramRegistry registry;
+  std::vector<malware::JoeExpectation> expected;
+  std::unique_ptr<core::EvaluationHarness> harness;
+};
+
+CorpusFixtureState& corpusState() {
+  static CorpusFixtureState* state = [] {
+    auto* s = new CorpusFixtureState;
+    s->machine = env::buildBareMetalSandbox();
+    s->expected = malware::registerJoeSamples(s->registry);
+    s->harness = std::make_unique<core::EvaluationHarness>(*s->machine);
+    return s;
+  }();
+  return *state;
+}
+
+/// Static prediction for one sample: the first technique of the
+/// disjunction that fires decides deactivation and the first trigger.
+struct Prediction {
+  bool deactivated = false;
+  std::string trigger;
+};
+
+Prediction predictFromCoverage(const analysis::CoverageReport& coverage,
+                               const malware::SampleSpec& spec) {
+  for (Technique technique : spec.techniques) {
+    const auto& tc = coverage.of(technique);
+    if (tc.verdict == Verdict::kFires)
+      return {true, tc.predictedTrigger};
+  }
+  return {false, ""};
+}
+
+TEST(CorpusDrift, TableIVerdictsMatchStaticPredictionPerDatabase) {
+  CorpusFixtureState& state = corpusState();
+  for (const DbCase& dbCase : allDatabases()) {
+    const auto coverage = analysis::analyzeCoverage(dbCase.build());
+    state.harness->setResourceDbFactory(dbCase.build);
+
+    for (const malware::JoeExpectation& row : state.expected) {
+      const malware::SampleSpec* spec =
+          state.registry.findSpec(row.idPrefix + ".exe");
+      ASSERT_NE(spec, nullptr) << row.idPrefix;
+      const Prediction predicted = predictFromCoverage(coverage, *spec);
+
+      const core::EvalOutcome outcome = state.harness->evaluate(
+          {.sampleId = row.idPrefix,
+           .imagePath = "C:\\submissions\\" + row.idPrefix + ".exe",
+           .factory = state.registry.factory()});
+
+      EXPECT_EQ(outcome.verdict.deactivated, predicted.deactivated)
+          << row.idPrefix << " on " << dbCase.name;
+      if (predicted.deactivated && !predicted.trigger.empty())
+        EXPECT_EQ(outcome.verdict.firstTrigger, predicted.trigger)
+            << row.idPrefix << " on " << dbCase.name;
+    }
+  }
+  // Restore the default factory for any later user of the shared harness.
+  state.harness->setResourceDbFactory({});
+}
+
+TEST(CorpusDrift, DefaultDatabasePredictionMatchesTableIItself) {
+  CorpusFixtureState& state = corpusState();
+  const auto coverage =
+      analysis::analyzeCoverage(core::buildDefaultResourceDb());
+  for (const malware::JoeExpectation& row : state.expected) {
+    const malware::SampleSpec* spec =
+        state.registry.findSpec(row.idPrefix + ".exe");
+    ASSERT_NE(spec, nullptr) << row.idPrefix;
+    const Prediction predicted = predictFromCoverage(coverage, *spec);
+    EXPECT_EQ(predicted.deactivated, row.deactivated) << row.idPrefix;
+    EXPECT_EQ(predicted.trigger.empty() ? "N/A" : predicted.trigger,
+              row.trigger)
+        << row.idPrefix;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,421 @@
+// Golden renderings of the static coverage analysis: the full verdict +
+// reachability-matrix JSON for the default database, and the compact
+// verdict tables for every coherent sandbox profile. These pin the
+// analyzer's output byte-for-byte — a diff here means either the
+// databases, the technique footprints, or the engine's hook surface
+// changed, and the change should be reviewed against the paper's tables.
+//
+// Regenerate by printing analysis::coverageJson / the verdict lines for
+// the affected database and pasting the output.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analysis/coverage.h"
+#include "core/profiles.h"
+
+namespace {
+
+using namespace scarecrow;
+
+constexpr const char* kDefaultCoverageJson = R"json({
+  "summary": {"fires": 26, "misses": 0, "unhookable": 2, "unknown": 1},
+  "techniques": [
+    {
+      "technique": "vmware-tools-registry",
+      "verdict": "fires",
+      "trigger": "NtOpenKeyEx()",
+      "detail": "SOFTWARE\\VMware, Inc.\\VMware Tools",
+      "profiles": ["vmware"],
+      "apis": [{"name": "NtOpenKeyEx", "hooked": true}]
+    },
+    {
+      "technique": "ide-enum-registry",
+      "verdict": "fires",
+      "trigger": "NtOpenKeyEx()",
+      "detail": "SYSTEM\\CurrentControlSet\\Enum\\IDE\\DiskVBOX_HARDDISK___________________________1.0_____",
+      "profiles": ["virtualbox"],
+      "apis": [{"name": "NtOpenKeyEx", "hooked": true}]
+    },
+    {
+      "technique": "bios-version-value",
+      "verdict": "fires",
+      "trigger": "NtQueryValueKey()",
+      "detail": "HARDWARE\\Description\\System!SystemBiosVersion = \"VBOX   - 1 BOCHS - 1\"",
+      "profiles": ["virtualbox"],
+      "apis": [{"name": "NtQueryValueKey", "hooked": true}]
+    },
+    {
+      "technique": "vm-driver-files",
+      "verdict": "fires",
+      "trigger": "NtQueryAttributesFile()",
+      "detail": "C:\\Windows\\System32\\drivers\\vmmouse.sys",
+      "profiles": ["vmware"],
+      "apis": [{"name": "NtQueryAttributesFile", "hooked": true}]
+    },
+    {
+      "technique": "vbox-guest-additions",
+      "verdict": "fires",
+      "trigger": "RegOpenKeyEx()",
+      "detail": "SOFTWARE\\Oracle\\VirtualBox Guest Additions",
+      "profiles": ["virtualbox"],
+      "apis": [{"name": "RegOpenKeyEx", "hooked": true}]
+    },
+    {
+      "technique": "sandbox-folder",
+      "verdict": "fires",
+      "trigger": "GetFileAttributes()",
+      "detail": "C:\\sandbox",
+      "profiles": ["generic"],
+      "apis": [{"name": "GetFileAttributes", "hooked": true}]
+    },
+    {
+      "technique": "isdebuggerpresent",
+      "verdict": "fires",
+      "trigger": "IsDebuggerPresent()",
+      "detail": "PEB!BeingDebugged",
+      "profiles": [],
+      "apis": [{"name": "IsDebuggerPresent", "hooked": true}]
+    },
+    {
+      "technique": "checkremotedebugger",
+      "verdict": "fires",
+      "trigger": "CheckRemoteDebuggerPresent()",
+      "detail": "DebugPort (remote)",
+      "profiles": [],
+      "apis": [{"name": "CheckRemoteDebuggerPresent", "hooked": true}]
+    },
+    {
+      "technique": "debug-port-query",
+      "verdict": "fires",
+      "trigger": "NtQueryInformationProcess()",
+      "detail": "ProcessInfoClass::DebugPort",
+      "profiles": [],
+      "apis": [{"name": "NtQueryInformationProcess", "hooked": true}]
+    },
+    {
+      "technique": "debugger-window",
+      "verdict": "fires",
+      "trigger": "FindWindow()",
+      "detail": "OLLYDBG",
+      "profiles": ["debugger"],
+      "apis": [{"name": "FindWindow", "hooked": true}]
+    },
+    {
+      "technique": "sandbox-module",
+      "verdict": "fires",
+      "trigger": "GetModuleHandleA()",
+      "detail": "SbieDll.dll",
+      "profiles": ["sandboxie"],
+      "apis": [{"name": "GetModuleHandle", "hooked": true}]
+    },
+    {
+      "technique": "analysis-process-scan",
+      "verdict": "fires",
+      "trigger": "CreateToolhelp32Snapshot()",
+      "detail": "wireshark.exe",
+      "profiles": ["debugger"],
+      "apis": [{"name": "CreateToolhelp32Snapshot", "hooked": true}]
+    },
+    {
+      "technique": "inline-hook-scan",
+      "verdict": "fires",
+      "trigger": "Hook detection",
+      "detail": "CreateProcess prologue patched",
+      "profiles": [],
+      "apis": [{"name": "RegOpenKeyEx", "hooked": true}, {"name": "DeleteFile", "hooked": true}, {"name": "CreateProcess", "hooked": true}]
+    },
+    {
+      "technique": "low-memory",
+      "verdict": "fires",
+      "trigger": "GlobalMemoryStatusEx()",
+      "detail": "hardware.ramBytes = 1073741824 (predicate < 2147483648)",
+      "profiles": [],
+      "apis": [{"name": "GlobalMemoryStatusEx", "hooked": true}]
+    },
+    {
+      "technique": "few-cores",
+      "verdict": "fires",
+      "trigger": "GetSystemInfo()",
+      "detail": "hardware.cpuCores = 1 (predicate < 2)",
+      "profiles": [],
+      "apis": [{"name": "GetSystemInfo", "hooked": true}]
+    },
+    {
+      "technique": "small-disk",
+      "verdict": "fires",
+      "trigger": "GetDiskFreeSpaceEx()",
+      "detail": "hardware.diskTotalBytes = 53687091200 (predicate < 64424509440)",
+      "profiles": [],
+      "apis": [{"name": "GetDiskFreeSpaceEx", "hooked": true}]
+    },
+    {
+      "technique": "low-uptime",
+      "verdict": "fires",
+      "trigger": "GetTickCount()",
+      "detail": "identity.fakeUptimeMs = 120000 (predicate < 600000)",
+      "profiles": [],
+      "apis": [{"name": "GetTickCount", "hooked": true}]
+    },
+    {
+      "technique": "sleep-patch-probe",
+      "verdict": "fires",
+      "trigger": "GetTickCount()",
+      "detail": "identity.sleepPercent = 10 (predicate < 90)",
+      "profiles": [],
+      "apis": [{"name": "GetTickCount", "hooked": true}, {"name": "Sleep", "hooked": true}]
+    },
+    {
+      "technique": "exception-timing-probe",
+      "verdict": "fires",
+      "trigger": "",
+      "detail": "identity.exceptionLatencyCycles = 150000 (predicate > 50000)",
+      "profiles": [],
+      "apis": [{"name": "RaiseException", "hooked": true}]
+    },
+    {
+      "technique": "sandbox-username",
+      "verdict": "fires",
+      "trigger": "GetUserName()",
+      "detail": "identity.userName = \"cuckoo\"",
+      "profiles": [],
+      "apis": [{"name": "GetUserName", "hooked": true}]
+    },
+    {
+      "technique": "own-image-name",
+      "verdict": "fires",
+      "trigger": "The name of malware",
+      "detail": "identity.ownImagePath = \"C:\\sandbox\\sample.exe\"",
+      "profiles": [],
+      "apis": [{"name": "GetModuleFileName", "hooked": true}]
+    },
+    {
+      "technique": "parent-not-explorer",
+      "verdict": "unknown",
+      "trigger": "",
+      "detail": "parent-process identity (launch context)",
+      "profiles": [],
+      "apis": [{"name": "CreateToolhelp32Snapshot", "hooked": true}, {"name": "NtQueryInformationProcess", "hooked": true}]
+    },
+    {
+      "technique": "nx-domain-resolves",
+      "verdict": "fires",
+      "trigger": "DnsQuery()",
+      "detail": "xkcjahdquwez.info -> sinkhole 10.0.0.1",
+      "profiles": [],
+      "apis": [{"name": "DnsQuery", "hooked": true}]
+    },
+    {
+      "technique": "kill-switch-http",
+      "verdict": "fires",
+      "trigger": "InternetOpenUrl()",
+      "detail": "www.iuqerfsodp9ifjaposdfjhgosurijfaewrwergwea.com -> sinkhole 10.0.0.1",
+      "profiles": [],
+      "apis": [{"name": "InternetOpenUrl", "hooked": true}]
+    },
+    {
+      "technique": "dga-sinkhole",
+      "verdict": "fires",
+      "trigger": "DnsQuery()",
+      "detail": "jjhpvgscbvmr.net -> sinkhole 10.0.0.1",
+      "profiles": [],
+      "apis": [{"name": "DnsQuery", "hooked": true}]
+    },
+    {
+      "technique": "nt-system-info-probe",
+      "verdict": "fires",
+      "trigger": "NtQuerySystemInformation()",
+      "detail": "hardware.cpuCores = 1 (predicate < 2)",
+      "profiles": [],
+      "apis": [{"name": "NtQuerySystemInformation", "hooked": true}]
+    },
+    {
+      "technique": "peb-processor-count",
+      "verdict": "unhookable",
+      "trigger": "",
+      "detail": "PEB!NumberOfProcessors (kernel extension off)",
+      "profiles": [],
+      "apis": []
+    },
+    {
+      "technique": "rdtsc-vmexit",
+      "verdict": "unhookable",
+      "trigger": "",
+      "detail": "rdtsc/cpuid/rdtsc (kernel extension off)",
+      "profiles": [],
+      "apis": []
+    },
+    {
+      "technique": "wear-and-tear-probe",
+      "verdict": "fires",
+      "trigger": "NtQueryKey()",
+      "detail": "wearTear.autoRunEntries = 3 (predicate <= 3)",
+      "profiles": [],
+      "apis": [{"name": "NtQueryKey", "hooked": true}]
+    }
+  ]
+}
+)json";
+
+std::string verdictTable(const analysis::CoverageReport& report) {
+  std::string out;
+  for (const auto& t : report.techniques) {
+    out += malware::techniqueName(t.technique);
+    out += ' ';
+    out += analysis::verdictName(t.verdict);
+    if (!t.predictedTrigger.empty()) {
+      out += ' ';
+      out += t.predictedTrigger;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+TEST(CoverageGolden, DefaultDatabaseFullMatrixJson) {
+  EXPECT_EQ(analysis::coverageJson(
+                analysis::analyzeCoverage(core::buildDefaultResourceDb())),
+            kDefaultCoverageJson);
+}
+
+TEST(CoverageGolden, CuckooVirtualBoxVerdictTable) {
+  EXPECT_EQ(verdictTable(analysis::analyzeCoverage(
+                core::buildProfileDb(core::SandboxProfile::kCuckooVirtualBox))),
+            R"json(vmware-tools-registry misses
+ide-enum-registry misses
+bios-version-value fires NtQueryValueKey()
+vm-driver-files fires NtQueryAttributesFile()
+vbox-guest-additions fires RegOpenKeyEx()
+sandbox-folder fires GetFileAttributes()
+isdebuggerpresent fires IsDebuggerPresent()
+checkremotedebugger fires CheckRemoteDebuggerPresent()
+debug-port-query fires NtQueryInformationProcess()
+debugger-window fires FindWindow()
+sandbox-module fires GetModuleHandleA()
+analysis-process-scan fires CreateToolhelp32Snapshot()
+inline-hook-scan fires Hook detection
+low-memory fires GlobalMemoryStatusEx()
+few-cores fires GetSystemInfo()
+small-disk fires GetDiskFreeSpaceEx()
+low-uptime fires GetTickCount()
+sleep-patch-probe fires GetTickCount()
+exception-timing-probe fires
+sandbox-username fires GetUserName()
+own-image-name fires The name of malware
+parent-not-explorer unknown
+nx-domain-resolves fires DnsQuery()
+kill-switch-http fires InternetOpenUrl()
+dga-sinkhole fires DnsQuery()
+nt-system-info-probe fires NtQuerySystemInformation()
+peb-processor-count unhookable
+rdtsc-vmexit unhookable
+wear-and-tear-probe fires NtQueryKey()
+)json");
+}
+
+TEST(CoverageGolden, VMwareAnalystVerdictTable) {
+  EXPECT_EQ(verdictTable(analysis::analyzeCoverage(
+                core::buildProfileDb(core::SandboxProfile::kVMwareAnalyst))),
+            R"json(vmware-tools-registry fires NtOpenKeyEx()
+ide-enum-registry misses
+bios-version-value misses
+vm-driver-files fires NtQueryAttributesFile()
+vbox-guest-additions misses
+sandbox-folder fires GetFileAttributes()
+isdebuggerpresent fires IsDebuggerPresent()
+checkremotedebugger fires CheckRemoteDebuggerPresent()
+debug-port-query fires NtQueryInformationProcess()
+debugger-window fires FindWindow()
+sandbox-module fires GetModuleHandleA()
+analysis-process-scan fires CreateToolhelp32Snapshot()
+inline-hook-scan fires Hook detection
+low-memory fires GlobalMemoryStatusEx()
+few-cores fires GetSystemInfo()
+small-disk fires GetDiskFreeSpaceEx()
+low-uptime fires GetTickCount()
+sleep-patch-probe fires GetTickCount()
+exception-timing-probe fires
+sandbox-username fires GetUserName()
+own-image-name fires The name of malware
+parent-not-explorer unknown
+nx-domain-resolves fires DnsQuery()
+kill-switch-http fires InternetOpenUrl()
+dga-sinkhole fires DnsQuery()
+nt-system-info-probe fires NtQuerySystemInformation()
+peb-processor-count unhookable
+rdtsc-vmexit unhookable
+wear-and-tear-probe fires NtQueryKey()
+)json");
+}
+
+TEST(CoverageGolden, QemuAnubisVerdictTable) {
+  EXPECT_EQ(verdictTable(analysis::analyzeCoverage(
+                core::buildProfileDb(core::SandboxProfile::kQemuAnubis))),
+            R"json(vmware-tools-registry misses
+ide-enum-registry misses
+bios-version-value fires NtQueryValueKey()
+vm-driver-files misses
+vbox-guest-additions misses
+sandbox-folder fires GetFileAttributes()
+isdebuggerpresent fires IsDebuggerPresent()
+checkremotedebugger fires CheckRemoteDebuggerPresent()
+debug-port-query fires NtQueryInformationProcess()
+debugger-window fires FindWindow()
+sandbox-module fires GetModuleHandleA()
+analysis-process-scan fires CreateToolhelp32Snapshot()
+inline-hook-scan fires Hook detection
+low-memory fires GlobalMemoryStatusEx()
+few-cores fires GetSystemInfo()
+small-disk fires GetDiskFreeSpaceEx()
+low-uptime fires GetTickCount()
+sleep-patch-probe fires GetTickCount()
+exception-timing-probe fires
+sandbox-username fires GetUserName()
+own-image-name fires The name of malware
+parent-not-explorer unknown
+nx-domain-resolves fires DnsQuery()
+kill-switch-http fires InternetOpenUrl()
+dga-sinkhole fires DnsQuery()
+nt-system-info-probe fires NtQuerySystemInformation()
+peb-processor-count unhookable
+rdtsc-vmexit unhookable
+wear-and-tear-probe fires NtQueryKey()
+)json");
+}
+
+TEST(CoverageGolden, BareMetalForensicVerdictTable) {
+  EXPECT_EQ(verdictTable(analysis::analyzeCoverage(
+                core::buildProfileDb(core::SandboxProfile::kBareMetalForensic))),
+            R"json(vmware-tools-registry misses
+ide-enum-registry misses
+bios-version-value misses
+vm-driver-files misses
+vbox-guest-additions misses
+sandbox-folder fires GetFileAttributes()
+isdebuggerpresent fires IsDebuggerPresent()
+checkremotedebugger fires CheckRemoteDebuggerPresent()
+debug-port-query fires NtQueryInformationProcess()
+debugger-window fires FindWindow()
+sandbox-module fires GetModuleHandleA()
+analysis-process-scan fires CreateToolhelp32Snapshot()
+inline-hook-scan fires Hook detection
+low-memory fires GlobalMemoryStatusEx()
+few-cores fires GetSystemInfo()
+small-disk fires GetDiskFreeSpaceEx()
+low-uptime fires GetTickCount()
+sleep-patch-probe fires GetTickCount()
+exception-timing-probe fires
+sandbox-username fires GetUserName()
+own-image-name fires The name of malware
+parent-not-explorer unknown
+nx-domain-resolves fires DnsQuery()
+kill-switch-http fires InternetOpenUrl()
+dga-sinkhole fires DnsQuery()
+nt-system-info-probe fires NtQuerySystemInformation()
+peb-processor-count unhookable
+rdtsc-vmexit unhookable
+wear-and-tear-probe fires NtQueryKey()
+)json");
+}
+
+}  // namespace

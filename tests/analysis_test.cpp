@@ -1,0 +1,321 @@
+// Static deception-coverage analyzer: footprint table completeness, the
+// verdict lattice over the default database and the coherent profiles,
+// the resource-database linter, and the observability/report surfaces.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/coverage.h"
+#include "analysis/footprint.h"
+#include "analysis/lint.h"
+#include "core/engine.h"
+#include "core/profiles.h"
+#include "core/report.h"
+
+namespace {
+
+using namespace scarecrow;
+using analysis::LintKind;
+using analysis::Verdict;
+using malware::Technique;
+
+TEST(FootprintTable, CoversEveryTechniqueInEnumOrder) {
+  const auto& table = analysis::footprintTable();
+  ASSERT_EQ(table.size(), malware::kTechniqueCount);
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    EXPECT_EQ(static_cast<std::size_t>(table[i].technique), i);
+    EXPECT_FALSE(table[i].groups.empty())
+        << malware::techniqueName(table[i].technique);
+    for (const auto& group : table[i].groups)
+      EXPECT_FALSE(group.empty())
+          << malware::techniqueName(table[i].technique);
+  }
+}
+
+TEST(FootprintTable, HookableTechniquesDeclareHookedApis) {
+  const std::set<winapi::ApiId> hooked =
+      core::DeceptionEngine({}, core::ResourceDb{}).hookedApiIds();
+  for (const auto& footprint : analysis::footprintTable()) {
+    if (malware::unhookableTechnique(footprint.technique)) continue;
+    if (footprint.technique == Technique::kParentNotExplorer) continue;
+    bool anyHooked = false;
+    for (winapi::ApiId api : analysis::footprintApis(footprint.technique))
+      anyHooked = anyHooked || hooked.count(api) != 0;
+    EXPECT_TRUE(anyHooked) << malware::techniqueName(footprint.technique);
+  }
+}
+
+TEST(Coverage, DefaultDatabaseFiresEverythingHookable) {
+  const auto report = analysis::analyzeCoverage(core::buildDefaultResourceDb());
+  EXPECT_EQ(report.summary(), "fires=26 misses=0 unhookable=2 unknown=1");
+
+  const auto& bios = report.of(Technique::kBiosVersionValue);
+  EXPECT_EQ(bios.verdict, Verdict::kFires);
+  EXPECT_EQ(bios.predictedTrigger, "NtQueryValueKey()");
+  EXPECT_NE(bios.detail.find("VBOX"), std::string::npos) << bios.detail;
+  ASSERT_EQ(bios.servingProfiles.size(), 1u);
+  EXPECT_EQ(bios.servingProfiles[0], core::Profile::kVirtualBox);
+
+  EXPECT_EQ(report.of(Technique::kPebProcessorCount).verdict,
+            Verdict::kUnhookable);
+  EXPECT_EQ(report.of(Technique::kRdtscVmExit).verdict, Verdict::kUnhookable);
+  EXPECT_EQ(report.of(Technique::kParentNotExplorer).verdict,
+            Verdict::kUnknown);
+
+  // The silent SEH-latency hook fires but predicts no alert label.
+  const auto& seh = report.of(Technique::kExceptionTimingProbe);
+  EXPECT_EQ(seh.verdict, Verdict::kFires);
+  EXPECT_TRUE(seh.predictedTrigger.empty());
+}
+
+TEST(Coverage, KernelExtensionClosesTheUnhookableGaps) {
+  core::Config config;
+  config.kernel.enabled = true;
+  const auto report =
+      analysis::analyzeCoverage(core::buildDefaultResourceDb(), config);
+  EXPECT_EQ(report.of(Technique::kPebProcessorCount).verdict, Verdict::kFires);
+  EXPECT_EQ(report.of(Technique::kRdtscVmExit).verdict, Verdict::kFires);
+  EXPECT_EQ(report.summary(), "fires=28 misses=0 unhookable=0 unknown=1");
+}
+
+TEST(Coverage, CategoryAblationTurnsFiresIntoMisses) {
+  core::Config config;
+  config.softwareResources = false;
+  const auto report =
+      analysis::analyzeCoverage(core::buildDefaultResourceDb(), config);
+  EXPECT_EQ(report.of(Technique::kVMwareToolsRegistry).verdict,
+            Verdict::kMisses);
+  EXPECT_NE(report.of(Technique::kVMwareToolsRegistry).detail.find(
+                "not hooked"),
+            std::string::npos);
+  // Hardware deception is untouched by the software ablation.
+  EXPECT_EQ(report.of(Technique::kFewCores).verdict, Verdict::kFires);
+}
+
+TEST(Coverage, CoherentProfilesMissOnlyOtherVendorsArtifacts) {
+  struct Expected {
+    core::SandboxProfile profile;
+    std::string summary;
+  };
+  const Expected rows[] = {
+      {core::SandboxProfile::kCuckooVirtualBox,
+       "fires=24 misses=2 unhookable=2 unknown=1"},
+      {core::SandboxProfile::kVMwareAnalyst,
+       "fires=23 misses=3 unhookable=2 unknown=1"},
+      {core::SandboxProfile::kQemuAnubis,
+       "fires=22 misses=4 unhookable=2 unknown=1"},
+      {core::SandboxProfile::kBareMetalForensic,
+       "fires=21 misses=5 unhookable=2 unknown=1"},
+  };
+  for (const Expected& row : rows) {
+    const auto report =
+        analysis::analyzeCoverage(core::buildProfileDb(row.profile));
+    EXPECT_EQ(report.summary(), row.summary)
+        << core::sandboxProfileName(row.profile);
+    // Every config-driven technique fires regardless of artifact profile.
+    EXPECT_EQ(report.of(Technique::kIsDebuggerPresent).verdict,
+              Verdict::kFires);
+    EXPECT_EQ(report.of(Technique::kLowMemory).verdict, Verdict::kFires);
+    EXPECT_EQ(report.of(Technique::kSandboxUserName).verdict,
+              Verdict::kFires);
+  }
+  // The VMware analyst box genuinely misses the VirtualBox artifacts.
+  const auto vmware = analysis::analyzeCoverage(
+      core::buildProfileDb(core::SandboxProfile::kVMwareAnalyst));
+  EXPECT_EQ(vmware.of(Technique::kVBoxGuestAdditionsKey).verdict,
+            Verdict::kMisses);
+  EXPECT_EQ(vmware.of(Technique::kVMwareToolsRegistry).verdict,
+            Verdict::kFires);
+}
+
+TEST(Coverage, MatrixHookedBitsMatchTheEngineInstall) {
+  core::Config config;
+  config.networkResources = false;
+  const std::set<winapi::ApiId> hooked =
+      core::DeceptionEngine(config, core::ResourceDb{}).hookedApiIds();
+  const auto report =
+      analysis::analyzeCoverage(core::buildDefaultResourceDb(), config);
+  std::size_t edges = 0;
+  for (const auto& technique : report.techniques)
+    for (const auto& reach : technique.apis) {
+      ++edges;
+      EXPECT_EQ(reach.hooked, hooked.count(reach.api) != 0)
+          << malware::techniqueName(technique.technique) << " / "
+          << winapi::apiName(reach.api);
+    }
+  EXPECT_GT(edges, malware::kTechniqueCount);  // matrix is denser than 1:1
+  // With the network category off, the sinkhole techniques fall through.
+  EXPECT_EQ(report.of(Technique::kNxDomainResolves).verdict, Verdict::kMisses);
+}
+
+TEST(Coverage, JsonIsDeterministic) {
+  const auto db = core::buildDefaultResourceDb();
+  const std::string a = analysis::coverageJson(analysis::analyzeCoverage(db));
+  const std::string b = analysis::coverageJson(analysis::analyzeCoverage(db));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"summary\""), std::string::npos);
+  EXPECT_NE(a.find("\"technique\": \"vmware-tools-registry\""),
+            std::string::npos);
+}
+
+TEST(Coverage, TelemetryCountsVerdictsAndMatrixEdges) {
+  const auto report =
+      analysis::analyzeCoverage(core::buildDefaultResourceDb());
+  const obs::MetricsSnapshot snapshot = analysis::coverageTelemetry(report);
+  EXPECT_EQ(snapshot.counterValue("analysis.technique_verdicts", "fires"),
+            26u);
+  EXPECT_EQ(snapshot.counterValue("analysis.technique_verdicts",
+                                  "unhookable"),
+            2u);
+  EXPECT_EQ(snapshot.counterValue("analysis.technique_verdicts", "unknown"),
+            1u);
+  std::int64_t techniques = 0, edges = 0, hookedEdges = 0;
+  for (const auto& gauge : snapshot.gauges) {
+    if (gauge.name == "analysis.techniques_total") techniques = gauge.value;
+    if (gauge.name == "analysis.matrix_edges") edges = gauge.value;
+    if (gauge.name == "analysis.matrix_hooked_edges")
+      hookedEdges = gauge.value;
+  }
+  EXPECT_EQ(techniques,
+            static_cast<std::int64_t>(malware::kTechniqueCount));
+  EXPECT_GT(edges, 0);
+  EXPECT_GT(hookedEdges, 0);
+  EXPECT_LE(hookedEdges, edges);
+}
+
+TEST(Coverage, ReportAppendixCarriesTheCoverageSection) {
+  const auto report =
+      analysis::analyzeCoverage(core::buildDefaultResourceDb());
+  const std::string section = analysis::renderCoverageSection(report);
+  EXPECT_NE(section.find("## Static deception coverage"), std::string::npos);
+  EXPECT_NE(section.find("peb-processor-count"), std::string::npos);
+
+  core::ReportOptions options;
+  options.appendixSections.push_back(section);
+  const std::string rendered =
+      core::renderIncidentReport("sample-1", core::EvalOutcome{}, options);
+  EXPECT_NE(rendered.find("## Static deception coverage"), std::string::npos);
+}
+
+// ---- linter ---------------------------------------------------------------
+
+TEST(Lint, DefaultDatabaseInventoryIsExplained) {
+  const auto report = analysis::lintResourceDb(core::buildDefaultResourceDb());
+  EXPECT_EQ(report.entriesChecked, 78u);
+  EXPECT_EQ(report.countOf(LintKind::kDuplicateEntry), 0u);
+  EXPECT_EQ(report.countOf(LintKind::kShadowedKey), 1u);
+  EXPECT_EQ(report.countOf(LintKind::kVendorContradiction), 6u);
+  EXPECT_EQ(report.countOf(LintKind::kHardwareContradiction), 0u);
+  EXPECT_EQ(report.countOf(LintKind::kDeadResource), 41u);
+  EXPECT_EQ(report.findings.size(), 48u);
+}
+
+TEST(Lint, DeadResourcesAreExactlyTheWaivedDecoys) {
+  // The default database deliberately over-provisions: these entries are
+  // forward-deployed decoys no *modeled* technique observes yet. This list
+  // is the explicit waiver the acceptance criteria require — adding a new
+  // dead entry (or modeling one of these) must be a conscious change here.
+  const std::set<std::string> waived = {
+      // files
+      "c:\\program files\\fiddler\\fiddler.exe",
+      "c:\\tools\\ida\\idaq.exe",
+      "c:\\tools\\ollydbg\\ollydbg.exe",
+      "c:\\windows\\system32\\drivers\\sbiedrv.sys",
+      // processes
+      "olydbg.exe", "idap.exe", "PETools.exe", "x64dbg.exe",
+      "ImmunityDebugger.exe", "dumpcap.exe", "procexp.exe", "procexp64.exe",
+      "processhacker.exe", "autoruns.exe", "autorunsc.exe", "filemon.exe",
+      "regmon.exe", "fiddler.exe", "tcpview.exe", "VGAuthService.exe",
+      "vmacthlp.exe",
+      // DLLs
+      "avghookx.dll", "cmdvrt32.dll", "cmdvrt64.dll", "cuckoomon.dll",
+      "dbghook.dll", "pstorec.dll", "snxhk.dll", "sxin.dll",
+      "vboxmrxnp.dll", "vmcheck.dll", "winespool.drv", "wpespy.dll",
+      // window classes
+      "ID", "Zeta Debugger", "Rock Debugger", "ObsidianGUI",
+      "SandboxieControlWndClass", "Afx:400000:0", "ProcessMonitorClass",
+      "RegmonClass",
+  };
+  const auto report = analysis::lintResourceDb(core::buildDefaultResourceDb());
+  std::set<std::string> dead;
+  for (const auto& finding : report.of(LintKind::kDeadResource))
+    dead.insert(finding.resource);
+  EXPECT_EQ(dead, waived);
+}
+
+TEST(Lint, ShadowedKeyNamesAncestorAndBothProfiles) {
+  const auto report = analysis::lintResourceDb(core::buildDefaultResourceDb());
+  const auto shadowed = report.of(LintKind::kShadowedKey);
+  ASSERT_EQ(shadowed.size(), 1u);
+  EXPECT_EQ(shadowed[0].resource, "hardware\\description\\system\\bochsmarker");
+  EXPECT_EQ(shadowed[0].profile, core::Profile::kBochs);
+  EXPECT_NE(shadowed[0].detail.find("hardware\\description\\system"),
+            std::string::npos);
+}
+
+TEST(Lint, VendorContradictionsNameTheProfilePairs) {
+  const auto report = analysis::lintResourceDb(core::buildDefaultResourceDb());
+  const auto conflicts = report.of(LintKind::kVendorContradiction);
+  ASSERT_EQ(conflicts.size(), 6u);
+  EXPECT_EQ(conflicts[0].profile, core::Profile::kVMware);
+  EXPECT_NE(conflicts[0].detail.find("virtualbox"), std::string::npos);
+}
+
+TEST(Lint, CoherentProfilesAndEmptyDbAreConflictFree) {
+  for (core::SandboxProfile profile : core::kAllSandboxProfiles) {
+    const auto report =
+        analysis::lintResourceDb(core::buildProfileDb(profile));
+    EXPECT_EQ(report.countOf(LintKind::kVendorContradiction), 0u)
+        << core::sandboxProfileName(profile);
+    EXPECT_EQ(report.countOf(LintKind::kHardwareContradiction), 0u)
+        << core::sandboxProfileName(profile);
+    EXPECT_EQ(report.countOf(LintKind::kDuplicateEntry), 0u)
+        << core::sandboxProfileName(profile);
+  }
+  const auto empty = analysis::lintResourceDb(core::ResourceDb{});
+  EXPECT_TRUE(empty.clean());
+  EXPECT_EQ(empty.entriesChecked, 0u);
+}
+
+TEST(Lint, DuplicateProcessesAndWindowsAreReported) {
+  core::ResourceDb db;
+  db.addProcess("vmtoolsd.exe", core::Profile::kVMware);
+  db.addProcess("VMTOOLSD.EXE", core::Profile::kVMware);
+  db.addWindow("OLLYDBG", "OllyDbg", core::Profile::kDebugger);
+  db.addWindow("ollydbg", "OllyDbg v1.10", core::Profile::kDebugger);
+  const auto report = analysis::lintResourceDb(db);
+  const auto duplicates = report.of(LintKind::kDuplicateEntry);
+  ASSERT_EQ(duplicates.size(), 2u);
+  EXPECT_EQ(duplicates[0].resource, "vmtoolsd.exe");
+  EXPECT_EQ(duplicates[1].resource, "ollydbg");
+}
+
+TEST(Lint, HardwareContradictionWhenHardwareChannelDeniesTheGuest) {
+  const auto db = core::buildDefaultResourceDb();
+  core::Config disabled;
+  disabled.hardwareResources = false;
+  const auto off = analysis::lintResourceDb(db, disabled);
+  ASSERT_EQ(off.countOf(LintKind::kHardwareContradiction), 1u);
+  EXPECT_NE(off.of(LintKind::kHardwareContradiction)[0].detail.find(
+                "disabled"),
+            std::string::npos);
+
+  core::Config workstation;
+  workstation.hardware.cpuCores = 16;
+  const auto beefy = analysis::lintResourceDb(db, workstation);
+  ASSERT_EQ(beefy.countOf(LintKind::kHardwareContradiction), 1u);
+  EXPECT_NE(beefy.of(LintKind::kHardwareContradiction)[0].detail.find(
+                "workstation-class"),
+            std::string::npos);
+}
+
+TEST(Lint, JsonIsDeterministicAndNamesKinds) {
+  const auto db = core::buildDefaultResourceDb();
+  const std::string a = analysis::lintJson(analysis::lintResourceDb(db));
+  const std::string b = analysis::lintJson(analysis::lintResourceDb(db));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"entriesChecked\": 78"), std::string::npos);
+  EXPECT_NE(a.find("\"kind\": \"vendor-contradiction\""), std::string::npos);
+}
+
+}  // namespace

@@ -97,6 +97,39 @@ TEST_F(ConsistencyTest, SoftwareCategoryOffBreaksCoherenceVisibly) {
   EXPECT_FALSE(report.consistent());
 }
 
+TEST_F(ConsistencyTest, FindingsAttributeTheOwningProfile) {
+  // Same ablation as above, but check the attribution: every finding names
+  // the deception profile that owns the unanswered resource, so an audit
+  // over a multi-vendor database can say *whose* artifacts are broken.
+  core::Config config;
+  config.softwareResources = false;
+  const core::ConsistencyReport report =
+      audit(core::buildDefaultResourceDb(), config);
+  ASSERT_FALSE(report.findings.empty());
+
+  bool sawVMware = false, sawVirtualBox = false, sawDebugger = false;
+  for (const auto& finding : report.findings) {
+    if (finding.resource ==
+        "c:\\windows\\system32\\drivers\\vmmouse.sys") {
+      EXPECT_EQ(finding.profile, core::Profile::kVMware) << finding.detail;
+      sawVMware = true;
+    }
+    if (finding.resource ==
+        "c:\\windows\\system32\\drivers\\vboxmouse.sys") {
+      EXPECT_EQ(finding.profile, core::Profile::kVirtualBox)
+          << finding.detail;
+      sawVirtualBox = true;
+    }
+    if (finding.resource == "OLLYDBG") {
+      EXPECT_EQ(finding.profile, core::Profile::kDebugger) << finding.detail;
+      sawDebugger = true;
+    }
+  }
+  EXPECT_TRUE(sawVMware);
+  EXPECT_TRUE(sawVirtualBox);
+  EXPECT_TRUE(sawDebugger);
+}
+
 TEST_F(ConsistencyTest, ConflictModeStaysCoherentPerVendor) {
   // Lock onto VMware first, then audit: VBox artifacts disappear from every
   // channel *simultaneously*, so the audit still passes for the channels

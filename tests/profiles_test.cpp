@@ -46,6 +46,59 @@ TEST(ProfileConsistency, DefaultDbIsDeliberatelyInconsistent) {
   EXPECT_FALSE(core::vendorConsistent(core::buildDefaultResourceDb()));
 }
 
+TEST(ProfileConsistency, VendorConflictsNameTheOffendingArtifactPairs) {
+  const auto conflicts =
+      core::vendorConflicts(core::buildDefaultResourceDb());
+  // Four vendors certified at once — every pair contradicts.
+  ASSERT_EQ(conflicts.size(), 6u);
+  EXPECT_EQ(conflicts[0].first.vendor, core::Profile::kVMware);
+  EXPECT_EQ(conflicts[0].first.resource,
+            "SOFTWARE\\VMware, Inc.\\VMware Tools");
+  EXPECT_EQ(conflicts[0].second.vendor, core::Profile::kVirtualBox);
+  EXPECT_EQ(conflicts[0].second.resource,
+            "SOFTWARE\\Oracle\\VirtualBox Guest Additions");
+  // The BIOS string certifies Bochs, the SCSI identifier QEMU.
+  EXPECT_EQ(conflicts.back().first.vendor, core::Profile::kBochs);
+  EXPECT_EQ(conflicts.back().second.vendor, core::Profile::kQemu);
+
+  for (core::SandboxProfile profile : core::kAllSandboxProfiles)
+    EXPECT_TRUE(core::vendorConflicts(core::buildProfileDb(profile)).empty())
+        << core::sandboxProfileName(profile);
+}
+
+TEST(ProfileConsistency, VendorEvidenceIsPerVendorAndOrdered) {
+  const auto evidence =
+      core::collectVendorEvidence(core::buildDefaultResourceDb());
+  ASSERT_EQ(evidence.size(), 4u);
+  EXPECT_EQ(evidence[0].vendor, core::Profile::kVMware);
+  EXPECT_EQ(evidence[1].vendor, core::Profile::kVirtualBox);
+  EXPECT_EQ(evidence[2].vendor, core::Profile::kBochs);
+  EXPECT_EQ(evidence[3].vendor, core::Profile::kQemu);
+  EXPECT_TRUE(
+      core::collectVendorEvidence(core::ResourceDb{}).empty());
+}
+
+TEST(ProfileContents, BareMetalForensicHasNoVmArtifactsAtAll) {
+  const auto db = core::buildProfileDb(SandboxProfile::kBareMetalForensic);
+  EXPECT_TRUE(core::collectVendorEvidence(db).empty());
+  EXPECT_TRUE(core::vendorConsistent(db));
+  // No VM driver files, keys, or identifier values...
+  EXPECT_FALSE(db.matchFile("C:\\Windows\\System32\\drivers\\vmmouse.sys"));
+  EXPECT_FALSE(db.matchFile("C:\\Windows\\System32\\drivers\\VBoxMouse.sys"));
+  EXPECT_FALSE(db.matchRegistryKey("SOFTWARE\\VMware, Inc.\\VMware Tools"));
+  EXPECT_FALSE(db.matchRegistryValue("HARDWARE\\Description\\System",
+                                     "SystemBiosVersion")
+                   .has_value());
+  // ...but the forensic tooling of a Kirat-style bare-metal box is there.
+  EXPECT_TRUE(db.matchFile("C:\\tools\\fibratus\\fibratus.exe"));
+  EXPECT_TRUE(db.matchProcess("fibratus.exe"));
+  EXPECT_TRUE(db.matchProcess("idaq.exe"));
+  EXPECT_TRUE(db.matchFile("C:\\Program Files\\DeepFreeze\\DF6Serv.exe"));
+  // The common analysis tooling keeps generic techniques firing.
+  EXPECT_TRUE(db.matchDll("SbieDll.dll"));
+  EXPECT_TRUE(db.matchWindow("WinDbgFrameClass", ""));
+}
+
 TEST(ProfileContents, VendorSpecificArtifacts) {
   const auto cuckoo =
       core::buildProfileDb(SandboxProfile::kCuckooVirtualBox);

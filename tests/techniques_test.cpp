@@ -92,10 +92,9 @@ TEST(TechniqueMeta, UnhookableClassification) {
 
 TEST(TechniqueMeta, NamesAreUnique) {
   std::set<std::string> names;
-  for (int i = 0; i <= static_cast<int>(Technique::kWearTearProbe); ++i)
+  for (std::size_t i = 0; i < malware::kTechniqueCount; ++i)
     names.insert(malware::techniqueName(static_cast<Technique>(i)));
-  EXPECT_EQ(names.size(),
-            static_cast<std::size_t>(Technique::kWearTearProbe) + 1);
+  EXPECT_EQ(names.size(), malware::kTechniqueCount);
 }
 
 TEST(TechniqueEnv, ParentCheckFiresForDaemonLaunches) {

@@ -13,6 +13,7 @@
 #include "core/engine.h"
 #include "core/eval.h"
 #include "env/environments.h"
+#include "faults/fault_injector.h"
 #include "malware/joe.h"
 #include "env/base_image.h"
 #include "hooking/inline_hook.h"
@@ -86,6 +87,29 @@ void BM_RegistryOpen_ScarecrowHit(benchmark::State& state) {
         api.RegOpenKeyEx("SOFTWARE\\Oracle\\VirtualBox Guest Additions"));
 }
 BENCHMARK(BM_RegistryOpen_ScarecrowHit);
+
+void BM_FaultSiteCheck_Disarmed(benchmark::State& state) {
+  // The robustness requirement: a production run with no fault plan must
+  // pay nothing at the sites. Disarmed shouldFire is one array load and a
+  // branch — the target is < 2ns per check.
+  faults::FaultInjector injector;  // no plan: every site disarmed
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        injector.shouldFire(faults::FaultSite::kIpcSend));
+}
+BENCHMARK(BM_FaultSiteCheck_Disarmed);
+
+void BM_FaultSiteCheck_Armed(benchmark::State& state) {
+  // Armed comparison point: a probabilistic rule consumes an Rng draw per
+  // eligible check.
+  const faults::FaultPlan plan =
+      faults::FaultPlan::parse("ipc-send:p=0.01", 42);
+  faults::FaultInjector injector(plan);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        injector.shouldFire(faults::FaultSite::kIpcSend));
+}
+BENCHMARK(BM_FaultSiteCheck_Armed);
 
 void BM_ResourceDbFileLookup_17kCrawled(benchmark::State& state) {
   // Worst-case DB: the curated set plus all 17,540 crawled files.

@@ -5,8 +5,19 @@
 // Markdown incident report for one sample. Before any sample runs, the
 // static coverage analyzer proves what the deployment can deceive.
 //
+// Chaos sweep (DESIGN.md §11): pass --fault-plan to replay the same corpus
+// with a deterministic fault schedule armed — injection failures, lost
+// hooks, dropped IPC — and read per-sample ResilienceVerdicts next to the
+// deactivation verdicts. Same plan + same seed ⇒ same output, every run.
+//
 // Build & run:  cmake --build build && ./build/examples/analysis_cluster
+//   chaos:      ./build/examples/analysis_cluster \
+//                 --fault-plan='inject-dll:p=0.25;ipc-send:p=0.2' \
+//                 --fault-seed=42
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "analysis/coverage.h"
 #include "analysis/lint.h"
@@ -18,7 +29,35 @@
 
 using namespace scarecrow;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string planSpec;
+  std::uint64_t planSeed = 0;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--fault-plan=", 13) == 0) {
+      planSpec = arg + 13;
+    } else if (std::strncmp(arg, "--fault-seed=", 13) == 0) {
+      planSeed = std::strtoull(arg + 13, nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--fault-plan=<site[:k=v,...];...>] "
+                   "[--fault-seed=<n>]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  faults::FaultPlan plan;
+  if (!planSpec.empty()) {
+    try {
+      plan = faults::FaultPlan::parse(planSpec, planSeed);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bad --fault-plan: %s\n", e.what());
+      return 2;
+    }
+    std::printf("chaos sweep armed: %s\n\n", plan.describe().c_str());
+  }
+
   malware::ProgramRegistry registry;
   const auto expected = malware::registerJoeSamples(registry);
 
@@ -32,11 +71,14 @@ int main() {
               lint.entriesChecked);
 
   std::vector<core::EvalRequest> requests;
-  for (const auto& row : expected)
-    requests.push_back({.sampleId = row.idPrefix,
-                        .imagePath = "C:\\submissions\\" + row.idPrefix +
-                                     ".exe",
-                        .factory = registry.factory()});
+  for (const auto& row : expected) {
+    core::EvalRequest request{.sampleId = row.idPrefix,
+                              .imagePath = "C:\\submissions\\" +
+                                           row.idPrefix + ".exe",
+                              .factory = registry.factory()};
+    request.config.faultPlan = plan;
+    requests.push_back(std::move(request));
+  }
 
   core::BatchOptions options;
   options.workerCount = 4;
@@ -48,6 +90,8 @@ int main() {
   const std::vector<core::BatchResult> results = batch.evaluateAll(requests);
 
   std::size_t deactivated = 0;
+  std::size_t degraded = 0;
+  std::uint64_t faultsInjected = 0;
   for (std::size_t i = 0; i < results.size(); ++i) {
     const core::BatchResult& result = results[i];
     if (!result.ok()) {
@@ -56,16 +100,31 @@ int main() {
       continue;
     }
     const trace::DeactivationVerdict& verdict = result.outcome.verdict;
+    const core::ResilienceVerdict& resilience = result.outcome.resilience;
     if (verdict.deactivated) ++deactivated;
-    std::printf("%-8s %-14s worker=%zu trigger=%s\n",
+    if (resilience.degraded()) ++degraded;
+    faultsInjected += resilience.faultsInjected;
+    std::printf("%-8s %-14s worker=%zu trigger=%s",
                 requests[i].sampleId.c_str(),
                 verdict.deactivated ? "deactivated" : "NOT deactivated",
                 result.workerIndex,
                 verdict.firstTrigger.empty() ? "-"
                                              : verdict.firstTrigger.c_str());
+    if (!plan.empty())
+      std::printf(" | %s faults=%u retries=%u dropped=%llu",
+                  faults::protectionLevelName(resilience.protectionLevel),
+                  resilience.faultsInjected, resilience.injectRetries,
+                  static_cast<unsigned long long>(
+                      resilience.ipcMessagesDropped));
+    std::printf("\n");
   }
   std::printf("\n%zu / %zu deactivated (paper: 12 / 13)\n", deactivated,
               expected.size());
+  if (!plan.empty())
+    std::printf("chaos summary: %llu faults fired, %zu / %zu samples "
+                "finished degraded\n",
+                static_cast<unsigned long long>(faultsInjected), degraded,
+                results.size());
 
   // One aggregate dump for the whole corpus: every worker's counters
   // summed, histogram buckets combined.
@@ -86,5 +145,8 @@ int main() {
                   core::renderIncidentReport("61f847b", results[i].outcome,
                                              reportOptions)
                       .c_str());
+  // Under a fault plan the Table I replication is expected to drift (that
+  // is the point of the sweep); gate the exit code on it only when clean.
+  if (!plan.empty()) return 0;
   return deactivated == 12 ? 0 : 1;
 }

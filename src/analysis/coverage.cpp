@@ -341,10 +341,19 @@ std::string CoverageReport::summary() const {
 
 CoverageReport analyzeCoverage(const core::ResourceDb& db,
                                const core::Config& config) {
+  return analyzeCoverage(db, config, {});
+}
+
+CoverageReport analyzeCoverage(const core::ResourceDb& db,
+                               const core::Config& config,
+                               const std::set<ApiId>& quarantined) {
   // The exact hooked-API set comes from the engine itself, so the static
-  // gate can never disagree with what installInto() would install.
-  const std::set<ApiId> hooked =
+  // gate can never disagree with what installInto() would install. Hooks
+  // the runtime quarantined are subtracted: their probes reach the real
+  // machine now, so any technique leaning on them must read kMisses.
+  std::set<ApiId> hooked =
       core::DeceptionEngine(config, core::ResourceDb{}).hookedApiIds();
+  for (ApiId id : quarantined) hooked.erase(id);
 
   CoverageReport report;
   report.techniques.reserve(footprintTable().size());

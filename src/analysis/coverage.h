@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -78,6 +79,16 @@ struct CoverageReport {
 /// Evaluates the full footprint table against the database symbolically.
 CoverageReport analyzeCoverage(const core::ResourceDb& db,
                                const core::Config& config = {});
+
+/// Same fold, but with hooks the engine quarantined at runtime
+/// (DeceptionEngine::quarantinedHooks) subtracted from the hooked set: a
+/// quarantined hook's probes fall through to the real machine, so a
+/// technique that depended on it downgrades to kMisses. With an empty set
+/// this is exactly the overload above — static analysis and degraded
+/// runtime reality stay in agreement (asserted by the drift gate).
+CoverageReport analyzeCoverage(const core::ResourceDb& db,
+                               const core::Config& config,
+                               const std::set<winapi::ApiId>& quarantined);
 
 /// Deterministic JSON rendering (stable ordering and field layout) of the
 /// verdicts and the reachability matrix — golden-test and diff friendly.

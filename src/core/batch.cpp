@@ -40,6 +40,9 @@ struct BatchEvaluator::Worker {
   std::uint64_t retries = 0;
   std::uint64_t timeouts = 0;
   std::uint64_t failures = 0;
+  /// Successful samples whose ResilienceVerdict ended below full
+  /// deception (fault plans at work).
+  std::uint64_t degraded = 0;
   std::uint64_t wallMicros = 0;
 };
 
@@ -71,7 +74,7 @@ std::vector<BatchResult> BatchEvaluator::evaluateAll(
   for (auto& worker : workers_) {
     worker->telemetry = obs::MetricsSnapshot{};
     worker->requests = worker->retries = worker->timeouts = worker->failures =
-        worker->wallMicros = 0;
+        worker->degraded = worker->wallMicros = 0;
   }
   workerTelemetry_.clear();
 
@@ -111,6 +114,7 @@ std::vector<BatchResult> BatchEvaluator::evaluateAll(
             slot.status = BatchStatus::kOk;
             slot.error.clear();
             slot.outcome = std::move(outcome);
+            if (slot.outcome.resilience.degraded()) ++worker.degraded;
             worker.telemetry.merge(slot.outcome.telemetry);
             return;
           } catch (const std::exception& e) {
@@ -145,6 +149,7 @@ std::vector<BatchResult> BatchEvaluator::evaluateAll(
     accounting.counter("batch.retries").inc(worker->retries);
     accounting.counter("batch.timeouts").inc(worker->timeouts);
     accounting.counter("batch.failures").inc(worker->failures);
+    accounting.counter("batch.degraded").inc(worker->degraded);
     accounting.counter("batch.wall_us").inc(worker->wallMicros);
     obs::MetricsSnapshot snapshot = worker->telemetry;
     snapshot.merge(accounting.snapshot());

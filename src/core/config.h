@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <string>
 
+#include "faults/fault_plan.h"
+
 namespace scarecrow::core {
 
 /// Hardware-resource deception values (Section II-B, "Hardware resources").
@@ -110,6 +112,28 @@ struct Config {
   /// metrics registry as `obs.decisions_dropped`. 0 disables retention
   /// (every event is dropped on arrival).
   std::size_t flightRecorderCapacity = 4096;
+
+  // --- Robustness (DESIGN.md §11) -------------------------------------
+  // The fault plan travels inside Config on purpose: it reaches every
+  // consumer (engine, controller, batch workers) by value, so a worker
+  // replays exactly the serial schedule for its (seed, plan) pair.
+
+  /// Deterministic fault schedule for this run; empty = no faults armed.
+  faults::FaultPlan faultPlan;
+
+  /// Bounded retry for the root injection in Controller::launch: total
+  /// attempts (≥1), with a virtual-clock backoff that starts at
+  /// `injectBackoffMs` and doubles per retry.
+  std::uint32_t injectMaxAttempts = 3;
+  std::uint64_t injectBackoffMs = 10;
+
+  /// Install failures tolerated per hook before the engine quarantines it
+  /// (skips it on later installs and downgrades the protection ladder).
+  std::uint32_t hookQuarantineThreshold = 2;
+
+  /// IPC queue bound (messages); beyond it the oldest pending message is
+  /// dropped and counted in `ipc.messages_dropped`. 0 = unbounded.
+  std::size_t ipcQueueCapacity = 4096;
 };
 
 }  // namespace scarecrow::core

@@ -2,6 +2,7 @@
 
 #include "hooking/injector.h"
 #include "obs/export.h"
+#include "support/log.h"
 
 namespace scarecrow::core {
 
@@ -30,7 +31,52 @@ std::uint32_t Controller::launch(const std::string& imagePath,
   options.parentPid = controllerPid_;  // deceptive parent (Section III-B)
   options.commandLine = commandLine;
   const std::uint32_t pid = runner.spawnRoot(imagePath, options);
-  hooking::injectDll(machine_, userspace_, pid, engine_.dllImage());
+
+  // Bounded retry with a doubling virtual-clock backoff. The fault plan
+  // decides which attempts fail; the budget decides when to give up and
+  // run the sample monitor-only rather than not at all.
+  const Config& config = engine_.config();
+  const std::uint32_t maxAttempts =
+      config.injectMaxAttempts > 0 ? config.injectMaxAttempts : 1;
+  std::uint64_t backoffMs = config.injectBackoffMs;
+  bool injected = false;
+  for (std::uint32_t attempt = 1; attempt <= maxAttempts; ++attempt) {
+    if (attempt > 1) {
+      ++injectRetries_;
+      machine_.metrics().counter("inject.retries").inc();
+      machine_.clock().advanceMs(backoffMs);
+      obs::DecisionEvent e;
+      e.timeMs = machine_.clock().nowMs();
+      e.pid = controllerPid_;
+      e.kind = obs::DecisionKind::kRetry;
+      e.api = "injectDll";
+      e.argument = obs::digestArgument(imagePath);
+      e.value = std::to_string(attempt);
+      machine_.flightRecorder().record(std::move(e));
+      backoffMs *= 2;
+    }
+    injected = hooking::injectDll(machine_, userspace_, pid,
+                                  engine_.dllImage(), faults_);
+    if (injected) break;
+  }
+  if (!injected) {
+    // Out of attempts: the sample still runs, but unhooked. Loud — a
+    // silent monitor-only run would corrupt the evaluation corpus.
+    injectionSucceeded_ = false;
+    machine_.metrics().counter("inject.giveups").inc();
+    obs::DecisionEvent e;
+    e.timeMs = machine_.clock().nowMs();
+    e.pid = controllerPid_;
+    e.kind = obs::DecisionKind::kDegradation;
+    e.api = faults::protectionLevelName(
+        faults::ProtectionLevel::kMonitorOnly);
+    e.argument = obs::digestArgument("root injection exhausted " +
+                                     std::to_string(maxAttempts) +
+                                     " attempts");
+    machine_.flightRecorder().record(std::move(e));
+    support::logError("controller", "root injection gave up",
+                      {{"image", imagePath}, {"attempts", maxAttempts}});
+  }
   return pid;
 }
 
@@ -76,6 +122,22 @@ void Controller::pump() {
       case hooking::IpcKind::kProcessInjected:
         ++injected_;
         break;
+      case hooking::IpcKind::kInjectFailed: {
+        // The DLL lost a descendant (child-propagation fault). Re-inject
+        // from the controller side; the child may have executed a few
+        // instructions unsupervised, but supervision resumes from here.
+        ++missedDescendants_;
+        if (hooking::injectDll(machine_, userspace_, msg.pid,
+                               engine_.dllImage(), faults_)) {
+          ++reinjected_;
+          ++injected_;
+          metrics.counter("inject.reinjections").inc();
+        } else {
+          support::logError("controller", "descendant re-injection failed",
+                            {{"pid", msg.pid}, {"image", msg.resource}});
+        }
+        break;
+      }
       case hooking::IpcKind::kConfigUpdate:
         break;
     }

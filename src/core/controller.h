@@ -6,6 +6,13 @@
 // sandboxes use — injects scarecrow.dll before the first instruction runs,
 // then exchanges runtime information with the DLL over IPC: fingerprint
 // alerts, descendant injections, self-spawn warnings.
+//
+// Robustness (DESIGN.md §11): the root injection is retried with a
+// doubling virtual-clock backoff (Config::injectMaxAttempts /
+// injectBackoffMs) before the run is declared monitor-only, and a
+// kInjectFailed IPC from the engine's CreateProcess hook — a descendant
+// the DLL could not reach — triggers a controller-side re-injection
+// during pump().
 #pragma once
 
 #include <memory>
@@ -60,6 +67,25 @@ class Controller {
   std::uint32_t injectedChildren() const noexcept { return injected_; }
   std::uint32_t controllerPid() const noexcept { return controllerPid_; }
 
+  /// Arms launch()'s kInjectDll fault site and the re-injection path (the
+  /// injector is also handed to every injectDll call). Not owned.
+  void setFaultInjector(faults::FaultInjector* faults) noexcept {
+    faults_ = faults;
+  }
+
+  /// False when every launch() attempt failed — the run is monitor-only.
+  bool injectionSucceeded() const noexcept { return injectionSucceeded_; }
+  /// Retries launch() spent beyond the first attempt (all launches).
+  std::uint32_t injectRetries() const noexcept { return injectRetries_; }
+  /// Descendants the DLL reported it could not inject (kInjectFailed).
+  std::uint32_t missedDescendants() const noexcept {
+    return missedDescendants_;
+  }
+  /// Missed descendants recovered by pump()-time re-injection.
+  std::uint32_t reinjectedDescendants() const noexcept {
+    return reinjected_;
+  }
+
   /// Telemetry view over the supervised machine (Figure 2's runtime
   /// information channel, extended with the obs registry): hook counters,
   /// alert counters, spans, latency histograms of everything the engine
@@ -79,6 +105,11 @@ class Controller {
   std::uint32_t selfSpawnAlerts_ = 0;
   std::uint32_t injected_ = 0;
   std::uint64_t firstTriggerCorrelation_ = 0;
+  faults::FaultInjector* faults_ = nullptr;
+  bool injectionSucceeded_ = true;
+  std::uint32_t injectRetries_ = 0;
+  std::uint32_t missedDescendants_ = 0;
+  std::uint32_t reinjected_ = 0;
 };
 
 }  // namespace scarecrow::core

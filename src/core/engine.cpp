@@ -3,8 +3,10 @@
 #include <type_traits>
 
 #include "core/kernel_ext.h"
+#include "faults/fault_injector.h"
 #include "hooking/inline_hook.h"
 #include "obs/span.h"
+#include "support/log.h"
 #include "support/strings.h"
 
 namespace scarecrow::core {
@@ -21,7 +23,44 @@ using winapi::WinError;
 using winsys::RegValue;
 
 DeceptionEngine::DeceptionEngine(Config config, ResourceDb db)
-    : config_(std::move(config)), db_(std::move(db)) {}
+    : config_(std::move(config)), db_(std::move(db)) {
+  ipc_.setCapacity(config_.ipcQueueCapacity);
+}
+
+void DeceptionEngine::setFaultInjector(faults::FaultInjector* faults) noexcept {
+  faults_ = faults;
+  ipc_.setFaultInjector(faults);
+}
+
+void DeceptionEngine::degrade(faults::ProtectionLevel to,
+                              const std::string& reason) {
+  if (to <= level_) return;  // the ladder only moves down
+  level_ = to;
+  const char* levelName = faults::protectionLevelName(to);
+  if (metrics_ != nullptr)
+    metrics_->counter("engine.degradations", levelName).inc();
+  if (flight_ != nullptr) {
+    obs::DecisionEvent e;
+    e.timeMs = clock_ != nullptr ? clock_->nowMs() : 0;
+    e.kind = obs::DecisionKind::kDegradation;
+    e.api = levelName;
+    e.argument = obs::digestArgument(reason);
+    flight_->record(std::move(e));
+  }
+  support::logWarn("engine", "protection degraded",
+                   {{"to", levelName}, {"reason", reason}});
+}
+
+template <typename F>
+auto DeceptionEngine::guardedDb(F&& f) -> decltype(f()) {
+  if (faults_ != nullptr &&
+      faults_->shouldFire(faults::FaultSite::kResourceDbLookup)) {
+    if (metrics_ != nullptr)
+      metrics_->counter("engine.db_lookup_errors").inc();
+    return decltype(f()){};
+  }
+  return f();
+}
 
 hooking::DllImage DeceptionEngine::dllImage() {
   hooking::DllImage dll;
@@ -121,7 +160,9 @@ void DeceptionEngine::bindMetrics(winsys::Machine& machine) {
   if (metrics_ == &m) return;
   metrics_ = &m;
   flight_ = &machine.flightRecorder();
+  clock_ = &machine.clock();
   ipc_.bindFlightRecorder(flight_);
+  ipc_.bindMetrics(&m);
   dispatchLatency_ = &m.histogram("engine.hook_dispatch_ms");
   hookHits_.fill(nullptr);
   for (ApiId id : hookedIds())
@@ -177,6 +218,13 @@ void DeceptionEngine::installInto(Api& api) {
     attached_ = true;
     attachMs_ = api.machine().clock().nowMs();
   }
+  // Decide what this install may wire up before touching the HookSet:
+  // quarantined hooks are skipped outright, and the kHookInstall fault
+  // site can fail any remaining hook (feeding the quarantine counters).
+  const std::set<ApiId> allowed = planInstallSet(api);
+  std::set<ApiId> denied;
+  for (ApiId id : hookedIds())
+    if (allowed.find(id) == allowed.end()) denied.insert(id);
   winapi::ProcessApiState& state = api.state();
   installRegistryHooks(state.hooks);
   installFileHooks(state.hooks);
@@ -185,7 +233,8 @@ void DeceptionEngine::installInto(Api& api) {
   installSysInfoHooks(state.hooks);
   installNetworkHooks(state.hooks);
   installWearTearHooks(state.hooks);
-  for (ApiId id : hookedIds()) hooking::installInlineHook(state, id);
+  if (!denied.empty()) pruneDeniedHooks(state.hooks, denied);
+  for (ApiId id : allowed) hooking::installInlineHook(state, id);
   state.guardPages = true;  // surfaces prologue reads as Hook-detection alerts
   // VEH route: a prologue read is a fingerprint attempt like any other, so
   // it flows through alert() — decision trace, IPC, metrics — and the
@@ -203,6 +252,102 @@ void DeceptionEngine::installInto(Api& api) {
     extension.installIntoProcess(api.machine(), api.pid(),
                                  config_.hardware);
   }
+}
+
+std::set<ApiId> DeceptionEngine::planInstallSet(Api& api) {
+  std::set<ApiId> allowed;
+  for (ApiId id : hookedIds()) {
+    if (quarantined_.find(id) != quarantined_.end()) continue;
+    if (faults_ != nullptr &&
+        faults_->shouldFire(faults::FaultSite::kHookInstall,
+                            winapi::apiName(id))) {
+      noteHookInstallFailure(api, id);
+      continue;
+    }
+    allowed.insert(id);
+  }
+  return allowed;
+}
+
+void DeceptionEngine::noteHookInstallFailure(Api& api, ApiId id) {
+  const char* name = winapi::apiName(id);
+  const std::uint32_t failures = ++installFailures_[id];
+  ++hookInstallFailures_;
+  metrics_->counter("engine.hook_install_failures", name).inc();
+  support::logWarn("engine", "hook install failed",
+                   {{"api", name}, {"pid", api.pid()}, {"failures", failures}});
+  degrade(faults::ProtectionLevel::kPartialDeception,
+          std::string("hook install failed: ") + name);
+  if (failures >= config_.hookQuarantineThreshold &&
+      quarantined_.find(id) == quarantined_.end()) {
+    quarantined_.insert(id);
+    metrics_->counter("engine.hooks_quarantined", name).inc();
+    if (flight_ != nullptr) {
+      obs::DecisionEvent e;
+      e.timeMs = api.machine().clock().nowMs();
+      e.pid = api.pid();
+      e.kind = obs::DecisionKind::kQuarantine;
+      e.api = name;
+      e.value = std::to_string(failures);
+      flight_->record(std::move(e));
+    }
+    support::logWarn("engine", "hook quarantined",
+                     {{"api", name}, {"failures", failures}});
+  }
+}
+
+void DeceptionEngine::pruneDeniedHooks(HookSet& hooks,
+                                       const std::set<ApiId>& denied) const {
+  const auto drop = [&denied](ApiId id) {
+    return denied.find(id) != denied.end();
+  };
+  // One line per HookSet member (kDeleteFile is prologue-decoy-only and
+  // has no member). A dropped member dispatches to the original API.
+  if (drop(ApiId::kRegOpenKeyEx)) hooks.regOpenKeyEx = nullptr;
+  if (drop(ApiId::kRegQueryValueEx)) hooks.regQueryValueEx = nullptr;
+  if (drop(ApiId::kRegQueryInfoKey)) hooks.regQueryInfoKey = nullptr;
+  if (drop(ApiId::kRegEnumKeyEx)) hooks.regEnumKeyEx = nullptr;
+  if (drop(ApiId::kRegEnumValue)) hooks.regEnumValue = nullptr;
+  if (drop(ApiId::kNtOpenKeyEx)) hooks.ntOpenKeyEx = nullptr;
+  if (drop(ApiId::kNtQueryKey)) hooks.ntQueryKey = nullptr;
+  if (drop(ApiId::kNtQueryValueKey)) hooks.ntQueryValueKey = nullptr;
+  if (drop(ApiId::kCreateFile)) hooks.createFile = nullptr;
+  if (drop(ApiId::kNtCreateFile)) hooks.ntCreateFile = nullptr;
+  if (drop(ApiId::kNtQueryAttributesFile))
+    hooks.ntQueryAttributesFile = nullptr;
+  if (drop(ApiId::kGetFileAttributes)) hooks.getFileAttributes = nullptr;
+  if (drop(ApiId::kFindFirstFile)) hooks.findFirstFile = nullptr;
+  if (drop(ApiId::kGetDiskFreeSpaceEx)) hooks.getDiskFreeSpaceEx = nullptr;
+  if (drop(ApiId::kCreateProcess)) hooks.createProcess = nullptr;
+  if (drop(ApiId::kTerminateProcess)) hooks.terminateProcess = nullptr;
+  if (drop(ApiId::kCreateToolhelp32Snapshot))
+    hooks.createToolhelp32Snapshot = nullptr;
+  if (drop(ApiId::kGetModuleHandle)) hooks.getModuleHandle = nullptr;
+  if (drop(ApiId::kGetProcAddress)) hooks.getProcAddress = nullptr;
+  if (drop(ApiId::kNtQueryInformationProcess))
+    hooks.ntQueryInformationProcess = nullptr;
+  if (drop(ApiId::kShellExecuteEx)) hooks.shellExecuteEx = nullptr;
+  if (drop(ApiId::kGetModuleFileName)) hooks.getModuleFileName = nullptr;
+  if (drop(ApiId::kIsDebuggerPresent)) hooks.isDebuggerPresent = nullptr;
+  if (drop(ApiId::kCheckRemoteDebuggerPresent))
+    hooks.checkRemoteDebuggerPresent = nullptr;
+  if (drop(ApiId::kOutputDebugString)) hooks.outputDebugString = nullptr;
+  if (drop(ApiId::kGetTickCount)) hooks.getTickCount = nullptr;
+  if (drop(ApiId::kSleep)) hooks.sleep = nullptr;
+  if (drop(ApiId::kRaiseException)) hooks.raiseException = nullptr;
+  if (drop(ApiId::kGetSystemInfo)) hooks.getSystemInfo = nullptr;
+  if (drop(ApiId::kGlobalMemoryStatusEx))
+    hooks.globalMemoryStatusEx = nullptr;
+  if (drop(ApiId::kGetUserName)) hooks.getUserName = nullptr;
+  if (drop(ApiId::kGetComputerName)) hooks.getComputerName = nullptr;
+  if (drop(ApiId::kNtQuerySystemInformation))
+    hooks.ntQuerySystemInformation = nullptr;
+  if (drop(ApiId::kFindWindow)) hooks.findWindow = nullptr;
+  if (drop(ApiId::kDnsQuery)) hooks.dnsQuery = nullptr;
+  if (drop(ApiId::kInternetOpenUrl)) hooks.internetOpenUrl = nullptr;
+  if (drop(ApiId::kDnsGetCacheDataTable))
+    hooks.dnsGetCacheDataTable = nullptr;
+  if (drop(ApiId::kEvtNext)) hooks.evtNext = nullptr;
 }
 
 std::set<ApiId> DeceptionEngine::hookedIds() const {
@@ -265,7 +410,7 @@ void DeceptionEngine::installRegistryHooks(HookSet& hooks) {
   if (!config_.softwareResources) return;
 
   hooks.regOpenKeyEx = timed(ApiId::kRegOpenKeyEx, [this](Api& a, const std::string& path) {
-    auto p = db_.matchRegistryKey(path);
+    auto p = guardedDb([&] { return db_.matchRegistryKey(path); });
     if (matchesActive(p)) {
       alert(a, "RegOpenKeyEx()", path, *p);
       return WinError::kSuccess;
@@ -274,7 +419,7 @@ void DeceptionEngine::installRegistryHooks(HookSet& hooks) {
   });
 
   hooks.ntOpenKeyEx = timed(ApiId::kNtOpenKeyEx, [this](Api& a, const std::string& path) {
-    auto p = db_.matchRegistryKey(path);
+    auto p = guardedDb([&] { return db_.matchRegistryKey(path); });
     if (matchesActive(p)) {
       alert(a, "NtOpenKeyEx()", path, *p);
       return NtStatus::kSuccess;
@@ -285,7 +430,7 @@ void DeceptionEngine::installRegistryHooks(HookSet& hooks) {
   hooks.regQueryValueEx = timed(ApiId::kRegQueryValueEx, [this](Api& a, const std::string& path,
                                  const std::string& valueName,
                                  RegValue& out) {
-    auto m = db_.matchRegistryValue(path, valueName);
+    auto m = guardedDb([&] { return db_.matchRegistryValue(path, valueName); });
     if (m.has_value() && profileActive(m->profile)) {
       alert(a, "RegQueryValueEx()", path + "!" + valueName, m->profile,
             m->value.str.empty() ? std::to_string(m->value.num)
@@ -299,7 +444,7 @@ void DeceptionEngine::installRegistryHooks(HookSet& hooks) {
   hooks.ntQueryValueKey = timed(ApiId::kNtQueryValueKey, [this](Api& a, const std::string& path,
                                  const std::string& valueName,
                                  RegValue& out) {
-    auto m = db_.matchRegistryValue(path, valueName);
+    auto m = guardedDb([&] { return db_.matchRegistryValue(path, valueName); });
     if (m.has_value() && profileActive(m->profile)) {
       alert(a, "NtQueryValueKey()", path + "!" + valueName, m->profile,
             m->value.str.empty() ? std::to_string(m->value.num)
@@ -325,7 +470,7 @@ void DeceptionEngine::installFileHooks(HookSet& hooks) {
   if (!config_.softwareResources) return;
 
   hooks.ntQueryAttributesFile = timed(ApiId::kNtQueryAttributesFile, [this](Api& a, const std::string& path) {
-    auto p = db_.matchFile(path);
+    auto p = guardedDb([&] { return db_.matchFile(path); });
     if (matchesActive(p)) {
       alert(a, "NtQueryAttributesFile()", path, *p);
       return NtStatus::kSuccess;
@@ -334,7 +479,7 @@ void DeceptionEngine::installFileHooks(HookSet& hooks) {
   });
 
   hooks.getFileAttributes = timed(ApiId::kGetFileAttributes, [this](Api& a, const std::string& path) {
-    auto p = db_.matchFile(path);
+    auto p = guardedDb([&] { return db_.matchFile(path); });
     if (matchesActive(p)) {
       alert(a, "GetFileAttributes()", path, *p);
       return 0x80u;  // FILE_ATTRIBUTE_NORMAL
@@ -344,7 +489,7 @@ void DeceptionEngine::installFileHooks(HookSet& hooks) {
 
   hooks.createFile = timed(ApiId::kCreateFile, [this](Api& a, const std::string& path, bool forWrite) {
     if (!forWrite) {
-      auto p = db_.matchFile(path);
+      auto p = guardedDb([&] { return db_.matchFile(path); });
       if (matchesActive(p)) {
         alert(a, "CreateFile()", path, *p);
         return WinError::kSuccess;
@@ -354,7 +499,7 @@ void DeceptionEngine::installFileHooks(HookSet& hooks) {
   });
 
   hooks.ntCreateFile = timed(ApiId::kNtCreateFile, [this](Api& a, const std::string& path) {
-    auto p = db_.matchFile(path);
+    auto p = guardedDb([&] { return db_.matchFile(path); });
     if (matchesActive(p)) {
       alert(a, "NtCreateFile()", path, *p);
       return NtStatus::kSuccess;
@@ -368,7 +513,8 @@ void DeceptionEngine::installFileHooks(HookSet& hooks) {
   hooks.findFirstFile = timed(ApiId::kFindFirstFile, [this](Api& a, const std::string& directory,
                                const std::string& pattern) {
     std::vector<std::string> names = a.orig_FindFirstFileA(directory, pattern);
-    for (std::string& fake : db_.fakeFilesIn(directory, pattern)) {
+    for (std::string& fake :
+         guardedDb([&] { return db_.fakeFilesIn(directory, pattern); })) {
       bool present = false;
       for (const std::string& existing : names)
         if (iequals(existing, fake)) present = true;
@@ -390,7 +536,8 @@ void DeceptionEngine::installProcessHooks(HookSet& hooks) {
       std::vector<winapi::ProcessEntry> entries =
           a.orig_CreateToolhelp32Snapshot();
       bool appended = false;
-      for (winapi::ProcessEntry& fake : db_.fakeProcessEntries()) {
+      for (winapi::ProcessEntry& fake :
+           guardedDb([&] { return db_.fakeProcessEntries(); })) {
         const auto profile = db_.matchProcess(fake.imageName);
         if (!matchesActive(profile)) continue;
         entries.push_back(std::move(fake));
@@ -413,7 +560,8 @@ void DeceptionEngine::installProcessHooks(HookSet& hooks) {
       }
       const winsys::Process* target = a.machine().processes().find(pid);
       if (target != nullptr &&
-          db_.matchProcess(target->imageName).has_value()) {
+          guardedDb([&] { return db_.matchProcess(target->imageName); })
+              .has_value()) {
         alert(a, "TerminateProcess()", target->imageName, Profile::kGeneric);
         return true;
       }
@@ -421,7 +569,7 @@ void DeceptionEngine::installProcessHooks(HookSet& hooks) {
     });
 
     hooks.getModuleHandle = timed(ApiId::kGetModuleHandle, [this](Api& a, const std::string& moduleName) {
-      auto p = db_.matchDll(moduleName);
+      auto p = guardedDb([&] { return db_.matchDll(moduleName); });
       if (matchesActive(p)) {
         alert(a, "GetModuleHandleA()", moduleName, *p);
         return true;
@@ -459,7 +607,7 @@ void DeceptionEngine::installProcessHooks(HookSet& hooks) {
 
     hooks.findWindow = timed(ApiId::kFindWindow, [this](Api& a, const std::string& className,
                               const std::string& title) {
-      auto p = db_.matchWindow(className, title);
+      auto p = guardedDb([&] { return db_.matchWindow(className, title); });
       if (matchesActive(p)) {
         alert(a, "FindWindow()", className.empty() ? title : className, *p);
         return true;
@@ -508,9 +656,44 @@ void DeceptionEngine::installProcessHooks(HookSet& hooks) {
         return 0u;
       }
     }
-    hooking::injectDll(a.machine(), a.userspace(), child, dllImage());
+    // Child propagation, with its own fault site: a kChildPropagation fire
+    // models the suspend→inject→resume race being lost. The child runs
+    // unsupervised until the controller sees the kInjectFailed message and
+    // re-injects from its side (Controller::pump).
+    bool propagated = false;
+    if (faults_ != nullptr &&
+        faults_->shouldFire(faults::FaultSite::kChildPropagation,
+                            imagePath)) {
+      ++childInjectFailures_;
+      if (metrics_ != nullptr)
+        metrics_->counter("inject.failures", "propagation").inc();
+      if (flight_ != nullptr) {
+        obs::DecisionEvent e;
+        e.timeMs = a.machine().clock().nowMs();
+        e.pid = child;
+        e.correlationId = currentCorrelation_;
+        e.kind = obs::DecisionKind::kInjectFail;
+        e.api = "CreateProcess";
+        e.argument = obs::digestArgument(imagePath);
+        e.value = "propagation-fault";
+        flight_->record(std::move(e));
+      }
+      support::logError("engine", "child propagation failed",
+                        {{"child", child}, {"image", imagePath}});
+      degrade(faults::ProtectionLevel::kPartialDeception,
+              "child propagation failed");
+    } else {
+      propagated =
+          hooking::injectDll(a.machine(), a.userspace(), child, dllImage());
+      if (!propagated) {
+        ++childInjectFailures_;
+        degrade(faults::ProtectionLevel::kPartialDeception,
+                "child injection failed");
+      }
+    }
     hooking::IpcMessage msg;
-    msg.kind = hooking::IpcKind::kProcessInjected;
+    msg.kind = propagated ? hooking::IpcKind::kProcessInjected
+                          : hooking::IpcKind::kInjectFailed;
     msg.pid = child;
     msg.timeMs = a.machine().clock().nowMs();
     msg.correlationId = currentCorrelation_;
@@ -708,7 +891,8 @@ void DeceptionEngine::installWearTearHooks(HookSet& hooks) {
       values = fake->values;
       return NtStatus::kSuccess;
     }
-    if (auto p = db_.matchRegistryKey(path); matchesActive(p)) {
+    if (auto p = guardedDb([&] { return db_.matchRegistryKey(path); });
+        matchesActive(p)) {
       alert(a, "NtQueryKey()", path, *p);
       subkeys = 1;
       values = 1;

@@ -13,6 +13,16 @@
 // samples past a threshold. Section VI-B conflict-aware profiles are
 // implemented as described: the first VM vendor probed wins, the other
 // vendors' artifacts vanish.
+//
+// Robustness (DESIGN.md §11): the engine degrades, it does not break. A
+// bound FaultInjector can fail individual hook installs (a hook that fails
+// `Config::hookQuarantineThreshold` times is quarantined — skipped on later
+// installs), fail child propagation (reported to the controller as an
+// kInjectFailed IPC so pump() can re-inject), and error ResourceDb lookups
+// (the hook falls through to the original API — the probe sees the truth,
+// never garbage). Each of those moves the protection ladder monotonically
+// down: kFullDeception → kPartialDeception → kMonitorOnly, with every
+// transition counted and recorded as a kDegradation decision event.
 #pragma once
 
 #include <array>
@@ -27,6 +37,10 @@
 #include "hooking/ipc.h"
 #include "obs/metrics.h"
 #include "winapi/api.h"
+
+namespace scarecrow::faults {
+class FaultInjector;
+}
 
 namespace scarecrow::core {
 
@@ -80,6 +94,35 @@ class DeceptionEngine {
   /// a DecisionEvent with a correlation id tying the chain together.
   obs::FlightRecorder* flightRecorder() const noexcept { return flight_; }
 
+  /// Arms the engine's fault sites (kHookInstall, kChildPropagation,
+  /// kResourceDbLookup) and the IPC channel's (kIpcSend, kIpcDrain). The
+  /// injector is not owned; nullptr disarms. Bind before installInto.
+  void setFaultInjector(faults::FaultInjector* faults) noexcept;
+
+  /// Current rung of the graceful-degradation ladder. Transitions are
+  /// monotonic (a run never climbs back up) and each is a kDegradation
+  /// decision event plus an `engine.degradations` counter tick.
+  faults::ProtectionLevel protectionLevel() const noexcept { return level_; }
+
+  /// Hooks disabled after repeated install failures. Quarantined hooks are
+  /// skipped by later installInto calls; analysis::analyzeCoverage accepts
+  /// this set so the static verdicts track the degraded reality.
+  const std::set<winapi::ApiId>& quarantinedHooks() const noexcept {
+    return quarantined_;
+  }
+
+  /// Total hook-install failures across all installs (pre-quarantine
+  /// failures included).
+  std::uint32_t hookInstallFailures() const noexcept {
+    return hookInstallFailures_;
+  }
+
+  /// Child-propagation injection failures (each one was also reported to
+  /// the controller as an IpcKind::kInjectFailed message).
+  std::uint32_t childInjectFailures() const noexcept {
+    return childInjectFailures_;
+  }
+
  private:
   /// `value` is the deceptive value served, when it has a natural string
   /// rendering (empty otherwise); it lands in the decision trace.
@@ -104,6 +147,28 @@ class DeceptionEngine {
   void installWearTearHooks(winapi::HookSet& hooks);
   std::set<winapi::ApiId> hookedIds() const;
 
+  /// The subset of hookedIds() this install may actually wire up: skips
+  /// quarantined hooks and rolls the kHookInstall fault site per remaining
+  /// hook (failures feed noteHookInstallFailure).
+  std::set<winapi::ApiId> planInstallSet(winapi::Api& api);
+  /// Nulls every HookSet member whose ApiId is in `denied` — a nulled
+  /// member means the dispatcher calls the original API (monitor-style
+  /// fall-through), never a half-installed hook. Targets only the denied
+  /// ids so the always-installed propagation hooks (CreateProcess,
+  /// ShellExecuteEx under ablation configs) survive unless they themselves
+  /// failed or were quarantined.
+  void pruneDeniedHooks(winapi::HookSet& hooks,
+                        const std::set<winapi::ApiId>& denied) const;
+  void noteHookInstallFailure(winapi::Api& api, winapi::ApiId id);
+  /// Moves the ladder down to `to` (no-op if already at or below). `reason`
+  /// lands in the kDegradation decision event and the warn log.
+  void degrade(faults::ProtectionLevel to, const std::string& reason);
+  /// Runs a ResourceDb lookup through the kResourceDbLookup fault site:
+  /// a fired fault yields a default-constructed (empty) result, so the
+  /// hook falls through to the original API.
+  template <typename F>
+  auto guardedDb(F&& f) -> decltype(f());
+
   /// Binds the telemetry caches (per-ApiId counter pointers, dispatch
   /// histogram) to `machine`'s registry. Cached pointers keep hook-entry
   /// accounting to one increment on a stable address.
@@ -125,10 +190,18 @@ class DeceptionEngine {
   obs::Histogram* dispatchLatency_ = nullptr;
   std::array<obs::Counter*, winapi::kApiCount> hookHits_{};
   obs::FlightRecorder* flight_ = nullptr;
+  const support::VirtualClock* clock_ = nullptr;
   /// Correlation id of the hook dispatch currently on the stack (0 when
   /// outside any dispatch). timed() saves/restores it so nested dispatches
   /// (ShellExecuteEx → CreateProcess) keep distinct chains.
   std::uint64_t currentCorrelation_ = 0;
+
+  faults::FaultInjector* faults_ = nullptr;
+  faults::ProtectionLevel level_ = faults::ProtectionLevel::kFullDeception;
+  std::set<winapi::ApiId> quarantined_;
+  std::map<winapi::ApiId, std::uint32_t> installFailures_;
+  std::uint32_t hookInstallFailures_ = 0;
+  std::uint32_t childInjectFailures_ = 0;
 };
 
 }  // namespace scarecrow::core

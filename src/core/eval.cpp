@@ -1,6 +1,7 @@
 #include "core/eval.h"
 
 #include "env/environments.h"
+#include "faults/fault_injector.h"
 #include "obs/export.h"
 #include "obs/span.h"
 #include "support/log.h"
@@ -56,6 +57,15 @@ RunResult EvaluationHarness::runOnce(const EvalRequest& request,
                            dbFactory_ ? dbFactory_()
                                       : buildDefaultResourceDb());
     Controller controller(machine_, userspace, engine);
+    // The fault injector lives exactly as long as this supervised run and
+    // is seeded solely from config.faultPlan — a worker replaying the same
+    // (sample, config) pair replays the same fault schedule byte for byte.
+    faults::FaultInjector injector(config.faultPlan);
+    if (injector.anyArmed()) {
+      injector.bind(&metrics, &flight, &machine_.clock());
+      engine.setFaultInjector(&injector);
+      controller.setFaultInjector(&injector);
+    }
     {
       notePhase("eval.inject");
       obs::ScopedSpan span(metrics, machine_.clock(), "eval.inject");
@@ -74,6 +84,25 @@ RunResult EvaluationHarness::runOnce(const EvalRequest& request,
     result.firstTrigger = controller.firstTrigger();
     result.selfSpawnAlerts = controller.selfSpawnAlerts();
     result.firstTriggerCorrelation = controller.firstTriggerCorrelation();
+
+    ResilienceVerdict& rv = result.resilience;
+    rv.protectionLevel = controller.injectionSucceeded()
+                             ? engine.protectionLevel()
+                             : faults::ProtectionLevel::kMonitorOnly;
+    rv.faultsInjected =
+        static_cast<std::uint32_t>(injector.totalFires());
+    rv.injectRetries = controller.injectRetries();
+    rv.hookInstallFailures = engine.hookInstallFailures();
+    rv.quarantinedHooks =
+        static_cast<std::uint32_t>(engine.quarantinedHooks().size());
+    rv.missedDescendants = controller.missedDescendants();
+    rv.reinjectedDescendants = controller.reinjectedDescendants();
+    rv.ipcMessagesDropped = engine.ipc().droppedTotal();
+    if (rv.degraded() || rv.faultsInjected > 0)
+      metrics
+          .gauge("resilience.protection_level",
+                 faults::protectionLevelName(rv.protectionLevel))
+          .set(static_cast<std::int64_t>(rv.protectionLevel));
   } else {
     // The cluster's analysis agent launches the sample (Figure 3).
     options.parentPid = env::sandboxAgentPid(machine_);
@@ -104,6 +133,7 @@ EvalOutcome EvaluationHarness::evaluate(const EvalRequest& request) {
   outcome.traceWith = std::move(supervised.trace);
   outcome.firstTrigger = std::move(supervised.firstTrigger);
   outcome.selfSpawnAlerts = supervised.selfSpawnAlerts;
+  outcome.resilience = supervised.resilience;
   const std::uint64_t triggerCorrelation =
       supervised.firstTriggerCorrelation;
   outcome.verdict = trace::judgeDeactivation(

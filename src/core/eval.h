@@ -41,6 +41,34 @@ struct EvalRequest {
   std::uint64_t budgetMs = Config::kDefaultBudgetMs;
 };
 
+/// How well the deception plane held up during a supervised run
+/// (DESIGN.md §11). All-zero with protectionLevel == kFullDeception means
+/// nothing went wrong — the invariant state of every un-faulted run.
+struct ResilienceVerdict {
+  /// Final rung of the degradation ladder for the run.
+  faults::ProtectionLevel protectionLevel =
+      faults::ProtectionLevel::kFullDeception;
+  /// Total armed-fault-site fires during the run (0 without a fault plan).
+  std::uint32_t faultsInjected = 0;
+  /// Root-injection retries Controller::launch spent.
+  std::uint32_t injectRetries = 0;
+  /// Hook installs the engine lost to the kHookInstall site.
+  std::uint32_t hookInstallFailures = 0;
+  /// Hooks disabled after repeated install failures.
+  std::uint32_t quarantinedHooks = 0;
+  /// Descendants the DLL failed to inject (kChildPropagation)...
+  std::uint32_t missedDescendants = 0;
+  /// ...and how many of those the controller re-injected during pump().
+  std::uint32_t reinjectedDescendants = 0;
+  /// IPC messages lost to send faults or the queue capacity bound.
+  std::uint64_t ipcMessagesDropped = 0;
+
+  /// True when the run finished below kFullDeception.
+  bool degraded() const noexcept {
+    return protectionLevel != faults::ProtectionLevel::kFullDeception;
+  }
+};
+
 /// Artifacts of one single-configuration run (EvaluationHarness::runOnce).
 /// The controller-side fields are only populated for with-Scarecrow runs;
 /// reference runs have no controller.
@@ -52,6 +80,8 @@ struct RunResult {
   std::uint32_t selfSpawnAlerts = 0;
   /// Causal-chain id of the first trigger (0 when nothing triggered).
   std::uint64_t firstTriggerCorrelation = 0;
+  /// How the deception plane held up (supervised runs only).
+  ResilienceVerdict resilience;
 };
 
 struct EvalOutcome {
@@ -82,6 +112,9 @@ struct EvalOutcome {
   /// loadable in Perfetto / about://tracing. Byte-identical across
   /// identical runs, like telemetryJson.
   std::string perfettoJson;
+  /// How the deception plane held up in the supervised run. Deterministic
+  /// for a fixed (sample, config) pair, fault plan included.
+  ResilienceVerdict resilience;
 };
 
 class EvaluationHarness {

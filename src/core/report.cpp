@@ -74,6 +74,9 @@ std::string renderIncidentReport(const std::string& sampleId,
     out += '\n';
   }
 
+  if (outcome.resilience.degraded() || outcome.resilience.faultsInjected > 0)
+    out += renderResilienceReport(outcome.resilience);
+
   out += "## Timeline (supervised run)\n\n";
   appendTimeline(out, outcome.traceWith, options.maxTimelineEvents);
   out += "\n## Timeline (reference run, unprotected)\n\n";
@@ -116,6 +119,27 @@ std::string renderAttributionReport(const TriggerAttribution& attribution) {
     out += '\n';
   }
   out += '\n';
+  return out;
+}
+
+std::string renderResilienceReport(const ResilienceVerdict& resilience) {
+  std::string out = "## Deception-plane resilience\n\n";
+  out += "**Protection level:** ";
+  out += faults::protectionLevelName(resilience.protectionLevel);
+  out += resilience.degraded() ? " (degraded)\n\n" : "\n\n";
+  out += "- faults injected: " +
+         std::to_string(resilience.faultsInjected) + "\n";
+  out += "- root-injection retries: " +
+         std::to_string(resilience.injectRetries) + "\n";
+  out += "- hook install failures: " +
+         std::to_string(resilience.hookInstallFailures) + " (" +
+         std::to_string(resilience.quarantinedHooks) + " quarantined)\n";
+  out += "- missed descendants: " +
+         std::to_string(resilience.missedDescendants) + " (" +
+         std::to_string(resilience.reinjectedDescendants) +
+         " re-injected)\n";
+  out += "- IPC messages dropped: " +
+         std::to_string(resilience.ipcMessagesDropped) + "\n\n";
   return out;
 }
 

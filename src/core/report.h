@@ -44,6 +44,12 @@ std::string renderTelemetryReport(const obs::MetricsSnapshot& telemetry,
 /// event (time, pid, kind, API, argument → matched profile).
 std::string renderAttributionReport(const TriggerAttribution& attribution);
 
+/// Renders the resilience section: the final protection-ladder rung, fault
+/// fires, retries, quarantines, and IPC losses of a supervised run.
+/// renderIncidentReport appends it automatically when the run degraded or
+/// any fault fired; empty-verdict renders are valid (all-zero lines).
+std::string renderResilienceReport(const ResilienceVerdict& resilience);
+
 /// Renders a live supervision summary from a controller's IPC view (no
 /// reference run available).
 std::string renderSupervisionReport(const Controller& controller,

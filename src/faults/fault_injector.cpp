@@ -1,0 +1,76 @@
+#include "faults/fault_injector.h"
+
+#include "support/strings.h"
+
+namespace scarecrow::faults {
+
+FaultInjector::FaultInjector(const FaultPlan& plan) {
+  for (std::size_t i = 0; i < kFaultSiteCount; ++i) {
+    // Independent per-site streams: the SplitMix64 seeding inside Rng
+    // decorrelates these related seeds, and keeping the streams separate
+    // means arming (or checking) one site never shifts another's draws.
+    sites_[i].rng =
+        support::Rng(plan.seed + 0x9E3779B97F4A7C15ULL * (i + 1));
+  }
+  for (const FaultRule& rule : plan.rules) {
+    SiteState& site = sites_[static_cast<std::size_t>(rule.site)];
+    site.rules.push_back({rule, 0, 0});
+    armed_[static_cast<std::size_t>(rule.site)] = true;
+    anyArmed_ = true;
+  }
+}
+
+bool FaultInjector::checkArmed(FaultSite site, std::string_view detail) {
+  SiteState& state = sites_[static_cast<std::size_t>(site)];
+  ++state.checks;
+  for (RuleState& rule : state.rules) {
+    const FaultRule& r = rule.rule;
+    if (!r.apiFilter.empty() && !support::iequals(detail, r.apiFilter))
+      continue;
+    if (r.maxFires != 0 && rule.fires >= r.maxFires) continue;
+    ++rule.eligibleChecks;
+    if (r.everyNth > 1 && rule.eligibleChecks % r.everyNth != 0) continue;
+    if (r.probability < 1.0 && !state.rng.chance(r.probability)) continue;
+    ++rule.fires;
+    noteFire(state, site, detail);
+    return true;
+  }
+  return false;
+}
+
+void FaultInjector::noteFire(SiteState& site, FaultSite which,
+                             std::string_view detail) {
+  ++site.fires;
+  ++totalFires_;
+  if (metrics_ != nullptr) {
+    if (site.firedCounter == nullptr)
+      site.firedCounter =
+          &metrics_->counter("faults.fired", faultSiteName(which));
+    site.firedCounter->inc();
+  }
+  if (flight_ != nullptr) {
+    obs::DecisionEvent e;
+    e.timeMs = clock_ != nullptr ? clock_->nowMs() : 0;
+    e.kind = obs::DecisionKind::kFaultInjected;
+    e.api = faultSiteName(which);
+    e.argument = obs::digestArgument(detail);
+    e.value = std::to_string(site.fires);
+    flight_->record(std::move(e));
+  }
+}
+
+std::string FaultInjector::scheduleDigest() const {
+  std::string out;
+  for (std::size_t i = 0; i < kFaultSiteCount; ++i) {
+    if (!armed_[i]) continue;
+    if (!out.empty()) out += ' ';
+    out += faultSiteName(static_cast<FaultSite>(i));
+    out += '=';
+    out += std::to_string(sites_[i].fires);
+    out += '/';
+    out += std::to_string(sites_[i].checks);
+  }
+  return out.empty() ? "disarmed" : out;
+}
+
+}  // namespace scarecrow::faults

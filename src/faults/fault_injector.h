@@ -1,0 +1,107 @@
+// Seeded, deterministic fault injection (DESIGN.md §11).
+//
+// A FaultInjector is armed with a FaultPlan and consulted at every named
+// seam of the deception pipeline via shouldFire(site, detail). Each site
+// owns a private Rng stream forked from the plan seed, so checking one
+// site never perturbs another's schedule and a (seed, plan) pair replays
+// byte-identically for an identical call trace — which the simulator
+// guarantees. The hot-path contract mirrors obs::Counter: a disarmed site
+// check is a single array load (< 2 ns, see BM_FaultSiteCheck), so fault
+// sites can stay compiled into the hook hot path permanently.
+//
+// Every fire is observable: a `faults.fired{site}` counter in the bound
+// metrics registry and a kFaultInjected decision event in the bound
+// flight recorder, so TriggerAttribution can explain why a sample went
+// unprotected.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "faults/fault_plan.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "support/clock.h"
+#include "support/rng.h"
+
+namespace scarecrow::faults {
+
+class FaultInjector {
+ public:
+  /// Disarmed: every shouldFire returns false from the fast path.
+  FaultInjector() = default;
+
+  /// Armed per `plan`. Rules keep plan order within a site (first match
+  /// fires).
+  explicit FaultInjector(const FaultPlan& plan);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Observability sinks; none are owned and all may be null. The clock
+  /// timestamps kFaultInjected decision events.
+  void bind(obs::MetricsRegistry* metrics, obs::FlightRecorder* flight,
+            const support::VirtualClock* clock) noexcept {
+    metrics_ = metrics;
+    flight_ = flight;
+    clock_ = clock;
+  }
+
+  /// The hot-path predicate: false in one array load when `site` has no
+  /// rules armed.
+  bool armed(FaultSite site) const noexcept {
+    return armed_[static_cast<std::size_t>(site)];
+  }
+  bool anyArmed() const noexcept { return anyArmed_; }
+
+  /// One fault-site check. `detail` names the concrete thing at the seam
+  /// (API name, image path) and is matched against rule apiFilters.
+  /// Returns true when the step must fail. The disarmed path is inline —
+  /// one array load and a branch, no call — so permanent sites are free.
+  bool shouldFire(FaultSite site, std::string_view detail = {}) {
+    if (!armed_[static_cast<std::size_t>(site)]) return false;
+    return checkArmed(site, detail);
+  }
+
+  std::uint64_t checkCount(FaultSite site) const noexcept {
+    return sites_[static_cast<std::size_t>(site)].checks;
+  }
+  std::uint64_t fireCount(FaultSite site) const noexcept {
+    return sites_[static_cast<std::size_t>(site)].fires;
+  }
+  std::uint64_t totalFires() const noexcept { return totalFires_; }
+
+  /// "site=fires/checks ..." over armed sites — a compact schedule
+  /// fingerprint the determinism tests compare across replays.
+  std::string scheduleDigest() const;
+
+ private:
+  struct RuleState {
+    FaultRule rule;
+    std::uint64_t eligibleChecks = 0;
+    std::uint64_t fires = 0;
+  };
+  struct SiteState {
+    std::vector<RuleState> rules;
+    support::Rng rng{0};
+    std::uint64_t checks = 0;
+    std::uint64_t fires = 0;
+    obs::Counter* firedCounter = nullptr;  // looked up lazily on first fire
+  };
+
+  bool checkArmed(FaultSite site, std::string_view detail);
+  void noteFire(SiteState& site, FaultSite which, std::string_view detail);
+
+  std::array<SiteState, kFaultSiteCount> sites_{};
+  std::array<bool, kFaultSiteCount> armed_{};
+  bool anyArmed_ = false;
+  std::uint64_t totalFires_ = 0;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
+  const support::VirtualClock* clock_ = nullptr;
+};
+
+}  // namespace scarecrow::faults

@@ -1,0 +1,96 @@
+#include "faults/fault_plan.h"
+
+#include <stdexcept>
+
+#include "support/strings.h"
+
+namespace scarecrow::faults {
+
+using support::iequals;
+using support::split;
+
+const char* faultSiteName(FaultSite site) noexcept {
+  switch (site) {
+    case FaultSite::kInjectDll: return "inject-dll";
+    case FaultSite::kHookInstall: return "hook-install";
+    case FaultSite::kIpcSend: return "ipc-send";
+    case FaultSite::kIpcDrain: return "ipc-drain";
+    case FaultSite::kChildPropagation: return "child-propagation";
+    case FaultSite::kResourceDbLookup: return "db-lookup";
+  }
+  return "?";
+}
+
+std::optional<FaultSite> faultSiteFromName(std::string_view name) noexcept {
+  for (std::size_t i = 0; i < kFaultSiteCount; ++i) {
+    const auto site = static_cast<FaultSite>(i);
+    if (iequals(name, faultSiteName(site))) return site;
+  }
+  if (iequals(name, "inject")) return FaultSite::kInjectDll;
+  if (iequals(name, "propagation")) return FaultSite::kChildPropagation;
+  return std::nullopt;
+}
+
+const char* protectionLevelName(ProtectionLevel level) noexcept {
+  switch (level) {
+    case ProtectionLevel::kFullDeception: return "full-deception";
+    case ProtectionLevel::kPartialDeception: return "partial-deception";
+    case ProtectionLevel::kMonitorOnly: return "monitor-only";
+  }
+  return "?";
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec, std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  for (const std::string& clause : split(spec, ';')) {
+    if (clause.empty()) continue;
+    const std::size_t colon = clause.find(':');
+    const std::string siteName = clause.substr(0, colon);
+    const std::optional<FaultSite> site = faultSiteFromName(siteName);
+    if (!site.has_value())
+      throw std::invalid_argument("unknown fault site: " + siteName);
+    FaultRule rule;
+    rule.site = *site;
+    if (colon != std::string::npos) {
+      for (const std::string& kv : split(clause.substr(colon + 1), ',')) {
+        if (kv.empty()) continue;
+        const std::size_t eq = kv.find('=');
+        if (eq == std::string::npos)
+          throw std::invalid_argument("fault rule option needs key=value: " +
+                                      kv);
+        const std::string key = kv.substr(0, eq);
+        const std::string value = kv.substr(eq + 1);
+        if (iequals(key, "p")) {
+          rule.probability = std::stod(value);
+        } else if (iequals(key, "every")) {
+          rule.everyNth = static_cast<std::uint32_t>(std::stoul(value));
+        } else if (iequals(key, "max")) {
+          rule.maxFires = static_cast<std::uint32_t>(std::stoul(value));
+        } else if (iequals(key, "api")) {
+          rule.apiFilter = value;
+        } else {
+          throw std::invalid_argument("unknown fault rule option: " + key);
+        }
+      }
+    }
+    plan.rules.push_back(std::move(rule));
+  }
+  return plan;
+}
+
+std::string FaultPlan::describe() const {
+  std::string out = "seed=" + std::to_string(seed);
+  for (const FaultRule& rule : rules) {
+    out += ' ';
+    out += faultSiteName(rule.site);
+    out += ":p=" + std::to_string(rule.probability);
+    if (rule.everyNth != 0)
+      out += ",every=" + std::to_string(rule.everyNth);
+    if (rule.maxFires != 0) out += ",max=" + std::to_string(rule.maxFires);
+    if (!rule.apiFilter.empty()) out += ",api=" + rule.apiFilter;
+  }
+  return out;
+}
+
+}  // namespace scarecrow::faults

@@ -1,0 +1,102 @@
+// Deterministic fault-injection plan for the deception pipeline.
+//
+// Scarecrow's guarantee is that deception is on when the malware probes
+// (paper §III); the reproduction's robustness guarantee is that when a
+// pipeline step fails, it fails loudly and boundedly instead of silently
+// leaving a process unprotected. A FaultPlan describes which named seams
+// fail and how often; a FaultInjector (fault_injector.h) armed with a
+// (seed, plan) pair replays the exact same fault schedule byte-for-byte,
+// so a chaos sweep over the Table I corpus is as reproducible as a clean
+// one. The degradation ladder the consumers walk when faults land —
+// kFullDeception → kPartialDeception → kMonitorOnly — lives here too.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scarecrow::faults {
+
+/// The named seams a plan can arm, one per pipeline step that can lose
+/// protection (DESIGN.md §11 site catalog).
+enum class FaultSite : std::uint8_t {
+  kInjectDll,         // Controller::launch's injectDll returns false
+  kHookInstall,       // one API's in-line hook fails to install
+  kIpcSend,           // DLL→controller message dropped at send
+  kIpcDrain,          // controller drain returns only part of the queue
+  kChildPropagation,  // CreateProcess-hook descendant injection fails
+  kResourceDbLookup,  // deception database lookup errors (served as a miss)
+};
+
+/// Number of fault sites; keep in sync with the last enumerator.
+inline constexpr std::size_t kFaultSiteCount =
+    static_cast<std::size_t>(FaultSite::kResourceDbLookup) + 1;
+
+/// Exhaustive over FaultSite (no default; -Werror=switch enforces it).
+/// These are also the spelling `FaultPlan::parse` accepts.
+const char* faultSiteName(FaultSite site) noexcept;
+
+/// Inverse of faultSiteName, case-insensitive. Also accepts the aliases
+/// "inject" (kInjectDll) and "propagation" (kChildPropagation).
+std::optional<FaultSite> faultSiteFromName(std::string_view name) noexcept;
+
+/// How far down the ladder a supervised run ended (best state first; the
+/// ladder only descends within a run).
+enum class ProtectionLevel : std::uint8_t {
+  kFullDeception,     // every configured hook installed, nothing lost
+  kPartialDeception,  // some hooks quarantined / children missed / IPC lost
+  kMonitorOnly,       // injection never succeeded; kernel trace only
+};
+
+inline constexpr std::size_t kProtectionLevelCount =
+    static_cast<std::size_t>(ProtectionLevel::kMonitorOnly) + 1;
+
+/// Exhaustive over ProtectionLevel (-Werror=switch).
+const char* protectionLevelName(ProtectionLevel level) noexcept;
+
+/// One armed seam. A rule fires on a check when, in order: the detail
+/// matches `apiFilter` (when set), `maxFires` is not exhausted, the check
+/// is the everyNth-th eligible one (when set), and a Bernoulli trial with
+/// `probability` passes (drawn from the site's private Rng stream).
+struct FaultRule {
+  FaultSite site = FaultSite::kInjectDll;
+  /// Chance an eligible check fires, in [0, 1]. 1.0 draws nothing from
+  /// the Rng, so all-deterministic plans never touch the stream.
+  double probability = 1.0;
+  /// Fire only on every Nth eligible check (0 or 1 = every one).
+  std::uint32_t everyNth = 0;
+  /// Total fires before the rule disarms (0 = unbounded; 1 = one-shot).
+  std::uint32_t maxFires = 0;
+  /// Case-insensitive exact match against the site detail (the API name
+  /// for kHookInstall, the image name for injection sites). Empty matches
+  /// everything.
+  std::string apiFilter;
+};
+
+/// A complete fault schedule: (seed, rules). Value semantics — it travels
+/// inside core::Config so every EvalRequest carries its own plan and a
+/// BatchEvaluator worker replays exactly what a serial harness would.
+struct FaultPlan {
+  /// Seeds the per-site Rng streams; two injectors built from equal
+  /// (seed, rules) produce identical schedules for identical call traces.
+  std::uint64_t seed = 0;
+  std::vector<FaultRule> rules;
+
+  bool empty() const noexcept { return rules.empty(); }
+
+  /// Parses a compact spec: semicolon-separated rules of the form
+  ///   site[:key=value[,key=value...]]
+  /// with keys `p` (probability), `every` (everyNth), `max` (maxFires),
+  /// and `api` (apiFilter), e.g.
+  ///   "inject:p=0.3;hook-install:api=IsDebuggerPresent,max=1;ipc-send:every=4"
+  /// Throws std::invalid_argument on an unknown site or key.
+  static FaultPlan parse(const std::string& spec, std::uint64_t seed = 0);
+
+  /// Round-trippable rendering of the plan ("seed=7 inject:p=0.3 ...").
+  std::string describe() const;
+};
+
+}  // namespace scarecrow::faults

@@ -1,17 +1,48 @@
 #include "hooking/injector.h"
 
+#include "faults/fault_injector.h"
 #include "obs/span.h"
+#include "support/log.h"
 #include "support/strings.h"
 
 namespace scarecrow::hooking {
 
+namespace {
+
+/// Shared failure path: structured log + reason-labelled counter +
+/// kInjectFail decision, so no caller can lose an injection silently.
+bool injectFailed(winsys::Machine& machine, std::uint32_t pid,
+                  const DllImage& dll, const char* reason) {
+  support::logError("inject", "dll injection failed",
+                    {{"dll", dll.name},
+                     {"pid", pid},
+                     {"reason", reason}});
+  machine.metrics().counter("inject.failures", reason).inc();
+  obs::DecisionEvent e;
+  e.timeMs = machine.clock().nowMs();
+  e.pid = pid;
+  e.kind = obs::DecisionKind::kInjectFail;
+  e.api = "injectDll";
+  e.argument = dll.name;
+  e.value = reason;
+  machine.flightRecorder().record(std::move(e));
+  return false;
+}
+
+}  // namespace
+
 bool injectDll(winsys::Machine& machine, winapi::UserSpace& userspace,
-               std::uint32_t pid, const DllImage& dll) {
+               std::uint32_t pid, const DllImage& dll,
+               faults::FaultInjector* faults) {
   winsys::Process* target = machine.processes().find(pid);
-  if (target == nullptr ||
-      target->state == winsys::ProcessState::kTerminated)
-    return false;
+  if (target == nullptr)
+    return injectFailed(machine, pid, dll, "no-such-process");
+  if (target->state == winsys::ProcessState::kTerminated)
+    return injectFailed(machine, pid, dll, "terminated");
   if (isInjected(userspace, pid, dll.name)) return true;
+  if (faults != nullptr &&
+      faults->shouldFire(faults::FaultSite::kInjectDll, target->imageName))
+    return injectFailed(machine, pid, dll, "fault");
 
   obs::ScopedSpan span(machine.metrics(), machine.clock(), "hooking.inject");
   machine.metrics().counter("hooking.injections", dll.name).inc();

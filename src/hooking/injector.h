@@ -7,6 +7,13 @@
 // the entry point. Child propagation — CreateProcess(suspended) → inject →
 // resume — is implemented by the deception engine's CreateProcess hook on
 // top of this primitive.
+//
+// Failures are loud (DESIGN.md §11): every failed injection — dead target,
+// vanished process, or an armed kInjectDll fault — emits a structured
+// error log, an `inject.failures` counter labelled with the reason, and a
+// kInjectFail decision event, so a supervised run that silently lost its
+// hooks is impossible. Callers (Controller::launch, the CreateProcess
+// child-propagation hook) layer retry and degradation policy on top.
 #pragma once
 
 #include <functional>
@@ -16,6 +23,10 @@
 #include "winapi/userspace.h"
 #include "winsys/machine.h"
 
+namespace scarecrow::faults {
+class FaultInjector;
+}
+
 namespace scarecrow::hooking {
 
 struct DllImage {
@@ -24,10 +35,13 @@ struct DllImage {
   std::function<void(winapi::Api& api)> onLoad;
 };
 
-/// Injects `dll` into process `pid`. Returns false if the process does not
-/// exist or is terminated.
+/// Injects `dll` into process `pid`. Returns false — after logging, a
+/// reason-labelled `inject.failures` counter tick, and a kInjectFail
+/// decision event — if the process does not exist, is terminated, or an
+/// armed kInjectDll fault fires (`faults` may be nullptr = no fault site).
 bool injectDll(winsys::Machine& machine, winapi::UserSpace& userspace,
-               std::uint32_t pid, const DllImage& dll);
+               std::uint32_t pid, const DllImage& dll,
+               faults::FaultInjector* faults = nullptr);
 
 /// True if `dll` was already injected into `pid`.
 bool isInjected(const winapi::UserSpace& userspace, std::uint32_t pid,

@@ -1,5 +1,7 @@
 #include "hooking/ipc.h"
 
+#include "faults/fault_injector.h"
+
 namespace scarecrow::hooking {
 
 const char* ipcKindName(IpcKind kind) noexcept {
@@ -7,9 +9,69 @@ const char* ipcKindName(IpcKind kind) noexcept {
     case IpcKind::kFingerprintAttempt: return "fingerprint_attempt";
     case IpcKind::kSelfSpawnAlert: return "self_spawn_alert";
     case IpcKind::kProcessInjected: return "process_injected";
+    case IpcKind::kInjectFailed: return "inject_failed";
     case IpcKind::kConfigUpdate: return "config_update";
   }
   return "?";
+}
+
+void IpcChannel::noteDrop(const char* reason) {
+  ++dropped_;
+  if (metrics_ != nullptr)
+    metrics_->counter("ipc.messages_dropped", reason).inc();
+}
+
+std::uint64_t IpcChannel::send(IpcMessage message) {
+  message.seq = nextSeq_++;
+  // The kIpcSend decision is recorded before any drop: the DLL side did
+  // send the message; losing it is the channel's fault, and the trace must
+  // show the attempt so attribution can explain the missing drain.
+  if (flight_ != nullptr) {
+    obs::DecisionEvent e;
+    e.timeMs = message.timeMs;
+    e.pid = message.pid;
+    e.correlationId = message.correlationId;
+    e.kind = obs::DecisionKind::kIpcSend;
+    e.api = message.api;
+    e.argument = obs::digestArgument(message.resource);
+    e.link = ipcKindName(message.kind);
+    e.value = std::to_string(message.seq);
+    flight_->record(std::move(e));
+  }
+  const std::uint64_t seq = message.seq;
+  if (faults_ != nullptr &&
+      faults_->shouldFire(faults::FaultSite::kIpcSend, message.api)) {
+    noteDrop("fault");
+    return seq;
+  }
+  queue_.push_back(std::move(message));
+  if (capacity_ != 0 && queue_.size() > capacity_) {
+    queue_.erase(queue_.begin());
+    noteDrop("capacity");
+  }
+  return seq;
+}
+
+std::vector<IpcMessage> IpcChannel::drain() {
+  std::vector<IpcMessage> out;
+  if (faults_ != nullptr && !queue_.empty() &&
+      faults_->shouldFire(faults::FaultSite::kIpcDrain)) {
+    // Truncated drain: hand over the front half, keep the tail queued.
+    // Nothing is lost — a later pump picks the remainder up — but the
+    // controller sees it late, which is exactly the hazard under test.
+    const std::size_t take = (queue_.size() + 1) / 2;
+    out.assign(std::make_move_iterator(queue_.begin()),
+               std::make_move_iterator(queue_.begin() +
+                                       static_cast<std::ptrdiff_t>(take)));
+    queue_.erase(queue_.begin(),
+                 queue_.begin() + static_cast<std::ptrdiff_t>(take));
+    ++truncations_;
+    if (metrics_ != nullptr)
+      metrics_->counter("ipc.drain_truncations").inc();
+    return out;
+  }
+  out.swap(queue_);
+  return out;
 }
 
 }  // namespace scarecrow::hooking

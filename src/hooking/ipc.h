@@ -13,6 +13,14 @@
 // DLL/controller process boundary (obs/flight_recorder.h). When a flight
 // recorder is bound, every send is recorded as a kIpcSend decision event;
 // the controller records the matching kIpcDrain on its side.
+//
+// Robustness (DESIGN.md §11): the queue is bounded — beyond the capacity
+// the oldest message is dropped and counted in `ipc.messages_dropped`
+// (label "capacity") — and two fault sites run through it: kIpcSend drops
+// a message at send time (label "fault") and kIpcDrain truncates a drain
+// to the front half of the queue, modelling a stalled or lossy pump. The
+// channel degrades by losing telemetry, never by growing without bound or
+// reordering what survives.
 #pragma once
 
 #include <cstdint>
@@ -20,6 +28,11 @@
 #include <vector>
 
 #include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+
+namespace scarecrow::faults {
+class FaultInjector;
+}
 
 namespace scarecrow::hooking {
 
@@ -27,6 +40,7 @@ enum class IpcKind : std::uint8_t {
   kFingerprintAttempt,  // a deceptive resource was probed
   kSelfSpawnAlert,      // target respawned its own image
   kProcessInjected,     // DLL injected into a (child) process
+  kInjectFailed,        // DLL injection into a child FAILED (re-inject me)
   kConfigUpdate,        // controller -> dll
 };
 
@@ -39,7 +53,8 @@ struct IpcMessage {
   std::string api;       // API (or pseudo-channel) that fired
   std::string resource;  // deceptive resource involved
   /// Monotonic send order, assigned by IpcChannel::send. Drain order must
-  /// equal send order (asserted in controller_test).
+  /// equal send order (asserted in controller_test); a dropped message
+  /// still consumes its seq, so surviving seqs stay increasing.
   std::uint64_t seq = 0;
   /// Causal chain id from the flight recorder (0 = uncorrelated).
   std::uint64_t correlationId = 0;
@@ -53,40 +68,48 @@ class IpcChannel {
     flight_ = recorder;
   }
 
-  /// Enqueues the message, assigning its seq. Returns the assigned seq.
-  std::uint64_t send(IpcMessage message) {
-    message.seq = nextSeq_++;
-    if (flight_ != nullptr) {
-      obs::DecisionEvent e;
-      e.timeMs = message.timeMs;
-      e.pid = message.pid;
-      e.correlationId = message.correlationId;
-      e.kind = obs::DecisionKind::kIpcSend;
-      e.api = message.api;
-      e.argument = obs::digestArgument(message.resource);
-      e.link = ipcKindName(message.kind);
-      e.value = std::to_string(message.seq);
-      flight_->record(std::move(e));
-    }
-    queue_.push_back(std::move(message));
-    return queue_.back().seq;
+  /// Drop counters land here (looked up lazily so a clean channel adds no
+  /// zero-valued series to exports). Not owned; pass nullptr to detach.
+  void bindMetrics(obs::MetricsRegistry* metrics) noexcept {
+    metrics_ = metrics;
   }
 
-  /// Removes and returns all pending messages in send order (controller
-  /// poll).
-  std::vector<IpcMessage> drain() {
-    std::vector<IpcMessage> out;
-    out.swap(queue_);
-    return out;
+  /// Arms the kIpcSend / kIpcDrain fault sites. Not owned.
+  void setFaultInjector(faults::FaultInjector* faults) noexcept {
+    faults_ = faults;
   }
+
+  /// Bounds the queue (drop-oldest beyond it). 0 = unbounded.
+  void setCapacity(std::size_t capacity) noexcept { capacity_ = capacity; }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Enqueues the message, assigning its seq. Returns the assigned seq
+  /// (also when the message was dropped by a fault or the capacity bound).
+  std::uint64_t send(IpcMessage message);
+
+  /// Removes and returns pending messages in send order (controller poll).
+  /// Under an armed kIpcDrain fault the call returns only the front half
+  /// of the queue; the rest stays pending for a later pump.
+  std::vector<IpcMessage> drain();
 
   const std::vector<IpcMessage>& pending() const noexcept { return queue_; }
   bool empty() const noexcept { return queue_.empty(); }
 
+  /// Messages lost to send faults plus capacity overflow.
+  std::uint64_t droppedTotal() const noexcept { return dropped_; }
+  std::uint64_t drainTruncations() const noexcept { return truncations_; }
+
  private:
+  void noteDrop(const char* reason);
+
   std::vector<IpcMessage> queue_;
   std::uint64_t nextSeq_ = 0;
+  std::size_t capacity_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t truncations_ = 0;
   obs::FlightRecorder* flight_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  faults::FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace scarecrow::hooking

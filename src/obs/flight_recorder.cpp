@@ -12,6 +12,11 @@ const char* decisionKindName(DecisionKind kind) noexcept {
     case DecisionKind::kIpcDrain: return "ipc_drain";
     case DecisionKind::kPhase: return "phase";
     case DecisionKind::kVerdict: return "verdict";
+    case DecisionKind::kFaultInjected: return "fault_injected";
+    case DecisionKind::kInjectFail: return "inject_fail";
+    case DecisionKind::kRetry: return "retry";
+    case DecisionKind::kQuarantine: return "quarantine";
+    case DecisionKind::kDegradation: return "degradation";
   }
   return "?";
 }

@@ -40,11 +40,16 @@ enum class DecisionKind : std::uint8_t {
   kIpcDrain,      // IpcMessage drained (controller side)
   kPhase,         // evaluation-pipeline phase transition
   kVerdict,       // deactivation verdict reached
+  kFaultInjected, // an armed fault site fired (faults::FaultInjector)
+  kInjectFail,    // DLL injection failed (fault or dead target)
+  kRetry,         // a bounded retry attempt (injection backoff, re-inject)
+  kQuarantine,    // a hook exceeded its install-failure budget
+  kDegradation,   // protection-ladder transition (full → partial → monitor)
 };
 
 /// Number of decision kinds; keep in sync with the last enumerator.
 inline constexpr std::size_t kDecisionKindCount =
-    static_cast<std::size_t>(DecisionKind::kVerdict) + 1;
+    static_cast<std::size_t>(DecisionKind::kDegradation) + 1;
 
 /// Exhaustive over DecisionKind (no default; -Werror=switch enforces it).
 const char* decisionKindName(DecisionKind kind) noexcept;

@@ -22,6 +22,7 @@
 #include "core/engine.h"
 #include "core/eval.h"
 #include "core/profiles.h"
+#include "faults/fault_injector.h"
 #include "env/environments.h"
 #include "malware/joe.h"
 #include "malware/techniques.h"
@@ -92,6 +93,52 @@ INSTANTIATE_TEST_SUITE_P(
       return name;
     });
 
+// ---- quarantine-aware overload --------------------------------------------
+
+TEST(QuarantineDrift, QuarantinedHookDowngradesStaticVerdictToMatchRuntime) {
+  // Quarantine IsDebuggerPresent with a deterministic fault plan (threshold
+  // 1: the first failed install disables the hook), then check the
+  // quarantine-aware analyzeCoverage overload agrees with what the probe
+  // actually sees through the degraded hook set.
+  core::Config config;
+  config.hookQuarantineThreshold = 1;
+  const faults::FaultPlan plan =
+      faults::FaultPlan::parse("hook-install:api=IsDebuggerPresent", 3);
+  faults::FaultInjector injector(plan);
+
+  auto machine = env::buildBareMetalSandbox();
+  winapi::UserSpace userspace;
+  winsys::Process& proc =
+      machine->processes().create("C:\\s\\q.exe", 0, "", 4);
+  machine->vfs().createFile("C:\\s\\q.exe", 1 << 20);
+  core::DeceptionEngine engine(config, core::buildDefaultResourceDb());
+  engine.setFaultInjector(&injector);
+  winapi::Api api(*machine, userspace, proc.pid);
+  engine.installInto(api);
+  ASSERT_EQ(engine.quarantinedHooks().count(
+                winapi::ApiId::kIsDebuggerPresent),
+            1u);
+
+  const core::ResourceDb db = core::buildDefaultResourceDb();
+  // Static, quarantine-aware: the technique downgrades to kMisses...
+  const auto degradedReport =
+      analysis::analyzeCoverage(db, config, engine.quarantinedHooks());
+  EXPECT_EQ(degradedReport.of(Technique::kIsDebuggerPresent).verdict,
+            Verdict::kMisses);
+  // ...and the dynamic probe against the real (degraded) hook set agrees.
+  EXPECT_FALSE(malware::probeEnvironment(api, Technique::kIsDebuggerPresent));
+  // Without the quarantine set — or with an empty one — the verdict stays
+  // kFires, so the overloads coincide on a healthy engine.
+  EXPECT_EQ(analysis::analyzeCoverage(db, config)
+                .of(Technique::kIsDebuggerPresent)
+                .verdict,
+            Verdict::kFires);
+  EXPECT_EQ(analysis::analyzeCoverage(db, config, {})
+                .of(Technique::kIsDebuggerPresent)
+                .verdict,
+            Verdict::kFires);
+}
+
 // ---- corpus level ---------------------------------------------------------
 
 struct CorpusFixtureState {
@@ -148,9 +195,10 @@ TEST(CorpusDrift, TableIVerdictsMatchStaticPredictionPerDatabase) {
 
       EXPECT_EQ(outcome.verdict.deactivated, predicted.deactivated)
           << row.idPrefix << " on " << dbCase.name;
-      if (predicted.deactivated && !predicted.trigger.empty())
+      if (predicted.deactivated && !predicted.trigger.empty()) {
         EXPECT_EQ(outcome.verdict.firstTrigger, predicted.trigger)
             << row.idPrefix << " on " << dbCase.name;
+      }
     }
   }
   // Restore the default factory for any later user of the shared harness.

@@ -1,0 +1,541 @@
+// Fault-injection plane tests (DESIGN.md §11): plan grammar, deterministic
+// per-site schedules, the bounded/lossy IPC channel, loud injection
+// failures, the controller's retry/give-up policy, the engine's hook
+// quarantine and db-lookup fall-through, and end-to-end determinism of a
+// faulted evaluation (same seed + same plan ⇒ byte-identical artifacts).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/controller.h"
+#include "core/engine.h"
+#include "core/eval.h"
+#include "core/report.h"
+#include "env/environments.h"
+#include "faults/fault_injector.h"
+#include "faults/fault_plan.h"
+#include "hooking/injector.h"
+#include "hooking/ipc.h"
+#include "malware/joe.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "winapi/api.h"
+
+namespace {
+
+using namespace scarecrow;
+using faults::FaultInjector;
+using faults::FaultPlan;
+using faults::FaultSite;
+using faults::ProtectionLevel;
+
+// ===== plan grammar =========================================================
+
+TEST(FaultPlan, ParsesSitesOptionsAndAliases) {
+  const FaultPlan plan = FaultPlan::parse(
+      "inject-dll:p=0.5,max=3;hook-install:every=2,api=IsDebuggerPresent;"
+      "propagation",
+      7);
+  EXPECT_EQ(plan.seed, 7u);
+  ASSERT_EQ(plan.rules.size(), 3u);
+  EXPECT_EQ(plan.rules[0].site, FaultSite::kInjectDll);
+  EXPECT_DOUBLE_EQ(plan.rules[0].probability, 0.5);
+  EXPECT_EQ(plan.rules[0].maxFires, 3u);
+  EXPECT_EQ(plan.rules[1].site, FaultSite::kHookInstall);
+  EXPECT_EQ(plan.rules[1].everyNth, 2u);
+  EXPECT_EQ(plan.rules[1].apiFilter, "IsDebuggerPresent");
+  // "propagation" is an alias, with every default intact (always fires).
+  EXPECT_EQ(plan.rules[2].site, FaultSite::kChildPropagation);
+  EXPECT_DOUBLE_EQ(plan.rules[2].probability, 1.0);
+  EXPECT_FALSE(plan.empty());
+  EXPECT_TRUE(FaultPlan{}.empty());
+}
+
+TEST(FaultPlan, ParseRejectsUnknownSitesAndOptions) {
+  EXPECT_THROW(FaultPlan::parse("warp-core"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("ipc-send:frequency=2"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("ipc-send:p"), std::invalid_argument);
+}
+
+TEST(FaultPlan, SiteNamesRoundTrip) {
+  for (std::size_t i = 0; i < faults::kFaultSiteCount; ++i) {
+    const auto site = static_cast<FaultSite>(i);
+    const auto back = faults::faultSiteFromName(faults::faultSiteName(site));
+    ASSERT_TRUE(back.has_value()) << faults::faultSiteName(site);
+    EXPECT_EQ(*back, site);
+  }
+  EXPECT_FALSE(faults::faultSiteFromName("nonsense").has_value());
+}
+
+TEST(FaultPlan, DescribeNamesSeedAndEveryRule) {
+  const FaultPlan plan =
+      FaultPlan::parse("ipc-send:p=0.25;db-lookup:every=4", 42);
+  const std::string text = plan.describe();
+  EXPECT_NE(text.find("seed=42"), std::string::npos);
+  EXPECT_NE(text.find("ipc-send"), std::string::npos);
+  EXPECT_NE(text.find("db-lookup"), std::string::npos);
+  EXPECT_NE(text.find("every=4"), std::string::npos);
+}
+
+// ===== injector schedules ===================================================
+
+TEST(FaultInjectorTest, DisarmedInjectorNeverFires) {
+  FaultInjector injector;
+  EXPECT_FALSE(injector.anyArmed());
+  for (std::size_t i = 0; i < faults::kFaultSiteCount; ++i) {
+    const auto site = static_cast<FaultSite>(i);
+    EXPECT_FALSE(injector.armed(site));
+    EXPECT_FALSE(injector.shouldFire(site));
+  }
+  EXPECT_EQ(injector.totalFires(), 0u);
+  EXPECT_EQ(injector.scheduleDigest(), "disarmed");
+}
+
+TEST(FaultInjectorTest, SameSeedAndPlanReplayIdentically) {
+  const FaultPlan plan = FaultPlan::parse("ipc-send:p=0.3;db-lookup:p=0.5", 99);
+  FaultInjector a(plan);
+  FaultInjector b(plan);
+  std::vector<bool> firesA, firesB;
+  for (int i = 0; i < 200; ++i) {
+    firesA.push_back(a.shouldFire(FaultSite::kIpcSend, "api"));
+    firesA.push_back(a.shouldFire(FaultSite::kResourceDbLookup));
+    firesB.push_back(b.shouldFire(FaultSite::kIpcSend, "api"));
+    firesB.push_back(b.shouldFire(FaultSite::kResourceDbLookup));
+  }
+  EXPECT_EQ(firesA, firesB);
+  EXPECT_EQ(a.scheduleDigest(), b.scheduleDigest());
+  EXPECT_GT(a.totalFires(), 0u);  // p=0.5 over 200 draws fires somewhere
+
+  // A different seed produces a different schedule fingerprint.
+  const FaultPlan reseeded =
+      FaultPlan::parse("ipc-send:p=0.3;db-lookup:p=0.5", 100);
+  FaultInjector c(reseeded);
+  std::vector<bool> firesC;
+  for (int i = 0; i < 200; ++i) {
+    firesC.push_back(c.shouldFire(FaultSite::kIpcSend, "api"));
+    firesC.push_back(c.shouldFire(FaultSite::kResourceDbLookup));
+  }
+  EXPECT_NE(firesA, firesC);
+}
+
+TEST(FaultInjectorTest, EveryNthAndMaxFiresSemantics) {
+  const FaultPlan plan = FaultPlan::parse("ipc-send:every=3,max=2");
+  FaultInjector injector(plan);
+  std::vector<bool> fires;
+  for (int i = 0; i < 9; ++i)
+    fires.push_back(injector.shouldFire(FaultSite::kIpcSend));
+  // Every 3rd eligible check fires, capped at two fires total.
+  const std::vector<bool> expected = {false, false, true,  false, false,
+                                      true,  false, false, false};
+  EXPECT_EQ(fires, expected);
+  EXPECT_EQ(injector.fireCount(FaultSite::kIpcSend), 2u);
+  EXPECT_EQ(injector.checkCount(FaultSite::kIpcSend), 9u);
+}
+
+TEST(FaultInjectorTest, ApiFilterGatesEligibility) {
+  const FaultPlan plan =
+      FaultPlan::parse("hook-install:api=IsDebuggerPresent");
+  FaultInjector injector(plan);
+  EXPECT_FALSE(injector.shouldFire(FaultSite::kHookInstall, "GetTickCount"));
+  EXPECT_FALSE(injector.shouldFire(FaultSite::kHookInstall, "RegOpenKeyEx"));
+  EXPECT_TRUE(
+      injector.shouldFire(FaultSite::kHookInstall, "IsDebuggerPresent"));
+  // Filters match case-insensitively, like the rest of the simulator.
+  EXPECT_TRUE(
+      injector.shouldFire(FaultSite::kHookInstall, "isdebuggerpresent"));
+  EXPECT_EQ(injector.fireCount(FaultSite::kHookInstall), 2u);
+}
+
+TEST(FaultInjectorTest, SitesHaveIndependentStreams) {
+  // Interleaving another site's checks must not shift this site's draws:
+  // each site owns a private Rng stream forked from the plan seed.
+  const FaultPlan plan = FaultPlan::parse("ipc-send:p=0.5;db-lookup:p=0.5", 7);
+  FaultInjector interleaved(plan);
+  FaultInjector alone(plan);
+  std::vector<bool> withNoise, withoutNoise;
+  for (int i = 0; i < 100; ++i) {
+    withNoise.push_back(interleaved.shouldFire(FaultSite::kIpcSend));
+    interleaved.shouldFire(FaultSite::kResourceDbLookup);  // noise
+    withoutNoise.push_back(alone.shouldFire(FaultSite::kIpcSend));
+  }
+  EXPECT_EQ(withNoise, withoutNoise);
+}
+
+TEST(FaultInjectorTest, FiresAreCountedAndTraced) {
+  obs::MetricsRegistry metrics;
+  obs::FlightRecorder flight;
+  const FaultPlan plan = FaultPlan::parse("ipc-send", 1);
+  FaultInjector injector(plan);
+  injector.bind(&metrics, &flight, nullptr);
+  EXPECT_TRUE(injector.shouldFire(FaultSite::kIpcSend, "IsDebuggerPresent()"));
+  EXPECT_TRUE(injector.shouldFire(FaultSite::kIpcSend, "GetTickCount()"));
+  EXPECT_EQ(metrics.snapshot().counterValue("faults.fired", "ipc-send"), 2u);
+  const std::vector<obs::DecisionEvent> events = flight.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, obs::DecisionKind::kFaultInjected);
+  EXPECT_EQ(events[0].api, "ipc-send");
+  EXPECT_EQ(events[0].value, "1");
+  EXPECT_EQ(events[1].value, "2");
+}
+
+// ===== IPC channel ==========================================================
+
+TEST(IpcChannel, BoundedQueueDropsOldest) {
+  obs::MetricsRegistry metrics;
+  hooking::IpcChannel channel;
+  channel.bindMetrics(&metrics);
+  channel.setCapacity(2);
+  for (const char* api : {"a", "b", "c"}) {
+    hooking::IpcMessage msg;
+    msg.api = api;
+    channel.send(std::move(msg));
+  }
+  ASSERT_EQ(channel.pending().size(), 2u);
+  EXPECT_EQ(channel.pending()[0].api, "b");  // "a" was the oldest
+  EXPECT_EQ(channel.pending()[1].api, "c");
+  EXPECT_EQ(channel.droppedTotal(), 1u);
+  EXPECT_EQ(metrics.snapshot().counterValue("ipc.messages_dropped",
+                                            "capacity"),
+            1u);
+  // Surviving seqs keep the send order: a drop consumes its seq.
+  EXPECT_EQ(channel.pending()[0].seq, 1u);
+  EXPECT_EQ(channel.pending()[1].seq, 2u);
+}
+
+TEST(IpcChannel, SendFaultDropsMessageButConsumesSeq) {
+  obs::MetricsRegistry metrics;
+  const FaultPlan plan = FaultPlan::parse("ipc-send", 3);
+  FaultInjector injector(plan);
+  hooking::IpcChannel channel;
+  channel.bindMetrics(&metrics);
+  channel.setFaultInjector(&injector);
+
+  hooking::IpcMessage lost;
+  lost.api = "IsDebuggerPresent()";
+  EXPECT_EQ(channel.send(std::move(lost)), 0u);
+  EXPECT_TRUE(channel.empty());
+  EXPECT_EQ(channel.droppedTotal(), 1u);
+  EXPECT_EQ(metrics.snapshot().counterValue("ipc.messages_dropped", "fault"),
+            1u);
+
+  channel.setFaultInjector(nullptr);
+  hooking::IpcMessage kept;
+  kept.api = "GetTickCount()";
+  EXPECT_EQ(channel.send(std::move(kept)), 1u);
+  const std::vector<hooking::IpcMessage> drained = channel.drain();
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_EQ(drained[0].seq, 1u);
+}
+
+TEST(IpcChannel, DrainFaultTruncatesToFrontHalf) {
+  obs::MetricsRegistry metrics;
+  const FaultPlan plan = FaultPlan::parse("ipc-drain", 5);
+  FaultInjector injector(plan);
+  hooking::IpcChannel channel;
+  channel.bindMetrics(&metrics);
+  channel.setFaultInjector(&injector);
+  for (int i = 0; i < 4; ++i) {
+    hooking::IpcMessage msg;
+    msg.api = "m" + std::to_string(i);
+    channel.send(std::move(msg));
+  }
+  const std::vector<hooking::IpcMessage> first = channel.drain();
+  ASSERT_EQ(first.size(), 2u);  // front half of 4
+  EXPECT_EQ(first[0].seq, 0u);
+  EXPECT_EQ(first[1].seq, 1u);
+  EXPECT_EQ(channel.pending().size(), 2u);  // tail stays pending
+  EXPECT_EQ(channel.drainTruncations(), 1u);
+  EXPECT_EQ(metrics.snapshot().counterValue("ipc.drain_truncations"), 1u);
+  // Nothing was lost — a later (clean) pump picks the remainder up.
+  channel.setFaultInjector(nullptr);
+  const std::vector<hooking::IpcMessage> rest = channel.drain();
+  ASSERT_EQ(rest.size(), 2u);
+  EXPECT_EQ(rest[0].seq, 2u);
+  EXPECT_EQ(channel.droppedTotal(), 0u);
+}
+
+// ===== injectDll loud failures ==============================================
+
+class InjectFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { machine_ = env::buildBareMetalSandbox(); }
+
+  std::uint64_t failures(const char* reason) {
+    return machine_->metrics().snapshot().counterValue("inject.failures",
+                                                       reason);
+  }
+
+  std::size_t injectFailEvents() {
+    std::size_t n = 0;
+    for (const obs::DecisionEvent& e : machine_->flightRecorder().snapshot())
+      if (e.kind == obs::DecisionKind::kInjectFail) ++n;
+    return n;
+  }
+
+  std::unique_ptr<winsys::Machine> machine_;
+  winapi::UserSpace userspace_;
+  hooking::DllImage dll_{.name = "scarecrow.dll", .onLoad = {}};
+};
+
+TEST_F(InjectFaultTest, EveryFailureReasonIsLoud) {
+  // Vanished process.
+  EXPECT_FALSE(hooking::injectDll(*machine_, userspace_, 0xdead, dll_));
+  EXPECT_EQ(failures("no-such-process"), 1u);
+
+  // Terminated target.
+  winsys::Process& corpse =
+      machine_->processes().create("C:\\x\\corpse.exe", 0, "corpse", 4);
+  corpse.state = winsys::ProcessState::kTerminated;
+  EXPECT_FALSE(hooking::injectDll(*machine_, userspace_, corpse.pid, dll_));
+  EXPECT_EQ(failures("terminated"), 1u);
+
+  // Armed kInjectDll fault against a perfectly healthy target.
+  winsys::Process& target =
+      machine_->processes().create("C:\\x\\live.exe", 0, "live", 4);
+  const FaultPlan plan = FaultPlan::parse("inject-dll", 11);
+  FaultInjector injector(plan);
+  EXPECT_FALSE(
+      hooking::injectDll(*machine_, userspace_, target.pid, dll_, &injector));
+  EXPECT_EQ(failures("fault"), 1u);
+  EXPECT_FALSE(hooking::isInjected(userspace_, target.pid, dll_.name));
+
+  // Each failure is also a kInjectFail decision event.
+  EXPECT_EQ(injectFailEvents(), 3u);
+}
+
+// ===== controller retry / give-up ===========================================
+
+class ControllerFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    machine_ = env::buildBareMetalSandbox();
+    engine_ = std::make_unique<core::DeceptionEngine>(
+        core::Config{}, core::buildDefaultResourceDb());
+  }
+
+  std::uint64_t counter(const char* name, const char* label = "") {
+    return machine_->metrics().snapshot().counterValue(name, label);
+  }
+
+  std::unique_ptr<winsys::Machine> machine_;
+  winapi::UserSpace userspace_;
+  std::unique_ptr<core::DeceptionEngine> engine_;
+};
+
+TEST_F(ControllerFaultTest, LaunchRetriesWithBackoffThenSucceeds) {
+  // Two scheduled injection failures against the default budget of three
+  // attempts: the third attempt lands.
+  const FaultPlan plan = FaultPlan::parse("inject-dll:max=2", 1);
+  FaultInjector injector(plan);
+  core::Controller controller(*machine_, userspace_, *engine_);
+  controller.setFaultInjector(&injector);
+
+  const std::uint64_t before = machine_->clock().nowMs();
+  const std::uint32_t pid = controller.launch("C:\\dl\\target.exe");
+  EXPECT_TRUE(hooking::isInjected(userspace_, pid, "scarecrow.dll"));
+  EXPECT_TRUE(controller.injectionSucceeded());
+  EXPECT_EQ(controller.injectRetries(), 2u);
+  // Doubling backoff on the virtual clock: 10ms + 20ms.
+  EXPECT_GE(machine_->clock().nowMs() - before, 30u);
+  EXPECT_EQ(counter("inject.retries"), 2u);
+  EXPECT_EQ(counter("inject.failures", "fault"), 2u);
+  EXPECT_EQ(counter("inject.giveups"), 0u);
+}
+
+TEST_F(ControllerFaultTest, LaunchExhaustionFallsToMonitorOnly) {
+  const FaultPlan plan = FaultPlan::parse("inject-dll", 1);  // always fails
+  FaultInjector injector(plan);
+  core::Controller controller(*machine_, userspace_, *engine_);
+  controller.setFaultInjector(&injector);
+
+  const std::uint32_t pid = controller.launch("C:\\dl\\target.exe");
+  // The sample still launches — unsupervised rather than not at all.
+  EXPECT_NE(pid, 0u);
+  EXPECT_FALSE(hooking::isInjected(userspace_, pid, "scarecrow.dll"));
+  EXPECT_FALSE(controller.injectionSucceeded());
+  EXPECT_EQ(controller.injectRetries(), 2u);  // 3 attempts = 2 retries
+  EXPECT_EQ(counter("inject.giveups"), 1u);
+
+  bool sawMonitorOnly = false;
+  for (const obs::DecisionEvent& e : machine_->flightRecorder().snapshot())
+    if (e.kind == obs::DecisionKind::kDegradation &&
+        e.api == faults::protectionLevelName(ProtectionLevel::kMonitorOnly))
+      sawMonitorOnly = true;
+  EXPECT_TRUE(sawMonitorOnly);
+}
+
+TEST_F(ControllerFaultTest, MissedDescendantIsReinjectedDuringPump) {
+  // The DLL loses the suspend→inject→resume race for its first child; the
+  // kInjectFailed IPC routes the miss to the controller, which re-injects.
+  const FaultPlan plan = FaultPlan::parse("child-propagation:max=1", 1);
+  FaultInjector injector(plan);
+  engine_->setFaultInjector(&injector);
+  core::Controller controller(*machine_, userspace_, *engine_);
+  controller.setFaultInjector(&injector);
+
+  const std::uint32_t pid = controller.launch("C:\\dl\\t.exe");
+  winapi::Api api(*machine_, userspace_, pid);
+  const std::uint32_t child = api.CreateProcessA("C:\\c\\child.exe", "");
+  ASSERT_NE(child, 0u);
+  EXPECT_FALSE(hooking::isInjected(userspace_, child, "scarecrow.dll"));
+  EXPECT_EQ(engine_->childInjectFailures(), 1u);
+  EXPECT_EQ(engine_->protectionLevel(), ProtectionLevel::kPartialDeception);
+  EXPECT_EQ(counter("inject.failures", "propagation"), 1u);
+
+  controller.pump();
+  EXPECT_EQ(controller.missedDescendants(), 1u);
+  EXPECT_EQ(controller.reinjectedDescendants(), 1u);
+  EXPECT_TRUE(hooking::isInjected(userspace_, child, "scarecrow.dll"));
+  EXPECT_EQ(counter("inject.reinjections"), 1u);
+
+  // The second child propagates normally (max=1 spent the schedule).
+  const std::uint32_t second = api.CreateProcessA("C:\\c\\second.exe", "");
+  EXPECT_TRUE(hooking::isInjected(userspace_, second, "scarecrow.dll"));
+}
+
+// ===== engine degradation ladder ============================================
+
+class EngineFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    machine_ = env::buildBareMetalSandbox();
+    proc_ = &machine_->processes().create("C:\\sub\\mal.exe", 0, "mal", 4);
+    machine_->vfs().createFile("C:\\sub\\mal.exe", 1 << 20);
+  }
+
+  std::unique_ptr<winsys::Machine> machine_;
+  winapi::UserSpace userspace_;
+  winsys::Process* proc_ = nullptr;
+};
+
+TEST_F(EngineFaultTest, RepeatedHookInstallFailuresQuarantineTheHook) {
+  const FaultPlan plan =
+      FaultPlan::parse("hook-install:api=IsDebuggerPresent", 2);
+  FaultInjector injector(plan);
+  core::DeceptionEngine engine(core::Config{}, core::buildDefaultResourceDb());
+  engine.setFaultInjector(&injector);
+
+  // First install: the hook fails, the run degrades, no quarantine yet
+  // (default threshold is 2).
+  winapi::Api api(*machine_, userspace_, proc_->pid);
+  engine.installInto(api);
+  EXPECT_FALSE(api.IsDebuggerPresent());  // original answers — no hook
+  EXPECT_EQ(api.RegOpenKeyEx("SOFTWARE\\Oracle\\VirtualBox Guest Additions"),
+            winapi::WinError::kSuccess);  // the rest still deceives
+  EXPECT_EQ(engine.protectionLevel(), ProtectionLevel::kPartialDeception);
+  EXPECT_EQ(engine.hookInstallFailures(), 1u);
+  EXPECT_TRUE(engine.quarantinedHooks().empty());
+
+  // Second failing install crosses the threshold: quarantined.
+  winsys::Process& p2 =
+      machine_->processes().create("C:\\sub\\mal2.exe", 0, "mal2", 4);
+  winapi::Api api2(*machine_, userspace_, p2.pid);
+  engine.installInto(api2);
+  EXPECT_EQ(engine.hookInstallFailures(), 2u);
+  EXPECT_EQ(engine.quarantinedHooks().count(
+                winapi::ApiId::kIsDebuggerPresent),
+            1u);
+  EXPECT_EQ(machine_->metrics().snapshot().counterValue(
+                "engine.hooks_quarantined", "IsDebuggerPresent"),
+            1u);
+
+  // Third install skips the quarantined hook outright: no further site
+  // checks for it, no new failures, and the API keeps telling the truth.
+  winsys::Process& p3 =
+      machine_->processes().create("C:\\sub\\mal3.exe", 0, "mal3", 4);
+  winapi::Api api3(*machine_, userspace_, p3.pid);
+  engine.installInto(api3);
+  EXPECT_EQ(engine.hookInstallFailures(), 2u);
+  EXPECT_EQ(injector.fireCount(FaultSite::kHookInstall), 2u);
+  EXPECT_FALSE(api3.IsDebuggerPresent());
+}
+
+TEST_F(EngineFaultTest, DbLookupFaultFallsThroughToTheTruth) {
+  // An errored ResourceDb lookup must answer with the real machine, never
+  // with garbage: the probe sees the truth and the deception silently
+  // misses.
+  const FaultPlan plan = FaultPlan::parse("db-lookup", 4);  // every lookup
+  FaultInjector injector(plan);
+  core::DeceptionEngine engine(core::Config{}, core::buildDefaultResourceDb());
+  engine.setFaultInjector(&injector);
+  winapi::Api api(*machine_, userspace_, proc_->pid);
+  engine.installInto(api);
+
+  EXPECT_EQ(api.RegOpenKeyEx("SOFTWARE\\Oracle\\VirtualBox Guest Additions"),
+            winapi::WinError::kFileNotFound);
+  EXPECT_EQ(api.NtQueryAttributesFile(
+                "C:\\Windows\\System32\\drivers\\vmmouse.sys"),
+            winapi::NtStatus::kObjectNameNotFound);
+  // Hooks that never consult the database keep deceiving.
+  EXPECT_TRUE(api.IsDebuggerPresent());
+  EXPECT_GT(machine_->metrics().snapshot().counterValue(
+                "engine.db_lookup_errors"),
+            0u);
+}
+
+// ===== end-to-end determinism ===============================================
+
+TEST(FaultedEvaluation, SameSeedAndPlanIsByteIdentical) {
+  auto machine = env::buildBareMetalSandbox();
+  malware::ProgramRegistry registry;
+  malware::registerJoeSamples(registry);
+  core::EvaluationHarness harness(*machine);
+
+  core::EvalRequest request{.sampleId = "9fac72a",
+                            .imagePath = "C:\\submissions\\9fac72a.exe",
+                            .factory = registry.factory()};
+  request.config.faultPlan = FaultPlan::parse(
+      "inject-dll:max=1;hook-install:p=0.3;ipc-send:p=0.25;db-lookup:p=0.2",
+      2718);
+
+  const core::EvalOutcome first = harness.evaluate(request);
+  const core::EvalOutcome second = harness.evaluate(request);
+
+  EXPECT_EQ(first.telemetryJson, second.telemetryJson);
+  EXPECT_EQ(first.perfettoJson, second.perfettoJson);
+  EXPECT_EQ(first.verdict.deactivated, second.verdict.deactivated);
+  EXPECT_EQ(first.resilience.protectionLevel,
+            second.resilience.protectionLevel);
+  EXPECT_EQ(first.resilience.faultsInjected, second.resilience.faultsInjected);
+  EXPECT_EQ(first.resilience.hookInstallFailures,
+            second.resilience.hookInstallFailures);
+  EXPECT_EQ(first.resilience.ipcMessagesDropped,
+            second.resilience.ipcMessagesDropped);
+
+  // The schedule definitely bit: inject-dll:max=1 guarantees one root
+  // injection fault and exactly one retry.
+  EXPECT_GT(first.resilience.faultsInjected, 0u);
+  EXPECT_EQ(first.resilience.injectRetries, 1u);
+
+  // The incident report surfaces the resilience section for faulted runs.
+  const std::string report =
+      core::renderIncidentReport("9fac72a", first, {});
+  EXPECT_NE(report.find("Deception-plane resilience"), std::string::npos);
+}
+
+TEST(FaultedEvaluation, CleanRunResilienceIsAllZeroAndSilent) {
+  auto machine = env::buildBareMetalSandbox();
+  malware::ProgramRegistry registry;
+  malware::registerJoeSamples(registry);
+  core::EvaluationHarness harness(*machine);
+
+  const core::EvalOutcome outcome =
+      harness.evaluate({.sampleId = "9fac72a",
+                        .imagePath = "C:\\submissions\\9fac72a.exe",
+                        .factory = registry.factory()});
+  EXPECT_FALSE(outcome.resilience.degraded());
+  EXPECT_EQ(outcome.resilience.protectionLevel,
+            ProtectionLevel::kFullDeception);
+  EXPECT_EQ(outcome.resilience.faultsInjected, 0u);
+  EXPECT_EQ(outcome.resilience.injectRetries, 0u);
+  EXPECT_EQ(outcome.resilience.ipcMessagesDropped, 0u);
+  // No fault plan ⇒ no fault series in the export: a clean run's telemetry
+  // bytes are untouched by the existence of the fault plane.
+  EXPECT_EQ(outcome.telemetryJson.find("faults.fired"), std::string::npos);
+  EXPECT_EQ(outcome.telemetryJson.find("resilience.protection_level"),
+            std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,117 @@
+// BatchEvaluator under an adversarial fault plan: the whole Table I corpus
+// with deterministic faults armed on every sample. Asserts the three
+// resilience contracts at fleet scale:
+//   1. no worker poisoning — every request completes ok() even when its
+//      deception plane degrades mid-run;
+//   2. determinism — each sample's telemetry/Perfetto bytes and its
+//      ResilienceVerdict equal the serial harness's, whatever worker ran
+//      it and in whatever order the queue drained;
+//   3. correct accounting — `batch.degraded` equals the number of samples
+//      whose run finished below full deception, and the fault schedule
+//      splits the corpus (some degraded, some untouched) rather than
+//      flattening it.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "core/batch.h"
+#include "env/environments.h"
+#include "faults/fault_plan.h"
+#include "malware/joe.h"
+
+namespace {
+
+using namespace scarecrow;
+
+// Child propagation always loses its race (only samples that spawn
+// descendants degrade — the rest of the corpus stays at full deception),
+// plus probabilistic IPC loss and db-lookup errors for fault volume.
+faults::FaultPlan adversarialPlan() {
+  return faults::FaultPlan::parse(
+      "child-propagation;ipc-send:p=0.2;db-lookup:p=0.1", 7);
+}
+
+std::vector<core::EvalRequest> faultedCorpus(
+    const malware::ProgramRegistry& registry,
+    const std::vector<malware::JoeExpectation>& expected) {
+  std::vector<core::EvalRequest> requests;
+  for (const auto& row : expected) {
+    core::EvalRequest request{.sampleId = row.idPrefix,
+                              .imagePath = "C:\\submissions\\" +
+                                           row.idPrefix + ".exe",
+                              .factory = registry.factory()};
+    request.config.faultPlan = adversarialPlan();
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+TEST(ResilienceBatch, AdversarialPlanMatchesSerialWithoutPoisoningWorkers) {
+  malware::ProgramRegistry registry;
+  const auto expected = malware::registerJoeSamples(registry);
+  const std::vector<core::EvalRequest> requests =
+      faultedCorpus(registry, expected);
+
+  // Serial reference: the same corpus through one EvaluationHarness.
+  auto machine = env::buildBareMetalSandbox();
+  core::EvaluationHarness harness(*machine);
+  std::vector<core::EvalOutcome> serial;
+  for (const core::EvalRequest& request : requests)
+    serial.push_back(harness.evaluate(request));
+
+  core::BatchOptions options;
+  options.workerCount = 8;
+  core::BatchEvaluator batch([] { return env::buildBareMetalSandbox(); },
+                             options);
+  const std::vector<core::BatchResult> results = batch.evaluateAll(requests);
+
+  ASSERT_EQ(results.size(), requests.size());
+  std::size_t degraded = 0;
+  std::uint64_t faultsInjected = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok())
+        << requests[i].sampleId << ": " << results[i].error;
+    EXPECT_EQ(results[i].attempts, 1u) << requests[i].sampleId;
+
+    const core::ResilienceVerdict& batchRv = results[i].outcome.resilience;
+    const core::ResilienceVerdict& serialRv = serial[i].resilience;
+    EXPECT_EQ(batchRv.protectionLevel, serialRv.protectionLevel)
+        << requests[i].sampleId;
+    EXPECT_EQ(batchRv.faultsInjected, serialRv.faultsInjected)
+        << requests[i].sampleId;
+    EXPECT_EQ(batchRv.missedDescendants, serialRv.missedDescendants)
+        << requests[i].sampleId;
+    EXPECT_EQ(batchRv.reinjectedDescendants, serialRv.reinjectedDescendants)
+        << requests[i].sampleId;
+    EXPECT_EQ(batchRv.ipcMessagesDropped, serialRv.ipcMessagesDropped)
+        << requests[i].sampleId;
+    EXPECT_EQ(results[i].outcome.verdict.deactivated,
+              serial[i].verdict.deactivated)
+        << requests[i].sampleId;
+
+    // Byte-identical artifacts, fault schedule included: the injector is
+    // re-seeded per sample from the plan, so worker assignment and queue
+    // order cannot leak into the exports.
+    EXPECT_EQ(results[i].outcome.telemetryJson, serial[i].telemetryJson)
+        << requests[i].sampleId;
+    EXPECT_EQ(results[i].outcome.perfettoJson, serial[i].perfettoJson)
+        << requests[i].sampleId;
+
+    if (batchRv.degraded()) ++degraded;
+    faultsInjected += batchRv.faultsInjected;
+  }
+
+  // The plan splits the corpus: samples that spawn descendants lose the
+  // propagation race and degrade; the rest finish at full deception.
+  EXPECT_GT(degraded, 0u);
+  EXPECT_LT(degraded, results.size());
+  EXPECT_GT(faultsInjected, 0u);
+
+  const obs::MetricsSnapshot merged = batch.mergedTelemetry();
+  EXPECT_EQ(merged.counterValue("batch.requests"), results.size());
+  EXPECT_EQ(merged.counterValue("batch.failures"), 0u);
+  EXPECT_EQ(merged.counterValue("batch.degraded"), degraded);
+}
+
+}  // namespace

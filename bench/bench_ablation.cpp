@@ -205,5 +205,8 @@ int main() {
         result.evaded ? "Y" : "N", bench::okMark(ok));
   }
 
-  return bench::finish("bench_ablation");
+  bench::Reporter reporter("bench_ablation");
+  reporter.addValue("ablation.full_engine_deactivated", fullCount);
+  reporter.addValue("ablation.mismatches", bench::g_mismatches);
+  return reporter.finish();
 }

@@ -142,5 +142,10 @@ int main() {
       "(vaccination only reaches marker-honoring samples of *known* "
       "families; Scarecrow is family-agnostic)\n");
 
-  return bench::finish("bench_baselines");
+  bench::Reporter reporter("bench_baselines");
+  reporter.addValue("baselines.scarecrow_deactivated", scarecrow);
+  reporter.addValue("baselines.chen_deactivated", chen);
+  reporter.addValue("baselines.vaccine_top3_deactivated", vaccinatedTop3);
+  reporter.addValue("baselines.vaccine_oracle_deactivated", vaccinatedAll);
+  return reporter.finish();
 }

@@ -88,5 +88,9 @@ int main() {
       heavyGuarded.failureReason.c_str(),
       bench::okMark(heavyPlain.installed && !heavyGuarded.installed));
 
-  return bench::finish("bench_benign");
+  bench::Reporter reporter("bench_benign");
+  reporter.addValue("benign.ok_both", okBoth);
+  reporter.addValue("benign.heavy_caveat_reproduced",
+                    heavyPlain.installed && !heavyGuarded.installed ? 1 : 0);
+  return reporter.finish();
 }

@@ -108,5 +108,7 @@ int main() {
                       outcome.verdict.deactivated));
   }
 
-  return bench::finish("bench_cases");
+  bench::Reporter reporter("bench_cases");
+  reporter.addValue("cases.mismatches", bench::g_mismatches);
+  return reporter.finish();
 }

@@ -87,5 +87,11 @@ int main() {
                                   "SOFTWARE\\NewVendor\\NewSandbox")
                                 .has_value()));
 
-  return bench::finish("bench_collector");
+  bench::Reporter reporter("bench_collector");
+  reporter.addValue("collector.unique_files", diff.files.size());
+  reporter.addValue("collector.unique_processes", diff.processes.size());
+  reporter.addValue("collector.unique_registry_keys",
+                    diff.registryKeys.size());
+  reporter.addValue("collector.crawled_merged", db.crawledCount());
+  return reporter.finish();
 }

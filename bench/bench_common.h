@@ -8,9 +8,12 @@
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/perf_report.h"
 
 namespace scarecrow::bench {
 
@@ -63,5 +66,77 @@ inline int finish(const std::string& benchName) {
               benchName.c_str(), g_mismatches);
   return 1;
 }
+
+/// The one way a bench reports: numbers go to stdout as before AND into
+/// two machine-readable planes — the telemetry dump
+/// (<bench>_telemetry.{json,prom}, via the obs exporters) and the perf
+/// trajectory record (BENCH_<name>.json, via obs::PerfReport) that
+/// scripts/perf_gate.py diffs against the committed baseline.
+class Reporter {
+ public:
+  /// `benchName` is the binary name ("bench_table1"); the perf report's
+  /// short name drops the "bench_" prefix, so the record lands as
+  /// BENCH_table1.json next to the binary.
+  explicit Reporter(std::string benchName)
+      : benchName_(std::move(benchName)),
+        report_(obs::makePerfReport(
+            benchName_.rfind("bench_", 0) == 0 ? benchName_.substr(6)
+                                               : benchName_)) {
+    reportPath_ = "BENCH_" + report_.name + ".json";
+  }
+
+  /// Overrides where BENCH_<name>.json is written (bench_hotpath --out).
+  void setReportPath(std::string path) { reportPath_ = std::move(path); }
+
+  /// Raw latency samples -> exact-percentile perf metric. Optional hard
+  /// p50 budget (perf_gate.py fails the run if p50 exceeds it).
+  void addSamples(const std::string& metric, std::vector<std::uint64_t> samples,
+                  const std::string& unit = "ns",
+                  std::uint64_t p50BudgetNs = 0) {
+    report_.addSamples(metric, unit, std::move(samples), p50BudgetNs);
+  }
+
+  /// Bucket-resolution perf metric from an exported histogram.
+  void addHistogram(const obs::HistogramSample& histogram,
+                    const std::string& unit = "ns",
+                    std::uint64_t p50BudgetNs = 0) {
+    report_.addHistogram(histogram, unit, p50BudgetNs);
+  }
+
+  /// One scalar (throughput, count) -> perf metric AND telemetry gauge.
+  void addValue(const std::string& metric, std::uint64_t value,
+                const std::string& unit = "count") {
+    report_.addValue(metric, unit, value);
+    gauges_.gauge(metric).set(static_cast<std::int64_t>(value));
+  }
+
+  /// Merges a run's metrics snapshot into the telemetry dump.
+  void addSnapshot(const obs::MetricsSnapshot& snapshot) {
+    telemetry_.merge(snapshot);
+  }
+
+  /// Ad-hoc gauges (host cores, worker counts) for the telemetry dump only.
+  obs::MetricsRegistry& gauges() noexcept { return gauges_; }
+
+  /// Writes the telemetry dump and BENCH_<name>.json, then returns the
+  /// process exit code from the OK/DIFF tally (same contract as finish()).
+  int finish() {
+    obs::MetricsSnapshot dump = telemetry_;
+    dump.merge(gauges_.snapshot());
+    writeTelemetryDump(benchName_, dump);
+    if (writePerfReport(report_, reportPath_))
+      std::printf("perf report written to %s\n", reportPath_.c_str());
+    else
+      std::printf("FAILED to write perf report %s\n", reportPath_.c_str());
+    return bench::finish(benchName_);
+  }
+
+ private:
+  std::string benchName_;
+  obs::PerfReport report_;
+  std::string reportPath_;
+  obs::MetricsSnapshot telemetry_;
+  obs::MetricsRegistry gauges_;
+};
 
 }  // namespace scarecrow::bench

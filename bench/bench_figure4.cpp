@@ -117,5 +117,11 @@ int main() {
                             symmi.createProcWithout == 26 &&
                             symmi.modifyFileRegWithout == 449));
 
-  return bench::finish("bench_figure4");
+  bench::Reporter reporter("bench_figure4");
+  reporter.addValue("figure4.samples", specs.size());
+  reporter.addValue("figure4.deactivated", deactivated);
+  reporter.addValue("figure4.self_spawners", selfSpawners);
+  reporter.addValue("figure4.idp_self_spawners", idpSelfSpawners);
+  reporter.addValue("figure4.symmi_special_spawns", symmiSpecialSpawns);
+  return reporter.finish();
 }

@@ -19,6 +19,7 @@
 #include "hooking/inline_hook.h"
 #include "obs/export.h"
 #include "obs/flight_recorder.h"
+#include "obs/hot_timer.h"
 #include "obs/metrics.h"
 #include "winapi/runner.h"
 
@@ -110,6 +111,35 @@ void BM_FaultSiteCheck_Armed(benchmark::State& state) {
         injector.shouldFire(faults::FaultSite::kIpcSend));
 }
 BENCHMARK(BM_FaultSiteCheck_Armed);
+
+void BM_HotTimer_Disarmed(benchmark::State& state) {
+  // The hot-timer contract (obs/hot_timer.h): with the plane disarmed —
+  // the production default — a HotScope is one bool load and a branch; the
+  // clock is never read. Hard gate: <= 2ns per scope (perf_gate.py budget
+  // on hot_timer_disarmed_ns).
+  obs::HotTimerPlane plane;
+  plane.disarmAll();
+  for (auto _ : state) {
+    obs::HotScope scope(&plane, obs::HotSite::kIpcSend);
+    benchmark::DoNotOptimize(&scope);
+  }
+}
+BENCHMARK(BM_HotTimer_Disarmed);
+
+void BM_HotTimer_Armed(benchmark::State& state) {
+  // Armed comparison point: two steady_clock reads plus a bit_width bucket
+  // increment — the price SCARECROW_HOT_TIMERS=1 pays per instrumented
+  // site.
+  obs::HotTimerPlane plane;
+  plane.armAll();
+  for (auto _ : state) {
+    obs::HotScope scope(&plane, obs::HotSite::kIpcSend);
+    benchmark::DoNotOptimize(&scope);
+  }
+  state.counters["recorded"] = static_cast<double>(
+      plane.timer(obs::HotSite::kIpcSend).count());
+}
+BENCHMARK(BM_HotTimer_Armed);
 
 void BM_ResourceDbFileLookup_17kCrawled(benchmark::State& state) {
   // Worst-case DB: the curated set plus all 17,540 crawled files.

@@ -155,20 +155,13 @@ int main() {
                   ? bench::okMark(speedup >= 4.0)
                   : "n/a (>=4x target needs an 8-core host)");
 
-  obs::MetricsSnapshot dump = batch.mergedTelemetry();
-  {
-    obs::MetricsRegistry throughput;
-    throughput.gauge("bench.serial_wall_us")
-        .set(static_cast<std::int64_t>(serialMicros));
-    throughput.gauge("bench.batch_wall_us")
-        .set(static_cast<std::int64_t>(batchMicros));
-    throughput.gauge("bench.batch_workers")
-        .set(static_cast<std::int64_t>(batch.workerCount()));
-    throughput.gauge("bench.host_cores").set(static_cast<std::int64_t>(cores));
-    throughput.gauge("bench.speedup_x100")
-        .set(static_cast<std::int64_t>(speedup * 100));
-    dump.merge(throughput.snapshot());
-  }
-  bench::writeTelemetryDump("bench_table1", dump);
-  return bench::finish("bench_table1");
+  bench::Reporter reporter("bench_table1");
+  reporter.addSnapshot(batch.mergedTelemetry());
+  reporter.addValue("bench.serial_wall_us", serialMicros, "us");
+  reporter.addValue("bench.batch_wall_us", batchMicros, "us");
+  reporter.addValue("bench.batch_workers", batch.workerCount());
+  reporter.addValue("bench.host_cores", cores);
+  reporter.addValue("bench.speedup_x100",
+                    static_cast<std::uint64_t>(speedup * 100));
+  return reporter.finish();
 }

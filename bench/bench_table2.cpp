@@ -150,5 +150,20 @@ int main() {
       "(paper: 2 — CPU timing and mouse activity)\n",
       diffCategories);
 
-  return bench::finish("bench_table2");
+  bench::Reporter reporter("bench_table2");
+  const auto total = [](const auto& counts) {
+    std::uint64_t sum = 0;
+    for (std::size_t n : counts) sum += n;
+    return sum;
+  };
+  reporter.addValue("table2.bare_metal.with_scarecrow", total(bm.withSc));
+  reporter.addValue("table2.bare_metal.without_scarecrow",
+                    total(bm.withoutSc));
+  reporter.addValue("table2.vm_sandbox.with_scarecrow", total(vm.withSc));
+  reporter.addValue("table2.vm_sandbox.without_scarecrow",
+                    total(vm.withoutSc));
+  reporter.addValue("table2.end_user.with_scarecrow", total(eu.withSc));
+  reporter.addValue("table2.end_user.without_scarecrow", total(eu.withoutSc));
+  reporter.addValue("table2.diff_categories_with_scarecrow", diffCategories);
+  return reporter.finish();
 }

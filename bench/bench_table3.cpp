@@ -116,5 +116,11 @@ int main() {
               bench::okMark(tree.classify(bmArtifacts) ==
                             fingerprint::MachineLabel::kSandbox));
 
-  return bench::finish("bench_table3");
+  bench::Reporter reporter("bench_table3");
+  reporter.addValue("table3.tree_nodes", tree.nodeCount());
+  reporter.addValue("table3.tree_accuracy_x100",
+                    static_cast<std::uint64_t>(tree.accuracy(training) * 100));
+  reporter.addValue("table3.real_verdict_ok", realVerdict ? 1 : 0);
+  reporter.addValue("table3.faked_verdict_ok", fakedVerdict ? 1 : 0);
+  return reporter.finish();
 }

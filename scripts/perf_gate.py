@@ -1,0 +1,234 @@
+#!/usr/bin/env python3
+"""Perf-trajectory gate: diff a fresh BENCH_*.json against the baseline.
+
+Consumes two schema-versioned perf reports (obs/perf_report.h, schema
+"scarecrow.bench.v1") and fails when
+
+  * a metric present in both regressed: candidate p50 > baseline p50 *
+    tolerance + slack (tolerance defaults to 1.75x, deliberately below the
+    2x deliberate-regression demo, plus a small absolute slack so 1-2 ns
+    metrics don't flap on scheduler noise);
+  * a metric carries a p50 budget (``budget.p50``) and the candidate's p50
+    exceeds it — budgets are hard, no tolerance;
+  * either file has an unknown schema (refused, never mis-parsed).
+
+Metrics only present on one side are reported but never fail the gate (new
+metrics appear, old ones retire; the trajectory stays append-friendly).
+
+Exit codes: 0 pass, 1 regression/budget failure, 2 usage/schema error.
+
+``--inject-regression FACTOR`` multiplies every candidate p50 by FACTOR
+before comparing — the self-demonstration used by README and CI to prove
+the gate actually fires. ``--self-test`` runs an in-memory end-to-end
+check (pass, regression, budget, schema refusal) with no files.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "scarecrow.bench.v1"
+DEFAULT_TOLERANCE = 1.75
+DEFAULT_SLACK_NS = 2.0
+
+
+def load_report(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        raise SystemExit2(f"cannot read perf report {path}: {err}")
+    return validate_report(report, path)
+
+
+def validate_report(report, origin):
+    if not isinstance(report, dict):
+        raise SystemExit2(f"{origin}: perf report must be a JSON object")
+    schema = report.get("schema")
+    if schema != SCHEMA:
+        raise SystemExit2(
+            f"{origin}: unknown perf-report schema {schema!r} "
+            f"(this gate understands {SCHEMA!r})")
+    metrics = report.get("metrics")
+    if not isinstance(metrics, list):
+        raise SystemExit2(f"{origin}: 'metrics' must be a list")
+    for metric in metrics:
+        if not isinstance(metric, dict) or "name" not in metric:
+            raise SystemExit2(f"{origin}: every metric needs a 'name'")
+        for key in ("iterations", "min", "max", "sum", "p50", "p95", "p99"):
+            if not isinstance(metric.get(key), int):
+                raise SystemExit2(
+                    f"{origin}: metric {metric.get('name')!r} field "
+                    f"{key!r} must be an integer")
+    return report
+
+
+class SystemExit2(Exception):
+    """Usage/schema error -> exit code 2."""
+
+
+def by_name(report):
+    return {m["name"]: m for m in report["metrics"]}
+
+
+def compare(baseline, candidate, tolerance, slack_ns, inject_factor=1.0):
+    """Returns (failures, lines): failure strings and a full report log."""
+    failures = []
+    lines = []
+    base = by_name(baseline)
+    cand = by_name(candidate)
+
+    for name in sorted(set(base) | set(cand)):
+        b = base.get(name)
+        c = cand.get(name)
+        if c is None:
+            lines.append(f"  {name:32s} retired (baseline-only)")
+            continue
+        unit = c.get("unit", "ns")
+        c_p50 = c["p50"] * inject_factor
+        budget = c.get("budget", {}).get("p50", 0)
+        if budget:
+            mark = "FAIL" if c_p50 > budget else "ok"
+            lines.append(
+                f"  {name:32s} p50 {c_p50:10.0f} {unit}  "
+                f"budget {budget} {unit}  [{mark}]")
+            if c_p50 > budget:
+                failures.append(
+                    f"{name}: p50 {c_p50:.0f} {unit} exceeds hard budget "
+                    f"{budget} {unit}")
+        if b is None:
+            lines.append(f"  {name:32s} new (no baseline)")
+            continue
+        limit = b["p50"] * tolerance + slack_ns
+        regressed = c_p50 > limit
+        lines.append(
+            f"  {name:32s} p50 {b['p50']:10d} -> {c_p50:10.0f} {unit}  "
+            f"(limit {limit:.0f})  [{'FAIL' if regressed else 'ok'}]")
+        if regressed:
+            failures.append(
+                f"{name}: p50 regressed {b['p50']} -> {c_p50:.0f} {unit} "
+                f"(limit {limit:.0f} = baseline * {tolerance} + {slack_ns})")
+    return failures, lines
+
+
+def run_gate(args):
+    baseline = load_report(args.baseline)
+    candidate = load_report(args.candidate)
+    failures, lines = compare(baseline, candidate, args.tolerance,
+                              args.slack_ns, args.inject_regression)
+    print(f"perf gate: baseline {args.baseline} (rev "
+          f"{baseline.get('git_rev', '?')}) vs candidate {args.candidate} "
+          f"(rev {candidate.get('git_rev', '?')})")
+    if args.inject_regression != 1.0:
+        print(f"  [injected {args.inject_regression}x regression on every "
+              f"candidate p50]")
+    for line in lines:
+        print(line)
+    if failures:
+        print(f"\nperf gate FAILED ({len(failures)} metric(s)):")
+        for failure in failures:
+            print(f"  * {failure}")
+        return 1
+    print("\nperf gate passed")
+    return 0
+
+
+def self_test():
+    def make(p50s, budgets=()):
+        budgets = dict(budgets)
+        return {
+            "schema": SCHEMA,
+            "name": "selftest",
+            "git_rev": "0000000",
+            "host": {"os": "linux", "cpus": 1},
+            "metrics": [
+                {
+                    "name": name, "unit": "ns", "iterations": 10,
+                    "min": p, "max": p, "sum": 10 * p,
+                    "p50": p, "p95": p, "p99": p,
+                    **({"budget": {"p50": budgets[name]}}
+                       if name in budgets else {}),
+                }
+                for name, p in p50s.items()
+            ],
+        }
+
+    checks = 0
+
+    def expect(label, got, want):
+        nonlocal checks
+        checks += 1
+        if got != want:
+            print(f"self-test FAILED at {label}: got {got!r}, want {want!r}")
+            raise SystemExit(1)
+
+    base = make({"a_ns": 100, "b_ns": 10})
+    # Identical reports pass.
+    failures, _ = compare(base, make({"a_ns": 100, "b_ns": 10}),
+                          DEFAULT_TOLERANCE, DEFAULT_SLACK_NS)
+    expect("identical", failures, [])
+    # Small drift within tolerance passes.
+    failures, _ = compare(base, make({"a_ns": 150, "b_ns": 12}),
+                          DEFAULT_TOLERANCE, DEFAULT_SLACK_NS)
+    expect("within-tolerance", failures, [])
+    # A 2x regression fails.
+    failures, _ = compare(base, make({"a_ns": 200, "b_ns": 10}),
+                          DEFAULT_TOLERANCE, DEFAULT_SLACK_NS)
+    expect("2x-regression", len(failures), 1)
+    # --inject-regression 2 fails an otherwise identical pair.
+    failures, _ = compare(base, make({"a_ns": 100, "b_ns": 10}),
+                          DEFAULT_TOLERANCE, DEFAULT_SLACK_NS,
+                          inject_factor=2.0)
+    expect("inject-regression", bool(failures), True)
+    # Hard budgets ignore tolerance.
+    failures, _ = compare(make({"fast_ns": 1}),
+                          make({"fast_ns": 3}, budgets={"fast_ns": 2}),
+                          DEFAULT_TOLERANCE, DEFAULT_SLACK_NS)
+    expect("budget", any("budget" in f for f in failures), True)
+    # New/retired metrics never fail.
+    failures, _ = compare(make({"old_ns": 5}), make({"new_ns": 5}),
+                          DEFAULT_TOLERANCE, DEFAULT_SLACK_NS)
+    expect("disjoint", failures, [])
+    # Unknown schemas are refused.
+    bad = make({"a_ns": 1})
+    bad["schema"] = "scarecrow.bench.v999"
+    try:
+        validate_report(bad, "<self-test>")
+        expect("schema-refusal", "accepted", "refused")
+    except SystemExit2:
+        checks += 1
+    print(f"perf_gate self-test passed ({checks} checks)")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", help="committed BENCH_*.json")
+    parser.add_argument("--candidate", help="freshly generated BENCH_*.json")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="relative p50 limit (default %(default)s)")
+    parser.add_argument("--slack-ns", type=float, default=DEFAULT_SLACK_NS,
+                        help="absolute p50 slack (default %(default)s)")
+    parser.add_argument("--inject-regression", type=float, default=1.0,
+                        metavar="FACTOR",
+                        help="multiply candidate p50s by FACTOR (gate demo)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the in-memory end-to-end check and exit")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.candidate:
+        parser.print_usage(sys.stderr)
+        print("perf_gate: --baseline and --candidate are required "
+              "(or use --self-test)", file=sys.stderr)
+        return 2
+    try:
+        return run_gate(args)
+    except SystemExit2 as err:
+        print(f"perf_gate: {err}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Perf-trajectory pipeline entry point (DESIGN.md §12).
+#
+# Builds bench_hotpath if needed, runs it with the current git revision
+# stamped into the report, then gates the fresh BENCH_hotpath.json against
+# the committed baseline via scripts/perf_gate.py.
+#
+#   scripts/run_bench.sh                     # measure + gate
+#   scripts/run_bench.sh --update-baseline   # measure + adopt as baseline
+#   scripts/run_bench.sh --inject-regression 2   # prove the gate fires
+#
+# Extra arguments are forwarded to perf_gate.py.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build}"
+BASELINE="$REPO_ROOT/BENCH_hotpath.json"
+CANDIDATE="$BUILD_DIR/BENCH_hotpath.json"
+
+UPDATE_BASELINE=0
+GATE_ARGS=()
+for arg in "$@"; do
+  if [[ "$arg" == "--update-baseline" ]]; then
+    UPDATE_BASELINE=1
+  else
+    GATE_ARGS+=("$arg")
+  fi
+done
+
+if [[ ! -x "$BUILD_DIR/bench/bench_hotpath" ]]; then
+  echo "building bench_hotpath..."
+  cmake -B "$BUILD_DIR" -S "$REPO_ROOT" >/dev/null
+  cmake --build "$BUILD_DIR" --target bench_hotpath -j >/dev/null
+fi
+
+SCARECROW_GIT_REV="$(git -C "$REPO_ROOT" rev-parse --short HEAD 2>/dev/null || echo unknown)"
+export SCARECROW_GIT_REV
+
+echo "running bench_hotpath (rev $SCARECROW_GIT_REV)..."
+(cd "$BUILD_DIR" && ./bench/bench_hotpath --out "$CANDIDATE")
+
+if [[ "$UPDATE_BASELINE" == 1 ]]; then
+  cp "$CANDIDATE" "$BASELINE"
+  echo "baseline updated: $BASELINE"
+fi
+
+if [[ ! -f "$BASELINE" ]]; then
+  echo "no committed baseline at $BASELINE — run with --update-baseline to record one" >&2
+  exit 2
+fi
+
+python3 "$REPO_ROOT/scripts/perf_gate.py" \
+  --baseline "$BASELINE" --candidate "$CANDIDATE" \
+  ${GATE_ARGS[@]+"${GATE_ARGS[@]}"}

@@ -44,6 +44,19 @@ struct BatchEvaluator::Worker {
   /// deception (fault plans at work).
   std::uint64_t degraded = 0;
   std::uint64_t wallMicros = 0;
+  /// Machine virtual clock right after harness construction — the clean
+  /// snapshot's clock. Every evaluation restores to it before running, so
+  /// (clock after an attempt) − baseClockMs is the virtual time that
+  /// attempt's supervised run consumed: the stall detector's input.
+  std::uint64_t baseClockMs = 0;
+  /// Attempts flagged by the stall detector this run.
+  std::uint64_t stalls = 0;
+  /// kStall events collected locally and replayed into healthEvents() in
+  /// worker order once the pool joins (FlightRecorder is single-writer).
+  std::vector<obs::DecisionEvent> stallEvents;
+  /// Liveness tick: attempts finished by this worker (progress() reads it
+  /// from other threads mid-run).
+  std::atomic<std::uint64_t> heartbeat{0};
 };
 
 BatchEvaluator::BatchEvaluator(const MachineFactory& machineFactory,
@@ -57,6 +70,7 @@ BatchEvaluator::BatchEvaluator(const MachineFactory& machineFactory,
     worker->machine = machineFactory();
     worker->machine->label += " #" + std::to_string(i);
     worker->harness = std::make_unique<EvaluationHarness>(*worker->machine);
+    worker->baseClockMs = worker->machine->clock().nowMs();
     workers_.push_back(std::move(worker));
   }
 }
@@ -74,9 +88,18 @@ std::vector<BatchResult> BatchEvaluator::evaluateAll(
   for (auto& worker : workers_) {
     worker->telemetry = obs::MetricsSnapshot{};
     worker->requests = worker->retries = worker->timeouts = worker->failures =
-        worker->degraded = worker->wallMicros = 0;
+        worker->degraded = worker->wallMicros = worker->stalls = 0;
+    worker->stallEvents.clear();
+    worker->heartbeat.store(0, std::memory_order_relaxed);
   }
   workerTelemetry_.clear();
+  healthEvents_.clear();
+  submitted_.store(requests.size(), std::memory_order_relaxed);
+  completed_.store(0, std::memory_order_relaxed);
+  inflight_.store(0, std::memory_order_relaxed);
+  inflightPeak_.store(0, std::memory_order_relaxed);
+  retried_.store(0, std::memory_order_relaxed);
+  stalled_.store(0, std::memory_order_relaxed);
 
   // Workers drain the queue through an atomic cursor; each result slot is
   // written by exactly one worker, so the only cross-thread state is the
@@ -89,16 +112,50 @@ std::vector<BatchResult> BatchEvaluator::evaluateAll(
         BatchResult& slot = results[jobIndex];
         slot.workerIndex = workerIndex;
         ++worker.requests;
+        const std::uint64_t nowInflight =
+            inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
+        std::uint64_t peak = inflightPeak_.load(std::memory_order_relaxed);
+        while (peak < nowInflight &&
+               !inflightPeak_.compare_exchange_weak(
+                   peak, nowInflight, std::memory_order_relaxed)) {
+        }
+
+        // The stall detector, shared by every attempt outcome: an attempt
+        // whose supervised run consumed more virtual time than the budget
+        // went that long without a heartbeat — flag it (kStall + counter)
+        // but leave the attempt's result alone.
+        const auto noteStall = [&](std::uint32_t attempt) {
+          if (options_.stallBudgetMs == 0) return;
+          const std::uint64_t nowMs = worker.machine->clock().nowMs();
+          const std::uint64_t virtualMs =
+              nowMs >= worker.baseClockMs ? nowMs - worker.baseClockMs : 0;
+          if (virtualMs <= options_.stallBudgetMs) return;
+          ++worker.stalls;
+          stalled_.fetch_add(1, std::memory_order_relaxed);
+          obs::DecisionEvent e;
+          e.timeMs = nowMs;
+          e.kind = obs::DecisionKind::kStall;
+          e.api = request.sampleId;
+          e.argument = "worker-" + std::to_string(workerIndex);
+          e.value = std::to_string(virtualMs);
+          e.link = "attempt-" + std::to_string(attempt);
+          worker.stallEvents.push_back(std::move(e));
+        };
 
         for (std::uint32_t attempt = 1; attempt <= options_.maxAttempts;
              ++attempt) {
           slot.attempts = attempt;
-          if (attempt > 1) ++worker.retries;
+          if (attempt > 1) {
+            ++worker.retries;
+            retried_.fetch_add(1, std::memory_order_relaxed);
+          }
           const std::uint64_t start = nowMicros();
           try {
             EvalOutcome outcome = worker.harness->evaluate(request);
             const std::uint64_t elapsed = nowMicros() - start;
             slot.wallMicros = elapsed;
+            noteStall(attempt);
+            worker.heartbeat.fetch_add(1, std::memory_order_relaxed);
             if (options_.requestTimeoutMs != 0 &&
                 elapsed > options_.requestTimeoutMs * 1000) {
               // Cooperative timeout: the run already finished, but it blew
@@ -116,24 +173,32 @@ std::vector<BatchResult> BatchEvaluator::evaluateAll(
             slot.outcome = std::move(outcome);
             if (slot.outcome.resilience.degraded()) ++worker.degraded;
             worker.telemetry.merge(slot.outcome.telemetry);
-            return;
+            break;
           } catch (const std::exception& e) {
             slot.status = BatchStatus::kFailed;
             slot.error = e.what();
             slot.wallMicros = nowMicros() - start;
+            noteStall(attempt);
+            worker.heartbeat.fetch_add(1, std::memory_order_relaxed);
           } catch (...) {
             slot.status = BatchStatus::kFailed;
             slot.error = "non-standard exception";
             slot.wallMicros = nowMicros() - start;
+            noteStall(attempt);
+            worker.heartbeat.fetch_add(1, std::memory_order_relaxed);
           }
         }
-        ++worker.failures;
-        worker.wallMicros += slot.wallMicros;
-        support::logWarn("batch", "request failed",
-                         {{"sample", request.sampleId},
-                          {"status", batchStatusName(slot.status)},
-                          {"attempts", slot.attempts},
-                          {"error", slot.error}});
+        if (!slot.ok()) {
+          ++worker.failures;
+          worker.wallMicros += slot.wallMicros;
+          support::logWarn("batch", "request failed",
+                           {{"sample", request.sampleId},
+                            {"status", batchStatusName(slot.status)},
+                            {"attempts", slot.attempts},
+                            {"error", slot.error}});
+        }
+        inflight_.fetch_sub(1, std::memory_order_relaxed);
+        completed_.fetch_add(1, std::memory_order_relaxed);
       });
 
   // Sum successful wall time after the fact (the in-loop accumulator only
@@ -142,20 +207,54 @@ std::vector<BatchResult> BatchEvaluator::evaluateAll(
     if (result.ok()) workers_[result.workerIndex]->wallMicros +=
         result.wallMicros;
 
+  // Replay stall events into the batch-level recorder in worker order: the
+  // FlightRecorder is single-writer, so workers collected locally and the
+  // merge happens here, after the pool joined.
+  for (const auto& worker : workers_)
+    for (const obs::DecisionEvent& event : worker->stallEvents)
+      healthEvents_.record(event);
+
+  const std::uint64_t inflightPeak =
+      inflightPeak_.load(std::memory_order_relaxed);
   workerTelemetry_.reserve(workers_.size());
-  for (const auto& worker : workers_) {
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    const Worker& worker = *workers_[i];
     obs::MetricsRegistry accounting;
-    accounting.counter("batch.requests").inc(worker->requests);
-    accounting.counter("batch.retries").inc(worker->retries);
-    accounting.counter("batch.timeouts").inc(worker->timeouts);
-    accounting.counter("batch.failures").inc(worker->failures);
-    accounting.counter("batch.degraded").inc(worker->degraded);
-    accounting.counter("batch.wall_us").inc(worker->wallMicros);
-    obs::MetricsSnapshot snapshot = worker->telemetry;
+    accounting.counter("batch.requests").inc(worker.requests);
+    accounting.counter("batch.retries").inc(worker.retries);
+    accounting.counter("batch.timeouts").inc(worker.timeouts);
+    accounting.counter("batch.failures").inc(worker.failures);
+    accounting.counter("batch.degraded").inc(worker.degraded);
+    accounting.counter("batch.stalled").inc(worker.stalls);
+    accounting.counter("batch.wall_us").inc(worker.wallMicros);
+    // Liveness gauges. Heartbeats are labelled per worker; the inflight
+    // peak is the same global value in every snapshot, so the gauge-max
+    // merge rule reproduces it unchanged at the corpus level.
+    accounting.gauge("batch.worker_heartbeat", "worker-" + std::to_string(i))
+        .set(static_cast<std::int64_t>(
+            worker.heartbeat.load(std::memory_order_relaxed)));
+    accounting.gauge("batch.inflight_peak")
+        .set(static_cast<std::int64_t>(inflightPeak));
+    obs::MetricsSnapshot snapshot = worker.telemetry;
     snapshot.merge(accounting.snapshot());
     workerTelemetry_.push_back(std::move(snapshot));
   }
   return results;
+}
+
+BatchProgress BatchEvaluator::progress() const {
+  BatchProgress p;
+  p.submitted = submitted_.load(std::memory_order_relaxed);
+  p.completed = completed_.load(std::memory_order_relaxed);
+  p.inflight = inflight_.load(std::memory_order_relaxed);
+  p.inflightPeak = inflightPeak_.load(std::memory_order_relaxed);
+  p.retried = retried_.load(std::memory_order_relaxed);
+  p.stalled = stalled_.load(std::memory_order_relaxed);
+  p.workerHeartbeats.reserve(workers_.size());
+  for (const auto& worker : workers_)
+    p.workerHeartbeats.push_back(
+        worker->heartbeat.load(std::memory_order_relaxed));
+  return p;
 }
 
 obs::MetricsSnapshot BatchEvaluator::mergedTelemetry() const {

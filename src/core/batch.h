@@ -20,6 +20,7 @@
 // histogram buckets combined — ready for a single JSON/Prometheus dump.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -27,6 +28,7 @@
 #include <vector>
 
 #include "core/eval.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "winsys/machine.h"
 
@@ -70,6 +72,34 @@ struct BatchOptions {
   std::uint64_t requestTimeoutMs = 0;
   /// Attempts per request before it is reported failed (1 = no retry).
   std::uint32_t maxAttempts = 2;
+  /// Stall detector: virtual-clock milliseconds one attempt may consume
+  /// before the worker is flagged as stalled (heartbeats only advance
+  /// between attempts, so an attempt that burns more simulated time than
+  /// this budget is a silent-queue hazard). 0 = detection off. A stall is
+  /// a `batch.stalled` counter tick plus a kStall decision event in
+  /// healthEvents(); the attempt's result is untouched — this is a health
+  /// signal, not a timeout.
+  std::uint64_t stallBudgetMs = 0;
+};
+
+/// Live view of an evaluateAll in flight (or the final state of the last
+/// one). Safe to read from any thread while workers run — the future
+/// resident service polls this instead of staring at a silent queue.
+struct BatchProgress {
+  /// Requests handed to the current/last evaluateAll.
+  std::uint64_t submitted = 0;
+  /// Requests finished, any status (== submitted when the call returns).
+  std::uint64_t completed = 0;
+  std::uint64_t inflight = 0;
+  /// High-water mark of concurrently running requests.
+  std::uint64_t inflightPeak = 0;
+  /// Extra attempts beyond each request's first.
+  std::uint64_t retried = 0;
+  /// Attempts that blew BatchOptions::stallBudgetMs of virtual time.
+  std::uint64_t stalled = 0;
+  /// Per-worker liveness: attempts finished by that worker. A worker
+  /// whose heartbeat stops advancing while inflight > 0 is stuck.
+  std::vector<std::uint64_t> workerHeartbeats;
 };
 
 class BatchEvaluator {
@@ -113,12 +143,34 @@ class BatchEvaluator {
   /// how requests raced across workers.
   obs::MetricsSnapshot mergedTelemetry() const;
 
+  /// Live progress of the current evaluateAll (final state after it
+  /// returns). Thread-safe against running workers; values are monotone
+  /// within one call and reset at the start of the next.
+  BatchProgress progress() const;
+
+  /// Batch-level health decisions (currently kStall events), rebuilt after
+  /// every evaluateAll in worker order. Event payload: api = sample id,
+  /// argument = "worker-N", value = virtual ms the attempt consumed,
+  /// timestamped with the worker machine's virtual clock.
+  const obs::FlightRecorder& healthEvents() const noexcept {
+    return healthEvents_;
+  }
+
  private:
   struct Worker;
 
   BatchOptions options_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<obs::MetricsSnapshot> workerTelemetry_;
+  obs::FlightRecorder healthEvents_;
+
+  // progress() plane: written by workers, read by any thread.
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> inflight_{0};
+  std::atomic<std::uint64_t> inflightPeak_{0};
+  std::atomic<std::uint64_t> retried_{0};
+  std::atomic<std::uint64_t> stalled_{0};
 };
 
 }  // namespace scarecrow::core

@@ -53,6 +53,7 @@ void DeceptionEngine::degrade(faults::ProtectionLevel to,
 
 template <typename F>
 auto DeceptionEngine::guardedDb(F&& f) -> decltype(f()) {
+  obs::HotScope hotScope(hot_, obs::HotSite::kDbLookup);
   if (faults_ != nullptr &&
       faults_->shouldFire(faults::FaultSite::kResourceDbLookup)) {
     if (metrics_ != nullptr)
@@ -161,8 +162,10 @@ void DeceptionEngine::bindMetrics(winsys::Machine& machine) {
   metrics_ = &m;
   flight_ = &machine.flightRecorder();
   clock_ = &machine.clock();
+  hot_ = &machine.hotTimers();
   ipc_.bindFlightRecorder(flight_);
   ipc_.bindMetrics(&m);
+  ipc_.bindHotTimers(hot_);
   dispatchLatency_ = &m.histogram("engine.hook_dispatch_ms");
   hookHits_.fill(nullptr);
   for (ApiId id : hookedIds())
@@ -179,6 +182,9 @@ void DeceptionEngine::noteDispatch(Api& api, std::uint64_t startMs) {
 template <typename F>
 auto DeceptionEngine::timed(ApiId id, F f) {
   return [this, id, f = std::move(f)](Api& a, auto&&... args) {
+    // Wall-clock dispatch cost, end to end: hook body, DB lookups, IPC,
+    // and the telemetry writes below all land inside this scope.
+    obs::HotScope hotScope(hot_, obs::HotSite::kHookDispatch);
     if (obs::Counter* hits = hookHits_[static_cast<std::size_t>(id)])
       hits->inc();
     const std::uint64_t t0 = a.machine().clock().nowMs();

@@ -35,6 +35,7 @@
 #include "core/resource_db.h"
 #include "hooking/injector.h"
 #include "hooking/ipc.h"
+#include "obs/hot_timer.h"
 #include "obs/metrics.h"
 #include "winapi/api.h"
 
@@ -93,6 +94,13 @@ class DeceptionEngine {
   /// rules as metrics()): every hook dispatch, deception, and IPC send is
   /// a DecisionEvent with a correlation id tying the chain together.
   obs::FlightRecorder* flightRecorder() const noexcept { return flight_; }
+
+  /// Nanosecond hot-timer plane of the machine this engine was last
+  /// installed into (null before the first installInto). Hook dispatch
+  /// (kHookDispatch), guarded ResourceDb lookups (kDbLookup), and the IPC
+  /// channel (kIpcSend/kIpcDrain) record here when the plane is armed; a
+  /// disarmed plane costs one array load per site (DESIGN.md §12).
+  obs::HotTimerPlane* hotTimers() const noexcept { return hot_; }
 
   /// Arms the engine's fault sites (kHookInstall, kChildPropagation,
   /// kResourceDbLookup) and the IPC channel's (kIpcSend, kIpcDrain). The
@@ -187,6 +195,7 @@ class DeceptionEngine {
   std::uint64_t attachMs_ = 0;
   bool attached_ = false;
   obs::MetricsRegistry* metrics_ = nullptr;
+  obs::HotTimerPlane* hot_ = nullptr;
   obs::Histogram* dispatchLatency_ = nullptr;
   std::array<obs::Counter*, winapi::kApiCount> hookHits_{};
   obs::FlightRecorder* flight_ = nullptr;

@@ -1,6 +1,7 @@
 #include "hooking/injector.h"
 
 #include "faults/fault_injector.h"
+#include "obs/hot_timer.h"
 #include "obs/span.h"
 #include "support/log.h"
 #include "support/strings.h"
@@ -34,6 +35,7 @@ bool injectFailed(winsys::Machine& machine, std::uint32_t pid,
 bool injectDll(winsys::Machine& machine, winapi::UserSpace& userspace,
                std::uint32_t pid, const DllImage& dll,
                faults::FaultInjector* faults) {
+  obs::HotScope hotScope(&machine.hotTimers(), obs::HotSite::kInject);
   winsys::Process* target = machine.processes().find(pid);
   if (target == nullptr)
     return injectFailed(machine, pid, dll, "no-such-process");

@@ -22,6 +22,7 @@ void IpcChannel::noteDrop(const char* reason) {
 }
 
 std::uint64_t IpcChannel::send(IpcMessage message) {
+  obs::HotScope hotScope(hot_, obs::HotSite::kIpcSend);
   message.seq = nextSeq_++;
   // The kIpcSend decision is recorded before any drop: the DLL side did
   // send the message; losing it is the channel's fault, and the trace must
@@ -53,6 +54,7 @@ std::uint64_t IpcChannel::send(IpcMessage message) {
 }
 
 std::vector<IpcMessage> IpcChannel::drain() {
+  obs::HotScope hotScope(hot_, obs::HotSite::kIpcDrain);
   std::vector<IpcMessage> out;
   if (faults_ != nullptr && !queue_.empty() &&
       faults_->shouldFire(faults::FaultSite::kIpcDrain)) {

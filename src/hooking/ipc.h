@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "obs/flight_recorder.h"
+#include "obs/hot_timer.h"
 #include "obs/metrics.h"
 
 namespace scarecrow::faults {
@@ -79,6 +80,13 @@ class IpcChannel {
     faults_ = faults;
   }
 
+  /// Wall-clock ns timing for send() (HotSite::kIpcSend) and drain()
+  /// (HotSite::kIpcDrain). Not owned; nullptr (the default) or a disarmed
+  /// plane costs one check per call.
+  void bindHotTimers(obs::HotTimerPlane* hotTimers) noexcept {
+    hot_ = hotTimers;
+  }
+
   /// Bounds the queue (drop-oldest beyond it). 0 = unbounded.
   void setCapacity(std::size_t capacity) noexcept { capacity_ = capacity; }
   std::size_t capacity() const noexcept { return capacity_; }
@@ -109,6 +117,7 @@ class IpcChannel {
   std::uint64_t truncations_ = 0;
   obs::FlightRecorder* flight_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
+  obs::HotTimerPlane* hot_ = nullptr;
   faults::FaultInjector* faults_ = nullptr;
 };
 

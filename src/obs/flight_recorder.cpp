@@ -17,6 +17,7 @@ const char* decisionKindName(DecisionKind kind) noexcept {
     case DecisionKind::kRetry: return "retry";
     case DecisionKind::kQuarantine: return "quarantine";
     case DecisionKind::kDegradation: return "degradation";
+    case DecisionKind::kStall: return "stall";
   }
   return "?";
 }

@@ -45,11 +45,12 @@ enum class DecisionKind : std::uint8_t {
   kRetry,         // a bounded retry attempt (injection backoff, re-inject)
   kQuarantine,    // a hook exceeded its install-failure budget
   kDegradation,   // protection-ladder transition (full → partial → monitor)
+  kStall,         // batch worker blew its virtual-clock heartbeat budget
 };
 
 /// Number of decision kinds; keep in sync with the last enumerator.
 inline constexpr std::size_t kDecisionKindCount =
-    static_cast<std::size_t>(DecisionKind::kDegradation) + 1;
+    static_cast<std::size_t>(DecisionKind::kStall) + 1;
 
 /// Exhaustive over DecisionKind (no default; -Werror=switch enforces it).
 const char* decisionKindName(DecisionKind kind) noexcept;

@@ -1,0 +1,81 @@
+#include "obs/hot_timer.h"
+
+#include <cstdlib>
+
+namespace scarecrow::obs {
+
+const char* hotSiteName(HotSite site) noexcept {
+  switch (site) {
+    case HotSite::kHookDispatch: return "hook_dispatch";
+    case HotSite::kDbLookup: return "db_lookup";
+    case HotSite::kIpcSend: return "ipc_send";
+    case HotSite::kIpcDrain: return "ipc_drain";
+    case HotSite::kInject: return "inject";
+  }
+  return "?";
+}
+
+const char* hotSiteMetricName(HotSite site) noexcept {
+  switch (site) {
+    case HotSite::kHookDispatch: return "hot.hook_dispatch_ns";
+    case HotSite::kDbLookup: return "hot.db_lookup_ns";
+    case HotSite::kIpcSend: return "hot.ipc_send_ns";
+    case HotSite::kIpcDrain: return "hot.ipc_drain_ns";
+    case HotSite::kInject: return "hot.inject_ns";
+  }
+  return "?";
+}
+
+const std::vector<std::uint64_t>& hotTimerBucketBoundsNs() {
+  static const std::vector<std::uint64_t> kBounds = [] {
+    std::vector<std::uint64_t> bounds;
+    bounds.reserve(HotTimer::kBoundCount);
+    for (std::size_t i = 0; i < HotTimer::kBoundCount; ++i)
+      bounds.push_back((std::uint64_t{1} << i) - 1);
+    return bounds;
+  }();
+  return kBounds;
+}
+
+bool hotTimersEnvEnabled() noexcept {
+  static const bool enabled = [] {
+    const char* v = std::getenv("SCARECROW_HOT_TIMERS");
+    return v != nullptr && v[0] != '\0' &&
+           !(v[0] == '0' && v[1] == '\0');
+  }();
+  return enabled;
+}
+
+HistogramSample HotTimer::sample(std::string name) const {
+  HistogramSample s;
+  s.name = std::move(name);
+  s.bounds = hotTimerBucketBoundsNs();
+  s.counts.assign(counts_.begin(), counts_.end());
+  s.count = count_;
+  s.sum = sum_;
+  s.min = min();
+  s.max = max_;
+  s.p50 = histogramSamplePercentile(s, 50);
+  s.p95 = histogramSamplePercentile(s, 95);
+  s.p99 = histogramSamplePercentile(s, 99);
+  return s;
+}
+
+MetricsSnapshot HotTimerPlane::snapshot() const {
+  // Emitted in metric-name order so the snapshot satisfies the sorted
+  // (name, label) invariant merge() and the exporters rely on.
+  static constexpr HotSite kByName[] = {
+      HotSite::kDbLookup,   HotSite::kHookDispatch, HotSite::kInject,
+      HotSite::kIpcDrain,   HotSite::kIpcSend,
+  };
+  static_assert(sizeof(kByName) / sizeof(kByName[0]) == kHotSiteCount);
+  MetricsSnapshot snap;
+  for (HotSite site : kByName) {
+    const HotTimer& t = timer(site);
+    if (t.count() == 0) continue;
+    snap.histograms.push_back(t.sample(hotSiteMetricName(site)));
+  }
+  return snap;
+}
+
+}  // namespace scarecrow::obs

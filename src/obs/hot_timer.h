@@ -1,0 +1,197 @@
+// Hot-path latency plane: fixed-bucket nanosecond timers (DESIGN.md §12).
+//
+// The metrics registry's histograms are virtual-clock milliseconds — the
+// right unit for the simulated world, useless for the question "how many
+// real nanoseconds does a hook dispatch cost?". HotTimer answers that: a
+// power-of-two-bucket wall-clock histogram with no allocation on the
+// record path, cheap enough to stay compiled into the dispatch hot path
+// permanently. The arming contract mirrors faults::FaultInjector's site
+// check: a disarmed site costs one array load and a branch (~1 ns, gated
+// at ≤2 ns by BM_HotTimer_Disarmed and scripts/perf_gate.py), so timers
+// ship enabled-by-default as *sites* and are armed per run.
+//
+// Timers are deliberately kept out of MetricsRegistry: their samples are
+// real time, so exporting them through the per-sample telemetry would
+// break the byte-identical-telemetry contract. Instead HotTimerPlane
+// snapshots into a standard obs::MetricsSnapshot (histograms named
+// `hot.<site>_ns`), which flows through the existing JSON/Prometheus
+// exporters and folds across workers via MetricsSnapshot::merge. A
+// disarmed plane snapshots empty, so determinism surfaces never see it.
+//
+// Arming: explicit (armAll / arm per site) or the SCARECROW_HOT_TIMERS=1
+// environment variable, which arms every plane at construction.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace scarecrow::obs {
+
+/// The instrumented seams of the deception pipeline. Kept in sync with
+/// hotSiteName/hotSiteMetricName (exhaustive switches, -Werror=switch).
+enum class HotSite : std::uint8_t {
+  kHookDispatch,  // full hooked-API dispatch (engine::timed wrapper)
+  kDbLookup,      // one guarded ResourceDb lookup inside a hook body
+  kIpcSend,       // IpcChannel::send (DLL side)
+  kIpcDrain,      // IpcChannel::drain (controller side)
+  kInject,        // hooking::injectDll (root + child propagation)
+};
+
+inline constexpr std::size_t kHotSiteCount =
+    static_cast<std::size_t>(HotSite::kInject) + 1;
+
+/// Exhaustive over HotSite: "hook_dispatch", "db_lookup", ...
+const char* hotSiteName(HotSite site) noexcept;
+
+/// Exported histogram identity: "hot.hook_dispatch_ns", "hot.db_lookup_ns",
+/// "hot.ipc_send_ns", "hot.ipc_drain_ns", "hot.inject_ns".
+const char* hotSiteMetricName(HotSite site) noexcept;
+
+/// Wall-clock nanoseconds (steady), the hot timers' time source. This is
+/// the one deliberate wall-clock reader in obs: perf samples measure the
+/// host, not the simulation.
+inline std::uint64_t nowNs() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Inclusive power-of-two upper bounds shared by every hot timer:
+/// 0, 1, 3, 7, …, 2^33−1 ns (~8.6 s), overflow beyond. Identical bounds
+/// for every site keep HistogramSample merging exact across workers.
+const std::vector<std::uint64_t>& hotTimerBucketBoundsNs();
+
+/// True when SCARECROW_HOT_TIMERS is set to a non-empty, non-"0" value
+/// (read once, cached).
+bool hotTimersEnvEnabled() noexcept;
+
+/// Fixed-bucket nanosecond histogram. Bucket index is bit_width(ns):
+/// 0 → bucket 0, 1 → 1, [2,3] → 2, [4,7] → 3, … — one std::bit_width and
+/// one array increment per sample, no allocation ever.
+class HotTimer {
+ public:
+  /// Bounds count; counts() has one extra overflow slot.
+  static constexpr std::size_t kBoundCount = 34;
+
+  void record(std::uint64_t ns) noexcept {
+    std::size_t idx = static_cast<std::size_t>(std::bit_width(ns));
+    if (idx > kBoundCount) idx = kBoundCount;
+    ++counts_[idx];
+    if (count_ == 0 || ns < min_) min_ = ns;
+    if (ns > max_) max_ = ns;
+    ++count_;
+    sum_ += ns;
+  }
+
+  std::uint64_t count() const noexcept { return count_; }
+  std::uint64_t sum() const noexcept { return sum_; }
+  std::uint64_t min() const noexcept { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const noexcept { return max_; }
+
+  void reset() noexcept {
+    counts_.fill(0);
+    count_ = sum_ = min_ = max_ = 0;
+  }
+
+  /// Standard exported form: bounds from hotTimerBucketBoundsNs(),
+  /// percentiles computed with the registry-histogram rule (inclusive
+  /// upper bound of the first bucket reaching ceil(p% · count); overflow
+  /// samples report the observed max).
+  HistogramSample sample(std::string name) const;
+
+ private:
+  std::array<std::uint64_t, kBoundCount + 1> counts_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+/// One timer per HotSite plus the per-site armed bits. A winsys::Machine
+/// owns one plane; the engine, its IPC channel, and injectDll all record
+/// into it. Not thread-safe — like the metrics registry, one plane belongs
+/// to one machine, and one machine belongs to one worker.
+class HotTimerPlane {
+ public:
+  /// Disarmed unless SCARECROW_HOT_TIMERS is set in the environment.
+  HotTimerPlane() {
+    if (hotTimersEnvEnabled()) armAll();
+  }
+
+  HotTimerPlane(const HotTimerPlane&) = delete;
+  HotTimerPlane& operator=(const HotTimerPlane&) = delete;
+
+  /// The hot-path predicate: one array load.
+  bool armed(HotSite site) const noexcept {
+    return armed_[static_cast<std::size_t>(site)];
+  }
+  bool anyArmed() const noexcept {
+    for (bool a : armed_)
+      if (a) return true;
+    return false;
+  }
+
+  void arm(HotSite site) noexcept {
+    armed_[static_cast<std::size_t>(site)] = true;
+  }
+  void disarm(HotSite site) noexcept {
+    armed_[static_cast<std::size_t>(site)] = false;
+  }
+  void armAll() noexcept { armed_.fill(true); }
+  void disarmAll() noexcept { armed_.fill(false); }
+
+  HotTimer& timer(HotSite site) noexcept {
+    return timers_[static_cast<std::size_t>(site)];
+  }
+  const HotTimer& timer(HotSite site) const noexcept {
+    return timers_[static_cast<std::size_t>(site)];
+  }
+
+  /// Zeroes every timer; arming is untouched.
+  void reset() noexcept {
+    for (HotTimer& t : timers_) t.reset();
+  }
+
+  /// Snapshot of every non-empty timer as `hot.<site>_ns` histograms,
+  /// ordered by name (the MetricsSnapshot invariant), so the result merges
+  /// with any other snapshot and renders through every obs::Exporter. A
+  /// disarmed (or armed-but-idle) plane snapshots empty.
+  MetricsSnapshot snapshot() const;
+
+ private:
+  std::array<HotTimer, kHotSiteCount> timers_{};
+  std::array<bool, kHotSiteCount> armed_{};
+};
+
+/// RAII site timing. Disarmed cost is the null/armed check only — the
+/// clock is not read. Armed cost is two nowNs() reads plus one
+/// HotTimer::record.
+class HotScope {
+ public:
+  HotScope(HotTimerPlane* plane, HotSite site) noexcept
+      : timer_(plane != nullptr && plane->armed(site) ? &plane->timer(site)
+                                                      : nullptr),
+        startNs_(timer_ != nullptr ? nowNs() : 0) {}
+
+  HotScope(const HotScope&) = delete;
+  HotScope& operator=(const HotScope&) = delete;
+
+  ~HotScope() {
+    if (timer_ != nullptr) {
+      const std::uint64_t end = nowNs();
+      timer_->record(end >= startNs_ ? end - startNs_ : 0);
+    }
+  }
+
+ private:
+  HotTimer* timer_;
+  std::uint64_t startNs_;
+};
+
+}  // namespace scarecrow::obs

@@ -52,12 +52,8 @@ void Histogram::reset() noexcept {
   max_ = 0;
 }
 
-namespace {
-
-/// Mirrors Histogram::percentile on a merged HistogramSample: the inclusive
-/// upper bound of the first bucket whose cumulative count reaches
-/// ceil(p% · count); overflow-bucket samples report the observed maximum.
-std::uint64_t samplePercentile(const HistogramSample& h, double p) noexcept {
+std::uint64_t histogramSamplePercentile(const HistogramSample& h,
+                                        double p) noexcept {
   if (h.count == 0) return 0;
   if (p > 100.0) p = 100.0;
   const auto rank = static_cast<std::uint64_t>(
@@ -70,6 +66,8 @@ std::uint64_t samplePercentile(const HistogramSample& h, double p) noexcept {
   }
   return h.max;
 }
+
+namespace {
 
 void mergeHistogramSamples(HistogramSample& into, const HistogramSample& from) {
   if (into.bounds == from.bounds) {
@@ -84,9 +82,9 @@ void mergeHistogramSamples(HistogramSample& into, const HistogramSample& from) {
   into.max = std::max(into.max, from.max);
   into.count += from.count;
   into.sum += from.sum;
-  into.p50 = samplePercentile(into, 50);
-  into.p95 = samplePercentile(into, 95);
-  into.p99 = samplePercentile(into, 99);
+  into.p50 = histogramSamplePercentile(into, 50);
+  into.p95 = histogramSamplePercentile(into, 95);
+  into.p99 = histogramSamplePercentile(into, 99);
 }
 
 /// Merges two (name, label)-sorted sample vectors; `combine(into, from)`

@@ -130,6 +130,15 @@ struct HistogramSample {
   std::uint64_t p99 = 0;
 };
 
+/// Percentile over a HistogramSample with the same rule as
+/// Histogram::percentile: the inclusive upper bound of the first bucket
+/// whose cumulative count reaches ceil(p% · count); overflow-bucket
+/// samples report the observed maximum; 0 when empty. Used by merge() to
+/// recompute p50/p95/p99 from combined buckets, and by the perf-report
+/// writer to summarize hot-timer histograms.
+std::uint64_t histogramSamplePercentile(const HistogramSample& sample,
+                                        double p) noexcept;
+
 struct MetricsSnapshot {
   std::vector<CounterSample> counters;
   std::vector<GaugeSample> gauges;

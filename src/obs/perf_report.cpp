@@ -1,0 +1,148 @@
+#include "obs/perf_report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+#include <thread>
+
+#include "support/strings.h"
+
+namespace scarecrow::obs {
+
+namespace {
+
+using support::jsonEscape;
+
+/// Exact percentile over sorted raw samples: the value at rank
+/// ceil(p% · n) (1-based), matching the histogram rule's intent without
+/// bucket quantization.
+std::uint64_t exactPercentile(const std::vector<std::uint64_t>& sorted,
+                              double p) noexcept {
+  if (sorted.empty()) return 0;
+  auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+  if (rank == 0) rank = 1;
+  if (rank > sorted.size()) rank = sorted.size();
+  return sorted[rank - 1];
+}
+
+}  // namespace
+
+void PerfReport::addSamples(std::string metricName, std::string unit,
+                            std::vector<std::uint64_t> samples,
+                            std::uint64_t p50BudgetNs) {
+  std::sort(samples.begin(), samples.end());
+  PerfMetricStats stats;
+  stats.name = std::move(metricName);
+  stats.unit = std::move(unit);
+  stats.iterations = samples.size();
+  stats.p50BudgetNs = p50BudgetNs;
+  if (!samples.empty()) {
+    stats.min = samples.front();
+    stats.max = samples.back();
+    stats.sum = std::accumulate(samples.begin(), samples.end(),
+                                std::uint64_t{0});
+    stats.p50 = exactPercentile(samples, 50);
+    stats.p95 = exactPercentile(samples, 95);
+    stats.p99 = exactPercentile(samples, 99);
+  }
+  metrics.push_back(std::move(stats));
+}
+
+void PerfReport::addHistogram(const HistogramSample& histogram,
+                              std::string unit, std::uint64_t p50BudgetNs) {
+  PerfMetricStats stats;
+  stats.name = histogram.label.empty()
+                   ? histogram.name
+                   : histogram.name + "{" + histogram.label + "}";
+  stats.unit = std::move(unit);
+  stats.iterations = histogram.count;
+  stats.min = histogram.min;
+  stats.max = histogram.max;
+  stats.sum = histogram.sum;
+  stats.p50 = histogram.p50;
+  stats.p95 = histogram.p95;
+  stats.p99 = histogram.p99;
+  stats.p50BudgetNs = p50BudgetNs;
+  metrics.push_back(std::move(stats));
+}
+
+void PerfReport::addValue(std::string metricName, std::string unit,
+                          std::uint64_t value) {
+  PerfMetricStats stats;
+  stats.name = std::move(metricName);
+  stats.unit = std::move(unit);
+  stats.iterations = 1;
+  stats.min = stats.max = stats.sum = value;
+  stats.p50 = stats.p95 = stats.p99 = value;
+  metrics.push_back(std::move(stats));
+}
+
+PerfReport makePerfReport(std::string name) {
+  PerfReport report;
+  report.name = std::move(name);
+#if defined(__linux__)
+  report.os = "linux";
+#elif defined(_WIN32)
+  report.os = "windows";
+#elif defined(__APPLE__)
+  report.os = "macos";
+#endif
+  report.cpus = std::thread::hardware_concurrency();
+  if (const char* rev = std::getenv("SCARECROW_GIT_REV");
+      rev != nullptr && rev[0] != '\0')
+    report.gitRev = rev;
+  return report;
+}
+
+std::string renderPerfReportJson(const PerfReport& report) {
+  std::vector<const PerfMetricStats*> ordered;
+  ordered.reserve(report.metrics.size());
+  for (const PerfMetricStats& m : report.metrics) ordered.push_back(&m);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const PerfMetricStats* a, const PerfMetricStats* b) {
+                     return a->name < b->name;
+                   });
+
+  std::string out = "{\n";
+  out += "  \"schema\": \"" + std::string(PerfReport::kSchema) + "\",\n";
+  out += "  \"name\": \"" + jsonEscape(report.name) + "\",\n";
+  out += "  \"git_rev\": \"" + jsonEscape(report.gitRev) + "\",\n";
+  out += "  \"host\": {\"os\":\"" + jsonEscape(report.os) +
+         "\",\"cpus\":" + std::to_string(report.cpus) + "},\n";
+  out += "  \"metrics\": [";
+  bool first = true;
+  for (const PerfMetricStats* m : ordered) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"name\":\"" + jsonEscape(m->name) + "\"";
+    out += ",\"unit\":\"" + jsonEscape(m->unit) + "\"";
+    out += ",\"iterations\":" + std::to_string(m->iterations);
+    out += ",\"min\":" + std::to_string(m->min);
+    out += ",\"max\":" + std::to_string(m->max);
+    out += ",\"sum\":" + std::to_string(m->sum);
+    out += ",\"p50\":" + std::to_string(m->p50);
+    out += ",\"p95\":" + std::to_string(m->p95);
+    out += ",\"p99\":" + std::to_string(m->p99);
+    if (m->p50BudgetNs != 0)
+      out += ",\"budget\":{\"p50\":" + std::to_string(m->p50BudgetNs) + "}";
+    out += "}";
+  }
+  out += first ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+bool writePerfReport(const PerfReport& report, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string rendered = renderPerfReportJson(report);
+  const std::size_t written =
+      std::fwrite(rendered.data(), 1, rendered.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  return written == rendered.size() && closed;
+}
+
+}  // namespace scarecrow::obs

@@ -1,0 +1,82 @@
+// Machine-readable perf trajectory: the BENCH_<name>.json writer
+// (DESIGN.md §12).
+//
+// Every bench run that matters should leave a schema-versioned record a
+// machine can diff: host metadata, git revision, and per-metric latency
+// stats (iterations, min/max/sum, p50/p95/p99, optional p50 budget).
+// scripts/perf_gate.py consumes two of these — the committed baseline and
+// a fresh run — and fails on regression beyond a tolerance or on a busted
+// budget, which is what lets ns-level claims ("disarmed hot-timer check
+// ≤2 ns", "hook dispatch under the SLO") gate PRs instead of living in
+// commit messages.
+//
+// Rendering is deterministic for fixed inputs: metrics sorted by name,
+// fixed key order, integral values only — the committed BENCH_*.json
+// diffs like any other artifact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace scarecrow::obs {
+
+/// Summary stats for one measured metric. `p50BudgetNs` is an inline SLO:
+/// 0 means "no budget"; non-zero makes scripts/perf_gate.py fail any run
+/// whose p50 exceeds it (tolerance-free — budgets are hard).
+struct PerfMetricStats {
+  std::string name;
+  std::string unit = "ns";
+  std::uint64_t iterations = 0;  // samples behind the stats
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t p50 = 0;
+  std::uint64_t p95 = 0;
+  std::uint64_t p99 = 0;
+  std::uint64_t p50BudgetNs = 0;
+};
+
+struct PerfReport {
+  /// Bumped when the JSON shape changes; perf_gate.py refuses unknown
+  /// schemas instead of mis-parsing them.
+  static constexpr const char* kSchema = "scarecrow.bench.v1";
+
+  std::string name;             // "hotpath", "table1", ...
+  std::string gitRev = "unknown";
+  std::string os = "unknown";
+  std::uint32_t cpus = 0;
+  std::vector<PerfMetricStats> metrics;  // sorted by name at render time
+
+  /// Exact-percentile stats over raw samples (sorted internally; `samples`
+  /// is taken by value on purpose). Empty input records a zeroed metric.
+  void addSamples(std::string metricName, std::string unit,
+                  std::vector<std::uint64_t> samples,
+                  std::uint64_t p50BudgetNs = 0);
+
+  /// Bucket-resolution stats from an exported histogram (hot timers,
+  /// registry histograms): percentiles are the sample's own p50/p95/p99.
+  void addHistogram(const HistogramSample& histogram, std::string unit,
+                    std::uint64_t p50BudgetNs = 0);
+
+  /// One observed scalar (throughput gauge, count): iterations = 1,
+  /// min = max = p* = value.
+  void addValue(std::string metricName, std::string unit,
+                std::uint64_t value);
+};
+
+/// Fills name + host metadata: os from the build target, cpus from
+/// hardware_concurrency, gitRev from $SCARECROW_GIT_REV when set
+/// (scripts/run_bench.sh exports it).
+PerfReport makePerfReport(std::string name);
+
+/// Deterministic JSON for fixed inputs (metrics sorted by name, fixed key
+/// order, trailing newline). See exporter_golden_test for the pinned shape.
+std::string renderPerfReportJson(const PerfReport& report);
+
+/// Writes renderPerfReportJson(report) to `path`. False on I/O failure.
+bool writePerfReport(const PerfReport& report, const std::string& path);
+
+}  // namespace scarecrow::obs

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "obs/flight_recorder.h"
+#include "obs/hot_timer.h"
 #include "obs/metrics.h"
 #include "support/clock.h"
 #include "trace/recorder.h"
@@ -88,6 +89,15 @@ class Machine {
     return flight_;
   }
 
+  /// Wall-clock nanosecond timers for this box's deception hot paths
+  /// (hook dispatch, guarded DB lookups, IPC send/drain, injection).
+  /// Disarmed by default — a disarmed site costs one array load — and
+  /// kept out of metrics()/resetTelemetry() on purpose: hot-timer samples
+  /// are real time, so they never touch the byte-identical per-sample
+  /// telemetry. Arm via armAll() or SCARECROW_HOT_TIMERS=1 and export
+  /// with hotTimers().snapshot() (see DESIGN.md §12).
+  obs::HotTimerPlane& hotTimers() const noexcept { return hotTimers_; }
+
   /// Wipes both telemetry ledgers: destroys every metric identity
   /// (MetricsRegistry::clear, not reset — zero-valued leftovers from
   /// earlier evaluations would otherwise leak into later snapshots) and
@@ -131,6 +141,7 @@ class Machine {
   trace::Recorder recorder_;
   // Mutable so const phases (snapshot) can record their own spans.
   mutable obs::MetricsRegistry metrics_;
+  mutable obs::HotTimerPlane hotTimers_;
   obs::FlightRecorder flight_;
 };
 

@@ -206,6 +206,93 @@ TEST(BatchEvaluator, TransientFailureIsRetriedToSuccess) {
   EXPECT_EQ(merged.counterValue("batch.failures"), 0u);
 }
 
+TEST(BatchEvaluator, StallDetectorFlagsVirtualClockHogsAcrossEightWorkers) {
+  malware::ProgramRegistry registry;
+  const auto expected = malware::registerJoeSamples(registry);
+  const std::vector<core::EvalRequest> requests =
+      tableICorpus(registry, expected);
+
+  core::BatchOptions options;
+  options.workerCount = 8;
+  options.stallBudgetMs = 1;  // every sleep-loop sample blows 1 virtual ms
+  core::BatchEvaluator batch([] { return env::buildBareMetalSandbox(); },
+                             options);
+  const std::vector<core::BatchResult> results = batch.evaluateAll(requests);
+
+  // The stall detector is a health signal, not a timeout: every result is
+  // still fine.
+  for (const core::BatchResult& result : results)
+    EXPECT_TRUE(result.ok()) << result.error;
+
+  const core::BatchProgress progress = batch.progress();
+  EXPECT_EQ(progress.submitted, requests.size());
+  EXPECT_EQ(progress.completed, requests.size());
+  EXPECT_EQ(progress.inflight, 0u);
+  EXPECT_GE(progress.inflightPeak, 1u);
+  EXPECT_LE(progress.inflightPeak, 8u);
+  EXPECT_EQ(progress.retried, 0u);
+  // The Table I corpus is full of sleep-loop and self-spawn samples, all of
+  // which burn far more than one virtual millisecond per attempt.
+  EXPECT_GE(progress.stalled, 1u);
+  // Heartbeats tick once per finished attempt; with no retries their sum
+  // is exactly the request count, however the queue raced.
+  ASSERT_EQ(progress.workerHeartbeats.size(), 8u);
+  std::uint64_t heartbeatSum = 0;
+  for (std::uint64_t beat : progress.workerHeartbeats) heartbeatSum += beat;
+  EXPECT_EQ(heartbeatSum, requests.size());
+
+  // The same numbers flow through the accounting metrics: stall counters
+  // sum, the inflight-peak gauge max-merges to the global value, and each
+  // worker's heartbeat gauge is labelled with its index.
+  const obs::MetricsSnapshot merged = batch.mergedTelemetry();
+  EXPECT_EQ(merged.counterValue("batch.stalled"), progress.stalled);
+  bool sawPeak = false, sawHeartbeat = false;
+  for (const obs::GaugeSample& gauge : merged.gauges) {
+    if (gauge.name == "batch.inflight_peak") {
+      sawPeak = true;
+      EXPECT_EQ(gauge.value,
+                static_cast<std::int64_t>(progress.inflightPeak));
+    }
+    if (gauge.name == "batch.worker_heartbeat" && gauge.label == "worker-0")
+      sawHeartbeat = true;
+  }
+  EXPECT_TRUE(sawPeak);
+  EXPECT_TRUE(sawHeartbeat);
+
+  // healthEvents() carries one kStall decision per flagged attempt, with
+  // the worker index, the sample id, and the virtual-ms cost attached.
+  const std::vector<obs::DecisionEvent> events =
+      batch.healthEvents().snapshot();
+  EXPECT_EQ(events.size(), progress.stalled);
+  for (const obs::DecisionEvent& event : events) {
+    EXPECT_EQ(event.kind, obs::DecisionKind::kStall);
+    EXPECT_EQ(event.argument.rfind("worker-", 0), 0u) << event.argument;
+    EXPECT_EQ(event.link.rfind("attempt-", 0), 0u) << event.link;
+    EXPECT_GT(std::stoull(event.value), options.stallBudgetMs);
+    bool knownSample = false;
+    for (const core::EvalRequest& request : requests)
+      if (request.sampleId == event.api) knownSample = true;
+    EXPECT_TRUE(knownSample) << event.api;
+  }
+
+  // A second evaluateAll rebuilds the health plane instead of appending.
+  batch.evaluateAll({requests[0]});
+  EXPECT_EQ(batch.progress().submitted, 1u);
+  EXPECT_LE(batch.healthEvents().snapshot().size(), 1u);
+}
+
+TEST(BatchEvaluator, StallDetectorOffByDefault) {
+  malware::ProgramRegistry registry;
+  const auto expected = malware::registerJoeSamples(registry);
+
+  core::BatchEvaluator batch([] { return env::buildBareMetalSandbox(); },
+                             {});  // stallBudgetMs = 0: detection off
+  batch.evaluateAll(tableICorpus(registry, expected));
+  EXPECT_EQ(batch.progress().stalled, 0u);
+  EXPECT_EQ(batch.healthEvents().snapshot().size(), 0u);
+  EXPECT_EQ(batch.mergedTelemetry().counterValue("batch.stalled"), 0u);
+}
+
 TEST(BatchEvaluator, ZeroWorkerOptionClampsToOne) {
   core::BatchOptions options;
   options.workerCount = 0;

@@ -10,7 +10,9 @@
 
 #include "obs/export.h"
 #include "obs/flight_recorder.h"
+#include "obs/hot_timer.h"
 #include "obs/metrics.h"
+#include "obs/perf_report.h"
 
 namespace {
 
@@ -121,6 +123,103 @@ TEST(ExporterGolden, ChromeTrace) {
                 .withDecisions(decisions, 1)
                 .render(snapshot),
             expected);
+}
+
+// ---- hot-timer plane through the exporters (DESIGN.md §12) ----------------
+//
+// Fixture: kIpcSend records 1 ns (bucket le="1") and 100 ns (le="127"),
+// kHookDispatch records 0 ns (the le="0" bucket). Exercises the full
+// 34-bound power-of-two ladder, the +Inf overflow bucket, percentile
+// recomputation (p50=1 from the first bucket, p95/p99=127), and the
+// _count/_sum consistency rules in both formats.
+
+obs::MetricsSnapshot buildHotTimerSnapshot() {
+  obs::HotTimerPlane plane;
+  plane.armAll();
+  plane.timer(obs::HotSite::kIpcSend).record(1);
+  plane.timer(obs::HotSite::kIpcSend).record(100);
+  plane.timer(obs::HotSite::kHookDispatch).record(0);
+  return plane.snapshot();
+}
+
+TEST(ExporterGolden, HotTimerJson) {
+  const char* expected = R"json({
+  "counters": [],
+  "gauges": [],
+  "histograms": [
+    {"name":"hot.hook_dispatch_ns","count":1,"sum":0,"min":0,"max":0,"p50":0,"p95":0,"p99":0,"buckets":[{"le":"0","count":1},{"le":"1","count":0},{"le":"3","count":0},{"le":"7","count":0},{"le":"15","count":0},{"le":"31","count":0},{"le":"63","count":0},{"le":"127","count":0},{"le":"255","count":0},{"le":"511","count":0},{"le":"1023","count":0},{"le":"2047","count":0},{"le":"4095","count":0},{"le":"8191","count":0},{"le":"16383","count":0},{"le":"32767","count":0},{"le":"65535","count":0},{"le":"131071","count":0},{"le":"262143","count":0},{"le":"524287","count":0},{"le":"1048575","count":0},{"le":"2097151","count":0},{"le":"4194303","count":0},{"le":"8388607","count":0},{"le":"16777215","count":0},{"le":"33554431","count":0},{"le":"67108863","count":0},{"le":"134217727","count":0},{"le":"268435455","count":0},{"le":"536870911","count":0},{"le":"1073741823","count":0},{"le":"2147483647","count":0},{"le":"4294967295","count":0},{"le":"8589934591","count":0},{"le":"+Inf","count":0}]},
+    {"name":"hot.ipc_send_ns","count":2,"sum":101,"min":1,"max":100,"p50":1,"p95":127,"p99":127,"buckets":[{"le":"0","count":0},{"le":"1","count":1},{"le":"3","count":0},{"le":"7","count":0},{"le":"15","count":0},{"le":"31","count":0},{"le":"63","count":0},{"le":"127","count":1},{"le":"255","count":0},{"le":"511","count":0},{"le":"1023","count":0},{"le":"2047","count":0},{"le":"4095","count":0},{"le":"8191","count":0},{"le":"16383","count":0},{"le":"32767","count":0},{"le":"65535","count":0},{"le":"131071","count":0},{"le":"262143","count":0},{"le":"524287","count":0},{"le":"1048575","count":0},{"le":"2097151","count":0},{"le":"4194303","count":0},{"le":"8388607","count":0},{"le":"16777215","count":0},{"le":"33554431","count":0},{"le":"67108863","count":0},{"le":"134217727","count":0},{"le":"268435455","count":0},{"le":"536870911","count":0},{"le":"1073741823","count":0},{"le":"2147483647","count":0},{"le":"4294967295","count":0},{"le":"8589934591","count":0},{"le":"+Inf","count":0}]}
+  ],
+  "spans": []
+}
+)json";
+  EXPECT_EQ(
+      obs::Exporter(obs::ExportFormat::kJson).render(buildHotTimerSnapshot()),
+      expected);
+}
+
+TEST(ExporterGolden, HotTimerPrometheus) {
+  const std::string rendered = obs::Exporter(obs::ExportFormat::kPrometheus)
+                                   .render(buildHotTimerSnapshot());
+  // Pin the hairy head and tail of one series exactly; the full 35-line
+  // ladders are covered by the cumulative/count/sum consistency checks
+  // below and the exact JSON golden above.
+  EXPECT_NE(rendered.find("# TYPE scarecrow_hot_ipc_send_ns histogram"),
+            std::string::npos);
+  EXPECT_NE(rendered.find("scarecrow_hot_ipc_send_ns_bucket{le=\"0\"} 0\n"
+                          "scarecrow_hot_ipc_send_ns_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  // Cumulative counts: the 100 ns sample lands at le="127" and every later
+  // bound (including +Inf) reports the full count.
+  EXPECT_NE(rendered.find("scarecrow_hot_ipc_send_ns_bucket{le=\"127\"} 2"),
+            std::string::npos);
+  EXPECT_NE(
+      rendered.find("scarecrow_hot_ipc_send_ns_bucket{le=\"8589934591\"} 2\n"
+                    "scarecrow_hot_ipc_send_ns_bucket{le=\"+Inf\"} 2\n"
+                    "scarecrow_hot_ipc_send_ns_sum 101\n"
+                    "scarecrow_hot_ipc_send_ns_count 2\n"),
+      std::string::npos);
+  // The zero-valued site records at le="0" and stays cumulative-1 to +Inf.
+  EXPECT_NE(
+      rendered.find("scarecrow_hot_hook_dispatch_ns_bucket{le=\"0\"} 1"),
+      std::string::npos);
+  EXPECT_NE(
+      rendered.find("scarecrow_hot_hook_dispatch_ns_bucket{le=\"+Inf\"} 1\n"
+                    "scarecrow_hot_hook_dispatch_ns_sum 0\n"
+                    "scarecrow_hot_hook_dispatch_ns_count 1\n"),
+      std::string::npos);
+}
+
+TEST(ExporterGolden, PerfReportJson) {
+  obs::PerfReport report;
+  report.name = "golden";
+  report.gitRev = "abc1234";
+  report.os = "linux";
+  report.cpus = 8;
+  // Out-of-order adds: render sorts metrics by name. scope_ns carries a
+  // hard p50 budget; throughput shows the scalar (iterations=1) form; the
+  // histogram path reuses the hot-timer fixture's kIpcSend series.
+  report.addSamples("scope_ns", "ns", {5, 1, 4, 2, 3}, 2);
+  report.addValue("throughput", "samples/s", 123);
+  obs::HotTimerPlane plane;
+  plane.timer(obs::HotSite::kIpcSend).record(1);
+  plane.timer(obs::HotSite::kIpcSend).record(100);
+  report.addHistogram(
+      plane.timer(obs::HotSite::kIpcSend).sample("hot.ipc_send_ns"), "ns");
+
+  const char* expected = R"json({
+  "schema": "scarecrow.bench.v1",
+  "name": "golden",
+  "git_rev": "abc1234",
+  "host": {"os":"linux","cpus":8},
+  "metrics": [
+    {"name":"hot.ipc_send_ns","unit":"ns","iterations":2,"min":1,"max":100,"sum":101,"p50":1,"p95":127,"p99":127},
+    {"name":"scope_ns","unit":"ns","iterations":5,"min":1,"max":5,"sum":15,"p50":3,"p95":5,"p99":5,"budget":{"p50":2}},
+    {"name":"throughput","unit":"samples/s","iterations":1,"min":123,"max":123,"sum":123,"p50":123,"p95":123,"p99":123}
+  ]
+}
+)json";
+  EXPECT_EQ(obs::renderPerfReportJson(report), expected);
 }
 
 }  // namespace

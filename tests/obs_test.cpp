@@ -10,6 +10,7 @@
 #include "env/environments.h"
 #include "malware/sample.h"
 #include "obs/export.h"
+#include "obs/hot_timer.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "support/clock.h"
@@ -327,6 +328,102 @@ TEST_F(ObsEvalTest, TelemetryCapturesHooksAlertsAndPhases) {
   for (const obs::Span& s : t.spans)
     if (s.depth > 0) sawNested = true;
   EXPECT_TRUE(sawNested);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsSnapshot::merge over hot-timer nanosecond histograms
+
+TEST(SnapshotMergeTest, HotTimerBucketsAddAcrossPlanes) {
+  // Two worker planes recording into the same site merge exactly: bucket
+  // counts add, count/sum add, min/max combine, percentiles recompute from
+  // the combined buckets.
+  obs::HotTimerPlane a, b;
+  a.armAll();
+  b.armAll();
+  a.timer(obs::HotSite::kIpcSend).record(1);
+  a.timer(obs::HotSite::kIpcSend).record(100);
+  b.timer(obs::HotSite::kIpcSend).record(100);
+  b.timer(obs::HotSite::kIpcSend).record(5000);
+
+  obs::MetricsSnapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+
+  ASSERT_EQ(merged.histograms.size(), 1u);
+  const obs::HistogramSample& h = merged.histograms[0];
+  EXPECT_EQ(h.name, "hot.ipc_send_ns");
+  EXPECT_EQ(h.count, 4u);
+  EXPECT_EQ(h.sum, 1u + 100 + 100 + 5000);
+  EXPECT_EQ(h.min, 1u);
+  EXPECT_EQ(h.max, 5000u);
+  // Buckets: le=1 holds one sample, le=127 two, le=8191 one.
+  std::uint64_t total = 0;
+  for (std::uint64_t c : h.counts) total += c;
+  EXPECT_EQ(total, 4u);
+  EXPECT_EQ(h.counts[1], 1u);   // 1 ns
+  EXPECT_EQ(h.counts[7], 2u);   // both 100 ns samples
+  EXPECT_EQ(h.counts[13], 1u);  // 5000 ns -> le=8191
+  // Percentiles recomputed over the union: ceil(0.5*4)=2nd sample -> the
+  // le=127 bucket; p99 -> the 4th sample's le=8191 bucket.
+  EXPECT_EQ(h.p50, 127u);
+  EXPECT_EQ(h.p99, 8191u);
+}
+
+TEST(SnapshotMergeTest, HotTimerP99StableUnderSelfMerge) {
+  // Merging a distribution with itself doubles every bucket but cannot
+  // move any percentile: the cumulative shape is unchanged.
+  obs::HotTimerPlane plane;
+  plane.armAll();
+  for (std::uint64_t v : {1u, 3u, 9u, 100u, 100u, 2000u, 40000u})
+    plane.timer(obs::HotSite::kDbLookup).record(v);
+  const obs::MetricsSnapshot one = plane.snapshot();
+
+  obs::MetricsSnapshot doubled = one;
+  doubled.merge(one);
+
+  ASSERT_EQ(doubled.histograms.size(), 1u);
+  EXPECT_EQ(doubled.histograms[0].count, 2 * one.histograms[0].count);
+  EXPECT_EQ(doubled.histograms[0].p50, one.histograms[0].p50);
+  EXPECT_EQ(doubled.histograms[0].p95, one.histograms[0].p95);
+  EXPECT_EQ(doubled.histograms[0].p99, one.histograms[0].p99);
+}
+
+TEST(SnapshotMergeTest, EmptySnapshotIsMergeIdentity) {
+  obs::HotTimerPlane plane;
+  plane.armAll();
+  plane.timer(obs::HotSite::kInject).record(77);
+  plane.timer(obs::HotSite::kIpcDrain).record(3);
+  const obs::MetricsSnapshot original = plane.snapshot();
+  const std::string golden =
+      obs::Exporter(obs::ExportFormat::kJson).render(original);
+
+  // identity on the right: x.merge({}) == x
+  obs::MetricsSnapshot right = original;
+  right.merge(obs::MetricsSnapshot{});
+  EXPECT_EQ(obs::Exporter(obs::ExportFormat::kJson).render(right), golden);
+
+  // identity on the left: {}.merge(x) == x
+  obs::MetricsSnapshot left;
+  left.merge(original);
+  EXPECT_EQ(obs::Exporter(obs::ExportFormat::kJson).render(left), golden);
+
+  // A disarmed plane's snapshot is that empty identity.
+  obs::HotTimerPlane disarmed;
+  disarmed.disarmAll();
+  EXPECT_TRUE(disarmed.snapshot().empty());
+}
+
+TEST(SnapshotMergeTest, DisjointSitesUnionInNameOrder) {
+  obs::HotTimerPlane a, b;
+  a.armAll();
+  b.armAll();
+  a.timer(obs::HotSite::kIpcSend).record(10);
+  b.timer(obs::HotSite::kDbLookup).record(20);
+
+  obs::MetricsSnapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+  ASSERT_EQ(merged.histograms.size(), 2u);
+  EXPECT_EQ(merged.histograms[0].name, "hot.db_lookup_ns");
+  EXPECT_EQ(merged.histograms[1].name, "hot.ipc_send_ns");
 }
 
 TEST_F(ObsEvalTest, HookDispatchLatencyHistogramPopulated) {

@@ -1,0 +1,201 @@
+// Hot-path latency plane + perf-report writer (DESIGN.md §12): bucket
+// mapping, arming semantics, snapshot shape, and the BENCH_*.json stats.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/hot_timer.h"
+#include "obs/metrics.h"
+#include "obs/perf_report.h"
+
+namespace {
+
+using namespace scarecrow;
+
+// ---- HotTimer bucket mapping ----------------------------------------------
+
+TEST(HotTimer, BucketMappingIsBitWidth) {
+  // index = bit_width(ns): 0 -> 0, 1 -> 1, [2,3] -> 2, [4,7] -> 3, ...,
+  // [2^32, 2^33-1] -> 33, anything larger -> overflow slot.
+  obs::HotTimer timer;
+  timer.record(0);
+  timer.record(1);
+  timer.record(2);
+  timer.record(3);
+  timer.record(4);
+  timer.record(7);
+  timer.record(8);
+  timer.record((1ULL << 33) - 1);  // last finite bucket's inclusive bound
+  timer.record(1ULL << 33);        // first overflow value
+
+  const obs::HistogramSample sample = timer.sample("t");
+  ASSERT_EQ(sample.bounds.size(), obs::HotTimer::kBoundCount);
+  ASSERT_EQ(sample.counts.size(), obs::HotTimer::kBoundCount + 1);
+  EXPECT_EQ(sample.counts[0], 1u);  // 0
+  EXPECT_EQ(sample.counts[1], 1u);  // 1
+  EXPECT_EQ(sample.counts[2], 2u);  // 2, 3
+  EXPECT_EQ(sample.counts[3], 2u);  // 4, 7
+  EXPECT_EQ(sample.counts[4], 1u);  // 8
+  EXPECT_EQ(sample.counts[33], 1u);             // 2^33-1
+  EXPECT_EQ(sample.counts.back(), 1u);          // 2^33 overflows
+  EXPECT_EQ(sample.count, 9u);
+  EXPECT_EQ(sample.min, 0u);
+  EXPECT_EQ(sample.max, 1ULL << 33);
+}
+
+TEST(HotTimer, BoundsArePowersOfTwoMinusOne) {
+  const std::vector<std::uint64_t>& bounds = obs::hotTimerBucketBoundsNs();
+  ASSERT_EQ(bounds.size(), obs::HotTimer::kBoundCount);
+  for (std::size_t i = 0; i < bounds.size(); ++i)
+    EXPECT_EQ(bounds[i], (1ULL << i) - 1) << "bound " << i;
+}
+
+TEST(HotTimer, SamplePercentilesFollowHistogramRule) {
+  obs::HotTimer timer;
+  timer.record(1);    // bucket le=1
+  timer.record(100);  // bucket le=127
+  const obs::HistogramSample sample = timer.sample("hot.ipc_send_ns");
+  EXPECT_EQ(sample.name, "hot.ipc_send_ns");
+  EXPECT_EQ(sample.p50, 1u);    // ceil(0.5*2)=1st sample -> le=1
+  EXPECT_EQ(sample.p95, 127u);  // 2nd sample -> le=127
+  EXPECT_EQ(sample.p99, 127u);
+  EXPECT_EQ(sample.sum, 101u);
+  // Same rule as the registry-histogram percentile helper.
+  EXPECT_EQ(obs::histogramSamplePercentile(sample, 50.0), sample.p50);
+  EXPECT_EQ(obs::histogramSamplePercentile(sample, 99.0), sample.p99);
+}
+
+TEST(HotTimer, ResetZeroesEverything) {
+  obs::HotTimer timer;
+  timer.record(42);
+  timer.reset();
+  EXPECT_EQ(timer.count(), 0u);
+  EXPECT_EQ(timer.sum(), 0u);
+  EXPECT_EQ(timer.min(), 0u);
+  EXPECT_EQ(timer.max(), 0u);
+}
+
+// ---- HotScope arming semantics --------------------------------------------
+
+TEST(HotScope, DisarmedAndNullRecordNothing) {
+  obs::HotTimerPlane plane;
+  plane.disarmAll();
+  {
+    obs::HotScope scope(&plane, obs::HotSite::kDbLookup);
+  }
+  {
+    obs::HotScope scope(nullptr, obs::HotSite::kDbLookup);
+  }
+  EXPECT_EQ(plane.timer(obs::HotSite::kDbLookup).count(), 0u);
+  EXPECT_TRUE(plane.snapshot().empty());
+}
+
+TEST(HotScope, ArmedRecordsOneSamplePerScope) {
+  obs::HotTimerPlane plane;
+  plane.disarmAll();
+  plane.arm(obs::HotSite::kDbLookup);
+  for (int i = 0; i < 3; ++i) {
+    obs::HotScope scope(&plane, obs::HotSite::kDbLookup);
+  }
+  // Arming is per site: an unarmed site on the same plane stays silent.
+  {
+    obs::HotScope scope(&plane, obs::HotSite::kInject);
+  }
+  EXPECT_EQ(plane.timer(obs::HotSite::kDbLookup).count(), 3u);
+  EXPECT_EQ(plane.timer(obs::HotSite::kInject).count(), 0u);
+}
+
+// ---- HotTimerPlane snapshots ----------------------------------------------
+
+TEST(HotTimerPlane, SnapshotOrderedByMetricNameAndSkipsEmpty) {
+  obs::HotTimerPlane plane;
+  plane.armAll();
+  // Record in an order that disagrees with the exported name order.
+  plane.timer(obs::HotSite::kIpcSend).record(5);
+  plane.timer(obs::HotSite::kDbLookup).record(5);
+  plane.timer(obs::HotSite::kHookDispatch).record(5);
+
+  const obs::MetricsSnapshot snapshot = plane.snapshot();
+  ASSERT_EQ(snapshot.histograms.size(), 3u);  // idle sites are skipped
+  EXPECT_EQ(snapshot.histograms[0].name, "hot.db_lookup_ns");
+  EXPECT_EQ(snapshot.histograms[1].name, "hot.hook_dispatch_ns");
+  EXPECT_EQ(snapshot.histograms[2].name, "hot.ipc_send_ns");
+  EXPECT_TRUE(snapshot.counters.empty());
+  EXPECT_TRUE(snapshot.gauges.empty());
+}
+
+TEST(HotTimerPlane, SiteNamesAreExhaustive) {
+  for (std::size_t i = 0; i < obs::kHotSiteCount; ++i) {
+    const auto site = static_cast<obs::HotSite>(i);
+    EXPECT_STRNE(obs::hotSiteName(site), "?");
+    EXPECT_EQ(std::string(obs::hotSiteMetricName(site)).rfind("hot.", 0), 0u);
+  }
+}
+
+// ---- PerfReport -----------------------------------------------------------
+
+TEST(PerfReport, AddSamplesComputesExactPercentiles) {
+  obs::PerfReport report;
+  // 1..100 shuffled enough to prove sorting: p50 = 50, p95 = 95, p99 = 99.
+  std::vector<std::uint64_t> samples;
+  for (std::uint64_t v = 100; v >= 1; --v) samples.push_back(v);
+  report.addSamples("lat_ns", "ns", samples, 7);
+
+  ASSERT_EQ(report.metrics.size(), 1u);
+  const obs::PerfMetricStats& stats = report.metrics[0];
+  EXPECT_EQ(stats.iterations, 100u);
+  EXPECT_EQ(stats.min, 1u);
+  EXPECT_EQ(stats.max, 100u);
+  EXPECT_EQ(stats.sum, 5050u);
+  EXPECT_EQ(stats.p50, 50u);
+  EXPECT_EQ(stats.p95, 95u);
+  EXPECT_EQ(stats.p99, 99u);
+  EXPECT_EQ(stats.p50BudgetNs, 7u);
+}
+
+TEST(PerfReport, AddValueIsASingleIterationMetric) {
+  obs::PerfReport report;
+  report.addValue("throughput", "samples/s", 123);
+  ASSERT_EQ(report.metrics.size(), 1u);
+  EXPECT_EQ(report.metrics[0].iterations, 1u);
+  EXPECT_EQ(report.metrics[0].p50, 123u);
+  EXPECT_EQ(report.metrics[0].p99, 123u);
+  EXPECT_EQ(report.metrics[0].unit, "samples/s");
+}
+
+TEST(PerfReport, EmptySamplesRecordAZeroedMetric) {
+  obs::PerfReport report;
+  report.addSamples("empty_ns", "ns", {});
+  ASSERT_EQ(report.metrics.size(), 1u);
+  EXPECT_EQ(report.metrics[0].iterations, 0u);
+  EXPECT_EQ(report.metrics[0].p50, 0u);
+}
+
+TEST(PerfReport, RenderIsDeterministicAndWriteRoundTrips) {
+  obs::PerfReport report = obs::makePerfReport("roundtrip");
+  report.gitRev = "deadbee";  // pin env-dependent fields
+  report.os = "linux";
+  report.cpus = 4;
+  report.addValue("x", "count", 1);
+
+  const std::string first = obs::renderPerfReportJson(report);
+  EXPECT_EQ(first, obs::renderPerfReportJson(report));
+  EXPECT_NE(first.find("\"schema\": \"scarecrow.bench.v1\""),
+            std::string::npos);
+
+  const std::string path = "perf_plane_test_report.json";
+  ASSERT_TRUE(obs::writePerfReport(report, path));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string readBack(first.size(), '\0');
+  const std::size_t got = std::fread(readBack.data(), 1, first.size(), f);
+  EXPECT_EQ(std::fgetc(f), EOF);
+  std::fclose(f);
+  std::remove(path.c_str());
+  ASSERT_EQ(got, first.size());
+  EXPECT_EQ(readBack, first);
+}
+
+}  // namespace

@@ -1,0 +1,192 @@
+// Scenario: fleet observability from ledger files alone (DESIGN.md §13).
+//
+// A resident corpus-evaluation service does not get to keep its
+// MetricsSnapshots in memory forever — operators arrive after the fact,
+// holding nothing but the JSONL run ledgers N shards left on disk. This
+// example plays both sides:
+//
+//   demo mode (default): runs two sharded BatchEvaluators over the Joe
+//   corpus, each streaming run/window/worker records into its own ledger.
+//   Shard 1 runs a deterministic chaos plan with an SLO rule armed
+//   ("inject.failures:count<1" per window), so its ledger also carries
+//   breach records. Then it turns around and queries the files it wrote.
+//
+//   query mode (--query ledger.jsonl ...): the operator side. Merges the
+//   worker summary records into one fleet telemetry view, ranks the
+//   fingerprint techniques that triggered deactivation (top-K), derives
+//   windowed evaluation throughput from the window records, and prints the
+//   SLO breach timeline.
+//
+// Build & run:  cmake --build build && ./build/examples/fleet_ops
+//   operator:   ./build/examples/fleet_ops --query shard0.jsonl shard1.jsonl
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/batch.h"
+#include "env/environments.h"
+#include "malware/joe.h"
+#include "obs/ledger.h"
+
+using namespace scarecrow;
+
+namespace {
+
+std::vector<obs::LedgerRecord> readAll(
+    const std::vector<std::string>& paths) {
+  std::vector<obs::LedgerRecord> records;
+  for (const std::string& path : paths) {
+    std::vector<obs::LedgerRecord> part = obs::readLedgerFile(path);
+    std::printf("read %zu records from %s\n", part.size(), path.c_str());
+    records.insert(records.end(), std::make_move_iterator(part.begin()),
+                   std::make_move_iterator(part.end()));
+  }
+  return records;
+}
+
+void queryFleet(const std::vector<obs::LedgerRecord>& records) {
+  // --- fleet totals from the worker summary records ---------------------
+  const obs::MetricsSnapshot fleet = obs::reconstructFleetTelemetry(records);
+  std::printf("\nfleet totals (reconstructed from worker records):\n");
+  for (const char* name :
+       {"batch.requests", "batch.failures", "engine.alerts",
+        "inject.failures", "obs.slo_breach"}) {
+    // Sum across labels: inject.failures is labelled by fault site and
+    // obs.slo_breach by rule spec, and the dashboard wants the roll-up.
+    std::uint64_t total = 0;
+    for (const obs::CounterSample& c : fleet.counters)
+      if (c.name == name) total += c.value;
+    std::printf("  %-18s %llu\n", name,
+                static_cast<unsigned long long>(total));
+  }
+
+  // --- top-K triggering techniques from the run records -----------------
+  std::map<std::string, std::uint64_t> triggers;
+  std::uint64_t runs = 0, deactivated = 0;
+  for (const obs::LedgerRecord& r : records) {
+    if (r.kind != obs::LedgerRecordKind::kRun) continue;
+    ++runs;
+    if (r.verdict == "deactivated") ++deactivated;
+    if (!r.firstTrigger.empty()) ++triggers[r.firstTrigger];
+  }
+  std::vector<std::pair<std::string, std::uint64_t>> ranked(triggers.begin(),
+                                                            triggers.end());
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second > b.second;
+                   });
+  std::printf("\n%llu runs, %llu deactivated; top triggering techniques:\n",
+              static_cast<unsigned long long>(runs),
+              static_cast<unsigned long long>(deactivated));
+  const std::size_t topK = ranked.size() < 5 ? ranked.size() : 5;
+  for (std::size_t i = 0; i < topK; ++i)
+    std::printf("  %zu. %-24s %llu\n", i + 1, ranked[i].first.c_str(),
+                static_cast<unsigned long long>(ranked[i].second));
+
+  // --- windowed throughput from the window records ----------------------
+  // Each supervised run leaves exactly one "eval.ipc_pump" span (the last
+  // pipeline phase before the end-of-run flush) in the window delta it
+  // completed in; counting those per window id is the evaluation
+  // throughput curve, straight from disk. (The whole-run span itself
+  // closes after the flush and so never lands inside a window.)
+  std::map<std::uint64_t, std::uint64_t> perWindow;
+  for (const obs::LedgerRecord& r : records) {
+    if (r.kind != obs::LedgerRecordKind::kWindow) continue;
+    std::uint64_t finished = 0;
+    for (const obs::Span& span : r.snapshot.spans)
+      if (span.name == "eval.ipc_pump") ++finished;
+    perWindow[r.windowId] += finished;
+  }
+  if (!perWindow.empty()) {
+    std::printf("\nwindowed throughput (supervised runs per window):\n");
+    for (const auto& [windowId, finished] : perWindow)
+      std::printf("  window %-4llu %llu\n",
+                  static_cast<unsigned long long>(windowId),
+                  static_cast<unsigned long long>(finished));
+  }
+
+  // --- breach timeline --------------------------------------------------
+  std::vector<const obs::LedgerRecord*> breaches;
+  for (const obs::LedgerRecord& r : records)
+    if (r.kind == obs::LedgerRecordKind::kBreach) breaches.push_back(&r);
+  std::stable_sort(breaches.begin(), breaches.end(),
+                   [](const obs::LedgerRecord* a, const obs::LedgerRecord* b) {
+                     return a->windowId < b->windowId;
+                   });
+  std::printf("\nSLO breach timeline (%zu breaches):\n", breaches.size());
+  for (const obs::LedgerRecord* b : breaches)
+    std::printf("  window %-4llu %s observed=%s bound=%s\n",
+                static_cast<unsigned long long>(b->windowId),
+                b->rule.c_str(), b->observed.c_str(), b->threshold.c_str());
+}
+
+int runShard(std::size_t shard, const std::string& ledgerPath,
+             bool withChaos) {
+  std::remove(ledgerPath.c_str());  // fresh ledger per demo run
+
+  malware::ProgramRegistry registry;
+  const auto expected = malware::registerJoeSamples(registry);
+  std::vector<core::EvalRequest> requests;
+  for (const auto& row : expected) {
+    core::EvalRequest request{.sampleId = row.idPrefix,
+                              .imagePath = "C:\\submissions\\" +
+                                           row.idPrefix + ".exe",
+                              .factory = registry.factory()};
+    // Stream windowed telemetry: one window per 10 s of virtual time.
+    request.config.telemetryWindowMs = 10'000;
+    if (withChaos) {
+      // Deterministic chaos + the SLO that catches it: any injection
+      // failure inside a window violates "stay under one failure".
+      request.config.faultPlan =
+          faults::FaultPlan::parse("inject-dll:p=0.5", 7);
+      request.config.sloSpec = "inject.failures{fault}:count<1";
+    }
+    requests.push_back(std::move(request));
+  }
+
+  core::BatchOptions options;
+  options.workerCount = 2;
+  options.ledgerPath = ledgerPath;
+  options.ledgerShard = "shard-" + std::to_string(shard);
+  core::BatchEvaluator batch([] { return env::buildBareMetalSandbox(); },
+                             options);
+  const std::vector<core::BatchResult> results = batch.evaluateAll(requests);
+
+  std::size_t ok = 0;
+  for (const core::BatchResult& result : results)
+    if (result.ok()) ++ok;
+  std::printf("shard %zu: %zu/%zu samples evaluated%s, %llu ledger records "
+              "-> %s\n",
+              shard, ok, results.size(),
+              withChaos ? " under chaos" : "",
+              static_cast<unsigned long long>(
+                  batch.ledger()->recordsWritten()),
+              ledgerPath.c_str());
+  return ok == results.size() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--query") == 0) {
+    if (argc < 3) {
+      std::fprintf(stderr, "usage: %s [--query ledger.jsonl ...]\n", argv[0]);
+      return 2;
+    }
+    queryFleet(readAll({argv + 2, argv + argc}));
+    return 0;
+  }
+  if (argc > 1) {
+    std::fprintf(stderr, "usage: %s [--query ledger.jsonl ...]\n", argv[0]);
+    return 2;
+  }
+
+  // Demo: two shards write, then the operator queries what landed on disk.
+  int rc = runShard(0, "fleet_shard0.jsonl", /*withChaos=*/false);
+  rc |= runShard(1, "fleet_shard1.jsonl", /*withChaos=*/true);
+  queryFleet(readAll({"fleet_shard0.jsonl", "fleet_shard1.jsonl"}));
+  return rc;
+}

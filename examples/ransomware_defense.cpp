@@ -3,11 +3,16 @@
 // Runs the kill-switch variant twice — on an unprotected machine, where it
 // encrypts the user's documents, and under Scarecrow, whose NX-domain
 // sinkhole convinces the worm it is being analyzed. Prints the filesystem
-// damage in both cases.
+// damage in both cases and, like the benches, reports through
+// bench::Reporter: the headline numbers land in
+// ransomware_defense_telemetry.{json,prom} (merged with the run's full
+// telemetry snapshot) and BENCH_ransomware_defense.json, so the scenario
+// leaves the same machine-readable record a bench run would.
 //
 // Build & run:  cmake --build build && ./build/examples/ransomware_defense
 #include <cstdio>
 
+#include "bench_common.h"
 #include "core/eval.h"
 #include "env/environments.h"
 #include "malware/ransomware.h"
@@ -40,15 +45,23 @@ int main() {
                     malware::kWannaCryImage,
        .factory = registry.factory()});
 
+  const std::size_t encryptedWithout = countEncrypted(outcome.traceWithout);
+  const std::size_t encryptedWith = countEncrypted(outcome.traceWith);
   std::printf("without Scarecrow: %zu documents encrypted to .WCRY\n",
-              countEncrypted(outcome.traceWithout));
-  std::printf("with Scarecrow:    %zu documents encrypted\n",
-              countEncrypted(outcome.traceWith));
+              encryptedWithout);
+  std::printf("with Scarecrow:    %zu documents encrypted\n", encryptedWith);
   std::printf("kill-switch trigger reported: %s\n",
               outcome.verdict.firstTrigger.c_str());
   std::printf("verdict: %s\n",
               outcome.verdict.deactivated
                   ? "DEACTIVATED — the worm believed it was sinkholed"
                   : "NOT deactivated");
-  return outcome.verdict.deactivated ? 0 : 1;
+
+  bench::Reporter reporter("ransomware_defense");
+  reporter.addValue("encrypted_without_scarecrow", encryptedWithout);
+  reporter.addValue("encrypted_with_scarecrow", encryptedWith);
+  reporter.addValue("deactivated", outcome.verdict.deactivated ? 1 : 0);
+  reporter.addSnapshot(outcome.telemetry);
+  const int reportRc = reporter.finish();
+  return outcome.verdict.deactivated ? reportRc : 1;
 }

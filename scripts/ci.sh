@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# The whole CI pipeline in one entry point, runnable locally byte-for-byte:
+#
+#   1. tier-1: configure + build + full ctest (the ROADMAP gate);
+#   2. perf:   bench_hotpath against the committed BENCH_hotpath.json
+#              baseline via scripts/run_bench.sh (appends a trajectory
+#              point to BENCH_trajectory.jsonl as a side effect);
+#   3. lint:   clang-tidy over src/ via scripts/run_tidy.sh (skips with a
+#              notice when clang-tidy is not installed).
+#
+#   scripts/ci.sh                # everything
+#   scripts/ci.sh --no-perf      # skip the perf gate (e.g. shared runners)
+#   scripts/ci.sh --no-lint      # skip clang-tidy
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build}"
+
+RUN_PERF=1
+RUN_LINT=1
+for arg in "$@"; do
+  case "$arg" in
+    --no-perf) RUN_PERF=0 ;;
+    --no-lint) RUN_LINT=0 ;;
+    *)
+      echo "usage: $0 [--no-perf] [--no-lint]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+echo "=== ci: tier-1 (configure + build + ctest) ==="
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT"
+cmake --build "$BUILD_DIR" -j
+(cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)")
+
+if [[ "$RUN_PERF" == 1 ]]; then
+  echo "=== ci: perf gate (run_bench.sh) ==="
+  BUILD_DIR="$BUILD_DIR" "$REPO_ROOT/scripts/run_bench.sh"
+else
+  echo "=== ci: perf gate skipped (--no-perf) ==="
+fi
+
+if [[ "$RUN_LINT" == 1 ]]; then
+  echo "=== ci: clang-tidy (run_tidy.sh) ==="
+  "$REPO_ROOT/scripts/run_tidy.sh"
+else
+  echo "=== ci: clang-tidy skipped (--no-lint) ==="
+fi
+
+echo "=== ci: all stages passed ==="

@@ -26,8 +26,10 @@ check (pass, regression, budget, schema refusal) with no files.
 import argparse
 import json
 import sys
+import time
 
 SCHEMA = "scarecrow.bench.v1"
+TRAJECTORY_SCHEMA = "scarecrow.trajectory.v1"
 DEFAULT_TOLERANCE = 1.75
 DEFAULT_SLACK_NS = 2.0
 
@@ -111,6 +113,29 @@ def compare(baseline, candidate, tolerance, slack_ns, inject_factor=1.0):
     return failures, lines
 
 
+def trajectory_record(candidate, gate_passed, now=None):
+    """One JSONL trajectory point: per-metric p50s keyed by git revision."""
+    return {
+        "schema": TRAJECTORY_SCHEMA,
+        "bench": candidate.get("name", "?"),
+        "git_rev": candidate.get("git_rev", "?"),
+        "timestamp_s": int(time.time() if now is None else now),
+        "gate": "pass" if gate_passed else "fail",
+        "metrics": {
+            m["name"]: {"p50": m["p50"], "unit": m.get("unit", "ns")}
+            for m in candidate["metrics"]
+        },
+    }
+
+
+def append_trajectory(path, candidate, gate_passed):
+    record = trajectory_record(candidate, gate_passed)
+    with open(path, "a", encoding="utf-8") as f:
+        f.write(json.dumps(record, sort_keys=True) + "\n")
+    print(f"trajectory point appended to {path} "
+          f"(rev {record['git_rev']}, {len(record['metrics'])} metrics)")
+
+
 def run_gate(args):
     baseline = load_report(args.baseline)
     candidate = load_report(args.candidate)
@@ -124,6 +149,10 @@ def run_gate(args):
               f"candidate p50]")
     for line in lines:
         print(line)
+    # The trajectory records reality, pass or fail — a regression is a data
+    # point too, so the append happens before the verdict decides the exit.
+    if args.append_trajectory:
+        append_trajectory(args.append_trajectory, candidate, not failures)
     if failures:
         print(f"\nperf gate FAILED ({len(failures)} metric(s)):")
         for failure in failures:
@@ -197,6 +226,12 @@ def self_test():
         expect("schema-refusal", "accepted", "refused")
     except SystemExit2:
         checks += 1
+    # Trajectory records carry the schema, revision, verdict, and p50s.
+    record = trajectory_record(base, gate_passed=True, now=1000)
+    expect("trajectory-schema", record["schema"], TRAJECTORY_SCHEMA)
+    expect("trajectory-gate", record["gate"], "pass")
+    expect("trajectory-p50", record["metrics"]["a_ns"]["p50"], 100)
+    expect("trajectory-time", record["timestamp_s"], 1000)
     print(f"perf_gate self-test passed ({checks} checks)")
     return 0
 
@@ -212,6 +247,9 @@ def main(argv):
     parser.add_argument("--inject-regression", type=float, default=1.0,
                         metavar="FACTOR",
                         help="multiply candidate p50s by FACTOR (gate demo)")
+    parser.add_argument("--append-trajectory", metavar="JSONL",
+                        help="append the candidate's per-metric p50s (with "
+                             "git rev + timestamp) to this JSONL file")
     parser.add_argument("--self-test", action="store_true",
                         help="run the in-memory end-to-end check and exit")
     args = parser.parse_args(argv)

@@ -49,6 +49,9 @@ if [[ ! -f "$BASELINE" ]]; then
   exit 2
 fi
 
+# Every gated run also appends a trajectory point (rev + per-metric p50s),
+# so BENCH_trajectory.jsonl accumulates the perf history across revisions.
 python3 "$REPO_ROOT/scripts/perf_gate.py" \
   --baseline "$BASELINE" --candidate "$CANDIDATE" \
+  --append-trajectory "$REPO_ROOT/BENCH_trajectory.jsonl" \
   ${GATE_ARGS[@]+"${GATE_ARGS[@]}"}

@@ -64,6 +64,14 @@ BatchEvaluator::BatchEvaluator(const MachineFactory& machineFactory,
     : options_(options) {
   if (options_.workerCount == 0) options_.workerCount = 1;
   if (options_.maxAttempts == 0) options_.maxAttempts = 1;
+  if (options_.ledgerPath.empty())
+    options_.ledgerPath = obs::ledgerEnvPath();
+  if (!options_.ledgerPath.empty())
+    ledger_ = std::make_unique<obs::LedgerWriter>(obs::LedgerOptions{
+        .path = options_.ledgerPath,
+        .maxBytes = options_.ledgerMaxBytes,
+        .maxRotatedFiles = options_.ledgerMaxRotatedFiles,
+        .shard = options_.ledgerShard});
   workers_.reserve(options_.workerCount);
   for (std::size_t i = 0; i < options_.workerCount; ++i) {
     auto worker = std::make_unique<Worker>();
@@ -71,6 +79,23 @@ BatchEvaluator::BatchEvaluator(const MachineFactory& machineFactory,
     worker->machine->label += " #" + std::to_string(i);
     worker->harness = std::make_unique<EvaluationHarness>(*worker->machine);
     worker->baseClockMs = worker->machine->clock().nowMs();
+    // Window records stream straight from each worker's time-series plane
+    // (observers survive the per-run re-configure in runOnce). The writer
+    // serializes concurrent appends at line granularity.
+    if (ledger_ != nullptr) {
+      obs::LedgerWriter* writer = ledger_.get();
+      worker->machine->timeSeries().addWindowObserver(
+          [writer](const obs::TimeSeriesPlane& plane) {
+            const obs::WindowDelta& window = plane.windows().back();
+            obs::LedgerRecord record;
+            record.kind = obs::LedgerRecordKind::kWindow;
+            record.windowId = window.windowId;
+            record.startMs = window.startMs;
+            record.endMs = window.endMs;
+            record.snapshot = window.delta;
+            writer->append(std::move(record));
+          });
+    }
     workers_.push_back(std::move(worker));
   }
 }
@@ -197,6 +222,50 @@ std::vector<BatchResult> BatchEvaluator::evaluateAll(
                             {"attempts", slot.attempts},
                             {"error", slot.error}});
         }
+        // Stream the finished request into the run ledger: content is
+        // deterministic per request, only the line interleaving across
+        // workers is not (readers are order-insensitive).
+        if (ledger_ != nullptr) {
+          obs::LedgerRecord record;
+          record.kind = obs::LedgerRecordKind::kRun;
+          record.requestIndex = jobIndex;
+          record.sampleId = request.sampleId;
+          record.status = batchStatusName(slot.status);
+          record.attempts = slot.attempts;
+          record.workerIndex = workerIndex;
+          record.virtualMs = worker.machine->clock().nowMs();
+          if (slot.ok()) {
+            const EvalOutcome& outcome = slot.outcome;
+            record.correlationId = outcome.attribution.correlationId;
+            record.verdict = outcome.verdict.deactivated ? "deactivated"
+                                                         : "not-deactivated";
+            record.firstTrigger = outcome.verdict.firstTrigger;
+            const ResilienceVerdict& rv = outcome.resilience;
+            record.protection =
+                faults::protectionLevelName(rv.protectionLevel);
+            record.faultsInjected = rv.faultsInjected;
+            record.injectRetries = rv.injectRetries;
+            record.quarantinedHooks = rv.quarantinedHooks;
+            record.missedDescendants = rv.missedDescendants;
+            record.reinjectedDescendants = rv.reinjectedDescendants;
+            record.ipcMessagesDropped = rv.ipcMessagesDropped;
+          }
+          if (worker.machine->hotTimers().anyArmed())
+            for (const obs::HistogramSample& h :
+                 worker.machine->hotTimers().snapshot().histograms)
+              record.hotTimers.push_back({h.name, h.p50, h.p95, h.p99});
+          ledger_->append(std::move(record));
+          if (slot.ok())
+            for (const obs::SloBreach& breach : slot.outcome.sloBreaches) {
+              obs::LedgerRecord b;
+              b.kind = obs::LedgerRecordKind::kBreach;
+              b.windowId = breach.windowId;
+              b.rule = breach.rule;
+              b.observed = obs::renderMilli(breach.observedMilli);
+              b.threshold = obs::renderMilli(breach.thresholdMilli);
+              ledger_->append(std::move(b));
+            }
+        }
         inflight_.fetch_sub(1, std::memory_order_relaxed);
         completed_.fetch_add(1, std::memory_order_relaxed);
       });
@@ -239,6 +308,18 @@ std::vector<BatchResult> BatchEvaluator::evaluateAll(
     snapshot.merge(accounting.snapshot());
     workerTelemetry_.push_back(std::move(snapshot));
   }
+
+  // Worker summary records, written in worker order after the pool joined:
+  // obs::reconstructFleetTelemetry folds these back into the exact bytes
+  // mergedTelemetry() produces.
+  if (ledger_ != nullptr)
+    for (std::size_t i = 0; i < workerTelemetry_.size(); ++i) {
+      obs::LedgerRecord record;
+      record.kind = obs::LedgerRecordKind::kWorker;
+      record.workerIndex = i;
+      record.snapshot = workerTelemetry_[i];
+      ledger_->append(std::move(record));
+    }
   return results;
 }
 

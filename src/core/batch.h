@@ -29,6 +29,7 @@
 
 #include "core/eval.h"
 #include "obs/flight_recorder.h"
+#include "obs/ledger.h"
 #include "obs/metrics.h"
 #include "winsys/machine.h"
 
@@ -80,6 +81,22 @@ struct BatchOptions {
   /// healthEvents(); the attempt's result is untouched — this is a health
   /// signal, not a timeout.
   std::uint64_t stallBudgetMs = 0;
+
+  // --- Run-ledger streaming (DESIGN.md §13) ---------------------------
+
+  /// JSONL run-ledger file every worker streams into: one "run" record per
+  /// finished request, one "window" record per closed time-series window,
+  /// one "breach" record per SLO breach, and one "worker" record per
+  /// worker at end of batch (obs/ledger.h). Empty falls back to
+  /// SCARECROW_LEDGER; empty both ways disables the ledger entirely.
+  std::string ledgerPath;
+  /// Size-based rotation bound for the ledger file; 0 = never rotate.
+  std::uint64_t ledgerMaxBytes = 0;
+  /// Rotated generations retained (`<path>.1` … `<path>.N`).
+  std::uint32_t ledgerMaxRotatedFiles = 3;
+  /// Shard label stamped into every ledger record ("shard-0", ...), so
+  /// ledgers from N processes merge into one fleet view.
+  std::string ledgerShard;
 };
 
 /// Live view of an evaluateAll in flight (or the final state of the last
@@ -156,6 +173,10 @@ class BatchEvaluator {
     return healthEvents_;
   }
 
+  /// The run ledger this batch streams into, or nullptr when no ledger is
+  /// configured (BatchOptions::ledgerPath / SCARECROW_LEDGER both empty).
+  const obs::LedgerWriter* ledger() const noexcept { return ledger_.get(); }
+
  private:
   struct Worker;
 
@@ -163,6 +184,7 @@ class BatchEvaluator {
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<obs::MetricsSnapshot> workerTelemetry_;
   obs::FlightRecorder healthEvents_;
+  std::unique_ptr<obs::LedgerWriter> ledger_;
 
   // progress() plane: written by workers, read by any thread.
   std::atomic<std::uint64_t> submitted_{0};

@@ -134,6 +134,28 @@ struct Config {
   /// IPC queue bound (messages); beyond it the oldest pending message is
   /// dropped and counted in `ipc.messages_dropped`. 0 = unbounded.
   std::size_t ipcQueueCapacity = 4096;
+
+  // --- Streaming telemetry (DESIGN.md §13) ----------------------------
+
+  /// Virtual-clock window length of the machine's TimeSeriesPlane; 0 keeps
+  /// whatever the plane already has (the SCARECROW_TS_WINDOW_MS default),
+  /// so env-armed runs work without touching Config.
+  std::uint64_t telemetryWindowMs = 0;
+
+  /// Closed windows the plane retains (bounded ring).
+  std::size_t telemetryWindowCapacity = 64;
+
+  /// Semicolon-separated SLO rule specs (obs::SloEngine grammar), e.g.
+  /// "inject.failures:rate<0.01/window;hot.hook_dispatch_ns:p50<2000".
+  /// Empty falls back to SCARECROW_SLO. Rules are evaluated against every
+  /// closed window; breaches tick `obs.slo_breach{rule}` and record a
+  /// kSloBreach decision event.
+  std::string sloSpec;
+
+  /// When true, any SLO breach arms the PR 5 degradation ladder one step
+  /// (DeceptionEngine::degradeTo) — the loudest possible alert: the system
+  /// visibly sheds deception work instead of silently missing its SLOs.
+  bool sloArmsDegradation = false;
 };
 
 }  // namespace scarecrow::core

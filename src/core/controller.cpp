@@ -142,6 +142,11 @@ void Controller::pump() {
         break;
     }
   }
+  // Streaming-telemetry tick: pump() runs at every pipeline seam, so the
+  // plane keeps closing windows even when no hook dispatch is happening.
+  obs::TimeSeriesPlane& plane = machine_.timeSeries();
+  if (plane.due(machine_.clock().nowMs()))
+    plane.observe(metrics.snapshot(), machine_.clock().nowMs());
 }
 
 std::string Controller::firstTrigger() const {

@@ -163,6 +163,7 @@ void DeceptionEngine::bindMetrics(winsys::Machine& machine) {
   flight_ = &machine.flightRecorder();
   clock_ = &machine.clock();
   hot_ = &machine.hotTimers();
+  timeSeries_ = &machine.timeSeries();
   ipc_.bindFlightRecorder(flight_);
   ipc_.bindMetrics(&m);
   ipc_.bindHotTimers(hot_);
@@ -177,6 +178,10 @@ void DeceptionEngine::noteDispatch(Api& api, std::uint64_t startMs) {
   if (dispatchLatency_ == nullptr) return;
   const std::uint64_t now = api.machine().clock().nowMs();
   dispatchLatency_->observe(now >= startMs ? now - startMs : 0);
+  // Streaming-telemetry tick: one flag test + compare per dispatch, a
+  // registry snapshot only when a window boundary actually passed.
+  if (timeSeries_ != nullptr && timeSeries_->due(now))
+    timeSeries_->observe(metrics_->snapshot(), now);
 }
 
 template <typename F>

@@ -37,6 +37,7 @@
 #include "hooking/ipc.h"
 #include "obs/hot_timer.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "winapi/api.h"
 
 namespace scarecrow::faults {
@@ -111,6 +112,16 @@ class DeceptionEngine {
   /// monotonic (a run never climbs back up) and each is a kDegradation
   /// decision event plus an `engine.degradations` counter tick.
   faults::ProtectionLevel protectionLevel() const noexcept { return level_; }
+
+  /// External degradation seam (DESIGN.md §13): moves the ladder down to
+  /// `to` with the usual accounting (kDegradation decision event,
+  /// `engine.degradations` counter, warn log). No-op if already at or
+  /// below — the ladder stays monotonic. The SLO engine's breach action
+  /// uses this to shed deception work when telemetry shows the system
+  /// missing its objectives.
+  void degradeTo(faults::ProtectionLevel to, const std::string& reason) {
+    degrade(to, reason);
+  }
 
   /// Hooks disabled after repeated install failures. Quarantined hooks are
   /// skipped by later installInto calls; analysis::analyzeCoverage accepts
@@ -199,6 +210,7 @@ class DeceptionEngine {
   obs::Histogram* dispatchLatency_ = nullptr;
   std::array<obs::Counter*, winapi::kApiCount> hookHits_{};
   obs::FlightRecorder* flight_ = nullptr;
+  obs::TimeSeriesPlane* timeSeries_ = nullptr;
   const support::VirtualClock* clock_ = nullptr;
   /// Correlation id of the hook dispatch currently on the stack (0 when
   /// outside any dispatch). timed() saves/restores it so nested dispatches

@@ -66,6 +66,37 @@ RunResult EvaluationHarness::runOnce(const EvalRequest& request,
       engine.setFaultInjector(&injector);
       controller.setFaultInjector(&injector);
     }
+    // Streaming telemetry (DESIGN.md §13): re-arm the plane for this run —
+    // window ids become a pure function of the run — and stand up the SLO
+    // engine when rules are configured. Config wins over the environment
+    // for both the window length and the rule set; a zero-interval plane
+    // stays disabled and costs nothing below.
+    obs::TimeSeriesPlane& plane = machine_.timeSeries();
+    plane.configure({.intervalMs = config.telemetryWindowMs != 0
+                                       ? config.telemetryWindowMs
+                                       : plane.intervalMs(),
+                     .windowCapacity = config.telemetryWindowCapacity});
+    obs::SloEngine slo;
+    std::size_t sloSlot = static_cast<std::size_t>(-1);
+    const std::string& sloSpec =
+        !config.sloSpec.empty() ? config.sloSpec : obs::sloEnvSpec();
+    if (plane.enabled() && !sloSpec.empty()) {
+      slo.addRules(sloSpec);  // malformed specs throw before the run starts
+      slo.bind(&metrics, &flight);
+      if (config.sloArmsDegradation)
+        slo.setBreachAction([&engine](const obs::SloBreach& breach) {
+          const faults::ProtectionLevel next =
+              engine.protectionLevel() ==
+                      faults::ProtectionLevel::kFullDeception
+                  ? faults::ProtectionLevel::kPartialDeception
+                  : faults::ProtectionLevel::kMonitorOnly;
+          engine.degradeTo(next, "slo breach: " + breach.rule);
+        });
+      sloSlot = plane.addWindowObserver([this,
+                                         &slo](const obs::TimeSeriesPlane& p) {
+        slo.onWindowClosed(p, machine_.clock().nowMs());
+      });
+    }
     {
       notePhase("eval.inject");
       obs::ScopedSpan span(metrics, machine_.clock(), "eval.inject");
@@ -103,6 +134,17 @@ RunResult EvaluationHarness::runOnce(const EvalRequest& request,
           .gauge("resilience.protection_level",
                  faults::protectionLevelName(rv.protectionLevel))
           .set(static_cast<std::int64_t>(rv.protectionLevel));
+    // End-of-run flush: the final partial window reaches the observers
+    // (the SLO engine sees sparse-activity runs too), then the observer is
+    // released — `slo` dies with this block.
+    plane.flush(metrics.snapshot(), machine_.clock().nowMs());
+    if (sloSlot != static_cast<std::size_t>(-1))
+      plane.removeWindowObserver(sloSlot);
+    result.sloBreaches = slo.breaches();
+    // The ladder may have moved after the verdict was captured (a breach
+    // in the flush window); report the final rung.
+    if (controller.injectionSucceeded())
+      result.resilience.protectionLevel = engine.protectionLevel();
   } else {
     // The cluster's analysis agent launches the sample (Figure 3).
     options.parentPid = env::sandboxAgentPid(machine_);
@@ -134,6 +176,7 @@ EvalOutcome EvaluationHarness::evaluate(const EvalRequest& request) {
   outcome.firstTrigger = std::move(supervised.firstTrigger);
   outcome.selfSpawnAlerts = supervised.selfSpawnAlerts;
   outcome.resilience = supervised.resilience;
+  outcome.sloBreaches = std::move(supervised.sloBreaches);
   const std::uint64_t triggerCorrelation =
       supervised.firstTriggerCorrelation;
   outcome.verdict = trace::judgeDeactivation(

@@ -18,6 +18,7 @@
 #include "core/engine.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
 #include "trace/analysis.h"
 #include "winapi/runner.h"
 #include "winsys/machine.h"
@@ -82,6 +83,10 @@ struct RunResult {
   std::uint64_t firstTriggerCorrelation = 0;
   /// How the deception plane held up (supervised runs only).
   ResilienceVerdict resilience;
+  /// SLO breaches fired during the run (supervised runs with a configured
+  /// rule set only — Config::sloSpec or SCARECROW_SLO). Each one also
+  /// ticked `obs.slo_breach{rule}` and recorded a kSloBreach event.
+  std::vector<obs::SloBreach> sloBreaches;
 };
 
 struct EvalOutcome {
@@ -115,6 +120,8 @@ struct EvalOutcome {
   /// How the deception plane held up in the supervised run. Deterministic
   /// for a fixed (sample, config) pair, fault plan included.
   ResilienceVerdict resilience;
+  /// SLO breaches from the supervised run (RunResult::sloBreaches).
+  std::vector<obs::SloBreach> sloBreaches;
 };
 
 class EvaluationHarness {

@@ -18,6 +18,7 @@ const char* decisionKindName(DecisionKind kind) noexcept {
     case DecisionKind::kQuarantine: return "quarantine";
     case DecisionKind::kDegradation: return "degradation";
     case DecisionKind::kStall: return "stall";
+    case DecisionKind::kSloBreach: return "slo-breach";
   }
   return "?";
 }

@@ -46,11 +46,12 @@ enum class DecisionKind : std::uint8_t {
   kQuarantine,    // a hook exceeded its install-failure budget
   kDegradation,   // protection-ladder transition (full → partial → monitor)
   kStall,         // batch worker blew its virtual-clock heartbeat budget
+  kSloBreach,     // an SLO rule's healthy bound was violated (obs::SloEngine)
 };
 
 /// Number of decision kinds; keep in sync with the last enumerator.
 inline constexpr std::size_t kDecisionKindCount =
-    static_cast<std::size_t>(DecisionKind::kStall) + 1;
+    static_cast<std::size_t>(DecisionKind::kSloBreach) + 1;
 
 /// Exhaustive over DecisionKind (no default; -Werror=switch enforces it).
 const char* decisionKindName(DecisionKind kind) noexcept;

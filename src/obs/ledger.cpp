@@ -1,0 +1,611 @@
+#include "obs/ledger.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "support/log.h"
+#include "support/strings.h"
+
+namespace scarecrow::obs {
+
+namespace {
+
+using support::jsonEscape;
+
+// ---------------------------------------------------------------------------
+// Rendering (fixed key order, integral values — deterministic lines)
+
+void appendField(std::string& out, const char* key, std::uint64_t value) {
+  out += ",\"";
+  out += key;
+  out += "\":" + std::to_string(value);
+}
+
+void appendField(std::string& out, const char* key, std::int64_t value) {
+  out += ",\"";
+  out += key;
+  out += "\":" + std::to_string(value);
+}
+
+void appendField(std::string& out, const char* key, const std::string& value) {
+  out += ",\"";
+  out += key;
+  out += "\":\"" + jsonEscape(value) + "\"";
+}
+
+void appendArray(std::string& out, const char* key,
+                 const std::vector<std::uint64_t>& values) {
+  out += ",\"";
+  out += key;
+  out += "\":[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out += ",";
+    out += std::to_string(values[i]);
+  }
+  out += "]";
+}
+
+/// Single-line snapshot form: structurally complete (bounds + counts as
+/// plain arrays) so parseSnapshot reproduces the MetricsSnapshot struct
+/// exactly — unlike the Exporter's pretty JSON, which renders buckets in
+/// the `le`-object viewer form.
+void appendSnapshot(std::string& out, const MetricsSnapshot& snapshot) {
+  out += ",\"snapshot\":{\"counters\":[";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    const CounterSample& c = snapshot.counters[i];
+    out += i == 0 ? "{" : ",{";
+    out += "\"name\":\"" + jsonEscape(c.name) + "\"";
+    appendField(out, "label", c.label);
+    appendField(out, "value", c.value);
+    out += "}";
+  }
+  out += "],\"gauges\":[";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    const GaugeSample& g = snapshot.gauges[i];
+    out += i == 0 ? "{" : ",{";
+    out += "\"name\":\"" + jsonEscape(g.name) + "\"";
+    appendField(out, "label", g.label);
+    appendField(out, "value", g.value);
+    out += "}";
+  }
+  out += "],\"histograms\":[";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const HistogramSample& h = snapshot.histograms[i];
+    out += i == 0 ? "{" : ",{";
+    out += "\"name\":\"" + jsonEscape(h.name) + "\"";
+    appendField(out, "label", h.label);
+    appendField(out, "count", h.count);
+    appendField(out, "sum", h.sum);
+    appendField(out, "min", h.min);
+    appendField(out, "max", h.max);
+    appendField(out, "p50", h.p50);
+    appendField(out, "p95", h.p95);
+    appendField(out, "p99", h.p99);
+    appendArray(out, "bounds", h.bounds);
+    appendArray(out, "counts", h.counts);
+    out += "}";
+  }
+  out += "],\"spans\":[";
+  for (std::size_t i = 0; i < snapshot.spans.size(); ++i) {
+    const Span& s = snapshot.spans[i];
+    out += i == 0 ? "{" : ",{";
+    out += "\"name\":\"" + jsonEscape(s.name) + "\"";
+    appendField(out, "depth", static_cast<std::uint64_t>(s.depth));
+    appendField(out, "start_ms", s.startMs);
+    appendField(out, "duration_ms", s.durationMs);
+    out += "}";
+  }
+  out += "]}";
+}
+
+// ---------------------------------------------------------------------------
+// Parsing: a minimal recursive-descent JSON reader, just wide enough for
+// the deterministic subset this file writes (objects, arrays, strings,
+// integers, bool/null). Any deviation yields nullopt at the record level —
+// torn tail lines and foreign formats are skipped, never mis-read.
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  std::uint64_t magnitude = 0;
+  bool negative = false;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  std::uint64_t asU64() const noexcept { return negative ? 0 : magnitude; }
+  std::int64_t asI64() const noexcept {
+    const auto m = static_cast<std::int64_t>(magnitude);
+    return negative ? -m : m;
+  }
+  const JsonValue* find(std::string_view key) const noexcept {
+    for (const auto& [k, v] : object)
+      if (k == key) return &v;
+    return nullptr;
+  }
+};
+
+struct JsonParser {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  void skipWs() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\r' ||
+            text[pos] == '\n'))
+      ++pos;
+  }
+  bool eat(char c) {
+    skipWs();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool parseString(std::string& out) {
+    if (!eat('"')) return false;
+    out.clear();
+    while (pos < text.size()) {
+      const char c = text[pos++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos >= text.size()) return false;
+      const char esc = text[pos++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos + 4 > text.size()) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text[pos++];
+            code <<= 4;
+            if (h >= '0' && h <= '9')
+              code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              return false;
+          }
+          // The writer only emits \u00XX control escapes; reject the rest
+          // rather than guessing at UTF-16 surrogates.
+          if (code > 0xFF) return false;
+          out.push_back(static_cast<char>(code));
+          break;
+        }
+        default: return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool parseValue(JsonValue& out) {
+    skipWs();
+    if (pos >= text.size()) return false;
+    const char c = text[pos];
+    if (c == '{') {
+      ++pos;
+      out.type = JsonValue::Type::kObject;
+      skipWs();
+      if (eat('}')) return true;
+      while (true) {
+        std::string key;
+        if (!parseString(key) || !eat(':')) return false;
+        JsonValue value;
+        if (!parseValue(value)) return false;
+        out.object.emplace_back(std::move(key), std::move(value));
+        if (eat(',')) continue;
+        return eat('}');
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      out.type = JsonValue::Type::kArray;
+      skipWs();
+      if (eat(']')) return true;
+      while (true) {
+        JsonValue value;
+        if (!parseValue(value)) return false;
+        out.array.push_back(std::move(value));
+        if (eat(',')) continue;
+        return eat(']');
+      }
+    }
+    if (c == '"') {
+      out.type = JsonValue::Type::kString;
+      return parseString(out.string);
+    }
+    if (c == 't' && text.substr(pos, 4) == "true") {
+      out.type = JsonValue::Type::kBool;
+      out.boolean = true;
+      pos += 4;
+      return true;
+    }
+    if (c == 'f' && text.substr(pos, 5) == "false") {
+      out.type = JsonValue::Type::kBool;
+      pos += 5;
+      return true;
+    }
+    if (c == 'n' && text.substr(pos, 4) == "null") {
+      out.type = JsonValue::Type::kNull;
+      pos += 4;
+      return true;
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) {
+      out.type = JsonValue::Type::kNumber;
+      out.negative = c == '-';
+      if (out.negative) ++pos;
+      bool any = false;
+      while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') {
+        out.magnitude = out.magnitude * 10 +
+                        static_cast<std::uint64_t>(text[pos] - '0');
+        ++pos;
+        any = true;
+      }
+      return any;  // the writer never emits fractions or exponents
+    }
+    return false;
+  }
+};
+
+std::uint64_t fieldU64(const JsonValue& obj, std::string_view key) {
+  const JsonValue* v = obj.find(key);
+  return v != nullptr ? v->asU64() : 0;
+}
+
+std::string fieldString(const JsonValue& obj, std::string_view key) {
+  const JsonValue* v = obj.find(key);
+  return v != nullptr ? v->string : std::string{};
+}
+
+bool parseU64Array(const JsonValue* v, std::vector<std::uint64_t>& out) {
+  if (v == nullptr || v->type != JsonValue::Type::kArray) return false;
+  out.reserve(v->array.size());
+  for (const JsonValue& e : v->array) out.push_back(e.asU64());
+  return true;
+}
+
+bool parseSnapshot(const JsonValue& v, MetricsSnapshot& out) {
+  if (v.type != JsonValue::Type::kObject) return false;
+  if (const JsonValue* counters = v.find("counters")) {
+    for (const JsonValue& e : counters->array) {
+      CounterSample c;
+      c.name = fieldString(e, "name");
+      c.label = fieldString(e, "label");
+      c.value = fieldU64(e, "value");
+      out.counters.push_back(std::move(c));
+    }
+  }
+  if (const JsonValue* gauges = v.find("gauges")) {
+    for (const JsonValue& e : gauges->array) {
+      GaugeSample g;
+      g.name = fieldString(e, "name");
+      g.label = fieldString(e, "label");
+      if (const JsonValue* value = e.find("value")) g.value = value->asI64();
+      out.gauges.push_back(std::move(g));
+    }
+  }
+  if (const JsonValue* histograms = v.find("histograms")) {
+    for (const JsonValue& e : histograms->array) {
+      HistogramSample h;
+      h.name = fieldString(e, "name");
+      h.label = fieldString(e, "label");
+      h.count = fieldU64(e, "count");
+      h.sum = fieldU64(e, "sum");
+      h.min = fieldU64(e, "min");
+      h.max = fieldU64(e, "max");
+      h.p50 = fieldU64(e, "p50");
+      h.p95 = fieldU64(e, "p95");
+      h.p99 = fieldU64(e, "p99");
+      if (!parseU64Array(e.find("bounds"), h.bounds) ||
+          !parseU64Array(e.find("counts"), h.counts))
+        return false;
+      out.histograms.push_back(std::move(h));
+    }
+  }
+  if (const JsonValue* spans = v.find("spans")) {
+    for (const JsonValue& e : spans->array) {
+      Span s;
+      s.name = fieldString(e, "name");
+      s.depth = static_cast<std::uint32_t>(fieldU64(e, "depth"));
+      s.startMs = fieldU64(e, "start_ms");
+      s.durationMs = fieldU64(e, "duration_ms");
+      out.spans.push_back(std::move(s));
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* ledgerRecordKindName(LedgerRecordKind kind) noexcept {
+  switch (kind) {
+    case LedgerRecordKind::kRun: return "run";
+    case LedgerRecordKind::kWindow: return "window";
+    case LedgerRecordKind::kWorker: return "worker";
+    case LedgerRecordKind::kBreach: return "breach";
+  }
+  return "?";
+}
+
+std::optional<LedgerRecordKind> ledgerRecordKindFromName(
+    std::string_view name) noexcept {
+  for (std::size_t i = 0; i < kLedgerRecordKindCount; ++i) {
+    const auto kind = static_cast<LedgerRecordKind>(i);
+    if (name == ledgerRecordKindName(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+std::string renderLedgerRecord(const LedgerRecord& record) {
+  std::string out = "{\"schema\":\"";
+  out += kLedgerSchema;
+  out += "\",\"kind\":\"";
+  out += ledgerRecordKindName(record.kind);
+  out += "\"";
+  appendField(out, "shard", record.shard);
+  switch (record.kind) {
+    case LedgerRecordKind::kRun:
+      appendField(out, "request_index", record.requestIndex);
+      appendField(out, "sample_id", record.sampleId);
+      appendField(out, "status", record.status);
+      appendField(out, "attempts",
+                  static_cast<std::uint64_t>(record.attempts));
+      appendField(out, "worker_index", record.workerIndex);
+      appendField(out, "correlation_id", record.correlationId);
+      appendField(out, "verdict", record.verdict);
+      appendField(out, "first_trigger", record.firstTrigger);
+      appendField(out, "protection", record.protection);
+      appendField(out, "faults_injected",
+                  static_cast<std::uint64_t>(record.faultsInjected));
+      appendField(out, "inject_retries",
+                  static_cast<std::uint64_t>(record.injectRetries));
+      appendField(out, "quarantined_hooks",
+                  static_cast<std::uint64_t>(record.quarantinedHooks));
+      appendField(out, "missed_descendants",
+                  static_cast<std::uint64_t>(record.missedDescendants));
+      appendField(out, "reinjected_descendants",
+                  static_cast<std::uint64_t>(record.reinjectedDescendants));
+      appendField(out, "ipc_messages_dropped", record.ipcMessagesDropped);
+      appendField(out, "virtual_ms", record.virtualMs);
+      if (!record.hotTimers.empty()) {
+        out += ",\"hot\":[";
+        for (std::size_t i = 0; i < record.hotTimers.size(); ++i) {
+          const LedgerPercentiles& p = record.hotTimers[i];
+          out += i == 0 ? "{" : ",{";
+          out += "\"name\":\"" + jsonEscape(p.name) + "\"";
+          appendField(out, "p50", p.p50);
+          appendField(out, "p95", p.p95);
+          appendField(out, "p99", p.p99);
+          out += "}";
+        }
+        out += "]";
+      }
+      break;
+    case LedgerRecordKind::kWindow:
+      appendField(out, "window_id", record.windowId);
+      appendField(out, "start_ms", record.startMs);
+      appendField(out, "end_ms", record.endMs);
+      appendSnapshot(out, record.snapshot);
+      break;
+    case LedgerRecordKind::kWorker:
+      appendField(out, "worker_index", record.workerIndex);
+      appendSnapshot(out, record.snapshot);
+      break;
+    case LedgerRecordKind::kBreach:
+      appendField(out, "window_id", record.windowId);
+      appendField(out, "rule", record.rule);
+      appendField(out, "observed", record.observed);
+      appendField(out, "threshold", record.threshold);
+      break;
+  }
+  out += "}";
+  return out;
+}
+
+std::optional<LedgerRecord> parseLedgerRecord(std::string_view line) {
+  JsonParser parser{line};
+  JsonValue root;
+  if (!parser.parseValue(root)) return std::nullopt;
+  parser.skipWs();
+  if (parser.pos != line.size()) return std::nullopt;  // trailing garbage
+  if (root.type != JsonValue::Type::kObject) return std::nullopt;
+  if (fieldString(root, "schema") != kLedgerSchema) return std::nullopt;
+  const auto kind = ledgerRecordKindFromName(fieldString(root, "kind"));
+  if (!kind.has_value()) return std::nullopt;
+
+  LedgerRecord record;
+  record.kind = *kind;
+  record.shard = fieldString(root, "shard");
+  switch (record.kind) {
+    case LedgerRecordKind::kRun:
+      record.requestIndex = fieldU64(root, "request_index");
+      record.sampleId = fieldString(root, "sample_id");
+      record.status = fieldString(root, "status");
+      record.attempts =
+          static_cast<std::uint32_t>(fieldU64(root, "attempts"));
+      record.workerIndex = fieldU64(root, "worker_index");
+      record.correlationId = fieldU64(root, "correlation_id");
+      record.verdict = fieldString(root, "verdict");
+      record.firstTrigger = fieldString(root, "first_trigger");
+      record.protection = fieldString(root, "protection");
+      record.faultsInjected =
+          static_cast<std::uint32_t>(fieldU64(root, "faults_injected"));
+      record.injectRetries =
+          static_cast<std::uint32_t>(fieldU64(root, "inject_retries"));
+      record.quarantinedHooks =
+          static_cast<std::uint32_t>(fieldU64(root, "quarantined_hooks"));
+      record.missedDescendants =
+          static_cast<std::uint32_t>(fieldU64(root, "missed_descendants"));
+      record.reinjectedDescendants = static_cast<std::uint32_t>(
+          fieldU64(root, "reinjected_descendants"));
+      record.ipcMessagesDropped = fieldU64(root, "ipc_messages_dropped");
+      record.virtualMs = fieldU64(root, "virtual_ms");
+      if (const JsonValue* hot = root.find("hot")) {
+        for (const JsonValue& e : hot->array) {
+          LedgerPercentiles p;
+          p.name = fieldString(e, "name");
+          p.p50 = fieldU64(e, "p50");
+          p.p95 = fieldU64(e, "p95");
+          p.p99 = fieldU64(e, "p99");
+          record.hotTimers.push_back(std::move(p));
+        }
+      }
+      break;
+    case LedgerRecordKind::kWindow: {
+      record.windowId = fieldU64(root, "window_id");
+      record.startMs = fieldU64(root, "start_ms");
+      record.endMs = fieldU64(root, "end_ms");
+      const JsonValue* snapshot = root.find("snapshot");
+      if (snapshot == nullptr || !parseSnapshot(*snapshot, record.snapshot))
+        return std::nullopt;
+      break;
+    }
+    case LedgerRecordKind::kWorker: {
+      record.workerIndex = fieldU64(root, "worker_index");
+      const JsonValue* snapshot = root.find("snapshot");
+      if (snapshot == nullptr || !parseSnapshot(*snapshot, record.snapshot))
+        return std::nullopt;
+      break;
+    }
+    case LedgerRecordKind::kBreach:
+      record.windowId = fieldU64(root, "window_id");
+      record.rule = fieldString(root, "rule");
+      record.observed = fieldString(root, "observed");
+      record.threshold = fieldString(root, "threshold");
+      break;
+  }
+  return record;
+}
+
+std::vector<LedgerRecord> readLedgerFile(const std::string& path) {
+  std::vector<LedgerRecord> records;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return records;
+  std::string contents;
+  char buffer[1 << 16];
+  std::size_t got;
+  while ((got = std::fread(buffer, 1, sizeof buffer, f)) > 0)
+    contents.append(buffer, got);
+  std::fclose(f);
+
+  std::size_t start = 0;
+  while (start <= contents.size()) {
+    std::size_t end = contents.find('\n', start);
+    const bool torn = end == std::string::npos;
+    if (torn) end = contents.size();
+    const std::string_view line(contents.data() + start, end - start);
+    if (!line.empty()) {
+      // A line without its newline is a torn crash tail; it must still
+      // parse as a complete record to count (usually it will not).
+      if (auto record = parseLedgerRecord(line); record.has_value())
+        records.push_back(std::move(*record));
+    }
+    if (torn) break;
+    start = end + 1;
+  }
+  return records;
+}
+
+MetricsSnapshot reconstructFleetTelemetry(
+    const std::vector<LedgerRecord>& records) {
+  std::vector<const LedgerRecord*> workers;
+  for (const LedgerRecord& record : records)
+    if (record.kind == LedgerRecordKind::kWorker)
+      workers.push_back(&record);
+  // Worker order, shard-major: the same fold order mergedTelemetry() uses
+  // within one batch, extended deterministically across shards.
+  std::stable_sort(workers.begin(), workers.end(),
+                   [](const LedgerRecord* a, const LedgerRecord* b) {
+                     if (a->shard != b->shard) return a->shard < b->shard;
+                     return a->workerIndex < b->workerIndex;
+                   });
+  MetricsSnapshot merged;
+  for (const LedgerRecord* worker : workers) merged.merge(worker->snapshot);
+  return merged;
+}
+
+const std::string& ledgerEnvPath() noexcept {
+  static const std::string cached = [] {
+    const char* v = std::getenv("SCARECROW_LEDGER");
+    return v != nullptr ? std::string(v) : std::string{};
+  }();
+  return cached;
+}
+
+LedgerWriter::LedgerWriter(LedgerOptions options)
+    : options_(std::move(options)) {}
+
+LedgerWriter::~LedgerWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+bool LedgerWriter::rotateLocked() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  const std::uint32_t keep = options_.maxRotatedFiles;
+  if (keep == 0) {
+    std::remove(options_.path.c_str());
+  } else {
+    std::remove((options_.path + "." + std::to_string(keep)).c_str());
+    for (std::uint32_t g = keep; g > 1; --g)
+      std::rename((options_.path + "." + std::to_string(g - 1)).c_str(),
+                  (options_.path + "." + std::to_string(g)).c_str());
+    std::rename(options_.path.c_str(), (options_.path + ".1").c_str());
+  }
+  ++rotations_;
+  bytes_ = 0;
+  return true;
+}
+
+bool LedgerWriter::append(LedgerRecord record) {
+  if (record.shard.empty()) record.shard = options_.shard;
+  const std::string line = renderLedgerRecord(record) + "\n";
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ == nullptr) {
+    file_ = std::fopen(options_.path.c_str(), "ab");
+    if (file_ == nullptr) {
+      support::logError("ledger", "cannot open ledger",
+                        {{"path", options_.path}});
+      return false;
+    }
+    std::fseek(file_, 0, SEEK_END);
+    const long at = std::ftell(file_);
+    bytes_ = at > 0 ? static_cast<std::uint64_t>(at) : 0;
+  }
+  if (options_.maxBytes != 0 && bytes_ != 0 &&
+      bytes_ + line.size() > options_.maxBytes) {
+    rotateLocked();
+    file_ = std::fopen(options_.path.c_str(), "ab");
+    if (file_ == nullptr) return false;
+  }
+  // Line-atomic: the whole record in one write, flushed before returning,
+  // so a crash can only lose or tear the final line — never interleave two.
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size())
+    return false;
+  std::fflush(file_);
+  bytes_ += line.size();
+  ++written_;
+  return true;
+}
+
+}  // namespace scarecrow::obs

@@ -1,0 +1,177 @@
+// Persistent run ledger: append-only JSONL telemetry that survives the
+// process (DESIGN.md §13, schema scarecrow.ledger.v1).
+//
+// A MetricsSnapshot evaporates with its process; the paper's Table-scale
+// sweeps (and the ROADMAP's resident corpus-evaluation service) need
+// telemetry that aggregates across thousands of runs and multiple shards.
+// The ledger is that durable form: one self-describing JSON object per
+// line, four record kinds —
+//   * "run"     one per EvalRequest/RunResult a BatchEvaluator worker
+//               finished: sample id, status, verdict, first trigger,
+//               correlation id, ResilienceVerdict numbers, and (when the
+//               hot-timer plane is armed) per-site latency percentiles;
+//   * "window"  one per closed TimeSeriesPlane window: the windowed
+//               telemetry delta (timeseries.h);
+//   * "worker"  one per worker at end of batch: the worker-level merged
+//               MetricsSnapshot. reconstructFleetTelemetry folds these in
+//               (shard, worker) order and reproduces
+//               BatchEvaluator::mergedTelemetry() byte-identically;
+//   * "breach"  one per SLO breach (slo.h): rule, window, observed value.
+//
+// Crash safety is line-granular: every record is rendered to one buffer
+// and appended with a single write + flush, so a crash can only lose or
+// truncate the final line — and the reader skips any line that does not
+// parse back to a whole record. Rotation is size-based: when an append
+// would push the file past maxBytes, the current file shifts to
+// `<path>.1` (older generations to `.2`, …, the oldest dropped) and the
+// append lands in a fresh `<path>`.
+//
+// Record rendering is deterministic (fixed key order, integral values
+// from the virtual clock), so ledgers written by identical runs are
+// byte-identical modulo the append interleaving of concurrent workers —
+// and single-writer ledgers are byte-identical outright (the goldens).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace scarecrow::obs {
+
+inline constexpr const char* kLedgerSchema = "scarecrow.ledger.v1";
+
+enum class LedgerRecordKind : std::uint8_t {
+  kRun,     // one EvalRequest/RunResult
+  kWindow,  // one closed time-series window
+  kWorker,  // one worker's end-of-batch merged telemetry
+  kBreach,  // one SLO breach
+};
+
+inline constexpr std::size_t kLedgerRecordKindCount =
+    static_cast<std::size_t>(LedgerRecordKind::kBreach) + 1;
+
+/// Exhaustive over LedgerRecordKind: "run", "window", "worker", "breach".
+const char* ledgerRecordKindName(LedgerRecordKind kind) noexcept;
+std::optional<LedgerRecordKind> ledgerRecordKindFromName(
+    std::string_view name) noexcept;
+
+/// One latency percentile triple lifted out of a histogram sample —
+/// the run record's compact hot-timer summary.
+struct LedgerPercentiles {
+  std::string name;  // "hot.hook_dispatch_ns", ...
+  std::uint64_t p50 = 0;
+  std::uint64_t p95 = 0;
+  std::uint64_t p99 = 0;
+};
+
+/// One ledger line. Fields outside the record's kind stay default-valued
+/// and are neither rendered nor parsed.
+struct LedgerRecord {
+  LedgerRecordKind kind = LedgerRecordKind::kRun;
+  /// Shard label stamped by the writer ("shard-0", "worker-3", ...).
+  std::string shard;
+
+  // --- kRun ----------------------------------------------------------
+  std::uint64_t requestIndex = 0;
+  std::string sampleId;
+  std::string status;        // batchStatusName: "ok" / "failed" / "timed-out"
+  std::uint32_t attempts = 0;
+  std::uint64_t workerIndex = 0;
+  std::uint64_t correlationId = 0;  // first-trigger causal chain (0 = none)
+  std::string verdict;              // "deactivated" / "not-deactivated" / ""
+  std::string firstTrigger;
+  std::string protection;  // protectionLevelName of the resilience verdict
+  std::uint32_t faultsInjected = 0;
+  std::uint32_t injectRetries = 0;
+  std::uint32_t quarantinedHooks = 0;
+  std::uint32_t missedDescendants = 0;
+  std::uint32_t reinjectedDescendants = 0;
+  std::uint64_t ipcMessagesDropped = 0;
+  std::uint64_t virtualMs = 0;  // machine clock at completion
+  /// Hot-timer percentiles, present only when the worker's plane was
+  /// armed (wall-clock values — deliberately absent from goldens).
+  std::vector<LedgerPercentiles> hotTimers;
+
+  // --- kWindow -------------------------------------------------------
+  std::uint64_t windowId = 0;
+  std::uint64_t startMs = 0;
+  std::uint64_t endMs = 0;
+
+  // --- kWindow (delta) / kWorker (merged telemetry) ------------------
+  MetricsSnapshot snapshot;
+
+  // --- kBreach -------------------------------------------------------
+  std::string rule;      // the rule spec that fired
+  std::string observed;  // deterministic rendering of the observed value
+  std::string threshold; // deterministic rendering of the bound
+};
+
+/// One line of JSON, no trailing newline. Deterministic: fixed key order,
+/// only the fields of the record's kind.
+std::string renderLedgerRecord(const LedgerRecord& record);
+
+/// Inverse of renderLedgerRecord. nullopt on malformed/truncated lines or
+/// on an unknown schema (a reader must never mis-parse a future format).
+std::optional<LedgerRecord> parseLedgerRecord(std::string_view line);
+
+/// Reads every parseable record of a ledger file, skipping blank, torn,
+/// and foreign lines (crash tolerance). Missing file yields empty.
+std::vector<LedgerRecord> readLedgerFile(const std::string& path);
+
+/// Fleet reconstruction: merges every kWorker record in (shard,
+/// workerIndex) order. For a single batch's ledger this reproduces
+/// BatchEvaluator::mergedTelemetry() byte-identically; across shards it
+/// is the fleet total, built from files alone.
+MetricsSnapshot reconstructFleetTelemetry(
+    const std::vector<LedgerRecord>& records);
+
+/// Environment default for Config-less callers: SCARECROW_LEDGER names the
+/// ledger file a BatchEvaluator streams into when BatchOptions::ledgerPath
+/// is empty (unset = no ledger). Read once, cached.
+const std::string& ledgerEnvPath() noexcept;
+
+struct LedgerOptions {
+  std::string path;
+  /// Rotate when an append would push the file past this size; 0 = never.
+  std::uint64_t maxBytes = 0;
+  /// Rotated generations retained (`<path>.1` … `<path>.N`).
+  std::uint32_t maxRotatedFiles = 3;
+  /// Stamped into every record's "shard" field (per-record override wins).
+  std::string shard;
+};
+
+/// Append-only JSONL writer. Thread-safe: concurrent appends interleave at
+/// line granularity, never inside a line.
+class LedgerWriter {
+ public:
+  explicit LedgerWriter(LedgerOptions options);
+  ~LedgerWriter();
+
+  LedgerWriter(const LedgerWriter&) = delete;
+  LedgerWriter& operator=(const LedgerWriter&) = delete;
+
+  /// Renders and appends one record (one write + flush). False on I/O
+  /// failure. An empty record.shard inherits LedgerOptions::shard.
+  bool append(LedgerRecord record);
+
+  std::uint64_t recordsWritten() const noexcept { return written_; }
+  std::uint64_t rotations() const noexcept { return rotations_; }
+  const std::string& path() const noexcept { return options_.path; }
+
+ private:
+  bool rotateLocked();
+
+  LedgerOptions options_;
+  std::mutex mutex_;
+  std::FILE* file_ = nullptr;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t written_ = 0;
+  std::uint64_t rotations_ = 0;
+};
+
+}  // namespace scarecrow::obs

@@ -1,0 +1,326 @@
+#include "obs/slo.h"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <utility>
+
+#include "support/log.h"
+#include "support/strings.h"
+
+namespace scarecrow::obs {
+
+namespace {
+
+/// Finds one sample by (name, label); nullptr when absent.
+template <typename Sample>
+const Sample* findSample(const std::vector<Sample>& samples,
+                         const std::string& name, const std::string& label) {
+  for (const Sample& sample : samples)
+    if (sample.name == name && sample.label == label) return &sample;
+  return nullptr;
+}
+
+[[noreturn]] void badSpec(const std::string& spec, const char* why) {
+  throw std::invalid_argument("bad SLO rule '" + spec + "': " + why);
+}
+
+/// Parses a non-negative decimal with up to three fractional digits into
+/// milli units ("0.01" -> 10, "2000" -> 2000000). Exact or it throws.
+std::int64_t parseMilli(const std::string& spec, std::string_view text) {
+  if (text.empty()) badSpec(spec, "missing threshold");
+  std::uint64_t whole = 0;
+  std::size_t i = 0;
+  bool anyDigit = false;
+  for (; i < text.size() && text[i] >= '0' && text[i] <= '9'; ++i) {
+    whole = whole * 10 + static_cast<std::uint64_t>(text[i] - '0');
+    anyDigit = true;
+  }
+  std::uint64_t fraction = 0;
+  if (i < text.size() && text[i] == '.') {
+    ++i;
+    std::size_t digits = 0;
+    for (; i < text.size() && text[i] >= '0' && text[i] <= '9'; ++i) {
+      if (++digits > 3) badSpec(spec, "threshold finer than milli precision");
+      fraction = fraction * 10 + static_cast<std::uint64_t>(text[i] - '0');
+      anyDigit = true;
+    }
+    while (digits++ < 3) fraction *= 10;
+  }
+  if (!anyDigit || i != text.size()) badSpec(spec, "malformed threshold");
+  return static_cast<std::int64_t>(whole * 1000 + fraction);
+}
+
+bool violates(SloComparison comparison, std::int64_t observedMilli,
+              std::int64_t thresholdMilli) noexcept {
+  switch (comparison) {
+    case SloComparison::kLess: return observedMilli >= thresholdMilli;
+    case SloComparison::kGreater: return observedMilli <= thresholdMilli;
+  }
+  return false;
+}
+
+/// Counter-style window delta for rate/count/sum rules: a counter when
+/// one exists, else a histogram's count/sum, else 0 (absence from a
+/// window means nothing was recorded).
+std::uint64_t counterDelta(const SloRule& rule, const MetricsSnapshot& delta,
+                           bool wantSum) {
+  if (const CounterSample* c =
+          findSample(delta.counters, rule.metric, rule.label))
+    return c->value;
+  if (const HistogramSample* h =
+          findSample(delta.histograms, rule.metric, rule.label))
+    return wantSum ? h->sum : h->count;
+  return 0;
+}
+
+/// Sum of `windows` trailing counter deltas; nullopt until that many
+/// windows have been retained (burn pairs need their full lookback).
+std::optional<std::uint64_t> trailingDelta(const SloRule& rule,
+                                           const TimeSeriesPlane& plane,
+                                           std::uint32_t windows) {
+  const auto& ring = plane.windows();
+  if (windows == 0 || ring.size() < windows) return std::nullopt;
+  std::uint64_t total = 0;
+  for (std::size_t i = ring.size() - windows; i < ring.size(); ++i)
+    total += counterDelta(rule, ring[i].delta, /*wantSum=*/false);
+  return total;
+}
+
+}  // namespace
+
+const char* sloAggregateName(SloAggregate aggregate) noexcept {
+  switch (aggregate) {
+    case SloAggregate::kCount: return "count";
+    case SloAggregate::kSum: return "sum";
+    case SloAggregate::kP50: return "p50";
+    case SloAggregate::kP95: return "p95";
+    case SloAggregate::kP99: return "p99";
+    case SloAggregate::kMax: return "max";
+    case SloAggregate::kRate: return "rate";
+    case SloAggregate::kBurn: return "burn";
+  }
+  return "?";
+}
+
+std::string renderMilli(std::int64_t milli) {
+  std::string sign;
+  std::uint64_t magnitude;
+  if (milli < 0) {
+    sign = "-";
+    magnitude = static_cast<std::uint64_t>(-milli);
+  } else {
+    magnitude = static_cast<std::uint64_t>(milli);
+  }
+  std::string out = sign + std::to_string(magnitude / 1000);
+  std::uint64_t fraction = magnitude % 1000;
+  if (fraction != 0) {
+    std::string digits = std::to_string(fraction);
+    digits.insert(0, 3 - digits.size(), '0');
+    while (!digits.empty() && digits.back() == '0') digits.pop_back();
+    out += "." + digits;
+  }
+  return out;
+}
+
+const std::string& sloEnvSpec() noexcept {
+  static const std::string cached = [] {
+    const char* v = std::getenv("SCARECROW_SLO");
+    return v != nullptr ? std::string(v) : std::string{};
+  }();
+  return cached;
+}
+
+SloRule SloEngine::parseRule(const std::string& spec) {
+  SloRule rule;
+  rule.spec = spec;
+
+  const std::size_t colon = spec.find(':');
+  if (colon == std::string::npos || colon == 0)
+    badSpec(spec, "expected metric:aggregate<bound");
+  std::string metric = spec.substr(0, colon);
+  if (const std::size_t brace = metric.find('{');
+      brace != std::string::npos) {
+    if (metric.back() != '}' || brace + 1 >= metric.size() - 1)
+      badSpec(spec, "malformed {label}");
+    rule.label = metric.substr(brace + 1, metric.size() - brace - 2);
+    metric.resize(brace);
+  }
+  if (metric.empty()) badSpec(spec, "empty metric");
+  rule.metric = std::move(metric);
+
+  std::string body = spec.substr(colon + 1);
+  // Burn options trail the bound: ",fast=N,slow=M" in either order.
+  std::optional<std::uint32_t> fast, slow;
+  while (true) {
+    const std::size_t comma = body.rfind(',');
+    if (comma == std::string::npos) break;
+    const std::string option = body.substr(comma + 1);
+    std::uint32_t* target = nullptr;
+    std::size_t eq = option.find('=');
+    if (eq != std::string::npos) {
+      const std::string key = option.substr(0, eq);
+      if (key == "fast") target = &*(fast = 0);
+      if (key == "slow") target = &*(slow = 0);
+    }
+    if (target == nullptr) break;  // a comma inside the threshold? reject later
+    const std::string value = option.substr(eq + 1);
+    if (value.empty()) badSpec(spec, "empty burn option");
+    for (char c : value) {
+      if (c < '0' || c > '9') badSpec(spec, "malformed burn option");
+      *target = *target * 10 + static_cast<std::uint32_t>(c - '0');
+    }
+    if (*target == 0) badSpec(spec, "burn lookback must be >= 1 window");
+    body.resize(comma);
+  }
+
+  const std::size_t op = body.find_first_of("<>");
+  if (op == std::string::npos) badSpec(spec, "expected < or > bound");
+  rule.comparison = body[op] == '<' ? SloComparison::kLess
+                                    : SloComparison::kGreater;
+  const std::string aggregate = body.substr(0, op);
+  std::string bound = body.substr(op + 1);
+
+  bool known = false;
+  for (std::size_t i = 0; i < kSloAggregateCount; ++i) {
+    const auto candidate = static_cast<SloAggregate>(i);
+    if (aggregate == sloAggregateName(candidate)) {
+      rule.aggregate = candidate;
+      known = true;
+      break;
+    }
+  }
+  if (!known) badSpec(spec, "unknown aggregate");
+
+  if (rule.aggregate == SloAggregate::kRate) {
+    if (support::iendsWith(bound, "/window")) {
+      rule.rateUnit = SloRateUnit::kPerWindow;
+      bound.resize(bound.size() - 7);
+    } else if (support::iendsWith(bound, "/s")) {
+      rule.rateUnit = SloRateUnit::kPerSecond;
+      bound.resize(bound.size() - 2);
+    }
+  }
+  rule.thresholdMilli = parseMilli(spec, bound);
+
+  if (rule.aggregate == SloAggregate::kBurn) {
+    if (!fast.has_value() || !slow.has_value())
+      badSpec(spec, "burn needs fast=N,slow=M");
+    if (*fast > *slow) badSpec(spec, "burn fast window exceeds slow window");
+    rule.fastWindows = *fast;
+    rule.slowWindows = *slow;
+  } else if (fast.has_value() || slow.has_value()) {
+    badSpec(spec, "fast/slow only apply to burn rules");
+  }
+  return rule;
+}
+
+std::vector<SloRule> SloEngine::parseRules(const std::string& spec) {
+  std::vector<SloRule> rules;
+  for (const std::string& part : support::split(spec, ';')) {
+    const std::string_view trimmed = support::trim(part);
+    if (trimmed.empty()) continue;
+    rules.push_back(parseRule(std::string(trimmed)));
+  }
+  return rules;
+}
+
+std::optional<std::int64_t> SloEngine::observedMilli(
+    const SloRule& rule, const TimeSeriesPlane& plane,
+    const WindowDelta& window) const {
+  const std::uint64_t windowMs =
+      window.endMs > window.startMs ? window.endMs - window.startMs : 1;
+  switch (rule.aggregate) {
+    case SloAggregate::kCount:
+      return static_cast<std::int64_t>(
+          counterDelta(rule, window.delta, false) * 1000);
+    case SloAggregate::kSum:
+      return static_cast<std::int64_t>(
+          counterDelta(rule, window.delta, true) * 1000);
+    case SloAggregate::kP50:
+    case SloAggregate::kP95:
+    case SloAggregate::kP99:
+    case SloAggregate::kMax: {
+      const HistogramSample* h =
+          findSample(window.delta.histograms, rule.metric, rule.label);
+      if (h == nullptr || h->count == 0) return std::nullopt;
+      std::uint64_t value = 0;
+      if (rule.aggregate == SloAggregate::kP50) value = h->p50;
+      if (rule.aggregate == SloAggregate::kP95) value = h->p95;
+      if (rule.aggregate == SloAggregate::kP99) value = h->p99;
+      if (rule.aggregate == SloAggregate::kMax) value = h->max;
+      return static_cast<std::int64_t>(value * 1000);
+    }
+    case SloAggregate::kRate: {
+      const std::uint64_t delta = counterDelta(rule, window.delta, false);
+      if (rule.rateUnit == SloRateUnit::kPerWindow)
+        return static_cast<std::int64_t>(delta * 1000);
+      return static_cast<std::int64_t>(delta * 1'000'000 / windowMs);
+    }
+    case SloAggregate::kBurn: {
+      const auto fast = trailingDelta(rule, plane, rule.fastWindows);
+      const auto slow = trailingDelta(rule, plane, rule.slowWindows);
+      if (!fast.has_value() || !slow.has_value()) return std::nullopt;
+      const std::int64_t fastMilli = static_cast<std::int64_t>(
+          *fast * 1'000'000 / (rule.fastWindows * windowMs));
+      const std::int64_t slowMilli = static_cast<std::int64_t>(
+          *slow * 1'000'000 / (rule.slowWindows * windowMs));
+      // The pair breaches only when BOTH horizons violate; report the fast
+      // rate (the number that pages), signal "no breach" by returning the
+      // healthy side of the bound when the slow horizon is clean.
+      if (!violates(rule.comparison, slowMilli, rule.thresholdMilli))
+        return std::nullopt;
+      return fastMilli;
+    }
+  }
+  return std::nullopt;
+}
+
+void SloEngine::emit(const SloBreach& breach, std::uint64_t nowMs) {
+  if (registry_ != nullptr)
+    registry_->counter("obs.slo_breach", breach.rule).inc();
+  if (flight_ != nullptr) {
+    DecisionEvent e;
+    e.timeMs = nowMs;
+    e.kind = DecisionKind::kSloBreach;
+    e.api = breach.metric;
+    e.argument = breach.rule;
+    e.value = renderMilli(breach.observedMilli);
+    e.matched = renderMilli(breach.thresholdMilli);
+    e.link = "window-" + std::to_string(breach.windowId);
+    flight_->record(std::move(e));
+  }
+  support::logWarn("slo", "SLO breach",
+                   {{"rule", breach.rule},
+                    {"observed", renderMilli(breach.observedMilli)},
+                    {"threshold", renderMilli(breach.thresholdMilli)},
+                    {"window", breach.windowId}});
+  if (action_) action_(breach);
+}
+
+std::vector<SloBreach> SloEngine::onWindowClosed(const TimeSeriesPlane& plane,
+                                                 std::uint64_t nowMs) {
+  std::vector<SloBreach> fired;
+  if (plane.windows().empty() ||
+      plane.windowsClosed() <= lastEvaluatedClose_)
+    return fired;
+  lastEvaluatedClose_ = plane.windowsClosed();
+  const WindowDelta& window = plane.windows().back();
+  for (const SloRule& rule : rules_) {
+    const std::optional<std::int64_t> observed =
+        observedMilli(rule, plane, window);
+    if (!observed.has_value()) continue;
+    if (!violates(rule.comparison, *observed, rule.thresholdMilli)) continue;
+    SloBreach breach;
+    breach.rule = rule.spec;
+    breach.metric = rule.metric;
+    breach.windowId = window.windowId;
+    breach.observedMilli = *observed;
+    breach.thresholdMilli = rule.thresholdMilli;
+    emit(breach, nowMs);
+    breaches_.push_back(breach);
+    fired.push_back(std::move(breach));
+  }
+  return fired;
+}
+
+}  // namespace scarecrow::obs

@@ -1,0 +1,183 @@
+// Declarative SLO engine: rules over windowed telemetry, burn-rate pairs,
+// and loud breaches (DESIGN.md §13).
+//
+// An SLO is a bound on a derived telemetry value — "hook-dispatch p50
+// stays under 2 µs", "injection failures stay under 0.01 per window" —
+// and a service is only honest about them if breaches fire from the
+// telemetry plane itself, not from a human reading dashboards. SloEngine
+// holds parsed rules and evaluates them against every window the
+// TimeSeriesPlane closes. A breach is loud three ways at once:
+//   * an `obs.slo_breach{rule}` counter tick in the bound registry,
+//   * a kSloBreach decision event in the bound flight recorder
+//     (api = metric, argument = rule spec, value = observed, link =
+//     "window-<id>"),
+//   * the optional breach action — the seam callers use to arm the PR 5
+//     degradation ladder (DeceptionEngine::degradeTo) or append a
+//     "breach" record to the run ledger.
+//
+// Rule grammar (semicolon-separated specs, parse errors throw):
+//   metric:AGG OP VALUE            count / sum / p50 / p95 / p99 / max
+//                                    over the window delta, e.g.
+//                                    hot.hook_dispatch_ns:p50<2000
+//   metric:rate OP VALUE[/window|/s]  counter delta per window or per
+//                                    virtual second, fractional bounds
+//                                    allowed: inject.failures:rate<0.01/window
+//   metric:burn OP VALUE,fast=N,slow=M   multi-window burn-rate pair: the
+//                                    per-second rate averaged over the
+//                                    last N (fast) AND last M (slow)
+//                                    windows must both violate the bound
+//                                    to breach — the classic fast/slow
+//                                    alerting pair that ignores blips but
+//                                    catches sustained burns.
+//   metric{label}:...              binds the rule to one label of the
+//                                    metric identity.
+// OP is `<` or `>`: the rule states the healthy bound, a breach is its
+// violation (p50<2000 breaches when p50 >= 2000).
+//
+// Everything is virtual-clock-deterministic: identical runs evaluate
+// identical windows and emit byte-identical breach events; observed
+// values are rendered with fixed-point milli precision, never raw floats.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
+
+namespace scarecrow::obs {
+
+enum class SloAggregate : std::uint8_t {
+  kCount,  // counter delta (or histogram delta count) per window
+  kSum,    // counter delta / histogram delta sum per window
+  kP50,    // histogram-delta percentiles
+  kP95,
+  kP99,
+  kMax,    // histogram cumulative max (the honest bound available)
+  kRate,   // counter delta per window or per virtual second
+  kBurn,   // fast/slow window-averaged per-second rate pair
+};
+
+inline constexpr std::size_t kSloAggregateCount =
+    static_cast<std::size_t>(SloAggregate::kBurn) + 1;
+
+/// Exhaustive over SloAggregate: "count", "sum", "p50", ...
+const char* sloAggregateName(SloAggregate aggregate) noexcept;
+
+/// The healthy bound's direction; a breach is the violation.
+enum class SloComparison : std::uint8_t {
+  kLess,     // value must stay strictly under the threshold
+  kGreater,  // value must stay strictly over the threshold
+};
+
+/// Unit of a kRate threshold.
+enum class SloRateUnit : std::uint8_t {
+  kPerSecond,  // delta * 1000 / windowMs (virtual seconds)
+  kPerWindow,  // delta per closed window
+};
+
+struct SloRule {
+  /// The spec this rule was parsed from (round-trip label for counters,
+  /// breach events, and ledger records).
+  std::string spec;
+  std::string metric;
+  std::string label;
+  SloAggregate aggregate = SloAggregate::kCount;
+  SloComparison comparison = SloComparison::kLess;
+  /// Fractional bounds are real for rates; fixed-point milli units keep
+  /// the arithmetic and its rendering deterministic.
+  std::int64_t thresholdMilli = 0;
+  SloRateUnit rateUnit = SloRateUnit::kPerSecond;
+  /// Burn-rate pair lengths in windows (kBurn only).
+  std::uint32_t fastWindows = 1;
+  std::uint32_t slowWindows = 1;
+};
+
+struct SloBreach {
+  std::string rule;      // SloRule::spec
+  std::string metric;
+  std::uint64_t windowId = 0;
+  /// Observed value in milli units of the rule's dimension.
+  std::int64_t observedMilli = 0;
+  std::int64_t thresholdMilli = 0;
+};
+
+/// "2000" for integral milli values, "0.01" style fixed-point otherwise —
+/// deterministic, no float formatting.
+std::string renderMilli(std::int64_t milli);
+
+/// Environment default for Config-less callers: SCARECROW_SLO holds a rule
+/// spec applied when no explicit rules are configured. Read once, cached.
+const std::string& sloEnvSpec() noexcept;
+
+class SloEngine {
+ public:
+  using BreachAction = std::function<void(const SloBreach&)>;
+
+  SloEngine() = default;
+  SloEngine(const SloEngine&) = delete;
+  SloEngine& operator=(const SloEngine&) = delete;
+
+  /// Parses one rule / a semicolon-separated list. Throws
+  /// std::invalid_argument with the offending token on malformed specs.
+  static SloRule parseRule(const std::string& spec);
+  static std::vector<SloRule> parseRules(const std::string& spec);
+
+  void addRule(SloRule rule) { rules_.push_back(std::move(rule)); }
+  void addRules(const std::string& spec) {
+    for (SloRule& rule : parseRules(spec)) rules_.push_back(std::move(rule));
+  }
+  const std::vector<SloRule>& rules() const noexcept { return rules_; }
+
+  /// Breach sinks: the `obs.slo_breach{rule}` counter lands in `registry`,
+  /// the kSloBreach decision event in `flight`. Either may be null.
+  void bind(MetricsRegistry* registry, FlightRecorder* flight) noexcept {
+    registry_ = registry;
+    flight_ = flight;
+  }
+
+  /// Invoked once per breach, after the counter and event. The
+  /// degradation-ladder / ledger seam.
+  void setBreachAction(BreachAction action) {
+    action_ = std::move(action);
+  }
+
+  /// Evaluates every rule against the newest closed window of `plane`
+  /// (burn rules read back through the retained ring). Windows already
+  /// evaluated are skipped, so wiring this as a plane window-observer
+  /// fires each rule at most once per window. Returns this call's
+  /// breaches; breaches() accumulates all of them.
+  std::vector<SloBreach> onWindowClosed(const TimeSeriesPlane& plane,
+                                        std::uint64_t nowMs);
+
+  const std::vector<SloBreach>& breaches() const noexcept {
+    return breaches_;
+  }
+
+  /// Forgets evaluation history and accumulated breaches (rules and
+  /// bindings survive). Call between runs that reuse one engine.
+  void reset() noexcept {
+    breaches_.clear();
+    lastEvaluatedClose_ = 0;
+  }
+
+ private:
+  std::optional<std::int64_t> observedMilli(const SloRule& rule,
+                                            const TimeSeriesPlane& plane,
+                                            const WindowDelta& window) const;
+  void emit(const SloBreach& breach, std::uint64_t nowMs);
+
+  std::vector<SloRule> rules_;
+  MetricsRegistry* registry_ = nullptr;
+  FlightRecorder* flight_ = nullptr;
+  BreachAction action_;
+  std::vector<SloBreach> breaches_;
+  /// windowsClosed() high-water mark — windows at or below it are done.
+  std::uint64_t lastEvaluatedClose_ = 0;
+};
+
+}  // namespace scarecrow::obs

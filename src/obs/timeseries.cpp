@@ -1,0 +1,171 @@
+#include "obs/timeseries.h"
+
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+namespace scarecrow::obs {
+
+namespace {
+
+/// Identity key shared by the per-kind delta walks below.
+template <typename Sample>
+std::pair<const std::string&, const std::string&> identity(
+    const Sample& sample) {
+  return {sample.name, sample.label};
+}
+
+/// Finds `current`'s identity in the (name, label)-sorted `base`. Both
+/// vectors honour the MetricsSnapshot ordering invariant, so a linear
+/// merge-walk would do; the snapshots here are small enough that a binary
+/// search per identity keeps the code simpler than carrying walk state.
+template <typename Sample>
+const Sample* findIdentity(const std::vector<Sample>& base,
+                           const Sample& current) {
+  std::size_t lo = 0, hi = base.size();
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (identity(base[mid]) < identity(current))
+      lo = mid + 1;
+    else
+      hi = mid;
+  }
+  if (lo < base.size() && identity(base[lo]) == identity(current))
+    return &base[lo];
+  return nullptr;
+}
+
+}  // namespace
+
+std::uint64_t timeSeriesEnvWindowMs() noexcept {
+  static const std::uint64_t cached = [] {
+    const char* v = std::getenv("SCARECROW_TS_WINDOW_MS");
+    if (v == nullptr || *v == '\0') return std::uint64_t{0};
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(v, &end, 10);
+    if (end == v || (end != nullptr && *end != '\0')) return std::uint64_t{0};
+    return static_cast<std::uint64_t>(parsed);
+  }();
+  return cached;
+}
+
+MetricsSnapshot snapshotDelta(const MetricsSnapshot& base,
+                              const MetricsSnapshot& current) {
+  MetricsSnapshot delta;
+
+  delta.counters.reserve(current.counters.size());
+  for (const CounterSample& c : current.counters) {
+    const CounterSample* b = findIdentity(base.counters, c);
+    CounterSample d = c;
+    // A shrunken counter means the registry was cleared in between: the
+    // delta restarts from zero rather than going negative.
+    d.value = (b != nullptr && b->value <= c.value) ? c.value - b->value
+                                                    : c.value;
+    if (d.value != 0) delta.counters.push_back(std::move(d));
+  }
+
+  // Gauges are instants, not totals: the window carries the value at close.
+  delta.gauges = current.gauges;
+
+  delta.histograms.reserve(current.histograms.size());
+  for (const HistogramSample& h : current.histograms) {
+    const HistogramSample* b = findIdentity(base.histograms, h);
+    HistogramSample d = h;
+    if (b != nullptr && b->count <= h.count && b->bounds == h.bounds &&
+        b->counts.size() == h.counts.size()) {
+      d.count = h.count - b->count;
+      d.sum = h.sum >= b->sum ? h.sum - b->sum : 0;
+      for (std::size_t i = 0; i < d.counts.size(); ++i)
+        d.counts[i] =
+            h.counts[i] >= b->counts[i] ? h.counts[i] - b->counts[i] : 0;
+      // min/max of just-this-window samples are unrecoverable from
+      // cumulative extremes; report the bucket-resolution honest bounds.
+      d.p50 = histogramSamplePercentile(d, 50);
+      d.p95 = histogramSamplePercentile(d, 95);
+      d.p99 = histogramSamplePercentile(d, 99);
+      d.min = 0;
+      d.max = h.max;
+    }
+    if (d.count != 0) delta.histograms.push_back(std::move(d));
+  }
+
+  // Spans complete append-only within one telemetry epoch; a shorter
+  // current log means a clear happened and every span is new.
+  const std::size_t known =
+      base.spans.size() <= current.spans.size() ? base.spans.size() : 0;
+  delta.spans.assign(current.spans.begin() +
+                         static_cast<std::ptrdiff_t>(known),
+                     current.spans.end());
+  return delta;
+}
+
+void TimeSeriesPlane::configure(TimeSeriesOptions options) {
+  options_ = options;
+  if (options_.windowCapacity == 0) options_.windowCapacity = 1;
+  openWindowId_ = 0;
+  baseline_ = MetricsSnapshot{};
+  windows_.clear();
+  windowsClosed_ = 0;
+  windowsEvicted_ = 0;
+}
+
+void TimeSeriesPlane::closeWindow(const MetricsSnapshot& cumulative,
+                                  std::uint64_t nowMs) {
+  WindowDelta window;
+  window.windowId = openWindowId_;
+  window.startMs = openWindowId_ * options_.intervalMs;
+  window.endMs = window.startMs + options_.intervalMs;
+  window.observedMs = nowMs;
+  window.delta = snapshotDelta(baseline_, cumulative);
+  baseline_ = cumulative;
+  windows_.push_back(std::move(window));
+  ++windowsClosed_;
+  while (windows_.size() > options_.windowCapacity) {
+    windows_.pop_front();
+    ++windowsEvicted_;
+  }
+  for (const WindowObserver& observer : observers_)
+    if (observer) observer(*this);
+}
+
+std::size_t TimeSeriesPlane::observe(const MetricsSnapshot& cumulative,
+                                     std::uint64_t nowMs) {
+  if (!due(nowMs)) return 0;
+  closeWindow(cumulative, nowMs);
+  openWindowId_ = nowMs / options_.intervalMs;
+  return 1;
+}
+
+void TimeSeriesPlane::flush(const MetricsSnapshot& cumulative,
+                            std::uint64_t nowMs) {
+  if (!enabled()) return;
+  const MetricsSnapshot remainder = snapshotDelta(baseline_, cumulative);
+  if (remainder.empty()) return;
+  closeWindow(cumulative, nowMs);
+  openWindowId_ = nowMs / options_.intervalMs + 1;
+}
+
+MetricsSnapshot TimeSeriesPlane::sumWindows() const {
+  MetricsSnapshot sum;
+  for (const WindowDelta& window : windows_) {
+    // Counters, histograms, and spans follow the merge rules exactly
+    // (sum / bucket-add / append); gauges must be last-window-wins rather
+    // than merge's max, so they are replaced wholesale afterwards.
+    MetricsSnapshot delta = window.delta;
+    delta.gauges.clear();
+    sum.merge(delta);
+    sum.gauges = window.delta.gauges;
+  }
+  return sum;
+}
+
+std::size_t TimeSeriesPlane::addWindowObserver(WindowObserver observer) {
+  observers_.push_back(std::move(observer));
+  return observers_.size() - 1;
+}
+
+void TimeSeriesPlane::removeWindowObserver(std::size_t slot) noexcept {
+  if (slot < observers_.size()) observers_[slot] = nullptr;
+}
+
+}  // namespace scarecrow::obs

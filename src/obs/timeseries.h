@@ -1,0 +1,146 @@
+// Streaming telemetry: windowed MetricsSnapshot deltas on the virtual
+// clock (DESIGN.md §13).
+//
+// Every observability surface built so far is point-in-time: a
+// MetricsSnapshot describes "now", and a long-running corpus service would
+// be blind between the moments someone asks. TimeSeriesPlane makes time a
+// first-class axis: it watches the cumulative registry snapshot and, every
+// `intervalMs` of *virtual* time, closes a window holding the delta since
+// the previous close — counter increments, per-bucket histogram growth,
+// end-of-window gauge values, and the spans completed inside the window.
+//
+// Windows are identified by `startMs / intervalMs`, so two identical runs
+// produce identical window ids and identical deltas: the stream obeys the
+// same byte-determinism contract (§7) as every other obs export. Closed
+// windows live in a bounded ring (oldest evicted first, eviction counted);
+// the SLO engine (slo.h) and the run ledger (ledger.h) subscribe via
+// window observers and see each window exactly once.
+//
+// The partition property the tests pin down: summing every closed window's
+// delta (plus the still-open remainder) reproduces the cumulative snapshot
+// exactly — counters and histogram buckets by addition, gauges by
+// last-window-wins, spans by concatenation. Nothing is lost between
+// windows and nothing is double-counted.
+//
+// Hot-path contract: `due(nowMs)` is one flag test plus one compare, so
+// per-dispatch callers (DeceptionEngine::noteDispatch) pay nothing until a
+// window boundary actually passes; only then is a registry snapshot taken.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace scarecrow::obs {
+
+struct TimeSeriesOptions {
+  /// Virtual-clock window length; 0 disables the plane entirely.
+  std::uint64_t intervalMs = 0;
+  /// Closed windows retained; older windows are evicted (and counted).
+  std::size_t windowCapacity = 64;
+};
+
+/// One closed window: the telemetry delta for [startMs, endMs). The delta
+/// covers everything recorded up to the observation that closed the window
+/// — when observations are sparse, activity from intervening empty windows
+/// is attributed to the last window that had an observation due.
+struct WindowDelta {
+  /// startMs / intervalMs — deterministic for identical runs.
+  std::uint64_t windowId = 0;
+  std::uint64_t startMs = 0;
+  std::uint64_t endMs = 0;  // exclusive: startMs + intervalMs
+  /// Virtual-clock time of the observation that closed this window.
+  std::uint64_t observedMs = 0;
+  /// Counters/histograms: increments since the previous close. Gauges:
+  /// value at close. Spans: completed since the previous close.
+  MetricsSnapshot delta;
+};
+
+/// Environment default for Config-less callers: SCARECROW_TS_WINDOW_MS as
+/// an interval in virtual milliseconds (unset/0/garbage = disabled). Read
+/// once, cached.
+std::uint64_t timeSeriesEnvWindowMs() noexcept;
+
+/// Counter/histogram/gauge/span delta of `current` against `base`,
+/// identity by identity. A counter (or histogram count) that shrank means
+/// the registry was cleared between the two snapshots — the delta restarts
+/// from zero instead of going negative, so a plane that spans
+/// Machine::resetTelemetry keeps monotone windows.
+MetricsSnapshot snapshotDelta(const MetricsSnapshot& base,
+                              const MetricsSnapshot& current);
+
+class TimeSeriesPlane {
+ public:
+  using WindowObserver = std::function<void(const TimeSeriesPlane&)>;
+
+  /// Disabled unless SCARECROW_TS_WINDOW_MS is set in the environment.
+  TimeSeriesPlane() {
+    if (const std::uint64_t ms = timeSeriesEnvWindowMs(); ms != 0)
+      configure({.intervalMs = ms});
+  }
+
+  TimeSeriesPlane(const TimeSeriesPlane&) = delete;
+  TimeSeriesPlane& operator=(const TimeSeriesPlane&) = delete;
+
+  /// Re-arms the plane: drops every window and the cumulative baseline,
+  /// keeps registered observers. intervalMs == 0 disables.
+  void configure(TimeSeriesOptions options);
+
+  bool enabled() const noexcept { return options_.intervalMs != 0; }
+  std::uint64_t intervalMs() const noexcept { return options_.intervalMs; }
+
+  /// The hot-path predicate: true when an observation at `nowMs` would
+  /// close at least one window. One compare; no snapshot taken.
+  bool due(std::uint64_t nowMs) const noexcept {
+    return enabled() && nowMs / options_.intervalMs > openWindowId_;
+  }
+
+  /// Feeds the cumulative snapshot at `nowMs`. Closes the open window when
+  /// `nowMs` has moved past its end (windows with no due observation are
+  /// skipped — their activity folds into the closed one). Returns the
+  /// number of windows closed (0 or 1).
+  std::size_t observe(const MetricsSnapshot& cumulative, std::uint64_t nowMs);
+
+  /// Closes the open window unconditionally (end-of-run flush), so the
+  /// final partial window reaches the observers too. No-op when nothing
+  /// was recorded since the last close.
+  void flush(const MetricsSnapshot& cumulative, std::uint64_t nowMs);
+
+  /// Closed windows, oldest retained first (bounded ring).
+  const std::deque<WindowDelta>& windows() const noexcept { return windows_; }
+  /// Total windows ever closed (evicted ones included).
+  std::uint64_t windowsClosed() const noexcept { return windowsClosed_; }
+  std::uint64_t windowsEvicted() const noexcept { return windowsEvicted_; }
+
+  /// Cumulative snapshot at the last close — the baseline the next delta
+  /// is computed against.
+  const MetricsSnapshot& baseline() const noexcept { return baseline_; }
+
+  /// Sum of every *retained* window delta: counters and histogram buckets
+  /// added, gauges last-window-wins, spans concatenated. When no window
+  /// was evicted and the plane was flushed, this equals the last observed
+  /// cumulative snapshot exactly (the partition property).
+  MetricsSnapshot sumWindows() const;
+
+  /// Registers a callback invoked after every window close (SLO engine,
+  /// ledger). Returns a slot usable with removeWindowObserver.
+  std::size_t addWindowObserver(WindowObserver observer);
+  void removeWindowObserver(std::size_t slot) noexcept;
+  void clearWindowObservers() noexcept { observers_.clear(); }
+
+ private:
+  void closeWindow(const MetricsSnapshot& cumulative, std::uint64_t nowMs);
+
+  TimeSeriesOptions options_;
+  std::uint64_t openWindowId_ = 0;
+  MetricsSnapshot baseline_;
+  std::deque<WindowDelta> windows_;
+  std::uint64_t windowsClosed_ = 0;
+  std::uint64_t windowsEvicted_ = 0;
+  std::vector<WindowObserver> observers_;
+};
+
+}  // namespace scarecrow::obs

@@ -13,6 +13,7 @@
 #include "obs/flight_recorder.h"
 #include "obs/hot_timer.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "support/clock.h"
 #include "trace/recorder.h"
 #include "winsys/eventlog.h"
@@ -98,6 +99,14 @@ class Machine {
   /// with hotTimers().snapshot() (see DESIGN.md §12).
   obs::HotTimerPlane& hotTimers() const noexcept { return hotTimers_; }
 
+  /// Windowed telemetry stream for this box: periodic MetricsSnapshot
+  /// deltas on the virtual clock (DESIGN.md §13). Disabled unless
+  /// configured (Config::telemetryWindowMs or SCARECROW_TS_WINDOW_MS);
+  /// a disabled plane costs one flag test per tick. Survives restore()
+  /// like the other telemetry surfaces; EvaluationHarness re-configures
+  /// it per run so window ids stay a pure function of the run.
+  obs::TimeSeriesPlane& timeSeries() const noexcept { return timeSeries_; }
+
   /// Wipes both telemetry ledgers: destroys every metric identity
   /// (MetricsRegistry::clear, not reset — zero-valued leftovers from
   /// earlier evaluations would otherwise leak into later snapshots) and
@@ -142,6 +151,7 @@ class Machine {
   // Mutable so const phases (snapshot) can record their own spans.
   mutable obs::MetricsRegistry metrics_;
   mutable obs::HotTimerPlane hotTimers_;
+  mutable obs::TimeSeriesPlane timeSeries_;
   obs::FlightRecorder flight_;
 };
 

@@ -1,0 +1,198 @@
+// Fleet-scale streaming telemetry: an 8-worker BatchEvaluator streams run
+// / window / worker / breach records into the JSONL ledger, and the ledger
+// alone reconstructs the corpus-level telemetry byte-identically to
+// BatchEvaluator::mergedTelemetry(). Also pins the drop-counter merge
+// contract (obs.decisions_dropped, ipc.messages_dropped survive the
+// 8-way fold) and the clean-run guarantee: with the plane disabled,
+// telemetry stays byte-deterministic and free of any §13 artifact.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/batch.h"
+#include "core/eval.h"
+#include "env/environments.h"
+#include "malware/joe.h"
+#include "obs/export.h"
+#include "obs/ledger.h"
+#include "obs/metrics.h"
+
+namespace {
+
+using namespace scarecrow;
+using obs::LedgerRecord;
+using obs::LedgerRecordKind;
+
+std::vector<core::EvalRequest> joeCorpus(
+    const malware::ProgramRegistry& registry,
+    const std::vector<malware::JoeExpectation>& expected) {
+  std::vector<core::EvalRequest> requests;
+  for (const auto& row : expected)
+    requests.push_back({.sampleId = row.idPrefix,
+                        .imagePath = "C:\\submissions\\" + row.idPrefix +
+                                     ".exe",
+                        .factory = registry.factory()});
+  return requests;
+}
+
+TEST(FleetObs, LedgerReconstructsMergedTelemetryByteIdentically) {
+  malware::ProgramRegistry registry;
+  const auto expected = malware::registerJoeSamples(registry);
+  std::vector<core::EvalRequest> requests = joeCorpus(registry, expected);
+  for (core::EvalRequest& request : requests) {
+    // Arm the plane and a breach-prone rule so all four record kinds
+    // stream: runs, windows, worker snapshots, and breaches.
+    request.config.telemetryWindowMs = 10'000;
+    request.config.sloSpec = "engine.alerts:count<1";
+  }
+
+  const std::string path = testing::TempDir() + "fleet_obs_ledger.jsonl";
+  std::remove(path.c_str());
+
+  core::BatchOptions options;
+  options.workerCount = 8;
+  options.ledgerPath = path;
+  options.ledgerShard = "shard-0";
+  core::BatchEvaluator batch([] { return env::buildBareMetalSandbox(); },
+                             options);
+  ASSERT_NE(batch.ledger(), nullptr);
+  const std::vector<core::BatchResult> results = batch.evaluateAll(requests);
+  ASSERT_EQ(results.size(), requests.size());
+  for (std::size_t i = 0; i < results.size(); ++i)
+    ASSERT_TRUE(results[i].ok())
+        << requests[i].sampleId << ": " << results[i].error;
+
+  const std::vector<LedgerRecord> records = obs::readLedgerFile(path);
+  EXPECT_EQ(records.size(), batch.ledger()->recordsWritten());
+
+  std::size_t runs = 0, windows = 0, workers = 0, breaches = 0;
+  for (const LedgerRecord& record : records) {
+    EXPECT_EQ(record.shard, "shard-0");
+    switch (record.kind) {
+      case LedgerRecordKind::kRun: ++runs; break;
+      case LedgerRecordKind::kWindow: ++windows; break;
+      case LedgerRecordKind::kWorker: ++workers; break;
+      case LedgerRecordKind::kBreach: ++breaches; break;
+    }
+  }
+  EXPECT_EQ(runs, requests.size());
+  EXPECT_EQ(workers, 8u);
+  EXPECT_GT(windows, 0u);
+  std::size_t expectedBreaches = 0;
+  for (const core::BatchResult& result : results)
+    expectedBreaches += result.outcome.sloBreaches.size();
+  EXPECT_GT(expectedBreaches, 0u);
+  EXPECT_EQ(breaches, expectedBreaches);
+
+  // The acceptance gate: telemetry rebuilt from the ledger file alone is
+  // byte-identical to the in-process corpus merge.
+  const obs::Exporter json(obs::ExportFormat::kJson);
+  EXPECT_EQ(json.render(obs::reconstructFleetTelemetry(records)),
+            json.render(batch.mergedTelemetry()));
+  std::remove(path.c_str());
+}
+
+TEST(FleetObs, RunRecordsCarryVerdictsAndCorrelations) {
+  malware::ProgramRegistry registry;
+  const auto expected = malware::registerJoeSamples(registry);
+  std::vector<core::EvalRequest> requests = joeCorpus(registry, expected);
+  requests.resize(4);  // a slice is enough for the per-run field contract
+
+  const std::string path = testing::TempDir() + "fleet_obs_runs.jsonl";
+  std::remove(path.c_str());
+  core::BatchOptions options;
+  options.workerCount = 2;
+  options.ledgerPath = path;
+  core::BatchEvaluator batch([] { return env::buildBareMetalSandbox(); },
+                             options);
+  const std::vector<core::BatchResult> results = batch.evaluateAll(requests);
+
+  std::vector<const LedgerRecord*> runs;
+  const std::vector<LedgerRecord> records = obs::readLedgerFile(path);
+  for (const LedgerRecord& record : records)
+    if (record.kind == LedgerRecordKind::kRun) runs.push_back(&record);
+  ASSERT_EQ(runs.size(), requests.size());
+  for (const LedgerRecord* run : runs) {
+    ASSERT_LT(run->requestIndex, results.size());
+    const core::BatchResult& result = results[run->requestIndex];
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(run->sampleId, requests[run->requestIndex].sampleId);
+    EXPECT_EQ(run->status, "ok");
+    EXPECT_EQ(run->attempts, result.attempts);
+    EXPECT_EQ(run->workerIndex, result.workerIndex);
+    EXPECT_EQ(run->correlationId, result.outcome.attribution.correlationId);
+    EXPECT_EQ(run->verdict, result.outcome.verdict.deactivated
+                                ? "deactivated"
+                                : "not-deactivated");
+    EXPECT_EQ(run->firstTrigger, result.outcome.verdict.firstTrigger);
+  }
+  std::remove(path.c_str());
+}
+
+// Satellite contract: the loss counters survive the 8-way worker fold —
+// the fleet total equals the sum of every sample's own count, so merged
+// dashboards never under-report drops.
+TEST(FleetObs, DropCountersSurviveEightWorkerMerge) {
+  malware::ProgramRegistry registry;
+  const auto expected = malware::registerJoeSamples(registry);
+  std::vector<core::EvalRequest> requests = joeCorpus(registry, expected);
+  for (core::EvalRequest& request : requests) {
+    // Tiny bounds force both loss paths on every sample.
+    request.config.flightRecorderCapacity = 8;
+    request.config.ipcQueueCapacity = 1;
+  }
+
+  core::BatchOptions options;
+  options.workerCount = 8;
+  core::BatchEvaluator batch([] { return env::buildBareMetalSandbox(); },
+                             options);
+  const std::vector<core::BatchResult> results = batch.evaluateAll(requests);
+
+  std::uint64_t decisionsDropped = 0, ipcDropped = 0;
+  for (const core::BatchResult& result : results) {
+    ASSERT_TRUE(result.ok()) << result.error;
+    decisionsDropped +=
+        result.outcome.telemetry.counterValue("obs.decisions_dropped");
+    // The channel labels every drop with its cause; capacity is the only
+    // one a bounded queue produces without a fault plan.
+    ipcDropped += result.outcome.telemetry.counterValue("ipc.messages_dropped",
+                                                        "capacity");
+  }
+  EXPECT_GT(decisionsDropped, 0u);
+  EXPECT_GT(ipcDropped, 0u);
+
+  const obs::MetricsSnapshot merged = batch.mergedTelemetry();
+  EXPECT_EQ(merged.counterValue("obs.decisions_dropped"), decisionsDropped);
+  EXPECT_EQ(merged.counterValue("ipc.messages_dropped", "capacity"),
+            ipcDropped);
+}
+
+// With the plane disabled (no window interval, no SLO, no ledger) the
+// telemetry contract is exactly the pre-§13 one: byte-deterministic
+// exports with no streaming artifacts in them.
+TEST(FleetObs, CleanRunTelemetryHasNoStreamingArtifacts) {
+  malware::ProgramRegistry registry;
+  const auto expected = malware::registerJoeSamples(registry);
+  ASSERT_FALSE(expected.empty());
+  const core::EvalRequest request{
+      .sampleId = expected.front().idPrefix,
+      .imagePath = "C:\\submissions\\" + expected.front().idPrefix + ".exe",
+      .factory = registry.factory()};
+
+  auto machine = env::buildBareMetalSandbox();
+  core::EvaluationHarness harness(*machine);
+  const core::EvalOutcome first = harness.evaluate(request);
+  const core::EvalOutcome second = harness.evaluate(request);
+
+  EXPECT_EQ(first.telemetryJson, second.telemetryJson);
+  EXPECT_EQ(first.perfettoJson, second.perfettoJson);
+  EXPECT_EQ(first.telemetryJson.find("obs.slo_breach"), std::string::npos);
+  EXPECT_TRUE(first.sloBreaches.empty());
+  for (const obs::DecisionEvent& event : first.decisions)
+    EXPECT_NE(event.kind, obs::DecisionKind::kSloBreach);
+}
+
+}  // namespace

@@ -1,0 +1,286 @@
+// Run ledger (obs/ledger.h, schema scarecrow.ledger.v1): golden line
+// bytes, render/parse round-trips for all four record kinds, crash-tail
+// tolerance of the reader, size-based rotation, and the (shard, worker)
+// fold order of reconstructFleetTelemetry.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/ledger.h"
+#include "obs/metrics.h"
+
+namespace {
+
+using namespace scarecrow;
+using obs::LedgerRecord;
+using obs::LedgerRecordKind;
+using obs::LedgerWriter;
+using obs::MetricsSnapshot;
+
+std::string tempPath(const std::string& name) {
+  return testing::TempDir() + name;
+}
+
+void writeFile(const std::string& path, const std::string& contents) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr) << path;
+  ASSERT_EQ(std::fwrite(contents.data(), 1, contents.size(), f),
+            contents.size());
+  std::fclose(f);
+}
+
+LedgerRecord sampleRunRecord() {
+  LedgerRecord r;
+  r.kind = LedgerRecordKind::kRun;
+  r.shard = "shard-0";
+  r.requestIndex = 3;
+  r.sampleId = "564ac87";
+  r.status = "ok";
+  r.attempts = 1;
+  r.workerIndex = 2;
+  r.correlationId = 7;
+  r.verdict = "deactivated";
+  r.firstTrigger = "IsDebuggerPresent";
+  r.protection = "full-deception";
+  r.faultsInjected = 2;
+  r.injectRetries = 1;
+  r.quarantinedHooks = 0;
+  r.missedDescendants = 0;
+  r.reinjectedDescendants = 0;
+  r.ipcMessagesDropped = 4;
+  r.virtualMs = 60'000;
+  r.hotTimers.push_back({"hot.hook_dispatch_ns", 120, 400, 900});
+  return r;
+}
+
+TEST(Ledger, RecordKindNamesRoundTrip) {
+  for (std::size_t i = 0; i < obs::kLedgerRecordKindCount; ++i) {
+    const auto kind = static_cast<LedgerRecordKind>(i);
+    const auto back = obs::ledgerRecordKindFromName(obs::ledgerRecordKindName(kind));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, kind);
+  }
+  EXPECT_FALSE(obs::ledgerRecordKindFromName("rollback").has_value());
+}
+
+// The run-record golden: one exact line, so any accidental key reorder,
+// added field, or float leak breaks loudly here.
+TEST(Ledger, RunRecordGoldenBytes) {
+  EXPECT_EQ(
+      obs::renderLedgerRecord(sampleRunRecord()),
+      "{\"schema\":\"scarecrow.ledger.v1\",\"kind\":\"run\","
+      "\"shard\":\"shard-0\",\"request_index\":3,\"sample_id\":\"564ac87\","
+      "\"status\":\"ok\",\"attempts\":1,\"worker_index\":2,"
+      "\"correlation_id\":7,\"verdict\":\"deactivated\","
+      "\"first_trigger\":\"IsDebuggerPresent\","
+      "\"protection\":\"full-deception\",\"faults_injected\":2,"
+      "\"inject_retries\":1,\"quarantined_hooks\":0,"
+      "\"missed_descendants\":0,\"reinjected_descendants\":0,"
+      "\"ipc_messages_dropped\":4,\"virtual_ms\":60000,"
+      "\"hot\":[{\"name\":\"hot.hook_dispatch_ns\",\"p50\":120,"
+      "\"p95\":400,\"p99\":900}]}");
+}
+
+TEST(Ledger, BreachRecordGoldenBytes) {
+  LedgerRecord r;
+  r.kind = LedgerRecordKind::kBreach;
+  r.shard = "shard-1";
+  r.windowId = 5;
+  r.rule = "inject.failures{fault}:count<1";
+  r.observed = "2";
+  r.threshold = "1";
+  EXPECT_EQ(obs::renderLedgerRecord(r),
+            "{\"schema\":\"scarecrow.ledger.v1\",\"kind\":\"breach\","
+            "\"shard\":\"shard-1\",\"window_id\":5,"
+            "\"rule\":\"inject.failures{fault}:count<1\","
+            "\"observed\":\"2\",\"threshold\":\"1\"}");
+}
+
+MetricsSnapshot sampleSnapshot() {
+  MetricsSnapshot snapshot;
+  snapshot.counters.push_back({"engine.alerts", "", 3});
+  snapshot.counters.push_back({"inject.failures", "fault", 2});
+  snapshot.gauges.push_back({"ipc.queue_depth", "", -1});
+  obs::HistogramSample h;
+  h.name = "phase_ms";
+  h.label = "inject";
+  h.bounds = {1, 10, 100};
+  h.counts = {0, 2, 1, 0};
+  h.count = 3;
+  h.sum = 57;
+  h.min = 4;
+  h.max = 45;
+  h.p50 = 10;
+  h.p95 = 100;
+  h.p99 = 100;
+  snapshot.histograms.push_back(std::move(h));
+  snapshot.spans.push_back({"execute \"quoted\"", 1, 40, 20});
+  return snapshot;
+}
+
+TEST(Ledger, WindowAndWorkerRecordsRoundTrip) {
+  for (const LedgerRecordKind kind :
+       {LedgerRecordKind::kWindow, LedgerRecordKind::kWorker}) {
+    LedgerRecord r;
+    r.kind = kind;
+    r.shard = "shard-2";
+    r.windowId = 11;
+    r.startMs = 1100;
+    r.endMs = 1200;
+    r.workerIndex = 6;
+    r.snapshot = sampleSnapshot();
+
+    const std::string line = obs::renderLedgerRecord(r);
+    const auto parsed = obs::parseLedgerRecord(line);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->kind, kind);
+    EXPECT_EQ(parsed->shard, "shard-2");
+    if (kind == LedgerRecordKind::kWindow) {
+      EXPECT_EQ(parsed->windowId, 11u);
+      EXPECT_EQ(parsed->startMs, 1100u);
+      EXPECT_EQ(parsed->endMs, 1200u);
+    } else {
+      EXPECT_EQ(parsed->workerIndex, 6u);
+    }
+    EXPECT_EQ(parsed->snapshot.counterValue("inject.failures", "fault"), 2u);
+    EXPECT_EQ(parsed->snapshot.gauges[0].value, -1);
+    ASSERT_EQ(parsed->snapshot.histograms.size(), 1u);
+    EXPECT_EQ(parsed->snapshot.histograms[0].counts,
+              (std::vector<std::uint64_t>{0, 2, 1, 0}));
+    ASSERT_EQ(parsed->snapshot.spans.size(), 1u);
+    EXPECT_EQ(parsed->snapshot.spans[0].name, "execute \"quoted\"");
+
+    // Parse → render is the identity: the parsed struct reproduces the
+    // original bytes, so reconstruction never drifts from what was written.
+    EXPECT_EQ(obs::renderLedgerRecord(*parsed), line);
+  }
+}
+
+TEST(Ledger, RunRecordRoundTripsThroughParse) {
+  const std::string line = obs::renderLedgerRecord(sampleRunRecord());
+  const auto parsed = obs::parseLedgerRecord(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->sampleId, "564ac87");
+  EXPECT_EQ(parsed->correlationId, 7u);
+  EXPECT_EQ(parsed->ipcMessagesDropped, 4u);
+  ASSERT_EQ(parsed->hotTimers.size(), 1u);
+  EXPECT_EQ(parsed->hotTimers[0].p99, 900u);
+  EXPECT_EQ(obs::renderLedgerRecord(*parsed), line);
+}
+
+TEST(Ledger, ParserRejectsTornForeignAndFutureLines) {
+  const std::string line = obs::renderLedgerRecord(sampleRunRecord());
+  // Every proper prefix is a torn crash tail; none may parse.
+  for (const std::size_t cut : {line.size() - 1, line.size() / 2,
+                                std::size_t{1}})
+    EXPECT_FALSE(obs::parseLedgerRecord(line.substr(0, cut)).has_value());
+  EXPECT_FALSE(obs::parseLedgerRecord("not json").has_value());
+  EXPECT_FALSE(obs::parseLedgerRecord("{\"schema\":\"scarecrow.ledger.v2\","
+                                      "\"kind\":\"run\",\"shard\":\"\"}")
+                   .has_value());
+  EXPECT_FALSE(
+      obs::parseLedgerRecord("{\"schema\":\"scarecrow.ledger.v1\","
+                             "\"kind\":\"rollback\",\"shard\":\"\"}")
+          .has_value());
+  EXPECT_FALSE(obs::parseLedgerRecord(line + " trailing").has_value());
+}
+
+TEST(Ledger, ReaderSkipsBlankForeignAndTornLines) {
+  const std::string path = tempPath("ledger_reader_test.jsonl");
+  const std::string good = obs::renderLedgerRecord(sampleRunRecord());
+  LedgerRecord breach;
+  breach.kind = LedgerRecordKind::kBreach;
+  breach.rule = "engine.alerts:count<1";
+  writeFile(path, good + "\n" +
+                      "\n" +                         // blank
+                      "{\"other\":\"format\"}\n" +   // foreign
+                      obs::renderLedgerRecord(breach) + "\n" +
+                      good.substr(0, good.size() / 2));  // torn crash tail
+
+  const std::vector<LedgerRecord> records = obs::readLedgerFile(path);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].kind, LedgerRecordKind::kRun);
+  EXPECT_EQ(records[1].kind, LedgerRecordKind::kBreach);
+  std::remove(path.c_str());
+
+  EXPECT_TRUE(obs::readLedgerFile(tempPath("ledger_missing.jsonl")).empty());
+}
+
+TEST(Ledger, WriterAppendsLineAtomicRecordsAndInheritsShard) {
+  const std::string path = tempPath("ledger_writer_test.jsonl");
+  std::remove(path.c_str());
+  {
+    LedgerWriter writer({.path = path, .shard = "shard-9"});
+    LedgerRecord r = sampleRunRecord();
+    r.shard.clear();  // inherits the writer's shard
+    ASSERT_TRUE(writer.append(r));
+    r.shard = "explicit";  // a per-record shard wins
+    ASSERT_TRUE(writer.append(r));
+    EXPECT_EQ(writer.recordsWritten(), 2u);
+    EXPECT_EQ(writer.rotations(), 0u);
+  }
+  const std::vector<LedgerRecord> records = obs::readLedgerFile(path);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].shard, "shard-9");
+  EXPECT_EQ(records[1].shard, "explicit");
+  std::remove(path.c_str());
+}
+
+TEST(Ledger, RotationShiftsGenerationsAndDropsTheOldest) {
+  const std::string path = tempPath("ledger_rotate_test.jsonl");
+  for (const std::string& p :
+       {path, path + ".1", path + ".2", path + ".3"})
+    std::remove(p.c_str());
+
+  LedgerRecord r;
+  r.kind = LedgerRecordKind::kBreach;
+  r.rule = "engine.alerts:count<1";
+  r.observed = "3";
+  r.threshold = "1";
+  const std::string line = obs::renderLedgerRecord(r) + "\n";
+
+  // Two lines fit per generation; ten appends force four rotations.
+  LedgerWriter writer({.path = path,
+                       .maxBytes = 2 * line.size(),
+                       .maxRotatedFiles = 2});
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(writer.append(r));
+  EXPECT_EQ(writer.recordsWritten(), 10u);
+  EXPECT_EQ(writer.rotations(), 4u);
+
+  // Live file + two generations retained, the oldest generations dropped.
+  EXPECT_EQ(obs::readLedgerFile(path).size(), 2u);
+  EXPECT_EQ(obs::readLedgerFile(path + ".1").size(), 2u);
+  EXPECT_EQ(obs::readLedgerFile(path + ".2").size(), 2u);
+  EXPECT_TRUE(obs::readLedgerFile(path + ".3").empty());
+  for (const std::string& p : {path, path + ".1", path + ".2"})
+    std::remove(p.c_str());
+}
+
+TEST(Ledger, ReconstructionFoldsWorkersShardMajorInWorkerOrder) {
+  // Spans make the fold order visible: merge concatenates them.
+  const auto worker = [](const std::string& shard, std::uint64_t index) {
+    LedgerRecord r;
+    r.kind = LedgerRecordKind::kWorker;
+    r.shard = shard;
+    r.workerIndex = index;
+    r.snapshot.counters.push_back({"batch.requests", "", 1});
+    r.snapshot.spans.push_back({shard + "/w" + std::to_string(index), 0, 0, 1});
+    return r;
+  };
+  // Deliberately out of order: reconstruction must sort, not trust the file.
+  const std::vector<LedgerRecord> records = {
+      worker("shard-1", 0), worker("shard-0", 1), worker("shard-0", 0),
+      sampleRunRecord()};  // non-worker records are ignored
+
+  const MetricsSnapshot fleet = obs::reconstructFleetTelemetry(records);
+  EXPECT_EQ(fleet.counterValue("batch.requests"), 3u);
+  ASSERT_EQ(fleet.spans.size(), 3u);
+  EXPECT_EQ(fleet.spans[0].name, "shard-0/w0");
+  EXPECT_EQ(fleet.spans[1].name, "shard-0/w1");
+  EXPECT_EQ(fleet.spans[2].name, "shard-1/w0");
+}
+
+}  // namespace

@@ -1,0 +1,348 @@
+// SloEngine (obs/slo.h): the rule grammar, fixed-point milli rendering,
+// per-aggregate breach evaluation against hand-built windows, the triple
+// breach emission (counter + kSloBreach event + action), burn-rate
+// fast/slow pairing, and the end-to-end acceptance path — a seeded fault
+// plan provably trips a breach through EvaluationHarness and can arm the
+// degradation ladder.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/eval.h"
+#include "env/environments.h"
+#include "faults/fault_plan.h"
+#include "malware/joe.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
+
+namespace {
+
+using namespace scarecrow;
+using obs::MetricsRegistry;
+using obs::SloAggregate;
+using obs::SloComparison;
+using obs::SloEngine;
+using obs::SloRateUnit;
+using obs::SloRule;
+using obs::TimeSeriesPlane;
+
+TEST(SloParse, GrammarCoversEveryAggregate) {
+  SloRule rule = SloEngine::parseRule("hot.hook_dispatch_ns:p50<2000");
+  EXPECT_EQ(rule.metric, "hot.hook_dispatch_ns");
+  EXPECT_TRUE(rule.label.empty());
+  EXPECT_EQ(rule.aggregate, SloAggregate::kP50);
+  EXPECT_EQ(rule.comparison, SloComparison::kLess);
+  EXPECT_EQ(rule.thresholdMilli, 2'000'000);
+  EXPECT_EQ(rule.spec, "hot.hook_dispatch_ns:p50<2000");
+
+  rule = SloEngine::parseRule("inject.failures{fault}:count<1");
+  EXPECT_EQ(rule.metric, "inject.failures");
+  EXPECT_EQ(rule.label, "fault");
+  EXPECT_EQ(rule.aggregate, SloAggregate::kCount);
+  EXPECT_EQ(rule.thresholdMilli, 1000);
+
+  rule = SloEngine::parseRule("inject.failures:rate<0.01/window");
+  EXPECT_EQ(rule.aggregate, SloAggregate::kRate);
+  EXPECT_EQ(rule.rateUnit, SloRateUnit::kPerWindow);
+  EXPECT_EQ(rule.thresholdMilli, 10);
+
+  rule = SloEngine::parseRule("engine.alerts:rate>1.5/s");
+  EXPECT_EQ(rule.rateUnit, SloRateUnit::kPerSecond);
+  EXPECT_EQ(rule.comparison, SloComparison::kGreater);
+  EXPECT_EQ(rule.thresholdMilli, 1500);
+
+  rule = SloEngine::parseRule("ipc.messages_dropped:burn<20,fast=2,slow=6");
+  EXPECT_EQ(rule.aggregate, SloAggregate::kBurn);
+  EXPECT_EQ(rule.fastWindows, 2u);
+  EXPECT_EQ(rule.slowWindows, 6u);
+  EXPECT_EQ(rule.thresholdMilli, 20'000);
+
+  // Burn options bind in either order.
+  rule = SloEngine::parseRule("x:burn<1,slow=4,fast=1");
+  EXPECT_EQ(rule.fastWindows, 1u);
+  EXPECT_EQ(rule.slowWindows, 4u);
+
+  EXPECT_EQ(SloEngine::parseRule("phase_ms:sum<500").aggregate,
+            SloAggregate::kSum);
+  EXPECT_EQ(SloEngine::parseRule("phase_ms:p95<100").aggregate,
+            SloAggregate::kP95);
+  EXPECT_EQ(SloEngine::parseRule("phase_ms:p99<100").aggregate,
+            SloAggregate::kP99);
+  EXPECT_EQ(SloEngine::parseRule("phase_ms:max<100").aggregate,
+            SloAggregate::kMax);
+}
+
+TEST(SloParse, MalformedSpecsThrow) {
+  const std::vector<std::string> bad = {
+      "",                                // no colon
+      "justametric",                     // no colon
+      ":count<1",                        // empty metric
+      "{fault}:count<1",                 // empty metric with label
+      "m{:count<1",                      // malformed label
+      "m:frobnicate<1",                  // unknown aggregate
+      "m:count",                         // no bound
+      "m:count<",                        // empty threshold
+      "m:count<abc",                     // non-numeric threshold
+      "m:count<1.0001",                  // finer than milli precision
+      "m:count<1,fast=2,slow=3",         // fast/slow on a non-burn rule
+      "m:burn<1",                        // burn without lookbacks
+      "m:burn<1,fast=3,slow=2",          // fast exceeds slow
+      "m:burn<1,fast=0,slow=2",          // zero lookback
+      "m:burn<1,fast=x,slow=2",          // malformed lookback
+  };
+  for (const std::string& spec : bad)
+    EXPECT_THROW(SloEngine::parseRule(spec), std::invalid_argument) << spec;
+}
+
+TEST(SloParse, RuleListsSplitOnSemicolons) {
+  const std::vector<SloRule> rules = SloEngine::parseRules(
+      "inject.failures:count<1; hot.hook_dispatch_ns:p50<2000 ;;");
+  ASSERT_EQ(rules.size(), 2u);
+  EXPECT_EQ(rules[0].metric, "inject.failures");
+  EXPECT_EQ(rules[1].metric, "hot.hook_dispatch_ns");
+  EXPECT_TRUE(SloEngine::parseRules("  ;; ").empty());
+  EXPECT_THROW(SloEngine::parseRules("ok:count<1;broken"),
+               std::invalid_argument);
+}
+
+TEST(Slo, RenderMilliIsFixedPoint) {
+  EXPECT_EQ(obs::renderMilli(2'000'000), "2000");
+  EXPECT_EQ(obs::renderMilli(1500), "1.5");
+  EXPECT_EQ(obs::renderMilli(10), "0.01");
+  EXPECT_EQ(obs::renderMilli(1), "0.001");
+  EXPECT_EQ(obs::renderMilli(0), "0");
+  EXPECT_EQ(obs::renderMilli(-1500), "-1.5");
+}
+
+TEST(Slo, CountBreachTicksCounterEventAndAction) {
+  TimeSeriesPlane plane;
+  plane.configure({.intervalMs = 100});
+  MetricsRegistry registry;
+  obs::FlightRecorder flight;
+
+  SloEngine engine;
+  engine.addRules("inject.failures:count<1");
+  engine.bind(&registry, &flight);
+  std::vector<obs::SloBreach> acted;
+  engine.setBreachAction(
+      [&acted](const obs::SloBreach& breach) { acted.push_back(breach); });
+
+  registry.counter("inject.failures").inc(2);
+  plane.observe(registry.snapshot(), 150);
+  const auto fired = engine.onWindowClosed(plane, 150);
+
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].rule, "inject.failures:count<1");
+  EXPECT_EQ(fired[0].metric, "inject.failures");
+  EXPECT_EQ(fired[0].windowId, 0u);
+  EXPECT_EQ(fired[0].observedMilli, 2000);
+  EXPECT_EQ(fired[0].thresholdMilli, 1000);
+
+  // Loud three ways: the labelled counter, the decision event, the action.
+  EXPECT_EQ(registry.snapshot().counterValue("obs.slo_breach",
+                                             "inject.failures:count<1"),
+            1u);
+  const auto events = flight.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, obs::DecisionKind::kSloBreach);
+  EXPECT_EQ(events[0].api, "inject.failures");
+  EXPECT_EQ(events[0].argument, "inject.failures:count<1");
+  EXPECT_EQ(events[0].value, "2");
+  EXPECT_EQ(events[0].matched, "1");
+  EXPECT_EQ(events[0].link, "window-0");
+  ASSERT_EQ(acted.size(), 1u);
+  EXPECT_EQ(acted[0].windowId, 0u);
+
+  // The same window is never evaluated twice.
+  EXPECT_TRUE(engine.onWindowClosed(plane, 160).empty());
+  EXPECT_EQ(engine.breaches().size(), 1u);
+}
+
+TEST(Slo, HealthyWindowsStayQuiet) {
+  TimeSeriesPlane plane;
+  plane.configure({.intervalMs = 100});
+  MetricsRegistry registry;
+
+  SloEngine engine;
+  engine.addRules("inject.failures:count<3;engine.alerts:rate>0.5/window");
+  engine.bind(&registry, nullptr);
+
+  registry.counter("inject.failures").inc(2);  // under the count bound
+  registry.counter("engine.alerts").inc(5);    // over the rate floor
+  plane.observe(registry.snapshot(), 150);
+  EXPECT_TRUE(engine.onWindowClosed(plane, 150).empty());
+  EXPECT_EQ(registry.snapshot().counterValue(
+                "obs.slo_breach", "inject.failures:count<3"),
+            0u);
+}
+
+TEST(Slo, HistogramRulesReadTheWindowDelta) {
+  TimeSeriesPlane plane;
+  plane.configure({.intervalMs = 100});
+  MetricsRegistry registry;
+
+  SloEngine engine;
+  engine.addRules("lat:max<5;lat:p50<5");
+  engine.bind(&registry, nullptr);
+
+  registry.histogram("lat", "", {1, 2, 4, 8, 16}).observe(7);
+  plane.observe(registry.snapshot(), 150);
+  const auto fired = engine.onWindowClosed(plane, 150);
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0].rule, "lat:max<5");
+  EXPECT_EQ(fired[0].observedMilli, 7000);   // cumulative max
+  EXPECT_EQ(fired[1].rule, "lat:p50<5");
+  EXPECT_EQ(fired[1].observedMilli, 8000);   // bucket upper bound of 7
+
+  // A window with no new samples yields no observation at all — absent
+  // histograms are "no data", never a phantom zero breach for > rules.
+  registry.counter("unrelated").inc();
+  plane.observe(registry.snapshot(), 250);
+  EXPECT_TRUE(engine.onWindowClosed(plane, 250).empty());
+}
+
+TEST(Slo, RateRulesConvertPerWindowAndPerSecond) {
+  TimeSeriesPlane plane;
+  plane.configure({.intervalMs = 100});
+  MetricsRegistry registry;
+
+  SloEngine engine;
+  engine.addRules("drops:rate<1/window;drops:rate<25/s");
+  engine.bind(&registry, nullptr);
+
+  // Delta of 2 over a 100 ms window: 2/window, 20/s — the per-window rule
+  // breaches, the per-second one stays healthy.
+  registry.counter("drops").inc(2);
+  plane.observe(registry.snapshot(), 150);
+  const auto fired = engine.onWindowClosed(plane, 150);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].rule, "drops:rate<1/window");
+  EXPECT_EQ(fired[0].observedMilli, 2000);
+}
+
+TEST(Slo, BurnPairNeedsBothHorizonsBurning) {
+  MetricsRegistry registry;
+  const auto closeWindow = [&registry](TimeSeriesPlane& plane,
+                                       std::uint64_t delta,
+                                       std::uint64_t nowMs) {
+    registry.counter("drops").inc(delta);
+    // A heartbeat counter keeps every window non-trivial without touching
+    // the metric under test.
+    registry.counter("ticks").inc();
+    plane.observe(registry.snapshot(), nowMs);
+  };
+
+  // Sustained burn: 2 drops every 100 ms window = 20/s on both horizons.
+  {
+    TimeSeriesPlane plane;
+    plane.configure({.intervalMs = 100});
+    registry.clear();
+    SloEngine engine;
+    engine.addRules("drops:burn<20,fast=1,slow=3");
+    engine.bind(&registry, nullptr);
+
+    closeWindow(plane, 2, 150);
+    EXPECT_TRUE(engine.onWindowClosed(plane, 150).empty());  // short lookback
+    closeWindow(plane, 2, 250);
+    EXPECT_TRUE(engine.onWindowClosed(plane, 250).empty());
+    closeWindow(plane, 2, 350);
+    const auto fired = engine.onWindowClosed(plane, 350);
+    ASSERT_EQ(fired.size(), 1u);
+    EXPECT_EQ(fired[0].observedMilli, 20'000);  // the fast rate pages
+  }
+
+  // A blip: one spike, then quiet. The slow horizon still violates at the
+  // third close, but the fast horizon has recovered — no breach.
+  {
+    TimeSeriesPlane plane;
+    plane.configure({.intervalMs = 100});
+    registry.clear();
+    SloEngine engine;
+    engine.addRules("drops:burn<20,fast=1,slow=3");
+    engine.bind(&registry, nullptr);
+
+    closeWindow(plane, 6, 150);
+    EXPECT_TRUE(engine.onWindowClosed(plane, 150).empty());
+    closeWindow(plane, 0, 250);
+    EXPECT_TRUE(engine.onWindowClosed(plane, 250).empty());
+    closeWindow(plane, 0, 350);
+    EXPECT_TRUE(engine.onWindowClosed(plane, 350).empty());
+    EXPECT_TRUE(engine.breaches().empty());
+  }
+}
+
+TEST(Slo, ResetForgetsHistoryButKeepsRules) {
+  TimeSeriesPlane plane;
+  plane.configure({.intervalMs = 100});
+  MetricsRegistry registry;
+  SloEngine engine;
+  engine.addRules("hits:count<1");
+  engine.bind(&registry, nullptr);
+
+  registry.counter("hits").inc();
+  plane.observe(registry.snapshot(), 150);
+  EXPECT_EQ(engine.onWindowClosed(plane, 150).size(), 1u);
+  engine.reset();
+  EXPECT_TRUE(engine.breaches().empty());
+  EXPECT_EQ(engine.rules().size(), 1u);
+
+  // After reset the (still-newest) window is evaluated again.
+  EXPECT_EQ(engine.onWindowClosed(plane, 160).size(), 1u);
+}
+
+// The acceptance path: a seeded fault plan (two guaranteed root-injection
+// failures) trips the SLO through a full evaluation — breaches land in the
+// outcome, the `obs.slo_breach{rule}` counter lands in the telemetry, a
+// kSloBreach event lands in the decision trace, and with
+// sloArmsDegradation the breach moves the protection ladder one rung.
+TEST(SloEval, SeededFaultPlanTripsBreachEndToEnd) {
+  malware::ProgramRegistry programs;
+  const auto expected = malware::registerJoeSamples(programs);
+  ASSERT_FALSE(expected.empty());
+  const std::string& sample = expected.front().idPrefix;
+
+  core::EvalRequest request{
+      .sampleId = sample,
+      .imagePath = "C:\\submissions\\" + sample + ".exe",
+      .factory = programs.factory()};
+  request.config.faultPlan = faults::FaultPlan::parse("inject-dll:max=2", 1);
+  request.config.sloSpec = "inject.failures{fault}:count<1";
+  request.config.telemetryWindowMs = 10'000;
+
+  auto machine = env::buildBareMetalSandbox();
+  core::EvaluationHarness harness(*machine);
+  const core::EvalOutcome outcome = harness.evaluate(request);
+
+  ASSERT_FALSE(outcome.sloBreaches.empty());
+  EXPECT_EQ(outcome.sloBreaches[0].rule, "inject.failures{fault}:count<1");
+  EXPECT_GE(outcome.sloBreaches[0].observedMilli, 1000);
+  EXPECT_GE(outcome.telemetry.counterValue("obs.slo_breach",
+                                           "inject.failures{fault}:count<1"),
+            1u);
+  bool sawEvent = false;
+  for (const obs::DecisionEvent& event : outcome.decisions)
+    if (event.kind == obs::DecisionKind::kSloBreach) {
+      sawEvent = true;
+      EXPECT_EQ(event.argument, "inject.failures{fault}:count<1");
+    }
+  EXPECT_TRUE(sawEvent);
+  // Retries recovered the injection: without the breach action armed, the
+  // plane finishes at full deception.
+  EXPECT_EQ(outcome.resilience.protectionLevel,
+            faults::ProtectionLevel::kFullDeception);
+
+  // Same run with the breach wired to the ladder: degradation is the alert.
+  core::EvalRequest armed = request;
+  armed.config.sloArmsDegradation = true;
+  const core::EvalOutcome degraded = harness.evaluate(armed);
+  ASSERT_FALSE(degraded.sloBreaches.empty());
+  EXPECT_EQ(degraded.resilience.protectionLevel,
+            faults::ProtectionLevel::kPartialDeception);
+}
+
+}  // namespace

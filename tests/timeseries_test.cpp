@@ -1,0 +1,236 @@
+// TimeSeriesPlane: windowed MetricsSnapshot deltas on the virtual clock
+// (DESIGN.md §13). Pins down the window-id arithmetic, the bounded ring,
+// clamp-on-reset deltas, flush semantics, and the partition property —
+// summing every window delta reproduces the cumulative snapshot exactly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
+
+namespace {
+
+using namespace scarecrow;
+using obs::MetricsRegistry;
+using obs::MetricsSnapshot;
+using obs::TimeSeriesPlane;
+using obs::WindowDelta;
+
+TEST(TimeSeries, DisabledUntilConfigured) {
+  TimeSeriesPlane plane;  // SCARECROW_TS_WINDOW_MS is unset in test runs
+  EXPECT_FALSE(plane.enabled());
+  EXPECT_FALSE(plane.due(1'000'000));
+
+  plane.configure({.intervalMs = 100});
+  EXPECT_TRUE(plane.enabled());
+  EXPECT_EQ(plane.intervalMs(), 100u);
+  EXPECT_FALSE(plane.due(99));   // still inside window 0
+  EXPECT_TRUE(plane.due(100));   // window 0's end passed
+
+  plane.configure({.intervalMs = 0});
+  EXPECT_FALSE(plane.enabled());
+}
+
+TEST(TimeSeries, WindowIdsAreStartOverInterval) {
+  TimeSeriesPlane plane;
+  plane.configure({.intervalMs = 100});
+  MetricsRegistry registry;
+
+  registry.counter("hits").inc(3);
+  ASSERT_EQ(plane.observe(registry.snapshot(), 250), 1u);
+  ASSERT_EQ(plane.windows().size(), 1u);
+  const WindowDelta& first = plane.windows().front();
+  EXPECT_EQ(first.windowId, 0u);
+  EXPECT_EQ(first.startMs, 0u);
+  EXPECT_EQ(first.endMs, 100u);
+  EXPECT_EQ(first.observedMs, 250u);
+  EXPECT_EQ(first.delta.counterValue("hits"), 3u);
+
+  // The open window is now 250/100 = 2; the next close carries id 2.
+  EXPECT_FALSE(plane.due(299));
+  registry.counter("hits").inc();
+  ASSERT_EQ(plane.observe(registry.snapshot(), 310), 1u);
+  const WindowDelta& second = plane.windows().back();
+  EXPECT_EQ(second.windowId, 2u);
+  EXPECT_EQ(second.startMs, 200u);
+  EXPECT_EQ(second.endMs, 300u);
+  EXPECT_EQ(second.delta.counterValue("hits"), 1u);
+  EXPECT_EQ(plane.windowsClosed(), 2u);
+}
+
+TEST(TimeSeries, SkippedWindowsFoldIntoTheClosedOne) {
+  TimeSeriesPlane plane;
+  plane.configure({.intervalMs = 100});
+  MetricsRegistry registry;
+
+  // Activity spanning five silent windows lands in the single close.
+  registry.counter("hits").inc(7);
+  EXPECT_EQ(plane.observe(registry.snapshot(), 550), 1u);
+  EXPECT_EQ(plane.windowsClosed(), 1u);
+  EXPECT_EQ(plane.windows().back().delta.counterValue("hits"), 7u);
+}
+
+TEST(TimeSeries, RingEvictsOldestAndCounts) {
+  TimeSeriesPlane plane;
+  plane.configure({.intervalMs = 100, .windowCapacity = 2});
+  MetricsRegistry registry;
+
+  for (std::uint64_t close = 1; close <= 4; ++close) {
+    registry.counter("hits").inc();
+    plane.observe(registry.snapshot(), close * 100 + 50);
+  }
+  EXPECT_EQ(plane.windowsClosed(), 4u);
+  EXPECT_EQ(plane.windowsEvicted(), 2u);
+  ASSERT_EQ(plane.windows().size(), 2u);
+  // Oldest retained first; the two earliest closes were evicted. The close
+  // at t=450 stamps the window that was open (id 3), not the one starting.
+  EXPECT_LT(plane.windows().front().windowId, plane.windows().back().windowId);
+  EXPECT_EQ(plane.windows().back().windowId, 3u);
+}
+
+TEST(TimeSeries, CounterDeltaClampsAcrossRegistryReset) {
+  MetricsRegistry registry;
+  registry.counter("hits").inc(5);
+  const MetricsSnapshot before = registry.snapshot();
+
+  // A cleared registry restarts the counter below the baseline; the delta
+  // restarts from zero instead of underflowing.
+  registry.clear();
+  registry.counter("hits").inc(2);
+  const MetricsSnapshot delta = obs::snapshotDelta(before, registry.snapshot());
+  EXPECT_EQ(delta.counterValue("hits"), 2u);
+}
+
+TEST(TimeSeries, ZeroDeltasAreDroppedFromWindows) {
+  TimeSeriesPlane plane;
+  plane.configure({.intervalMs = 100});
+  MetricsRegistry registry;
+
+  registry.counter("moving").inc();
+  registry.counter("frozen").inc(9);
+  plane.observe(registry.snapshot(), 150);
+
+  // Only `moving` changes in the second window; `frozen`'s zero delta is
+  // dropped from the window entirely.
+  registry.counter("moving").inc(4);
+  plane.observe(registry.snapshot(), 250);
+  const MetricsSnapshot& delta = plane.windows().back().delta;
+  ASSERT_EQ(delta.counters.size(), 1u);
+  EXPECT_EQ(delta.counters[0].name, "moving");
+  EXPECT_EQ(delta.counters[0].value, 4u);
+}
+
+TEST(TimeSeries, GaugesAreInstantsAtClose) {
+  TimeSeriesPlane plane;
+  plane.configure({.intervalMs = 100});
+  MetricsRegistry registry;
+
+  registry.gauge("depth").set(3);
+  plane.observe(registry.snapshot(), 150);
+  registry.gauge("depth").set(1);
+  plane.observe(registry.snapshot(), 250);
+
+  EXPECT_EQ(plane.windows().front().delta.gauges[0].value, 3);
+  EXPECT_EQ(plane.windows().back().delta.gauges[0].value, 1);
+  // sumWindows is last-window-wins for gauges, not max.
+  const MetricsSnapshot sum = plane.sumWindows();
+  ASSERT_EQ(sum.gauges.size(), 1u);
+  EXPECT_EQ(sum.gauges[0].value, 1);
+}
+
+TEST(TimeSeries, FlushClosesOnlyANonEmptyRemainder) {
+  TimeSeriesPlane plane;
+  plane.configure({.intervalMs = 100});
+  MetricsRegistry registry;  // no gauges: a gauge-less remainder can be empty
+
+  registry.counter("hits").inc();
+  plane.observe(registry.snapshot(), 150);
+  ASSERT_EQ(plane.windowsClosed(), 1u);
+
+  // Nothing recorded since the close: flush is a no-op.
+  plane.flush(registry.snapshot(), 180);
+  EXPECT_EQ(plane.windowsClosed(), 1u);
+
+  // With a remainder the partial window closes under the id that was open
+  // at flush time (window 1 spans [100,200); the flush lands inside 2 but
+  // the remainder belongs to the window the last close left open)...
+  registry.counter("hits").inc();
+  plane.flush(registry.snapshot(), 250);
+  ASSERT_EQ(plane.windowsClosed(), 2u);
+  EXPECT_EQ(plane.windows().back().windowId, 1u);
+
+  // ...and later closes never reuse its id: the next window starts after
+  // the flush point, so ids stay strictly increasing.
+  registry.counter("hits").inc();
+  EXPECT_FALSE(plane.due(399));  // window 3 is the open one post-flush
+  ASSERT_EQ(plane.observe(registry.snapshot(), 450), 1u);
+  EXPECT_EQ(plane.windows().back().windowId, 3u);
+}
+
+TEST(TimeSeries, ObserversSeeEveryCloseAndSurviveReconfigure) {
+  TimeSeriesPlane plane;
+  plane.configure({.intervalMs = 100});
+  MetricsRegistry registry;
+
+  int closes = 0;
+  const std::size_t slot =
+      plane.addWindowObserver([&closes](const TimeSeriesPlane&) { ++closes; });
+  registry.counter("hits").inc();
+  plane.observe(registry.snapshot(), 150);
+  EXPECT_EQ(closes, 1);
+
+  // configure() drops windows but keeps observers (the BatchEvaluator
+  // registers its ledger observer once, before per-run reconfiguration).
+  plane.configure({.intervalMs = 50});
+  EXPECT_TRUE(plane.windows().empty());
+  registry.counter("hits").inc();
+  plane.observe(registry.snapshot(), 75);
+  EXPECT_EQ(closes, 2);
+
+  plane.removeWindowObserver(slot);
+  registry.counter("hits").inc();
+  plane.observe(registry.snapshot(), 175);
+  EXPECT_EQ(closes, 2);
+}
+
+// The partition property: counters by addition, gauges last-window-wins,
+// spans by concatenation — the summed windows reproduce the cumulative
+// snapshot byte-for-byte. Histograms (created here by recordSpan's
+// phase_ms sibling) stay within the first window because per-window
+// histogram deltas deliberately lose the cumulative min.
+TEST(TimeSeries, PartitionPropertySumOfWindowsEqualsCumulative) {
+  TimeSeriesPlane plane;
+  plane.configure({.intervalMs = 100});
+  MetricsRegistry registry;
+
+  // Window 0: every identity kind is born here.
+  registry.counter("hook.dispatch").inc(2);
+  registry.counter("engine.alerts").inc();
+  registry.gauge("ipc.queue_depth").set(4);
+  registry.recordSpan("inject", 10, 30, 0);
+  registry.recordSpan("execute", 40, 20, 0);
+  plane.observe(registry.snapshot(), 150);
+
+  // Later windows: counters and gauges keep moving.
+  registry.counter("hook.dispatch").inc(5);
+  registry.gauge("ipc.queue_depth").set(1);
+  plane.observe(registry.snapshot(), 350);
+
+  registry.counter("engine.alerts").inc(3);
+  registry.gauge("ipc.queue_depth").set(2);
+  plane.flush(registry.snapshot(), 420);
+
+  const obs::Exporter json(obs::ExportFormat::kJson);
+  EXPECT_EQ(json.render(plane.sumWindows()), json.render(registry.snapshot()));
+}
+
+TEST(TimeSeries, EnvDefaultIsStableAcrossCalls) {
+  // Read-once cached: two calls agree (and tests run with the variable
+  // unset, so the default plane stays disabled).
+  EXPECT_EQ(obs::timeSeriesEnvWindowMs(), obs::timeSeriesEnvWindowMs());
+}
+
+}  // namespace

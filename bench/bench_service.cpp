@@ -1,0 +1,336 @@
+// Resident-service bench: the BENCH_service.json producer (DESIGN.md §14).
+//
+// Three phases against core::EvalService:
+//
+//   A. Admission determinism. Two shards, one worker each, queue capacity
+//      8. Both workers are parked on a gate program, each shard's queue is
+//      filled to capacity with shard-targeted sample ids, and five more
+//      submissions per shard are fired: exactly ten kQueueFull verdicts,
+//      queue-depth peak exactly at capacity — deterministic numbers the
+//      perf gate can hold at zero drift.
+//
+//   B. Sustained throughput. A continuous stream of samples (100k by
+//      default, --smoke drops to 2k for CI) pushed through 2 shards with a
+//      fixed backpressure window, results consumed by ticket as they
+//      finish plus a callback subscription counting deliveries. Ticket
+//      accounting is exact: every admitted ticket is extracted exactly
+//      once — zero lost, zero duplicated — and per-sample wall latencies
+//      plus the steady-state per-sample cost land in the perf record.
+//      (Throughput itself is reported as a telemetry gauge, not a gated
+//      perf metric: faster hardware must not fail the gate.)
+//
+//   C. Batch parity. The same corpus through the resident service (2
+//      shards) and through a one-shot BatchEvaluator, per-sample telemetry
+//      folded in submission order on both sides: byte-identical JSON, the
+//      proof that the service reorganizes scheduling, not results.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/batch.h"
+#include "core/eval.h"
+#include "core/service.h"
+#include "env/environments.h"
+#include "obs/export.h"
+#include "winapi/api.h"
+#include "winapi/guest.h"
+
+using namespace scarecrow;
+
+namespace {
+
+/// Exits immediately: the cheapest valid sample, so the bench measures the
+/// service machinery and the ±Scarecrow pipeline floor, not sample logic.
+class TrivialProgram : public winapi::GuestProgram {
+ public:
+  void run(winapi::Api& api) override { api.ExitProcess(0); }
+};
+
+winapi::ProgramFactory trivialFactory() {
+  return [](const std::string&, const std::string&) {
+    return std::make_unique<TrivialProgram>();
+  };
+}
+
+/// Parks its worker until the shared gate opens (phase A staging).
+class GateProgram : public winapi::GuestProgram {
+ public:
+  explicit GateProgram(std::atomic<bool>& gate) : gate_(gate) {}
+  void run(winapi::Api& api) override {
+    while (!gate_.load(std::memory_order_acquire))
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    api.ExitProcess(0);
+  }
+
+ private:
+  std::atomic<bool>& gate_;
+};
+
+core::EvalRequest trivialRequest(std::string sampleId) {
+  return {.sampleId = sampleId,
+          .imagePath = "C:\\submissions\\" + sampleId + ".exe",
+          .factory = trivialFactory()};
+}
+
+void awaitInflight(core::EvalService& service, std::uint64_t count) {
+  while (service.stats().inflight < count)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
+
+/// First `count` sample ids with the given prefix that the service routes
+/// to `shard` — how phase A targets one shard's queue deterministically.
+std::vector<std::string> idsForShard(const core::EvalService& service,
+                                     const std::string& prefix,
+                                     std::size_t shard, std::size_t count) {
+  std::vector<std::string> ids;
+  for (std::size_t i = 0; ids.size() < count; ++i) {
+    std::string candidate = prefix + std::to_string(i);
+    if (service.shardFor(candidate) == shard)
+      ids.push_back(std::move(candidate));
+  }
+  return ids;
+}
+
+void runAdmissionPhase(bench::Reporter& reporter) {
+  bench::printHeader(
+      "Phase A: admission control (2 shards x 1 worker, queue capacity 8)");
+  constexpr std::size_t kQueueCapacity = 8;
+  constexpr std::size_t kSpillPerShard = 5;
+
+  std::atomic<bool> gate{false};
+  core::ServiceOptions options;
+  options.shardCount = 2;
+  options.workersPerShard = 1;
+  options.queueCapacity = kQueueCapacity;
+  core::EvalService service([] { return env::buildBareMetalSandbox(); },
+                            options);
+
+  // One gate sample per shard parks both workers, so every admission
+  // decision below happens against a fully deterministic queue state.
+  std::vector<core::Ticket> admitted;
+  for (std::size_t shard = 0; shard < 2; ++shard) {
+    core::EvalRequest blocker =
+        trivialRequest(idsForShard(service, "gate-", shard, 1).front());
+    blocker.factory = [&gate](const std::string&, const std::string&) {
+      return std::make_unique<GateProgram>(gate);
+    };
+    admitted.push_back(service.submit(blocker));
+  }
+  awaitInflight(service, 2);
+
+  std::uint64_t fillRejects = 0, spillRejects = 0;
+  for (std::size_t shard = 0; shard < 2; ++shard) {
+    for (const std::string& id :
+         idsForShard(service, "fill-", shard, kQueueCapacity)) {
+      const core::Ticket ticket = service.submit(trivialRequest(id));
+      if (ticket.admitted())
+        admitted.push_back(ticket);
+      else
+        ++fillRejects;
+    }
+    for (const std::string& id :
+         idsForShard(service, "spill-", shard, kSpillPerShard))
+      if (!service.submit(trivialRequest(id)).admitted()) ++spillRejects;
+  }
+
+  const core::ServiceStats staged = service.stats();
+  std::printf("%-44s %8llu  [%s]\n", "queue fills admitted",
+              static_cast<unsigned long long>(admitted.size() - 2),
+              bench::okMark(fillRejects == 0));
+  std::printf("%-44s %8llu  [%s]\n", "overflow submissions rejected",
+              static_cast<unsigned long long>(staged.rejectedQueueFull),
+              bench::okMark(staged.rejectedQueueFull == 2 * kSpillPerShard &&
+                            spillRejects == 2 * kSpillPerShard));
+  std::printf("%-44s %8llu  [%s]\n", "queue depth peak (== capacity)",
+              static_cast<unsigned long long>(staged.queueDepthPeak),
+              bench::okMark(staged.queueDepthPeak == kQueueCapacity));
+
+  gate.store(true, std::memory_order_release);
+  service.drain();
+  std::uint64_t completedOk = 0;
+  for (const core::Ticket& ticket : admitted) {
+    const auto result = service.poll(ticket);
+    if (result.has_value() && result->ok()) ++completedOk;
+  }
+  std::printf("%-44s %8llu  [%s]\n", "admitted tickets completed ok",
+              static_cast<unsigned long long>(completedOk),
+              bench::okMark(completedOk == admitted.size()));
+
+  reporter.addValue("admission_rejects", staged.rejectedQueueFull);
+  reporter.addValue("queue_depth_peak", staged.queueDepthPeak);
+}
+
+void runSustainedPhase(bench::Reporter& reporter, std::size_t samples) {
+  bench::printHeader("Phase B: sustained workload, " +
+                     std::to_string(samples) +
+                     " samples across 2 shards");
+  constexpr std::size_t kBackpressureWindow = 48;
+
+  core::ServiceOptions options;
+  options.shardCount = 2;
+  options.workersPerShard = 1;
+  options.queueCapacity = 64;  // > backpressure window: never queue-full
+  core::EvalService service([] { return env::buildBareMetalSandbox(); },
+                            options);
+
+  std::atomic<std::uint64_t> streamed{0};
+  service.subscribe([&streamed](const core::ServiceResult&) {
+    streamed.fetch_add(1, std::memory_order_relaxed);
+  });
+
+  // Ticket accounting: ids are 1..N on a fresh service, so a flat bitmap
+  // catches every loss and every duplicate exactly.
+  std::vector<char> seen(samples + 1, 0);
+  std::uint64_t extracted = 0, duplicated = 0, notOk = 0, rejected = 0;
+  std::vector<std::uint64_t> wallNs;
+  wallNs.reserve(samples);
+  std::deque<core::Ticket> outstanding;
+
+  const auto consumeOldest = [&] {
+    const core::Ticket ticket = outstanding.front();
+    outstanding.pop_front();
+    const auto result = service.wait(ticket);
+    if (!result.has_value()) return;  // a lost ticket shows in `extracted`
+    ++extracted;
+    if (!result->ok() || result->ticketId != ticket.id) ++notOk;
+    if (ticket.id <= samples) {
+      if (seen[ticket.id] != 0) ++duplicated;
+      seen[ticket.id] = 1;
+    }
+    wallNs.push_back(result->wallMicros * 1000);
+  };
+
+  const std::uint64_t start = bench::nowMicros();
+  for (std::size_t i = 0; i < samples; ++i) {
+    const core::Ticket ticket =
+        service.submit(trivialRequest("s-" + std::to_string(i)));
+    if (!ticket.admitted()) {
+      ++rejected;
+      continue;
+    }
+    outstanding.push_back(ticket);
+    while (outstanding.size() >= kBackpressureWindow) consumeOldest();
+  }
+  while (!outstanding.empty()) consumeOldest();
+  const std::uint64_t wallMicros = bench::nowMicros() - start;
+
+  const core::ServiceStats stats = service.stats();
+  const std::uint64_t lost = stats.admitted - extracted;
+  const double seconds = static_cast<double>(wallMicros) / 1e6;
+  const std::uint64_t perSecond =
+      seconds > 0 ? static_cast<std::uint64_t>(
+                        static_cast<double>(extracted) / seconds)
+                  : 0;
+
+  std::printf("%-44s %8llu  [%s]\n", "tickets admitted",
+              static_cast<unsigned long long>(stats.admitted),
+              bench::okMark(stats.admitted == samples && rejected == 0));
+  std::printf("%-44s %8llu  [%s]\n", "tickets lost",
+              static_cast<unsigned long long>(lost),
+              bench::okMark(lost == 0));
+  std::printf("%-44s %8llu  [%s]\n", "tickets duplicated",
+              static_cast<unsigned long long>(duplicated),
+              bench::okMark(duplicated == 0));
+  std::printf("%-44s %8llu  [%s]\n", "results not ok",
+              static_cast<unsigned long long>(notOk),
+              bench::okMark(notOk == 0));
+  std::printf("%-44s %8llu  [%s]\n", "callback deliveries",
+              static_cast<unsigned long long>(
+                  streamed.load(std::memory_order_relaxed)),
+              bench::okMark(streamed.load(std::memory_order_relaxed) ==
+                            extracted));
+  std::printf("%-44s %8.1f\n", "wall seconds", seconds);
+  std::printf("%-44s %8llu\n", "samples / second",
+              static_cast<unsigned long long>(perSecond));
+
+  // The gate-facing numbers are latencies (regressions = larger), never
+  // raw throughput (faster hardware would "regress" the baseline).
+  reporter.addSamples("service_sample_wall_ns", std::move(wallNs));
+  reporter.addValue("steady_state_sample_cost_ns",
+                    extracted != 0 ? wallMicros * 1000 / extracted : 0,
+                    "ns");
+  reporter.addValue("tickets_lost", lost);
+  reporter.addValue("tickets_duplicated", duplicated);
+  reporter.gauges().gauge("service.samples_per_second")
+      .set(static_cast<std::int64_t>(perSecond));
+  reporter.gauges().gauge("service.shards").set(2);
+  reporter.gauges().gauge("service.workers")
+      .set(static_cast<std::int64_t>(service.workerCount()));
+}
+
+void runParityPhase(bench::Reporter& reporter, std::size_t samples) {
+  const std::size_t corpus = samples < 2000 ? samples : 2000;
+  bench::printHeader("Phase C: telemetry parity vs one-shot BatchEvaluator (" +
+                     std::to_string(corpus) + " samples)");
+
+  std::vector<core::EvalRequest> requests;
+  requests.reserve(corpus);
+  for (std::size_t i = 0; i < corpus; ++i)
+    requests.push_back(trivialRequest("parity-" + std::to_string(i)));
+
+  // Resident service, two shards: fold every sample's telemetry in
+  // submission order as tickets resolve.
+  obs::MetricsSnapshot viaService;
+  {
+    core::ServiceOptions options;
+    options.shardCount = 2;
+    options.workersPerShard = 1;
+    core::EvalService service([] { return env::buildBareMetalSandbox(); },
+                              options);
+    std::vector<core::Ticket> tickets;
+    tickets.reserve(requests.size());
+    for (const core::EvalRequest& request : requests)
+      tickets.push_back(service.submit(request));
+    for (const core::Ticket& ticket : tickets) {
+      const auto result = service.wait(ticket);
+      if (result.has_value() && result->ok())
+        viaService.merge(result->outcome.telemetry);
+    }
+  }
+
+  // One-shot batch over the identical corpus, folded in request order.
+  obs::MetricsSnapshot viaBatch;
+  {
+    core::BatchOptions options;
+    options.workerCount = 2;
+    core::BatchEvaluator batch([] { return env::buildBareMetalSandbox(); },
+                               options);
+    for (const core::BatchResult& result : batch.evaluateAll(requests))
+      if (result.ok()) viaBatch.merge(result.outcome.telemetry);
+  }
+
+  const obs::Exporter json(obs::ExportFormat::kJson);
+  const bool identical = json.render(viaService) == json.render(viaBatch);
+  std::printf("%-44s %8s  [%s]\n", "merged telemetry bytes (service vs batch)",
+              identical ? "equal" : "DIFFER", bench::okMark(identical));
+  reporter.addSnapshot(viaService);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Reporter reporter("bench_service");
+  std::size_t samples = 100'000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) samples = 2'000;
+    if (std::strcmp(argv[i], "--samples") == 0 && i + 1 < argc)
+      samples = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+      reporter.setReportPath(argv[++i]);
+  }
+  bench::printHeader("Scarecrow resident corpus-evaluation service bench");
+  std::printf("sustained-phase samples: %llu\n",
+              static_cast<unsigned long long>(samples));
+
+  runAdmissionPhase(reporter);
+  runSustainedPhase(reporter, samples);
+  runParityPhase(reporter, samples);
+  return reporter.finish();
+}

@@ -1,15 +1,17 @@
-// Scenario: fleet observability from ledger files alone (DESIGN.md §13).
+// Scenario: fleet observability from ledger files alone (DESIGN.md §13/§14).
 //
 // A resident corpus-evaluation service does not get to keep its
 // MetricsSnapshots in memory forever — operators arrive after the fact,
-// holding nothing but the JSONL run ledgers N shards left on disk. This
+// holding nothing but the JSONL run ledger the service left on disk. This
 // example plays both sides:
 //
-//   demo mode (default): runs two sharded BatchEvaluators over the Joe
-//   corpus, each streaming run/window/worker records into its own ledger.
-//   Shard 1 runs a deterministic chaos plan with an SLO rule armed
-//   ("inject.failures:count<1" per window), so its ledger also carries
-//   breach records. Then it turns around and queries the files it wrote.
+//   demo mode (default, --shards N selects the fleet width): stands up one
+//   resident core::EvalService sharded N ways over the Joe corpus, every
+//   shard streaming run/window/worker records into a shared ledger under
+//   its own shard label. The samples the service routes to the last shard
+//   run a deterministic chaos plan with an SLO rule armed
+//   ("inject.failures:count<1" per window), so the ledger also carries
+//   breach records. Then it turns around and queries the file it wrote.
 //
 //   query mode (--query ledger.jsonl ...): the operator side. Merges the
 //   worker summary records into one fleet telemetry view, ranks the
@@ -17,16 +19,23 @@
 //   windowed evaluation throughput from the window records, and prints the
 //   SLO breach timeline.
 //
+// Base request config comes from core::Config::fromEnv(), so e.g.
+// SCARECROW_TS_WINDOW_MS / SCARECROW_SLO override the demo defaults
+// (explicit field > environment > default — see README).
+//
 // Build & run:  cmake --build build && ./build/examples/fleet_ops
-//   operator:   ./build/examples/fleet_ops --query shard0.jsonl shard1.jsonl
+//   wider fleet: ./build/examples/fleet_ops --shards 4
+//   operator:    ./build/examples/fleet_ops --query fleet_ledger.jsonl
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
 #include <vector>
 
-#include "core/batch.h"
+#include "core/eval.h"
+#include "core/service.h"
 #include "env/environments.h"
 #include "malware/joe.h"
 #include "obs/ledger.h"
@@ -123,70 +132,101 @@ void queryFleet(const std::vector<obs::LedgerRecord>& records) {
                 b->rule.c_str(), b->observed.c_str(), b->threshold.c_str());
 }
 
-int runShard(std::size_t shard, const std::string& ledgerPath,
-             bool withChaos) {
+int runFleet(std::size_t shards, const std::string& ledgerPath) {
   std::remove(ledgerPath.c_str());  // fresh ledger per demo run
+
+  core::ServiceOptions options;
+  options.shardCount = shards;
+  options.workersPerShard = 2;
+  options.telemetry.ledgerPath = ledgerPath;
+  core::EvalService service([] { return env::buildBareMetalSandbox(); },
+                            options);
 
   malware::ProgramRegistry registry;
   const auto expected = malware::registerJoeSamples(registry);
-  std::vector<core::EvalRequest> requests;
+  std::vector<core::Ticket> tickets;
+  std::size_t chaosSamples = 0;
   for (const auto& row : expected) {
     core::EvalRequest request{.sampleId = row.idPrefix,
                               .imagePath = "C:\\submissions\\" +
                                            row.idPrefix + ".exe",
                               .factory = registry.factory()};
-    // Stream windowed telemetry: one window per 10 s of virtual time.
-    request.config.telemetryWindowMs = 10'000;
-    if (withChaos) {
-      // Deterministic chaos + the SLO that catches it: any injection
-      // failure inside a window violates "stay under one failure".
+    // Environment first (SCARECROW_TS_WINDOW_MS / SCARECROW_SLO), demo
+    // defaults only where the operator set nothing: stream one windowed
+    // delta per 10 s of virtual time.
+    request.config = core::Config::fromEnv();
+    if (request.config.telemetryWindowMs == 0)
+      request.config.telemetryWindowMs = 10'000;
+    if (service.shardFor(request.sampleId) == shards - 1) {
+      // The last shard's slice of the corpus runs deterministic chaos +
+      // the SLO that catches it: any injection failure inside a window
+      // violates "stay under one failure".
       request.config.faultPlan =
           faults::FaultPlan::parse("inject-dll:p=0.5", 7);
-      request.config.sloSpec = "inject.failures{fault}:count<1";
+      if (request.config.sloSpec.empty())
+        request.config.sloSpec = "inject.failures{fault}:count<1";
+      ++chaosSamples;
     }
-    requests.push_back(std::move(request));
+    tickets.push_back(service.submit(request));
   }
 
-  core::BatchOptions options;
-  options.workerCount = 2;
-  options.ledgerPath = ledgerPath;
-  options.ledgerShard = "shard-" + std::to_string(shard);
-  core::BatchEvaluator batch([] { return env::buildBareMetalSandbox(); },
-                             options);
-  const std::vector<core::BatchResult> results = batch.evaluateAll(requests);
-
+  std::vector<std::size_t> okPerShard(service.shardCount(), 0);
   std::size_t ok = 0;
-  for (const core::BatchResult& result : results)
-    if (result.ok()) ++ok;
-  std::printf("shard %zu: %zu/%zu samples evaluated%s, %llu ledger records "
-              "-> %s\n",
-              shard, ok, results.size(),
-              withChaos ? " under chaos" : "",
+  for (const core::Ticket& ticket : tickets) {
+    const auto result = service.wait(ticket);
+    if (result.has_value() && result->ok()) {
+      ++ok;
+      ++okPerShard[ticket.shard];
+    }
+  }
+  // Settle the telemetry epoch: streams the per-shard worker summary
+  // records the operator-side reconstruction feeds on.
+  service.flushTelemetry();
+
+  for (std::size_t shard = 0; shard < okPerShard.size(); ++shard)
+    std::printf("shard %zu: %zu samples evaluated%s\n", shard,
+                okPerShard[shard],
+                shard == okPerShard.size() - 1 ? " under chaos" : "");
+  std::printf("fleet: %zu/%zu samples ok across %zu shards (%zu under "
+              "chaos), %llu ledger records -> %s\n",
+              ok, tickets.size(), service.shardCount(), chaosSamples,
               static_cast<unsigned long long>(
-                  batch.ledger()->recordsWritten()),
+                  service.ledger()->recordsWritten()),
               ledgerPath.c_str());
-  return ok == results.size() ? 0 : 1;
+  return ok == tickets.size() ? 0 : 1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc > 1 && std::strcmp(argv[1], "--query") == 0) {
-    if (argc < 3) {
-      std::fprintf(stderr, "usage: %s [--query ledger.jsonl ...]\n", argv[0]);
+  std::size_t shards = 2;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--query") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr,
+                     "usage: %s [--shards N] [--query ledger.jsonl ...]\n",
+                     argv[0]);
+        return 2;
+      }
+      queryFleet(readAll({argv + i + 1, argv + argc}));
+      return 0;
+    }
+    if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+      if (shards == 0) shards = 1;
+      continue;
+    }
+    if (std::strncmp(argv[i], "--shards", 8) != 0) {
+      std::fprintf(stderr,
+                   "usage: %s [--shards N] [--query ledger.jsonl ...]\n",
+                   argv[0]);
       return 2;
     }
-    queryFleet(readAll({argv + 2, argv + argc}));
-    return 0;
-  }
-  if (argc > 1) {
-    std::fprintf(stderr, "usage: %s [--query ledger.jsonl ...]\n", argv[0]);
-    return 2;
   }
 
-  // Demo: two shards write, then the operator queries what landed on disk.
-  int rc = runShard(0, "fleet_shard0.jsonl", /*withChaos=*/false);
-  rc |= runShard(1, "fleet_shard1.jsonl", /*withChaos=*/true);
-  queryFleet(readAll({"fleet_shard0.jsonl", "fleet_shard1.jsonl"}));
+  // Demo: a sharded resident service writes one labelled ledger, then the
+  // operator queries what landed on disk.
+  int rc = runFleet(shards, "fleet_ledger.jsonl");
+  queryFleet(readAll({"fleet_ledger.jsonl"}));
   return rc;
 }

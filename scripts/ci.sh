@@ -2,13 +2,17 @@
 # The whole CI pipeline in one entry point, runnable locally byte-for-byte:
 #
 #   1. tier-1: configure + build + full ctest (the ROADMAP gate);
-#   2. perf:   bench_hotpath against the committed BENCH_hotpath.json
+#   2. service: the resident-service suite (`ctest -L service`) plus a
+#              bench_service smoke run gated against the committed
+#              BENCH_service.json baseline;
+#   3. perf:   bench_hotpath against the committed BENCH_hotpath.json
 #              baseline via scripts/run_bench.sh (appends a trajectory
 #              point to BENCH_trajectory.jsonl as a side effect);
-#   3. lint:   clang-tidy over src/ via scripts/run_tidy.sh (skips with a
+#   4. lint:   clang-tidy over src/ via scripts/run_tidy.sh (skips with a
 #              notice when clang-tidy is not installed).
 #
 #   scripts/ci.sh                # everything
+#   scripts/ci.sh --no-service   # skip the resident-service stage
 #   scripts/ci.sh --no-perf      # skip the perf gate (e.g. shared runners)
 #   scripts/ci.sh --no-lint      # skip clang-tidy
 set -euo pipefail
@@ -16,14 +20,16 @@ set -euo pipefail
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build}"
 
+RUN_SERVICE=1
 RUN_PERF=1
 RUN_LINT=1
 for arg in "$@"; do
   case "$arg" in
+    --no-service) RUN_SERVICE=0 ;;
     --no-perf) RUN_PERF=0 ;;
     --no-lint) RUN_LINT=0 ;;
     *)
-      echo "usage: $0 [--no-perf] [--no-lint]" >&2
+      echo "usage: $0 [--no-service] [--no-perf] [--no-lint]" >&2
       exit 2
       ;;
   esac
@@ -33,6 +39,14 @@ echo "=== ci: tier-1 (configure + build + ctest) ==="
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT"
 cmake --build "$BUILD_DIR" -j
 (cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)")
+
+if [[ "$RUN_SERVICE" == 1 ]]; then
+  echo "=== ci: resident service (ctest -L service + bench_service smoke) ==="
+  (cd "$BUILD_DIR" && ctest -L service --output-on-failure)
+  BUILD_DIR="$BUILD_DIR" "$REPO_ROOT/scripts/run_bench.sh" --service --smoke
+else
+  echo "=== ci: resident service skipped (--no-service) ==="
+fi
 
 if [[ "$RUN_PERF" == 1 ]]; then
   echo "=== ci: perf gate (run_bench.sh) ==="

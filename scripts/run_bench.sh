@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
-# Perf-trajectory pipeline entry point (DESIGN.md §12).
+# Perf-trajectory pipeline entry point (DESIGN.md §12/§14).
 #
-# Builds bench_hotpath if needed, runs it with the current git revision
-# stamped into the report, then gates the fresh BENCH_hotpath.json against
-# the committed baseline via scripts/perf_gate.py.
+# Builds the selected bench if needed, runs it with the current git
+# revision stamped into the report, then gates the fresh BENCH_<name>.json
+# against the committed baseline via scripts/perf_gate.py.
 #
-#   scripts/run_bench.sh                     # measure + gate
+#   scripts/run_bench.sh                     # hot-path bench: measure + gate
+#   scripts/run_bench.sh --service           # resident-service bench instead
+#   scripts/run_bench.sh --service --smoke   # short sustained phase (CI)
 #   scripts/run_bench.sh --update-baseline   # measure + adopt as baseline
 #   scripts/run_bench.sh --inject-regression 2   # prove the gate fires
 #
@@ -14,30 +16,40 @@ set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build}"
-BASELINE="$REPO_ROOT/BENCH_hotpath.json"
-CANDIDATE="$BUILD_DIR/BENCH_hotpath.json"
 
+MODE=hotpath
+SMOKE=0
 UPDATE_BASELINE=0
 GATE_ARGS=()
 for arg in "$@"; do
-  if [[ "$arg" == "--update-baseline" ]]; then
-    UPDATE_BASELINE=1
-  else
-    GATE_ARGS+=("$arg")
-  fi
+  case "$arg" in
+    --service) MODE=service ;;
+    --smoke) SMOKE=1 ;;
+    --update-baseline) UPDATE_BASELINE=1 ;;
+    *) GATE_ARGS+=("$arg") ;;
+  esac
 done
 
-if [[ ! -x "$BUILD_DIR/bench/bench_hotpath" ]]; then
-  echo "building bench_hotpath..."
+BENCH="bench_$MODE"
+BASELINE="$REPO_ROOT/BENCH_$MODE.json"
+CANDIDATE="$BUILD_DIR/BENCH_$MODE.json"
+
+if [[ ! -x "$BUILD_DIR/bench/$BENCH" ]]; then
+  echo "building $BENCH..."
   cmake -B "$BUILD_DIR" -S "$REPO_ROOT" >/dev/null
-  cmake --build "$BUILD_DIR" --target bench_hotpath -j >/dev/null
+  cmake --build "$BUILD_DIR" --target "$BENCH" -j >/dev/null
 fi
 
 SCARECROW_GIT_REV="$(git -C "$REPO_ROOT" rev-parse --short HEAD 2>/dev/null || echo unknown)"
 export SCARECROW_GIT_REV
 
-echo "running bench_hotpath (rev $SCARECROW_GIT_REV)..."
-(cd "$BUILD_DIR" && ./bench/bench_hotpath --out "$CANDIDATE")
+BENCH_ARGS=(--out "$CANDIDATE")
+if [[ "$MODE" == service && "$SMOKE" == 1 ]]; then
+  BENCH_ARGS+=(--smoke)
+fi
+
+echo "running $BENCH (rev $SCARECROW_GIT_REV)..."
+(cd "$BUILD_DIR" && "./bench/$BENCH" "${BENCH_ARGS[@]}")
 
 if [[ "$UPDATE_BASELINE" == 1 ]]; then
   cp "$CANDIDATE" "$BASELINE"

@@ -1,348 +1,120 @@
 #include "core/batch.h"
 
-#include <chrono>
-#include <exception>
 #include <utility>
-
-#include "support/log.h"
-#include "support/parallel.h"
 
 namespace scarecrow::core {
 
 namespace {
 
-std::uint64_t nowMicros() {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
+/// Folds the deprecated flat BatchOptions fields into the nested
+/// Telemetry struct (nested wins when both are set) and maps the result
+/// onto the single-shard ServiceOptions the façade runs on.
+ServiceOptions toServiceOptions(BatchOptions options) {
+  TelemetryOptions telemetry = options.telemetry;
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+  if (telemetry.stallBudgetMs == 0)
+    telemetry.stallBudgetMs = options.stallBudgetMs;
+  if (telemetry.ledgerPath.empty())
+    telemetry.ledgerPath = std::move(options.ledgerPath);
+  if (telemetry.ledgerMaxBytes == 0)
+    telemetry.ledgerMaxBytes = options.ledgerMaxBytes;
+  if (telemetry.ledgerMaxRotatedFiles == 3)
+    telemetry.ledgerMaxRotatedFiles = options.ledgerMaxRotatedFiles;
+  if (telemetry.ledgerShard.empty())
+    telemetry.ledgerShard = std::move(options.ledgerShard);
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+  ServiceOptions service;
+  service.shardCount = 1;
+  service.workersPerShard = options.workerCount;
+  service.queueCapacity = 0;   // evaluateAll admits its whole corpus
+  service.tenantTokens = 0;    // one caller, no fairness to arbitrate
+  service.requestTimeoutMs = options.requestTimeoutMs;
+  service.maxAttempts = options.maxAttempts;
+  service.retainResults = true;
+  service.telemetry = std::move(telemetry);
+  return service;
 }
 
 }  // namespace
 
-const char* batchStatusName(BatchStatus status) noexcept {
-  switch (status) {
-    case BatchStatus::kOk: return "ok";
-    case BatchStatus::kFailed: return "failed";
-    case BatchStatus::kTimedOut: return "timed-out";
-  }
-  return "?";
-}
-
-struct BatchEvaluator::Worker {
-  std::unique_ptr<winsys::Machine> machine;
-  std::unique_ptr<EvaluationHarness> harness;
-  /// Merge of the worker's successful per-sample snapshots (this run).
-  obs::MetricsSnapshot telemetry;
-  /// Worker-level accounting, kept in a private registry so it lands in
-  /// the snapshot with the same deterministic ordering as everything else.
-  std::uint64_t requests = 0;
-  std::uint64_t retries = 0;
-  std::uint64_t timeouts = 0;
-  std::uint64_t failures = 0;
-  /// Successful samples whose ResilienceVerdict ended below full
-  /// deception (fault plans at work).
-  std::uint64_t degraded = 0;
-  std::uint64_t wallMicros = 0;
-  /// Machine virtual clock right after harness construction — the clean
-  /// snapshot's clock. Every evaluation restores to it before running, so
-  /// (clock after an attempt) − baseClockMs is the virtual time that
-  /// attempt's supervised run consumed: the stall detector's input.
-  std::uint64_t baseClockMs = 0;
-  /// Attempts flagged by the stall detector this run.
-  std::uint64_t stalls = 0;
-  /// kStall events collected locally and replayed into healthEvents() in
-  /// worker order once the pool joins (FlightRecorder is single-writer).
-  std::vector<obs::DecisionEvent> stallEvents;
-  /// Liveness tick: attempts finished by this worker (progress() reads it
-  /// from other threads mid-run).
-  std::atomic<std::uint64_t> heartbeat{0};
-};
-
 BatchEvaluator::BatchEvaluator(const MachineFactory& machineFactory,
                                BatchOptions options)
-    : options_(options) {
-  if (options_.workerCount == 0) options_.workerCount = 1;
-  if (options_.maxAttempts == 0) options_.maxAttempts = 1;
-  if (options_.ledgerPath.empty())
-    options_.ledgerPath = obs::ledgerEnvPath();
-  if (!options_.ledgerPath.empty())
-    ledger_ = std::make_unique<obs::LedgerWriter>(obs::LedgerOptions{
-        .path = options_.ledgerPath,
-        .maxBytes = options_.ledgerMaxBytes,
-        .maxRotatedFiles = options_.ledgerMaxRotatedFiles,
-        .shard = options_.ledgerShard});
-  workers_.reserve(options_.workerCount);
-  for (std::size_t i = 0; i < options_.workerCount; ++i) {
-    auto worker = std::make_unique<Worker>();
-    worker->machine = machineFactory();
-    worker->machine->label += " #" + std::to_string(i);
-    worker->harness = std::make_unique<EvaluationHarness>(*worker->machine);
-    worker->baseClockMs = worker->machine->clock().nowMs();
-    // Window records stream straight from each worker's time-series plane
-    // (observers survive the per-run re-configure in runOnce). The writer
-    // serializes concurrent appends at line granularity.
-    if (ledger_ != nullptr) {
-      obs::LedgerWriter* writer = ledger_.get();
-      worker->machine->timeSeries().addWindowObserver(
-          [writer](const obs::TimeSeriesPlane& plane) {
-            const obs::WindowDelta& window = plane.windows().back();
-            obs::LedgerRecord record;
-            record.kind = obs::LedgerRecordKind::kWindow;
-            record.windowId = window.windowId;
-            record.startMs = window.startMs;
-            record.endMs = window.endMs;
-            record.snapshot = window.delta;
-            writer->append(std::move(record));
-          });
-    }
-    workers_.push_back(std::move(worker));
-  }
-}
+    : service_(std::make_unique<EvalService>(
+          machineFactory, toServiceOptions(std::move(options)))) {}
 
 BatchEvaluator::~BatchEvaluator() = default;
 
 void BatchEvaluator::setResourceDbFactory(
     EvaluationHarness::DbFactory dbFactory) {
-  for (auto& worker : workers_) worker->harness->setResourceDbFactory(dbFactory);
+  service_->setResourceDbFactory(std::move(dbFactory));
 }
 
 std::vector<BatchResult> BatchEvaluator::evaluateAll(
     const std::vector<EvalRequest>& requests) {
+  // One telemetry epoch per call: the accessors afterwards describe
+  // exactly this corpus, as the in-place engine always did.
+  service_->resetTelemetry();
+  std::vector<Ticket> tickets;
+  tickets.reserve(requests.size());
+  for (const EvalRequest& request : requests)
+    tickets.push_back(service_->submit(request));
+
   std::vector<BatchResult> results(requests.size());
-  for (auto& worker : workers_) {
-    worker->telemetry = obs::MetricsSnapshot{};
-    worker->requests = worker->retries = worker->timeouts = worker->failures =
-        worker->degraded = worker->wallMicros = worker->stalls = 0;
-    worker->stallEvents.clear();
-    worker->heartbeat.store(0, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    // Unbounded queue, no tenant caps, service not shutting down: every
+    // submission is admitted, so every ticket resolves exactly once.
+    std::optional<ServiceResult> completed = service_->wait(tickets[i]);
+    if (!completed.has_value()) continue;
+    BatchResult& slot = results[i];
+    slot.status = completed->status;
+    slot.outcome = std::move(completed->outcome);
+    slot.error = std::move(completed->error);
+    slot.attempts = completed->attempts;
+    slot.workerIndex = completed->workerIndex;
+    slot.wallMicros = completed->wallMicros;
   }
-  workerTelemetry_.clear();
-  healthEvents_.clear();
-  submitted_.store(requests.size(), std::memory_order_relaxed);
-  completed_.store(0, std::memory_order_relaxed);
-  inflight_.store(0, std::memory_order_relaxed);
-  inflightPeak_.store(0, std::memory_order_relaxed);
-  retried_.store(0, std::memory_order_relaxed);
-  stalled_.store(0, std::memory_order_relaxed);
-
-  // Workers drain the queue through an atomic cursor; each result slot is
-  // written by exactly one worker, so the only cross-thread state is the
-  // cursor itself.
-  support::runOnWorkerPool(
-      workers_.size(), requests.size(),
-      [&](std::size_t workerIndex, std::size_t jobIndex) {
-        Worker& worker = *workers_[workerIndex];
-        const EvalRequest& request = requests[jobIndex];
-        BatchResult& slot = results[jobIndex];
-        slot.workerIndex = workerIndex;
-        ++worker.requests;
-        const std::uint64_t nowInflight =
-            inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
-        std::uint64_t peak = inflightPeak_.load(std::memory_order_relaxed);
-        while (peak < nowInflight &&
-               !inflightPeak_.compare_exchange_weak(
-                   peak, nowInflight, std::memory_order_relaxed)) {
-        }
-
-        // The stall detector, shared by every attempt outcome: an attempt
-        // whose supervised run consumed more virtual time than the budget
-        // went that long without a heartbeat — flag it (kStall + counter)
-        // but leave the attempt's result alone.
-        const auto noteStall = [&](std::uint32_t attempt) {
-          if (options_.stallBudgetMs == 0) return;
-          const std::uint64_t nowMs = worker.machine->clock().nowMs();
-          const std::uint64_t virtualMs =
-              nowMs >= worker.baseClockMs ? nowMs - worker.baseClockMs : 0;
-          if (virtualMs <= options_.stallBudgetMs) return;
-          ++worker.stalls;
-          stalled_.fetch_add(1, std::memory_order_relaxed);
-          obs::DecisionEvent e;
-          e.timeMs = nowMs;
-          e.kind = obs::DecisionKind::kStall;
-          e.api = request.sampleId;
-          e.argument = "worker-" + std::to_string(workerIndex);
-          e.value = std::to_string(virtualMs);
-          e.link = "attempt-" + std::to_string(attempt);
-          worker.stallEvents.push_back(std::move(e));
-        };
-
-        for (std::uint32_t attempt = 1; attempt <= options_.maxAttempts;
-             ++attempt) {
-          slot.attempts = attempt;
-          if (attempt > 1) {
-            ++worker.retries;
-            retried_.fetch_add(1, std::memory_order_relaxed);
-          }
-          const std::uint64_t start = nowMicros();
-          try {
-            EvalOutcome outcome = worker.harness->evaluate(request);
-            const std::uint64_t elapsed = nowMicros() - start;
-            slot.wallMicros = elapsed;
-            noteStall(attempt);
-            worker.heartbeat.fetch_add(1, std::memory_order_relaxed);
-            if (options_.requestTimeoutMs != 0 &&
-                elapsed > options_.requestTimeoutMs * 1000) {
-              // Cooperative timeout: the run already finished, but it blew
-              // the wall budget — discard it like a failure so a stuck
-              // configuration cannot silently monopolize a worker.
-              ++worker.timeouts;
-              slot.status = BatchStatus::kTimedOut;
-              slot.error = "attempt took " + std::to_string(elapsed / 1000) +
-                           " ms (budget " +
-                           std::to_string(options_.requestTimeoutMs) + " ms)";
-              continue;
-            }
-            slot.status = BatchStatus::kOk;
-            slot.error.clear();
-            slot.outcome = std::move(outcome);
-            if (slot.outcome.resilience.degraded()) ++worker.degraded;
-            worker.telemetry.merge(slot.outcome.telemetry);
-            break;
-          } catch (const std::exception& e) {
-            slot.status = BatchStatus::kFailed;
-            slot.error = e.what();
-            slot.wallMicros = nowMicros() - start;
-            noteStall(attempt);
-            worker.heartbeat.fetch_add(1, std::memory_order_relaxed);
-          } catch (...) {
-            slot.status = BatchStatus::kFailed;
-            slot.error = "non-standard exception";
-            slot.wallMicros = nowMicros() - start;
-            noteStall(attempt);
-            worker.heartbeat.fetch_add(1, std::memory_order_relaxed);
-          }
-        }
-        if (!slot.ok()) {
-          ++worker.failures;
-          worker.wallMicros += slot.wallMicros;
-          support::logWarn("batch", "request failed",
-                           {{"sample", request.sampleId},
-                            {"status", batchStatusName(slot.status)},
-                            {"attempts", slot.attempts},
-                            {"error", slot.error}});
-        }
-        // Stream the finished request into the run ledger: content is
-        // deterministic per request, only the line interleaving across
-        // workers is not (readers are order-insensitive).
-        if (ledger_ != nullptr) {
-          obs::LedgerRecord record;
-          record.kind = obs::LedgerRecordKind::kRun;
-          record.requestIndex = jobIndex;
-          record.sampleId = request.sampleId;
-          record.status = batchStatusName(slot.status);
-          record.attempts = slot.attempts;
-          record.workerIndex = workerIndex;
-          record.virtualMs = worker.machine->clock().nowMs();
-          if (slot.ok()) {
-            const EvalOutcome& outcome = slot.outcome;
-            record.correlationId = outcome.attribution.correlationId;
-            record.verdict = outcome.verdict.deactivated ? "deactivated"
-                                                         : "not-deactivated";
-            record.firstTrigger = outcome.verdict.firstTrigger;
-            const ResilienceVerdict& rv = outcome.resilience;
-            record.protection =
-                faults::protectionLevelName(rv.protectionLevel);
-            record.faultsInjected = rv.faultsInjected;
-            record.injectRetries = rv.injectRetries;
-            record.quarantinedHooks = rv.quarantinedHooks;
-            record.missedDescendants = rv.missedDescendants;
-            record.reinjectedDescendants = rv.reinjectedDescendants;
-            record.ipcMessagesDropped = rv.ipcMessagesDropped;
-          }
-          if (worker.machine->hotTimers().anyArmed())
-            for (const obs::HistogramSample& h :
-                 worker.machine->hotTimers().snapshot().histograms)
-              record.hotTimers.push_back({h.name, h.p50, h.p95, h.p99});
-          ledger_->append(std::move(record));
-          if (slot.ok())
-            for (const obs::SloBreach& breach : slot.outcome.sloBreaches) {
-              obs::LedgerRecord b;
-              b.kind = obs::LedgerRecordKind::kBreach;
-              b.windowId = breach.windowId;
-              b.rule = breach.rule;
-              b.observed = obs::renderMilli(breach.observedMilli);
-              b.threshold = obs::renderMilli(breach.thresholdMilli);
-              ledger_->append(std::move(b));
-            }
-        }
-        inflight_.fetch_sub(1, std::memory_order_relaxed);
-        completed_.fetch_add(1, std::memory_order_relaxed);
-      });
-
-  // Sum successful wall time after the fact (the in-loop accumulator only
-  // tracked failed requests, whose outcomes carry no telemetry).
-  for (const BatchResult& result : results)
-    if (result.ok()) workers_[result.workerIndex]->wallMicros +=
-        result.wallMicros;
-
-  // Replay stall events into the batch-level recorder in worker order: the
-  // FlightRecorder is single-writer, so workers collected locally and the
-  // merge happens here, after the pool joined.
-  for (const auto& worker : workers_)
-    for (const obs::DecisionEvent& event : worker->stallEvents)
-      healthEvents_.record(event);
-
-  const std::uint64_t inflightPeak =
-      inflightPeak_.load(std::memory_order_relaxed);
-  workerTelemetry_.reserve(workers_.size());
-  for (std::size_t i = 0; i < workers_.size(); ++i) {
-    const Worker& worker = *workers_[i];
-    obs::MetricsRegistry accounting;
-    accounting.counter("batch.requests").inc(worker.requests);
-    accounting.counter("batch.retries").inc(worker.retries);
-    accounting.counter("batch.timeouts").inc(worker.timeouts);
-    accounting.counter("batch.failures").inc(worker.failures);
-    accounting.counter("batch.degraded").inc(worker.degraded);
-    accounting.counter("batch.stalled").inc(worker.stalls);
-    accounting.counter("batch.wall_us").inc(worker.wallMicros);
-    // Liveness gauges. Heartbeats are labelled per worker; the inflight
-    // peak is the same global value in every snapshot, so the gauge-max
-    // merge rule reproduces it unchanged at the corpus level.
-    accounting.gauge("batch.worker_heartbeat", "worker-" + std::to_string(i))
-        .set(static_cast<std::int64_t>(
-            worker.heartbeat.load(std::memory_order_relaxed)));
-    accounting.gauge("batch.inflight_peak")
-        .set(static_cast<std::int64_t>(inflightPeak));
-    obs::MetricsSnapshot snapshot = worker.telemetry;
-    snapshot.merge(accounting.snapshot());
-    workerTelemetry_.push_back(std::move(snapshot));
-  }
-
-  // Worker summary records, written in worker order after the pool joined:
-  // obs::reconstructFleetTelemetry folds these back into the exact bytes
-  // mergedTelemetry() produces.
-  if (ledger_ != nullptr)
-    for (std::size_t i = 0; i < workerTelemetry_.size(); ++i) {
-      obs::LedgerRecord record;
-      record.kind = obs::LedgerRecordKind::kWorker;
-      record.workerIndex = i;
-      record.snapshot = workerTelemetry_[i];
-      ledger_->append(std::move(record));
-    }
+  service_->flushTelemetry();
   return results;
 }
 
-BatchProgress BatchEvaluator::progress() const {
-  BatchProgress p;
-  p.submitted = submitted_.load(std::memory_order_relaxed);
-  p.completed = completed_.load(std::memory_order_relaxed);
-  p.inflight = inflight_.load(std::memory_order_relaxed);
-  p.inflightPeak = inflightPeak_.load(std::memory_order_relaxed);
-  p.retried = retried_.load(std::memory_order_relaxed);
-  p.stalled = stalled_.load(std::memory_order_relaxed);
-  p.workerHeartbeats.reserve(workers_.size());
-  for (const auto& worker : workers_)
-    p.workerHeartbeats.push_back(
-        worker->heartbeat.load(std::memory_order_relaxed));
-  return p;
+std::size_t BatchEvaluator::workerCount() const noexcept {
+  return service_->workerCount();
+}
+
+const std::vector<obs::MetricsSnapshot>& BatchEvaluator::workerTelemetry()
+    const noexcept {
+  return service_->workerTelemetry();
 }
 
 obs::MetricsSnapshot BatchEvaluator::mergedTelemetry() const {
-  obs::MetricsSnapshot merged;
-  for (const obs::MetricsSnapshot& worker : workerTelemetry_)
-    merged.merge(worker);
-  return merged;
+  return service_->fleetTelemetry();
+}
+
+BatchProgress BatchEvaluator::progress() const {
+  const ServiceStats stats = service_->stats();
+  BatchProgress p;
+  p.submitted = stats.submitted;
+  p.completed = stats.completed;
+  p.inflight = stats.inflight;
+  p.inflightPeak = stats.inflightPeak;
+  p.retried = stats.retried;
+  p.stalled = stats.stalled;
+  p.workerHeartbeats = stats.workerHeartbeats;
+  return p;
+}
+
+const obs::FlightRecorder& BatchEvaluator::healthEvents() const noexcept {
+  return service_->healthEvents();
+}
+
+const obs::LedgerWriter* BatchEvaluator::ledger() const noexcept {
+  return service_->ledger();
 }
 
 }  // namespace scarecrow::core

@@ -3,13 +3,23 @@
 // The paper runs every sample twice (±Scarecrow) under a one-minute
 // budget, so Table I/II/III sweeps are embarrassingly parallel — the only
 // shared state a corpus evaluation needs is the request queue and the
-// result table. BatchEvaluator is the engine for that: N workers, each
-// owning a private simulated Machine plus EvaluationHarness built from a
-// caller-supplied factory, drain a shared queue of EvalRequests. Results
-// land at the request's index regardless of completion order, a request
-// that throws or exceeds its wall-clock budget is retried a bounded number
-// of times and then reported failed — without poisoning its worker, whose
-// next evaluation starts from a clean Deep Freeze restore anyway.
+// result table. BatchEvaluator is the vector-in/vector-out engine for
+// that: N workers, each owning a private simulated Machine plus
+// EvaluationHarness built from a caller-supplied factory, drain a shared
+// queue of EvalRequests. Results land at the request's index regardless
+// of completion order, a request that throws or exceeds its wall-clock
+// budget is retried a bounded number of times and then reported failed —
+// without poisoning its worker, whose next evaluation starts from a clean
+// Deep Freeze restore anyway.
+//
+// Since the resident service landed, BatchEvaluator is a thin synchronous
+// façade over a single-shard core::EvalService (core/service.h): the
+// worker anatomy, retry/timeout/stall machinery, telemetry folding, and
+// ledger streaming all live there. evaluateAll() opens a telemetry epoch,
+// submits every request, waits for the tickets in order, and settles the
+// epoch — producing byte-identical results and telemetry to the original
+// in-place engine. Long-running callers should use EvalService directly;
+// this type remains the convenient shape for one-shot sweeps.
 //
 // Telemetry: every EvalOutcome still carries the per-sample snapshot and
 // byte-identical telemetryJson a serial harness would produce (evaluate()
@@ -20,29 +30,19 @@
 // histogram buckets combined — ready for a single JSON/Prometheus dump.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/eval.h"
+#include "core/service.h"
 #include "obs/flight_recorder.h"
 #include "obs/ledger.h"
 #include "obs/metrics.h"
 #include "winsys/machine.h"
 
 namespace scarecrow::core {
-
-enum class BatchStatus : std::uint8_t {
-  kOk,        // outcome is valid
-  kFailed,    // every attempt threw; `error` holds the last message
-  kTimedOut,  // every attempt exceeded BatchOptions::requestTimeoutMs
-};
-
-/// Exhaustive over BatchStatus (no default; -Werror=switch enforces it).
-const char* batchStatusName(BatchStatus status) noexcept;
 
 struct BatchResult {
   BatchStatus status = BatchStatus::kFailed;
@@ -63,6 +63,10 @@ struct BatchResult {
 };
 
 struct BatchOptions {
+  /// The telemetry / health knobs (stall detector + run ledger) shared
+  /// with the resident service. See core::TelemetryOptions.
+  using Telemetry = TelemetryOptions;
+
   /// Worker (= private machine) count. Clamped to at least 1.
   std::size_t workerCount = 8;
   /// Wall-clock budget per attempt, milliseconds; 0 = unlimited. The
@@ -73,35 +77,51 @@ struct BatchOptions {
   std::uint64_t requestTimeoutMs = 0;
   /// Attempts per request before it is reported failed (1 = no retry).
   std::uint32_t maxAttempts = 2;
-  /// Stall detector: virtual-clock milliseconds one attempt may consume
-  /// before the worker is flagged as stalled (heartbeats only advance
-  /// between attempts, so an attempt that burns more simulated time than
-  /// this budget is a silent-queue hazard). 0 = detection off. A stall is
-  /// a `batch.stalled` counter tick plus a kStall decision event in
-  /// healthEvents(); the attempt's result is untouched — this is a health
-  /// signal, not a timeout.
+  /// Stall-detector and run-ledger configuration (DESIGN.md §13/§14).
+  Telemetry telemetry;
+
+  // --- Deprecated flat aliases (one release of grace) -----------------
+  // These predate BatchOptions::Telemetry; a non-default value here is
+  // folded into `telemetry` by the BatchEvaluator constructor unless the
+  // nested field was set explicitly (the nested field wins).
+
+  /// \deprecated Use telemetry.stallBudgetMs.
+  [[deprecated("use telemetry.stallBudgetMs")]]
   std::uint64_t stallBudgetMs = 0;
-
-  // --- Run-ledger streaming (DESIGN.md §13) ---------------------------
-
-  /// JSONL run-ledger file every worker streams into: one "run" record per
-  /// finished request, one "window" record per closed time-series window,
-  /// one "breach" record per SLO breach, and one "worker" record per
-  /// worker at end of batch (obs/ledger.h). Empty falls back to
-  /// SCARECROW_LEDGER; empty both ways disables the ledger entirely.
+  /// \deprecated Use telemetry.ledgerPath.
+  [[deprecated("use telemetry.ledgerPath")]]
   std::string ledgerPath;
-  /// Size-based rotation bound for the ledger file; 0 = never rotate.
+  /// \deprecated Use telemetry.ledgerMaxBytes.
+  [[deprecated("use telemetry.ledgerMaxBytes")]]
   std::uint64_t ledgerMaxBytes = 0;
-  /// Rotated generations retained (`<path>.1` … `<path>.N`).
+  /// \deprecated Use telemetry.ledgerMaxRotatedFiles.
+  [[deprecated("use telemetry.ledgerMaxRotatedFiles")]]
   std::uint32_t ledgerMaxRotatedFiles = 3;
-  /// Shard label stamped into every ledger record ("shard-0", ...), so
-  /// ledgers from N processes merge into one fleet view.
+  /// \deprecated Use telemetry.ledgerShard.
+  [[deprecated("use telemetry.ledgerShard")]]
   std::string ledgerShard;
+
+  // The special members must be spelled out so their (compiler-generated)
+  // bodies, which necessarily touch the deprecated fields, do not warn at
+  // every copy of a BatchOptions value.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+  BatchOptions() = default;
+  BatchOptions(const BatchOptions&) = default;
+  BatchOptions(BatchOptions&&) = default;
+  BatchOptions& operator=(const BatchOptions&) = default;
+  BatchOptions& operator=(BatchOptions&&) = default;
+  ~BatchOptions() = default;
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 };
 
 /// Live view of an evaluateAll in flight (or the final state of the last
-/// one). Safe to read from any thread while workers run — the future
-/// resident service polls this instead of staring at a silent queue.
+/// one). Safe to read from any thread while workers run — the resident
+/// service's stats() is the richer superset of this view.
 struct BatchProgress {
   /// Requests handed to the current/last evaluateAll.
   std::uint64_t submitted = 0;
@@ -112,7 +132,8 @@ struct BatchProgress {
   std::uint64_t inflightPeak = 0;
   /// Extra attempts beyond each request's first.
   std::uint64_t retried = 0;
-  /// Attempts that blew BatchOptions::stallBudgetMs of virtual time.
+  /// Attempts that blew BatchOptions::Telemetry::stallBudgetMs of virtual
+  /// time.
   std::uint64_t stalled = 0;
   /// Per-worker liveness: attempts finished by that worker. A worker
   /// whose heartbeat stops advancing while inflight > 0 is stuck.
@@ -121,11 +142,11 @@ struct BatchProgress {
 
 class BatchEvaluator {
  public:
-  using MachineFactory = std::function<std::unique_ptr<winsys::Machine>()>;
+  using MachineFactory = EvalService::MachineFactory;
 
   /// Builds `options.workerCount` identical machines up front (on the
   /// calling thread — machine construction is deterministic and need not
-  /// be thread-safe).
+  /// be thread-safe) and starts the underlying single-shard service.
   explicit BatchEvaluator(const MachineFactory& machineFactory,
                           BatchOptions options = {});
   ~BatchEvaluator();
@@ -145,15 +166,13 @@ class BatchEvaluator {
   std::vector<BatchResult> evaluateAll(
       const std::vector<EvalRequest>& requests);
 
-  std::size_t workerCount() const noexcept { return workers_.size(); }
+  std::size_t workerCount() const noexcept;
 
   /// Per-worker aggregate of the last evaluateAll: the merge of every
   /// successful sample's telemetry that worker produced, plus the
   /// worker-level `batch.*` counters (requests, retries, timeouts,
   /// failures).
-  const std::vector<obs::MetricsSnapshot>& workerTelemetry() const noexcept {
-    return workerTelemetry_;
-  }
+  const std::vector<obs::MetricsSnapshot>& workerTelemetry() const noexcept;
 
   /// Merge of workerTelemetry() in worker order: the corpus-level dump.
   /// Counters sum, so it equals the serial sweep's aggregate regardless of
@@ -169,30 +188,18 @@ class BatchEvaluator {
   /// every evaluateAll in worker order. Event payload: api = sample id,
   /// argument = "worker-N", value = virtual ms the attempt consumed,
   /// timestamped with the worker machine's virtual clock.
-  const obs::FlightRecorder& healthEvents() const noexcept {
-    return healthEvents_;
-  }
+  const obs::FlightRecorder& healthEvents() const noexcept;
 
   /// The run ledger this batch streams into, or nullptr when no ledger is
-  /// configured (BatchOptions::ledgerPath / SCARECROW_LEDGER both empty).
-  const obs::LedgerWriter* ledger() const noexcept { return ledger_.get(); }
+  /// configured (telemetry.ledgerPath / SCARECROW_LEDGER both empty).
+  const obs::LedgerWriter* ledger() const noexcept;
+
+  /// The resident service underneath — escape hatch for callers migrating
+  /// from one-shot sweeps to streaming submission.
+  EvalService& service() noexcept { return *service_; }
 
  private:
-  struct Worker;
-
-  BatchOptions options_;
-  std::vector<std::unique_ptr<Worker>> workers_;
-  std::vector<obs::MetricsSnapshot> workerTelemetry_;
-  obs::FlightRecorder healthEvents_;
-  std::unique_ptr<obs::LedgerWriter> ledger_;
-
-  // progress() plane: written by workers, read by any thread.
-  std::atomic<std::uint64_t> submitted_{0};
-  std::atomic<std::uint64_t> completed_{0};
-  std::atomic<std::uint64_t> inflight_{0};
-  std::atomic<std::uint64_t> inflightPeak_{0};
-  std::atomic<std::uint64_t> retried_{0};
-  std::atomic<std::uint64_t> stalled_{0};
+  std::unique_ptr<EvalService> service_;
 };
 
 }  // namespace scarecrow::core

@@ -1,0 +1,18 @@
+#include "core/config.h"
+
+#include "obs/slo.h"
+#include "obs/timeseries.h"
+
+namespace scarecrow::core {
+
+Config Config::fromEnv() { return Config{}.withEnvDefaults(); }
+
+Config Config::withEnvDefaults() const {
+  Config config = *this;
+  if (config.telemetryWindowMs == 0)
+    config.telemetryWindowMs = obs::timeSeriesEnvWindowMs();
+  if (config.sloSpec.empty()) config.sloSpec = obs::sloEnvSpec();
+  return config;
+}
+
+}  // namespace scarecrow::core

@@ -156,6 +156,22 @@ struct Config {
   /// (DeceptionEngine::degradeTo) — the loudest possible alert: the system
   /// visibly sheds deception work instead of silently missing its SLOs.
   bool sloArmsDegradation = false;
+
+  // --- Environment defaults -------------------------------------------
+  // Precedence is uniform: explicit field > SCARECROW_* environment
+  // variable > built-in default. These two are the only places Config
+  // consults the environment; the individual SCARECROW_* readers live
+  // behind support/env.h.
+
+  /// A default Config with every env-backed field seeded from the
+  /// environment: telemetryWindowMs from SCARECROW_TS_WINDOW_MS, sloSpec
+  /// from SCARECROW_SLO. Equivalent to `Config{}.withEnvDefaults()`.
+  static Config fromEnv();
+
+  /// This config with env fallbacks applied to every field still at its
+  /// default — the harness calls this per run, so an explicit field
+  /// always beats the environment.
+  Config withEnvDefaults() const;
 };
 
 }  // namespace scarecrow::core

@@ -14,7 +14,10 @@ EvaluationHarness::EvaluationHarness(winsys::Machine& machine)
 
 RunResult EvaluationHarness::runOnce(const EvalRequest& request,
                                      bool withScarecrow) {
-  const Config& config = request.config;
+  // Environment fallbacks resolve once, up front (explicit field > env >
+  // default — Config::withEnvDefaults); everything below sees one settled
+  // configuration instead of consulting the environment piecemeal.
+  const Config config = request.config.withEnvDefaults();
   RunResult result;
   obs::MetricsRegistry& metrics = machine_.metrics();
   obs::FlightRecorder& flight = machine_.flightRecorder();
@@ -78,8 +81,7 @@ RunResult EvaluationHarness::runOnce(const EvalRequest& request,
                      .windowCapacity = config.telemetryWindowCapacity});
     obs::SloEngine slo;
     std::size_t sloSlot = static_cast<std::size_t>(-1);
-    const std::string& sloSpec =
-        !config.sloSpec.empty() ? config.sloSpec : obs::sloEnvSpec();
+    const std::string& sloSpec = config.sloSpec;
     if (plane.enabled() && !sloSpec.empty()) {
       slo.addRules(sloSpec);  // malformed specs throw before the run starts
       slo.bind(&metrics, &flight);

@@ -40,6 +40,11 @@ struct EvalRequest {
   Config config{};
   /// Machine-time budget per run (the paper's one-minute window).
   std::uint64_t budgetMs = Config::kDefaultBudgetMs;
+  /// Fair-share admission key for the resident service (core/service.h):
+  /// submissions are token-bucketed per tenant so one flooding client
+  /// cannot starve the rest. Empty = the shared anonymous pool. Ignored
+  /// by the serial harness and the batch façade.
+  std::string tenant;
 };
 
 /// How well the deception plane held up during a supervised run

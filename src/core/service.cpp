@@ -1,0 +1,599 @@
+#include "core/service.h"
+
+#include <chrono>
+#include <exception>
+#include <utility>
+
+#include "support/log.h"
+
+namespace scarecrow::core {
+
+namespace {
+
+std::uint64_t nowMicros() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+const char* batchStatusName(BatchStatus status) noexcept {
+  switch (status) {
+    case BatchStatus::kOk: return "ok";
+    case BatchStatus::kFailed: return "failed";
+    case BatchStatus::kTimedOut: return "timed-out";
+  }
+  return "?";
+}
+
+const char* admissionVerdictName(AdmissionVerdict verdict) noexcept {
+  switch (verdict) {
+    case AdmissionVerdict::kAdmitted: return "admitted";
+    case AdmissionVerdict::kQueueFull: return "queue-full";
+    case AdmissionVerdict::kTenantThrottled: return "tenant-throttled";
+    case AdmissionVerdict::kShuttingDown: return "shutting-down";
+  }
+  return "?";
+}
+
+/// One admitted request in flight between submit() and a worker.
+struct EvalService::Job {
+  std::uint64_t ticketId = 0;
+  /// Position within the current telemetry epoch (ledger requestIndex),
+  /// fixed at admission so run records are submission-ordered even though
+  /// completions race.
+  std::uint64_t requestIndex = 0;
+  EvalRequest request;
+};
+
+struct EvalService::Shard {
+  std::deque<Job> queue;
+  /// Signalled under EvalService::mutex_ when the queue gains work or
+  /// shutdown begins; only this shard's workers wait on it.
+  std::condition_variable cv;
+  /// Stamped into this shard's ledger records; empty inherits the
+  /// writer-level label (the single-shard / batch-façade convention).
+  std::string recordLabel;
+};
+
+struct EvalService::Worker {
+  std::size_t shard = 0;
+  /// Shard-major global index: shard * workersPerShard + slot. All
+  /// user-visible worker numbering (machine labels, heartbeat gauge
+  /// labels, ledger workerIndex) uses this.
+  std::size_t globalIndex = 0;
+  std::unique_ptr<winsys::Machine> machine;
+  std::unique_ptr<EvaluationHarness> harness;
+  /// Merge of the worker's successful per-sample snapshots (this epoch).
+  obs::MetricsSnapshot telemetry;
+  /// Worker-level accounting. Written only by the owning thread; readers
+  /// (flushTelemetry / resetTelemetry) run while the service is idle, with
+  /// the happens-before edge supplied by the completion publishing under
+  /// EvalService::mutex_.
+  std::uint64_t requests = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t failures = 0;
+  /// Successful samples whose ResilienceVerdict ended below full
+  /// deception (fault plans at work).
+  std::uint64_t degraded = 0;
+  std::uint64_t wallMicros = 0;
+  /// Machine virtual clock right after harness construction — the clean
+  /// snapshot's clock. Every evaluation restores to it before running, so
+  /// (clock after an attempt) − baseClockMs is the virtual time that
+  /// attempt's supervised run consumed: the stall detector's input.
+  std::uint64_t baseClockMs = 0;
+  /// Attempts flagged by the stall detector this epoch.
+  std::uint64_t stalls = 0;
+  /// kStall events collected locally and replayed into healthEvents() in
+  /// worker order at flushTelemetry() (FlightRecorder is single-writer).
+  std::vector<obs::DecisionEvent> stallEvents;
+  /// Liveness tick: attempts finished by this worker (stats() reads it
+  /// from other threads mid-run).
+  std::atomic<std::uint64_t> heartbeat{0};
+  std::thread thread;
+};
+
+EvalService::EvalService(const MachineFactory& machineFactory,
+                         ServiceOptions options)
+    : options_(std::move(options)) {
+  if (options_.shardCount == 0) options_.shardCount = 1;
+  if (options_.workersPerShard == 0) options_.workersPerShard = 1;
+  if (options_.maxAttempts == 0) options_.maxAttempts = 1;
+  shards_ = options_.shardCount;
+  if (options_.telemetry.ledgerPath.empty())
+    options_.telemetry.ledgerPath = obs::ledgerEnvPath();
+  if (!options_.telemetry.ledgerPath.empty())
+    ledger_ = std::make_unique<obs::LedgerWriter>(obs::LedgerOptions{
+        .path = options_.telemetry.ledgerPath,
+        .maxBytes = options_.telemetry.ledgerMaxBytes,
+        .maxRotatedFiles = options_.telemetry.ledgerMaxRotatedFiles,
+        // With one shard the configured label applies writer-wide (the
+        // BatchEvaluator convention); with N shards every record carries
+        // its own per-shard label instead.
+        .shard = shards_ == 1 ? options_.telemetry.ledgerShard
+                              : std::string{}});
+
+  shardStates_.reserve(shards_);
+  for (std::size_t s = 0; s < shards_; ++s) {
+    auto shard = std::make_unique<Shard>();
+    if (shards_ > 1) shard->recordLabel = shardLabel(s);
+    shardStates_.push_back(std::move(shard));
+  }
+
+  workers_.reserve(shards_ * options_.workersPerShard);
+  for (std::size_t s = 0; s < shards_; ++s) {
+    for (std::size_t w = 0; w < options_.workersPerShard; ++w) {
+      auto worker = std::make_unique<Worker>();
+      worker->shard = s;
+      worker->globalIndex = workers_.size();
+      worker->machine = machineFactory();
+      worker->machine->label += " #" + std::to_string(worker->globalIndex);
+      worker->harness =
+          std::make_unique<EvaluationHarness>(*worker->machine);
+      worker->baseClockMs = worker->machine->clock().nowMs();
+      // Window records stream straight from each worker's time-series
+      // plane (observers survive the per-run re-configure in runOnce). The
+      // writer serializes concurrent appends at line granularity.
+      if (ledger_ != nullptr) {
+        obs::LedgerWriter* writer = ledger_.get();
+        const std::string label = shardStates_[s]->recordLabel;
+        worker->machine->timeSeries().addWindowObserver(
+            [writer, label](const obs::TimeSeriesPlane& plane) {
+              const obs::WindowDelta& window = plane.windows().back();
+              obs::LedgerRecord record;
+              record.kind = obs::LedgerRecordKind::kWindow;
+              record.shard = label;
+              record.windowId = window.windowId;
+              record.startMs = window.startMs;
+              record.endMs = window.endMs;
+              record.snapshot = window.delta;
+              writer->append(std::move(record));
+            });
+      }
+      workers_.push_back(std::move(worker));
+    }
+  }
+  // Machines and harnesses are fully built before any thread starts: the
+  // pool only ever sees a complete service.
+  for (auto& worker : workers_)
+    worker->thread = std::thread([this, raw = worker.get()] {
+      workerMain(*raw);
+    });
+}
+
+EvalService::~EvalService() { shutdown(); }
+
+std::string EvalService::shardLabel(std::size_t shard) const {
+  const std::string& prefix = options_.telemetry.ledgerShard;
+  return (prefix.empty() ? std::string("shard") : prefix) + "-" +
+         std::to_string(shard);
+}
+
+std::size_t EvalService::shardFor(const std::string& sampleId) const noexcept {
+  // FNV-1a, 64-bit: stable across runs and platforms, so a sample's shard
+  // (and therefore its ledger label and machine pool) never moves.
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (const char c : sampleId) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return static_cast<std::size_t>(hash % shards_);
+}
+
+Ticket EvalService::submit(EvalRequest request) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++submitted_;
+  Ticket ticket;
+  if (shuttingDown_) {
+    ++rejectedShutdown_;
+    ticket.verdict = AdmissionVerdict::kShuttingDown;
+    return ticket;
+  }
+  const std::size_t shardIndex = shardFor(request.sampleId);
+  ticket.shard = shardIndex;
+  Shard& shard = *shardStates_[shardIndex];
+  if (options_.queueCapacity != 0 &&
+      shard.queue.size() >= options_.queueCapacity) {
+    ++rejectedQueueFull_;
+    ticket.verdict = AdmissionVerdict::kQueueFull;
+    return ticket;
+  }
+  if (options_.tenantTokens != 0) {
+    std::size_t& outstanding = tenantOutstanding_[request.tenant];
+    if (outstanding >= options_.tenantTokens) {
+      ++rejectedTenant_;
+      ticket.verdict = AdmissionVerdict::kTenantThrottled;
+      return ticket;
+    }
+    ++outstanding;
+  }
+  ticket.id = ++nextTicketId_;
+  ticket.verdict = AdmissionVerdict::kAdmitted;
+  ++admitted_;
+  live_.insert(ticket.id);
+  Job job;
+  job.ticketId = ticket.id;
+  job.requestIndex = ticket.id - epochBaseTicket_ - 1;
+  job.request = std::move(request);
+  shard.queue.push_back(std::move(job));
+  if (shard.queue.size() > queueDepthPeak_)
+    queueDepthPeak_ = shard.queue.size();
+  shard.cv.notify_one();
+  return ticket;
+}
+
+void EvalService::workerMain(Worker& worker) {
+  Shard& shard = *shardStates_[worker.shard];
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      shard.cv.wait(lock, [&] {
+        return shuttingDown_ || !shard.queue.empty();
+      });
+      if (shard.queue.empty()) return;  // shuttingDown_ and drained
+      job = std::move(shard.queue.front());
+      shard.queue.pop_front();
+    }
+    const std::uint64_t nowInflight =
+        inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
+    std::uint64_t peak = inflightPeak_.load(std::memory_order_relaxed);
+    while (peak < nowInflight &&
+           !inflightPeak_.compare_exchange_weak(peak, nowInflight,
+                                                std::memory_order_relaxed)) {
+    }
+    executeJob(worker, std::move(job));
+  }
+}
+
+void EvalService::executeJob(Worker& worker, Job job) {
+  const EvalRequest& request = job.request;
+  ServiceResult result;
+  result.ticketId = job.ticketId;
+  result.sampleId = request.sampleId;
+  result.tenant = request.tenant;
+  result.shard = worker.shard;
+  result.workerIndex = worker.globalIndex;
+  ++worker.requests;
+
+  // The stall detector, shared by every attempt outcome: an attempt whose
+  // supervised run consumed more virtual time than the budget went that
+  // long without a heartbeat — flag it (kStall + counter) but leave the
+  // attempt's result alone.
+  const auto noteStall = [&](std::uint32_t attempt) {
+    if (options_.telemetry.stallBudgetMs == 0) return;
+    const std::uint64_t nowMs = worker.machine->clock().nowMs();
+    const std::uint64_t virtualMs =
+        nowMs >= worker.baseClockMs ? nowMs - worker.baseClockMs : 0;
+    if (virtualMs <= options_.telemetry.stallBudgetMs) return;
+    ++worker.stalls;
+    stalled_.fetch_add(1, std::memory_order_relaxed);
+    obs::DecisionEvent e;
+    e.timeMs = nowMs;
+    e.kind = obs::DecisionKind::kStall;
+    e.api = request.sampleId;
+    e.argument = "worker-" + std::to_string(worker.globalIndex);
+    e.value = std::to_string(virtualMs);
+    e.link = "attempt-" + std::to_string(attempt);
+    worker.stallEvents.push_back(std::move(e));
+  };
+
+  for (std::uint32_t attempt = 1; attempt <= options_.maxAttempts;
+       ++attempt) {
+    result.attempts = attempt;
+    if (attempt > 1) {
+      ++worker.retries;
+      retried_.fetch_add(1, std::memory_order_relaxed);
+    }
+    const std::uint64_t start = nowMicros();
+    try {
+      EvalOutcome outcome = worker.harness->evaluate(request);
+      const std::uint64_t elapsed = nowMicros() - start;
+      result.wallMicros = elapsed;
+      noteStall(attempt);
+      worker.heartbeat.fetch_add(1, std::memory_order_relaxed);
+      if (options_.requestTimeoutMs != 0 &&
+          elapsed > options_.requestTimeoutMs * 1000) {
+        // Cooperative timeout: the run already finished, but it blew the
+        // wall budget — discard it like a failure so a stuck configuration
+        // cannot silently monopolize a worker.
+        ++worker.timeouts;
+        result.status = BatchStatus::kTimedOut;
+        result.error = "attempt took " + std::to_string(elapsed / 1000) +
+                       " ms (budget " +
+                       std::to_string(options_.requestTimeoutMs) + " ms)";
+        continue;
+      }
+      result.status = BatchStatus::kOk;
+      result.error.clear();
+      result.outcome = std::move(outcome);
+      if (result.outcome.resilience.degraded()) ++worker.degraded;
+      worker.telemetry.merge(result.outcome.telemetry);
+      break;
+    } catch (const std::exception& e) {
+      result.status = BatchStatus::kFailed;
+      result.error = e.what();
+      result.wallMicros = nowMicros() - start;
+      noteStall(attempt);
+      worker.heartbeat.fetch_add(1, std::memory_order_relaxed);
+    } catch (...) {
+      result.status = BatchStatus::kFailed;
+      result.error = "non-standard exception";
+      result.wallMicros = nowMicros() - start;
+      noteStall(attempt);
+      worker.heartbeat.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  worker.wallMicros += result.wallMicros;
+  if (!result.ok()) {
+    ++worker.failures;
+    support::logWarn("service", "request failed",
+                     {{"sample", request.sampleId},
+                      {"status", batchStatusName(result.status)},
+                      {"attempts", result.attempts},
+                      {"error", result.error}});
+  }
+
+  // Stream the finished request into the run ledger: content is
+  // deterministic per request, only the line interleaving across workers
+  // is not (readers are order-insensitive).
+  if (ledger_ != nullptr) {
+    const std::string& label = shardStates_[worker.shard]->recordLabel;
+    obs::LedgerRecord record;
+    record.kind = obs::LedgerRecordKind::kRun;
+    record.shard = label;
+    record.requestIndex = job.requestIndex;
+    record.sampleId = request.sampleId;
+    record.status = batchStatusName(result.status);
+    record.attempts = result.attempts;
+    record.workerIndex = worker.globalIndex;
+    record.virtualMs = worker.machine->clock().nowMs();
+    if (result.ok()) {
+      const EvalOutcome& outcome = result.outcome;
+      record.correlationId = outcome.attribution.correlationId;
+      record.verdict = outcome.verdict.deactivated ? "deactivated"
+                                                   : "not-deactivated";
+      record.firstTrigger = outcome.verdict.firstTrigger;
+      const ResilienceVerdict& rv = outcome.resilience;
+      record.protection = faults::protectionLevelName(rv.protectionLevel);
+      record.faultsInjected = rv.faultsInjected;
+      record.injectRetries = rv.injectRetries;
+      record.quarantinedHooks = rv.quarantinedHooks;
+      record.missedDescendants = rv.missedDescendants;
+      record.reinjectedDescendants = rv.reinjectedDescendants;
+      record.ipcMessagesDropped = rv.ipcMessagesDropped;
+    }
+    if (worker.machine->hotTimers().anyArmed())
+      for (const obs::HistogramSample& h :
+           worker.machine->hotTimers().snapshot().histograms)
+        record.hotTimers.push_back({h.name, h.p50, h.p95, h.p99});
+    ledger_->append(std::move(record));
+    if (result.ok())
+      for (const obs::SloBreach& breach : result.outcome.sloBreaches) {
+        obs::LedgerRecord b;
+        b.kind = obs::LedgerRecordKind::kBreach;
+        b.shard = label;
+        b.windowId = breach.windowId;
+        b.rule = breach.rule;
+        b.observed = obs::renderMilli(breach.observedMilli);
+        b.threshold = obs::renderMilli(breach.thresholdMilli);
+        ledger_->append(std::move(b));
+      }
+  }
+
+  completeJob(worker, std::move(result));
+}
+
+void EvalService::completeJob(Worker& worker, ServiceResult result) {
+  (void)worker;
+  // Subscribers see the result before poll()/wait() can: snapshot the
+  // callback list under the lock, invoke outside it so a callback may
+  // submit() follow-up work without deadlocking.
+  std::vector<ResultCallback> callbacks;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    callbacks.reserve(subscribers_.size());
+    for (const auto& [slot, callback] : subscribers_)
+      if (callback) callbacks.push_back(callback);
+  }
+  for (const ResultCallback& callback : callbacks) callback(result);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (options_.tenantTokens != 0) {
+    auto it = tenantOutstanding_.find(result.tenant);
+    if (it != tenantOutstanding_.end() && --it->second == 0)
+      tenantOutstanding_.erase(it);
+  }
+  live_.erase(result.ticketId);
+  ++completed_;
+  if (result.status == BatchStatus::kFailed) ++failed_;
+  if (result.status == BatchStatus::kTimedOut) ++timedOut_;
+  telemetryDirty_ = true;
+  if (options_.retainResults) {
+    const std::uint64_t id = result.ticketId;
+    results_.emplace(id, std::move(result));
+  }
+  inflight_.fetch_sub(1, std::memory_order_relaxed);
+  doneCv_.notify_all();
+}
+
+std::optional<ServiceResult> EvalService::poll(const Ticket& ticket) {
+  if (!ticket.admitted()) return std::nullopt;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = results_.find(ticket.id);
+  if (it == results_.end()) return std::nullopt;
+  ServiceResult result = std::move(it->second);
+  results_.erase(it);
+  return result;
+}
+
+std::optional<ServiceResult> EvalService::wait(const Ticket& ticket) {
+  if (!ticket.admitted()) return std::nullopt;
+  std::unique_lock<std::mutex> lock(mutex_);
+  doneCv_.wait(lock, [&] { return live_.count(ticket.id) == 0; });
+  auto it = results_.find(ticket.id);
+  if (it == results_.end()) return std::nullopt;
+  ServiceResult result = std::move(it->second);
+  results_.erase(it);
+  return result;
+}
+
+void EvalService::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  doneCv_.wait(lock, [&] { return live_.empty(); });
+}
+
+std::size_t EvalService::subscribe(ResultCallback callback) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t slot = nextSubscriberSlot_++;
+  subscribers_.emplace_back(slot, std::move(callback));
+  return slot;
+}
+
+void EvalService::unsubscribe(std::size_t slot) noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [id, callback] : subscribers_)
+    if (id == slot) callback = nullptr;
+}
+
+void EvalService::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shuttingDown_ = true;
+    for (auto& shard : shardStates_) shard->cv.notify_all();
+  }
+  for (auto& worker : workers_)
+    if (worker->thread.joinable()) worker->thread.join();
+  flushTelemetry();
+}
+
+ServiceStats EvalService::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ServiceStats s;
+  s.submitted = submitted_;
+  s.admitted = admitted_;
+  s.rejectedQueueFull = rejectedQueueFull_;
+  s.rejectedTenant = rejectedTenant_;
+  s.rejectedShutdown = rejectedShutdown_;
+  s.completed = completed_;
+  s.failed = failed_;
+  s.timedOut = timedOut_;
+  s.retried = retried_.load(std::memory_order_relaxed);
+  s.stalled = stalled_.load(std::memory_order_relaxed);
+  s.inflight = inflight_.load(std::memory_order_relaxed);
+  s.inflightPeak = inflightPeak_.load(std::memory_order_relaxed);
+  s.queueDepthPeak = queueDepthPeak_;
+  s.resultsPending = results_.size();
+  s.workerHeartbeats.reserve(workers_.size());
+  for (const auto& worker : workers_)
+    s.workerHeartbeats.push_back(
+        worker->heartbeat.load(std::memory_order_relaxed));
+  s.shardQueueDepths.reserve(shardStates_.size());
+  for (const auto& shard : shardStates_) {
+    s.shardQueueDepths.push_back(shard->queue.size());
+    s.queued += shard->queue.size();
+  }
+  return s;
+}
+
+void EvalService::setResourceDbFactory(
+    EvaluationHarness::DbFactory dbFactory) {
+  for (auto& worker : workers_)
+    worker->harness->setResourceDbFactory(dbFactory);
+}
+
+obs::MetricsSnapshot EvalService::fleetTelemetry() const {
+  obs::MetricsSnapshot merged;
+  for (const obs::MetricsSnapshot& worker : workerTelemetry_)
+    merged.merge(worker);
+  return merged;
+}
+
+void EvalService::flushTelemetry() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!telemetryDirty_) return;
+    telemetryDirty_ = false;
+  }
+  // Replay stall events into the service-level recorder in global worker
+  // order: the FlightRecorder is single-writer, so workers collected
+  // locally and the merge happens here, while the pool is idle.
+  healthEvents_.clear();
+  for (const auto& worker : workers_)
+    for (const obs::DecisionEvent& event : worker->stallEvents)
+      healthEvents_.record(event);
+
+  const std::uint64_t inflightPeak =
+      inflightPeak_.load(std::memory_order_relaxed);
+  workerTelemetry_.clear();
+  workerTelemetry_.reserve(workers_.size());
+  for (const auto& workerPtr : workers_) {
+    const Worker& worker = *workerPtr;
+    obs::MetricsRegistry accounting;
+    accounting.counter("batch.requests").inc(worker.requests);
+    accounting.counter("batch.retries").inc(worker.retries);
+    accounting.counter("batch.timeouts").inc(worker.timeouts);
+    accounting.counter("batch.failures").inc(worker.failures);
+    accounting.counter("batch.degraded").inc(worker.degraded);
+    accounting.counter("batch.stalled").inc(worker.stalls);
+    accounting.counter("batch.wall_us").inc(worker.wallMicros);
+    // Liveness gauges. Heartbeats are labelled per worker; the inflight
+    // peak is the same global value in every snapshot, so the gauge-max
+    // merge rule reproduces it unchanged at the fleet level.
+    accounting
+        .gauge("batch.worker_heartbeat",
+               "worker-" + std::to_string(worker.globalIndex))
+        .set(static_cast<std::int64_t>(
+            worker.heartbeat.load(std::memory_order_relaxed)));
+    accounting.gauge("batch.inflight_peak")
+        .set(static_cast<std::int64_t>(inflightPeak));
+    obs::MetricsSnapshot snapshot = worker.telemetry;
+    snapshot.merge(accounting.snapshot());
+    workerTelemetry_.push_back(std::move(snapshot));
+  }
+
+  // Worker summary records, written in global worker order while idle:
+  // obs::reconstructFleetTelemetry folds these back into the exact bytes
+  // fleetTelemetry() produces.
+  if (ledger_ != nullptr)
+    for (const auto& workerPtr : workers_) {
+      const Worker& worker = *workerPtr;
+      obs::LedgerRecord record;
+      record.kind = obs::LedgerRecordKind::kWorker;
+      record.shard = shardStates_[worker.shard]->recordLabel;
+      record.workerIndex = worker.globalIndex;
+      record.snapshot = workerTelemetry_[worker.globalIndex];
+      ledger_->append(std::move(record));
+    }
+}
+
+void EvalService::resetTelemetry() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& worker : workers_) {
+    worker->telemetry = obs::MetricsSnapshot{};
+    worker->requests = worker->retries = worker->timeouts =
+        worker->failures = worker->degraded = worker->wallMicros =
+            worker->stalls = 0;
+    worker->stallEvents.clear();
+    worker->heartbeat.store(0, std::memory_order_relaxed);
+  }
+  healthEvents_.clear();
+  workerTelemetry_.clear();
+  // A fresh epoch makes any previously flushed view stale: the next
+  // flushTelemetry() must rebuild (and re-ledger) even if the epoch ends
+  // with zero completions — an empty corpus still reports zeroed workers.
+  telemetryDirty_ = true;
+  epochBaseTicket_ = nextTicketId_;
+  submitted_ = admitted_ = 0;
+  rejectedQueueFull_ = rejectedTenant_ = rejectedShutdown_ = 0;
+  completed_ = failed_ = timedOut_ = 0;
+  queueDepthPeak_ = 0;
+  inflightPeak_.store(0, std::memory_order_relaxed);
+  retried_.store(0, std::memory_order_relaxed);
+  stalled_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace scarecrow::core

@@ -1,0 +1,368 @@
+// Resident corpus-evaluation service: the ROADMAP's "backbone" process.
+//
+// BatchEvaluator (core/batch.h) answers one question — "evaluate this
+// vector, give me a vector back" — and tears its accounting down between
+// calls. A fleet deployment needs the opposite shape: a long-running
+// engine that clients feed continuously, with admission control when the
+// queue is full, fair sharing between tenants, and results that stream
+// out as they finish instead of materializing corpus-sized arrays.
+// EvalService is that engine:
+//
+//   * Sharding. The corpus is partitioned across `shardCount` evaluator
+//     shards by a stable hash of the sample id (shardFor). Each shard owns
+//     `workersPerShard` persistent worker threads, each with a private
+//     simulated Machine + EvaluationHarness built from the caller's
+//     factory — the same worker anatomy as BatchEvaluator, but the pool
+//     survives across submissions instead of being re-driven per call.
+//   * Admission. submit() never blocks: it returns a Ticket whose
+//     AdmissionVerdict says admitted, queue-full (the shard's bounded
+//     queue is at capacity), tenant-throttled (the request's tenant has
+//     exhausted its token bucket), or shutting-down. Tokens replenish on
+//     completion, so a flooding tenant caps out at `tenantTokens`
+//     outstanding requests while everyone else keeps getting admitted —
+//     deterministic fairness with no wall clock involved.
+//   * Streaming results. Results are keyed by ticket, not index: poll()
+//     extracts one if ready, wait() blocks for one, and subscribe()
+//     registers a callback invoked on the finishing worker's thread the
+//     moment a request completes (before the result is published for
+//     poll). Ticket accounting is exact: every admitted ticket completes
+//     exactly once — the zero-lost/zero-duplicated invariant the service
+//     bench asserts at the hundred-thousand-sample scale.
+//   * Fleet telemetry. Per-worker snapshots merge via
+//     obs::MetricsSnapshot::merge into fleetTelemetry(), and every shard
+//     streams run/window/breach/worker records into the shared run ledger
+//     (obs/ledger.h) with per-shard labels, so
+//     obs::reconstructFleetTelemetry folds the file back into the same
+//     bytes fleetTelemetry() reports.
+//
+// BatchEvaluator still exists — as a thin synchronous façade over a
+// single-shard EvalService — so the ~40 existing call sites keep their
+// vector-in/vector-out API and byte-identical results.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/eval.h"
+#include "obs/flight_recorder.h"
+#include "obs/ledger.h"
+#include "obs/metrics.h"
+#include "winsys/machine.h"
+
+namespace scarecrow::core {
+
+enum class BatchStatus : std::uint8_t {
+  kOk,        // outcome is valid
+  kFailed,    // every attempt threw; `error` holds the last message
+  kTimedOut,  // every attempt exceeded the per-attempt wall budget
+};
+
+/// Exhaustive over BatchStatus (no default; -Werror=switch enforces it).
+const char* batchStatusName(BatchStatus status) noexcept;
+
+/// What submit() decided about a request. Only kAdmitted tickets ever
+/// produce a result; the reject verdicts are immediate and final.
+enum class AdmissionVerdict : std::uint8_t {
+  kAdmitted,        // queued; the ticket will complete exactly once
+  kQueueFull,       // the target shard's queue is at queueCapacity
+  kTenantThrottled, // the tenant's token bucket is empty
+  kShuttingDown,    // shutdown() has begun; no new work is accepted
+};
+
+/// Exhaustive over AdmissionVerdict.
+const char* admissionVerdictName(AdmissionVerdict verdict) noexcept;
+
+/// The telemetry / health knobs shared by EvalService and the
+/// BatchEvaluator façade (BatchOptions::Telemetry is this type).
+struct TelemetryOptions {
+  /// Stall detector: virtual-clock milliseconds one attempt may consume
+  /// before the worker is flagged as stalled (heartbeats only advance
+  /// between attempts, so an attempt that burns more simulated time than
+  /// this budget is a silent-queue hazard). 0 = detection off. A stall is
+  /// a `batch.stalled` counter tick plus a kStall decision event in
+  /// healthEvents(); the attempt's result is untouched — this is a health
+  /// signal, not a timeout.
+  std::uint64_t stallBudgetMs = 0;
+  /// JSONL run-ledger file every worker streams into: one "run" record per
+  /// finished request, one "window" record per closed time-series window,
+  /// one "breach" record per SLO breach, and one "worker" record per
+  /// worker at telemetry flush (obs/ledger.h). Empty falls back to
+  /// SCARECROW_LEDGER; empty both ways disables the ledger entirely.
+  std::string ledgerPath;
+  /// Size-based rotation bound for the ledger file; 0 = never rotate.
+  std::uint64_t ledgerMaxBytes = 0;
+  /// Rotated generations retained (`<path>.1` … `<path>.N`).
+  std::uint32_t ledgerMaxRotatedFiles = 3;
+  /// Shard label stamped into ledger records. With one shard the label is
+  /// used verbatim ("shard-0", ...; empty = unlabeled), matching the
+  /// single-process BatchEvaluator convention. With N > 1 shards each
+  /// shard stamps "<label>-<i>" ("shard" when empty, so "shard-0",
+  /// "shard-1", ...), and records from all shards interleave in one file
+  /// that obs::reconstructFleetTelemetry reads back as a fleet.
+  std::string ledgerShard;
+};
+
+struct ServiceOptions {
+  /// Evaluator shards the corpus hash-partitions across. Clamped to ≥ 1.
+  std::size_t shardCount = 1;
+  /// Worker threads (= private machines) per shard. Clamped to ≥ 1.
+  std::size_t workersPerShard = 8;
+  /// Bounded submission queue per shard: admitted-but-not-started requests
+  /// a shard may hold before submit() answers kQueueFull. 0 = unbounded.
+  std::size_t queueCapacity = 0;
+  /// Per-tenant token bucket: outstanding (queued + running) requests one
+  /// tenant may hold before submit() answers kTenantThrottled. Tokens
+  /// return on completion. 0 = fairness off. The empty tenant ("") is a
+  /// tenant like any other — the shared anonymous pool.
+  std::size_t tenantTokens = 0;
+  /// Wall-clock budget per attempt, milliseconds; 0 = unlimited. Enforced
+  /// when the attempt returns (the simulator cannot preempt), like
+  /// BatchOptions::requestTimeoutMs.
+  std::uint64_t requestTimeoutMs = 0;
+  /// Attempts per request before it is reported failed (1 = no retry).
+  std::uint32_t maxAttempts = 2;
+  /// When true (default) every completed result is retained until poll()
+  /// or wait() extracts it. Subscription-only consumers set this false so
+  /// a sustained run does not accumulate corpus-sized state.
+  bool retainResults = true;
+  TelemetryOptions telemetry;
+};
+
+/// Handle for one submission. Only meaningful when admitted; a rejected
+/// ticket has id 0 and will never complete.
+struct Ticket {
+  /// 1-based, unique for the service lifetime; 0 = not admitted.
+  std::uint64_t id = 0;
+  AdmissionVerdict verdict = AdmissionVerdict::kShuttingDown;
+  /// Shard the request was routed to (valid when admitted).
+  std::size_t shard = 0;
+
+  bool admitted() const noexcept {
+    return verdict == AdmissionVerdict::kAdmitted;
+  }
+};
+
+/// One finished request, delivered by poll()/wait()/subscribe callbacks.
+/// The BatchResult fields plus the service-side routing facts.
+struct ServiceResult {
+  std::uint64_t ticketId = 0;
+  std::string sampleId;
+  std::string tenant;
+  BatchStatus status = BatchStatus::kFailed;
+  /// Valid only when status == kOk.
+  EvalOutcome outcome;
+  /// what() of the last failed attempt, or the timeout description.
+  std::string error;
+  /// Attempts consumed (1 = first try succeeded).
+  std::uint32_t attempts = 0;
+  /// Global worker index (shard-major) that ran the final attempt.
+  std::size_t workerIndex = 0;
+  std::size_t shard = 0;
+  /// Wall-clock cost of the final attempt, microseconds. Real time, not
+  /// virtual — deliberately nondeterministic, kept out of telemetry.
+  std::uint64_t wallMicros = 0;
+
+  bool ok() const noexcept { return status == BatchStatus::kOk; }
+};
+
+/// Counter view of the service, readable from any thread at any time.
+/// Totals run since construction or the last resetTelemetry() — the batch
+/// façade resets per evaluateAll, a resident deployment typically never
+/// does.
+struct ServiceStats {
+  std::uint64_t submitted = 0;  // submit() calls, any verdict
+  std::uint64_t admitted = 0;
+  std::uint64_t rejectedQueueFull = 0;
+  std::uint64_t rejectedTenant = 0;
+  std::uint64_t rejectedShutdown = 0;
+  std::uint64_t completed = 0;  // any status
+  std::uint64_t failed = 0;
+  std::uint64_t timedOut = 0;
+  /// Extra attempts beyond each request's first.
+  std::uint64_t retried = 0;
+  /// Attempts that blew TelemetryOptions::stallBudgetMs of virtual time.
+  std::uint64_t stalled = 0;
+  std::uint64_t inflight = 0;
+  /// High-water mark of concurrently running requests.
+  std::uint64_t inflightPeak = 0;
+  /// Admitted requests not yet picked up by a worker (all shards).
+  std::uint64_t queued = 0;
+  /// High-water mark of any single shard's queue depth.
+  std::uint64_t queueDepthPeak = 0;
+  /// Completed results retained and awaiting poll()/wait().
+  std::uint64_t resultsPending = 0;
+  /// Per-worker liveness (global worker order): attempts finished. A
+  /// heartbeat that stops advancing while inflight > 0 is a stuck worker.
+  std::vector<std::uint64_t> workerHeartbeats;
+  /// Current queue depth per shard.
+  std::vector<std::uint64_t> shardQueueDepths;
+};
+
+class EvalService {
+ public:
+  using MachineFactory = std::function<std::unique_ptr<winsys::Machine>()>;
+  using ResultCallback = std::function<void(const ServiceResult&)>;
+
+  /// Builds shardCount × workersPerShard machines up front on the calling
+  /// thread (machine construction is deterministic and need not be
+  /// thread-safe) and starts the persistent worker pool.
+  explicit EvalService(const MachineFactory& machineFactory,
+                       ServiceOptions options = {});
+  /// Implies shutdown().
+  ~EvalService();
+
+  EvalService(const EvalService&) = delete;
+  EvalService& operator=(const EvalService&) = delete;
+
+  /// Non-blocking admission. The returned ticket's verdict says whether
+  /// the request was queued; an admitted ticket completes exactly once.
+  Ticket submit(EvalRequest request);
+
+  /// Extracts the result for `ticket` if it has completed (extract-once:
+  /// a second poll for the same ticket returns nullopt, as does a poll
+  /// for a rejected, unknown, or still-running ticket).
+  std::optional<ServiceResult> poll(const Ticket& ticket);
+
+  /// Blocks until `ticket` completes, then extracts its result. nullopt
+  /// for rejected/unknown tickets, for already-extracted ones, and under
+  /// retainResults == false.
+  std::optional<ServiceResult> wait(const Ticket& ticket);
+
+  /// Blocks until every admitted request has completed.
+  void drain();
+
+  /// Registers a callback invoked once per completed request, on the
+  /// finishing worker's thread, before the result is published for
+  /// poll()/wait(). Callbacks must not call back into the service's
+  /// blocking APIs (wait/drain/shutdown). Returns a slot for unsubscribe.
+  std::size_t subscribe(ResultCallback callback);
+  /// Drops a subscription. A callback already in flight on a worker
+  /// thread may still run once after this returns.
+  void unsubscribe(std::size_t slot) noexcept;
+
+  /// Stops admission, drains every queued and in-flight request, joins the
+  /// worker pool, and flushes telemetry (kWorker ledger records included).
+  /// Idempotent; implied by the destructor.
+  void shutdown();
+
+  ServiceStats stats() const;
+
+  /// Stable shard routing: FNV-1a of the sample id mod shardCount. The
+  /// same sample always lands on the same shard (and therefore the same
+  /// pool of private machines), which keeps per-shard ledgers coherent.
+  std::size_t shardFor(const std::string& sampleId) const noexcept;
+
+  std::size_t shardCount() const noexcept { return shards_; }
+  /// Total workers across all shards.
+  std::size_t workerCount() const noexcept { return workers_.size(); }
+
+  /// Overrides the deception database on every worker harness (the
+  /// profile-ablation hook). Call while idle, not mid-submission.
+  void setResourceDbFactory(EvaluationHarness::DbFactory dbFactory);
+
+  /// Per-worker telemetry (global worker order): each worker's successful
+  /// samples merged plus its `batch.*` accounting counters. Rebuilt by
+  /// flushTelemetry(); call after drain()/shutdown() for a settled view.
+  const std::vector<obs::MetricsSnapshot>& workerTelemetry() const noexcept {
+    return workerTelemetry_;
+  }
+
+  /// Merge of workerTelemetry() in global worker order: the fleet-level
+  /// dump. Counters sum, so it equals the serial sweep's aggregate
+  /// regardless of how requests raced across shards and workers.
+  obs::MetricsSnapshot fleetTelemetry() const;
+
+  /// Service-level health decisions (kStall events), rebuilt by
+  /// flushTelemetry() in global worker order.
+  const obs::FlightRecorder& healthEvents() const noexcept {
+    return healthEvents_;
+  }
+
+  /// The run ledger the shards stream into, or nullptr when none is
+  /// configured (TelemetryOptions::ledgerPath / SCARECROW_LEDGER empty).
+  const obs::LedgerWriter* ledger() const noexcept { return ledger_.get(); }
+
+  /// Settles the telemetry epoch: rebuilds workerTelemetry() and
+  /// healthEvents() from the workers' private accounting and appends one
+  /// kWorker ledger record per worker. Call while idle (after drain()).
+  /// Idempotent until new work completes; shutdown() calls it last.
+  void flushTelemetry();
+
+  /// Opens a fresh telemetry epoch: zeroes every worker's accounting and
+  /// merged snapshot, clears healthEvents(), and resets the epoch-scoped
+  /// stats (heartbeats, inflight peak, queue-depth peak). Call while idle.
+  /// The batch façade calls this at the top of every evaluateAll so each
+  /// call reports exactly its own corpus.
+  void resetTelemetry();
+
+ private:
+  struct Worker;
+  struct Shard;
+  struct Job;
+
+  void workerMain(Worker& worker);
+  void executeJob(Worker& worker, Job job);
+  void completeJob(Worker& worker, ServiceResult result);
+
+  ServiceOptions options_;
+  std::size_t shards_ = 1;
+  std::string shardLabel(std::size_t shard) const;
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::unique_ptr<Shard>> shardStates_;
+  std::unique_ptr<obs::LedgerWriter> ledger_;
+
+  // Flushed telemetry epoch (settled by flushTelemetry()).
+  std::vector<obs::MetricsSnapshot> workerTelemetry_;
+  obs::FlightRecorder healthEvents_;
+  bool telemetryDirty_ = false;
+
+  // Admission + delivery plane. One mutex: admission is O(1) bookkeeping
+  // and completions are rare relative to evaluation cost (~ms per sample),
+  // so a single lock is far from contention and keeps the verdict logic
+  // atomic across shards, tenants, and the results table.
+  mutable std::mutex mutex_;
+  std::condition_variable doneCv_;
+  bool shuttingDown_ = false;
+  std::uint64_t nextTicketId_ = 0;
+  /// First ticket id of the current telemetry epoch: ledger run records
+  /// index requests relative to this, so the façade's per-evaluateAll
+  /// request indices start at 0 every call.
+  std::uint64_t epochBaseTicket_ = 0;
+  std::unordered_set<std::uint64_t> live_;  // admitted, not yet completed
+  std::map<std::uint64_t, ServiceResult> results_;
+  std::unordered_map<std::string, std::size_t> tenantOutstanding_;
+  std::vector<std::pair<std::size_t, ResultCallback>> subscribers_;
+  std::size_t nextSubscriberSlot_ = 0;
+
+  // Counters. Queue/admission numbers live under mutex_ (they are written
+  // there anyway); the execution-path ones are atomics so the hot loop
+  // never touches the admission lock.
+  std::uint64_t submitted_ = 0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t rejectedQueueFull_ = 0;
+  std::uint64_t rejectedTenant_ = 0;
+  std::uint64_t rejectedShutdown_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t timedOut_ = 0;
+  std::uint64_t queueDepthPeak_ = 0;
+  std::atomic<std::uint64_t> inflight_{0};
+  std::atomic<std::uint64_t> inflightPeak_{0};
+  std::atomic<std::uint64_t> retried_{0};
+  std::atomic<std::uint64_t> stalled_{0};
+};
+
+}  // namespace scarecrow::core

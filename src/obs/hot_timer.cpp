@@ -1,6 +1,6 @@
 #include "obs/hot_timer.h"
 
-#include <cstdlib>
+#include "support/env.h"
 
 namespace scarecrow::obs {
 
@@ -39,9 +39,8 @@ const std::vector<std::uint64_t>& hotTimerBucketBoundsNs() {
 
 bool hotTimersEnvEnabled() noexcept {
   static const bool enabled = [] {
-    const char* v = std::getenv("SCARECROW_HOT_TIMERS");
-    return v != nullptr && v[0] != '\0' &&
-           !(v[0] == '0' && v[1] == '\0');
+    const std::string v = support::envString("SCARECROW_HOT_TIMERS");
+    return !v.empty() && v != "0";
   }();
   return enabled;
 }

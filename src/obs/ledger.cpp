@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <cstdlib>
 #include <utility>
 
+#include "support/env.h"
 #include "support/log.h"
 #include "support/strings.h"
 
@@ -542,10 +542,7 @@ MetricsSnapshot reconstructFleetTelemetry(
 }
 
 const std::string& ledgerEnvPath() noexcept {
-  static const std::string cached = [] {
-    const char* v = std::getenv("SCARECROW_LEDGER");
-    return v != nullptr ? std::string(v) : std::string{};
-  }();
+  static const std::string cached = support::envString("SCARECROW_LEDGER");
   return cached;
 }
 

@@ -7,6 +7,7 @@
 #include <numeric>
 #include <thread>
 
+#include "support/env.h"
 #include "support/strings.h"
 
 namespace scarecrow::obs {
@@ -91,8 +92,8 @@ PerfReport makePerfReport(std::string name) {
   report.os = "macos";
 #endif
   report.cpus = std::thread::hardware_concurrency();
-  if (const char* rev = std::getenv("SCARECROW_GIT_REV");
-      rev != nullptr && rev[0] != '\0')
+  if (const std::string rev = support::envString("SCARECROW_GIT_REV");
+      !rev.empty())
     report.gitRev = rev;
   return report;
 }

@@ -1,9 +1,9 @@
 #include "obs/slo.h"
 
-#include <cstdlib>
 #include <stdexcept>
 #include <utility>
 
+#include "support/env.h"
 #include "support/log.h"
 #include "support/strings.h"
 
@@ -123,10 +123,7 @@ std::string renderMilli(std::int64_t milli) {
 }
 
 const std::string& sloEnvSpec() noexcept {
-  static const std::string cached = [] {
-    const char* v = std::getenv("SCARECROW_SLO");
-    return v != nullptr ? std::string(v) : std::string{};
-  }();
+  static const std::string cached = support::envString("SCARECROW_SLO");
   return cached;
 }
 

@@ -1,8 +1,9 @@
 #include "obs/timeseries.h"
 
-#include <cstdlib>
 #include <string>
 #include <utility>
+
+#include "support/env.h"
 
 namespace scarecrow::obs {
 
@@ -38,14 +39,8 @@ const Sample* findIdentity(const std::vector<Sample>& base,
 }  // namespace
 
 std::uint64_t timeSeriesEnvWindowMs() noexcept {
-  static const std::uint64_t cached = [] {
-    const char* v = std::getenv("SCARECROW_TS_WINDOW_MS");
-    if (v == nullptr || *v == '\0') return std::uint64_t{0};
-    char* end = nullptr;
-    const unsigned long long parsed = std::strtoull(v, &end, 10);
-    if (end == v || (end != nullptr && *end != '\0')) return std::uint64_t{0};
-    return static_cast<std::uint64_t>(parsed);
-  }();
+  static const std::uint64_t cached =
+      support::envUint64("SCARECROW_TS_WINDOW_MS", 0);
   return cached;
 }
 

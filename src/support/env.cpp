@@ -1,0 +1,21 @@
+#include "support/env.h"
+
+#include <cstdlib>
+
+namespace scarecrow::support {
+
+std::string envString(const char* name, std::string fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::string(v) : std::move(fallback);
+}
+
+std::uint64_t envUint64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (end == v || (end != nullptr && *end != '\0')) return fallback;
+  return static_cast<std::uint64_t>(parsed);
+}
+
+}  // namespace scarecrow::support

@@ -1,0 +1,25 @@
+// Single choke point for SCARECROW_* environment reads.
+//
+// Every knob the engine accepts from the environment goes through these
+// two readers, so the precedence rule the README documents — explicit
+// field > environment > built-in default — is implemented in exactly one
+// place (core::Config::fromEnv and the per-plane cached getters) instead
+// of scattered std::getenv calls. Parsing is strict: a value that is not
+// a complete unsigned decimal integer falls back, it never half-parses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace scarecrow::support {
+
+/// Raw string read: the variable's value, or `fallback` when unset.
+/// (An empty value is returned as-is; callers that treat empty as unset
+/// do so explicitly.)
+std::string envString(const char* name, std::string fallback = {});
+
+/// Unsigned integer read: the variable parsed as a full base-10 integer,
+/// or `fallback` when unset, empty, or malformed.
+std::uint64_t envUint64(const char* name, std::uint64_t fallback = 0);
+
+}  // namespace scarecrow::support

@@ -2,10 +2,10 @@
 
 #include <atomic>
 #include <cstdio>
-#include <cstdlib>
 #include <map>
 #include <mutex>
 
+#include "support/env.h"
 #include "support/strings.h"
 
 namespace scarecrow::support {
@@ -36,10 +36,8 @@ std::map<std::string, LogLevel, std::less<>>& componentLevels() {
 }
 
 LogFormat initialFormat() noexcept {
-  const char* env = std::getenv("SCARECROW_LOG");
-  return env != nullptr && std::string_view(env) == "json"
-             ? LogFormat::kJson
-             : LogFormat::kText;
+  return support::envString("SCARECROW_LOG") == "json" ? LogFormat::kJson
+                                                        : LogFormat::kText;
 }
 
 LogFormat& formatRef() noexcept {

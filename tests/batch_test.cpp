@@ -214,7 +214,7 @@ TEST(BatchEvaluator, StallDetectorFlagsVirtualClockHogsAcrossEightWorkers) {
 
   core::BatchOptions options;
   options.workerCount = 8;
-  options.stallBudgetMs = 1;  // every sleep-loop sample blows 1 virtual ms
+  options.telemetry.stallBudgetMs = 1;  // every sleep-loop sample blows 1 virtual ms
   core::BatchEvaluator batch([] { return env::buildBareMetalSandbox(); },
                              options);
   const std::vector<core::BatchResult> results = batch.evaluateAll(requests);
@@ -268,7 +268,7 @@ TEST(BatchEvaluator, StallDetectorFlagsVirtualClockHogsAcrossEightWorkers) {
     EXPECT_EQ(event.kind, obs::DecisionKind::kStall);
     EXPECT_EQ(event.argument.rfind("worker-", 0), 0u) << event.argument;
     EXPECT_EQ(event.link.rfind("attempt-", 0), 0u) << event.link;
-    EXPECT_GT(std::stoull(event.value), options.stallBudgetMs);
+    EXPECT_GT(std::stoull(event.value), options.telemetry.stallBudgetMs);
     bool knownSample = false;
     for (const core::EvalRequest& request : requests)
       if (request.sampleId == event.api) knownSample = true;

@@ -54,8 +54,8 @@ TEST(FleetObs, LedgerReconstructsMergedTelemetryByteIdentically) {
 
   core::BatchOptions options;
   options.workerCount = 8;
-  options.ledgerPath = path;
-  options.ledgerShard = "shard-0";
+  options.telemetry.ledgerPath = path;
+  options.telemetry.ledgerShard = "shard-0";
   core::BatchEvaluator batch([] { return env::buildBareMetalSandbox(); },
                              options);
   ASSERT_NE(batch.ledger(), nullptr);
@@ -105,7 +105,7 @@ TEST(FleetObs, RunRecordsCarryVerdictsAndCorrelations) {
   std::remove(path.c_str());
   core::BatchOptions options;
   options.workerCount = 2;
-  options.ledgerPath = path;
+  options.telemetry.ledgerPath = path;
   core::BatchEvaluator batch([] { return env::buildBareMetalSandbox(); },
                              options);
   const std::vector<core::BatchResult> results = batch.evaluateAll(requests);

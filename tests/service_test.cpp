@@ -1,0 +1,443 @@
+// Resident EvalService tests: admission control (bounded queues, tenant
+// token buckets, shutdown), streaming delivery (poll / wait / callback
+// subscription), corpus sharding with byte parity against the serial
+// harness, and per-shard ledger labelling. The admission scenarios pin
+// exact verdict counts by parking every worker on a gate program, so the
+// queue and bucket states are fully deterministic when submit() runs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/eval.h"
+#include "core/service.h"
+#include "env/environments.h"
+#include "malware/joe.h"
+#include "obs/export.h"
+#include "obs/ledger.h"
+#include "winapi/api.h"
+#include "winapi/guest.h"
+
+namespace {
+
+using namespace scarecrow;
+
+std::vector<core::EvalRequest> joeCorpus(
+    const malware::ProgramRegistry& registry,
+    const std::vector<malware::JoeExpectation>& expected) {
+  std::vector<core::EvalRequest> requests;
+  for (const auto& row : expected)
+    requests.push_back({.sampleId = row.idPrefix,
+                        .imagePath = "C:\\submissions\\" + row.idPrefix +
+                                     ".exe",
+                        .factory = registry.factory()});
+  return requests;
+}
+
+/// Parks its worker until the shared gate opens: the deterministic way to
+/// hold a service busy while a test stages queue / bucket state.
+class GateProgram : public winapi::GuestProgram {
+ public:
+  explicit GateProgram(std::atomic<bool>& gate) : gate_(gate) {}
+  void run(winapi::Api& api) override {
+    while (!gate_.load(std::memory_order_acquire))
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    api.ExitProcess(0);
+  }
+
+ private:
+  std::atomic<bool>& gate_;
+};
+
+winapi::ProgramFactory gateFactory(std::atomic<bool>& gate) {
+  return [&gate](const std::string&, const std::string&) {
+    return std::make_unique<GateProgram>(gate);
+  };
+}
+
+/// Exits immediately: the cheapest possible admitted request.
+class TrivialProgram : public winapi::GuestProgram {
+ public:
+  void run(winapi::Api& api) override { api.ExitProcess(0); }
+};
+
+winapi::ProgramFactory trivialFactory() {
+  return [](const std::string&, const std::string&) {
+    return std::make_unique<TrivialProgram>();
+  };
+}
+
+core::EvalRequest trivialRequest(std::string sampleId,
+                                 std::string tenant = {}) {
+  return {.sampleId = sampleId,
+          .imagePath = "C:\\submissions\\" + sampleId + ".exe",
+          .factory = trivialFactory(),
+          .tenant = std::move(tenant)};
+}
+
+/// Spins until the service reports every worker busy (the gate programs
+/// hold them), so subsequent admission decisions are deterministic.
+void awaitInflight(core::EvalService& service, std::uint64_t count) {
+  while (service.stats().inflight < count)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
+
+TEST(EvalService, QueueFullRejectionIsExactOnceWorkersAndQueueAreFull) {
+  std::atomic<bool> gate{false};
+  core::ServiceOptions options;
+  options.shardCount = 1;
+  options.workersPerShard = 1;
+  options.queueCapacity = 2;
+  core::EvalService service([] { return env::buildBareMetalSandbox(); },
+                            options);
+
+  // Occupy the only worker, then fill the queue to its capacity.
+  core::EvalRequest blocker = trivialRequest("blocker");
+  blocker.factory = gateFactory(gate);
+  const core::Ticket busy = service.submit(blocker);
+  ASSERT_TRUE(busy.admitted());
+  awaitInflight(service, 1);
+
+  std::vector<core::Ticket> queued;
+  for (int i = 0; i < 2; ++i) {
+    queued.push_back(service.submit(trivialRequest("queued-" +
+                                                   std::to_string(i))));
+    ASSERT_TRUE(queued.back().admitted()) << i;
+  }
+
+  // The shard is saturated: every further submission bounces, immediately
+  // and without blocking, with an explicit verdict and an invalid ticket.
+  for (int i = 0; i < 3; ++i) {
+    const core::Ticket rejected =
+        service.submit(trivialRequest("overflow-" + std::to_string(i)));
+    EXPECT_EQ(rejected.verdict, core::AdmissionVerdict::kQueueFull);
+    EXPECT_EQ(rejected.id, 0u);
+    EXPECT_FALSE(rejected.admitted());
+    EXPECT_EQ(service.poll(rejected), std::nullopt);
+  }
+
+  core::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, 6u);
+  EXPECT_EQ(stats.admitted, 3u);
+  EXPECT_EQ(stats.rejectedQueueFull, 3u);
+  EXPECT_EQ(stats.queued, 2u);
+  EXPECT_EQ(stats.queueDepthPeak, 2u);
+
+  // Releasing the gate drains everything that was admitted — and nothing
+  // else: the three rejects never became work.
+  gate.store(true, std::memory_order_release);
+  service.drain();
+  stats = service.stats();
+  EXPECT_EQ(stats.completed, 3u);
+  EXPECT_EQ(stats.queued, 0u);
+  ASSERT_TRUE(service.wait(busy).has_value());
+  for (const core::Ticket& ticket : queued) {
+    const auto result = service.poll(ticket);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_TRUE(result->ok()) << result->error;
+    // Extract-once: a second poll for the same ticket is empty.
+    EXPECT_EQ(service.poll(ticket), std::nullopt);
+  }
+}
+
+TEST(EvalService, TenantTokenBucketHoldsFairnessUnderNineToOneFlood) {
+  std::atomic<bool> gate{false};
+  core::ServiceOptions options;
+  options.shardCount = 1;
+  options.workersPerShard = 1;
+  options.tenantTokens = 2;
+  core::EvalService service([] { return env::buildBareMetalSandbox(); },
+                            options);
+
+  core::EvalRequest blocker = trivialRequest("blocker", "warmup");
+  blocker.factory = gateFactory(gate);
+  ASSERT_TRUE(service.submit(blocker).admitted());
+  awaitInflight(service, 1);
+
+  // Adversarial 9:1 submit ratio: the noisy tenant floods 18 requests
+  // against the quiet tenant's 2. The bucket caps the noisy tenant at its
+  // 2 outstanding tokens; the flood changes nothing for anyone else.
+  std::uint64_t noisyAdmitted = 0, noisyThrottled = 0;
+  for (int i = 0; i < 18; ++i) {
+    const core::Ticket ticket =
+        service.submit(trivialRequest("noisy-" + std::to_string(i),
+                                      "noisy"));
+    if (ticket.admitted())
+      ++noisyAdmitted;
+    else {
+      EXPECT_EQ(ticket.verdict, core::AdmissionVerdict::kTenantThrottled);
+      ++noisyThrottled;
+    }
+  }
+  EXPECT_EQ(noisyAdmitted, 2u);
+  EXPECT_EQ(noisyThrottled, 16u);
+
+  // Fairness bound: the quiet tenant's admission rate is untouched by the
+  // flood — every one of its submissions (up to its own bucket) lands.
+  std::vector<core::Ticket> quiet;
+  for (int i = 0; i < 2; ++i) {
+    quiet.push_back(
+        service.submit(trivialRequest("quiet-" + std::to_string(i),
+                                      "quiet")));
+    EXPECT_TRUE(quiet.back().admitted()) << i;
+  }
+  EXPECT_EQ(service.stats().rejectedTenant, 16u);
+
+  // Tokens replenish on completion: once the backlog drains, the noisy
+  // tenant is admitted again — throttling is backpressure, not a ban.
+  gate.store(true, std::memory_order_release);
+  service.drain();
+  EXPECT_TRUE(service.submit(trivialRequest("noisy-after", "noisy"))
+                  .admitted());
+  service.drain();
+  for (const core::Ticket& ticket : quiet)
+    EXPECT_TRUE(service.poll(ticket).has_value());
+}
+
+TEST(EvalService, PollAndWaitOnUnknownTicketsAreEmpty) {
+  core::ServiceOptions options;
+  options.workersPerShard = 1;
+  core::EvalService service([] { return env::buildBareMetalSandbox(); },
+                            options);
+
+  // Default-constructed ticket: not admitted, polls empty.
+  const core::Ticket unsubmitted;
+  EXPECT_FALSE(unsubmitted.admitted());
+  EXPECT_EQ(service.poll(unsubmitted), std::nullopt);
+  EXPECT_EQ(service.wait(unsubmitted), std::nullopt);
+
+  // A forged "admitted" ticket for an id that never went through submit()
+  // must not block wait() or fabricate a result.
+  core::Ticket forged;
+  forged.id = 424242;
+  forged.verdict = core::AdmissionVerdict::kAdmitted;
+  EXPECT_EQ(service.poll(forged), std::nullopt);
+  EXPECT_EQ(service.wait(forged), std::nullopt);
+
+  // A real ticket still resolves normally afterwards.
+  const core::Ticket real = service.submit(trivialRequest("real"));
+  ASSERT_TRUE(real.admitted());
+  const auto result = service.wait(real);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok()) << result->error;
+  EXPECT_EQ(result->ticketId, real.id);
+  EXPECT_EQ(result->sampleId, "real");
+}
+
+TEST(EvalService, CallbackSubscriptionSurvivesWorkerRetry) {
+  malware::ProgramRegistry registry;
+  const auto expected = malware::registerJoeSamples(registry);
+
+  // A factory that throws on its first invocation, then delegates: the
+  // first attempt fails, the retry succeeds on the same worker.
+  std::atomic<int> calls{0};
+  winapi::ProgramFactory inner = registry.factory();
+  winapi::ProgramFactory flaky = [&calls, inner](const std::string& image,
+                                                 const std::string& args) {
+    if (calls.fetch_add(1) == 0)
+      throw std::runtime_error("transient: factory not ready");
+    return inner(image, args);
+  };
+
+  core::ServiceOptions options;
+  options.workersPerShard = 1;
+  options.maxAttempts = 2;
+  core::EvalService service([] { return env::buildBareMetalSandbox(); },
+                            options);
+
+  std::mutex mutex;
+  std::vector<core::ServiceResult> delivered;
+  const std::size_t slot = service.subscribe(
+      [&mutex, &delivered](const core::ServiceResult& result) {
+        std::lock_guard<std::mutex> lock(mutex);
+        // The outcome is still attached when the callback sees it.
+        delivered.push_back(result);
+      });
+
+  core::EvalRequest request{.sampleId = expected[0].idPrefix,
+                            .imagePath = "C:\\submissions\\" +
+                                         expected[0].idPrefix + ".exe",
+                            .factory = flaky};
+  const core::Ticket ticket = service.submit(request);
+  ASSERT_TRUE(ticket.admitted());
+  const auto result = service.wait(ticket);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok()) << result->error;
+  EXPECT_EQ(result->attempts, 2u);
+
+  // One completion, one callback — the failed first attempt never leaked
+  // a delivery, and the callback saw the final (successful) state.
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    ASSERT_EQ(delivered.size(), 1u);
+    EXPECT_EQ(delivered[0].ticketId, ticket.id);
+    EXPECT_EQ(delivered[0].attempts, 2u);
+    EXPECT_TRUE(delivered[0].ok());
+    EXPECT_EQ(delivered[0].outcome.verdict.deactivated,
+              expected[0].deactivated);
+  }
+
+  // After unsubscribe the slot is dead: further completions stay silent.
+  service.unsubscribe(slot);
+  const core::Ticket second = service.submit(trivialRequest("afterwards"));
+  ASSERT_TRUE(service.wait(second).has_value());
+  std::lock_guard<std::mutex> lock(mutex);
+  EXPECT_EQ(delivered.size(), 1u);
+}
+
+TEST(EvalService, ShutdownDrainsQueuedAndInFlightWorkCleanly) {
+  core::ServiceOptions options;
+  options.shardCount = 1;
+  options.workersPerShard = 2;
+  core::EvalService service([] { return env::buildBareMetalSandbox(); },
+                            options);
+
+  std::vector<core::Ticket> tickets;
+  for (int i = 0; i < 8; ++i) {
+    tickets.push_back(service.submit(trivialRequest("pre-shutdown-" +
+                                                    std::to_string(i))));
+    ASSERT_TRUE(tickets.back().admitted()) << i;
+  }
+
+  // Shutdown with work queued and possibly in flight: every admitted
+  // ticket still completes exactly once before the pool joins.
+  service.shutdown();
+
+  core::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.completed, 8u);
+  EXPECT_EQ(stats.inflight, 0u);
+  EXPECT_EQ(stats.queued, 0u);
+
+  // Results survive shutdown: clients collect after the service stopped.
+  for (const core::Ticket& ticket : tickets) {
+    const auto result = service.poll(ticket);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_TRUE(result->ok()) << result->error;
+  }
+
+  // New work is refused with its own verdict, not dropped silently.
+  const core::Ticket late = service.submit(trivialRequest("late"));
+  EXPECT_EQ(late.verdict, core::AdmissionVerdict::kShuttingDown);
+  EXPECT_EQ(service.stats().rejectedShutdown, 1u);
+
+  // Idempotent: a second shutdown (and the destructor after it) is a
+  // no-op.
+  service.shutdown();
+}
+
+TEST(EvalService, TwoShardsMatchSerialHarnessByteForByte) {
+  malware::ProgramRegistry registry;
+  const auto expected = malware::registerJoeSamples(registry);
+  const std::vector<core::EvalRequest> requests =
+      joeCorpus(registry, expected);
+
+  auto machine = env::buildBareMetalSandbox();
+  core::EvaluationHarness harness(*machine);
+  std::vector<core::EvalOutcome> serial;
+  for (const core::EvalRequest& request : requests)
+    serial.push_back(harness.evaluate(request));
+
+  core::ServiceOptions options;
+  options.shardCount = 2;
+  options.workersPerShard = 2;
+  core::EvalService service([] { return env::buildBareMetalSandbox(); },
+                            options);
+  ASSERT_EQ(service.shardCount(), 2u);
+  ASSERT_EQ(service.workerCount(), 4u);
+
+  std::vector<core::Ticket> tickets;
+  for (const core::EvalRequest& request : requests) {
+    tickets.push_back(service.submit(request));
+    ASSERT_TRUE(tickets.back().admitted());
+    // Routing is the stable hash — the ticket lands where shardFor says,
+    // every time.
+    EXPECT_EQ(tickets.back().shard, service.shardFor(request.sampleId));
+  }
+
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    const auto result = service.wait(tickets[i]);
+    ASSERT_TRUE(result.has_value());
+    ASSERT_TRUE(result->ok()) << requests[i].sampleId << ": "
+                              << result->error;
+    EXPECT_EQ(result->shard, tickets[i].shard);
+    EXPECT_EQ(result->outcome.verdict.deactivated,
+              serial[i].verdict.deactivated)
+        << requests[i].sampleId;
+    // The per-sample determinism contract holds across shards exactly as
+    // it does across batch workers: same sample, same bytes.
+    EXPECT_EQ(result->outcome.telemetryJson, serial[i].telemetryJson)
+        << requests[i].sampleId;
+    EXPECT_EQ(result->outcome.perfettoJson, serial[i].perfettoJson)
+        << requests[i].sampleId;
+  }
+
+  service.flushTelemetry();
+  const obs::MetricsSnapshot fleet = service.fleetTelemetry();
+  EXPECT_EQ(fleet.counterValue("batch.requests"), requests.size());
+  EXPECT_EQ(fleet.counterValue("batch.failures"), 0u);
+  const core::ServiceStats stats = service.stats();
+  std::uint64_t heartbeatSum = 0;
+  for (std::uint64_t beat : stats.workerHeartbeats) heartbeatSum += beat;
+  EXPECT_EQ(heartbeatSum, requests.size());
+}
+
+TEST(EvalService, LedgerRecordsCarryPerShardLabels) {
+  malware::ProgramRegistry registry;
+  const auto expected = malware::registerJoeSamples(registry);
+  std::vector<core::EvalRequest> requests = joeCorpus(registry, expected);
+  requests.resize(6);
+
+  const std::string path = testing::TempDir() + "service_shards.jsonl";
+  std::remove(path.c_str());
+
+  core::ServiceOptions options;
+  options.shardCount = 2;
+  options.workersPerShard = 1;
+  options.telemetry.ledgerPath = path;
+  core::EvalService service([] { return env::buildBareMetalSandbox(); },
+                            options);
+  ASSERT_NE(service.ledger(), nullptr);
+
+  std::vector<core::Ticket> tickets;
+  for (const core::EvalRequest& request : requests)
+    tickets.push_back(service.submit(request));
+  for (const core::Ticket& ticket : tickets)
+    ASSERT_TRUE(service.wait(ticket).has_value());
+  service.shutdown();
+
+  const std::vector<obs::LedgerRecord> records = obs::readLedgerFile(path);
+  std::size_t runs = 0, workerRecords = 0;
+  for (const obs::LedgerRecord& record : records) {
+    if (record.kind == obs::LedgerRecordKind::kRun) {
+      ++runs;
+      // Every run record is labelled with the shard that executed it —
+      // which is the shard the router promised.
+      EXPECT_EQ(record.shard,
+                "shard-" +
+                    std::to_string(service.shardFor(record.sampleId)));
+    }
+    if (record.kind == obs::LedgerRecordKind::kWorker) {
+      EXPECT_EQ(record.shard,
+                "shard-" + std::to_string(workerRecords));
+      ++workerRecords;
+    }
+  }
+  EXPECT_EQ(runs, requests.size());
+  EXPECT_EQ(workerRecords, 2u);
+
+  // Fleet reconstruction from the file alone reproduces the in-process
+  // fleet merge byte-for-byte, across shards.
+  const obs::Exporter json(obs::ExportFormat::kJson);
+  EXPECT_EQ(json.render(obs::reconstructFleetTelemetry(records)),
+            json.render(service.fleetTelemetry()));
+  std::remove(path.c_str());
+}
+
+}  // namespace

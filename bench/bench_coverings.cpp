@@ -1,0 +1,268 @@
+// Covering-routed sweep bench: the BENCH_coverings.json producer
+// (DESIGN.md §15).
+//
+// Three phases against the set-cover planner and the resident service:
+//
+//   A. Plan determinism. The default universe is planned twice from
+//      scratch; the two coveringJson renderings must be byte-identical,
+//      and the plan shape (covering count, residue count, covered
+//      techniques, covering-dead profiles) lands in the perf record as
+//      exact counts the gate holds at zero drift.
+//
+//   B. Sweep throughput. The Table I corpus through one EvalService
+//      configuration, both ways: the full universe sweep (every sample
+//      under every universe profile) and the covering-routed sweep (each
+//      known sample exactly once, under its covering). Evaluation counts
+//      are exact (|samples| x |universe| vs |samples|); wall-clock
+//      speedup is reported as a telemetry gauge plus an okMark >= 2.0
+//      assertion, never a gated perf metric (faster hardware must not
+//      fail the gate). Per-evaluation wall latencies of the routed side
+//      land in the perf record.
+//
+//   C. Byte parity. Every routed run's verdict + telemetry bytes must
+//      equal the full sweep's entry for the same (profile, sample), and
+//      the routed "deactivated" aggregate must equal the full sweep's
+//      "deactivated under any profile" — the proof that routing drops
+//      work, not information. Mismatch counts are gated at zero.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/coverings.h"
+#include "bench/bench_common.h"
+#include "core/eval.h"
+#include "core/service.h"
+#include "env/environments.h"
+#include "malware/joe.h"
+#include "malware/sample.h"
+
+using namespace scarecrow;
+
+namespace {
+
+/// Canonical byte rendering of everything a verdict decides, plus the
+/// (documented byte-stable) telemetry JSON — the parity unit, shared
+/// shape with tests/coverings_drift_test.cpp.
+std::string verdictBytes(const core::EvalOutcome& outcome) {
+  const trace::DeactivationVerdict& verdict = outcome.verdict;
+  std::string out;
+  out += verdict.deactivated ? "deactivated;" : "active;";
+  out += std::string(trace::deactivationReasonName(verdict.reason)) + ";";
+  out += "trigger=" + verdict.firstTrigger + ";";
+  out += "spawns=" + std::to_string(verdict.selfSpawnsWithScarecrow) + ";";
+  out += "suppressed=";
+  for (const std::string& activity : verdict.suppressedActivities)
+    out += activity + ",";
+  out += ";leaked=";
+  for (const std::string& activity : verdict.leakedActivities)
+    out += activity + ",";
+  out += ";" + outcome.telemetryJson;
+  return out;
+}
+
+core::ServiceOptions sweepServiceOptions() {
+  core::ServiceOptions options;
+  options.shardCount = 2;
+  options.workersPerShard = 2;
+  return options;
+}
+
+std::unique_ptr<winsys::Machine> machineFactory() {
+  return env::buildBareMetalSandbox();
+}
+
+analysis::CoveringPlan runPlanPhase(bench::Reporter& reporter) {
+  bench::printHeader("Phase A: plan determinism over the default universe");
+
+  const auto universe = analysis::defaultProfileUniverse();
+  const analysis::CoveringPlan plan = analysis::planCoverings(universe);
+  const analysis::CoveringPlan replan =
+      analysis::planCoverings(analysis::defaultProfileUniverse());
+
+  const std::string json = analysis::coveringJson(plan);
+  const bool identical = json == analysis::coveringJson(replan);
+
+  std::printf("%-44s %8s\n", "plan", plan.summary().c_str());
+  for (const analysis::CoveringPick& pick : plan.coverings)
+    std::printf("  covering[%zu] %-28s newly covers %zu\n",
+                static_cast<std::size_t>(&pick - plan.coverings.data()),
+                pick.profile.c_str(), pick.covered.size());
+  std::printf("%-44s %8zu  [%s]\n", "plan JSON bytes (two fresh plans)",
+              json.size(), bench::okMark(identical));
+
+  reporter.addValue("covering_count", plan.coverings.size());
+  reporter.addValue("residue_count", plan.residue.size());
+  reporter.addValue("covered_techniques", plan.coveredCount);
+  reporter.addValue("universe_profiles", plan.universeSize);
+  reporter.addValue("covering_dead_profiles", plan.unusedProfiles.size());
+  return plan;
+}
+
+struct SweepTimings {
+  std::uint64_t fullWallMicros = 0;
+  std::uint64_t routedWallMicros = 0;
+  std::size_t fullEvaluations = 0;
+  std::size_t routedEvaluations = 0;
+};
+
+void runSweepPhases(bench::Reporter& reporter, std::size_t repeats) {
+  bench::printHeader(
+      "Phase B: Table I sweep throughput, full universe vs covering-routed (" +
+      std::to_string(repeats) + " repeats)");
+
+  auto universe = analysis::defaultProfileUniverse();
+  auto plan = analysis::planCoverings(universe);
+  const analysis::CoveringRouter router(universe, plan);
+
+  malware::ProgramRegistry registry;
+  const auto expected = malware::registerJoeSamples(registry);
+  std::vector<core::EvalRequest> requests;
+  std::size_t expectDeactivated = 0;
+  for (const malware::JoeExpectation& row : expected) {
+    core::EvalRequest request;
+    request.sampleId = row.idPrefix;
+    request.imagePath = "C:\\submissions\\" + row.idPrefix + ".exe";
+    request.factory = registry.factory();
+    requests.push_back(std::move(request));
+    if (row.deactivated) ++expectDeactivated;
+  }
+
+  SweepTimings totals;
+  std::vector<std::uint64_t> routedEvalNs;
+  // Last repeat's data feeds phase C: full-sweep bytes keyed
+  // (profile, sample), plus the routed outcomes to compare against.
+  std::map<std::pair<std::string, std::string>, std::string> fullBytes;
+  std::map<std::string, bool> fullDeactivatedAny;
+  std::vector<analysis::RoutedOutcome> routed;
+
+  for (std::size_t pass = 0; pass < repeats; ++pass) {
+    fullBytes.clear();
+    fullDeactivatedAny.clear();
+    {
+      core::EvalService service(machineFactory, sweepServiceOptions());
+      std::vector<std::pair<std::pair<std::string, std::string>, core::Ticket>>
+          tickets;
+      const std::uint64_t start = bench::nowMicros();
+      for (const analysis::CoveringProfile& profile : universe)
+        for (const core::EvalRequest& request : requests)
+          tickets.push_back({{profile.name, request.sampleId},
+                             service.submit(
+                                 analysis::stampProfile(profile, request))});
+      for (auto& [key, ticket] : tickets) {
+        const auto result = service.wait(ticket);
+        if (!result.has_value() || !result->ok()) continue;
+        fullBytes[key] = verdictBytes(result->outcome);
+        fullDeactivatedAny[key.second] =
+            fullDeactivatedAny[key.second] ||
+            result->outcome.verdict.deactivated;
+      }
+      totals.fullWallMicros += bench::nowMicros() - start;
+      totals.fullEvaluations += tickets.size();
+    }
+    {
+      core::EvalService service(machineFactory, sweepServiceOptions());
+      const std::uint64_t start = bench::nowMicros();
+      routed = analysis::runCoveringSweep(
+          service, router, requests,
+          [&registry](const core::EvalRequest& request) {
+            return registry.findSpec(request.sampleId + ".exe");
+          });
+      totals.routedWallMicros += bench::nowMicros() - start;
+      for (const analysis::RoutedOutcome& outcome : routed) {
+        totals.routedEvaluations += outcome.runs.size();
+        for (const analysis::RoutedRun& run : outcome.runs)
+          routedEvalNs.push_back(run.wallMicros * 1000);
+      }
+    }
+  }
+
+  const double speedup =
+      totals.routedWallMicros > 0
+          ? static_cast<double>(totals.fullWallMicros) /
+                static_cast<double>(totals.routedWallMicros)
+          : 0.0;
+  const std::size_t fullPerPass = totals.fullEvaluations / repeats;
+  const std::size_t routedPerPass = totals.routedEvaluations / repeats;
+
+  std::printf("%-44s %8zu  [%s]\n", "full-sweep evaluations / pass",
+              fullPerPass,
+              bench::okMark(fullPerPass ==
+                            universe.size() * requests.size()));
+  std::printf("%-44s %8zu  [%s]\n", "routed evaluations / pass",
+              routedPerPass, bench::okMark(routedPerPass == requests.size()));
+  std::printf("%-44s %8.1f\n", "full-sweep wall ms (total)",
+              static_cast<double>(totals.fullWallMicros) / 1e3);
+  std::printf("%-44s %8.1f\n", "routed wall ms (total)",
+              static_cast<double>(totals.routedWallMicros) / 1e3);
+  std::printf("%-44s %7.1fx  [%s]\n", "covering-routed speedup (>= 2.0x)",
+              speedup, bench::okMark(speedup >= 2.0));
+
+  reporter.addValue("full_sweep_evaluations", fullPerPass);
+  reporter.addValue("routed_evaluations", routedPerPass);
+  reporter.addSamples("routed_eval_wall_ns", std::move(routedEvalNs));
+  reporter.gauges().gauge("coverings.speedup_x10")
+      .set(static_cast<std::int64_t>(speedup * 10.0));
+  reporter.gauges().gauge("coverings.universe_profiles")
+      .set(static_cast<std::int64_t>(universe.size()));
+
+  bench::printHeader("Phase C: byte parity, routed vs full-sweep verdicts");
+  std::size_t byteMismatches = 0, aggregateMismatches = 0;
+  std::size_t routedDeactivated = 0, broadcasts = 0;
+  for (std::size_t i = 0; i < routed.size(); ++i) {
+    const analysis::RoutedOutcome& outcome = routed[i];
+    if (outcome.broadcast) ++broadcasts;
+    if (outcome.deactivated()) ++routedDeactivated;
+    if (outcome.deactivated() != fullDeactivatedAny[requests[i].sampleId])
+      ++aggregateMismatches;
+    for (const analysis::RoutedRun& run : outcome.runs) {
+      if (run.status != core::BatchStatus::kOk) {
+        ++byteMismatches;
+        continue;
+      }
+      const auto it = fullBytes.find({run.profile, requests[i].sampleId});
+      if (it == fullBytes.end() || verdictBytes(run.outcome) != it->second)
+        ++byteMismatches;
+    }
+  }
+  std::printf("%-44s %8zu  [%s]\n", "verdict+telemetry byte mismatches",
+              byteMismatches, bench::okMark(byteMismatches == 0));
+  std::printf("%-44s %8zu  [%s]\n", "deactivated-aggregate mismatches",
+              aggregateMismatches, bench::okMark(aggregateMismatches == 0));
+  std::printf("%-44s %8zu  [%s]\n", "samples deactivated (Table I: 12/13)",
+              routedDeactivated,
+              bench::okMark(routedDeactivated == expectDeactivated));
+  std::printf("%-44s %8zu  [%s]\n", "broadcast fallbacks (known corpus)",
+              broadcasts, bench::okMark(broadcasts == 0));
+
+  reporter.addValue("parity_byte_mismatches", byteMismatches);
+  reporter.addValue("parity_aggregate_mismatches", aggregateMismatches);
+  reporter.addValue("routed_deactivated", routedDeactivated);
+  reporter.addValue("broadcast_fallbacks", broadcasts);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Reporter reporter("bench_coverings");
+  std::size_t repeats = 5;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) repeats = 2;
+    if (std::strcmp(argv[i], "--repeats") == 0 && i + 1 < argc)
+      repeats = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+      reporter.setReportPath(argv[++i]);
+  }
+  if (repeats == 0) repeats = 1;
+  bench::printHeader("Scarecrow covering-routed sweep bench");
+  std::printf("sweep repeats: %zu\n", repeats);
+
+  const analysis::CoveringPlan plan = runPlanPhase(reporter);
+  reporter.addSnapshot(analysis::coveringTelemetry(plan));
+  runSweepPhases(reporter, repeats);
+  return reporter.finish();
+}

@@ -1,85 +1,154 @@
-// Scenario: the paper's Figure 3 evaluation pipeline at corpus scale — a
-// BatchEvaluator with four private machines drains the Joe Security sample
-// set through a shared request queue, the analyst gets per-sample verdicts
-// in submission order, one merged telemetry dump for the whole batch, and a
-// Markdown incident report for one sample. Before any sample runs, the
-// static coverage analyzer proves what the deployment can deceive.
+// Scenario: the paper's Figure 3 evaluation pipeline at corpus scale. The
+// static pre-flight proves, before any sample runs, both what the deployed
+// database can deceive (coverage + lint) and the minimal covering plan over
+// the whole profile universe. Then the Joe Security sample set drains
+// through one of three sweeps:
+//
+//   --sweep=covering  (default) the covering-routed sweep: each sample is
+//                     submitted ONCE to a resident core::EvalService under
+//                     the covering its technique set routes to — the plan's
+//                     ~O(samples) sweep, verdict-identical to the full
+//                     universe sweep (tests/coverings_drift_test.cpp and
+//                     bench_coverings hold that byte-equality);
+//   --sweep=full      the O(samples x profiles) reference sweep: every
+//                     sample under every universe profile, aggregated to
+//                     "deactivated under any profile" — what the router
+//                     makes redundant, kept for side-by-side comparison;
+//   --sweep=batch     the pre-covering pipeline: a BatchEvaluator with four
+//                     private machines under the default deployment, plus
+//                     the merged telemetry dump and the Markdown incident
+//                     report for one sample.
 //
 // Chaos sweep (DESIGN.md §11): pass --fault-plan to replay the same corpus
 // with a deterministic fault schedule armed — injection failures, lost
-// hooks, dropped IPC — and read per-sample ResilienceVerdicts next to the
-// deactivation verdicts. Same plan + same seed ⇒ same output, every run.
+// hooks, dropped IPC. The router preserves the request's fault plan when it
+// stamps a covering, so chaos composes with any sweep mode.
 //
 // Build & run:  cmake --build build && ./build/examples/analysis_cluster
-//   chaos:      ./build/examples/analysis_cluster \
-//                 --fault-plan='inject-dll:p=0.25;ipc-send:p=0.2' \
+//   reference:  ./build/examples/analysis_cluster --sweep=full
+//   chaos:      ./build/examples/analysis_cluster
+//                 --fault-plan='inject-dll:p=0.25;ipc-send:p=0.2'
 //                 --fault-seed=42
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "analysis/coverage.h"
+#include "analysis/coverings.h"
 #include "analysis/lint.h"
 #include "core/batch.h"
 #include "core/report.h"
+#include "core/service.h"
 #include "obs/export.h"
 #include "env/environments.h"
 #include "malware/joe.h"
 
 using namespace scarecrow;
 
-int main(int argc, char** argv) {
-  std::string planSpec;
-  std::uint64_t planSeed = 0;
-  for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    if (std::strncmp(arg, "--fault-plan=", 13) == 0) {
-      planSpec = arg + 13;
-    } else if (std::strncmp(arg, "--fault-seed=", 13) == 0) {
-      planSeed = std::strtoull(arg + 13, nullptr, 10);
-    } else {
-      std::fprintf(stderr,
-                   "usage: %s [--fault-plan=<site[:k=v,...];...>] "
-                   "[--fault-seed=<n>]\n",
-                   argv[0]);
-      return 2;
-    }
-  }
+namespace {
 
-  faults::FaultPlan plan;
-  if (!planSpec.empty()) {
-    try {
-      plan = faults::FaultPlan::parse(planSpec, planSeed);
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "bad --fault-plan: %s\n", e.what());
-      return 2;
-    }
-    std::printf("chaos sweep armed: %s\n\n", plan.describe().c_str());
-  }
-
-  malware::ProgramRegistry registry;
-  const auto expected = malware::registerJoeSamples(registry);
-
-  // Static pre-flight: prove the deployed database's coverage without
-  // running a single sample, and lint it for dead or contradictory rules.
-  const core::ResourceDb db = core::buildDefaultResourceDb();
-  const analysis::CoverageReport coverage = analysis::analyzeCoverage(db);
-  const analysis::LintReport lint = analysis::lintResourceDb(db);
-  std::printf("static coverage: %s (lint: %zu findings over %zu entries)\n\n",
-              coverage.summary().c_str(), lint.findings.size(),
-              lint.entriesChecked);
-
+std::vector<core::EvalRequest> buildRequests(
+    const std::vector<malware::JoeExpectation>& expected,
+    const malware::ProgramRegistry& registry, const faults::FaultPlan& plan) {
   std::vector<core::EvalRequest> requests;
   for (const auto& row : expected) {
-    core::EvalRequest request{.sampleId = row.idPrefix,
-                              .imagePath = "C:\\submissions\\" +
-                                           row.idPrefix + ".exe",
-                              .factory = registry.factory()};
+    core::EvalRequest request;
+    request.sampleId = row.idPrefix;
+    request.imagePath = "C:\\submissions\\" + row.idPrefix + ".exe";
+    request.factory = registry.factory();
     request.config.faultPlan = plan;
     requests.push_back(std::move(request));
   }
+  return requests;
+}
 
+core::EvalService makeService() {
+  core::ServiceOptions options;
+  options.shardCount = 2;
+  options.workersPerShard = 2;
+  return core::EvalService([] { return env::buildBareMetalSandbox(); },
+                           options);
+}
+
+/// The covering-routed sweep: |samples| submissions, verdicts identical to
+/// the full universe sweep. Returns the deactivated count.
+std::size_t runCoveringMode(const std::vector<core::EvalRequest>& requests,
+                            const malware::ProgramRegistry& registry,
+                            const analysis::CoveringRouter& router) {
+  core::EvalService service = makeService();
+  const std::vector<analysis::RoutedOutcome> routed =
+      analysis::runCoveringSweep(
+          service, router, requests,
+          [&registry](const core::EvalRequest& request) {
+            return registry.findSpec(request.sampleId + ".exe");
+          });
+
+  std::size_t deactivated = 0, runs = 0;
+  for (std::size_t i = 0; i < routed.size(); ++i) {
+    const analysis::RoutedOutcome& outcome = routed[i];
+    runs += outcome.runs.size();
+    if (outcome.deactivated()) ++deactivated;
+    for (const analysis::RoutedRun& run : outcome.runs) {
+      if (run.status != core::BatchStatus::kOk) {
+        std::printf("%-8s FAILED under %s: %s\n", requests[i].sampleId.c_str(),
+                    run.profile.c_str(), run.error.c_str());
+        continue;
+      }
+      const trace::DeactivationVerdict& verdict = run.outcome.verdict;
+      std::printf("%-8s %-14s covering=%-26s trigger=%s%s\n",
+                  requests[i].sampleId.c_str(),
+                  verdict.deactivated ? "deactivated" : "NOT deactivated",
+                  run.profile.c_str(),
+                  verdict.firstTrigger.empty() ? "-"
+                                               : verdict.firstTrigger.c_str(),
+                  outcome.broadcast ? " (broadcast)" : "");
+    }
+  }
+  std::printf("\ncovering-routed sweep: %zu evaluations for %zu samples "
+              "(full sweep: %zu)\n",
+              runs, requests.size(),
+              requests.size() * router.universe().size());
+  return deactivated;
+}
+
+/// The O(samples x profiles) reference sweep the router makes redundant.
+std::size_t runFullMode(const std::vector<core::EvalRequest>& requests,
+                        const std::vector<analysis::CoveringProfile>& universe) {
+  core::EvalService service = makeService();
+  std::vector<std::pair<std::size_t, core::Ticket>> tickets;
+  for (const analysis::CoveringProfile& profile : universe)
+    for (std::size_t i = 0; i < requests.size(); ++i)
+      tickets.push_back(
+          {i, service.submit(analysis::stampProfile(profile, requests[i]))});
+
+  std::vector<bool> deactivatedAny(requests.size(), false);
+  for (auto& [index, ticket] : tickets) {
+    const auto result = service.wait(ticket);
+    if (result.has_value() && result->ok() &&
+        result->outcome.verdict.deactivated)
+      deactivatedAny[index] = true;
+  }
+  std::size_t deactivated = 0;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (deactivatedAny[i]) ++deactivated;
+    std::printf("%-8s %s under at least one of %zu profiles\n",
+                requests[i].sampleId.c_str(),
+                deactivatedAny[i] ? "deactivated" : "NOT deactivated",
+                universe.size());
+  }
+  std::printf("\nfull universe sweep: %zu evaluations for %zu samples\n",
+              tickets.size(), requests.size());
+  return deactivated;
+}
+
+/// The pre-covering pipeline: BatchEvaluator, merged telemetry, incident
+/// report. Returns the deactivated count.
+std::size_t runBatchMode(const std::vector<core::EvalRequest>& requests,
+                         const analysis::CoverageReport& coverage,
+                         const faults::FaultPlan& plan) {
   core::BatchOptions options;
   options.workerCount = 4;
   core::BatchEvaluator batch([] { return env::buildBareMetalSandbox(); },
@@ -118,10 +187,8 @@ int main(int argc, char** argv) {
                       resilience.ipcMessagesDropped));
     std::printf("\n");
   }
-  std::printf("\n%zu / %zu deactivated (paper: 12 / 13)\n", deactivated,
-              expected.size());
   if (!plan.empty())
-    std::printf("chaos summary: %llu faults fired, %zu / %zu samples "
+    std::printf("\nchaos summary: %llu faults fired, %zu / %zu samples "
                 "finished degraded\n",
                 static_cast<unsigned long long>(faultsInjected), degraded,
                 results.size());
@@ -145,6 +212,86 @@ int main(int argc, char** argv) {
                   core::renderIncidentReport("61f847b", results[i].outcome,
                                              reportOptions)
                       .c_str());
+  return deactivated;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string planSpec;
+  std::uint64_t planSeed = 0;
+  std::string sweep = "covering";
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--fault-plan=", 13) == 0) {
+      planSpec = arg + 13;
+    } else if (std::strncmp(arg, "--fault-seed=", 13) == 0) {
+      planSeed = std::strtoull(arg + 13, nullptr, 10);
+    } else if (std::strncmp(arg, "--sweep=", 8) == 0) {
+      sweep = arg + 8;
+    } else {
+      sweep.clear();  // force the usage path below
+    }
+    if (sweep != "covering" && sweep != "full" && sweep != "batch") {
+      std::fprintf(stderr,
+                   "usage: %s [--sweep=covering|full|batch] "
+                   "[--fault-plan=<site[:k=v,...];...>] [--fault-seed=<n>]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  faults::FaultPlan plan;
+  if (!planSpec.empty()) {
+    try {
+      plan = faults::FaultPlan::parse(planSpec, planSeed);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bad --fault-plan: %s\n", e.what());
+      return 2;
+    }
+    std::printf("chaos sweep armed: %s\n\n", plan.describe().c_str());
+  }
+
+  malware::ProgramRegistry registry;
+  const auto expected = malware::registerJoeSamples(registry);
+
+  // Static pre-flight: prove the deployed database's coverage without
+  // running a single sample, lint it for dead or contradictory rules, and
+  // plan the minimal covering over the whole profile universe.
+  const core::ResourceDb db = core::buildDefaultResourceDb();
+  const analysis::CoverageReport coverage = analysis::analyzeCoverage(db);
+  const analysis::LintReport lint = analysis::lintResourceDb(db);
+  std::printf("static coverage: %s (lint: %zu findings over %zu entries)\n",
+              coverage.summary().c_str(), lint.findings.size(),
+              lint.entriesChecked);
+
+  auto universe = analysis::defaultProfileUniverse();
+  auto coveringPlan = analysis::planCoverings(universe);
+  const analysis::LintReport coveringLint =
+      analysis::lintCoveringPlan(coveringPlan);
+  std::printf("covering plan:   %s (covering-dead profiles flagged: %zu)\n",
+              coveringPlan.summary().c_str(), coveringLint.findings.size());
+  for (const analysis::CoveringPick& pick : coveringPlan.coverings)
+    std::printf("  -> %-26s fires %zu techniques (%zu newly covered)\n",
+                pick.profile.c_str(), pick.fires.size(), pick.covered.size());
+  std::printf("\n");
+
+  const std::vector<core::EvalRequest> requests =
+      buildRequests(expected, registry, plan);
+
+  std::size_t deactivated = 0;
+  if (sweep == "covering") {
+    const analysis::CoveringRouter router(std::move(universe),
+                                          std::move(coveringPlan));
+    deactivated = runCoveringMode(requests, registry, router);
+  } else if (sweep == "full") {
+    deactivated = runFullMode(requests, universe);
+  } else {
+    deactivated = runBatchMode(requests, coverage, plan);
+  }
+
+  std::printf("\n%zu / %zu deactivated (paper: 12 / 13)\n", deactivated,
+              expected.size());
   // Under a fault plan the Table I replication is expected to drift (that
   // is the point of the sweep); gate the exit code on it only when clean.
   if (!plan.empty()) return 0;

@@ -5,31 +5,37 @@
 #   2. service: the resident-service suite (`ctest -L service`) plus a
 #              bench_service smoke run gated against the committed
 #              BENCH_service.json baseline;
-#   3. perf:   bench_hotpath against the committed BENCH_hotpath.json
+#   3. coverings: the set-cover planner suite (`ctest -L coverings`) plus
+#              a bench_coverings smoke run gated against the committed
+#              BENCH_coverings.json baseline;
+#   4. perf:   bench_hotpath against the committed BENCH_hotpath.json
 #              baseline via scripts/run_bench.sh (appends a trajectory
 #              point to BENCH_trajectory.jsonl as a side effect);
-#   4. lint:   clang-tidy over src/ via scripts/run_tidy.sh (skips with a
+#   5. lint:   clang-tidy over src/ via scripts/run_tidy.sh (skips with a
 #              notice when clang-tidy is not installed).
 #
-#   scripts/ci.sh                # everything
-#   scripts/ci.sh --no-service   # skip the resident-service stage
-#   scripts/ci.sh --no-perf      # skip the perf gate (e.g. shared runners)
-#   scripts/ci.sh --no-lint      # skip clang-tidy
+#   scripts/ci.sh                 # everything
+#   scripts/ci.sh --no-service    # skip the resident-service stage
+#   scripts/ci.sh --no-coverings  # skip the covering-routed sweep stage
+#   scripts/ci.sh --no-perf       # skip the perf gate (e.g. shared runners)
+#   scripts/ci.sh --no-lint       # skip clang-tidy
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build}"
 
 RUN_SERVICE=1
+RUN_COVERINGS=1
 RUN_PERF=1
 RUN_LINT=1
 for arg in "$@"; do
   case "$arg" in
     --no-service) RUN_SERVICE=0 ;;
+    --no-coverings) RUN_COVERINGS=0 ;;
     --no-perf) RUN_PERF=0 ;;
     --no-lint) RUN_LINT=0 ;;
     *)
-      echo "usage: $0 [--no-service] [--no-perf] [--no-lint]" >&2
+      echo "usage: $0 [--no-service] [--no-coverings] [--no-perf] [--no-lint]" >&2
       exit 2
       ;;
   esac
@@ -46,6 +52,14 @@ if [[ "$RUN_SERVICE" == 1 ]]; then
   BUILD_DIR="$BUILD_DIR" "$REPO_ROOT/scripts/run_bench.sh" --service --smoke
 else
   echo "=== ci: resident service skipped (--no-service) ==="
+fi
+
+if [[ "$RUN_COVERINGS" == 1 ]]; then
+  echo "=== ci: coverings (ctest -L coverings + bench_coverings smoke) ==="
+  (cd "$BUILD_DIR" && ctest -L coverings --output-on-failure)
+  BUILD_DIR="$BUILD_DIR" "$REPO_ROOT/scripts/run_bench.sh" --coverings --smoke
+else
+  echo "=== ci: coverings skipped (--no-coverings) ==="
 fi
 
 if [[ "$RUN_PERF" == 1 ]]; then

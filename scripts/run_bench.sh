@@ -7,6 +7,7 @@
 #
 #   scripts/run_bench.sh                     # hot-path bench: measure + gate
 #   scripts/run_bench.sh --service           # resident-service bench instead
+#   scripts/run_bench.sh --coverings         # covering-routed sweep bench
 #   scripts/run_bench.sh --service --smoke   # short sustained phase (CI)
 #   scripts/run_bench.sh --update-baseline   # measure + adopt as baseline
 #   scripts/run_bench.sh --inject-regression 2   # prove the gate fires
@@ -24,6 +25,7 @@ GATE_ARGS=()
 for arg in "$@"; do
   case "$arg" in
     --service) MODE=service ;;
+    --coverings) MODE=coverings ;;
     --smoke) SMOKE=1 ;;
     --update-baseline) UPDATE_BASELINE=1 ;;
     *) GATE_ARGS+=("$arg") ;;
@@ -44,7 +46,7 @@ SCARECROW_GIT_REV="$(git -C "$REPO_ROOT" rev-parse --short HEAD 2>/dev/null || e
 export SCARECROW_GIT_REV
 
 BENCH_ARGS=(--out "$CANDIDATE")
-if [[ "$MODE" == service && "$SMOKE" == 1 ]]; then
+if [[ "$MODE" != hotpath && "$SMOKE" == 1 ]]; then
   BENCH_ARGS+=(--smoke)
 fi
 

@@ -1,0 +1,414 @@
+#include "analysis/coverings.h"
+
+#include <algorithm>
+#include <bitset>
+#include <stdexcept>
+#include <utility>
+
+#include "analysis/coverage.h"
+#include "analysis/footprint.h"
+#include "core/profiles.h"
+#include "support/strings.h"
+
+namespace scarecrow::analysis {
+
+using support::jsonEscape;
+
+namespace {
+
+using TechniqueSet = std::bitset<malware::kTechniqueCount>;
+
+malware::Technique techniqueAt(std::size_t i) {
+  return static_cast<malware::Technique>(i);
+}
+
+std::vector<malware::Technique> toSorted(const TechniqueSet& set) {
+  std::vector<malware::Technique> out;
+  for (std::size_t i = 0; i < malware::kTechniqueCount; ++i)
+    if (set.test(i)) out.push_back(techniqueAt(i));
+  return out;
+}
+
+/// True when the technique's verdict is decided at runtime (launch
+/// context), independent of any database or config the universe offers.
+bool runtimeDecided(malware::Technique technique) {
+  for (const auto& group : footprintFor(technique).groups)
+    for (const ResourceProbe& probe : group)
+      if (probe.kind == ProbeKind::kLaunchContext) return true;
+  return false;
+}
+
+ResidueReason classifyResidue(malware::Technique technique) {
+  if (malware::unhookableTechnique(technique)) return ResidueReason::kUnhookable;
+  if (runtimeDecided(technique)) return ResidueReason::kRuntime;
+  return ResidueReason::kNoProfileFires;
+}
+
+CoveringPlan planOver(const std::vector<CoveringProfile>& universe,
+                      const TechniqueSet& target) {
+  CoveringPlan plan;
+  plan.universeSize = universe.size();
+  plan.targetCount = target.count();
+
+  // One lattice fold per universe entry; the firing sets are everything
+  // the greedy loop needs, the reports keep the residue explanations.
+  std::vector<TechniqueSet> fires(universe.size());
+  std::vector<CoverageReport> reports;
+  reports.reserve(universe.size());
+  for (std::size_t p = 0; p < universe.size(); ++p) {
+    reports.push_back(analyzeCoverage(universe[p].db(), universe[p].config));
+    for (std::size_t i = 0; i < malware::kTechniqueCount; ++i)
+      if (target.test(i) &&
+          reports[p].of(techniqueAt(i)).verdict == Verdict::kFires)
+        fires[p].set(i);
+  }
+
+  TechniqueSet coverable;
+  for (const TechniqueSet& set : fires) coverable |= set;
+
+  // Greedy: biggest gain first; ties break on profile name so the plan is
+  // byte-identical across runs regardless of universe hashing or timing.
+  TechniqueSet uncovered = coverable;
+  std::vector<bool> picked(universe.size(), false);
+  while (uncovered.any()) {
+    std::size_t best = universe.size();
+    std::size_t bestGain = 0;
+    for (std::size_t p = 0; p < universe.size(); ++p) {
+      if (picked[p]) continue;
+      const std::size_t gain = (fires[p] & uncovered).count();
+      if (gain == 0) continue;
+      if (best == universe.size() || gain > bestGain ||
+          (gain == bestGain && universe[p].name < universe[best].name)) {
+        best = p;
+        bestGain = gain;
+      }
+    }
+    if (best == universe.size()) break;  // unreachable: uncovered ⊆ coverable
+    picked[best] = true;
+    CoveringPick pick;
+    pick.universeIndex = best;
+    pick.profile = universe[best].name;
+    pick.covered = toSorted(fires[best] & uncovered);
+    pick.fires = toSorted(fires[best]);
+    uncovered &= ~fires[best];
+    plan.coverings.push_back(std::move(pick));
+  }
+  plan.coveredCount = coverable.count();
+
+  for (std::size_t i = 0; i < malware::kTechniqueCount; ++i) {
+    if (!target.test(i) || coverable.test(i)) continue;
+    CoveringResidue residue;
+    residue.technique = techniqueAt(i);
+    residue.reason = classifyResidue(residue.technique);
+    residue.detail = reports.empty() ? "no profiles in universe"
+                                     : reports.front().of(residue.technique)
+                                           .detail;
+    plan.residue.push_back(std::move(residue));
+  }
+
+  for (std::size_t p = 0; p < universe.size(); ++p)
+    if (!picked[p]) plan.unusedProfiles.push_back(universe[p].name);
+  return plan;
+}
+
+}  // namespace
+
+core::Config paperVariantConfig() { return core::Config{}; }
+
+core::Config workstationVariantConfig() {
+  core::Config config;
+  config.hardware.cpuCores = 8;
+  config.hardware.ramBytes = 16ULL << 30;
+  config.hardware.diskTotalBytes = 1ULL << 40;
+  config.hardware.diskFreeBytes = 512ULL << 30;
+  config.identity.userName = "jsmith";
+  config.identity.computerName = "DESKTOP-4R7T2";
+  config.identity.ownImagePath = "C:\\Users\\jsmith\\Downloads\\invoice.exe";
+  config.identity.fakeUptimeMs = 72ULL * 3600 * 1000;  // three days up
+  config.identity.sleepPercent = 100;     // no sleep acceleration
+  config.identity.exceptionLatencyCycles = 1'000;  // native SEH dispatch
+  config.wearTear.autoRunEntries = 12;
+  config.wearTear.deviceClassSubkeys = 87;
+  return config;
+}
+
+std::vector<CoveringProfile> defaultProfileUniverse() {
+  struct Variant {
+    const char* name;
+    core::Config config;
+  };
+  const Variant variants[] = {{"paper", paperVariantConfig()},
+                              {"workstation", workstationVariantConfig()}};
+  std::vector<CoveringProfile> universe;
+  for (const core::SandboxProfile profile : core::kAllSandboxProfiles) {
+    for (const Variant& variant : variants) {
+      CoveringProfile entry;
+      entry.name = std::string(core::sandboxProfileName(profile)) + "/" +
+                   variant.name;
+      entry.db = [profile] { return core::buildProfileDb(profile); };
+      entry.config = variant.config;
+      universe.push_back(std::move(entry));
+    }
+  }
+  return universe;
+}
+
+const char* residueReasonName(ResidueReason reason) noexcept {
+  switch (reason) {
+    case ResidueReason::kUnhookable: return "unhookable";
+    case ResidueReason::kRuntime: return "runtime";
+    case ResidueReason::kNoProfileFires: return "no-profile-fires";
+  }
+  return "?";
+}
+
+std::string CoveringPlan::summary() const {
+  return "coverings=" + std::to_string(coverings.size()) +
+         " covered=" + std::to_string(coveredCount) + "/" +
+         std::to_string(targetCount) +
+         " residue=" + std::to_string(residue.size()) +
+         " unused=" + std::to_string(unusedProfiles.size());
+}
+
+CoveringPlan planCoverings(const std::vector<CoveringProfile>& universe) {
+  TechniqueSet target;
+  target.set();
+  // bitset may be wider than the enum; mask the padding off.
+  for (std::size_t i = malware::kTechniqueCount; i < target.size(); ++i)
+    target.reset(i);
+  return planOver(universe, target);
+}
+
+CoveringPlan planCoverings(
+    const std::vector<CoveringProfile>& universe,
+    const std::vector<malware::Technique>& corpusTechniques) {
+  TechniqueSet target;
+  for (const malware::Technique technique : corpusTechniques)
+    target.set(static_cast<std::size_t>(technique));
+  return planOver(universe, target);
+}
+
+std::string coveringJson(const CoveringPlan& plan) {
+  std::string out = "{\n";
+  out += "  \"summary\": {\"universe\": " + std::to_string(plan.universeSize) +
+         ", \"coverings\": " + std::to_string(plan.coverings.size()) +
+         ", \"covered\": " + std::to_string(plan.coveredCount) +
+         ", \"target\": " + std::to_string(plan.targetCount) +
+         ", \"residue\": " + std::to_string(plan.residue.size()) +
+         ", \"unused\": " + std::to_string(plan.unusedProfiles.size()) +
+         "},\n";
+  out += "  \"coverings\": [\n";
+  for (std::size_t i = 0; i < plan.coverings.size(); ++i) {
+    const CoveringPick& pick = plan.coverings[i];
+    out += "    {\n";
+    out += "      \"profile\": \"" + jsonEscape(pick.profile) + "\",\n";
+    out += "      \"covered\": [";
+    for (std::size_t t = 0; t < pick.covered.size(); ++t) {
+      if (t != 0) out += ", ";
+      out += "\"" + jsonEscape(malware::techniqueName(pick.covered[t])) + "\"";
+    }
+    out += "],\n";
+    out += "      \"fires\": [";
+    for (std::size_t t = 0; t < pick.fires.size(); ++t) {
+      if (t != 0) out += ", ";
+      out += "\"" + jsonEscape(malware::techniqueName(pick.fires[t])) + "\"";
+    }
+    out += "]\n";
+    out += i + 1 == plan.coverings.size() ? "    }\n" : "    },\n";
+  }
+  out += "  ],\n";
+  out += "  \"residue\": [\n";
+  for (std::size_t i = 0; i < plan.residue.size(); ++i) {
+    const CoveringResidue& residue = plan.residue[i];
+    out += "    {\"technique\": \"" +
+           jsonEscape(malware::techniqueName(residue.technique)) +
+           "\", \"reason\": \"" +
+           std::string(residueReasonName(residue.reason)) +
+           "\", \"detail\": \"" + jsonEscape(residue.detail) + "\"}";
+    out += i + 1 == plan.residue.size() ? "\n" : ",\n";
+  }
+  out += "  ],\n";
+  out += "  \"unused_profiles\": [";
+  for (std::size_t i = 0; i < plan.unusedProfiles.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += "\"" + jsonEscape(plan.unusedProfiles[i]) + "\"";
+  }
+  out += "]\n}\n";
+  return out;
+}
+
+obs::MetricsSnapshot coveringTelemetry(const CoveringPlan& plan) {
+  obs::MetricsRegistry registry;
+  for (const CoveringPick& pick : plan.coverings)
+    registry.counter("analysis.covering_covered", pick.profile)
+        .inc(pick.covered.size());
+  for (const CoveringResidue& residue : plan.residue)
+    registry.counter("analysis.covering_residue",
+                     residueReasonName(residue.reason))
+        .inc();
+  registry.gauge("analysis.covering_count")
+      .set(static_cast<std::int64_t>(plan.coverings.size()));
+  registry.gauge("analysis.covering_universe")
+      .set(static_cast<std::int64_t>(plan.universeSize));
+  registry.gauge("analysis.covering_covered_total")
+      .set(static_cast<std::int64_t>(plan.coveredCount));
+  registry.gauge("analysis.covering_unused_profiles")
+      .set(static_cast<std::int64_t>(plan.unusedProfiles.size()));
+  return registry.snapshot();
+}
+
+std::string renderCoveringSection(const CoveringPlan& plan) {
+  std::string out = "## Minimal deception covering\n\n";
+  out += plan.summary() + "\n\n";
+  for (std::size_t i = 0; i < plan.coverings.size(); ++i) {
+    const CoveringPick& pick = plan.coverings[i];
+    out += std::to_string(i + 1) + ". `" + pick.profile + "` — covers " +
+           std::to_string(pick.covered.size()) + " technique(s):";
+    for (const malware::Technique technique : pick.covered)
+      out += std::string(" `") + malware::techniqueName(technique) + "`";
+    out += "\n";
+  }
+  if (!plan.residue.empty()) {
+    out += "\nUncoverable residue (no covering fires these):\n\n";
+    for (const CoveringResidue& residue : plan.residue)
+      out += std::string("- `") + malware::techniqueName(residue.technique) +
+             "` — " + residueReasonName(residue.reason) + " — " +
+             residue.detail + "\n";
+  }
+  if (!plan.unusedProfiles.empty()) {
+    out += "\nCovering-dead profiles (selected by no covering):\n\n";
+    for (const std::string& profile : plan.unusedProfiles)
+      out += "- `" + profile + "`\n";
+  }
+  return out;
+}
+
+LintReport lintCoveringPlan(const CoveringPlan& plan) {
+  LintReport report;
+  report.entriesChecked = plan.universeSize;
+  for (const std::string& profile : plan.unusedProfiles) {
+    LintFinding finding;
+    finding.kind = LintKind::kCoveringDeadProfile;
+    finding.resource = profile;
+    finding.detail =
+        "profile appears in no minimal covering — every technique it fires "
+        "is already covered; it is decoy surface, not coverage";
+    report.findings.push_back(std::move(finding));
+  }
+  return report;
+}
+
+CoveringRouter::CoveringRouter(std::vector<CoveringProfile> universe,
+                               CoveringPlan plan)
+    : universe_(std::move(universe)), plan_(std::move(plan)) {
+  for (const CoveringPick& pick : plan_.coverings) {
+    if (pick.universeIndex >= universe_.size() ||
+        universe_[pick.universeIndex].name != pick.profile)
+      throw std::invalid_argument(
+          "CoveringRouter: plan does not index this universe (covering '" +
+          pick.profile + "')");
+  }
+}
+
+CoveringRouter::Route CoveringRouter::route(
+    const std::vector<malware::Technique>& techniques) const {
+  Route route;
+  if (plan_.coverings.empty()) return route;
+  for (std::size_t i = 0; i < plan_.coverings.size(); ++i) {
+    const std::vector<malware::Technique>& fires = plan_.coverings[i].fires;
+    for (const malware::Technique technique : techniques) {
+      if (std::find(fires.begin(), fires.end(), technique) != fires.end()) {
+        route.coverings.push_back(i);
+        return route;
+      }
+    }
+  }
+  // Known but uncovered: no universe profile fires any of its techniques,
+  // so one (necessarily negative) run matches the full sweep's verdict.
+  route.coverings.push_back(0);
+  return route;
+}
+
+CoveringRouter::Route CoveringRouter::routeUnknown() const {
+  Route route;
+  route.broadcast = true;
+  for (std::size_t i = 0; i < plan_.coverings.size(); ++i)
+    route.coverings.push_back(i);
+  return route;
+}
+
+const CoveringProfile& CoveringRouter::profileOf(std::size_t index) const {
+  return universe_.at(plan_.coverings.at(index).universeIndex);
+}
+
+core::EvalRequest CoveringRouter::apply(core::EvalRequest request,
+                                        std::size_t index) const {
+  return stampProfile(profileOf(index), std::move(request));
+}
+
+core::EvalRequest stampProfile(const CoveringProfile& profile,
+                               core::EvalRequest request) {
+  core::Config config = profile.config;
+  config.faultPlan = request.config.faultPlan;
+  request.config = std::move(config);
+  request.dbFactory = profile.db;
+  return request;
+}
+
+bool RoutedOutcome::deactivated() const noexcept {
+  for (const RoutedRun& run : runs)
+    if (run.status == core::BatchStatus::kOk && run.outcome.verdict.deactivated)
+      return true;
+  return false;
+}
+
+std::vector<RoutedOutcome> runCoveringSweep(
+    core::EvalService& service, const CoveringRouter& router,
+    const std::vector<core::EvalRequest>& requests,
+    const TechniqueLookup& lookup) {
+  struct Pending {
+    std::size_t request = 0;
+    std::size_t covering = 0;
+    core::Ticket ticket;
+  };
+  std::vector<RoutedOutcome> outcomes(requests.size());
+  std::vector<Pending> pending;
+
+  // Submit everything first: routed runs interleave across shards and
+  // workers exactly like any other service traffic.
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const malware::SampleSpec* spec = lookup ? lookup(requests[i]) : nullptr;
+    const CoveringRouter::Route route =
+        spec ? router.route(spec->techniques) : router.routeUnknown();
+    outcomes[i].broadcast = route.broadcast;
+    for (const std::size_t covering : route.coverings) {
+      Pending entry;
+      entry.request = i;
+      entry.covering = covering;
+      entry.ticket = service.submit(router.apply(requests[i], covering));
+      pending.push_back(std::move(entry));
+    }
+  }
+
+  for (const Pending& entry : pending) {
+    RoutedRun run;
+    run.covering = entry.covering;
+    run.profile = router.profileOf(entry.covering).name;
+    if (!entry.ticket.admitted()) {
+      run.error = std::string("not admitted: ") +
+                  core::admissionVerdictName(entry.ticket.verdict);
+    } else if (std::optional<core::ServiceResult> result =
+                   service.wait(entry.ticket)) {
+      run.status = result->status;
+      run.outcome = std::move(result->outcome);
+      run.error = std::move(result->error);
+      run.wallMicros = result->wallMicros;
+    } else {
+      run.error = "result unavailable (retainResults off?)";
+    }
+    outcomes[entry.request].runs.push_back(std::move(run));
+  }
+  return outcomes;
+}
+
+}  // namespace scarecrow::analysis

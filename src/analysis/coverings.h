@@ -1,0 +1,247 @@
+// Minimal deception coverings: static set-cover over the coverage lattice.
+//
+// The coverage engine (analysis/coverage.h) proves, per (ResourceDb,
+// Config) pair, which techniques hit kFires. A corpus sweep that runs
+// every sample under every profile is therefore mostly wasted work: the
+// lattice already says which single profile deactivates each sample.
+// MIMOSA's observation ("Reducing Malware Analysis Overhead with
+// Coverings", PAPERS.md) is that a small set of machine configurations —
+// a covering — collectively fires every coverable technique, so each
+// sample needs exactly one run under its covering.
+//
+// planCoverings() is the deterministic greedy set-cover planner: it folds
+// analyzeCoverage over a profile universe (defaultProfileUniverse() =
+// core::kAllSandboxProfiles × config variants, or any caller-supplied
+// overlay list) and emits a CoveringPlan — the ordered covering picks,
+// the techniques no universe profile can fire (the explicit uncoverable
+// residue: kUnhookable channels, runtime-decided probes, and lattice
+// holes), and the profiles no minimal covering needs (covering-dead decoy
+// surface, flagged by lintCoveringPlan). Ties break on (coverage count
+// desc, profile name asc), so the plan — and coveringJson's bytes — are
+// identical on every run.
+//
+// CoveringRouter is the dynamic half: it maps an EvalRequest (by its
+// sample's observed technique set) to the first covering that fires any
+// of its techniques, stamps the covering's (db, config) onto the request
+// via EvalRequest::dbFactory, and drives core::EvalService so a corpus
+// submits each known sample once instead of once-per-profile — the
+// O(samples × profiles) → ~O(samples) reduction, with verdicts
+// byte-identical to the full sweep (asserted by the coverings drift and
+// parity gates, and re-proven by bench_coverings on every perf run).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.h"
+#include "core/config.h"
+#include "core/eval.h"
+#include "core/resource_db.h"
+#include "core/service.h"
+#include "malware/sample.h"
+#include "malware/techniques.h"
+#include "obs/metrics.h"
+
+namespace scarecrow::analysis {
+
+/// One candidate deployment in the planner's universe: a coherent
+/// deception database plus the Config it would run under. The db is a
+/// factory (not a value) so the router can stamp it straight onto
+/// EvalRequest::dbFactory and every worker builds its own copy.
+struct CoveringProfile {
+  /// Stable identifier ("cuckoo-virtualbox/paper"); the tie-breaker and
+  /// the key every renderer, lint finding, and routed run reports.
+  std::string name;
+  std::function<core::ResourceDb()> db;
+  core::Config config{};
+};
+
+/// The built-in universe: every core::kAllSandboxProfiles database
+/// crossed with two config variants —
+///   "paper"        the paper's published deception values (default
+///                  Config: 1 core / 1 GB RAM / 50 GB disk, sandbox
+///                  identity, sleep patching on);
+///   "workstation"  analyst-realism values (8 cores, 16 GB, 1 TB, real
+///                  user identity, no sleep patching) under which every
+///                  threshold and identity technique misses — included
+///                  so the planner demonstrably rejects them, and the
+///                  covering-dead lint has real decoy surface to flag.
+/// Entries are ordered profile-major, variant-minor; names are
+/// "<sandbox-profile>/<variant>".
+std::vector<CoveringProfile> defaultProfileUniverse();
+
+/// The two built-in config variants, exposed for tests and overlays.
+core::Config paperVariantConfig();
+core::Config workstationVariantConfig();
+
+/// One greedy pick: the profile and what it bought.
+struct CoveringPick {
+  /// Index into the universe the plan was built from.
+  std::size_t universeIndex = 0;
+  std::string profile;  // CoveringProfile::name
+  /// Target techniques this pick newly covered (the greedy gain), in
+  /// Technique enum order.
+  std::vector<malware::Technique> covered;
+  /// Every target technique kFires under this profile (covered ⊆ fires),
+  /// in Technique enum order — what the router matches samples against.
+  std::vector<malware::Technique> fires;
+};
+
+/// Why a technique is outside every covering.
+enum class ResidueReason : std::uint8_t {
+  kUnhookable,      // no user-level API surface (PEB reads, RDTSC timing)
+  kRuntime,         // decided by launch context, not by the deception layer
+  kNoProfileFires,  // hookable, but no universe profile satisfies it
+};
+
+const char* residueReasonName(ResidueReason reason) noexcept;
+
+/// One uncoverable technique, reported explicitly instead of silently
+/// dropped from the plan.
+struct CoveringResidue {
+  malware::Technique technique{};
+  ResidueReason reason = ResidueReason::kNoProfileFires;
+  /// The lattice's explanation (TechniqueCoverage::detail of the first
+  /// universe profile), or a planner note when the universe is empty.
+  std::string detail;
+};
+
+/// The minimal ordered covering set. Deterministic for a fixed universe
+/// and target: coveringJson(plan) is byte-identical across runs.
+struct CoveringPlan {
+  std::vector<CoveringPick> coverings;  // greedy order
+  std::vector<CoveringResidue> residue;  // Technique enum order
+  /// Universe profiles selected by no covering — covering-dead decoy
+  /// surface (universe order). A deployment can keep them on purpose;
+  /// lintCoveringPlan turns each into an explicit finding either way.
+  std::vector<std::string> unusedProfiles;
+  std::size_t universeSize = 0;
+  /// Techniques the plan was asked to cover (the whole library, or the
+  /// corpus-restricted subset).
+  std::size_t targetCount = 0;
+  std::size_t coveredCount = 0;
+
+  /// "coverings=2 covered=25/29 residue=4 unused=6".
+  std::string summary() const;
+};
+
+/// Greedy set-cover over the whole technique library.
+CoveringPlan planCoverings(const std::vector<CoveringProfile>& universe);
+
+/// Same, restricted to the union of `corpusTechniques` — the plan a known
+/// corpus actually needs. Duplicates are folded; order is irrelevant.
+CoveringPlan planCoverings(
+    const std::vector<CoveringProfile>& universe,
+    const std::vector<malware::Technique>& corpusTechniques);
+
+/// Deterministic JSON rendering (stable ordering and field layout) of the
+/// picks, the residue, and the covering-dead profiles.
+std::string coveringJson(const CoveringPlan& plan);
+
+/// Plan shape as a metrics snapshot (counters per residue reason, gauges
+/// for covering/universe/covered counts), renderable through
+/// obs::Exporter next to the coverage telemetry.
+obs::MetricsSnapshot coveringTelemetry(const CoveringPlan& plan);
+
+/// Markdown "Minimal deception covering" section for the incident-report
+/// appendix (core::ReportOptions::appendixSections).
+std::string renderCoveringSection(const CoveringPlan& plan);
+
+/// Lint integration: one kCoveringDeadProfile finding per unused universe
+/// profile. entriesChecked = universe size. A clean report means every
+/// profile earns its place in some minimal covering.
+LintReport lintCoveringPlan(const CoveringPlan& plan);
+
+/// Routes evaluation requests to their covering and drives the resident
+/// service with them. Holds the universe the plan indexes into.
+class CoveringRouter {
+ public:
+  /// `plan` must have been produced from `universe` (indices are
+  /// validated; throws std::invalid_argument on mismatch).
+  CoveringRouter(std::vector<CoveringProfile> universe, CoveringPlan plan);
+
+  /// Where one sample goes: indices into plan().coverings.
+  struct Route {
+    std::vector<std::size_t> coverings;
+    /// True when the sample's techniques were unknown and the route is
+    /// the broadcast over every covering.
+    bool broadcast = false;
+  };
+
+  /// First covering (plan order) that fires any of `techniques`. A known
+  /// sample none of the coverings fire on routes to the first covering —
+  /// one run whose negative verdict equals the full sweep's (no universe
+  /// profile deactivates it either; the plan covers everything that fires
+  /// anywhere). Empty plan ⇒ empty route.
+  Route route(const std::vector<malware::Technique>& techniques) const;
+
+  /// The unknown-sample fallback: broadcast across every covering.
+  Route routeUnknown() const;
+
+  /// Stamps covering `index`'s deployment onto the request: config (the
+  /// caller's faultPlan is preserved — chaos sweeps stay orthogonal) and
+  /// dbFactory. sampleId/imagePath/factory/budget/tenant pass through.
+  core::EvalRequest apply(core::EvalRequest request,
+                          std::size_t index) const;
+
+  const CoveringPlan& plan() const noexcept { return plan_; }
+  const std::vector<CoveringProfile>& universe() const noexcept {
+    return universe_;
+  }
+  /// The universe profile behind plan().coverings[index].
+  const CoveringProfile& profileOf(std::size_t index) const;
+
+ private:
+  std::vector<CoveringProfile> universe_;
+  CoveringPlan plan_;
+};
+
+/// Stamps `profile`'s (db, config) onto a request — the primitive both
+/// CoveringRouter::apply and a full-universe sweep share, so parity
+/// comparisons run byte-identical deployments on both sides.
+core::EvalRequest stampProfile(const CoveringProfile& profile,
+                               core::EvalRequest request);
+
+/// One executed run of a routed sample.
+struct RoutedRun {
+  std::size_t covering = 0;  // index into plan().coverings
+  std::string profile;       // CoveringProfile::name it ran under
+  core::BatchStatus status = core::BatchStatus::kFailed;
+  core::EvalOutcome outcome;  // valid when status == kOk
+  std::string error;
+  /// Wall time the service measured for this run (ServiceResult::
+  /// wallMicros) — what bench_coverings records per routed evaluation.
+  std::uint64_t wallMicros = 0;
+};
+
+/// All runs one sample produced: exactly one for a routed known sample,
+/// one per covering for a broadcast unknown, none under an empty plan.
+struct RoutedOutcome {
+  std::vector<RoutedRun> runs;
+  bool broadcast = false;
+
+  /// Deactivated under at least one executed covering. Because the plan
+  /// covers every technique that fires under ANY universe profile, this
+  /// equals the full-sweep "deactivated under any profile" verdict.
+  bool deactivated() const noexcept;
+};
+
+/// Resolves a request to its sample's observed technique set; nullptr ⇒
+/// unknown sample (broadcast). The ProgramRegistry-backed corpus passes
+/// `[&](const core::EvalRequest& r) { return registry.findSpec(...); }`.
+using TechniqueLookup =
+    std::function<const malware::SampleSpec*(const core::EvalRequest&)>;
+
+/// The covering-routed corpus sweep: routes every request, submits all
+/// resulting runs to `service` up front (they interleave freely across
+/// shards and workers), then collects in request order. Result i
+/// describes requests[i].
+std::vector<RoutedOutcome> runCoveringSweep(
+    core::EvalService& service, const CoveringRouter& router,
+    const std::vector<core::EvalRequest>& requests,
+    const TechniqueLookup& lookup);
+
+}  // namespace scarecrow::analysis

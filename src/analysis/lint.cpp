@@ -21,6 +21,7 @@ const char* lintKindName(LintKind kind) noexcept {
     case LintKind::kVendorContradiction: return "vendor-contradiction";
     case LintKind::kHardwareContradiction:
       return "hardware-contradiction";
+    case LintKind::kCoveringDeadProfile: return "covering-dead-profile";
   }
   return "?";
 }

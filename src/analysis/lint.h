@@ -22,6 +22,12 @@
 //                         hardware channel denies it: vendor BIOS strings
 //                         with the hardware category disabled, or with
 //                         workstation-class core/RAM/disk numbers
+//   kCoveringDeadProfile  a universe profile selected by no minimal
+//                         covering (analysis/coverings.h): everything it
+//                         fires is covered elsewhere, so it is decoy
+//                         surface — kept deliberately or retired
+//                         (emitted by lintCoveringPlan, not
+//                         lintResourceDb)
 #pragma once
 
 #include <cstdint>
@@ -39,6 +45,7 @@ enum class LintKind : std::uint8_t {
   kShadowedKey,
   kVendorContradiction,
   kHardwareContradiction,
+  kCoveringDeadProfile,
 };
 
 const char* lintKindName(LintKind kind) noexcept;

@@ -6,29 +6,9 @@ namespace scarecrow::core {
 
 namespace {
 
-/// Folds the deprecated flat BatchOptions fields into the nested
-/// Telemetry struct (nested wins when both are set) and maps the result
-/// onto the single-shard ServiceOptions the façade runs on.
+/// Maps the batch knobs onto the single-shard ServiceOptions the façade
+/// runs on.
 ServiceOptions toServiceOptions(BatchOptions options) {
-  TelemetryOptions telemetry = options.telemetry;
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-  if (telemetry.stallBudgetMs == 0)
-    telemetry.stallBudgetMs = options.stallBudgetMs;
-  if (telemetry.ledgerPath.empty())
-    telemetry.ledgerPath = std::move(options.ledgerPath);
-  if (telemetry.ledgerMaxBytes == 0)
-    telemetry.ledgerMaxBytes = options.ledgerMaxBytes;
-  if (telemetry.ledgerMaxRotatedFiles == 3)
-    telemetry.ledgerMaxRotatedFiles = options.ledgerMaxRotatedFiles;
-  if (telemetry.ledgerShard.empty())
-    telemetry.ledgerShard = std::move(options.ledgerShard);
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
-
   ServiceOptions service;
   service.shardCount = 1;
   service.workersPerShard = options.workerCount;
@@ -37,7 +17,7 @@ ServiceOptions toServiceOptions(BatchOptions options) {
   service.requestTimeoutMs = options.requestTimeoutMs;
   service.maxAttempts = options.maxAttempts;
   service.retainResults = true;
-  service.telemetry = std::move(telemetry);
+  service.telemetry = std::move(options.telemetry);
   return service;
 }
 

@@ -78,45 +78,10 @@ struct BatchOptions {
   /// Attempts per request before it is reported failed (1 = no retry).
   std::uint32_t maxAttempts = 2;
   /// Stall-detector and run-ledger configuration (DESIGN.md §13/§14).
+  /// (The pre-service flat aliases — stallBudgetMs, ledger* — served
+  /// their one release of deprecation grace and are gone; this nested
+  /// struct is the only spelling.)
   Telemetry telemetry;
-
-  // --- Deprecated flat aliases (one release of grace) -----------------
-  // These predate BatchOptions::Telemetry; a non-default value here is
-  // folded into `telemetry` by the BatchEvaluator constructor unless the
-  // nested field was set explicitly (the nested field wins).
-
-  /// \deprecated Use telemetry.stallBudgetMs.
-  [[deprecated("use telemetry.stallBudgetMs")]]
-  std::uint64_t stallBudgetMs = 0;
-  /// \deprecated Use telemetry.ledgerPath.
-  [[deprecated("use telemetry.ledgerPath")]]
-  std::string ledgerPath;
-  /// \deprecated Use telemetry.ledgerMaxBytes.
-  [[deprecated("use telemetry.ledgerMaxBytes")]]
-  std::uint64_t ledgerMaxBytes = 0;
-  /// \deprecated Use telemetry.ledgerMaxRotatedFiles.
-  [[deprecated("use telemetry.ledgerMaxRotatedFiles")]]
-  std::uint32_t ledgerMaxRotatedFiles = 3;
-  /// \deprecated Use telemetry.ledgerShard.
-  [[deprecated("use telemetry.ledgerShard")]]
-  std::string ledgerShard;
-
-  // The special members must be spelled out so their (compiler-generated)
-  // bodies, which necessarily touch the deprecated fields, do not warn at
-  // every copy of a BatchOptions value.
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-  BatchOptions() = default;
-  BatchOptions(const BatchOptions&) = default;
-  BatchOptions(BatchOptions&&) = default;
-  BatchOptions& operator=(const BatchOptions&) = default;
-  BatchOptions& operator=(BatchOptions&&) = default;
-  ~BatchOptions() = default;
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
 };
 
 /// Live view of an evaluateAll in flight (or the final state of the last

@@ -56,9 +56,12 @@ RunResult EvaluationHarness::runOnce(const EvalRequest& request,
   options.budgetMs = request.budgetMs;
 
   if (withScarecrow) {
+    // Precedence: the request's own factory (covering routing) > the
+    // harness-level override (profile ablations) > the default database.
     DeceptionEngine engine(config,
-                           dbFactory_ ? dbFactory_()
-                                      : buildDefaultResourceDb());
+                           request.dbFactory ? request.dbFactory()
+                           : dbFactory_     ? dbFactory_()
+                                            : buildDefaultResourceDb());
     Controller controller(machine_, userspace, engine);
     // The fault injector lives exactly as long as this supervised run and
     // is seeded solely from config.faultPlan — a worker replaying the same

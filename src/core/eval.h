@@ -25,18 +25,21 @@
 
 namespace scarecrow::core {
 
+/// Builds the deception database a with-Scarecrow run deploys.
+using ResourceDbFactory = std::function<ResourceDb()>;
+
 /// One corpus evaluation, fully described: everything the Figure 3
 /// protocol needs to run a single sample. This is the unit of work for
 /// both the serial EvaluationHarness and the parallel core::BatchEvaluator
 /// — build a vector of these and hand it to either.
 struct EvalRequest {
   /// Stable identifier the traces and verdicts are keyed by.
-  std::string sampleId;
+  std::string sampleId{};
   /// Guest path the submitted binary is materialized at before launch.
-  std::string imagePath;
+  std::string imagePath{};
   /// Resolves image paths to guest programs (the sample itself plus any
   /// processes it drops).
-  winapi::ProgramFactory factory;
+  winapi::ProgramFactory factory{};
   Config config{};
   /// Machine-time budget per run (the paper's one-minute window).
   std::uint64_t budgetMs = Config::kDefaultBudgetMs;
@@ -44,7 +47,14 @@ struct EvalRequest {
   /// submissions are token-bucketed per tenant so one flooding client
   /// cannot starve the rest. Empty = the shared anonymous pool. Ignored
   /// by the serial harness and the batch façade.
-  std::string tenant;
+  std::string tenant{};
+  /// Per-request deception-database override. When set it wins over the
+  /// harness-level factory (setResourceDbFactory) and the default
+  /// database, so requests needing *different* profiles can interleave
+  /// through one shared worker pool — the covering-router seam
+  /// (analysis/coverings.h): each routed request carries its covering's
+  /// (db, config) instead of the service being re-pointed per profile.
+  ResourceDbFactory dbFactory{};
 };
 
 /// How well the deception plane held up during a supervised run
@@ -143,8 +153,9 @@ class EvaluationHarness {
   winsys::Machine& machine() noexcept { return machine_; }
 
   /// Overrides the deception database used for with-Scarecrow runs
-  /// (defaults to buildDefaultResourceDb). Used by the profile ablations.
-  using DbFactory = std::function<ResourceDb()>;
+  /// (defaults to buildDefaultResourceDb; a request's own dbFactory wins
+  /// over both). Used by the profile ablations.
+  using DbFactory = ResourceDbFactory;
   void setResourceDbFactory(DbFactory factory) {
     dbFactory_ = std::move(factory);
   }

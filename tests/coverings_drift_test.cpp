@@ -1,0 +1,225 @@
+// Dynamic half of the coverings gate: the plan's static promises must
+// survive contact with the real evaluation machinery.
+//
+//   1. Per-(technique, covering) drift — for every covering the default
+//      universe selects and every technique with a static verdict, a
+//      synthetic single-technique sample runs through the dynamic
+//      EvaluationHarness under that covering's stamped (db, config):
+//      kFires must deactivate (with the predicted trigger), kMisses and
+//      kUnhookable must not. One refinement the lattice is explicit
+//      about NOT modeling: deactivation is a *differential* verdict, so
+//      a technique the pristine reference machine itself triggers (the
+//      wear-and-tear probe — Deep Freeze keeps the bare-metal sandbox
+//      looking factory-new) fires through the deception layer with its
+//      predicted trigger but cannot produce a behavioral difference;
+//      the gate pins the trigger for those and deactivation for the
+//      rest.
+//   2. Table I byte parity — the covering-routed sweep of the Joe corpus
+//      through a real core::EvalService must produce, per sample,
+//      byte-identical verdict + telemetry to the full universe sweep's
+//      entry for the same profile, and the same "deactivated under any
+//      profile" aggregate — the claim that lets the router submit each
+//      sample once instead of once-per-profile.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "analysis/coverage.h"
+#include "analysis/coverings.h"
+#include "core/eval.h"
+#include "core/service.h"
+#include "env/environments.h"
+#include "malware/joe.h"
+#include "malware/sample.h"
+#include "malware/techniques.h"
+
+namespace {
+
+using namespace scarecrow;
+using analysis::Verdict;
+using malware::Technique;
+
+/// Canonical byte rendering of everything a verdict decides, plus the
+/// (documented byte-stable) telemetry JSON — the parity unit.
+std::string verdictBytes(const core::EvalOutcome& outcome) {
+  const trace::DeactivationVerdict& verdict = outcome.verdict;
+  std::string out;
+  out += verdict.deactivated ? "deactivated;" : "active;";
+  out += std::string(trace::deactivationReasonName(verdict.reason)) + ";";
+  out += "trigger=" + verdict.firstTrigger + ";";
+  out += "spawns=" + std::to_string(verdict.selfSpawnsWithScarecrow) + ";";
+  out += "suppressed=";
+  for (const std::string& activity : verdict.suppressedActivities)
+    out += activity + ",";
+  out += ";leaked=";
+  for (const std::string& activity : verdict.leakedActivities)
+    out += activity + ",";
+  out += ";" + outcome.telemetryJson;
+  return out;
+}
+
+// ---- (technique, covering) drift ------------------------------------------
+
+TEST(CoveringDrift, EveryTechniqueCoveringPairMatchesDynamicEvaluation) {
+  const auto universe = analysis::defaultProfileUniverse();
+  const auto plan = analysis::planCoverings(universe);
+  ASSERT_FALSE(plan.coverings.empty());
+
+  // One synthetic single-technique sample per library entry, with the
+  // 9fac72a anatomy: exit on detection, install a fake AV otherwise.
+  malware::ProgramRegistry registry;
+  for (std::size_t i = 0; i < malware::kTechniqueCount; ++i) {
+    const auto technique = static_cast<Technique>(i);
+    malware::SampleSpec spec;
+    spec.id = std::string("cov-") + malware::techniqueName(technique);
+    spec.imageName = spec.id + ".exe";
+    spec.techniques = {technique};
+    spec.reaction = malware::Reaction::kExitImmediately;
+    spec.payload = {{malware::PayloadStep::Kind::kInstallFakeAv, ""}};
+    registry.addSample(spec);
+  }
+
+  auto machine = env::buildBareMetalSandbox();
+  core::EvaluationHarness harness(*machine);
+
+  // What each probe sees on the *unhooked* reference machine: the
+  // without-Scarecrow half of every evaluation. A technique the pristine
+  // sandbox itself triggers runs its reaction in both halves, so the
+  // differential judge cannot call it deactivated no matter how well the
+  // deception fires.
+  bool referenceDetects[malware::kTechniqueCount] = {};
+  {
+    auto refMachine = env::buildBareMetalSandbox();
+    winapi::UserSpace userspace;
+    winsys::Process& proc =
+        refMachine->processes().create("C:\\s\\ref.exe", 0, "", 4);
+    refMachine->vfs().createFile("C:\\s\\ref.exe", 1 << 20);
+    winapi::Api api(*refMachine, userspace, proc.pid);
+    for (std::size_t i = 0; i < malware::kTechniqueCount; ++i)
+      referenceDetects[i] =
+          malware::probeEnvironment(api, static_cast<Technique>(i));
+  }
+
+  for (const analysis::CoveringPick& pick : plan.coverings) {
+    const analysis::CoveringProfile& profile = universe[pick.universeIndex];
+    const analysis::CoverageReport coverage =
+        analysis::analyzeCoverage(profile.db(), profile.config);
+
+    for (std::size_t i = 0; i < malware::kTechniqueCount; ++i) {
+      const auto technique = static_cast<Technique>(i);
+      const analysis::TechniqueCoverage& tc = coverage.of(technique);
+      if (tc.verdict == Verdict::kUnknown) continue;  // launch-context
+
+      const std::string id =
+          std::string("cov-") + malware::techniqueName(technique);
+      core::EvalRequest request;
+      request.sampleId = id;
+      request.imagePath = "C:\\submissions\\" + id + ".exe";
+      request.factory = registry.factory();
+      const core::EvalOutcome outcome =
+          harness.evaluate(analysis::stampProfile(profile, request));
+
+      const bool fires = tc.verdict == Verdict::kFires;
+      EXPECT_EQ(outcome.verdict.deactivated, fires && !referenceDetects[i])
+          << malware::techniqueName(technique) << " under " << pick.profile
+          << " (static verdict " << analysis::verdictName(tc.verdict) << ")";
+      if (fires && !tc.predictedTrigger.empty()) {
+        // Whether or not the reference half also reacted, a firing
+        // technique must have been detected *through the deception
+        // layer*, with the trigger the lattice predicted.
+        EXPECT_EQ(outcome.firstTrigger, tc.predictedTrigger)
+            << malware::techniqueName(technique) << " under " << pick.profile;
+      }
+    }
+  }
+}
+
+// ---- Table I byte parity --------------------------------------------------
+
+TEST(CoveringParity, RoutedTableISweepByteEqualsFullUniverseSweep) {
+  auto universe = analysis::defaultProfileUniverse();
+  auto plan = analysis::planCoverings(universe);
+  const analysis::CoveringRouter router(universe, plan);
+
+  malware::ProgramRegistry registry;
+  const auto expected = malware::registerJoeSamples(registry);
+  std::vector<core::EvalRequest> requests;
+  for (const malware::JoeExpectation& row : expected) {
+    core::EvalRequest request;
+    request.sampleId = row.idPrefix;
+    request.imagePath = "C:\\submissions\\" + row.idPrefix + ".exe";
+    request.factory = registry.factory();
+    requests.push_back(std::move(request));
+  }
+
+  core::ServiceOptions options;
+  options.shardCount = 2;
+  options.workersPerShard = 2;
+  const auto machineFactory = [] { return env::buildBareMetalSandbox(); };
+
+  // Full sweep: every sample under every universe profile, keyed
+  // (profile, sample) for the parity lookup.
+  std::map<std::pair<std::string, std::string>, std::string> fullBytes;
+  std::map<std::string, bool> fullDeactivatedAny;
+  {
+    core::EvalService service(machineFactory, options);
+    std::vector<std::pair<std::pair<std::string, std::string>, core::Ticket>>
+        tickets;
+    for (const analysis::CoveringProfile& profile : universe)
+      for (const core::EvalRequest& request : requests)
+        tickets.push_back({{profile.name, request.sampleId},
+                           service.submit(
+                               analysis::stampProfile(profile, request))});
+    for (auto& [key, ticket] : tickets) {
+      ASSERT_TRUE(ticket.admitted());
+      const auto result = service.wait(ticket);
+      ASSERT_TRUE(result.has_value()) << key.first << "/" << key.second;
+      ASSERT_TRUE(result->ok()) << key.first << "/" << key.second;
+      fullBytes[key] = verdictBytes(result->outcome);
+      fullDeactivatedAny[key.second] =
+          fullDeactivatedAny[key.second] ||
+          result->outcome.verdict.deactivated;
+    }
+  }
+
+  // Covering-routed sweep: one submission per (known) sample.
+  core::EvalService service(machineFactory, options);
+  const std::vector<analysis::RoutedOutcome> routed =
+      analysis::runCoveringSweep(
+          service, router, requests,
+          [&registry](const core::EvalRequest& request) {
+            return registry.findSpec(request.sampleId + ".exe");
+          });
+
+  ASSERT_EQ(routed.size(), requests.size());
+  std::size_t totalRuns = 0;
+  for (std::size_t i = 0; i < routed.size(); ++i) {
+    const analysis::RoutedOutcome& outcome = routed[i];
+    EXPECT_FALSE(outcome.broadcast) << requests[i].sampleId;
+    ASSERT_EQ(outcome.runs.size(), 1u) << requests[i].sampleId;
+    totalRuns += outcome.runs.size();
+    const analysis::RoutedRun& run = outcome.runs[0];
+    ASSERT_EQ(run.status, core::BatchStatus::kOk) << run.error;
+
+    // Byte parity against the full sweep's entry for the same profile.
+    const auto it =
+        fullBytes.find({run.profile, requests[i].sampleId});
+    ASSERT_NE(it, fullBytes.end())
+        << requests[i].sampleId << " under " << run.profile;
+    EXPECT_EQ(verdictBytes(run.outcome), it->second)
+        << requests[i].sampleId << " under " << run.profile;
+
+    // The aggregate claim: one routed run decides what the whole
+    // universe sweep would have decided.
+    EXPECT_EQ(outcome.deactivated(),
+              fullDeactivatedAny[requests[i].sampleId])
+        << requests[i].sampleId;
+  }
+  // The throughput shape the bench quantifies: |samples| submissions
+  // instead of |samples| x |universe|.
+  EXPECT_EQ(totalRuns, requests.size());
+}
+
+}  // namespace

@@ -1,0 +1,300 @@
+// Static half of the coverings gate (analysis/coverings.h): the greedy
+// planner's shape over the built-in universe, its byte-determinism
+// contract, the router's routing semantics, the covering-dead lint
+// integration, and the degenerate universes (empty, kitchen-sink,
+// all-uncoverable corpus). The dynamic half — static kFires predictions
+// vs real EvaluationHarness runs, and routed-vs-full-sweep byte parity —
+// lives in coverings_drift_test.cpp.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "analysis/coverings.h"
+#include "core/profiles.h"
+#include "faults/fault_plan.h"
+#include "obs/export.h"
+
+namespace {
+
+using namespace scarecrow;
+using analysis::CoveringPlan;
+using analysis::CoveringProfile;
+using analysis::CoveringRouter;
+using analysis::ResidueReason;
+using malware::Technique;
+
+bool contains(const std::vector<std::string>& haystack,
+              const std::string& needle) {
+  return std::find(haystack.begin(), haystack.end(), needle) !=
+         haystack.end();
+}
+
+// ---- plan shape over the built-in universe --------------------------------
+
+TEST(CoveringPlanner, DefaultUniverseNeedsExactlyTwoCoverings) {
+  const auto universe = analysis::defaultProfileUniverse();
+  ASSERT_EQ(universe.size(), 8u);  // 4 sandbox profiles x 2 config variants
+  const CoveringPlan plan = analysis::planCoverings(universe);
+
+  // Cuckoo/VirtualBox under the paper config fires everything except the
+  // VMware tool key; one more covering picks that up. Nothing else earns
+  // a slot.
+  ASSERT_EQ(plan.coverings.size(), 2u);
+  EXPECT_EQ(plan.coverings[0].profile, "cuckoo-virtualbox/paper");
+  EXPECT_EQ(plan.coverings[0].covered.size(), 24u);
+  EXPECT_EQ(plan.coverings[1].profile, "vmware-analyst/paper");
+  ASSERT_EQ(plan.coverings[1].covered.size(), 1u);
+  EXPECT_EQ(plan.coverings[1].covered[0], Technique::kVMwareToolsRegistry);
+
+  EXPECT_EQ(plan.universeSize, 8u);
+  EXPECT_EQ(plan.targetCount, malware::kTechniqueCount);
+  EXPECT_EQ(plan.coveredCount, 25u);
+  EXPECT_EQ(plan.summary(), "coverings=2 covered=25/29 residue=4 unused=6");
+}
+
+TEST(CoveringPlanner, ResidueIsExplicitAndClassified) {
+  const CoveringPlan plan =
+      analysis::planCoverings(analysis::defaultProfileUniverse());
+  ASSERT_EQ(plan.residue.size(), 4u);
+  // Technique enum order.
+  EXPECT_EQ(plan.residue[0].technique, Technique::kIdeEnumRegistry);
+  EXPECT_EQ(plan.residue[0].reason, ResidueReason::kNoProfileFires);
+  EXPECT_EQ(plan.residue[1].technique, Technique::kParentNotExplorer);
+  EXPECT_EQ(plan.residue[1].reason, ResidueReason::kRuntime);
+  EXPECT_EQ(plan.residue[2].technique, Technique::kPebProcessorCount);
+  EXPECT_EQ(plan.residue[2].reason, ResidueReason::kUnhookable);
+  EXPECT_EQ(plan.residue[3].technique, Technique::kRdtscVmExit);
+  EXPECT_EQ(plan.residue[3].reason, ResidueReason::kUnhookable);
+  for (const auto& residue : plan.residue)
+    EXPECT_FALSE(residue.detail.empty())
+        << malware::techniqueName(residue.technique);
+}
+
+TEST(CoveringPlanner, WorkstationVariantsAreAlwaysCoveringDead) {
+  // Every workstation-variant lattice is a strict subset of its paper
+  // sibling (all threshold and identity techniques miss), so the greedy
+  // loop must never pick one.
+  const CoveringPlan plan =
+      analysis::planCoverings(analysis::defaultProfileUniverse());
+  ASSERT_EQ(plan.unusedProfiles.size(), 6u);
+  for (const core::SandboxProfile profile : core::kAllSandboxProfiles)
+    EXPECT_TRUE(contains(
+        plan.unusedProfiles,
+        std::string(core::sandboxProfileName(profile)) + "/workstation"));
+  EXPECT_TRUE(contains(plan.unusedProfiles, "qemu-anubis/paper"));
+  EXPECT_TRUE(contains(plan.unusedProfiles, "baremetal-forensic/paper"));
+}
+
+// ---- determinism contract -------------------------------------------------
+
+TEST(CoveringPlanner, PlanJsonIsByteIdenticalAcrossRuns) {
+  const std::string first =
+      analysis::coveringJson(
+          analysis::planCoverings(analysis::defaultProfileUniverse()));
+  const std::string second =
+      analysis::coveringJson(
+          analysis::planCoverings(analysis::defaultProfileUniverse()));
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("\"cuckoo-virtualbox/paper\""), std::string::npos);
+  EXPECT_NE(first.find("\"no-profile-fires\""), std::string::npos);
+}
+
+TEST(CoveringPlanner, EqualGainTieBreaksOnProfileName) {
+  // Restrict the target to the VMware tool key: both vmware-analyst
+  // variants fire it (a registry artifact is config-independent), so the
+  // gains tie at 1 and the lexicographically smaller name must win.
+  const CoveringPlan plan = analysis::planCoverings(
+      analysis::defaultProfileUniverse(), {Technique::kVMwareToolsRegistry});
+  ASSERT_EQ(plan.coverings.size(), 1u);
+  EXPECT_EQ(plan.coverings[0].profile, "vmware-analyst/paper");
+  EXPECT_TRUE(plan.residue.empty());
+  EXPECT_EQ(plan.coveredCount, 1u);
+  EXPECT_EQ(plan.targetCount, 1u);
+}
+
+// ---- degenerate universes and corpora -------------------------------------
+
+TEST(CoveringPlannerEdge, EmptyUniverseReportsEverythingAsResidue) {
+  const CoveringPlan plan = analysis::planCoverings({});
+  EXPECT_TRUE(plan.coverings.empty());
+  EXPECT_TRUE(plan.unusedProfiles.empty());
+  EXPECT_EQ(plan.universeSize, 0u);
+  EXPECT_EQ(plan.coveredCount, 0u);
+  ASSERT_EQ(plan.residue.size(), malware::kTechniqueCount);
+  for (const auto& residue : plan.residue)
+    EXPECT_EQ(residue.detail, "no profiles in universe");
+  // Classification survives without any lattice to consult.
+  EXPECT_EQ(plan.residue[static_cast<std::size_t>(
+                             Technique::kPebProcessorCount)].reason,
+            ResidueReason::kUnhookable);
+  EXPECT_EQ(plan.residue[static_cast<std::size_t>(
+                             Technique::kParentNotExplorer)].reason,
+            ResidueReason::kRuntime);
+  EXPECT_EQ(plan.residue[static_cast<std::size_t>(
+                             Technique::kVMwareToolsRegistry)].reason,
+            ResidueReason::kNoProfileFires);
+}
+
+TEST(CoveringPlannerEdge, SingleKitchenSinkProfileCoversEverythingCoverable) {
+  const std::vector<CoveringProfile> universe = {
+      {"default/kitchen-sink", [] { return core::buildDefaultResourceDb(); },
+       analysis::paperVariantConfig()}};
+  const CoveringPlan plan = analysis::planCoverings(universe);
+  ASSERT_EQ(plan.coverings.size(), 1u);
+  EXPECT_EQ(plan.coverings[0].profile, "default/kitchen-sink");
+  EXPECT_EQ(plan.coveredCount, 26u);  // all but 2 unhookable + 1 runtime
+  EXPECT_EQ(plan.residue.size(), 3u);
+  EXPECT_TRUE(plan.unusedProfiles.empty());
+}
+
+TEST(CoveringPlannerEdge, AllUncoverableCorpusYieldsEmptyPlan) {
+  const CoveringPlan plan = analysis::planCoverings(
+      analysis::defaultProfileUniverse(),
+      {Technique::kPebProcessorCount, Technique::kRdtscVmExit,
+       Technique::kParentNotExplorer});
+  EXPECT_TRUE(plan.coverings.empty());
+  EXPECT_EQ(plan.targetCount, 3u);
+  EXPECT_EQ(plan.coveredCount, 0u);
+  ASSERT_EQ(plan.residue.size(), 3u);
+  // Nothing was coverable, so nothing earned a pick: the whole universe
+  // is unused.
+  EXPECT_EQ(plan.unusedProfiles.size(), 8u);
+}
+
+// ---- lint integration -----------------------------------------------------
+
+TEST(CoveringLint, FlagsCoveringDeadProfilesAsDecoySurface) {
+  const CoveringPlan plan =
+      analysis::planCoverings(analysis::defaultProfileUniverse());
+  const analysis::LintReport report = analysis::lintCoveringPlan(plan);
+  EXPECT_EQ(report.entriesChecked, 8u);
+  ASSERT_EQ(report.findings.size(), 6u);
+  for (const analysis::LintFinding& finding : report.findings) {
+    EXPECT_EQ(finding.kind, analysis::LintKind::kCoveringDeadProfile);
+    EXPECT_TRUE(contains(plan.unusedProfiles, finding.resource));
+    EXPECT_NE(finding.detail.find("decoy surface"), std::string::npos);
+  }
+  EXPECT_EQ(report.countOf(analysis::LintKind::kCoveringDeadProfile), 6u);
+  EXPECT_STREQ(
+      analysis::lintKindName(analysis::LintKind::kCoveringDeadProfile),
+      "covering-dead-profile");
+}
+
+TEST(CoveringLint, CleanWhenEveryProfileEarnsItsPlace) {
+  const std::vector<CoveringProfile> universe = {
+      {"default/kitchen-sink", [] { return core::buildDefaultResourceDb(); },
+       analysis::paperVariantConfig()}};
+  const analysis::LintReport report =
+      analysis::lintCoveringPlan(analysis::planCoverings(universe));
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.entriesChecked, 1u);
+}
+
+// ---- renderers ------------------------------------------------------------
+
+TEST(CoveringRenderers, SectionAndTelemetryCarryThePlanShape) {
+  const CoveringPlan plan =
+      analysis::planCoverings(analysis::defaultProfileUniverse());
+  const std::string section = analysis::renderCoveringSection(plan);
+  EXPECT_NE(section.find("## Minimal deception covering"), std::string::npos);
+  EXPECT_NE(section.find("`cuckoo-virtualbox/paper`"), std::string::npos);
+  EXPECT_NE(section.find("Uncoverable residue"), std::string::npos);
+  EXPECT_NE(section.find("Covering-dead profiles"), std::string::npos);
+
+  const std::string telemetry =
+      obs::Exporter(obs::ExportFormat::kJson)
+          .render(analysis::coveringTelemetry(plan));
+  EXPECT_NE(telemetry.find("analysis.covering_count"), std::string::npos);
+  EXPECT_NE(telemetry.find("analysis.covering_residue"), std::string::npos);
+}
+
+// ---- router semantics -----------------------------------------------------
+
+CoveringRouter defaultRouter() {
+  auto universe = analysis::defaultProfileUniverse();
+  auto plan = analysis::planCoverings(universe);
+  return CoveringRouter(std::move(universe), std::move(plan));
+}
+
+TEST(CoveringRouterTest, KnownSampleRoutesToFirstFiringCovering) {
+  const CoveringRouter router = defaultRouter();
+  // Fires under covering 0 — one run there.
+  const auto low = router.route({Technique::kLowMemory});
+  ASSERT_EQ(low.coverings.size(), 1u);
+  EXPECT_EQ(low.coverings[0], 0u);
+  EXPECT_FALSE(low.broadcast);
+  // Only the VMware covering fires the tool key.
+  const auto vmware = router.route({Technique::kVMwareToolsRegistry});
+  ASSERT_EQ(vmware.coverings.size(), 1u);
+  EXPECT_EQ(vmware.coverings[0], 1u);
+  // A disjunction takes the first covering that fires ANY member.
+  const auto both = router.route(
+      {Technique::kVMwareToolsRegistry, Technique::kLowMemory});
+  ASSERT_EQ(both.coverings.size(), 1u);
+  EXPECT_EQ(both.coverings[0], 0u);
+}
+
+TEST(CoveringRouterTest, UncoveredKnownSampleFallsBackToFirstCovering) {
+  const CoveringRouter router = defaultRouter();
+  for (const Technique technique :
+       {Technique::kIdeEnumRegistry, Technique::kPebProcessorCount}) {
+    const auto route = router.route({technique});
+    ASSERT_EQ(route.coverings.size(), 1u) << malware::techniqueName(technique);
+    EXPECT_EQ(route.coverings[0], 0u);
+    EXPECT_FALSE(route.broadcast);
+  }
+}
+
+TEST(CoveringRouterTest, UnknownSampleBroadcastsAcrossAllCoverings) {
+  const CoveringRouter router = defaultRouter();
+  const auto route = router.routeUnknown();
+  EXPECT_TRUE(route.broadcast);
+  ASSERT_EQ(route.coverings.size(), 2u);
+  EXPECT_EQ(route.coverings[0], 0u);
+  EXPECT_EQ(route.coverings[1], 1u);
+}
+
+TEST(CoveringRouterTest, EmptyPlanYieldsEmptyRoutes) {
+  auto universe = analysis::defaultProfileUniverse();
+  auto plan = analysis::planCoverings(
+      universe, {Technique::kPebProcessorCount});  // nothing coverable
+  const CoveringRouter router(std::move(universe), std::move(plan));
+  EXPECT_TRUE(router.route({Technique::kPebProcessorCount}).coverings.empty());
+  EXPECT_TRUE(router.routeUnknown().coverings.empty());
+}
+
+TEST(CoveringRouterTest, RejectsPlanFromADifferentUniverse) {
+  auto plan = analysis::planCoverings(analysis::defaultProfileUniverse());
+  std::vector<CoveringProfile> other = {
+      {"default/kitchen-sink", [] { return core::buildDefaultResourceDb(); },
+       analysis::paperVariantConfig()}};
+  EXPECT_THROW(CoveringRouter(std::move(other), std::move(plan)),
+               std::invalid_argument);
+}
+
+TEST(CoveringRouterTest, ApplyStampsDeploymentAndPreservesFaultPlan) {
+  const CoveringRouter router = defaultRouter();
+  core::EvalRequest request;
+  request.sampleId = "s1";
+  request.imagePath = "C:\\submissions\\s1.exe";
+  request.budgetMs = 1234;
+  request.tenant = "teamA";
+  request.config.faultPlan = faults::FaultPlan::parse("inject-dll:p=1.0", 7);
+  request.config.identity.userName = "to-be-overwritten";
+
+  const core::EvalRequest stamped = router.apply(request, 1);
+  EXPECT_EQ(stamped.sampleId, "s1");
+  EXPECT_EQ(stamped.budgetMs, 1234u);
+  EXPECT_EQ(stamped.tenant, "teamA");
+  // The covering's config replaces the caller's deception values...
+  EXPECT_EQ(stamped.config.identity.userName,
+            analysis::paperVariantConfig().identity.userName);
+  // ...but the chaos schedule rides along untouched.
+  EXPECT_FALSE(stamped.config.faultPlan.empty());
+  // And the request now carries the covering's database factory.
+  ASSERT_TRUE(static_cast<bool>(stamped.dbFactory));
+  EXPECT_GT(stamped.dbFactory().registryKeyCount(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,315 @@
+// Crash-safety bench: the BENCH_recovery.json producer (DESIGN.md §16).
+//
+// Three phases against the crash-safe EvalService:
+//
+//   A. Kill-and-resume zero loss. A ledgered corpus sweep is killed
+//      mid-flight; a fresh service replays the admission journal and
+//      finishes the residue. The gate-facing numbers are exact: the final
+//      ledger carries one run record per admitted request — zero tickets
+//      lost, zero duplicated — and the replay latency (journal read +
+//      residue resubmission) lands as a perf metric.
+//
+//   B. Journal replay throughput. replayAdmissionJournal() over a
+//      synthetic journal (admits + a half-complete run suffix), timed
+//      per full replay — the pure recovery-path cost with no service or
+//      disk in the loop.
+//
+//   C. Supervision determinism. The scripted breaker choreography
+//      (threshold trip, re-route, half-open probe success, probe
+//      failure) and the quarantine path produce exact counter values —
+//      3 breaker trips, 1 shard-unavailable reject, 1 quarantine
+//      reject — that the perf gate holds at zero drift.
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/eval.h"
+#include "core/service.h"
+#include "env/environments.h"
+#include "obs/ledger.h"
+#include "winapi/api.h"
+#include "winapi/guest.h"
+
+using namespace scarecrow;
+
+namespace {
+
+/// Exits immediately: the cheapest valid sample, so the bench measures
+/// journal and recovery machinery, not sample logic.
+class TrivialProgram : public winapi::GuestProgram {
+ public:
+  void run(winapi::Api& api) override { api.ExitProcess(0); }
+};
+
+/// Throws for "poison" images (phase C's deterministic failure source).
+winapi::ProgramFactory poisonAwareFactory() {
+  return [](const std::string& image,
+            const std::string&) -> std::unique_ptr<winapi::GuestProgram> {
+    if (image.find("poison") != std::string::npos)
+      throw std::runtime_error("poisoned sample");
+    return std::make_unique<TrivialProgram>();
+  };
+}
+
+core::EvalRequest plainRequest(std::string sampleId) {
+  return {.sampleId = sampleId,
+          .imagePath = "C:\\submissions\\" + sampleId + ".exe",
+          .factory = poisonAwareFactory()};
+}
+
+/// First id of the form `<prefix><n>` the service routes to `shard`.
+std::string idOnShard(const core::EvalService& service,
+                      const std::string& prefix, std::size_t shard) {
+  for (int i = 0;; ++i) {
+    std::string id = prefix + std::to_string(i);
+    if (service.shardFor(id) == shard) return id;
+  }
+}
+
+void removeGenerations(const std::string& path) {
+  std::remove(path.c_str());
+  for (int g = 1; g <= 8; ++g)
+    std::remove((path + "." + std::to_string(g)).c_str());
+}
+
+void runKillResumePhase(bench::Reporter& reporter, std::size_t samples) {
+  bench::printHeader("Phase A: kill-and-resume zero loss, " +
+                     std::to_string(samples) + " samples across 2 shards");
+  const std::string path = "bench_recovery_ledger.jsonl";
+  removeGenerations(path);
+
+  core::ServiceOptions options;
+  options.shardCount = 2;
+  options.workersPerShard = 1;
+  options.telemetry.ledgerPath = path;
+
+  // Life 1: admit everything, complete a quarter, then die mid-corpus.
+  const std::size_t killAfter = samples / 4;
+  {
+    core::EvalService service([] { return env::buildBareMetalSandbox(); },
+                              options);
+    std::vector<core::Ticket> tickets;
+    tickets.reserve(samples);
+    for (std::size_t i = 0; i < samples; ++i)
+      tickets.push_back(
+          service.submit(plainRequest("s-" + std::to_string(i))));
+    for (std::size_t i = 0; i < killAfter; ++i) service.wait(tickets[i]);
+    service.kill();
+  }
+
+  // Life 2: replay the journal, resubmit the residue, finish the corpus.
+  std::uint64_t replayNs = 0;
+  core::RecoveryReport report;
+  {
+    core::EvalService service([] { return env::buildBareMetalSandbox(); },
+                              options);
+    const std::uint64_t start = bench::nowMicros();
+    report = service.recover(
+        path, [](const std::string& sampleId, const std::string&) {
+          return plainRequest(sampleId);
+        });
+    replayNs = (bench::nowMicros() - start) * 1000;
+    for (const auto& resubmission : report.resubmitted)
+      service.wait(resubmission.ticket);
+    service.drain();
+  }
+
+  // The zero-loss / zero-duplicate audit, straight off the disk: every
+  // admitted request has exactly one run record across both lives.
+  std::map<std::uint64_t, std::size_t> admits, runs;
+  for (const obs::LedgerRecord& record : obs::readLedgerGenerations(path)) {
+    if (record.kind == obs::LedgerRecordKind::kAdmit)
+      ++admits[record.requestIndex];
+    else if (record.kind == obs::LedgerRecordKind::kRun)
+      ++runs[record.requestIndex];
+  }
+  std::uint64_t duplicated = 0;
+  for (const auto& [index, count] : runs)
+    if (count > 1) duplicated += count - 1;
+  const std::uint64_t lost = samples - runs.size();
+
+  std::printf("%-44s %8llu  [%s]\n", "requests journaled",
+              static_cast<unsigned long long>(report.journaled),
+              bench::okMark(report.journaled == samples &&
+                            admits.size() == samples));
+  std::printf("%-44s %8llu\n", "completed before kill",
+              static_cast<unsigned long long>(report.completed.size()));
+  std::printf("%-44s %8llu\n", "residue resubmitted",
+              static_cast<unsigned long long>(report.resubmitted.size()));
+  std::printf("%-44s %8llu  [%s]\n", "tickets lost",
+              static_cast<unsigned long long>(lost),
+              bench::okMark(lost == 0));
+  std::printf("%-44s %8llu  [%s]\n", "tickets duplicated",
+              static_cast<unsigned long long>(duplicated),
+              bench::okMark(duplicated == 0));
+  std::printf("%-44s %8.2f\n", "recovery replay ms",
+              static_cast<double>(replayNs) / 1e6);
+
+  reporter.addValue("tickets_lost", lost);
+  reporter.addValue("tickets_duplicated", duplicated);
+  // Normalized per journaled request, so the gated number is invariant
+  // under --smoke / --samples corpus-size changes.
+  reporter.addValue("recovery_replay_per_request_ns",
+                    report.journaled != 0 ? replayNs / report.journaled : 0,
+                    "ns");
+  reporter.gauges().gauge("recovery.journaled")
+      .set(static_cast<std::int64_t>(report.journaled));
+  removeGenerations(path);
+}
+
+void runReplayThroughputPhase(bench::Reporter& reporter,
+                              std::size_t records) {
+  bench::printHeader("Phase B: journal replay throughput, " +
+                     std::to_string(records) + " admits (half completed)");
+  std::vector<obs::LedgerRecord> journal;
+  journal.reserve(records + records / 2);
+  for (std::size_t i = 0; i < records; ++i) {
+    obs::LedgerRecord admit;
+    admit.kind = obs::LedgerRecordKind::kAdmit;
+    admit.requestIndex = i;
+    admit.sampleId = "s-" + std::to_string(i);
+    journal.push_back(admit);
+  }
+  for (std::size_t i = 0; i < records / 2; ++i) {
+    obs::LedgerRecord run;
+    run.kind = obs::LedgerRecordKind::kRun;
+    run.requestIndex = i;
+    run.sampleId = "s-" + std::to_string(i);
+    run.status = "ok";
+    journal.push_back(run);
+  }
+
+  constexpr std::size_t kIterations = 20;
+  std::vector<std::uint64_t> perRecordNs;
+  perRecordNs.reserve(kIterations);
+  bool consistent = true;
+  for (std::size_t i = 0; i < kIterations; ++i) {
+    const std::uint64_t start = bench::nowMicros();
+    const core::RecoveryReport report =
+        core::EvalService::replayAdmissionJournal(journal);
+    // Per journal record, so the distribution survives --samples changes.
+    perRecordNs.push_back((bench::nowMicros() - start) * 1000 /
+                          journal.size());
+    consistent = consistent && report.journaled == records &&
+                 report.completed.size() == records / 2 &&
+                 report.residue.size() == records - records / 2;
+  }
+  std::printf("%-44s %8s  [%s]\n", "replay partition (completed/residue)",
+              consistent ? "exact" : "DRIFT", bench::okMark(consistent));
+  reporter.addSamples("journal_replay_per_record_ns", std::move(perRecordNs));
+}
+
+void runSupervisionPhase(bench::Reporter& reporter) {
+  bench::printHeader(
+      "Phase C: supervision determinism (breaker + quarantine)");
+
+  // The scripted breaker choreography from the recovery suite: trip on
+  // threshold, re-route, reclose through a successful probe, trip again,
+  // reopen on a failed probe — exactly three trips, every run.
+  std::uint64_t breakerTrips = 0;
+  {
+    core::ServiceOptions options;
+    options.shardCount = 2;
+    options.workersPerShard = 1;
+    options.maxAttempts = 1;
+    options.breakerThreshold = 2;
+    options.breakerCooldown = 2;
+    core::EvalService service([] { return env::buildBareMetalSandbox(); },
+                              options);
+    const auto runOne = [&](const std::string& id) {
+      service.wait(service.submit(plainRequest(id)));
+    };
+    runOne(idOnShard(service, "poison-a", 0));
+    runOne(idOnShard(service, "poison-b", 0));  // trip 1 (threshold)
+    runOne(idOnShard(service, "ok-a", 0));      // re-routed to shard 1
+    runOne(idOnShard(service, "ok-b", 1));
+    runOne(idOnShard(service, "ok-c", 0));      // successful probe: close
+    runOne(idOnShard(service, "poison-c", 0));
+    runOne(idOnShard(service, "poison-d", 0));  // trip 2 (threshold)
+    runOne(idOnShard(service, "ok-d", 1));
+    runOne(idOnShard(service, "ok-e", 1));
+    runOne(idOnShard(service, "poison-e", 0));  // trip 3 (probe failed)
+    breakerTrips = service.stats().breakerTrips;
+  }
+
+  // Single shard, open breaker, cooldown out of reach: the next
+  // submission must be the one-and-only shard-unavailable reject.
+  std::uint64_t unavailableRejects = 0;
+  {
+    core::ServiceOptions options;
+    options.shardCount = 1;
+    options.workersPerShard = 1;
+    options.maxAttempts = 1;
+    options.breakerThreshold = 1;
+    options.breakerCooldown = 100;
+    core::EvalService service([] { return env::buildBareMetalSandbox(); },
+                              options);
+    service.wait(service.submit(plainRequest("poison-0")));
+    service.submit(plainRequest("ok-0"));
+    unavailableRejects = service.stats().rejectedShardUnavailable;
+  }
+
+  // Quarantine: two exhausted runs trip the threshold, the third
+  // submission is rejected at admission.
+  std::uint64_t quarantineRejects = 0, quarantined = 0;
+  {
+    core::ServiceOptions options;
+    options.shardCount = 1;
+    options.workersPerShard = 1;
+    options.maxAttempts = 1;
+    options.quarantineThreshold = 2;
+    core::EvalService service([] { return env::buildBareMetalSandbox(); },
+                              options);
+    service.wait(service.submit(plainRequest("poison-0")));
+    service.wait(service.submit(plainRequest("poison-0")));
+    service.submit(plainRequest("poison-0"));
+    const core::ServiceStats stats = service.stats();
+    quarantineRejects = stats.rejectedQuarantined;
+    quarantined = stats.quarantinedSamples;
+  }
+
+  std::printf("%-44s %8llu  [%s]\n", "breaker trips (scripted choreography)",
+              static_cast<unsigned long long>(breakerTrips),
+              bench::okMark(breakerTrips == 3));
+  std::printf("%-44s %8llu  [%s]\n", "shard-unavailable rejects",
+              static_cast<unsigned long long>(unavailableRejects),
+              bench::okMark(unavailableRejects == 1));
+  std::printf("%-44s %8llu  [%s]\n", "samples quarantined",
+              static_cast<unsigned long long>(quarantined),
+              bench::okMark(quarantined == 1));
+  std::printf("%-44s %8llu  [%s]\n", "quarantine rejects",
+              static_cast<unsigned long long>(quarantineRejects),
+              bench::okMark(quarantineRejects == 1));
+
+  reporter.addValue("breaker_trips", breakerTrips);
+  reporter.addValue("shard_unavailable_rejects", unavailableRejects);
+  reporter.addValue("quarantine_rejects", quarantineRejects);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Reporter reporter("bench_recovery");
+  std::size_t samples = 8'000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) samples = 800;
+    if (std::strcmp(argv[i], "--samples") == 0 && i + 1 < argc)
+      samples = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+      reporter.setReportPath(argv[++i]);
+  }
+  bench::printHeader("Scarecrow crash-safe evaluation service bench");
+  std::printf("kill-and-resume corpus: %llu samples\n",
+              static_cast<unsigned long long>(samples));
+
+  runKillResumePhase(reporter, samples);
+  runReplayThroughputPhase(reporter, samples * 4);
+  runSupervisionPhase(reporter);
+  return reporter.finish();
+}

@@ -26,12 +26,17 @@
 // Build & run:  cmake --build build && ./build/examples/fleet_ops
 //   wider fleet: ./build/examples/fleet_ops --shards 4
 //   operator:    ./build/examples/fleet_ops --query fleet_ledger.jsonl
+//   crash drill: ./build/examples/fleet_ops --kill-after 4, then --resume
+//                (DESIGN.md §16 — the admission journal makes the killed
+//                sweep resumable from the ledger alone)
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/eval.h"
@@ -48,8 +53,11 @@ std::vector<obs::LedgerRecord> readAll(
     const std::vector<std::string>& paths) {
   std::vector<obs::LedgerRecord> records;
   for (const std::string& path : paths) {
-    std::vector<obs::LedgerRecord> part = obs::readLedgerFile(path);
-    std::printf("read %zu records from %s\n", part.size(), path.c_str());
+    // Generation-aware read: a ledger that rotated mid-run contributes
+    // `<path>.N … <path>.1` before `<path>`, oldest first.
+    std::vector<obs::LedgerRecord> part = obs::readLedgerGenerations(path);
+    std::printf("read %zu records from %s (all generations)\n", part.size(),
+                path.c_str());
     records.insert(records.end(), std::make_move_iterator(part.begin()),
                    std::make_move_iterator(part.end()));
   }
@@ -132,8 +140,37 @@ void queryFleet(const std::vector<obs::LedgerRecord>& records) {
                 b->rule.c_str(), b->observed.c_str(), b->threshold.c_str());
 }
 
-int runFleet(std::size_t shards, const std::string& ledgerPath) {
-  std::remove(ledgerPath.c_str());  // fresh ledger per demo run
+/// The demo's request shape for one Joe sample — shared by the fresh
+/// sweep and recovery's RequestBuilder so a resumed request is
+/// byte-identical to what the killed run admitted.
+core::EvalRequest buildRequest(const malware::ProgramRegistry& registry,
+                               const std::string& sampleId,
+                               std::size_t shardOfSample,
+                               std::size_t shards) {
+  core::EvalRequest request{.sampleId = sampleId,
+                            .imagePath =
+                                "C:\\submissions\\" + sampleId + ".exe",
+                            .factory = registry.factory()};
+  // Environment first (SCARECROW_TS_WINDOW_MS / SCARECROW_SLO), demo
+  // defaults only where the operator set nothing: stream one windowed
+  // delta per 10 s of virtual time.
+  request.config = core::Config::fromEnv();
+  if (request.config.telemetryWindowMs == 0)
+    request.config.telemetryWindowMs = 10'000;
+  if (shardOfSample == shards - 1) {
+    // The last shard's slice of the corpus runs deterministic chaos +
+    // the SLO that catches it: any injection failure inside a window
+    // violates "stay under one failure".
+    request.config.faultPlan = faults::FaultPlan::parse("inject-dll:p=0.5", 7);
+    if (request.config.sloSpec.empty())
+      request.config.sloSpec = "inject.failures{fault}:count<1";
+  }
+  return request;
+}
+
+int runFleet(std::size_t shards, const std::string& ledgerPath,
+             std::size_t killAfter, bool resume) {
+  if (!resume) std::remove(ledgerPath.c_str());  // fresh ledger per demo run
 
   core::ServiceOptions options;
   options.shardCount = shards;
@@ -144,30 +181,54 @@ int runFleet(std::size_t shards, const std::string& ledgerPath) {
 
   malware::ProgramRegistry registry;
   const auto expected = malware::registerJoeSamples(registry);
+
+  if (resume) {
+    // Crash recovery: replay the admission journal the killed run left on
+    // disk, adopt the completed prefix, re-admit the residue with its
+    // original request indices pinned.
+    const core::RecoveryReport report = service.recover(
+        ledgerPath, [&](const std::string& sampleId, const std::string&) {
+          return buildRequest(registry, sampleId,
+                              service.shardFor(sampleId), shards);
+        });
+    std::size_t ok = 0;
+    for (const auto& resubmission : report.resubmitted) {
+      const auto result = service.wait(resubmission.ticket);
+      if (result.has_value() && result->ok()) ++ok;
+    }
+    service.flushTelemetry();
+    std::printf("resume: %llu journaled, %zu already complete, %zu residue "
+                "re-run (%zu ok)\n",
+                static_cast<unsigned long long>(report.journaled),
+                report.completed.size(), report.residue.size(), ok);
+    return ok == report.resubmitted.size() ? 0 : 1;
+  }
+
   std::vector<core::Ticket> tickets;
   std::size_t chaosSamples = 0;
   for (const auto& row : expected) {
-    core::EvalRequest request{.sampleId = row.idPrefix,
-                              .imagePath = "C:\\submissions\\" +
-                                           row.idPrefix + ".exe",
-                              .factory = registry.factory()};
-    // Environment first (SCARECROW_TS_WINDOW_MS / SCARECROW_SLO), demo
-    // defaults only where the operator set nothing: stream one windowed
-    // delta per 10 s of virtual time.
-    request.config = core::Config::fromEnv();
-    if (request.config.telemetryWindowMs == 0)
-      request.config.telemetryWindowMs = 10'000;
-    if (service.shardFor(request.sampleId) == shards - 1) {
-      // The last shard's slice of the corpus runs deterministic chaos +
-      // the SLO that catches it: any injection failure inside a window
-      // violates "stay under one failure".
-      request.config.faultPlan =
-          faults::FaultPlan::parse("inject-dll:p=0.5", 7);
-      if (request.config.sloSpec.empty())
-        request.config.sloSpec = "inject.failures{fault}:count<1";
-      ++chaosSamples;
-    }
-    tickets.push_back(service.submit(request));
+    const std::size_t shard = service.shardFor(row.idPrefix);
+    if (shard == shards - 1) ++chaosSamples;
+    tickets.push_back(
+        service.submit(buildRequest(registry, row.idPrefix, shard, shards)));
+  }
+
+  if (killAfter != 0) {
+    // Crash drill: wait for the first K submissions, then die the way
+    // SIGKILL would — queued work dropped, no telemetry flush. The
+    // admission journal makes the loss recoverable: rerun with --resume.
+    const std::size_t k = killAfter < tickets.size() ? killAfter
+                                                     : tickets.size();
+    // Kill at the Kth *completion* (not the Kth submission — waiting on
+    // specific tickets could let the whole corpus drain first), so the
+    // rest of the corpus genuinely dies queued or in flight.
+    while (service.stats().completed < k)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    service.kill();
+    std::printf("killed after %zu/%zu completions; admission journal in %s "
+                "holds the residue — rerun with --resume\n",
+                k, tickets.size(), ledgerPath.c_str());
+    return 0;
   }
 
   std::vector<std::size_t> okPerShard(service.shardCount(), 0);
@@ -199,13 +260,16 @@ int runFleet(std::size_t shards, const std::string& ledgerPath) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  constexpr const char* kUsage =
+      "usage: %s [--shards N] [--kill-after K] [--resume] "
+      "[--query ledger.jsonl ...]\n";
   std::size_t shards = 2;
+  std::size_t killAfter = 0;
+  bool resume = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--query") == 0) {
       if (i + 1 >= argc) {
-        std::fprintf(stderr,
-                     "usage: %s [--shards N] [--query ledger.jsonl ...]\n",
-                     argv[0]);
+        std::fprintf(stderr, kUsage, argv[0]);
         return 2;
       }
       queryFleet(readAll({argv + i + 1, argv + argc}));
@@ -216,17 +280,24 @@ int main(int argc, char** argv) {
       if (shards == 0) shards = 1;
       continue;
     }
-    if (std::strncmp(argv[i], "--shards", 8) != 0) {
-      std::fprintf(stderr,
-                   "usage: %s [--shards N] [--query ledger.jsonl ...]\n",
-                   argv[0]);
-      return 2;
+    if (std::strcmp(argv[i], "--kill-after") == 0 && i + 1 < argc) {
+      killAfter =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+      continue;
     }
+    if (std::strcmp(argv[i], "--resume") == 0) {
+      resume = true;
+      continue;
+    }
+    std::fprintf(stderr, kUsage, argv[0]);
+    return 2;
   }
 
   // Demo: a sharded resident service writes one labelled ledger, then the
-  // operator queries what landed on disk.
-  int rc = runFleet(shards, "fleet_ledger.jsonl");
-  queryFleet(readAll({"fleet_ledger.jsonl"}));
+  // operator queries what landed on disk. With --kill-after the service
+  // dies mid-sweep (journal intact, telemetry torn); --resume replays the
+  // journal and finishes only what the crash lost.
+  int rc = runFleet(shards, "fleet_ledger.jsonl", killAfter, resume);
+  if (killAfter == 0) queryFleet(readAll({"fleet_ledger.jsonl"}));
   return rc;
 }

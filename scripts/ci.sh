@@ -8,6 +8,9 @@
 #   3. coverings: the set-cover planner suite (`ctest -L coverings`) plus
 #              a bench_coverings smoke run gated against the committed
 #              BENCH_coverings.json baseline;
+#   3b. recovery: the crash-safety suite (`ctest -L recovery`) plus a
+#              bench_recovery smoke run gated against the committed
+#              BENCH_recovery.json baseline;
 #   4. perf:   bench_hotpath against the committed BENCH_hotpath.json
 #              baseline via scripts/run_bench.sh (appends a trajectory
 #              point to BENCH_trajectory.jsonl as a side effect);
@@ -17,6 +20,7 @@
 #   scripts/ci.sh                 # everything
 #   scripts/ci.sh --no-service    # skip the resident-service stage
 #   scripts/ci.sh --no-coverings  # skip the covering-routed sweep stage
+#   scripts/ci.sh --no-recovery   # skip the crash-safety stage
 #   scripts/ci.sh --no-perf       # skip the perf gate (e.g. shared runners)
 #   scripts/ci.sh --no-lint       # skip clang-tidy
 set -euo pipefail
@@ -26,16 +30,18 @@ BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build}"
 
 RUN_SERVICE=1
 RUN_COVERINGS=1
+RUN_RECOVERY=1
 RUN_PERF=1
 RUN_LINT=1
 for arg in "$@"; do
   case "$arg" in
     --no-service) RUN_SERVICE=0 ;;
     --no-coverings) RUN_COVERINGS=0 ;;
+    --no-recovery) RUN_RECOVERY=0 ;;
     --no-perf) RUN_PERF=0 ;;
     --no-lint) RUN_LINT=0 ;;
     *)
-      echo "usage: $0 [--no-service] [--no-coverings] [--no-perf] [--no-lint]" >&2
+      echo "usage: $0 [--no-service] [--no-coverings] [--no-recovery] [--no-perf] [--no-lint]" >&2
       exit 2
       ;;
   esac
@@ -60,6 +66,14 @@ if [[ "$RUN_COVERINGS" == 1 ]]; then
   BUILD_DIR="$BUILD_DIR" "$REPO_ROOT/scripts/run_bench.sh" --coverings --smoke
 else
   echo "=== ci: coverings skipped (--no-coverings) ==="
+fi
+
+if [[ "$RUN_RECOVERY" == 1 ]]; then
+  echo "=== ci: recovery (ctest -L recovery + bench_recovery smoke) ==="
+  (cd "$BUILD_DIR" && ctest -L recovery --output-on-failure)
+  BUILD_DIR="$BUILD_DIR" "$REPO_ROOT/scripts/run_bench.sh" --recovery --smoke
+else
+  echo "=== ci: recovery skipped (--no-recovery) ==="
 fi
 
 if [[ "$RUN_PERF" == 1 ]]; then

@@ -8,6 +8,7 @@
 #   scripts/run_bench.sh                     # hot-path bench: measure + gate
 #   scripts/run_bench.sh --service           # resident-service bench instead
 #   scripts/run_bench.sh --coverings         # covering-routed sweep bench
+#   scripts/run_bench.sh --recovery          # crash-safety / recovery bench
 #   scripts/run_bench.sh --service --smoke   # short sustained phase (CI)
 #   scripts/run_bench.sh --update-baseline   # measure + adopt as baseline
 #   scripts/run_bench.sh --inject-regression 2   # prove the gate fires
@@ -26,6 +27,7 @@ for arg in "$@"; do
   case "$arg" in
     --service) MODE=service ;;
     --coverings) MODE=coverings ;;
+    --recovery) MODE=recovery ;;
     --smoke) SMOKE=1 ;;
     --update-baseline) UPDATE_BASELINE=1 ;;
     *) GATE_ARGS+=("$arg") ;;

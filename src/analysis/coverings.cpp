@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bitset>
+#include <map>
 #include <stdexcept>
 #include <utility>
 
@@ -362,20 +363,38 @@ bool RoutedOutcome::deactivated() const noexcept {
   return false;
 }
 
-std::vector<RoutedOutcome> runCoveringSweep(
+namespace {
+
+core::BatchStatus batchStatusFromName(std::string_view name) noexcept {
+  if (name == "ok") return core::BatchStatus::kOk;
+  if (name == "timed-out") return core::BatchStatus::kTimedOut;
+  return core::BatchStatus::kFailed;
+}
+
+/// Shared sweep core. `completedByIndex` is null for a fresh sweep; in
+/// resume mode it maps journal requestIndex → adopted run, and everything
+/// not in the map resubmits with its index pinned.
+std::vector<RoutedOutcome> runSweepImpl(
     core::EvalService& service, const CoveringRouter& router,
     const std::vector<core::EvalRequest>& requests,
-    const TechniqueLookup& lookup) {
+    const TechniqueLookup& lookup,
+    const std::map<std::uint64_t, core::RecoveryReport::CompletedRun>*
+        completedByIndex) {
   struct Pending {
     std::size_t request = 0;
     std::size_t covering = 0;
     core::Ticket ticket;
+    /// Set in resume mode when the journal already holds this run.
+    const core::RecoveryReport::CompletedRun* adopted = nullptr;
   };
   std::vector<RoutedOutcome> outcomes(requests.size());
   std::vector<Pending> pending;
 
   // Submit everything first: routed runs interleave across shards and
-  // workers exactly like any other service traffic.
+  // workers exactly like any other service traffic. The enumeration order
+  // is deterministic, so pending entry j carries ledger requestIndex j —
+  // the alignment resume mode keys on.
+  std::uint64_t index = 0;
   for (std::size_t i = 0; i < requests.size(); ++i) {
     const malware::SampleSpec* spec = lookup ? lookup(requests[i]) : nullptr;
     const CoveringRouter::Route route =
@@ -385,7 +404,19 @@ std::vector<RoutedOutcome> runCoveringSweep(
       Pending entry;
       entry.request = i;
       entry.covering = covering;
-      entry.ticket = service.submit(router.apply(requests[i], covering));
+      if (completedByIndex != nullptr) {
+        const auto it = completedByIndex->find(index);
+        if (it != completedByIndex->end() &&
+            it->second.sampleId == requests[i].sampleId) {
+          entry.adopted = &it->second;
+        } else {
+          entry.ticket =
+              service.resubmit(router.apply(requests[i], covering), index);
+        }
+      } else {
+        entry.ticket = service.submit(router.apply(requests[i], covering));
+      }
+      ++index;
       pending.push_back(std::move(entry));
     }
   }
@@ -394,7 +425,18 @@ std::vector<RoutedOutcome> runCoveringSweep(
     RoutedRun run;
     run.covering = entry.covering;
     run.profile = router.profileOf(entry.covering).name;
-    if (!entry.ticket.admitted()) {
+    if (entry.adopted != nullptr) {
+      run.recovered = true;
+      run.status = batchStatusFromName(entry.adopted->status);
+      if (run.status == core::BatchStatus::kOk) {
+        run.outcome.verdict.deactivated =
+            entry.adopted->verdict == "deactivated";
+        run.outcome.verdict.firstTrigger = entry.adopted->firstTrigger;
+        run.outcome.firstTrigger = entry.adopted->firstTrigger;
+      } else {
+        run.error = "adopted from journal: " + entry.adopted->status;
+      }
+    } else if (!entry.ticket.admitted()) {
       run.error = std::string("not admitted: ") +
                   core::admissionVerdictName(entry.ticket.verdict);
     } else if (std::optional<core::ServiceResult> result =
@@ -409,6 +451,27 @@ std::vector<RoutedOutcome> runCoveringSweep(
     outcomes[entry.request].runs.push_back(std::move(run));
   }
   return outcomes;
+}
+
+}  // namespace
+
+std::vector<RoutedOutcome> runCoveringSweep(
+    core::EvalService& service, const CoveringRouter& router,
+    const std::vector<core::EvalRequest>& requests,
+    const TechniqueLookup& lookup) {
+  return runSweepImpl(service, router, requests, lookup, nullptr);
+}
+
+std::vector<RoutedOutcome> runCoveringSweep(
+    core::EvalService& service, const CoveringRouter& router,
+    const std::vector<core::EvalRequest>& requests,
+    const TechniqueLookup& lookup, const std::string& resumeLedgerPath) {
+  const core::RecoveryReport report = core::EvalService::replayAdmissionJournal(
+      obs::readLedgerGenerations(resumeLedgerPath));
+  std::map<std::uint64_t, core::RecoveryReport::CompletedRun> completed;
+  for (const core::RecoveryReport::CompletedRun& run : report.completed)
+    completed.emplace(run.requestIndex, run);
+  return runSweepImpl(service, router, requests, lookup, &completed);
 }
 
 }  // namespace scarecrow::analysis

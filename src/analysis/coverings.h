@@ -215,6 +215,12 @@ struct RoutedRun {
   /// Wall time the service measured for this run (ServiceResult::
   /// wallMicros) — what bench_coverings records per routed evaluation.
   std::uint64_t wallMicros = 0;
+  /// True when the resume-mode sweep adopted this run from a prior life's
+  /// run record instead of executing it: status, verdict.deactivated, and
+  /// firstTrigger are reconstructed from the ledger; the rest of the
+  /// outcome (traces, telemetry, attribution) did not survive the crash
+  /// and stays default-valued.
+  bool recovered = false;
 };
 
 /// All runs one sample produced: exactly one for a routed known sample,
@@ -243,5 +249,21 @@ std::vector<RoutedOutcome> runCoveringSweep(
     core::EvalService& service, const CoveringRouter& router,
     const std::vector<core::EvalRequest>& requests,
     const TechniqueLookup& lookup);
+
+/// Checkpointed resume: the same sweep, picking up where a killed run
+/// left off. The deterministic submission order means routed run j of
+/// this enumeration carries ledger requestIndex j, so the admission
+/// journal at `resumeLedgerPath` (read through every rotated generation)
+/// says exactly which runs already completed: those are adopted from
+/// their run records (RoutedRun::recovered) without re-executing, and the
+/// crash residue is resubmitted with its original index pinned — the
+/// resumed ledger's run records land byte-identical to an uninterrupted
+/// sweep's, with no run lost or executed twice. `service` must be fresh
+/// (no prior submissions this epoch) and configured to append to the same
+/// ledger path. An empty or missing journal degrades to the full sweep.
+std::vector<RoutedOutcome> runCoveringSweep(
+    core::EvalService& service, const CoveringRouter& router,
+    const std::vector<core::EvalRequest>& requests,
+    const TechniqueLookup& lookup, const std::string& resumeLedgerPath);
 
 }  // namespace scarecrow::analysis

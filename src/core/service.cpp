@@ -34,6 +34,17 @@ const char* admissionVerdictName(AdmissionVerdict verdict) noexcept {
     case AdmissionVerdict::kQueueFull: return "queue-full";
     case AdmissionVerdict::kTenantThrottled: return "tenant-throttled";
     case AdmissionVerdict::kShuttingDown: return "shutting-down";
+    case AdmissionVerdict::kShardUnavailable: return "shard-unavailable";
+    case AdmissionVerdict::kSampleQuarantined: return "sample-quarantined";
+  }
+  return "?";
+}
+
+const char* breakerStateName(BreakerState state) noexcept {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
   }
   return "?";
 }
@@ -56,6 +67,16 @@ struct EvalService::Shard {
   /// Stamped into this shard's ledger records; empty inherits the
   /// writer-level label (the single-shard / batch-façade convention).
   std::string recordLabel;
+
+  // Circuit breaker (all guarded by EvalService::mutex_; inert while
+  // breakerThreshold == 0).
+  BreakerState breaker = BreakerState::kClosed;
+  /// Consecutive kFailed/kTimedOut completions this shard executed.
+  std::size_t consecutiveFailures = 0;
+  /// completed_ when the breaker last opened (the cooldown epoch).
+  std::uint64_t openedAtCompleted = 0;
+  /// A half-open shard admits exactly one probe at a time.
+  bool probeInflight = false;
 };
 
 struct EvalService::Worker {
@@ -98,15 +119,17 @@ struct EvalService::Worker {
 
 EvalService::EvalService(const MachineFactory& machineFactory,
                          ServiceOptions options)
-    : options_(std::move(options)) {
+    : options_(std::move(options)), machineFactory_(machineFactory) {
   if (options_.shardCount == 0) options_.shardCount = 1;
   if (options_.workersPerShard == 0) options_.workersPerShard = 1;
   if (options_.maxAttempts == 0) options_.maxAttempts = 1;
   shards_ = options_.shardCount;
+  if (!options_.faultPlan.empty())
+    injector_ = std::make_unique<faults::FaultInjector>(options_.faultPlan);
   if (options_.telemetry.ledgerPath.empty())
     options_.telemetry.ledgerPath = obs::ledgerEnvPath();
-  if (!options_.telemetry.ledgerPath.empty())
-    ledger_ = std::make_unique<obs::LedgerWriter>(obs::LedgerOptions{
+  if (!options_.telemetry.ledgerPath.empty()) {
+    obs::LedgerOptions ledgerOptions{
         .path = options_.telemetry.ledgerPath,
         .maxBytes = options_.telemetry.ledgerMaxBytes,
         .maxRotatedFiles = options_.telemetry.ledgerMaxRotatedFiles,
@@ -114,7 +137,16 @@ EvalService::EvalService(const MachineFactory& machineFactory,
         // BatchEvaluator convention); with N shards every record carries
         // its own per-shard label instead.
         .shard = shards_ == 1 ? options_.telemetry.ledgerShard
-                              : std::string{}});
+                              : std::string{}};
+    // Chaos seam: a kLedgerAppend fire fails the append the way a dying
+    // disk would, feeding the append-failure accounting end to end.
+    if (injector_ != nullptr &&
+        injector_->armed(faults::FaultSite::kLedgerAppend))
+      ledgerOptions.failAppend = [this] {
+        return serviceFaultFires(faults::FaultSite::kLedgerAppend, {});
+      };
+    ledger_ = std::make_unique<obs::LedgerWriter>(std::move(ledgerOptions));
+  }
 
   shardStates_.reserve(shards_);
   for (std::size_t s = 0; s < shards_; ++s) {
@@ -129,30 +161,7 @@ EvalService::EvalService(const MachineFactory& machineFactory,
       auto worker = std::make_unique<Worker>();
       worker->shard = s;
       worker->globalIndex = workers_.size();
-      worker->machine = machineFactory();
-      worker->machine->label += " #" + std::to_string(worker->globalIndex);
-      worker->harness =
-          std::make_unique<EvaluationHarness>(*worker->machine);
-      worker->baseClockMs = worker->machine->clock().nowMs();
-      // Window records stream straight from each worker's time-series
-      // plane (observers survive the per-run re-configure in runOnce). The
-      // writer serializes concurrent appends at line granularity.
-      if (ledger_ != nullptr) {
-        obs::LedgerWriter* writer = ledger_.get();
-        const std::string label = shardStates_[s]->recordLabel;
-        worker->machine->timeSeries().addWindowObserver(
-            [writer, label](const obs::TimeSeriesPlane& plane) {
-              const obs::WindowDelta& window = plane.windows().back();
-              obs::LedgerRecord record;
-              record.kind = obs::LedgerRecordKind::kWindow;
-              record.shard = label;
-              record.windowId = window.windowId;
-              record.startMs = window.startMs;
-              record.endMs = window.endMs;
-              record.snapshot = window.delta;
-              writer->append(std::move(record));
-            });
-      }
+      buildWorkerMachine(*worker);
       workers_.push_back(std::move(worker));
     }
   }
@@ -165,6 +174,50 @@ EvalService::EvalService(const MachineFactory& machineFactory,
 }
 
 EvalService::~EvalService() { shutdown(); }
+
+void EvalService::buildWorkerMachine(Worker& worker) {
+  worker.machine = machineFactory_();
+  worker.machine->label += " #" + std::to_string(worker.globalIndex);
+  worker.harness = std::make_unique<EvaluationHarness>(*worker.machine);
+  if (dbFactory_) worker.harness->setResourceDbFactory(dbFactory_);
+  worker.baseClockMs = worker.machine->clock().nowMs();
+  // Window records stream straight from each worker's time-series plane
+  // (observers survive the per-run re-configure in runOnce). The writer
+  // serializes concurrent appends at line granularity.
+  if (ledger_ != nullptr) {
+    obs::LedgerWriter* writer = ledger_.get();
+    const std::string label = shardStates_[worker.shard]->recordLabel;
+    worker.machine->timeSeries().addWindowObserver(
+        [writer, label](const obs::TimeSeriesPlane& plane) {
+          const obs::WindowDelta& window = plane.windows().back();
+          obs::LedgerRecord record;
+          record.kind = obs::LedgerRecordKind::kWindow;
+          record.shard = label;
+          record.windowId = window.windowId;
+          record.startMs = window.startMs;
+          record.endMs = window.endMs;
+          record.snapshot = window.delta;
+          writer->append(std::move(record));
+        });
+  }
+}
+
+void EvalService::restartWorker(Worker& worker) {
+  // The worker "crashed": its machine state is gone, its epoch accounting
+  // (worker.telemetry, counters) survives — those describe completed
+  // work, not the dead machine. The factory is the constructor's, which
+  // need not be thread-safe, so concurrent restarts serialize.
+  std::lock_guard<std::mutex> lock(factoryMutex_);
+  buildWorkerMachine(worker);
+  workerRestarts_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool EvalService::serviceFaultFires(faults::FaultSite site,
+                                    std::string_view detail) {
+  if (injector_ == nullptr || !injector_->armed(site)) return false;
+  std::lock_guard<std::mutex> lock(faultMutex_);
+  return injector_->shouldFire(site, detail);
+}
 
 std::string EvalService::shardLabel(std::size_t shard) const {
   const std::string& prefix = options_.telemetry.ledgerShard;
@@ -183,8 +236,29 @@ std::size_t EvalService::shardFor(const std::string& sampleId) const noexcept {
   return static_cast<std::size_t>(hash % shards_);
 }
 
-Ticket EvalService::submit(EvalRequest request) {
-  std::lock_guard<std::mutex> lock(mutex_);
+std::optional<std::size_t> EvalService::routeShardLocked(std::size_t home,
+                                                         bool& probe) {
+  probe = false;
+  if (options_.breakerThreshold == 0) return home;
+  for (std::size_t i = 0; i < shards_; ++i) {
+    const std::size_t candidate = (home + i) % shards_;
+    Shard& shard = *shardStates_[candidate];
+    // Cooldown elapsed? The open breaker softens to half-open and the
+    // next admission through here becomes its probe.
+    if (shard.breaker == BreakerState::kOpen &&
+        completed_ - shard.openedAtCompleted >= options_.breakerCooldown)
+      shard.breaker = BreakerState::kHalfOpen;
+    if (shard.breaker == BreakerState::kClosed) return candidate;
+    if (shard.breaker == BreakerState::kHalfOpen && !shard.probeInflight) {
+      probe = true;
+      return candidate;
+    }
+  }
+  return std::nullopt;  // every shard open (or probing): unavailable
+}
+
+Ticket EvalService::admitLocked(EvalRequest request,
+                                std::optional<std::uint64_t> pinnedIndex) {
   ++submitted_;
   Ticket ticket;
   if (shuttingDown_) {
@@ -192,37 +266,92 @@ Ticket EvalService::submit(EvalRequest request) {
     ticket.verdict = AdmissionVerdict::kShuttingDown;
     return ticket;
   }
-  const std::size_t shardIndex = shardFor(request.sampleId);
-  ticket.shard = shardIndex;
-  Shard& shard = *shardStates_[shardIndex];
-  if (options_.queueCapacity != 0 &&
-      shard.queue.size() >= options_.queueCapacity) {
-    ++rejectedQueueFull_;
-    ticket.verdict = AdmissionVerdict::kQueueFull;
+  if (quarantine_.count(request.sampleId) != 0) {
+    ++rejectedQuarantined_;
+    ticket.verdict = AdmissionVerdict::kSampleQuarantined;
     return ticket;
   }
-  if (options_.tenantTokens != 0) {
-    std::size_t& outstanding = tenantOutstanding_[request.tenant];
-    if (outstanding >= options_.tenantTokens) {
-      ++rejectedTenant_;
-      ticket.verdict = AdmissionVerdict::kTenantThrottled;
+  const std::size_t home = shardFor(request.sampleId);
+  ticket.shard = home;
+  bool probe = false;
+  std::size_t shardIndex = home;
+  if (!pinnedIndex.has_value()) {
+    // Full admission policy. Recovery resubmissions skip it: the work was
+    // already admitted once, and re-running the checks could strand the
+    // residue behind the very conditions the crash left behind.
+    const std::optional<std::size_t> routed = routeShardLocked(home, probe);
+    if (!routed.has_value()) {
+      ++rejectedShardUnavailable_;
+      ticket.verdict = AdmissionVerdict::kShardUnavailable;
       return ticket;
     }
-    ++outstanding;
+    shardIndex = *routed;
+    ticket.shard = shardIndex;
+    Shard& shard = *shardStates_[shardIndex];
+    if (options_.queueCapacity != 0 &&
+        shard.queue.size() >= options_.queueCapacity) {
+      ++rejectedQueueFull_;
+      ticket.verdict = AdmissionVerdict::kQueueFull;
+      return ticket;
+    }
+    if (options_.tenantTokens != 0) {
+      std::size_t& outstanding = tenantOutstanding_[request.tenant];
+      if (outstanding >= options_.tenantTokens) {
+        ++rejectedTenant_;
+        ticket.verdict = AdmissionVerdict::kTenantThrottled;
+        return ticket;
+      }
+      ++outstanding;
+    }
+  } else if (options_.tenantTokens != 0) {
+    // Pinned path: tokens are still *taken* (they return on completion)
+    // but never rejected on — recovery must not deadlock on fairness.
+    ++tenantOutstanding_[request.tenant];
   }
+  Shard& shard = *shardStates_[shardIndex];
+  if (probe) shard.probeInflight = true;
   ticket.id = ++nextTicketId_;
   ticket.verdict = AdmissionVerdict::kAdmitted;
   ++admitted_;
   live_.insert(ticket.id);
   Job job;
   job.ticketId = ticket.id;
-  job.requestIndex = ticket.id - epochBaseTicket_ - 1;
+  if (pinnedIndex.has_value()) {
+    job.requestIndex = *pinnedIndex;
+    if (nextRequestIndex_ <= *pinnedIndex)
+      nextRequestIndex_ = *pinnedIndex + 1;
+  } else {
+    job.requestIndex = nextRequestIndex_++;
+  }
   job.request = std::move(request);
+  // Write-ahead admission journal: the kAdmit record lands before the job
+  // is visible to any worker, so disk always holds a superset of what the
+  // queues hold — the invariant recovery replays.
+  if (ledger_ != nullptr) {
+    obs::LedgerRecord admit;
+    admit.kind = obs::LedgerRecordKind::kAdmit;
+    admit.shard = shard.recordLabel;
+    admit.requestIndex = job.requestIndex;
+    admit.sampleId = job.request.sampleId;
+    admit.tenant = job.request.tenant;
+    ledger_->append(std::move(admit));
+  }
   shard.queue.push_back(std::move(job));
   if (shard.queue.size() > queueDepthPeak_)
     queueDepthPeak_ = shard.queue.size();
   shard.cv.notify_one();
   return ticket;
+}
+
+Ticket EvalService::submit(EvalRequest request) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return admitLocked(std::move(request), std::nullopt);
+}
+
+Ticket EvalService::resubmit(EvalRequest request,
+                             std::uint64_t requestIndex) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return admitLocked(std::move(request), requestIndex);
 }
 
 void EvalService::workerMain(Worker& worker) {
@@ -281,12 +410,42 @@ void EvalService::executeJob(Worker& worker, Job job) {
     worker.stallEvents.push_back(std::move(e));
   };
 
+  // Worker-crash containment: a kWorkerCrash fire at attempt start kills
+  // this worker's machine, and the service restarts it with a fresh one
+  // from the factory — the crash is the worker's fault, not the
+  // request's, so the attempt is re-run without being counted. Bounded so
+  // an unbounded crash plan cannot spin a worker forever; past the budget
+  // the attempt is charged as a failure.
+  constexpr std::uint32_t kRestartBudgetPerAttempt = 8;
+
   for (std::uint32_t attempt = 1; attempt <= options_.maxAttempts;
        ++attempt) {
     result.attempts = attempt;
     if (attempt > 1) {
       ++worker.retries;
       retried_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (injector_ != nullptr) {
+      std::uint32_t restarts = 0;
+      bool containmentExhausted = false;
+      while (serviceFaultFires(faults::FaultSite::kWorkerCrash,
+                               request.sampleId)) {
+        if (restarts >= kRestartBudgetPerAttempt) {
+          containmentExhausted = true;
+          break;
+        }
+        restartWorker(worker);
+        ++restarts;
+      }
+      if (containmentExhausted) {
+        result.status = BatchStatus::kFailed;
+        result.error = "worker crash-looped (restart budget " +
+                       std::to_string(kRestartBudgetPerAttempt) +
+                       " exhausted)";
+        result.wallMicros = 0;
+        worker.heartbeat.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
     }
     const std::uint64_t start = nowMicros();
     try {
@@ -387,8 +546,70 @@ void EvalService::executeJob(Worker& worker, Job job) {
   completeJob(worker, std::move(result));
 }
 
+void EvalService::noteCompletionLocked(const ServiceResult& result,
+                                       std::uint64_t clockMs) {
+  // --- shard circuit breaker (keyed by the executing shard) ------------
+  if (options_.breakerThreshold != 0) {
+    Shard& shard = *shardStates_[result.shard];
+    if (result.ok()) {
+      shard.consecutiveFailures = 0;
+      if (shard.breaker == BreakerState::kHalfOpen) {
+        // The probe came back healthy: close and resume normal admission.
+        shard.breaker = BreakerState::kClosed;
+        shard.probeInflight = false;
+      }
+    } else {
+      const bool reopen = shard.breaker == BreakerState::kHalfOpen;
+      bool trip = reopen;
+      if (shard.breaker == BreakerState::kClosed &&
+          ++shard.consecutiveFailures >= options_.breakerThreshold)
+        trip = true;
+      if (trip) {
+        shard.breaker = BreakerState::kOpen;
+        shard.openedAtCompleted = completed_;
+        shard.probeInflight = false;
+        shard.consecutiveFailures = 0;
+        ++breakerTrips_;
+        const char* cause = reopen ? "probe-failed" : "threshold";
+        obs::DecisionEvent e;
+        e.timeMs = clockMs;
+        e.kind = obs::DecisionKind::kBreakerTrip;
+        e.api = "shard-" + std::to_string(result.shard);
+        e.argument = result.sampleId;
+        e.value = std::to_string(options_.breakerThreshold);
+        e.link = cause;
+        breakerEvents_.push_back(std::move(e));
+        support::logWarn("service", "shard breaker opened",
+                         {{"shard", result.shard},
+                          {"sample", result.sampleId},
+                          {"cause", cause}});
+      }
+    }
+  }
+
+  // --- poisoned-sample quarantine --------------------------------------
+  if (options_.quarantineThreshold != 0 && !result.ok()) {
+    // A non-ok completion means every attempt was burnt; enough of those
+    // across submissions and the sample is poison, not unlucky.
+    std::size_t& runs = exhausted_[result.sampleId];
+    if (++runs >= options_.quarantineThreshold &&
+        quarantine_.insert(result.sampleId).second) {
+      if (ledger_ != nullptr) {
+        obs::LedgerRecord record;
+        record.kind = obs::LedgerRecordKind::kQuarantinedSample;
+        record.shard = shardStates_[result.shard]->recordLabel;
+        record.sampleId = result.sampleId;
+        record.failureCount = runs;
+        ledger_->append(std::move(record));
+      }
+      support::logWarn("service", "sample quarantined",
+                       {{"sample", result.sampleId},
+                        {"exhausted_runs", runs}});
+    }
+  }
+}
+
 void EvalService::completeJob(Worker& worker, ServiceResult result) {
-  (void)worker;
   // Subscribers see the result before poll()/wait() can: snapshot the
   // callback list under the lock, invoke outside it so a callback may
   // submit() follow-up work without deadlocking.
@@ -401,6 +622,7 @@ void EvalService::completeJob(Worker& worker, ServiceResult result) {
   }
   for (const ResultCallback& callback : callbacks) callback(result);
 
+  const std::uint64_t clockMs = worker.machine->clock().nowMs();
   std::lock_guard<std::mutex> lock(mutex_);
   if (options_.tenantTokens != 0) {
     auto it = tenantOutstanding_.find(result.tenant);
@@ -411,6 +633,7 @@ void EvalService::completeJob(Worker& worker, ServiceResult result) {
   ++completed_;
   if (result.status == BatchStatus::kFailed) ++failed_;
   if (result.status == BatchStatus::kTimedOut) ++timedOut_;
+  noteCompletionLocked(result, clockMs);
   telemetryDirty_ = true;
   if (options_.retainResults) {
     const std::uint64_t id = result.ticketId;
@@ -467,7 +690,30 @@ void EvalService::shutdown() {
   }
   for (auto& worker : workers_)
     if (worker->thread.joinable()) worker->thread.join();
+  {
+    // A killed service stays killed: flushing telemetry now would write
+    // the kWorker records a real crash never gets to write.
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (killed_) return;
+  }
   flushTelemetry();
+}
+
+void EvalService::kill() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    killed_ = true;
+    shuttingDown_ = true;
+    // Queued-but-unstarted jobs die with the process: their tickets never
+    // complete, exactly like a real SIGKILL. Their kAdmit records are
+    // already on disk — that asymmetry is the whole recovery story.
+    for (auto& shard : shardStates_) {
+      shard->queue.clear();
+      shard->cv.notify_all();
+    }
+  }
+  for (auto& worker : workers_)
+    if (worker->thread.joinable()) worker->thread.join();
 }
 
 ServiceStats EvalService::stats() const {
@@ -481,28 +727,49 @@ ServiceStats EvalService::stats() const {
   s.completed = completed_;
   s.failed = failed_;
   s.timedOut = timedOut_;
+  s.rejectedShardUnavailable = rejectedShardUnavailable_;
+  s.rejectedQuarantined = rejectedQuarantined_;
   s.retried = retried_.load(std::memory_order_relaxed);
   s.stalled = stalled_.load(std::memory_order_relaxed);
   s.inflight = inflight_.load(std::memory_order_relaxed);
   s.inflightPeak = inflightPeak_.load(std::memory_order_relaxed);
   s.queueDepthPeak = queueDepthPeak_;
+  s.breakerTrips = breakerTrips_;
+  s.workerRestarts = workerRestarts_.load(std::memory_order_relaxed);
+  s.quarantinedSamples = quarantine_.size();
+  s.ledgerAppendFailures =
+      ledger_ != nullptr ? ledger_->appendFailures() : 0;
   s.resultsPending = results_.size();
   s.workerHeartbeats.reserve(workers_.size());
   for (const auto& worker : workers_)
     s.workerHeartbeats.push_back(
         worker->heartbeat.load(std::memory_order_relaxed));
   s.shardQueueDepths.reserve(shardStates_.size());
+  s.breakerStates.reserve(shardStates_.size());
   for (const auto& shard : shardStates_) {
     s.shardQueueDepths.push_back(shard->queue.size());
     s.queued += shard->queue.size();
+    s.breakerStates.push_back(shard->breaker);
   }
   return s;
 }
 
+bool EvalService::isQuarantined(const std::string& sampleId) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return quarantine_.count(sampleId) != 0;
+}
+
+BreakerState EvalService::breakerState(std::size_t shard) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shard < shardStates_.size() ? shardStates_[shard]->breaker
+                                     : BreakerState::kClosed;
+}
+
 void EvalService::setResourceDbFactory(
     EvaluationHarness::DbFactory dbFactory) {
+  dbFactory_ = std::move(dbFactory);  // survives worker restarts
   for (auto& worker : workers_)
-    worker->harness->setResourceDbFactory(dbFactory);
+    worker->harness->setResourceDbFactory(dbFactory_);
 }
 
 obs::MetricsSnapshot EvalService::fleetTelemetry() const {
@@ -513,21 +780,36 @@ obs::MetricsSnapshot EvalService::fleetTelemetry() const {
 }
 
 void EvalService::flushTelemetry() {
+  std::vector<obs::DecisionEvent> breakerEvents;
+  std::vector<BreakerState> breakerStates;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (!telemetryDirty_) return;
     telemetryDirty_ = false;
+    breakerEvents = breakerEvents_;
+    breakerStates.reserve(shardStates_.size());
+    for (const auto& shard : shardStates_)
+      breakerStates.push_back(shard->breaker);
   }
   // Replay stall events into the service-level recorder in global worker
   // order: the FlightRecorder is single-writer, so workers collected
-  // locally and the merge happens here, while the pool is idle.
+  // locally and the merge happens here, while the pool is idle. Breaker
+  // trips follow (they were collected under the admission lock, already
+  // in completion order).
   healthEvents_.clear();
   for (const auto& worker : workers_)
     for (const obs::DecisionEvent& event : worker->stallEvents)
       healthEvents_.record(event);
+  for (const obs::DecisionEvent& event : breakerEvents)
+    healthEvents_.record(event);
 
   const std::uint64_t inflightPeak =
       inflightPeak_.load(std::memory_order_relaxed);
+  const std::uint64_t workerRestarts =
+      workerRestarts_.load(std::memory_order_relaxed);
+  const std::uint64_t ledgerFailures =
+      ledger_ != nullptr ? ledger_->appendFailures() : 0;
+  std::vector<bool> shardStamped(shardStates_.size(), false);
   workerTelemetry_.clear();
   workerTelemetry_.reserve(workers_.size());
   for (const auto& workerPtr : workers_) {
@@ -550,6 +832,24 @@ void EvalService::flushTelemetry() {
             worker.heartbeat.load(std::memory_order_relaxed)));
     accounting.gauge("batch.inflight_peak")
         .set(static_cast<std::int64_t>(inflightPeak));
+    // Supervision plane, stamped only when its feature is live so the
+    // byte-identical telemetry goldens of unsupervised runs are untouched:
+    // the breaker gauge goes to each shard's first worker (one writer per
+    // label, so the gauge-max merge reproduces it at the fleet level); the
+    // fleet-wide counters go to worker 0 (counters sum on merge).
+    if (options_.breakerThreshold != 0 && !shardStamped[worker.shard]) {
+      shardStamped[worker.shard] = true;
+      accounting
+          .gauge("service.breaker_state",
+                 "shard-" + std::to_string(worker.shard))
+          .set(static_cast<std::int64_t>(breakerStates[worker.shard]));
+    }
+    if (worker.globalIndex == 0) {
+      if (workerRestarts != 0)
+        accounting.counter("service.worker_restarts").inc(workerRestarts);
+      if (ledgerFailures != 0)
+        accounting.counter("obs.ledger_append_failures").inc(ledgerFailures);
+    }
     obs::MetricsSnapshot snapshot = worker.telemetry;
     snapshot.merge(accounting.snapshot());
     workerTelemetry_.push_back(std::move(snapshot));
@@ -586,14 +886,110 @@ void EvalService::resetTelemetry() {
   // flushTelemetry() must rebuild (and re-ledger) even if the epoch ends
   // with zero completions — an empty corpus still reports zeroed workers.
   telemetryDirty_ = true;
-  epochBaseTicket_ = nextTicketId_;
+  nextRequestIndex_ = 0;
+  breakerEvents_.clear();
   submitted_ = admitted_ = 0;
   rejectedQueueFull_ = rejectedTenant_ = rejectedShutdown_ = 0;
+  rejectedShardUnavailable_ = rejectedQuarantined_ = 0;
   completed_ = failed_ = timedOut_ = 0;
   queueDepthPeak_ = 0;
+  breakerTrips_ = 0;
   inflightPeak_.store(0, std::memory_order_relaxed);
   retried_.store(0, std::memory_order_relaxed);
   stalled_.store(0, std::memory_order_relaxed);
+  workerRestarts_.store(0, std::memory_order_relaxed);
+}
+
+RecoveryReport EvalService::replayAdmissionJournal(
+    const std::vector<obs::LedgerRecord>& records) {
+  RecoveryReport report;
+  // Keyed by request index, first admit wins: resubmit() journals a second
+  // kAdmit for a pinned index and replay must not double-count it. A run
+  // record completes an admit only when the sample ids agree — a stale
+  // index collision (e.g. mixed epochs in one file) stays residue rather
+  // than silently adopting the wrong sample's verdict.
+  std::map<std::uint64_t, RecoveryReport::PendingAdmit> admits;
+  std::map<std::uint64_t, const obs::LedgerRecord*> runs;
+  std::unordered_set<std::string> quarantined;
+  for (const obs::LedgerRecord& record : records) {
+    switch (record.kind) {
+      case obs::LedgerRecordKind::kAdmit: {
+        RecoveryReport::PendingAdmit admit;
+        admit.requestIndex = record.requestIndex;
+        admit.sampleId = record.sampleId;
+        admit.tenant = record.tenant;
+        admits.emplace(record.requestIndex, std::move(admit));
+        break;
+      }
+      case obs::LedgerRecordKind::kRun:
+        runs[record.requestIndex] = &record;
+        break;
+      case obs::LedgerRecordKind::kQuarantinedSample:
+        quarantined.insert(record.sampleId);
+        break;
+      case obs::LedgerRecordKind::kWindow:
+      case obs::LedgerRecordKind::kWorker:
+      case obs::LedgerRecordKind::kBreach:
+        break;
+    }
+  }
+  report.journaled = admits.size();
+  report.quarantined = quarantined.size();
+  for (const auto& [index, admit] : admits) {
+    const auto it = runs.find(index);
+    if (it != runs.end() && it->second->sampleId == admit.sampleId) {
+      RecoveryReport::CompletedRun done;
+      done.requestIndex = index;
+      done.sampleId = admit.sampleId;
+      done.status = it->second->status;
+      done.verdict = it->second->verdict;
+      done.firstTrigger = it->second->firstTrigger;
+      done.shard = it->second->shard;
+      report.completed.push_back(std::move(done));
+    } else {
+      report.residue.push_back(admit);
+    }
+  }
+  return report;
+}
+
+RecoveryReport EvalService::recover(const std::string& ledgerPath,
+                                    const RequestBuilder& builder) {
+  const std::vector<obs::LedgerRecord> records =
+      obs::readLedgerGenerations(ledgerPath);
+  RecoveryReport report = replayAdmissionJournal(records);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Reload the persisted quarantine set first so residue that was
+    // poisoned in the previous life is rejected, not re-run.
+    for (const obs::LedgerRecord& record : records)
+      if (record.kind == obs::LedgerRecordKind::kQuarantinedSample)
+        quarantine_.insert(record.sampleId);
+    // Park the fresh-index sequence past everything the journal used, so
+    // new submissions after recovery never collide with a replayed index.
+    for (const obs::LedgerRecord& record : records)
+      if ((record.kind == obs::LedgerRecordKind::kAdmit ||
+           record.kind == obs::LedgerRecordKind::kRun) &&
+          nextRequestIndex_ <= record.requestIndex)
+        nextRequestIndex_ = record.requestIndex + 1;
+  }
+  support::logInfo("service", "recovery replay",
+                   {{"ledger", ledgerPath},
+                    {"journaled", report.journaled},
+                    {"completed", report.completed.size()},
+                    {"residue", report.residue.size()},
+                    {"quarantined", report.quarantined}});
+  report.resubmitted.reserve(report.residue.size());
+  for (const RecoveryReport::PendingAdmit& admit : report.residue) {
+    if (!builder) break;
+    EvalRequest request = builder(admit.sampleId, admit.tenant);
+    RecoveryReport::Resubmission resubmission;
+    resubmission.ticket = resubmit(std::move(request), admit.requestIndex);
+    resubmission.requestIndex = admit.requestIndex;
+    resubmission.sampleId = admit.sampleId;
+    report.resubmitted.push_back(std::move(resubmission));
+  }
+  return report;
 }
 
 }  // namespace scarecrow::core

@@ -56,6 +56,8 @@
 #include <vector>
 
 #include "core/eval.h"
+#include "faults/fault_injector.h"
+#include "faults/fault_plan.h"
 #include "obs/flight_recorder.h"
 #include "obs/ledger.h"
 #include "obs/metrics.h"
@@ -79,10 +81,25 @@ enum class AdmissionVerdict : std::uint8_t {
   kQueueFull,       // the target shard's queue is at queueCapacity
   kTenantThrottled, // the tenant's token bucket is empty
   kShuttingDown,    // shutdown() has begun; no new work is accepted
+  kShardUnavailable,  // every shard's circuit breaker is open
+  kSampleQuarantined, // the sample is in the persisted quarantine set
 };
 
 /// Exhaustive over AdmissionVerdict.
 const char* admissionVerdictName(AdmissionVerdict verdict) noexcept;
+
+/// Per-shard circuit-breaker state (DESIGN.md §16). Closed shards admit;
+/// an open shard rejects its traffic (re-routed to healthy shards) until
+/// the cooldown elapses; half-open admits exactly one probe whose outcome
+/// decides between closing and re-opening.
+enum class BreakerState : std::uint8_t {
+  kClosed,
+  kOpen,
+  kHalfOpen,
+};
+
+/// Exhaustive over BreakerState: "closed", "open", "half-open".
+const char* breakerStateName(BreakerState state) noexcept;
 
 /// The telemetry / health knobs shared by EvalService and the
 /// BatchEvaluator façade (BatchOptions::Telemetry is this type).
@@ -137,6 +154,24 @@ struct ServiceOptions {
   /// or wait() extracts it. Subscription-only consumers set this false so
   /// a sustained run does not accumulate corpus-sized state.
   bool retainResults = true;
+  /// Shard supervision: consecutive kFailed/kTimedOut completions one
+  /// shard absorbs before its circuit breaker opens. 0 = supervision off.
+  /// An open shard's traffic re-routes to the next healthy shard; when
+  /// every shard is open, submit() answers kShardUnavailable.
+  std::size_t breakerThreshold = 0;
+  /// Completions (any shard, any status) an open breaker waits before
+  /// moving to half-open and admitting one probe request.
+  std::size_t breakerCooldown = 8;
+  /// Poisoned-sample quarantine: submissions on which one sample may
+  /// exhaust all its attempts before it lands in the persisted quarantine
+  /// set and is rejected at admission. 0 = quarantine off.
+  std::size_t quarantineThreshold = 0;
+  /// Service-level chaos plan. Only the service seams are consulted here
+  /// (faults::kWorkerCrash at attempt start, keyed by sample id, and
+  /// faults::kLedgerAppend per ledger append); per-request plans inside
+  /// EvalRequest::config drive the pipeline seams as before, so the two
+  /// planes compose without interfering.
+  faults::FaultPlan faultPlan;
   TelemetryOptions telemetry;
 };
 
@@ -187,6 +222,10 @@ struct ServiceStats {
   std::uint64_t rejectedQueueFull = 0;
   std::uint64_t rejectedTenant = 0;
   std::uint64_t rejectedShutdown = 0;
+  /// Submissions rejected because every shard's breaker was open.
+  std::uint64_t rejectedShardUnavailable = 0;
+  /// Submissions rejected because the sample is quarantined.
+  std::uint64_t rejectedQuarantined = 0;
   std::uint64_t completed = 0;  // any status
   std::uint64_t failed = 0;
   std::uint64_t timedOut = 0;
@@ -203,11 +242,59 @@ struct ServiceStats {
   std::uint64_t queueDepthPeak = 0;
   /// Completed results retained and awaiting poll()/wait().
   std::uint64_t resultsPending = 0;
+  /// Circuit-breaker openings (closed→open and half-open→open).
+  std::uint64_t breakerTrips = 0;
+  /// Workers rebuilt with a fresh Machine after a kWorkerCrash fire.
+  std::uint64_t workerRestarts = 0;
+  /// Samples in the persisted quarantine set.
+  std::uint64_t quarantinedSamples = 0;
+  /// LedgerWriter::appendFailures() of the service ledger (0 without one):
+  /// run/window/worker/admit records the disk refused.
+  std::uint64_t ledgerAppendFailures = 0;
   /// Per-worker liveness (global worker order): attempts finished. A
   /// heartbeat that stops advancing while inflight > 0 is a stuck worker.
   std::vector<std::uint64_t> workerHeartbeats;
   /// Current queue depth per shard.
   std::vector<std::uint64_t> shardQueueDepths;
+  /// Current breaker state per shard (all kClosed when supervision off).
+  std::vector<BreakerState> breakerStates;
+};
+
+/// What EvalService::recover() reconstructed from an admission journal.
+struct RecoveryReport {
+  /// One journaled admission that already has a matching run record: the
+  /// completed prefix recovery adopts without re-running anything.
+  struct CompletedRun {
+    std::uint64_t requestIndex = 0;
+    std::string sampleId;
+    std::string status;        // batchStatusName at completion time
+    std::string verdict;       // "deactivated" / "not-deactivated" / ""
+    std::string firstTrigger;
+    std::string shard;         // ledger shard label the run carried
+  };
+  /// One journaled admission with no run record: the crash residue.
+  struct PendingAdmit {
+    std::uint64_t requestIndex = 0;
+    std::string sampleId;
+    std::string tenant;
+  };
+  /// One residue request re-admitted by recover(), journal order, with
+  /// its original request index pinned so the resumed run records land
+  /// exactly where the uninterrupted run would have put them.
+  struct Resubmission {
+    Ticket ticket;
+    std::uint64_t requestIndex = 0;
+    std::string sampleId;
+  };
+
+  std::uint64_t journaled = 0;  // distinct admit records replayed
+  std::vector<CompletedRun> completed;
+  /// Residue after matching (replayAdmissionJournal output; recover()
+  /// additionally turns each entry into a Resubmission).
+  std::vector<PendingAdmit> residue;
+  std::vector<Resubmission> resubmitted;
+  /// Samples loaded into the quarantine set from the journal.
+  std::uint64_t quarantined = 0;
 };
 
 class EvalService {
@@ -228,7 +315,48 @@ class EvalService {
 
   /// Non-blocking admission. The returned ticket's verdict says whether
   /// the request was queued; an admitted ticket completes exactly once.
+  /// When a ledger is configured, every admission is journaled (kAdmit)
+  /// before the job is queued — the write-ahead edge crash recovery
+  /// replays.
   Ticket submit(EvalRequest request);
+
+  /// Re-admits one crash-residue request with its original request index
+  /// pinned, so the resumed run record is byte-identical to what the
+  /// uninterrupted run would have written. Bypasses queue-capacity,
+  /// tenant, and breaker checks (the work was already admitted once);
+  /// quarantine and shutdown still reject. Journals a fresh kAdmit for
+  /// the pinned index — a duplicate the journal replay deduplicates.
+  Ticket resubmit(EvalRequest request, std::uint64_t requestIndex);
+
+  /// Rebuilds recovery state from the admission journal: reads every
+  /// ledger generation at `ledgerPath`, matches admit records against run
+  /// records, reloads the persisted quarantine set, and re-admits the
+  /// residue — each residue sample turned back into an EvalRequest by
+  /// `builder` and resubmitted with its original request index. Call on a
+  /// freshly constructed service before new submissions; wait on the
+  /// returned Resubmission tickets (or drain()) to finish the sweep.
+  using RequestBuilder = std::function<EvalRequest(
+      const std::string& sampleId, const std::string& tenant)>;
+  RecoveryReport recover(const std::string& ledgerPath,
+                         const RequestBuilder& builder);
+
+  /// The pure journal replay recover() is built on: deduplicates admit
+  /// records by request index, splits them into completed runs (matching
+  /// run record present) and residue, and counts quarantined samples.
+  /// Static so operator tooling can inspect a dead service's ledger
+  /// without standing a fleet up.
+  static RecoveryReport replayAdmissionJournal(
+      const std::vector<obs::LedgerRecord>& records);
+
+  /// Crash simulation: stops the service the way SIGKILL would, modulo
+  /// thread hygiene. Admission stops, every queued-but-unstarted job is
+  /// dropped on the floor (their tickets never complete — exactly what a
+  /// real crash does to them), workers are joined after their in-flight
+  /// attempt, and — unlike shutdown() — telemetry is NOT flushed, so no
+  /// kWorker records mask the torn epoch. The admission journal is what
+  /// makes this recoverable: recover() on a fresh service re-admits
+  /// everything kill() dropped.
+  void kill();
 
   /// Extracts the result for `ticket` if it has completed (extract-once:
   /// a second poll for the same ticket returns nullopt, as does a poll
@@ -267,6 +395,14 @@ class EvalService {
   std::size_t shardCount() const noexcept { return shards_; }
   /// Total workers across all shards.
   std::size_t workerCount() const noexcept { return workers_.size(); }
+
+  /// True when `sampleId` is in the persisted quarantine set (reached
+  /// ServiceOptions::quarantineThreshold exhausted submissions, or was
+  /// reloaded from the journal by recover()).
+  bool isQuarantined(const std::string& sampleId) const;
+
+  /// Current breaker state of one shard (kClosed when supervision off).
+  BreakerState breakerState(std::size_t shard) const;
 
   /// Overrides the deception database on every worker harness (the
   /// profile-ablation hook). Call while idle, not mid-submission.
@@ -315,10 +451,47 @@ class EvalService {
   void workerMain(Worker& worker);
   void executeJob(Worker& worker, Job job);
   void completeJob(Worker& worker, ServiceResult result);
+  /// Shared admission core: submit() passes nullopt (fresh index, full
+  /// policy), resubmit() a pinned index (recovery bypass).
+  Ticket admitLocked(EvalRequest request,
+                     std::optional<std::uint64_t> pinnedIndex);
+  /// Routes around open breakers: the home shard when healthy, else the
+  /// next closed (or probe-free half-open) shard, else nullopt. Advances
+  /// open→half-open transitions whose cooldown has elapsed. `probe` is
+  /// set when the chosen shard is half-open and this admission is its one
+  /// probe. Caller holds mutex_.
+  std::optional<std::size_t> routeShardLocked(std::size_t home,
+                                              bool& probe);
+  /// Breaker bookkeeping for one completion (caller holds mutex_;
+  /// `clockMs` timestamps any kBreakerTrip event).
+  void noteCompletionLocked(const ServiceResult& result,
+                            std::uint64_t clockMs);
+  /// Builds (or rebuilds) one worker's Machine + harness from the stored
+  /// factory, re-attaching the ledger window observer. Used by the
+  /// constructor and by crash containment.
+  void buildWorkerMachine(Worker& worker);
+  /// Rebuilds one worker's Machine + harness from the stored factory
+  /// after a kWorkerCrash fire (the crash never reaches the request).
+  void restartWorker(Worker& worker);
+  /// Service-seam fault check, serialized (FaultInjector is not
+  /// thread-safe and this one is shared by all workers).
+  bool serviceFaultFires(faults::FaultSite site, std::string_view detail);
 
   ServiceOptions options_;
   std::size_t shards_ = 1;
   std::string shardLabel(std::size_t shard) const;
+
+  /// Kept for worker restarts: crash containment rebuilds a dead worker's
+  /// machine from the same factory the constructor used.
+  MachineFactory machineFactory_;
+  /// factory calls are serialized (they need not be thread-safe).
+  std::mutex factoryMutex_;
+  EvaluationHarness::DbFactory dbFactory_;
+
+  /// Armed from ServiceOptions::faultPlan; shared across workers, so
+  /// every check goes through serviceFaultFires (faultMutex_).
+  std::unique_ptr<faults::FaultInjector> injector_;
+  std::mutex faultMutex_;
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::unique_ptr<Shard>> shardStates_;
@@ -336,12 +509,23 @@ class EvalService {
   mutable std::mutex mutex_;
   std::condition_variable doneCv_;
   bool shuttingDown_ = false;
+  /// Set by kill(): suppresses shutdown()'s drain + telemetry flush so a
+  /// simulated crash leaves the torn epoch torn.
+  bool killed_ = false;
   std::uint64_t nextTicketId_ = 0;
-  /// First ticket id of the current telemetry epoch: ledger run records
-  /// index requests relative to this, so the façade's per-evaluateAll
-  /// request indices start at 0 every call.
-  std::uint64_t epochBaseTicket_ = 0;
+  /// Next ledger requestIndex, reset per telemetry epoch, so the façade's
+  /// per-evaluateAll request indices start at 0 every call. resubmit()
+  /// pins indices below it without disturbing the sequence for new work.
+  std::uint64_t nextRequestIndex_ = 0;
   std::unordered_set<std::uint64_t> live_;  // admitted, not yet completed
+  /// Persisted quarantine set (kQuarantinedSample records mirror it).
+  std::unordered_set<std::string> quarantine_;
+  /// Submissions per sample that exhausted every attempt (feeds the
+  /// quarantine threshold; only grown while quarantine is armed).
+  std::unordered_map<std::string, std::size_t> exhausted_;
+  /// kBreakerTrip events collected under mutex_ and replayed into
+  /// healthEvents() after the stall events at flushTelemetry().
+  std::vector<obs::DecisionEvent> breakerEvents_;
   std::map<std::uint64_t, ServiceResult> results_;
   std::unordered_map<std::string, std::size_t> tenantOutstanding_;
   std::vector<std::pair<std::size_t, ResultCallback>> subscribers_;
@@ -355,14 +539,18 @@ class EvalService {
   std::uint64_t rejectedQueueFull_ = 0;
   std::uint64_t rejectedTenant_ = 0;
   std::uint64_t rejectedShutdown_ = 0;
+  std::uint64_t rejectedShardUnavailable_ = 0;
+  std::uint64_t rejectedQuarantined_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t failed_ = 0;
   std::uint64_t timedOut_ = 0;
   std::uint64_t queueDepthPeak_ = 0;
+  std::uint64_t breakerTrips_ = 0;
   std::atomic<std::uint64_t> inflight_{0};
   std::atomic<std::uint64_t> inflightPeak_{0};
   std::atomic<std::uint64_t> retried_{0};
   std::atomic<std::uint64_t> stalled_{0};
+  std::atomic<std::uint64_t> workerRestarts_{0};
 };
 
 }  // namespace scarecrow::core

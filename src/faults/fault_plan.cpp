@@ -17,6 +17,8 @@ const char* faultSiteName(FaultSite site) noexcept {
     case FaultSite::kIpcDrain: return "ipc-drain";
     case FaultSite::kChildPropagation: return "child-propagation";
     case FaultSite::kResourceDbLookup: return "db-lookup";
+    case FaultSite::kWorkerCrash: return "worker-crash";
+    case FaultSite::kLedgerAppend: return "ledger-append";
   }
   return "?";
 }

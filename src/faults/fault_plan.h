@@ -29,11 +29,13 @@ enum class FaultSite : std::uint8_t {
   kIpcDrain,          // controller drain returns only part of the queue
   kChildPropagation,  // CreateProcess-hook descendant injection fails
   kResourceDbLookup,  // deception database lookup errors (served as a miss)
+  kWorkerCrash,       // an EvalService worker thread dies mid-attempt
+  kLedgerAppend,      // a run-ledger append fails (simulated disk error)
 };
 
 /// Number of fault sites; keep in sync with the last enumerator.
 inline constexpr std::size_t kFaultSiteCount =
-    static_cast<std::size_t>(FaultSite::kResourceDbLookup) + 1;
+    static_cast<std::size_t>(FaultSite::kLedgerAppend) + 1;
 
 /// Exhaustive over FaultSite (no default; -Werror=switch enforces it).
 /// These are also the spelling `FaultPlan::parse` accepts.

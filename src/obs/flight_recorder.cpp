@@ -19,6 +19,7 @@ const char* decisionKindName(DecisionKind kind) noexcept {
     case DecisionKind::kDegradation: return "degradation";
     case DecisionKind::kStall: return "stall";
     case DecisionKind::kSloBreach: return "slo-breach";
+    case DecisionKind::kBreakerTrip: return "breaker-trip";
   }
   return "?";
 }

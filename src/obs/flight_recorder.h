@@ -47,11 +47,12 @@ enum class DecisionKind : std::uint8_t {
   kDegradation,   // protection-ladder transition (full → partial → monitor)
   kStall,         // batch worker blew its virtual-clock heartbeat budget
   kSloBreach,     // an SLO rule's healthy bound was violated (obs::SloEngine)
+  kBreakerTrip,   // a shard circuit breaker opened (core::EvalService)
 };
 
 /// Number of decision kinds; keep in sync with the last enumerator.
 inline constexpr std::size_t kDecisionKindCount =
-    static_cast<std::size_t>(DecisionKind::kSloBreach) + 1;
+    static_cast<std::size_t>(DecisionKind::kBreakerTrip) + 1;
 
 /// Exhaustive over DecisionKind (no default; -Werror=switch enforces it).
 const char* decisionKindName(DecisionKind kind) noexcept;

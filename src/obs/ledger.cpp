@@ -340,6 +340,8 @@ const char* ledgerRecordKindName(LedgerRecordKind kind) noexcept {
     case LedgerRecordKind::kWindow: return "window";
     case LedgerRecordKind::kWorker: return "worker";
     case LedgerRecordKind::kBreach: return "breach";
+    case LedgerRecordKind::kAdmit: return "admit";
+    case LedgerRecordKind::kQuarantinedSample: return "quarantined-sample";
   }
   return "?";
 }
@@ -413,6 +415,15 @@ std::string renderLedgerRecord(const LedgerRecord& record) {
       appendField(out, "rule", record.rule);
       appendField(out, "observed", record.observed);
       appendField(out, "threshold", record.threshold);
+      break;
+    case LedgerRecordKind::kAdmit:
+      appendField(out, "request_index", record.requestIndex);
+      appendField(out, "sample_id", record.sampleId);
+      appendField(out, "tenant", record.tenant);
+      break;
+    case LedgerRecordKind::kQuarantinedSample:
+      appendField(out, "sample_id", record.sampleId);
+      appendField(out, "failures", record.failureCount);
       break;
   }
   out += "}";
@@ -490,6 +501,15 @@ std::optional<LedgerRecord> parseLedgerRecord(std::string_view line) {
       record.observed = fieldString(root, "observed");
       record.threshold = fieldString(root, "threshold");
       break;
+    case LedgerRecordKind::kAdmit:
+      record.requestIndex = fieldU64(root, "request_index");
+      record.sampleId = fieldString(root, "sample_id");
+      record.tenant = fieldString(root, "tenant");
+      break;
+    case LedgerRecordKind::kQuarantinedSample:
+      record.sampleId = fieldString(root, "sample_id");
+      record.failureCount = fieldU64(root, "failures");
+      break;
   }
   return record;
 }
@@ -520,6 +540,30 @@ std::vector<LedgerRecord> readLedgerFile(const std::string& path) {
     if (torn) break;
     start = end + 1;
   }
+  return records;
+}
+
+std::vector<LedgerRecord> readLedgerGenerations(const std::string& path) {
+  // Highest contiguous rotated generation on disk: rotateLocked() shifts
+  // `.1` → `.2` → …, so the set is dense and a probe that misses ends it.
+  std::uint32_t oldest = 0;
+  for (std::uint32_t g = 1;; ++g) {
+    std::FILE* f =
+        std::fopen((path + "." + std::to_string(g)).c_str(), "rb");
+    if (f == nullptr) break;
+    std::fclose(f);
+    oldest = g;
+  }
+  std::vector<LedgerRecord> records;
+  for (std::uint32_t g = oldest; g >= 1; --g) {
+    std::vector<LedgerRecord> part =
+        readLedgerFile(path + "." + std::to_string(g));
+    records.insert(records.end(), std::make_move_iterator(part.begin()),
+                   std::make_move_iterator(part.end()));
+  }
+  std::vector<LedgerRecord> head = readLedgerFile(path);
+  records.insert(records.end(), std::make_move_iterator(head.begin()),
+                 std::make_move_iterator(head.end()));
   return records;
 }
 
@@ -573,17 +617,31 @@ bool LedgerWriter::rotateLocked() {
   return true;
 }
 
+/// Counts a failed append and emits one structured log line on a
+/// power-of-two backoff (1st, 2nd, 4th, 8th, … failure), so a dying disk
+/// is loud without a sustained outage flooding the log.
+bool LedgerWriter::noteFailureLocked() {
+  const std::uint64_t failures =
+      failures_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if ((failures & (failures - 1)) == 0)
+    support::logWarn("ledger", "append failed",
+                     {{"path", options_.path}, {"failures", failures}});
+  return false;
+}
+
 bool LedgerWriter::append(LedgerRecord record) {
   if (record.shard.empty()) record.shard = options_.shard;
   const std::string line = renderLedgerRecord(record) + "\n";
 
   std::lock_guard<std::mutex> lock(mutex_);
+  if (options_.failAppend && options_.failAppend())
+    return noteFailureLocked();
   if (file_ == nullptr) {
     file_ = std::fopen(options_.path.c_str(), "ab");
     if (file_ == nullptr) {
       support::logError("ledger", "cannot open ledger",
                         {{"path", options_.path}});
-      return false;
+      return noteFailureLocked();
     }
     std::fseek(file_, 0, SEEK_END);
     const long at = std::ftell(file_);
@@ -593,12 +651,12 @@ bool LedgerWriter::append(LedgerRecord record) {
       bytes_ + line.size() > options_.maxBytes) {
     rotateLocked();
     file_ = std::fopen(options_.path.c_str(), "ab");
-    if (file_ == nullptr) return false;
+    if (file_ == nullptr) return noteFailureLocked();
   }
   // Line-atomic: the whole record in one write, flushed before returning,
   // so a crash can only lose or tear the final line — never interleave two.
   if (std::fwrite(line.data(), 1, line.size(), file_) != line.size())
-    return false;
+    return noteFailureLocked();
   std::fflush(file_);
   bytes_ += line.size();
   ++written_;

@@ -5,7 +5,7 @@
 // sweeps (and the ROADMAP's resident corpus-evaluation service) need
 // telemetry that aggregates across thousands of runs and multiple shards.
 // The ledger is that durable form: one self-describing JSON object per
-// line, four record kinds —
+// line, six record kinds —
 //   * "run"     one per EvalRequest/RunResult a BatchEvaluator worker
 //               finished: sample id, status, verdict, first trigger,
 //               correlation id, ResilienceVerdict numbers, and (when the
@@ -16,7 +16,12 @@
 //               MetricsSnapshot. reconstructFleetTelemetry folds these in
 //               (shard, worker) order and reproduces
 //               BatchEvaluator::mergedTelemetry() byte-identically;
-//   * "breach"  one per SLO breach (slo.h): rule, window, observed value.
+//   * "breach"  one per SLO breach (slo.h): rule, window, observed value;
+//   * "admit"   the write-ahead admission journal: one per admitted
+//               EvalService submission, written before the job is queued,
+//               so crash recovery can re-admit the unfinished residue;
+//   * "quarantined-sample" one per sample entering the persisted
+//               quarantine set (attempts exhausted across submissions).
 //
 // Crash safety is line-granular: every record is rendered to one buffer
 // and appended with a single write + flush, so a crash can only lose or
@@ -32,8 +37,10 @@
 // and single-writer ledgers are byte-identical outright (the goldens).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -50,12 +57,23 @@ enum class LedgerRecordKind : std::uint8_t {
   kWindow,  // one closed time-series window
   kWorker,  // one worker's end-of-batch merged telemetry
   kBreach,  // one SLO breach
+  /// Write-ahead admission journal: appended by EvalService::submit()
+  /// before the job is queued, so the set of admitted-but-incomplete
+  /// tickets is always reconstructible from disk. An admit with no run
+  /// record of the same request_index is the crash residue recovery
+  /// re-admits (DESIGN.md §16).
+  kAdmit,
+  /// A sample entered the persisted quarantine set after exhausting its
+  /// attempts across enough submissions; recovery reloads these so a
+  /// poisoned sample stays rejected across process lifetimes.
+  kQuarantinedSample,
 };
 
 inline constexpr std::size_t kLedgerRecordKindCount =
-    static_cast<std::size_t>(LedgerRecordKind::kBreach) + 1;
+    static_cast<std::size_t>(LedgerRecordKind::kQuarantinedSample) + 1;
 
-/// Exhaustive over LedgerRecordKind: "run", "window", "worker", "breach".
+/// Exhaustive over LedgerRecordKind: "run", "window", "worker", "breach",
+/// "admit", "quarantined-sample".
 const char* ledgerRecordKindName(LedgerRecordKind kind) noexcept;
 std::optional<LedgerRecordKind> ledgerRecordKindFromName(
     std::string_view name) noexcept;
@@ -109,6 +127,13 @@ struct LedgerRecord {
   std::string rule;      // the rule spec that fired
   std::string observed;  // deterministic rendering of the observed value
   std::string threshold; // deterministic rendering of the bound
+
+  // --- kAdmit (also uses requestIndex + sampleId) --------------------
+  std::string tenant;  // fair-share admission key, "" = anonymous pool
+
+  // --- kQuarantinedSample (also uses sampleId) -----------------------
+  /// Exhausted submissions that earned the sample its quarantine slot.
+  std::uint64_t failureCount = 0;
 };
 
 /// One line of JSON, no trailing newline. Deterministic: fixed key order,
@@ -122,6 +147,14 @@ std::optional<LedgerRecord> parseLedgerRecord(std::string_view line);
 /// Reads every parseable record of a ledger file, skipping blank, torn,
 /// and foreign lines (crash tolerance). Missing file yields empty.
 std::vector<LedgerRecord> readLedgerFile(const std::string& path);
+
+/// Reads a rotated ledger set oldest-first: `<path>.N … <path>.1, <path>`
+/// folded into one record stream, where N is the highest contiguous
+/// rotated generation present on disk. Recovery and fleet reconstruction
+/// read through this so a sweep that rotated mid-run still replays its
+/// full admission history. A never-rotated ledger degrades to
+/// readLedgerFile(path).
+std::vector<LedgerRecord> readLedgerGenerations(const std::string& path);
 
 /// Fleet reconstruction: merges every kWorker record in (shard,
 /// workerIndex) order. For a single batch's ledger this reproduces
@@ -143,6 +176,11 @@ struct LedgerOptions {
   std::uint32_t maxRotatedFiles = 3;
   /// Stamped into every record's "shard" field (per-record override wins).
   std::string shard;
+  /// Chaos seam: consulted under the writer lock before each append; a
+  /// true return fails the append as if the write itself had failed
+  /// (counted by appendFailures(), no bytes land). Lets the service wire
+  /// its faults::kLedgerAppend site in without obs depending on faults.
+  std::function<bool()> failAppend;
 };
 
 /// Append-only JSONL writer. Thread-safe: concurrent appends interleave at
@@ -156,15 +194,24 @@ class LedgerWriter {
   LedgerWriter& operator=(const LedgerWriter&) = delete;
 
   /// Renders and appends one record (one write + flush). False on I/O
-  /// failure. An empty record.shard inherits LedgerOptions::shard.
+  /// failure — counted by appendFailures() and surfaced through one
+  /// rate-limited structured log line (power-of-two backoff), so a ledger
+  /// silently losing records is impossible. An empty record.shard inherits
+  /// LedgerOptions::shard.
   bool append(LedgerRecord record);
 
   std::uint64_t recordsWritten() const noexcept { return written_; }
   std::uint64_t rotations() const noexcept { return rotations_; }
+  /// Appends that returned false since construction. Readable from any
+  /// thread mid-run (the service stats plane polls it).
+  std::uint64_t appendFailures() const noexcept {
+    return failures_.load(std::memory_order_relaxed);
+  }
   const std::string& path() const noexcept { return options_.path; }
 
  private:
   bool rotateLocked();
+  bool noteFailureLocked();
 
   LedgerOptions options_;
   std::mutex mutex_;
@@ -172,6 +219,7 @@ class LedgerWriter {
   std::uint64_t bytes_ = 0;
   std::uint64_t written_ = 0;
   std::uint64_t rotations_ = 0;
+  std::atomic<std::uint64_t> failures_{0};
 };
 
 }  // namespace scarecrow::obs

@@ -68,7 +68,8 @@ TEST(FleetObs, LedgerReconstructsMergedTelemetryByteIdentically) {
   const std::vector<LedgerRecord> records = obs::readLedgerFile(path);
   EXPECT_EQ(records.size(), batch.ledger()->recordsWritten());
 
-  std::size_t runs = 0, windows = 0, workers = 0, breaches = 0;
+  std::size_t runs = 0, windows = 0, workers = 0, breaches = 0, admits = 0,
+              quarantines = 0;
   for (const LedgerRecord& record : records) {
     EXPECT_EQ(record.shard, "shard-0");
     switch (record.kind) {
@@ -76,9 +77,15 @@ TEST(FleetObs, LedgerReconstructsMergedTelemetryByteIdentically) {
       case LedgerRecordKind::kWindow: ++windows; break;
       case LedgerRecordKind::kWorker: ++workers; break;
       case LedgerRecordKind::kBreach: ++breaches; break;
+      case LedgerRecordKind::kAdmit: ++admits; break;
+      case LedgerRecordKind::kQuarantinedSample: ++quarantines; break;
     }
   }
   EXPECT_EQ(runs, requests.size());
+  // The write-ahead journal: every admission left its kAdmit record, and
+  // nothing was quarantined in a healthy sweep.
+  EXPECT_EQ(admits, requests.size());
+  EXPECT_EQ(quarantines, 0u);
   EXPECT_EQ(workers, 8u);
   EXPECT_GT(windows, 0u);
   std::size_t expectedBreaches = 0;

@@ -1,7 +1,8 @@
 // Run ledger (obs/ledger.h, schema scarecrow.ledger.v1): golden line
-// bytes, render/parse round-trips for all four record kinds, crash-tail
-// tolerance of the reader, size-based rotation, and the (shard, worker)
-// fold order of reconstructFleetTelemetry.
+// bytes, render/parse round-trips for all six record kinds, crash-tail
+// tolerance of the reader, size-based rotation (plus the generation-aware
+// read recovery depends on), the failAppend chaos seam, and the (shard,
+// worker) fold order of reconstructFleetTelemetry.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -281,6 +282,109 @@ TEST(Ledger, ReconstructionFoldsWorkersShardMajorInWorkerOrder) {
   EXPECT_EQ(fleet.spans[0].name, "shard-0/w0");
   EXPECT_EQ(fleet.spans[1].name, "shard-0/w1");
   EXPECT_EQ(fleet.spans[2].name, "shard-1/w0");
+}
+
+TEST(Ledger, AdmitRecordGoldenBytesAndRoundTrip) {
+  LedgerRecord r;
+  r.kind = LedgerRecordKind::kAdmit;
+  r.shard = "shard-1";
+  r.requestIndex = 12;
+  r.sampleId = "564ac87";
+  r.tenant = "blue";
+  const std::string line = obs::renderLedgerRecord(r);
+  EXPECT_EQ(line,
+            "{\"schema\":\"scarecrow.ledger.v1\",\"kind\":\"admit\","
+            "\"shard\":\"shard-1\",\"request_index\":12,"
+            "\"sample_id\":\"564ac87\",\"tenant\":\"blue\"}");
+  const auto parsed = obs::parseLedgerRecord(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->kind, LedgerRecordKind::kAdmit);
+  EXPECT_EQ(parsed->requestIndex, 12u);
+  EXPECT_EQ(parsed->sampleId, "564ac87");
+  EXPECT_EQ(parsed->tenant, "blue");
+  EXPECT_EQ(obs::renderLedgerRecord(*parsed), line);
+}
+
+TEST(Ledger, QuarantinedSampleRecordGoldenBytesAndRoundTrip) {
+  LedgerRecord r;
+  r.kind = LedgerRecordKind::kQuarantinedSample;
+  r.shard = "shard-0";
+  r.sampleId = "poison";
+  r.failureCount = 3;
+  const std::string line = obs::renderLedgerRecord(r);
+  EXPECT_EQ(line,
+            "{\"schema\":\"scarecrow.ledger.v1\","
+            "\"kind\":\"quarantined-sample\",\"shard\":\"shard-0\","
+            "\"sample_id\":\"poison\",\"failures\":3}");
+  const auto parsed = obs::parseLedgerRecord(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->kind, LedgerRecordKind::kQuarantinedSample);
+  EXPECT_EQ(parsed->sampleId, "poison");
+  EXPECT_EQ(parsed->failureCount, 3u);
+  EXPECT_EQ(obs::renderLedgerRecord(*parsed), line);
+}
+
+TEST(Ledger, GenerationsReadFoldsRotatedFilesOldestFirst) {
+  const std::string path = tempPath("ledger_generations_test.jsonl");
+  for (const std::string& p :
+       {path, path + ".1", path + ".2", path + ".3"})
+    std::remove(p.c_str());
+
+  // Ten admits through a writer that fits two lines per generation: the
+  // history ends up split across `<path>.2`, `<path>.1`, and `<path>`.
+  LedgerRecord r;
+  r.kind = LedgerRecordKind::kAdmit;
+  r.sampleId = "sample";
+  const std::string line = obs::renderLedgerRecord(r) + "\n";
+  LedgerWriter writer({.path = path,
+                       .maxBytes = 2 * line.size(),
+                       .maxRotatedFiles = 4});
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    r.requestIndex = i;
+    ASSERT_TRUE(writer.append(r));
+  }
+
+  // readLedgerFile sees only the live tail; the generation-aware read
+  // folds `.N … .1, <path>` back into the full admission history in
+  // append order.
+  EXPECT_LT(obs::readLedgerFile(path).size(), 6u);
+  const std::vector<LedgerRecord> all = obs::readLedgerGenerations(path);
+  ASSERT_EQ(all.size(), 6u);
+  for (std::uint64_t i = 0; i < 6; ++i)
+    EXPECT_EQ(all[i].requestIndex, i) << i;
+
+  // A never-rotated path degrades to readLedgerFile.
+  const std::string flat = tempPath("ledger_generations_flat.jsonl");
+  std::remove(flat.c_str());
+  writeFile(flat, obs::renderLedgerRecord(r) + "\n");
+  EXPECT_EQ(obs::readLedgerGenerations(flat).size(), 1u);
+  for (const std::string& p :
+       {path, path + ".1", path + ".2", path + ".3", flat})
+    std::remove(p.c_str());
+}
+
+TEST(Ledger, FailAppendHookFailsAppendsAndCountsThem) {
+  const std::string path = tempPath("ledger_failappend_test.jsonl");
+  std::remove(path.c_str());
+  bool fail = false;
+  LedgerWriter writer({.path = path,
+                       .failAppend = [&fail] { return fail; }});
+  LedgerRecord r;
+  r.kind = LedgerRecordKind::kAdmit;
+  r.sampleId = "sample";
+  ASSERT_TRUE(writer.append(r));
+  fail = true;
+  EXPECT_FALSE(writer.append(r));
+  EXPECT_FALSE(writer.append(r));
+  fail = false;
+  ASSERT_TRUE(writer.append(r));
+
+  // Failed appends landed no bytes, were counted, and did not disturb the
+  // lines around them.
+  EXPECT_EQ(writer.appendFailures(), 2u);
+  EXPECT_EQ(writer.recordsWritten(), 2u);
+  EXPECT_EQ(obs::readLedgerFile(path).size(), 2u);
+  std::remove(path.c_str());
 }
 
 }  // namespace

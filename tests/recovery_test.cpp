@@ -1,0 +1,643 @@
+// Crash-safe EvalService tests (DESIGN.md §16): the write-ahead admission
+// journal, kill-and-resume byte parity against an uninterrupted run, the
+// checkpointed covering-sweep resume, shard circuit breakers (open →
+// re-route → half-open probe → close / reopen), worker-crash containment,
+// poisoned-sample quarantine persistence, rotation + torn-tail journal
+// replay, and ledger append-failure surfacing.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "analysis/coverings.h"
+#include "core/eval.h"
+#include "core/service.h"
+#include "env/environments.h"
+#include "faults/fault_plan.h"
+#include "malware/joe.h"
+#include "obs/flight_recorder.h"
+#include "obs/ledger.h"
+#include "obs/metrics.h"
+#include "winapi/api.h"
+#include "winapi/guest.h"
+
+namespace {
+
+using namespace scarecrow;
+
+std::string tempPath(const std::string& name) {
+  return testing::TempDir() + name;
+}
+
+void removeGenerations(const std::string& path) {
+  std::remove(path.c_str());
+  for (int g = 1; g <= 8; ++g)
+    std::remove((path + "." + std::to_string(g)).c_str());
+}
+
+std::vector<core::EvalRequest> joeCorpus(
+    const malware::ProgramRegistry& registry,
+    const std::vector<malware::JoeExpectation>& expected) {
+  std::vector<core::EvalRequest> requests;
+  for (const auto& row : expected)
+    requests.push_back({.sampleId = row.idPrefix,
+                        .imagePath = "C:\\submissions\\" + row.idPrefix +
+                                     ".exe",
+                        .factory = registry.factory()});
+  return requests;
+}
+
+/// Exits immediately: the cheapest possible admitted request.
+class TrivialProgram : public winapi::GuestProgram {
+ public:
+  void run(winapi::Api& api) override { api.ExitProcess(0); }
+};
+
+/// Throws for any image containing "poison", exits cleanly otherwise —
+/// the deterministic failure source the breaker and quarantine tests use.
+winapi::ProgramFactory poisonAwareFactory() {
+  return [](const std::string& image,
+            const std::string&) -> std::unique_ptr<winapi::GuestProgram> {
+    if (image.find("poison") != std::string::npos)
+      throw std::runtime_error("poisoned sample");
+    return std::make_unique<TrivialProgram>();
+  };
+}
+
+core::EvalRequest plainRequest(std::string sampleId) {
+  return {.sampleId = sampleId,
+          .imagePath = "C:\\submissions\\" + sampleId + ".exe",
+          .factory = poisonAwareFactory()};
+}
+
+/// First id of the form `<prefix><n>` that EvalService routes to `shard`.
+std::string idOnShard(const core::EvalService& service,
+                      const std::string& prefix, std::size_t shard) {
+  for (int i = 0;; ++i) {
+    const std::string id = prefix + std::to_string(i);
+    if (service.shardFor(id) == shard) return id;
+  }
+}
+
+std::map<std::uint64_t, std::string> runRecordBytes(
+    const std::vector<obs::LedgerRecord>& records) {
+  std::map<std::uint64_t, std::string> byIndex;
+  for (const obs::LedgerRecord& record : records) {
+    if (record.kind != obs::LedgerRecordKind::kRun) continue;
+    // Zero-duplicate: no request index may carry two run records.
+    EXPECT_EQ(byIndex.count(record.requestIndex), 0u)
+        << "duplicate run record for request " << record.requestIndex;
+    byIndex[record.requestIndex] = obs::renderLedgerRecord(record);
+  }
+  return byIndex;
+}
+
+std::size_t admitCountDeduped(const std::vector<obs::LedgerRecord>& records) {
+  std::map<std::uint64_t, std::size_t> admits;
+  for (const obs::LedgerRecord& record : records)
+    if (record.kind == obs::LedgerRecordKind::kAdmit)
+      ++admits[record.requestIndex];
+  return admits.size();
+}
+
+// --- tentpole: kill-and-resume byte parity -------------------------------
+
+TEST(Recovery, KillAndResumeMatchesUninterruptedRunByteForByte) {
+  malware::ProgramRegistry registry;
+  const auto expected = malware::registerJoeSamples(registry);
+  const std::vector<core::EvalRequest> requests =
+      joeCorpus(registry, expected);
+
+  core::ServiceOptions options;
+  options.shardCount = 2;
+  // One worker per shard: run records (workerIndex, virtualMs) are then
+  // fully deterministic per sample, which is what byte parity compares.
+  options.workersPerShard = 1;
+
+  const std::string pathA = tempPath("recovery_uninterrupted.jsonl");
+  const std::string pathB = tempPath("recovery_killed.jsonl");
+  removeGenerations(pathA);
+  removeGenerations(pathB);
+
+  // Run A: the uninterrupted reference sweep.
+  std::map<std::string, std::string> telemetryA;
+  {
+    core::ServiceOptions a = options;
+    a.telemetry.ledgerPath = pathA;
+    core::EvalService service([] { return env::buildBareMetalSandbox(); },
+                              a);
+    std::vector<core::Ticket> tickets;
+    for (const core::EvalRequest& request : requests)
+      tickets.push_back(service.submit(request));
+    for (std::size_t i = 0; i < tickets.size(); ++i) {
+      const auto result = service.wait(tickets[i]);
+      ASSERT_TRUE(result.has_value() && result->ok())
+          << requests[i].sampleId;
+      telemetryA[result->sampleId] = result->outcome.telemetryJson;
+    }
+  }
+  const auto recordsA = obs::readLedgerGenerations(pathA);
+  const std::map<std::uint64_t, std::string> runsA = runRecordBytes(recordsA);
+  ASSERT_EQ(runsA.size(), requests.size());
+  ASSERT_EQ(admitCountDeduped(recordsA), requests.size());
+
+  // Run B: same sweep, killed after the fourth completion. Queued work
+  // dies with the process; only the journal knows it was ever admitted.
+  std::map<std::string, std::string> telemetryB;
+  constexpr std::size_t kKillAfter = 4;
+  {
+    core::ServiceOptions b = options;
+    b.telemetry.ledgerPath = pathB;
+    core::EvalService service([] { return env::buildBareMetalSandbox(); },
+                              b);
+    std::vector<core::Ticket> tickets;
+    for (const core::EvalRequest& request : requests)
+      tickets.push_back(service.submit(request));
+    for (std::size_t i = 0; i < kKillAfter; ++i) {
+      const auto result = service.wait(tickets[i]);
+      ASSERT_TRUE(result.has_value() && result->ok());
+      telemetryB[result->sampleId] = result->outcome.telemetryJson;
+    }
+    service.kill();
+    for (const core::Ticket& ticket : tickets)
+      if (const auto result = service.poll(ticket); result.has_value())
+        if (result->ok())
+          telemetryB[result->sampleId] = result->outcome.telemetryJson;
+  }
+  const std::size_t survivedB = telemetryB.size();
+  ASSERT_GE(survivedB, kKillAfter);
+  ASSERT_LT(survivedB, requests.size()) << "kill() dropped nothing";
+
+  // Run C: a fresh service on the same ledger replays the journal and
+  // re-admits exactly the crash residue, each at its original index.
+  {
+    core::ServiceOptions c = options;
+    c.telemetry.ledgerPath = pathB;
+    core::EvalService service([] { return env::buildBareMetalSandbox(); },
+                              c);
+    const core::RecoveryReport report = service.recover(
+        pathB, [&](const std::string& sampleId, const std::string&) {
+          return core::EvalRequest{.sampleId = sampleId,
+                                   .imagePath = "C:\\submissions\\" +
+                                                sampleId + ".exe",
+                                   .factory = registry.factory()};
+        });
+    EXPECT_EQ(report.journaled, requests.size());
+    EXPECT_EQ(report.completed.size(), survivedB);
+    EXPECT_EQ(report.residue.size(), requests.size() - survivedB);
+    ASSERT_EQ(report.resubmitted.size(), report.residue.size());
+    for (const auto& resubmission : report.resubmitted) {
+      ASSERT_TRUE(resubmission.ticket.admitted()) << resubmission.sampleId;
+      const auto result = service.wait(resubmission.ticket);
+      ASSERT_TRUE(result.has_value() && result->ok())
+          << resubmission.sampleId;
+      // Zero-duplicate on the result plane too: the resumed run may not
+      // overwrite a sample the killed run already delivered.
+      EXPECT_EQ(telemetryB.count(result->sampleId), 0u);
+      telemetryB[result->sampleId] = result->outcome.telemetryJson;
+    }
+  }
+
+  // The acceptance gate: the torn run's ledger, after resume, carries the
+  // exact run records of the uninterrupted run — same indices, same
+  // bytes, none lost, none duplicated — and per-sample telemetry matches.
+  const auto recordsB = obs::readLedgerGenerations(pathB);
+  EXPECT_EQ(admitCountDeduped(recordsB), requests.size());
+  const std::map<std::uint64_t, std::string> runsB = runRecordBytes(recordsB);
+  ASSERT_EQ(runsB.size(), runsA.size());
+  for (const auto& [index, bytes] : runsA) {
+    const auto it = runsB.find(index);
+    ASSERT_NE(it, runsB.end()) << "run record lost for request " << index;
+    EXPECT_EQ(it->second, bytes) << "request " << index;
+  }
+  ASSERT_EQ(telemetryB.size(), requests.size());
+  for (const auto& [sampleId, json] : telemetryA)
+    EXPECT_EQ(telemetryB.at(sampleId), json) << sampleId;
+
+  removeGenerations(pathA);
+  removeGenerations(pathB);
+}
+
+// --- tentpole: checkpointed covering-sweep resume ------------------------
+
+TEST(Recovery, CoveringSweepResumesFromSynthesizedCheckpoint) {
+  const auto universe = analysis::defaultProfileUniverse();
+  const auto plan = analysis::planCoverings(universe);
+  const analysis::CoveringRouter router(universe, plan);
+
+  malware::ProgramRegistry registry;
+  const auto expected = malware::registerJoeSamples(registry);
+  const std::vector<core::EvalRequest> requests =
+      joeCorpus(registry, expected);
+  const analysis::TechniqueLookup lookup =
+      [&registry](const core::EvalRequest& request) {
+        return registry.findSpec(request.sampleId + ".exe");
+      };
+
+  core::ServiceOptions options;
+  options.shardCount = 2;
+  options.workersPerShard = 1;
+  const auto machineFactory = [] { return env::buildBareMetalSandbox(); };
+
+  const std::string pathFull = tempPath("recovery_sweep_full.jsonl");
+  const std::string pathResume = tempPath("recovery_sweep_resume.jsonl");
+  removeGenerations(pathFull);
+  removeGenerations(pathResume);
+
+  // Reference: the uninterrupted covering-routed sweep.
+  std::vector<analysis::RoutedOutcome> full;
+  {
+    core::ServiceOptions f = options;
+    f.telemetry.ledgerPath = pathFull;
+    core::EvalService service(machineFactory, f);
+    full = analysis::runCoveringSweep(service, router, requests, lookup);
+  }
+  const auto recordsFull = obs::readLedgerGenerations(pathFull);
+  const std::map<std::uint64_t, std::string> runsFull =
+      runRecordBytes(recordsFull);
+  ASSERT_EQ(runsFull.size(), requests.size());  // one routed run per sample
+
+  // Synthesize the crash checkpoint: every admit survived (journaled
+  // before queueing), but only the first K run records made it to disk.
+  constexpr std::uint64_t kCheckpoint = 5;
+  {
+    std::FILE* f = std::fopen(pathResume.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    for (const obs::LedgerRecord& record : recordsFull) {
+      const bool keep =
+          record.kind == obs::LedgerRecordKind::kAdmit ||
+          (record.kind == obs::LedgerRecordKind::kRun &&
+           record.requestIndex < kCheckpoint);
+      if (!keep) continue;
+      const std::string line = obs::renderLedgerRecord(record) + "\n";
+      ASSERT_EQ(std::fwrite(line.data(), 1, line.size(), f), line.size());
+    }
+    std::fclose(f);
+  }
+
+  // Resume: adopt the checkpointed prefix, execute only the residue, and
+  // end with a ledger whose run records byte-equal the full sweep's.
+  std::vector<analysis::RoutedOutcome> resumed;
+  {
+    core::ServiceOptions r = options;
+    r.telemetry.ledgerPath = pathResume;
+    core::EvalService service(machineFactory, r);
+    resumed = analysis::runCoveringSweep(service, router, requests, lookup,
+                                         pathResume);
+  }
+  ASSERT_EQ(resumed.size(), full.size());
+  for (std::size_t i = 0; i < resumed.size(); ++i) {
+    ASSERT_EQ(resumed[i].runs.size(), 1u) << requests[i].sampleId;
+    const analysis::RoutedRun& run = resumed[i].runs[0];
+    EXPECT_EQ(run.recovered, i < kCheckpoint) << requests[i].sampleId;
+    EXPECT_EQ(run.status, core::BatchStatus::kOk) << run.error;
+    EXPECT_EQ(run.profile, full[i].runs[0].profile);
+    // The sweep-level verdict is crash-invariant, adopted or executed.
+    EXPECT_EQ(resumed[i].deactivated(), full[i].deactivated())
+        << requests[i].sampleId;
+    EXPECT_EQ(run.outcome.verdict.firstTrigger,
+              full[i].runs[0].outcome.verdict.firstTrigger)
+        << requests[i].sampleId;
+  }
+
+  const std::map<std::uint64_t, std::string> runsResumed =
+      runRecordBytes(obs::readLedgerGenerations(pathResume));
+  ASSERT_EQ(runsResumed.size(), runsFull.size());
+  for (const auto& [index, bytes] : runsFull)
+    EXPECT_EQ(runsResumed.at(index), bytes) << "request " << index;
+
+  removeGenerations(pathFull);
+  removeGenerations(pathResume);
+}
+
+// --- shard supervision: circuit breakers ---------------------------------
+
+TEST(Recovery, BreakerOpensReroutesProbesAndRecloses) {
+  core::ServiceOptions options;
+  options.shardCount = 2;
+  options.workersPerShard = 1;
+  options.maxAttempts = 1;
+  options.breakerThreshold = 2;
+  options.breakerCooldown = 2;
+  core::EvalService service([] { return env::buildBareMetalSandbox(); },
+                            options);
+
+  const auto runOne = [&](const std::string& id) {
+    const core::Ticket ticket = service.submit(plainRequest(id));
+    EXPECT_TRUE(ticket.admitted()) << id;
+    service.wait(ticket);
+    return ticket;
+  };
+
+  // Two consecutive failures on shard 0 trip its breaker.
+  runOne(idOnShard(service, "poison-a", 0));
+  EXPECT_EQ(service.breakerState(0), core::BreakerState::kClosed);
+  runOne(idOnShard(service, "poison-b", 0));
+  EXPECT_EQ(service.breakerState(0), core::BreakerState::kOpen);
+  EXPECT_EQ(service.stats().breakerTrips, 1u);
+
+  // Shard-0 traffic re-routes to the healthy shard while the breaker is
+  // open — admitted, not rejected.
+  const core::Ticket rerouted =
+      service.submit(plainRequest(idOnShard(service, "ok-a", 0)));
+  ASSERT_TRUE(rerouted.admitted());
+  EXPECT_EQ(rerouted.shard, 1u);
+  ASSERT_TRUE(service.wait(rerouted).has_value());
+
+  // After breakerCooldown completions the next home-0 admission becomes
+  // the half-open probe; its success closes the breaker.
+  runOne(idOnShard(service, "ok-b", 1));
+  const core::Ticket probe =
+      service.submit(plainRequest(idOnShard(service, "ok-c", 0)));
+  ASSERT_TRUE(probe.admitted());
+  EXPECT_EQ(probe.shard, 0u);
+  ASSERT_TRUE(service.wait(probe).has_value());
+  EXPECT_EQ(service.breakerState(0), core::BreakerState::kClosed);
+
+  // Trip again, cool down, and this time fail the probe: the breaker
+  // reopens immediately (no second chance for a half-open shard).
+  runOne(idOnShard(service, "poison-c", 0));
+  runOne(idOnShard(service, "poison-d", 0));
+  EXPECT_EQ(service.breakerState(0), core::BreakerState::kOpen);
+  runOne(idOnShard(service, "ok-d", 1));
+  runOne(idOnShard(service, "ok-e", 1));
+  const core::Ticket failedProbe =
+      service.submit(plainRequest(idOnShard(service, "poison-e", 0)));
+  ASSERT_TRUE(failedProbe.admitted());
+  EXPECT_EQ(failedProbe.shard, 0u);
+  service.wait(failedProbe);
+  EXPECT_EQ(service.breakerState(0), core::BreakerState::kOpen);
+  EXPECT_EQ(service.stats().breakerTrips, 3u);
+
+  // The supervision plane is observable: kBreakerTrip health events and a
+  // per-shard breaker gauge, flushed with the rest of the telemetry.
+  service.flushTelemetry();
+  std::size_t trips = 0;
+  for (const obs::DecisionEvent& event : service.healthEvents().snapshot())
+    if (event.kind == obs::DecisionKind::kBreakerTrip) ++trips;
+  EXPECT_EQ(trips, 3u);
+  const obs::MetricsSnapshot fleet = service.fleetTelemetry();
+  std::map<std::string, std::int64_t> breakerGauges;
+  for (const obs::GaugeSample& gauge : fleet.gauges)
+    if (gauge.name == "service.breaker_state")
+      breakerGauges[gauge.label] = gauge.value;
+  ASSERT_EQ(breakerGauges.size(), 2u);
+  EXPECT_EQ(breakerGauges.at("shard-0"),
+            static_cast<std::int64_t>(core::BreakerState::kOpen));
+  EXPECT_EQ(breakerGauges.at("shard-1"),
+            static_cast<std::int64_t>(core::BreakerState::kClosed));
+}
+
+TEST(Recovery, AllShardsOpenRejectsWithShardUnavailable) {
+  core::ServiceOptions options;
+  options.shardCount = 1;
+  options.workersPerShard = 1;
+  options.maxAttempts = 1;
+  options.breakerThreshold = 1;
+  options.breakerCooldown = 100;  // far beyond what this test completes
+  core::EvalService service([] { return env::buildBareMetalSandbox(); },
+                            options);
+
+  const core::Ticket poison = service.submit(plainRequest("poison-0"));
+  ASSERT_TRUE(poison.admitted());
+  service.wait(poison);
+  EXPECT_EQ(service.breakerState(0), core::BreakerState::kOpen);
+
+  const core::Ticket rejected = service.submit(plainRequest("ok-0"));
+  EXPECT_FALSE(rejected.admitted());
+  EXPECT_EQ(rejected.verdict, core::AdmissionVerdict::kShardUnavailable);
+  EXPECT_EQ(service.stats().rejectedShardUnavailable, 1u);
+}
+
+// --- worker-crash containment --------------------------------------------
+
+TEST(Recovery, WorkerCrashRestartsMachineWithoutChargingTheRequest) {
+  malware::ProgramRegistry registry;
+  const auto expected = malware::registerJoeSamples(registry);
+
+  core::ServiceOptions options;
+  options.shardCount = 1;
+  options.workersPerShard = 1;
+  // The chaos plan kills the worker twice, only for this sample: both
+  // crashes restart the worker with a fresh machine, then the attempt
+  // runs — and must still produce the sample's normal verdict.
+  options.faultPlan = faults::FaultPlan::parse(
+      "worker-crash:api=" + expected[0].idPrefix + ",max=2");
+  core::EvalService service([] { return env::buildBareMetalSandbox(); },
+                            options);
+
+  core::EvalRequest request{.sampleId = expected[0].idPrefix,
+                            .imagePath = "C:\\submissions\\" +
+                                         expected[0].idPrefix + ".exe",
+                            .factory = registry.factory()};
+  const core::Ticket ticket = service.submit(request);
+  ASSERT_TRUE(ticket.admitted());
+  const auto result = service.wait(ticket);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok()) << result->error;
+  EXPECT_EQ(result->attempts, 1u);  // crashes are not the request's fault
+  EXPECT_EQ(result->outcome.verdict.deactivated, expected[0].deactivated);
+  EXPECT_EQ(service.stats().workerRestarts, 2u);
+
+  // Other samples miss the api filter entirely: no further restarts.
+  core::EvalRequest other{.sampleId = expected[1].idPrefix,
+                          .imagePath = "C:\\submissions\\" +
+                                       expected[1].idPrefix + ".exe",
+                          .factory = registry.factory()};
+  const auto otherResult = service.wait(service.submit(other));
+  ASSERT_TRUE(otherResult.has_value() && otherResult->ok());
+  EXPECT_EQ(service.stats().workerRestarts, 2u);
+
+  service.flushTelemetry();
+  std::uint64_t restartCounter = 0;
+  for (const obs::CounterSample& counter :
+       service.fleetTelemetry().counters)
+    if (counter.name == "service.worker_restarts")
+      restartCounter += counter.value;
+  EXPECT_EQ(restartCounter, 2u);
+}
+
+TEST(Recovery, CrashLoopingWorkerExhaustsRestartBudgetAndFailsTheAttempt) {
+  core::ServiceOptions options;
+  options.shardCount = 1;
+  options.workersPerShard = 1;
+  options.maxAttempts = 1;
+  options.faultPlan = faults::FaultPlan::parse("worker-crash");  // unbounded
+  core::EvalService service([] { return env::buildBareMetalSandbox(); },
+                            options);
+
+  const auto result = service.wait(service.submit(plainRequest("ok-0")));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->status, core::BatchStatus::kFailed);
+  EXPECT_NE(result->error.find("crash-looped"), std::string::npos)
+      << result->error;
+  // The containment budget bounds the spin: 8 restarts, then the attempt
+  // is charged as a failure instead of restarting forever.
+  EXPECT_EQ(service.stats().workerRestarts, 8u);
+}
+
+// --- poisoned-sample quarantine ------------------------------------------
+
+TEST(Recovery, QuarantineTripsAtThresholdAndPersistsAcrossRecovery) {
+  const std::string path = tempPath("recovery_quarantine.jsonl");
+  removeGenerations(path);
+
+  core::ServiceOptions options;
+  options.shardCount = 1;
+  options.workersPerShard = 1;
+  options.maxAttempts = 1;
+  options.quarantineThreshold = 2;
+  options.telemetry.ledgerPath = path;
+
+  {
+    core::EvalService service([] { return env::buildBareMetalSandbox(); },
+                              options);
+    // Two exhausted submissions cross the threshold...
+    service.wait(service.submit(plainRequest("poison-0")));
+    EXPECT_FALSE(service.isQuarantined("poison-0"));
+    service.wait(service.submit(plainRequest("poison-0")));
+    EXPECT_TRUE(service.isQuarantined("poison-0"));
+    EXPECT_EQ(service.stats().quarantinedSamples, 1u);
+    // ...and the third is rejected at admission, never reaching a worker.
+    const core::Ticket rejected = service.submit(plainRequest("poison-0"));
+    EXPECT_EQ(rejected.verdict, core::AdmissionVerdict::kSampleQuarantined);
+    EXPECT_EQ(service.stats().rejectedQuarantined, 1u);
+    // Healthy samples are untouched by someone else's poison.
+    const auto ok = service.wait(service.submit(plainRequest("ok-0")));
+    ASSERT_TRUE(ok.has_value() && ok->ok());
+  }
+
+  // The quarantine decision was persisted...
+  std::uint64_t quarantineRecords = 0;
+  for (const obs::LedgerRecord& record : obs::readLedgerGenerations(path))
+    if (record.kind == obs::LedgerRecordKind::kQuarantinedSample) {
+      ++quarantineRecords;
+      EXPECT_EQ(record.sampleId, "poison-0");
+      EXPECT_EQ(record.failureCount, 2u);
+    }
+  EXPECT_EQ(quarantineRecords, 1u);
+
+  // ...so a recovered service rejects the poison before running anything.
+  core::EvalService revived([] { return env::buildBareMetalSandbox(); },
+                            options);
+  const core::RecoveryReport report = revived.recover(
+      path, [](const std::string& sampleId, const std::string&) {
+        return plainRequest(sampleId);
+      });
+  EXPECT_EQ(report.quarantined, 1u);
+  EXPECT_TRUE(report.residue.empty());  // every admitted run completed
+  EXPECT_TRUE(revived.isQuarantined("poison-0"));
+  const core::Ticket rejected = revived.submit(plainRequest("poison-0"));
+  EXPECT_EQ(rejected.verdict, core::AdmissionVerdict::kSampleQuarantined);
+  removeGenerations(path);
+}
+
+// --- journal durability: rotation + torn tail ----------------------------
+
+TEST(Recovery, JournalReplaySurvivesRotationAndTornTail) {
+  const std::string path = tempPath("recovery_rotation.jsonl");
+  removeGenerations(path);
+
+  core::ServiceOptions options;
+  options.shardCount = 1;
+  options.workersPerShard = 1;
+  options.telemetry.ledgerPath = path;
+  // Small enough that the sweep's admit + run records rotate the file
+  // several times; large enough that single records always fit.
+  options.telemetry.ledgerMaxBytes = 700;
+  options.telemetry.ledgerMaxRotatedFiles = 6;
+
+  constexpr std::size_t kSamples = 6;
+  {
+    core::EvalService service([] { return env::buildBareMetalSandbox(); },
+                              options);
+    std::vector<core::Ticket> tickets;
+    for (std::size_t i = 0; i < kSamples; ++i)
+      tickets.push_back(
+          service.submit(plainRequest("ok-" + std::to_string(i))));
+    for (const core::Ticket& ticket : tickets)
+      ASSERT_TRUE(service.wait(ticket).has_value());
+    service.kill();  // crash before any telemetry flush
+    ASSERT_GT(service.ledger()->rotations(), 0u)
+        << "sweep never rotated; lower ledgerMaxBytes";
+  }
+
+  // Simulate the crash racing one more admission: a whole admit record
+  // for a request that never ran, then a torn half-line.
+  {
+    obs::LedgerRecord admit;
+    admit.kind = obs::LedgerRecordKind::kAdmit;
+    admit.requestIndex = kSamples;
+    admit.sampleId = "ok-resumed";
+    const std::string line = obs::renderLedgerRecord(admit);
+    std::FILE* f = std::fopen(path.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    const std::string tail = line + "\n" + line.substr(0, line.size() / 2);
+    ASSERT_EQ(std::fwrite(tail.data(), 1, tail.size(), f), tail.size());
+    std::fclose(f);
+  }
+
+  // Replay folds every generation and skips the torn tail: all admits
+  // reconstruct, the un-run one is residue, and recovery finishes it.
+  core::EvalService revived([] { return env::buildBareMetalSandbox(); },
+                            options);
+  const core::RecoveryReport report = revived.recover(
+      path, [](const std::string& sampleId, const std::string&) {
+        return plainRequest(sampleId);
+      });
+  EXPECT_EQ(report.journaled, kSamples + 1);
+  EXPECT_EQ(report.completed.size(), kSamples);
+  ASSERT_EQ(report.resubmitted.size(), 1u);
+  EXPECT_EQ(report.resubmitted[0].sampleId, "ok-resumed");
+  EXPECT_EQ(report.resubmitted[0].requestIndex, kSamples);
+  const auto result = revived.wait(report.resubmitted[0].ticket);
+  ASSERT_TRUE(result.has_value() && result->ok());
+  removeGenerations(path);
+}
+
+// --- ledger append-failure surfacing -------------------------------------
+
+TEST(Recovery, LedgerAppendFailuresAreCountedAndExported) {
+  const std::string path = tempPath("recovery_append_fail.jsonl");
+  removeGenerations(path);
+
+  core::ServiceOptions options;
+  options.shardCount = 1;
+  options.workersPerShard = 1;
+  options.telemetry.ledgerPath = path;
+  // Every third append fails, deterministically — a dying disk the
+  // service must survive while counting every lost record.
+  options.faultPlan = faults::FaultPlan::parse("ledger-append:every=3");
+  core::EvalService service([] { return env::buildBareMetalSandbox(); },
+                            options);
+
+  std::vector<core::Ticket> tickets;
+  for (int i = 0; i < 6; ++i)
+    tickets.push_back(
+        service.submit(plainRequest("ok-" + std::to_string(i))));
+  for (const core::Ticket& ticket : tickets)
+    ASSERT_TRUE(service.wait(ticket).has_value());
+  service.flushTelemetry();
+
+  const core::ServiceStats stats = service.stats();
+  EXPECT_GT(stats.ledgerAppendFailures, 0u);
+  EXPECT_EQ(stats.ledgerAppendFailures, service.ledger()->appendFailures());
+
+  // The counter is exported with the fleet telemetry (captured at flush,
+  // before the kWorker records themselves could fail to append).
+  std::uint64_t exported = 0;
+  for (const obs::CounterSample& counter :
+       service.fleetTelemetry().counters)
+    if (counter.name == "obs.ledger_append_failures")
+      exported += counter.value;
+  EXPECT_GT(exported, 0u);
+  EXPECT_LE(exported, stats.ledgerAppendFailures);
+  removeGenerations(path);
+}
+
+}  // namespace
